@@ -1,0 +1,45 @@
+//! Benchmarks for the ablation studies (DESIGN.md §5a design choices)
+//! and the §6 extension studies, at a reduced scale — `cargo bench`
+//! exercises every ablation's regeneration path.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mpvsim_core::ablations;
+use mpvsim_core::figures::{self, FigureOptions};
+
+fn opts() -> FigureOptions {
+    FigureOptions { reps: 1, master_seed: 2007, threads: 1, population: 120 }
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+
+    macro_rules! abl_bench {
+        ($name:literal, $f:path) => {
+            group.bench_function($name, |b| {
+                b.iter(|| black_box($f(&opts()).expect("ablation definition is valid")))
+            });
+        };
+    }
+
+    abl_bench!("read_delay", ablations::ablation_read_delay);
+    abl_bench!("detect_threshold", ablations::ablation_detect_threshold);
+    abl_bench!("topology_family", ablations::ablation_topology);
+    abl_bench!("day_alignment", ablations::ablation_day_alignment);
+    abl_bench!("acceptance_factor", ablations::ablation_acceptance_factor);
+    abl_bench!("virus4_semantics", ablations::ablation_virus4_semantics);
+    abl_bench!("ext_combo", figures::combo_study);
+    abl_bench!("ext_bluetooth", figures::bluetooth_study);
+    abl_bench!("ext_false_positives", figures::false_positive_study);
+    abl_bench!("ext_rollout_order", figures::rollout_order_study);
+    abl_bench!("ext_congestion", figures::congestion_study);
+    abl_bench!("txt_diminishing_returns", figures::diminishing_returns_study);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

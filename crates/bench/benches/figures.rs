@@ -1,0 +1,56 @@
+//! One benchmark per paper artefact: each bench runs the corresponding
+//! experiment definition from `mpvsim_core::figures` at a reduced scale
+//! (population 150, one replication), so `cargo bench` exercises the full
+//! regeneration path of every figure and prose claim.
+//!
+//! | bench | paper artefact |
+//! |---|---|
+//! | `fig1_baseline` | Figure 1 — baseline curves |
+//! | `fig2_virus_scan` | Figure 2 — signature scan delays |
+//! | `fig3_detection` | Figure 3 — detection accuracies |
+//! | `fig4_education` | Figure 4 — user education |
+//! | `fig5_immunization` | Figure 5 — patch deployment times |
+//! | `fig6_monitoring` | Figure 6 — forced waits |
+//! | `fig7_blacklist` | Figure 7 — blacklist thresholds |
+//! | `txt_blacklist_matrix` | §5.2 prose — blacklist vs Viruses 1/2/4 |
+//! | `txt_scaling` | §5.3 prose — population scaling |
+//! | `ext_combo` | §6 — combined mechanisms |
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mpvsim_core::figures::{self, FigureOptions};
+
+fn opts() -> FigureOptions {
+    FigureOptions { reps: 1, master_seed: 2007, threads: 1, population: 150 }
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    macro_rules! fig_bench {
+        ($name:literal, $f:path) => {
+            group.bench_function($name, |b| {
+                b.iter(|| black_box($f(&opts()).expect("figure definition is valid")))
+            });
+        };
+    }
+
+    fig_bench!("fig1_baseline", figures::fig1_baseline);
+    fig_bench!("fig2_virus_scan", figures::fig2_virus_scan);
+    fig_bench!("fig3_detection", figures::fig3_detection);
+    fig_bench!("fig4_education", figures::fig4_education);
+    fig_bench!("fig5_immunization", figures::fig5_immunization);
+    fig_bench!("fig6_monitoring", figures::fig6_monitoring);
+    fig_bench!("fig7_blacklist", figures::fig7_blacklist);
+    fig_bench!("txt_blacklist_matrix", figures::blacklist_matrix);
+    fig_bench!("txt_scaling", figures::scaling_study);
+    fig_bench!("ext_combo", figures::combo_study);
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Benchmarks for the epidemic model itself: one replication of each
+//! canonical virus at a reduced scale, plus the response-mechanism
+//! pipeline overhead (an ablation of the gateway hook points).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mpvsim_core::{
+    run_scenario, Blacklist, DetectionAlgorithm, Immunization, Monitoring, PopulationConfig,
+    ResponseConfig, ScenarioConfig, SignatureScan, UserEducation, VirusProfile,
+};
+use mpvsim_des::SimDuration;
+
+fn reduced(virus: VirusProfile, horizon_h: u64) -> ScenarioConfig {
+    let mut c = ScenarioConfig::baseline(virus);
+    c.population = PopulationConfig::paper_default(200);
+    c.horizon = SimDuration::from_hours(horizon_h);
+    c
+}
+
+fn bench_viruses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication");
+    group.sample_size(20);
+    for (virus, horizon_h) in [
+        (VirusProfile::virus1(), 72),
+        (VirusProfile::virus2(), 72),
+        (VirusProfile::virus3(), 24),
+        (VirusProfile::virus4(), 72),
+    ] {
+        let name = virus.name.replace(' ', "_").to_lowercase();
+        let config = reduced(virus, horizon_h);
+        group.bench_function(format!("{name}_n200"), |b| {
+            b.iter(|| black_box(run_scenario(&config, 7).expect("valid")))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: the incremental cost of each gateway hook on the hot path,
+/// measured against the same Virus 3 scenario.
+fn bench_response_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("response_overhead");
+    group.sample_size(20);
+
+    let arms: Vec<(&str, ResponseConfig)> = vec![
+        ("baseline", ResponseConfig::none()),
+        (
+            "scan",
+            ResponseConfig::none().with_signature_scan(SignatureScan {
+                activation_delay: SimDuration::from_hours(6),
+            }),
+        ),
+        (
+            "detection",
+            ResponseConfig::none().with_detection(DetectionAlgorithm::with_accuracy(0.95)),
+        ),
+        (
+            "education",
+            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.5 }),
+        ),
+        (
+            "immunization",
+            ResponseConfig::none().with_immunization(Immunization::uniform(
+                SimDuration::from_hours(6),
+                SimDuration::from_hours(1),
+            )),
+        ),
+        (
+            "monitoring",
+            ResponseConfig::none()
+                .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(15))),
+        ),
+        ("blacklist", ResponseConfig::none().with_blacklist(Blacklist { threshold: 30 })),
+        (
+            "all_six",
+            ResponseConfig::none()
+                .with_signature_scan(SignatureScan { activation_delay: SimDuration::from_hours(6) })
+                .with_detection(DetectionAlgorithm::with_accuracy(0.95))
+                .with_education(UserEducation { acceptance_scale: 0.5 })
+                .with_immunization(Immunization::uniform(
+                    SimDuration::from_hours(6),
+                    SimDuration::from_hours(1),
+                ))
+                .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(15)))
+                .with_blacklist(Blacklist { threshold: 30 }),
+        ),
+    ];
+
+    for (name, response) in arms {
+        let config = reduced(VirusProfile::virus3(), 24).with_response(response);
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(run_scenario(&config, 7).expect("valid")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_viruses, bench_response_overhead);
+criterion_main!(benches);

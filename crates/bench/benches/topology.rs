@@ -1,0 +1,51 @@
+//! Benchmarks for contact-network generation and analysis at the paper's
+//! scale (1000 phones, mean contact-list size 80) and the scaling-study
+//! scale (2000).
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mpvsim_topology::{analysis, GraphSpec};
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generate");
+    group.sample_size(20);
+
+    for (name, spec) in [
+        ("power_law_1000_deg80", GraphSpec::power_law(1000, 80.0)),
+        ("power_law_2000_deg80", GraphSpec::power_law(2000, 80.0)),
+        ("erdos_renyi_1000_deg80", GraphSpec::erdos_renyi(1000, 80.0)),
+        ("watts_strogatz_1000_k80", GraphSpec::watts_strogatz(1000, 80, 0.1)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(7);
+                black_box(spec.generate(&mut rng).expect("valid spec"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = GraphSpec::power_law(1000, 80.0).generate(&mut rng).expect("valid");
+
+    let mut group = c.benchmark_group("analysis");
+    group.bench_function("degree_stats_1000", |b| {
+        b.iter(|| black_box(analysis::degree_stats(&g)))
+    });
+    group.bench_function("components_1000", |b| {
+        b.iter(|| black_box(analysis::component_sizes(&g)))
+    });
+    group.bench_function("tail_slope_1000", |b| {
+        b.iter(|| black_box(analysis::log_log_tail_slope(&g, 10)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Benchmark-only crate; see the `benches/` directory:
+//!
+//! * `engine` — event-queue and dispatch microbenchmarks;
+//! * `topology` — graph generation/analysis at paper scale;
+//! * `model` — per-virus replication cost and response-hook overhead;
+//! * `figures` — one bench per paper figure / prose claim.

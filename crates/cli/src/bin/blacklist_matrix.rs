@@ -1,0 +1,8 @@
+//! Regenerates the §5.2 prose claims: blacklisting against the
+//! contact-list viruses (1, 2 and 4) at every threshold.
+fn main() {
+    mpvsim_cli::figure_main(
+        "§5.2 — Blacklisting vs. Contact-List Viruses (prose claims)",
+        mpvsim_core::figures::blacklist_matrix,
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates the §6 future-work study: combining monitoring with a
+//! signature scan against fast Virus 3.
+fn main() {
+    mpvsim_cli::figure_main(
+        "§6 — Combined Mechanisms: Monitoring + Signature Scan (Virus 3)",
+        mpvsim_core::figures::combo_study,
+    );
+}

@@ -1,0 +1,8 @@
+//! Runs the patch-rollout-order extension study: uniform (the paper's
+//! semantics) versus hubs-first patch distribution.
+fn main() {
+    mpvsim_cli::figure_main(
+        "Extension — Patch Rollout Order: Uniform vs Hubs-First",
+        mpvsim_core::figures::rollout_order_study,
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 1: baseline infection curves for all four viruses,
+//! no response mechanisms.
+fn main() {
+    mpvsim_cli::figure_main(
+        "Figure 1 — Baseline Infection Curves without Response Mechanisms",
+        mpvsim_core::figures::fig1_baseline,
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 2: gateway virus scan vs. activation delay
+//! (Virus 1).
+fn main() {
+    mpvsim_cli::figure_main(
+        "Figure 2 — Virus Scan: Varying the Activation Time Delay (Virus 1)",
+        mpvsim_core::figures::fig2_virus_scan,
+    );
+}

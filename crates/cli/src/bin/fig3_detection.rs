@@ -1,0 +1,8 @@
+//! Regenerates Figure 3: gateway detection algorithm vs. accuracy
+//! (Virus 2).
+fn main() {
+    mpvsim_cli::figure_main(
+        "Figure 3 — Virus Detection Algorithm: Varying Detection Accuracy (Virus 2)",
+        mpvsim_core::figures::fig3_detection,
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4: phone user education for all four viruses.
+fn main() {
+    mpvsim_cli::figure_main(
+        "Figure 4 — Phone User Education: Effective for All Viruses",
+        mpvsim_core::figures::fig4_education,
+    );
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: immunization patches vs. development/rollout
+//! times (Virus 4).
+fn main() {
+    mpvsim_cli::figure_main(
+        "Figure 5 — Immunization Using Patches: Varying the Deployment Times (Virus 4)",
+        mpvsim_core::figures::fig5_immunization,
+    );
+}

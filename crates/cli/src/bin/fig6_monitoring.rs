@@ -1,0 +1,7 @@
+//! Regenerates Figure 6: monitoring with forced waits (Virus 3).
+fn main() {
+    mpvsim_cli::figure_main(
+        "Figure 6 — Monitoring: Varying the Wait Time for Suspicious Phones (Virus 3)",
+        mpvsim_core::figures::fig6_monitoring,
+    );
+}

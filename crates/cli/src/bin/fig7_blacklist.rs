@@ -1,0 +1,7 @@
+//! Regenerates Figure 7: blacklisting thresholds (Virus 3).
+fn main() {
+    mpvsim_cli::figure_main(
+        "Figure 7 — Blacklisting: Varying the Activation Threshold (Virus 3)",
+        mpvsim_core::figures::fig7_blacklist,
+    );
+}

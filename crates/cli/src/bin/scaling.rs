@@ -1,0 +1,8 @@
+//! Regenerates the §5.3 prose claim: results scale from 1000 to 2000
+//! phones.
+fn main() {
+    mpvsim_cli::figure_main(
+        "§5.3 — Population Scaling Study (1000 vs 2000 phones)",
+        mpvsim_core::figures::scaling_study,
+    );
+}

@@ -1,0 +1,300 @@
+//! # mpvsim-cli — figure-regeneration binaries
+//!
+//! One binary per figure / prose claim of the paper (see `src/bin/`), all
+//! sharing the argument parsing and report rendering in this library:
+//!
+//! ```text
+//! cargo run --release -p mpvsim-cli --bin fig1_baseline -- --reps 10 --seed 2007
+//! ```
+//!
+//! Every binary prints, for each curve of its figure: the replication
+//! summary, an ASCII chart of the mean infection trajectories, and a CSV
+//! block for external plotting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use mpvsim_core::figures::{FigureOptions, LabeledResult};
+use mpvsim_stats::render::{ascii_chart, to_csv};
+use mpvsim_stats::TimeSeries;
+
+/// Parsed command line: the experiment knobs plus output destinations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliOptions {
+    /// Replications, seed, threads, population.
+    pub figure: FigureOptions,
+    /// Write the full results (labels, aggregates, per-replication stats)
+    /// as JSON to this path for archival / external analysis.
+    pub json_out: Option<PathBuf>,
+}
+
+/// Parses the shared CLI arguments.
+///
+/// Recognized flags: `--reps N`, `--seed S`, `--threads T`,
+/// `--population P`, `--quick` (3 replications), `--json PATH` (archive
+/// the results as JSON). Unknown flags abort with a usage message.
+///
+/// # Errors
+///
+/// Returns a usage string on malformed arguments.
+pub fn parse_options(args: impl Iterator<Item = String>) -> Result<CliOptions, String> {
+    let mut opts = FigureOptions::default();
+    let mut json_out = None;
+    let mut args = args.peekable();
+    let usage =
+        "usage: [--reps N] [--seed S] [--threads T] [--population P] [--quick] [--json PATH]";
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--quick" => opts.reps = FigureOptions::quick().reps,
+            "--json" => {
+                let value =
+                    args.next().ok_or_else(|| format!("--json needs a path\n{usage}"))?;
+                json_out = Some(PathBuf::from(value));
+            }
+            "--reps" | "--seed" | "--threads" | "--population" => {
+                let value = args
+                    .next()
+                    .ok_or_else(|| format!("{flag} needs a value\n{usage}"))?;
+                let parsed: u64 = value
+                    .parse()
+                    .map_err(|_| format!("{flag} value {value:?} is not a number\n{usage}"))?;
+                match flag.as_str() {
+                    "--reps" => opts.reps = parsed,
+                    "--seed" => opts.master_seed = parsed,
+                    "--threads" => opts.threads = parsed as usize,
+                    "--population" => opts.population = parsed as usize,
+                    _ => unreachable!(),
+                }
+            }
+            other => return Err(format!("unknown flag {other:?}\n{usage}")),
+        }
+    }
+    if opts.reps == 0 || opts.threads == 0 || opts.population == 0 {
+        return Err(format!("reps, threads and population must be positive\n{usage}"));
+    }
+    Ok(CliOptions { figure: opts, json_out })
+}
+
+/// The JSON document `--json` writes: enough to re-plot or re-judge a
+/// figure without re-running it.
+#[derive(Debug, serde::Serialize)]
+pub struct ArchivedReport<'a> {
+    /// Figure title.
+    pub title: &'a str,
+    /// Replications per scenario.
+    pub reps: u64,
+    /// Master seed of the run.
+    pub master_seed: u64,
+    /// Population size.
+    pub population: usize,
+    /// Every curve with its full experiment result.
+    pub results: &'a [LabeledResult],
+}
+
+/// Writes the archived-report JSON for `results` to `path`.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or serialization failure.
+pub fn write_json_report(
+    path: &std::path::Path,
+    title: &str,
+    opts: &FigureOptions,
+    results: &[LabeledResult],
+) -> Result<(), String> {
+    let report = ArchivedReport {
+        title,
+        reps: opts.reps,
+        master_seed: opts.master_seed,
+        population: opts.population,
+        results,
+    };
+    let file = std::fs::File::create(path)
+        .map_err(|e| format!("cannot create {}: {e}", path.display()))?;
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)
+        .map_err(|e| format!("cannot serialize report: {e}"))
+}
+
+/// Renders a figure's labelled results as a terminal report: a summary
+/// table, an ASCII chart of the mean curves, and a CSV block.
+pub fn render_report(title: &str, results: &[LabeledResult]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==\n");
+
+    // Summary table.
+    let _ = writeln!(
+        out,
+        "{:<28} {:>6} {:>10} {:>10} {:>14}",
+        "curve", "reps", "final", "ci95±", "t(half-final)h"
+    );
+    for r in results {
+        let s = &r.result.final_infected;
+        let half = s.mean / 2.0;
+        let t_half = r
+            .result
+            .mean_time_to_reach(half)
+            .map(|t| format!("{t:.1}"))
+            .unwrap_or_else(|| "-".to_owned());
+        let _ = writeln!(
+            out,
+            "{:<28} {:>6} {:>10.1} {:>10.1} {:>14}",
+            r.label, s.n, s.mean, s.ci95_half_width, t_half
+        );
+    }
+    let _ = writeln!(out);
+
+    // Chart of the mean curves.
+    let curves: Vec<(String, TimeSeries)> = results
+        .iter()
+        .map(|r| (r.label.clone(), r.result.mean_series()))
+        .collect();
+    let refs: Vec<(&str, &TimeSeries)> =
+        curves.iter().map(|(l, s)| (l.as_str(), s)).collect();
+    out.push_str(&ascii_chart(&refs, 72, 18, None));
+    let _ = writeln!(out);
+
+    // CSV for external plotting.
+    let _ = writeln!(out, "--- CSV ---");
+    out.push_str(&to_csv(&refs));
+    out
+}
+
+/// The shared `main` body: parse args, run the figure, print the report.
+///
+/// # Panics
+///
+/// Exits the process with an error message on bad arguments or an invalid
+/// scenario (both indicate a bug or misuse, not an I/O condition).
+pub fn figure_main<F>(title: &str, figure: F)
+where
+    F: FnOnce(&FigureOptions) -> Result<Vec<LabeledResult>, mpvsim_core::ConfigError>,
+{
+    let cli = match parse_options(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let opts = cli.figure;
+    eprintln!(
+        "running {title}: {} replications, seed {}, {} threads, population {}",
+        opts.reps, opts.master_seed, opts.threads, opts.population
+    );
+    match figure(&opts) {
+        Ok(results) => {
+            print!("{}", render_report(title, &results));
+            if let Some(path) = cli.json_out {
+                match write_json_report(&path, title, &opts, &results) {
+                    Ok(()) => eprintln!("archived results to {}", path.display()),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<CliOptions, String> {
+        parse_options(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_no_args() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.figure.reps, FigureOptions::default().reps);
+        assert_eq!(o.figure.population, 1000);
+        assert!(o.json_out.is_none());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let o = parse(&["--reps", "5", "--seed", "9", "--threads", "2", "--population", "500"])
+            .unwrap()
+            .figure;
+        assert_eq!(o.reps, 5);
+        assert_eq!(o.master_seed, 9);
+        assert_eq!(o.threads, 2);
+        assert_eq!(o.population, 500);
+    }
+
+    #[test]
+    fn quick_flag() {
+        let o = parse(&["--quick"]).unwrap();
+        assert_eq!(o.figure.reps, FigureOptions::quick().reps);
+    }
+
+    #[test]
+    fn json_flag_parses_and_requires_path() {
+        let o = parse(&["--json", "/tmp/out.json"]).unwrap();
+        assert_eq!(o.json_out.unwrap().to_str().unwrap(), "/tmp/out.json");
+        assert!(parse(&["--json"]).is_err());
+    }
+
+    #[test]
+    fn render_report_contains_table_chart_and_csv() {
+        let opts = FigureOptions { reps: 1, master_seed: 2, threads: 1, population: 30 };
+        let results = mpvsim_core::figures::fig7_blacklist(&opts).expect("tiny figure runs");
+        let text = render_report("Figure 7", &results);
+        assert!(text.contains("== Figure 7 =="));
+        assert!(text.contains("Baseline"));
+        assert!(text.contains("10 Messages"));
+        assert!(text.contains("--- CSV ---"));
+        assert!(text.contains("hours,Baseline"));
+        assert!(text.contains("└"), "chart frame missing");
+    }
+
+    #[test]
+    fn json_report_roundtrips_through_serde() {
+        // Run a tiny experiment, archive it, parse it back.
+        let opts = FigureOptions { reps: 1, master_seed: 1, threads: 1, population: 30 };
+        let results = mpvsim_core::figures::fig6_monitoring(&opts).expect("tiny figure runs");
+        let dir = std::env::temp_dir().join("mpvsim-json-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig6.json");
+        write_json_report(&path, "Figure 6", &opts, &results).expect("writes");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+        assert_eq!(value["title"], "Figure 6");
+        assert_eq!(value["population"], 30);
+        let archived = value["results"].as_array().unwrap();
+        assert_eq!(archived.len(), results.len());
+        assert_eq!(archived[0]["label"], "Baseline");
+        assert!(archived[0]["result"]["final_infected"]["mean"].is_number());
+    }
+
+    #[test]
+    fn rejects_unknown_flag() {
+        assert!(parse(&["--bogus"]).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_value() {
+        assert!(parse(&["--reps"]).is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric() {
+        assert!(parse(&["--reps", "many"]).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_values() {
+        assert!(parse(&["--reps", "0"]).is_err());
+        assert!(parse(&["--threads", "0"]).is_err());
+        assert!(parse(&["--population", "0"]).is_err());
+    }
+}

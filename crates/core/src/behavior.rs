@@ -1,0 +1,216 @@
+//! Phone-user behaviour: read delays and the declining acceptance curve.
+//!
+//! §4.4 of the paper: "the probability of acceptance for the *n*th
+//! received message is `0.468 ÷ 2^n`", so that "given that the user
+//! receives a large number of infected messages, the probability that a
+//! user will eventually give consent to accept an infected file is 0.40".
+//!
+//! User education (§3.2) scales the acceptance factor down (½ or ¼),
+//! reducing the eventual acceptance to ≈ 0.20 / ≈ 0.10.
+
+use serde::{Deserialize, Serialize};
+
+use mpvsim_des::{DelaySpec, SimDuration};
+
+/// The paper's acceptance factor: eventual acceptance ≈ 0.40.
+pub const DEFAULT_ACCEPTANCE_FACTOR: f64 = 0.468;
+
+/// The declining per-message acceptance curve `AF / 2^n`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceptanceModel {
+    acceptance_factor: f64,
+}
+
+impl AcceptanceModel {
+    /// Creates an acceptance model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acceptance_factor` is not in `[0, 1]`.
+    pub fn new(acceptance_factor: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&acceptance_factor) && acceptance_factor.is_finite(),
+            "acceptance factor must be in [0, 1]"
+        );
+        AcceptanceModel { acceptance_factor }
+    }
+
+    /// The paper's default model (AF = 0.468).
+    pub fn paper_default() -> Self {
+        AcceptanceModel::new(DEFAULT_ACCEPTANCE_FACTOR)
+    }
+
+    /// The configured acceptance factor.
+    pub fn acceptance_factor(&self) -> f64 {
+        self.acceptance_factor
+    }
+
+    /// A copy with the acceptance factor multiplied by `scale` (the user-
+    /// education mechanism), clamped to `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is negative or non-finite.
+    pub fn scaled(&self, scale: f64) -> Self {
+        assert!(scale >= 0.0 && scale.is_finite(), "scale must be non-negative");
+        AcceptanceModel::new((self.acceptance_factor * scale).min(1.0))
+    }
+
+    /// Probability that the user accepts the `n`-th infected message
+    /// offered to them (`n` is 1-based): `AF / 2^n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn prob_accept(&self, n: u32) -> f64 {
+        assert!(n >= 1, "message ordinal is 1-based");
+        if n >= 64 {
+            return 0.0;
+        }
+        self.acceptance_factor / (1u64 << n) as f64
+    }
+
+    /// Probability that the user eventually accepts *some* infected
+    /// message, given unboundedly many offers:
+    /// `1 − Π (1 − AF/2^n)` — ≈ 0.40 for the default factor.
+    pub fn eventual_acceptance(&self) -> f64 {
+        let mut stay_clean = 1.0f64;
+        for n in 1..64 {
+            stay_clean *= 1.0 - self.prob_accept(n);
+        }
+        1.0 - stay_clean
+    }
+}
+
+impl Default for AcceptanceModel {
+    fn default() -> Self {
+        AcceptanceModel::paper_default()
+    }
+}
+
+/// User behaviour parameters: how quickly a new MMS is read and how likely
+/// an infected attachment is accepted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BehaviorConfig {
+    /// Delay between a message arriving in the inbox and the user reading
+    /// it (and deciding on the attachment).
+    pub read_delay: DelaySpec,
+    /// The acceptance curve.
+    pub acceptance: AcceptanceModel,
+    /// Optional legitimate MMS traffic: the gap between consecutive
+    /// legitimate messages each phone sends (to a random contact). The
+    /// paper's model "does not track the delivery of legitimate
+    /// messages"; enabling this extension feeds the monitoring counters
+    /// with real user traffic — which is what makes monitoring
+    /// false-positives measurable — and gives piggybacking viruses
+    /// (Virus 4's literal semantics) events to ride on.
+    pub legitimate_mms: Option<DelaySpec>,
+}
+
+impl BehaviorConfig {
+    /// The defaults used throughout the experiments: exponential read
+    /// delay with a one-hour mean ("how quickly a phone user reads a new
+    /// MMS message") and the paper's acceptance factor.
+    pub fn paper_default() -> Self {
+        BehaviorConfig {
+            read_delay: DelaySpec::exponential(SimDuration::from_hours(1)),
+            acceptance: AcceptanceModel::paper_default(),
+            legitimate_mms: None,
+        }
+    }
+
+    /// Paper defaults plus legitimate traffic at the given mean
+    /// inter-message gap per phone (a handful of MMS per day is typical
+    /// 2007 usage: a 4 h mean gives ≈ 6/day).
+    pub fn with_legitimate_traffic(mean_gap: SimDuration) -> Self {
+        BehaviorConfig {
+            legitimate_mms: Some(DelaySpec::exponential(mean_gap)),
+            ..BehaviorConfig::paper_default()
+        }
+    }
+}
+
+impl Default for BehaviorConfig {
+    fn default() -> Self {
+        BehaviorConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_message_probabilities_halve() {
+        let m = AcceptanceModel::paper_default();
+        assert!((m.prob_accept(1) - 0.234).abs() < 1e-12);
+        assert!((m.prob_accept(2) - 0.117).abs() < 1e-12);
+        assert!((m.prob_accept(3) - 0.0585).abs() < 1e-12);
+        assert!(m.prob_accept(64) == 0.0, "deep tail underflows to zero");
+    }
+
+    #[test]
+    fn eventual_acceptance_is_the_papers_040() {
+        let m = AcceptanceModel::paper_default();
+        let p = m.eventual_acceptance();
+        assert!((p - 0.40).abs() < 0.005, "eventual acceptance {p} ≉ 0.40");
+    }
+
+    #[test]
+    fn education_halving_gives_about_020() {
+        // §5.2: halving/quartering the acceptance factor reduces the total
+        // probability of acceptance to ≈ 0.20 / ≈ 0.10.
+        let half = AcceptanceModel::paper_default().scaled(0.5);
+        let p = half.eventual_acceptance();
+        assert!((p - 0.21).abs() < 0.02, "half-education eventual {p} ≉ 0.20");
+        let quarter = AcceptanceModel::paper_default().scaled(0.25);
+        let p = quarter.eventual_acceptance();
+        assert!((p - 0.11).abs() < 0.02, "quarter-education eventual {p} ≉ 0.10");
+    }
+
+    #[test]
+    fn scaled_clamps_at_one() {
+        let m = AcceptanceModel::new(0.9).scaled(5.0);
+        assert_eq!(m.acceptance_factor(), 1.0);
+    }
+
+    #[test]
+    fn zero_factor_never_accepts() {
+        let m = AcceptanceModel::new(0.0);
+        assert_eq!(m.prob_accept(1), 0.0);
+        assert_eq!(m.eventual_acceptance(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn factor_above_one_rejected() {
+        let _ = AcceptanceModel::new(1.2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_scale_rejected() {
+        let _ = AcceptanceModel::paper_default().scaled(-1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1-based")]
+    fn zeroth_message_rejected() {
+        let _ = AcceptanceModel::paper_default().prob_accept(0);
+    }
+
+    #[test]
+    fn default_behavior_config() {
+        let b = BehaviorConfig::default();
+        assert_eq!(b.read_delay.mean(), SimDuration::from_hours(1));
+        assert_eq!(b.acceptance.acceptance_factor(), DEFAULT_ACCEPTANCE_FACTOR);
+        assert!(b.legitimate_mms.is_none(), "paper model tracks only virus traffic");
+    }
+
+    #[test]
+    fn legitimate_traffic_constructor() {
+        let b = BehaviorConfig::with_legitimate_traffic(SimDuration::from_hours(4));
+        assert_eq!(b.legitimate_mms.unwrap().mean(), SimDuration::from_hours(4));
+        assert_eq!(b.read_delay, BehaviorConfig::paper_default().read_delay);
+    }
+}

@@ -1,0 +1,709 @@
+//! Machine-checkable versions of the paper's quantitative claims.
+//!
+//! Each figure's headline finding is encoded as a predicate over the
+//! regenerated curves, so "does the reproduction still hold?" is a
+//! program you can run (`cargo run -p mpvsim-cli --bin report`), not a
+//! diff you eyeball. The checks are *relative* statements (orderings,
+//! ratios) that survive population down-scaling; absolute timings are
+//! explicitly out of scope (see EXPERIMENTS.md).
+
+use std::fmt;
+
+use crate::config::ConfigError;
+use crate::figures::{self, FigureOptions, LabeledResult};
+
+/// The verdict for one paper claim.
+#[derive(Debug, Clone)]
+pub struct ClaimVerdict {
+    /// Short claim identifier (e.g. `FIG6-HOLDS-150`).
+    pub id: &'static str,
+    /// The paper's claim, paraphrased.
+    pub claim: &'static str,
+    /// What this run measured, as a human-readable summary.
+    pub measured: String,
+    /// Whether the claim held in this run.
+    pub pass: bool,
+}
+
+impl fmt::Display for ClaimVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} — {}: {}",
+            if self.pass { "PASS" } else { "FAIL" },
+            self.id,
+            self.claim,
+            self.measured
+        )
+    }
+}
+
+fn find<'a>(results: &'a [LabeledResult], label: &str) -> Option<&'a LabeledResult> {
+    results.iter().find(|r| r.label == label)
+}
+
+fn final_of(results: &[LabeledResult], label: &str) -> f64 {
+    find(results, label).map(|r| r.result.final_infected.mean).unwrap_or(f64::NAN)
+}
+
+/// Figure 1: every baseline plateaus near 40 % of the vulnerable
+/// population (Virus 4 is exempted — it may not plateau by the horizon).
+pub fn check_fig1_plateau(results: &[LabeledResult], vulnerable: f64) -> ClaimVerdict {
+    let expected = 0.4 * vulnerable;
+    let mut measured = Vec::new();
+    let mut pass = true;
+    for label in ["Virus 1", "Virus 2", "Virus 3"] {
+        let f = final_of(results, label);
+        measured.push(format!("{label}: {f:.0}"));
+        if (f - expected).abs() > 0.35 * expected || f.is_nan() {
+            pass = false;
+        }
+    }
+    ClaimVerdict {
+        id: "FIG1-PLATEAU",
+        claim: "baselines plateau near 0.40 × vulnerable population",
+        measured: format!("expected ≈ {expected:.0}; {}", measured.join(", ")),
+        pass,
+    }
+}
+
+/// Figure 1: the speed ordering Virus 3 ≪ Virus 2 < Virus 1 < Virus 4.
+pub fn check_fig1_speed_order(results: &[LabeledResult]) -> ClaimVerdict {
+    let t = |label: &str| -> f64 {
+        find(results, label)
+            .and_then(|r| {
+                let half = r.result.final_infected.mean / 2.0;
+                r.result.mean_time_to_reach(half)
+            })
+            .unwrap_or(f64::NAN)
+    };
+    let (t3, t2, t1, t4) = (t("Virus 3"), t("Virus 2"), t("Virus 1"), t("Virus 4"));
+    let pass = t3 < t2 && t2 < t1 && t1 < t4;
+    ClaimVerdict {
+        id: "FIG1-SPEED-ORDER",
+        claim: "half-plateau times order V3 < V2 < V1 < V4",
+        measured: format!("t½ = {t3:.1} / {t2:.1} / {t1:.1} / {t4:.1} h"),
+        pass,
+    }
+}
+
+/// Figure 2: scan containment is monotone in the activation delay, and
+/// even the 24 h delay contains the virus well below baseline.
+pub fn check_fig2(results: &[LabeledResult]) -> ClaimVerdict {
+    let baseline = final_of(results, "Baseline");
+    let f6 = final_of(results, "6-Hour Delay");
+    let f12 = final_of(results, "12-Hour Delay");
+    let f24 = final_of(results, "24-Hour Delay");
+    let pass = f6 <= f12 && f12 <= f24 && f24 < 0.5 * baseline;
+    ClaimVerdict {
+        id: "FIG2-SCAN",
+        claim: "containment monotone in scan delay; 24 h still contains Virus 1",
+        measured: format!("baseline {baseline:.0}; delays → {f6:.1} / {f12:.1} / {f24:.1}"),
+        pass,
+    }
+}
+
+/// Figure 3: detection slows Virus 2 (t½ ordered by accuracy) but never
+/// stops it (plateaus survive).
+pub fn check_fig3(results: &[LabeledResult]) -> ClaimVerdict {
+    let baseline = find(results, "Baseline");
+    let t = |label: &str| -> f64 {
+        find(results, label)
+            .and_then(|r| r.result.mean_time_to_reach(final_of(results, "Baseline") / 2.0))
+            .unwrap_or(f64::NAN)
+    };
+    let t_base = baseline
+        .and_then(|r| r.result.mean_time_to_reach(r.result.final_infected.mean / 2.0))
+        .unwrap_or(f64::NAN);
+    let t99 = t("0.99 Accuracy");
+    let f99 = final_of(results, "0.99 Accuracy");
+    let f_base = final_of(results, "Baseline");
+    // Strongest accuracy visibly slows the spread; nothing stops it.
+    let pass = t99 > 1.2 * t_base && f99 > 0.7 * f_base;
+    ClaimVerdict {
+        id: "FIG3-DETECTION",
+        claim: "detection slows Virus 2 (more with higher accuracy) but never stops it",
+        measured: format!(
+            "t½ baseline {t_base:.1} h vs 0.99-accuracy {t99:.1} h; finals {f_base:.0} vs {f99:.0}"
+        ),
+        pass,
+    }
+}
+
+/// Figure 4: education scales the plateau by ≈ ½ (scale 0.5) and ≈ ¼
+/// (scale 0.25) for the three plateau-reaching viruses.
+pub fn check_fig4(results: &[LabeledResult]) -> ClaimVerdict {
+    let mut measured = Vec::new();
+    let mut pass = true;
+    for virus in ["Virus 1", "Virus 2", "Virus 3"] {
+        let base = final_of(results, virus);
+        let half = final_of(results, &format!("{virus} User Ed 0.20")) / base;
+        let quarter = final_of(results, &format!("{virus} User Ed 0.10")) / base;
+        measured.push(format!("{virus}: ×{half:.2}/×{quarter:.2}"));
+        if !((0.35..=0.70).contains(&half) && (0.12..=0.45).contains(&quarter)) {
+            pass = false;
+        }
+    }
+    ClaimVerdict {
+        id: "FIG4-EDUCATION",
+        claim: "education scales plateaus to ≈ ½ and ≈ ¼ of baseline",
+        measured: measured.join("; "),
+        pass,
+    }
+}
+
+/// Figure 5: development time dominates rollout duration.
+pub fn check_fig5(results: &[LabeledResult]) -> ClaimVerdict {
+    let baseline = final_of(results, "Baseline");
+    let fast_dev_worst = final_of(results, "Hours 24-48");
+    let slow_dev_best = final_of(results, "Hours 48-49");
+    let within_group_ordered = final_of(results, "Hours 24-25") <= fast_dev_worst + 2.0
+        && final_of(results, "Hours 48-49") <= final_of(results, "Hours 48-72") + 2.0;
+    let pass = fast_dev_worst <= slow_dev_best + 2.0
+        && within_group_ordered
+        && slow_dev_best < 0.5 * baseline;
+    ClaimVerdict {
+        id: "FIG5-IMMUNIZATION",
+        claim: "patch development time dominates rollout duration",
+        measured: format!(
+            "worst 24 h-dev arm {fast_dev_worst:.1} ≤ best 48 h-dev arm {slow_dev_best:.1}; baseline {baseline:.0}"
+        ),
+        pass,
+    }
+}
+
+/// Figure 6: monitoring slows Virus 3, more with longer forced waits.
+pub fn check_fig6(results: &[LabeledResult]) -> ClaimVerdict {
+    let baseline = final_of(results, "Baseline");
+    let f15 = final_of(results, "15-Minute Wait");
+    let f30 = final_of(results, "30-Minute Wait");
+    let f60 = final_of(results, "60-Minute Wait");
+    let pass = f60 <= f30 + 3.0 && f30 <= f15 + 3.0 && f30 < 0.6 * baseline;
+    ClaimVerdict {
+        id: "FIG6-MONITORING",
+        claim: "monitoring slows Virus 3; longer waits contain more",
+        measured: format!("baseline {baseline:.0}; waits → {f15:.1} / {f30:.1} / {f60:.1}"),
+        pass,
+    }
+}
+
+/// Figure 7: blacklist containment ordered by threshold.
+pub fn check_fig7(results: &[LabeledResult]) -> ClaimVerdict {
+    let baseline = final_of(results, "Baseline");
+    let f10 = final_of(results, "10 Messages");
+    let f20 = final_of(results, "20 Messages");
+    let f40 = final_of(results, "40 Messages");
+    let pass = f10 <= f20 + 3.0 && f20 <= f40 + 10.0 && f10 < 0.25 * baseline;
+    ClaimVerdict {
+        id: "FIG7-BLACKLIST",
+        claim: "blacklist containment strengthens as the threshold drops",
+        measured: format!("baseline {baseline:.0}; thresholds 10/20/40 → {f10:.1} / {f20:.1} / {f40:.1}"),
+        pass,
+    }
+}
+
+/// §5.2: blacklisting cannot touch multi-recipient Virus 2.
+pub fn check_blacklist_v2(results: &[LabeledResult]) -> ClaimVerdict {
+    let baseline = final_of(results, "Virus 2 Baseline");
+    let worst = ["Virus 2 Threshold 10", "Virus 2 Threshold 40"]
+        .iter()
+        .map(|l| final_of(results, l))
+        .fold(f64::INFINITY, f64::min);
+    let pass = worst > 0.75 * baseline;
+    ClaimVerdict {
+        id: "TXT-BL-V2",
+        claim: "blacklisting is ineffective against Virus 2 at every threshold",
+        measured: format!("baseline {baseline:.0}; most-contained arm {worst:.0}"),
+        pass,
+    }
+}
+
+/// §5.3: penetration fractions match across a population doubling.
+pub fn check_scaling(results: &[LabeledResult], n_small: usize) -> ClaimVerdict {
+    let mut measured = Vec::new();
+    let mut pass = true;
+    for virus in ["Virus 1", "Virus 3"] {
+        let small = final_of(results, &format!("{virus} n={n_small}")) / n_small as f64;
+        let large =
+            final_of(results, &format!("{virus} n={}", 2 * n_small)) / (2 * n_small) as f64;
+        measured.push(format!("{virus}: {small:.3} vs {large:.3}"));
+        if (small - large).abs() > 0.06 {
+            pass = false;
+        }
+    }
+    ClaimVerdict {
+        id: "TXT-SCALE",
+        claim: "penetration fractions scale across a population doubling",
+        measured: measured.join("; "),
+        pass,
+    }
+}
+
+/// §6: the monitoring + scan combination beats both parts.
+pub fn check_combo(results: &[LabeledResult]) -> ClaimVerdict {
+    let scan = final_of(results, "Scan only");
+    let monitor = final_of(results, "Monitoring only");
+    let both = final_of(results, "Monitoring + Scan");
+    let pass = both < scan && both <= monitor + 3.0;
+    ClaimVerdict {
+        id: "EXT-COMBO",
+        claim: "a slowing mechanism buys the time a halting mechanism needs",
+        measured: format!("scan {scan:.0}, monitoring {monitor:.0}, both {both:.1}"),
+        pass,
+    }
+}
+
+/// §6 Bluetooth extension: the gateway scan is blind to proximity spread.
+pub fn check_bluetooth(results: &[LabeledResult]) -> ClaimVerdict {
+    let base = final_of(results, "BT worm baseline");
+    let scanned = final_of(results, "BT worm + perfect scan");
+    let educated = final_of(results, "BT worm + education 0.20");
+    let pass = (base - scanned).abs() < 1e-9 && educated < 0.75 * base;
+    ClaimVerdict {
+        id: "EXT-BT",
+        claim: "gateway scan is blind to Bluetooth; education still works",
+        measured: format!("baseline {base:.0}, with perfect scan {scanned:.0}, educated {educated:.0}"),
+        pass,
+    }
+}
+
+/// Extension: monitoring false positives trade off against containment.
+pub fn check_false_positives(results: &[LabeledResult]) -> ClaimVerdict {
+    let fp_of = |label: &str| -> f64 {
+        find(results, label)
+            .map(|r| {
+                let total: u64 =
+                    r.result.runs.iter().map(|x| x.stats.false_positive_throttles).sum();
+                total as f64 / r.result.runs.len().max(1) as f64
+            })
+            .unwrap_or(f64::NAN)
+    };
+    let strict_fp = fp_of("threshold 2/h");
+    let default_fp = fp_of("threshold 5/h");
+    let strict_contained = final_of(results, "threshold 2/h");
+    let loose_contained = final_of(results, "threshold 10/h");
+    let pass = strict_fp > 0.0
+        && default_fp == 0.0
+        && strict_contained <= loose_contained + 5.0;
+    ClaimVerdict {
+        id: "EXT-FP",
+        claim: "stricter monitoring flags innocents; the default threshold has zero false positives",
+        measured: format!(
+            "FP/run: threshold-2 {strict_fp:.1}, threshold-5 {default_fp:.1}; \
+             contained {strict_contained:.1} (strict) vs {loose_contained:.1} (loose)"
+        ),
+        pass,
+    }
+}
+
+/// Extension: hubs-first patching is at least competitive with the
+/// paper's uniform rollout on a power-law contact graph.
+pub fn check_rollout_order(results: &[LabeledResult]) -> ClaimVerdict {
+    let uniform = final_of(results, "Virus 1 uniform");
+    let hubs = final_of(results, "Virus 1 hubs-first");
+    let baseline = final_of(results, "Virus 1 Baseline");
+    let pass = hubs <= uniform * 1.25 + 3.0 && uniform < 0.5 * baseline;
+    ClaimVerdict {
+        id: "EXT-ROLL",
+        claim: "hubs-first patch rollout is at least as effective as uniform",
+        measured: format!("baseline {baseline:.0}; uniform {uniform:.1}, hubs-first {hubs:.1}"),
+        pass,
+    }
+}
+
+/// Extension: finite gateway capacity congests transit without rescuing
+/// the population from a fast virus.
+pub fn check_congestion(results: &[LabeledResult]) -> ClaimVerdict {
+    let free = final_of(results, "infinite capacity (paper)");
+    let jammed = find(results, "300 msgs/h");
+    let jammed_final = final_of(results, "300 msgs/h");
+    let peak_h = jammed
+        .and_then(|r| r.result.runs.iter().filter_map(|x| x.gateway_peak_delay).max())
+        .map(|d| d.as_hours_f64())
+        .unwrap_or(f64::NAN);
+    let pass = peak_h > 1.0 && jammed_final > 0.5 * free;
+    ClaimVerdict {
+        id: "EXT-CONG",
+        claim: "a virus flood congests a finite gateway without being stopped by it",
+        measured: format!(
+            "finals {free:.0} (∞) vs {jammed_final:.0} (300/h); peak transit delay {peak_h:.1} h"
+        ),
+        pass,
+    }
+}
+
+/// §5.3 synthesis: the effectiveness matrix's sign pattern — which
+/// mechanism class beats which virus class. This is the paper's central
+/// conclusion ("response mechanisms must be agile enough to respond
+/// quickly to rapidly propagating viruses and discriminating enough to
+/// detect more stealthy, slowly propagating viruses").
+pub fn check_matrix(results: &[LabeledResult]) -> ClaimVerdict {
+    let ratio = |virus: &str, mech: &str| -> f64 {
+        final_of(results, &format!("{virus} | {mech}"))
+            / final_of(results, &format!("{virus} | baseline"))
+    };
+    // (virus, mechanism, must_be_effective): effective = < 0.5 × baseline,
+    // ineffective = > 0.6 × baseline.
+    let cells = [
+        ("Virus 1", "scan", true),
+        ("Virus 1", "immunization", true),
+        ("Virus 1", "monitoring", false),
+        ("Virus 3", "scan", false),
+        ("Virus 3", "immunization", false),
+        ("Virus 3", "monitoring", true),
+        ("Virus 3", "blacklist", true),
+        ("Virus 2", "blacklist", false),
+        ("Virus 4", "scan", true),
+    ];
+    let mut pass = true;
+    let mut measured = Vec::new();
+    for (virus, mech, effective) in cells {
+        let r = ratio(virus, mech);
+        let ok = if effective { r < 0.5 } else { r > 0.6 };
+        measured.push(format!("{virus}/{mech} ×{r:.2}{}", if ok { "" } else { " ✗" }));
+        if !ok {
+            pass = false;
+        }
+    }
+    ClaimVerdict {
+        id: "TXT-MATRIX",
+        claim: "fast mechanisms beat fast viruses; discriminating mechanisms beat slow ones",
+        measured: measured.join(", "),
+        pass,
+    }
+}
+
+/// Runs every figure at the given scale and checks every claim.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from the underlying experiments.
+pub fn verify_all(opts: &FigureOptions) -> Result<Vec<ClaimVerdict>, ConfigError> {
+    let fig1 = figures::fig1_baseline(opts)?;
+    let vulnerable = 0.8 * opts.population as f64;
+    let mut out = vec![
+        check_fig1_plateau(&fig1, vulnerable),
+        check_fig1_speed_order(&fig1),
+        check_fig2(&figures::fig2_virus_scan(opts)?),
+        check_fig3(&figures::fig3_detection(opts)?),
+        check_fig4(&figures::fig4_education(opts)?),
+        check_fig5(&figures::fig5_immunization(opts)?),
+        check_fig6(&figures::fig6_monitoring(opts)?),
+        check_fig7(&figures::fig7_blacklist(opts)?),
+        check_blacklist_v2(&figures::blacklist_matrix(opts)?),
+        check_scaling(&figures::scaling_study(opts)?, opts.population),
+        check_combo(&figures::combo_study(opts)?),
+    ];
+    out.push(check_bluetooth(&figures::bluetooth_study(opts)?));
+    out.push(check_false_positives(&figures::false_positive_study(opts)?));
+    out.push(check_rollout_order(&figures::rollout_order_study(opts)?));
+    out.push(check_congestion(&figures::congestion_study(opts)?));
+    out.push(check_matrix(&figures::effectiveness_matrix(opts)?));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run::{ExperimentResult, RunResult};
+    use mpvsim_stats::{AggregateSeries, Summary, TimeSeries};
+
+    /// Builds a synthetic labelled result whose series rises linearly to
+    /// `final_value` over `hours`.
+    fn synthetic(label: &str, final_value: f64, hours: usize) -> LabeledResult {
+        let values: Vec<f64> =
+            (0..=hours).map(|h| final_value * h as f64 / hours as f64).collect();
+        let series = TimeSeries::from_values(1.0, values.clone());
+        LabeledResult {
+            label: label.to_owned(),
+            result: ExperimentResult {
+                aggregate: AggregateSeries {
+                    step_hours: 1.0,
+                    mean: values,
+                    ci95_half_width: vec![0.0; hours + 1],
+                    replications: 1,
+                },
+                final_infected: Summary::of(&[final_value]).expect("nonempty"),
+                runs: vec![RunResult {
+                    traffic: series.clone(),
+                    series,
+                    final_infected: final_value as usize,
+                    stats: Default::default(),
+                    activation: Default::default(),
+                    gateway_peak_delay: None,
+                }],
+            },
+        }
+    }
+
+    #[test]
+    fn fig1_plateau_passes_on_target_values() {
+        let results = vec![
+            synthetic("Virus 1", 320.0, 100),
+            synthetic("Virus 2", 300.0, 50),
+            synthetic("Virus 3", 330.0, 10),
+            synthetic("Virus 4", 280.0, 400),
+        ];
+        assert!(check_fig1_plateau(&results, 800.0).pass);
+        assert!(!check_fig1_plateau(&results, 2000.0).pass, "wrong population must fail");
+    }
+
+    #[test]
+    fn fig1_speed_order_detects_inversions() {
+        let good = vec![
+            synthetic("Virus 3", 320.0, 10),
+            synthetic("Virus 2", 320.0, 40),
+            synthetic("Virus 1", 320.0, 100),
+            synthetic("Virus 4", 320.0, 300),
+        ];
+        assert!(check_fig1_speed_order(&good).pass);
+        let bad = vec![
+            synthetic("Virus 3", 320.0, 300),
+            synthetic("Virus 2", 320.0, 40),
+            synthetic("Virus 1", 320.0, 100),
+            synthetic("Virus 4", 320.0, 10),
+        ];
+        assert!(!check_fig1_speed_order(&bad).pass);
+    }
+
+    #[test]
+    fn fig2_requires_monotone_containment() {
+        let good = vec![
+            synthetic("Baseline", 320.0, 100),
+            synthetic("6-Hour Delay", 5.0, 100),
+            synthetic("12-Hour Delay", 10.0, 100),
+            synthetic("24-Hour Delay", 30.0, 100),
+        ];
+        assert!(check_fig2(&good).pass);
+        let bad = vec![
+            synthetic("Baseline", 320.0, 100),
+            synthetic("6-Hour Delay", 50.0, 100),
+            synthetic("12-Hour Delay", 10.0, 100),
+            synthetic("24-Hour Delay", 300.0, 100),
+        ];
+        assert!(!check_fig2(&bad).pass);
+    }
+
+    #[test]
+    fn fig4_bands() {
+        let mk = |v: &str, base: f64, half: f64, quarter: f64| {
+            vec![
+                synthetic(v, base, 50),
+                synthetic(&format!("{v} User Ed 0.20"), half, 50),
+                synthetic(&format!("{v} User Ed 0.10"), quarter, 50),
+            ]
+        };
+        let mut good = mk("Virus 1", 320.0, 165.0, 80.0);
+        good.extend(mk("Virus 2", 300.0, 160.0, 85.0));
+        good.extend(mk("Virus 3", 325.0, 175.0, 90.0));
+        assert!(check_fig4(&good).pass);
+        let mut bad = mk("Virus 1", 320.0, 310.0, 300.0);
+        bad.extend(mk("Virus 2", 300.0, 160.0, 85.0));
+        bad.extend(mk("Virus 3", 325.0, 175.0, 90.0));
+        assert!(!check_fig4(&bad).pass);
+    }
+
+    #[test]
+    fn missing_labels_yield_fail_not_panic() {
+        let verdict = check_fig2(&[]);
+        assert!(!verdict.pass, "NaN comparisons must fail closed");
+        assert!(!check_fig6(&[]).pass);
+        assert!(!check_combo(&[]).pass);
+        assert!(!check_bluetooth(&[]).pass);
+    }
+
+    #[test]
+    fn verdict_display_mentions_id_and_outcome() {
+        let v = ClaimVerdict {
+            id: "X",
+            claim: "something holds",
+            measured: "42".to_owned(),
+            pass: true,
+        };
+        let s = v.to_string();
+        assert!(s.contains("PASS") && s.contains('X') && s.contains("42"));
+    }
+
+    #[test]
+    fn bluetooth_check_requires_exact_scan_equality() {
+        let results = vec![
+            synthetic("BT worm baseline", 320.0, 30),
+            synthetic("BT worm + perfect scan", 320.0, 30),
+            synthetic("BT worm + education 0.20", 170.0, 30),
+        ];
+        assert!(check_bluetooth(&results).pass);
+        let results = vec![
+            synthetic("BT worm baseline", 320.0, 30),
+            synthetic("BT worm + perfect scan", 200.0, 30),
+            synthetic("BT worm + education 0.20", 170.0, 30),
+        ];
+        assert!(!check_bluetooth(&results).pass, "scan must be exactly inert");
+    }
+
+    #[test]
+    fn fig5_dev_dominance() {
+        let good = vec![
+            synthetic("Baseline", 280.0, 400),
+            synthetic("Hours 24-25", 5.0, 400),
+            synthetic("Hours 24-48", 7.0, 400),
+            synthetic("Hours 48-49", 12.0, 400),
+            synthetic("Hours 48-72", 14.0, 400),
+        ];
+        assert!(check_fig5(&good).pass);
+        let bad = vec![
+            synthetic("Baseline", 280.0, 400),
+            synthetic("Hours 24-25", 50.0, 400),
+            synthetic("Hours 24-48", 60.0, 400),
+            synthetic("Hours 48-49", 12.0, 400),
+            synthetic("Hours 48-72", 14.0, 400),
+        ];
+        assert!(!check_fig5(&bad).pass, "24 h-dev losing to 48 h-dev must fail");
+    }
+
+    #[test]
+    fn fig6_and_fig7_orderings() {
+        let good6 = vec![
+            synthetic("Baseline", 320.0, 25),
+            synthetic("15-Minute Wait", 160.0, 25),
+            synthetic("30-Minute Wait", 30.0, 25),
+            synthetic("60-Minute Wait", 5.0, 25),
+        ];
+        assert!(check_fig6(&good6).pass);
+        let bad6 = vec![
+            synthetic("Baseline", 320.0, 25),
+            synthetic("15-Minute Wait", 30.0, 25),
+            synthetic("30-Minute Wait", 300.0, 25),
+            synthetic("60-Minute Wait", 310.0, 25),
+        ];
+        assert!(!check_fig6(&bad6).pass);
+
+        let good7 = vec![
+            synthetic("Baseline", 320.0, 25),
+            synthetic("10 Messages", 3.0, 25),
+            synthetic("20 Messages", 50.0, 25),
+            synthetic("40 Messages", 200.0, 25),
+        ];
+        assert!(check_fig7(&good7).pass);
+        let bad7 = vec![
+            synthetic("Baseline", 320.0, 25),
+            synthetic("10 Messages", 300.0, 25),
+            synthetic("20 Messages", 50.0, 25),
+            synthetic("40 Messages", 200.0, 25),
+        ];
+        assert!(!check_fig7(&bad7).pass);
+    }
+
+    #[test]
+    fn blacklist_v2_immunity_band() {
+        let good = vec![
+            synthetic("Virus 2 Baseline", 300.0, 100),
+            synthetic("Virus 2 Threshold 10", 310.0, 100),
+            synthetic("Virus 2 Threshold 40", 295.0, 100),
+        ];
+        assert!(check_blacklist_v2(&good).pass);
+        let bad = vec![
+            synthetic("Virus 2 Baseline", 300.0, 100),
+            synthetic("Virus 2 Threshold 10", 30.0, 100),
+            synthetic("Virus 2 Threshold 40", 295.0, 100),
+        ];
+        assert!(!check_blacklist_v2(&bad).pass, "contained V2 contradicts the paper");
+    }
+
+    #[test]
+    fn scaling_fraction_agreement() {
+        let good = vec![
+            synthetic("Virus 1 n=100", 32.0, 100),
+            synthetic("Virus 1 n=200", 64.0, 100),
+            synthetic("Virus 3 n=100", 33.0, 10),
+            synthetic("Virus 3 n=200", 63.0, 10),
+        ];
+        assert!(check_scaling(&good, 100).pass);
+        let bad = vec![
+            synthetic("Virus 1 n=100", 32.0, 100),
+            synthetic("Virus 1 n=200", 160.0, 100),
+            synthetic("Virus 3 n=100", 33.0, 10),
+            synthetic("Virus 3 n=200", 63.0, 10),
+        ];
+        assert!(!check_scaling(&bad, 100).pass);
+    }
+
+    #[test]
+    fn combo_must_beat_both_parts() {
+        let good = vec![
+            synthetic("Scan only", 290.0, 25),
+            synthetic("Monitoring only", 30.0, 25),
+            synthetic("Monitoring + Scan", 3.0, 25),
+        ];
+        assert!(check_combo(&good).pass);
+        let bad = vec![
+            synthetic("Scan only", 290.0, 25),
+            synthetic("Monitoring only", 30.0, 25),
+            synthetic("Monitoring + Scan", 100.0, 25),
+        ];
+        assert!(!check_combo(&bad).pass);
+    }
+
+    #[test]
+    fn rollout_order_competitiveness() {
+        let good = vec![
+            synthetic("Virus 1 Baseline", 320.0, 100),
+            synthetic("Virus 1 uniform", 40.0, 100),
+            synthetic("Virus 1 hubs-first", 33.0, 100),
+        ];
+        assert!(check_rollout_order(&good).pass);
+        let bad = vec![
+            synthetic("Virus 1 Baseline", 320.0, 100),
+            synthetic("Virus 1 uniform", 40.0, 100),
+            synthetic("Virus 1 hubs-first", 200.0, 100),
+        ];
+        assert!(!check_rollout_order(&bad).pass);
+    }
+
+    #[test]
+    fn matrix_sign_pattern() {
+        let cell = |virus: &str, mech: &str, v: f64| synthetic(&format!("{virus} | {mech}"), v, 50);
+        let mut good = Vec::new();
+        for virus in ["Virus 1", "Virus 2", "Virus 3", "Virus 4"] {
+            good.push(cell(virus, "baseline", 300.0));
+        }
+        for (v, m, val) in [
+            ("Virus 1", "scan", 5.0),
+            ("Virus 1", "immunization", 20.0),
+            ("Virus 1", "monitoring", 290.0),
+            ("Virus 3", "scan", 280.0),
+            ("Virus 3", "immunization", 295.0),
+            ("Virus 3", "monitoring", 20.0),
+            ("Virus 3", "blacklist", 5.0),
+            ("Virus 2", "blacklist", 305.0),
+            ("Virus 4", "scan", 4.0),
+        ] {
+            good.push(cell(v, m, val));
+        }
+        assert!(check_matrix(&good).pass);
+        // Flip one decisive cell: monitoring suddenly beats Virus 1.
+        let mut bad = good.clone();
+        for r in &mut bad {
+            if r.label == "Virus 1 | monitoring" {
+                *r = cell("Virus 1", "monitoring", 10.0);
+            }
+        }
+        assert!(!check_matrix(&bad).pass);
+    }
+
+    /// End-to-end smoke test at a tiny scale: every claim machine runs.
+    /// (Whether each passes at this scale is covered by the integration
+    /// suite at a larger one; here we check the plumbing.)
+    #[test]
+    fn verify_all_runs_at_tiny_scale() {
+        let opts = FigureOptions { reps: 1, master_seed: 9, threads: 1, population: 40 };
+        let verdicts = verify_all(&opts).expect("all experiments valid");
+        assert_eq!(verdicts.len(), 16);
+        let ids: Vec<&str> = verdicts.iter().map(|v| v.id).collect();
+        assert!(ids.contains(&"FIG1-PLATEAU"));
+        assert!(ids.contains(&"EXT-BT"));
+        assert!(ids.contains(&"EXT-FP"));
+        assert!(ids.contains(&"EXT-ROLL"));
+        assert!(ids.contains(&"EXT-CONG"));
+        assert!(ids.contains(&"TXT-MATRIX"));
+    }
+}

@@ -1,0 +1,313 @@
+//! Scenario configuration: everything a replication needs, as plain data.
+
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+use mpvsim_des::SimDuration;
+use mpvsim_mobility::{Arena, WaypointParams};
+use mpvsim_topology::GraphSpec;
+
+use crate::behavior::BehaviorConfig;
+use crate::response::ResponseConfig;
+use crate::virus::VirusProfile;
+
+/// Population structure: how many phones, how they are wired, and what
+/// fraction run the vulnerable platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PopulationConfig {
+    /// The contact-network generator (node count comes from here).
+    pub topology: GraphSpec,
+    /// Fraction of phones vulnerable to the virus (paper: 0.8).
+    pub vulnerable_fraction: f64,
+}
+
+impl PopulationConfig {
+    /// The paper's population: `size` phones on a power-law contact graph
+    /// with mean contact-list size 80 (clamped to `size − 1` for small
+    /// test populations), 80 % vulnerable.
+    pub fn paper_default(size: usize) -> Self {
+        let mean_degree = 80.0f64.min(size.saturating_sub(1) as f64);
+        PopulationConfig {
+            topology: GraphSpec::power_law(size, mean_degree),
+            vulnerable_fraction: 0.8,
+        }
+    }
+
+    /// Number of phones.
+    pub fn size(&self) -> usize {
+        self.topology.node_count()
+    }
+}
+
+/// Physical mobility of the phone owners, needed by the Bluetooth
+/// propagation vector (paper §6 future work). Each phone is carried by a
+/// random-waypoint walker; positions advance every `tick`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MobilityConfig {
+    /// Arena width, meters.
+    pub arena_width: f64,
+    /// Arena height, meters.
+    pub arena_height: f64,
+    /// Random-waypoint movement parameters.
+    pub waypoint: WaypointParams,
+    /// How often positions (and Bluetooth contacts) are updated.
+    pub tick: SimDuration,
+}
+
+impl MobilityConfig {
+    /// A downtown-scale default: 1 km² arena, pedestrian movement,
+    /// one-minute ticks.
+    pub fn downtown() -> Self {
+        MobilityConfig {
+            arena_width: 1000.0,
+            arena_height: 1000.0,
+            waypoint: WaypointParams::pedestrian(),
+            tick: SimDuration::from_mins(1),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        Arena::new(self.arena_width, self.arena_height)?;
+        self.waypoint.validate()?;
+        if self.tick.is_zero() {
+            return Err("mobility tick must be positive".to_owned());
+        }
+        Ok(())
+    }
+
+    /// The arena described by this configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid; call
+    /// [`MobilityConfig::validate`] first.
+    pub fn arena(&self) -> Arena {
+        Arena::new(self.arena_width, self.arena_height).expect("validated mobility config")
+    }
+}
+
+/// A complete simulation scenario: population, user behaviour, virus,
+/// response mechanisms and observation settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// Population structure.
+    pub population: PopulationConfig,
+    /// User read-delay and acceptance behaviour.
+    pub behavior: BehaviorConfig,
+    /// The virus under study.
+    pub virus: VirusProfile,
+    /// Response mechanisms in force (empty = baseline).
+    pub response: ResponseConfig,
+    /// How long to observe, from the initial infection.
+    pub horizon: SimDuration,
+    /// Infection-count sampling period for the output time series.
+    pub sample_step: SimDuration,
+    /// Number of infected messages the gateways must observe before the
+    /// virus counts as "detectable" (starts the scan / detection /
+    /// immunization clocks).
+    pub detect_threshold: u64,
+    /// Number of initially infected phones (paper: 1).
+    pub initial_infections: u32,
+    /// Physical mobility of the phone owners; required when the virus
+    /// has a Bluetooth vector, ignored otherwise.
+    pub mobility: Option<MobilityConfig>,
+    /// Finite MMS gateway capacity in messages/hour (each recipient copy
+    /// consumes one service slot). `None` reproduces the paper's
+    /// assumption that "the phone network infrastructure can support the
+    /// extra volume"; `Some(c)` makes virus floods congest delivery.
+    pub gateway_capacity_per_hour: Option<u64>,
+}
+
+impl ScenarioConfig {
+    /// The paper's baseline scenario for `virus`: 1000 phones (800
+    /// vulnerable), power-law contacts of mean size 80, default user
+    /// behaviour, no response mechanisms, the virus's own paper horizon,
+    /// hourly sampling, detectability at 10 observed infected messages,
+    /// one initial infection.
+    pub fn baseline(virus: VirusProfile) -> Self {
+        let horizon = virus.paper_horizon();
+        ScenarioConfig {
+            population: PopulationConfig::paper_default(1000),
+            behavior: BehaviorConfig::paper_default(),
+            virus,
+            response: ResponseConfig::none(),
+            horizon,
+            sample_step: SimDuration::from_hours(1),
+            detect_threshold: 10,
+            initial_infections: 1,
+            mobility: None,
+            gateway_capacity_per_hour: None,
+        }
+    }
+
+    /// Builder-style: attaches a mobility configuration (needed by the
+    /// Bluetooth vector).
+    pub fn with_mobility(mut self, mobility: MobilityConfig) -> Self {
+        self.mobility = Some(mobility);
+        self
+    }
+
+    /// Builder-style: replaces the response configuration.
+    pub fn with_response(mut self, response: ResponseConfig) -> Self {
+        self.response = response;
+        self
+    }
+
+    /// Builder-style: replaces the horizon.
+    pub fn with_horizon(mut self, horizon: SimDuration) -> Self {
+        self.horizon = horizon;
+        self
+    }
+
+    /// Builder-style: replaces the population.
+    pub fn with_population(mut self, population: PopulationConfig) -> Self {
+        self.population = population;
+        self
+    }
+
+    /// Validates the whole configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found, as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.population
+            .topology
+            .validate()
+            .map_err(|e| ConfigError(format!("topology: {e}")))?;
+        let f = self.population.vulnerable_fraction;
+        if !(0.0..=1.0).contains(&f) || !f.is_finite() {
+            return Err(ConfigError(format!("vulnerable_fraction {f} must be in [0, 1]")));
+        }
+        self.virus.validate().map_err(|e| ConfigError(format!("virus: {e}")))?;
+        self.response.validate().map_err(|e| ConfigError(format!("response: {e}")))?;
+        if self.horizon.is_zero() {
+            return Err(ConfigError("horizon must be positive".to_owned()));
+        }
+        if self.sample_step.is_zero() {
+            return Err(ConfigError("sample_step must be positive".to_owned()));
+        }
+        if self.initial_infections == 0 {
+            return Err(ConfigError("need at least one initial infection".to_owned()));
+        }
+        if self.initial_infections as usize > self.population.size() {
+            return Err(ConfigError(format!(
+                "initial_infections {} exceeds population {}",
+                self.initial_infections,
+                self.population.size()
+            )));
+        }
+        if let Some(cap) = self.gateway_capacity_per_hour {
+            if cap == 0 || cap > 3600 {
+                return Err(ConfigError(format!(
+                    "gateway capacity {cap}/h must be in 1..=3600"
+                )));
+            }
+        }
+        match (&self.virus.bluetooth, &self.mobility) {
+            (Some(_), None) => {
+                return Err(ConfigError(
+                    "virus has a Bluetooth vector but the scenario has no mobility model"
+                        .to_owned(),
+                ))
+            }
+            (_, Some(m)) => m.validate().map_err(|e| ConfigError(format!("mobility: {e}")))?,
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// A scenario configuration was invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(pub String);
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid scenario configuration: {}", self.0)
+    }
+}
+
+impl Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::response::{Blacklist, ResponseConfig};
+
+    #[test]
+    fn baseline_validates_for_all_viruses() {
+        for v in VirusProfile::all_four() {
+            ScenarioConfig::baseline(v).validate().expect("baseline must be valid");
+        }
+    }
+
+    #[test]
+    fn paper_population_parameters() {
+        let p = PopulationConfig::paper_default(1000);
+        assert_eq!(p.size(), 1000);
+        assert_eq!(p.vulnerable_fraction, 0.8);
+        match p.topology {
+            GraphSpec::PowerLaw { n, mean_degree, .. } => {
+                assert_eq!(n, 1000);
+                assert_eq!(mean_degree, 80.0);
+            }
+            other => panic!("expected power-law topology, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builders_replace_fields() {
+        let c = ScenarioConfig::baseline(VirusProfile::virus1())
+            .with_horizon(SimDuration::from_hours(5))
+            .with_response(ResponseConfig::none().with_blacklist(Blacklist { threshold: 10 }))
+            .with_population(PopulationConfig::paper_default(2000));
+        assert_eq!(c.horizon, SimDuration::from_hours(5));
+        assert_eq!(c.population.size(), 2000);
+        assert!(c.response.blacklist.is_some());
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = ScenarioConfig::baseline(VirusProfile::virus1());
+        c.horizon = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::baseline(VirusProfile::virus1());
+        c.sample_step = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::baseline(VirusProfile::virus1());
+        c.initial_infections = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::baseline(VirusProfile::virus1());
+        c.initial_infections = 10_000;
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::baseline(VirusProfile::virus1());
+        c.population.vulnerable_fraction = 1.4;
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::baseline(VirusProfile::virus1());
+        c.virus.recipients_per_message = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::baseline(VirusProfile::virus1());
+        c.response.blacklist = Some(Blacklist { threshold: 0 });
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn config_error_display() {
+        let e = ConfigError("bad".to_owned());
+        assert!(e.to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,767 @@
+//! One experiment definition per figure (and per quantitative prose
+//! claim) of the paper's evaluation section. The CLI binaries and the
+//! benchmark harness both call into these, so the figure definitions live
+//! in exactly one place.
+//!
+//! | id | paper artefact | function |
+//! |---|---|---|
+//! | FIG1 | Fig. 1 baseline curves, 4 viruses | [`fig1_baseline`] |
+//! | FIG2 | Fig. 2 signature scan, delays 6/12/24 h (Virus 1) | [`fig2_virus_scan`] |
+//! | FIG3 | Fig. 3 detection accuracy .80–.99 (Virus 2) | [`fig3_detection`] |
+//! | FIG4 | Fig. 4 user education (all viruses) | [`fig4_education`] |
+//! | FIG5 | Fig. 5 immunization, dev × rollout (Virus 4) | [`fig5_immunization`] |
+//! | FIG6 | Fig. 6 monitoring waits 15/30/60 min (Virus 3) | [`fig6_monitoring`] |
+//! | FIG7 | Fig. 7 blacklist thresholds 10–40 (Virus 3) | [`fig7_blacklist`] |
+//! | TXT-BL | §5.2 blacklisting vs Viruses 1/2/4 | [`blacklist_matrix`] |
+//! | TXT-SCALE | §5.3 "results scale … to 2000 phones" | [`scaling_study`] |
+//! | EXT-COMBO | §6 combined mechanisms | [`combo_study`] |
+
+use mpvsim_des::SimDuration;
+
+use crate::config::{ConfigError, MobilityConfig, PopulationConfig, ScenarioConfig};
+use crate::response::{
+    Blacklist, DetectionAlgorithm, Immunization, Monitoring, ResponseConfig, SignatureScan,
+    UserEducation,
+};
+use crate::run::{run_experiment, ExperimentResult};
+use crate::virus::{BluetoothVector, VirusProfile};
+
+/// Common knobs for every figure experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FigureOptions {
+    /// Replications per scenario.
+    pub reps: u64,
+    /// Master seed; replication `r` of every scenario derives from it.
+    pub master_seed: u64,
+    /// Worker threads for the replication batch.
+    pub threads: usize,
+    /// Population size (the paper uses 1000; the scaling study overrides
+    /// this).
+    pub population: usize,
+}
+
+impl Default for FigureOptions {
+    fn default() -> Self {
+        FigureOptions { reps: 10, master_seed: 2007, threads: 4, population: 1000 }
+    }
+}
+
+impl FigureOptions {
+    /// A faster variant for smoke tests and benches: fewer replications.
+    pub fn quick() -> Self {
+        FigureOptions { reps: 3, ..FigureOptions::default() }
+    }
+}
+
+/// One labelled curve of a figure.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct LabeledResult {
+    /// Legend label, matching the paper's (e.g. "6-Hour Delay").
+    pub label: String,
+    /// The replicated, aggregated experiment behind the curve.
+    pub result: ExperimentResult,
+}
+
+fn base_config(virus: VirusProfile, opts: &FigureOptions) -> ScenarioConfig {
+    ScenarioConfig::baseline(virus)
+        .with_population(PopulationConfig::paper_default(opts.population))
+}
+
+fn run_labeled(
+    label: impl Into<String>,
+    config: &ScenarioConfig,
+    opts: &FigureOptions,
+) -> Result<LabeledResult, ConfigError> {
+    let result = run_experiment(config, opts.reps, opts.master_seed, opts.threads)?;
+    Ok(LabeledResult { label: label.into(), result })
+}
+
+/// **Figure 1** — baseline infection curves for all four viruses, no
+/// response mechanisms.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn fig1_baseline(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    VirusProfile::all_four()
+        .into_iter()
+        .map(|v| {
+            let label = v.name.clone();
+            let config = base_config(v, opts);
+            run_labeled(label, &config, opts)
+        })
+        .collect()
+}
+
+/// **Figure 2** — gateway signature scan against Virus 1, activation
+/// delay 6 / 12 / 24 h after detectability (plus the baseline).
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn fig2_virus_scan(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let mut out = vec![run_labeled(
+        "Baseline",
+        &base_config(VirusProfile::virus1(), opts),
+        opts,
+    )?];
+    for delay_h in [6u64, 12, 24] {
+        let config = base_config(VirusProfile::virus1(), opts).with_response(
+            ResponseConfig::none().with_signature_scan(SignatureScan {
+                activation_delay: SimDuration::from_hours(delay_h),
+            }),
+        );
+        out.push(run_labeled(format!("{delay_h}-Hour Delay"), &config, opts)?);
+    }
+    Ok(out)
+}
+
+/// **Figure 3** — gateway detection algorithm against Virus 2 at
+/// accuracies 0.99 / 0.95 / 0.90 / 0.85 / 0.80 (plus the baseline).
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn fig3_detection(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let mut out = vec![run_labeled(
+        "Baseline",
+        &base_config(VirusProfile::virus2(), opts),
+        opts,
+    )?];
+    for accuracy in [0.99, 0.95, 0.90, 0.85, 0.80] {
+        let config = base_config(VirusProfile::virus2(), opts).with_response(
+            ResponseConfig::none().with_detection(DetectionAlgorithm::with_accuracy(accuracy)),
+        );
+        out.push(run_labeled(format!("{accuracy:.2} Accuracy"), &config, opts)?);
+    }
+    Ok(out)
+}
+
+/// **Figure 4** — user education: every virus's baseline (total
+/// acceptance 0.40) against acceptance scaled to ≈ 0.20, plus the ≈ 0.10
+/// case the text discusses.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn fig4_education(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let mut out = Vec::new();
+    for v in VirusProfile::all_four() {
+        let name = v.name.clone();
+        out.push(run_labeled(name.clone(), &base_config(v.clone(), opts), opts)?);
+        for (scale, tag) in [(0.5, "User Ed 0.20"), (0.25, "User Ed 0.10")] {
+            let config = base_config(v.clone(), opts).with_response(
+                ResponseConfig::none().with_education(UserEducation { acceptance_scale: scale }),
+            );
+            out.push(run_labeled(format!("{name} {tag}"), &config, opts)?);
+        }
+    }
+    Ok(out)
+}
+
+/// **Figure 5** — immunization against Virus 4: patch development 24 or
+/// 48 h, rollout 1 / 6 / 24 h (plus the baseline). Labels follow the
+/// paper's "Hours 24-30" convention (development end — rollout end).
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn fig5_immunization(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let mut out = vec![run_labeled(
+        "Baseline",
+        &base_config(VirusProfile::virus4(), opts),
+        opts,
+    )?];
+    for dev_h in [24u64, 48] {
+        for rollout_h in [1u64, 6, 24] {
+            let config = base_config(VirusProfile::virus4(), opts).with_response(
+                ResponseConfig::none().with_immunization(Immunization::uniform(
+                    SimDuration::from_hours(dev_h),
+                    SimDuration::from_hours(rollout_h),
+                )),
+            );
+            out.push(run_labeled(
+                format!("Hours {dev_h}-{}", dev_h + rollout_h),
+                &config,
+                opts,
+            )?);
+        }
+    }
+    Ok(out)
+}
+
+/// **Figure 6** — monitoring against Virus 3: forced waits of 15 / 30 /
+/// 60 minutes (plus the baseline), observed over 25 hours.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn fig6_monitoring(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let horizon = SimDuration::from_hours(25);
+    let mut out = vec![run_labeled(
+        "Baseline",
+        &base_config(VirusProfile::virus3(), opts).with_horizon(horizon),
+        opts,
+    )?];
+    for wait_min in [15u64, 30, 60] {
+        let config = base_config(VirusProfile::virus3(), opts)
+            .with_horizon(horizon)
+            .with_response(ResponseConfig::none().with_monitoring(
+                Monitoring::with_forced_wait(SimDuration::from_mins(wait_min)),
+            ));
+        out.push(run_labeled(format!("{wait_min}-Minute Wait"), &config, opts)?);
+    }
+    Ok(out)
+}
+
+/// **Figure 7** — blacklisting against Virus 3: thresholds of 10 / 20 /
+/// 30 / 40 suspected messages (plus the baseline), observed over 25 h.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn fig7_blacklist(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let horizon = SimDuration::from_hours(25);
+    let mut out = vec![run_labeled(
+        "Baseline",
+        &base_config(VirusProfile::virus3(), opts).with_horizon(horizon),
+        opts,
+    )?];
+    for threshold in [10u32, 20, 30, 40] {
+        let config = base_config(VirusProfile::virus3(), opts)
+            .with_horizon(horizon)
+            .with_response(ResponseConfig::none().with_blacklist(Blacklist { threshold }));
+        out.push(run_labeled(format!("{threshold} Messages"), &config, opts)?);
+    }
+    Ok(out)
+}
+
+/// **§5.2 prose claim** — blacklisting against the contact-list viruses:
+/// Viruses 1, 2 and 4 at thresholds 10 / 20 / 30 / 40, plus their
+/// baselines. The paper: threshold 10 restricts Viruses 1 and 4 to
+/// ≈ 60 % of baseline penetration; all thresholds are ineffective against
+/// multi-recipient Virus 2.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn blacklist_matrix(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let mut out = Vec::new();
+    for v in [VirusProfile::virus1(), VirusProfile::virus2(), VirusProfile::virus4()] {
+        let name = v.name.clone();
+        out.push(run_labeled(format!("{name} Baseline"), &base_config(v.clone(), opts), opts)?);
+        for threshold in [10u32, 20, 30, 40] {
+            let config = base_config(v.clone(), opts)
+                .with_response(ResponseConfig::none().with_blacklist(Blacklist { threshold }));
+            out.push(run_labeled(format!("{name} Threshold {threshold}"), &config, opts)?);
+        }
+    }
+    Ok(out)
+}
+
+/// **§5.3 prose claim** — the results scale with population size (the
+/// paper compares 1000 against 2000 phones): baselines for Viruses 1 and
+/// 3 at `opts.population` and at twice that. Penetration *fractions*
+/// (infected / vulnerable) should match across sizes.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn scaling_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let mut out = Vec::new();
+    for v in [VirusProfile::virus1(), VirusProfile::virus3()] {
+        for size in [opts.population, 2 * opts.population] {
+            let name = v.name.clone();
+            let scaled_opts = FigureOptions { population: size, ..*opts };
+            let config = base_config(v.clone(), &scaled_opts);
+            out.push(run_labeled(format!("{name} n={size}"), &config, opts)?);
+        }
+    }
+    Ok(out)
+}
+
+/// **§6 future work** — combined mechanisms against fast Virus 3: the
+/// monitoring mechanism buys time, a signature scan then halts the virus.
+/// Compares baseline, monitoring alone, scan alone, and both.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn combo_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let horizon = SimDuration::from_hours(25);
+    let monitoring = Monitoring::with_forced_wait(SimDuration::from_mins(30));
+    let scan = SignatureScan { activation_delay: SimDuration::from_hours(6) };
+    let base = base_config(VirusProfile::virus3(), opts).with_horizon(horizon);
+    Ok(vec![
+        run_labeled("Baseline", &base, opts)?,
+        run_labeled(
+            "Monitoring only",
+            &base.clone().with_response(ResponseConfig::none().with_monitoring(monitoring)),
+            opts,
+        )?,
+        run_labeled(
+            "Scan only",
+            &base.clone().with_response(ResponseConfig::none().with_signature_scan(scan)),
+            opts,
+        )?,
+        run_labeled(
+            "Monitoring + Scan",
+            &base.clone().with_response(
+                ResponseConfig::none().with_monitoring(monitoring).with_signature_scan(scan),
+            ),
+            opts,
+        )?,
+    ])
+}
+
+/// **§6 future work** — the Bluetooth propagation vector the paper names
+/// but does not evaluate, implemented over a random-waypoint mobility
+/// field. Four arms over 72 h in a 1 km² downtown arena:
+///
+/// 1. a pure Bluetooth worm (Cabir-style) — baseline;
+/// 2. the same worm against a perfect gateway signature scan —
+///    demonstrating that reception-point mechanisms are blind to
+///    proximity transfers;
+/// 3. a hybrid MMS+Bluetooth worm (CommWarrior-style) against
+///    blacklisting — the MMS vector is cut, the Bluetooth vector is not;
+/// 4. the hybrid worm against immunization — the only §3 mechanism that
+///    stops both vectors.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn bluetooth_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let horizon = SimDuration::from_hours(72);
+    let bt = BluetoothVector::default_class2();
+    let mobility = MobilityConfig::downtown();
+
+    let pure = base_config(VirusProfile::bluetooth_worm(), opts)
+        .with_horizon(horizon)
+        .with_mobility(mobility);
+    let hybrid_profile = VirusProfile { bluetooth: Some(bt), ..VirusProfile::virus1() };
+    let hybrid = {
+        let mut c = base_config(hybrid_profile, opts).with_horizon(horizon).with_mobility(mobility);
+        c.virus.name = "Hybrid MMS+BT".to_owned();
+        c
+    };
+
+    Ok(vec![
+        run_labeled("BT worm baseline", &pure, opts)?,
+        run_labeled(
+            "BT worm + perfect scan",
+            &pure.clone().with_response(ResponseConfig::none().with_signature_scan(
+                SignatureScan { activation_delay: SimDuration::ZERO },
+            )),
+            opts,
+        )?,
+        run_labeled("Hybrid baseline", &hybrid, opts)?,
+        run_labeled(
+            "Hybrid + blacklist 10",
+            &hybrid.clone().with_response(
+                ResponseConfig::none().with_blacklist(Blacklist { threshold: 10 }),
+            ),
+            opts,
+        )?,
+        run_labeled(
+            "Hybrid + patch 24h+6h",
+            &hybrid.clone().with_response(ResponseConfig::none().with_immunization(
+                Immunization::uniform(
+                    SimDuration::from_hours(24),
+                    SimDuration::from_hours(6),
+                ),
+            )),
+            opts,
+        )?,
+        run_labeled(
+            "Hybrid + patch 6h+1h",
+            &hybrid.clone().with_response(ResponseConfig::none().with_immunization(
+                Immunization::uniform(
+                    SimDuration::from_hours(6),
+                    SimDuration::from_hours(1),
+                ),
+            )),
+            opts,
+        )?,
+        run_labeled(
+            "BT worm + education 0.20",
+            &pure.clone().with_response(
+                ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.5 }),
+            ),
+            opts,
+        )?,
+    ])
+}
+
+/// **Extension** — monitoring false positives. The paper notes the
+/// blacklist "threshold should ideally be as high as possible to avoid
+/// false positive activation" but models no legitimate traffic to
+/// measure it. With legitimate traffic enabled (≈ 6 MMS/day per phone),
+/// this study sweeps the monitoring threshold against Virus 3 and
+/// exposes the containment-vs-false-positive trade-off. Read the
+/// false-positive counts from each arm's `runs[i].stats`.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn false_positive_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let horizon = SimDuration::from_hours(25);
+    let mut out = Vec::new();
+    for threshold in [2u32, 3, 5, 10] {
+        let mut config = base_config(VirusProfile::virus3(), opts).with_horizon(horizon);
+        config.behavior =
+            crate::behavior::BehaviorConfig::with_legitimate_traffic(SimDuration::from_hours(4));
+        config.response = ResponseConfig::none().with_monitoring(Monitoring {
+            window: SimDuration::from_hours(1),
+            threshold,
+            forced_wait: SimDuration::from_mins(30),
+        });
+        out.push(run_labeled(format!("threshold {threshold}/h"), &config, opts)?);
+    }
+    Ok(out)
+}
+
+/// **Extension** — patch rollout order: the paper's uniform rollout
+/// against a hubs-first rollout (highest-degree phones patched first)
+/// at the same development and rollout times, for Viruses 1 and 4.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn rollout_order_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let mut out = Vec::new();
+    for virus in [VirusProfile::virus1(), VirusProfile::virus4()] {
+        let name = virus.name.clone();
+        out.push(run_labeled(
+            format!("{name} Baseline"),
+            &base_config(virus.clone(), opts),
+            opts,
+        )?);
+        for (label, imm) in [
+            (
+                "uniform",
+                Immunization::uniform(SimDuration::from_hours(24), SimDuration::from_hours(24)),
+            ),
+            (
+                "hubs-first",
+                Immunization::hubs_first(SimDuration::from_hours(24), SimDuration::from_hours(24)),
+            ),
+        ] {
+            let config = base_config(virus.clone(), opts)
+                .with_response(ResponseConfig::none().with_immunization(imm));
+            out.push(run_labeled(format!("{name} {label}"), &config, opts)?);
+        }
+    }
+    Ok(out)
+}
+
+/// **§5.3 prose** — "the results of our experiments are useful for
+/// locating the point of diminishing returns for each individual
+/// response mechanism". This study sweeps each mechanism's headline knob
+/// on a fine grid so the knee is visible:
+///
+/// * signature-scan delay 2–48 h (Virus 1),
+/// * detection accuracy 0.50–0.995 (single-recipient fast virus),
+/// * monitoring forced wait 5–120 min (Virus 3),
+/// * blacklist threshold 5–60 (Virus 3).
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn diminishing_returns_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let mut out = Vec::new();
+
+    for delay_h in [2u64, 4, 8, 16, 32, 48] {
+        let config = base_config(VirusProfile::virus1(), opts).with_response(
+            ResponseConfig::none().with_signature_scan(SignatureScan {
+                activation_delay: SimDuration::from_hours(delay_h),
+            }),
+        );
+        out.push(run_labeled(format!("scan delay {delay_h}h"), &config, opts)?);
+    }
+
+    let mut single = VirusProfile::virus3();
+    single.name = "fast single-recipient".to_owned();
+    for accuracy in [0.5, 0.8, 0.9, 0.95, 0.99, 0.995] {
+        let mut config = base_config(single.clone(), opts)
+            .with_horizon(SimDuration::from_hours(25))
+            .with_response(
+                ResponseConfig::none().with_detection(DetectionAlgorithm {
+                    accuracy,
+                    analysis_period: SimDuration::from_hours(1),
+                }),
+            );
+        config.detect_threshold = 5;
+        out.push(run_labeled(format!("detection acc {accuracy}"), &config, opts)?);
+    }
+
+    for wait_min in [5u64, 15, 30, 60, 120] {
+        let config = base_config(VirusProfile::virus3(), opts)
+            .with_horizon(SimDuration::from_hours(25))
+            .with_response(ResponseConfig::none().with_monitoring(
+                Monitoring::with_forced_wait(SimDuration::from_mins(wait_min)),
+            ));
+        out.push(run_labeled(format!("monitor wait {wait_min}min"), &config, opts)?);
+    }
+
+    for threshold in [5u32, 10, 20, 40, 60] {
+        let config = base_config(VirusProfile::virus3(), opts)
+            .with_horizon(SimDuration::from_hours(25))
+            .with_response(ResponseConfig::none().with_blacklist(Blacklist { threshold }));
+        out.push(run_labeled(format!("blacklist @{threshold}"), &config, opts)?);
+    }
+
+    Ok(out)
+}
+
+/// **Extension** — gateway congestion. The paper assumes infinite MMS
+/// capacity; this study gives the gateway a finite throughput and races
+/// Virus 3 against it. Finite capacity both delays legitimate delivery
+/// (the intro's congestion concern) and — an emergent effect — throttles
+/// the virus itself, since its own messages queue too.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn congestion_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let horizon = SimDuration::from_hours(25);
+    let mut out = vec![run_labeled(
+        "infinite capacity (paper)",
+        &base_config(VirusProfile::virus3(), opts).with_horizon(horizon),
+        opts,
+    )?];
+    for capacity in [3600u64, 1200, 300] {
+        let mut config = base_config(VirusProfile::virus3(), opts).with_horizon(horizon);
+        config.gateway_capacity_per_hour = Some(capacity);
+        out.push(run_labeled(format!("{capacity} msgs/h"), &config, opts)?);
+    }
+    Ok(out)
+}
+
+/// **§5.3 synthesis** — the paper's central conclusion as one table: all
+/// six mechanisms (at representative settings) against all four viruses.
+/// Labels are `"{virus} | {mechanism}"`, with a `"{virus} | baseline"`
+/// row per virus; divide to get the effectiveness matrix.
+///
+/// Representative settings: scan 6 h delay, detection 0.95 accuracy,
+/// education ×0.5, immunization 24 h + 6 h, monitoring 30 min wait,
+/// blacklist threshold 10.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn effectiveness_matrix(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    let mechanisms: Vec<(&str, ResponseConfig)> = vec![
+        (
+            "scan",
+            ResponseConfig::none().with_signature_scan(SignatureScan {
+                activation_delay: SimDuration::from_hours(6),
+            }),
+        ),
+        (
+            "detection",
+            ResponseConfig::none().with_detection(DetectionAlgorithm::with_accuracy(0.95)),
+        ),
+        (
+            "education",
+            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.5 }),
+        ),
+        (
+            "immunization",
+            ResponseConfig::none().with_immunization(Immunization::uniform(
+                SimDuration::from_hours(24),
+                SimDuration::from_hours(6),
+            )),
+        ),
+        (
+            "monitoring",
+            ResponseConfig::none()
+                .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(30))),
+        ),
+        ("blacklist", ResponseConfig::none().with_blacklist(Blacklist { threshold: 10 })),
+    ];
+
+    let mut out = Vec::new();
+    for virus in VirusProfile::all_four() {
+        let name = virus.name.clone();
+        out.push(run_labeled(
+            format!("{name} | baseline"),
+            &base_config(virus.clone(), opts),
+            opts,
+        )?);
+        for (mech, response) in &mechanisms {
+            let config = base_config(virus.clone(), opts).with_response(*response);
+            out.push(run_labeled(format!("{name} | {mech}"), &config, opts)?);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure tests at full scale are exercised by the integration suite
+    /// and the CLI; here we verify the experiment *definitions* — label
+    /// sets and parameter wiring — with a minimal population.
+    fn tiny() -> FigureOptions {
+        FigureOptions { reps: 1, master_seed: 1, threads: 1, population: 40 }
+    }
+
+    fn labels(results: &[LabeledResult]) -> Vec<&str> {
+        results.iter().map(|r| r.label.as_str()).collect()
+    }
+
+    #[test]
+    fn fig2_labels_match_paper() {
+        // Shrink horizons via population only; the structure is what we
+        // check here.
+        let out = fig2_virus_scan(&tiny()).unwrap();
+        assert_eq!(
+            labels(&out),
+            vec!["Baseline", "6-Hour Delay", "12-Hour Delay", "24-Hour Delay"]
+        );
+    }
+
+    #[test]
+    fn fig3_labels_match_paper() {
+        let out = fig3_detection(&tiny()).unwrap();
+        assert_eq!(
+            labels(&out),
+            vec![
+                "Baseline",
+                "0.99 Accuracy",
+                "0.95 Accuracy",
+                "0.90 Accuracy",
+                "0.85 Accuracy",
+                "0.80 Accuracy"
+            ]
+        );
+    }
+
+    #[test]
+    fn fig5_labels_match_paper() {
+        let out = fig5_immunization(&tiny()).unwrap();
+        assert_eq!(
+            labels(&out),
+            vec![
+                "Baseline",
+                "Hours 24-25",
+                "Hours 24-30",
+                "Hours 24-48",
+                "Hours 48-49",
+                "Hours 48-54",
+                "Hours 48-72"
+            ]
+        );
+    }
+
+    #[test]
+    fn fig6_and_fig7_labels() {
+        let out = fig6_monitoring(&tiny()).unwrap();
+        assert_eq!(
+            labels(&out),
+            vec!["Baseline", "15-Minute Wait", "30-Minute Wait", "60-Minute Wait"]
+        );
+        let out = fig7_blacklist(&tiny()).unwrap();
+        assert_eq!(
+            labels(&out),
+            vec!["Baseline", "10 Messages", "20 Messages", "30 Messages", "40 Messages"]
+        );
+    }
+
+    #[test]
+    fn scaling_study_sizes() {
+        let out = scaling_study(&tiny()).unwrap();
+        assert_eq!(
+            labels(&out),
+            vec!["Virus 1 n=40", "Virus 1 n=80", "Virus 3 n=40", "Virus 3 n=80"]
+        );
+    }
+
+    #[test]
+    fn combo_study_labels() {
+        let out = combo_study(&tiny()).unwrap();
+        assert_eq!(
+            labels(&out),
+            vec!["Baseline", "Monitoring only", "Scan only", "Monitoring + Scan"]
+        );
+    }
+
+    #[test]
+    fn bluetooth_study_labels() {
+        let out = bluetooth_study(&tiny()).unwrap();
+        let labels: Vec<&str> = out.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "BT worm baseline",
+                "BT worm + perfect scan",
+                "Hybrid baseline",
+                "Hybrid + blacklist 10",
+                "Hybrid + patch 24h+6h",
+                "Hybrid + patch 6h+1h",
+                "BT worm + education 0.20"
+            ]
+        );
+    }
+
+    #[test]
+    fn false_positive_study_labels() {
+        let out = false_positive_study(&tiny()).unwrap();
+        let labels: Vec<&str> = out.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(labels, vec!["threshold 2/h", "threshold 3/h", "threshold 5/h", "threshold 10/h"]);
+        // The hair-trigger arm must record false positives somewhere.
+        let fp: u64 = out[0].result.runs.iter().map(|r| r.stats.false_positive_throttles).sum();
+        assert!(fp > 0, "threshold 2 with ~6 legit msgs/day must flag innocents");
+    }
+
+    #[test]
+    fn rollout_order_study_labels() {
+        let out = rollout_order_study(&tiny()).unwrap();
+        let labels: Vec<&str> = out.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "Virus 1 Baseline",
+                "Virus 1 uniform",
+                "Virus 1 hubs-first",
+                "Virus 4 Baseline",
+                "Virus 4 uniform",
+                "Virus 4 hubs-first"
+            ]
+        );
+    }
+
+    #[test]
+    fn effectiveness_matrix_has_28_cells() {
+        let out = effectiveness_matrix(&tiny()).unwrap();
+        assert_eq!(out.len(), 4 * 7);
+        assert!(out.iter().any(|r| r.label == "Virus 1 | baseline"));
+        assert!(out.iter().any(|r| r.label == "Virus 3 | blacklist"));
+    }
+
+    #[test]
+    fn congestion_study_labels_and_ordering() {
+        let out = congestion_study(&tiny()).unwrap();
+        let labels: Vec<&str> = out.iter().map(|r| r.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["infinite capacity (paper)", "3600 msgs/h", "1200 msgs/h", "300 msgs/h"]
+        );
+    }
+
+    #[test]
+    fn diminishing_returns_covers_four_mechanisms() {
+        let out = diminishing_returns_study(&tiny()).unwrap();
+        assert_eq!(out.len(), 6 + 6 + 5 + 5);
+        assert!(out.iter().any(|r| r.label.starts_with("scan delay")));
+        assert!(out.iter().any(|r| r.label.starts_with("detection acc")));
+        assert!(out.iter().any(|r| r.label.starts_with("monitor wait")));
+        assert!(out.iter().any(|r| r.label.starts_with("blacklist @")));
+    }
+
+    #[test]
+    fn quick_options_reduce_reps() {
+        assert!(FigureOptions::quick().reps < FigureOptions::default().reps);
+    }
+}

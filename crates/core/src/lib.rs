@@ -1,0 +1,63 @@
+//! # mpvsim-core — mobile-phone virus propagation and response mechanisms
+//!
+//! This crate is the primary contribution of the reproduction of
+//! *"Quantifying the Effectiveness of Mobile Phone Virus Response
+//! Mechanisms"* (Van Ruitenbeek, Courtney, Sanders, Stevens — DSN 2007):
+//! a parameterized stochastic model of MMS-borne virus propagation through
+//! a population of mobile phones, together with the paper's six response
+//! mechanisms and the experiment harness that regenerates every figure.
+//!
+//! ## Model at a glance (§2 & §4 of the paper)
+//!
+//! * A population of phones (default 1000, 80 % vulnerable) connected by
+//!   reciprocal power-law contact lists (mean size 80).
+//! * An infected phone sends infected MMS messages — to its contacts in
+//!   order, or to randomly dialed numbers — paced by a minimum
+//!   inter-message gap and optional per-day / per-reboot quotas
+//!   ([`VirusProfile`]).
+//! * A delivered message waits in the recipient's inbox until the user
+//!   reads it (exponential read delay) and then is accepted with the
+//!   declining probability `AF / 2^n` (AF = 0.468, `n` = ordinal of the
+//!   infected message at that phone), giving the paper's eventual
+//!   acceptance of ≈ 0.40 ([`behavior::AcceptanceModel`]).
+//! * Six composable response mechanisms act at the point of reception
+//!   (gateway signature scan, gateway detection algorithm), infection
+//!   (user education, immunization patches) and dissemination (anomaly
+//!   monitoring, blacklisting) — see [`response`].
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! use mpvsim_core::{ScenarioConfig, VirusProfile, run_scenario};
+//! use mpvsim_des::SimDuration;
+//!
+//! // Virus 1 baseline over 3 simulated days, one replication.
+//! let config = ScenarioConfig::baseline(VirusProfile::virus1())
+//!     .with_horizon(SimDuration::from_days(3));
+//! let result = run_scenario(&config, 42).expect("valid scenario");
+//! println!("infected after 3 days: {}", result.final_infected);
+//! assert!(result.final_infected > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod behavior;
+pub mod claims;
+pub mod config;
+pub mod figures;
+pub mod meanfield;
+pub mod model;
+pub mod response;
+pub mod run;
+pub mod virus;
+
+pub use behavior::{AcceptanceModel, BehaviorConfig, DEFAULT_ACCEPTANCE_FACTOR};
+pub use config::{ConfigError, MobilityConfig, PopulationConfig, ScenarioConfig};
+pub use response::{
+    Blacklist, DetectionAlgorithm, Immunization, Monitoring, ResponseConfig, RolloutOrder,
+    SignatureScan, UserEducation,
+};
+pub use run::{run_experiment, run_experiment_adaptive, run_scenario, AdaptiveResult, ExperimentResult, RunResult};
+pub use virus::{BluetoothVector, SendQuota, TargetingStrategy, VirusProfile};

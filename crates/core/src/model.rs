@@ -1,0 +1,1555 @@
+//! The event-driven epidemic model: §2's attack process plus §3's response
+//! mechanisms, executed on the `mpvsim-des` engine.
+//!
+//! ## Event flow
+//!
+//! ```text
+//! Seed ──▶ infect ──▶ SendAttempt ──(quota ok)──▶ gateway ──▶ ReadMessage ──▶ accept? ──▶ infect …
+//!            │             ▲  └─(quota hit)─ wait for Reboot / next day    (per recipient)
+//!            └─ Reboot loop┘
+//! Sample fires every `sample_step` and appends the infected count.
+//! Detectability (gateway sees `detect_threshold` infected messages)
+//! schedules ScanActive / DetectionActive / RolloutStart;
+//! RolloutStart schedules one PatchArrive per phone.
+//! ```
+//!
+//! All stochastic draws go through the engine-owned RNG, so one
+//! `(ScenarioConfig, seed)` pair determines the trajectory exactly.
+
+use rand::RngExt;
+
+use mpvsim_des::random::bernoulli;
+use mpvsim_des::{Context, Model, SimDuration, SimTime};
+use mpvsim_mobility::MobilityField;
+use mpvsim_phonenet::message::MessageId;
+use mpvsim_phonenet::{AddressSpace, Gateway, Inboxes, MmsMessage, PhoneId, Population, TransitQueue};
+use mpvsim_stats::TimeSeries;
+
+use crate::behavior::AcceptanceModel;
+use crate::config::ScenarioConfig;
+use crate::response::ActivationTimes;
+use crate::virus::TargetingStrategy;
+
+/// The model's event alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// Infect the initial phone(s) and start the observation clock.
+    Seed,
+    /// An infected phone tries to send its next infected message.
+    SendAttempt(PhoneId),
+    /// A phone reboots, resetting its per-reboot send quota.
+    Reboot(PhoneId),
+    /// The user of this phone reads one pending infected message and
+    /// decides whether to accept the attachment.
+    ReadMessage(PhoneId),
+    /// The gateway signature scan goes live.
+    ScanActive,
+    /// The gateway detection algorithm finishes its analysis period.
+    DetectionActive,
+    /// Patch development finishes; the rollout begins.
+    RolloutStart,
+    /// The immunization patch reaches this phone.
+    PatchArrive(PhoneId),
+    /// Periodic infection-count sample.
+    Sample,
+    /// Advance the mobility field and run Bluetooth proximity transfers
+    /// (only scheduled when the scenario has a mobility model and the
+    /// virus a Bluetooth vector).
+    MobilityTick,
+    /// This phone's user sends one legitimate MMS (only scheduled when
+    /// legitimate traffic is configured).
+    LegitimateSend(PhoneId),
+}
+
+/// Message-flow counters for one replication.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RunStats {
+    /// Messages emitted by infected phones (including invalid dials).
+    pub messages_sent: u64,
+    /// Random dials that hit an unassigned number.
+    pub invalid_dials: u64,
+    /// Per-recipient deliveries that reached an inbox.
+    pub deliveries: u64,
+    /// Messages dropped by the signature scan.
+    pub blocked_by_scan: u64,
+    /// Messages dropped by the detection algorithm.
+    pub blocked_by_detection: u64,
+    /// Messages dropped because the sender crossed the blacklist
+    /// threshold.
+    pub blocked_by_blacklist: u64,
+    /// Infected messages read by users.
+    pub reads: u64,
+    /// Attachments accepted (whether or not they caused a new infection).
+    pub acceptances: u64,
+    /// Phones flagged by the monitoring mechanism.
+    pub throttled_phones: u64,
+    /// Phones blacklisted.
+    pub blacklisted_phones: u64,
+    /// Bluetooth transfer prompts shown to users.
+    pub bluetooth_offers: u64,
+    /// Bluetooth transfers accepted.
+    pub bluetooth_acceptances: u64,
+    /// Legitimate MMS messages sent (when legitimate traffic is modelled).
+    pub legitimate_messages: u64,
+    /// Virus messages emitted by piggybacking on legitimate traffic.
+    pub piggyback_sends: u64,
+    /// Monitoring flags raised against phones that were NOT infected
+    /// (false positives; only possible with legitimate traffic).
+    pub false_positive_throttles: u64,
+}
+
+/// Per-phone sending-side state (only meaningful once infected).
+#[derive(Debug, Clone, Copy)]
+struct SenderState {
+    /// Cyclic cursor into the contact list.
+    cursor: usize,
+    /// Messages sent in the current 24-hour period.
+    sent_in_day: u32,
+    /// Start of the current 24-hour period (aligned to infection time).
+    day_epoch_start: SimTime,
+    /// Messages sent since the last reboot.
+    sent_since_reboot: u32,
+    /// The per-reboot quota is exhausted; sending resumes at the next
+    /// reboot.
+    awaiting_reboot: bool,
+    /// A `SendAttempt` is already pending for this phone (guards against
+    /// duplicate send chains).
+    send_scheduled: bool,
+    /// Earliest instant the next virus message may leave this phone
+    /// (enforces the minimum inter-message gap for piggyback sends).
+    next_allowed: SimTime,
+}
+
+impl SenderState {
+    fn new() -> Self {
+        SenderState {
+            cursor: 0,
+            sent_in_day: 0,
+            day_epoch_start: SimTime::ZERO,
+            sent_since_reboot: 0,
+            awaiting_reboot: false,
+            send_scheduled: false,
+            next_allowed: SimTime::ZERO,
+        }
+    }
+}
+
+/// The complete simulation state for one replication.
+#[derive(Debug)]
+pub struct EpidemicModel {
+    config: ScenarioConfig,
+    population: Population,
+    gateway: Gateway,
+    address_space: Option<AddressSpace>,
+    /// Education-adjusted acceptance curve.
+    acceptance: AcceptanceModel,
+    senders: Vec<SenderState>,
+    activation: ActivationTimes,
+    series: TimeSeries,
+    /// Cumulative virus messages sent, on the same sampling grid as
+    /// `series` — the "extra network congestion due to the virus-related
+    /// traffic" the paper's introduction motivates.
+    traffic_series: TimeSeries,
+    stats: RunStats,
+    next_message_id: u64,
+    mobility: Option<MobilityField>,
+    inboxes: Inboxes,
+    transit: Option<TransitQueue>,
+}
+
+/// A phone's rolling quota day: 24 hours.
+const DAY: SimDuration = SimDuration::from_hours(24);
+
+/// Why a send attempt did or didn't produce a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendOutcome {
+    /// A message left the phone (possibly to be dropped at the gateway).
+    Sent,
+    /// The per-day quota is exhausted; sending may resume at the instant.
+    DailyQuota(SimTime),
+    /// The per-reboot quota is exhausted; sending resumes at the next
+    /// reboot.
+    RebootQuota,
+    /// The phone has an empty contact list — nothing to target, ever.
+    NoTargets,
+    /// The phone cannot propagate (healthy, silenced or blacklisted).
+    CannotPropagate,
+}
+
+impl EpidemicModel {
+    /// Builds the model over an already-constructed population.
+    ///
+    /// (The population — topology plus vulnerability designation — is
+    /// generated from its own random stream by [`crate::run_scenario`] so
+    /// that structural and dynamic randomness are independent.)
+    pub fn new(config: ScenarioConfig, population: Population) -> Self {
+        Self::with_mobility(config, population, None)
+    }
+
+    /// Builds the model with a pre-spawned mobility field (required when
+    /// the virus has a Bluetooth vector; see [`crate::run_scenario`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the virus has a Bluetooth vector but `mobility` is
+    /// `None` — [`crate::config::ScenarioConfig::validate`] catches this
+    /// earlier with a proper error.
+    pub fn with_mobility(
+        config: ScenarioConfig,
+        population: Population,
+        mobility: Option<MobilityField>,
+    ) -> Self {
+        assert!(
+            config.virus.bluetooth.is_none() || mobility.is_some(),
+            "Bluetooth vector requires a mobility field"
+        );
+        let monitor_window = config
+            .response
+            .monitoring
+            .map(|m| m.window)
+            .unwrap_or(SimDuration::from_hours(24));
+        let gateway = Gateway::new(population.len(), monitor_window);
+        let address_space = match config.virus.targeting {
+            TargetingStrategy::RandomDialing { valid_fraction } => Some(AddressSpace::new(
+                u32::try_from(population.len()).expect("population fits u32"),
+                valid_fraction,
+            )),
+            TargetingStrategy::ContactList => None,
+        };
+        let education_scale = config.response.education.map(|e| e.acceptance_scale).unwrap_or(1.0);
+        let acceptance = config.behavior.acceptance.scaled(education_scale);
+        let senders = vec![SenderState::new(); population.len()];
+        let series = TimeSeries::new(config.sample_step.as_hours_f64());
+        let traffic_series = TimeSeries::new(config.sample_step.as_hours_f64());
+        let inboxes = Inboxes::new(population.len());
+        let transit = config.gateway_capacity_per_hour.map(TransitQueue::per_hour);
+        EpidemicModel {
+            config,
+            population,
+            gateway,
+            address_space,
+            acceptance,
+            senders,
+            activation: ActivationTimes::default(),
+            series,
+            traffic_series,
+            stats: RunStats::default(),
+            next_message_id: 0,
+            mobility,
+            inboxes,
+            transit,
+        }
+    }
+
+    /// The gateway transit queue, when finite capacity is configured.
+    pub fn transit_queue(&self) -> Option<&TransitQueue> {
+        self.transit.as_ref()
+    }
+
+    /// Inbox bookkeeping: delivered-but-unread messages per phone.
+    pub fn inboxes(&self) -> &Inboxes {
+        &self.inboxes
+    }
+
+    fn fresh_message_id(&mut self) -> MessageId {
+        let id = MessageId(self.next_message_id);
+        self.next_message_id += 1;
+        id
+    }
+
+    /// Current number of infected phones.
+    pub fn infected_count(&self) -> usize {
+        self.population.infected_count()
+    }
+
+    /// The sampled infection-count series so far.
+    pub fn series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Cumulative virus-message count on the sampling grid: the
+    /// provider-side traffic load the virus adds to the MMS network.
+    pub fn traffic_series(&self) -> &TimeSeries {
+        &self.traffic_series
+    }
+
+    /// Message-flow counters.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Response-mechanism activation instants (resolved at run time).
+    pub fn activation(&self) -> &ActivationTimes {
+        &self.activation
+    }
+
+    /// The population (for post-run inspection).
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// The scenario this model runs.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    // ------------------------------------------------------------------
+    // Infection & sending machinery
+    // ------------------------------------------------------------------
+
+    /// Handles a (possibly) new infection of `phone` at `ctx.now()`.
+    fn on_infection(&mut self, phone: PhoneId, ctx: &mut Context<'_, Event>) {
+        if !self.population.infect(phone) {
+            return; // not susceptible (immunized / already infected / resistant)
+        }
+        let now = ctx.now();
+        let sender = &mut self.senders[phone.index()];
+        *sender = SenderState::new();
+        sender.day_epoch_start = now;
+
+        if !self.config.virus.mms_vector {
+            return; // pure Bluetooth worm: no MMS machinery to start
+        }
+        if self.config.virus.piggyback {
+            // Piggyback viruses have no schedule of their own: they ride
+            // the phone's legitimate traffic (after the dormancy).
+            let s = &mut self.senders[phone.index()];
+            s.next_allowed = now + self.config.virus.dormancy;
+            if self.config.virus.quota.per_reboot.is_some() {
+                let reboot_in = self.config.virus.quota.reboot_interval.sample(ctx.rng());
+                ctx.schedule_in(reboot_in, Event::Reboot(phone));
+            }
+            return;
+        }
+
+        // First propagation attempt: after dormancy + one inter-message
+        // gap — or, for global-day-burst viruses (Virus 2), at the next
+        // global 24-hour boundary (the seed, infected exactly at t = 0,
+        // bursts immediately).
+        let gap = self.config.virus.send_gap.sample(ctx.rng());
+        if self.config.virus.global_day_bursts {
+            let elapsed = now.as_secs() % DAY.as_secs();
+            let wait = if elapsed == 0 {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_secs(DAY.as_secs() - elapsed)
+            };
+            ctx.schedule_in(wait + gap, Event::SendAttempt(phone));
+        } else {
+            ctx.schedule_in(self.config.virus.dormancy + gap, Event::SendAttempt(phone));
+        }
+        self.senders[phone.index()].send_scheduled = true;
+
+        // Start the reboot cycle if the virus limits sends per reboot.
+        if self.config.virus.quota.per_reboot.is_some() {
+            let reboot_in = self.config.virus.quota.reboot_interval.sample(ctx.rng());
+            ctx.schedule_in(reboot_in, Event::Reboot(phone));
+        }
+    }
+
+    fn on_send_attempt(&mut self, phone: PhoneId, ctx: &mut Context<'_, Event>) {
+        self.senders[phone.index()].send_scheduled = false;
+        match self.try_send(phone, ctx) {
+            SendOutcome::CannotPropagate | SendOutcome::NoTargets => {}
+            SendOutcome::DailyQuota(resume) => {
+                let sender = &mut self.senders[phone.index()];
+                sender.send_scheduled = true;
+                ctx.schedule_at(resume, Event::SendAttempt(phone));
+            }
+            SendOutcome::RebootQuota => {
+                self.senders[phone.index()].awaiting_reboot = true;
+            }
+            SendOutcome::Sent => {
+                // Schedule the next attempt (unless the blacklist just
+                // cut the phone off).
+                if self.population.phone(phone).can_propagate() {
+                    let mut gap = self.config.virus.send_gap.sample(ctx.rng());
+                    if let Some(mn) = self.config.response.monitoring {
+                        if self.population.phone(phone).is_throttled() {
+                            gap = gap.max(mn.forced_wait);
+                        }
+                    }
+                    let sender = &mut self.senders[phone.index()];
+                    sender.send_scheduled = true;
+                    ctx.schedule_in(gap, Event::SendAttempt(phone));
+                }
+            }
+        }
+    }
+
+    /// Attempts to emit one infected message from `phone` right now:
+    /// quota accounting, target selection, and the gateway pipeline.
+    /// Scheduling the *next* attempt is the caller's business.
+    fn try_send(&mut self, phone: PhoneId, ctx: &mut Context<'_, Event>) -> SendOutcome {
+        if !self.population.phone(phone).can_propagate() {
+            return SendOutcome::CannotPropagate; // silenced / blacklisted / spurious
+        }
+        let now = ctx.now();
+
+        // Roll the phone's quota day forward. Global-burst viruses align
+        // quota periods to global 24-hour boundaries; the others to the
+        // phone's own infection instant.
+        {
+            let sender = &mut self.senders[phone.index()];
+            if self.config.virus.global_day_bursts {
+                let boundary =
+                    SimTime::from_secs(now.as_secs() - now.as_secs() % DAY.as_secs());
+                if boundary > sender.day_epoch_start {
+                    sender.day_epoch_start = boundary;
+                    sender.sent_in_day = 0;
+                }
+            } else {
+                while now >= sender.day_epoch_start + DAY {
+                    sender.day_epoch_start += DAY;
+                    sender.sent_in_day = 0;
+                }
+            }
+        }
+
+        // Per-day quota: resume exactly at the next day boundary (this is
+        // what makes Virus 2's curve step-like).
+        if let Some(limit) = self.config.virus.quota.per_day {
+            let sender = &self.senders[phone.index()];
+            if sender.sent_in_day >= limit {
+                return SendOutcome::DailyQuota(sender.day_epoch_start + DAY);
+            }
+        }
+
+        // Per-reboot quota: sending resumes when the phone next reboots.
+        if let Some(limit) = self.config.virus.quota.per_reboot {
+            if self.senders[phone.index()].sent_since_reboot >= limit {
+                return SendOutcome::RebootQuota;
+            }
+        }
+
+        // Pick targets and assemble the outgoing MMS. An invalid random
+        // dial produces no message (the number is unassigned) but still
+        // counts as a send attempt everywhere the provider can see it.
+        let message: Option<MmsMessage> = match self.config.virus.targeting {
+            TargetingStrategy::ContactList => {
+                let contacts = self.population.phone(phone).contacts().to_vec();
+                if contacts.is_empty() {
+                    return SendOutcome::NoTargets; // isolated phone
+                }
+                let k = (self.config.virus.recipients_per_message as usize).min(contacts.len());
+                let sender = &mut self.senders[phone.index()];
+                let start = sender.cursor % contacts.len();
+                sender.cursor = (start + k) % contacts.len();
+                let recipients =
+                    (0..k).map(|i| contacts[(start + i) % contacts.len()]).collect();
+                Some(MmsMessage::infected(self.fresh_message_id(), phone, recipients))
+            }
+            TargetingStrategy::RandomDialing { .. } => {
+                let space = self.address_space.expect("address space built for random dialing");
+                match space.dial_random(ctx.rng()) {
+                    Some(target) => {
+                        Some(MmsMessage::infected(self.fresh_message_id(), phone, vec![target]))
+                    }
+                    None => {
+                        self.stats.invalid_dials += 1;
+                        None
+                    }
+                }
+            }
+        };
+
+        // The message leaves the phone: it counts against quotas and is
+        // visible to the provider whether or not the dialed number exists.
+        {
+            let sender = &mut self.senders[phone.index()];
+            sender.sent_in_day += 1;
+            sender.sent_since_reboot += 1;
+        }
+        self.stats.messages_sent += 1;
+        self.senders[phone.index()].next_allowed = now + self.config.virus.send_gap.minimum();
+
+        let _delivered = self.gateway_process(phone, message.as_ref(), ctx);
+        SendOutcome::Sent
+    }
+
+    /// Piggyback hook: an infected phone just sent or received a
+    /// legitimate MMS; a piggybacking virus rides it if the minimum
+    /// inter-message gap has elapsed.
+    fn maybe_piggyback(&mut self, phone: PhoneId, ctx: &mut Context<'_, Event>) {
+        if !self.config.virus.piggyback {
+            return;
+        }
+        if !self.population.phone(phone).is_infected() {
+            return;
+        }
+        if ctx.now() < self.senders[phone.index()].next_allowed {
+            return;
+        }
+        if self.try_send(phone, ctx) == SendOutcome::Sent {
+            self.stats.piggyback_sends += 1;
+        }
+    }
+
+    /// One legitimate MMS leaves `phone`: it is visible to the
+    /// monitoring counters (which watch *all* outgoing traffic), gives a
+    /// piggybacking virus a ride, and lands at a random contact (whose
+    /// own piggybacking virus may send an infected reply).
+    fn on_legitimate_send(&mut self, phone: PhoneId, ctx: &mut Context<'_, Event>) {
+        let now = ctx.now();
+        self.stats.legitimate_messages += 1;
+        self.note_outgoing_for_monitoring(phone, now);
+        if let Some(q) = self.transit.as_mut() {
+            q.enqueue(now); // legitimate copies share the same gateway
+        }
+
+        let contacts = self.population.phone(phone).contacts();
+        let recipient = if contacts.is_empty() {
+            None
+        } else {
+            Some(contacts[ctx.rng().random_range(0..contacts.len())])
+        };
+
+        self.maybe_piggyback(phone, ctx);
+        if let Some(r) = recipient {
+            self.maybe_piggyback(r, ctx);
+        }
+
+        // Next legitimate message; a throttled phone's traffic is spaced
+        // by the forced wait like everything else it sends.
+        let spec = self.config.behavior.legitimate_mms.expect("scheduled only when configured");
+        let mut gap = spec.sample(ctx.rng());
+        if let Some(mn) = self.config.response.monitoring {
+            if self.population.phone(phone).is_throttled() {
+                gap = gap.max(mn.forced_wait);
+            }
+        }
+        ctx.schedule_in(gap, Event::LegitimateSend(phone));
+    }
+
+    /// Counts one outgoing message (virus or legitimate) toward the
+    /// monitoring window and flags the phone if it overflows.
+    fn note_outgoing_for_monitoring(&mut self, phone: PhoneId, now: SimTime) {
+        let in_window = self.gateway.record_outgoing(phone, now);
+        if let Some(mn) = self.config.response.monitoring {
+            if in_window > mn.threshold as usize && !self.population.phone(phone).is_throttled() {
+                self.population.phone_mut(phone).throttle();
+                self.stats.throttled_phones += 1;
+                if !self.population.phone(phone).is_infected() {
+                    self.stats.false_positive_throttles += 1;
+                }
+            }
+        }
+    }
+
+    /// Runs the provider-side pipeline for one outgoing infected message
+    /// (`None` = an invalid-dial attempt that the gateway still observes).
+    /// Returns whether the message was delivered to its recipients.
+    fn gateway_process(
+        &mut self,
+        sender: PhoneId,
+        message: Option<&MmsMessage>,
+        ctx: &mut Context<'_, Event>,
+    ) -> bool {
+        let now = ctx.now();
+
+        // Monitoring: count every outgoing message (a multi-recipient MMS
+        // counts once); flag the phone when the window overflows.
+        self.note_outgoing_for_monitoring(sender, now);
+
+        // Blacklisting: cumulative suspected-infected count. Invalid
+        // dials (empty recipient list) still count — the gateway saw the
+        // attempt.
+        let suspected = self.gateway.record_suspected(sender);
+        if let Some(b) = self.config.response.blacklist {
+            if suspected > b.threshold {
+                if !self.population.phone(sender).is_blacklisted() {
+                    self.population.phone_mut(sender).blacklist();
+                    self.stats.blacklisted_phones += 1;
+                }
+                self.stats.blocked_by_blacklist += 1;
+                return false;
+            }
+        }
+
+        // Detectability clock.
+        self.record_virus_sighting(now, ctx);
+
+        // Signature scan: once live, every infected message is recognized.
+        if let Some(at) = self.activation.scan_active_at {
+            if now >= at {
+                self.stats.blocked_by_scan += 1;
+                return false;
+            }
+        }
+
+        // Detection algorithm: probabilistic per message (the whole
+        // fan-out is one message — either recognized or not).
+        if let Some(d) = self.config.response.detection {
+            if let Some(at) = self.activation.detection_active_at {
+                if now >= at && bernoulli(ctx.rng(), d.accuracy) {
+                    self.stats.blocked_by_detection += 1;
+                    return false;
+                }
+            }
+        }
+
+        // Delivery: each recipient's user reads the message after their
+        // own read delay.
+        let Some(message) = message else {
+            return false; // unassigned number: nothing to deliver
+        };
+        debug_assert_eq!(message.sender, sender);
+        debug_assert!(message.infected);
+        for &r in &message.recipients {
+            self.stats.deliveries += 1;
+            self.inboxes.deliver(r);
+            // Finite gateway capacity: each recipient copy waits for a
+            // transit slot before the read clock starts.
+            let transit_ready = match self.transit.as_mut() {
+                Some(q) => q.enqueue(now),
+                None => now,
+            };
+            let read_in = self.config.behavior.read_delay.sample(ctx.rng());
+            ctx.schedule_at(transit_ready + read_in, Event::ReadMessage(r));
+        }
+        true
+    }
+
+    /// One more virus sighting reached the provider — an infected MMS in
+    /// gateway transit, or a user-reported Bluetooth transfer prompt.
+    /// Starts the detectability-clocked mechanisms once the configured
+    /// threshold is crossed.
+    fn record_virus_sighting(&mut self, now: SimTime, ctx: &mut Context<'_, Event>) {
+        let observed = self.gateway.record_infected_observed(1);
+        if self.activation.detected_at.is_none() && observed >= self.config.detect_threshold {
+            self.on_detected(now, ctx);
+        }
+    }
+
+    /// The provider has now seen enough infected traffic: start every
+    /// detectability-clocked mechanism's timer.
+    fn on_detected(&mut self, now: SimTime, ctx: &mut Context<'_, Event>) {
+        self.activation.detected_at = Some(now);
+        if let Some(s) = self.config.response.signature_scan {
+            ctx.schedule_in(s.activation_delay, Event::ScanActive);
+        }
+        if let Some(d) = self.config.response.detection {
+            ctx.schedule_in(d.analysis_period, Event::DetectionActive);
+        }
+        if let Some(imm) = self.config.response.immunization {
+            ctx.schedule_in(imm.development_time, Event::RolloutStart);
+        }
+    }
+
+    fn on_read_message(&mut self, phone: PhoneId, ctx: &mut Context<'_, Event>) {
+        self.stats.reads += 1;
+        self.inboxes.read(phone);
+        let n = self.population.phone_mut(phone).record_infected_message();
+        let p = self.acceptance.prob_accept(n);
+        if bernoulli(ctx.rng(), p) {
+            self.stats.acceptances += 1;
+            self.on_infection(phone, ctx);
+        }
+    }
+
+    fn on_reboot(&mut self, phone: PhoneId, ctx: &mut Context<'_, Event>) {
+        if !self.population.phone(phone).can_propagate() {
+            return; // the reboot cycle dies with the propagation
+        }
+        let sender = &mut self.senders[phone.index()];
+        sender.sent_since_reboot = 0;
+        if sender.awaiting_reboot && !sender.send_scheduled {
+            sender.awaiting_reboot = false;
+            sender.send_scheduled = true;
+            ctx.schedule_in(SimDuration::ZERO, Event::SendAttempt(phone));
+        } else {
+            sender.awaiting_reboot = false;
+        }
+        let next = self.config.virus.quota.reboot_interval.sample(ctx.rng());
+        ctx.schedule_in(next, Event::Reboot(phone));
+    }
+
+    fn on_rollout_start(&mut self, ctx: &mut Context<'_, Event>) {
+        let imm = self.config.response.immunization.expect("rollout without immunization");
+        self.activation.rollout_starts_at = Some(ctx.now());
+        let rollout_secs = imm.rollout_duration.as_secs();
+        let n = self.population.len();
+        match imm.order {
+            crate::response::RolloutOrder::Uniform => {
+                for id in 0..n {
+                    let offset = if rollout_secs == 0 {
+                        SimDuration::ZERO
+                    } else {
+                        SimDuration::from_secs(ctx.rng().random_range(0..=rollout_secs))
+                    };
+                    ctx.schedule_in(offset, Event::PatchArrive(PhoneId::from(id)));
+                }
+            }
+            crate::response::RolloutOrder::HubsFirst => {
+                // Patch in decreasing contact-list size, evenly spaced
+                // over the window: the super-spreaders are protected (or
+                // silenced) first.
+                let mut by_degree: Vec<usize> = (0..n).collect();
+                by_degree.sort_by_key(|&i| {
+                    std::cmp::Reverse(self.population.phone(PhoneId::from(i)).contacts().len())
+                });
+                for (rank, id) in by_degree.into_iter().enumerate() {
+                    let offset = if n <= 1 || rollout_secs == 0 {
+                        SimDuration::ZERO
+                    } else {
+                        SimDuration::from_secs(rollout_secs * rank as u64 / (n as u64 - 1))
+                    };
+                    ctx.schedule_in(offset, Event::PatchArrive(PhoneId::from(id)));
+                }
+            }
+        }
+    }
+
+    fn on_sample(&mut self, ctx: &mut Context<'_, Event>) {
+        self.series.push(self.population.infected_count() as f64);
+        self.traffic_series.push(self.stats.messages_sent as f64);
+        let next = ctx.now() + self.config.sample_step;
+        if next <= SimTime::ZERO + self.config.horizon {
+            ctx.schedule_at(next, Event::Sample);
+        }
+    }
+
+    fn on_seed(&mut self, ctx: &mut Context<'_, Event>) {
+        for _ in 0..self.config.initial_infections {
+            if let Some(seed) = self.population.random_susceptible(ctx.rng()) {
+                self.on_infection(seed, ctx);
+            }
+        }
+        if self.mobility.is_some() && self.config.virus.bluetooth.is_some() {
+            let tick = self.config.mobility.expect("validated with mobility").tick;
+            ctx.schedule_in(tick, Event::MobilityTick);
+        }
+        if let Some(spec) = self.config.behavior.legitimate_mms {
+            for id in 0..self.population.len() {
+                let first = spec.sample(ctx.rng());
+                ctx.schedule_in(first, Event::LegitimateSend(PhoneId::from(id)));
+            }
+        }
+    }
+
+    /// One mobility tick: everyone moves, then every propagating
+    /// infected phone tries Bluetooth transfers to phones in radio
+    /// range. Bluetooth bypasses the MMS gateways, so only the
+    /// phone-resident defenses apply: a silencing patch stops the
+    /// transfers, education lowers acceptance — but blacklisting and
+    /// monitoring (MMS-service-level) do not.
+    fn on_mobility_tick(&mut self, ctx: &mut Context<'_, Event>) {
+        let bt = self.config.virus.bluetooth.expect("tick only scheduled with a BT vector");
+        let tick = self.config.mobility.expect("validated with mobility").tick;
+        {
+            let field = self.mobility.as_mut().expect("tick only scheduled with mobility");
+            field.step(tick.as_secs_f64(), ctx.rng());
+        }
+        let field = self.mobility.as_ref().expect("mobility present");
+        let mut offers: Vec<PhoneId> = Vec::new();
+        for (a, b) in field.contacts_within(bt.radius) {
+            let pa = PhoneId::from(a);
+            let pb = PhoneId::from(b);
+            for (src, dst) in [(pa, pb), (pb, pa)] {
+                let sender = self.population.phone(src);
+                if sender.is_infected() && !sender.is_silenced()
+                    && bernoulli(ctx.rng(), bt.transfer_probability) {
+                        offers.push(dst);
+                    }
+            }
+        }
+        let now = ctx.now();
+        for dst in offers {
+            self.stats.bluetooth_offers += 1;
+            // Bluetooth bypasses the gateways, but transfer prompts are
+            // user-visible; treat each as a virus sighting reaching the
+            // provider (customer reports / AV telemetry), so the
+            // detectability clock can start even for a pure BT worm.
+            self.record_virus_sighting(now, ctx);
+            let n = self.population.phone_mut(dst).record_infected_message();
+            if bernoulli(ctx.rng(), self.acceptance.prob_accept(n)) {
+                self.stats.bluetooth_acceptances += 1;
+                self.on_infection(dst, ctx);
+            }
+        }
+        let next = ctx.now() + tick;
+        if next <= SimTime::ZERO + self.config.horizon {
+            ctx.schedule_at(next, Event::MobilityTick);
+        }
+    }
+}
+
+impl Model for EpidemicModel {
+    type Event = Event;
+
+    fn handle(&mut self, event: Event, ctx: &mut Context<'_, Event>) {
+        match event {
+            Event::Seed => self.on_seed(ctx),
+            Event::SendAttempt(p) => self.on_send_attempt(p, ctx),
+            Event::Reboot(p) => self.on_reboot(p, ctx),
+            Event::ReadMessage(p) => self.on_read_message(p, ctx),
+            Event::ScanActive => self.activation.scan_active_at = Some(ctx.now()),
+            Event::DetectionActive => self.activation.detection_active_at = Some(ctx.now()),
+            Event::RolloutStart => self.on_rollout_start(ctx),
+            Event::PatchArrive(p) => self.population.phone_mut(p).apply_patch(),
+            Event::Sample => self.on_sample(ctx),
+            Event::MobilityTick => self.on_mobility_tick(ctx),
+            Event::LegitimateSend(p) => self.on_legitimate_send(p, ctx),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PopulationConfig;
+    use crate::response::{
+        Blacklist, DetectionAlgorithm, Immunization, Monitoring, ResponseConfig, SignatureScan,
+        UserEducation,
+    };
+    use crate::virus::{SendQuota, VirusProfile};
+    use mpvsim_des::{DelaySpec, Simulation};
+    use mpvsim_topology::GraphSpec;
+
+    /// A small, fast scenario: complete graph, everyone vulnerable,
+    /// instant reads, aggressive contact-list virus.
+    fn tiny_config() -> ScenarioConfig {
+        let mut c = ScenarioConfig::baseline(VirusProfile {
+            name: "test-virus".to_owned(),
+            targeting: TargetingStrategy::ContactList,
+            send_gap: DelaySpec::constant(SimDuration::from_mins(1)),
+            recipients_per_message: 1,
+            quota: SendQuota::unlimited(),
+            dormancy: SimDuration::ZERO,
+            global_day_bursts: false,
+            mms_vector: true,
+            bluetooth: None,
+            piggyback: false,
+        });
+        c.population = PopulationConfig {
+            topology: GraphSpec::complete(20),
+            vulnerable_fraction: 1.0,
+        };
+        c.behavior.read_delay = DelaySpec::constant(SimDuration::from_secs(1));
+        c.horizon = SimDuration::from_hours(48);
+        c
+    }
+
+    fn build(config: &ScenarioConfig, seed: u64) -> Simulation<EpidemicModel> {
+        let mut topo_rng =
+            <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0x70_70);
+        let graph = config.population.topology.generate(&mut topo_rng).expect("valid topology");
+        let pop = Population::from_graph(&graph, config.population.vulnerable_fraction, &mut topo_rng);
+        let mobility = config.mobility.map(|mc| {
+            mpvsim_mobility::MobilityField::new(mc.arena(), pop.len(), mc.waypoint, &mut topo_rng)
+        });
+        let model = EpidemicModel::with_mobility(config.clone(), pop, mobility);
+        let mut sim = Simulation::new(model, seed);
+        sim.schedule(SimTime::ZERO, Event::Seed);
+        sim.schedule(SimTime::ZERO, Event::Sample);
+        sim
+    }
+
+    fn run(config: &ScenarioConfig, seed: u64) -> EpidemicModel {
+        let mut sim = build(config, seed);
+        sim.run_until(SimTime::ZERO + config.horizon);
+        sim.into_model()
+    }
+
+    #[test]
+    fn baseline_infection_spreads() {
+        let m = run(&tiny_config(), 1);
+        assert!(m.infected_count() > 1, "virus never spread");
+        assert!(m.stats().messages_sent > 0);
+        assert!(m.stats().deliveries > 0);
+        assert!(m.stats().reads > 0);
+    }
+
+    #[test]
+    fn sample_series_has_expected_grid() {
+        let m = run(&tiny_config(), 2);
+        // Horizon 48 h, hourly samples from t = 0 inclusive: 49 points.
+        assert_eq!(m.series().len(), 49);
+        // Infection counts are non-decreasing (no recovery in the model).
+        let vals = m.series().values();
+        assert!(vals.windows(2).all(|w| w[1] >= w[0]), "infection count decreased");
+    }
+
+    #[test]
+    fn infection_count_bounded_by_vulnerable_population() {
+        let m = run(&tiny_config(), 3);
+        assert!(m.infected_count() <= 20);
+    }
+
+    #[test]
+    fn not_vulnerable_phones_never_infected() {
+        let mut c = tiny_config();
+        c.population.vulnerable_fraction = 0.5;
+        let m = run(&c, 4);
+        assert!(m.infected_count() <= 10, "only 10 phones are vulnerable");
+    }
+
+    #[test]
+    fn determinism_same_seed_same_everything() {
+        let c = tiny_config();
+        let a = run(&c, 42);
+        let b = run(&c, 42);
+        assert_eq!(a.series().values(), b.series().values());
+        assert_eq!(a.stats(), b.stats());
+        let d = run(&c, 43);
+        // Different seed: overwhelmingly likely to differ somewhere.
+        assert!(
+            a.series().values() != d.series().values() || a.stats() != d.stats(),
+            "different seeds produced identical runs"
+        );
+    }
+
+    #[test]
+    fn signature_scan_halts_new_deliveries_after_activation() {
+        let mut c = tiny_config();
+        c.detect_threshold = 1;
+        c.response = ResponseConfig::none().with_signature_scan(SignatureScan {
+            activation_delay: SimDuration::from_mins(5),
+        });
+        let m = run(&c, 5);
+        assert!(m.activation().detected_at.is_some(), "virus never detected");
+        assert!(m.activation().scan_active_at.is_some(), "scan never activated");
+        assert!(m.stats().blocked_by_scan > 0, "scan blocked nothing");
+        // Against the no-response baseline the spread must be reduced.
+        let baseline = run(&tiny_config(), 5);
+        assert!(
+            m.infected_count() < baseline.infected_count(),
+            "scan {} !< baseline {}",
+            m.infected_count(),
+            baseline.infected_count()
+        );
+    }
+
+    #[test]
+    fn perfect_detection_blocks_everything_after_training() {
+        let mut c = tiny_config();
+        c.detect_threshold = 1;
+        c.response = ResponseConfig::none().with_detection(DetectionAlgorithm {
+            accuracy: 1.0,
+            analysis_period: SimDuration::from_mins(10),
+        });
+        let m = run(&c, 6);
+        assert!(m.stats().blocked_by_detection > 0);
+        assert!(m.activation().detection_active_at.is_some());
+    }
+
+    #[test]
+    fn zero_accuracy_detection_blocks_nothing() {
+        let mut c = tiny_config();
+        c.detect_threshold = 1;
+        c.response = ResponseConfig::none().with_detection(DetectionAlgorithm {
+            accuracy: 0.0,
+            analysis_period: SimDuration::from_mins(10),
+        });
+        let m = run(&c, 7);
+        assert_eq!(m.stats().blocked_by_detection, 0);
+    }
+
+    #[test]
+    fn education_zero_scale_stops_everything_beyond_seed() {
+        let mut c = tiny_config();
+        c.response =
+            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        let m = run(&c, 8);
+        assert_eq!(m.infected_count(), 1, "only the seed should be infected");
+        assert_eq!(m.stats().acceptances, 0);
+    }
+
+    #[test]
+    fn immunization_immunizes_and_silences() {
+        let mut c = tiny_config();
+        c.detect_threshold = 1;
+        c.response = ResponseConfig::none().with_immunization(Immunization::uniform(
+            SimDuration::from_mins(30),
+            SimDuration::from_mins(10),
+        ));
+        let m = run(&c, 9);
+        assert!(m.activation().rollout_starts_at.is_some(), "rollout never started");
+        // After the rollout every non-infected phone is immunized.
+        let immunized = m.population().immunized_count();
+        assert_eq!(immunized + m.infected_count(), 20, "all phones patched or infected");
+        // Infected phones are silenced.
+        for p in m.population().iter().filter(|p| p.is_infected()) {
+            assert!(p.is_silenced());
+        }
+        // And the epidemic stopped short of the baseline.
+        let baseline = run(&tiny_config(), 9);
+        assert!(m.infected_count() <= baseline.infected_count());
+    }
+
+    #[test]
+    fn blacklist_caps_messages_per_phone() {
+        let mut c = tiny_config();
+        c.response = ResponseConfig::none().with_blacklist(Blacklist { threshold: 3 });
+        let m = run(&c, 10);
+        assert!(m.stats().blacklisted_phones > 0, "nobody blacklisted");
+        assert!(m.stats().blocked_by_blacklist > 0);
+        // No phone can have delivered more than `threshold` messages, so
+        // deliveries are bounded by threshold × phones.
+        assert!(m.stats().messages_sent <= (3 + 1) * 20 + 20);
+    }
+
+    #[test]
+    fn monitoring_throttles_fast_senders() {
+        let mut c = tiny_config();
+        // The test virus sends every minute = 60/h; a 1 h window with
+        // threshold 5 flags it quickly.
+        c.response = ResponseConfig::none().with_monitoring(Monitoring {
+            window: SimDuration::from_hours(1),
+            threshold: 5,
+            forced_wait: SimDuration::from_hours(2),
+        });
+        let m = run(&c, 11);
+        assert!(m.stats().throttled_phones > 0, "nobody throttled");
+        // With a 2 h forced wait, a throttled phone sends ≤ ~25 messages
+        // over the 48 h horizon instead of ~2880.
+        let baseline = run(&tiny_config(), 11);
+        assert!(
+            m.stats().messages_sent < baseline.stats().messages_sent / 4,
+            "throttling barely reduced volume: {} vs {}",
+            m.stats().messages_sent,
+            baseline.stats().messages_sent
+        );
+    }
+
+    #[test]
+    fn per_day_quota_caps_daily_sends() {
+        let mut c = tiny_config();
+        c.virus.quota = SendQuota::per_day(5);
+        c.horizon = SimDuration::from_hours(23); // stay inside every phone's first quota day
+        let m = run(&c, 12);
+        // Seed phone plus any infected phones each send ≤ 5 in 24 h.
+        let phones_that_sent = m.infected_count() as u64;
+        assert!(
+            m.stats().messages_sent <= phones_that_sent * 5,
+            "{} messages from {} phones exceeds the quota",
+            m.stats().messages_sent,
+            phones_that_sent
+        );
+    }
+
+    #[test]
+    fn per_reboot_quota_blocks_until_reboot() {
+        let mut c = tiny_config();
+        // 2 messages per reboot, reboot exactly every 6 h.
+        c.virus.quota = SendQuota {
+            per_day: None,
+            per_reboot: Some(2),
+            reboot_interval: DelaySpec::constant(SimDuration::from_hours(6)),
+        };
+        c.horizon = SimDuration::from_hours(24);
+        // Keep it to one sender so the arithmetic is exact: nothing else
+        // gets infected.
+        c.response =
+            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        let m = run(&c, 13);
+        // Reboots at 6/12/18/24 h: epochs [0,6),[6,12),[12,18),[18,24),{24}.
+        // 2 messages per epoch → at most 10 by the horizon.
+        assert!(
+            (4..=10).contains(&m.stats().messages_sent),
+            "unexpected send count {}",
+            m.stats().messages_sent
+        );
+    }
+
+    #[test]
+    fn random_dialing_registers_invalid_attempts() {
+        let mut c = tiny_config();
+        c.virus.targeting = TargetingStrategy::RandomDialing { valid_fraction: 0.5 };
+        c.horizon = SimDuration::from_hours(12);
+        let m = run(&c, 14);
+        assert!(m.stats().invalid_dials > 0, "with 50% validity some dials must fail");
+        assert!(m.stats().deliveries > 0, "and some must connect");
+        assert!(
+            m.stats().messages_sent >= m.stats().invalid_dials + m.stats().deliveries,
+            "every delivery and invalid dial is a sent message"
+        );
+    }
+
+    #[test]
+    fn zero_valid_fraction_never_delivers_but_still_counts() {
+        let mut c = tiny_config();
+        c.virus.targeting = TargetingStrategy::RandomDialing { valid_fraction: 0.0 };
+        c.horizon = SimDuration::from_hours(6);
+        let m = run(&c, 15);
+        assert_eq!(m.stats().deliveries, 0);
+        assert!(m.stats().invalid_dials > 0);
+        assert_eq!(m.infected_count(), 1, "only the seed");
+    }
+
+    #[test]
+    fn dormancy_delays_first_send() {
+        let mut c = tiny_config();
+        c.virus.dormancy = SimDuration::from_hours(10);
+        c.horizon = SimDuration::from_hours(9);
+        let m = run(&c, 16);
+        assert_eq!(m.stats().messages_sent, 0, "dormant virus sent before waking");
+        c.horizon = SimDuration::from_hours(14);
+        let m = run(&c, 16);
+        assert!(m.stats().messages_sent > 0, "virus should wake after dormancy");
+    }
+
+    #[test]
+    fn blacklisted_seed_stops_completely() {
+        let mut c = tiny_config();
+        c.response = ResponseConfig::none()
+            .with_blacklist(Blacklist { threshold: 1 })
+            .with_education(UserEducation { acceptance_scale: 0.0 });
+        let m = run(&c, 17);
+        // Threshold 1: first message delivered, second drops and
+        // blacklists; nothing after.
+        assert_eq!(m.stats().messages_sent, 2);
+        assert_eq!(m.stats().blocked_by_blacklist, 1);
+        assert_eq!(m.stats().blacklisted_phones, 1);
+    }
+
+    #[test]
+    fn detectability_threshold_delays_mechanism_clock() {
+        let mut c = tiny_config();
+        c.detect_threshold = 100_000; // far beyond one phone's 48 h output
+        c.response = ResponseConfig::none()
+            .with_signature_scan(SignatureScan { activation_delay: SimDuration::from_mins(1) })
+            .with_education(UserEducation { acceptance_scale: 0.0 });
+        let m = run(&c, 18);
+        assert!(m.activation().detected_at.is_none());
+        assert_eq!(m.stats().blocked_by_scan, 0);
+    }
+
+    #[test]
+    fn multi_recipient_message_counts_once_but_delivers_many() {
+        let mut c = tiny_config();
+        c.virus.recipients_per_message = 100; // clamped to the 19 contacts
+        c.response =
+            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        c.horizon = SimDuration::from_hours(1);
+        let m = run(&c, 19);
+        assert!(m.stats().messages_sent > 0);
+        assert_eq!(
+            m.stats().deliveries,
+            m.stats().messages_sent * 19,
+            "each message fans out to the whole contact list"
+        );
+    }
+
+    #[test]
+    fn contact_cursor_cycles_through_whole_list() {
+        // 1 recipient per message over a 20-node complete graph: after 19
+        // sends every other phone has received exactly one offer.
+        let mut c = tiny_config();
+        c.response =
+            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        // Sends fire at minutes 1..=19; reads one second later. Stop
+        // after the last read but before the 20th send.
+        c.horizon = SimDuration::from_secs(19 * 60 + 30);
+        let m = run(&c, 20);
+        assert_eq!(m.stats().messages_sent, 19);
+        let offered: Vec<u32> = m
+            .population()
+            .iter()
+            .filter(|p| !p.is_infected())
+            .map(|p| p.infected_msgs_received())
+            .collect();
+        assert!(
+            offered.iter().all(|&n| n == 1),
+            "cyclic targeting must offer each contact exactly once: {offered:?}"
+        );
+    }
+
+    #[test]
+    fn inbox_balances_deliveries_and_reads() {
+        let mut c = tiny_config();
+        // Slow reads: most deliveries are still unread at the horizon.
+        c.behavior.read_delay = DelaySpec::constant(SimDuration::from_hours(6));
+        c.horizon = SimDuration::from_hours(3);
+        let m = run(&c, 40);
+        let ib = m.inboxes();
+        assert_eq!(ib.total_delivered(), m.stats().deliveries);
+        assert_eq!(ib.total_read(), m.stats().reads);
+        assert_eq!(ib.total_pending(), ib.total_delivered() - ib.total_read());
+        assert!(ib.total_pending() > 0, "6 h reads over a 3 h horizon must leave a backlog");
+    }
+
+    #[test]
+    fn inbox_drains_when_reads_are_fast() {
+        let mut c = tiny_config();
+        c.horizon = SimDuration::from_hours(2);
+        let m = run(&c, 41);
+        let ib = m.inboxes();
+        // 1 s reads: at most the last second's deliveries are unread.
+        assert!(
+            ib.total_pending() <= 2,
+            "fast reads should leave ≤ 2 pending, got {}",
+            ib.total_pending()
+        );
+        assert!(ib.peak_pending() >= 1);
+    }
+
+    #[test]
+    fn hubs_first_rollout_patches_high_degree_phones_first() {
+        // A star-ish topology: phone 0 is the hub.
+        let mut c = tiny_config();
+        c.population = PopulationConfig {
+            topology: GraphSpec::power_law_with_exponent(40, 6.0, 2.0),
+            vulnerable_fraction: 1.0,
+        };
+        c.detect_threshold = 1;
+        c.response = ResponseConfig::none().with_immunization(Immunization::hubs_first(
+            SimDuration::from_mins(10),
+            SimDuration::from_hours(8),
+        ));
+        // Freeze the epidemic so only patch order matters.
+        c.response.education = Some(UserEducation { acceptance_scale: 0.0 });
+        c.horizon = SimDuration::from_hours(5); // rollout still in progress
+        let m = run(&c, 60);
+        // Among non-infected phones, every immunized phone must have
+        // degree ≥ every still-susceptible phone (hubs went first).
+        let immunized_min = m
+            .population()
+            .iter()
+            .filter(|p| p.health() == mpvsim_phonenet::Health::Immunized)
+            .map(|p| p.contacts().len())
+            .min();
+        let susceptible_max = m
+            .population()
+            .iter()
+            .filter(|p| p.is_susceptible())
+            .map(|p| p.contacts().len())
+            .max();
+        if let (Some(lo), Some(hi)) = (immunized_min, susceptible_max) {
+            assert!(
+                lo >= hi,
+                "hubs-first violated: immunized min degree {lo} < susceptible max degree {hi}"
+            );
+        }
+    }
+
+    #[test]
+    fn hubs_first_contains_at_least_as_well_as_uniform() {
+        let mk = |order_hubs: bool| {
+            let mut c = tiny_config();
+            c.population = PopulationConfig {
+                topology: GraphSpec::power_law_with_exponent(60, 8.0, 2.0),
+                vulnerable_fraction: 1.0,
+            };
+            c.detect_threshold = 3;
+            let imm = if order_hubs {
+                Immunization::hubs_first(SimDuration::from_mins(30), SimDuration::from_hours(12))
+            } else {
+                Immunization::uniform(SimDuration::from_mins(30), SimDuration::from_hours(12))
+            };
+            c.response = ResponseConfig::none().with_immunization(imm);
+            c.horizon = SimDuration::from_hours(24);
+            c
+        };
+        // Averaged over a few seeds to suppress noise.
+        let mean = |hubs: bool| -> f64 {
+            (0..6).map(|s| run(&mk(hubs), 70 + s).infected_count() as f64).sum::<f64>() / 6.0
+        };
+        let uniform = mean(false);
+        let hubs = mean(true);
+        assert!(
+            hubs <= uniform + 1.0,
+            "hubs-first ({hubs:.1}) should not lose to uniform ({uniform:.1}) on a power-law graph"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Gateway congestion (extension)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn finite_gateway_capacity_delays_and_slows_the_virus() {
+        let mut c = tiny_config();
+        c.horizon = SimDuration::from_hours(6);
+        let unthrottled = run(&c, 80);
+
+        let mut congested = c.clone();
+        congested.gateway_capacity_per_hour = Some(30); // 2 min per message
+        let m = run(&congested, 80);
+        let q = m.transit_queue().expect("queue configured");
+        assert!(q.served() > 0);
+        assert!(
+            q.peak_delay() > SimDuration::from_mins(2),
+            "a 1-msg/min virus against a 30-msg/h gateway must build backlog"
+        );
+        assert!(
+            m.infected_count() <= unthrottled.infected_count(),
+            "congestion cannot speed the virus up"
+        );
+    }
+
+    #[test]
+    fn generous_capacity_changes_nothing_much() {
+        let mut c = tiny_config();
+        c.horizon = SimDuration::from_hours(4);
+        c.gateway_capacity_per_hour = Some(3600);
+        let m = run(&c, 81);
+        let q = m.transit_queue().unwrap();
+        assert!(
+            q.peak_delay() <= SimDuration::from_secs(30),
+            "one virus against a 1 s service time should never queue: {}",
+            q.peak_delay()
+        );
+    }
+
+    #[test]
+    fn infinite_capacity_is_the_default() {
+        let m = run(&tiny_config(), 82);
+        assert!(m.transit_queue().is_none(), "the paper's assumption is the default");
+    }
+
+    // ------------------------------------------------------------------
+    // Legitimate traffic & piggyback (extensions)
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn legitimate_traffic_flows_without_infecting() {
+        let mut c = tiny_config();
+        c.behavior.legitimate_mms = Some(DelaySpec::constant(SimDuration::from_hours(2)));
+        c.response =
+            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        c.horizon = SimDuration::from_hours(10);
+        let m = run(&c, 50);
+        // 20 phones × ~5 legit messages over 10 h.
+        assert!((80..=120).contains(&m.stats().legitimate_messages),
+            "unexpected legit volume {}", m.stats().legitimate_messages);
+        assert_eq!(m.infected_count(), 1, "legitimate traffic must not infect");
+    }
+
+    #[test]
+    fn monitoring_false_positives_only_with_legit_traffic() {
+        // Heavy legitimate chatter + a hair-trigger monitor.
+        let mut c = tiny_config();
+        c.behavior.legitimate_mms = Some(DelaySpec::constant(SimDuration::from_mins(10)));
+        c.response = ResponseConfig::none()
+            .with_monitoring(Monitoring {
+                window: SimDuration::from_hours(1),
+                threshold: 3,
+                forced_wait: SimDuration::from_mins(30),
+            })
+            .with_education(UserEducation { acceptance_scale: 0.0 });
+        c.horizon = SimDuration::from_hours(6);
+        let m = run(&c, 51);
+        assert!(
+            m.stats().false_positive_throttles > 0,
+            "6 legit msgs/h against a threshold of 3 must flag innocents"
+        );
+        // Every false positive is a throttle of a non-infected phone.
+        assert!(m.stats().false_positive_throttles <= m.stats().throttled_phones);
+
+        // Without legitimate traffic the same monitor flags nobody
+        // (education pins the outbreak to the seed, which sends 1/min —
+        // the seed is a true positive, not a false one).
+        let mut quiet = c.clone();
+        quiet.behavior.legitimate_mms = None;
+        let m = run(&quiet, 51);
+        assert_eq!(m.stats().false_positive_throttles, 0);
+    }
+
+    #[test]
+    fn piggyback_virus_rides_legitimate_traffic() {
+        let mut c = tiny_config();
+        c.virus.piggyback = true;
+        c.virus.send_gap = DelaySpec::constant(SimDuration::from_mins(30));
+        c.behavior.legitimate_mms = Some(DelaySpec::constant(SimDuration::from_hours(1)));
+        c.horizon = SimDuration::from_hours(24);
+        let m = run(&c, 52);
+        assert!(m.stats().piggyback_sends > 0, "piggyback virus never rode a message");
+        assert_eq!(
+            m.stats().messages_sent, m.stats().piggyback_sends,
+            "a piggyback virus has no schedule of its own"
+        );
+        assert!(m.infected_count() > 1, "piggyback virus should still spread");
+    }
+
+    #[test]
+    fn piggyback_virus_without_legit_traffic_is_inert() {
+        let mut c = tiny_config();
+        c.virus.piggyback = true;
+        c.horizon = SimDuration::from_hours(24);
+        let m = run(&c, 53);
+        assert_eq!(m.stats().messages_sent, 0, "nothing to ride on");
+        assert_eq!(m.infected_count(), 1);
+    }
+
+    #[test]
+    fn piggyback_respects_min_gap() {
+        let mut c = tiny_config();
+        c.virus.piggyback = true;
+        c.virus.send_gap = DelaySpec::constant(SimDuration::from_hours(100)); // one shot
+        c.behavior.legitimate_mms = Some(DelaySpec::constant(SimDuration::from_mins(5)));
+        c.response =
+            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        c.horizon = SimDuration::from_hours(12);
+        let m = run(&c, 54);
+        assert_eq!(
+            m.stats().messages_sent, 1,
+            "a 100 h minimum gap allows exactly one piggyback send in 12 h"
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Bluetooth vector (paper §6 extension)
+    // ------------------------------------------------------------------
+
+    use crate::config::MobilityConfig;
+    use crate::virus::BluetoothVector;
+
+    /// A dense little plaza where Bluetooth contacts are frequent.
+    fn bluetooth_config() -> ScenarioConfig {
+        let mut c = ScenarioConfig::baseline(VirusProfile::bluetooth_worm());
+        c.population = PopulationConfig {
+            topology: GraphSpec::complete(30),
+            vulnerable_fraction: 1.0,
+        };
+        c.mobility = Some(MobilityConfig {
+            arena_width: 120.0,
+            arena_height: 120.0,
+            ..MobilityConfig::downtown()
+        });
+        c.virus.bluetooth = Some(BluetoothVector { radius: 15.0, transfer_probability: 0.5 });
+        c.horizon = SimDuration::from_hours(12);
+        c
+    }
+
+    #[test]
+    fn pure_bluetooth_worm_spreads_without_mms() {
+        let m = run(&bluetooth_config(), 30);
+        assert!(m.infected_count() > 3, "BT worm never spread: {}", m.infected_count());
+        assert_eq!(m.stats().messages_sent, 0, "pure BT worm must not send MMS");
+        assert!(m.stats().bluetooth_offers > 0);
+        assert!(m.stats().bluetooth_acceptances > 0);
+    }
+
+    #[test]
+    fn bluetooth_ignores_gateway_mechanisms() {
+        // Scan active from the very first moment cannot see Bluetooth.
+        let mut c = bluetooth_config();
+        c.detect_threshold = 0; // gateway clock would fire instantly — but sees nothing
+        c.response = ResponseConfig::none().with_signature_scan(SignatureScan {
+            activation_delay: SimDuration::ZERO,
+        });
+        let with_scan = run(&c, 31);
+        let baseline = run(&bluetooth_config(), 31);
+        assert_eq!(
+            with_scan.infected_count(),
+            baseline.infected_count(),
+            "a gateway scan cannot touch proximity transfers"
+        );
+        assert_eq!(with_scan.stats().blocked_by_scan, 0);
+    }
+
+    #[test]
+    fn blacklist_cannot_stop_a_hybrid_worm() {
+        // The hybrid worm's MMS vector is cut off after two messages per
+        // phone, but its Bluetooth vector keeps going.
+        let mut c = bluetooth_config();
+        c.virus = VirusProfile {
+            bluetooth: Some(BluetoothVector { radius: 15.0, transfer_probability: 0.5 }),
+            ..VirusProfile::virus3()
+        };
+        c.response = ResponseConfig::none().with_blacklist(Blacklist { threshold: 1 });
+        let m = run(&c, 32);
+        assert!(m.stats().blacklisted_phones > 0, "MMS vector should trip the blacklist");
+        assert!(
+            m.stats().bluetooth_acceptances > 0,
+            "Bluetooth transfers must continue after blacklisting"
+        );
+    }
+
+    #[test]
+    fn silencing_patch_stops_bluetooth_too() {
+        let mut c = bluetooth_config();
+        // Give the gateway something to clock on: a hybrid worm.
+        c.virus = VirusProfile {
+            bluetooth: Some(BluetoothVector { radius: 15.0, transfer_probability: 0.5 }),
+            ..VirusProfile::virus3()
+        };
+        c.detect_threshold = 1;
+        c.response = ResponseConfig::none().with_immunization(Immunization::uniform(
+            SimDuration::from_mins(30),
+            SimDuration::from_mins(10),
+        ));
+        let m = run(&c, 33);
+        // After the rollout, every phone is immunized or silenced; the
+        // infection count can no longer move.
+        let baseline = run(&{
+            let mut b = c.clone();
+            b.response = ResponseConfig::none();
+            b
+        }, 33);
+        assert!(
+            m.infected_count() < baseline.infected_count(),
+            "patch should contain the hybrid worm: {} vs {}",
+            m.infected_count(),
+            baseline.infected_count()
+        );
+        for p in m.population().iter().filter(|p| p.is_infected()) {
+            assert!(p.is_silenced());
+        }
+    }
+
+    #[test]
+    fn education_applies_to_bluetooth_offers() {
+        let mut c = bluetooth_config();
+        c.response =
+            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        let m = run(&c, 34);
+        assert_eq!(m.infected_count(), 1, "nobody accepts: only the seed stays infected");
+        assert!(m.stats().bluetooth_offers > 0, "offers still happen");
+        assert_eq!(m.stats().bluetooth_acceptances, 0);
+    }
+
+    #[test]
+    fn bluetooth_without_mobility_is_rejected() {
+        let mut c = bluetooth_config();
+        c.mobility = None;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn pure_bluetooth_worm_is_detectable_and_patchable() {
+        // A sparser arena so the worm needs hours, leaving the patch
+        // time to land mid-outbreak.
+        let sparse = |mut c: ScenarioConfig| {
+            c.mobility = Some(MobilityConfig {
+                arena_width: 400.0,
+                arena_height: 400.0,
+                ..MobilityConfig::downtown()
+            });
+            c
+        };
+        let mut c = sparse(bluetooth_config());
+        c.detect_threshold = 3;
+        c.response = ResponseConfig::none().with_immunization(Immunization::uniform(
+            SimDuration::from_mins(30),
+            SimDuration::from_mins(10),
+        ));
+        let m = run(&c, 36);
+        assert!(m.activation().detected_at.is_some(), "BT sightings must start the clock");
+        assert!(m.activation().rollout_starts_at.is_some());
+        let baseline = run(&sparse(bluetooth_config()), 36);
+        assert!(
+            m.infected_count() < baseline.infected_count(),
+            "a prompt patch must contain the BT worm: {} vs {}",
+            m.infected_count(),
+            baseline.infected_count()
+        );
+    }
+
+    #[test]
+    fn sparser_arena_slows_bluetooth_spread() {
+        let dense = run(&bluetooth_config(), 35).infected_count();
+        let mut sparse_cfg = bluetooth_config();
+        sparse_cfg.mobility = Some(MobilityConfig {
+            arena_width: 1200.0,
+            arena_height: 1200.0,
+            ..MobilityConfig::downtown()
+        });
+        let sparse = run(&sparse_cfg, 35).infected_count();
+        assert!(
+            sparse < dense,
+            "100x the area should slow proximity spread: sparse {sparse} vs dense {dense}"
+        );
+    }
+}

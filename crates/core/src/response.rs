@@ -1,0 +1,351 @@
+//! The six response mechanisms of §3, as composable configuration.
+//!
+//! Each mechanism is optional and they compose freely, which also covers
+//! the paper's future-work item ("evaluation of combinations of reaction
+//! mechanisms"). Mechanisms act at three points of the propagation
+//! process:
+//!
+//! * **Reception** — [`SignatureScan`], [`DetectionAlgorithm`] (in the
+//!   provider's MMS gateways);
+//! * **Infection** — [`UserEducation`], [`Immunization`] (on the phones);
+//! * **Dissemination** — [`Monitoring`], [`Blacklist`] (provider-side
+//!   suppression of infected senders).
+//!
+//! Scan, detection and immunization timers start when "the virus reaches
+//! a detectable level" — in this model, when the gateways have observed
+//! [`crate::ScenarioConfig::detect_threshold`] infected messages.
+
+use serde::{Deserialize, Serialize};
+
+use mpvsim_des::{SimDuration, SimTime};
+
+/// Gateway virus scan (§3.1): once the new signature is deployed —
+/// `activation_delay` after detectability — every infected MMS in transit
+/// is recognized and dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignatureScan {
+    /// Time to identify the virus and push its signature to the gateways,
+    /// measured from the detectability instant. The paper sweeps
+    /// 6 / 12 / 24 hours.
+    pub activation_delay: SimDuration,
+}
+
+/// Gateway detection algorithm (§3.1): after an analysis period it
+/// recognizes each subsequent infected MMS with probability `accuracy`
+/// (the paper sweeps 0.80–0.99); recognized messages are dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionAlgorithm {
+    /// Probability that an infected message is caught once active.
+    pub accuracy: f64,
+    /// Training time after detectability before the algorithm is active.
+    pub analysis_period: SimDuration,
+}
+
+impl DetectionAlgorithm {
+    /// Detection with the given accuracy and the default 6 h analysis
+    /// period.
+    pub fn with_accuracy(accuracy: f64) -> Self {
+        DetectionAlgorithm { accuracy, analysis_period: SimDuration::from_hours(6) }
+    }
+}
+
+/// Phone user education (§3.2): scales the acceptance factor (and thereby
+/// the eventual acceptance probability) down. `scale = 0.5` reproduces
+/// the paper's "total probability of acceptance reduced to 0.20",
+/// `scale = 0.25` its 0.10 case.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserEducation {
+    /// Multiplier applied to the acceptance factor, in `[0, 1]`.
+    pub acceptance_scale: f64,
+}
+
+/// Immunization via software patches (§3.2): `development_time` after
+/// detectability, the patch starts rolling out; each phone receives it at
+/// a uniformly random instant within `rollout_duration`. A patched
+/// healthy phone becomes immune; a patched infected phone stops
+/// propagating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Immunization {
+    /// Time to develop the patch, from detectability (paper: 24 / 48 h).
+    pub development_time: SimDuration,
+    /// Time to deploy the patch to the whole population (paper:
+    /// 1 / 6 / 24 h; shorter = more distribution servers).
+    pub rollout_duration: SimDuration,
+    /// How patch-arrival instants are assigned within the rollout window.
+    #[serde(default)]
+    pub order: RolloutOrder,
+}
+
+/// The order in which phones receive the patch during the rollout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum RolloutOrder {
+    /// Each phone's arrival instant is uniformly random within the
+    /// window (the paper's model: "rolled out to the entire phone
+    /// population uniformly over a period of time").
+    #[default]
+    Uniform,
+    /// Hubs first: phones receive the patch in decreasing contact-list
+    /// size, evenly spaced over the window. A classic epidemic-control
+    /// heuristic on power-law networks — protect the super-spreaders
+    /// before the leaves.
+    HubsFirst,
+}
+
+impl Immunization {
+    /// Uniform rollout (the paper's semantics).
+    pub fn uniform(development_time: SimDuration, rollout_duration: SimDuration) -> Self {
+        Immunization { development_time, rollout_duration, order: RolloutOrder::Uniform }
+    }
+
+    /// Hubs-first rollout (extension).
+    pub fn hubs_first(development_time: SimDuration, rollout_duration: SimDuration) -> Self {
+        Immunization { development_time, rollout_duration, order: RolloutOrder::HubsFirst }
+    }
+}
+
+/// Anomaly monitoring (§3.3): when a phone sends more than `threshold`
+/// MMS messages within the sliding `window`, it is flagged and a forced
+/// minimum wait is imposed between its subsequent outgoing messages.
+///
+/// The defaults (5 messages within a sliding hour) encode "a threshold
+/// based on normal expected usage": Viruses 1 and 4 emit ≈ 1 message/hour
+/// and are never flagged, while Virus 3's ~60/hour trips the monitor
+/// within minutes. Virus 2 bursts past the threshold but is unaffected
+/// anyway — its 30-per-day quota, not the forced wait, bounds its daily
+/// contact-list coverage — reproducing the paper's finding that
+/// monitoring only helps against the aggressive random dialer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Monitoring {
+    /// Sliding observation window.
+    pub window: SimDuration,
+    /// Message count within the window above which a phone is flagged.
+    pub threshold: u32,
+    /// Forced minimum wait between outgoing messages of a flagged phone
+    /// (paper sweeps 15 / 30 / 60 minutes).
+    pub forced_wait: SimDuration,
+}
+
+impl Monitoring {
+    /// Monitoring with the paper-calibrated window/threshold and the
+    /// given forced wait.
+    pub fn with_forced_wait(forced_wait: SimDuration) -> Self {
+        Monitoring {
+            window: SimDuration::from_hours(1),
+            threshold: 5,
+            forced_wait,
+        }
+    }
+}
+
+/// Blacklisting (§3.3): once the provider has flagged more than
+/// `threshold` suspected-infected messages from a phone, all its outgoing
+/// MMS service is stopped. Invalid random dials count — the gateway sees
+/// the attempt — which is why a threshold of 30 against random-dialing
+/// Virus 3 behaves like a threshold of 10 against a contact-list virus.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Blacklist {
+    /// Suspected-infected message count that triggers the blacklist
+    /// (paper sweeps 10 / 20 / 30 / 40).
+    pub threshold: u32,
+}
+
+/// The full, composable response configuration. `ResponseConfig::none()`
+/// is the baseline (no mechanisms).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ResponseConfig {
+    /// Gateway signature scan, if deployed.
+    pub signature_scan: Option<SignatureScan>,
+    /// Gateway detection algorithm, if deployed.
+    pub detection: Option<DetectionAlgorithm>,
+    /// User education, if conducted.
+    pub education: Option<UserEducation>,
+    /// Immunization patching, if available.
+    pub immunization: Option<Immunization>,
+    /// Outgoing-volume monitoring, if enabled.
+    pub monitoring: Option<Monitoring>,
+    /// Blacklisting, if enabled.
+    pub blacklist: Option<Blacklist>,
+}
+
+impl ResponseConfig {
+    /// No response mechanisms: the baseline scenarios of §5.1.
+    pub fn none() -> Self {
+        ResponseConfig::default()
+    }
+
+    /// Builder-style: adds a signature scan.
+    pub fn with_signature_scan(mut self, s: SignatureScan) -> Self {
+        self.signature_scan = Some(s);
+        self
+    }
+
+    /// Builder-style: adds a detection algorithm.
+    pub fn with_detection(mut self, d: DetectionAlgorithm) -> Self {
+        self.detection = Some(d);
+        self
+    }
+
+    /// Builder-style: adds user education.
+    pub fn with_education(mut self, e: UserEducation) -> Self {
+        self.education = Some(e);
+        self
+    }
+
+    /// Builder-style: adds immunization.
+    pub fn with_immunization(mut self, i: Immunization) -> Self {
+        self.immunization = Some(i);
+        self
+    }
+
+    /// Builder-style: adds monitoring.
+    pub fn with_monitoring(mut self, m: Monitoring) -> Self {
+        self.monitoring = Some(m);
+        self
+    }
+
+    /// Builder-style: adds blacklisting.
+    pub fn with_blacklist(mut self, b: Blacklist) -> Self {
+        self.blacklist = Some(b);
+        self
+    }
+
+    /// True when no mechanism is configured.
+    pub fn is_baseline(&self) -> bool {
+        self.signature_scan.is_none()
+            && self.detection.is_none()
+            && self.education.is_none()
+            && self.immunization.is_none()
+            && self.monitoring.is_none()
+            && self.blacklist.is_none()
+    }
+
+    /// Validates all configured mechanisms.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if let Some(d) = self.detection {
+            if !(0.0..=1.0).contains(&d.accuracy) || !d.accuracy.is_finite() {
+                return Err(format!("detection accuracy {} must be in [0, 1]", d.accuracy));
+            }
+        }
+        if let Some(e) = self.education {
+            if !(0.0..=1.0).contains(&e.acceptance_scale) || !e.acceptance_scale.is_finite() {
+                return Err(format!(
+                    "education acceptance_scale {} must be in [0, 1]",
+                    e.acceptance_scale
+                ));
+            }
+        }
+        if let Some(m) = self.monitoring {
+            if m.window.is_zero() {
+                return Err("monitoring window must be positive".to_owned());
+            }
+            if m.threshold == 0 {
+                return Err("monitoring threshold must be at least 1".to_owned());
+            }
+        }
+        if let Some(b) = self.blacklist {
+            if b.threshold == 0 {
+                return Err("blacklist threshold must be at least 1".to_owned());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runtime activation state for the detectability-clocked mechanisms,
+/// resolved once the virus crosses the detectable level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ActivationTimes {
+    /// When the gateways first saw enough infected traffic.
+    pub detected_at: Option<SimTime>,
+    /// When the signature scan starts dropping everything.
+    pub scan_active_at: Option<SimTime>,
+    /// When the detection algorithm finishes its analysis period.
+    pub detection_active_at: Option<SimTime>,
+    /// When the patch rollout begins.
+    pub rollout_starts_at: Option<SimTime>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_empty() {
+        let r = ResponseConfig::none();
+        assert!(r.is_baseline());
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let r = ResponseConfig::none()
+            .with_signature_scan(SignatureScan { activation_delay: SimDuration::from_hours(6) })
+            .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(15)));
+        assert!(!r.is_baseline());
+        assert!(r.signature_scan.is_some());
+        assert!(r.monitoring.is_some());
+        assert!(r.blacklist.is_none());
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn monitoring_defaults_spare_slow_viruses_and_catch_fast_ones() {
+        let m = Monitoring::with_forced_wait(SimDuration::from_mins(30));
+        assert_eq!(m.window, SimDuration::from_hours(1));
+        // Viruses 1 and 4 emit ≈ 1 message/hour — below the threshold;
+        // Virus 3's ~60/hour crosses it within minutes.
+        assert!(m.threshold >= 3 && m.threshold < 30);
+    }
+
+    #[test]
+    fn detection_accuracy_validated() {
+        let r = ResponseConfig::none().with_detection(DetectionAlgorithm::with_accuracy(1.5));
+        assert!(r.validate().is_err());
+        let r = ResponseConfig::none().with_detection(DetectionAlgorithm::with_accuracy(0.95));
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn education_scale_validated() {
+        let r = ResponseConfig::none().with_education(UserEducation { acceptance_scale: -0.1 });
+        assert!(r.validate().is_err());
+        let r = ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.5 });
+        assert!(r.validate().is_ok());
+    }
+
+    #[test]
+    fn zero_thresholds_rejected() {
+        let r = ResponseConfig::none().with_blacklist(Blacklist { threshold: 0 });
+        assert!(r.validate().is_err());
+        let r = ResponseConfig::none().with_monitoring(Monitoring {
+            window: SimDuration::ZERO,
+            threshold: 5,
+            forced_wait: SimDuration::from_mins(15),
+        });
+        assert!(r.validate().is_err());
+        let r = ResponseConfig::none().with_monitoring(Monitoring {
+            window: SimDuration::from_hours(1),
+            threshold: 0,
+            forced_wait: SimDuration::from_mins(15),
+        });
+        assert!(r.validate().is_err());
+    }
+
+    #[test]
+    fn detection_constructor_default_analysis() {
+        let d = DetectionAlgorithm::with_accuracy(0.9);
+        assert_eq!(d.analysis_period, SimDuration::from_hours(6));
+        assert_eq!(d.accuracy, 0.9);
+    }
+
+    #[test]
+    fn activation_times_default_unset() {
+        let a = ActivationTimes::default();
+        assert!(a.detected_at.is_none());
+        assert!(a.scan_active_at.is_none());
+    }
+}

@@ -1,0 +1,338 @@
+//! Running scenarios: one replication, or a seeded batch with aggregation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mpvsim_des::seed::derive_stream_seed;
+use mpvsim_des::{run_replications_parallel, SimTime, Simulation};
+use mpvsim_mobility::MobilityField;
+use mpvsim_phonenet::Population;
+use mpvsim_stats::{aggregate, AggregateSeries, Summary, TimeSeries};
+
+use crate::config::{ConfigError, ScenarioConfig};
+use crate::model::{EpidemicModel, Event, RunStats};
+use crate::response::ActivationTimes;
+use mpvsim_des::SimDuration;
+
+/// Sub-stream label for topology generation (independent of dynamics).
+const TOPOLOGY_STREAM: u64 = 1;
+
+/// The outcome of a single replication.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RunResult {
+    /// Infection count sampled every `sample_step`.
+    pub series: TimeSeries,
+    /// Cumulative virus-message traffic on the same grid (the extra MMS
+    /// load on the provider's network).
+    pub traffic: TimeSeries,
+    /// Infected phones at the horizon.
+    pub final_infected: usize,
+    /// Message-flow counters.
+    pub stats: RunStats,
+    /// When the detectability-clocked mechanisms fired.
+    pub activation: ActivationTimes,
+    /// The worst gateway transit delay any message saw (`None` when the
+    /// gateway has the paper's infinite capacity).
+    pub gateway_peak_delay: Option<SimDuration>,
+}
+
+/// Aggregated outcome of a replicated experiment.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ExperimentResult {
+    /// Pointwise mean infection curve with a 95 % confidence band.
+    pub aggregate: AggregateSeries,
+    /// Summary of the final infection counts across replications.
+    pub final_infected: Summary,
+    /// Each replication's result, in replication order.
+    pub runs: Vec<RunResult>,
+}
+
+impl ExperimentResult {
+    /// The mean infection trajectory.
+    pub fn mean_series(&self) -> TimeSeries {
+        self.aggregate.mean_series()
+    }
+
+    /// Mean time (hours) for the infection to reach `threshold` phones,
+    /// over the replications that reached it; `None` if none did.
+    pub fn mean_time_to_reach(&self, threshold: f64) -> Option<f64> {
+        let times: Vec<f64> =
+            self.runs.iter().filter_map(|r| r.series.time_to_reach(threshold)).collect();
+        if times.is_empty() {
+            None
+        } else {
+            Some(times.iter().sum::<f64>() / times.len() as f64)
+        }
+    }
+}
+
+/// Runs one replication of `config` with the given seed.
+///
+/// The contact topology and vulnerability designation draw from a
+/// sub-stream derived from `seed`, and the epidemic dynamics from `seed`
+/// itself, so a `(config, seed)` pair determines the trajectory exactly.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the scenario is invalid.
+pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> Result<RunResult, ConfigError> {
+    config.validate()?;
+    let mut topo_rng = StdRng::seed_from_u64(derive_stream_seed(seed, 0, TOPOLOGY_STREAM));
+    let graph = config
+        .population
+        .topology
+        .generate(&mut topo_rng)
+        .map_err(|e| ConfigError(format!("topology: {e}")))?;
+    let population =
+        Population::from_graph(&graph, config.population.vulnerable_fraction, &mut topo_rng);
+    let mobility = config.mobility.map(|m| {
+        MobilityField::new(m.arena(), population.len(), m.waypoint, &mut topo_rng)
+    });
+
+    let model = EpidemicModel::with_mobility(config.clone(), population, mobility);
+    let mut sim = Simulation::new(model, seed);
+    sim.schedule(SimTime::ZERO, Event::Seed);
+    sim.schedule(SimTime::ZERO, Event::Sample);
+    sim.run_until(SimTime::ZERO + config.horizon);
+    let model = sim.into_model();
+
+    Ok(RunResult {
+        final_infected: model.infected_count(),
+        stats: *model.stats(),
+        activation: *model.activation(),
+        gateway_peak_delay: model.transit_queue().map(|q| q.peak_delay()),
+        traffic: model.traffic_series().clone(),
+        series: model.series().clone(),
+    })
+}
+
+/// Runs `reps` seeded replications of `config` (in parallel across
+/// `threads` workers) and aggregates them.
+///
+/// Replication `r` uses the seed derived from `(master_seed, r)`; results
+/// are identical regardless of `threads`.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the scenario is invalid or `reps == 0`.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn run_experiment(
+    config: &ScenarioConfig,
+    reps: u64,
+    master_seed: u64,
+    threads: usize,
+) -> Result<ExperimentResult, ConfigError> {
+    config.validate()?;
+    if reps == 0 {
+        return Err(ConfigError("need at least one replication".to_owned()));
+    }
+    let runs: Vec<RunResult> = run_replications_parallel(reps, master_seed, threads, |_, seed| {
+        run_scenario(config, seed).expect("config validated before the batch")
+    });
+    let series: Vec<TimeSeries> = runs.iter().map(|r| r.series.clone()).collect();
+    let aggregate = aggregate::aggregate(&series).expect("at least one replication");
+    let finals: Vec<f64> = runs.iter().map(|r| r.final_infected as f64).collect();
+    let final_infected = Summary::of(&finals).expect("at least one replication");
+    Ok(ExperimentResult { aggregate, final_infected, runs })
+}
+
+/// Outcome of [`run_experiment_adaptive`].
+#[derive(Debug, Clone)]
+pub struct AdaptiveResult {
+    /// The aggregated experiment over however many replications ran.
+    pub result: ExperimentResult,
+    /// Whether the confidence target was met before `max_reps`.
+    pub converged: bool,
+}
+
+/// Runs replications in batches of `threads` until the 95 % confidence
+/// half-width on the mean final infection count drops to
+/// `target_ci_half_width` (or `max_reps` is exhausted).
+///
+/// Replication `r` always uses the seed derived from `(master_seed, r)`,
+/// so for a given outcome sequence the runs are the same as a fixed-size
+/// batch of the same length.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the scenario is invalid, `min_reps` is 0,
+/// or `min_reps > max_reps`.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+pub fn run_experiment_adaptive(
+    config: &ScenarioConfig,
+    target_ci_half_width: f64,
+    min_reps: u64,
+    max_reps: u64,
+    master_seed: u64,
+    threads: usize,
+) -> Result<AdaptiveResult, ConfigError> {
+    config.validate()?;
+    if min_reps == 0 || min_reps > max_reps {
+        return Err(ConfigError(format!(
+            "need 1 <= min_reps <= max_reps, got {min_reps}..{max_reps}"
+        )));
+    }
+    let mut runs: Vec<RunResult> = Vec::new();
+    let mut acc = mpvsim_stats::RunningSummary::new();
+    let mut converged = false;
+    while (runs.len() as u64) < max_reps {
+        let batch = (threads as u64)
+            .max(1)
+            .min(max_reps - runs.len() as u64)
+            .max(if runs.is_empty() { min_reps.min(max_reps) } else { 1 });
+        let start = runs.len() as u64;
+        let mut batch_runs: Vec<RunResult> =
+            run_replications_parallel(batch, master_seed, threads, |rep, _seed| {
+                // Seed from the global replication index so the sequence
+                // is independent of the batch boundaries.
+                let seed = mpvsim_des::seed::derive_seed(master_seed, start + rep);
+                run_scenario(config, seed).expect("config validated before the batch")
+            });
+        for r in &batch_runs {
+            acc.push(r.final_infected as f64);
+        }
+        runs.append(&mut batch_runs);
+        if runs.len() as u64 >= min_reps && acc.ci95_half_width() <= target_ci_half_width {
+            converged = true;
+            break;
+        }
+    }
+    let series: Vec<TimeSeries> = runs.iter().map(|r| r.series.clone()).collect();
+    let aggregate = aggregate::aggregate(&series).expect("at least one replication");
+    let finals: Vec<f64> = runs.iter().map(|r| r.final_infected as f64).collect();
+    let final_infected = Summary::of(&finals).expect("at least one replication");
+    Ok(AdaptiveResult {
+        result: ExperimentResult { aggregate, final_infected, runs },
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PopulationConfig;
+    use crate::virus::VirusProfile;
+    use mpvsim_des::{DelaySpec, SimDuration};
+    use mpvsim_topology::GraphSpec;
+
+    fn small_config() -> ScenarioConfig {
+        let mut c = ScenarioConfig::baseline(VirusProfile::virus3());
+        c.population = PopulationConfig {
+            topology: GraphSpec::erdos_renyi(60, 8.0),
+            vulnerable_fraction: 0.8,
+        };
+        c.behavior.read_delay = DelaySpec::constant(SimDuration::from_mins(5));
+        c.horizon = SimDuration::from_hours(6);
+        c
+    }
+
+    #[test]
+    fn run_scenario_produces_full_series() {
+        let r = run_scenario(&small_config(), 7).unwrap();
+        assert_eq!(r.series.len(), 7, "hourly samples over 6 h inclusive");
+        assert!(r.final_infected >= 1);
+        assert!(r.stats.messages_sent > 0);
+    }
+
+    #[test]
+    fn run_scenario_rejects_invalid_config() {
+        let mut c = small_config();
+        c.initial_infections = 0;
+        assert!(run_scenario(&c, 1).is_err());
+    }
+
+    #[test]
+    fn run_scenario_deterministic() {
+        let c = small_config();
+        let a = run_scenario(&c, 11).unwrap();
+        let b = run_scenario(&c, 11).unwrap();
+        assert_eq!(a.series, b.series);
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn different_seeds_vary_topology_and_dynamics() {
+        let c = small_config();
+        let a = run_scenario(&c, 1).unwrap();
+        let b = run_scenario(&c, 2).unwrap();
+        assert!(a.series != b.series || a.stats != b.stats);
+    }
+
+    #[test]
+    fn experiment_aggregates_replications() {
+        let c = small_config();
+        let e = run_experiment(&c, 4, 99, 2).unwrap();
+        assert_eq!(e.runs.len(), 4);
+        assert_eq!(e.aggregate.replications, 4);
+        assert_eq!(e.final_infected.n, 4);
+        // The aggregate mean of the final point equals the mean of finals
+        // (series all have the same length here).
+        let last_mean = *e.aggregate.mean.last().unwrap();
+        assert!((last_mean - e.final_infected.mean).abs() < 1e-9);
+    }
+
+    #[test]
+    fn experiment_parallel_equals_serial() {
+        let c = small_config();
+        let serial = run_experiment(&c, 3, 5, 1).unwrap();
+        let parallel = run_experiment(&c, 3, 5, 3).unwrap();
+        assert_eq!(serial.aggregate.mean, parallel.aggregate.mean);
+    }
+
+    #[test]
+    fn experiment_zero_reps_rejected() {
+        assert!(run_experiment(&small_config(), 0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn traffic_series_is_cumulative_and_monotone() {
+        let r = run_scenario(&small_config(), 21).unwrap();
+        assert_eq!(r.traffic.len(), r.series.len(), "same sampling grid");
+        let vals = r.traffic.values();
+        assert!(vals.windows(2).all(|w| w[1] >= w[0]), "cumulative traffic decreased");
+        assert_eq!(*vals.last().unwrap() as u64, r.stats.messages_sent);
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_batch_of_same_length() {
+        let c = small_config();
+        // An impossible (negative) target forces the runner to max_reps
+        // even if early replications happen to agree exactly.
+        let adaptive = run_experiment_adaptive(&c, -1.0, 2, 6, 33, 2).unwrap();
+        assert!(!adaptive.converged);
+        assert_eq!(adaptive.result.runs.len(), 6);
+        let fixed = run_experiment(&c, 6, 33, 2).unwrap();
+        assert_eq!(adaptive.result.aggregate.mean, fixed.aggregate.mean);
+    }
+
+    #[test]
+    fn adaptive_stops_early_on_loose_target() {
+        let c = small_config();
+        let adaptive = run_experiment_adaptive(&c, 1e9, 2, 64, 34, 2).unwrap();
+        assert!(adaptive.converged);
+        assert!(adaptive.result.runs.len() <= 4, "a huge target should stop immediately");
+        assert!(adaptive.result.runs.len() >= 2, "min_reps respected");
+    }
+
+    #[test]
+    fn adaptive_rejects_bad_rep_bounds() {
+        let c = small_config();
+        assert!(run_experiment_adaptive(&c, 1.0, 0, 5, 1, 1).is_err());
+        assert!(run_experiment_adaptive(&c, 1.0, 6, 5, 1, 1).is_err());
+    }
+
+    #[test]
+    fn mean_time_to_reach() {
+        let c = small_config();
+        let e = run_experiment(&c, 3, 17, 1).unwrap();
+        let t = e.mean_time_to_reach(1.0);
+        assert!(t.is_some(), "every run infects at least the seed");
+        assert!(e.mean_time_to_reach(1e9).is_none());
+    }
+}

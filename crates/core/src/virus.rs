@@ -1,0 +1,428 @@
+//! Parameterized virus behaviour and the paper's four test-case viruses.
+//!
+//! §4.2 of the paper defines four illustrative viruses spanning the attack
+//! space (modelled on real viruses such as CommWarrior):
+//!
+//! | | targeting | min gap | recipients | quota | extra |
+//! |---|---|---|---|---|---|
+//! | Virus 1 | contact list | 30 min | 1 | 30 per reboot (reboot ≈ Exp(24 h)) | — |
+//! | Virus 2 | contact list | 1 min | ≤ 100 | 30 per 24 h | step-like curve |
+//! | Virus 3 | random dial (⅓ valid) | 1 min | 1 | none | fastest |
+//! | Virus 4 | contact list | 30 min | 1 | none | 1 h dormancy, paced at the legitimate-traffic rate |
+
+use serde::{Deserialize, Serialize};
+
+use mpvsim_des::{DelaySpec, SimDuration};
+
+/// The Bluetooth propagation vector (the paper's §6 future-work
+/// extension): on every mobility tick, an infected phone attempts a
+/// file transfer to each phone within radio range with some probability.
+///
+/// Bluetooth bypasses the provider's MMS gateways entirely, so the
+/// reception-point and dissemination-point mechanisms (scan, detection,
+/// monitoring, blacklisting) cannot see it; only user education and
+/// immunization apply.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BluetoothVector {
+    /// Radio range in meters (class-2 Bluetooth ≈ 10 m).
+    pub radius: f64,
+    /// Probability that an infected phone attempts a transfer to a given
+    /// in-range phone during one mobility tick.
+    pub transfer_probability: f64,
+}
+
+impl BluetoothVector {
+    /// A Cabir/CommWarrior-like default: 10 m range, 10 % attempt chance
+    /// per in-range phone per tick.
+    pub fn default_class2() -> Self {
+        BluetoothVector { radius: 10.0, transfer_probability: 0.1 }
+    }
+
+    /// Validates the vector parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.radius.is_finite() && self.radius > 0.0) {
+            return Err(format!("bluetooth radius must be positive, got {}", self.radius));
+        }
+        if !(0.0..=1.0).contains(&self.transfer_probability) || !self.transfer_probability.is_finite() {
+            return Err(format!(
+                "bluetooth transfer_probability {} must be in [0, 1]",
+                self.transfer_probability
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// How a virus picks the targets of its next infected message.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TargetingStrategy {
+    /// Walk the infected phone's contact list cyclically, addressing the
+    /// next `recipients_per_message` contacts with each message.
+    ContactList,
+    /// Dial uniformly random numbers; a dial reaches a real phone with
+    /// probability `valid_fraction` (the paper's France estimate: ⅓).
+    RandomDialing {
+        /// Fraction of dialed numbers that are assigned to real phones.
+        valid_fraction: f64,
+    },
+}
+
+/// Self-imposed limits on how many infected messages a phone sends.
+///
+/// CommWarrior-style viruses throttle themselves to stay unnoticed; these
+/// quotas are what make monitoring ineffective against Viruses 1, 2 and 4
+/// (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SendQuota {
+    /// Maximum messages per rolling 24-hour period (counted from the
+    /// phone's infection instant). `None` = unlimited.
+    pub per_day: Option<u32>,
+    /// Maximum messages between phone reboots. `None` = unlimited.
+    pub per_reboot: Option<u32>,
+    /// Distribution of the time between reboots (only used when
+    /// `per_reboot` is set). The paper: "on average approximately 24
+    /// hours".
+    pub reboot_interval: DelaySpec,
+}
+
+impl SendQuota {
+    /// No limits at all (Virus 3).
+    pub fn unlimited() -> Self {
+        SendQuota {
+            per_day: None,
+            per_reboot: None,
+            reboot_interval: DelaySpec::exponential(SimDuration::from_hours(24)),
+        }
+    }
+
+    /// At most `n` messages per 24-hour period (Virus 2).
+    pub fn per_day(n: u32) -> Self {
+        SendQuota { per_day: Some(n), ..SendQuota::unlimited() }
+    }
+
+    /// At most `n` messages between reboots, with exponentially
+    /// distributed reboot intervals of the given mean (Virus 1).
+    pub fn per_reboot(n: u32, mean_reboot: SimDuration) -> Self {
+        SendQuota {
+            per_day: None,
+            per_reboot: Some(n),
+            reboot_interval: DelaySpec::exponential(mean_reboot),
+        }
+    }
+}
+
+/// A fully parameterized MMS virus (§4.1: "because the model is
+/// implemented in a parameterized fashion, many different virus behaviors
+/// can be simulated").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VirusProfile {
+    /// Display name used in reports.
+    pub name: String,
+    /// How targets are selected.
+    pub targeting: TargetingStrategy,
+    /// Distribution of the gap between consecutive infected messages from
+    /// one phone. The paper's "waits at least X minutes" maps to
+    /// [`DelaySpec::ShiftedExponential`] with `min = X`.
+    pub send_gap: DelaySpec,
+    /// Recipients addressed per message (Virus 2 uses up to 100; the
+    /// others 1). Clamped to the contact-list length at send time.
+    pub recipients_per_message: u32,
+    /// Self-imposed sending limits.
+    pub quota: SendQuota,
+    /// Time between infection and the first propagation attempt (Virus
+    /// 4's stealth dormancy; zero for viruses that "immediately begin to
+    /// send").
+    pub dormancy: SimDuration,
+    /// When `true`, the per-day quota period is aligned to **global**
+    /// 24-hour boundaries and a newly infected phone holds its fire until
+    /// the next boundary. This is Virus 2's behaviour: "those 30 messages
+    /// are all sent very near the start of each 24-hour period", which
+    /// makes Figure 1's curve flat between day-start steps — only a
+    /// global alignment produces that shape (with per-infection alignment
+    /// the bursts of successive generations cascade within a day and the
+    /// steps vanish).
+    pub global_day_bursts: bool,
+    /// Whether the virus propagates over MMS at all. `false` models a
+    /// pure Bluetooth worm (Cabir-style): no MMS messages are ever sent
+    /// and the gateway-side mechanisms have nothing to act on.
+    pub mms_vector: bool,
+    /// Optional Bluetooth vector (requires
+    /// [`crate::ScenarioConfig::mobility`] to be configured).
+    pub bluetooth: Option<BluetoothVector>,
+    /// Piggyback mode — Virus 4's literal §4.2 semantics: instead of its
+    /// own send schedule, the virus "automatically either appends the
+    /// infection to outgoing MMS messages or sends infected reply
+    /// messages in response to incoming MMS messages". Requires
+    /// legitimate traffic ([`crate::BehaviorConfig::legitimate_mms`]) to
+    /// ride on; the `send_gap`'s hard minimum still paces it.
+    pub piggyback: bool,
+}
+
+impl VirusProfile {
+    /// **Virus 1** — stealthy contact-list spreader: ≥ 30 min between
+    /// messages, single recipient, 30 messages between reboots
+    /// (reboot ~ Exp(24 h)).
+    pub fn virus1() -> Self {
+        VirusProfile {
+            name: "Virus 1".to_owned(),
+            targeting: TargetingStrategy::ContactList,
+            send_gap: DelaySpec::shifted_exp(SimDuration::from_mins(30), SimDuration::from_mins(30)),
+            recipients_per_message: 1,
+            quota: SendQuota::per_reboot(30, SimDuration::from_hours(24)),
+            dormancy: SimDuration::ZERO,
+            global_day_bursts: false,
+            mms_vector: true,
+            bluetooth: None,
+            piggyback: false,
+        }
+    }
+
+    /// **Virus 2** — aggressive contact-list spreader: ≥ 1 min between
+    /// messages, up to 100 recipients per message, 30 messages per
+    /// 24-hour period (all sent near the start of each period — the
+    /// step-like curve of Figure 1).
+    pub fn virus2() -> Self {
+        VirusProfile {
+            name: "Virus 2".to_owned(),
+            targeting: TargetingStrategy::ContactList,
+            send_gap: DelaySpec::shifted_exp(SimDuration::from_mins(1), SimDuration::from_secs(30)),
+            recipients_per_message: 100,
+            quota: SendQuota::per_day(30),
+            dormancy: SimDuration::ZERO,
+            global_day_bursts: true,
+            mms_vector: true,
+            bluetooth: None,
+            piggyback: false,
+        }
+    }
+
+    /// **Virus 3** — random dialer: ≥ 1 min between messages, one random
+    /// number per message of which one third are valid, no quotas.
+    pub fn virus3() -> Self {
+        VirusProfile {
+            name: "Virus 3".to_owned(),
+            targeting: TargetingStrategy::RandomDialing { valid_fraction: 1.0 / 3.0 },
+            send_gap: DelaySpec::shifted_exp(SimDuration::from_mins(1), SimDuration::from_secs(30)),
+            recipients_per_message: 1,
+            quota: SendQuota::unlimited(),
+            dormancy: SimDuration::ZERO,
+            global_day_bursts: false,
+            mms_vector: true,
+            bluetooth: None,
+            piggyback: false,
+        }
+    }
+
+    /// **Virus 4** — the stealthiest: dormant for one hour, then rides
+    /// the phone's legitimate messaging (modelled as sending at the
+    /// legitimate-traffic rate: ≥ 30 min gaps with a ~3.5 h mean extra,
+    /// i.e. a handful of messages per day), single recipient, no quota.
+    pub fn virus4() -> Self {
+        VirusProfile {
+            name: "Virus 4".to_owned(),
+            targeting: TargetingStrategy::ContactList,
+            send_gap: DelaySpec::shifted_exp(
+                SimDuration::from_mins(30),
+                SimDuration::from_mins(210),
+            ),
+            recipients_per_message: 1,
+            quota: SendQuota::unlimited(),
+            dormancy: SimDuration::from_hours(1),
+            global_day_bursts: false,
+            mms_vector: true,
+            bluetooth: None,
+            piggyback: false,
+        }
+    }
+
+    /// **Virus 4, literal semantics** — identical to [`VirusProfile::virus4`]
+    /// but propagating by piggybacking on the phone's legitimate MMS
+    /// traffic instead of a rate-matched schedule. Requires a scenario
+    /// with legitimate traffic enabled.
+    pub fn virus4_piggyback() -> Self {
+        VirusProfile {
+            name: "Virus 4 (piggyback)".to_owned(),
+            piggyback: true,
+            ..Self::virus4()
+        }
+    }
+
+    /// A pure **Bluetooth worm** (Cabir-style, the paper's §6 future-work
+    /// vector): never sends MMS; spreads only to phones within radio
+    /// range. Requires a mobility configuration on the scenario.
+    pub fn bluetooth_worm() -> Self {
+        VirusProfile {
+            name: "Bluetooth Worm".to_owned(),
+            targeting: TargetingStrategy::ContactList,
+            send_gap: DelaySpec::constant(SimDuration::from_mins(30)),
+            recipients_per_message: 1,
+            quota: SendQuota::unlimited(),
+            dormancy: SimDuration::ZERO,
+            global_day_bursts: false,
+            mms_vector: false,
+            bluetooth: Some(BluetoothVector::default_class2()),
+            piggyback: false,
+        }
+    }
+
+    /// A **hybrid worm** (CommWarrior-style): Virus 1's MMS behaviour
+    /// plus the Bluetooth vector. Requires a mobility configuration.
+    pub fn hybrid_worm() -> Self {
+        VirusProfile {
+            name: "Hybrid MMS+BT Worm".to_owned(),
+            bluetooth: Some(BluetoothVector::default_class2()),
+            ..Self::virus1()
+        }
+    }
+
+    /// All four canonical viruses in paper order.
+    pub fn all_four() -> Vec<VirusProfile> {
+        vec![Self::virus1(), Self::virus2(), Self::virus3(), Self::virus4()]
+    }
+
+    /// Validates the profile's parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first invalid parameter.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.name.is_empty() {
+            return Err("virus name must not be empty".to_owned());
+        }
+        if self.recipients_per_message == 0 {
+            return Err("recipients_per_message must be at least 1".to_owned());
+        }
+        if let TargetingStrategy::RandomDialing { valid_fraction } = self.targeting {
+            if !(0.0..=1.0).contains(&valid_fraction) || !valid_fraction.is_finite() {
+                return Err(format!("valid_fraction {valid_fraction} must be in [0, 1]"));
+            }
+            if self.recipients_per_message != 1 {
+                return Err("random dialing addresses one number per message".to_owned());
+            }
+        }
+        if self.quota.per_day == Some(0) || self.quota.per_reboot == Some(0) {
+            return Err("a quota of 0 messages means the virus never sends".to_owned());
+        }
+        if let Some(bt) = self.bluetooth {
+            bt.validate()?;
+        }
+        if !self.mms_vector && self.bluetooth.is_none() {
+            return Err("virus has no propagation vector (neither MMS nor Bluetooth)".to_owned());
+        }
+        if self.piggyback && !self.mms_vector {
+            return Err("piggyback mode needs the MMS vector".to_owned());
+        }
+        Ok(())
+    }
+
+    /// The default observation horizon the paper uses for this virus's
+    /// figures: 18 days for Viruses 1 and 4, 10 days for Virus 2, 24 hours
+    /// for Virus 3.
+    pub fn paper_horizon(&self) -> SimDuration {
+        match self.name.as_str() {
+            "Virus 2" => SimDuration::from_days(10),
+            "Virus 3" => SimDuration::from_hours(24),
+            _ => SimDuration::from_days(18),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_validate() {
+        for v in VirusProfile::all_four() {
+            v.validate().unwrap_or_else(|e| panic!("{}: {e}", v.name));
+        }
+    }
+
+    #[test]
+    fn virus1_matches_paper_parameters() {
+        let v = VirusProfile::virus1();
+        assert_eq!(v.send_gap.minimum(), SimDuration::from_mins(30));
+        assert_eq!(v.recipients_per_message, 1);
+        assert_eq!(v.quota.per_reboot, Some(30));
+        assert_eq!(v.quota.per_day, None);
+        assert_eq!(v.dormancy, SimDuration::ZERO);
+        assert_eq!(v.targeting, TargetingStrategy::ContactList);
+    }
+
+    #[test]
+    fn virus2_matches_paper_parameters() {
+        let v = VirusProfile::virus2();
+        assert_eq!(v.send_gap.minimum(), SimDuration::from_mins(1));
+        assert_eq!(v.recipients_per_message, 100);
+        assert_eq!(v.quota.per_day, Some(30));
+        assert_eq!(v.quota.per_reboot, None);
+    }
+
+    #[test]
+    fn virus3_matches_paper_parameters() {
+        let v = VirusProfile::virus3();
+        assert_eq!(
+            v.targeting,
+            TargetingStrategy::RandomDialing { valid_fraction: 1.0 / 3.0 }
+        );
+        assert_eq!(v.quota.per_day, None);
+        assert_eq!(v.quota.per_reboot, None);
+        assert_eq!(v.send_gap.minimum(), SimDuration::from_mins(1));
+    }
+
+    #[test]
+    fn virus4_is_dormant_then_slow() {
+        let v = VirusProfile::virus4();
+        assert_eq!(v.dormancy, SimDuration::from_hours(1));
+        assert_eq!(v.send_gap.minimum(), SimDuration::from_mins(30));
+        // Legitimate-rate pacing: mean gap of 4 h ⇒ ~6 messages/day.
+        assert_eq!(v.send_gap.mean(), SimDuration::from_hours(4));
+    }
+
+    #[test]
+    fn paper_horizons() {
+        assert_eq!(VirusProfile::virus1().paper_horizon(), SimDuration::from_days(18));
+        assert_eq!(VirusProfile::virus2().paper_horizon(), SimDuration::from_days(10));
+        assert_eq!(VirusProfile::virus3().paper_horizon(), SimDuration::from_hours(24));
+        assert_eq!(VirusProfile::virus4().paper_horizon(), SimDuration::from_days(18));
+    }
+
+    #[test]
+    fn invalid_profiles_rejected() {
+        let mut v = VirusProfile::virus1();
+        v.recipients_per_message = 0;
+        assert!(v.validate().is_err());
+
+        let mut v = VirusProfile::virus3();
+        v.targeting = TargetingStrategy::RandomDialing { valid_fraction: 2.0 };
+        assert!(v.validate().is_err());
+
+        let mut v = VirusProfile::virus3();
+        v.recipients_per_message = 5;
+        assert!(v.validate().is_err(), "random dialing is one number per message");
+
+        let mut v = VirusProfile::virus2();
+        v.quota.per_day = Some(0);
+        assert!(v.validate().is_err());
+
+        let mut v = VirusProfile::virus1();
+        v.name = String::new();
+        assert!(v.validate().is_err());
+    }
+
+    #[test]
+    fn quota_constructors() {
+        let q = SendQuota::unlimited();
+        assert_eq!(q.per_day, None);
+        assert_eq!(q.per_reboot, None);
+        let q = SendQuota::per_day(30);
+        assert_eq!(q.per_day, Some(30));
+        let q = SendQuota::per_reboot(30, SimDuration::from_hours(24));
+        assert_eq!(q.per_reboot, Some(30));
+        assert_eq!(q.reboot_interval.mean(), SimDuration::from_hours(24));
+    }
+}

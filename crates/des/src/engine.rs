@@ -1,0 +1,370 @@
+//! The simulation executor: clock, event dispatch loop, and the [`Context`]
+//! handed to models while they process an event.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::event::EventQueue;
+use crate::time::{SimDuration, SimTime};
+
+/// A discrete-event model: a state machine driven by events of type
+/// [`Model::Event`].
+///
+/// The engine repeatedly pops the earliest pending event, advances the clock
+/// to its firing time, and calls [`Model::handle`]. The model reacts by
+/// mutating its own state and scheduling further events through the
+/// [`Context`].
+///
+/// ```rust
+/// use mpvsim_des::{Model, Context, Simulation, SimTime, SimDuration};
+///
+/// struct Pinger { pongs: u32 }
+/// #[derive(Debug)] enum Ev { Ping, Pong }
+///
+/// impl Model for Pinger {
+///     type Event = Ev;
+///     fn handle(&mut self, ev: Ev, ctx: &mut Context<'_, Ev>) {
+///         match ev {
+///             Ev::Ping => ctx.schedule_in(SimDuration::from_secs(1), Ev::Pong),
+///             Ev::Pong => self.pongs += 1,
+///         }
+///     }
+/// }
+///
+/// let mut sim = Simulation::new(Pinger { pongs: 0 }, 7);
+/// sim.schedule(SimTime::ZERO, Ev::Ping);
+/// assert_eq!(sim.run().pongs, 1);
+/// ```
+pub trait Model {
+    /// The event alphabet of this model.
+    type Event;
+
+    /// Reacts to `event` firing at `ctx.now()`.
+    fn handle(&mut self, event: Self::Event, ctx: &mut Context<'_, Self::Event>);
+}
+
+/// Why a [`Simulation`] run loop returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The future-event list drained; nothing more can ever happen.
+    Exhausted,
+    /// The time horizon passed; later events remain pending.
+    HorizonReached,
+    /// The model called [`Context::stop`].
+    Stopped,
+    /// The event budget was consumed (runaway-model guard).
+    EventBudgetExceeded,
+}
+
+/// The engine's per-event view handed to [`Model::handle`]: the clock, the
+/// scheduler and the replication's random stream.
+#[derive(Debug)]
+pub struct Context<'a, E> {
+    now: SimTime,
+    queue: &'a mut EventQueue<E>,
+    rng: &'a mut StdRng,
+    stop_requested: &'a mut bool,
+}
+
+impl<'a, E> Context<'a, E> {
+    /// The current simulation time (the firing time of the event being
+    /// handled).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire after `delay`.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Schedules `event` at an absolute instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past — the engine never rewinds the clock.
+    pub fn schedule_at(&mut self, time: SimTime, event: E) {
+        assert!(
+            time >= self.now,
+            "cannot schedule into the past: {time} < now {now}",
+            now = self.now
+        );
+        self.queue.schedule(time, event);
+    }
+
+    /// The replication's random stream.
+    ///
+    /// All stochastic draws must come from here so that a `(config, seed)`
+    /// pair fully determines the trajectory.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Requests that the run loop return after this event completes.
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+
+    /// Number of events currently pending.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// A simulation run: a [`Model`], a clock, a future-event list and a seeded
+/// random stream.
+#[derive(Debug)]
+pub struct Simulation<M: Model> {
+    model: M,
+    queue: EventQueue<M::Event>,
+    now: SimTime,
+    rng: StdRng,
+    events_processed: u64,
+    event_budget: u64,
+    outcome: Option<RunOutcome>,
+}
+
+/// Default cap on processed events; generous for the paper's workloads
+/// (the heaviest figure processes well under 10 million events) while still
+/// catching models that accidentally self-replicate without bound.
+pub const DEFAULT_EVENT_BUDGET: u64 = 500_000_000;
+
+impl<M: Model> Simulation<M> {
+    /// Creates a simulation over `model` whose random stream is seeded with
+    /// `seed`.
+    pub fn new(model: M, seed: u64) -> Self {
+        Simulation {
+            model,
+            queue: EventQueue::new(),
+            now: SimTime::ZERO,
+            rng: StdRng::seed_from_u64(seed),
+            events_processed: 0,
+            event_budget: DEFAULT_EVENT_BUDGET,
+            outcome: None,
+        }
+    }
+
+    /// Replaces the runaway-model guard (maximum number of processed
+    /// events) with `budget`.
+    pub fn with_event_budget(mut self, budget: u64) -> Self {
+        self.event_budget = budget;
+        self
+    }
+
+    /// Schedules an initial event before the run starts.
+    pub fn schedule(&mut self, time: SimTime, event: M::Event) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        self.queue.schedule(time, event);
+    }
+
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &M {
+        &self.model
+    }
+
+    /// Mutable access to the model (e.g. to install probes between runs).
+    pub fn model_mut(&mut self) -> &mut M {
+        &mut self.model
+    }
+
+    /// Number of events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Why the last call to a run method returned, if any run has happened.
+    pub fn outcome(&self) -> Option<RunOutcome> {
+        self.outcome
+    }
+
+    /// Runs until the event list drains, then returns the model.
+    pub fn run(mut self) -> M {
+        self.run_until(SimTime::MAX);
+        self.model
+    }
+
+    /// Runs until the event list drains, the model stops, the event budget
+    /// is consumed, or the next event would fire after `horizon`.
+    ///
+    /// Events scheduled exactly at `horizon` are processed. The clock is
+    /// left at the last processed event (or untouched if none fired).
+    pub fn run_until(&mut self, horizon: SimTime) -> RunOutcome {
+        let outcome = loop {
+            let Some(next_time) = self.queue.peek_time() else {
+                break RunOutcome::Exhausted;
+            };
+            if next_time > horizon {
+                break RunOutcome::HorizonReached;
+            }
+            if self.events_processed >= self.event_budget {
+                break RunOutcome::EventBudgetExceeded;
+            }
+            let (time, event) = self.queue.pop().expect("peeked event vanished");
+            debug_assert!(time >= self.now, "event queue returned a past event");
+            self.now = time;
+            self.events_processed += 1;
+
+            let mut stop = false;
+            let mut ctx = Context {
+                now: self.now,
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                stop_requested: &mut stop,
+            };
+            self.model.handle(event, &mut ctx);
+            if stop {
+                break RunOutcome::Stopped;
+            }
+        };
+        self.outcome = Some(outcome);
+        outcome
+    }
+
+    /// Consumes the simulation, returning the model.
+    pub fn into_model(self) -> M {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Ev {
+        Tick,
+        Stop,
+    }
+
+    #[derive(Default)]
+    struct Recorder {
+        ticks: Vec<SimTime>,
+        draws: Vec<u32>,
+    }
+
+    impl Model for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, ev: Ev, ctx: &mut Context<'_, Ev>) {
+            match ev {
+                Ev::Tick => {
+                    self.ticks.push(ctx.now());
+                    self.draws.push(ctx.rng().random_range(0..1000));
+                    if self.ticks.len() < 5 {
+                        ctx.schedule_in(SimDuration::from_secs(10), Ev::Tick);
+                    }
+                }
+                Ev::Stop => ctx.stop(),
+            }
+        }
+    }
+
+    #[test]
+    fn clock_advances_with_events() {
+        let mut sim = Simulation::new(Recorder::default(), 1);
+        sim.schedule(SimTime::ZERO, Ev::Tick);
+        let outcome = sim.run_until(SimTime::MAX);
+        assert_eq!(outcome, RunOutcome::Exhausted);
+        assert_eq!(
+            sim.model().ticks,
+            (0..5).map(|i| SimTime::from_secs(i * 10)).collect::<Vec<_>>()
+        );
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    #[test]
+    fn horizon_pauses_and_resumes() {
+        let mut sim = Simulation::new(Recorder::default(), 1);
+        sim.schedule(SimTime::ZERO, Ev::Tick);
+        let outcome = sim.run_until(SimTime::from_secs(15));
+        assert_eq!(outcome, RunOutcome::HorizonReached);
+        assert_eq!(sim.model().ticks.len(), 2); // t = 0 and t = 10
+        let outcome = sim.run_until(SimTime::MAX);
+        assert_eq!(outcome, RunOutcome::Exhausted);
+        assert_eq!(sim.model().ticks.len(), 5);
+    }
+
+    #[test]
+    fn events_exactly_at_horizon_fire() {
+        let mut sim = Simulation::new(Recorder::default(), 1);
+        sim.schedule(SimTime::from_secs(15), Ev::Tick);
+        sim.run_until(SimTime::from_secs(15));
+        assert_eq!(sim.model().ticks.len(), 1);
+    }
+
+    #[test]
+    fn stop_request_halts_loop() {
+        let mut sim = Simulation::new(Recorder::default(), 1);
+        sim.schedule(SimTime::from_secs(1), Ev::Stop);
+        sim.schedule(SimTime::from_secs(2), Ev::Tick);
+        let outcome = sim.run_until(SimTime::MAX);
+        assert_eq!(outcome, RunOutcome::Stopped);
+        assert!(sim.model().ticks.is_empty());
+    }
+
+    #[test]
+    fn event_budget_guards_runaway() {
+        struct Fork;
+        impl Model for Fork {
+            type Event = ();
+            fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+                ctx.schedule_in(SimDuration::from_secs(1), ());
+                ctx.schedule_in(SimDuration::from_secs(1), ());
+            }
+        }
+        let mut sim = Simulation::new(Fork, 1).with_event_budget(1000);
+        sim.schedule(SimTime::ZERO, ());
+        assert_eq!(sim.run_until(SimTime::MAX), RunOutcome::EventBudgetExceeded);
+        assert_eq!(sim.events_processed(), 1000);
+    }
+
+    #[test]
+    fn same_seed_same_trajectory() {
+        let run = |seed| {
+            let mut sim = Simulation::new(Recorder::default(), seed);
+            sim.schedule(SimTime::ZERO, Ev::Tick);
+            sim.run_until(SimTime::MAX);
+            sim.into_model().draws
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100), "different seeds should diverge");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_into_the_past_panics() {
+        struct Bad;
+        impl Model for Bad {
+            type Event = ();
+            fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+                ctx.schedule_at(SimTime::ZERO, ());
+            }
+        }
+        let mut sim = Simulation::new(Bad, 1);
+        sim.schedule(SimTime::from_secs(5), ());
+        sim.run_until(SimTime::MAX);
+    }
+
+    #[test]
+    fn pending_events_visible_to_model() {
+        struct Peek {
+            seen: usize,
+        }
+        impl Model for Peek {
+            type Event = ();
+            fn handle(&mut self, _: (), ctx: &mut Context<'_, ()>) {
+                self.seen = ctx.pending_events();
+            }
+        }
+        let mut sim = Simulation::new(Peek { seen: usize::MAX }, 1);
+        sim.schedule(SimTime::ZERO, ());
+        sim.schedule(SimTime::from_secs(1), ());
+        sim.run_until(SimTime::ZERO);
+        assert_eq!(sim.model().seen, 1);
+    }
+}

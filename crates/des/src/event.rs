@@ -1,0 +1,216 @@
+//! The future-event list: a priority queue with a deterministic total order.
+//!
+//! Events are ordered by `(time, sequence-number)`. The sequence number is
+//! assigned at scheduling time, so events scheduled for the same instant
+//! fire in the order they were scheduled. This removes the main source of
+//! nondeterminism in naive DES implementations (heap tie-breaking), which is
+//! what makes replications reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event with its firing time and tie-breaking sequence number.
+#[derive(Debug, Clone)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A future-event list ordered by `(time, scheduling order)`.
+///
+/// ```rust
+/// use mpvsim_des::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(10), "b");
+/// q.schedule(SimTime::from_secs(5), "a");
+/// q.schedule(SimTime::from_secs(10), "c");
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(5), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(10), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(10), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            scheduled_total: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`.
+    ///
+    /// Events at equal times fire in scheduling order.
+    pub fn schedule(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Total number of events scheduled over the queue's lifetime.
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// Discards all pending events (the lifetime counter is kept).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(30), 3u32);
+        q.schedule(SimTime::from_secs(10), 1);
+        q.schedule(SimTime::from_secs(20), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_fire_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(SimTime::from_secs(7), i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(42), ());
+        q.schedule(SimTime::from_secs(5), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 1);
+        q.schedule(SimTime::ZERO, 2);
+        assert_eq!(q.len(), 2);
+        assert!(!q.is_empty());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "late");
+        q.schedule(SimTime::from_secs(1), "early");
+        assert_eq!(q.pop().unwrap().1, "early");
+        // Schedule something earlier than the remaining event.
+        q.schedule(SimTime::from_secs(5), "middle");
+        assert_eq!(q.pop().unwrap().1, "middle");
+        assert_eq!(q.pop().unwrap().1, "late");
+    }
+
+    proptest! {
+        /// Popping always yields a non-decreasing sequence of times, and
+        /// within a time, preserves scheduling order.
+        #[test]
+        fn prop_total_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_secs(t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((t, idx)) = q.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(t >= lt, "time went backwards");
+                    if t == lt {
+                        prop_assert!(idx > lidx, "FIFO violated at equal time");
+                    }
+                }
+                last = Some((t, idx));
+            }
+        }
+
+        /// Every scheduled event is popped exactly once.
+        #[test]
+        fn prop_conservation(times in proptest::collection::vec(0u64..50, 0..100)) {
+            let mut q = EventQueue::new();
+            for (i, &t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_secs(t), i);
+            }
+            let mut seen = vec![false; times.len()];
+            while let Some((_, idx)) = q.pop() {
+                prop_assert!(!seen[idx], "event popped twice");
+                seen[idx] = true;
+            }
+            prop_assert!(seen.iter().all(|&s| s), "event lost");
+        }
+    }
+}

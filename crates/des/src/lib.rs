@@ -1,0 +1,68 @@
+//! # mpvsim-des — discrete-event simulation engine
+//!
+//! A small, deterministic discrete-event simulation (DES) engine used as the
+//! execution substrate for the mobile-phone-virus propagation model of
+//! *Van Ruitenbeek et al., DSN 2007*. The paper implemented its stochastic
+//! model in the Möbius tool; this crate provides the equivalent executor:
+//! a future-event list with a total, reproducible event order, a simulation
+//! clock, per-replication random streams, and a replication runner.
+//!
+//! ## Design
+//!
+//! * **Time** is an integer count of seconds ([`SimTime`]), so event ordering
+//!   is exact — no floating-point tie ambiguity.
+//! * **Determinism**: events scheduled for the same instant fire in FIFO
+//!   order of scheduling (a monotone sequence number breaks ties). Running
+//!   the same model with the same seed yields the identical trajectory.
+//! * **Randomness** is owned by the simulation and exposed to the model
+//!   through [`Context::rng`]; replication seeds are derived with a
+//!   SplitMix64 mix so that replication streams are statistically
+//!   independent ([`seed::derive_seed`]).
+//!
+//! ## Example
+//!
+//! ```rust
+//! use mpvsim_des::{Model, Context, Simulation, SimTime, SimDuration};
+//!
+//! /// A process that counts down and reschedules itself.
+//! struct Countdown { remaining: u32, fired_at: Vec<SimTime> }
+//!
+//! #[derive(Debug, Clone, PartialEq, Eq)]
+//! enum Tick { Tick }
+//!
+//! impl Model for Countdown {
+//!     type Event = Tick;
+//!     fn handle(&mut self, _ev: Tick, ctx: &mut Context<'_, Tick>) {
+//!         self.fired_at.push(ctx.now());
+//!         if self.remaining > 0 {
+//!             self.remaining -= 1;
+//!             ctx.schedule_in(SimDuration::from_secs(10), Tick::Tick);
+//!         }
+//!     }
+//! }
+//!
+//! let model = Countdown { remaining: 3, fired_at: Vec::new() };
+//! let mut sim = Simulation::new(model, 42);
+//! sim.schedule(SimTime::ZERO, Tick::Tick);
+//! let model = sim.run();
+//! assert_eq!(model.fired_at.len(), 4);
+//! assert_eq!(model.fired_at[3], SimTime::from_secs(30));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod event;
+pub mod random;
+pub mod replication;
+pub mod seed;
+pub mod time;
+pub mod trace;
+
+pub use engine::{Context, Model, RunOutcome, Simulation};
+pub use event::EventQueue;
+pub use random::DelaySpec;
+pub use replication::{run_replications, run_replications_parallel};
+pub use trace::{TraceRing, Traced};
+pub use time::{SimDuration, SimTime};

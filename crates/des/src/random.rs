@@ -1,0 +1,359 @@
+//! Random variates for stochastic delays.
+//!
+//! The model needs exponential, uniform and deterministic delays plus
+//! Bernoulli choices. Rather than pulling in a distributions crate, the few
+//! variates required are implemented here directly (inverse-transform for
+//! the exponential), drawing from the engine-owned [`rand::Rng`] stream.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// Samples an exponential variate with the given mean (in seconds), via
+/// inverse-transform sampling.
+///
+/// Returns `0.0` when `mean_secs <= 0`.
+///
+/// ```rust
+/// use rand::{rngs::StdRng, SeedableRng};
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let x = mpvsim_des::random::exp_secs(&mut rng, 3600.0);
+/// assert!(x >= 0.0);
+/// ```
+pub fn exp_secs<R: Rng + ?Sized>(rng: &mut R, mean_secs: f64) -> f64 {
+    if mean_secs <= 0.0 {
+        return 0.0;
+    }
+    // u ∈ [0, 1); use 1-u ∈ (0, 1] so ln() is finite.
+    let u: f64 = rng.random();
+    -mean_secs * (1.0 - u).ln()
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 ∈ (0, 1] so ln() is finite; u2 ∈ [0, 1).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples `true` with probability `p` (clamped to `[0, 1]`).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    if p <= 0.0 {
+        false
+    } else if p >= 1.0 {
+        true
+    } else {
+        rng.random::<f64>() < p
+    }
+}
+
+/// A distribution over time spans, serializable so virus scenarios and
+/// response-mechanism configurations are plain data.
+///
+/// All variants produce a whole-second [`SimDuration`]; continuous variates
+/// round to the nearest second.
+///
+/// ```rust
+/// use mpvsim_des::{DelaySpec, SimDuration};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let spec = DelaySpec::shifted_exp(SimDuration::from_mins(30), SimDuration::from_mins(10));
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let d = spec.sample(&mut rng);
+/// assert!(d >= SimDuration::from_mins(30));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DelaySpec {
+    /// Always exactly this long.
+    Constant(SimDuration),
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean of the exponential, in simulation time.
+        mean: SimDuration,
+    },
+    /// Uniform over `[lo, hi]` (inclusive).
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: SimDuration,
+        /// Upper bound (inclusive).
+        hi: SimDuration,
+    },
+    /// `min + Exponential(mean_extra)`: a hard minimum gap plus exponential
+    /// jitter. This is the shape used for virus inter-message gaps ("waits
+    /// *at least* 30 minutes between consecutive infected messages").
+    ShiftedExponential {
+        /// Hard minimum.
+        min: SimDuration,
+        /// Mean of the additional exponential jitter.
+        mean_extra: SimDuration,
+    },
+    /// Log-normal with the given median and log-space standard deviation
+    /// `sigma`: `median · exp(sigma · Z)`. A heavier-tailed alternative
+    /// for human reaction times (read delays) than the exponential.
+    LogNormal {
+        /// Median of the distribution.
+        median: SimDuration,
+        /// Log-space standard deviation (≥ 0).
+        sigma: f64,
+    },
+}
+
+impl DelaySpec {
+    /// A constant delay.
+    pub const fn constant(d: SimDuration) -> Self {
+        DelaySpec::Constant(d)
+    }
+
+    /// An exponential delay with mean `mean`.
+    pub const fn exponential(mean: SimDuration) -> Self {
+        DelaySpec::Exponential { mean }
+    }
+
+    /// A uniform delay over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform(lo: SimDuration, hi: SimDuration) -> Self {
+        assert!(lo <= hi, "uniform delay: lo > hi");
+        DelaySpec::Uniform { lo, hi }
+    }
+
+    /// A shifted exponential: `min + Exp(mean_extra)`.
+    pub const fn shifted_exp(min: SimDuration, mean_extra: SimDuration) -> Self {
+        DelaySpec::ShiftedExponential { min, mean_extra }
+    }
+
+    /// A log-normal delay with the given median and log-space σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or non-finite.
+    pub fn log_normal(median: SimDuration, sigma: f64) -> Self {
+        assert!(sigma.is_finite() && sigma >= 0.0, "log-normal sigma must be non-negative");
+        DelaySpec::LogNormal { median, sigma }
+    }
+
+    /// Draws one delay.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> SimDuration {
+        match *self {
+            DelaySpec::Constant(d) => d,
+            DelaySpec::Exponential { mean } => {
+                SimDuration::from_secs_f64(exp_secs(rng, mean.as_secs_f64()))
+            }
+            DelaySpec::Uniform { lo, hi } => {
+                if lo == hi {
+                    lo
+                } else {
+                    SimDuration::from_secs(rng.random_range(lo.as_secs()..=hi.as_secs()))
+                }
+            }
+            DelaySpec::ShiftedExponential { min, mean_extra } => {
+                min + SimDuration::from_secs_f64(exp_secs(rng, mean_extra.as_secs_f64()))
+            }
+            DelaySpec::LogNormal { median, sigma } => {
+                let z = standard_normal(rng);
+                SimDuration::from_secs_f64(median.as_secs_f64() * (sigma * z).exp())
+            }
+        }
+    }
+
+    /// The expected value of the distribution.
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            DelaySpec::Constant(d) => d,
+            DelaySpec::Exponential { mean } => mean,
+            DelaySpec::Uniform { lo, hi } => {
+                SimDuration::from_secs((lo.as_secs() + hi.as_secs()) / 2)
+            }
+            DelaySpec::ShiftedExponential { min, mean_extra } => min + mean_extra,
+            DelaySpec::LogNormal { median, sigma } => {
+                SimDuration::from_secs_f64(median.as_secs_f64() * (sigma * sigma / 2.0).exp())
+            }
+        }
+    }
+
+    /// The smallest value the distribution can produce.
+    pub fn minimum(&self) -> SimDuration {
+        match *self {
+            DelaySpec::Constant(d) => d,
+            DelaySpec::Exponential { .. } => SimDuration::ZERO,
+            DelaySpec::Uniform { lo, .. } => lo,
+            DelaySpec::ShiftedExponential { min, .. } => min,
+            DelaySpec::LogNormal { .. } => SimDuration::ZERO,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDECAF)
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut r = rng();
+        let mean = 3600.0;
+        let n = 50_000;
+        let sum: f64 = (0..n).map(|_| exp_secs(&mut r, mean)).sum();
+        let sample_mean = sum / n as f64;
+        assert!(
+            (sample_mean - mean).abs() / mean < 0.03,
+            "sample mean {sample_mean} too far from {mean}"
+        );
+    }
+
+    #[test]
+    fn exp_nonneg_and_degenerate() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(exp_secs(&mut r, 10.0) >= 0.0);
+        }
+        assert_eq!(exp_secs(&mut r, 0.0), 0.0);
+        assert_eq!(exp_secs(&mut r, -5.0), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(!bernoulli(&mut r, 0.0));
+            assert!(bernoulli(&mut r, 1.0));
+            assert!(!bernoulli(&mut r, -0.5));
+            assert!(bernoulli(&mut r, 1.5));
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_converges() {
+        let mut r = rng();
+        let n = 100_000;
+        let hits = (0..n).filter(|_| bernoulli(&mut r, 0.468)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.468).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn constant_spec_is_constant() {
+        let mut r = rng();
+        let spec = DelaySpec::constant(SimDuration::from_mins(5));
+        for _ in 0..10 {
+            assert_eq!(spec.sample(&mut r), SimDuration::from_mins(5));
+        }
+        assert_eq!(spec.mean(), SimDuration::from_mins(5));
+        assert_eq!(spec.minimum(), SimDuration::from_mins(5));
+    }
+
+    #[test]
+    fn uniform_spec_within_bounds() {
+        let mut r = rng();
+        let lo = SimDuration::from_secs(10);
+        let hi = SimDuration::from_secs(20);
+        let spec = DelaySpec::uniform(lo, hi);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..2000 {
+            let d = spec.sample(&mut r);
+            assert!(d >= lo && d <= hi);
+            seen_lo |= d == lo;
+            seen_hi |= d == hi;
+        }
+        assert!(seen_lo && seen_hi, "inclusive bounds never hit");
+        assert_eq!(spec.mean(), SimDuration::from_secs(15));
+    }
+
+    #[test]
+    fn uniform_degenerate_point() {
+        let mut r = rng();
+        let d = SimDuration::from_secs(9);
+        assert_eq!(DelaySpec::uniform(d, d).sample(&mut r), d);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo > hi")]
+    fn uniform_rejects_inverted_bounds() {
+        let _ = DelaySpec::uniform(SimDuration::from_secs(2), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn shifted_exp_respects_minimum() {
+        let mut r = rng();
+        let min = SimDuration::from_mins(30);
+        let spec = DelaySpec::shifted_exp(min, SimDuration::from_mins(10));
+        for _ in 0..1000 {
+            assert!(spec.sample(&mut r) >= min);
+        }
+        assert_eq!(spec.minimum(), min);
+        assert_eq!(spec.mean(), SimDuration::from_mins(40));
+    }
+
+    #[test]
+    fn exponential_spec_mean_converges() {
+        let mut r = rng();
+        let spec = DelaySpec::exponential(SimDuration::from_hours(1));
+        let n = 20_000u64;
+        let total: u64 = (0..n).map(|_| spec.sample(&mut r).as_secs()).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3600.0).abs() / 3600.0 < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "variance {var}");
+    }
+
+    #[test]
+    fn log_normal_median_converges() {
+        let mut r = rng();
+        let spec = DelaySpec::log_normal(SimDuration::from_hours(1), 0.8);
+        let mut samples: Vec<u64> = (0..20_001).map(|_| spec.sample(&mut r).as_secs()).collect();
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2] as f64;
+        assert!(
+            (median - 3600.0).abs() / 3600.0 < 0.05,
+            "sample median {median} not near 3600"
+        );
+        // Mean above median for a right-skewed distribution.
+        assert!(spec.mean() > SimDuration::from_hours(1));
+        assert_eq!(spec.minimum(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn log_normal_sigma_zero_is_constant() {
+        let mut r = rng();
+        let spec = DelaySpec::log_normal(SimDuration::from_mins(10), 0.0);
+        for _ in 0..50 {
+            assert_eq!(spec.sample(&mut r), SimDuration::from_mins(10));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn log_normal_rejects_negative_sigma() {
+        let _ = DelaySpec::log_normal(SimDuration::from_mins(1), -0.5);
+    }
+
+    #[test]
+    fn specs_serialize_roundtrip() {
+        // serde round-trip via the JSON-ish debug of serde_test is not
+        // available; check the Serialize/Deserialize impls compile and
+        // round-trip through the `serde` data model using a simple format.
+        // (serde_json is not a permitted dependency, so we assert the trait
+        // bounds statically instead.)
+        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+        assert_serde::<DelaySpec>();
+    }
+}

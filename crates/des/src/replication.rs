@@ -1,0 +1,133 @@
+//! Replication runner: executes N independently seeded replications of an
+//! experiment and collects their results, serially or across threads.
+//!
+//! The paper reports expected infection trajectories; we estimate them by
+//! averaging replications. Each replication receives a seed derived from
+//! `(master_seed, rep)` (see [`crate::seed`]) so results are identical
+//! whether run serially or in parallel — the rep index, not the thread
+//! schedule, determines every stream.
+
+use crossbeam::thread;
+use parking_lot::Mutex;
+
+use crate::seed::derive_seed;
+
+/// Runs `reps` replications serially.
+///
+/// `body` receives `(replication_index, derived_seed)` and returns that
+/// replication's result. Results are returned in replication order.
+///
+/// ```rust
+/// let results = mpvsim_des::run_replications(3, 42, |rep, seed| (rep, seed));
+/// assert_eq!(results.len(), 3);
+/// assert_eq!(results[1].0, 1);
+/// ```
+pub fn run_replications<T, F>(reps: u64, master_seed: u64, mut body: F) -> Vec<T>
+where
+    F: FnMut(u64, u64) -> T,
+{
+    (0..reps).map(|rep| body(rep, derive_seed(master_seed, rep))).collect()
+}
+
+/// Runs `reps` replications across up to `threads` worker threads.
+///
+/// Results are returned in replication order regardless of which thread ran
+/// which replication, and each replication's seed depends only on
+/// `(master_seed, rep)`, so the output is identical to
+/// [`run_replications`] with the same arguments.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if a worker thread panics.
+pub fn run_replications_parallel<T, F>(
+    reps: u64,
+    master_seed: u64,
+    threads: usize,
+    body: F,
+) -> Vec<T>
+where
+    T: Send,
+    F: Fn(u64, u64) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    if threads == 1 || reps <= 1 {
+        let b = &body;
+        return run_replications(reps, master_seed, b);
+    }
+
+    let slots: Vec<Mutex<Option<T>>> = (0..reps).map(|_| Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicU64::new(0);
+
+    thread::scope(|scope| {
+        for _ in 0..threads.min(reps as usize) {
+            scope.spawn(|_| loop {
+                let rep = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if rep >= reps {
+                    break;
+                }
+                let result = body(rep, derive_seed(master_seed, rep));
+                *slots[rep as usize].lock() = Some(result);
+            });
+        }
+    })
+    .expect("replication worker panicked");
+
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("replication slot never filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_runs_all_reps_in_order() {
+        let results = run_replications(5, 7, |rep, _seed| rep * 2);
+        assert_eq!(results, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn seeds_depend_only_on_master_and_rep() {
+        let a = run_replications(4, 1, |_, seed| seed);
+        let b = run_replications(4, 1, |_, seed| seed);
+        let c = run_replications(4, 2, |_, seed| seed);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let serial = run_replications(17, 99, |rep, seed| (rep, seed, rep + seed));
+        let parallel = run_replications_parallel(17, 99, 4, |rep, seed| (rep, seed, rep + seed));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn parallel_single_thread_matches_serial() {
+        let serial = run_replications(5, 3, |rep, seed| rep ^ seed);
+        let parallel = run_replications_parallel(5, 3, 1, |rep, seed| rep ^ seed);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zero_reps_is_empty() {
+        let results: Vec<u64> = run_replications(0, 1, |_, s| s);
+        assert!(results.is_empty());
+        let results: Vec<u64> = run_replications_parallel(0, 1, 4, |_, s| s);
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        let _ = run_replications_parallel(1, 1, 0, |_, s| s);
+    }
+
+    #[test]
+    fn more_threads_than_reps_is_fine() {
+        let results = run_replications_parallel(2, 5, 16, |rep, _| rep);
+        assert_eq!(results, vec![0, 1]);
+    }
+}

@@ -1,0 +1,317 @@
+//! Simulation time: integer seconds since the start of the simulation.
+//!
+//! Integer time makes event ordering exact and replications bit-for-bit
+//! reproducible. Sub-second resolution is unnecessary for the mobile-phone
+//! virus model, whose shortest timescale is a one-minute send gap.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// An instant on the simulation clock, in whole seconds since time zero.
+///
+/// `SimTime` is ordered, hashable and cheap to copy. Construct instants with
+/// [`SimTime::from_secs`] / [`SimTime::from_hours`], or by adding a
+/// [`SimDuration`] to an existing instant.
+///
+/// ```rust
+/// use mpvsim_des::{SimTime, SimDuration};
+/// let t = SimTime::from_hours(2) + SimDuration::from_mins(30);
+/// assert_eq!(t.as_secs(), 9000);
+/// assert!(t > SimTime::from_hours(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+/// A span of simulation time, in whole seconds.
+///
+/// ```rust
+/// use mpvsim_des::SimDuration;
+/// assert_eq!(SimDuration::from_days(1), SimDuration::from_hours(24));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+    /// The largest representable instant; useful as an "never" sentinel.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant `secs` seconds after time zero.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Creates an instant `mins` minutes after time zero.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimTime(mins * 60)
+    }
+
+    /// Creates an instant `hours` hours after time zero.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimTime(hours * 3600)
+    }
+
+    /// Creates an instant `days` days after time zero.
+    pub const fn from_days(days: u64) -> Self {
+        SimTime(days * 86_400)
+    }
+
+    /// Seconds since time zero.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Hours since time zero, as a float (for plotting and reports).
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// The span from `earlier` to `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `earlier` is later than `self`.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(earlier.0)
+                .expect("duration_since: earlier instant is after self"),
+        )
+    }
+
+    /// The span from `earlier` to `self`, or zero if `earlier` is later.
+    pub fn saturating_duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`] instead of wrapping.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The largest representable span.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// A span of `secs` seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// A span of `mins` minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60)
+    }
+
+    /// A span of `hours` hours.
+    pub const fn from_hours(hours: u64) -> Self {
+        SimDuration(hours * 3600)
+    }
+
+    /// A span of `days` days.
+    pub const fn from_days(days: u64) -> Self {
+        SimDuration(days * 86_400)
+    }
+
+    /// A span of (fractional) seconds, rounded to the nearest whole second.
+    ///
+    /// Negative and non-finite inputs clamp to zero; values beyond `u64`
+    /// range clamp to [`SimDuration::MAX`]. This is the bridge from
+    /// continuous random variates (e.g. exponential delays) to the integer
+    /// clock.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if !secs.is_finite() || secs <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let rounded = secs.round();
+        if rounded >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(rounded as u64)
+        }
+    }
+
+    /// Length in whole seconds.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Length in hours, as a float.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// Length in (float) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// True when this is the zero-length span.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiplies the span by an integer factor, saturating on overflow.
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimTime + SimDuration overflowed"),
+        )
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_add(rhs.0)
+                .expect("SimDuration + SimDuration overflowed"),
+        )
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration - SimDuration underflowed"),
+        )
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let days = self.0 / 86_400;
+        let hours = (self.0 % 86_400) / 3600;
+        let mins = (self.0 % 3600) / 60;
+        let secs = self.0 % 60;
+        if days > 0 {
+            write!(f, "{days}d{hours:02}h{mins:02}m{secs:02}s")
+        } else {
+            write!(f, "{hours:02}h{mins:02}m{secs:02}s")
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        SimTime(self.0).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_mins(1), SimTime::from_secs(60));
+        assert_eq!(SimTime::from_hours(1), SimTime::from_mins(60));
+        assert_eq!(SimTime::from_days(1), SimTime::from_hours(24));
+        assert_eq!(SimDuration::from_days(2), SimDuration::from_hours(48));
+    }
+
+    #[test]
+    fn ordering_follows_seconds() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimTime::ZERO < SimTime::MAX);
+        assert!(SimDuration::from_mins(30) < SimDuration::from_hours(1));
+    }
+
+    #[test]
+    fn add_duration_to_time() {
+        let t = SimTime::from_hours(1) + SimDuration::from_mins(30);
+        assert_eq!(t.as_secs(), 5400);
+        let mut t2 = SimTime::ZERO;
+        t2 += SimDuration::from_secs(7);
+        assert_eq!(t2.as_secs(), 7);
+    }
+
+    #[test]
+    fn duration_since_works() {
+        let a = SimTime::from_hours(2);
+        let b = SimTime::from_hours(5);
+        assert_eq!(b.duration_since(a), SimDuration::from_hours(3));
+        assert_eq!(a.saturating_duration_since(b), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier instant is after self")]
+    fn duration_since_panics_on_reversed_order() {
+        let _ = SimTime::from_secs(1).duration_since(SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_clamps() {
+        assert_eq!(SimDuration::from_secs_f64(1.4).as_secs(), 1);
+        assert_eq!(SimDuration::from_secs_f64(1.6).as_secs(), 2);
+        assert_eq!(SimDuration::from_secs_f64(-5.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(1e30), SimDuration::MAX);
+    }
+
+    #[test]
+    fn as_hours_f64_converts() {
+        assert!((SimTime::from_hours(3).as_hours_f64() - 3.0).abs() < 1e-12);
+        assert!((SimDuration::from_mins(90).as_hours_f64() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        assert_eq!(SimTime::MAX.saturating_add(SimDuration::from_secs(1)), SimTime::MAX);
+        assert_eq!(SimDuration::MAX.saturating_mul(3), SimDuration::MAX);
+        assert_eq!(SimDuration::from_secs(4).saturating_mul(3).as_secs(), 12);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(3723).to_string(), "01h02m03s");
+        assert_eq!(SimTime::from_days(2).to_string(), "2d00h00m00s");
+        assert_eq!(SimDuration::from_mins(15).to_string(), "00h15m00s");
+    }
+
+    #[test]
+    fn duration_max_and_is_zero() {
+        assert_eq!(
+            SimDuration::from_secs(5).max(SimDuration::from_secs(9)),
+            SimDuration::from_secs(9)
+        );
+        assert!(SimDuration::ZERO.is_zero());
+        assert!(!SimDuration::from_secs(1).is_zero());
+    }
+}

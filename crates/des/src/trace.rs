@@ -1,0 +1,237 @@
+//! Event tracing: a composable model wrapper that records the last N
+//! events with their firing times.
+//!
+//! Debugging a stochastic model usually starts with "what happened right
+//! before the weird state?". [`Traced`] wraps any [`Model`] and keeps a
+//! bounded ring of `(time, event)` records without touching the wrapped
+//! model's logic or determinism.
+//!
+//! ```rust
+//! use mpvsim_des::trace::Traced;
+//! use mpvsim_des::{Model, Context, Simulation, SimTime, SimDuration};
+//!
+//! struct Counter(u32);
+//! impl Model for Counter {
+//!     type Event = u32;
+//!     fn handle(&mut self, ev: u32, ctx: &mut Context<'_, u32>) {
+//!         self.0 += ev;
+//!         if ev > 1 {
+//!             ctx.schedule_in(SimDuration::from_secs(1), ev - 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut sim = Simulation::new(Traced::new(Counter(0), 8), 1);
+//! sim.schedule(SimTime::ZERO, 3);
+//! let traced = sim.run();
+//! assert_eq!(traced.inner().0, 3 + 2 + 1);
+//! assert_eq!(traced.trace().len(), 3);
+//! assert!(traced.trace().records()[0].1.contains('3'));
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt::Debug;
+
+use crate::engine::{Context, Model};
+use crate::time::SimTime;
+
+/// A bounded ring of `(time, rendered event)` records.
+#[derive(Debug, Clone)]
+pub struct TraceRing {
+    capacity: usize,
+    records: VecDeque<(SimTime, String)>,
+    total: u64,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace ring needs capacity");
+        TraceRing { capacity, records: VecDeque::with_capacity(capacity), total: 0 }
+    }
+
+    /// Records one event (rendered via `Debug`), evicting the oldest
+    /// record if full.
+    pub fn record<E: Debug>(&mut self, time: SimTime, event: &E) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back((time, format!("{event:?}")));
+        self.total += 1;
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> &VecDeque<(SimTime, String)> {
+        &self.records
+    }
+
+    /// Number of retained records (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Lifetime number of recorded events (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Renders the retained records, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (t, e) in &self.records {
+            out.push_str(&format!("{t} {e}\n"));
+        }
+        out
+    }
+}
+
+/// A model wrapper that records every handled event into a [`TraceRing`].
+#[derive(Debug)]
+pub struct Traced<M: Model> {
+    inner: M,
+    ring: TraceRing,
+}
+
+impl<M: Model> Traced<M> {
+    /// Wraps `inner`, retaining the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(inner: M, capacity: usize) -> Self {
+        Traced { inner, ring: TraceRing::new(capacity) }
+    }
+
+    /// The wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Mutable access to the wrapped model.
+    pub fn inner_mut(&mut self) -> &mut M {
+        &mut self.inner
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &TraceRing {
+        &self.ring
+    }
+
+    /// Unwraps into the inner model and the trace.
+    pub fn into_parts(self) -> (M, TraceRing) {
+        (self.inner, self.ring)
+    }
+}
+
+impl<M: Model> Model for Traced<M>
+where
+    M::Event: Debug,
+{
+    type Event = M::Event;
+
+    fn handle(&mut self, event: Self::Event, ctx: &mut Context<'_, Self::Event>) {
+        self.ring.record(ctx.now(), &event);
+        self.inner.handle(event, ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Simulation;
+    use crate::time::SimDuration;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Ev {
+        Ping(u32),
+    }
+
+    struct Echo {
+        seen: Vec<u32>,
+    }
+
+    impl Model for Echo {
+        type Event = Ev;
+        fn handle(&mut self, Ev::Ping(n): Ev, ctx: &mut Context<'_, Ev>) {
+            self.seen.push(n);
+            if n > 0 {
+                ctx.schedule_in(SimDuration::from_secs(5), Ev::Ping(n - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn records_every_event_with_time() {
+        let mut sim = Simulation::new(Traced::new(Echo { seen: vec![] }, 16), 1);
+        sim.schedule(SimTime::ZERO, Ev::Ping(2));
+        let traced = sim.run();
+        assert_eq!(traced.inner().seen, vec![2, 1, 0]);
+        let records = traced.trace().records();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0].0, SimTime::ZERO);
+        assert_eq!(records[2].0, SimTime::from_secs(10));
+        assert!(records[0].1.contains("Ping(2)"));
+    }
+
+    #[test]
+    fn ring_evicts_oldest_beyond_capacity() {
+        let mut ring = TraceRing::new(2);
+        ring.record(SimTime::from_secs(1), &"a");
+        ring.record(SimTime::from_secs(2), &"b");
+        ring.record(SimTime::from_secs(3), &"c");
+        assert_eq!(ring.len(), 2);
+        assert_eq!(ring.total_recorded(), 3);
+        let kept: Vec<&str> = ring.records().iter().map(|(_, e)| e.as_str()).collect();
+        assert_eq!(kept, vec!["\"b\"", "\"c\""]);
+    }
+
+    #[test]
+    fn render_is_one_line_per_record() {
+        let mut ring = TraceRing::new(4);
+        assert!(ring.is_empty());
+        ring.record(SimTime::from_secs(90), &42u32);
+        let text = ring.render();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("00h01m30s"));
+        assert!(text.contains("42"));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_rejected() {
+        let _ = TraceRing::new(0);
+    }
+
+    #[test]
+    fn tracing_does_not_change_behaviour() {
+        let run_plain = |seed| {
+            let mut sim = Simulation::new(Echo { seen: vec![] }, seed);
+            sim.schedule(SimTime::ZERO, Ev::Ping(5));
+            sim.run().seen
+        };
+        let run_traced = |seed| {
+            let mut sim = Simulation::new(Traced::new(Echo { seen: vec![] }, 2), seed);
+            sim.schedule(SimTime::ZERO, Ev::Ping(5));
+            sim.run().into_parts().0.seen
+        };
+        assert_eq!(run_plain(9), run_traced(9));
+    }
+
+    #[test]
+    fn into_parts_returns_both() {
+        let mut sim = Simulation::new(Traced::new(Echo { seen: vec![] }, 4), 1);
+        sim.schedule(SimTime::ZERO, Ev::Ping(0));
+        let (model, ring) = sim.run().into_parts();
+        assert_eq!(model.seen, vec![0]);
+        assert_eq!(ring.total_recorded(), 1);
+    }
+}

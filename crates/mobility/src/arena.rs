@@ -1,0 +1,126 @@
+//! The 2-D world: points in meters inside a rectangular arena.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A position in the arena, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate, meters.
+    pub x: f64,
+    /// Vertical coordinate, meters.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(self, other: Point) -> f64 {
+        self.distance_squared(other).sqrt()
+    }
+
+    /// Squared Euclidean distance (cheaper for radius comparisons).
+    pub fn distance_squared(self, other: Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// A rectangular world `[0, width] × [0, height]`, in meters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arena {
+    width: f64,
+    height: f64,
+}
+
+impl Arena {
+    /// Creates an arena.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when either dimension is non-positive or
+    /// non-finite.
+    pub fn new(width: f64, height: f64) -> Result<Self, String> {
+        if !(width.is_finite() && height.is_finite() && width > 0.0 && height > 0.0) {
+            return Err(format!("arena dimensions must be positive and finite, got {width}×{height}"));
+        }
+        Ok(Arena { width, height })
+    }
+
+    /// Arena width in meters.
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Arena height in meters.
+    pub fn height(&self) -> f64 {
+        self.height
+    }
+
+    /// True when `p` lies inside the arena (inclusive of borders).
+    pub fn contains(&self, p: Point) -> bool {
+        (0.0..=self.width).contains(&p.x) && (0.0..=self.height).contains(&p.y)
+    }
+
+    /// A uniformly random point inside the arena.
+    pub fn random_point<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        Point::new(rng.random::<f64>() * self.width, rng.random::<f64>() * self.height)
+    }
+
+    /// Clamps `p` onto the arena.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point::new(p.x.clamp(0.0, self.width), p.y.clamp(0.0, self.height))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distances() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(b) - 5.0).abs() < 1e-12);
+        assert!((a.distance_squared(b) - 25.0).abs() < 1e-12);
+        assert_eq!(a.distance(a), 0.0);
+    }
+
+    #[test]
+    fn arena_rejects_bad_dimensions() {
+        assert!(Arena::new(0.0, 10.0).is_err());
+        assert!(Arena::new(10.0, -1.0).is_err());
+        assert!(Arena::new(f64::NAN, 10.0).is_err());
+        assert!(Arena::new(f64::INFINITY, 10.0).is_err());
+        assert!(Arena::new(100.0, 50.0).is_ok());
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let a = Arena::new(100.0, 50.0).unwrap();
+        assert!(a.contains(Point::new(0.0, 0.0)));
+        assert!(a.contains(Point::new(100.0, 50.0)));
+        assert!(!a.contains(Point::new(100.1, 10.0)));
+        assert!(!a.contains(Point::new(-0.1, 10.0)));
+        let c = a.clamp(Point::new(150.0, -3.0));
+        assert_eq!(c, Point::new(100.0, 0.0));
+    }
+
+    #[test]
+    fn random_points_inside_and_spread_out() {
+        let a = Arena::new(200.0, 100.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let pts: Vec<Point> = (0..1000).map(|_| a.random_point(&mut rng)).collect();
+        assert!(pts.iter().all(|&p| a.contains(p)));
+        // Both halves of each axis get visited.
+        assert!(pts.iter().any(|p| p.x < 100.0) && pts.iter().any(|p| p.x > 100.0));
+        assert!(pts.iter().any(|p| p.y < 50.0) && pts.iter().any(|p| p.y > 50.0));
+    }
+}

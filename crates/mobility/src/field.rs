@@ -1,0 +1,176 @@
+//! The assembled mobility field: a population of random-waypoint walkers
+//! with proximity-contact extraction.
+
+use rand::Rng;
+
+use crate::arena::{Arena, Point};
+use crate::grid::SpatialGrid;
+use crate::waypoint::{RandomWaypoint, WaypointParams};
+
+/// A population of moving nodes. Node indices align with the phone
+/// indices of the epidemic model that drives the field.
+#[derive(Debug, Clone)]
+pub struct MobilityField {
+    arena: Arena,
+    params: WaypointParams,
+    walkers: Vec<RandomWaypoint>,
+    positions: Vec<Point>,
+}
+
+impl MobilityField {
+    /// Spawns `n` walkers at random positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` fail validation.
+    pub fn new<R: Rng + ?Sized>(
+        arena: Arena,
+        n: usize,
+        params: WaypointParams,
+        rng: &mut R,
+    ) -> Self {
+        params.validate().expect("waypoint parameters must be valid");
+        let walkers: Vec<RandomWaypoint> =
+            (0..n).map(|_| RandomWaypoint::spawn(&arena, &params, rng)).collect();
+        let positions = walkers.iter().map(|w| w.position()).collect();
+        MobilityField { arena, params, walkers, positions }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.walkers.len()
+    }
+
+    /// True when the field has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.walkers.is_empty()
+    }
+
+    /// The arena the nodes move in.
+    pub fn arena(&self) -> &Arena {
+        &self.arena
+    }
+
+    /// Current position of node `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn position(&self, i: usize) -> Point {
+        self.positions[i]
+    }
+
+    /// Advances every walker by `dt` seconds.
+    pub fn step<R: Rng + ?Sized>(&mut self, dt: f64, rng: &mut R) {
+        for (w, p) in self.walkers.iter_mut().zip(&mut self.positions) {
+            w.advance(&self.arena, &self.params, dt, rng);
+            *p = w.position();
+        }
+    }
+
+    /// All unordered pairs of nodes currently within `radius` meters of
+    /// each other.
+    pub fn contacts_within(&self, radius: f64) -> Vec<(usize, usize)> {
+        if self.positions.is_empty() {
+            return Vec::new();
+        }
+        SpatialGrid::build(&self.arena, &self.positions, radius).all_pairs(&self.positions)
+    }
+
+    /// The nodes within `radius` meters of node `i` (excluding `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn neighbors_of(&self, i: usize, radius: f64) -> Vec<usize> {
+        SpatialGrid::build(&self.arena, &self.positions, radius).within_radius(
+            &self.positions,
+            self.positions[i],
+            Some(i),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn field(n: usize, seed: u64) -> MobilityField {
+        let arena = Arena::new(500.0, 500.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        MobilityField::new(arena, n, WaypointParams::pedestrian(), &mut rng)
+    }
+
+    #[test]
+    fn spawn_positions_inside() {
+        let f = field(200, 1);
+        assert_eq!(f.len(), 200);
+        assert!(!f.is_empty());
+        for i in 0..f.len() {
+            assert!(f.arena().contains(f.position(i)));
+        }
+    }
+
+    #[test]
+    fn step_moves_most_walkers() {
+        let mut f = field(100, 2);
+        let before: Vec<Point> = (0..100).map(|i| f.position(i)).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        f.step(60.0, &mut rng);
+        let moved = (0..100).filter(|&i| before[i].distance(f.position(i)) > 1.0).count();
+        assert!(moved > 50, "only {moved}/100 walkers moved in a minute");
+        for i in 0..f.len() {
+            assert!(f.arena().contains(f.position(i)));
+        }
+    }
+
+    #[test]
+    fn contacts_are_symmetric_within_radius() {
+        let f = field(300, 4);
+        let contacts = f.contacts_within(10.0);
+        for (a, b) in contacts {
+            assert!(a < b);
+            assert!(f.position(a).distance(f.position(b)) <= 10.0);
+        }
+    }
+
+    #[test]
+    fn neighbors_agree_with_contacts() {
+        let f = field(150, 5);
+        let contacts = f.contacts_within(15.0);
+        for (a, b) in contacts {
+            assert!(f.neighbors_of(a, 15.0).contains(&b));
+            assert!(f.neighbors_of(b, 15.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn empty_field() {
+        let f = field(0, 6);
+        assert!(f.is_empty());
+        assert!(f.contacts_within(10.0).is_empty());
+    }
+
+    #[test]
+    fn contact_rate_grows_with_density() {
+        // Same arena, more nodes ⇒ more proximity pairs.
+        let sparse = field(50, 7).contacts_within(10.0).len();
+        let dense = field(500, 7).contacts_within(10.0).len();
+        assert!(dense > sparse, "dense {dense} should exceed sparse {sparse}");
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let mut a = field(50, 8);
+        let mut b = field(50, 8);
+        let mut ra = StdRng::seed_from_u64(9);
+        let mut rb = StdRng::seed_from_u64(9);
+        a.step(30.0, &mut ra);
+        b.step(30.0, &mut rb);
+        for i in 0..50 {
+            assert_eq!(a.position(i), b.position(i));
+        }
+    }
+}

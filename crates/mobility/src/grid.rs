@@ -1,0 +1,220 @@
+//! A uniform-grid spatial index for radius queries.
+//!
+//! Proximity (Bluetooth-range) queries happen for every infected phone
+//! on every mobility tick; a uniform grid with cell size = query radius
+//! answers each query by scanning at most 9 cells.
+
+use crate::arena::{Arena, Point};
+
+/// A uniform grid over an arena, holding node indices bucketed by cell.
+///
+/// Build once per tick with [`SpatialGrid::build`], then query with
+/// [`SpatialGrid::within_radius`]. The cell size equals the query radius
+/// the grid was built for, so a radius query never needs to look beyond
+/// the 3×3 cell neighbourhood.
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell: f64,
+    cols: usize,
+    rows: usize,
+    buckets: Vec<Vec<usize>>,
+    radius: f64,
+}
+
+impl SpatialGrid {
+    /// Builds a grid for querying at exactly `radius` meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `radius` is not positive and finite, or if any position
+    /// lies outside the arena.
+    pub fn build(arena: &Arena, positions: &[Point], radius: f64) -> Self {
+        assert!(radius.is_finite() && radius > 0.0, "query radius must be positive");
+        let cell = radius;
+        let cols = (arena.width() / cell).ceil().max(1.0) as usize;
+        let rows = (arena.height() / cell).ceil().max(1.0) as usize;
+        let mut grid = SpatialGrid {
+            cell,
+            cols,
+            rows,
+            buckets: vec![Vec::new(); cols * rows],
+            radius,
+        };
+        for (i, &p) in positions.iter().enumerate() {
+            assert!(arena.contains(p), "position {p:?} outside the arena");
+            let b = grid.bucket_of(p);
+            grid.buckets[b].push(i);
+        }
+        grid
+    }
+
+    fn cell_coords(&self, p: Point) -> (usize, usize) {
+        let cx = ((p.x / self.cell) as usize).min(self.cols - 1);
+        let cy = ((p.y / self.cell) as usize).min(self.rows - 1);
+        (cx, cy)
+    }
+
+    fn bucket_of(&self, p: Point) -> usize {
+        let (cx, cy) = self.cell_coords(p);
+        cy * self.cols + cx
+    }
+
+    /// All node indices whose position is within the build radius of
+    /// `center` (excluding `exclude`, typically the querying node
+    /// itself). `positions` must be the same slice the grid was built
+    /// from.
+    pub fn within_radius(
+        &self,
+        positions: &[Point],
+        center: Point,
+        exclude: Option<usize>,
+    ) -> Vec<usize> {
+        let (cx, cy) = self.cell_coords(center);
+        let r2 = self.radius * self.radius;
+        let mut out = Vec::new();
+        let x_lo = cx.saturating_sub(1);
+        let y_lo = cy.saturating_sub(1);
+        let x_hi = (cx + 1).min(self.cols - 1);
+        let y_hi = (cy + 1).min(self.rows - 1);
+        for gy in y_lo..=y_hi {
+            for gx in x_lo..=x_hi {
+                for &i in &self.buckets[gy * self.cols + gx] {
+                    if Some(i) == exclude {
+                        continue;
+                    }
+                    if positions[i].distance_squared(center) <= r2 {
+                        out.push(i);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Every unordered pair `(i, j)` with `i < j` within the build
+    /// radius of each other.
+    pub fn all_pairs(&self, positions: &[Point]) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, &p) in positions.iter().enumerate() {
+            for j in self.within_radius(positions, p, Some(i)) {
+                if i < j {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn arena() -> Arena {
+        Arena::new(100.0, 100.0).unwrap()
+    }
+
+    fn brute_force(positions: &[Point], center: Point, radius: f64, exclude: Option<usize>) -> Vec<usize> {
+        positions
+            .iter()
+            .enumerate()
+            .filter(|&(i, p)| Some(i) != exclude && p.distance(center) <= radius)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    #[test]
+    fn finds_close_misses_far() {
+        let positions = vec![
+            Point::new(10.0, 10.0),
+            Point::new(15.0, 10.0), // 5 m from #0
+            Point::new(40.0, 40.0), // far
+        ];
+        let g = SpatialGrid::build(&arena(), &positions, 10.0);
+        let near = g.within_radius(&positions, positions[0], Some(0));
+        assert_eq!(near, vec![1]);
+    }
+
+    #[test]
+    fn boundary_distance_inclusive() {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0)];
+        let g = SpatialGrid::build(&arena(), &positions, 10.0);
+        assert_eq!(g.within_radius(&positions, positions[0], Some(0)), vec![1]);
+    }
+
+    #[test]
+    fn cross_cell_neighbours_found() {
+        // Two points in adjacent cells but within the radius.
+        let positions = vec![Point::new(9.9, 9.9), Point::new(10.1, 10.1)];
+        let g = SpatialGrid::build(&arena(), &positions, 10.0);
+        assert_eq!(g.within_radius(&positions, positions[0], Some(0)), vec![1]);
+    }
+
+    #[test]
+    fn all_pairs_unique_and_symmetric() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = arena();
+        let positions: Vec<Point> = (0..100).map(|_| a.random_point(&mut rng)).collect();
+        let g = SpatialGrid::build(&a, &positions, 7.5);
+        let pairs = g.all_pairs(&positions);
+        for &(i, j) in &pairs {
+            assert!(i < j);
+            assert!(positions[i].distance(positions[j]) <= 7.5);
+        }
+        // No duplicates.
+        let mut sorted = pairs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pairs.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "radius must be positive")]
+    fn zero_radius_rejected() {
+        let _ = SpatialGrid::build(&arena(), &[], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the arena")]
+    fn out_of_arena_position_rejected() {
+        let _ = SpatialGrid::build(&arena(), &[Point::new(500.0, 0.0)], 10.0);
+    }
+
+    #[test]
+    fn empty_positions_ok() {
+        let g = SpatialGrid::build(&arena(), &[], 5.0);
+        assert!(g.all_pairs(&[]).is_empty());
+    }
+
+    #[test]
+    fn radius_larger_than_arena() {
+        let positions = vec![Point::new(0.0, 0.0), Point::new(100.0, 100.0)];
+        let g = SpatialGrid::build(&arena(), &positions, 500.0);
+        assert_eq!(g.all_pairs(&positions), vec![(0, 1)]);
+    }
+
+    proptest! {
+        /// Grid query ≡ brute force, for arbitrary point sets and radii.
+        #[test]
+        fn prop_matches_brute_force(
+            seed in 0u64..500,
+            n in 1usize..80,
+            radius in 1.0f64..40.0,
+        ) {
+            let a = arena();
+            let mut rng = StdRng::seed_from_u64(seed);
+            let positions: Vec<Point> = (0..n).map(|_| a.random_point(&mut rng)).collect();
+            let g = SpatialGrid::build(&a, &positions, radius);
+            for (i, &p) in positions.iter().enumerate() {
+                let mut got = g.within_radius(&positions, p, Some(i));
+                let mut want = brute_force(&positions, p, radius, Some(i));
+                got.sort_unstable();
+                want.sort_unstable();
+                prop_assert_eq!(&got, &want, "mismatch at node {} radius {}", i, radius);
+            }
+        }
+    }
+}

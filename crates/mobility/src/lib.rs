@@ -1,0 +1,48 @@
+//! # mpvsim-mobility — random-waypoint mobility and proximity detection
+//!
+//! The DSN 2007 paper closes by proposing that "this same virus
+//! propagation modeling approach can also be used to evaluate response
+//! mechanisms for mobile phone viruses that spread through means other
+//! than MMS messages, such as viruses that spread using the Bluetooth
+//! interface". Bluetooth spread is proximity-bound: a phone can only
+//! infect phones within radio range, and range membership changes as
+//! people move.
+//!
+//! This crate supplies that substrate:
+//!
+//! * [`Arena`] — a rectangular 2-D world with positions in meters;
+//! * [`RandomWaypoint`] — the standard random-waypoint mobility process
+//!   (pick a destination uniformly at random, walk at a uniformly drawn
+//!   speed, pause, repeat) driven in fixed time steps;
+//! * [`SpatialGrid`] — a uniform-grid spatial index answering
+//!   "which nodes are within radius `r`" in O(occupied cells) per query;
+//! * [`MobilityField`] — the assembled population of moving nodes with
+//!   proximity-contact extraction.
+//!
+//! ```rust
+//! use mpvsim_mobility::{Arena, MobilityField, WaypointParams};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let arena = Arena::new(1000.0, 1000.0).unwrap();
+//! let params = WaypointParams::pedestrian();
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let mut field = MobilityField::new(arena, 50, params, &mut rng);
+//! field.step(60.0, &mut rng); // one minute of movement
+//! let contacts = field.contacts_within(10.0); // Bluetooth-class range
+//! for (a, b) in contacts {
+//!     assert!(field.position(a).distance(field.position(b)) <= 10.0);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod field;
+pub mod grid;
+pub mod waypoint;
+
+pub use arena::{Arena, Point};
+pub use field::MobilityField;
+pub use grid::SpatialGrid;
+pub use waypoint::{RandomWaypoint, WaypointParams};

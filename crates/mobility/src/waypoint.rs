@@ -1,0 +1,313 @@
+//! The random-waypoint mobility process.
+//!
+//! Each node repeats: pick a uniformly random destination in the arena,
+//! walk toward it in a straight line at a speed drawn uniformly from
+//! `[min_speed, max_speed]`, pause for a uniformly drawn time on arrival,
+//! repeat. This is the standard mobility model of the ad-hoc-networking
+//! literature and the usual substrate for Bluetooth-worm studies.
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::arena::{Arena, Point};
+
+/// Random-waypoint parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WaypointParams {
+    /// Minimum walking speed, m/s (> 0 to avoid the well-known
+    /// speed-decay degeneracy of min speed 0).
+    pub min_speed: f64,
+    /// Maximum walking speed, m/s.
+    pub max_speed: f64,
+    /// Shortest pause at a reached waypoint, seconds.
+    pub min_pause: f64,
+    /// Longest pause at a reached waypoint, seconds.
+    pub max_pause: f64,
+}
+
+impl WaypointParams {
+    /// Pedestrians: 0.5–1.5 m/s with pauses up to two minutes.
+    pub fn pedestrian() -> Self {
+        WaypointParams { min_speed: 0.5, max_speed: 1.5, min_pause: 0.0, max_pause: 120.0 }
+    }
+
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.min_speed.is_finite() && self.min_speed > 0.0) {
+            return Err(format!("min_speed must be positive, got {}", self.min_speed));
+        }
+        if !(self.max_speed.is_finite() && self.max_speed >= self.min_speed) {
+            return Err(format!(
+                "max_speed {} must be ≥ min_speed {}",
+                self.max_speed, self.min_speed
+            ));
+        }
+        if !(self.min_pause.is_finite() && self.min_pause >= 0.0) {
+            return Err(format!("min_pause must be non-negative, got {}", self.min_pause));
+        }
+        if !(self.max_pause.is_finite() && self.max_pause >= self.min_pause) {
+            return Err(format!(
+                "max_pause {} must be ≥ min_pause {}",
+                self.max_pause, self.min_pause
+            ));
+        }
+        Ok(())
+    }
+
+    fn draw_speed<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.max_speed == self.min_speed {
+            self.min_speed
+        } else {
+            rng.random_range(self.min_speed..=self.max_speed)
+        }
+    }
+
+    fn draw_pause<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.max_pause == self.min_pause {
+            self.min_pause
+        } else {
+            rng.random_range(self.min_pause..=self.max_pause)
+        }
+    }
+}
+
+/// One node's mobility state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Phase {
+    /// Walking toward the target at the given speed (m/s).
+    Walking { speed: f64 },
+    /// Paused; `remaining` seconds left before choosing a new waypoint.
+    Paused { remaining: f64 },
+}
+
+/// A single random-waypoint walker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomWaypoint {
+    position: Point,
+    target: Point,
+    phase: Phase,
+}
+
+impl RandomWaypoint {
+    /// Spawns a walker at a random position with a random first target.
+    pub fn spawn<R: Rng + ?Sized>(arena: &Arena, params: &WaypointParams, rng: &mut R) -> Self {
+        let position = arena.random_point(rng);
+        let target = arena.random_point(rng);
+        RandomWaypoint {
+            position,
+            target,
+            phase: Phase::Walking { speed: params.draw_speed(rng) },
+        }
+    }
+
+    /// Current position.
+    pub fn position(&self) -> Point {
+        self.position
+    }
+
+    /// True while paused at a waypoint.
+    pub fn is_paused(&self) -> bool {
+        matches!(self.phase, Phase::Paused { .. })
+    }
+
+    /// Advances the walker by `dt` seconds, possibly through several
+    /// walk/pause transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is negative or non-finite.
+    pub fn advance<R: Rng + ?Sized>(
+        &mut self,
+        arena: &Arena,
+        params: &WaypointParams,
+        dt: f64,
+        rng: &mut R,
+    ) {
+        assert!(dt.is_finite() && dt >= 0.0, "dt must be a non-negative time step");
+        let mut remaining_dt = dt;
+        // Bound the number of phase transitions per call; with positive
+        // speeds and pauses this loop terminates long before the cap.
+        for _ in 0..10_000 {
+            if remaining_dt <= 0.0 {
+                return;
+            }
+            match self.phase {
+                Phase::Paused { remaining } => {
+                    if remaining > remaining_dt {
+                        self.phase = Phase::Paused { remaining: remaining - remaining_dt };
+                        return;
+                    }
+                    remaining_dt -= remaining;
+                    self.target = arena.random_point(rng);
+                    self.phase = Phase::Walking { speed: params.draw_speed(rng) };
+                }
+                Phase::Walking { speed } => {
+                    let dist_to_target = self.position.distance(self.target);
+                    let step = speed * remaining_dt;
+                    if step < dist_to_target {
+                        let frac = step / dist_to_target;
+                        self.position = arena.clamp(Point::new(
+                            self.position.x + (self.target.x - self.position.x) * frac,
+                            self.position.y + (self.target.y - self.position.y) * frac,
+                        ));
+                        return;
+                    }
+                    // Reached the waypoint within this step.
+                    remaining_dt -= if speed > 0.0 { dist_to_target / speed } else { 0.0 };
+                    self.position = self.target;
+                    self.phase = Phase::Paused { remaining: params.draw_pause(rng) };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn arena() -> Arena {
+        Arena::new(1000.0, 500.0).unwrap()
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn pedestrian_params_valid() {
+        WaypointParams::pedestrian().validate().unwrap();
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut p = WaypointParams::pedestrian();
+        p.min_speed = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = WaypointParams::pedestrian();
+        p.max_speed = 0.1;
+        assert!(p.validate().is_err());
+        let mut p = WaypointParams::pedestrian();
+        p.min_pause = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = WaypointParams::pedestrian();
+        p.max_pause = p.min_pause - 1.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn walker_stays_inside_arena() {
+        let a = arena();
+        let p = WaypointParams::pedestrian();
+        let mut r = rng(1);
+        let mut w = RandomWaypoint::spawn(&a, &p, &mut r);
+        for _ in 0..5000 {
+            w.advance(&a, &p, 30.0, &mut r);
+            assert!(a.contains(w.position()), "walker escaped: {:?}", w.position());
+        }
+    }
+
+    #[test]
+    fn walker_moves_at_bounded_speed() {
+        let a = arena();
+        let p = WaypointParams { min_speed: 1.0, max_speed: 2.0, min_pause: 0.0, max_pause: 0.0 };
+        let mut r = rng(2);
+        let mut w = RandomWaypoint::spawn(&a, &p, &mut r);
+        for _ in 0..1000 {
+            let before = w.position();
+            w.advance(&a, &p, 10.0, &mut r);
+            let moved = before.distance(w.position());
+            // Straight-line displacement can't exceed max_speed × dt.
+            assert!(moved <= 2.0 * 10.0 + 1e-9, "moved {moved} m in 10 s at ≤ 2 m/s");
+        }
+    }
+
+    #[test]
+    fn walker_eventually_pauses_and_resumes() {
+        let a = Arena::new(50.0, 50.0).unwrap();
+        let p = WaypointParams { min_speed: 5.0, max_speed: 5.0, min_pause: 60.0, max_pause: 60.0 };
+        let mut r = rng(3);
+        let mut w = RandomWaypoint::spawn(&a, &p, &mut r);
+        let mut saw_pause = false;
+        let mut saw_walk_after_pause = false;
+        for _ in 0..500 {
+            w.advance(&a, &p, 5.0, &mut r);
+            if w.is_paused() {
+                saw_pause = true;
+            } else if saw_pause {
+                saw_walk_after_pause = true;
+                break;
+            }
+        }
+        assert!(saw_pause, "walker never paused");
+        assert!(saw_walk_after_pause, "walker never resumed after a pause");
+    }
+
+    #[test]
+    fn zero_dt_is_a_noop() {
+        let a = arena();
+        let p = WaypointParams::pedestrian();
+        let mut r = rng(4);
+        let mut w = RandomWaypoint::spawn(&a, &p, &mut r);
+        let before = w.clone();
+        w.advance(&a, &p, 0.0, &mut r);
+        assert_eq!(w, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_dt_panics() {
+        let a = arena();
+        let p = WaypointParams::pedestrian();
+        let mut r = rng(5);
+        let mut w = RandomWaypoint::spawn(&a, &p, &mut r);
+        w.advance(&a, &p, -1.0, &mut r);
+    }
+
+    #[test]
+    fn large_step_crosses_many_waypoints_without_stalling() {
+        let a = Arena::new(10.0, 10.0).unwrap();
+        let p = WaypointParams { min_speed: 10.0, max_speed: 10.0, min_pause: 0.0, max_pause: 1.0 };
+        let mut r = rng(6);
+        let mut w = RandomWaypoint::spawn(&a, &p, &mut r);
+        // One hour in a 10 m arena at 10 m/s crosses thousands of
+        // waypoints; advance() must terminate and stay in bounds.
+        w.advance(&a, &p, 3600.0, &mut r);
+        assert!(a.contains(w.position()));
+    }
+
+    proptest! {
+        /// However the parameters and steps are drawn, walkers never
+        /// leave the arena.
+        #[test]
+        fn prop_contained(
+            seed in 0u64..1000,
+            steps in proptest::collection::vec(0.1f64..300.0, 1..50),
+            min_speed in 0.1f64..3.0,
+            extra_speed in 0.0f64..3.0,
+            max_pause in 0.0f64..200.0,
+        ) {
+            let a = Arena::new(300.0, 200.0).unwrap();
+            let p = WaypointParams {
+                min_speed,
+                max_speed: min_speed + extra_speed,
+                min_pause: 0.0,
+                max_pause,
+            };
+            p.validate().unwrap();
+            let mut r = rng(seed);
+            let mut w = RandomWaypoint::spawn(&a, &p, &mut r);
+            for dt in steps {
+                w.advance(&a, &p, dt, &mut r);
+                prop_assert!(a.contains(w.position()));
+            }
+        }
+    }
+}

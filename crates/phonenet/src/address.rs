@@ -1,0 +1,120 @@
+//! Random dialing: the number space a random-propagation virus dials into.
+//!
+//! Virus 3 propagates "by dialing random mobile phone numbers … in France
+//! all mobile phone numbers start with the same prefix, and approximately
+//! one third of the possible phone numbers with the mobile phone prefix
+//! are valid". [`AddressSpace`] models exactly that: each dial attempt
+//! hits a real phone with probability `valid_fraction`, chosen uniformly
+//! from the population; otherwise the number is unassigned and the message
+//! vanishes (while still counting as a send attempt on the sender side).
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::phone::PhoneId;
+
+/// The dialable number space over a population of `population_size`
+/// phones, of which a `valid_fraction` of random dials reach a real phone.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AddressSpace {
+    population_size: u32,
+    valid_fraction: f64,
+}
+
+impl AddressSpace {
+    /// The paper's default: one third of dialed numbers are valid.
+    pub const DEFAULT_VALID_FRACTION: f64 = 1.0 / 3.0;
+
+    /// Creates an address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `valid_fraction` is not within `[0, 1]` or the population
+    /// is empty.
+    pub fn new(population_size: u32, valid_fraction: f64) -> Self {
+        assert!(population_size > 0, "address space needs a population");
+        assert!(
+            (0.0..=1.0).contains(&valid_fraction) && valid_fraction.is_finite(),
+            "valid_fraction must be in [0, 1]"
+        );
+        AddressSpace { population_size, valid_fraction }
+    }
+
+    /// Population size covered by the valid numbers.
+    pub fn population_size(&self) -> u32 {
+        self.population_size
+    }
+
+    /// Fraction of random dials that reach a real phone.
+    pub fn valid_fraction(&self) -> f64 {
+        self.valid_fraction
+    }
+
+    /// Dials a uniformly random number: `Some(phone)` with probability
+    /// `valid_fraction` (uniform over the population), `None` for an
+    /// unassigned number.
+    pub fn dial_random<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<PhoneId> {
+        if rng.random::<f64>() < self.valid_fraction {
+            Some(PhoneId(rng.random_range(0..self.population_size)))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn valid_fraction_respected() {
+        let space = AddressSpace::new(1000, 1.0 / 3.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 60_000;
+        let hits = (0..n).filter(|_| space.dial_random(&mut rng).is_some()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 1.0 / 3.0).abs() < 0.01, "valid rate {rate}");
+    }
+
+    #[test]
+    fn dials_cover_population_uniformly() {
+        let space = AddressSpace::new(10, 1.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            let id = space.dial_random(&mut rng).expect("fraction 1.0 always valid");
+            counts[id.index()] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((800..1200).contains(&c), "phone {i} hit {c} times, expected ≈1000");
+        }
+    }
+
+    #[test]
+    fn zero_fraction_never_connects() {
+        let space = AddressSpace::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!((0..1000).all(|_| space.dial_random(&mut rng).is_none()));
+    }
+
+    #[test]
+    fn accessors() {
+        let space = AddressSpace::new(50, 0.25);
+        assert_eq!(space.population_size(), 50);
+        assert_eq!(space.valid_fraction(), 0.25);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a population")]
+    fn empty_population_rejected() {
+        let _ = AddressSpace::new(0, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0, 1]")]
+    fn bad_fraction_rejected() {
+        let _ = AddressSpace::new(10, 1.5);
+    }
+}

@@ -1,0 +1,191 @@
+//! The provider's MMS gateway bookkeeping.
+//!
+//! All MMS traffic transits the provider's gateways, which gives the
+//! provider three observation channels the response mechanisms build on:
+//!
+//! 1. **Total infected messages observed** — drives the "virus reaches a
+//!    detectable level" clock that starts signature-scan, detection-
+//!    algorithm and patch-development timers.
+//! 2. **Per-phone outgoing volume over a sliding window** — the
+//!    monitoring mechanism's anomaly signal ("a count of the number of
+//!    MMS messages sent from a particular phone during a period of time").
+//! 3. **Per-phone cumulative suspected-infected count** — the blacklist
+//!    trigger. Invalid random dials (Virus 3) still count: the gateway
+//!    sees the send attempt even though no phone receives it.
+
+use std::collections::VecDeque;
+
+use mpvsim_des::{SimDuration, SimTime};
+
+use crate::phone::PhoneId;
+
+/// Gateway-side counters for a population of phones.
+#[derive(Debug, Clone)]
+pub struct Gateway {
+    monitor_window: SimDuration,
+    outgoing: Vec<VecDeque<SimTime>>,
+    suspected: Vec<u32>,
+    infected_observed: u64,
+}
+
+impl Gateway {
+    /// Creates gateway state for `population_size` phones with the given
+    /// monitoring window.
+    pub fn new(population_size: usize, monitor_window: SimDuration) -> Self {
+        Gateway {
+            monitor_window,
+            outgoing: vec![VecDeque::new(); population_size],
+            suspected: vec![0; population_size],
+            infected_observed: 0,
+        }
+    }
+
+    /// The sliding-window length used for outgoing-volume monitoring.
+    pub fn monitor_window(&self) -> SimDuration {
+        self.monitor_window
+    }
+
+    /// Records one outgoing MMS from `phone` at `now` and returns how many
+    /// outgoing messages the window now holds (including this one).
+    ///
+    /// A multi-recipient MMS counts once: the monitor counts *messages*,
+    /// not deliveries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phone` is out of range.
+    pub fn record_outgoing(&mut self, phone: PhoneId, now: SimTime) -> usize {
+        let window = self.monitor_window;
+        let q = &mut self.outgoing[phone.index()];
+        q.push_back(now);
+        Self::prune(q, now, window);
+        q.len()
+    }
+
+    /// How many outgoing messages from `phone` fall inside the window
+    /// ending at `now`.
+    pub fn outgoing_in_window(&mut self, phone: PhoneId, now: SimTime) -> usize {
+        let window = self.monitor_window;
+        let q = &mut self.outgoing[phone.index()];
+        Self::prune(q, now, window);
+        q.len()
+    }
+
+    fn prune(q: &mut VecDeque<SimTime>, now: SimTime, window: SimDuration) {
+        let cutoff = now.saturating_duration_since(SimTime::ZERO);
+        let earliest_kept = if cutoff.as_secs() > window.as_secs() {
+            SimTime::from_secs(now.as_secs() - window.as_secs())
+        } else {
+            SimTime::ZERO
+        };
+        while let Some(&front) = q.front() {
+            if front < earliest_kept {
+                q.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Records one suspected-infected message from `phone` (the provider's
+    /// heuristic flagged it) and returns the new cumulative total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phone` is out of range.
+    pub fn record_suspected(&mut self, phone: PhoneId) -> u32 {
+        let c = &mut self.suspected[phone.index()];
+        *c += 1;
+        *c
+    }
+
+    /// Cumulative suspected-infected count for `phone`.
+    pub fn suspected_count(&self, phone: PhoneId) -> u32 {
+        self.suspected[phone.index()]
+    }
+
+    /// Records `count` infected messages observed in transit; returns the
+    /// new total. This is the input to the detectability clock.
+    pub fn record_infected_observed(&mut self, count: u64) -> u64 {
+        self.infected_observed += count;
+        self.infected_observed
+    }
+
+    /// Total infected messages the gateway has seen in transit.
+    pub fn infected_observed(&self) -> u64 {
+        self.infected_observed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gw() -> Gateway {
+        Gateway::new(4, SimDuration::from_hours(1))
+    }
+
+    #[test]
+    fn outgoing_counts_within_window() {
+        let mut g = gw();
+        let p = PhoneId(1);
+        assert_eq!(g.record_outgoing(p, SimTime::from_mins(0)), 1);
+        assert_eq!(g.record_outgoing(p, SimTime::from_mins(10)), 2);
+        assert_eq!(g.record_outgoing(p, SimTime::from_mins(50)), 3);
+        // The t=0 entry falls outside the 1 h window at t=70 min.
+        assert_eq!(g.record_outgoing(p, SimTime::from_mins(70)), 3);
+        assert_eq!(g.outgoing_in_window(p, SimTime::from_mins(70)), 3);
+    }
+
+    #[test]
+    fn window_prunes_fully_after_quiet_period() {
+        let mut g = gw();
+        let p = PhoneId(0);
+        g.record_outgoing(p, SimTime::from_mins(0));
+        g.record_outgoing(p, SimTime::from_mins(1));
+        assert_eq!(g.outgoing_in_window(p, SimTime::from_hours(5)), 0);
+    }
+
+    #[test]
+    fn boundary_timestamp_kept() {
+        let mut g = gw();
+        let p = PhoneId(0);
+        g.record_outgoing(p, SimTime::from_hours(1));
+        // Exactly `window` old: still inside the closed window.
+        assert_eq!(g.outgoing_in_window(p, SimTime::from_hours(2)), 1);
+        assert_eq!(g.outgoing_in_window(p, SimTime::from_secs(2 * 3600 + 1)), 0);
+    }
+
+    #[test]
+    fn phones_tracked_independently() {
+        let mut g = gw();
+        g.record_outgoing(PhoneId(0), SimTime::ZERO);
+        assert_eq!(g.outgoing_in_window(PhoneId(1), SimTime::ZERO), 0);
+    }
+
+    #[test]
+    fn suspected_counts_accumulate_forever() {
+        let mut g = gw();
+        let p = PhoneId(2);
+        assert_eq!(g.record_suspected(p), 1);
+        assert_eq!(g.record_suspected(p), 2);
+        assert_eq!(g.suspected_count(p), 2);
+        assert_eq!(g.suspected_count(PhoneId(3)), 0);
+    }
+
+    #[test]
+    fn infected_observed_totals() {
+        let mut g = gw();
+        assert_eq!(g.infected_observed(), 0);
+        assert_eq!(g.record_infected_observed(3), 3);
+        assert_eq!(g.record_infected_observed(2), 5);
+        assert_eq!(g.infected_observed(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_phone_panics() {
+        let mut g = gw();
+        g.record_outgoing(PhoneId(99), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,145 @@
+//! Per-phone inboxes: delivered-but-unread infected messages.
+//!
+//! §4.1 of the paper: "the incoming infected MMS messages wait in the
+//! inbox until the phone user makes a decision whether to accept (open)
+//! the MMS message attachment." The epidemic model schedules one read
+//! event per delivery; the inbox tracks how many deliveries are still
+//! awaiting their read, which makes user backlog observable (e.g. the
+//! flood of unread virus messages Virus 3 produces).
+
+use serde::{Deserialize, Serialize};
+
+use crate::phone::PhoneId;
+
+/// Unread-message bookkeeping for a whole population.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Inboxes {
+    pending: Vec<u32>,
+    total_delivered: u64,
+    total_read: u64,
+    peak_pending: u32,
+}
+
+impl Inboxes {
+    /// Creates empty inboxes for `population_size` phones.
+    pub fn new(population_size: usize) -> Self {
+        Inboxes {
+            pending: vec![0; population_size],
+            total_delivered: 0,
+            total_read: 0,
+            peak_pending: 0,
+        }
+    }
+
+    /// Records a delivery into `phone`'s inbox; returns its new depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phone` is out of range.
+    pub fn deliver(&mut self, phone: PhoneId) -> u32 {
+        let slot = &mut self.pending[phone.index()];
+        *slot += 1;
+        self.total_delivered += 1;
+        if *slot > self.peak_pending {
+            self.peak_pending = *slot;
+        }
+        *slot
+    }
+
+    /// Records that `phone`'s user read (and decided on) one pending
+    /// message; returns the remaining depth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phone` is out of range or its inbox is empty — a read
+    /// without a matching delivery is a model bug.
+    pub fn read(&mut self, phone: PhoneId) -> u32 {
+        let slot = &mut self.pending[phone.index()];
+        assert!(*slot > 0, "read from an empty inbox at {phone}");
+        *slot -= 1;
+        self.total_read += 1;
+        *slot
+    }
+
+    /// Messages currently waiting in `phone`'s inbox.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phone` is out of range.
+    pub fn pending(&self, phone: PhoneId) -> u32 {
+        self.pending[phone.index()]
+    }
+
+    /// Messages currently waiting across all inboxes.
+    pub fn total_pending(&self) -> u64 {
+        self.pending.iter().map(|&p| u64::from(p)).sum()
+    }
+
+    /// Lifetime delivery count.
+    pub fn total_delivered(&self) -> u64 {
+        self.total_delivered
+    }
+
+    /// Lifetime read count.
+    pub fn total_read(&self) -> u64 {
+        self.total_read
+    }
+
+    /// The deepest any single inbox ever got.
+    pub fn peak_pending(&self) -> u32 {
+        self.peak_pending
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deliver_then_read_balances() {
+        let mut ib = Inboxes::new(3);
+        assert_eq!(ib.deliver(PhoneId(1)), 1);
+        assert_eq!(ib.deliver(PhoneId(1)), 2);
+        assert_eq!(ib.pending(PhoneId(1)), 2);
+        assert_eq!(ib.read(PhoneId(1)), 1);
+        assert_eq!(ib.read(PhoneId(1)), 0);
+        assert_eq!(ib.total_delivered(), 2);
+        assert_eq!(ib.total_read(), 2);
+        assert_eq!(ib.total_pending(), 0);
+    }
+
+    #[test]
+    fn peak_tracks_deepest_inbox() {
+        let mut ib = Inboxes::new(2);
+        for _ in 0..5 {
+            ib.deliver(PhoneId(0));
+        }
+        for _ in 0..5 {
+            ib.read(PhoneId(0));
+        }
+        ib.deliver(PhoneId(1));
+        assert_eq!(ib.peak_pending(), 5);
+    }
+
+    #[test]
+    fn phones_tracked_independently() {
+        let mut ib = Inboxes::new(2);
+        ib.deliver(PhoneId(0));
+        assert_eq!(ib.pending(PhoneId(1)), 0);
+        assert_eq!(ib.total_pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty inbox")]
+    fn read_from_empty_inbox_panics() {
+        let mut ib = Inboxes::new(1);
+        ib.read(PhoneId(0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let mut ib = Inboxes::new(1);
+        ib.deliver(PhoneId(7));
+    }
+}

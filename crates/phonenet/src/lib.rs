@@ -1,0 +1,50 @@
+//! # mpvsim-phonenet — the mobile-phone network substrate
+//!
+//! Domain structures for the DSN 2007 mobile-phone-virus model, kept free
+//! of epidemic dynamics (which live in `mpvsim-core`):
+//!
+//! * [`Phone`] / [`Population`] — the paper's "phone submodels": identity,
+//!   vulnerability, health state, contact list, and the count of infected
+//!   messages received (which drives the declining acceptance
+//!   probability);
+//! * [`MmsMessage`] — an MMS with sender, recipients and infection flag;
+//! * [`AddressSpace`] — random dialing with a configurable fraction of
+//!   valid numbers (the paper's "one third of the possible phone numbers
+//!   with the mobile phone prefix are valid");
+//! * [`gateway`] — the service-provider's bookkeeping: per-phone outgoing
+//!   counters over a sliding window (monitoring), cumulative
+//!   suspected-infected counters (blacklisting), and the total of infected
+//!   messages observed (the "virus reaches a detectable level" clock).
+//!
+//! ```rust
+//! use mpvsim_phonenet::{Population, PhoneId};
+//! use mpvsim_topology::GraphSpec;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(3);
+//! let graph = GraphSpec::power_law(100, 10.0).generate(&mut rng)?;
+//! let pop = Population::from_graph(&graph, 0.8, &mut rng);
+//! assert_eq!(pop.len(), 100);
+//! let v = pop.vulnerable_count();
+//! assert!((60..=95).contains(&v), "≈80% vulnerable, got {v}");
+//! # Ok::<(), mpvsim_topology::TopologyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod gateway;
+pub mod inbox;
+pub mod message;
+pub mod phone;
+pub mod population;
+pub mod queue;
+
+pub use address::AddressSpace;
+pub use gateway::Gateway;
+pub use inbox::Inboxes;
+pub use message::MmsMessage;
+pub use phone::{Health, Phone, PhoneId};
+pub use population::Population;
+pub use queue::TransitQueue;

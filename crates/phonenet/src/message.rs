@@ -1,0 +1,68 @@
+//! MMS messages as they transit the provider's network.
+
+use serde::{Deserialize, Serialize};
+
+use crate::phone::PhoneId;
+
+/// A unique message identifier, assigned by the sender's gateway.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MessageId(pub u64);
+
+/// An MMS message: one sender, one or more recipients (Virus 2 addresses
+/// up to 100 recipients per message), and an infection flag.
+///
+/// The model only tracks virus traffic (per §4 of the paper, legitimate
+/// traffic is not simulated), but the `infected` flag is kept explicit so
+/// extensions can mix in legitimate messages.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MmsMessage {
+    /// Message identity.
+    pub id: MessageId,
+    /// The sending phone.
+    pub sender: PhoneId,
+    /// All addressed recipients (one delivery attempt each).
+    pub recipients: Vec<PhoneId>,
+    /// Whether the attachment carries the virus.
+    pub infected: bool,
+}
+
+impl MmsMessage {
+    /// A virus-infected message from `sender` to `recipients`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `recipients` is empty — an MMS needs at least one target.
+    pub fn infected(id: MessageId, sender: PhoneId, recipients: Vec<PhoneId>) -> Self {
+        assert!(!recipients.is_empty(), "an MMS message needs at least one recipient");
+        MmsMessage { id, sender, recipients, infected: true }
+    }
+
+    /// Number of addressed recipients.
+    pub fn fan_out(&self) -> usize {
+        self.recipients.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infected_constructor_sets_flag() {
+        let m = MmsMessage::infected(MessageId(1), PhoneId(2), vec![PhoneId(3), PhoneId(4)]);
+        assert!(m.infected);
+        assert_eq!(m.sender, PhoneId(2));
+        assert_eq!(m.fan_out(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one recipient")]
+    fn empty_recipients_rejected() {
+        let _ = MmsMessage::infected(MessageId(1), PhoneId(2), vec![]);
+    }
+
+    #[test]
+    fn message_ids_order() {
+        assert!(MessageId(1) < MessageId(2));
+    }
+}

@@ -1,0 +1,282 @@
+//! A single phone: identity, vulnerability, health and contact list.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A phone's identity — its "phone number" in the model's dense numbering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PhoneId(pub u32);
+
+impl PhoneId {
+    /// The dense index of this phone.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PhoneId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "phone#{}", self.0)
+    }
+}
+
+impl From<usize> for PhoneId {
+    fn from(i: usize) -> Self {
+        PhoneId(u32::try_from(i).expect("phone index exceeds u32"))
+    }
+}
+
+/// A phone's health with respect to the virus under study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Health {
+    /// Runs the vulnerable platform and can be infected.
+    Susceptible,
+    /// Does not run the vulnerable platform; infection attempts are no-ops.
+    /// (The paper designates 20 % of the population this way.)
+    NotVulnerable,
+    /// Infected: its sending machinery is enabled.
+    Infected,
+    /// Patched before infection: can never be infected.
+    Immunized,
+}
+
+/// One phone submodel, mirroring §4.1 of the paper: a receiving side that
+/// is always active, and a sending side that the epidemic model enables on
+/// infection.
+///
+/// The phone also tracks provider-side response flags that affect it
+/// directly (patched-while-infected "silenced" state, blacklist,
+/// monitoring throttle).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Phone {
+    id: PhoneId,
+    health: Health,
+    contacts: Vec<PhoneId>,
+    /// Number of infected MMS messages whose attachments this phone's user
+    /// has been offered so far; drives the declining acceptance curve.
+    infected_msgs_received: u32,
+    /// Patched after infection: propagation attempts are stopped.
+    silenced: bool,
+    /// Blacklisted by the provider: all outgoing MMS blocked.
+    blacklisted: bool,
+    /// Flagged by the monitoring mechanism: outgoing sends are throttled.
+    throttled: bool,
+}
+
+impl Phone {
+    /// Creates a healthy phone.
+    pub fn new(id: PhoneId, vulnerable: bool, contacts: Vec<PhoneId>) -> Self {
+        Phone {
+            id,
+            health: if vulnerable { Health::Susceptible } else { Health::NotVulnerable },
+            contacts,
+            infected_msgs_received: 0,
+            silenced: false,
+            blacklisted: false,
+            throttled: false,
+        }
+    }
+
+    /// This phone's number.
+    pub fn id(&self) -> PhoneId {
+        self.id
+    }
+
+    /// Current health.
+    pub fn health(&self) -> Health {
+        self.health
+    }
+
+    /// The contact list (reciprocal by construction of the population).
+    pub fn contacts(&self) -> &[PhoneId] {
+        &self.contacts
+    }
+
+    /// True when an accepted infected attachment would infect this phone.
+    pub fn is_susceptible(&self) -> bool {
+        self.health == Health::Susceptible
+    }
+
+    /// True when this phone is infected (even if silenced or blacklisted).
+    pub fn is_infected(&self) -> bool {
+        self.health == Health::Infected
+    }
+
+    /// True when this phone's virus can still emit messages: infected and
+    /// neither silenced by a patch nor blacklisted by the provider.
+    pub fn can_propagate(&self) -> bool {
+        self.is_infected() && !self.silenced && !self.blacklisted
+    }
+
+    /// Number of infected messages offered to this user so far.
+    pub fn infected_msgs_received(&self) -> u32 {
+        self.infected_msgs_received
+    }
+
+    /// Records that another infected message reached this phone's inbox;
+    /// returns the new total (i.e. this message's ordinal `n`, 1-based).
+    pub fn record_infected_message(&mut self) -> u32 {
+        self.infected_msgs_received += 1;
+        self.infected_msgs_received
+    }
+
+    /// Infects the phone.
+    ///
+    /// Returns `true` if the phone transitioned to [`Health::Infected`];
+    /// `false` when it was not susceptible (not vulnerable, already
+    /// infected, or immunized) — in which case nothing changes.
+    pub fn infect(&mut self) -> bool {
+        if self.health == Health::Susceptible {
+            self.health = Health::Infected;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Applies an immunization patch (§3.2 of the paper): a susceptible or
+    /// not-vulnerable phone becomes [`Health::Immunized`]; an infected
+    /// phone stays infected but is *silenced* (propagation stops).
+    pub fn apply_patch(&mut self) {
+        match self.health {
+            Health::Susceptible | Health::NotVulnerable => self.health = Health::Immunized,
+            Health::Infected => self.silenced = true,
+            Health::Immunized => {}
+        }
+    }
+
+    /// True when a patch has silenced this (infected) phone.
+    pub fn is_silenced(&self) -> bool {
+        self.silenced
+    }
+
+    /// Places the phone on the provider's blacklist (all outgoing MMS
+    /// blocked).
+    pub fn blacklist(&mut self) {
+        self.blacklisted = true;
+    }
+
+    /// True when blacklisted.
+    pub fn is_blacklisted(&self) -> bool {
+        self.blacklisted
+    }
+
+    /// Marks the phone as flagged by the monitoring mechanism.
+    pub fn throttle(&mut self) {
+        self.throttled = true;
+    }
+
+    /// True when the monitoring mechanism has flagged this phone.
+    pub fn is_throttled(&self) -> bool {
+        self.throttled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phone(vulnerable: bool) -> Phone {
+        Phone::new(PhoneId(7), vulnerable, vec![PhoneId(1), PhoneId(2)])
+    }
+
+    #[test]
+    fn new_phone_state() {
+        let p = phone(true);
+        assert_eq!(p.id(), PhoneId(7));
+        assert_eq!(p.health(), Health::Susceptible);
+        assert!(p.is_susceptible());
+        assert!(!p.is_infected());
+        assert_eq!(p.contacts(), &[PhoneId(1), PhoneId(2)]);
+        assert_eq!(p.infected_msgs_received(), 0);
+        let p = phone(false);
+        assert_eq!(p.health(), Health::NotVulnerable);
+        assert!(!p.is_susceptible());
+    }
+
+    #[test]
+    fn infect_susceptible_succeeds() {
+        let mut p = phone(true);
+        assert!(p.infect());
+        assert!(p.is_infected());
+        assert!(p.can_propagate());
+        // Idempotent failure on re-infection.
+        assert!(!p.infect());
+        assert!(p.is_infected());
+    }
+
+    #[test]
+    fn infect_not_vulnerable_fails() {
+        let mut p = phone(false);
+        assert!(!p.infect());
+        assert_eq!(p.health(), Health::NotVulnerable);
+    }
+
+    #[test]
+    fn patch_immunizes_healthy() {
+        let mut p = phone(true);
+        p.apply_patch();
+        assert_eq!(p.health(), Health::Immunized);
+        assert!(!p.infect(), "immunized phone cannot be infected");
+    }
+
+    #[test]
+    fn patch_on_not_vulnerable_immunizes() {
+        let mut p = phone(false);
+        p.apply_patch();
+        assert_eq!(p.health(), Health::Immunized);
+    }
+
+    #[test]
+    fn patch_silences_infected() {
+        let mut p = phone(true);
+        p.infect();
+        p.apply_patch();
+        assert!(p.is_infected(), "patch does not cure");
+        assert!(p.is_silenced());
+        assert!(!p.can_propagate());
+    }
+
+    #[test]
+    fn patch_idempotent_on_immunized() {
+        let mut p = phone(true);
+        p.apply_patch();
+        p.apply_patch();
+        assert_eq!(p.health(), Health::Immunized);
+    }
+
+    #[test]
+    fn blacklist_stops_propagation_but_not_infection_state() {
+        let mut p = phone(true);
+        p.infect();
+        p.blacklist();
+        assert!(p.is_blacklisted());
+        assert!(p.is_infected());
+        assert!(!p.can_propagate());
+    }
+
+    #[test]
+    fn throttle_flag_does_not_block_propagation() {
+        let mut p = phone(true);
+        p.infect();
+        p.throttle();
+        assert!(p.is_throttled());
+        assert!(p.can_propagate(), "monitoring slows, it does not block");
+    }
+
+    #[test]
+    fn infected_message_counter_is_ordinal() {
+        let mut p = phone(true);
+        assert_eq!(p.record_infected_message(), 1);
+        assert_eq!(p.record_infected_message(), 2);
+        assert_eq!(p.infected_msgs_received(), 2);
+    }
+
+    #[test]
+    fn display_and_from_usize() {
+        assert_eq!(PhoneId(3).to_string(), "phone#3");
+        assert_eq!(PhoneId::from(9usize), PhoneId(9));
+        assert_eq!(PhoneId(4).index(), 4);
+    }
+}

@@ -1,0 +1,252 @@
+//! The phone population: all phone submodels plus population-level counts.
+
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use mpvsim_topology::Graph;
+
+use crate::phone::{Health, Phone, PhoneId};
+
+/// The full population of phone submodels.
+///
+/// Construction mirrors §4.1 of the paper: each node of the contact graph
+/// becomes a phone; a random subset of the requested size is designated
+/// vulnerable ("800 are randomly designated as susceptible"); contact
+/// lists are the graph's adjacency lists and therefore reciprocal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Population {
+    phones: Vec<Phone>,
+    infected_count: usize,
+}
+
+impl Population {
+    /// Builds a population from a contact graph, designating a uniformly
+    /// random `vulnerable_fraction` of phones as susceptible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vulnerable_fraction` is outside `[0, 1]`.
+    pub fn from_graph<R: Rng + ?Sized>(
+        graph: &Graph,
+        vulnerable_fraction: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&vulnerable_fraction) && vulnerable_fraction.is_finite(),
+            "vulnerable_fraction must be in [0, 1]"
+        );
+        let n = graph.node_count();
+        let vulnerable_count = (vulnerable_fraction * n as f64).round() as usize;
+        let mut indices: Vec<usize> = (0..n).collect();
+        indices.shuffle(rng);
+        let mut vulnerable = vec![false; n];
+        for &i in indices.iter().take(vulnerable_count) {
+            vulnerable[i] = true;
+        }
+        let phones = (0..n)
+            .map(|i| {
+                let contacts = graph
+                    .neighbors(mpvsim_topology::NodeId(i))
+                    .iter()
+                    .map(|node| PhoneId::from(node.index()))
+                    .collect();
+                Phone::new(PhoneId::from(i), vulnerable[i], contacts)
+            })
+            .collect();
+        Population { phones, infected_count: 0 }
+    }
+
+    /// Number of phones.
+    pub fn len(&self) -> usize {
+        self.phones.len()
+    }
+
+    /// True when the population has no phones.
+    pub fn is_empty(&self) -> bool {
+        self.phones.is_empty()
+    }
+
+    /// The phone with the given number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn phone(&self, id: PhoneId) -> &Phone {
+        &self.phones[id.index()]
+    }
+
+    /// Mutable access to a phone. Use [`Population::infect`] for
+    /// infections so the population count stays consistent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn phone_mut(&mut self, id: PhoneId) -> &mut Phone {
+        &mut self.phones[id.index()]
+    }
+
+    /// Iterates over all phones.
+    pub fn iter(&self) -> impl Iterator<Item = &Phone> {
+        self.phones.iter()
+    }
+
+    /// Infects `id` if susceptible, maintaining the infected count.
+    /// Returns whether a new infection occurred.
+    pub fn infect(&mut self, id: PhoneId) -> bool {
+        let newly = self.phones[id.index()].infect();
+        if newly {
+            self.infected_count += 1;
+        }
+        newly
+    }
+
+    /// Number of currently infected phones (the paper's headline measure).
+    pub fn infected_count(&self) -> usize {
+        self.infected_count
+    }
+
+    /// Number of phones still able to be infected.
+    pub fn susceptible_count(&self) -> usize {
+        self.phones.iter().filter(|p| p.is_susceptible()).count()
+    }
+
+    /// Number of phones currently on the vulnerable platform and not yet
+    /// immunized (susceptible or infected). Before any dynamics run this
+    /// equals the designated vulnerable count.
+    pub fn vulnerable_count(&self) -> usize {
+        self.phones
+            .iter()
+            .filter(|p| matches!(p.health(), Health::Susceptible | Health::Infected))
+            .count()
+    }
+
+    /// Number of immunized phones.
+    pub fn immunized_count(&self) -> usize {
+        self.phones.iter().filter(|p| p.health() == Health::Immunized).count()
+    }
+
+    /// All phone ids, in numbering order.
+    pub fn ids(&self) -> impl Iterator<Item = PhoneId> + '_ {
+        (0..self.phones.len()).map(PhoneId::from)
+    }
+
+    /// Picks a uniformly random vulnerable phone to seed the outbreak
+    /// ("the infection starts with a single infected phone"). Returns
+    /// `None` if no phone is susceptible.
+    pub fn random_susceptible<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<PhoneId> {
+        let candidates: Vec<PhoneId> =
+            self.phones.iter().filter(|p| p.is_susceptible()).map(|p| p.id()).collect();
+        candidates.choose(rng).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvsim_topology::GraphSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn population(n: usize, frac: f64, seed: u64) -> Population {
+        let mut r = rng(seed);
+        let g = GraphSpec::erdos_renyi(n, 6.0).generate(&mut r).unwrap();
+        Population::from_graph(&g, frac, &mut r)
+    }
+
+    #[test]
+    fn vulnerable_fraction_exact_count() {
+        let pop = population(1000, 0.8, 1);
+        assert_eq!(pop.len(), 1000);
+        assert_eq!(pop.vulnerable_count(), 800, "paper: exactly 800 susceptible of 1000");
+        assert_eq!(pop.susceptible_count(), 800);
+        assert_eq!(pop.infected_count(), 0);
+    }
+
+    #[test]
+    fn contact_lists_are_reciprocal() {
+        let pop = population(200, 0.8, 2);
+        for p in pop.iter() {
+            for &c in p.contacts() {
+                assert!(
+                    pop.phone(c).contacts().contains(&p.id()),
+                    "{} lists {} but not vice versa",
+                    p.id(),
+                    c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infect_updates_count_once() {
+        let mut pop = population(50, 1.0, 3);
+        let id = PhoneId(0);
+        assert!(pop.infect(id));
+        assert!(!pop.infect(id), "double infection is a no-op");
+        assert_eq!(pop.infected_count(), 1);
+        assert_eq!(pop.susceptible_count(), 49);
+    }
+
+    #[test]
+    fn infect_not_vulnerable_is_noop() {
+        let mut pop = population(50, 0.0, 4);
+        assert!(!pop.infect(PhoneId(5)));
+        assert_eq!(pop.infected_count(), 0);
+    }
+
+    #[test]
+    fn random_susceptible_returns_susceptible() {
+        let pop = population(100, 0.5, 5);
+        let mut r = rng(6);
+        for _ in 0..20 {
+            let id = pop.random_susceptible(&mut r).unwrap();
+            assert!(pop.phone(id).is_susceptible());
+        }
+    }
+
+    #[test]
+    fn random_susceptible_none_when_all_immune() {
+        let mut pop = population(10, 1.0, 7);
+        for id in pop.ids().collect::<Vec<_>>() {
+            pop.phone_mut(id).apply_patch();
+        }
+        assert_eq!(pop.immunized_count(), 10);
+        let mut r = rng(8);
+        assert!(pop.random_susceptible(&mut r).is_none());
+    }
+
+    #[test]
+    fn vulnerable_designation_is_random() {
+        // Different seeds should designate different subsets.
+        let a = population(100, 0.5, 10);
+        let b = population(100, 0.5, 11);
+        let sa: Vec<bool> = a.iter().map(|p| p.is_susceptible()).collect();
+        let sb: Vec<bool> = b.iter().map(|p| p.is_susceptible()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn fraction_bounds_checked() {
+        let mut r = rng(12);
+        let g = GraphSpec::complete(5).generate(&mut r).unwrap();
+        let result = std::panic::catch_unwind(move || {
+            let mut r2 = rng(13);
+            Population::from_graph(&g, 1.5, &mut r2)
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn empty_population() {
+        let mut r = rng(14);
+        let g = mpvsim_topology::Graph::new();
+        let pop = Population::from_graph(&g, 0.8, &mut r);
+        assert!(pop.is_empty());
+        assert_eq!(pop.len(), 0);
+    }
+}

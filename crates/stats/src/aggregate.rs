@@ -1,0 +1,152 @@
+//! Pointwise aggregation of replication time series.
+//!
+//! The paper plots expected infection trajectories; we estimate them as the
+//! pointwise mean over replications, with a normal-approximation 95 %
+//! confidence band to make the Monte-Carlo error visible.
+
+use serde::{Deserialize, Serialize};
+
+use crate::series::TimeSeries;
+use crate::summary::Z_95;
+
+/// The pointwise mean of replication series, with a 95 % confidence band.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AggregateSeries {
+    /// Sampling step shared by all replications, in hours.
+    pub step_hours: f64,
+    /// Pointwise means.
+    pub mean: Vec<f64>,
+    /// Pointwise 95 % confidence half-widths.
+    pub ci95_half_width: Vec<f64>,
+    /// Number of replications aggregated.
+    pub replications: usize,
+}
+
+impl AggregateSeries {
+    /// The mean trajectory as a [`TimeSeries`].
+    pub fn mean_series(&self) -> TimeSeries {
+        TimeSeries::from_values(self.step_hours, self.mean.clone())
+    }
+
+    /// `(time_hours, mean, ci_half_width)` triples.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64, f64)> + '_ {
+        self.mean
+            .iter()
+            .zip(&self.ci95_half_width)
+            .enumerate()
+            .map(move |(k, (&m, &c))| (k as f64 * self.step_hours, m, c))
+    }
+}
+
+/// Aggregates replications pointwise.
+///
+/// All series must share the same step; series shorter than the longest
+/// one are treated as holding their final value (the infection count is a
+/// plateauing step function, so this is the right extension).
+///
+/// Returns `None` when `series` is empty or any series is empty.
+pub fn aggregate(series: &[TimeSeries]) -> Option<AggregateSeries> {
+    let first = series.first()?;
+    let step = first.step_hours();
+    if series.iter().any(|s| s.is_empty()) {
+        return None;
+    }
+    assert!(
+        series.iter().all(|s| (s.step_hours() - step).abs() < 1e-12),
+        "aggregate: all series must share the same sampling step"
+    );
+    let len = series.iter().map(|s| s.len()).max().expect("nonempty");
+    let n = series.len();
+    let mut mean = Vec::with_capacity(len);
+    let mut ci = Vec::with_capacity(len);
+    for k in 0..len {
+        let value_at = |s: &TimeSeries| -> f64 {
+            let vals = s.values();
+            vals[k.min(vals.len() - 1)]
+        };
+        let m = series.iter().map(value_at).sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            series.iter().map(|s| (value_at(s) - m).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        mean.push(m);
+        ci.push(Z_95 * (var / n as f64).sqrt());
+    }
+    Some(AggregateSeries {
+        step_hours: step,
+        mean,
+        ci95_half_width: ci,
+        replications: n,
+    })
+}
+
+/// Convenience: the pointwise-mean trajectory of `series`.
+///
+/// See [`aggregate`] for the alignment rules.
+pub fn mean_series(series: &[TimeSeries]) -> Option<TimeSeries> {
+    aggregate(series).map(|a| a.mean_series())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(aggregate(&[]).is_none());
+        assert!(mean_series(&[]).is_none());
+        assert!(aggregate(&[TimeSeries::new(1.0)]).is_none());
+    }
+
+    #[test]
+    fn single_series_is_its_own_mean() {
+        let s = TimeSeries::from_values(1.0, vec![1.0, 2.0, 3.0]);
+        let agg = aggregate(std::slice::from_ref(&s)).unwrap();
+        assert_eq!(agg.mean, vec![1.0, 2.0, 3.0]);
+        assert_eq!(agg.ci95_half_width, vec![0.0, 0.0, 0.0]);
+        assert_eq!(agg.replications, 1);
+    }
+
+    #[test]
+    fn pointwise_mean_of_two() {
+        let a = TimeSeries::from_values(1.0, vec![0.0, 2.0, 4.0]);
+        let b = TimeSeries::from_values(1.0, vec![2.0, 4.0, 8.0]);
+        let m = mean_series(&[a, b]).unwrap();
+        assert_eq!(m.values(), &[1.0, 3.0, 6.0]);
+    }
+
+    #[test]
+    fn shorter_series_extends_with_final_value() {
+        let a = TimeSeries::from_values(1.0, vec![0.0, 10.0]);
+        let b = TimeSeries::from_values(1.0, vec![0.0, 0.0, 0.0, 0.0]);
+        let m = mean_series(&[a, b]).unwrap();
+        // a holds 10.0 after its end.
+        assert_eq!(m.values(), &[0.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
+    fn ci_positive_when_replications_disagree() {
+        let a = TimeSeries::from_values(1.0, vec![0.0, 0.0]);
+        let b = TimeSeries::from_values(1.0, vec![0.0, 10.0]);
+        let agg = aggregate(&[a, b]).unwrap();
+        assert_eq!(agg.ci95_half_width[0], 0.0);
+        assert!(agg.ci95_half_width[1] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same sampling step")]
+    fn mismatched_steps_panic() {
+        let a = TimeSeries::from_values(1.0, vec![0.0]);
+        let b = TimeSeries::from_values(2.0, vec![0.0]);
+        let _ = aggregate(&[a, b]);
+    }
+
+    #[test]
+    fn points_iterate_triples() {
+        let a = TimeSeries::from_values(0.5, vec![1.0, 3.0]);
+        let agg = aggregate(std::slice::from_ref(&a)).unwrap();
+        let pts: Vec<_> = agg.points().collect();
+        assert_eq!(pts, vec![(0.0, 1.0, 0.0), (0.5, 3.0, 0.0)]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # mpvsim-stats — time-series statistics and report rendering
+//!
+//! The paper's figures are infection-count-vs-time curves, and its claims
+//! are statements about those curves (plateau levels, times to reach an
+//! infection level, relative penetration). This crate provides:
+//!
+//! * [`TimeSeries`] — a step function sampled on a fixed grid, the raw
+//!   output of one simulation replication;
+//! * [`aggregate`] — pointwise mean and confidence intervals across
+//!   replications, producing the expected trajectories the paper plots;
+//! * [`summary`] — scalar statistics (mean, variance, confidence
+//!   half-width, percentiles);
+//! * [`render`] — CSV emission and a terminal ASCII chart so every figure
+//!   binary can show its curves without a plotting stack.
+//!
+//! ```rust
+//! use mpvsim_stats::{TimeSeries, aggregate::mean_series};
+//!
+//! let a = TimeSeries::from_values(1.0, vec![0.0, 1.0, 4.0]);
+//! let b = TimeSeries::from_values(1.0, vec![0.0, 3.0, 6.0]);
+//! let mean = mean_series(&[a, b]).unwrap();
+//! assert_eq!(mean.values(), &[0.0, 2.0, 5.0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod render;
+pub mod series;
+pub mod summary;
+pub mod welford;
+
+pub use aggregate::{mean_series, AggregateSeries};
+pub use series::TimeSeries;
+pub use summary::Summary;
+pub use welford::RunningSummary;

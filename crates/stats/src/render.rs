@@ -1,0 +1,239 @@
+//! Rendering curves as CSV and terminal ASCII charts.
+//!
+//! Every figure binary prints (a) a CSV block that can be piped into any
+//! plotting tool to redraw the paper's figure, and (b) an ASCII chart so
+//! the curve shape is visible directly in the terminal.
+
+use std::fmt::Write as _;
+
+use crate::series::TimeSeries;
+
+/// Renders labelled series sharing a sampling grid as CSV:
+/// a `hours` column followed by one column per series.
+///
+/// Shorter series hold their final value, matching
+/// [`crate::aggregate::aggregate`].
+///
+/// ```rust
+/// use mpvsim_stats::{TimeSeries, render::to_csv};
+/// let s = TimeSeries::from_values(1.0, vec![0.0, 2.0]);
+/// let csv = to_csv(&[("virus1", &s)]);
+/// assert_eq!(csv.lines().next().unwrap(), "hours,virus1");
+/// assert_eq!(csv.lines().count(), 3);
+/// ```
+pub fn to_csv(series: &[(&str, &TimeSeries)]) -> String {
+    let mut out = String::from("hours");
+    for (name, _) in series {
+        let _ = write!(out, ",{name}");
+    }
+    out.push('\n');
+    let Some(step) = series.first().map(|(_, s)| s.step_hours()) else {
+        return out;
+    };
+    let len = series.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for k in 0..len {
+        let _ = write!(out, "{}", k as f64 * step);
+        for (_, s) in series {
+            let vals = s.values();
+            if vals.is_empty() {
+                out.push(',');
+            } else {
+                let _ = write!(out, ",{}", vals[k.min(vals.len() - 1)]);
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Plots labelled series as a fixed-size ASCII chart.
+///
+/// Each series is drawn with its own glyph (`1`, `2`, … by position);
+/// overlapping points show the later series. The vertical axis is scaled
+/// to the maximum across all series (or `y_max` if given).
+pub fn ascii_chart(
+    series: &[(&str, &TimeSeries)],
+    width: usize,
+    height: usize,
+    y_max: Option<f64>,
+) -> String {
+    const GLYPHS: &[u8] = b"123456789abcdef";
+    let width = width.max(10);
+    let height = height.max(4);
+    if series.is_empty() || series.iter().all(|(_, s)| s.is_empty()) {
+        return String::from("(no data)\n");
+    }
+    let max_hours = series
+        .iter()
+        .map(|(_, s)| s.time_at(s.len().saturating_sub(1)))
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+    let max_y = y_max.unwrap_or_else(|| {
+        series
+            .iter()
+            .filter_map(|(_, s)| s.max_value())
+            .fold(0.0f64, f64::max)
+    });
+    let max_y = if max_y <= 0.0 { 1.0 } else { max_y };
+
+    let mut grid = vec![vec![b' '; width]; height];
+    for (si, (_, s)) in series.iter().enumerate() {
+        let glyph = GLYPHS[si % GLYPHS.len()];
+        for (t, v) in s.points() {
+            let x = ((t / max_hours) * (width - 1) as f64).round() as usize;
+            let y = ((v / max_y) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - y.min(height - 1);
+            grid[row][x.min(width - 1)] = glyph;
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{max_y:>8.0} ┤");
+    for row in &grid {
+        let _ = writeln!(out, "         │{}", String::from_utf8_lossy(row));
+    }
+    let _ = writeln!(out, "         └{}", "─".repeat(width));
+    let _ = writeln!(out, "          0{:>width$.0}h", max_hours, width = width - 1);
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "          [{}] {}", GLYPHS[si % GLYPHS.len()] as char, name);
+    }
+    out
+}
+
+/// Renders rows as a GitHub-flavored markdown table. The first column is
+/// left-aligned, the rest right-aligned (the usual shape for label +
+/// numbers).
+///
+/// # Panics
+///
+/// Panics if any row's length differs from the header's.
+///
+/// ```rust
+/// let md = mpvsim_stats::render::markdown_table(
+///     &["curve", "final"],
+///     &[vec!["Baseline".into(), "322.2".into()]],
+/// );
+/// assert!(md.starts_with("| curve | final |\n|---|---:|\n"));
+/// ```
+pub fn markdown_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::from("|");
+    for h in headers {
+        let _ = write!(out, " {h} |");
+    }
+    out.push_str("\n|");
+    for (i, _) in headers.iter().enumerate() {
+        out.push_str(if i == 0 { "---|" } else { "---:|" });
+    }
+    out.push('\n');
+    for row in rows {
+        assert_eq!(row.len(), headers.len(), "row width must match header");
+        out.push('|');
+        for cell in row {
+            let _ = write!(out, " {cell} |");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(vals: &[f64]) -> TimeSeries {
+        TimeSeries::from_values(1.0, vals.to_vec())
+    }
+
+    #[test]
+    fn csv_header_and_rows() {
+        let a = s(&[0.0, 1.0, 2.0]);
+        let b = s(&[5.0, 5.0, 5.0]);
+        let csv = to_csv(&[("a", &a), ("b", &b)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "hours,a,b");
+        assert_eq!(lines[1], "0,0,5");
+        assert_eq!(lines[3], "2,2,5");
+        assert_eq!(lines.len(), 4);
+    }
+
+    #[test]
+    fn csv_extends_short_series() {
+        let a = s(&[1.0]);
+        let b = s(&[0.0, 2.0]);
+        let csv = to_csv(&[("a", &a), ("b", &b)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[2], "1,1,2");
+    }
+
+    #[test]
+    fn csv_empty_input() {
+        assert_eq!(to_csv(&[]), "hours\n");
+    }
+
+    #[test]
+    fn chart_contains_glyphs_and_legend() {
+        let a = s(&[0.0, 10.0, 20.0, 30.0]);
+        let chart = ascii_chart(&[("rising", &a)], 40, 10, None);
+        assert!(chart.contains('1'), "glyph missing:\n{chart}");
+        assert!(chart.contains("rising"));
+        assert!(chart.contains("└"));
+    }
+
+    #[test]
+    fn chart_handles_empty_series() {
+        assert_eq!(ascii_chart(&[], 40, 10, None), "(no data)\n");
+        let empty = TimeSeries::new(1.0);
+        assert_eq!(ascii_chart(&[("e", &empty)], 40, 10, None), "(no data)\n");
+    }
+
+    #[test]
+    fn chart_respects_explicit_y_max() {
+        let a = s(&[0.0, 1.0]);
+        let chart = ascii_chart(&[("tiny", &a)], 20, 5, Some(320.0));
+        assert!(chart.contains("320"), "y-axis label missing:\n{chart}");
+    }
+
+    #[test]
+    fn chart_all_zero_series() {
+        let a = s(&[0.0, 0.0, 0.0]);
+        let chart = ascii_chart(&[("flat", &a)], 20, 5, None);
+        assert!(chart.contains("flat"));
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = markdown_table(
+            &["curve", "final", "t½"],
+            &[
+                vec!["Baseline".into(), "322".into(), "5.9".into()],
+                vec!["Wait 15".into(), "166".into(), "19.1".into()],
+            ],
+        );
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines[0], "| curve | final | t½ |");
+        assert_eq!(lines[1], "|---|---:|---:|");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[3].contains("Wait 15"));
+    }
+
+    #[test]
+    fn markdown_table_empty_rows() {
+        let md = markdown_table(&["a"], &[]);
+        assert_eq!(md.lines().count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn markdown_table_ragged_rows_panic() {
+        let _ = markdown_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn multiple_series_distinct_glyphs() {
+        let a = s(&[0.0, 30.0]);
+        let b = s(&[30.0, 0.0]);
+        let chart = ascii_chart(&[("a", &a), ("b", &b)], 30, 8, None);
+        assert!(chart.contains('1'));
+        assert!(chart.contains('2'));
+    }
+}

@@ -1,0 +1,191 @@
+//! A time series sampled on a uniform grid.
+//!
+//! One simulation replication produces one `TimeSeries`: the infection
+//! count sampled every `step_hours` hours. A uniform grid keeps
+//! cross-replication aggregation trivial (pointwise) and matches how the
+//! paper's figures are drawn.
+
+use serde::{Deserialize, Serialize};
+
+/// A uniformly sampled time series: `values[k]` is the observation at time
+/// `k * step_hours` hours.
+///
+/// ```rust
+/// use mpvsim_stats::TimeSeries;
+///
+/// let s = TimeSeries::from_values(0.5, vec![0.0, 2.0, 4.0]);
+/// assert_eq!(s.len(), 3);
+/// assert_eq!(s.time_at(2), 1.0);
+/// assert_eq!(s.final_value(), Some(4.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    step_hours: f64,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Builds a series from a sampling step (hours) and its samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_hours` is not finite and positive.
+    pub fn from_values(step_hours: f64, values: Vec<f64>) -> Self {
+        assert!(
+            step_hours.is_finite() && step_hours > 0.0,
+            "step_hours must be finite and positive"
+        );
+        TimeSeries { step_hours, values }
+    }
+
+    /// An empty series with the given step.
+    pub fn new(step_hours: f64) -> Self {
+        TimeSeries::from_values(step_hours, Vec::new())
+    }
+
+    /// Appends an observation at the next grid point.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// The sampling step, in hours.
+    pub fn step_hours(&self) -> f64 {
+        self.step_hours
+    }
+
+    /// The sample values, in time order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The time (hours) of sample `k`.
+    pub fn time_at(&self, k: usize) -> f64 {
+        k as f64 * self.step_hours
+    }
+
+    /// Iterates `(time_hours, value)` pairs.
+    pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (self.time_at(k), v))
+    }
+
+    /// The last observation.
+    pub fn final_value(&self) -> Option<f64> {
+        self.values.last().copied()
+    }
+
+    /// The largest observation.
+    pub fn max_value(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.max(v),
+            })
+        })
+    }
+
+    /// The value at the latest grid point with time ≤ `hours` (the series
+    /// is a step function). `None` if `hours` precedes the first sample.
+    pub fn value_at_hours(&self, hours: f64) -> Option<f64> {
+        if self.values.is_empty() || hours < 0.0 {
+            return None;
+        }
+        let idx = (hours / self.step_hours).floor() as usize;
+        let idx = idx.min(self.values.len() - 1);
+        Some(self.values[idx])
+    }
+
+    /// The first time (hours) at which the series reaches `threshold`,
+    /// or `None` if it never does.
+    pub fn time_to_reach(&self, threshold: f64) -> Option<f64> {
+        self.points().find(|&(_, v)| v >= threshold).map(|(t, _)| t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series() -> TimeSeries {
+        TimeSeries::from_values(2.0, vec![0.0, 5.0, 9.0, 9.0, 12.0])
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let s = series();
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.step_hours(), 2.0);
+        assert_eq!(s.values()[1], 5.0);
+        assert_eq!(s.time_at(3), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_step_rejected() {
+        let _ = TimeSeries::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn nan_step_rejected() {
+        let _ = TimeSeries::new(f64::NAN);
+    }
+
+    #[test]
+    fn push_appends_in_order() {
+        let mut s = TimeSeries::new(1.0);
+        assert!(s.is_empty());
+        s.push(1.0);
+        s.push(2.0);
+        assert_eq!(s.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn points_pair_times_with_values() {
+        let pts: Vec<_> = series().points().collect();
+        assert_eq!(pts[0], (0.0, 0.0));
+        assert_eq!(pts[4], (8.0, 12.0));
+    }
+
+    #[test]
+    fn final_and_max_values() {
+        assert_eq!(series().final_value(), Some(12.0));
+        assert_eq!(series().max_value(), Some(12.0));
+        assert_eq!(TimeSeries::new(1.0).final_value(), None);
+        assert_eq!(TimeSeries::new(1.0).max_value(), None);
+    }
+
+    #[test]
+    fn value_at_hours_steps() {
+        let s = series();
+        assert_eq!(s.value_at_hours(0.0), Some(0.0));
+        assert_eq!(s.value_at_hours(1.9), Some(0.0));
+        assert_eq!(s.value_at_hours(2.0), Some(5.0));
+        assert_eq!(s.value_at_hours(5.0), Some(9.0));
+        assert_eq!(s.value_at_hours(100.0), Some(12.0), "clamps to last");
+        assert_eq!(s.value_at_hours(-1.0), None);
+        assert_eq!(TimeSeries::new(1.0).value_at_hours(0.0), None);
+    }
+
+    #[test]
+    fn time_to_reach_finds_first_crossing() {
+        let s = series();
+        assert_eq!(s.time_to_reach(5.0), Some(2.0));
+        assert_eq!(s.time_to_reach(9.0), Some(4.0));
+        assert_eq!(s.time_to_reach(0.0), Some(0.0));
+        assert_eq!(s.time_to_reach(100.0), None);
+    }
+}

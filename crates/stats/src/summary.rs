@@ -1,0 +1,173 @@
+//! Scalar statistics over replication results.
+
+use serde::{Deserialize, Serialize};
+
+/// Normal-approximation critical value for a two-sided 95 % interval.
+pub const Z_95: f64 = 1.959_963_984_540_054;
+
+/// Mean, spread and a 95 % confidence half-width for a sample of scalars
+/// (one value per replication).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Unbiased sample variance (0 when `n < 2`).
+    pub variance: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// Half-width of the normal-approximation 95 % confidence interval on
+    /// the mean (0 when `n < 2`).
+    pub ci95_half_width: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`. Returns `None` for an empty sample.
+    ///
+    /// ```rust
+    /// let s = mpvsim_stats::Summary::of(&[2.0, 4.0, 6.0]).unwrap();
+    /// assert_eq!(s.mean, 4.0);
+    /// assert_eq!(s.min, 2.0);
+    /// assert_eq!(s.max, 6.0);
+    /// ```
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let variance = if n < 2 {
+            0.0
+        } else {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        };
+        let std_err = (variance / n as f64).sqrt();
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Some(Summary {
+            n,
+            mean,
+            variance,
+            min,
+            max,
+            ci95_half_width: Z_95 * std_err,
+        })
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance.sqrt()
+    }
+}
+
+/// The `q`-th quantile (0 ≤ q ≤ 1) by linear interpolation of the sorted
+/// sample. Returns `None` for an empty sample.
+///
+/// ```rust
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(mpvsim_stats::summary::quantile(&xs, 0.5), Some(2.5));
+/// ```
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let frac = pos - lo as f64;
+        Some(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_sample_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(quantile(&[], 0.5).is_none());
+    }
+
+    #[test]
+    fn single_value_summary() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 7.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.ci95_half_width, 0.0);
+        assert_eq!(s.min, 7.0);
+        assert_eq!(s.max, 7.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Unbiased variance of this classic sample is 32/7.
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_sample_size() {
+        let small = Summary::of(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let big_values: Vec<f64> = (0..400).map(|i| 1.0 + (i % 4) as f64).collect();
+        let big = Summary::of(&big_values).unwrap();
+        assert!(big.ci95_half_width < small.ci95_half_width / 5.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [10.0, 20.0, 30.0, 40.0, 50.0];
+        assert_eq!(quantile(&xs, 0.0), Some(10.0));
+        assert_eq!(quantile(&xs, 1.0), Some(50.0));
+        assert_eq!(quantile(&xs, 0.5), Some(30.0));
+        assert_eq!(quantile(&xs, 0.25), Some(20.0));
+        assert_eq!(quantile(&xs, 0.1), Some(14.0));
+    }
+
+    #[test]
+    fn quantile_rejects_bad_q() {
+        assert_eq!(quantile(&[1.0], -0.1), None);
+        assert_eq!(quantile(&[1.0], 1.1), None);
+    }
+
+    #[test]
+    fn quantile_unsorted_input() {
+        let xs = [3.0, 1.0, 2.0];
+        assert_eq!(quantile(&xs, 0.5), Some(2.0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_mean_within_min_max(values in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+            let s = Summary::of(&values).unwrap();
+            prop_assert!(s.mean >= s.min - 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.variance >= 0.0);
+        }
+
+        #[test]
+        fn prop_quantiles_monotone(values in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+            let q1 = quantile(&values, 0.25).unwrap();
+            let q2 = quantile(&values, 0.5).unwrap();
+            let q3 = quantile(&values, 0.75).unwrap();
+            prop_assert!(q1 <= q2 + 1e-9);
+            prop_assert!(q2 <= q3 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,183 @@
+//! Welford's online algorithm: numerically stable running mean/variance.
+//!
+//! Used by the adaptive replication runner, which keeps adding
+//! replications until the confidence interval on the final infection
+//! count is tight enough — without storing or re-scanning every sample.
+
+use serde::{Deserialize, Serialize};
+
+use crate::summary::Z_95;
+
+/// A running mean/variance accumulator (Welford's algorithm).
+///
+/// ```rust
+/// use mpvsim_stats::welford::RunningSummary;
+///
+/// let mut acc = RunningSummary::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     acc.push(x);
+/// }
+/// assert_eq!(acc.n(), 3);
+/// assert_eq!(acc.mean(), 4.0);
+/// assert_eq!(acc.variance(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningSummary {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl RunningSummary {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningSummary::default()
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations so far.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 when `n < 2`).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of the normal-approximation 95 % confidence interval on
+    /// the mean (0 when `n < 2`).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            Z_95 * (self.variance() / self.n as f64).sqrt()
+        }
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel
+    /// variant), as if every observation had been pushed here.
+    pub fn merge(&mut self, other: &RunningSummary) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n_total = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n_total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
+        *self = RunningSummary { n: n_total, mean, m2 };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Summary;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_accumulator() {
+        let acc = RunningSummary::new();
+        assert_eq!(acc.n(), 0);
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn single_observation() {
+        let mut acc = RunningSummary::new();
+        acc.push(7.5);
+        assert_eq!(acc.n(), 1);
+        assert_eq!(acc.mean(), 7.5);
+        assert_eq!(acc.variance(), 0.0);
+    }
+
+    #[test]
+    fn matches_batch_summary() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut acc = RunningSummary::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let batch = Summary::of(&xs).unwrap();
+        assert!((acc.mean() - batch.mean).abs() < 1e-12);
+        assert!((acc.variance() - batch.variance).abs() < 1e-12);
+        assert!((acc.ci95_half_width() - batch.ci95_half_width).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numerically_stable_with_large_offsets() {
+        // A classic catastrophic-cancellation case for the naive
+        // sum-of-squares formula.
+        let offset = 1e9;
+        let mut acc = RunningSummary::new();
+        for x in [offset + 4.0, offset + 7.0, offset + 13.0, offset + 16.0] {
+            acc.push(x);
+        }
+        assert!((acc.mean() - (offset + 10.0)).abs() < 1e-3);
+        assert!((acc.variance() - 30.0).abs() < 1e-6, "variance {}", acc.variance());
+    }
+
+    #[test]
+    fn merge_handles_empty_sides() {
+        let mut a = RunningSummary::new();
+        let mut b = RunningSummary::new();
+        b.push(3.0);
+        a.merge(&b);
+        assert_eq!(a.n(), 1);
+        assert_eq!(a.mean(), 3.0);
+        let empty = RunningSummary::new();
+        a.merge(&empty);
+        assert_eq!(a.n(), 1);
+    }
+
+    proptest! {
+        /// Merging two accumulators equals pushing everything into one.
+        #[test]
+        fn prop_merge_equals_concat(
+            left in proptest::collection::vec(-1e3f64..1e3, 0..40),
+            right in proptest::collection::vec(-1e3f64..1e3, 0..40),
+        ) {
+            let mut a = RunningSummary::new();
+            for &x in &left { a.push(x); }
+            let mut b = RunningSummary::new();
+            for &x in &right { b.push(x); }
+            a.merge(&b);
+
+            let mut whole = RunningSummary::new();
+            for &x in left.iter().chain(&right) { whole.push(x); }
+
+            prop_assert_eq!(a.n(), whole.n());
+            prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
+            prop_assert!((a.variance() - whole.variance()).abs() < 1e-6);
+        }
+    }
+}

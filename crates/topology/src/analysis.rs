@@ -1,0 +1,278 @@
+//! Structural analysis of generated contact networks.
+//!
+//! Used to validate that generated topologies have the properties the paper
+//! assumes: mean contact-list size on target, a heavy (power-law) degree
+//! tail, and a dominant connected component that the virus can traverse.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeId};
+
+/// Summary statistics of a graph's degree sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Mean degree (contact-list size).
+    pub mean: f64,
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Population variance of the degree sequence.
+    pub variance: f64,
+    /// Number of isolated nodes (degree 0) — phones no contact-list virus
+    /// can ever reach.
+    pub isolated: usize,
+}
+
+/// Computes [`DegreeStats`] for `g`.
+///
+/// Returns zeros for an empty graph.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.node_count();
+    if n == 0 {
+        return DegreeStats { mean: 0.0, min: 0, max: 0, variance: 0.0, isolated: 0 };
+    }
+    let degrees: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let mean = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let variance = degrees.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+    DegreeStats {
+        mean,
+        min: *degrees.iter().min().expect("nonempty"),
+        max: *degrees.iter().max().expect("nonempty"),
+        variance,
+        isolated: degrees.iter().filter(|&&d| d == 0).count(),
+    }
+}
+
+/// A histogram of degrees: `histogram[d]` = number of nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let max = g.nodes().map(|v| g.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for v in g.nodes() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+/// Sizes of all connected components, largest first.
+pub fn component_sizes(g: &Graph) -> Vec<usize> {
+    let n = g.node_count();
+    let mut visited = vec![false; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        visited[start] = true;
+        queue.push_back(NodeId(start));
+        let mut size = 0usize;
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for &w in g.neighbors(v) {
+                if !visited[w.0] {
+                    visited[w.0] = true;
+                    queue.push_back(w);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+/// Fraction of nodes in the largest connected component (0 for empty).
+pub fn largest_component_fraction(g: &Graph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    component_sizes(g).first().copied().unwrap_or(0) as f64 / n as f64
+}
+
+/// Global clustering coefficient: `3 × triangles / connected triples`.
+///
+/// Returns 0 when the graph has no connected triples.
+pub fn global_clustering(g: &Graph) -> f64 {
+    let mut triangles = 0u64;
+    let mut triples = 0u64;
+    for v in g.nodes() {
+        let neigh = g.neighbors(v);
+        let d = neigh.len() as u64;
+        triples += d * d.saturating_sub(1) / 2;
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[i + 1..] {
+                if g.contains_edge(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triples == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner = 3 times in `triangles`
+        // as written (once per vertex v with both others adjacent).
+        triangles as f64 / triples as f64
+    }
+}
+
+/// Least-squares slope of `log(count)` vs `log(degree)` over the nonzero
+/// histogram bins with degree ≥ `min_degree`.
+///
+/// For a power-law degree distribution `P(d) ∝ d^(-α)` this estimates
+/// `-α`; for an Erdős–Rényi graph the tail decays faster than any power
+/// and the fit is much steeper. Returns `None` when fewer than 3 distinct
+/// degrees qualify.
+pub fn log_log_tail_slope(g: &Graph, min_degree: usize) -> Option<f64> {
+    let hist = degree_histogram(g);
+    let points: Vec<(f64, f64)> = hist
+        .iter()
+        .enumerate()
+        .filter(|&(d, &c)| d >= min_degree.max(1) && c > 0)
+        .map(|(d, &c)| ((d as f64).ln(), (c as f64).ln()))
+        .collect();
+    if points.len() < 3 {
+        return None;
+    }
+    let n = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::GraphSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::with_nodes(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(NodeId(i), NodeId(i + 1));
+        }
+        g
+    }
+
+    #[test]
+    fn degree_stats_on_path() {
+        let g = path_graph(4);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 1.5).abs() < 1e-12);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn degree_stats_empty_graph() {
+        let s = degree_stats(&Graph::new());
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn isolated_nodes_counted() {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(degree_stats(&g).isolated, 3);
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let g = GraphSpec::erdos_renyi(200, 6.0).generate(&mut rng(1)).unwrap();
+        let hist = degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), 200);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut g = Graph::with_nodes(6);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(3), NodeId(4));
+        let sizes = component_sizes(&g);
+        assert_eq!(sizes, vec![3, 2, 1]);
+        assert!((largest_component_fraction(&g) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn complete_graph_is_one_component_with_clustering_one() {
+        let g = GraphSpec::complete(8).generate(&mut rng(2)).unwrap();
+        assert_eq!(component_sizes(&g), vec![8]);
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn path_has_zero_clustering() {
+        assert_eq!(global_clustering(&path_graph(10)), 0.0);
+    }
+
+    #[test]
+    fn triangle_has_clustering_one() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(0));
+        assert!((global_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_power_law_graph_is_mostly_connected() {
+        // The paper's topology: 1000 nodes, mean contact-list size 80.
+        // Virtually the whole population must be reachable.
+        let g = GraphSpec::power_law(1000, 80.0).generate(&mut rng(3)).unwrap();
+        assert!(largest_component_fraction(&g) > 0.98);
+    }
+
+    #[test]
+    fn power_law_tail_flatter_than_er_tail() {
+        let pl = GraphSpec::power_law(2000, 20.0).generate(&mut rng(4)).unwrap();
+        let er = GraphSpec::erdos_renyi(2000, 20.0).generate(&mut rng(5)).unwrap();
+        let slope_pl = log_log_tail_slope(&pl, 10).expect("enough bins");
+        let slope_er = log_log_tail_slope(&er, 10).expect("enough bins");
+        // Both negative; the power-law decays more slowly (slope closer to 0
+        // on the high-degree side, i.e. greater slope value).
+        assert!(slope_pl < 0.0 && slope_er < 0.0);
+        assert!(
+            slope_pl > slope_er,
+            "power-law slope {slope_pl} should be flatter than ER slope {slope_er}"
+        );
+        // The unambiguous heavy-tail signature: the degree variance of the
+        // power-law graph dwarfs the (≈ Poisson) ER variance.
+        let var_pl = degree_stats(&pl).variance;
+        let var_er = degree_stats(&er).variance;
+        assert!(
+            var_pl > 3.0 * var_er,
+            "power-law degree variance {var_pl} not ≫ ER variance {var_er}"
+        );
+    }
+
+    #[test]
+    fn tail_slope_requires_enough_points() {
+        assert_eq!(log_log_tail_slope(&path_graph(3), 1), None);
+        assert_eq!(log_log_tail_slope(&Graph::new(), 1), None);
+    }
+
+    #[test]
+    fn empty_and_single_node_edge_cases() {
+        assert_eq!(component_sizes(&Graph::new()), Vec::<usize>::new());
+        assert_eq!(largest_component_fraction(&Graph::new()), 0.0);
+        let one = Graph::with_nodes(1);
+        assert_eq!(component_sizes(&one), vec![1]);
+        assert_eq!(global_clustering(&one), 0.0);
+    }
+}

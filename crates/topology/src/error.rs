@@ -1,0 +1,69 @@
+//! Error type for invalid generator configurations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Returned when a [`crate::GraphSpec`] cannot produce a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopologyError {
+    /// The requested node count is zero.
+    EmptyPopulation,
+    /// The target mean degree is not achievable for the node count (e.g.
+    /// `mean_degree >= n` or negative/non-finite).
+    InvalidMeanDegree {
+        /// Node count requested.
+        n: usize,
+        /// Mean degree requested (stored as the raw parameter).
+        mean_degree: f64,
+    },
+    /// A probability parameter was outside `[0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+        /// Which parameter it was.
+        name: &'static str,
+    },
+    /// A structural parameter was out of range (e.g. Watts–Strogatz `k`
+    /// larger than `n - 1` or odd).
+    InvalidParameter(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::EmptyPopulation => write!(f, "graph must have at least one node"),
+            TopologyError::InvalidMeanDegree { n, mean_degree } => write!(
+                f,
+                "mean degree {mean_degree} is not achievable with {n} nodes"
+            ),
+            TopologyError::InvalidProbability { value, name } => {
+                write!(f, "{name} = {value} is not a probability in [0, 1]")
+            }
+            TopologyError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TopologyError::InvalidMeanDegree { n: 10, mean_degree: 50.0 };
+        assert!(e.to_string().contains("50"));
+        assert!(e.to_string().contains("10"));
+        let e = TopologyError::InvalidProbability { value: 1.5, name: "beta" };
+        assert!(e.to_string().contains("beta"));
+        assert!(!TopologyError::EmptyPopulation.to_string().is_empty());
+        assert!(TopologyError::InvalidParameter("k odd".into()).to_string().contains("k odd"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err<E: std::error::Error + Send + Sync + 'static>(_: E) {}
+        takes_err(TopologyError::EmptyPopulation);
+    }
+}

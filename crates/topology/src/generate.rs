@@ -1,0 +1,498 @@
+//! Graph generators.
+//!
+//! The paper's contact network is a power-law random graph with mean
+//! contact-list size 80 over 1000 phones (generated with NGCE). The
+//! substitute here is a **Chung–Lu** expected-degree model: each node gets
+//! a weight drawn from a truncated Pareto distribution scaled so the mean
+//! weight equals the target mean degree, and each pair `{i, j}` is
+//! connected independently with probability `min(1, w_i·w_j / Σw)`. The
+//! expected degree of node `i` is then ≈ `w_i`, so the degree sequence
+//! inherits the Pareto (power-law) tail and the mean lands on target.
+//!
+//! Erdős–Rényi, Watts–Strogatz, ring-lattice and complete generators are
+//! provided for topology-sensitivity ablations.
+
+use std::collections::HashSet;
+
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+use crate::error::TopologyError;
+use crate::graph::{Graph, NodeId};
+
+/// Default power-law exponent; email-address-book studies (the paper's
+/// stated analogy for contact lists) report tail exponents near 2.
+pub const DEFAULT_POWER_LAW_EXPONENT: f64 = 2.1;
+
+/// A serializable description of a graph family + parameters.
+///
+/// ```rust
+/// use mpvsim_topology::GraphSpec;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let g = GraphSpec::erdos_renyi(200, 10.0).generate(&mut rng)?;
+/// assert_eq!(g.node_count(), 200);
+/// # Ok::<(), mpvsim_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum GraphSpec {
+    /// Chung–Lu power-law graph with the given node count, target mean
+    /// degree and tail exponent.
+    PowerLaw {
+        /// Number of nodes.
+        n: usize,
+        /// Target mean degree (the paper uses 80).
+        mean_degree: f64,
+        /// Power-law tail exponent (> 1).
+        exponent: f64,
+    },
+    /// Erdős–Rényi `G(n, p)` with `p` chosen to hit the target mean degree.
+    ErdosRenyi {
+        /// Number of nodes.
+        n: usize,
+        /// Target mean degree.
+        mean_degree: f64,
+    },
+    /// Watts–Strogatz small-world graph: ring lattice with `k` neighbours
+    /// per node (k even), each edge rewired with probability `beta`.
+    WattsStrogatz {
+        /// Number of nodes.
+        n: usize,
+        /// Lattice degree (even, `< n`).
+        k: usize,
+        /// Rewiring probability in `[0, 1]`.
+        beta: f64,
+    },
+    /// Ring lattice: node `i` linked to its `k/2` nearest neighbours on
+    /// each side.
+    Ring {
+        /// Number of nodes.
+        n: usize,
+        /// Lattice degree (even, `< n`).
+        k: usize,
+    },
+    /// The complete graph on `n` nodes.
+    Complete {
+        /// Number of nodes.
+        n: usize,
+    },
+}
+
+impl GraphSpec {
+    /// Power-law spec with the default exponent
+    /// ([`DEFAULT_POWER_LAW_EXPONENT`]).
+    pub fn power_law(n: usize, mean_degree: f64) -> Self {
+        GraphSpec::PowerLaw {
+            n,
+            mean_degree,
+            exponent: DEFAULT_POWER_LAW_EXPONENT,
+        }
+    }
+
+    /// Power-law spec with an explicit tail exponent.
+    pub fn power_law_with_exponent(n: usize, mean_degree: f64, exponent: f64) -> Self {
+        GraphSpec::PowerLaw { n, mean_degree, exponent }
+    }
+
+    /// Erdős–Rényi spec.
+    pub fn erdos_renyi(n: usize, mean_degree: f64) -> Self {
+        GraphSpec::ErdosRenyi { n, mean_degree }
+    }
+
+    /// Watts–Strogatz spec.
+    pub fn watts_strogatz(n: usize, k: usize, beta: f64) -> Self {
+        GraphSpec::WattsStrogatz { n, k, beta }
+    }
+
+    /// Ring-lattice spec.
+    pub fn ring(n: usize, k: usize) -> Self {
+        GraphSpec::Ring { n, k }
+    }
+
+    /// Complete-graph spec.
+    pub fn complete(n: usize) -> Self {
+        GraphSpec::Complete { n }
+    }
+
+    /// The node count this spec will produce.
+    pub fn node_count(&self) -> usize {
+        match *self {
+            GraphSpec::PowerLaw { n, .. }
+            | GraphSpec::ErdosRenyi { n, .. }
+            | GraphSpec::WattsStrogatz { n, .. }
+            | GraphSpec::Ring { n, .. }
+            | GraphSpec::Complete { n } => n,
+        }
+    }
+
+    /// Validates the parameters without generating.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation a call to [`GraphSpec::generate`] would hit.
+    pub fn validate(&self) -> Result<(), TopologyError> {
+        let n = self.node_count();
+        if n == 0 {
+            return Err(TopologyError::EmptyPopulation);
+        }
+        match *self {
+            GraphSpec::PowerLaw { mean_degree, exponent, .. } => {
+                check_mean_degree(n, mean_degree)?;
+                if exponent <= 1.0 || !exponent.is_finite() {
+                    return Err(TopologyError::InvalidParameter(format!(
+                        "power-law exponent must be finite and > 1, got {exponent}"
+                    )));
+                }
+                Ok(())
+            }
+            GraphSpec::ErdosRenyi { mean_degree, .. } => check_mean_degree(n, mean_degree),
+            GraphSpec::WattsStrogatz { k, beta, .. } => {
+                check_lattice_degree(n, k)?;
+                if !(0.0..=1.0).contains(&beta) || !beta.is_finite() {
+                    return Err(TopologyError::InvalidProbability { value: beta, name: "beta" });
+                }
+                Ok(())
+            }
+            GraphSpec::Ring { k, .. } => check_lattice_degree(n, k),
+            GraphSpec::Complete { .. } => Ok(()),
+        }
+    }
+
+    /// Generates a graph from this spec using `rng`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] when the parameters are invalid (see
+    /// [`GraphSpec::validate`]).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Graph, TopologyError> {
+        self.validate()?;
+        let g = match *self {
+            GraphSpec::PowerLaw { n, mean_degree, exponent } => {
+                chung_lu(n, mean_degree, exponent, rng)
+            }
+            GraphSpec::ErdosRenyi { n, mean_degree } => erdos_renyi(n, mean_degree, rng),
+            GraphSpec::WattsStrogatz { n, k, beta } => watts_strogatz(n, k, beta, rng),
+            GraphSpec::Ring { n, k } => ring_lattice(n, k),
+            GraphSpec::Complete { n } => complete(n),
+        };
+        debug_assert!(g.validate().is_ok());
+        Ok(g)
+    }
+}
+
+fn check_mean_degree(n: usize, mean_degree: f64) -> Result<(), TopologyError> {
+    if !mean_degree.is_finite() || mean_degree < 0.0 || mean_degree > (n - 1) as f64 {
+        Err(TopologyError::InvalidMeanDegree { n, mean_degree })
+    } else {
+        Ok(())
+    }
+}
+
+fn check_lattice_degree(n: usize, k: usize) -> Result<(), TopologyError> {
+    if !k.is_multiple_of(2) {
+        Err(TopologyError::InvalidParameter(format!("lattice degree k = {k} must be even")))
+    } else if k >= n {
+        Err(TopologyError::InvalidParameter(format!("lattice degree k = {k} must be < n = {n}")))
+    } else {
+        Ok(())
+    }
+}
+
+/// Chung–Lu expected-degree power-law graph.
+fn chung_lu<R: Rng + ?Sized>(n: usize, mean_degree: f64, exponent: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    if mean_degree == 0.0 || n < 2 {
+        return g;
+    }
+    // Pareto(shape = exponent - 1, min = 1) weights.
+    let shape = exponent - 1.0;
+    let mut weights: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.random();
+            (1.0 - u).powf(-1.0 / shape)
+        })
+        .collect();
+    // Scale to the target mean.
+    let mean_w: f64 = weights.iter().sum::<f64>() / n as f64;
+    let scale = mean_degree / mean_w;
+    for w in &mut weights {
+        *w *= scale;
+    }
+    // Truncate the heaviest weights so no single pair dominates with
+    // probability 1 everywhere (w_i w_j / S <= 1 for the bulk).
+    let total: f64 = weights.iter().sum();
+    let cap = total.sqrt();
+    for w in &mut weights {
+        if *w > cap {
+            *w = cap;
+        }
+    }
+    let total: f64 = weights.iter().sum();
+    // Clipping `min(1, ·)` plus the cap removes probability mass, so the
+    // raw Chung–Lu rule undershoots the target mean degree. Binary-search a
+    // global factor c in p_ij = min(1, c·w_i·w_j/Σw) so that the *expected*
+    // mean degree equals the target.
+    let expected_degree_sum = |c: f64| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                s += (c * weights[i] * weights[j] / total).min(1.0);
+            }
+        }
+        2.0 * s
+    };
+    let target_sum = mean_degree * n as f64;
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    while expected_degree_sum(hi) < target_sum && hi < 1e6 {
+        lo = hi;
+        hi *= 2.0;
+    }
+    for _ in 0..30 {
+        let mid = 0.5 * (lo + hi);
+        if expected_degree_sum(mid) < target_sum {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let c = 0.5 * (lo + hi);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let p = (c * weights[i] * weights[j] / total).min(1.0);
+            if p > 0.0 && rng.random::<f64>() < p {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+    }
+    g
+}
+
+/// Erdős–Rényi `G(n, p)` with `p = mean_degree / (n - 1)`.
+fn erdos_renyi<R: Rng + ?Sized>(n: usize, mean_degree: f64, rng: &mut R) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    if n < 2 {
+        return g;
+    }
+    let p = mean_degree / (n - 1) as f64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random::<f64>() < p {
+                g.add_edge(NodeId(i), NodeId(j));
+            }
+        }
+    }
+    g
+}
+
+/// Ring lattice: `i ~ i ± 1..=k/2 (mod n)`.
+fn ring_lattice(n: usize, k: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        for d in 1..=(k / 2) {
+            let j = (i + d) % n;
+            g.add_edge(NodeId(i), NodeId(j));
+        }
+    }
+    g
+}
+
+/// Watts–Strogatz: ring lattice, then each lattice edge `(i, i+d)` is
+/// rewired to `(i, random)` with probability `beta`, skipping rewires that
+/// would create self-loops or parallel edges.
+fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+    // Edge set as ordered pairs (low, high) for cheap membership tests.
+    let mut edges: HashSet<(usize, usize)> = HashSet::new();
+    let norm = |a: usize, b: usize| if a < b { (a, b) } else { (b, a) };
+    for i in 0..n {
+        for d in 1..=(k / 2) {
+            edges.insert(norm(i, (i + d) % n));
+        }
+    }
+    // Rewire in deterministic lattice order.
+    for i in 0..n {
+        for d in 1..=(k / 2) {
+            let j = (i + d) % n;
+            let key = norm(i, j);
+            if !edges.contains(&key) {
+                continue; // already rewired away by an earlier step
+            }
+            if rng.random::<f64>() < beta {
+                let target = rng.random_range(0..n);
+                let new_key = norm(i, target);
+                if target != i && !edges.contains(&new_key) {
+                    edges.remove(&key);
+                    edges.insert(new_key);
+                }
+            }
+        }
+    }
+    let mut g = Graph::with_nodes(n);
+    let mut sorted: Vec<_> = edges.into_iter().collect();
+    sorted.sort_unstable(); // deterministic insertion order
+    for (a, b) in sorted {
+        g.add_edge(NodeId(a), NodeId(b));
+    }
+    g
+}
+
+/// The complete graph.
+fn complete(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId(i), NodeId(j));
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn power_law_hits_target_mean_degree() {
+        let g = GraphSpec::power_law(1000, 80.0).generate(&mut rng(1)).unwrap();
+        assert_eq!(g.node_count(), 1000);
+        let mean = g.mean_degree();
+        assert!((mean - 80.0).abs() < 8.0, "mean degree {mean} not ≈ 80");
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn power_law_has_heavy_tail() {
+        let g = GraphSpec::power_law(1000, 20.0).generate(&mut rng(2)).unwrap();
+        let max_deg = g.nodes().map(|v| g.degree(v)).max().unwrap();
+        let mean = g.mean_degree();
+        // A power-law graph's max degree is far above the mean; an ER
+        // graph with the same mean would have max ≈ mean + 5σ ≈ 2× mean.
+        assert!(
+            (max_deg as f64) > 3.0 * mean,
+            "max degree {max_deg} too close to mean {mean} for a heavy tail"
+        );
+    }
+
+    #[test]
+    fn erdos_renyi_hits_target_mean_degree() {
+        let g = GraphSpec::erdos_renyi(1000, 12.0).generate(&mut rng(3)).unwrap();
+        let mean = g.mean_degree();
+        assert!((mean - 12.0).abs() < 1.5, "mean degree {mean} not ≈ 12");
+    }
+
+    #[test]
+    fn ring_is_exactly_regular() {
+        let g = GraphSpec::ring(20, 4).generate(&mut rng(4)).unwrap();
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        assert_eq!(g.edge_count(), 40);
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = GraphSpec::complete(10).generate(&mut rng(5)).unwrap();
+        assert_eq!(g.edge_count(), 45);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 9);
+        }
+    }
+
+    #[test]
+    fn watts_strogatz_preserves_edge_count() {
+        let g = GraphSpec::watts_strogatz(100, 6, 0.3).generate(&mut rng(6)).unwrap();
+        // Rewiring moves edges but (apart from skipped conflicts) does not
+        // remove them; edge count stays within a few of the lattice count.
+        let lattice_edges = 100 * 3;
+        assert!(g.edge_count() <= lattice_edges);
+        assert!(g.edge_count() >= lattice_edges - 20);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn watts_strogatz_beta_zero_is_lattice() {
+        let ws = GraphSpec::watts_strogatz(30, 4, 0.0).generate(&mut rng(7)).unwrap();
+        let ring = GraphSpec::ring(30, 4).generate(&mut rng(8)).unwrap();
+        let mut a: Vec<_> = ws.edges().collect();
+        let mut b: Vec<_> = ring.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = GraphSpec::power_law(300, 15.0);
+        let g1 = spec.generate(&mut rng(42)).unwrap();
+        let g2 = spec.generate(&mut rng(42)).unwrap();
+        let e1: Vec<_> = g1.edges().collect();
+        let e2: Vec<_> = g2.edges().collect();
+        assert_eq!(e1, e2);
+        let g3 = spec.generate(&mut rng(43)).unwrap();
+        assert_ne!(e1, g3.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_mean_degree_gives_empty_graph() {
+        let g = GraphSpec::erdos_renyi(50, 0.0).generate(&mut rng(9)).unwrap();
+        assert_eq!(g.edge_count(), 0);
+        let g = GraphSpec::power_law(50, 0.0).generate(&mut rng(10)).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn invalid_specs_rejected() {
+        assert_eq!(
+            GraphSpec::power_law(0, 5.0).validate(),
+            Err(TopologyError::EmptyPopulation)
+        );
+        assert!(matches!(
+            GraphSpec::erdos_renyi(10, 20.0).validate(),
+            Err(TopologyError::InvalidMeanDegree { .. })
+        ));
+        assert!(matches!(
+            GraphSpec::erdos_renyi(10, f64::NAN).validate(),
+            Err(TopologyError::InvalidMeanDegree { .. })
+        ));
+        assert!(matches!(
+            GraphSpec::watts_strogatz(10, 3, 0.5).validate(),
+            Err(TopologyError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            GraphSpec::watts_strogatz(10, 4, 1.5).validate(),
+            Err(TopologyError::InvalidProbability { .. })
+        ));
+        assert!(matches!(
+            GraphSpec::ring(10, 10).validate(),
+            Err(TopologyError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            GraphSpec::power_law_with_exponent(10, 3.0, 1.0).validate(),
+            Err(TopologyError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn single_node_specs_degenerate_gracefully() {
+        let g = GraphSpec::complete(1).generate(&mut rng(11)).unwrap();
+        assert_eq!(g.node_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        let g = GraphSpec::erdos_renyi(1, 0.0).generate(&mut rng(12)).unwrap();
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn node_count_accessor() {
+        assert_eq!(GraphSpec::power_law(7, 2.0).node_count(), 7);
+        assert_eq!(GraphSpec::complete(3).node_count(), 3);
+        assert_eq!(GraphSpec::ring(9, 2).node_count(), 9);
+        assert_eq!(GraphSpec::watts_strogatz(11, 2, 0.1).node_count(), 11);
+        assert_eq!(GraphSpec::erdos_renyi(13, 2.0).node_count(), 13);
+    }
+}

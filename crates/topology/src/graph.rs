@@ -1,0 +1,303 @@
+//! An undirected simple graph stored as adjacency lists.
+//!
+//! Nodes are dense indices (`NodeId`), matching the paper's "each phone is
+//! assigned a unique identification number". Edges are reciprocal by
+//! construction: inserting `(a, b)` makes `b` a neighbour of `a` *and*
+//! `a` a neighbour of `b`, which is the paper's reciprocal-contact-list
+//! invariant ("if phone 22 is in the contact list of phone 83, then phone
+//! 83 is in the contact list of phone 22").
+
+use std::collections::HashSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A node (phone) index in a [`Graph`]; dense in `0..node_count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub usize);
+
+impl NodeId {
+    /// The underlying dense index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(i: usize) -> Self {
+        NodeId(i)
+    }
+}
+
+/// An undirected simple graph: no self-loops, no parallel edges.
+///
+/// ```rust
+/// use mpvsim_topology::{Graph, NodeId};
+///
+/// let mut g = Graph::with_nodes(3);
+/// assert!(g.add_edge(NodeId(0), NodeId(1)));
+/// assert!(!g.add_edge(NodeId(1), NodeId(0)), "duplicate (reciprocal) edge");
+/// assert_eq!(g.degree(NodeId(0)), 1);
+/// assert!(g.contains_edge(NodeId(1), NodeId(0)));
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Graph {
+    adjacency: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Graph {
+    /// An empty graph with no nodes.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// A graph with `n` isolated nodes.
+    pub fn with_nodes(n: usize) -> Self {
+        Graph {
+            adjacency: vec![Vec::new(); n],
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Appends a new isolated node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.adjacency.push(Vec::new());
+        NodeId(self.adjacency.len() - 1)
+    }
+
+    /// Inserts the undirected edge `{a, b}`.
+    ///
+    /// Returns `true` if the edge was new, `false` if it already existed or
+    /// was a self-loop (both are ignored, keeping the graph simple).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        let n = self.node_count();
+        assert!(a.0 < n && b.0 < n, "edge endpoint out of range");
+        if a == b || self.contains_edge(a, b) {
+            return false;
+        }
+        self.adjacency[a.0].push(b);
+        self.adjacency[b.0].push(a);
+        self.edge_count += 1;
+        true
+    }
+
+    /// True when `{a, b}` is an edge. Out-of-range ids are simply absent.
+    pub fn contains_edge(&self, a: NodeId, b: NodeId) -> bool {
+        match self.adjacency.get(a.0) {
+            Some(neigh) => neigh.contains(&b),
+            None => false,
+        }
+    }
+
+    /// The neighbours of `node` (its contact list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.adjacency[node.0]
+    }
+
+    /// The degree (contact-list size) of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adjacency[node.0].len()
+    }
+
+    /// Iterates over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count()).map(NodeId)
+    }
+
+    /// Iterates over each undirected edge once, as `(low, high)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adjacency.iter().enumerate().flat_map(|(i, neigh)| {
+            neigh
+                .iter()
+                .filter(move |j| i < j.0)
+                .map(move |&j| (NodeId(i), j))
+        })
+    }
+
+    /// Mean degree over all nodes (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.adjacency.is_empty() {
+            0.0
+        } else {
+            2.0 * self.edge_count as f64 / self.adjacency.len() as f64
+        }
+    }
+
+    /// Checks the reciprocal-contact-list invariant and simplicity;
+    /// used by tests and after deserializing untrusted graphs.
+    ///
+    /// Returns a human-readable description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.node_count();
+        let mut counted = 0usize;
+        for (i, neigh) in self.adjacency.iter().enumerate() {
+            let mut seen = HashSet::with_capacity(neigh.len());
+            for &NodeId(j) in neigh {
+                if j >= n {
+                    return Err(format!("node {i} links to out-of-range node {j}"));
+                }
+                if j == i {
+                    return Err(format!("self-loop at node {i}"));
+                }
+                if !seen.insert(j) {
+                    return Err(format!("parallel edge {i}-{j}"));
+                }
+                if !self.adjacency[j].contains(&NodeId(i)) {
+                    return Err(format!("edge {i}->{j} not reciprocated"));
+                }
+                counted += 1;
+            }
+        }
+        if counted != 2 * self.edge_count {
+            return Err(format!(
+                "edge_count {} inconsistent with adjacency ({} directed entries)",
+                self.edge_count, counted
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::new();
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = Graph::with_nodes(4);
+        assert!(g.add_edge(NodeId(0), NodeId(1)));
+        assert!(g.add_edge(NodeId(1), NodeId(2)));
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(NodeId(1)), 2);
+        assert_eq!(g.degree(NodeId(3)), 0);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn edges_are_reciprocal() {
+        let mut g = Graph::with_nodes(2);
+        g.add_edge(NodeId(0), NodeId(1));
+        assert!(g.contains_edge(NodeId(0), NodeId(1)));
+        assert!(g.contains_edge(NodeId(1), NodeId(0)));
+        assert_eq!(g.neighbors(NodeId(1)), &[NodeId(0)]);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_rejected() {
+        let mut g = Graph::with_nodes(2);
+        assert!(!g.add_edge(NodeId(0), NodeId(0)));
+        assert!(g.add_edge(NodeId(0), NodeId(1)));
+        assert!(!g.add_edge(NodeId(0), NodeId(1)));
+        assert!(!g.add_edge(NodeId(1), NodeId(0)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut g = Graph::with_nodes(1);
+        g.add_edge(NodeId(0), NodeId(5));
+    }
+
+    #[test]
+    fn add_node_returns_fresh_id() {
+        let mut g = Graph::with_nodes(1);
+        let id = g.add_node();
+        assert_eq!(id, NodeId(1));
+        assert_eq!(g.node_count(), 2);
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(2), NodeId(1));
+        g.add_edge(NodeId(3), NodeId(0));
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), g.edge_count());
+        for (a, b) in edges {
+            assert!(a < b);
+        }
+    }
+
+    #[test]
+    fn mean_degree_matches_handshake_lemma() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(1), NodeId(2));
+        assert!((g.mean_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validate_detects_corruption() {
+        let mut g = Graph::with_nodes(3);
+        g.add_edge(NodeId(0), NodeId(1));
+        // Corrupt: drop the reciprocal entry via serde round-trip surgery.
+        let mut bad = g.clone();
+        // Reach into the struct through its serialized representation is
+        // overkill; construct the corruption directly instead.
+        bad.adjacency[1].clear();
+        assert!(bad.validate().is_err());
+        assert!(g.validate().is_ok());
+    }
+
+    proptest! {
+        /// Randomly built graphs always satisfy the structural invariants.
+        #[test]
+        fn prop_random_graphs_valid(
+            n in 1usize..40,
+            pairs in proptest::collection::vec((0usize..40, 0usize..40), 0..200)
+        ) {
+            let mut g = Graph::with_nodes(n);
+            for (a, b) in pairs {
+                let (a, b) = (a % n, b % n);
+                g.add_edge(NodeId(a), NodeId(b));
+            }
+            prop_assert!(g.validate().is_ok());
+            // Handshake lemma.
+            let degree_sum: usize = g.nodes().map(|v| g.degree(v)).sum();
+            prop_assert_eq!(degree_sum, 2 * g.edge_count());
+            // edges() agrees with edge_count.
+            prop_assert_eq!(g.edges().count(), g.edge_count());
+        }
+    }
+}

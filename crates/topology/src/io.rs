@@ -1,0 +1,251 @@
+//! Contact-list file format.
+//!
+//! The paper's pipeline wrote the generated graph to "a contact list
+//! output file to be read as input by our Möbius model" (§4.3). This
+//! module reproduces that interface so topologies can be generated once,
+//! inspected or edited by hand, and replayed across experiments.
+//!
+//! ## Format
+//!
+//! Plain text, one phone per line:
+//!
+//! ```text
+//! # mpvsim contact lists v1
+//! # nodes: 4
+//! 0: 1 2
+//! 1: 0
+//! 2: 0 3
+//! 3: 2
+//! ```
+//!
+//! Lines starting with `#` are comments; the `nodes:` header fixes the
+//! population size (isolated phones need no line of their own). Edges
+//! must be reciprocal — the reader verifies this and rejects files that
+//! violate it.
+
+use std::io::{BufRead, Write};
+
+use crate::error::TopologyError;
+use crate::graph::{Graph, NodeId};
+
+/// Writes `graph` in the contact-list format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `out`.
+pub fn write_contact_lists<W: Write>(graph: &Graph, mut out: W) -> std::io::Result<()> {
+    writeln!(out, "# mpvsim contact lists v1")?;
+    writeln!(out, "# nodes: {}", graph.node_count())?;
+    for node in graph.nodes() {
+        let neighbors = graph.neighbors(node);
+        if neighbors.is_empty() {
+            continue;
+        }
+        write!(out, "{}:", node.index())?;
+        for n in neighbors {
+            write!(out, " {}", n.index())?;
+        }
+        writeln!(out)?;
+    }
+    Ok(())
+}
+
+/// Renders `graph` in the contact-list format as a `String`.
+pub fn to_contact_list_string(graph: &Graph) -> String {
+    let mut buf = Vec::new();
+    write_contact_lists(graph, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("format is ASCII")
+}
+
+/// Reads a graph from the contact-list format.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::InvalidParameter`] on syntax errors,
+/// out-of-range phone ids, self-loops, or non-reciprocal files, and on
+/// underlying I/O failures.
+pub fn read_contact_lists<R: BufRead>(input: R) -> Result<Graph, TopologyError> {
+    let syntax = |line_no: usize, msg: String| {
+        TopologyError::InvalidParameter(format!("line {line_no}: {msg}"))
+    };
+    let mut nodes: Option<usize> = None;
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (idx, line) in input.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line
+            .map_err(|e| TopologyError::InvalidParameter(format!("line {line_no}: I/O: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('#') {
+            if let Some(n) = rest.trim().strip_prefix("nodes:") {
+                let parsed: usize = n
+                    .trim()
+                    .parse()
+                    .map_err(|_| syntax(line_no, format!("bad node count {n:?}")))?;
+                nodes = Some(parsed);
+            }
+            continue;
+        }
+        let (head, tail) = trimmed
+            .split_once(':')
+            .ok_or_else(|| syntax(line_no, "expected `<id>: <contacts…>`".to_owned()))?;
+        let from: usize = head
+            .trim()
+            .parse()
+            .map_err(|_| syntax(line_no, format!("bad phone id {head:?}")))?;
+        for tok in tail.split_whitespace() {
+            let to: usize = tok
+                .parse()
+                .map_err(|_| syntax(line_no, format!("bad contact id {tok:?}")))?;
+            edges.push((from, to));
+        }
+    }
+    let n = nodes.ok_or_else(|| {
+        TopologyError::InvalidParameter("missing `# nodes: N` header".to_owned())
+    })?;
+
+    let mut graph = Graph::with_nodes(n);
+    for &(a, b) in &edges {
+        if a >= n || b >= n {
+            return Err(TopologyError::InvalidParameter(format!(
+                "contact {a}-{b} out of range for {n} phones"
+            )));
+        }
+        if a == b {
+            return Err(TopologyError::InvalidParameter(format!("self-loop at phone {a}")));
+        }
+    }
+    // Reciprocity: every directed entry must have its mirror.
+    let mut sorted: Vec<(usize, usize)> = edges.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    for &(a, b) in &sorted {
+        if sorted.binary_search(&(b, a)).is_err() {
+            return Err(TopologyError::InvalidParameter(format!(
+                "contact lists not reciprocal: {a} lists {b} but not vice versa"
+            )));
+        }
+    }
+    for (a, b) in sorted {
+        if a < b {
+            graph.add_edge(NodeId(a), NodeId(b));
+        }
+    }
+    Ok(graph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::GraphSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::with_nodes(4);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(2));
+        g.add_edge(NodeId(2), NodeId(3));
+        g
+    }
+
+    #[test]
+    fn writes_expected_format() {
+        let text = to_contact_list_string(&sample_graph());
+        assert!(text.starts_with("# mpvsim contact lists v1\n# nodes: 4\n"));
+        assert!(text.contains("0: 1 2\n"));
+        assert!(text.contains("3: 2\n"));
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = sample_graph();
+        let text = to_contact_list_string(&g);
+        let back = read_contact_lists(text.as_bytes()).expect("roundtrip");
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            let mut a: Vec<_> = g.neighbors(v).to_vec();
+            let mut b: Vec<_> = back.neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "neighborhood of {v} changed");
+        }
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn roundtrip_generated_power_law() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = GraphSpec::power_law(200, 12.0).generate(&mut rng).unwrap();
+        let back = read_contact_lists(to_contact_list_string(&g).as_bytes()).unwrap();
+        assert_eq!(back.edge_count(), g.edge_count());
+        assert!(back.validate().is_ok());
+    }
+
+    #[test]
+    fn isolated_nodes_survive_roundtrip() {
+        let g = Graph::with_nodes(7); // no edges at all
+        let back = read_contact_lists(to_contact_list_string(&g).as_bytes()).unwrap();
+        assert_eq!(back.node_count(), 7);
+        assert_eq!(back.edge_count(), 0);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        let err = read_contact_lists("0: 1\n1: 0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("nodes"), "{err}");
+    }
+
+    #[test]
+    fn non_reciprocal_rejected() {
+        let text = "# nodes: 3\n0: 1\n";
+        let err = read_contact_lists(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("reciprocal"), "{err}");
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let text = "# nodes: 2\n0: 0\n";
+        let err = read_contact_lists(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("self-loop"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let text = "# nodes: 2\n0: 5\n5: 0\n";
+        let err = read_contact_lists(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn bad_syntax_reports_line_numbers() {
+        let text = "# nodes: 2\nnot-a-line\n";
+        let err = read_contact_lists(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let text = "# nodes: 2\n0: x\n";
+        let err = read_contact_lists(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+
+        let text = "# nodes: zebra\n";
+        let err = read_contact_lists(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("bad node count"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# mpvsim contact lists v1\n\n# nodes: 2\n# a comment\n0: 1\n1: 0\n\n";
+        let g = read_contact_lists(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_entries_collapse() {
+        let text = "# nodes: 2\n0: 1 1\n1: 0 0\n";
+        let g = read_contact_lists(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+}

@@ -1,0 +1,63 @@
+//! Analytic comparison: race the stochastic simulator against the
+//! Kephart–White-style mean-field model for the random-dialing Virus 3.
+//!
+//! The mean-field limit is the closest thing a simulation study has to
+//! ground truth; seeing the two curves track each other is the cheapest
+//! way to convince yourself the simulator's stochastic machinery is
+//! sound.
+//!
+//! ```text
+//! cargo run --release --example analytic_comparison
+//! ```
+
+use mpvsim::core::meanfield::{integrate, MeanFieldParams};
+use mpvsim::prelude::*;
+use mpvsim::stats::render::ascii_chart;
+
+fn main() -> Result<(), ConfigError> {
+    let n = 1000;
+    let horizon = SimDuration::from_hours(24);
+
+    // Stochastic simulator: 10 replications of the Virus 3 baseline.
+    let config = ScenarioConfig::baseline(VirusProfile::virus3()).with_horizon(horizon);
+    let sim = run_experiment(&config, 10, 2007, 4)?;
+    let sim_curve = sim.mean_series();
+
+    // Mean-field model with the same parameters.
+    let params = MeanFieldParams::virus3_baseline(n);
+    let analytic = integrate(&params, horizon, SimDuration::from_hours(1));
+
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "", "simulator", "mean-field"
+    );
+    println!(
+        "{:<24} {:>12.1} {:>12.1}",
+        "final infected",
+        sim.final_infected.mean,
+        analytic.final_value().unwrap_or(f64::NAN),
+    );
+    let half = analytic.final_value().unwrap_or(0.0) / 2.0;
+    println!(
+        "{:<24} {:>12} {:>12}",
+        "time to half-plateau (h)",
+        sim.mean_time_to_reach(half).map(|t| format!("{t:.1}")).unwrap_or_default(),
+        analytic.time_to_reach(half).map(|t| format!("{t:.1}")).unwrap_or_default(),
+    );
+
+    println!(
+        "\n{}",
+        ascii_chart(
+            &[("simulator (10 reps)", &sim_curve), ("mean-field", &analytic)],
+            70,
+            16,
+            Some(330.0),
+        )
+    );
+    println!(
+        "The deterministic curve threads the Monte-Carlo one: the same\n\
+         offer-accumulation law `AF/2^n` drives both, so agreement here\n\
+         validates the event machinery rather than the epidemiology."
+    );
+    Ok(())
+}

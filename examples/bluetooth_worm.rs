@@ -1,0 +1,59 @@
+//! Bluetooth worm: the paper's §6 future-work vector, runnable.
+//!
+//! A Cabir-style worm spreads only to phones within radio range of its
+//! host, carried through a 1 km² downtown by random-waypoint pedestrians.
+//! Compare how the paper's mechanisms fare against it — and see why the
+//! provider-side ones are helpless.
+//!
+//! ```text
+//! cargo run --release --example bluetooth_worm
+//! ```
+
+use mpvsim::prelude::*;
+
+fn main() -> Result<(), ConfigError> {
+    let base = ScenarioConfig::baseline(VirusProfile::bluetooth_worm())
+        .with_horizon(SimDuration::from_hours(72))
+        .with_mobility(MobilityConfig::downtown());
+
+    println!("Bluetooth worm, 1000 phones, 1 km² arena, 72 h, 5 replications\n");
+    println!("{:<40} {:>10}", "defense", "infected");
+
+    let arms: Vec<(&str, ResponseConfig)> = vec![
+        ("none (baseline)", ResponseConfig::none()),
+        (
+            "gateway scan, instant signature",
+            ResponseConfig::none().with_signature_scan(SignatureScan {
+                activation_delay: SimDuration::ZERO,
+            }),
+        ),
+        (
+            "user education (acceptance halved)",
+            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.5 }),
+        ),
+        (
+            "immunization (6 h dev + 1 h rollout)",
+            ResponseConfig::none().with_immunization(Immunization::uniform(
+                SimDuration::from_hours(6),
+                SimDuration::from_hours(1),
+            )),
+        ),
+    ];
+    for (name, response) in arms {
+        let mut config = base.clone().with_response(response);
+        // The worm sends no MMS, so detectability must come from user
+        // reports rather than gateway counts; model that as a low
+        // threshold on observed infections via the hybrid's BT offers.
+        config.detect_threshold = 1;
+        let result = run_experiment(&config, 5, 7, 4)?;
+        println!("{:<40} {:>10.1}", name, result.final_infected.mean);
+    }
+
+    println!(
+        "\nThe MMS gateways never see a proximity transfer, so the scan is\n\
+         inert. Only the phone-resident defenses — education and patching —\n\
+         touch a Bluetooth worm, and the patch must be fast: this worm\n\
+         reaches half its plateau in ≈ 16 hours."
+    );
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Defense in depth: the paper's future-work item (§6) — combining a
+//! response mechanism that *slows* a virus with one that *stops* it.
+//!
+//! Monitoring throttles fast Virus 3 within minutes but never halts it;
+//! a gateway signature scan halts everything but needs hours to deploy a
+//! signature. Together, the monitor buys the time the scan needs.
+//!
+//! ```text
+//! cargo run --release --example defense_in_depth
+//! ```
+
+use mpvsim::prelude::*;
+use mpvsim::stats::render::ascii_chart;
+
+fn main() -> Result<(), ConfigError> {
+    let base = ScenarioConfig::baseline(VirusProfile::virus3())
+        .with_horizon(SimDuration::from_hours(25));
+    let monitoring = Monitoring::with_forced_wait(SimDuration::from_mins(30));
+    let scan = SignatureScan { activation_delay: SimDuration::from_hours(6) };
+
+    let arms: Vec<(&str, ResponseConfig)> = vec![
+        ("baseline", ResponseConfig::none()),
+        ("monitoring only", ResponseConfig::none().with_monitoring(monitoring)),
+        ("scan only", ResponseConfig::none().with_signature_scan(scan)),
+        ("monitoring + scan", ResponseConfig::none().with_monitoring(monitoring).with_signature_scan(scan)),
+    ];
+
+    let mut curves = Vec::new();
+    println!("{:<20} {:>12}", "defense", "infected @25h");
+    for (name, response) in arms {
+        let config = base.clone().with_response(response);
+        let result = run_experiment(&config, 5, 31, 4)?;
+        println!("{:<20} {:>12.1}", name, result.final_infected.mean);
+        curves.push((name.to_owned(), result.mean_series()));
+    }
+
+    let refs: Vec<(&str, &TimeSeries)> = curves.iter().map(|(l, s)| (l.as_str(), s)).collect();
+    println!("\n{}", ascii_chart(&refs, 70, 16, None));
+
+    println!(
+        "The scan alone activates after the virus has already saturated the\n\
+         population; with monitoring slowing the outbreak, the same scan\n\
+         arrives while the infection is still small — the combination beats\n\
+         both parts (paper §6: a slowing mechanism 'could buy time to enable\n\
+         activation of a secondary response mechanism')."
+    );
+    Ok(())
+}

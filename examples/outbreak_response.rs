@@ -1,0 +1,69 @@
+//! Outbreak response: pit each of the six response mechanisms against the
+//! fast-spreading random dialer (Virus 3) and compare containment.
+//!
+//! This reproduces the paper's §5.3 conclusion in one table: reception-
+//! point mechanisms (scan, detection) and immunization are too slow for a
+//! virus that saturates the population within a day, while the
+//! dissemination-point mechanisms (monitoring, blacklisting) — which need
+//! no signature and trigger on the sending anomaly itself — contain it.
+//!
+//! ```text
+//! cargo run --release --example outbreak_response
+//! ```
+
+use mpvsim::prelude::*;
+
+fn main() -> Result<(), ConfigError> {
+    let base = ScenarioConfig::baseline(VirusProfile::virus3())
+        .with_horizon(SimDuration::from_hours(25));
+
+    let arms: Vec<(&str, ResponseConfig)> = vec![
+        ("baseline (no response)", ResponseConfig::none()),
+        (
+            "gateway signature scan (6 h delay)",
+            ResponseConfig::none().with_signature_scan(SignatureScan {
+                activation_delay: SimDuration::from_hours(6),
+            }),
+        ),
+        (
+            "gateway detection (95 % accuracy)",
+            ResponseConfig::none().with_detection(DetectionAlgorithm::with_accuracy(0.95)),
+        ),
+        (
+            "user education (acceptance 0.40 → 0.20)",
+            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.5 }),
+        ),
+        (
+            "immunization (24 h dev + 6 h rollout)",
+            ResponseConfig::none().with_immunization(Immunization::uniform(
+                SimDuration::from_hours(24),
+                SimDuration::from_hours(6),
+            )),
+        ),
+        (
+            "monitoring (15 min forced wait)",
+            ResponseConfig::none()
+                .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(15))),
+        ),
+        (
+            "blacklisting (threshold 30)",
+            ResponseConfig::none().with_blacklist(Blacklist { threshold: 30 }),
+        ),
+    ];
+
+    println!("Virus 3 (random dialer), 1000 phones, 25 h horizon, 5 replications each\n");
+    println!("{:<42} {:>10} {:>12}", "response mechanism", "infected", "vs baseline");
+    let mut baseline_mean = None;
+    for (name, response) in arms {
+        let config = base.clone().with_response(response);
+        let result = run_experiment(&config, 5, 77, 4)?;
+        let mean = result.final_infected.mean;
+        let baseline = *baseline_mean.get_or_insert(mean);
+        println!("{:<42} {:>10.1} {:>11.0}%", name, mean, 100.0 * mean / baseline);
+    }
+    println!(
+        "\nShapes to look for (paper §5.2): scan/detection/immunization cannot react\n\
+         in time; monitoring slows the spread; blacklisting nearly stops it."
+    );
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Quickstart: simulate the paper's Virus 1 baseline and print its
+//! infection curve.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use mpvsim::prelude::*;
+use mpvsim::stats::render::ascii_chart;
+
+fn main() -> Result<(), ConfigError> {
+    // The paper's baseline scenario for Virus 1: 1000 phones, 800
+    // vulnerable, power-law contact lists of mean size 80, one initially
+    // infected phone, observed for 18 days.
+    let config = ScenarioConfig::baseline(VirusProfile::virus1());
+
+    // A single replication, fully determined by (config, seed).
+    let run = run_scenario(&config, 2007)?;
+    println!(
+        "single replication: {} of {} phones infected after {} h",
+        run.final_infected,
+        config.population.size(),
+        config.horizon.as_hours_f64(),
+    );
+
+    // Averaging a few replications gives the expected trajectory the
+    // paper plots (with a confidence band).
+    let experiment = run_experiment(&config, 5, 2007, 4)?;
+    println!(
+        "mean final infections over {} replications: {:.1} ± {:.1}",
+        experiment.final_infected.n,
+        experiment.final_infected.mean,
+        experiment.final_infected.ci95_half_width,
+    );
+    if let Some(t) = experiment.mean_time_to_reach(160.0) {
+        println!("mean time to 160 infections (half the plateau): {t:.1} h");
+    }
+
+    let mean = experiment.mean_series();
+    println!("\n{}", ascii_chart(&[("Virus 1 baseline", &mean)], 70, 15, Some(330.0)));
+    Ok(())
+}

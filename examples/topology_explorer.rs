@@ -1,0 +1,70 @@
+//! Topology explorer: generate each contact-network family, inspect its
+//! structure, and see how the topology changes Virus 1's spread.
+//!
+//! The paper argues (§4.3) that contact lists follow a power-law like
+//! email address books; this example quantifies how much that assumption
+//! matters by racing the same virus over four different graph families of
+//! equal mean degree.
+//!
+//! ```text
+//! cargo run --release --example topology_explorer
+//! ```
+
+use mpvsim::prelude::*;
+use mpvsim::topology::analysis;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), ConfigError> {
+    let n = 1000;
+    let mean_degree = 80.0;
+    let families: Vec<(&str, GraphSpec)> = vec![
+        ("power-law (paper)", GraphSpec::power_law(n, mean_degree)),
+        ("Erdős–Rényi", GraphSpec::erdos_renyi(n, mean_degree)),
+        ("Watts–Strogatz", GraphSpec::watts_strogatz(n, 80, 0.1)),
+        ("ring lattice", GraphSpec::ring(n, 80)),
+    ];
+
+    println!("structure of each family ({n} nodes, mean degree {mean_degree}):\n");
+    println!(
+        "{:<20} {:>8} {:>6} {:>6} {:>10} {:>10} {:>8}",
+        "family", "mean", "min", "max", "degree var", "clustering", "giant %"
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    for (name, spec) in &families {
+        let g = spec.generate(&mut rng).expect("valid spec");
+        let d = analysis::degree_stats(&g);
+        println!(
+            "{:<20} {:>8.1} {:>6} {:>6} {:>10.1} {:>10.3} {:>7.1}%",
+            name,
+            d.mean,
+            d.min,
+            d.max,
+            d.variance,
+            analysis::global_clustering(&g),
+            100.0 * analysis::largest_component_fraction(&g),
+        );
+    }
+
+    println!("\nVirus 1 on each topology (5 replications, 6-day horizon):\n");
+    println!("{:<20} {:>14} {:>16}", "family", "final infected", "t(100 phones) h");
+    for (name, spec) in families {
+        let mut config = ScenarioConfig::baseline(VirusProfile::virus1());
+        config.population = PopulationConfig { topology: spec, vulnerable_fraction: 0.8 };
+        config.horizon = SimDuration::from_days(6);
+        let result = run_experiment(&config, 5, 99, 4)?;
+        let t100 = result
+            .mean_time_to_reach(100.0)
+            .map(|t| format!("{t:.1}"))
+            .unwrap_or_else(|| "never".to_owned());
+        println!("{:<20} {:>14.1} {:>16}", name, result.final_infected.mean, t100);
+    }
+
+    println!(
+        "\nThe hubs of the power-law graph accelerate early spread relative\n\
+         to the degree-homogeneous families; the ring lattice, with its\n\
+         long path lengths, is slowest — topology shifts speed, while the\n\
+         acceptance curve still pins the plateau."
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! # mpvsim — mobile phone virus propagation & response simulator
+//!
+//! A reproduction of *"Quantifying the Effectiveness of Mobile Phone Virus
+//! Response Mechanisms"* (E. Van Ruitenbeek, T. Courtney, W. H. Sanders,
+//! F. Stevens — DSN 2007): a parameterized stochastic simulation of
+//! MMS-borne viruses spreading through a population of mobile phones, and
+//! of the six response mechanisms the paper evaluates against them.
+//!
+//! This crate is the facade: it re-exports the workspace's public API.
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`des`] | discrete-event simulation engine (Möbius-executor substitute) |
+//! | [`topology`] | contact-network generation & analysis (NGCE substitute) |
+//! | [`phonenet`] | phones, contact books, MMS messages, gateway bookkeeping |
+//! | [`stats`] | time-series aggregation, summaries, CSV / ASCII rendering |
+//! | [`mobility`] | random-waypoint mobility + proximity index (Bluetooth extension) |
+//! | [`core`] | the virus model, the four test-case viruses, the six response mechanisms, and the per-figure experiment harness |
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! use mpvsim::prelude::*;
+//!
+//! // Paper baseline: Virus 1 on 1000 phones — shrunk here to keep the
+//! // doctest fast.
+//! let mut config = ScenarioConfig::baseline(VirusProfile::virus1());
+//! config.population = PopulationConfig::paper_default(150);
+//! config.horizon = SimDuration::from_hours(48);
+//!
+//! let result = run_scenario(&config, 42)?;
+//! println!("infected after 48 h: {}", result.final_infected);
+//!
+//! // Add a gateway signature scan with a 6-hour activation delay.
+//! let response = ResponseConfig::none()
+//!     .with_signature_scan(SignatureScan { activation_delay: SimDuration::from_hours(6) });
+//! let protected = run_scenario(&config.clone().with_response(response), 42)?;
+//! assert!(protected.final_infected <= result.final_infected);
+//! # Ok::<(), mpvsim::core::ConfigError>(())
+//! ```
+//!
+//! ## Reproducing the paper's figures
+//!
+//! Each figure of the evaluation section has a definition in
+//! [`core::figures`] and a binary in the `mpvsim-cli` crate:
+//!
+//! ```text
+//! cargo run --release -p mpvsim-cli --bin fig1_baseline
+//! cargo run --release -p mpvsim-cli --bin all_figures -- --reps 10
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mpvsim_core as core;
+pub use mpvsim_des as des;
+pub use mpvsim_mobility as mobility;
+pub use mpvsim_phonenet as phonenet;
+pub use mpvsim_stats as stats;
+pub use mpvsim_topology as topology;
+
+/// The most commonly used items, importable with one `use`.
+pub mod prelude {
+    pub use mpvsim_core::{
+        run_experiment, run_experiment_adaptive, run_scenario, AcceptanceModel,
+        AdaptiveResult, BehaviorConfig, Blacklist,
+        BluetoothVector, ConfigError, DetectionAlgorithm, ExperimentResult, Immunization,
+        MobilityConfig, Monitoring, PopulationConfig, ResponseConfig, RolloutOrder, RunResult,
+        ScenarioConfig, SendQuota, SignatureScan, TargetingStrategy, UserEducation,
+        VirusProfile,
+    };
+    pub use mpvsim_des::{DelaySpec, SimDuration, SimTime};
+    pub use mpvsim_phonenet::{Health, PhoneId, Population};
+    pub use mpvsim_stats::{TimeSeries, Summary};
+    pub use mpvsim_topology::GraphSpec;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let c = ScenarioConfig::baseline(VirusProfile::virus3());
+        assert!(c.validate().is_ok());
+        let _ = GraphSpec::erdos_renyi(10, 2.0);
+        let _ = SimDuration::from_hours(1);
+    }
+}

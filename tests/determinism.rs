@@ -1,0 +1,85 @@
+//! Integration tests: reproducibility guarantees across the whole stack.
+//!
+//! A `(ScenarioConfig, seed)` pair must determine the trajectory exactly,
+//! independent of thread count, and different seeds must explore
+//! different topologies and dynamics.
+
+use mpvsim::prelude::*;
+
+fn config() -> ScenarioConfig {
+    let mut c = ScenarioConfig::baseline(VirusProfile::virus3());
+    c.population = PopulationConfig::paper_default(200);
+    c.horizon = SimDuration::from_hours(12);
+    c
+}
+
+#[test]
+fn identical_seeds_identical_runs() {
+    let c = config();
+    let a = run_scenario(&c, 11).expect("valid");
+    let b = run_scenario(&c, 11).expect("valid");
+    assert_eq!(a.series, b.series);
+    assert_eq!(a.stats, b.stats);
+    assert_eq!(a.final_infected, b.final_infected);
+    assert_eq!(a.activation.detected_at, b.activation.detected_at);
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let c = config();
+    let a = run_scenario(&c, 1).expect("valid");
+    let b = run_scenario(&c, 2).expect("valid");
+    assert!(
+        a.series != b.series || a.stats != b.stats,
+        "two seeds produced byte-identical trajectories"
+    );
+}
+
+#[test]
+fn experiment_is_thread_count_invariant() {
+    let c = config();
+    let serial = run_experiment(&c, 6, 42, 1).expect("valid");
+    let parallel = run_experiment(&c, 6, 42, 6).expect("valid");
+    assert_eq!(serial.aggregate.mean, parallel.aggregate.mean);
+    assert_eq!(serial.aggregate.ci95_half_width, parallel.aggregate.ci95_half_width);
+    for (s, p) in serial.runs.iter().zip(&parallel.runs) {
+        assert_eq!(s.final_infected, p.final_infected);
+        assert_eq!(s.stats, p.stats);
+    }
+}
+
+#[test]
+fn replications_within_an_experiment_differ() {
+    let c = config();
+    let e = run_experiment(&c, 4, 7, 2).expect("valid");
+    let finals: Vec<usize> = e.runs.iter().map(|r| r.final_infected).collect();
+    let all_same = finals.windows(2).all(|w| w[0] == w[1]);
+    let stats_same = e.runs.windows(2).all(|w| w[0].stats == w[1].stats);
+    assert!(
+        !(all_same && stats_same),
+        "replications must use independent random streams: {finals:?}"
+    );
+}
+
+#[test]
+fn master_seed_changes_every_replication() {
+    let c = config();
+    let a = run_experiment(&c, 3, 100, 2).expect("valid");
+    let b = run_experiment(&c, 3, 101, 2).expect("valid");
+    assert_ne!(
+        a.aggregate.mean, b.aggregate.mean,
+        "different master seeds must give different aggregates"
+    );
+}
+
+#[test]
+fn config_is_serializable_data() {
+    // Scenario configurations are plain data; a round-trip through the
+    // serde data model must preserve them so experiments can be archived
+    // alongside their results.
+    fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
+    assert_serde::<ScenarioConfig>();
+    assert_serde::<VirusProfile>();
+    assert_serde::<ResponseConfig>();
+    assert_serde::<GraphSpec>();
+}

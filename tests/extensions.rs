@@ -1,0 +1,170 @@
+//! Integration tests for the beyond-the-paper extensions: legitimate
+//! traffic & monitoring false positives, piggyback viruses, rollout
+//! ordering, gateway congestion, and the Bluetooth vector — each at a
+//! reduced scale.
+
+use mpvsim::prelude::*;
+
+const N: usize = 250;
+const SEED: u64 = 909;
+
+fn reduced(virus: VirusProfile, horizon: SimDuration) -> ScenarioConfig {
+    let mut c = ScenarioConfig::baseline(virus);
+    c.population = PopulationConfig::paper_default(N);
+    c.horizon = horizon;
+    c
+}
+
+#[test]
+fn false_positive_rate_decreases_with_threshold() {
+    let arm = |threshold: u32| -> (f64, u64) {
+        let mut c = reduced(VirusProfile::virus3(), SimDuration::from_hours(24));
+        c.behavior = BehaviorConfig::with_legitimate_traffic(SimDuration::from_hours(4));
+        c.response = ResponseConfig::none().with_monitoring(Monitoring {
+            window: SimDuration::from_hours(1),
+            threshold,
+            forced_wait: SimDuration::from_mins(30),
+        });
+        let e = run_experiment(&c, 3, SEED, 4).expect("valid");
+        let fp: u64 = e.runs.iter().map(|r| r.stats.false_positive_throttles).sum();
+        (e.final_infected.mean, fp)
+    };
+    let (contained_strict, fp_strict) = arm(2);
+    let (contained_loose, fp_loose) = arm(10);
+    assert!(
+        fp_strict > fp_loose,
+        "a stricter threshold must flag more innocents: {fp_strict} vs {fp_loose}"
+    );
+    assert!(
+        contained_strict <= contained_loose + 5.0,
+        "a stricter threshold must contain at least as well"
+    );
+    assert_eq!(fp_loose, 0, "threshold 10/h should never flag ≈6-msgs/day users");
+}
+
+#[test]
+fn legitimate_traffic_does_not_change_the_epidemic_without_monitoring() {
+    // Legit messages carry no virus and (absent monitoring/congestion)
+    // share no state with the epidemic — but they do consume RNG draws,
+    // so compare statistically, not exactly.
+    let base = reduced(VirusProfile::virus3(), SimDuration::from_hours(24));
+    let mut chatty = base.clone();
+    chatty.behavior = BehaviorConfig::with_legitimate_traffic(SimDuration::from_hours(4));
+    let quiet = run_experiment(&base, 4, SEED, 4).expect("valid").final_infected.mean;
+    let noisy = run_experiment(&chatty, 4, SEED, 4).expect("valid").final_infected.mean;
+    assert!(
+        (quiet - noisy).abs() < 0.2 * quiet.max(1.0),
+        "legitimate chatter should not shift the plateau: {quiet:.1} vs {noisy:.1}"
+    );
+}
+
+#[test]
+fn piggyback_virus4_behaves_like_the_rate_paced_substitution() {
+    // The DESIGN.md substitution claim, at integration scale: both
+    // semantics produce plateaus of the same order on the same horizon.
+    let horizon = SimDuration::from_days(10);
+    let mut rate_paced = reduced(VirusProfile::virus4(), horizon);
+    rate_paced.behavior = BehaviorConfig::with_legitimate_traffic(SimDuration::from_hours(4));
+    let mut piggyback = reduced(VirusProfile::virus4_piggyback(), horizon);
+    piggyback.behavior = BehaviorConfig::with_legitimate_traffic(SimDuration::from_hours(4));
+
+    let a = run_experiment(&rate_paced, 3, SEED, 4).expect("valid").final_infected.mean;
+    let b = run_experiment(&piggyback, 3, SEED, 4).expect("valid").final_infected.mean;
+    assert!(a > 5.0 && b > 5.0, "both semantics must spread: {a:.1} vs {b:.1}");
+    let ratio = a.max(b) / a.min(b).max(1.0);
+    assert!(
+        ratio < 4.0,
+        "the two Virus 4 semantics should be the same order of magnitude: {a:.1} vs {b:.1}"
+    );
+}
+
+#[test]
+fn hubs_first_rollout_never_loses_to_uniform_on_power_law() {
+    let horizon = SimDuration::from_days(7);
+    let arm = |imm: Immunization| -> f64 {
+        let c = reduced(VirusProfile::virus1(), horizon)
+            .with_response(ResponseConfig::none().with_immunization(imm));
+        run_experiment(&c, 4, SEED, 4).expect("valid").final_infected.mean
+    };
+    let uniform =
+        arm(Immunization::uniform(SimDuration::from_hours(24), SimDuration::from_hours(24)));
+    let hubs =
+        arm(Immunization::hubs_first(SimDuration::from_hours(24), SimDuration::from_hours(24)));
+    assert!(
+        hubs <= uniform * 1.25 + 3.0,
+        "hubs-first ({hubs:.1}) should be competitive with uniform ({uniform:.1})"
+    );
+}
+
+#[test]
+fn congestion_builds_backlog_without_rescuing_the_population() {
+    let base = reduced(VirusProfile::virus3(), SimDuration::from_hours(24));
+    let mut congested = base.clone();
+    congested.gateway_capacity_per_hour = Some(300);
+
+    let free = run_experiment(&base, 3, SEED, 4).expect("valid");
+    let jammed = run_experiment(&congested, 3, SEED, 4).expect("valid");
+
+    let peak = jammed
+        .runs
+        .iter()
+        .filter_map(|r| r.gateway_peak_delay)
+        .max()
+        .expect("queue configured");
+    assert!(
+        peak > SimDuration::from_hours(1),
+        "Virus 3 against 300 msgs/h must congest the gateway: peak {peak}"
+    );
+    assert!(free.runs.iter().all(|r| r.gateway_peak_delay.is_none()));
+    // Congestion delays but does not durably protect.
+    assert!(
+        jammed.final_infected.mean > 0.5 * free.final_infected.mean,
+        "congestion is not a defense: {:.1} vs {:.1}",
+        jammed.final_infected.mean,
+        free.final_infected.mean
+    );
+}
+
+#[test]
+fn gateway_capacity_validation() {
+    let mut c = reduced(VirusProfile::virus1(), SimDuration::from_hours(2));
+    c.gateway_capacity_per_hour = Some(0);
+    assert!(c.validate().is_err());
+    c.gateway_capacity_per_hour = Some(10_000);
+    assert!(c.validate().is_err(), "sub-second service times unsupported");
+    c.gateway_capacity_per_hour = Some(1200);
+    assert!(c.validate().is_ok());
+}
+
+#[test]
+fn bluetooth_worm_spreads_at_integration_scale() {
+    let mut c = reduced(VirusProfile::bluetooth_worm(), SimDuration::from_hours(48));
+    c.mobility = Some(MobilityConfig::downtown());
+    let e = run_experiment(&c, 3, SEED, 4).expect("valid");
+    assert!(
+        e.final_infected.mean > 10.0,
+        "a 250-phone downtown should sustain the worm: {:.1}",
+        e.final_infected.mean
+    );
+    for r in &e.runs {
+        assert_eq!(r.stats.messages_sent, 0);
+        assert!(r.stats.bluetooth_offers > 0);
+    }
+}
+
+#[test]
+fn adaptive_replication_reaches_a_reasonable_ci() {
+    let c = reduced(VirusProfile::virus3(), SimDuration::from_hours(24));
+    let adaptive =
+        run_experiment_adaptive(&c, 12.0, 3, 40, SEED, 4).expect("valid");
+    assert!(adaptive.result.runs.len() >= 3);
+    if adaptive.converged {
+        assert!(
+            adaptive.result.final_infected.ci95_half_width <= 12.0 + 1e-9,
+            "converged but CI half-width is {}",
+            adaptive.result.final_infected.ci95_half_width
+        );
+    } else {
+        assert_eq!(adaptive.result.runs.len(), 40, "must exhaust max_reps if not converged");
+    }
+}

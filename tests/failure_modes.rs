@@ -1,0 +1,183 @@
+//! Integration tests: degenerate inputs and failure injection.
+//!
+//! A production simulator must reject invalid configurations loudly and
+//! degrade gracefully on structurally degenerate (but valid) ones.
+
+use mpvsim::prelude::*;
+
+fn small() -> ScenarioConfig {
+    let mut c = ScenarioConfig::baseline(VirusProfile::virus1());
+    c.population = PopulationConfig::paper_default(50);
+    c.horizon = SimDuration::from_hours(12);
+    c
+}
+
+// ---------------------------------------------------------------------
+// Invalid configurations are rejected with ConfigError
+// ---------------------------------------------------------------------
+
+type ConfigMutation = Box<dyn Fn(&mut ScenarioConfig)>;
+
+#[test]
+fn rejects_every_invalid_field() {
+    let cases: Vec<(&str, ConfigMutation)> = vec![
+        ("zero horizon", Box::new(|c| c.horizon = SimDuration::ZERO)),
+        ("zero sample step", Box::new(|c| c.sample_step = SimDuration::ZERO)),
+        ("zero seeds", Box::new(|c| c.initial_infections = 0)),
+        ("too many seeds", Box::new(|c| c.initial_infections = 10_000)),
+        ("vulnerable fraction > 1", Box::new(|c| c.population.vulnerable_fraction = 1.01)),
+        ("NaN vulnerable fraction", Box::new(|c| c.population.vulnerable_fraction = f64::NAN)),
+        ("zero recipients", Box::new(|c| c.virus.recipients_per_message = 0)),
+        ("zero quota", Box::new(|c| c.virus.quota.per_day = Some(0))),
+        ("empty virus name", Box::new(|c| c.virus.name.clear())),
+        (
+            "bad detection accuracy",
+            Box::new(|c| {
+                c.response.detection =
+                    Some(DetectionAlgorithm { accuracy: 1.5, analysis_period: SimDuration::from_hours(1) })
+            }),
+        ),
+        (
+            "bad education scale",
+            Box::new(|c| c.response.education = Some(UserEducation { acceptance_scale: -0.2 })),
+        ),
+        ("zero blacklist threshold", Box::new(|c| c.response.blacklist = Some(Blacklist { threshold: 0 }))),
+        (
+            "bad dialing fraction",
+            Box::new(|c| {
+                c.virus.targeting = TargetingStrategy::RandomDialing { valid_fraction: 7.0 }
+            }),
+        ),
+        (
+            "unachievable mean degree",
+            Box::new(|c| {
+                c.population.topology = GraphSpec::power_law(50, 500.0);
+            }),
+        ),
+    ];
+    for (name, mutate) in cases {
+        let mut c = small();
+        mutate(&mut c);
+        assert!(
+            run_scenario(&c, 1).is_err(),
+            "{name}: invalid configuration was accepted"
+        );
+    }
+}
+
+#[test]
+fn config_error_messages_name_the_problem() {
+    let mut c = small();
+    c.horizon = SimDuration::ZERO;
+    let err = run_scenario(&c, 1).unwrap_err();
+    assert!(err.to_string().contains("horizon"), "unhelpful error: {err}");
+
+    let mut c = small();
+    c.virus.recipients_per_message = 0;
+    let err = run_scenario(&c, 1).unwrap_err();
+    assert!(err.to_string().contains("virus"), "unhelpful error: {err}");
+}
+
+// ---------------------------------------------------------------------
+// Degenerate but valid scenarios run to completion
+// ---------------------------------------------------------------------
+
+#[test]
+fn nobody_vulnerable_means_nobody_infected() {
+    let mut c = small();
+    c.population.vulnerable_fraction = 0.0;
+    let r = run_scenario(&c, 3).expect("valid, just hopeless for the virus");
+    assert_eq!(r.final_infected, 0);
+    assert_eq!(r.stats.messages_sent, 0, "no seed ⇒ no sender");
+}
+
+#[test]
+fn edgeless_topology_strands_the_contact_list_virus() {
+    let mut c = small();
+    c.population.topology = GraphSpec::erdos_renyi(50, 0.0);
+    let r = run_scenario(&c, 4).expect("valid");
+    assert_eq!(r.final_infected, 1, "the seed has no contacts to infect");
+    assert_eq!(r.stats.deliveries, 0);
+}
+
+#[test]
+fn edgeless_topology_does_not_stop_the_random_dialer() {
+    let mut c = small();
+    c.virus = VirusProfile::virus3();
+    c.population.topology = GraphSpec::erdos_renyi(50, 0.0);
+    let r = run_scenario(&c, 5).expect("valid");
+    assert!(
+        r.final_infected > 1,
+        "random dialing needs no contact list: {}",
+        r.final_infected
+    );
+}
+
+#[test]
+fn zero_valid_fraction_contains_the_dialer() {
+    let mut c = small();
+    c.virus = VirusProfile::virus3();
+    c.virus.targeting = TargetingStrategy::RandomDialing { valid_fraction: 0.0 };
+    let r = run_scenario(&c, 6).expect("valid");
+    assert_eq!(r.final_infected, 1);
+    assert!(r.stats.invalid_dials > 0);
+    assert_eq!(r.stats.deliveries, 0);
+}
+
+#[test]
+fn every_mechanism_at_once_still_runs() {
+    let mut c = small();
+    c.response = ResponseConfig::none()
+        .with_signature_scan(SignatureScan { activation_delay: SimDuration::from_hours(2) })
+        .with_detection(DetectionAlgorithm::with_accuracy(0.9))
+        .with_education(UserEducation { acceptance_scale: 0.5 })
+        .with_immunization(Immunization::uniform(
+            SimDuration::from_hours(3),
+            SimDuration::from_hours(1),
+        ))
+        .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(15)))
+        .with_blacklist(Blacklist { threshold: 10 });
+    let r = run_scenario(&c, 7).expect("all mechanisms compose");
+    assert!(r.final_infected >= 1);
+}
+
+#[test]
+fn single_phone_population() {
+    let mut c = small();
+    c.population.topology = GraphSpec::complete(1);
+    let r = run_scenario(&c, 8).expect("valid");
+    assert!(r.final_infected <= 1);
+}
+
+#[test]
+fn whole_population_initially_infected() {
+    let mut c = small();
+    c.population.vulnerable_fraction = 1.0;
+    c.initial_infections = 50;
+    c.horizon = SimDuration::from_hours(1);
+    let r = run_scenario(&c, 9).expect("valid");
+    assert_eq!(r.final_infected, 50);
+}
+
+#[test]
+fn tiny_horizon_produces_single_sample() {
+    let mut c = small();
+    c.horizon = SimDuration::from_secs(1);
+    c.sample_step = SimDuration::from_hours(1);
+    let r = run_scenario(&c, 10).expect("valid");
+    assert_eq!(r.series.len(), 1, "only the t = 0 sample fits");
+}
+
+#[test]
+fn immediate_blacklist_silences_the_network() {
+    let mut c = small();
+    c.virus = VirusProfile::virus3();
+    c.response = ResponseConfig::none().with_blacklist(Blacklist { threshold: 1 });
+    let r = run_scenario(&c, 11).expect("valid");
+    // Every infected phone is cut off after its second message.
+    {
+        let run_stats = r.stats;
+        assert!(run_stats.blocked_by_blacklist >= 1);
+    }
+    assert!(r.final_infected < 10, "near-immediate blacklisting must contain the dialer");
+}

@@ -1,0 +1,351 @@
+//! Integration tests: each response mechanism's effectiveness profile
+//! from §5.2 of the paper, at a reduced scale.
+//!
+//! The paper's central finding is a *matrix*: which mechanism works
+//! against which virus class. These tests pin that matrix.
+
+use mpvsim::prelude::*;
+
+const N: usize = 300;
+const REPS: u64 = 3;
+const SEED: u64 = 555;
+
+fn reduced(virus: VirusProfile, horizon: SimDuration) -> ScenarioConfig {
+    let mut c = ScenarioConfig::baseline(virus);
+    c.population = PopulationConfig::paper_default(N);
+    c.horizon = horizon;
+    c
+}
+
+fn mean_final(config: &ScenarioConfig) -> f64 {
+    run_experiment(config, REPS, SEED, 4).expect("valid scenario").final_infected.mean
+}
+
+fn with_response(base: &ScenarioConfig, response: ResponseConfig) -> ScenarioConfig {
+    base.clone().with_response(response)
+}
+
+// ---------------------------------------------------------------------
+// Point of reception
+// ---------------------------------------------------------------------
+
+#[test]
+fn signature_scan_contains_slow_viruses() {
+    // Paper Fig. 2: a 6 h scan delay holds Virus 1 to a few percent of
+    // the baseline, and shorter delays contain more.
+    let base = reduced(VirusProfile::virus1(), SimDuration::from_days(7));
+    let baseline = mean_final(&base);
+    let mut previous = f64::INFINITY;
+    for delay_h in [24u64, 12, 6] {
+        let scan = SignatureScan { activation_delay: SimDuration::from_hours(delay_h) };
+        let contained = mean_final(&with_response(&base, ResponseConfig::none().with_signature_scan(scan)));
+        assert!(
+            contained < 0.4 * baseline,
+            "{delay_h} h scan: {contained:.1} not well below baseline {baseline:.1}"
+        );
+        assert!(
+            contained <= previous + 2.0,
+            "shorter delay should contain at least as well ({delay_h} h: {contained:.1} vs {previous:.1})"
+        );
+        previous = contained;
+    }
+}
+
+#[test]
+fn signature_scan_fails_against_fast_virus3() {
+    // Paper: "completely ineffectual against rapid viruses like Virus 3".
+    let base = reduced(VirusProfile::virus3(), SimDuration::from_hours(24));
+    let baseline = mean_final(&base);
+    let scan = SignatureScan { activation_delay: SimDuration::from_hours(6) };
+    let scanned = mean_final(&with_response(&base, ResponseConfig::none().with_signature_scan(scan)));
+    assert!(
+        scanned > 0.6 * baseline,
+        "V3 should have saturated before the scan activates: {scanned:.1} vs baseline {baseline:.1}"
+    );
+}
+
+#[test]
+fn detection_slows_single_recipient_viruses_gradedly() {
+    // Paper Fig. 3 shape: higher accuracy ⇒ slower spread. Checked on a
+    // single-recipient fast virus so each blocked message removes real
+    // coverage.
+    let mut virus = VirusProfile::virus3();
+    virus.name = "fast single-recipient".to_owned();
+    let base = reduced(virus, SimDuration::from_hours(24));
+    let baseline = mean_final(&base);
+
+    let mut finals = Vec::new();
+    for accuracy in [0.8, 0.95, 0.995] {
+        let mut config = base.clone();
+        config.detect_threshold = 5;
+        config.response =
+            ResponseConfig::none().with_detection(DetectionAlgorithm {
+                accuracy,
+                analysis_period: SimDuration::from_mins(30),
+            });
+        finals.push(mean_final(&config));
+    }
+    assert!(
+        finals[0] > finals[1] && finals[1] > finals[2],
+        "higher accuracy must slow the spread more: {finals:?} (baseline {baseline:.1})"
+    );
+    assert!(
+        finals[2] < 0.5 * baseline,
+        "99.5% detection should strongly contain: {:.1} vs {baseline:.1}",
+        finals[2]
+    );
+}
+
+#[test]
+fn detection_is_muted_by_multi_recipient_redundancy() {
+    // Our documented deviation from Fig. 3: Virus 2's 30 identical
+    // full-contact-list sweeps per day mean ≤ 95 % per-message blocking
+    // leaves enough surviving sweeps to cover the neighbourhood, so the
+    // plateau is barely reduced.
+    let base = reduced(VirusProfile::virus2(), SimDuration::from_days(5));
+    let baseline = mean_final(&base);
+    let detected = mean_final(&with_response(
+        &base,
+        ResponseConfig::none().with_detection(DetectionAlgorithm::with_accuracy(0.9)),
+    ));
+    assert!(
+        detected > 0.7 * baseline,
+        "multi-recipient redundancy defeats 90% per-message detection: {detected:.1} vs {baseline:.1}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Point of infection
+// ---------------------------------------------------------------------
+
+#[test]
+fn education_halves_and_quarters_the_plateau_for_every_virus() {
+    // Paper Fig. 4: the plateau scales with the eventual acceptance.
+    for (virus, horizon) in [
+        (VirusProfile::virus2(), SimDuration::from_days(5)),
+        (VirusProfile::virus3(), SimDuration::from_hours(24)),
+    ] {
+        let name = virus.name.clone();
+        let base = reduced(virus, horizon);
+        let baseline = mean_final(&base);
+        let half = mean_final(&with_response(
+            &base,
+            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.5 }),
+        ));
+        let quarter = mean_final(&with_response(
+            &base,
+            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.25 }),
+        ));
+        let half_ratio = half / baseline;
+        let quarter_ratio = quarter / baseline;
+        assert!(
+            (0.35..=0.70).contains(&half_ratio),
+            "{name}: half-education ratio {half_ratio:.2} not ≈ 0.5"
+        );
+        assert!(
+            (0.15..=0.42).contains(&quarter_ratio),
+            "{name}: quarter-education ratio {quarter_ratio:.2} not ≈ 0.25"
+        );
+        assert!(quarter < half, "{name}: stronger education must contain more");
+    }
+}
+
+#[test]
+fn immunization_effectiveness_ordered_by_development_then_rollout() {
+    // Paper Fig. 5: development time dominates; rollout duration is
+    // second-order within a development group.
+    let base = reduced(VirusProfile::virus4(), SimDuration::from_days(10));
+    let arm = |dev_h: u64, rollout_h: u64| {
+        mean_final(&with_response(
+            &base,
+            ResponseConfig::none().with_immunization(Immunization::uniform(
+                SimDuration::from_hours(dev_h),
+                SimDuration::from_hours(rollout_h),
+            )),
+        ))
+    };
+    let baseline = mean_final(&base);
+    let fast_dev_fast_roll = arm(24, 1);
+    let fast_dev_slow_roll = arm(24, 24);
+    let slow_dev_fast_roll = arm(48, 1);
+
+    assert!(fast_dev_fast_roll < 0.5 * baseline, "prompt patching must contain the outbreak");
+    assert!(
+        fast_dev_slow_roll <= slow_dev_fast_roll + 2.0,
+        "development time should dominate rollout time: 24h-dev/24h-roll {fast_dev_slow_roll:.1} \
+         vs 48h-dev/1h-roll {slow_dev_fast_roll:.1}"
+    );
+    assert!(
+        fast_dev_fast_roll <= fast_dev_slow_roll + 2.0,
+        "within a development group, faster rollout should not hurt"
+    );
+}
+
+#[test]
+fn immunization_cannot_catch_virus3() {
+    // Paper: "Virus 3 moves too fast for a patch to be developed and
+    // deployed in time."
+    let base = reduced(VirusProfile::virus3(), SimDuration::from_hours(30));
+    let baseline = mean_final(&base);
+    let patched = mean_final(&with_response(
+        &base,
+        ResponseConfig::none().with_immunization(Immunization::uniform(
+            SimDuration::from_hours(24),
+            SimDuration::from_hours(1),
+        )),
+    ));
+    assert!(
+        patched > 0.6 * baseline,
+        "a 24 h patch arrives after V3 saturates: {patched:.1} vs baseline {baseline:.1}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Point of dissemination
+// ---------------------------------------------------------------------
+
+#[test]
+fn monitoring_slows_virus3_with_longer_waits_stronger() {
+    // Paper Fig. 6.
+    let base = reduced(VirusProfile::virus3(), SimDuration::from_hours(24));
+    let baseline = run_experiment(&base, REPS, SEED, 4).expect("valid");
+    let t_base = baseline.mean_time_to_reach(50.0).expect("baseline reaches 50");
+
+    let mut previous = f64::INFINITY;
+    for wait_min in [15u64, 30, 60] {
+        let config = with_response(
+            &base,
+            ResponseConfig::none()
+                .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(wait_min))),
+        );
+        let result = run_experiment(&config, REPS, SEED, 4).expect("valid");
+        // Slower or never reaching 50 infections.
+        if let Some(t) = result.mean_time_to_reach(50.0) {
+            assert!(
+                t > 1.5 * t_base,
+                "{wait_min} min wait: reached 50 at {t:.1} h, baseline {t_base:.1} h"
+            );
+        }
+        let f = result.final_infected.mean;
+        assert!(
+            f <= previous + 5.0,
+            "longer waits must contain at least as well ({wait_min} min: {f:.1} vs {previous:.1})"
+        );
+        previous = f;
+    }
+}
+
+#[test]
+fn monitoring_never_flags_slow_viruses() {
+    // Paper: "ineffectual against Viruses 1, 2, and 4" — their volumes
+    // look like normal traffic.
+    for (virus, horizon) in [
+        (VirusProfile::virus1(), SimDuration::from_days(4)),
+        (VirusProfile::virus4(), SimDuration::from_days(4)),
+    ] {
+        let name = virus.name.clone();
+        let base = reduced(virus, horizon);
+        let config = with_response(
+            &base,
+            ResponseConfig::none()
+                .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(60))),
+        );
+        let result = run_experiment(&config, REPS, SEED, 4).expect("valid");
+        let flagged: u64 = result.runs.iter().map(|r| r.stats.throttled_phones).sum();
+        assert_eq!(flagged, 0, "{name} sends ≈1 msg/h and must never be flagged");
+    }
+}
+
+#[test]
+fn blacklist_thresholds_order_containment_of_virus3() {
+    // Paper Fig. 7: lower thresholds contain more.
+    let base = reduced(VirusProfile::virus3(), SimDuration::from_hours(24));
+    let baseline = mean_final(&base);
+    let mut previous = 0.0f64;
+    for threshold in [10u32, 30] {
+        let contained = mean_final(&with_response(
+            &base,
+            ResponseConfig::none().with_blacklist(Blacklist { threshold }),
+        ));
+        assert!(
+            contained >= previous - 3.0,
+            "threshold {threshold}: containment should weaken with higher thresholds"
+        );
+        assert!(
+            contained < 0.8 * baseline,
+            "threshold {threshold}: {contained:.1} should be contained vs {baseline:.1}"
+        );
+        previous = contained;
+    }
+}
+
+#[test]
+fn blacklist_is_ineffective_against_multi_recipient_virus2() {
+    // Paper: "completely ineffective for Virus 2 at any threshold".
+    let base = reduced(VirusProfile::virus2(), SimDuration::from_days(5));
+    let baseline = mean_final(&base);
+    for threshold in [10u32, 40] {
+        let contained = mean_final(&with_response(
+            &base,
+            ResponseConfig::none().with_blacklist(Blacklist { threshold }),
+        ));
+        assert!(
+            contained > 0.75 * baseline,
+            "threshold {threshold}: each message covers the whole contact list, \
+             so counting messages cannot contain V2 ({contained:.1} vs {baseline:.1})"
+        );
+    }
+}
+
+#[test]
+fn blacklist_low_threshold_restrains_virus1_high_does_not() {
+    // Paper: threshold 10 is "somewhat effective" against Virus 1 while
+    // "blacklisting at higher thresholds is ineffective". (Our model
+    // contains more strongly at threshold 10 than the paper's ≈ 60 % —
+    // see EXPERIMENTS.md — but the low-vs-high contrast is the claim.)
+    let base = reduced(VirusProfile::virus1(), SimDuration::from_days(7));
+    let baseline = mean_final(&base);
+    let at_10 = mean_final(&with_response(
+        &base,
+        ResponseConfig::none().with_blacklist(Blacklist { threshold: 10 }),
+    ));
+    let at_40 = mean_final(&with_response(
+        &base,
+        ResponseConfig::none().with_blacklist(Blacklist { threshold: 40 }),
+    ));
+    assert!(
+        at_10 < 0.85 * baseline,
+        "threshold 10 should restrain V1: {at_10:.1} vs baseline {baseline:.1}"
+    );
+    assert!(
+        at_40 > 2.0 * at_10.max(1.0) || at_40 > 0.6 * baseline,
+        "threshold 40 (≈ half the contact list per phone) should be much weaker: \
+         {at_40:.1} vs threshold-10 {at_10:.1}, baseline {baseline:.1}"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Combination (paper §6 future work)
+// ---------------------------------------------------------------------
+
+#[test]
+fn monitoring_buys_time_for_the_scan() {
+    let base = reduced(VirusProfile::virus3(), SimDuration::from_hours(24));
+    let monitoring = Monitoring::with_forced_wait(SimDuration::from_mins(30));
+    let scan = SignatureScan { activation_delay: SimDuration::from_hours(6) };
+
+    let scan_only =
+        mean_final(&with_response(&base, ResponseConfig::none().with_signature_scan(scan)));
+    let monitor_only =
+        mean_final(&with_response(&base, ResponseConfig::none().with_monitoring(monitoring)));
+    let both = mean_final(&with_response(
+        &base,
+        ResponseConfig::none().with_monitoring(monitoring).with_signature_scan(scan),
+    ));
+
+    assert!(
+        both < scan_only && both <= monitor_only + 3.0,
+        "combined defense ({both:.1}) should beat scan-only ({scan_only:.1}) and \
+         monitoring-only ({monitor_only:.1})"
+    );
+}

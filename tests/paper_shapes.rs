@@ -1,0 +1,124 @@
+//! Integration tests: the qualitative shapes of the paper's Figure 1
+//! baselines, at a reduced scale that keeps the suite fast.
+//!
+//! These assert the *structure* the paper reports — plateau levels near
+//! 40 % of the vulnerable population, the relative speed ordering of the
+//! four viruses, Virus 2's step curve — not the absolute timings of the
+//! authors' testbed.
+
+use mpvsim::prelude::*;
+
+const N: usize = 300;
+const REPS: u64 = 3;
+const SEED: u64 = 20_07;
+
+fn reduced(virus: VirusProfile, horizon: SimDuration) -> ScenarioConfig {
+    let mut c = ScenarioConfig::baseline(virus);
+    c.population = PopulationConfig::paper_default(N);
+    c.horizon = horizon;
+    c
+}
+
+fn mean_final(config: &ScenarioConfig) -> f64 {
+    run_experiment(config, REPS, SEED, 4).expect("valid scenario").final_infected.mean
+}
+
+#[test]
+fn plateaus_near_40_percent_of_vulnerable_population() {
+    // 300 phones, 240 vulnerable, eventual acceptance 0.40 ⇒ plateau ≈ 96.
+    let expected = 0.8 * N as f64 * 0.40;
+    for (virus, horizon) in [
+        (VirusProfile::virus1(), SimDuration::from_days(7)),
+        (VirusProfile::virus2(), SimDuration::from_days(5)),
+        (VirusProfile::virus3(), SimDuration::from_hours(24)),
+    ] {
+        let name = virus.name.clone();
+        let final_mean = mean_final(&reduced(virus, horizon));
+        assert!(
+            (final_mean - expected).abs() < 0.3 * expected,
+            "{name}: plateau {final_mean:.1} not within 30% of expected {expected:.1}"
+        );
+    }
+}
+
+#[test]
+fn infection_counts_never_decrease() {
+    for virus in [VirusProfile::virus2(), VirusProfile::virus3()] {
+        let config = reduced(virus, SimDuration::from_hours(48));
+        let result = run_scenario(&config, SEED).expect("valid");
+        let vals = result.series.values();
+        assert!(
+            vals.windows(2).all(|w| w[1] >= w[0]),
+            "infection count decreased for {}",
+            config.virus.name
+        );
+    }
+}
+
+#[test]
+fn virus3_is_dramatically_faster_than_virus1() {
+    let v3 = run_experiment(&reduced(VirusProfile::virus3(), SimDuration::from_hours(24)), REPS, SEED, 4)
+        .expect("valid");
+    let v1 = run_experiment(&reduced(VirusProfile::virus1(), SimDuration::from_days(7)), REPS, SEED, 4)
+        .expect("valid");
+    let t_v3 = v3.mean_time_to_reach(50.0).expect("V3 reaches 50 infections");
+    let t_v1 = v1.mean_time_to_reach(50.0).expect("V1 reaches 50 infections");
+    assert!(
+        t_v3 * 3.0 < t_v1,
+        "V3 ({t_v3:.1} h to 50) should be at least 3× faster than V1 ({t_v1:.1} h)"
+    );
+}
+
+#[test]
+fn virus4_is_the_slowest_of_the_contact_list_viruses() {
+    let horizon = SimDuration::from_days(10);
+    let v1 = run_experiment(&reduced(VirusProfile::virus1(), horizon), REPS, SEED, 4).expect("valid");
+    let v4 = run_experiment(&reduced(VirusProfile::virus4(), horizon), REPS, SEED, 4).expect("valid");
+    let t_v1 = v1.mean_time_to_reach(40.0).expect("V1 reaches 40");
+    let t_v4 = v4.mean_time_to_reach(40.0).expect("V4 reaches 40");
+    assert!(
+        t_v4 > t_v1,
+        "stealthy V4 ({t_v4:.1} h to 40) should lag V1 ({t_v1:.1} h)"
+    );
+}
+
+#[test]
+fn virus2_curve_is_step_like() {
+    // Flat between global 24 h boundaries, jumping just after them.
+    let config = reduced(VirusProfile::virus2(), SimDuration::from_hours(72));
+    let result = run_scenario(&config, SEED).expect("valid");
+    let series = &result.series;
+
+    // Growth within the flat window (hours 6..22) must be tiny compared
+    // to the jump across the day-1 boundary (hours 23..30).
+    let flat = series.value_at_hours(22.0).unwrap() - series.value_at_hours(6.0).unwrap();
+    let jump = series.value_at_hours(30.0).unwrap() - series.value_at_hours(23.0).unwrap();
+    assert!(
+        jump > 5.0 * flat.max(1.0),
+        "expected a step at the 24 h boundary: flat-phase growth {flat}, boundary jump {jump}"
+    );
+}
+
+#[test]
+fn results_scale_with_population() {
+    // §5.3: penetration fractions match across population sizes.
+    let small = reduced(VirusProfile::virus3(), SimDuration::from_hours(24));
+    let mut large = small.clone();
+    large.population = PopulationConfig::paper_default(2 * N);
+
+    let f_small = mean_final(&small) / N as f64;
+    let f_large = mean_final(&large) / (2 * N) as f64;
+    assert!(
+        (f_small - f_large).abs() < 0.08,
+        "penetration fraction should scale: {f_small:.3} (n={N}) vs {f_large:.3} (n={})",
+        2 * N
+    );
+}
+
+#[test]
+fn initial_infections_seed_the_series() {
+    let mut config = reduced(VirusProfile::virus1(), SimDuration::from_hours(2));
+    config.initial_infections = 5;
+    let result = run_scenario(&config, SEED).expect("valid");
+    assert_eq!(result.series.values()[0], 5.0, "t=0 sample sees all seeds");
+}
