@@ -10,7 +10,13 @@ use mpvsim_core::ablations;
 use mpvsim_core::figures::{self, FigureOptions};
 
 fn opts() -> FigureOptions {
-    FigureOptions { reps: 1, master_seed: 2007, threads: 1, population: 120 }
+    FigureOptions {
+        reps: 1,
+        master_seed: 2007,
+        threads: 1,
+        population: 120,
+        ..FigureOptions::default()
+    }
 }
 
 fn bench_ablations(c: &mut Criterion) {

@@ -23,7 +23,13 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mpvsim_core::figures::{self, FigureOptions};
 
 fn opts() -> FigureOptions {
-    FigureOptions { reps: 1, master_seed: 2007, threads: 1, population: 150 }
+    FigureOptions {
+        reps: 1,
+        master_seed: 2007,
+        threads: 1,
+        population: 150,
+        ..FigureOptions::default()
+    }
 }
 
 fn bench_figures(c: &mut Criterion) {

@@ -35,12 +35,9 @@ fn bench_analysis(c: &mut Criterion) {
     let g = GraphSpec::power_law(1000, 80.0).generate(&mut rng).expect("valid");
 
     let mut group = c.benchmark_group("analysis");
-    group.bench_function("degree_stats_1000", |b| {
-        b.iter(|| black_box(analysis::degree_stats(&g)))
-    });
-    group.bench_function("components_1000", |b| {
-        b.iter(|| black_box(analysis::component_sizes(&g)))
-    });
+    group.bench_function("degree_stats_1000", |b| b.iter(|| black_box(analysis::degree_stats(&g))));
+    group
+        .bench_function("components_1000", |b| b.iter(|| black_box(analysis::component_sizes(&g))));
     group.bench_function("tail_slope_1000", |b| {
         b.iter(|| black_box(analysis::log_log_tail_slope(&g, 10)))
     });

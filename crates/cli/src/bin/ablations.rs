@@ -4,11 +4,15 @@
 use mpvsim_core::ablations as a;
 use mpvsim_core::figures::FigureOptions;
 
-type Study = fn(&FigureOptions) -> Result<Vec<mpvsim_core::figures::LabeledResult>, mpvsim_core::ConfigError>;
+type Study = fn(
+    &FigureOptions,
+) -> Result<Vec<mpvsim_core::figures::LabeledResult>, mpvsim_core::ConfigError>;
 
 fn main() {
-    let opts = match mpvsim_cli::parse_options(std::env::args().skip(1)) {
-        Ok(o) => o.figure,
+    let opts = match mpvsim_cli::parse_options(std::env::args().skip(1))
+        .and_then(|cli| cli.figure_with_observer())
+    {
+        Ok(o) => o,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);

@@ -5,8 +5,10 @@
 use mpvsim_core::figures::false_positive_study;
 
 fn main() {
-    let opts = match mpvsim_cli::parse_options(std::env::args().skip(1)) {
-        Ok(o) => o.figure,
+    let opts = match mpvsim_cli::parse_options(std::env::args().skip(1))
+        .and_then(|cli| cli.figure_with_observer())
+    {
+        Ok(o) => o,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);
@@ -15,7 +17,9 @@ fn main() {
     eprintln!("running monitoring false-positive study …");
     match false_positive_study(&opts) {
         Ok(results) => {
-            println!("== Extension — Monitoring False Positives (Virus 3 + legitimate traffic) ==\n");
+            println!(
+                "== Extension — Monitoring False Positives (Virus 3 + legitimate traffic) ==\n"
+            );
             println!(
                 "{:<16} {:>10} {:>12} {:>14} {:>16}",
                 "threshold", "infected", "throttled", "false pos.", "FP per phone-day"
@@ -23,8 +27,7 @@ fn main() {
             for r in &results {
                 let reps = r.result.runs.len() as f64;
                 let throttled: u64 = r.result.runs.iter().map(|x| x.stats.throttled_phones).sum();
-                let fp: u64 =
-                    r.result.runs.iter().map(|x| x.stats.false_positive_throttles).sum();
+                let fp: u64 = r.result.runs.iter().map(|x| x.stats.false_positive_throttles).sum();
                 let population = opts.population as f64;
                 let days = 25.0 / 24.0;
                 println!(

@@ -6,8 +6,10 @@
 //! ```
 
 fn main() {
-    let opts = match mpvsim_cli::parse_options(std::env::args().skip(1)) {
-        Ok(o) => o.figure,
+    let opts = match mpvsim_cli::parse_options(std::env::args().skip(1))
+        .and_then(|cli| cli.figure_with_observer())
+    {
+        Ok(o) => o,
         Err(msg) => {
             eprintln!("{msg}");
             std::process::exit(2);

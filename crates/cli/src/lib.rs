@@ -18,24 +18,61 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use mpvsim_core::figures::{FigureOptions, LabeledResult};
+use mpvsim_des::{FanoutObserver, JsonlObserver, ObserverHandle, ProgressObserver};
 use mpvsim_stats::render::{ascii_chart, to_csv};
 use mpvsim_stats::TimeSeries;
 
+/// The shared flag table: `(flag, value placeholder, help)`. The usage
+/// string (and therefore every binary's `--help`-style error output) is
+/// generated from this single source of truth, so a new flag cannot be
+/// added without documenting it.
+const FLAGS: &[(&str, &str, &str)] = &[
+    ("--reps", "N", "replications per scenario (default 10)"),
+    ("--seed", "S", "master seed; replication r derives from (S, r) (default 2007)"),
+    ("--threads", "T", "worker threads; 0 = auto-detect hardware parallelism (default 4)"),
+    ("--population", "P", "population size (default 1000)"),
+    ("--quick", "", "smoke-test scale: 3 replications"),
+    ("--progress", "", "per-replication progress on stderr"),
+    ("--metrics", "PATH", "write per-replication JSONL metrics to PATH"),
+    ("--json", "PATH", "archive full results (labels, aggregates, runs) as JSON"),
+];
+
+/// The usage text generated from the flag table: a one-line synopsis plus
+/// one description line per flag.
+pub fn usage() -> String {
+    let mut out = String::from("usage:");
+    for (flag, value, _) in FLAGS {
+        if value.is_empty() {
+            let _ = write!(out, " [{flag}]");
+        } else {
+            let _ = write!(out, " [{flag} {value}]");
+        }
+    }
+    out.push('\n');
+    for (flag, value, help) in FLAGS {
+        let _ = writeln!(out, "  {:<20} {help}", format!("{flag} {value}"));
+    }
+    out
+}
+
 /// Parsed command line: the experiment knobs plus output destinations.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct CliOptions {
-    /// Replications, seed, threads, population.
+    /// Replications, seed, threads, population, observer.
     pub figure: FigureOptions,
     /// Write the full results (labels, aggregates, per-replication stats)
     /// as JSON to this path for archival / external analysis.
     pub json_out: Option<PathBuf>,
+    /// Report per-replication progress on stderr (`--progress`).
+    pub progress: bool,
+    /// Write per-replication JSONL metrics here (`--metrics PATH`).
+    pub metrics_out: Option<PathBuf>,
 }
 
-/// Parses the shared CLI arguments.
+/// Parses the shared CLI arguments (the flags in the module-level table;
+/// see [`usage`]). Unknown flags abort with the usage message.
 ///
-/// Recognized flags: `--reps N`, `--seed S`, `--threads T`,
-/// `--population P`, `--quick` (3 replications), `--json PATH` (archive
-/// the results as JSON). Unknown flags abort with a usage message.
+/// `--threads 0` resolves to the available hardware parallelism.
 ///
 /// # Errors
 ///
@@ -43,28 +80,38 @@ pub struct CliOptions {
 pub fn parse_options(args: impl Iterator<Item = String>) -> Result<CliOptions, String> {
     let mut opts = FigureOptions::default();
     let mut json_out = None;
+    let mut metrics_out = None;
+    let mut progress = false;
     let mut args = args.peekable();
-    let usage =
-        "usage: [--reps N] [--seed S] [--threads T] [--population P] [--quick] [--json PATH]";
+    let usage = usage();
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--quick" => opts.reps = FigureOptions::quick().reps,
+            "--progress" => progress = true,
             "--json" => {
-                let value =
-                    args.next().ok_or_else(|| format!("--json needs a path\n{usage}"))?;
+                let value = args.next().ok_or_else(|| format!("--json needs a path\n{usage}"))?;
                 json_out = Some(PathBuf::from(value));
             }
+            "--metrics" => {
+                let value =
+                    args.next().ok_or_else(|| format!("--metrics needs a path\n{usage}"))?;
+                metrics_out = Some(PathBuf::from(value));
+            }
             "--reps" | "--seed" | "--threads" | "--population" => {
-                let value = args
-                    .next()
-                    .ok_or_else(|| format!("{flag} needs a value\n{usage}"))?;
+                let value = args.next().ok_or_else(|| format!("{flag} needs a value\n{usage}"))?;
                 let parsed: u64 = value
                     .parse()
                     .map_err(|_| format!("{flag} value {value:?} is not a number\n{usage}"))?;
                 match flag.as_str() {
                     "--reps" => opts.reps = parsed,
                     "--seed" => opts.master_seed = parsed,
-                    "--threads" => opts.threads = parsed as usize,
+                    "--threads" => {
+                        opts.threads = if parsed == 0 {
+                            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                        } else {
+                            parsed as usize
+                        };
+                    }
                     "--population" => opts.population = parsed as usize,
                     _ => unreachable!(),
                 }
@@ -72,10 +119,49 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Result<CliOptions, S
             other => return Err(format!("unknown flag {other:?}\n{usage}")),
         }
     }
-    if opts.reps == 0 || opts.threads == 0 || opts.population == 0 {
-        return Err(format!("reps, threads and population must be positive\n{usage}"));
+    if opts.reps == 0 || opts.population == 0 {
+        return Err(format!("reps and population must be positive\n{usage}"));
     }
-    Ok(CliOptions { figure: opts, json_out })
+    Ok(CliOptions { figure: opts, json_out, progress, metrics_out })
+}
+
+impl CliOptions {
+    /// The figure options with the requested observer (see
+    /// [`build_observer`]) already attached.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the metrics file cannot be created.
+    pub fn figure_with_observer(&self) -> Result<FigureOptions, String> {
+        let mut opts = self.figure.clone();
+        if let Some(observer) = build_observer(self)? {
+            opts.observer = observer;
+        }
+        Ok(opts)
+    }
+}
+
+/// Builds the observer the parsed options ask for: progress reporting
+/// and/or a JSONL metrics sink, fanned out; `None` when neither was
+/// requested.
+///
+/// # Errors
+///
+/// Returns a message when the metrics file cannot be created.
+pub fn build_observer(cli: &CliOptions) -> Result<Option<ObserverHandle>, String> {
+    if !cli.progress && cli.metrics_out.is_none() {
+        return Ok(None);
+    }
+    let mut fan = FanoutObserver::new();
+    if cli.progress {
+        fan = fan.with(ProgressObserver::new());
+    }
+    if let Some(path) = &cli.metrics_out {
+        let sink = JsonlObserver::create(path)
+            .map_err(|e| format!("cannot create metrics file {}: {e}", path.display()))?;
+        fan = fan.with(sink);
+    }
+    Ok(Some(ObserverHandle::new(fan)))
 }
 
 /// The JSON document `--json` writes: enough to re-plot or re-judge a
@@ -147,12 +233,9 @@ pub fn render_report(title: &str, results: &[LabeledResult]) -> String {
     let _ = writeln!(out);
 
     // Chart of the mean curves.
-    let curves: Vec<(String, TimeSeries)> = results
-        .iter()
-        .map(|r| (r.label.clone(), r.result.mean_series()))
-        .collect();
-    let refs: Vec<(&str, &TimeSeries)> =
-        curves.iter().map(|(l, s)| (l.as_str(), s)).collect();
+    let curves: Vec<(String, TimeSeries)> =
+        results.iter().map(|r| (r.label.clone(), r.result.mean_series())).collect();
+    let refs: Vec<(&str, &TimeSeries)> = curves.iter().map(|(l, s)| (l.as_str(), s)).collect();
     out.push_str(&ascii_chart(&refs, 72, 18, None));
     let _ = writeln!(out);
 
@@ -179,7 +262,13 @@ where
             std::process::exit(2);
         }
     };
-    let opts = cli.figure;
+    let opts = match cli.figure_with_observer() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(1);
+        }
+    };
     eprintln!(
         "running {title}: {} replications, seed {}, {} threads, population {}",
         opts.reps, opts.master_seed, opts.threads, opts.population
@@ -246,7 +335,13 @@ mod tests {
 
     #[test]
     fn render_report_contains_table_chart_and_csv() {
-        let opts = FigureOptions { reps: 1, master_seed: 2, threads: 1, population: 30 };
+        let opts = FigureOptions {
+            reps: 1,
+            master_seed: 2,
+            threads: 1,
+            population: 30,
+            ..FigureOptions::default()
+        };
         let results = mpvsim_core::figures::fig7_blacklist(&opts).expect("tiny figure runs");
         let text = render_report("Figure 7", &results);
         assert!(text.contains("== Figure 7 =="));
@@ -260,7 +355,13 @@ mod tests {
     #[test]
     fn json_report_roundtrips_through_serde() {
         // Run a tiny experiment, archive it, parse it back.
-        let opts = FigureOptions { reps: 1, master_seed: 1, threads: 1, population: 30 };
+        let opts = FigureOptions {
+            reps: 1,
+            master_seed: 1,
+            threads: 1,
+            population: 30,
+            ..FigureOptions::default()
+        };
         let results = mpvsim_core::figures::fig6_monitoring(&opts).expect("tiny figure runs");
         let dir = std::env::temp_dir().join("mpvsim-json-test");
         std::fs::create_dir_all(&dir).unwrap();
@@ -294,7 +395,85 @@ mod tests {
     #[test]
     fn rejects_zero_values() {
         assert!(parse(&["--reps", "0"]).is_err());
-        assert!(parse(&["--threads", "0"]).is_err());
         assert!(parse(&["--population", "0"]).is_err());
+    }
+
+    #[test]
+    fn threads_zero_auto_detects() {
+        let o = parse(&["--threads", "0"]).unwrap();
+        assert!(o.figure.threads >= 1, "auto-detect must resolve to a usable count");
+    }
+
+    #[test]
+    fn progress_and_metrics_flags_parse() {
+        let o = parse(&["--progress", "--metrics", "/tmp/m.jsonl"]).unwrap();
+        assert!(o.progress);
+        assert_eq!(o.metrics_out.unwrap().to_str().unwrap(), "/tmp/m.jsonl");
+        assert!(parse(&["--metrics"]).is_err(), "--metrics needs a path");
+        let o = parse(&[]).unwrap();
+        assert!(!o.progress);
+        assert!(o.metrics_out.is_none());
+    }
+
+    #[test]
+    fn usage_mentions_every_flag() {
+        let text = usage();
+        for (flag, _, _) in FLAGS {
+            assert!(text.contains(flag), "usage text missing {flag}");
+        }
+        // The usage string is what parse errors print.
+        let err = parse(&["--bogus"]).unwrap_err();
+        assert!(err.contains("--metrics"), "errors should carry the full usage");
+    }
+
+    #[test]
+    fn build_observer_is_none_without_flags_and_some_with() {
+        let bare = parse(&[]).unwrap();
+        assert!(build_observer(&bare).unwrap().is_none());
+        let dir = std::env::temp_dir().join("mpvsim-cli-observer-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let with = parse(&["--progress", "--metrics", path.to_str().unwrap()]).unwrap();
+        assert!(build_observer(&with).unwrap().is_some());
+        assert!(path.exists(), "metrics file created eagerly");
+        let bad = parse(&["--metrics", "/nonexistent-dir-zzz/m.jsonl"]).unwrap();
+        assert!(build_observer(&bad).is_err());
+    }
+
+    #[test]
+    fn metrics_file_gets_one_line_per_replication_plus_summary() {
+        let dir = std::env::temp_dir().join("mpvsim-cli-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig.jsonl");
+        let cli = parse(&["--metrics", path.to_str().unwrap()]).unwrap();
+        let mut opts = FigureOptions {
+            reps: 2,
+            master_seed: 4,
+            threads: 2,
+            population: 30,
+            ..FigureOptions::default()
+        };
+        opts.observer = build_observer(&cli).unwrap().expect("metrics requested");
+        let results = mpvsim_core::figures::fig6_monitoring(&opts).expect("tiny figure runs");
+        drop(results);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // fig6 runs 4 experiments (baseline + 3 waits) × 2 reps, each
+        // experiment appending 2 replication lines and 1 summary line.
+        assert_eq!(lines.len(), 4 * 3, "got:\n{text}");
+        let reps = lines.iter().filter(|l| l.contains("\"type\":\"replication\"")).count();
+        let sums = lines.iter().filter(|l| l.contains("\"type\":\"experiment\"")).count();
+        assert_eq!((reps, sums), (8, 4));
+        for line in lines {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSON line");
+            if v["type"] == "replication" {
+                for key in ["rep", "seed", "wall_ms", "events_processed", "events_per_sec"] {
+                    assert!(v[key].is_number(), "replication line missing {key}: {line}");
+                }
+            } else {
+                assert_eq!(v["type"], "experiment");
+                assert_eq!(v["reps"], 2);
+            }
+        }
     }
 }

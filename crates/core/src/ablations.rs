@@ -20,7 +20,6 @@ use mpvsim_topology::GraphSpec;
 use crate::config::{ConfigError, PopulationConfig, ScenarioConfig};
 use crate::figures::{FigureOptions, LabeledResult};
 use crate::response::{ResponseConfig, SignatureScan};
-use crate::run::run_experiment;
 use crate::virus::VirusProfile;
 
 fn run_labeled(
@@ -28,7 +27,7 @@ fn run_labeled(
     config: &ScenarioConfig,
     opts: &FigureOptions,
 ) -> Result<LabeledResult, ConfigError> {
-    let result = run_experiment(config, opts.reps, opts.master_seed, opts.threads)?;
+    let result = opts.plan().run(config)?;
     Ok(LabeledResult { label: label.into(), result })
 }
 
@@ -50,8 +49,7 @@ pub fn ablation_read_delay(opts: &FigureOptions) -> Result<Vec<LabeledResult>, C
         for mean_mins in [15u64, 60, 240] {
             let name = virus.name.clone();
             let mut config = base(virus.clone(), opts);
-            config.behavior.read_delay =
-                DelaySpec::exponential(SimDuration::from_mins(mean_mins));
+            config.behavior.read_delay = DelaySpec::exponential(SimDuration::from_mins(mean_mins));
             out.push(run_labeled(format!("{name} read={mean_mins}min"), &config, opts)?);
         }
         // A heavier-tailed human-reaction shape at the same central
@@ -142,9 +140,8 @@ pub fn ablation_day_alignment(opts: &FigureOptions) -> Result<Vec<LabeledResult>
 pub fn ablation_virus4_semantics(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
     // Both arms get the same legitimate traffic so the only difference
     // is how the virus paces itself.
-    let legit = crate::behavior::BehaviorConfig::with_legitimate_traffic(
-        SimDuration::from_hours(4),
-    );
+    let legit =
+        crate::behavior::BehaviorConfig::with_legitimate_traffic(SimDuration::from_hours(4));
     let mut rate_paced = base(VirusProfile::virus4(), opts);
     rate_paced.behavior = legit;
     let mut piggyback = base(VirusProfile::virus4_piggyback(), opts);
@@ -177,7 +174,13 @@ mod tests {
     use super::*;
 
     fn tiny() -> FigureOptions {
-        FigureOptions { reps: 1, master_seed: 3, threads: 1, population: 40 }
+        FigureOptions {
+            reps: 1,
+            master_seed: 3,
+            threads: 1,
+            population: 40,
+            ..FigureOptions::default()
+        }
     }
 
     #[test]
@@ -223,17 +226,28 @@ mod tests {
 
     #[test]
     fn virus4_semantics_two_arms_and_piggyback_actually_rides() {
-        let opts = FigureOptions { reps: 1, master_seed: 8, threads: 1, population: 60 };
+        let opts = FigureOptions {
+            reps: 1,
+            master_seed: 8,
+            threads: 1,
+            population: 60,
+            ..FigureOptions::default()
+        };
         let out = ablation_virus4_semantics(&opts).unwrap();
         assert_eq!(out.len(), 2);
-        let piggyback_sends: u64 =
-            out[1].result.runs.iter().map(|r| r.stats.piggyback_sends).sum();
+        let piggyback_sends: u64 = out[1].result.runs.iter().map(|r| r.stats.piggyback_sends).sum();
         assert!(piggyback_sends > 0, "the piggyback arm must ride the legit traffic");
     }
 
     #[test]
     fn acceptance_factor_plateaus_ordered() {
-        let opts = FigureOptions { reps: 2, master_seed: 5, threads: 2, population: 120 };
+        let opts = FigureOptions {
+            reps: 2,
+            master_seed: 5,
+            threads: 2,
+            population: 120,
+            ..FigureOptions::default()
+        };
         let out = ablation_acceptance_factor(&opts).unwrap();
         let finals: Vec<f64> = out.iter().map(|r| r.result.final_infected.mean).collect();
         assert!(

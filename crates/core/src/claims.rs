@@ -197,7 +197,9 @@ pub fn check_fig7(results: &[LabeledResult]) -> ClaimVerdict {
     ClaimVerdict {
         id: "FIG7-BLACKLIST",
         claim: "blacklist containment strengthens as the threshold drops",
-        measured: format!("baseline {baseline:.0}; thresholds 10/20/40 → {f10:.1} / {f20:.1} / {f40:.1}"),
+        measured: format!(
+            "baseline {baseline:.0}; thresholds 10/20/40 → {f10:.1} / {f20:.1} / {f40:.1}"
+        ),
         pass,
     }
 }
@@ -224,8 +226,7 @@ pub fn check_scaling(results: &[LabeledResult], n_small: usize) -> ClaimVerdict 
     let mut pass = true;
     for virus in ["Virus 1", "Virus 3"] {
         let small = final_of(results, &format!("{virus} n={n_small}")) / n_small as f64;
-        let large =
-            final_of(results, &format!("{virus} n={}", 2 * n_small)) / (2 * n_small) as f64;
+        let large = final_of(results, &format!("{virus} n={}", 2 * n_small)) / (2 * n_small) as f64;
         measured.push(format!("{virus}: {small:.3} vs {large:.3}"));
         if (small - large).abs() > 0.06 {
             pass = false;
@@ -262,7 +263,9 @@ pub fn check_bluetooth(results: &[LabeledResult]) -> ClaimVerdict {
     ClaimVerdict {
         id: "EXT-BT",
         claim: "gateway scan is blind to Bluetooth; education still works",
-        measured: format!("baseline {base:.0}, with perfect scan {scanned:.0}, educated {educated:.0}"),
+        measured: format!(
+            "baseline {base:.0}, with perfect scan {scanned:.0}, educated {educated:.0}"
+        ),
         pass,
     }
 }
@@ -282,12 +285,11 @@ pub fn check_false_positives(results: &[LabeledResult]) -> ClaimVerdict {
     let default_fp = fp_of("threshold 5/h");
     let strict_contained = final_of(results, "threshold 2/h");
     let loose_contained = final_of(results, "threshold 10/h");
-    let pass = strict_fp > 0.0
-        && default_fp == 0.0
-        && strict_contained <= loose_contained + 5.0;
+    let pass = strict_fp > 0.0 && default_fp == 0.0 && strict_contained <= loose_contained + 5.0;
     ClaimVerdict {
         id: "EXT-FP",
-        claim: "stricter monitoring flags innocents; the default threshold has zero false positives",
+        claim:
+            "stricter monitoring flags innocents; the default threshold has zero false positives",
         measured: format!(
             "FP/run: threshold-2 {strict_fp:.1}, threshold-5 {default_fp:.1}; \
              contained {strict_contained:.1} (strict) vs {loose_contained:.1} (loose)"
@@ -411,8 +413,7 @@ mod tests {
     /// Builds a synthetic labelled result whose series rises linearly to
     /// `final_value` over `hours`.
     fn synthetic(label: &str, final_value: f64, hours: usize) -> LabeledResult {
-        let values: Vec<f64> =
-            (0..=hours).map(|h| final_value * h as f64 / hours as f64).collect();
+        let values: Vec<f64> = (0..=hours).map(|h| final_value * h as f64 / hours as f64).collect();
         let series = TimeSeries::from_values(1.0, values.clone());
         LabeledResult {
             label: label.to_owned(),
@@ -695,7 +696,13 @@ mod tests {
     /// suite at a larger one; here we check the plumbing.)
     #[test]
     fn verify_all_runs_at_tiny_scale() {
-        let opts = FigureOptions { reps: 1, master_seed: 9, threads: 1, population: 40 };
+        let opts = FigureOptions {
+            reps: 1,
+            master_seed: 9,
+            threads: 1,
+            population: 40,
+            ..FigureOptions::default()
+        };
         let verdicts = verify_all(&opts).expect("all experiments valid");
         assert_eq!(verdicts.len(), 16);
         let ids: Vec<&str> = verdicts.iter().map(|v| v.id).collect();

@@ -122,6 +122,14 @@ pub struct ScenarioConfig {
     /// assumption that "the phone network infrastructure can support the
     /// extra volume"; `Some(c)` makes virus floods congest delivery.
     pub gateway_capacity_per_hour: Option<u64>,
+    /// Hard cap on events processed per replication; a run that exceeds
+    /// it stops and the experiment reports an error naming the offending
+    /// seed. `None` uses [`crate::run::DEFAULT_EVENT_BUDGET`], generous
+    /// enough that only a runaway scenario (e.g. a self-amplifying virus
+    /// on a huge horizon) trips it. Deserialization defaults to `None`,
+    /// so existing configuration files keep working.
+    #[serde(default)]
+    pub event_budget: Option<u64>,
 }
 
 impl ScenarioConfig {
@@ -143,6 +151,7 @@ impl ScenarioConfig {
             initial_infections: 1,
             mobility: None,
             gateway_capacity_per_hour: None,
+            event_budget: None,
         }
     }
 
@@ -177,10 +186,7 @@ impl ScenarioConfig {
     ///
     /// Returns the first problem found, as a [`ConfigError`].
     pub fn validate(&self) -> Result<(), ConfigError> {
-        self.population
-            .topology
-            .validate()
-            .map_err(|e| ConfigError(format!("topology: {e}")))?;
+        self.population.topology.validate().map_err(|e| ConfigError(format!("topology: {e}")))?;
         let f = self.population.vulnerable_fraction;
         if !(0.0..=1.0).contains(&f) || !f.is_finite() {
             return Err(ConfigError(format!("vulnerable_fraction {f} must be in [0, 1]")));
@@ -205,10 +211,11 @@ impl ScenarioConfig {
         }
         if let Some(cap) = self.gateway_capacity_per_hour {
             if cap == 0 || cap > 3600 {
-                return Err(ConfigError(format!(
-                    "gateway capacity {cap}/h must be in 1..=3600"
-                )));
+                return Err(ConfigError(format!("gateway capacity {cap}/h must be in 1..=3600")));
             }
+        }
+        if self.event_budget == Some(0) {
+            return Err(ConfigError("event_budget must be positive".to_owned()));
         }
         match (&self.virus.bluetooth, &self.mobility) {
             (Some(_), None) => {
@@ -303,6 +310,12 @@ mod tests {
         let mut c = ScenarioConfig::baseline(VirusProfile::virus1());
         c.response.blacklist = Some(Blacklist { threshold: 0 });
         assert!(c.validate().is_err());
+
+        let mut c = ScenarioConfig::baseline(VirusProfile::virus1());
+        c.event_budget = Some(0);
+        assert!(c.validate().is_err());
+        c.event_budget = Some(1);
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -16,18 +16,18 @@
 //! | TXT-SCALE | §5.3 "results scale … to 2000 phones" | [`scaling_study`] |
 //! | EXT-COMBO | §6 combined mechanisms | [`combo_study`] |
 
-use mpvsim_des::SimDuration;
+use mpvsim_des::{ObserverHandle, SimDuration};
 
 use crate::config::{ConfigError, MobilityConfig, PopulationConfig, ScenarioConfig};
 use crate::response::{
     Blacklist, DetectionAlgorithm, Immunization, Monitoring, ResponseConfig, SignatureScan,
     UserEducation,
 };
-use crate::run::{run_experiment, ExperimentResult};
+use crate::run::{ExperimentPlan, ExperimentResult};
 use crate::virus::{BluetoothVector, VirusProfile};
 
 /// Common knobs for every figure experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct FigureOptions {
     /// Replications per scenario.
     pub reps: u64,
@@ -38,11 +38,21 @@ pub struct FigureOptions {
     /// Population size (the paper uses 1000; the scaling study overrides
     /// this).
     pub population: usize,
+    /// Observer attached to every experiment the figure runs (progress
+    /// reporting, metrics capture); defaults to a no-op and never affects
+    /// the curves.
+    pub observer: ObserverHandle,
 }
 
 impl Default for FigureOptions {
     fn default() -> Self {
-        FigureOptions { reps: 10, master_seed: 2007, threads: 4, population: 1000 }
+        FigureOptions {
+            reps: 10,
+            master_seed: 2007,
+            threads: 4,
+            population: 1000,
+            observer: ObserverHandle::noop(),
+        }
     }
 }
 
@@ -50,6 +60,14 @@ impl FigureOptions {
     /// A faster variant for smoke tests and benches: fewer replications.
     pub fn quick() -> Self {
         FigureOptions { reps: 3, ..FigureOptions::default() }
+    }
+
+    /// The [`ExperimentPlan`] these options describe.
+    pub fn plan(&self) -> ExperimentPlan {
+        ExperimentPlan::new(self.reps)
+            .master_seed(self.master_seed)
+            .threads(self.threads)
+            .observer_handle(self.observer.clone())
     }
 }
 
@@ -72,7 +90,7 @@ fn run_labeled(
     config: &ScenarioConfig,
     opts: &FigureOptions,
 ) -> Result<LabeledResult, ConfigError> {
-    let result = run_experiment(config, opts.reps, opts.master_seed, opts.threads)?;
+    let result = opts.plan().run(config)?;
     Ok(LabeledResult { label: label.into(), result })
 }
 
@@ -100,11 +118,7 @@ pub fn fig1_baseline(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigE
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn fig2_virus_scan(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let mut out = vec![run_labeled(
-        "Baseline",
-        &base_config(VirusProfile::virus1(), opts),
-        opts,
-    )?];
+    let mut out = vec![run_labeled("Baseline", &base_config(VirusProfile::virus1(), opts), opts)?];
     for delay_h in [6u64, 12, 24] {
         let config = base_config(VirusProfile::virus1(), opts).with_response(
             ResponseConfig::none().with_signature_scan(SignatureScan {
@@ -123,11 +137,7 @@ pub fn fig2_virus_scan(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Confi
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn fig3_detection(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let mut out = vec![run_labeled(
-        "Baseline",
-        &base_config(VirusProfile::virus2(), opts),
-        opts,
-    )?];
+    let mut out = vec![run_labeled("Baseline", &base_config(VirusProfile::virus2(), opts), opts)?];
     for accuracy in [0.99, 0.95, 0.90, 0.85, 0.80] {
         let config = base_config(VirusProfile::virus2(), opts).with_response(
             ResponseConfig::none().with_detection(DetectionAlgorithm::with_accuracy(accuracy)),
@@ -167,11 +177,7 @@ pub fn fig4_education(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Config
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn fig5_immunization(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let mut out = vec![run_labeled(
-        "Baseline",
-        &base_config(VirusProfile::virus4(), opts),
-        opts,
-    )?];
+    let mut out = vec![run_labeled("Baseline", &base_config(VirusProfile::virus4(), opts), opts)?];
     for dev_h in [24u64, 48] {
         for rollout_h in [1u64, 6, 24] {
             let config = base_config(VirusProfile::virus4(), opts).with_response(
@@ -180,11 +186,7 @@ pub fn fig5_immunization(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Con
                     SimDuration::from_hours(rollout_h),
                 )),
             );
-            out.push(run_labeled(
-                format!("Hours {dev_h}-{}", dev_h + rollout_h),
-                &config,
-                opts,
-            )?);
+            out.push(run_labeled(format!("Hours {dev_h}-{}", dev_h + rollout_h), &config, opts)?);
         }
     }
     Ok(out)
@@ -204,11 +206,10 @@ pub fn fig6_monitoring(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Confi
         opts,
     )?];
     for wait_min in [15u64, 30, 60] {
-        let config = base_config(VirusProfile::virus3(), opts)
-            .with_horizon(horizon)
-            .with_response(ResponseConfig::none().with_monitoring(
-                Monitoring::with_forced_wait(SimDuration::from_mins(wait_min)),
-            ));
+        let config = base_config(VirusProfile::virus3(), opts).with_horizon(horizon).with_response(
+            ResponseConfig::none()
+                .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(wait_min))),
+        );
         out.push(run_labeled(format!("{wait_min}-Minute Wait"), &config, opts)?);
     }
     Ok(out)
@@ -272,7 +273,7 @@ pub fn scaling_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigE
     for v in [VirusProfile::virus1(), VirusProfile::virus3()] {
         for size in [opts.population, 2 * opts.population] {
             let name = v.name.clone();
-            let scaled_opts = FigureOptions { population: size, ..*opts };
+            let scaled_opts = FigureOptions { population: size, ..opts.clone() };
             let config = base_config(v.clone(), &scaled_opts);
             out.push(run_labeled(format!("{name} n={size}"), &config, opts)?);
         }
@@ -349,36 +350,31 @@ pub fn bluetooth_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Confi
         run_labeled("BT worm baseline", &pure, opts)?,
         run_labeled(
             "BT worm + perfect scan",
-            &pure.clone().with_response(ResponseConfig::none().with_signature_scan(
-                SignatureScan { activation_delay: SimDuration::ZERO },
-            )),
+            &pure.clone().with_response(
+                ResponseConfig::none()
+                    .with_signature_scan(SignatureScan { activation_delay: SimDuration::ZERO }),
+            ),
             opts,
         )?,
         run_labeled("Hybrid baseline", &hybrid, opts)?,
         run_labeled(
             "Hybrid + blacklist 10",
-            &hybrid.clone().with_response(
-                ResponseConfig::none().with_blacklist(Blacklist { threshold: 10 }),
-            ),
+            &hybrid
+                .clone()
+                .with_response(ResponseConfig::none().with_blacklist(Blacklist { threshold: 10 })),
             opts,
         )?,
         run_labeled(
             "Hybrid + patch 24h+6h",
             &hybrid.clone().with_response(ResponseConfig::none().with_immunization(
-                Immunization::uniform(
-                    SimDuration::from_hours(24),
-                    SimDuration::from_hours(6),
-                ),
+                Immunization::uniform(SimDuration::from_hours(24), SimDuration::from_hours(6)),
             )),
             opts,
         )?,
         run_labeled(
             "Hybrid + patch 6h+1h",
             &hybrid.clone().with_response(ResponseConfig::none().with_immunization(
-                Immunization::uniform(
-                    SimDuration::from_hours(6),
-                    SimDuration::from_hours(1),
-                ),
+                Immunization::uniform(SimDuration::from_hours(6), SimDuration::from_hours(1)),
             )),
             opts,
         )?,
@@ -431,11 +427,7 @@ pub fn rollout_order_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, C
     let mut out = Vec::new();
     for virus in [VirusProfile::virus1(), VirusProfile::virus4()] {
         let name = virus.name.clone();
-        out.push(run_labeled(
-            format!("{name} Baseline"),
-            &base_config(virus.clone(), opts),
-            opts,
-        )?);
+        out.push(run_labeled(format!("{name} Baseline"), &base_config(virus.clone(), opts), opts)?);
         for (label, imm) in [
             (
                 "uniform",
@@ -484,22 +476,21 @@ pub fn diminishing_returns_study(opts: &FigureOptions) -> Result<Vec<LabeledResu
     for accuracy in [0.5, 0.8, 0.9, 0.95, 0.99, 0.995] {
         let mut config = base_config(single.clone(), opts)
             .with_horizon(SimDuration::from_hours(25))
-            .with_response(
-                ResponseConfig::none().with_detection(DetectionAlgorithm {
-                    accuracy,
-                    analysis_period: SimDuration::from_hours(1),
-                }),
-            );
+            .with_response(ResponseConfig::none().with_detection(DetectionAlgorithm {
+                accuracy,
+                analysis_period: SimDuration::from_hours(1),
+            }));
         config.detect_threshold = 5;
         out.push(run_labeled(format!("detection acc {accuracy}"), &config, opts)?);
     }
 
     for wait_min in [5u64, 15, 30, 60, 120] {
-        let config = base_config(VirusProfile::virus3(), opts)
-            .with_horizon(SimDuration::from_hours(25))
-            .with_response(ResponseConfig::none().with_monitoring(
-                Monitoring::with_forced_wait(SimDuration::from_mins(wait_min)),
-            ));
+        let config =
+            base_config(VirusProfile::virus3(), opts)
+                .with_horizon(SimDuration::from_hours(25))
+                .with_response(ResponseConfig::none().with_monitoring(
+                    Monitoring::with_forced_wait(SimDuration::from_mins(wait_min)),
+                ));
         out.push(run_labeled(format!("monitor wait {wait_min}min"), &config, opts)?);
     }
 
@@ -604,7 +595,13 @@ mod tests {
     /// and the CLI; here we verify the experiment *definitions* — label
     /// sets and parameter wiring — with a minimal population.
     fn tiny() -> FigureOptions {
-        FigureOptions { reps: 1, master_seed: 1, threads: 1, population: 40 }
+        FigureOptions {
+            reps: 1,
+            master_seed: 1,
+            threads: 1,
+            population: 40,
+            ..FigureOptions::default()
+        }
     }
 
     fn labels(results: &[LabeledResult]) -> Vec<&str> {
@@ -709,7 +706,10 @@ mod tests {
     fn false_positive_study_labels() {
         let out = false_positive_study(&tiny()).unwrap();
         let labels: Vec<&str> = out.iter().map(|r| r.label.as_str()).collect();
-        assert_eq!(labels, vec!["threshold 2/h", "threshold 3/h", "threshold 5/h", "threshold 10/h"]);
+        assert_eq!(
+            labels,
+            vec!["threshold 2/h", "threshold 3/h", "threshold 5/h", "threshold 10/h"]
+        );
         // The hair-trigger arm must record false positives somewhere.
         let fp: u64 = out[0].result.runs.iter().map(|r| r.stats.false_positive_throttles).sum();
         assert!(fp > 0, "threshold 2 with ~6 legit msgs/day must flag innocents");

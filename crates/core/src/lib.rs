@@ -59,5 +59,10 @@ pub use response::{
     Blacklist, DetectionAlgorithm, Immunization, Monitoring, ResponseConfig, RolloutOrder,
     SignatureScan, UserEducation,
 };
-pub use run::{run_experiment, run_experiment_adaptive, run_scenario, AdaptiveResult, ExperimentResult, RunResult};
+#[allow(deprecated)]
+pub use run::{run_experiment, run_experiment_adaptive};
+pub use run::{
+    run_scenario, run_scenario_with_metrics, AdaptiveResult, ExperimentPlan, ExperimentResult,
+    RunResult, DEFAULT_EVENT_BUDGET,
+};
 pub use virus::{BluetoothVector, SendQuota, TargetingStrategy, VirusProfile};

@@ -22,7 +22,9 @@ use mpvsim_des::random::bernoulli;
 use mpvsim_des::{Context, Model, SimDuration, SimTime};
 use mpvsim_mobility::MobilityField;
 use mpvsim_phonenet::message::MessageId;
-use mpvsim_phonenet::{AddressSpace, Gateway, Inboxes, MmsMessage, PhoneId, Population, TransitQueue};
+use mpvsim_phonenet::{
+    AddressSpace, Gateway, Inboxes, MmsMessage, PhoneId, Population, TransitQueue,
+};
 use mpvsim_stats::TimeSeries;
 
 use crate::behavior::AcceptanceModel;
@@ -203,11 +205,8 @@ impl EpidemicModel {
             config.virus.bluetooth.is_none() || mobility.is_some(),
             "Bluetooth vector requires a mobility field"
         );
-        let monitor_window = config
-            .response
-            .monitoring
-            .map(|m| m.window)
-            .unwrap_or(SimDuration::from_hours(24));
+        let monitor_window =
+            config.response.monitoring.map(|m| m.window).unwrap_or(SimDuration::from_hours(24));
         let gateway = Gateway::new(population.len(), monitor_window);
         let address_space = match config.virus.targeting {
             TargetingStrategy::RandomDialing { valid_fraction } => Some(AddressSpace::new(
@@ -392,8 +391,7 @@ impl EpidemicModel {
         {
             let sender = &mut self.senders[phone.index()];
             if self.config.virus.global_day_bursts {
-                let boundary =
-                    SimTime::from_secs(now.as_secs() - now.as_secs() % DAY.as_secs());
+                let boundary = SimTime::from_secs(now.as_secs() - now.as_secs() % DAY.as_secs());
                 if boundary > sender.day_epoch_start {
                     sender.day_epoch_start = boundary;
                     sender.sent_in_day = 0;
@@ -435,8 +433,7 @@ impl EpidemicModel {
                 let sender = &mut self.senders[phone.index()];
                 let start = sender.cursor % contacts.len();
                 sender.cursor = (start + k) % contacts.len();
-                let recipients =
-                    (0..k).map(|i| contacts[(start + i) % contacts.len()]).collect();
+                let recipients = (0..k).map(|i| contacts[(start + i) % contacts.len()]).collect();
                 Some(MmsMessage::infected(self.fresh_message_id(), phone, recipients))
             }
             TargetingStrategy::RandomDialing { .. } => {
@@ -747,10 +744,12 @@ impl EpidemicModel {
             let pb = PhoneId::from(b);
             for (src, dst) in [(pa, pb), (pb, pa)] {
                 let sender = self.population.phone(src);
-                if sender.is_infected() && !sender.is_silenced()
-                    && bernoulli(ctx.rng(), bt.transfer_probability) {
-                        offers.push(dst);
-                    }
+                if sender.is_infected()
+                    && !sender.is_silenced()
+                    && bernoulli(ctx.rng(), bt.transfer_probability)
+                {
+                    offers.push(dst);
+                }
             }
         }
         let now = ctx.now();
@@ -821,20 +820,18 @@ mod tests {
             bluetooth: None,
             piggyback: false,
         });
-        c.population = PopulationConfig {
-            topology: GraphSpec::complete(20),
-            vulnerable_fraction: 1.0,
-        };
+        c.population =
+            PopulationConfig { topology: GraphSpec::complete(20), vulnerable_fraction: 1.0 };
         c.behavior.read_delay = DelaySpec::constant(SimDuration::from_secs(1));
         c.horizon = SimDuration::from_hours(48);
         c
     }
 
     fn build(config: &ScenarioConfig, seed: u64) -> Simulation<EpidemicModel> {
-        let mut topo_rng =
-            <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0x70_70);
+        let mut topo_rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0x70_70);
         let graph = config.population.topology.generate(&mut topo_rng).expect("valid topology");
-        let pop = Population::from_graph(&graph, config.population.vulnerable_fraction, &mut topo_rng);
+        let pop =
+            Population::from_graph(&graph, config.population.vulnerable_fraction, &mut topo_rng);
         let mobility = config.mobility.map(|mc| {
             mpvsim_mobility::MobilityField::new(mc.arena(), pop.len(), mc.waypoint, &mut topo_rng)
         });
@@ -903,9 +900,8 @@ mod tests {
     fn signature_scan_halts_new_deliveries_after_activation() {
         let mut c = tiny_config();
         c.detect_threshold = 1;
-        c.response = ResponseConfig::none().with_signature_scan(SignatureScan {
-            activation_delay: SimDuration::from_mins(5),
-        });
+        c.response = ResponseConfig::none()
+            .with_signature_scan(SignatureScan { activation_delay: SimDuration::from_mins(5) });
         let m = run(&c, 5);
         assert!(m.activation().detected_at.is_some(), "virus never detected");
         assert!(m.activation().scan_active_at.is_some(), "scan never activated");
@@ -948,8 +944,7 @@ mod tests {
     #[test]
     fn education_zero_scale_stops_everything_beyond_seed() {
         let mut c = tiny_config();
-        c.response =
-            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        c.response = ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
         let m = run(&c, 8);
         assert_eq!(m.infected_count(), 1, "only the seed should be infected");
         assert_eq!(m.stats().acceptances, 0);
@@ -1040,8 +1035,7 @@ mod tests {
         c.horizon = SimDuration::from_hours(24);
         // Keep it to one sender so the arithmetic is exact: nothing else
         // gets infected.
-        c.response =
-            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        c.response = ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
         let m = run(&c, 13);
         // Reboots at 6/12/18/24 h: epochs [0,6),[6,12),[12,18),[18,24),{24}.
         // 2 messages per epoch → at most 10 by the horizon.
@@ -1119,8 +1113,7 @@ mod tests {
     fn multi_recipient_message_counts_once_but_delivers_many() {
         let mut c = tiny_config();
         c.virus.recipients_per_message = 100; // clamped to the 19 contacts
-        c.response =
-            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        c.response = ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
         c.horizon = SimDuration::from_hours(1);
         let m = run(&c, 19);
         assert!(m.stats().messages_sent > 0);
@@ -1136,8 +1129,7 @@ mod tests {
         // 1 recipient per message over a 20-node complete graph: after 19
         // sends every other phone has received exactly one offer.
         let mut c = tiny_config();
-        c.response =
-            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        c.response = ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
         // Sends fire at minutes 1..=19; reads one second later. Stop
         // after the last read but before the 20th send.
         c.horizon = SimDuration::from_secs(19 * 60 + 30);
@@ -1209,12 +1201,8 @@ mod tests {
             .filter(|p| p.health() == mpvsim_phonenet::Health::Immunized)
             .map(|p| p.contacts().len())
             .min();
-        let susceptible_max = m
-            .population()
-            .iter()
-            .filter(|p| p.is_susceptible())
-            .map(|p| p.contacts().len())
-            .max();
+        let susceptible_max =
+            m.population().iter().filter(|p| p.is_susceptible()).map(|p| p.contacts().len()).max();
         if let (Some(lo), Some(hi)) = (immunized_min, susceptible_max) {
             assert!(
                 lo >= hi,
@@ -1306,13 +1294,15 @@ mod tests {
     fn legitimate_traffic_flows_without_infecting() {
         let mut c = tiny_config();
         c.behavior.legitimate_mms = Some(DelaySpec::constant(SimDuration::from_hours(2)));
-        c.response =
-            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        c.response = ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
         c.horizon = SimDuration::from_hours(10);
         let m = run(&c, 50);
         // 20 phones × ~5 legit messages over 10 h.
-        assert!((80..=120).contains(&m.stats().legitimate_messages),
-            "unexpected legit volume {}", m.stats().legitimate_messages);
+        assert!(
+            (80..=120).contains(&m.stats().legitimate_messages),
+            "unexpected legit volume {}",
+            m.stats().legitimate_messages
+        );
         assert_eq!(m.infected_count(), 1, "legitimate traffic must not infect");
     }
 
@@ -1356,7 +1346,8 @@ mod tests {
         let m = run(&c, 52);
         assert!(m.stats().piggyback_sends > 0, "piggyback virus never rode a message");
         assert_eq!(
-            m.stats().messages_sent, m.stats().piggyback_sends,
+            m.stats().messages_sent,
+            m.stats().piggyback_sends,
             "a piggyback virus has no schedule of its own"
         );
         assert!(m.infected_count() > 1, "piggyback virus should still spread");
@@ -1378,12 +1369,12 @@ mod tests {
         c.virus.piggyback = true;
         c.virus.send_gap = DelaySpec::constant(SimDuration::from_hours(100)); // one shot
         c.behavior.legitimate_mms = Some(DelaySpec::constant(SimDuration::from_mins(5)));
-        c.response =
-            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        c.response = ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
         c.horizon = SimDuration::from_hours(12);
         let m = run(&c, 54);
         assert_eq!(
-            m.stats().messages_sent, 1,
+            m.stats().messages_sent,
+            1,
             "a 100 h minimum gap allows exactly one piggyback send in 12 h"
         );
     }
@@ -1398,10 +1389,8 @@ mod tests {
     /// A dense little plaza where Bluetooth contacts are frequent.
     fn bluetooth_config() -> ScenarioConfig {
         let mut c = ScenarioConfig::baseline(VirusProfile::bluetooth_worm());
-        c.population = PopulationConfig {
-            topology: GraphSpec::complete(30),
-            vulnerable_fraction: 1.0,
-        };
+        c.population =
+            PopulationConfig { topology: GraphSpec::complete(30), vulnerable_fraction: 1.0 };
         c.mobility = Some(MobilityConfig {
             arena_width: 120.0,
             arena_height: 120.0,
@@ -1426,9 +1415,8 @@ mod tests {
         // Scan active from the very first moment cannot see Bluetooth.
         let mut c = bluetooth_config();
         c.detect_threshold = 0; // gateway clock would fire instantly — but sees nothing
-        c.response = ResponseConfig::none().with_signature_scan(SignatureScan {
-            activation_delay: SimDuration::ZERO,
-        });
+        c.response = ResponseConfig::none()
+            .with_signature_scan(SignatureScan { activation_delay: SimDuration::ZERO });
         let with_scan = run(&c, 31);
         let baseline = run(&bluetooth_config(), 31);
         assert_eq!(
@@ -1473,11 +1461,14 @@ mod tests {
         let m = run(&c, 33);
         // After the rollout, every phone is immunized or silenced; the
         // infection count can no longer move.
-        let baseline = run(&{
-            let mut b = c.clone();
-            b.response = ResponseConfig::none();
-            b
-        }, 33);
+        let baseline = run(
+            &{
+                let mut b = c.clone();
+                b.response = ResponseConfig::none();
+                b
+            },
+            33,
+        );
         assert!(
             m.infected_count() < baseline.infected_count(),
             "patch should contain the hybrid worm: {} vs {}",
@@ -1492,8 +1483,7 @@ mod tests {
     #[test]
     fn education_applies_to_bluetooth_offers() {
         let mut c = bluetooth_config();
-        c.response =
-            ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
+        c.response = ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.0 });
         let m = run(&c, 34);
         assert_eq!(m.infected_count(), 1, "nobody accepts: only the seed stays infected");
         assert!(m.stats().bluetooth_offers > 0, "offers still happen");

@@ -129,11 +129,7 @@ impl Monitoring {
     /// Monitoring with the paper-calibrated window/threshold and the
     /// given forced wait.
     pub fn with_forced_wait(forced_wait: SimDuration) -> Self {
-        Monitoring {
-            window: SimDuration::from_hours(1),
-            threshold: 5,
-            forced_wait,
-        }
+        Monitoring { window: SimDuration::from_hours(1), threshold: 5, forced_wait }
     }
 }
 

@@ -1,18 +1,45 @@
-//! Running scenarios: one replication, or a seeded batch with aggregation.
+//! Running scenarios: one replication, or a seeded, streamed, observable
+//! experiment described by an [`ExperimentPlan`].
+//!
+//! ## The plan API
+//!
+//! ```rust,ignore
+//! let result = ExperimentPlan::new(40)
+//!     .master_seed(2007)
+//!     .threads(8)
+//!     .retain_runs(false)          // stream: don't keep per-run series
+//!     .observer(ProgressObserver::new())
+//!     .run(&config)?;
+//! ```
+//!
+//! Replication `r` always uses the seed derived from `(master_seed, r)`,
+//! so the mean curve and confidence band are **bit-identical** regardless
+//! of thread count, attached observer, or whether per-run results are
+//! retained. Aggregation is online (each replication's series is folded
+//! into an [`OnlineAggregate`] as it completes, in replication order), so
+//! with `retain_runs(false)` memory stays flat however many replications
+//! run.
+
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use mpvsim_des::seed::derive_stream_seed;
-use mpvsim_des::{run_replications_parallel, SimTime, Simulation};
+use mpvsim_des::seed::{derive_seed, derive_stream_seed};
+use mpvsim_des::{
+    try_run_replications_sink, ExperimentMetrics, ExperimentObserver, ObserverHandle,
+    ReplicationMetrics, RunOutcome, SimMetrics, SimTime, Simulation,
+};
 use mpvsim_mobility::MobilityField;
 use mpvsim_phonenet::Population;
-use mpvsim_stats::{aggregate, AggregateSeries, Summary, TimeSeries};
+use mpvsim_stats::{AggregateSeries, OnlineAggregate, Summary, TimeSeries};
 
 use crate::config::{ConfigError, ScenarioConfig};
 use crate::model::{EpidemicModel, Event, RunStats};
 use crate::response::ActivationTimes;
 use mpvsim_des::SimDuration;
+
+pub use mpvsim_des::engine::DEFAULT_EVENT_BUDGET;
 
 /// Sub-stream label for topology generation (independent of dynamics).
 const TOPOLOGY_STREAM: u64 = 1;
@@ -43,7 +70,9 @@ pub struct ExperimentResult {
     pub aggregate: AggregateSeries,
     /// Summary of the final infection counts across replications.
     pub final_infected: Summary,
-    /// Each replication's result, in replication order.
+    /// Each replication's result, in replication order. **Empty** when the
+    /// experiment ran with [`ExperimentPlan::retain_runs`]`(false)`; the
+    /// aggregate fields above are unaffected by that choice.
     pub runs: Vec<RunResult>,
 }
 
@@ -55,6 +84,9 @@ impl ExperimentResult {
 
     /// Mean time (hours) for the infection to reach `threshold` phones,
     /// over the replications that reached it; `None` if none did.
+    ///
+    /// Needs per-run series, so it is always `None` when the experiment
+    /// ran with [`ExperimentPlan::retain_runs`]`(false)`.
     pub fn mean_time_to_reach(&self, threshold: f64) -> Option<f64> {
         let times: Vec<f64> =
             self.runs.iter().filter_map(|r| r.series.time_to_reach(threshold)).collect();
@@ -74,8 +106,25 @@ impl ExperimentResult {
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] when the scenario is invalid.
+/// Returns [`ConfigError`] when the scenario is invalid or the
+/// replication exceeds its event budget (see
+/// [`ScenarioConfig::event_budget`]).
 pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> Result<RunResult, ConfigError> {
+    run_scenario_with_metrics(config, seed).map(|(result, _)| result)
+}
+
+/// Like [`run_scenario`], additionally returning the engine's runtime
+/// counters (events processed, event-heap high-water mark) for
+/// observability.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the scenario is invalid or the
+/// replication exceeds its event budget.
+pub fn run_scenario_with_metrics(
+    config: &ScenarioConfig,
+    seed: u64,
+) -> Result<(RunResult, SimMetrics), ConfigError> {
     config.validate()?;
     let mut topo_rng = StdRng::seed_from_u64(derive_stream_seed(seed, 0, TOPOLOGY_STREAM));
     let graph = config
@@ -85,61 +134,286 @@ pub fn run_scenario(config: &ScenarioConfig, seed: u64) -> Result<RunResult, Con
         .map_err(|e| ConfigError(format!("topology: {e}")))?;
     let population =
         Population::from_graph(&graph, config.population.vulnerable_fraction, &mut topo_rng);
-    let mobility = config.mobility.map(|m| {
-        MobilityField::new(m.arena(), population.len(), m.waypoint, &mut topo_rng)
-    });
+    let mobility = config
+        .mobility
+        .map(|m| MobilityField::new(m.arena(), population.len(), m.waypoint, &mut topo_rng));
 
+    let budget = config.event_budget.unwrap_or(DEFAULT_EVENT_BUDGET);
     let model = EpidemicModel::with_mobility(config.clone(), population, mobility);
-    let mut sim = Simulation::new(model, seed);
+    let mut sim = Simulation::new(model, seed).with_event_budget(budget);
     sim.schedule(SimTime::ZERO, Event::Seed);
     sim.schedule(SimTime::ZERO, Event::Sample);
-    sim.run_until(SimTime::ZERO + config.horizon);
+    let outcome = sim.run_until(SimTime::ZERO + config.horizon);
+    if outcome == RunOutcome::EventBudgetExceeded {
+        return Err(ConfigError(format!(
+            "seed {seed}: event budget {budget} exceeded at simulated time {now} \
+             (raise event_budget or shrink the scenario)",
+            now = sim.now(),
+        )));
+    }
+    let metrics = sim.metrics();
     let model = sim.into_model();
 
-    Ok(RunResult {
-        final_infected: model.infected_count(),
-        stats: *model.stats(),
-        activation: *model.activation(),
-        gateway_peak_delay: model.transit_queue().map(|q| q.peak_delay()),
-        traffic: model.traffic_series().clone(),
-        series: model.series().clone(),
-    })
+    Ok((
+        RunResult {
+            final_infected: model.infected_count(),
+            stats: *model.stats(),
+            activation: *model.activation(),
+            gateway_peak_delay: model.transit_queue().map(|q| q.peak_delay()),
+            traffic: model.traffic_series().clone(),
+            series: model.series().clone(),
+        },
+        metrics,
+    ))
 }
 
-/// Runs `reps` seeded replications of `config` (in parallel across
-/// `threads` workers) and aggregates them.
+/// A replicated experiment, described declaratively: how many
+/// replications, which seed family, how much parallelism, what to keep,
+/// and who gets told about progress.
 ///
-/// Replication `r` uses the seed derived from `(master_seed, r)`; results
-/// are identical regardless of `threads`.
-///
-/// # Errors
-///
-/// Returns [`ConfigError`] when the scenario is invalid or `reps == 0`.
-///
-/// # Panics
-///
-/// Panics if `threads == 0`.
-pub fn run_experiment(
-    config: &ScenarioConfig,
+/// Construction is builder-style; [`ExperimentPlan::run`] and
+/// [`ExperimentPlan::run_adaptive`] execute the plan against a scenario.
+/// The numerical results depend **only** on `(config, reps, master_seed)`
+/// — threads, observer and `retain_runs` never change a single bit of the
+/// aggregate.
+#[derive(Debug, Clone)]
+pub struct ExperimentPlan {
     reps: u64,
     master_seed: u64,
     threads: usize,
-) -> Result<ExperimentResult, ConfigError> {
-    config.validate()?;
-    if reps == 0 {
-        return Err(ConfigError("need at least one replication".to_owned()));
-    }
-    let runs: Vec<RunResult> = run_replications_parallel(reps, master_seed, threads, |_, seed| {
-        run_scenario(config, seed).expect("config validated before the batch")
-    });
-    let series: Vec<TimeSeries> = runs.iter().map(|r| r.series.clone()).collect();
-    let aggregate = aggregate::aggregate(&series).expect("at least one replication");
-    let finals: Vec<f64> = runs.iter().map(|r| r.final_infected as f64).collect();
-    let final_infected = Summary::of(&finals).expect("at least one replication");
-    Ok(ExperimentResult { aggregate, final_infected, runs })
+    retain_runs: bool,
+    observer: ObserverHandle,
 }
 
-/// Outcome of [`run_experiment_adaptive`].
+impl ExperimentPlan {
+    /// A plan for `reps` replications: master seed 0, single-threaded,
+    /// per-run results retained, no observer.
+    pub fn new(reps: u64) -> Self {
+        ExperimentPlan {
+            reps,
+            master_seed: 0,
+            threads: 1,
+            retain_runs: true,
+            observer: ObserverHandle::noop(),
+        }
+    }
+
+    /// Sets the master seed; replication `r` derives its seed from
+    /// `(master_seed, r)`.
+    pub fn master_seed(mut self, master_seed: u64) -> Self {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Sets the number of worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`; use [`ExperimentPlan::auto_threads`]
+    /// for hardware detection.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the worker count to the available hardware parallelism
+    /// (falling back to 1 when it cannot be determined).
+    pub fn auto_threads(self) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        self.threads(threads)
+    }
+
+    /// Whether to keep each replication's full [`RunResult`] in
+    /// [`ExperimentResult::runs`]. With `false`, runs are folded into the
+    /// aggregate as they finish and dropped — memory stays O(series
+    /// length) instead of O(reps × series length), and the aggregate is
+    /// bit-identical either way.
+    pub fn retain_runs(mut self, retain: bool) -> Self {
+        self.retain_runs = retain;
+        self
+    }
+
+    /// Attaches an observer (see [`ExperimentObserver`]); it receives
+    /// start/finish hooks with telemetry but cannot influence results.
+    pub fn observer(self, observer: impl ExperimentObserver + 'static) -> Self {
+        self.observer_handle(ObserverHandle::new(observer))
+    }
+
+    /// Attaches an already-wrapped observer handle.
+    pub fn observer_handle(mut self, observer: ObserverHandle) -> Self {
+        self.observer = observer;
+        self
+    }
+
+    /// The resolved worker-thread count.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// The number of replications the plan will run.
+    pub fn rep_count(&self) -> u64 {
+        self.reps
+    }
+
+    /// Executes the plan: runs the replications (in parallel across the
+    /// plan's threads) and aggregates them online.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the scenario is invalid, `reps == 0`,
+    /// or any replication fails (e.g. exceeds its event budget) — in the
+    /// latter case the error is the one from the lowest-indexed failing
+    /// replication, at every thread count.
+    pub fn run(&self, config: &ScenarioConfig) -> Result<ExperimentResult, ConfigError> {
+        config.validate()?;
+        if self.reps == 0 {
+            return Err(ConfigError("need at least one replication".to_owned()));
+        }
+        self.observer.on_experiment_start(self.reps);
+        let started = Instant::now();
+        let mut collector = Collector::new(self.retain_runs);
+        try_run_replications_sink(
+            self.reps,
+            self.master_seed,
+            self.threads,
+            |rep, seed| self.run_one(config, rep, seed),
+            |_rep, (result, metrics)| collector.absorb(&self.observer, result, metrics),
+        )?;
+        self.observer.on_experiment_finish(&ExperimentMetrics {
+            reps: self.reps,
+            wall: started.elapsed(),
+            events_processed: collector.total_events,
+        });
+        Ok(collector.into_result())
+    }
+
+    /// Executes the plan adaptively: replications run in batches of the
+    /// plan's thread count until the 95 % confidence half-width on the
+    /// mean final infection count drops to `target_ci_half_width` (or
+    /// `max_reps` is exhausted). The plan's `reps` is ignored; `min_reps`
+    /// and `max_reps` bound the effort instead.
+    ///
+    /// Replication `r` always uses the seed derived from
+    /// `(master_seed, r)`, so for a given outcome sequence the runs are
+    /// the same as a fixed-size batch of the same length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] when the scenario is invalid, `min_reps`
+    /// is 0, `min_reps > max_reps`, or any replication fails.
+    pub fn run_adaptive(
+        &self,
+        config: &ScenarioConfig,
+        target_ci_half_width: f64,
+        min_reps: u64,
+        max_reps: u64,
+    ) -> Result<AdaptiveResult, ConfigError> {
+        config.validate()?;
+        if min_reps == 0 || min_reps > max_reps {
+            return Err(ConfigError(format!(
+                "need 1 <= min_reps <= max_reps, got {min_reps}..{max_reps}"
+            )));
+        }
+        self.observer.on_experiment_start(max_reps);
+        let started = Instant::now();
+        let mut collector = Collector::new(self.retain_runs);
+        let mut acc = mpvsim_stats::RunningSummary::new();
+        let mut completed: u64 = 0;
+        let mut converged = false;
+        while completed < max_reps {
+            let batch = (self.threads as u64)
+                .max(1)
+                .min(max_reps - completed)
+                .max(if completed == 0 { min_reps.min(max_reps) } else { 1 });
+            let first = completed;
+            try_run_replications_sink(
+                batch,
+                self.master_seed,
+                self.threads,
+                // Seed from the global replication index so the sequence
+                // is independent of the batch boundaries.
+                |rep, _seed| {
+                    let global = first + rep;
+                    self.run_one(config, global, derive_seed(self.master_seed, global))
+                },
+                |_rep, (result, metrics)| {
+                    acc.push(result.final_infected as f64);
+                    collector.absorb(&self.observer, result, metrics);
+                },
+            )?;
+            completed += batch;
+            if completed >= min_reps && acc.ci95_half_width() <= target_ci_half_width {
+                converged = true;
+                break;
+            }
+        }
+        self.observer.on_experiment_finish(&ExperimentMetrics {
+            reps: completed,
+            wall: started.elapsed(),
+            events_processed: collector.total_events,
+        });
+        Ok(AdaptiveResult { result: collector.into_result(), converged })
+    }
+
+    /// One replication with observer hooks and wall-clock timing.
+    fn run_one(
+        &self,
+        config: &ScenarioConfig,
+        rep: u64,
+        seed: u64,
+    ) -> Result<(RunResult, ReplicationMetrics), ConfigError> {
+        self.observer.on_replication_start(rep, seed);
+        let started = Instant::now();
+        let (result, sim) = run_scenario_with_metrics(config, seed)?;
+        Ok((result, ReplicationMetrics { rep, seed, wall: started.elapsed(), sim }))
+    }
+}
+
+/// Streaming result collector: folds replications into the aggregate in
+/// replication order as the sink delivers them.
+struct Collector {
+    aggregate: OnlineAggregate,
+    finals: Vec<f64>,
+    runs: Vec<RunResult>,
+    retain_runs: bool,
+    total_events: u64,
+}
+
+impl Collector {
+    fn new(retain_runs: bool) -> Self {
+        Collector {
+            aggregate: OnlineAggregate::new(),
+            finals: Vec::new(),
+            runs: Vec::new(),
+            retain_runs,
+            total_events: 0,
+        }
+    }
+
+    fn absorb(
+        &mut self,
+        observer: &ObserverHandle,
+        result: RunResult,
+        metrics: ReplicationMetrics,
+    ) {
+        observer.on_replication_finish(&metrics);
+        self.total_events += metrics.sim.events_processed;
+        self.aggregate.push(&result.series);
+        self.finals.push(result.final_infected as f64);
+        if self.retain_runs {
+            self.runs.push(result);
+        }
+    }
+
+    fn into_result(self) -> ExperimentResult {
+        let aggregate = self.aggregate.finalize().expect("at least one replication");
+        let final_infected = Summary::of(&self.finals).expect("at least one replication");
+        ExperimentResult { aggregate, final_infected, runs: self.runs }
+    }
+}
+
+/// Outcome of [`ExperimentPlan::run_adaptive`].
 #[derive(Debug, Clone)]
 pub struct AdaptiveResult {
     /// The aggregated experiment over however many replications ran.
@@ -148,22 +422,38 @@ pub struct AdaptiveResult {
     pub converged: bool,
 }
 
-/// Runs replications in batches of `threads` until the 95 % confidence
-/// half-width on the mean final infection count drops to
-/// `target_ci_half_width` (or `max_reps` is exhausted).
-///
-/// Replication `r` always uses the seed derived from `(master_seed, r)`,
-/// so for a given outcome sequence the runs are the same as a fixed-size
-/// batch of the same length.
+/// Runs `reps` seeded replications of `config` and aggregates them.
 ///
 /// # Errors
 ///
-/// Returns [`ConfigError`] when the scenario is invalid, `min_reps` is 0,
-/// or `min_reps > max_reps`.
+/// Returns [`ConfigError`] when the scenario is invalid, `reps == 0`, or
+/// a replication fails.
 ///
 /// # Panics
 ///
 /// Panics if `threads == 0`.
+#[deprecated(note = "use ExperimentPlan::new(reps).master_seed(..).threads(..).run(config)")]
+pub fn run_experiment(
+    config: &ScenarioConfig,
+    reps: u64,
+    master_seed: u64,
+    threads: usize,
+) -> Result<ExperimentResult, ConfigError> {
+    ExperimentPlan::new(reps).master_seed(master_seed).threads(threads).run(config)
+}
+
+/// Runs replications in batches until the confidence target is met.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the scenario is invalid, `min_reps` is 0,
+/// `min_reps > max_reps`, or a replication fails.
+///
+/// # Panics
+///
+/// Panics if `threads == 0`.
+#[deprecated(note = "use ExperimentPlan::new(max_reps).master_seed(..).threads(..)\
+            .run_adaptive(config, target, min_reps, max_reps)")]
 pub fn run_experiment_adaptive(
     config: &ScenarioConfig,
     target_ci_half_width: f64,
@@ -172,45 +462,12 @@ pub fn run_experiment_adaptive(
     master_seed: u64,
     threads: usize,
 ) -> Result<AdaptiveResult, ConfigError> {
-    config.validate()?;
-    if min_reps == 0 || min_reps > max_reps {
-        return Err(ConfigError(format!(
-            "need 1 <= min_reps <= max_reps, got {min_reps}..{max_reps}"
-        )));
-    }
-    let mut runs: Vec<RunResult> = Vec::new();
-    let mut acc = mpvsim_stats::RunningSummary::new();
-    let mut converged = false;
-    while (runs.len() as u64) < max_reps {
-        let batch = (threads as u64)
-            .max(1)
-            .min(max_reps - runs.len() as u64)
-            .max(if runs.is_empty() { min_reps.min(max_reps) } else { 1 });
-        let start = runs.len() as u64;
-        let mut batch_runs: Vec<RunResult> =
-            run_replications_parallel(batch, master_seed, threads, |rep, _seed| {
-                // Seed from the global replication index so the sequence
-                // is independent of the batch boundaries.
-                let seed = mpvsim_des::seed::derive_seed(master_seed, start + rep);
-                run_scenario(config, seed).expect("config validated before the batch")
-            });
-        for r in &batch_runs {
-            acc.push(r.final_infected as f64);
-        }
-        runs.append(&mut batch_runs);
-        if runs.len() as u64 >= min_reps && acc.ci95_half_width() <= target_ci_half_width {
-            converged = true;
-            break;
-        }
-    }
-    let series: Vec<TimeSeries> = runs.iter().map(|r| r.series.clone()).collect();
-    let aggregate = aggregate::aggregate(&series).expect("at least one replication");
-    let finals: Vec<f64> = runs.iter().map(|r| r.final_infected as f64).collect();
-    let final_infected = Summary::of(&finals).expect("at least one replication");
-    Ok(AdaptiveResult {
-        result: ExperimentResult { aggregate, final_infected, runs },
-        converged,
-    })
+    ExperimentPlan::new(max_reps).master_seed(master_seed).threads(threads).run_adaptive(
+        config,
+        target_ci_half_width,
+        min_reps,
+        max_reps,
+    )
 }
 
 #[cfg(test)]
@@ -220,6 +477,8 @@ mod tests {
     use crate::virus::VirusProfile;
     use mpvsim_des::{DelaySpec, SimDuration};
     use mpvsim_topology::GraphSpec;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
 
     fn small_config() -> ScenarioConfig {
         let mut c = ScenarioConfig::baseline(VirusProfile::virus3());
@@ -257,6 +516,17 @@ mod tests {
     }
 
     #[test]
+    fn run_scenario_reports_metrics() {
+        let (r, m) = run_scenario_with_metrics(&small_config(), 7).unwrap();
+        assert!(m.events_processed > 0);
+        assert!(m.peak_pending_events > 0);
+        assert!(
+            m.events_processed >= r.stats.messages_sent,
+            "every message involves at least one event"
+        );
+    }
+
+    #[test]
     fn different_seeds_vary_topology_and_dynamics() {
         let c = small_config();
         let a = run_scenario(&c, 1).unwrap();
@@ -267,7 +537,7 @@ mod tests {
     #[test]
     fn experiment_aggregates_replications() {
         let c = small_config();
-        let e = run_experiment(&c, 4, 99, 2).unwrap();
+        let e = ExperimentPlan::new(4).master_seed(99).threads(2).run(&c).unwrap();
         assert_eq!(e.runs.len(), 4);
         assert_eq!(e.aggregate.replications, 4);
         assert_eq!(e.final_infected.n, 4);
@@ -280,14 +550,92 @@ mod tests {
     #[test]
     fn experiment_parallel_equals_serial() {
         let c = small_config();
-        let serial = run_experiment(&c, 3, 5, 1).unwrap();
-        let parallel = run_experiment(&c, 3, 5, 3).unwrap();
+        let serial = ExperimentPlan::new(3).master_seed(5).run(&c).unwrap();
+        let parallel = ExperimentPlan::new(3).master_seed(5).threads(3).run(&c).unwrap();
         assert_eq!(serial.aggregate.mean, parallel.aggregate.mean);
+        assert_eq!(serial.aggregate.ci95_half_width, parallel.aggregate.ci95_half_width);
     }
 
     #[test]
     fn experiment_zero_reps_rejected() {
-        assert!(run_experiment(&small_config(), 0, 1, 1).is_err());
+        assert!(ExperimentPlan::new(0).run(&small_config()).is_err());
+    }
+
+    #[test]
+    fn deprecated_wrappers_match_plan() {
+        let c = small_config();
+        #[allow(deprecated)]
+        let old = run_experiment(&c, 3, 41, 2).unwrap();
+        let new = ExperimentPlan::new(3).master_seed(41).threads(2).run(&c).unwrap();
+        assert_eq!(old.aggregate, new.aggregate);
+        assert_eq!(old.final_infected, new.final_infected);
+    }
+
+    #[test]
+    fn retain_runs_false_streams_without_changing_the_aggregate() {
+        let c = small_config();
+        let kept = ExperimentPlan::new(4).master_seed(8).threads(2).run(&c).unwrap();
+        let streamed =
+            ExperimentPlan::new(4).master_seed(8).threads(2).retain_runs(false).run(&c).unwrap();
+        assert!(streamed.runs.is_empty());
+        assert_eq!(kept.runs.len(), 4);
+        assert_eq!(kept.aggregate, streamed.aggregate);
+        assert_eq!(kept.final_infected, streamed.final_infected);
+        assert!(streamed.mean_time_to_reach(1.0).is_none(), "needs retained runs");
+    }
+
+    #[derive(Default)]
+    struct CountingObserver {
+        started: AtomicU64,
+        finished: AtomicU64,
+        events: AtomicU64,
+    }
+
+    impl ExperimentObserver for CountingObserver {
+        fn on_replication_start(&self, _rep: u64, _seed: u64) {
+            self.started.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_replication_finish(&self, m: &ReplicationMetrics) {
+            self.finished.fetch_add(1, Ordering::Relaxed);
+            self.events.fetch_add(m.sim.events_processed, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_replication_and_changes_nothing() {
+        let c = small_config();
+        let bare = ExperimentPlan::new(4).master_seed(99).threads(2).run(&c).unwrap();
+        let counting = Arc::new(CountingObserver::default());
+        let observed = ExperimentPlan::new(4)
+            .master_seed(99)
+            .threads(2)
+            .observer_handle(ObserverHandle::from_arc(counting.clone()))
+            .run(&c)
+            .unwrap();
+        assert_eq!(counting.started.load(Ordering::Relaxed), 4);
+        assert_eq!(counting.finished.load(Ordering::Relaxed), 4);
+        assert!(counting.events.load(Ordering::Relaxed) > 0);
+        assert_eq!(bare.aggregate, observed.aggregate);
+        assert_eq!(bare.final_infected, observed.final_infected);
+    }
+
+    #[test]
+    fn event_budget_failure_is_an_error_not_a_panic() {
+        let mut c = small_config();
+        c.event_budget = Some(10);
+        let err = ExperimentPlan::new(4).master_seed(3).threads(2).run(&c).unwrap_err();
+        assert!(err.0.contains("event budget"), "unexpected error: {err}");
+        // The failing replication is the lowest-indexed one (rep 0) at
+        // every thread count, so the message names the same seed.
+        let serial_err = ExperimentPlan::new(4).master_seed(3).run(&c).unwrap_err();
+        assert_eq!(err, serial_err);
+    }
+
+    #[test]
+    fn auto_threads_resolves_to_at_least_one() {
+        let plan = ExperimentPlan::new(1).auto_threads();
+        assert!(plan.thread_count() >= 1);
+        assert_eq!(plan.rep_count(), 1);
     }
 
     #[test]
@@ -304,17 +652,22 @@ mod tests {
         let c = small_config();
         // An impossible (negative) target forces the runner to max_reps
         // even if early replications happen to agree exactly.
-        let adaptive = run_experiment_adaptive(&c, -1.0, 2, 6, 33, 2).unwrap();
+        let plan = ExperimentPlan::new(6).master_seed(33).threads(2);
+        let adaptive = plan.run_adaptive(&c, -1.0, 2, 6).unwrap();
         assert!(!adaptive.converged);
         assert_eq!(adaptive.result.runs.len(), 6);
-        let fixed = run_experiment(&c, 6, 33, 2).unwrap();
+        let fixed = plan.run(&c).unwrap();
         assert_eq!(adaptive.result.aggregate.mean, fixed.aggregate.mean);
     }
 
     #[test]
     fn adaptive_stops_early_on_loose_target() {
         let c = small_config();
-        let adaptive = run_experiment_adaptive(&c, 1e9, 2, 64, 34, 2).unwrap();
+        let adaptive = ExperimentPlan::new(64)
+            .master_seed(34)
+            .threads(2)
+            .run_adaptive(&c, 1e9, 2, 64)
+            .unwrap();
         assert!(adaptive.converged);
         assert!(adaptive.result.runs.len() <= 4, "a huge target should stop immediately");
         assert!(adaptive.result.runs.len() >= 2, "min_reps respected");
@@ -323,16 +676,23 @@ mod tests {
     #[test]
     fn adaptive_rejects_bad_rep_bounds() {
         let c = small_config();
-        assert!(run_experiment_adaptive(&c, 1.0, 0, 5, 1, 1).is_err());
-        assert!(run_experiment_adaptive(&c, 1.0, 6, 5, 1, 1).is_err());
+        let plan = ExperimentPlan::new(5);
+        assert!(plan.run_adaptive(&c, 1.0, 0, 5).is_err());
+        assert!(plan.run_adaptive(&c, 1.0, 6, 5).is_err());
     }
 
     #[test]
     fn mean_time_to_reach() {
         let c = small_config();
-        let e = run_experiment(&c, 3, 17, 1).unwrap();
+        let e = ExperimentPlan::new(3).master_seed(17).run(&c).unwrap();
         let t = e.mean_time_to_reach(1.0);
         assert!(t.is_some(), "every run infects at least the seed");
         assert!(e.mean_time_to_reach(1e9).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn plan_rejects_zero_threads() {
+        let _ = ExperimentPlan::new(1).threads(0);
     }
 }

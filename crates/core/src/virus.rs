@@ -47,7 +47,9 @@ impl BluetoothVector {
         if !(self.radius.is_finite() && self.radius > 0.0) {
             return Err(format!("bluetooth radius must be positive, got {}", self.radius));
         }
-        if !(0.0..=1.0).contains(&self.transfer_probability) || !self.transfer_probability.is_finite() {
+        if !(0.0..=1.0).contains(&self.transfer_probability)
+            || !self.transfer_probability.is_finite()
+        {
             return Err(format!(
                 "bluetooth transfer_probability {} must be in [0, 1]",
                 self.transfer_probability
@@ -170,7 +172,10 @@ impl VirusProfile {
         VirusProfile {
             name: "Virus 1".to_owned(),
             targeting: TargetingStrategy::ContactList,
-            send_gap: DelaySpec::shifted_exp(SimDuration::from_mins(30), SimDuration::from_mins(30)),
+            send_gap: DelaySpec::shifted_exp(
+                SimDuration::from_mins(30),
+                SimDuration::from_mins(30),
+            ),
             recipients_per_message: 1,
             quota: SendQuota::per_reboot(30, SimDuration::from_hours(24)),
             dormancy: SimDuration::ZERO,
@@ -244,11 +249,7 @@ impl VirusProfile {
     /// traffic instead of a rate-matched schedule. Requires a scenario
     /// with legitimate traffic enabled.
     pub fn virus4_piggyback() -> Self {
-        VirusProfile {
-            name: "Virus 4 (piggyback)".to_owned(),
-            piggyback: true,
-            ..Self::virus4()
-        }
+        VirusProfile { name: "Virus 4 (piggyback)".to_owned(), piggyback: true, ..Self::virus4() }
     }
 
     /// A pure **Bluetooth worm** (Cabir-style, the paper's §6 future-work
@@ -365,10 +366,7 @@ mod tests {
     #[test]
     fn virus3_matches_paper_parameters() {
         let v = VirusProfile::virus3();
-        assert_eq!(
-            v.targeting,
-            TargetingStrategy::RandomDialing { valid_fraction: 1.0 / 3.0 }
-        );
+        assert_eq!(v.targeting, TargetingStrategy::RandomDialing { valid_fraction: 1.0 / 3.0 });
         assert_eq!(v.quota.per_day, None);
         assert_eq!(v.quota.per_reboot, None);
         assert_eq!(v.send_gap.minimum(), SimDuration::from_mins(1));

@@ -111,6 +111,17 @@ impl<'a, E> Context<'a, E> {
     }
 }
 
+/// Runtime counters of one simulation run, cheap enough to collect
+/// unconditionally: the raw material for events/sec and memory-pressure
+/// reporting (see [`crate::observe`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimMetrics {
+    /// Events dispatched by the run loop so far.
+    pub events_processed: u64,
+    /// High-water mark of the future-event list (pending events).
+    pub peak_pending_events: usize,
+}
+
 /// A simulation run: a [`Model`], a clock, a future-event list and a seeded
 /// random stream.
 #[derive(Debug)]
@@ -175,6 +186,20 @@ impl<M: Model> Simulation<M> {
     /// Number of events processed so far.
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// High-water mark of the future-event list over the run so far.
+    pub fn peak_pending_events(&self) -> usize {
+        self.queue.peak_len()
+    }
+
+    /// The run's counters as one value (events processed + event-heap
+    /// high-water mark).
+    pub fn metrics(&self) -> SimMetrics {
+        SimMetrics {
+            events_processed: self.events_processed,
+            peak_pending_events: self.queue.peak_len(),
+        }
     }
 
     /// Why the last call to a run method returned, if any run has happened.
@@ -275,6 +300,9 @@ mod tests {
             (0..5).map(|i| SimTime::from_secs(i * 10)).collect::<Vec<_>>()
         );
         assert_eq!(sim.events_processed(), 5);
+        // At most one tick is ever pending (each tick schedules the next).
+        assert_eq!(sim.peak_pending_events(), 1);
+        assert_eq!(sim.metrics(), SimMetrics { events_processed: 5, peak_pending_events: 1 });
     }
 
     #[test]

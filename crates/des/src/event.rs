@@ -58,16 +58,13 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Scheduled<E>>,
     next_seq: u64,
     scheduled_total: u64,
+    peak_len: usize,
 }
 
 impl<E> EventQueue<E> {
     /// Creates an empty queue.
     pub fn new() -> Self {
-        EventQueue {
-            heap: BinaryHeap::new(),
-            next_seq: 0,
-            scheduled_total: 0,
-        }
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0, scheduled_total: 0, peak_len: 0 }
     }
 
     /// Schedules `event` to fire at `time`.
@@ -78,6 +75,7 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         self.scheduled_total += 1;
         self.heap.push(Scheduled { time, seq, event });
+        self.peak_len = self.peak_len.max(self.heap.len());
     }
 
     /// Removes and returns the earliest event, if any.
@@ -103,6 +101,13 @@ impl<E> EventQueue<E> {
     /// Total number of events scheduled over the queue's lifetime.
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
+    }
+
+    /// The largest number of events that were ever pending at once (the
+    /// future-event list's high-water mark, a proxy for the run's working
+    /// memory).
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
     }
 
     /// Discards all pending events (the lifetime counter is kept).
@@ -163,6 +168,25 @@ mod tests {
         q.clear();
         assert!(q.is_empty());
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_len(), 0);
+        q.schedule(SimTime::ZERO, 1);
+        q.schedule(SimTime::ZERO, 2);
+        q.schedule(SimTime::ZERO, 3);
+        assert_eq!(q.peak_len(), 3);
+        q.pop();
+        q.pop();
+        // Draining does not lower the recorded peak.
+        assert_eq!(q.peak_len(), 3);
+        q.schedule(SimTime::ZERO, 4);
+        assert_eq!(q.peak_len(), 3, "refilling below the peak keeps it");
+        q.schedule(SimTime::ZERO, 5);
+        q.schedule(SimTime::ZERO, 6);
+        assert_eq!(q.peak_len(), 4);
     }
 
     #[test]

@@ -54,15 +54,23 @@
 
 pub mod engine;
 pub mod event;
+pub mod observe;
 pub mod random;
 pub mod replication;
 pub mod seed;
 pub mod time;
 pub mod trace;
 
-pub use engine::{Context, Model, RunOutcome, Simulation};
+pub use engine::{Context, Model, RunOutcome, SimMetrics, Simulation};
 pub use event::EventQueue;
+pub use observe::{
+    ExperimentMetrics, ExperimentObserver, FanoutObserver, JsonlObserver, NoopObserver,
+    ObserverHandle, ProgressObserver, ReplicationMetrics,
+};
 pub use random::DelaySpec;
-pub use replication::{run_replications, run_replications_parallel};
-pub use trace::{TraceRing, Traced};
+pub use replication::{
+    run_replications, run_replications_parallel, try_run_replications,
+    try_run_replications_parallel, try_run_replications_sink,
+};
 pub use time::{SimDuration, SimTime};
+pub use trace::{TraceRing, Traced};

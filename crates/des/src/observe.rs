@@ -1,0 +1,472 @@
+//! Experiment observability: lifecycle hooks with runtime telemetry.
+//!
+//! The replication runner is deliberately silent — determinism demands
+//! that nothing about the schedule depends on wall time — but large
+//! sweeps are opaque without *some* signal. This module separates the two
+//! concerns: the engine records cheap counters ([`crate::SimMetrics`]),
+//! and an [`ExperimentObserver`] attached to an experiment receives them
+//! together with wall-clock timings as replications start and finish.
+//! Observers are strictly read-only: they can never influence seeds,
+//! event order, or aggregation, so attaching one cannot change results.
+//!
+//! Three sinks are provided:
+//!
+//! * [`NoopObserver`] — the default; every hook is a no-op.
+//! * [`ProgressObserver`] — a human progress reporter on stderr.
+//! * [`JsonlObserver`] — one JSON line per replication plus an experiment
+//!   summary line, for machine consumption (see the field list on
+//!   [`JsonlObserver`]).
+//!
+//! [`FanoutObserver`] combines several sinks, and [`ObserverHandle`] is
+//! the cheaply clonable form the experiment APIs carry around.
+
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::engine::SimMetrics;
+
+/// Telemetry for one finished replication.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReplicationMetrics {
+    /// Replication index within the experiment.
+    pub rep: u64,
+    /// The derived seed the replication ran with.
+    pub seed: u64,
+    /// Wall-clock time the replication took.
+    pub wall: Duration,
+    /// Engine counters (events processed, event-heap high-water mark).
+    pub sim: SimMetrics,
+}
+
+impl ReplicationMetrics {
+    /// Events processed per wall-clock second (0 when the run was too
+    /// fast to time).
+    pub fn events_per_sec(&self) -> f64 {
+        events_per_sec(self.sim.events_processed, self.wall)
+    }
+}
+
+/// Telemetry for a finished experiment (all replications).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentMetrics {
+    /// Replications that completed.
+    pub reps: u64,
+    /// Wall-clock time of the whole experiment.
+    pub wall: Duration,
+    /// Total events processed across all replications.
+    pub events_processed: u64,
+}
+
+impl ExperimentMetrics {
+    /// Aggregate events processed per wall-clock second (0 when the
+    /// experiment was too fast to time).
+    pub fn events_per_sec(&self) -> f64 {
+        events_per_sec(self.events_processed, self.wall)
+    }
+}
+
+fn events_per_sec(events: u64, wall: Duration) -> f64 {
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        events as f64 / secs
+    } else {
+        0.0
+    }
+}
+
+/// Lifecycle hooks for a replicated experiment.
+///
+/// Hooks may be called from worker threads (`on_replication_start`) and
+/// from the result-draining thread (`on_replication_finish`, in
+/// replication order), so implementations must be `Send + Sync`. All
+/// methods default to no-ops; implement only what the sink needs.
+///
+/// Observers receive telemetry but return nothing: the experiment's
+/// numerical output is bit-identical with or without an observer.
+pub trait ExperimentObserver: Send + Sync {
+    /// The experiment is about to run `reps` replications (for adaptive
+    /// experiments this is the maximum; fewer may run).
+    fn on_experiment_start(&self, reps: u64) {
+        let _ = reps;
+    }
+
+    /// Replication `rep` is starting on some worker with `seed`.
+    fn on_replication_start(&self, rep: u64, seed: u64) {
+        let _ = (rep, seed);
+    }
+
+    /// A replication finished; delivered in replication order.
+    fn on_replication_finish(&self, metrics: &ReplicationMetrics) {
+        let _ = metrics;
+    }
+
+    /// Every replication finished (not called when the experiment errors).
+    fn on_experiment_finish(&self, metrics: &ExperimentMetrics) {
+        let _ = metrics;
+    }
+}
+
+/// The default observer: ignores every hook.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl ExperimentObserver for NoopObserver {}
+
+/// A cheaply clonable, shareable handle to an observer.
+///
+/// Experiment plans and option structs carry this instead of a bare
+/// `Arc<dyn ExperimentObserver>` so they stay `Clone` + `Debug` and
+/// default to [`NoopObserver`].
+#[derive(Clone)]
+pub struct ObserverHandle(Arc<dyn ExperimentObserver>);
+
+impl ObserverHandle {
+    /// Wraps an observer.
+    pub fn new(observer: impl ExperimentObserver + 'static) -> Self {
+        ObserverHandle(Arc::new(observer))
+    }
+
+    /// Wraps an already-shared observer.
+    pub fn from_arc(observer: Arc<dyn ExperimentObserver>) -> Self {
+        ObserverHandle(observer)
+    }
+
+    /// The do-nothing handle.
+    pub fn noop() -> Self {
+        ObserverHandle::new(NoopObserver)
+    }
+
+    /// The underlying shared observer.
+    pub fn shared(&self) -> Arc<dyn ExperimentObserver> {
+        Arc::clone(&self.0)
+    }
+}
+
+impl Default for ObserverHandle {
+    fn default() -> Self {
+        ObserverHandle::noop()
+    }
+}
+
+impl fmt::Debug for ObserverHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ObserverHandle(..)")
+    }
+}
+
+impl std::ops::Deref for ObserverHandle {
+    type Target = dyn ExperimentObserver;
+
+    fn deref(&self) -> &Self::Target {
+        &*self.0
+    }
+}
+
+/// Forwards every hook to each wrapped observer, in order.
+#[derive(Default)]
+pub struct FanoutObserver {
+    sinks: Vec<Arc<dyn ExperimentObserver>>,
+}
+
+impl FanoutObserver {
+    /// An empty fan-out (equivalent to [`NoopObserver`]).
+    pub fn new() -> Self {
+        FanoutObserver::default()
+    }
+
+    /// Adds a sink, builder-style.
+    pub fn with(mut self, observer: impl ExperimentObserver + 'static) -> Self {
+        self.sinks.push(Arc::new(observer));
+        self
+    }
+
+    /// Number of wrapped sinks.
+    pub fn len(&self) -> usize {
+        self.sinks.len()
+    }
+
+    /// True when no sinks are attached.
+    pub fn is_empty(&self) -> bool {
+        self.sinks.is_empty()
+    }
+}
+
+impl ExperimentObserver for FanoutObserver {
+    fn on_experiment_start(&self, reps: u64) {
+        for s in &self.sinks {
+            s.on_experiment_start(reps);
+        }
+    }
+
+    fn on_replication_start(&self, rep: u64, seed: u64) {
+        for s in &self.sinks {
+            s.on_replication_start(rep, seed);
+        }
+    }
+
+    fn on_replication_finish(&self, metrics: &ReplicationMetrics) {
+        for s in &self.sinks {
+            s.on_replication_finish(metrics);
+        }
+    }
+
+    fn on_experiment_finish(&self, metrics: &ExperimentMetrics) {
+        for s in &self.sinks {
+            s.on_experiment_finish(metrics);
+        }
+    }
+}
+
+/// Human progress reporting on stderr: one line per finished replication
+/// and a closing summary. Reuse across consecutive experiments is fine —
+/// each `on_experiment_start` resets the counters.
+#[derive(Debug, Default)]
+pub struct ProgressObserver {
+    total: AtomicU64,
+    done: AtomicU64,
+}
+
+impl ProgressObserver {
+    /// A fresh progress reporter.
+    pub fn new() -> Self {
+        ProgressObserver::default()
+    }
+}
+
+impl ExperimentObserver for ProgressObserver {
+    fn on_experiment_start(&self, reps: u64) {
+        self.total.store(reps, Ordering::Relaxed);
+        self.done.store(0, Ordering::Relaxed);
+        eprintln!("[mpvsim] starting {reps} replications");
+    }
+
+    fn on_replication_finish(&self, m: &ReplicationMetrics) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let total = self.total.load(Ordering::Relaxed);
+        eprintln!(
+            "[mpvsim] rep {rep} (seed {seed}): {events} events in {ms:.1} ms \
+             ({eps:.0} ev/s, peak heap {peak}) [{done}/{total}]",
+            rep = m.rep,
+            seed = m.seed,
+            events = m.sim.events_processed,
+            ms = m.wall.as_secs_f64() * 1e3,
+            eps = m.events_per_sec(),
+            peak = m.sim.peak_pending_events,
+        );
+    }
+
+    fn on_experiment_finish(&self, m: &ExperimentMetrics) {
+        eprintln!(
+            "[mpvsim] done: {reps} replications, {events} events in {secs:.2} s ({eps:.0} ev/s)",
+            reps = m.reps,
+            events = m.events_processed,
+            secs = m.wall.as_secs_f64(),
+            eps = m.events_per_sec(),
+        );
+    }
+}
+
+/// Machine-readable metrics: one JSON object per line (JSONL).
+///
+/// Per replication:
+///
+/// ```json
+/// {"type":"replication","rep":0,"seed":42,"wall_ms":12.345,
+///  "events_processed":9876,"peak_pending_events":120,"events_per_sec":800000.0}
+/// ```
+///
+/// and one summary line per experiment:
+///
+/// ```json
+/// {"type":"experiment","reps":10,"wall_ms":123.456,
+///  "events_processed":98760,"events_per_sec":800000.0}
+/// ```
+///
+/// The schema is flat and numeric, so the lines are emitted without a
+/// JSON library; I/O errors are reported once on stderr and otherwise
+/// ignored (telemetry must never abort an experiment).
+pub struct JsonlObserver {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlObserver {
+    /// Creates (truncating) the metrics file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the file cannot be created.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlObserver { out: Mutex::new(BufWriter::new(file)) })
+    }
+
+    fn write_line(&self, line: fmt::Arguments<'_>) {
+        let mut out = self.out.lock();
+        if let Err(e) = out.write_fmt(format_args!("{line}\n")) {
+            eprintln!("[mpvsim] metrics write failed: {e}");
+        }
+    }
+}
+
+impl fmt::Debug for JsonlObserver {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JsonlObserver(..)")
+    }
+}
+
+impl ExperimentObserver for JsonlObserver {
+    fn on_replication_finish(&self, m: &ReplicationMetrics) {
+        self.write_line(format_args!(
+            "{{\"type\":\"replication\",\"rep\":{rep},\"seed\":{seed},\"wall_ms\":{ms:.3},\
+             \"events_processed\":{events},\"peak_pending_events\":{peak},\
+             \"events_per_sec\":{eps:.3}}}",
+            rep = m.rep,
+            seed = m.seed,
+            ms = m.wall.as_secs_f64() * 1e3,
+            events = m.sim.events_processed,
+            peak = m.sim.peak_pending_events,
+            eps = m.events_per_sec(),
+        ));
+    }
+
+    fn on_experiment_finish(&self, m: &ExperimentMetrics) {
+        self.write_line(format_args!(
+            "{{\"type\":\"experiment\",\"reps\":{reps},\"wall_ms\":{ms:.3},\
+             \"events_processed\":{events},\"events_per_sec\":{eps:.3}}}",
+            reps = m.reps,
+            ms = m.wall.as_secs_f64() * 1e3,
+            events = m.events_processed,
+            eps = m.events_per_sec(),
+        ));
+        if let Err(e) = self.out.lock().flush() {
+            eprintln!("[mpvsim] metrics flush failed: {e}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn metrics(rep: u64) -> ReplicationMetrics {
+        ReplicationMetrics {
+            rep,
+            seed: 1000 + rep,
+            wall: Duration::from_millis(20),
+            sim: SimMetrics { events_processed: 4000, peak_pending_events: 37 },
+        }
+    }
+
+    #[test]
+    fn events_per_sec_guards_zero_wall() {
+        let mut m = metrics(0);
+        assert!((m.events_per_sec() - 200_000.0).abs() < 1e-6);
+        m.wall = Duration::ZERO;
+        assert_eq!(m.events_per_sec(), 0.0);
+        let e = ExperimentMetrics { reps: 2, wall: Duration::ZERO, events_processed: 10 };
+        assert_eq!(e.events_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn noop_observer_accepts_all_hooks() {
+        let o = NoopObserver;
+        o.on_experiment_start(3);
+        o.on_replication_start(0, 42);
+        o.on_replication_finish(&metrics(0));
+        o.on_experiment_finish(&ExperimentMetrics {
+            reps: 3,
+            wall: Duration::from_secs(1),
+            events_processed: 12,
+        });
+    }
+
+    #[derive(Default)]
+    struct Counting {
+        starts: AtomicUsize,
+        finishes: AtomicUsize,
+    }
+
+    impl ExperimentObserver for Counting {
+        fn on_replication_start(&self, _rep: u64, _seed: u64) {
+            self.starts.fetch_add(1, Ordering::Relaxed);
+        }
+        fn on_replication_finish(&self, _m: &ReplicationMetrics) {
+            self.finishes.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn fanout_forwards_to_every_sink() {
+        let a = Arc::new(Counting::default());
+        let b = Arc::new(Counting::default());
+        let mut fan = FanoutObserver::new();
+        assert!(fan.is_empty());
+        fan.sinks.push(a.clone());
+        fan.sinks.push(b.clone());
+        assert_eq!(fan.len(), 2);
+        fan.on_replication_start(0, 7);
+        fan.on_replication_finish(&metrics(0));
+        for o in [&a, &b] {
+            assert_eq!(o.starts.load(Ordering::Relaxed), 1);
+            assert_eq!(o.finishes.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn observer_handle_defaults_to_noop_and_shares() {
+        let h = ObserverHandle::default();
+        h.on_experiment_start(1); // deref to the trait
+        let counting = Arc::new(Counting::default());
+        let h = ObserverHandle::from_arc(counting.clone());
+        let shared = h.shared();
+        shared.on_replication_start(0, 1);
+        h.on_replication_start(1, 2);
+        assert_eq!(counting.starts.load(Ordering::Relaxed), 2);
+        assert!(format!("{h:?}").contains("ObserverHandle"));
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_and_flat() {
+        let dir = std::env::temp_dir().join("mpvsim-observe-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        let o = JsonlObserver::create(&path).expect("create metrics file");
+        o.on_experiment_start(2);
+        o.on_replication_finish(&metrics(0));
+        o.on_replication_finish(&metrics(1));
+        o.on_experiment_finish(&ExperimentMetrics {
+            reps: 2,
+            wall: Duration::from_millis(50),
+            events_processed: 8000,
+        });
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "2 replication lines + 1 summary: {text}");
+        for line in &lines[..2] {
+            assert!(line.starts_with("{\"type\":\"replication\""), "{line}");
+            for key in [
+                "\"rep\":",
+                "\"seed\":",
+                "\"wall_ms\":",
+                "\"events_processed\":",
+                "\"events_per_sec\":",
+            ] {
+                assert!(line.contains(key), "{line} missing {key}");
+            }
+            // Flat object: braces only at the ends, no nesting.
+            assert!(line.ends_with('}'));
+            assert_eq!(line.matches('{').count(), 1);
+            assert_eq!(line.matches('}').count(), 1);
+        }
+        assert!(lines[2].starts_with("{\"type\":\"experiment\""), "{}", lines[2]);
+        assert!(lines[2].contains("\"reps\":2"));
+    }
+}

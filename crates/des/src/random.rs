@@ -322,10 +322,7 @@ mod tests {
         let mut samples: Vec<u64> = (0..20_001).map(|_| spec.sample(&mut r).as_secs()).collect();
         samples.sort_unstable();
         let median = samples[samples.len() / 2] as f64;
-        assert!(
-            (median - 3600.0).abs() / 3600.0 < 0.05,
-            "sample median {median} not near 3600"
-        );
+        assert!((median - 3600.0).abs() / 3600.0 < 0.05, "sample median {median} not near 3600");
         // Mean above median for a right-skewed distribution.
         assert!(spec.mean() > SimDuration::from_hours(1));
         assert_eq!(spec.minimum(), SimDuration::ZERO);

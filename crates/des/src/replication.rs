@@ -6,9 +6,30 @@
 //! `(master_seed, rep)` (see [`crate::seed`]) so results are identical
 //! whether run serially or in parallel — the rep index, not the thread
 //! schedule, determines every stream.
+//!
+//! Two axes of variants:
+//!
+//! * **Fallible** (`try_*`): the replication body returns `Result<T, E>`,
+//!   and a per-seed failure propagates as `Err` instead of panicking a
+//!   worker thread. The returned error is deterministic: it is the error
+//!   of the lowest-indexed failing replication, regardless of thread
+//!   count or scheduling.
+//! * **Streaming** ([`try_run_replications_sink`]): results are handed to
+//!   a sink **in replication order as they become available**, instead of
+//!   being collected into a `Vec`. This is what lets experiment
+//!   aggregation run online, holding O(series length) memory rather than
+//!   O(reps × series length).
+//!
+//! The infallible `Vec`-collecting functions are thin wrappers over the
+//! fallible streaming core, so every variant shares one scheduling
+//! implementation.
 
+use std::collections::BTreeMap;
+use std::convert::Infallible;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crossbeam::channel;
 use crossbeam::thread;
-use parking_lot::Mutex;
 
 use crate::seed::derive_seed;
 
@@ -25,6 +46,26 @@ use crate::seed::derive_seed;
 pub fn run_replications<T, F>(reps: u64, master_seed: u64, mut body: F) -> Vec<T>
 where
     F: FnMut(u64, u64) -> T,
+{
+    let result: Result<Vec<T>, Infallible> =
+        try_run_replications(reps, master_seed, |rep, seed| Ok(body(rep, seed)));
+    match result {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
+
+/// Runs `reps` replications serially with a fallible body.
+///
+/// Stops at — and returns — the first error; replications after the
+/// failing one never run.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing replication.
+pub fn try_run_replications<T, E, F>(reps: u64, master_seed: u64, mut body: F) -> Result<Vec<T>, E>
+where
+    F: FnMut(u64, u64) -> Result<T, E>,
 {
     (0..reps).map(|rep| body(rep, derive_seed(master_seed, rep))).collect()
 }
@@ -49,33 +90,150 @@ where
     T: Send,
     F: Fn(u64, u64) -> T + Sync,
 {
+    let result: Result<Vec<T>, Infallible> =
+        try_run_replications_parallel(reps, master_seed, threads, |rep, seed| Ok(body(rep, seed)));
+    match result {
+        Ok(v) => v,
+        Err(never) => match never {},
+    }
+}
+
+/// Runs `reps` fallible replications across up to `threads` worker
+/// threads, collecting results in replication order.
+///
+/// On failure, in-flight replications finish and are discarded, no new
+/// ones start, and the error of the lowest-indexed failing replication is
+/// returned — the same error [`try_run_replications`] would have
+/// returned, so callers observe identical behavior at every thread count.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing replication.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if a worker thread panics.
+pub fn try_run_replications_parallel<T, E, F>(
+    reps: u64,
+    master_seed: u64,
+    threads: usize,
+    body: F,
+) -> Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(u64, u64) -> Result<T, E> + Sync,
+{
+    let mut out = Vec::with_capacity(reps as usize);
+    try_run_replications_sink(reps, master_seed, threads, body, |_rep, value| {
+        out.push(value);
+    })?;
+    Ok(out)
+}
+
+/// The streaming core: runs `reps` fallible replications across up to
+/// `threads` workers and hands each result to `sink` **in replication
+/// order**, as soon as it and all lower-indexed results are available.
+///
+/// The sink runs on the calling thread; out-of-order completions are held
+/// in a reorder buffer whose size is bounded by thread skew, so memory
+/// stays O(threads) results instead of O(reps).
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing replication. The sink
+/// receives a prefix (possibly empty) of the replication sequence in that
+/// case; on `Ok(())` it has received all `reps` results exactly once, in
+/// order.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if a worker thread panics.
+pub fn try_run_replications_sink<T, E, F, S>(
+    reps: u64,
+    master_seed: u64,
+    threads: usize,
+    body: F,
+    mut sink: S,
+) -> Result<(), E>
+where
+    T: Send,
+    E: Send,
+    F: Fn(u64, u64) -> Result<T, E> + Sync,
+    S: FnMut(u64, T),
+{
     assert!(threads > 0, "need at least one worker thread");
     if threads == 1 || reps <= 1 {
-        let b = &body;
-        return run_replications(reps, master_seed, b);
+        for rep in 0..reps {
+            let value = body(rep, derive_seed(master_seed, rep))?;
+            sink(rep, value);
+        }
+        return Ok(());
     }
 
-    let slots: Vec<Mutex<Option<T>>> = (0..reps).map(|_| Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicU64::new(0);
+    let next = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let (tx, rx) = channel::unbounded::<(u64, Result<T, E>)>();
 
     thread::scope(|scope| {
         for _ in 0..threads.min(reps as usize) {
-            scope.spawn(|_| loop {
-                let rep = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let tx = tx.clone();
+            let body = &body;
+            let next = &next;
+            let stop = &stop;
+            scope.spawn(move |_| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let rep = next.fetch_add(1, Ordering::Relaxed);
                 if rep >= reps {
                     break;
                 }
                 let result = body(rep, derive_seed(master_seed, rep));
-                *slots[rep as usize].lock() = Some(result);
+                if result.is_err() {
+                    stop.store(true, Ordering::Relaxed);
+                }
+                if tx.send((rep, result)).is_err() {
+                    break;
+                }
             });
         }
-    })
-    .expect("replication worker panicked");
+        drop(tx);
 
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("replication slot never filled"))
-        .collect()
+        // Drain on this thread, releasing results to the sink in
+        // replication order. Claims are handed out monotonically, so by
+        // the time any replication fails, every lower-indexed one has
+        // already been claimed and will complete — taking the minimum
+        // failing index therefore yields the same error as a serial run.
+        let mut pending: BTreeMap<u64, T> = BTreeMap::new();
+        let mut next_emit: u64 = 0;
+        let mut first_error: Option<(u64, E)> = None;
+        for (rep, result) in rx {
+            match result {
+                Ok(value) => {
+                    if first_error.is_none() {
+                        pending.insert(rep, value);
+                        while let Some(value) = pending.remove(&next_emit) {
+                            sink(next_emit, value);
+                            next_emit += 1;
+                        }
+                    }
+                }
+                Err(e) => {
+                    pending.clear();
+                    match first_error {
+                        Some((failed_rep, _)) if failed_rep <= rep => {}
+                        _ => first_error = Some((rep, e)),
+                    }
+                }
+            }
+        }
+        match first_error {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    })
+    .expect("replication worker panicked")
 }
 
 #[cfg(test)]
@@ -129,5 +287,108 @@ mod tests {
     fn more_threads_than_reps_is_fine() {
         let results = run_replications_parallel(2, 5, 16, |rep, _| rep);
         assert_eq!(results, vec![0, 1]);
+    }
+
+    #[test]
+    fn sink_receives_results_in_replication_order() {
+        for threads in [1usize, 2, 8] {
+            let mut seen: Vec<u64> = Vec::new();
+            try_run_replications_sink::<_, Infallible, _, _>(
+                20,
+                3,
+                threads,
+                |rep, _seed| Ok(rep * 10),
+                |rep, value| {
+                    assert_eq!(value, rep * 10);
+                    seen.push(rep);
+                },
+            )
+            .unwrap();
+            assert_eq!(seen, (0..20).collect::<Vec<_>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_serial_stops_at_first_error() {
+        let mut ran: Vec<u64> = Vec::new();
+        let result: Result<Vec<u64>, String> = try_run_replications(10, 1, |rep, _seed| {
+            ran.push(rep);
+            if rep == 3 {
+                Err(format!("rep {rep} failed"))
+            } else {
+                Ok(rep)
+            }
+        });
+        assert_eq!(result.unwrap_err(), "rep 3 failed");
+        assert_eq!(ran, vec![0, 1, 2, 3], "later replications must not run");
+    }
+
+    #[test]
+    fn try_parallel_reports_lowest_failing_rep_at_any_thread_count() {
+        for threads in [1usize, 2, 4, 16] {
+            let result: Result<Vec<u64>, String> =
+                try_run_replications_parallel(32, 9, threads, |rep, _seed| {
+                    if rep == 5 || rep == 20 {
+                        Err(format!("rep {rep} failed"))
+                    } else {
+                        Ok(rep)
+                    }
+                });
+            assert_eq!(result.unwrap_err(), "rep 5 failed", "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_parallel_success_matches_serial() {
+        let serial: Result<Vec<u64>, String> =
+            try_run_replications(12, 4, |rep, seed| Ok(rep.wrapping_mul(seed)));
+        let parallel: Result<Vec<u64>, String> =
+            try_run_replications_parallel(12, 4, 3, |rep, seed| Ok(rep.wrapping_mul(seed)));
+        assert_eq!(serial.unwrap(), parallel.unwrap());
+    }
+
+    #[test]
+    fn failure_stops_handing_out_new_replications() {
+        use std::sync::atomic::AtomicU64;
+        // With an early failure and many replications, the stop flag must
+        // keep the runner from executing the whole batch. Thread timing
+        // makes the exact count nondeterministic; a generous bound still
+        // catches a runner that ignores the flag entirely.
+        let executed = AtomicU64::new(0);
+        let result: Result<Vec<u64>, &'static str> =
+            try_run_replications_parallel(10_000, 1, 2, |rep, _seed| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                if rep == 0 {
+                    Err("boom")
+                } else {
+                    std::thread::sleep(std::time::Duration::from_micros(50));
+                    Ok(rep)
+                }
+            });
+        assert_eq!(result.unwrap_err(), "boom");
+        assert!(
+            executed.load(Ordering::Relaxed) < 5_000,
+            "stop flag ignored: {} replications ran",
+            executed.load(Ordering::Relaxed)
+        );
+    }
+
+    #[test]
+    fn sink_on_error_received_prefix_only() {
+        let mut seen: Vec<u64> = Vec::new();
+        let result: Result<(), &'static str> = try_run_replications_sink(
+            16,
+            2,
+            4,
+            |rep, _seed| if rep == 7 { Err("nope") } else { Ok(rep) },
+            |rep, value| {
+                assert_eq!(rep, value);
+                seen.push(rep);
+            },
+        );
+        assert_eq!(result.unwrap_err(), "nope");
+        // Whatever arrived is an in-order prefix of 0..7.
+        assert!(seen.len() <= 7);
+        assert_eq!(seen, (0..seen.len() as u64).collect::<Vec<_>>());
     }
 }

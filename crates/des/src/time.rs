@@ -21,7 +21,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(t.as_secs(), 9000);
 /// assert!(t > SimTime::from_hours(2));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulation time, in whole seconds.
@@ -30,7 +32,9 @@ pub struct SimTime(u64);
 /// use mpvsim_des::SimDuration;
 /// assert_eq!(SimDuration::from_days(1), SimDuration::from_hours(24));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -76,9 +80,7 @@ impl SimTime {
     /// Panics if `earlier` is later than `self`.
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(
-            self.0
-                .checked_sub(earlier.0)
-                .expect("duration_since: earlier instant is after self"),
+            self.0.checked_sub(earlier.0).expect("duration_since: earlier instant is after self"),
         )
     }
 
@@ -171,11 +173,7 @@ impl SimDuration {
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(
-            self.0
-                .checked_add(rhs.0)
-                .expect("SimTime + SimDuration overflowed"),
-        )
+        SimTime(self.0.checked_add(rhs.0).expect("SimTime + SimDuration overflowed"))
     }
 }
 
@@ -188,11 +186,7 @@ impl AddAssign<SimDuration> for SimTime {
 impl Add for SimDuration {
     type Output = SimDuration;
     fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_add(rhs.0)
-                .expect("SimDuration + SimDuration overflowed"),
-        )
+        SimDuration(self.0.checked_add(rhs.0).expect("SimDuration + SimDuration overflowed"))
     }
 }
 
@@ -205,11 +199,7 @@ impl AddAssign for SimDuration {
 impl Sub for SimDuration {
     type Output = SimDuration;
     fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(
-            self.0
-                .checked_sub(rhs.0)
-                .expect("SimDuration - SimDuration underflowed"),
-        )
+        SimDuration(self.0.checked_sub(rhs.0).expect("SimDuration - SimDuration underflowed"))
     }
 }
 

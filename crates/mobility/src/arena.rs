@@ -47,7 +47,9 @@ impl Arena {
     /// non-finite.
     pub fn new(width: f64, height: f64) -> Result<Self, String> {
         if !(width.is_finite() && height.is_finite() && width > 0.0 && height > 0.0) {
-            return Err(format!("arena dimensions must be positive and finite, got {width}×{height}"));
+            return Err(format!(
+                "arena dimensions must be positive and finite, got {width}×{height}"
+            ));
         }
         Ok(Arena { width, height })
     }

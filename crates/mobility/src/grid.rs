@@ -33,13 +33,8 @@ impl SpatialGrid {
         let cell = radius;
         let cols = (arena.width() / cell).ceil().max(1.0) as usize;
         let rows = (arena.height() / cell).ceil().max(1.0) as usize;
-        let mut grid = SpatialGrid {
-            cell,
-            cols,
-            rows,
-            buckets: vec![Vec::new(); cols * rows],
-            radius,
-        };
+        let mut grid =
+            SpatialGrid { cell, cols, rows, buckets: vec![Vec::new(); cols * rows], radius };
         for (i, &p) in positions.iter().enumerate() {
             assert!(arena.contains(p), "position {p:?} outside the arena");
             let b = grid.bucket_of(p);
@@ -117,7 +112,12 @@ mod tests {
         Arena::new(100.0, 100.0).unwrap()
     }
 
-    fn brute_force(positions: &[Point], center: Point, radius: f64, exclude: Option<usize>) -> Vec<usize> {
+    fn brute_force(
+        positions: &[Point],
+        center: Point,
+        radius: f64,
+        exclude: Option<usize>,
+    ) -> Vec<usize> {
         positions
             .iter()
             .enumerate()

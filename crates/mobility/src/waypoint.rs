@@ -97,11 +97,7 @@ impl RandomWaypoint {
     pub fn spawn<R: Rng + ?Sized>(arena: &Arena, params: &WaypointParams, rng: &mut R) -> Self {
         let position = arena.random_point(rng);
         let target = arena.random_point(rng);
-        RandomWaypoint {
-            position,
-            target,
-            phase: Phase::Walking { speed: params.draw_speed(rng) },
-        }
+        RandomWaypoint { position, target, phase: Phase::Walking { speed: params.draw_speed(rng) } }
     }
 
     /// Current position.

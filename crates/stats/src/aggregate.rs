@@ -3,6 +3,13 @@
 //! The paper plots expected infection trajectories; we estimate them as the
 //! pointwise mean over replications, with a normal-approximation 95 %
 //! confidence band to make the Monte-Carlo error visible.
+//!
+//! Aggregation is **online**: [`OnlineAggregate`] consumes one series at a
+//! time (Welford accumulators per grid point), so an experiment can stream
+//! replications into it as they finish and never hold all series in
+//! memory. The batch [`aggregate`] function is a thin wrapper that pushes
+//! its input in order — batch and streaming results are bit-identical by
+//! construction, because they are the same arithmetic.
 
 use serde::{Deserialize, Serialize};
 
@@ -38,47 +45,167 @@ impl AggregateSeries {
     }
 }
 
+/// One grid point's Welford accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+struct PointAccumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl PointAccumulator {
+    fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        // Rounding can push m2 a hair below zero; clamp before sqrt.
+        let var = (self.m2 / (self.n - 1) as f64).max(0.0);
+        Z_95 * (var / self.n as f64).sqrt()
+    }
+}
+
+/// Streaming pointwise aggregation: push replication series one at a time,
+/// read off the mean and confidence band at any point.
+///
+/// Memory is O(longest series + replications pushed) — one accumulator per
+/// grid point plus one stored final value per series (needed to extend the
+/// plateau when a later, longer series widens the grid) — instead of the
+/// O(replications × series length) a batch aggregation would hold.
+///
+/// All pushed series must share the same sampling step; series shorter
+/// than the longest one seen are treated as holding their final value (the
+/// infection count is a plateauing step function, so this is the right
+/// extension).
+///
+/// **Determinism:** the result depends only on the sequence of pushed
+/// series — pushing the same series in the same order always yields the
+/// bit-identical [`AggregateSeries`], and [`aggregate`] is defined as
+/// pushing its slice front to back.
+///
+/// ```rust
+/// use mpvsim_stats::{TimeSeries, aggregate::OnlineAggregate};
+///
+/// let mut agg = OnlineAggregate::new();
+/// agg.push(&TimeSeries::from_values(1.0, vec![0.0, 2.0, 4.0]));
+/// agg.push(&TimeSeries::from_values(1.0, vec![2.0, 4.0, 8.0]));
+/// let result = agg.finalize().unwrap();
+/// assert_eq!(result.mean, vec![1.0, 3.0, 6.0]);
+/// assert_eq!(result.replications, 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct OnlineAggregate {
+    step_hours: Option<f64>,
+    points: Vec<PointAccumulator>,
+    finals: Vec<f64>,
+    empty_series: usize,
+}
+
+impl OnlineAggregate {
+    /// An aggregate with no series pushed yet.
+    pub fn new() -> Self {
+        OnlineAggregate::default()
+    }
+
+    /// Number of series pushed so far.
+    pub fn replications(&self) -> usize {
+        self.finals.len() + self.empty_series
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.replications() == 0
+    }
+
+    /// Folds one replication's series into the aggregate.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `series` has a different sampling step than an earlier
+    /// push.
+    pub fn push(&mut self, series: &TimeSeries) {
+        let step = series.step_hours();
+        match self.step_hours {
+            None => self.step_hours = Some(step),
+            Some(expected) => assert!(
+                (step - expected).abs() < 1e-12,
+                "aggregate: all series must share the same sampling step"
+            ),
+        }
+        let vals = series.values();
+        if vals.is_empty() {
+            // Mirrors batch semantics: any empty series poisons the
+            // aggregate (finalize returns None).
+            self.empty_series += 1;
+            return;
+        }
+        // A longer series widens the grid: every earlier series holds its
+        // plateau at the new points. Replay their finals in push order so
+        // each point accumulates values in exactly the order a batch pass
+        // over `[s0, s1, ...]` would produce.
+        for _ in self.points.len()..vals.len() {
+            let mut acc = PointAccumulator::default();
+            for &final_value in &self.finals {
+                acc.push(final_value);
+            }
+            self.points.push(acc);
+        }
+        let last = *vals.last().expect("nonempty");
+        for (k, acc) in self.points.iter_mut().enumerate() {
+            acc.push(vals[k.min(vals.len() - 1)]);
+        }
+        self.finals.push(last);
+    }
+
+    /// The aggregate over everything pushed so far.
+    ///
+    /// Returns `None` when nothing was pushed or any pushed series was
+    /// empty (same contract as [`aggregate`]). Non-consuming, so an
+    /// adaptive experiment can check its confidence band between batches
+    /// and keep pushing.
+    pub fn finalize(&self) -> Option<AggregateSeries> {
+        if self.empty_series > 0 || self.finals.is_empty() {
+            return None;
+        }
+        let mut mean = Vec::with_capacity(self.points.len());
+        let mut ci = Vec::with_capacity(self.points.len());
+        for acc in &self.points {
+            debug_assert_eq!(acc.n as usize, self.finals.len());
+            mean.push(acc.mean);
+            ci.push(acc.ci95_half_width());
+        }
+        Some(AggregateSeries {
+            step_hours: self.step_hours.unwrap_or(0.0),
+            mean,
+            ci95_half_width: ci,
+            replications: self.finals.len(),
+        })
+    }
+}
+
 /// Aggregates replications pointwise.
 ///
 /// All series must share the same step; series shorter than the longest
 /// one are treated as holding their final value (the infection count is a
 /// plateauing step function, so this is the right extension).
 ///
+/// Defined as pushing `series` front to back through an
+/// [`OnlineAggregate`], so batch and streaming aggregation are
+/// bit-identical.
+///
 /// Returns `None` when `series` is empty or any series is empty.
 pub fn aggregate(series: &[TimeSeries]) -> Option<AggregateSeries> {
-    let first = series.first()?;
-    let step = first.step_hours();
-    if series.iter().any(|s| s.is_empty()) {
-        return None;
+    let mut online = OnlineAggregate::new();
+    for s in series {
+        online.push(s);
     }
-    assert!(
-        series.iter().all(|s| (s.step_hours() - step).abs() < 1e-12),
-        "aggregate: all series must share the same sampling step"
-    );
-    let len = series.iter().map(|s| s.len()).max().expect("nonempty");
-    let n = series.len();
-    let mut mean = Vec::with_capacity(len);
-    let mut ci = Vec::with_capacity(len);
-    for k in 0..len {
-        let value_at = |s: &TimeSeries| -> f64 {
-            let vals = s.values();
-            vals[k.min(vals.len() - 1)]
-        };
-        let m = series.iter().map(value_at).sum::<f64>() / n as f64;
-        let var = if n < 2 {
-            0.0
-        } else {
-            series.iter().map(|s| (value_at(s) - m).powi(2)).sum::<f64>() / (n - 1) as f64
-        };
-        mean.push(m);
-        ci.push(Z_95 * (var / n as f64).sqrt());
-    }
-    Some(AggregateSeries {
-        step_hours: step,
-        mean,
-        ci95_half_width: ci,
-        replications: n,
-    })
+    online.finalize()
 }
 
 /// Convenience: the pointwise-mean trajectory of `series`.
@@ -126,6 +253,16 @@ mod tests {
     }
 
     #[test]
+    fn longer_series_arriving_late_extends_earlier_plateaus() {
+        // Same data as `shorter_series_extends_with_final_value` but the
+        // short series is pushed first, forcing the grid-widening path.
+        let mut agg = OnlineAggregate::new();
+        agg.push(&TimeSeries::from_values(1.0, vec![0.0, 10.0]));
+        agg.push(&TimeSeries::from_values(1.0, vec![0.0, 0.0, 0.0, 0.0]));
+        assert_eq!(agg.finalize().unwrap().mean, vec![0.0, 5.0, 5.0, 5.0]);
+    }
+
+    #[test]
     fn ci_positive_when_replications_disagree() {
         let a = TimeSeries::from_values(1.0, vec![0.0, 0.0]);
         let b = TimeSeries::from_values(1.0, vec![0.0, 10.0]);
@@ -148,5 +285,50 @@ mod tests {
         let agg = aggregate(std::slice::from_ref(&a)).unwrap();
         let pts: Vec<_> = agg.points().collect();
         assert_eq!(pts, vec![(0.0, 1.0, 0.0), (0.5, 3.0, 0.0)]);
+    }
+
+    #[test]
+    fn online_matches_batch_bit_for_bit_on_ragged_input() {
+        // Irregular lengths and irrational-ish values; the two paths must
+        // agree exactly, not just approximately.
+        let series: Vec<TimeSeries> = (0..7)
+            .map(|i| {
+                let len = 3 + (i * 5) % 11;
+                let vals = (0..len).map(|k| ((i * 31 + k * 17) as f64).sin() * 100.0).collect();
+                TimeSeries::from_values(0.25, vals)
+            })
+            .collect();
+        let batch = aggregate(&series).unwrap();
+        let mut online = OnlineAggregate::new();
+        for s in &series {
+            online.push(s);
+        }
+        let streamed = online.finalize().unwrap();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn finalize_is_reusable_between_pushes() {
+        let mut agg = OnlineAggregate::new();
+        assert!(agg.is_empty());
+        assert!(agg.finalize().is_none());
+        agg.push(&TimeSeries::from_values(1.0, vec![1.0, 2.0]));
+        let after_one = agg.finalize().unwrap();
+        assert_eq!(after_one.replications, 1);
+        assert_eq!(after_one.mean, vec![1.0, 2.0]);
+        agg.push(&TimeSeries::from_values(1.0, vec![3.0, 4.0]));
+        let after_two = agg.finalize().unwrap();
+        assert_eq!(after_two.replications, 2);
+        assert_eq!(after_two.mean, vec![2.0, 3.0]);
+        assert_eq!(agg.replications(), 2);
+    }
+
+    #[test]
+    fn empty_series_poisons_the_aggregate() {
+        let mut agg = OnlineAggregate::new();
+        agg.push(&TimeSeries::from_values(1.0, vec![1.0]));
+        agg.push(&TimeSeries::new(1.0));
+        assert!(agg.finalize().is_none());
+        assert_eq!(agg.replications(), 2);
     }
 }

@@ -31,7 +31,7 @@ pub mod series;
 pub mod summary;
 pub mod welford;
 
-pub use aggregate::{mean_series, AggregateSeries};
+pub use aggregate::{mean_series, AggregateSeries, OnlineAggregate};
 pub use series::TimeSeries;
 pub use summary::Summary;
 pub use welford::RunningSummary;

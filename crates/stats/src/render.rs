@@ -68,12 +68,8 @@ pub fn ascii_chart(
         .map(|(_, s)| s.time_at(s.len().saturating_sub(1)))
         .fold(0.0f64, f64::max)
         .max(1e-9);
-    let max_y = y_max.unwrap_or_else(|| {
-        series
-            .iter()
-            .filter_map(|(_, s)| s.max_value())
-            .fold(0.0f64, f64::max)
-    });
+    let max_y = y_max
+        .unwrap_or_else(|| series.iter().filter_map(|(_, s)| s.max_value()).fold(0.0f64, f64::max));
     let max_y = if max_y <= 0.0 { 1.0 } else { max_y };
 
     let mut grid = vec![vec![b' '; width]; height];

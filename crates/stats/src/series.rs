@@ -75,10 +75,7 @@ impl TimeSeries {
 
     /// Iterates `(time_hours, value)` pairs.
     pub fn points(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
-        self.values
-            .iter()
-            .enumerate()
-            .map(move |(k, &v)| (self.time_at(k), v))
+        self.values.iter().enumerate().map(move |(k, &v)| (self.time_at(k), v))
     }
 
     /// The last observation.

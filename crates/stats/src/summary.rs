@@ -51,14 +51,7 @@ impl Summary {
             min = min.min(v);
             max = max.max(v);
         }
-        Some(Summary {
-            n,
-            mean,
-            variance,
-            min,
-            max,
-            ci95_half_width: Z_95 * std_err,
-        })
+        Some(Summary { n, mean, variance, min, max, ci95_half_width: Z_95 * std_err })
     }
 
     /// Sample standard deviation.

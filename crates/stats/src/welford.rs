@@ -89,9 +89,8 @@ impl RunningSummary {
         let n_total = self.n + other.n;
         let delta = other.mean - self.mean;
         let mean = self.mean + delta * other.n as f64 / n_total as f64;
-        let m2 = self.m2
-            + other.m2
-            + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
+        let m2 =
+            self.m2 + other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n_total as f64;
         *self = RunningSummary { n: n_total, mean, m2 };
     }
 }

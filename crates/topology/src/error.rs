@@ -32,10 +32,9 @@ impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TopologyError::EmptyPopulation => write!(f, "graph must have at least one node"),
-            TopologyError::InvalidMeanDegree { n, mean_degree } => write!(
-                f,
-                "mean degree {mean_degree} is not achievable with {n} nodes"
-            ),
+            TopologyError::InvalidMeanDegree { n, mean_degree } => {
+                write!(f, "mean degree {mean_degree} is not achievable with {n} nodes")
+            }
             TopologyError::InvalidProbability { value, name } => {
                 write!(f, "{name} = {value} is not a probability in [0, 1]")
             }

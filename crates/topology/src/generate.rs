@@ -83,11 +83,7 @@ impl GraphSpec {
     /// Power-law spec with the default exponent
     /// ([`DEFAULT_POWER_LAW_EXPONENT`]).
     pub fn power_law(n: usize, mean_degree: f64) -> Self {
-        GraphSpec::PowerLaw {
-            n,
-            mean_degree,
-            exponent: DEFAULT_POWER_LAW_EXPONENT,
-        }
+        GraphSpec::PowerLaw { n, mean_degree, exponent: DEFAULT_POWER_LAW_EXPONENT }
     }
 
     /// Power-law spec with an explicit tail exponent.
@@ -448,10 +444,7 @@ mod tests {
 
     #[test]
     fn invalid_specs_rejected() {
-        assert_eq!(
-            GraphSpec::power_law(0, 5.0).validate(),
-            Err(TopologyError::EmptyPopulation)
-        );
+        assert_eq!(GraphSpec::power_law(0, 5.0).validate(), Err(TopologyError::EmptyPopulation));
         assert!(matches!(
             GraphSpec::erdos_renyi(10, 20.0).validate(),
             Err(TopologyError::InvalidMeanDegree { .. })

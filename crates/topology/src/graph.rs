@@ -60,10 +60,7 @@ impl Graph {
 
     /// A graph with `n` isolated nodes.
     pub fn with_nodes(n: usize) -> Self {
-        Graph {
-            adjacency: vec![Vec::new(); n],
-            edge_count: 0,
-        }
+        Graph { adjacency: vec![Vec::new(); n], edge_count: 0 }
     }
 
     /// Number of nodes.
@@ -136,10 +133,7 @@ impl Graph {
     /// Iterates over each undirected edge once, as `(low, high)` pairs.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.adjacency.iter().enumerate().flat_map(|(i, neigh)| {
-            neigh
-                .iter()
-                .filter(move |j| i < j.0)
-                .map(move |&j| (NodeId(i), j))
+            neigh.iter().filter(move |j| i < j.0).map(move |&j| (NodeId(i), j))
         })
     }
 

@@ -72,8 +72,8 @@ pub fn read_contact_lists<R: BufRead>(input: R) -> Result<Graph, TopologyError> 
     let mut edges: Vec<(usize, usize)> = Vec::new();
     for (idx, line) in input.lines().enumerate() {
         let line_no = idx + 1;
-        let line = line
-            .map_err(|e| TopologyError::InvalidParameter(format!("line {line_no}: I/O: {e}")))?;
+        let line =
+            line.map_err(|e| TopologyError::InvalidParameter(format!("line {line_no}: I/O: {e}")))?;
         let trimmed = line.trim();
         if trimmed.is_empty() {
             continue;
@@ -91,20 +91,16 @@ pub fn read_contact_lists<R: BufRead>(input: R) -> Result<Graph, TopologyError> 
         let (head, tail) = trimmed
             .split_once(':')
             .ok_or_else(|| syntax(line_no, "expected `<id>: <contacts…>`".to_owned()))?;
-        let from: usize = head
-            .trim()
-            .parse()
-            .map_err(|_| syntax(line_no, format!("bad phone id {head:?}")))?;
+        let from: usize =
+            head.trim().parse().map_err(|_| syntax(line_no, format!("bad phone id {head:?}")))?;
         for tok in tail.split_whitespace() {
-            let to: usize = tok
-                .parse()
-                .map_err(|_| syntax(line_no, format!("bad contact id {tok:?}")))?;
+            let to: usize =
+                tok.parse().map_err(|_| syntax(line_no, format!("bad contact id {tok:?}")))?;
             edges.push((from, to));
         }
     }
-    let n = nodes.ok_or_else(|| {
-        TopologyError::InvalidParameter("missing `# nodes: N` header".to_owned())
-    })?;
+    let n = nodes
+        .ok_or_else(|| TopologyError::InvalidParameter("missing `# nodes: N` header".to_owned()))?;
 
     let mut graph = Graph::with_nodes(n);
     for &(a, b) in &edges {

@@ -20,17 +20,14 @@ fn main() -> Result<(), ConfigError> {
 
     // Stochastic simulator: 10 replications of the Virus 3 baseline.
     let config = ScenarioConfig::baseline(VirusProfile::virus3()).with_horizon(horizon);
-    let sim = run_experiment(&config, 10, 2007, 4)?;
+    let sim = ExperimentPlan::new(10).master_seed(2007).threads(4).run(&config)?;
     let sim_curve = sim.mean_series();
 
     // Mean-field model with the same parameters.
     let params = MeanFieldParams::virus3_baseline(n);
     let analytic = integrate(&params, horizon, SimDuration::from_hours(1));
 
-    println!(
-        "{:<24} {:>12} {:>12}",
-        "", "simulator", "mean-field"
-    );
+    println!("{:<24} {:>12} {:>12}", "", "simulator", "mean-field");
     println!(
         "{:<24} {:>12.1} {:>12.1}",
         "final infected",

@@ -23,9 +23,8 @@ fn main() -> Result<(), ConfigError> {
         ("none (baseline)", ResponseConfig::none()),
         (
             "gateway scan, instant signature",
-            ResponseConfig::none().with_signature_scan(SignatureScan {
-                activation_delay: SimDuration::ZERO,
-            }),
+            ResponseConfig::none()
+                .with_signature_scan(SignatureScan { activation_delay: SimDuration::ZERO }),
         ),
         (
             "user education (acceptance halved)",
@@ -45,7 +44,7 @@ fn main() -> Result<(), ConfigError> {
         // reports rather than gateway counts; model that as a low
         // threshold on observed infections via the hybrid's BT offers.
         config.detect_threshold = 1;
-        let result = run_experiment(&config, 5, 7, 4)?;
+        let result = ExperimentPlan::new(5).master_seed(7).threads(4).run(&config)?;
         println!("{:<40} {:>10.1}", name, result.final_infected.mean);
     }
 

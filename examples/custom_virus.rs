@@ -30,10 +30,7 @@ fn custom_virus(min_gap_mins: u64) -> VirusProfile {
 
 fn main() -> Result<(), ConfigError> {
     println!("sweeping the minimum inter-message gap of a custom virus\n");
-    println!(
-        "{:<28} {:>14} {:>16}",
-        "virus", "final infected", "t(150 phones) h"
-    );
+    println!("{:<28} {:>14} {:>16}", "virus", "final infected", "t(150 phones) h");
 
     for min_gap in [2u64, 10, 30, 120] {
         let virus = custom_virus(min_gap);
@@ -42,15 +39,12 @@ fn main() -> Result<(), ConfigError> {
         let mut config = ScenarioConfig::baseline(virus);
         config.horizon = SimDuration::from_days(6);
 
-        let result = run_experiment(&config, 5, 4242, 4)?;
+        let result = ExperimentPlan::new(5).master_seed(4242).threads(4).run(&config)?;
         let t150 = result
             .mean_time_to_reach(150.0)
             .map(|t| format!("{t:.1}"))
             .unwrap_or_else(|| "never".to_owned());
-        println!(
-            "{:<28} {:>14.1} {:>16}",
-            config.virus.name, result.final_infected.mean, t150
-        );
+        println!("{:<28} {:>14.1} {:>16}", config.virus.name, result.final_infected.mean, t150);
     }
 
     println!(

@@ -13,8 +13,8 @@ use mpvsim::prelude::*;
 use mpvsim::stats::render::ascii_chart;
 
 fn main() -> Result<(), ConfigError> {
-    let base = ScenarioConfig::baseline(VirusProfile::virus3())
-        .with_horizon(SimDuration::from_hours(25));
+    let base =
+        ScenarioConfig::baseline(VirusProfile::virus3()).with_horizon(SimDuration::from_hours(25));
     let monitoring = Monitoring::with_forced_wait(SimDuration::from_mins(30));
     let scan = SignatureScan { activation_delay: SimDuration::from_hours(6) };
 
@@ -22,14 +22,17 @@ fn main() -> Result<(), ConfigError> {
         ("baseline", ResponseConfig::none()),
         ("monitoring only", ResponseConfig::none().with_monitoring(monitoring)),
         ("scan only", ResponseConfig::none().with_signature_scan(scan)),
-        ("monitoring + scan", ResponseConfig::none().with_monitoring(monitoring).with_signature_scan(scan)),
+        (
+            "monitoring + scan",
+            ResponseConfig::none().with_monitoring(monitoring).with_signature_scan(scan),
+        ),
     ];
 
     let mut curves = Vec::new();
     println!("{:<20} {:>12}", "defense", "infected @25h");
     for (name, response) in arms {
         let config = base.clone().with_response(response);
-        let result = run_experiment(&config, 5, 31, 4)?;
+        let result = ExperimentPlan::new(5).master_seed(31).threads(4).run(&config)?;
         println!("{:<20} {:>12.1}", name, result.final_infected.mean);
         curves.push((name.to_owned(), result.mean_series()));
     }

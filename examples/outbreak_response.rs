@@ -14,8 +14,8 @@
 use mpvsim::prelude::*;
 
 fn main() -> Result<(), ConfigError> {
-    let base = ScenarioConfig::baseline(VirusProfile::virus3())
-        .with_horizon(SimDuration::from_hours(25));
+    let base =
+        ScenarioConfig::baseline(VirusProfile::virus3()).with_horizon(SimDuration::from_hours(25));
 
     let arms: Vec<(&str, ResponseConfig)> = vec![
         ("baseline (no response)", ResponseConfig::none()),
@@ -56,7 +56,7 @@ fn main() -> Result<(), ConfigError> {
     let mut baseline_mean = None;
     for (name, response) in arms {
         let config = base.clone().with_response(response);
-        let result = run_experiment(&config, 5, 77, 4)?;
+        let result = ExperimentPlan::new(5).master_seed(77).threads(4).run(&config)?;
         let mean = result.final_infected.mean;
         let baseline = *baseline_mean.get_or_insert(mean);
         println!("{:<42} {:>10.1} {:>11.0}%", name, mean, 100.0 * mean / baseline);

@@ -25,7 +25,7 @@ fn main() -> Result<(), ConfigError> {
 
     // Averaging a few replications gives the expected trajectory the
     // paper plots (with a confidence band).
-    let experiment = run_experiment(&config, 5, 2007, 4)?;
+    let experiment = ExperimentPlan::new(5).master_seed(2007).threads(4).run(&config)?;
     println!(
         "mean final infections over {} replications: {:.1} ± {:.1}",
         experiment.final_infected.n,

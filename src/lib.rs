@@ -61,17 +61,21 @@ pub use mpvsim_topology as topology;
 
 /// The most commonly used items, importable with one `use`.
 pub mod prelude {
+    #[allow(deprecated)]
+    pub use mpvsim_core::{run_experiment, run_experiment_adaptive};
     pub use mpvsim_core::{
-        run_experiment, run_experiment_adaptive, run_scenario, AcceptanceModel,
-        AdaptiveResult, BehaviorConfig, Blacklist,
-        BluetoothVector, ConfigError, DetectionAlgorithm, ExperimentResult, Immunization,
-        MobilityConfig, Monitoring, PopulationConfig, ResponseConfig, RolloutOrder, RunResult,
-        ScenarioConfig, SendQuota, SignatureScan, TargetingStrategy, UserEducation,
-        VirusProfile,
+        run_scenario, run_scenario_with_metrics, AcceptanceModel, AdaptiveResult, BehaviorConfig,
+        Blacklist, BluetoothVector, ConfigError, DetectionAlgorithm, ExperimentPlan,
+        ExperimentResult, Immunization, MobilityConfig, Monitoring, PopulationConfig,
+        ResponseConfig, RolloutOrder, RunResult, ScenarioConfig, SendQuota, SignatureScan,
+        TargetingStrategy, UserEducation, VirusProfile,
     };
-    pub use mpvsim_des::{DelaySpec, SimDuration, SimTime};
+    pub use mpvsim_des::{
+        DelaySpec, ExperimentMetrics, ExperimentObserver, JsonlObserver, NoopObserver,
+        ObserverHandle, ProgressObserver, ReplicationMetrics, SimDuration, SimTime,
+    };
     pub use mpvsim_phonenet::{Health, PhoneId, Population};
-    pub use mpvsim_stats::{TimeSeries, Summary};
+    pub use mpvsim_stats::{OnlineAggregate, Summary, TimeSeries};
     pub use mpvsim_topology::GraphSpec;
 }
 
@@ -84,5 +88,9 @@ mod tests {
         assert!(c.validate().is_ok());
         let _ = GraphSpec::erdos_renyi(10, 2.0);
         let _ = SimDuration::from_hours(1);
+        let plan = ExperimentPlan::new(2).master_seed(7).observer(NoopObserver);
+        assert_eq!(plan.rep_count(), 2);
+        let _ = ObserverHandle::noop();
+        let _ = OnlineAggregate::new();
     }
 }

@@ -38,8 +38,8 @@ fn different_seeds_diverge() {
 #[test]
 fn experiment_is_thread_count_invariant() {
     let c = config();
-    let serial = run_experiment(&c, 6, 42, 1).expect("valid");
-    let parallel = run_experiment(&c, 6, 42, 6).expect("valid");
+    let serial = ExperimentPlan::new(6).master_seed(42).threads(1).run(&c).expect("valid");
+    let parallel = ExperimentPlan::new(6).master_seed(42).threads(6).run(&c).expect("valid");
     assert_eq!(serial.aggregate.mean, parallel.aggregate.mean);
     assert_eq!(serial.aggregate.ci95_half_width, parallel.aggregate.ci95_half_width);
     for (s, p) in serial.runs.iter().zip(&parallel.runs) {
@@ -51,7 +51,7 @@ fn experiment_is_thread_count_invariant() {
 #[test]
 fn replications_within_an_experiment_differ() {
     let c = config();
-    let e = run_experiment(&c, 4, 7, 2).expect("valid");
+    let e = ExperimentPlan::new(4).master_seed(7).threads(2).run(&c).expect("valid");
     let finals: Vec<usize> = e.runs.iter().map(|r| r.final_infected).collect();
     let all_same = finals.windows(2).all(|w| w[0] == w[1]);
     let stats_same = e.runs.windows(2).all(|w| w[0].stats == w[1].stats);
@@ -64,8 +64,8 @@ fn replications_within_an_experiment_differ() {
 #[test]
 fn master_seed_changes_every_replication() {
     let c = config();
-    let a = run_experiment(&c, 3, 100, 2).expect("valid");
-    let b = run_experiment(&c, 3, 101, 2).expect("valid");
+    let a = ExperimentPlan::new(3).master_seed(100).threads(2).run(&c).expect("valid");
+    let b = ExperimentPlan::new(3).master_seed(101).threads(2).run(&c).expect("valid");
     assert_ne!(
         a.aggregate.mean, b.aggregate.mean,
         "different master seeds must give different aggregates"

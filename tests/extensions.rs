@@ -8,6 +8,10 @@ use mpvsim::prelude::*;
 const N: usize = 250;
 const SEED: u64 = 909;
 
+fn plan(reps: u64) -> ExperimentPlan {
+    ExperimentPlan::new(reps).master_seed(SEED).threads(4)
+}
+
 fn reduced(virus: VirusProfile, horizon: SimDuration) -> ScenarioConfig {
     let mut c = ScenarioConfig::baseline(virus);
     c.population = PopulationConfig::paper_default(N);
@@ -25,7 +29,7 @@ fn false_positive_rate_decreases_with_threshold() {
             threshold,
             forced_wait: SimDuration::from_mins(30),
         });
-        let e = run_experiment(&c, 3, SEED, 4).expect("valid");
+        let e = plan(3).run(&c).expect("valid");
         let fp: u64 = e.runs.iter().map(|r| r.stats.false_positive_throttles).sum();
         (e.final_infected.mean, fp)
     };
@@ -50,8 +54,8 @@ fn legitimate_traffic_does_not_change_the_epidemic_without_monitoring() {
     let base = reduced(VirusProfile::virus3(), SimDuration::from_hours(24));
     let mut chatty = base.clone();
     chatty.behavior = BehaviorConfig::with_legitimate_traffic(SimDuration::from_hours(4));
-    let quiet = run_experiment(&base, 4, SEED, 4).expect("valid").final_infected.mean;
-    let noisy = run_experiment(&chatty, 4, SEED, 4).expect("valid").final_infected.mean;
+    let quiet = plan(4).run(&base).expect("valid").final_infected.mean;
+    let noisy = plan(4).run(&chatty).expect("valid").final_infected.mean;
     assert!(
         (quiet - noisy).abs() < 0.2 * quiet.max(1.0),
         "legitimate chatter should not shift the plateau: {quiet:.1} vs {noisy:.1}"
@@ -68,8 +72,8 @@ fn piggyback_virus4_behaves_like_the_rate_paced_substitution() {
     let mut piggyback = reduced(VirusProfile::virus4_piggyback(), horizon);
     piggyback.behavior = BehaviorConfig::with_legitimate_traffic(SimDuration::from_hours(4));
 
-    let a = run_experiment(&rate_paced, 3, SEED, 4).expect("valid").final_infected.mean;
-    let b = run_experiment(&piggyback, 3, SEED, 4).expect("valid").final_infected.mean;
+    let a = plan(3).run(&rate_paced).expect("valid").final_infected.mean;
+    let b = plan(3).run(&piggyback).expect("valid").final_infected.mean;
     assert!(a > 5.0 && b > 5.0, "both semantics must spread: {a:.1} vs {b:.1}");
     let ratio = a.max(b) / a.min(b).max(1.0);
     assert!(
@@ -84,7 +88,7 @@ fn hubs_first_rollout_never_loses_to_uniform_on_power_law() {
     let arm = |imm: Immunization| -> f64 {
         let c = reduced(VirusProfile::virus1(), horizon)
             .with_response(ResponseConfig::none().with_immunization(imm));
-        run_experiment(&c, 4, SEED, 4).expect("valid").final_infected.mean
+        plan(4).run(&c).expect("valid").final_infected.mean
     };
     let uniform =
         arm(Immunization::uniform(SimDuration::from_hours(24), SimDuration::from_hours(24)));
@@ -102,15 +106,11 @@ fn congestion_builds_backlog_without_rescuing_the_population() {
     let mut congested = base.clone();
     congested.gateway_capacity_per_hour = Some(300);
 
-    let free = run_experiment(&base, 3, SEED, 4).expect("valid");
-    let jammed = run_experiment(&congested, 3, SEED, 4).expect("valid");
+    let free = plan(3).run(&base).expect("valid");
+    let jammed = plan(3).run(&congested).expect("valid");
 
-    let peak = jammed
-        .runs
-        .iter()
-        .filter_map(|r| r.gateway_peak_delay)
-        .max()
-        .expect("queue configured");
+    let peak =
+        jammed.runs.iter().filter_map(|r| r.gateway_peak_delay).max().expect("queue configured");
     assert!(
         peak > SimDuration::from_hours(1),
         "Virus 3 against 300 msgs/h must congest the gateway: peak {peak}"
@@ -140,7 +140,7 @@ fn gateway_capacity_validation() {
 fn bluetooth_worm_spreads_at_integration_scale() {
     let mut c = reduced(VirusProfile::bluetooth_worm(), SimDuration::from_hours(48));
     c.mobility = Some(MobilityConfig::downtown());
-    let e = run_experiment(&c, 3, SEED, 4).expect("valid");
+    let e = plan(3).run(&c).expect("valid");
     assert!(
         e.final_infected.mean > 10.0,
         "a 250-phone downtown should sustain the worm: {:.1}",
@@ -155,8 +155,7 @@ fn bluetooth_worm_spreads_at_integration_scale() {
 #[test]
 fn adaptive_replication_reaches_a_reasonable_ci() {
     let c = reduced(VirusProfile::virus3(), SimDuration::from_hours(24));
-    let adaptive =
-        run_experiment_adaptive(&c, 12.0, 3, 40, SEED, 4).expect("valid");
+    let adaptive = plan(40).run_adaptive(&c, 12.0, 3, 40).expect("valid");
     assert!(adaptive.result.runs.len() >= 3);
     if adaptive.converged {
         assert!(

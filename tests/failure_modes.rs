@@ -33,15 +33,20 @@ fn rejects_every_invalid_field() {
         (
             "bad detection accuracy",
             Box::new(|c| {
-                c.response.detection =
-                    Some(DetectionAlgorithm { accuracy: 1.5, analysis_period: SimDuration::from_hours(1) })
+                c.response.detection = Some(DetectionAlgorithm {
+                    accuracy: 1.5,
+                    analysis_period: SimDuration::from_hours(1),
+                })
             }),
         ),
         (
             "bad education scale",
             Box::new(|c| c.response.education = Some(UserEducation { acceptance_scale: -0.2 })),
         ),
-        ("zero blacklist threshold", Box::new(|c| c.response.blacklist = Some(Blacklist { threshold: 0 }))),
+        (
+            "zero blacklist threshold",
+            Box::new(|c| c.response.blacklist = Some(Blacklist { threshold: 0 })),
+        ),
         (
             "bad dialing fraction",
             Box::new(|c| {
@@ -58,10 +63,7 @@ fn rejects_every_invalid_field() {
     for (name, mutate) in cases {
         let mut c = small();
         mutate(&mut c);
-        assert!(
-            run_scenario(&c, 1).is_err(),
-            "{name}: invalid configuration was accepted"
-        );
+        assert!(run_scenario(&c, 1).is_err(), "{name}: invalid configuration was accepted");
     }
 }
 
@@ -106,11 +108,7 @@ fn edgeless_topology_does_not_stop_the_random_dialer() {
     c.virus = VirusProfile::virus3();
     c.population.topology = GraphSpec::erdos_renyi(50, 0.0);
     let r = run_scenario(&c, 5).expect("valid");
-    assert!(
-        r.final_infected > 1,
-        "random dialing needs no contact list: {}",
-        r.final_infected
-    );
+    assert!(r.final_infected > 1, "random dialing needs no contact list: {}", r.final_infected);
 }
 
 #[test]

@@ -13,13 +13,13 @@ use mpvsim::prelude::*;
 /// Strategy for a random but valid virus profile.
 fn virus_strategy() -> impl Strategy<Value = VirusProfile> {
     (
-        1u32..5,                   // recipients per message
-        1u64..60,                  // min gap minutes
+        1u32..5,                                            // recipients per message
+        1u64..60,                                           // min gap minutes
         prop_oneof![Just(None), (1u32..20).prop_map(Some)], // per-day quota
-        any::<bool>(),             // contact list vs random dialing
-        0.0f64..=1.0,              // valid fraction (dialing only)
-        0u64..3,                   // dormancy hours
-        any::<bool>(),             // global day bursts
+        any::<bool>(),                                      // contact list vs random dialing
+        0.0f64..=1.0,                                       // valid fraction (dialing only)
+        0u64..3,                                            // dormancy hours
+        any::<bool>(),                                      // global day bursts
     )
         .prop_map(|(recipients, gap, per_day, dial, valid, dormancy, bursts)| {
             let targeting = if dial {
@@ -51,12 +51,12 @@ fn virus_strategy() -> impl Strategy<Value = VirusProfile> {
 /// Strategy for a random (possibly empty) response configuration.
 fn response_strategy() -> impl Strategy<Value = ResponseConfig> {
     (
-        prop_oneof![Just(None), (1u64..24).prop_map(Some)],   // scan delay h
+        prop_oneof![Just(None), (1u64..24).prop_map(Some)], // scan delay h
         prop_oneof![Just(None), (0.5f64..1.0).prop_map(Some)], // detection accuracy
         prop_oneof![Just(None), (0.0f64..1.0).prop_map(Some)], // education scale
         prop_oneof![Just(None), ((1u64..24), (0u64..12)).prop_map(Some)], // immunization
-        prop_oneof![Just(None), (5u64..60).prop_map(Some)],   // monitoring wait min
-        prop_oneof![Just(None), (1u32..40).prop_map(Some)],   // blacklist threshold
+        prop_oneof![Just(None), (5u64..60).prop_map(Some)], // monitoring wait min
+        prop_oneof![Just(None), (1u32..40).prop_map(Some)], // blacklist threshold
     )
         .prop_map(|(scan, detect, edu, imm, mon, bl)| {
             let mut r = ResponseConfig::none();
@@ -91,11 +91,11 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioConfig> {
     (
         virus_strategy(),
         response_strategy(),
-        20usize..80,     // population
-        1u64..30,        // mean degree (clamped below population)
-        0.0f64..=1.0,    // vulnerable fraction
-        2u64..36,        // horizon hours
-        1u32..4,         // initial infections
+        20usize..80,  // population
+        1u64..30,     // mean degree (clamped below population)
+        0.0f64..=1.0, // vulnerable fraction
+        2u64..36,     // horizon hours
+        1u32..4,      // initial infections
         // Extension knobs: legitimate traffic, Bluetooth, finite gateway.
         prop_oneof![Just(None), (1u64..12).prop_map(Some)], // legit mean gap h
         any::<bool>(),                                      // bluetooth vector

@@ -17,8 +17,12 @@ fn reduced(virus: VirusProfile, horizon: SimDuration) -> ScenarioConfig {
     c
 }
 
+fn plan() -> ExperimentPlan {
+    ExperimentPlan::new(REPS).master_seed(SEED).threads(4)
+}
+
 fn mean_final(config: &ScenarioConfig) -> f64 {
-    run_experiment(config, REPS, SEED, 4).expect("valid scenario").final_infected.mean
+    plan().run(config).expect("valid scenario").final_infected.mean
 }
 
 fn with_response(base: &ScenarioConfig, response: ResponseConfig) -> ScenarioConfig {
@@ -38,7 +42,8 @@ fn signature_scan_contains_slow_viruses() {
     let mut previous = f64::INFINITY;
     for delay_h in [24u64, 12, 6] {
         let scan = SignatureScan { activation_delay: SimDuration::from_hours(delay_h) };
-        let contained = mean_final(&with_response(&base, ResponseConfig::none().with_signature_scan(scan)));
+        let contained =
+            mean_final(&with_response(&base, ResponseConfig::none().with_signature_scan(scan)));
         assert!(
             contained < 0.4 * baseline,
             "{delay_h} h scan: {contained:.1} not well below baseline {baseline:.1}"
@@ -57,7 +62,8 @@ fn signature_scan_fails_against_fast_virus3() {
     let base = reduced(VirusProfile::virus3(), SimDuration::from_hours(24));
     let baseline = mean_final(&base);
     let scan = SignatureScan { activation_delay: SimDuration::from_hours(6) };
-    let scanned = mean_final(&with_response(&base, ResponseConfig::none().with_signature_scan(scan)));
+    let scanned =
+        mean_final(&with_response(&base, ResponseConfig::none().with_signature_scan(scan)));
     assert!(
         scanned > 0.6 * baseline,
         "V3 should have saturated before the scan activates: {scanned:.1} vs baseline {baseline:.1}"
@@ -78,11 +84,10 @@ fn detection_slows_single_recipient_viruses_gradedly() {
     for accuracy in [0.8, 0.95, 0.995] {
         let mut config = base.clone();
         config.detect_threshold = 5;
-        config.response =
-            ResponseConfig::none().with_detection(DetectionAlgorithm {
-                accuracy,
-                analysis_period: SimDuration::from_mins(30),
-            });
+        config.response = ResponseConfig::none().with_detection(DetectionAlgorithm {
+            accuracy,
+            analysis_period: SimDuration::from_mins(30),
+        });
         finals.push(mean_final(&config));
     }
     assert!(
@@ -208,7 +213,7 @@ fn immunization_cannot_catch_virus3() {
 fn monitoring_slows_virus3_with_longer_waits_stronger() {
     // Paper Fig. 6.
     let base = reduced(VirusProfile::virus3(), SimDuration::from_hours(24));
-    let baseline = run_experiment(&base, REPS, SEED, 4).expect("valid");
+    let baseline = plan().run(&base).expect("valid");
     let t_base = baseline.mean_time_to_reach(50.0).expect("baseline reaches 50");
 
     let mut previous = f64::INFINITY;
@@ -218,7 +223,7 @@ fn monitoring_slows_virus3_with_longer_waits_stronger() {
             ResponseConfig::none()
                 .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(wait_min))),
         );
-        let result = run_experiment(&config, REPS, SEED, 4).expect("valid");
+        let result = plan().run(&config).expect("valid");
         // Slower or never reaching 50 infections.
         if let Some(t) = result.mean_time_to_reach(50.0) {
             assert!(
@@ -250,7 +255,7 @@ fn monitoring_never_flags_slow_viruses() {
             ResponseConfig::none()
                 .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(60))),
         );
-        let result = run_experiment(&config, REPS, SEED, 4).expect("valid");
+        let result = plan().run(&config).expect("valid");
         let flagged: u64 = result.runs.iter().map(|r| r.stats.throttled_phones).sum();
         assert_eq!(flagged, 0, "{name} sends ≈1 msg/h and must never be flagged");
     }

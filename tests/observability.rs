@@ -1,0 +1,199 @@
+//! Integration tests for the streaming experiment engine: the online
+//! aggregate must be bit-identical to the batch path, observers must be
+//! pure taps, `retain_runs(false)` must not change the statistics, and a
+//! replication failure must surface as an error — never a panic — at any
+//! thread count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use mpvsim::prelude::*;
+use mpvsim::stats::aggregate::aggregate;
+use mpvsim::stats::summary::Z_95;
+
+const SEED: u64 = 20_07;
+
+fn config(population: usize) -> ScenarioConfig {
+    let mut c = ScenarioConfig::baseline(VirusProfile::virus3());
+    c.population = PopulationConfig::paper_default(population);
+    c.horizon = SimDuration::from_hours(8);
+    c
+}
+
+// ---------------------------------------------------------------------
+// OnlineAggregate vs batch aggregate
+// ---------------------------------------------------------------------
+
+/// A ragged pile of series sharing one step: each series has its own
+/// length and values, so plateau extension is exercised constantly.
+fn ragged_series() -> impl Strategy<Value = Vec<TimeSeries>> {
+    prop::collection::vec(prop::collection::vec(-1.0e3f64..1.0e3, 1..24), 1..12)
+        .prop_map(|rows| rows.into_iter().map(|v| TimeSeries::from_values(0.5, v)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming one series at a time gives the exact bits of the batch
+    /// call, on any ragged input.
+    #[test]
+    fn online_aggregate_matches_batch_on_ragged_series(series in ragged_series()) {
+        let batch = aggregate(&series).expect("non-empty input");
+        let mut online = OnlineAggregate::new();
+        for s in &series {
+            online.push(s);
+        }
+        let streamed = online.finalize().expect("non-empty input");
+        prop_assert_eq!(batch, streamed);
+    }
+
+    /// The streamed mean/CI agree with an independent two-pass
+    /// computation over the plateau-extended matrix, not just with the
+    /// batch code path.
+    #[test]
+    fn online_aggregate_matches_a_two_pass_reference(series in ragged_series()) {
+        let streamed = {
+            let mut online = OnlineAggregate::new();
+            for s in &series {
+                online.push(s);
+            }
+            online.finalize().expect("non-empty input")
+        };
+        let len = series.iter().map(|s| s.len()).max().unwrap();
+        for k in 0..len {
+            // Plateau extension: a short series holds its final value.
+            let column: Vec<f64> = series
+                .iter()
+                .map(|s| {
+                    let vals = s.values();
+                    vals[k.min(vals.len() - 1)]
+                })
+                .collect();
+            let n = column.len() as f64;
+            let mean: f64 = column.iter().sum::<f64>() / n;
+            prop_assert!(
+                (streamed.mean[k] - mean).abs() <= 1e-9 * (1.0 + mean.abs()),
+                "mean at point {} diverged: {} vs reference {}",
+                k, streamed.mean[k], mean
+            );
+            let var = if column.len() > 1 {
+                column.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+            } else {
+                0.0
+            };
+            let ci = Z_95 * (var / n).sqrt();
+            prop_assert!(
+                (streamed.ci95_half_width[k] - ci).abs() <= 1e-6 * (1.0 + ci.abs()),
+                "ci at point {} diverged: {} vs reference {}",
+                k, streamed.ci95_half_width[k], ci
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Observers are pure taps
+// ---------------------------------------------------------------------
+
+#[derive(Default)]
+struct Recording {
+    started: AtomicU64,
+    finished: AtomicU64,
+    finish_order: Mutex<Vec<u64>>,
+    events: AtomicU64,
+}
+
+impl ExperimentObserver for Recording {
+    fn on_replication_start(&self, _rep: u64, _seed: u64) {
+        self.started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_replication_finish(&self, metrics: &ReplicationMetrics) {
+        self.finished.fetch_add(1, Ordering::Relaxed);
+        self.finish_order.lock().unwrap().push(metrics.rep);
+        self.events.fetch_add(metrics.sim.events_processed, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn results_are_bit_identical_with_and_without_an_observer_at_any_thread_count() {
+    let c = config(150);
+    let reference = ExperimentPlan::new(5).master_seed(SEED).threads(1).run(&c).expect("valid");
+    for threads in [1, 2, 4, 8] {
+        let observed = ExperimentPlan::new(5)
+            .master_seed(SEED)
+            .threads(threads)
+            .observer(Recording::default())
+            .run(&c)
+            .expect("valid");
+        assert_eq!(reference.aggregate, observed.aggregate, "threads = {threads}");
+        assert_eq!(reference.final_infected, observed.final_infected, "threads = {threads}");
+        for (a, b) in reference.runs.iter().zip(&observed.runs) {
+            assert_eq!(a.final_infected, b.final_infected);
+            assert_eq!(a.series, b.series);
+        }
+    }
+}
+
+#[test]
+fn observer_sees_every_replication_in_order_with_real_metrics() {
+    let c = config(120);
+    let recording = std::sync::Arc::new(Recording::default());
+    let result = ExperimentPlan::new(6)
+        .master_seed(SEED)
+        .threads(3)
+        .observer_handle(ObserverHandle::from_arc(recording.clone()))
+        .run(&c)
+        .expect("valid");
+    assert_eq!(result.runs.len(), 6);
+    assert_eq!(recording.started.load(Ordering::Relaxed), 6);
+    assert_eq!(recording.finished.load(Ordering::Relaxed), 6);
+    let order = recording.finish_order.lock().unwrap().clone();
+    assert_eq!(order, vec![0, 1, 2, 3, 4, 5], "finish hooks fire in replication order");
+    assert!(recording.events.load(Ordering::Relaxed) > 0, "an epidemic run must process events");
+}
+
+// ---------------------------------------------------------------------
+// retain_runs(false)
+// ---------------------------------------------------------------------
+
+#[test]
+fn discarding_runs_changes_nothing_but_the_runs_vec() {
+    let c = config(150);
+    let kept = ExperimentPlan::new(5).master_seed(SEED).threads(4).run(&c).expect("valid");
+    let streamed = ExperimentPlan::new(5)
+        .master_seed(SEED)
+        .threads(4)
+        .retain_runs(false)
+        .run(&c)
+        .expect("valid");
+    assert!(streamed.runs.is_empty(), "retain_runs(false) must not keep per-run results");
+    assert_eq!(kept.runs.len(), 5);
+    assert_eq!(kept.aggregate, streamed.aggregate);
+    assert_eq!(kept.final_infected, streamed.final_infected);
+}
+
+// ---------------------------------------------------------------------
+// Per-seed failure is an error, not a panic
+// ---------------------------------------------------------------------
+
+#[test]
+fn an_exhausted_event_budget_is_reported_not_panicked_at_any_thread_count() {
+    let mut c = config(150);
+    c.event_budget = Some(50);
+    let serial = ExperimentPlan::new(4)
+        .master_seed(SEED)
+        .threads(1)
+        .run(&c)
+        .expect_err("50 events cannot cover an epidemic");
+    for threads in [2, 4, 8] {
+        let parallel = ExperimentPlan::new(4)
+            .master_seed(SEED)
+            .threads(threads)
+            .run(&c)
+            .expect_err("50 events cannot cover an epidemic");
+        assert_eq!(serial, parallel, "the reported failure must not depend on thread count");
+    }
+}

@@ -19,8 +19,12 @@ fn reduced(virus: VirusProfile, horizon: SimDuration) -> ScenarioConfig {
     c
 }
 
+fn plan() -> ExperimentPlan {
+    ExperimentPlan::new(REPS).master_seed(SEED).threads(4)
+}
+
 fn mean_final(config: &ScenarioConfig) -> f64 {
-    run_experiment(config, REPS, SEED, 4).expect("valid scenario").final_infected.mean
+    plan().run(config).expect("valid scenario").final_infected.mean
 }
 
 #[test]
@@ -57,10 +61,10 @@ fn infection_counts_never_decrease() {
 
 #[test]
 fn virus3_is_dramatically_faster_than_virus1() {
-    let v3 = run_experiment(&reduced(VirusProfile::virus3(), SimDuration::from_hours(24)), REPS, SEED, 4)
-        .expect("valid");
-    let v1 = run_experiment(&reduced(VirusProfile::virus1(), SimDuration::from_days(7)), REPS, SEED, 4)
-        .expect("valid");
+    let v3 =
+        plan().run(&reduced(VirusProfile::virus3(), SimDuration::from_hours(24))).expect("valid");
+    let v1 =
+        plan().run(&reduced(VirusProfile::virus1(), SimDuration::from_days(7))).expect("valid");
     let t_v3 = v3.mean_time_to_reach(50.0).expect("V3 reaches 50 infections");
     let t_v1 = v1.mean_time_to_reach(50.0).expect("V1 reaches 50 infections");
     assert!(
@@ -72,14 +76,11 @@ fn virus3_is_dramatically_faster_than_virus1() {
 #[test]
 fn virus4_is_the_slowest_of_the_contact_list_viruses() {
     let horizon = SimDuration::from_days(10);
-    let v1 = run_experiment(&reduced(VirusProfile::virus1(), horizon), REPS, SEED, 4).expect("valid");
-    let v4 = run_experiment(&reduced(VirusProfile::virus4(), horizon), REPS, SEED, 4).expect("valid");
+    let v1 = plan().run(&reduced(VirusProfile::virus1(), horizon)).expect("valid");
+    let v4 = plan().run(&reduced(VirusProfile::virus4(), horizon)).expect("valid");
     let t_v1 = v1.mean_time_to_reach(40.0).expect("V1 reaches 40");
     let t_v4 = v4.mean_time_to_reach(40.0).expect("V4 reaches 40");
-    assert!(
-        t_v4 > t_v1,
-        "stealthy V4 ({t_v4:.1} h to 40) should lag V1 ({t_v1:.1} h)"
-    );
+    assert!(t_v4 > t_v1, "stealthy V4 ({t_v4:.1} h to 40) should lag V1 ({t_v1:.1} h)");
 }
 
 #[test]
