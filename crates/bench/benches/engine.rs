@@ -3,56 +3,61 @@
 
 use std::hint::black_box;
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use mpvsim_des::seed::{derive_seed, derive_stream_seed};
-use mpvsim_des::{Context, EventQueue, Model, SimDuration, SimTime, Simulation};
+use mpvsim_des::{Context, EventQueue, FelKind, Model, SimDuration, SimTime, Simulation};
+
+/// Both future-event-list backends, benchmarked side by side.
+const FELS: [FelKind; 2] = [FelKind::BinaryHeap, FelKind::Calendar];
 
 fn bench_event_queue(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_queue");
 
-    group.bench_function("schedule_pop_10k_sorted", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(SimTime::from_secs(i), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum = sum.wrapping_add(e);
-            }
-            black_box(sum)
-        })
-    });
+    for fel in FELS {
+        group.bench_function(BenchmarkId::new("schedule_pop_10k_sorted", fel.label()), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_kind(fel);
+                for i in 0..10_000u64 {
+                    q.schedule(SimTime::from_secs(i), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    sum = sum.wrapping_add(e);
+                }
+                black_box(sum)
+            })
+        });
 
-    group.bench_function("schedule_pop_10k_reverse", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in (0..10_000u64).rev() {
-                q.schedule(SimTime::from_secs(i), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum = sum.wrapping_add(e);
-            }
-            black_box(sum)
-        })
-    });
+        group.bench_function(BenchmarkId::new("schedule_pop_10k_reverse", fel.label()), |b| {
+            b.iter(|| {
+                let mut q = EventQueue::with_kind(fel);
+                for i in (0..10_000u64).rev() {
+                    q.schedule(SimTime::from_secs(i), i);
+                }
+                let mut sum = 0u64;
+                while let Some((_, e)) = q.pop() {
+                    sum = sum.wrapping_add(e);
+                }
+                black_box(sum)
+            })
+        });
 
-    group.bench_function("interleaved_hold_1k", |b| {
-        // Classic hold model: steady-state queue of 1k pending events.
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1_000u64 {
-                q.schedule(SimTime::from_secs(i), i);
-            }
-            for i in 0..10_000u64 {
-                let (t, _) = q.pop().expect("queue never drains");
-                q.schedule(t + SimDuration::from_secs(1_000 + i % 7), i);
-            }
-            black_box(q.len())
-        })
-    });
+        group.bench_function(BenchmarkId::new("interleaved_hold_1k", fel.label()), |b| {
+            // Classic hold model: steady-state queue of 1k pending events.
+            b.iter(|| {
+                let mut q = EventQueue::with_kind(fel);
+                for i in 0..1_000u64 {
+                    q.schedule(SimTime::from_secs(i), i);
+                }
+                for i in 0..10_000u64 {
+                    let (t, _) = q.pop().expect("queue never drains");
+                    q.schedule(t + SimDuration::from_secs(1_000 + i % 7), i);
+                }
+                black_box(q.len())
+            })
+        });
+    }
 
     group.finish();
 }
@@ -73,14 +78,18 @@ impl Model for Relay {
 }
 
 fn bench_dispatch(c: &mut Criterion) {
-    c.bench_function("simulation_dispatch_100k_events", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new(Relay { remaining: 100_000 }, 1);
-            sim.schedule(SimTime::ZERO, ());
-            sim.run_until(SimTime::MAX);
-            black_box(sim.events_processed())
-        })
-    });
+    let mut group = c.benchmark_group("simulation_dispatch");
+    for fel in FELS {
+        group.bench_function(BenchmarkId::new("100k_events", fel.label()), |b| {
+            b.iter(|| {
+                let mut sim = Simulation::new(Relay { remaining: 100_000 }, 1).with_fel(fel);
+                sim.schedule(SimTime::ZERO, ());
+                sim.run_until(SimTime::MAX);
+                black_box(sim.events_processed())
+            })
+        });
+    }
+    group.finish();
 }
 
 fn bench_seeding(c: &mut Criterion) {

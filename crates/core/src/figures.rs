@@ -16,7 +16,7 @@
 //! | TXT-SCALE | §5.3 "results scale … to 2000 phones" | [`scaling_study`] |
 //! | EXT-COMBO | §6 combined mechanisms | [`combo_study`] |
 
-use mpvsim_des::{ObserverHandle, SimDuration};
+use mpvsim_des::{FelKind, ObserverHandle, SimDuration};
 
 use crate::config::{ConfigError, MobilityConfig, PopulationConfig, ScenarioConfig};
 use crate::response::{
@@ -42,6 +42,9 @@ pub struct FigureOptions {
     /// reporting, metrics capture); defaults to a no-op and never affects
     /// the curves.
     pub observer: ObserverHandle,
+    /// Future-event-list backend every replication runs on; a pure
+    /// performance knob that never affects the curves (see [`FelKind`]).
+    pub fel: FelKind,
 }
 
 impl Default for FigureOptions {
@@ -52,6 +55,7 @@ impl Default for FigureOptions {
             threads: 4,
             population: 1000,
             observer: ObserverHandle::noop(),
+            fel: FelKind::default(),
         }
     }
 }
@@ -68,6 +72,7 @@ impl FigureOptions {
             .master_seed(self.master_seed)
             .threads(self.threads)
             .observer_handle(self.observer.clone())
+            .fel(self.fel)
     }
 }
 

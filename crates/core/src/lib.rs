@@ -62,7 +62,7 @@ pub use response::{
 #[allow(deprecated)]
 pub use run::{run_experiment, run_experiment_adaptive};
 pub use run::{
-    run_scenario, run_scenario_with_metrics, AdaptiveResult, ExperimentPlan, ExperimentResult,
-    RunResult, DEFAULT_EVENT_BUDGET,
+    run_scenario, run_scenario_with_metrics, run_scenario_with_metrics_fel, AdaptiveResult,
+    ExperimentPlan, ExperimentResult, RunResult, DEFAULT_EVENT_BUDGET,
 };
 pub use virus::{BluetoothVector, SendQuota, TargetingStrategy, VirusProfile};

@@ -21,10 +21,7 @@ use rand::RngExt;
 use mpvsim_des::random::bernoulli;
 use mpvsim_des::{Context, Model, SimDuration, SimTime};
 use mpvsim_mobility::MobilityField;
-use mpvsim_phonenet::message::MessageId;
-use mpvsim_phonenet::{
-    AddressSpace, Gateway, Inboxes, MmsMessage, PhoneId, Population, TransitQueue,
-};
+use mpvsim_phonenet::{AddressSpace, Gateway, Inboxes, PhoneId, Population, TransitQueue};
 use mpvsim_stats::TimeSeries;
 
 use crate::behavior::AcceptanceModel;
@@ -153,10 +150,16 @@ pub struct EpidemicModel {
     /// traffic" the paper's introduction motivates.
     traffic_series: TimeSeries,
     stats: RunStats,
-    next_message_id: u64,
     mobility: Option<MobilityField>,
     inboxes: Inboxes,
     transit: Option<TransitQueue>,
+    /// Reusable scratch buffer for the recipients of the MMS currently
+    /// being assembled — one allocation for the whole run instead of a
+    /// fresh `Vec` per send.
+    recipient_buf: Vec<PhoneId>,
+    /// Reusable scratch buffer for the Bluetooth transfer offers of the
+    /// mobility tick being processed.
+    bt_offers: Vec<PhoneId>,
 }
 
 /// A phone's rolling quota day: 24 hours.
@@ -233,10 +236,11 @@ impl EpidemicModel {
             series,
             traffic_series,
             stats: RunStats::default(),
-            next_message_id: 0,
             mobility,
             inboxes,
             transit,
+            recipient_buf: Vec::new(),
+            bt_offers: Vec::new(),
         }
     }
 
@@ -248,12 +252,6 @@ impl EpidemicModel {
     /// Inbox bookkeeping: delivered-but-unread messages per phone.
     pub fn inboxes(&self) -> &Inboxes {
         &self.inboxes
-    }
-
-    fn fresh_message_id(&mut self) -> MessageId {
-        let id = MessageId(self.next_message_id);
-        self.next_message_id += 1;
-        id
     }
 
     /// Current number of infected phones.
@@ -420,31 +418,36 @@ impl EpidemicModel {
             }
         }
 
-        // Pick targets and assemble the outgoing MMS. An invalid random
-        // dial produces no message (the number is unassigned) but still
-        // counts as a send attempt everywhere the provider can see it.
-        let message: Option<MmsMessage> = match self.config.virus.targeting {
+        // Pick targets into the reusable recipient buffer (no per-send
+        // allocation). An invalid random dial produces no message (the
+        // number is unassigned) but still counts as a send attempt
+        // everywhere the provider can see it.
+        let have_message = match self.config.virus.targeting {
             TargetingStrategy::ContactList => {
-                let contacts = self.population.phone(phone).contacts().to_vec();
+                let contacts = self.population.contacts(phone);
                 if contacts.is_empty() {
                     return SendOutcome::NoTargets; // isolated phone
                 }
-                let k = (self.config.virus.recipients_per_message as usize).min(contacts.len());
+                let len = contacts.len();
+                let k = (self.config.virus.recipients_per_message as usize).min(len);
                 let sender = &mut self.senders[phone.index()];
-                let start = sender.cursor % contacts.len();
-                sender.cursor = (start + k) % contacts.len();
-                let recipients = (0..k).map(|i| contacts[(start + i) % contacts.len()]).collect();
-                Some(MmsMessage::infected(self.fresh_message_id(), phone, recipients))
+                let start = sender.cursor % len;
+                sender.cursor = (start + k) % len;
+                self.recipient_buf.clear();
+                self.recipient_buf.extend((0..k).map(|i| contacts[(start + i) % len]));
+                true
             }
             TargetingStrategy::RandomDialing { .. } => {
                 let space = self.address_space.expect("address space built for random dialing");
                 match space.dial_random(ctx.rng()) {
                     Some(target) => {
-                        Some(MmsMessage::infected(self.fresh_message_id(), phone, vec![target]))
+                        self.recipient_buf.clear();
+                        self.recipient_buf.push(target);
+                        true
                     }
                     None => {
                         self.stats.invalid_dials += 1;
-                        None
+                        false
                     }
                 }
             }
@@ -460,7 +463,12 @@ impl EpidemicModel {
         self.stats.messages_sent += 1;
         self.senders[phone.index()].next_allowed = now + self.config.virus.send_gap.minimum();
 
-        let _delivered = self.gateway_process(phone, message.as_ref(), ctx);
+        // Detach the buffer from `self` for the duration of the gateway
+        // call (which needs `&mut self`), then put it back for reuse.
+        let recipients = std::mem::take(&mut self.recipient_buf);
+        let _delivered =
+            self.gateway_process(phone, have_message.then_some(recipients.as_slice()), ctx);
+        self.recipient_buf = recipients;
         SendOutcome::Sent
     }
 
@@ -494,7 +502,7 @@ impl EpidemicModel {
             q.enqueue(now); // legitimate copies share the same gateway
         }
 
-        let contacts = self.population.phone(phone).contacts();
+        let contacts = self.population.contacts(phone);
         let recipient = if contacts.is_empty() {
             None
         } else {
@@ -533,13 +541,14 @@ impl EpidemicModel {
         }
     }
 
-    /// Runs the provider-side pipeline for one outgoing infected message
-    /// (`None` = an invalid-dial attempt that the gateway still observes).
-    /// Returns whether the message was delivered to its recipients.
+    /// Runs the provider-side pipeline for one outgoing infected message,
+    /// given its recipient list (`None` = an invalid-dial attempt that the
+    /// gateway still observes). Returns whether the message was delivered
+    /// to its recipients.
     fn gateway_process(
         &mut self,
         sender: PhoneId,
-        message: Option<&MmsMessage>,
+        recipients: Option<&[PhoneId]>,
         ctx: &mut Context<'_, Event>,
     ) -> bool {
         let now = ctx.now();
@@ -587,12 +596,10 @@ impl EpidemicModel {
 
         // Delivery: each recipient's user reads the message after their
         // own read delay.
-        let Some(message) = message else {
+        let Some(recipients) = recipients else {
             return false; // unassigned number: nothing to deliver
         };
-        debug_assert_eq!(message.sender, sender);
-        debug_assert!(message.infected);
-        for &r in &message.recipients {
+        for &r in recipients {
             self.stats.deliveries += 1;
             self.inboxes.deliver(r);
             // Finite gateway capacity: each recipient copy waits for a
@@ -682,9 +689,8 @@ impl EpidemicModel {
                 // over the window: the super-spreaders are protected (or
                 // silenced) first.
                 let mut by_degree: Vec<usize> = (0..n).collect();
-                by_degree.sort_by_key(|&i| {
-                    std::cmp::Reverse(self.population.phone(PhoneId::from(i)).contacts().len())
-                });
+                by_degree
+                    .sort_by_key(|&i| std::cmp::Reverse(self.population.degree(PhoneId::from(i))));
                 for (rank, id) in by_degree.into_iter().enumerate() {
                     let offset = if n <= 1 || rollout_secs == 0 {
                         SimDuration::ZERO
@@ -737,8 +743,11 @@ impl EpidemicModel {
             let field = self.mobility.as_mut().expect("tick only scheduled with mobility");
             field.step(tick.as_secs_f64(), ctx.rng());
         }
+        // Reuse the per-model offers buffer across ticks; it is detached
+        // from `self` while the acceptance loop below needs `&mut self`.
+        let mut offers = std::mem::take(&mut self.bt_offers);
+        offers.clear();
         let field = self.mobility.as_ref().expect("mobility present");
-        let mut offers: Vec<PhoneId> = Vec::new();
         for (a, b) in field.contacts_within(bt.radius) {
             let pa = PhoneId::from(a);
             let pb = PhoneId::from(b);
@@ -753,7 +762,7 @@ impl EpidemicModel {
             }
         }
         let now = ctx.now();
-        for dst in offers {
+        for &dst in &offers {
             self.stats.bluetooth_offers += 1;
             // Bluetooth bypasses the gateways, but transfer prompts are
             // user-visible; treat each as a virus sighting reaching the
@@ -766,6 +775,7 @@ impl EpidemicModel {
                 self.on_infection(dst, ctx);
             }
         }
+        self.bt_offers = offers;
         let next = ctx.now() + tick;
         if next <= SimTime::ZERO + self.config.horizon {
             ctx.schedule_at(next, Event::MobilityTick);
@@ -1199,10 +1209,14 @@ mod tests {
             .population()
             .iter()
             .filter(|p| p.health() == mpvsim_phonenet::Health::Immunized)
-            .map(|p| p.contacts().len())
+            .map(|p| m.population().degree(p.id()))
             .min();
-        let susceptible_max =
-            m.population().iter().filter(|p| p.is_susceptible()).map(|p| p.contacts().len()).max();
+        let susceptible_max = m
+            .population()
+            .iter()
+            .filter(|p| p.is_susceptible())
+            .map(|p| m.population().degree(p.id()))
+            .max();
         if let (Some(lo), Some(hi)) = (immunized_min, susceptible_max) {
             assert!(
                 lo >= hi,

@@ -27,7 +27,7 @@ use rand::SeedableRng;
 
 use mpvsim_des::seed::{derive_seed, derive_stream_seed};
 use mpvsim_des::{
-    try_run_replications_sink, ExperimentMetrics, ExperimentObserver, ObserverHandle,
+    try_run_replications_sink, ExperimentMetrics, ExperimentObserver, FelKind, ObserverHandle,
     ReplicationMetrics, RunOutcome, SimMetrics, SimTime, Simulation,
 };
 use mpvsim_mobility::MobilityField;
@@ -125,6 +125,22 @@ pub fn run_scenario_with_metrics(
     config: &ScenarioConfig,
     seed: u64,
 ) -> Result<(RunResult, SimMetrics), ConfigError> {
+    run_scenario_with_metrics_fel(config, seed, FelKind::default())
+}
+
+/// Like [`run_scenario_with_metrics`], with an explicit future-event-list
+/// backend (see [`FelKind`]). The trajectory is bit-identical for every
+/// backend; only execution speed differs.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the scenario is invalid or the
+/// replication exceeds its event budget.
+pub fn run_scenario_with_metrics_fel(
+    config: &ScenarioConfig,
+    seed: u64,
+    fel: FelKind,
+) -> Result<(RunResult, SimMetrics), ConfigError> {
     config.validate()?;
     let mut topo_rng = StdRng::seed_from_u64(derive_stream_seed(seed, 0, TOPOLOGY_STREAM));
     let graph = config
@@ -140,7 +156,7 @@ pub fn run_scenario_with_metrics(
 
     let budget = config.event_budget.unwrap_or(DEFAULT_EVENT_BUDGET);
     let model = EpidemicModel::with_mobility(config.clone(), population, mobility);
-    let mut sim = Simulation::new(model, seed).with_event_budget(budget);
+    let mut sim = Simulation::new(model, seed).with_event_budget(budget).with_fel(fel);
     sim.schedule(SimTime::ZERO, Event::Seed);
     sim.schedule(SimTime::ZERO, Event::Sample);
     let outcome = sim.run_until(SimTime::ZERO + config.horizon);
@@ -183,11 +199,12 @@ pub struct ExperimentPlan {
     threads: usize,
     retain_runs: bool,
     observer: ObserverHandle,
+    fel: FelKind,
 }
 
 impl ExperimentPlan {
     /// A plan for `reps` replications: master seed 0, single-threaded,
-    /// per-run results retained, no observer.
+    /// per-run results retained, no observer, binary-heap event list.
     pub fn new(reps: u64) -> Self {
         ExperimentPlan {
             reps,
@@ -195,7 +212,17 @@ impl ExperimentPlan {
             threads: 1,
             retain_runs: true,
             observer: ObserverHandle::noop(),
+            fel: FelKind::default(),
         }
+    }
+
+    /// Selects the future-event-list backend each replication runs on
+    /// (see [`FelKind`]). Like threads and observers, this never changes
+    /// a bit of the results — backends share the deterministic
+    /// `(time, seq)` event order — so it is a pure performance knob.
+    pub fn fel(mut self, fel: FelKind) -> Self {
+        self.fel = fel;
+        self
     }
 
     /// Sets the master seed; replication `r` derives its seed from
@@ -249,6 +276,11 @@ impl ExperimentPlan {
     /// The resolved worker-thread count.
     pub fn thread_count(&self) -> usize {
         self.threads
+    }
+
+    /// The future-event-list backend the plan's replications will use.
+    pub fn fel_kind(&self) -> FelKind {
+        self.fel
     }
 
     /// The number of replications the plan will run.
@@ -365,7 +397,7 @@ impl ExperimentPlan {
     ) -> Result<(RunResult, ReplicationMetrics), ConfigError> {
         self.observer.on_replication_start(rep, seed);
         let started = Instant::now();
-        let (result, sim) = run_scenario_with_metrics(config, seed)?;
+        let (result, sim) = run_scenario_with_metrics_fel(config, seed, self.fel)?;
         Ok((result, ReplicationMetrics { rep, seed, wall: started.elapsed(), sim }))
     }
 }
@@ -554,6 +586,29 @@ mod tests {
         let parallel = ExperimentPlan::new(3).master_seed(5).threads(3).run(&c).unwrap();
         assert_eq!(serial.aggregate.mean, parallel.aggregate.mean);
         assert_eq!(serial.aggregate.ci95_half_width, parallel.aggregate.ci95_half_width);
+    }
+
+    #[test]
+    fn fel_backend_changes_no_bit_of_the_experiment() {
+        let c = small_config();
+        let heap = ExperimentPlan::new(3).master_seed(7).run(&c).unwrap();
+        for fel in
+            [FelKind::Calendar, FelKind::CalendarTuned { bucket_width_secs: 16, bucket_count: 32 }]
+        {
+            let cal = ExperimentPlan::new(3).master_seed(7).fel(fel).run(&c).unwrap();
+            // Byte-equal floats, not approximate equality.
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&heap.aggregate.mean), bits(&cal.aggregate.mean), "{fel:?}");
+            assert_eq!(
+                bits(&heap.aggregate.ci95_half_width),
+                bits(&cal.aggregate.ci95_half_width),
+                "{fel:?}"
+            );
+            for (a, b) in heap.runs.iter().zip(&cal.runs) {
+                assert_eq!(bits(a.series.values()), bits(b.series.values()), "{fel:?}");
+                assert_eq!(a.stats, b.stats, "{fel:?}");
+            }
+        }
     }
 
     #[test]

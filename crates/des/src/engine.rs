@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::event::EventQueue;
+use crate::fel::FelKind;
 use crate::time::{SimDuration, SimTime};
 
 /// A discrete-event model: a state machine driven by events of type
@@ -160,6 +161,21 @@ impl<M: Model> Simulation<M> {
     pub fn with_event_budget(mut self, budget: u64) -> Self {
         self.event_budget = budget;
         self
+    }
+
+    /// Switches the future-event list to the given backend (see
+    /// [`FelKind`]), carrying over any already-scheduled events. The pop
+    /// order — and therefore the trajectory — is identical on every
+    /// backend; only performance differs.
+    pub fn with_fel(mut self, kind: FelKind) -> Self {
+        let queue = std::mem::take(&mut self.queue);
+        self.queue = queue.into_kind(kind);
+        self
+    }
+
+    /// The future-event-list backend this simulation runs on.
+    pub fn fel_kind(&self) -> FelKind {
+        self.queue.kind()
     }
 
     /// Schedules an initial event before the run starts.
@@ -361,6 +377,21 @@ mod tests {
         };
         assert_eq!(run(99), run(99));
         assert_ne!(run(99), run(100), "different seeds should diverge");
+    }
+
+    #[test]
+    fn fel_backend_does_not_change_trajectory() {
+        let run = |kind| {
+            let mut sim = Simulation::new(Recorder::default(), 99).with_fel(kind);
+            assert_eq!(sim.fel_kind(), kind);
+            sim.schedule(SimTime::ZERO, Ev::Tick);
+            sim.run_until(SimTime::MAX);
+            let m = sim.into_model();
+            (m.ticks, m.draws)
+        };
+        let heap = run(FelKind::BinaryHeap);
+        assert_eq!(heap, run(FelKind::Calendar));
+        assert_eq!(heap, run(FelKind::CalendarTuned { bucket_width_secs: 4, bucket_count: 8 }));
     }
 
     #[test]

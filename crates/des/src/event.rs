@@ -5,37 +5,70 @@
 //! fire in the order they were scheduled. This removes the main source of
 //! nondeterminism in naive DES implementations (heap tie-breaking), which is
 //! what makes replications reproducible.
+//!
+//! The storage behind the queue is pluggable: see [`crate::fel`] for the
+//! [`FelKind`] selector and the binary-heap / calendar-queue backends. The
+//! pop order is identical for every backend — the `(time, seq)` key is
+//! unique and totally ordered — so the choice affects performance only,
+//! never trajectories.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
+use crate::fel::{BinaryHeapFel, CalendarQueue, FelKind, FutureEventList, Scheduled};
 use crate::time::SimTime;
 
-/// An event with its firing time and tie-breaking sequence number.
+/// Static dispatch over the available backends.
+///
+/// An enum (rather than `Box<dyn FutureEventList>`) keeps the hot path
+/// monomorphized and the queue `Clone`.
 #[derive(Debug, Clone)]
-struct Scheduled<E> {
-    time: SimTime,
-    seq: u64,
-    event: E,
+enum Backend<E> {
+    Heap(BinaryHeapFel<E>),
+    Calendar(CalendarQueue<E>),
 }
 
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
+impl<E> Backend<E> {
+    fn for_kind(kind: FelKind) -> Self {
+        match kind {
+            FelKind::BinaryHeap => Backend::Heap(BinaryHeapFel::new()),
+            FelKind::Calendar => Backend::Calendar(CalendarQueue::new()),
+            FelKind::CalendarTuned { bucket_width_secs, bucket_count } => {
+                Backend::Calendar(CalendarQueue::with_params(bucket_width_secs, bucket_count))
+            }
+        }
     }
-}
-impl<E> Eq for Scheduled<E> {}
 
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
+    fn insert(&mut self, item: Scheduled<E>) {
+        match self {
+            Backend::Heap(h) => h.insert(item),
+            Backend::Calendar(c) => c.insert(item),
+        }
     }
-}
 
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        match self {
+            Backend::Heap(h) => h.pop(),
+            Backend::Calendar(c) => c.pop(),
+        }
+    }
+
+    fn peek(&mut self) -> Option<(SimTime, u64)> {
+        match self {
+            Backend::Heap(h) => h.peek(),
+            Backend::Calendar(c) => c.peek(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Backend::Heap(h) => h.len(),
+            Backend::Calendar(c) => c.len(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            Backend::Heap(h) => h.clear(),
+            Backend::Calendar(c) => c.clear(),
+        }
     }
 }
 
@@ -53,18 +86,55 @@ impl<E> Ord for Scheduled<E> {
 /// assert_eq!(q.pop(), Some((SimTime::from_secs(10), "c")));
 /// assert_eq!(q.pop(), None);
 /// ```
+///
+/// The default backend is a binary heap; [`EventQueue::with_kind`] selects
+/// the calendar queue (see [`FelKind`]). Pop order is backend-independent.
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    backend: Backend<E>,
+    kind: FelKind,
     next_seq: u64,
     scheduled_total: u64,
     peak_len: usize,
 }
 
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default (binary-heap) backend.
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0, scheduled_total: 0, peak_len: 0 }
+        Self::with_kind(FelKind::default())
+    }
+
+    /// Creates an empty queue on the given backend.
+    pub fn with_kind(kind: FelKind) -> Self {
+        EventQueue {
+            backend: Backend::for_kind(kind),
+            kind,
+            next_seq: 0,
+            scheduled_total: 0,
+            peak_len: 0,
+        }
+    }
+
+    /// The backend this queue runs on.
+    pub fn kind(&self) -> FelKind {
+        self.kind
+    }
+
+    /// Rebuilds this queue on a different backend, preserving all pending
+    /// events (with their original sequence numbers) and the lifetime
+    /// counters.
+    pub fn into_kind(mut self, kind: FelKind) -> Self {
+        let mut backend = Backend::for_kind(kind);
+        while let Some(item) = self.backend.pop() {
+            backend.insert(item);
+        }
+        EventQueue {
+            backend,
+            kind,
+            next_seq: self.next_seq,
+            scheduled_total: self.scheduled_total,
+            peak_len: self.peak_len,
+        }
     }
 
     /// Schedules `event` to fire at `time`.
@@ -74,45 +144,55 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Scheduled { time, seq, event });
-        self.peak_len = self.peak_len.max(self.heap.len());
+        self.backend.insert(Scheduled { time, seq, event });
+        self.peak_len = self.peak_len.max(self.backend.len());
     }
 
     /// Removes and returns the earliest event, if any.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        self.backend.pop().map(|s| (s.time, s.event))
     }
 
     /// The firing time of the earliest pending event.
-    pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+    ///
+    /// Takes `&mut self` because the calendar backend advances its bucket
+    /// cursor lazily; the pending set is not modified.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.backend.peek().map(|(t, _)| t)
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.backend.len()
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.backend.len() == 0
     }
 
     /// Total number of events scheduled over the queue's lifetime.
+    ///
+    /// This counter is cumulative across [`EventQueue::clear`]: it reports
+    /// lifetime workload, not the size of the current pending set.
     pub fn scheduled_total(&self) -> u64 {
         self.scheduled_total
     }
 
     /// The largest number of events that were ever pending at once (the
     /// future-event list's high-water mark, a proxy for the run's working
-    /// memory).
+    /// memory). Reset by [`EventQueue::clear`].
     pub fn peak_len(&self) -> usize {
         self.peak_len
     }
 
-    /// Discards all pending events (the lifetime counter is kept).
+    /// Discards all pending events and resets the high-water mark, so a
+    /// reused queue reports the memory pressure of its *next* run rather
+    /// than a stale peak. The lifetime [`EventQueue::scheduled_total`]
+    /// counter is kept.
     pub fn clear(&mut self) {
-        self.heap.clear();
+        self.backend.clear();
+        self.peak_len = 0;
     }
 }
 
@@ -127,47 +207,78 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    /// Backends the shared tests run against. The tuned calendar uses a
+    /// deliberately tiny wheel so wrap-around and overflow paths are hit
+    /// even by small tests.
+    const KINDS: [FelKind; 3] = [
+        FelKind::BinaryHeap,
+        FelKind::Calendar,
+        FelKind::CalendarTuned { bucket_width_secs: 4, bucket_count: 8 },
+    ];
+
     #[test]
     fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(30), 3u32);
-        q.schedule(SimTime::from_secs(10), 1);
-        q.schedule(SimTime::from_secs(20), 2);
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, vec![1, 2, 3]);
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_secs(30), 3u32);
+            q.schedule(SimTime::from_secs(10), 1);
+            q.schedule(SimTime::from_secs(20), 2);
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, vec![1, 2, 3], "{kind:?}");
+        }
     }
 
     #[test]
     fn equal_times_fire_in_scheduling_order() {
-        let mut q = EventQueue::new();
-        for i in 0..100u32 {
-            q.schedule(SimTime::from_secs(7), i);
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            for i in 0..100u32 {
+                q.schedule(SimTime::from_secs(7), i);
+            }
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            assert_eq!(order, (0..100).collect::<Vec<_>>(), "{kind:?}");
         }
-        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-        assert_eq!(order, (0..100).collect::<Vec<_>>());
     }
 
     #[test]
     fn peek_time_matches_next_pop() {
-        let mut q = EventQueue::new();
-        assert_eq!(q.peek_time(), None);
-        q.schedule(SimTime::from_secs(42), ());
-        q.schedule(SimTime::from_secs(5), ());
-        assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)));
-        let (t, _) = q.pop().unwrap();
-        assert_eq!(t, SimTime::from_secs(5));
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            assert_eq!(q.peek_time(), None);
+            q.schedule(SimTime::from_secs(42), ());
+            q.schedule(SimTime::from_secs(5), ());
+            assert_eq!(q.peek_time(), Some(SimTime::from_secs(5)), "{kind:?}");
+            let (t, _) = q.pop().unwrap();
+            assert_eq!(t, SimTime::from_secs(5));
+        }
     }
 
     #[test]
     fn len_and_clear() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::ZERO, 1);
+            q.schedule(SimTime::ZERO, 2);
+            assert_eq!(q.len(), 2);
+            assert!(!q.is_empty());
+            q.clear();
+            assert!(q.is_empty(), "{kind:?}");
+            assert_eq!(q.scheduled_total(), 2, "lifetime counter survives clear");
+        }
+    }
+
+    #[test]
+    fn clear_resets_peak_len() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::ZERO, 1);
-        q.schedule(SimTime::ZERO, 2);
-        assert_eq!(q.len(), 2);
-        assert!(!q.is_empty());
+        for i in 0..5 {
+            q.schedule(SimTime::ZERO, i);
+        }
+        assert_eq!(q.peak_len(), 5);
         q.clear();
-        assert!(q.is_empty());
-        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.peak_len(), 0, "peak must not leak across clear()");
+        q.schedule(SimTime::ZERO, 0);
+        assert_eq!(q.peak_len(), 1, "peak restarts from the post-clear run");
+        assert_eq!(q.scheduled_total(), 6, "scheduled_total stays cumulative");
     }
 
     #[test]
@@ -191,22 +302,46 @@ mod tests {
 
     #[test]
     fn interleaved_schedule_and_pop_stays_ordered() {
+        for kind in KINDS {
+            let mut q = EventQueue::with_kind(kind);
+            q.schedule(SimTime::from_secs(10), "late");
+            q.schedule(SimTime::from_secs(1), "early");
+            assert_eq!(q.pop().unwrap().1, "early");
+            // Schedule something earlier than the remaining event.
+            q.schedule(SimTime::from_secs(5), "middle");
+            assert_eq!(q.pop().unwrap().1, "middle", "{kind:?}");
+            assert_eq!(q.pop().unwrap().1, "late");
+        }
+    }
+
+    #[test]
+    fn into_kind_preserves_pending_events_and_counters() {
         let mut q = EventQueue::new();
-        q.schedule(SimTime::from_secs(10), "late");
-        q.schedule(SimTime::from_secs(1), "early");
-        assert_eq!(q.pop().unwrap().1, "early");
-        // Schedule something earlier than the remaining event.
-        q.schedule(SimTime::from_secs(5), "middle");
-        assert_eq!(q.pop().unwrap().1, "middle");
-        assert_eq!(q.pop().unwrap().1, "late");
+        q.schedule(SimTime::from_secs(9), "b");
+        q.schedule(SimTime::from_secs(9), "c");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.pop();
+        let mut q = q.into_kind(FelKind::Calendar);
+        assert_eq!(q.kind(), FelKind::Calendar);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.scheduled_total(), 3);
+        // Ties scheduled before the switch still fire in scheduling order.
+        assert_eq!(q.pop(), Some((SimTime::from_secs(9), "b")));
+        assert_eq!(q.pop(), Some((SimTime::from_secs(9), "c")));
+        // New events keep the sequence counter going.
+        q.schedule(SimTime::from_secs(9), "d");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(9), "d")));
     }
 
     proptest! {
         /// Popping always yields a non-decreasing sequence of times, and
-        /// within a time, preserves scheduling order.
+        /// within a time, preserves scheduling order — on every backend.
         #[test]
-        fn prop_total_order(times in proptest::collection::vec(0u64..1000, 1..200)) {
-            let mut q = EventQueue::new();
+        fn prop_total_order(
+            times in proptest::collection::vec(0u64..1000, 1..200),
+            kind_idx in 0usize..KINDS.len(),
+        ) {
+            let mut q = EventQueue::with_kind(KINDS[kind_idx]);
             for (i, &t) in times.iter().enumerate() {
                 q.schedule(SimTime::from_secs(t), i);
             }
@@ -222,10 +357,13 @@ mod tests {
             }
         }
 
-        /// Every scheduled event is popped exactly once.
+        /// Every scheduled event is popped exactly once — on every backend.
         #[test]
-        fn prop_conservation(times in proptest::collection::vec(0u64..50, 0..100)) {
-            let mut q = EventQueue::new();
+        fn prop_conservation(
+            times in proptest::collection::vec(0u64..50, 0..100),
+            kind_idx in 0usize..KINDS.len(),
+        ) {
+            let mut q = EventQueue::with_kind(KINDS[kind_idx]);
             for (i, &t) in times.iter().enumerate() {
                 q.schedule(SimTime::from_secs(t), i);
             }

@@ -1,0 +1,526 @@
+//! Pluggable future-event-list backends.
+//!
+//! [`EventQueue`](crate::EventQueue) defines *what* a future-event list
+//! does (a priority queue with the deterministic `(time, seq)` total
+//! order); this module defines *how* the pending set is stored. Two
+//! backends implement the [`FutureEventList`] trait:
+//!
+//! * [`BinaryHeapFel`] — `std::collections::BinaryHeap`, `O(log n)` per
+//!   operation. Robust under any schedule shape; the default.
+//! * [`CalendarQueue`] — a calendar (bucket) queue in the style of Brown
+//!   (1988): a wheel of time buckets of fixed width, giving `O(1)`
+//!   amortized schedule/pop when most pending events live a short,
+//!   bounded horizon ahead of the clock — exactly the event mix of the
+//!   epidemic model, whose send gaps, read delays and reboot cycles are
+//!   minutes to hours.
+//!
+//! Backends are selected with [`FelKind`], from
+//! [`Simulation::with_fel`](crate::Simulation::with_fel) or (one level
+//! up) `ExperimentPlan::fel` in `mpvsim-core`. Every backend yields the
+//! **bit-identical** pop sequence: keys `(time, seq)` are unique and
+//! totally ordered, so any correct implementation pops them in the same
+//! order, which keeps whole-model trajectories independent of the
+//! backend choice (a property the test suite enforces with differential
+//! tests).
+
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// An event with its firing time and tie-breaking sequence number.
+///
+/// The pair `(time, seq)` is the event's key: unique (sequence numbers
+/// are never reused) and totally ordered, which is what makes the pop
+/// order — and therefore the whole trajectory — reproducible.
+#[derive(Debug, Clone)]
+pub struct Scheduled<E> {
+    /// Firing time.
+    pub time: SimTime,
+    /// Tie-breaking sequence number, assigned in scheduling order.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+impl<E> Scheduled<E> {
+    /// The ordering key.
+    #[inline]
+    pub fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Which future-event-list backend an [`EventQueue`](crate::EventQueue)
+/// (and everything built on it) uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FelKind {
+    /// `std::collections::BinaryHeap`; `O(log n)` per operation.
+    #[default]
+    BinaryHeap,
+    /// Calendar queue with the default parameters
+    /// ([`CalendarQueue::DEFAULT_BUCKET_WIDTH_SECS`],
+    /// [`CalendarQueue::DEFAULT_BUCKET_COUNT`]).
+    Calendar,
+    /// Calendar queue with explicit parameters (see
+    /// [`CalendarQueue::with_params`]).
+    CalendarTuned {
+        /// Width of one bucket, in simulated seconds (must be > 0).
+        bucket_width_secs: u64,
+        /// Number of buckets on the wheel (must be > 0).
+        bucket_count: usize,
+    },
+}
+
+impl FelKind {
+    /// A short machine-readable name ("binary-heap" / "calendar"), used
+    /// in benchmark reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            FelKind::BinaryHeap => "binary-heap",
+            FelKind::Calendar | FelKind::CalendarTuned { .. } => "calendar",
+        }
+    }
+}
+
+/// Storage strategy for the pending-event set.
+///
+/// Implementations must pop events in ascending `(time, seq)` order —
+/// the order [`Ord`] gives [`Scheduled`] — for *any* interleaving of
+/// inserts and pops, including inserts whose key is smaller than
+/// already-popped keys (the engine never produces those, but property
+/// tests do).
+pub trait FutureEventList<E> {
+    /// Adds `item` to the pending set.
+    fn insert(&mut self, item: Scheduled<E>);
+
+    /// Removes and returns the pending event with the smallest key.
+    fn pop(&mut self) -> Option<Scheduled<E>>;
+
+    /// The key of the event [`FutureEventList::pop`] would return.
+    ///
+    /// Takes `&mut self` because the calendar queue positions its bucket
+    /// cursor lazily; the pending set is not changed.
+    fn peek(&mut self) -> Option<(SimTime, u64)>;
+
+    /// Number of pending events.
+    fn len(&self) -> usize;
+
+    /// True when nothing is pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all pending events.
+    fn clear(&mut self);
+}
+
+/// The classic heap-backed future-event list.
+#[derive(Debug, Clone)]
+pub struct BinaryHeapFel<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+}
+
+impl<E> BinaryHeapFel<E> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        BinaryHeapFel { heap: BinaryHeap::new() }
+    }
+}
+
+impl<E> Default for BinaryHeapFel<E> {
+    fn default() -> Self {
+        BinaryHeapFel::new()
+    }
+}
+
+impl<E> FutureEventList<E> for BinaryHeapFel<E> {
+    fn insert(&mut self, item: Scheduled<E>) {
+        self.heap.push(Reverse(item));
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        self.heap.pop().map(|Reverse(s)| s)
+    }
+
+    fn peek(&mut self) -> Option<(SimTime, u64)> {
+        self.heap.peek().map(|Reverse(s)| s.key())
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+/// A calendar (bucket) queue: a wheel of `bucket_count` buckets, each
+/// covering `bucket_width_secs` of simulated time.
+///
+/// ## Layout
+///
+/// Time is divided into *days* (`day = time / bucket_width_secs`; the
+/// name follows the calendar metaphor, not the model's 24-hour days).
+/// The wheel covers the `bucket_count` days starting at the cursor's
+/// day; day `d` maps to slot `d % bucket_count`, so within the window
+/// each slot holds exactly one day's events:
+///
+/// * events in the window go straight into their slot (`O(1)`);
+/// * events beyond the window wait in an **overflow** min-heap and
+///   migrate onto the wheel as the cursor advances toward them;
+/// * events *behind* the cursor's day (possible only under adversarial
+///   schedules — the engine's clock never runs backwards) go to an
+///   **early** min-heap that [`FutureEventList::pop`] checks first.
+///
+/// The cursor's own bucket is kept sorted in *descending* key order, so
+/// the next event is always the last element: pops are `Vec::pop`, and
+/// same-day inserts binary-search their position. Buckets ahead of the
+/// cursor stay unsorted and are sorted once on entry. Popping therefore
+/// costs `O(1)` amortized plus the (amortized sub-linear) empty-bucket
+/// scan; scheduling costs `O(1)` for future buckets and `O(bucket
+/// occupancy)` for the current one.
+///
+/// ## Choosing parameters
+///
+/// The defaults (64 s × 4096 buckets ≈ a 3-day window) suit the model:
+/// nearly all pending events (sends, reads, samples, mobility ticks)
+/// fire within minutes to hours, weekly reboot timers ride the overflow
+/// heap. Rough guidance: pick `bucket_width_secs` near the median gap
+/// between *now* and a newly scheduled event divided by the typical
+/// pending count per bucket you can tolerate scanning, and make the
+/// window (`width × count`) cover the bulk of scheduling horizons.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<E> {
+    slots: Vec<Vec<Scheduled<E>>>,
+    /// Bucket width in simulated seconds.
+    width: u64,
+    /// Absolute day index (`time / width`) the cursor is on.
+    cur_day: u64,
+    /// Events currently stored on the wheel (in `slots`).
+    wheel_len: usize,
+    /// Events behind the cursor's day (adversarial schedules only).
+    early: BinaryHeap<Reverse<Scheduled<E>>>,
+    /// Events at or beyond the window's end.
+    overflow: BinaryHeap<Reverse<Scheduled<E>>>,
+    len: usize,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Default bucket width: 64 simulated seconds.
+    pub const DEFAULT_BUCKET_WIDTH_SECS: u64 = 64;
+    /// Default wheel size: 4096 buckets (a ≈ 3-day window at the
+    /// default width).
+    pub const DEFAULT_BUCKET_COUNT: usize = 4096;
+
+    /// Creates an empty queue with the default parameters.
+    pub fn new() -> Self {
+        Self::with_params(Self::DEFAULT_BUCKET_WIDTH_SECS, Self::DEFAULT_BUCKET_COUNT)
+    }
+
+    /// Creates an empty queue with `bucket_count` buckets of
+    /// `bucket_width_secs` seconds each.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either parameter is zero.
+    pub fn with_params(bucket_width_secs: u64, bucket_count: usize) -> Self {
+        assert!(bucket_width_secs > 0, "bucket width must be positive");
+        assert!(bucket_count > 0, "need at least one bucket");
+        CalendarQueue {
+            slots: std::iter::repeat_with(Vec::new).take(bucket_count).collect(),
+            width: bucket_width_secs,
+            cur_day: 0,
+            wheel_len: 0,
+            early: BinaryHeap::new(),
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn day(&self, t: SimTime) -> u64 {
+        t.as_secs() / self.width
+    }
+
+    #[inline]
+    fn slot_of(&self, day: u64) -> usize {
+        (day % self.slots.len() as u64) as usize
+    }
+
+    /// Pulls every overflow event whose day now falls inside the window.
+    ///
+    /// The overflow heap is keyed by `(time, seq)` and days are monotone
+    /// in time, so once the top is out of the window the rest are too.
+    fn migrate_overflow(&mut self) {
+        let n = self.slots.len() as u64;
+        while let Some(Reverse(top)) = self.overflow.peek() {
+            let d = self.day(top.time);
+            debug_assert!(d >= self.cur_day, "overflow event behind the cursor");
+            if d - self.cur_day >= n {
+                break;
+            }
+            let Some(Reverse(item)) = self.overflow.pop() else { unreachable!() };
+            let slot = self.slot_of(d);
+            self.slots[slot].push(item);
+            self.wheel_len += 1;
+        }
+    }
+
+    /// Moves the cursor to the wheel's earliest non-empty bucket and
+    /// sorts it. Returns false when the wheel (and overflow) is drained.
+    fn settle(&mut self) -> bool {
+        loop {
+            if !self.slots[self.slot_of(self.cur_day)].is_empty() {
+                return true;
+            }
+            if self.wheel_len > 0 {
+                // Some later day in the window holds events; step to it.
+                self.cur_day += 1;
+            } else {
+                // Wheel empty: jump the window to the overflow's first
+                // event (or report exhaustion).
+                let Some(Reverse(top)) = self.overflow.peek() else {
+                    return false;
+                };
+                self.cur_day = self.day(top.time);
+            }
+            self.migrate_overflow();
+            let slot = self.slot_of(self.cur_day);
+            // Descending by key: the next event to pop sits at the end.
+            self.slots[slot].sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+        }
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl<E> FutureEventList<E> for CalendarQueue<E> {
+    fn insert(&mut self, item: Scheduled<E>) {
+        self.len += 1;
+        let d = self.day(item.time);
+        if d < self.cur_day {
+            self.early.push(Reverse(item));
+            return;
+        }
+        if d - self.cur_day >= self.slots.len() as u64 {
+            self.overflow.push(Reverse(item));
+            return;
+        }
+        let slot = self.slot_of(d);
+        if d == self.cur_day {
+            // The cursor's bucket is sorted (descending); keep it so.
+            let idx = self.slots[slot].partition_point(|s| s.key() > item.key());
+            self.slots[slot].insert(idx, item);
+        } else {
+            self.slots[slot].push(item);
+        }
+        self.wheel_len += 1;
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        let wheel_key = if self.settle() {
+            self.slots[self.slot_of(self.cur_day)].last().map(Scheduled::key)
+        } else {
+            None
+        };
+        let early_key = self.early.peek().map(|Reverse(s)| s.key());
+        let use_early = match (wheel_key, early_key) {
+            (Some(w), Some(e)) => e < w,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (None, None) => return None,
+        };
+        self.len -= 1;
+        if use_early {
+            self.early.pop().map(|Reverse(s)| s)
+        } else {
+            self.wheel_len -= 1;
+            let slot = self.slot_of(self.cur_day);
+            self.slots[slot].pop()
+        }
+    }
+
+    fn peek(&mut self) -> Option<(SimTime, u64)> {
+        let wheel_key = if self.settle() {
+            self.slots[self.slot_of(self.cur_day)].last().map(Scheduled::key)
+        } else {
+            None
+        };
+        let early_key = self.early.peek().map(|Reverse(s)| s.key());
+        match (wheel_key, early_key) {
+            (Some(w), Some(e)) => Some(if e < w { e } else { w }),
+            (w, e) => w.or(e),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    fn clear(&mut self) {
+        for slot in &mut self.slots {
+            slot.clear();
+        }
+        self.early.clear();
+        self.overflow.clear();
+        self.wheel_len = 0;
+        self.len = 0;
+        self.cur_day = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn item(time: u64, seq: u64) -> Scheduled<u64> {
+        Scheduled { time: SimTime::from_secs(time), seq, event: seq }
+    }
+
+    /// Tiny wheel so every test exercises wrap-around, overflow
+    /// migration and window jumps.
+    fn tiny_calendar() -> CalendarQueue<u64> {
+        CalendarQueue::with_params(4, 8)
+    }
+
+    #[test]
+    fn calendar_pops_in_key_order() {
+        let mut q = tiny_calendar();
+        // Same bucket, different buckets, overflow, equal times.
+        for (i, t) in [100u64, 3, 3, 50, 0, 7, 1000, 31, 32].iter().enumerate() {
+            q.insert(item(*t, i as u64));
+        }
+        let mut keys = Vec::new();
+        while let Some(s) = q.pop() {
+            keys.push(s.key());
+        }
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted);
+        assert_eq!(keys.len(), 9);
+    }
+
+    #[test]
+    fn calendar_handles_inserts_behind_the_cursor() {
+        let mut q = tiny_calendar();
+        q.insert(item(500, 0));
+        assert_eq!(q.pop().unwrap().seq, 0); // cursor now far along
+        q.insert(item(1, 1)); // behind the cursor: early heap
+        q.insert(item(600, 2));
+        assert_eq!(q.pop().unwrap().seq, 1, "past insert must pop first");
+        assert_eq!(q.pop().unwrap().seq, 2);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn calendar_peek_matches_pop_and_preserves_len() {
+        let mut q = tiny_calendar();
+        assert_eq!(q.peek(), None);
+        for (i, t) in [900u64, 4, 4, 200].iter().enumerate() {
+            q.insert(item(*t, i as u64));
+        }
+        while !q.is_empty() {
+            let before = q.len();
+            let peeked = q.peek().unwrap();
+            assert_eq!(q.len(), before, "peek must not consume");
+            assert_eq!(q.pop().unwrap().key(), peeked);
+        }
+    }
+
+    #[test]
+    fn calendar_clear_resets() {
+        let mut q = tiny_calendar();
+        for t in [1u64, 100, 10_000] {
+            q.insert(item(t, t));
+        }
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.pop(), None);
+        q.insert(item(2, 9));
+        assert_eq!(q.pop().unwrap().seq, 9, "queue must be reusable after clear");
+    }
+
+    /// Drives two backends through the same operation sequence and
+    /// checks the pop streams are identical.
+    fn differential(ops: &[Option<u64>], calendar: CalendarQueue<u64>) {
+        let mut heap = BinaryHeapFel::new();
+        let mut cal = calendar;
+        let mut seq = 0u64;
+        for op in ops {
+            match op {
+                Some(t) => {
+                    heap.insert(item(*t, seq));
+                    cal.insert(item(*t, seq));
+                    seq += 1;
+                }
+                None => {
+                    assert_eq!(heap.peek(), cal.peek(), "peek diverged");
+                    let a = heap.pop().map(|s| s.key());
+                    let b = cal.pop().map(|s| s.key());
+                    assert_eq!(a, b, "pop diverged");
+                }
+            }
+            assert_eq!(heap.len(), cal.len(), "len diverged");
+        }
+        // Drain both to the end.
+        loop {
+            let a = heap.pop().map(|s| s.key());
+            let b = cal.pop().map(|s| s.key());
+            assert_eq!(a, b, "drain diverged");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    proptest! {
+        /// Any interleaving of schedule/pop yields the identical pop
+        /// sequence from the binary-heap and calendar backends — with a
+        /// wheel tiny enough that wrap, overflow and jumps all happen.
+        #[test]
+        fn prop_backends_agree(
+            ops in proptest::collection::vec(
+                proptest::option::weighted(0.6, 0u64..10_000), 0..400),
+        ) {
+            differential(&ops, CalendarQueue::with_params(4, 8));
+        }
+
+        /// Same, with sub-bucket times (many events per bucket) and a
+        /// single-bucket wheel (everything overflows or collides).
+        #[test]
+        fn prop_backends_agree_degenerate(
+            ops in proptest::collection::vec(
+                proptest::option::weighted(0.6, 0u64..40), 0..200),
+        ) {
+            differential(&ops, CalendarQueue::with_params(16, 1));
+        }
+    }
+}

@@ -54,6 +54,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod fel;
 pub mod observe;
 pub mod random;
 pub mod replication;
@@ -63,6 +64,7 @@ pub mod trace;
 
 pub use engine::{Context, Model, RunOutcome, SimMetrics, Simulation};
 pub use event::EventQueue;
+pub use fel::{BinaryHeapFel, CalendarQueue, FelKind, FutureEventList, Scheduled};
 pub use observe::{
     ExperimentMetrics, ExperimentObserver, FanoutObserver, JsonlObserver, NoopObserver,
     ObserverHandle, ProgressObserver, ReplicationMetrics,

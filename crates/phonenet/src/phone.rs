@@ -1,4 +1,9 @@
-//! A single phone: identity, vulnerability, health and contact list.
+//! A single phone: identity, vulnerability and health.
+//!
+//! Contact lists live in [`Population`](crate::Population)'s shared CSR
+//! adjacency (one flat array for the whole population) rather than in a
+//! per-phone `Vec`, so the hot path never chases per-phone heap blocks;
+//! look contacts up with `Population::contacts`.
 
 use std::fmt;
 
@@ -47,12 +52,12 @@ pub enum Health {
 ///
 /// The phone also tracks provider-side response flags that affect it
 /// directly (patched-while-infected "silenced" state, blacklist,
-/// monitoring throttle).
+/// monitoring throttle). Its contact list is held by the population's CSR
+/// adjacency, not here.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Phone {
     id: PhoneId,
     health: Health,
-    contacts: Vec<PhoneId>,
     /// Number of infected MMS messages whose attachments this phone's user
     /// has been offered so far; drives the declining acceptance curve.
     infected_msgs_received: u32,
@@ -66,11 +71,10 @@ pub struct Phone {
 
 impl Phone {
     /// Creates a healthy phone.
-    pub fn new(id: PhoneId, vulnerable: bool, contacts: Vec<PhoneId>) -> Self {
+    pub fn new(id: PhoneId, vulnerable: bool) -> Self {
         Phone {
             id,
             health: if vulnerable { Health::Susceptible } else { Health::NotVulnerable },
-            contacts,
             infected_msgs_received: 0,
             silenced: false,
             blacklisted: false,
@@ -86,11 +90,6 @@ impl Phone {
     /// Current health.
     pub fn health(&self) -> Health {
         self.health
-    }
-
-    /// The contact list (reciprocal by construction of the population).
-    pub fn contacts(&self) -> &[PhoneId] {
-        &self.contacts
     }
 
     /// True when an accepted infected attachment would infect this phone.
@@ -178,7 +177,7 @@ mod tests {
     use super::*;
 
     fn phone(vulnerable: bool) -> Phone {
-        Phone::new(PhoneId(7), vulnerable, vec![PhoneId(1), PhoneId(2)])
+        Phone::new(PhoneId(7), vulnerable)
     }
 
     #[test]
@@ -188,7 +187,6 @@ mod tests {
         assert_eq!(p.health(), Health::Susceptible);
         assert!(p.is_susceptible());
         assert!(!p.is_infected());
-        assert_eq!(p.contacts(), &[PhoneId(1), PhoneId(2)]);
         assert_eq!(p.infected_msgs_received(), 0);
         let p = phone(false);
         assert_eq!(p.health(), Health::NotVulnerable);

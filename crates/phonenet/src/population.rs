@@ -14,9 +14,19 @@ use crate::phone::{Health, Phone, PhoneId};
 /// becomes a phone; a random subset of the requested size is designated
 /// vulnerable ("800 are randomly designated as susceptible"); contact
 /// lists are the graph's adjacency lists and therefore reciprocal.
+///
+/// Contact lists are stored in CSR (compressed sparse row) form — one flat
+/// `adjacency` array plus per-phone `offsets` — so phone `i`'s contacts are
+/// the contiguous slice `adjacency[offsets[i]..offsets[i + 1]]`. A contact
+/// lookup is two array reads and touches one shared allocation, instead of
+/// chasing a per-phone `Vec` on every send.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Population {
     phones: Vec<Phone>,
+    /// CSR row offsets into `adjacency`; length `phones.len() + 1`.
+    offsets: Vec<u32>,
+    /// All contact lists, concatenated in phone order.
+    adjacency: Vec<PhoneId>,
     infected_count: usize,
 }
 
@@ -44,17 +54,40 @@ impl Population {
         for &i in indices.iter().take(vulnerable_count) {
             vulnerable[i] = true;
         }
-        let phones = (0..n)
-            .map(|i| {
-                let contacts = graph
-                    .neighbors(mpvsim_topology::NodeId(i))
-                    .iter()
-                    .map(|node| PhoneId::from(node.index()))
-                    .collect();
-                Phone::new(PhoneId::from(i), vulnerable[i], contacts)
-            })
-            .collect();
-        Population { phones, infected_count: 0 }
+        let phones: Vec<Phone> =
+            (0..n).map(|i| Phone::new(PhoneId::from(i), vulnerable[i])).collect();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut adjacency = Vec::new();
+        offsets.push(0);
+        for i in 0..n {
+            let neighbors = graph.neighbors(mpvsim_topology::NodeId(i));
+            adjacency.extend(neighbors.iter().map(|node| PhoneId::from(node.index())));
+            offsets.push(u32::try_from(adjacency.len()).expect("contact count exceeds u32"));
+        }
+        Population { phones, offsets, adjacency, infected_count: 0 }
+    }
+
+    /// The contact list of `id` (reciprocal by construction): a contiguous
+    /// slice of the population's shared CSR adjacency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn contacts(&self, id: PhoneId) -> &[PhoneId] {
+        let start = self.offsets[id.index()] as usize;
+        let end = self.offsets[id.index() + 1] as usize;
+        &self.adjacency[start..end]
+    }
+
+    /// Number of contacts of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[inline]
+    pub fn degree(&self, id: PhoneId) -> usize {
+        (self.offsets[id.index() + 1] - self.offsets[id.index()]) as usize
     }
 
     /// Number of phones.
@@ -170,14 +203,10 @@ mod tests {
     #[test]
     fn contact_lists_are_reciprocal() {
         let pop = population(200, 0.8, 2);
-        for p in pop.iter() {
-            for &c in p.contacts() {
-                assert!(
-                    pop.phone(c).contacts().contains(&p.id()),
-                    "{} lists {} but not vice versa",
-                    p.id(),
-                    c
-                );
+        for id in pop.ids() {
+            assert_eq!(pop.degree(id), pop.contacts(id).len());
+            for &c in pop.contacts(id) {
+                assert!(pop.contacts(c).contains(&id), "{} lists {} but not vice versa", id, c);
             }
         }
     }

@@ -64,14 +64,14 @@ pub mod prelude {
     #[allow(deprecated)]
     pub use mpvsim_core::{run_experiment, run_experiment_adaptive};
     pub use mpvsim_core::{
-        run_scenario, run_scenario_with_metrics, AcceptanceModel, AdaptiveResult, BehaviorConfig,
-        Blacklist, BluetoothVector, ConfigError, DetectionAlgorithm, ExperimentPlan,
-        ExperimentResult, Immunization, MobilityConfig, Monitoring, PopulationConfig,
-        ResponseConfig, RolloutOrder, RunResult, ScenarioConfig, SendQuota, SignatureScan,
-        TargetingStrategy, UserEducation, VirusProfile,
+        run_scenario, run_scenario_with_metrics, run_scenario_with_metrics_fel, AcceptanceModel,
+        AdaptiveResult, BehaviorConfig, Blacklist, BluetoothVector, ConfigError,
+        DetectionAlgorithm, ExperimentPlan, ExperimentResult, Immunization, MobilityConfig,
+        Monitoring, PopulationConfig, ResponseConfig, RolloutOrder, RunResult, ScenarioConfig,
+        SendQuota, SignatureScan, TargetingStrategy, UserEducation, VirusProfile,
     };
     pub use mpvsim_des::{
-        DelaySpec, ExperimentMetrics, ExperimentObserver, JsonlObserver, NoopObserver,
+        DelaySpec, ExperimentMetrics, ExperimentObserver, FelKind, JsonlObserver, NoopObserver,
         ObserverHandle, ProgressObserver, ReplicationMetrics, SimDuration, SimTime,
     };
     pub use mpvsim_phonenet::{Health, PhoneId, Population};

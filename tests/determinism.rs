@@ -73,6 +73,59 @@ fn master_seed_changes_every_replication() {
 }
 
 #[test]
+fn figure_runs_are_fel_backend_invariant() {
+    // A whole figure workload — topology generation, replications,
+    // aggregation — must be byte-identical across future-event-list
+    // backends: the FEL is a pure performance knob.
+    use mpvsim::core::figures::{fig6_monitoring, FigureOptions};
+
+    let opts = |fel| FigureOptions {
+        reps: 2,
+        master_seed: 5,
+        threads: 2,
+        population: 60,
+        fel,
+        ..FigureOptions::default()
+    };
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+
+    let heap = fig6_monitoring(&opts(FelKind::BinaryHeap)).expect("valid");
+    for fel in
+        [FelKind::Calendar, FelKind::CalendarTuned { bucket_width_secs: 32, bucket_count: 64 }]
+    {
+        let cal = fig6_monitoring(&opts(fel)).expect("valid");
+        assert_eq!(heap.len(), cal.len());
+        for (h, c) in heap.iter().zip(&cal) {
+            assert_eq!(h.label, c.label);
+            assert_eq!(
+                bits(&h.result.aggregate.mean),
+                bits(&c.result.aggregate.mean),
+                "{fel:?} changed the mean curve of {}",
+                h.label
+            );
+            assert_eq!(
+                bits(&h.result.aggregate.ci95_half_width),
+                bits(&c.result.aggregate.ci95_half_width),
+                "{fel:?} changed the confidence band of {}",
+                h.label
+            );
+            assert_eq!(
+                h.result.final_infected.mean.to_bits(),
+                c.result.final_infected.mean.to_bits(),
+                "{fel:?} changed the final-infected summary of {}",
+                h.label
+            );
+            for (a, b) in h.result.runs.iter().zip(&c.result.runs) {
+                assert_eq!(bits(a.series.values()), bits(b.series.values()), "{fel:?}");
+                assert_eq!(bits(a.traffic.values()), bits(b.traffic.values()), "{fel:?}");
+                assert_eq!(a.stats, b.stats, "{fel:?}");
+                assert_eq!(a.final_infected, b.final_infected, "{fel:?}");
+            }
+        }
+    }
+}
+
+#[test]
 fn config_is_serializable_data() {
     // Scenario configurations are plain data; a round-trip through the
     // serde data model must preserve them so experiments can be archived

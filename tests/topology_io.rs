@@ -68,7 +68,8 @@ fn hand_written_topology_drives_a_scenario() {
     let mut rng = StdRng::seed_from_u64(1);
     let pop = Population::from_graph(&g, 1.0, &mut rng);
     assert_eq!(pop.len(), 4);
-    assert_eq!(pop.phone(PhoneId(1)).contacts().len(), 2);
+    assert_eq!(pop.contacts(PhoneId(1)).len(), 2);
+    assert_eq!(pop.degree(PhoneId(1)), 2);
 }
 
 #[test]
