@@ -1,40 +1,4 @@
-//! Runs the reproduction's ablation studies (sensitivity of the results
-//! to the design choices the paper leaves unstated). See
-//! `mpvsim_core::ablations` and DESIGN.md §5.
-use mpvsim_core::ablations as a;
-use mpvsim_core::figures::FigureOptions;
-
-type Study = fn(
-    &FigureOptions,
-) -> Result<Vec<mpvsim_core::figures::LabeledResult>, mpvsim_core::ConfigError>;
-
+//! Deprecated shim: forwards to `mpvsim ablations`.
 fn main() {
-    let opts = match mpvsim_cli::parse_options(std::env::args().skip(1))
-        .and_then(|cli| cli.figure_with_observer())
-    {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let studies: Vec<(&str, Study)> = vec![
-        ("Ablation — read-delay mean (Viruses 1 & 3)", a::ablation_read_delay as Study),
-        ("Ablation — detectability threshold (scan vs Virus 1)", a::ablation_detect_threshold),
-        ("Ablation — contact-graph family (Virus 1)", a::ablation_topology),
-        ("Ablation — Virus 2 quota-day alignment", a::ablation_day_alignment),
-        ("Ablation — acceptance factor (Virus 3)", a::ablation_acceptance_factor),
-        ("Ablation — Virus 4 semantics: rate-paced vs piggyback", a::ablation_virus4_semantics),
-    ];
-    for (title, run) in studies {
-        eprintln!("running {title} …");
-        match run(&opts) {
-            Ok(results) => print!("{}", mpvsim_cli::render_report(title, &results)),
-            Err(e) => {
-                eprintln!("{title}: {e}");
-                std::process::exit(1);
-            }
-        }
-        println!();
-    }
+    mpvsim_cli::commands::deprecated_shim("ablations");
 }

@@ -1,41 +1,4 @@
-//! Runs every figure and prose-claim experiment in sequence, printing
-//! each report. This is the one-shot regeneration of the paper's whole
-//! evaluation section.
-use mpvsim_core::figures as f;
-
-type Study = fn(&f::FigureOptions) -> Result<Vec<f::LabeledResult>, mpvsim_core::ConfigError>;
-
+//! Deprecated shim: forwards to `mpvsim all`.
 fn main() {
-    let opts = match mpvsim_cli::parse_options(std::env::args().skip(1))
-        .and_then(|cli| cli.figure_with_observer())
-    {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let figures: Vec<(&str, Study)> = vec![
-        ("Figure 1 — Baseline Infection Curves", f::fig1_baseline as Study),
-        ("Figure 2 — Virus Scan (Virus 1)", f::fig2_virus_scan),
-        ("Figure 3 — Detection Algorithm (Virus 2)", f::fig3_detection),
-        ("Figure 4 — User Education (all viruses)", f::fig4_education),
-        ("Figure 5 — Immunization (Virus 4)", f::fig5_immunization),
-        ("Figure 6 — Monitoring (Virus 3)", f::fig6_monitoring),
-        ("Figure 7 — Blacklisting (Virus 3)", f::fig7_blacklist),
-        ("§5.2 — Blacklist Matrix (Viruses 1/2/4)", f::blacklist_matrix),
-        ("§5.3 — Scaling Study", f::scaling_study),
-        ("§6 — Combined Mechanisms", f::combo_study),
-    ];
-    for (title, run) in figures {
-        eprintln!("running {title} …");
-        match run(&opts) {
-            Ok(results) => print!("{}", mpvsim_cli::render_report(title, &results)),
-            Err(e) => {
-                eprintln!("{title}: {e}");
-                std::process::exit(1);
-            }
-        }
-        println!();
-    }
+    mpvsim_cli::commands::deprecated_shim("all_figures");
 }

@@ -1,8 +1,4 @@
-//! Regenerates the §5.2 prose claims: blacklisting against the
-//! contact-list viruses (1, 2 and 4) at every threshold.
+//! Deprecated shim: forwards to `mpvsim study blacklist_matrix`.
 fn main() {
-    mpvsim_cli::figure_main(
-        "§5.2 — Blacklisting vs. Contact-List Viruses (prose claims)",
-        mpvsim_core::figures::blacklist_matrix,
-    );
+    mpvsim_cli::commands::deprecated_shim("blacklist_matrix");
 }

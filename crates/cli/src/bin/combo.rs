@@ -1,8 +1,4 @@
-//! Regenerates the §6 future-work study: combining monitoring with a
-//! signature scan against fast Virus 3.
+//! Deprecated shim: forwards to `mpvsim study combo`.
 fn main() {
-    mpvsim_cli::figure_main(
-        "§6 — Combined Mechanisms: Monitoring + Signature Scan (Virus 3)",
-        mpvsim_core::figures::combo_study,
-    );
+    mpvsim_cli::commands::deprecated_shim("combo");
 }

@@ -1,9 +1,4 @@
-//! Runs the §5.3 diminishing-returns sweep: each mechanism's headline
-//! knob on a fine grid, so the knee — where a stronger (more expensive)
-//! setting stops buying containment — is visible.
+//! Deprecated shim: forwards to `mpvsim study diminishing_returns`.
 fn main() {
-    mpvsim_cli::figure_main(
-        "§5.3 — Point of Diminishing Returns per Mechanism",
-        mpvsim_core::figures::diminishing_returns_study,
-    );
+    mpvsim_cli::commands::deprecated_shim("diminishing_returns");
 }

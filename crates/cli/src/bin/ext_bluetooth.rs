@@ -1,9 +1,4 @@
-//! Runs the §6 Bluetooth-vector extension study: a pure Bluetooth worm
-//! and a hybrid MMS+Bluetooth worm against the mechanisms that can (and
-//! cannot) touch proximity transfers.
+//! Deprecated shim: forwards to `mpvsim study ext_bluetooth`.
 fn main() {
-    mpvsim_cli::figure_main(
-        "§6 extension — Bluetooth propagation vector (random-waypoint mobility)",
-        mpvsim_core::figures::bluetooth_study,
-    );
+    mpvsim_cli::commands::deprecated_shim("ext_bluetooth");
 }

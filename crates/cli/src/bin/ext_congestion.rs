@@ -1,56 +1,4 @@
-//! Runs the gateway-congestion extension study: Virus 3 against finite
-//! MMS gateway capacity (the paper assumes infinite capacity), reporting
-//! both the infection outcome and the worst transit delay the gateway
-//! inflicted on its users.
-use mpvsim_core::figures::congestion_study;
-
+//! Deprecated shim: forwards to `mpvsim study ext_congestion`.
 fn main() {
-    let opts = match mpvsim_cli::parse_options(std::env::args().skip(1))
-        .and_then(|cli| cli.figure_with_observer())
-    {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    eprintln!("running gateway congestion study …");
-    match congestion_study(&opts) {
-        Ok(results) => {
-            println!("== Extension — Gateway Congestion (Virus 3 vs finite MMS capacity) ==\n");
-            println!(
-                "{:<28} {:>10} {:>10} {:>22}",
-                "capacity", "infected", "t½ (h)", "peak transit delay"
-            );
-            for r in &results {
-                let t_half = r
-                    .result
-                    .mean_time_to_reach(r.result.final_infected.mean / 2.0)
-                    .map(|t| format!("{t:.1}"))
-                    .unwrap_or_else(|| "-".to_owned());
-                let peak = r
-                    .result
-                    .runs
-                    .iter()
-                    .filter_map(|run| run.gateway_peak_delay)
-                    .max()
-                    .map(|d| d.to_string())
-                    .unwrap_or_else(|| "0 (infinite)".to_owned());
-                println!(
-                    "{:<28} {:>10.1} {:>10} {:>22}",
-                    r.label, r.result.final_infected.mean, t_half, peak
-                );
-            }
-            println!(
-                "\nThe virus outruns its own congestion: by the time its flood\n\
-                 saturates the gateway, the first-offer wave that does the real\n\
-                 damage has already been delivered — but every user of the network\n\
-                 is left staring at the transit delay in the last column."
-            );
-        }
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(1);
-        }
-    }
+    mpvsim_cli::commands::deprecated_shim("ext_congestion");
 }

@@ -1,54 +1,4 @@
-//! Runs the monitoring false-positive extension study: with legitimate
-//! traffic modelled, how low can the monitoring threshold go before it
-//! starts flagging innocent users — and what does each setting buy in
-//! containment of Virus 3?
-use mpvsim_core::figures::false_positive_study;
-
+//! Deprecated shim: forwards to `mpvsim study ext_false_positives`.
 fn main() {
-    let opts = match mpvsim_cli::parse_options(std::env::args().skip(1))
-        .and_then(|cli| cli.figure_with_observer())
-    {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    eprintln!("running monitoring false-positive study …");
-    match false_positive_study(&opts) {
-        Ok(results) => {
-            println!(
-                "== Extension — Monitoring False Positives (Virus 3 + legitimate traffic) ==\n"
-            );
-            println!(
-                "{:<16} {:>10} {:>12} {:>14} {:>16}",
-                "threshold", "infected", "throttled", "false pos.", "FP per phone-day"
-            );
-            for r in &results {
-                let reps = r.result.runs.len() as f64;
-                let throttled: u64 = r.result.runs.iter().map(|x| x.stats.throttled_phones).sum();
-                let fp: u64 = r.result.runs.iter().map(|x| x.stats.false_positive_throttles).sum();
-                let population = opts.population as f64;
-                let days = 25.0 / 24.0;
-                println!(
-                    "{:<16} {:>10.1} {:>12.1} {:>14.1} {:>16.4}",
-                    r.label,
-                    r.result.final_infected.mean,
-                    throttled as f64 / reps,
-                    fp as f64 / reps,
-                    fp as f64 / reps / (population * days),
-                );
-            }
-            println!(
-                "\nLower thresholds contain the virus harder but flag more innocent\n\
-                 users — the provider picks the operating point (the paper raises\n\
-                 the trade-off for blacklisting but could not quantify it without\n\
-                 legitimate traffic in the model)."
-            );
-        }
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(1);
-        }
-    }
+    mpvsim_cli::commands::deprecated_shim("ext_false_positives");
 }

@@ -1,8 +1,4 @@
-//! Runs the patch-rollout-order extension study: uniform (the paper's
-//! semantics) versus hubs-first patch distribution.
+//! Deprecated shim: forwards to `mpvsim study ext_rollout_order`.
 fn main() {
-    mpvsim_cli::figure_main(
-        "Extension — Patch Rollout Order: Uniform vs Hubs-First",
-        mpvsim_core::figures::rollout_order_study,
-    );
+    mpvsim_cli::commands::deprecated_shim("ext_rollout_order");
 }

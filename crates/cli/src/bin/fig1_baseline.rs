@@ -1,8 +1,4 @@
-//! Regenerates Figure 1: baseline infection curves for all four viruses,
-//! no response mechanisms.
+//! Deprecated shim: forwards to `mpvsim study fig1_baseline`.
 fn main() {
-    mpvsim_cli::figure_main(
-        "Figure 1 — Baseline Infection Curves without Response Mechanisms",
-        mpvsim_core::figures::fig1_baseline,
-    );
+    mpvsim_cli::commands::deprecated_shim("fig1_baseline");
 }

@@ -1,8 +1,4 @@
-//! Regenerates Figure 2: gateway virus scan vs. activation delay
-//! (Virus 1).
+//! Deprecated shim: forwards to `mpvsim study fig2_virus_scan`.
 fn main() {
-    mpvsim_cli::figure_main(
-        "Figure 2 — Virus Scan: Varying the Activation Time Delay (Virus 1)",
-        mpvsim_core::figures::fig2_virus_scan,
-    );
+    mpvsim_cli::commands::deprecated_shim("fig2_virus_scan");
 }

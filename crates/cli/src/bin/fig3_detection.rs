@@ -1,8 +1,4 @@
-//! Regenerates Figure 3: gateway detection algorithm vs. accuracy
-//! (Virus 2).
+//! Deprecated shim: forwards to `mpvsim study fig3_detection`.
 fn main() {
-    mpvsim_cli::figure_main(
-        "Figure 3 — Virus Detection Algorithm: Varying Detection Accuracy (Virus 2)",
-        mpvsim_core::figures::fig3_detection,
-    );
+    mpvsim_cli::commands::deprecated_shim("fig3_detection");
 }

@@ -1,7 +1,4 @@
-//! Regenerates Figure 4: phone user education for all four viruses.
+//! Deprecated shim: forwards to `mpvsim study fig4_education`.
 fn main() {
-    mpvsim_cli::figure_main(
-        "Figure 4 — Phone User Education: Effective for All Viruses",
-        mpvsim_core::figures::fig4_education,
-    );
+    mpvsim_cli::commands::deprecated_shim("fig4_education");
 }

@@ -1,8 +1,4 @@
-//! Regenerates Figure 5: immunization patches vs. development/rollout
-//! times (Virus 4).
+//! Deprecated shim: forwards to `mpvsim study fig5_immunization`.
 fn main() {
-    mpvsim_cli::figure_main(
-        "Figure 5 — Immunization Using Patches: Varying the Deployment Times (Virus 4)",
-        mpvsim_core::figures::fig5_immunization,
-    );
+    mpvsim_cli::commands::deprecated_shim("fig5_immunization");
 }

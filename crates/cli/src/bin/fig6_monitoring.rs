@@ -1,7 +1,4 @@
-//! Regenerates Figure 6: monitoring with forced waits (Virus 3).
+//! Deprecated shim: forwards to `mpvsim study fig6_monitoring`.
 fn main() {
-    mpvsim_cli::figure_main(
-        "Figure 6 — Monitoring: Varying the Wait Time for Suspicious Phones (Virus 3)",
-        mpvsim_core::figures::fig6_monitoring,
-    );
+    mpvsim_cli::commands::deprecated_shim("fig6_monitoring");
 }

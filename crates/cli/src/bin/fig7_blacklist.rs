@@ -1,7 +1,4 @@
-//! Regenerates Figure 7: blacklisting thresholds (Virus 3).
+//! Deprecated shim: forwards to `mpvsim study fig7_blacklist`.
 fn main() {
-    mpvsim_cli::figure_main(
-        "Figure 7 — Blacklisting: Varying the Activation Threshold (Virus 3)",
-        mpvsim_core::figures::fig7_blacklist,
-    );
+    mpvsim_cli::commands::deprecated_shim("fig7_blacklist");
 }

@@ -1,57 +1,4 @@
-//! Prints the paper's §5.3 synthesis: the mechanism-vs-virus
-//! effectiveness matrix (final infections as a percentage of each
-//! virus's baseline).
-use mpvsim_core::figures::effectiveness_matrix;
-
+//! Deprecated shim: forwards to `mpvsim study matrix`.
 fn main() {
-    let opts = match mpvsim_cli::parse_options(std::env::args().skip(1))
-        .and_then(|cli| cli.figure_with_observer())
-    {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    eprintln!("running the 4-virus × 6-mechanism effectiveness matrix …");
-    match effectiveness_matrix(&opts) {
-        Ok(results) => {
-            let get = |label: String| -> f64 {
-                results
-                    .iter()
-                    .find(|r| r.label == label)
-                    .map(|r| r.result.final_infected.mean)
-                    .unwrap_or(f64::NAN)
-            };
-            let mechanisms =
-                ["scan", "detection", "education", "immunization", "monitoring", "blacklist"];
-            println!("== §5.3 — Effectiveness Matrix (final infections, % of baseline) ==\n");
-            print!("{:<10} {:>10}", "virus", "baseline");
-            for m in mechanisms {
-                print!(" {m:>13}");
-            }
-            println!();
-            for virus in ["Virus 1", "Virus 2", "Virus 3", "Virus 4"] {
-                let base = get(format!("{virus} | baseline"));
-                print!("{virus:<10} {base:>10.1}");
-                for m in mechanisms {
-                    let v = get(format!("{virus} | {m}"));
-                    print!(" {:>12.0}%", 100.0 * v / base);
-                }
-                println!();
-            }
-            println!(
-                "\nReading: small numbers = the mechanism contains that virus.\n\
-                 The paper's conclusion is the *pattern*: reception/infection-point\n\
-                 mechanisms (scan, detection, education, immunization) beat the\n\
-                 self-throttled viruses 1/2/4 but are too slow for Virus 3, while\n\
-                 the dissemination-point mechanisms (monitoring, blacklisting)\n\
-                 catch exactly the aggressive Virus 3."
-            );
-        }
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(1);
-        }
-    }
+    mpvsim_cli::commands::deprecated_shim("matrix");
 }

@@ -1,0 +1,5 @@
+//! The unified simulator CLI: `mpvsim <command>`; see
+//! [`mpvsim_cli::commands`] for the dispatch table.
+fn main() {
+    mpvsim_cli::commands::main();
+}

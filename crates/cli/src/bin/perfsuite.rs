@@ -1,410 +1,4 @@
-//! Performance suite: runs the paper's figure workloads under each
-//! future-event-list backend and writes one `BENCH_<date>.json`
-//! trajectory point (events/sec, wall time, peak pending events per
-//! figure), so perf regressions show up as a broken series of committed
-//! baselines rather than as anecdotes.
-//!
-//! ```text
-//! cargo run --release -p mpvsim-cli --bin perfsuite -- --quick
-//! cargo run --release -p mpvsim-cli --bin perfsuite -- --out BENCH_2026-08-06.json
-//! ```
-
-use std::fmt::Write as _;
-use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
-
-use mpvsim_core::figures::{self, FigureOptions, LabeledResult};
-use mpvsim_core::ConfigError;
-use mpvsim_des::{ExperimentObserver, FelKind, ObserverHandle, ReplicationMetrics};
-
-/// One figure workload: its report name and the figure function.
-type Workload = fn(&FigureOptions) -> Result<Vec<LabeledResult>, ConfigError>;
-
-/// The benchmarked workloads — the seven figures of the paper's
-/// evaluation section, exactly as the figure binaries run them.
-const WORKLOADS: &[(&str, Workload)] = &[
-    ("fig1_baseline", figures::fig1_baseline),
-    ("fig2_virus_scan", figures::fig2_virus_scan),
-    ("fig3_detection", figures::fig3_detection),
-    ("fig4_education", figures::fig4_education),
-    ("fig5_immunization", figures::fig5_immunization),
-    ("fig6_monitoring", figures::fig6_monitoring),
-    ("fig7_blacklist", figures::fig7_blacklist),
-];
-
-/// Both backends every workload runs on, heap first so the comparison
-/// below reads "calendar vs heap".
-const FELS: [FelKind; 2] = [FelKind::BinaryHeap, FelKind::Calendar];
-
-const USAGE: &str = "\
-usage: perfsuite [--quick] [--out PATH] [--figure NAME]... [--reps N] [--seed S] [--threads T] [--population P]
-  --quick              reduced workload for CI smoke runs (2 reps, population 250)
-  --out PATH           output path (default BENCH_<utc-date>.json)
-  --figure NAME        run only this workload (repeatable; e.g. fig1_baseline)
-  --reps N             replications per scenario (default 10)
-  --seed S             master seed (default 2007)
-  --threads T          worker threads; 0 = auto-detect (default 4)
-  --population P       population size (default 1000)
-";
-
-/// Parsed command line.
-struct SuiteOptions {
-    figure: FigureOptions,
-    out: Option<PathBuf>,
-    only: Vec<String>,
-    quick: bool,
-}
-
-fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String> {
-    let mut opts = FigureOptions::default();
-    let mut out = None;
-    let mut only = Vec::new();
-    let mut quick = false;
-    let mut args = args.peekable();
-    while let Some(flag) = args.next() {
-        match flag.as_str() {
-            "--quick" => quick = true,
-            "--out" => {
-                let v = args.next().ok_or_else(|| format!("--out needs a path\n{USAGE}"))?;
-                out = Some(PathBuf::from(v));
-            }
-            "--figure" => {
-                let v = args.next().ok_or_else(|| format!("--figure needs a name\n{USAGE}"))?;
-                if !WORKLOADS.iter().any(|(name, _)| *name == v) {
-                    let known: Vec<&str> = WORKLOADS.iter().map(|(n, _)| *n).collect();
-                    return Err(format!("unknown figure {v:?}; known: {known:?}\n{USAGE}"));
-                }
-                only.push(v);
-            }
-            "--reps" | "--seed" | "--threads" | "--population" => {
-                let v = args.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
-                let parsed: u64 = v
-                    .parse()
-                    .map_err(|_| format!("{flag} value {v:?} is not a number\n{USAGE}"))?;
-                match flag.as_str() {
-                    "--reps" => opts.reps = parsed,
-                    "--seed" => opts.master_seed = parsed,
-                    "--threads" => {
-                        opts.threads = if parsed == 0 {
-                            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-                        } else {
-                            parsed as usize
-                        };
-                    }
-                    "--population" => opts.population = parsed as usize,
-                    _ => unreachable!(),
-                }
-            }
-            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
-        }
-    }
-    if quick {
-        opts.reps = 2;
-        opts.population = 250;
-    }
-    if opts.reps == 0 || opts.population == 0 {
-        return Err(format!("reps and population must be positive\n{USAGE}"));
-    }
-    Ok(SuiteOptions { figure: opts, out, only, quick })
-}
-
-/// Observer that accumulates engine counters across one workload run:
-/// total events processed and the worst pending-event high-water mark
-/// any replication reached.
-#[derive(Default)]
-struct MetricsCollector {
-    events: AtomicU64,
-    peak_pending: AtomicUsize,
-    reps: AtomicU64,
-}
-
-impl ExperimentObserver for MetricsCollector {
-    fn on_replication_finish(&self, m: &ReplicationMetrics) {
-        self.events.fetch_add(m.sim.events_processed, Ordering::Relaxed);
-        self.peak_pending.fetch_max(m.sim.peak_pending_events, Ordering::Relaxed);
-        self.reps.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
-/// The UTC date (`YYYY-MM-DD`) of a unix timestamp, via the standard
-/// civil-from-days conversion — enough calendar math to name a file
-/// without pulling in a date crate.
-fn utc_date(secs_since_epoch: u64) -> String {
-    let days = (secs_since_epoch / 86_400) as i64;
-    let z = days + 719_468;
-    let era = z.div_euclid(146_097);
-    let doe = z.rem_euclid(146_097);
-    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
-    let y = yoe + era * 400;
-    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
-    let mp = (5 * doy + 2) / 153;
-    let d = doy - (153 * mp + 2) / 5 + 1;
-    let m = if mp < 10 { mp + 3 } else { mp - 9 };
-    let y = if m <= 2 { y + 1 } else { y };
-    format!("{y:04}-{m:02}-{d:02}")
-}
-
-/// One (figure, backend) measurement.
-struct Measurement {
-    figure: &'static str,
-    fel: FelKind,
-    curves: usize,
-    reps: u64,
-    wall_secs: f64,
-    events_processed: u64,
-    events_per_sec: f64,
-    peak_pending_events: usize,
-}
-
-fn run_workload(
-    name: &'static str,
-    workload: Workload,
-    base: &FigureOptions,
-    fel: FelKind,
-) -> Result<Measurement, String> {
-    let collector = Arc::new(MetricsCollector::default());
-    let opts = FigureOptions {
-        observer: ObserverHandle::from_arc(collector.clone()),
-        fel,
-        ..base.clone()
-    };
-    let started = Instant::now();
-    let results = workload(&opts).map_err(|e| format!("{name} [{}]: {e}", fel.label()))?;
-    let wall_secs = started.elapsed().as_secs_f64();
-    let events = collector.events.load(Ordering::Relaxed);
-    Ok(Measurement {
-        figure: name,
-        fel,
-        curves: results.len(),
-        reps: collector.reps.load(Ordering::Relaxed),
-        wall_secs,
-        events_processed: events,
-        events_per_sec: if wall_secs > 0.0 { events as f64 / wall_secs } else { 0.0 },
-        peak_pending_events: collector.peak_pending.load(Ordering::Relaxed),
-    })
-}
-
-fn report(suite: &SuiteOptions, measurements: &[Measurement]) -> serde_json::Value {
-    let rows: Vec<serde_json::Value> = measurements
-        .iter()
-        .map(|m| {
-            serde_json::json!({
-                "figure": m.figure,
-                "fel": m.fel.label(),
-                "curves": m.curves,
-                "reps_run": m.reps,
-                "wall_secs": m.wall_secs,
-                "events_processed": m.events_processed,
-                "events_per_sec": m.events_per_sec,
-                "peak_pending_events": m.peak_pending_events,
-            })
-        })
-        .collect();
-
-    // Per-figure calendar-vs-heap throughput ratio, pairing on the name.
-    let comparison: Vec<serde_json::Value> = measurements
-        .iter()
-        .filter(|m| m.fel == FelKind::BinaryHeap)
-        .filter_map(|heap| {
-            let cal = measurements
-                .iter()
-                .find(|m| m.figure == heap.figure && m.fel == FelKind::Calendar)?;
-            let speedup = if heap.events_per_sec > 0.0 {
-                cal.events_per_sec / heap.events_per_sec
-            } else {
-                0.0
-            };
-            Some(serde_json::json!({
-                "figure": heap.figure,
-                "events_per_sec_heap": heap.events_per_sec,
-                "events_per_sec_calendar": cal.events_per_sec,
-                "speedup_calendar_vs_heap": speedup,
-            }))
-        })
-        .collect();
-
-    serde_json::json!({
-        "schema": "mpvsim-perfsuite/1",
-        "quick": suite.quick,
-        "reps": suite.figure.reps,
-        "master_seed": suite.figure.master_seed,
-        "threads": suite.figure.threads,
-        "population": suite.figure.population,
-        "figures": rows,
-        "comparison": comparison,
-    })
-}
-
-fn render_table(measurements: &[Measurement]) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:<18} {:<12} {:>10} {:>12} {:>12} {:>10}",
-        "figure", "fel", "wall s", "events", "events/s", "peak pend"
-    );
-    for m in measurements {
-        let _ = writeln!(
-            out,
-            "{:<18} {:<12} {:>10.2} {:>12} {:>12.0} {:>10}",
-            m.figure,
-            m.fel.label(),
-            m.wall_secs,
-            m.events_processed,
-            m.events_per_sec,
-            m.peak_pending_events
-        );
-    }
-    out
-}
-
+//! Deprecated shim: forwards to `mpvsim perfsuite`.
 fn main() {
-    let suite = match parse_args(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let selected: Vec<&(&'static str, Workload)> = WORKLOADS
-        .iter()
-        .filter(|(name, _)| suite.only.is_empty() || suite.only.iter().any(|o| o == name))
-        .collect();
-    eprintln!(
-        "perfsuite: {} figures x {} backends, {} reps, population {}, seed {}, {} threads",
-        selected.len(),
-        FELS.len(),
-        suite.figure.reps,
-        suite.figure.population,
-        suite.figure.master_seed,
-        suite.figure.threads,
-    );
-
-    let mut measurements = Vec::new();
-    for (name, workload) in selected {
-        for fel in FELS {
-            eprintln!("running {name} [{}]...", fel.label());
-            match run_workload(name, *workload, &suite.figure, fel) {
-                Ok(m) => {
-                    eprintln!(
-                        "  {:.2} s, {} events, {:.0} events/s, peak pending {}",
-                        m.wall_secs, m.events_processed, m.events_per_sec, m.peak_pending_events
-                    );
-                    measurements.push(m);
-                }
-                Err(e) => {
-                    eprintln!("{e}");
-                    std::process::exit(1);
-                }
-            }
-        }
-    }
-
-    print!("{}", render_table(&measurements));
-    let doc = report(&suite, &measurements);
-
-    let now = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.as_secs())
-        .unwrap_or(0);
-    let path =
-        suite.out.clone().unwrap_or_else(|| PathBuf::from(format!("BENCH_{}.json", utc_date(now))));
-    match std::fs::File::create(&path) {
-        Ok(file) => {
-            if let Err(e) = serde_json::to_writer_pretty(std::io::BufWriter::new(file), &doc) {
-                eprintln!("cannot serialize report: {e}");
-                std::process::exit(1);
-            }
-            eprintln!("wrote {}", path.display());
-        }
-        Err(e) => {
-            eprintln!("cannot create {}: {e}", path.display());
-            std::process::exit(1);
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn parse(args: &[&str]) -> Result<SuiteOptions, String> {
-        parse_args(args.iter().map(|s| s.to_string()))
-    }
-
-    #[test]
-    fn defaults() {
-        let o = parse(&[]).unwrap();
-        assert!(!o.quick);
-        assert!(o.out.is_none());
-        assert!(o.only.is_empty());
-        assert_eq!(o.figure.population, 1000);
-    }
-
-    #[test]
-    fn quick_shrinks_the_workload() {
-        let o = parse(&["--quick"]).unwrap();
-        assert_eq!(o.figure.reps, 2);
-        assert_eq!(o.figure.population, 250);
-    }
-
-    #[test]
-    fn figure_filter_validates_names() {
-        let o = parse(&["--figure", "fig1_baseline", "--figure", "fig6_monitoring"]).unwrap();
-        assert_eq!(o.only, vec!["fig1_baseline", "fig6_monitoring"]);
-        assert!(parse(&["--figure", "fig99_nope"]).is_err());
-    }
-
-    #[test]
-    fn rejects_unknown_flags_and_zero_values() {
-        assert!(parse(&["--bogus"]).is_err());
-        assert!(parse(&["--reps", "0"]).is_err());
-        assert!(parse(&["--population", "0"]).is_err());
-    }
-
-    #[test]
-    fn utc_date_known_values() {
-        assert_eq!(utc_date(0), "1970-01-01");
-        assert_eq!(utc_date(86_400), "1970-01-02");
-        // 2026-08-06 00:00:00 UTC.
-        assert_eq!(utc_date(1_785_974_400), "2026-08-06");
-        // Leap day.
-        assert_eq!(utc_date(951_782_400), "2000-02-29");
-    }
-
-    #[test]
-    fn measurements_produce_comparison_rows() {
-        // Tiny run, one figure, both backends: the report must pair them.
-        let base = FigureOptions {
-            reps: 1,
-            master_seed: 3,
-            threads: 1,
-            population: 30,
-            ..FigureOptions::default()
-        };
-        let mut ms = Vec::new();
-        for fel in FELS {
-            ms.push(run_workload("fig7_blacklist", figures::fig7_blacklist, &base, fel).unwrap());
-        }
-        assert_eq!(ms[0].curves, 5);
-        assert!(ms[0].events_processed > 0);
-        assert!(ms[0].peak_pending_events > 0);
-        assert_eq!(ms[0].events_processed, ms[1].events_processed, "bit-identical trajectories");
-        let suite = SuiteOptions {
-            figure: base,
-            out: None,
-            only: vec!["fig7_blacklist".to_owned()],
-            quick: false,
-        };
-        let doc = report(&suite, &ms);
-        assert_eq!(doc["figures"].as_array().unwrap().len(), 2);
-        let cmp = doc["comparison"].as_array().unwrap();
-        assert_eq!(cmp.len(), 1);
-        assert_eq!(cmp[0]["figure"], "fig7_blacklist");
-        assert!(cmp[0]["speedup_calendar_vs_heap"].is_number());
-        let table = render_table(&ms);
-        assert!(table.contains("fig7_blacklist"));
-        assert!(table.contains("binary-heap"));
-    }
+    mpvsim_cli::commands::deprecated_shim("perfsuite");
 }

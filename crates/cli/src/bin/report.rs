@@ -1,53 +1,4 @@
-//! Verifies every encoded paper claim against a fresh run and prints a
-//! PASS/FAIL scorecard. Exit code 1 if any claim fails.
-//!
-//! ```text
-//! cargo run --release -p mpvsim-cli --bin report -- --reps 5
-//! ```
-
+//! Deprecated shim: forwards to `mpvsim report`.
 fn main() {
-    let opts = match mpvsim_cli::parse_options(std::env::args().skip(1))
-        .and_then(|cli| cli.figure_with_observer())
-    {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    eprintln!(
-        "verifying paper claims: {} replications, seed {}, population {} …",
-        opts.reps, opts.master_seed, opts.population
-    );
-    match mpvsim_core::claims::verify_all(&opts) {
-        Ok(verdicts) => {
-            let mut failures = 0;
-            println!("{:<18} {:<6} claim / measured", "id", "result");
-            for v in &verdicts {
-                println!(
-                    "{:<18} {:<6} {}\n{:<25} {}",
-                    v.id,
-                    if v.pass { "PASS" } else { "FAIL" },
-                    v.claim,
-                    "",
-                    v.measured
-                );
-                if !v.pass {
-                    failures += 1;
-                }
-            }
-            println!(
-                "\n{} of {} claims held in this run",
-                verdicts.len() - failures,
-                verdicts.len()
-            );
-            if failures > 0 {
-                std::process::exit(1);
-            }
-        }
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(1);
-        }
-    }
+    mpvsim_cli::commands::deprecated_shim("report");
 }

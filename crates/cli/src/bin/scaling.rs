@@ -1,8 +1,4 @@
-//! Regenerates the §5.3 prose claim: results scale from 1000 to 2000
-//! phones.
+//! Deprecated shim: forwards to `mpvsim study scaling`.
 fn main() {
-    mpvsim_cli::figure_main(
-        "§5.3 — Population Scaling Study (1000 vs 2000 phones)",
-        mpvsim_core::figures::scaling_study,
-    );
+    mpvsim_cli::commands::deprecated_shim("scaling");
 }

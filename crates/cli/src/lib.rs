@@ -1,18 +1,26 @@
-//! # mpvsim-cli — figure-regeneration binaries
+//! # mpvsim-cli — the unified `mpvsim` binary
 //!
-//! One binary per figure / prose claim of the paper (see `src/bin/`), all
-//! sharing the argument parsing and report rendering in this library:
+//! One binary drives every figure, prose claim and extension study via
+//! the [`mpvsim_core::studies`] registry, plus the claim scorecard, the
+//! ablations, the perf suite and the resumable sweep orchestrator:
 //!
 //! ```text
-//! cargo run --release -p mpvsim-cli --bin fig1_baseline -- --reps 10 --seed 2007
+//! cargo run --release -p mpvsim-cli --bin mpvsim -- list
+//! cargo run --release -p mpvsim-cli --bin mpvsim -- study fig1_baseline --reps 10
+//! cargo run --release -p mpvsim-cli --bin mpvsim -- sweep run --dir out --quick
 //! ```
 //!
-//! Every binary prints, for each curve of its figure: the replication
-//! summary, an ASCII chart of the mean infection trajectories, and a CSV
-//! block for external plotting.
+//! Study runs print, for each curve: the replication summary, an ASCII
+//! chart of the mean infection trajectories, and a CSV block for external
+//! plotting. The historical per-figure binaries (`fig1_baseline`, ...)
+//! still exist as deprecated shims that forward to the dispatcher in
+//! [`commands`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod commands;
+pub mod perfsuite;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -243,54 +251,6 @@ pub fn render_report(title: &str, results: &[LabeledResult]) -> String {
     let _ = writeln!(out, "--- CSV ---");
     out.push_str(&to_csv(&refs));
     out
-}
-
-/// The shared `main` body: parse args, run the figure, print the report.
-///
-/// # Panics
-///
-/// Exits the process with an error message on bad arguments or an invalid
-/// scenario (both indicate a bug or misuse, not an I/O condition).
-pub fn figure_main<F>(title: &str, figure: F)
-where
-    F: FnOnce(&FigureOptions) -> Result<Vec<LabeledResult>, mpvsim_core::ConfigError>,
-{
-    let cli = match parse_options(std::env::args().skip(1)) {
-        Ok(o) => o,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let opts = match cli.figure_with_observer() {
-        Ok(o) => o,
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(1);
-        }
-    };
-    eprintln!(
-        "running {title}: {} replications, seed {}, {} threads, population {}",
-        opts.reps, opts.master_seed, opts.threads, opts.population
-    );
-    match figure(&opts) {
-        Ok(results) => {
-            print!("{}", render_report(title, &results));
-            if let Some(path) = cli.json_out {
-                match write_json_report(&path, title, &opts, &results) {
-                    Ok(()) => eprintln!("archived results to {}", path.display()),
-                    Err(e) => {
-                        eprintln!("{e}");
-                        std::process::exit(1);
-                    }
-                }
-            }
-        }
-        Err(e) => {
-            eprintln!("{e}");
-            std::process::exit(1);
-        }
-    }
 }
 
 #[cfg(test)]

@@ -10,7 +10,8 @@
 use std::fmt;
 
 use crate::config::ConfigError;
-use crate::figures::{self, FigureOptions, LabeledResult};
+use crate::figures::{FigureOptions, LabeledResult};
+use crate::studies::{self, StudyId};
 
 /// The verdict for one paper claim.
 #[derive(Debug, Clone)]
@@ -375,32 +376,49 @@ pub fn check_matrix(results: &[LabeledResult]) -> ClaimVerdict {
     }
 }
 
-/// Runs every figure at the given scale and checks every claim.
+/// A study's claim-check function: results feed in, verdicts out.
+pub type ClaimCheckFn = fn(&[LabeledResult], &FigureOptions) -> Vec<ClaimVerdict>;
+
+/// The claim checks a study's results feed, if any. Registry studies
+/// without encoded claims (currently only the diminishing-returns knob
+/// sweep, which is exploratory) return `None` and are skipped by
+/// [`verify_all`].
+pub fn checks_for(study: StudyId) -> Option<ClaimCheckFn> {
+    match study {
+        StudyId::Fig1Baseline => Some(|r, opts| {
+            vec![check_fig1_plateau(r, 0.8 * opts.population as f64), check_fig1_speed_order(r)]
+        }),
+        StudyId::Fig2VirusScan => Some(|r, _| vec![check_fig2(r)]),
+        StudyId::Fig3Detection => Some(|r, _| vec![check_fig3(r)]),
+        StudyId::Fig4Education => Some(|r, _| vec![check_fig4(r)]),
+        StudyId::Fig5Immunization => Some(|r, _| vec![check_fig5(r)]),
+        StudyId::Fig6Monitoring => Some(|r, _| vec![check_fig6(r)]),
+        StudyId::Fig7Blacklist => Some(|r, _| vec![check_fig7(r)]),
+        StudyId::BlacklistMatrix => Some(|r, _| vec![check_blacklist_v2(r)]),
+        StudyId::Scaling => Some(|r, opts| vec![check_scaling(r, opts.population)]),
+        StudyId::Combo => Some(|r, _| vec![check_combo(r)]),
+        StudyId::ExtBluetooth => Some(|r, _| vec![check_bluetooth(r)]),
+        StudyId::ExtFalsePositives => Some(|r, _| vec![check_false_positives(r)]),
+        StudyId::ExtRolloutOrder => Some(|r, _| vec![check_rollout_order(r)]),
+        StudyId::DiminishingReturns => None,
+        StudyId::ExtCongestion => Some(|r, _| vec![check_congestion(r)]),
+        StudyId::Matrix => Some(|r, _| vec![check_matrix(r)]),
+    }
+}
+
+/// Runs every registry study with encoded claims at the given scale and
+/// checks them, in registry order.
 ///
 /// # Errors
 ///
 /// Propagates [`ConfigError`] from the underlying experiments.
 pub fn verify_all(opts: &FigureOptions) -> Result<Vec<ClaimVerdict>, ConfigError> {
-    let fig1 = figures::fig1_baseline(opts)?;
-    let vulnerable = 0.8 * opts.population as f64;
-    let mut out = vec![
-        check_fig1_plateau(&fig1, vulnerable),
-        check_fig1_speed_order(&fig1),
-        check_fig2(&figures::fig2_virus_scan(opts)?),
-        check_fig3(&figures::fig3_detection(opts)?),
-        check_fig4(&figures::fig4_education(opts)?),
-        check_fig5(&figures::fig5_immunization(opts)?),
-        check_fig6(&figures::fig6_monitoring(opts)?),
-        check_fig7(&figures::fig7_blacklist(opts)?),
-        check_blacklist_v2(&figures::blacklist_matrix(opts)?),
-        check_scaling(&figures::scaling_study(opts)?, opts.population),
-        check_combo(&figures::combo_study(opts)?),
-    ];
-    out.push(check_bluetooth(&figures::bluetooth_study(opts)?));
-    out.push(check_false_positives(&figures::false_positive_study(opts)?));
-    out.push(check_rollout_order(&figures::rollout_order_study(opts)?));
-    out.push(check_congestion(&figures::congestion_study(opts)?));
-    out.push(check_matrix(&figures::effectiveness_matrix(opts)?));
+    let mut out = Vec::new();
+    for info in studies::registry() {
+        let Some(check) = checks_for(info.id) else { continue };
+        let results = info.id.run(opts)?;
+        out.extend(check(&results, opts));
+    }
     Ok(out)
 }
 

@@ -1,7 +1,10 @@
 //! One experiment definition per figure (and per quantitative prose
-//! claim) of the paper's evaluation section. The CLI binaries and the
-//! benchmark harness both call into these, so the figure definitions live
-//! in exactly one place.
+//! claim) of the paper's evaluation section. Each study is **declarative
+//! first**: a `*_cells` function builds the labelled `(label, config)`
+//! cells, and the classic `figN(...)` entry points simply execute those
+//! cells with [`run_cells`]. The CLI binaries, the sweep orchestrator
+//! (see [`crate::sweep`]) and the benchmark harness all consume these
+//! definitions, so each figure lives in exactly one place.
 //!
 //! | id | paper artefact | function |
 //! |---|---|---|
@@ -15,6 +18,11 @@
 //! | TXT-BL | §5.2 blacklisting vs Viruses 1/2/4 | [`blacklist_matrix`] |
 //! | TXT-SCALE | §5.3 "results scale … to 2000 phones" | [`scaling_study`] |
 //! | EXT-COMBO | §6 combined mechanisms | [`combo_study`] |
+//!
+//! The stable-name registry over all of these lives in
+//! [`crate::studies`].
+
+use std::sync::Arc;
 
 use mpvsim_des::{FelKind, ObserverHandle, SimDuration};
 
@@ -23,7 +31,7 @@ use crate::response::{
     Blacklist, DetectionAlgorithm, Immunization, Monitoring, ResponseConfig, SignatureScan,
     UserEducation,
 };
-use crate::run::{ExperimentPlan, ExperimentResult};
+use crate::run::{ExperimentPlan, ExperimentResult, TopologyCache};
 use crate::virus::{BluetoothVector, VirusProfile};
 
 /// Common knobs for every figure experiment.
@@ -45,6 +53,10 @@ pub struct FigureOptions {
     /// Future-event-list backend every replication runs on; a pure
     /// performance knob that never affects the curves (see [`FelKind`]).
     pub fel: FelKind,
+    /// Shared topology cache; cells on the same `(GraphSpec, seed)`
+    /// network skip regeneration. A pure performance knob that never
+    /// affects the curves (see [`TopologyCache`]).
+    pub topology_cache: Option<Arc<TopologyCache>>,
 }
 
 impl Default for FigureOptions {
@@ -56,6 +68,7 @@ impl Default for FigureOptions {
             population: 1000,
             observer: ObserverHandle::noop(),
             fel: FelKind::default(),
+            topology_cache: None,
         }
     }
 }
@@ -68,12 +81,29 @@ impl FigureOptions {
 
     /// The [`ExperimentPlan`] these options describe.
     pub fn plan(&self) -> ExperimentPlan {
-        ExperimentPlan::new(self.reps)
+        let plan = ExperimentPlan::new(self.reps)
             .master_seed(self.master_seed)
             .threads(self.threads)
             .observer_handle(self.observer.clone())
-            .fel(self.fel)
+            .fel(self.fel);
+        match &self.topology_cache {
+            Some(cache) => plan.topology_cache(cache.clone()),
+            None => plan,
+        }
     }
+}
+
+/// One declarative cell of a study: a labelled scenario, not yet run.
+#[derive(Debug, Clone)]
+pub struct StudyCell {
+    /// Legend label, matching the paper's (e.g. "6-Hour Delay").
+    pub label: String,
+    /// The complete scenario this cell runs.
+    pub config: ScenarioConfig,
+}
+
+fn cell(label: impl Into<String>, config: ScenarioConfig) -> StudyCell {
+    StudyCell { label: label.into(), config }
 }
 
 /// One labelled curve of a figure.
@@ -85,18 +115,39 @@ pub struct LabeledResult {
     pub result: ExperimentResult,
 }
 
+/// Executes study cells in order with the replication plan described by
+/// `opts`. Every `figN` entry point is exactly
+/// `run_cells(&figN_cells(opts), opts)`.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation or failed
+/// replications.
+pub fn run_cells(
+    cells: &[StudyCell],
+    opts: &FigureOptions,
+) -> Result<Vec<LabeledResult>, ConfigError> {
+    cells
+        .iter()
+        .map(|c| Ok(LabeledResult { label: c.label.clone(), result: opts.plan().run(&c.config)? }))
+        .collect()
+}
+
 fn base_config(virus: VirusProfile, opts: &FigureOptions) -> ScenarioConfig {
     ScenarioConfig::baseline(virus)
         .with_population(PopulationConfig::paper_default(opts.population))
 }
 
-fn run_labeled(
-    label: impl Into<String>,
-    config: &ScenarioConfig,
-    opts: &FigureOptions,
-) -> Result<LabeledResult, ConfigError> {
-    let result = opts.plan().run(config)?;
-    Ok(LabeledResult { label: label.into(), result })
+/// **Figure 1** cells — baseline infection curves for all four viruses,
+/// no response mechanisms.
+pub fn fig1_baseline_cells(opts: &FigureOptions) -> Vec<StudyCell> {
+    VirusProfile::all_four()
+        .into_iter()
+        .map(|v| {
+            let label = v.name.clone();
+            cell(label, base_config(v, opts))
+        })
+        .collect()
 }
 
 /// **Figure 1** — baseline infection curves for all four viruses, no
@@ -106,14 +157,22 @@ fn run_labeled(
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn fig1_baseline(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    VirusProfile::all_four()
-        .into_iter()
-        .map(|v| {
-            let label = v.name.clone();
-            let config = base_config(v, opts);
-            run_labeled(label, &config, opts)
-        })
-        .collect()
+    run_cells(&fig1_baseline_cells(opts), opts)
+}
+
+/// **Figure 2** cells — gateway signature scan against Virus 1,
+/// activation delay 6 / 12 / 24 h after detectability (plus baseline).
+pub fn fig2_virus_scan_cells(opts: &FigureOptions) -> Vec<StudyCell> {
+    let mut out = vec![cell("Baseline", base_config(VirusProfile::virus1(), opts))];
+    for delay_h in [6u64, 12, 24] {
+        let config = base_config(VirusProfile::virus1(), opts).with_response(
+            ResponseConfig::none().with_signature_scan(SignatureScan {
+                activation_delay: SimDuration::from_hours(delay_h),
+            }),
+        );
+        out.push(cell(format!("{delay_h}-Hour Delay"), config));
+    }
+    out
 }
 
 /// **Figure 2** — gateway signature scan against Virus 1, activation
@@ -123,16 +182,20 @@ pub fn fig1_baseline(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigE
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn fig2_virus_scan(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let mut out = vec![run_labeled("Baseline", &base_config(VirusProfile::virus1(), opts), opts)?];
-    for delay_h in [6u64, 12, 24] {
-        let config = base_config(VirusProfile::virus1(), opts).with_response(
-            ResponseConfig::none().with_signature_scan(SignatureScan {
-                activation_delay: SimDuration::from_hours(delay_h),
-            }),
+    run_cells(&fig2_virus_scan_cells(opts), opts)
+}
+
+/// **Figure 3** cells — gateway detection algorithm against Virus 2 at
+/// accuracies 0.99 / 0.95 / 0.90 / 0.85 / 0.80 (plus baseline).
+pub fn fig3_detection_cells(opts: &FigureOptions) -> Vec<StudyCell> {
+    let mut out = vec![cell("Baseline", base_config(VirusProfile::virus2(), opts))];
+    for accuracy in [0.99, 0.95, 0.90, 0.85, 0.80] {
+        let config = base_config(VirusProfile::virus2(), opts).with_response(
+            ResponseConfig::none().with_detection(DetectionAlgorithm::with_accuracy(accuracy)),
         );
-        out.push(run_labeled(format!("{delay_h}-Hour Delay"), &config, opts)?);
+        out.push(cell(format!("{accuracy:.2} Accuracy"), config));
     }
-    Ok(out)
+    out
 }
 
 /// **Figure 3** — gateway detection algorithm against Virus 2 at
@@ -142,14 +205,24 @@ pub fn fig2_virus_scan(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Confi
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn fig3_detection(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let mut out = vec![run_labeled("Baseline", &base_config(VirusProfile::virus2(), opts), opts)?];
-    for accuracy in [0.99, 0.95, 0.90, 0.85, 0.80] {
-        let config = base_config(VirusProfile::virus2(), opts).with_response(
-            ResponseConfig::none().with_detection(DetectionAlgorithm::with_accuracy(accuracy)),
-        );
-        out.push(run_labeled(format!("{accuracy:.2} Accuracy"), &config, opts)?);
+    run_cells(&fig3_detection_cells(opts), opts)
+}
+
+/// **Figure 4** cells — user education: every virus's baseline (total
+/// acceptance 0.40) against acceptance scaled to ≈ 0.20 and ≈ 0.10.
+pub fn fig4_education_cells(opts: &FigureOptions) -> Vec<StudyCell> {
+    let mut out = Vec::new();
+    for v in VirusProfile::all_four() {
+        let name = v.name.clone();
+        out.push(cell(name.clone(), base_config(v.clone(), opts)));
+        for (scale, tag) in [(0.5, "User Ed 0.20"), (0.25, "User Ed 0.10")] {
+            let config = base_config(v.clone(), opts).with_response(
+                ResponseConfig::none().with_education(UserEducation { acceptance_scale: scale }),
+            );
+            out.push(cell(format!("{name} {tag}"), config));
+        }
     }
-    Ok(out)
+    out
 }
 
 /// **Figure 4** — user education: every virus's baseline (total
@@ -160,18 +233,25 @@ pub fn fig3_detection(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Config
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn fig4_education(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let mut out = Vec::new();
-    for v in VirusProfile::all_four() {
-        let name = v.name.clone();
-        out.push(run_labeled(name.clone(), &base_config(v.clone(), opts), opts)?);
-        for (scale, tag) in [(0.5, "User Ed 0.20"), (0.25, "User Ed 0.10")] {
-            let config = base_config(v.clone(), opts).with_response(
-                ResponseConfig::none().with_education(UserEducation { acceptance_scale: scale }),
+    run_cells(&fig4_education_cells(opts), opts)
+}
+
+/// **Figure 5** cells — immunization against Virus 4: patch development
+/// 24 or 48 h, rollout 1 / 6 / 24 h (plus baseline).
+pub fn fig5_immunization_cells(opts: &FigureOptions) -> Vec<StudyCell> {
+    let mut out = vec![cell("Baseline", base_config(VirusProfile::virus4(), opts))];
+    for dev_h in [24u64, 48] {
+        for rollout_h in [1u64, 6, 24] {
+            let config = base_config(VirusProfile::virus4(), opts).with_response(
+                ResponseConfig::none().with_immunization(Immunization::uniform(
+                    SimDuration::from_hours(dev_h),
+                    SimDuration::from_hours(rollout_h),
+                )),
             );
-            out.push(run_labeled(format!("{name} {tag}"), &config, opts)?);
+            out.push(cell(format!("Hours {dev_h}-{}", dev_h + rollout_h), config));
         }
     }
-    Ok(out)
+    out
 }
 
 /// **Figure 5** — immunization against Virus 4: patch development 24 or
@@ -182,19 +262,23 @@ pub fn fig4_education(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Config
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn fig5_immunization(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let mut out = vec![run_labeled("Baseline", &base_config(VirusProfile::virus4(), opts), opts)?];
-    for dev_h in [24u64, 48] {
-        for rollout_h in [1u64, 6, 24] {
-            let config = base_config(VirusProfile::virus4(), opts).with_response(
-                ResponseConfig::none().with_immunization(Immunization::uniform(
-                    SimDuration::from_hours(dev_h),
-                    SimDuration::from_hours(rollout_h),
-                )),
-            );
-            out.push(run_labeled(format!("Hours {dev_h}-{}", dev_h + rollout_h), &config, opts)?);
-        }
+    run_cells(&fig5_immunization_cells(opts), opts)
+}
+
+/// **Figure 6** cells — monitoring against Virus 3: forced waits of
+/// 15 / 30 / 60 minutes (plus baseline), observed over 25 hours.
+pub fn fig6_monitoring_cells(opts: &FigureOptions) -> Vec<StudyCell> {
+    let horizon = SimDuration::from_hours(25);
+    let mut out =
+        vec![cell("Baseline", base_config(VirusProfile::virus3(), opts).with_horizon(horizon))];
+    for wait_min in [15u64, 30, 60] {
+        let config = base_config(VirusProfile::virus3(), opts).with_horizon(horizon).with_response(
+            ResponseConfig::none()
+                .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(wait_min))),
+        );
+        out.push(cell(format!("{wait_min}-Minute Wait"), config));
     }
-    Ok(out)
+    out
 }
 
 /// **Figure 6** — monitoring against Virus 3: forced waits of 15 / 30 /
@@ -204,20 +288,22 @@ pub fn fig5_immunization(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Con
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn fig6_monitoring(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    run_cells(&fig6_monitoring_cells(opts), opts)
+}
+
+/// **Figure 7** cells — blacklisting against Virus 3: thresholds of
+/// 10 / 20 / 30 / 40 suspected messages (plus baseline), over 25 h.
+pub fn fig7_blacklist_cells(opts: &FigureOptions) -> Vec<StudyCell> {
     let horizon = SimDuration::from_hours(25);
-    let mut out = vec![run_labeled(
-        "Baseline",
-        &base_config(VirusProfile::virus3(), opts).with_horizon(horizon),
-        opts,
-    )?];
-    for wait_min in [15u64, 30, 60] {
-        let config = base_config(VirusProfile::virus3(), opts).with_horizon(horizon).with_response(
-            ResponseConfig::none()
-                .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(wait_min))),
-        );
-        out.push(run_labeled(format!("{wait_min}-Minute Wait"), &config, opts)?);
+    let mut out =
+        vec![cell("Baseline", base_config(VirusProfile::virus3(), opts).with_horizon(horizon))];
+    for threshold in [10u32, 20, 30, 40] {
+        let config = base_config(VirusProfile::virus3(), opts)
+            .with_horizon(horizon)
+            .with_response(ResponseConfig::none().with_blacklist(Blacklist { threshold }));
+        out.push(cell(format!("{threshold} Messages"), config));
     }
-    Ok(out)
+    out
 }
 
 /// **Figure 7** — blacklisting against Virus 3: thresholds of 10 / 20 /
@@ -227,19 +313,23 @@ pub fn fig6_monitoring(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Confi
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn fig7_blacklist(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let horizon = SimDuration::from_hours(25);
-    let mut out = vec![run_labeled(
-        "Baseline",
-        &base_config(VirusProfile::virus3(), opts).with_horizon(horizon),
-        opts,
-    )?];
-    for threshold in [10u32, 20, 30, 40] {
-        let config = base_config(VirusProfile::virus3(), opts)
-            .with_horizon(horizon)
-            .with_response(ResponseConfig::none().with_blacklist(Blacklist { threshold }));
-        out.push(run_labeled(format!("{threshold} Messages"), &config, opts)?);
+    run_cells(&fig7_blacklist_cells(opts), opts)
+}
+
+/// **§5.2 prose claim** cells — blacklisting against the contact-list
+/// viruses 1, 2 and 4 at thresholds 10 / 20 / 30 / 40, plus baselines.
+pub fn blacklist_matrix_cells(opts: &FigureOptions) -> Vec<StudyCell> {
+    let mut out = Vec::new();
+    for v in [VirusProfile::virus1(), VirusProfile::virus2(), VirusProfile::virus4()] {
+        let name = v.name.clone();
+        out.push(cell(format!("{name} Baseline"), base_config(v.clone(), opts)));
+        for threshold in [10u32, 20, 30, 40] {
+            let config = base_config(v.clone(), opts)
+                .with_response(ResponseConfig::none().with_blacklist(Blacklist { threshold }));
+            out.push(cell(format!("{name} Threshold {threshold}"), config));
+        }
     }
-    Ok(out)
+    out
 }
 
 /// **§5.2 prose claim** — blacklisting against the contact-list viruses:
@@ -252,17 +342,21 @@ pub fn fig7_blacklist(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Config
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn blacklist_matrix(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    run_cells(&blacklist_matrix_cells(opts), opts)
+}
+
+/// **§5.3 prose claim** cells — baselines for Viruses 1 and 3 at
+/// `opts.population` and at twice that.
+pub fn scaling_study_cells(opts: &FigureOptions) -> Vec<StudyCell> {
     let mut out = Vec::new();
-    for v in [VirusProfile::virus1(), VirusProfile::virus2(), VirusProfile::virus4()] {
-        let name = v.name.clone();
-        out.push(run_labeled(format!("{name} Baseline"), &base_config(v.clone(), opts), opts)?);
-        for threshold in [10u32, 20, 30, 40] {
-            let config = base_config(v.clone(), opts)
-                .with_response(ResponseConfig::none().with_blacklist(Blacklist { threshold }));
-            out.push(run_labeled(format!("{name} Threshold {threshold}"), &config, opts)?);
+    for v in [VirusProfile::virus1(), VirusProfile::virus3()] {
+        for size in [opts.population, 2 * opts.population] {
+            let name = v.name.clone();
+            let scaled_opts = FigureOptions { population: size, ..opts.clone() };
+            out.push(cell(format!("{name} n={size}"), base_config(v.clone(), &scaled_opts)));
         }
     }
-    Ok(out)
+    out
 }
 
 /// **§5.3 prose claim** — the results scale with population size (the
@@ -274,16 +368,33 @@ pub fn blacklist_matrix(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Conf
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn scaling_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let mut out = Vec::new();
-    for v in [VirusProfile::virus1(), VirusProfile::virus3()] {
-        for size in [opts.population, 2 * opts.population] {
-            let name = v.name.clone();
-            let scaled_opts = FigureOptions { population: size, ..opts.clone() };
-            let config = base_config(v.clone(), &scaled_opts);
-            out.push(run_labeled(format!("{name} n={size}"), &config, opts)?);
-        }
-    }
-    Ok(out)
+    run_cells(&scaling_study_cells(opts), opts)
+}
+
+/// **§6 future work** cells — baseline, monitoring alone, scan alone,
+/// and both combined, against fast Virus 3.
+pub fn combo_study_cells(opts: &FigureOptions) -> Vec<StudyCell> {
+    let horizon = SimDuration::from_hours(25);
+    let monitoring = Monitoring::with_forced_wait(SimDuration::from_mins(30));
+    let scan = SignatureScan { activation_delay: SimDuration::from_hours(6) };
+    let base = base_config(VirusProfile::virus3(), opts).with_horizon(horizon);
+    vec![
+        cell("Baseline", base.clone()),
+        cell(
+            "Monitoring only",
+            base.clone().with_response(ResponseConfig::none().with_monitoring(monitoring)),
+        ),
+        cell(
+            "Scan only",
+            base.clone().with_response(ResponseConfig::none().with_signature_scan(scan)),
+        ),
+        cell(
+            "Monitoring + Scan",
+            base.with_response(
+                ResponseConfig::none().with_monitoring(monitoring).with_signature_scan(scan),
+            ),
+        ),
+    ]
 }
 
 /// **§6 future work** — combined mechanisms against fast Virus 3: the
@@ -294,30 +405,62 @@ pub fn scaling_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigE
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn combo_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let horizon = SimDuration::from_hours(25);
-    let monitoring = Monitoring::with_forced_wait(SimDuration::from_mins(30));
-    let scan = SignatureScan { activation_delay: SimDuration::from_hours(6) };
-    let base = base_config(VirusProfile::virus3(), opts).with_horizon(horizon);
-    Ok(vec![
-        run_labeled("Baseline", &base, opts)?,
-        run_labeled(
-            "Monitoring only",
-            &base.clone().with_response(ResponseConfig::none().with_monitoring(monitoring)),
-            opts,
-        )?,
-        run_labeled(
-            "Scan only",
-            &base.clone().with_response(ResponseConfig::none().with_signature_scan(scan)),
-            opts,
-        )?,
-        run_labeled(
-            "Monitoring + Scan",
-            &base.clone().with_response(
-                ResponseConfig::none().with_monitoring(monitoring).with_signature_scan(scan),
+    run_cells(&combo_study_cells(opts), opts)
+}
+
+/// **§6 future work** cells — the Bluetooth propagation vector over a
+/// random-waypoint mobility field (see [`bluetooth_study`] for the arms).
+pub fn bluetooth_study_cells(opts: &FigureOptions) -> Vec<StudyCell> {
+    let horizon = SimDuration::from_hours(72);
+    let bt = BluetoothVector::default_class2();
+    let mobility = MobilityConfig::downtown();
+
+    let pure = base_config(VirusProfile::bluetooth_worm(), opts)
+        .with_horizon(horizon)
+        .with_mobility(mobility);
+    let hybrid_profile = VirusProfile { bluetooth: Some(bt), ..VirusProfile::virus1() };
+    let hybrid = {
+        let mut c = base_config(hybrid_profile, opts).with_horizon(horizon).with_mobility(mobility);
+        c.virus.name = "Hybrid MMS+BT".to_owned();
+        c
+    };
+
+    vec![
+        cell("BT worm baseline", pure.clone()),
+        cell(
+            "BT worm + perfect scan",
+            pure.clone().with_response(
+                ResponseConfig::none()
+                    .with_signature_scan(SignatureScan { activation_delay: SimDuration::ZERO }),
             ),
-            opts,
-        )?,
-    ])
+        ),
+        cell("Hybrid baseline", hybrid.clone()),
+        cell(
+            "Hybrid + blacklist 10",
+            hybrid
+                .clone()
+                .with_response(ResponseConfig::none().with_blacklist(Blacklist { threshold: 10 })),
+        ),
+        cell(
+            "Hybrid + patch 24h+6h",
+            hybrid.clone().with_response(ResponseConfig::none().with_immunization(
+                Immunization::uniform(SimDuration::from_hours(24), SimDuration::from_hours(6)),
+            )),
+        ),
+        cell(
+            "Hybrid + patch 6h+1h",
+            hybrid.with_response(ResponseConfig::none().with_immunization(Immunization::uniform(
+                SimDuration::from_hours(6),
+                SimDuration::from_hours(1),
+            ))),
+        ),
+        cell(
+            "BT worm + education 0.20",
+            pure.with_response(
+                ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.5 }),
+            ),
+        ),
+    ]
 }
 
 /// **§6 future work** — the Bluetooth propagation vector the paper names
@@ -337,60 +480,26 @@ pub fn combo_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigErr
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn bluetooth_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let horizon = SimDuration::from_hours(72);
-    let bt = BluetoothVector::default_class2();
-    let mobility = MobilityConfig::downtown();
+    run_cells(&bluetooth_study_cells(opts), opts)
+}
 
-    let pure = base_config(VirusProfile::bluetooth_worm(), opts)
-        .with_horizon(horizon)
-        .with_mobility(mobility);
-    let hybrid_profile = VirusProfile { bluetooth: Some(bt), ..VirusProfile::virus1() };
-    let hybrid = {
-        let mut c = base_config(hybrid_profile, opts).with_horizon(horizon).with_mobility(mobility);
-        c.virus.name = "Hybrid MMS+BT".to_owned();
-        c
-    };
-
-    Ok(vec![
-        run_labeled("BT worm baseline", &pure, opts)?,
-        run_labeled(
-            "BT worm + perfect scan",
-            &pure.clone().with_response(
-                ResponseConfig::none()
-                    .with_signature_scan(SignatureScan { activation_delay: SimDuration::ZERO }),
-            ),
-            opts,
-        )?,
-        run_labeled("Hybrid baseline", &hybrid, opts)?,
-        run_labeled(
-            "Hybrid + blacklist 10",
-            &hybrid
-                .clone()
-                .with_response(ResponseConfig::none().with_blacklist(Blacklist { threshold: 10 })),
-            opts,
-        )?,
-        run_labeled(
-            "Hybrid + patch 24h+6h",
-            &hybrid.clone().with_response(ResponseConfig::none().with_immunization(
-                Immunization::uniform(SimDuration::from_hours(24), SimDuration::from_hours(6)),
-            )),
-            opts,
-        )?,
-        run_labeled(
-            "Hybrid + patch 6h+1h",
-            &hybrid.clone().with_response(ResponseConfig::none().with_immunization(
-                Immunization::uniform(SimDuration::from_hours(6), SimDuration::from_hours(1)),
-            )),
-            opts,
-        )?,
-        run_labeled(
-            "BT worm + education 0.20",
-            &pure.clone().with_response(
-                ResponseConfig::none().with_education(UserEducation { acceptance_scale: 0.5 }),
-            ),
-            opts,
-        )?,
-    ])
+/// **Extension** cells — monitoring false positives: threshold sweep
+/// against Virus 3 with legitimate traffic enabled.
+pub fn false_positive_study_cells(opts: &FigureOptions) -> Vec<StudyCell> {
+    let horizon = SimDuration::from_hours(25);
+    let mut out = Vec::new();
+    for threshold in [2u32, 3, 5, 10] {
+        let mut config = base_config(VirusProfile::virus3(), opts).with_horizon(horizon);
+        config.behavior =
+            crate::behavior::BehaviorConfig::with_legitimate_traffic(SimDuration::from_hours(4));
+        config.response = ResponseConfig::none().with_monitoring(Monitoring {
+            window: SimDuration::from_hours(1),
+            threshold,
+            forced_wait: SimDuration::from_mins(30),
+        });
+        out.push(cell(format!("threshold {threshold}/h"), config));
+    }
+    out
 }
 
 /// **Extension** — monitoring false positives. The paper notes the
@@ -405,34 +514,16 @@ pub fn bluetooth_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Confi
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn false_positive_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let horizon = SimDuration::from_hours(25);
-    let mut out = Vec::new();
-    for threshold in [2u32, 3, 5, 10] {
-        let mut config = base_config(VirusProfile::virus3(), opts).with_horizon(horizon);
-        config.behavior =
-            crate::behavior::BehaviorConfig::with_legitimate_traffic(SimDuration::from_hours(4));
-        config.response = ResponseConfig::none().with_monitoring(Monitoring {
-            window: SimDuration::from_hours(1),
-            threshold,
-            forced_wait: SimDuration::from_mins(30),
-        });
-        out.push(run_labeled(format!("threshold {threshold}/h"), &config, opts)?);
-    }
-    Ok(out)
+    run_cells(&false_positive_study_cells(opts), opts)
 }
 
-/// **Extension** — patch rollout order: the paper's uniform rollout
-/// against a hubs-first rollout (highest-degree phones patched first)
-/// at the same development and rollout times, for Viruses 1 and 4.
-///
-/// # Errors
-///
-/// Propagates [`ConfigError`] from scenario validation.
-pub fn rollout_order_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+/// **Extension** cells — uniform vs hubs-first patch rollout for
+/// Viruses 1 and 4 (plus baselines).
+pub fn rollout_order_study_cells(opts: &FigureOptions) -> Vec<StudyCell> {
     let mut out = Vec::new();
     for virus in [VirusProfile::virus1(), VirusProfile::virus4()] {
         let name = virus.name.clone();
-        out.push(run_labeled(format!("{name} Baseline"), &base_config(virus.clone(), opts), opts)?);
+        out.push(cell(format!("{name} Baseline"), base_config(virus.clone(), opts)));
         for (label, imm) in [
             (
                 "uniform",
@@ -445,10 +536,68 @@ pub fn rollout_order_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, C
         ] {
             let config = base_config(virus.clone(), opts)
                 .with_response(ResponseConfig::none().with_immunization(imm));
-            out.push(run_labeled(format!("{name} {label}"), &config, opts)?);
+            out.push(cell(format!("{name} {label}"), config));
         }
     }
-    Ok(out)
+    out
+}
+
+/// **Extension** — patch rollout order: the paper's uniform rollout
+/// against a hubs-first rollout (highest-degree phones patched first)
+/// at the same development and rollout times, for Viruses 1 and 4.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn rollout_order_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    run_cells(&rollout_order_study_cells(opts), opts)
+}
+
+/// **§5.3 prose** cells — each mechanism's headline knob on a fine grid
+/// (see [`diminishing_returns_study`]).
+pub fn diminishing_returns_study_cells(opts: &FigureOptions) -> Vec<StudyCell> {
+    let mut out = Vec::new();
+
+    for delay_h in [2u64, 4, 8, 16, 32, 48] {
+        let config = base_config(VirusProfile::virus1(), opts).with_response(
+            ResponseConfig::none().with_signature_scan(SignatureScan {
+                activation_delay: SimDuration::from_hours(delay_h),
+            }),
+        );
+        out.push(cell(format!("scan delay {delay_h}h"), config));
+    }
+
+    let mut single = VirusProfile::virus3();
+    single.name = "fast single-recipient".to_owned();
+    for accuracy in [0.5, 0.8, 0.9, 0.95, 0.99, 0.995] {
+        let mut config = base_config(single.clone(), opts)
+            .with_horizon(SimDuration::from_hours(25))
+            .with_response(ResponseConfig::none().with_detection(DetectionAlgorithm {
+                accuracy,
+                analysis_period: SimDuration::from_hours(1),
+            }));
+        config.detect_threshold = 5;
+        out.push(cell(format!("detection acc {accuracy}"), config));
+    }
+
+    for wait_min in [5u64, 15, 30, 60, 120] {
+        let config =
+            base_config(VirusProfile::virus3(), opts)
+                .with_horizon(SimDuration::from_hours(25))
+                .with_response(ResponseConfig::none().with_monitoring(
+                    Monitoring::with_forced_wait(SimDuration::from_mins(wait_min)),
+                ));
+        out.push(cell(format!("monitor wait {wait_min}min"), config));
+    }
+
+    for threshold in [5u32, 10, 20, 40, 60] {
+        let config = base_config(VirusProfile::virus3(), opts)
+            .with_horizon(SimDuration::from_hours(25))
+            .with_response(ResponseConfig::none().with_blacklist(Blacklist { threshold }));
+        out.push(cell(format!("blacklist @{threshold}"), config));
+    }
+
+    out
 }
 
 /// **§5.3 prose** — "the results of our experiments are useful for
@@ -465,48 +614,23 @@ pub fn rollout_order_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, C
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn diminishing_returns_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let mut out = Vec::new();
+    run_cells(&diminishing_returns_study_cells(opts), opts)
+}
 
-    for delay_h in [2u64, 4, 8, 16, 32, 48] {
-        let config = base_config(VirusProfile::virus1(), opts).with_response(
-            ResponseConfig::none().with_signature_scan(SignatureScan {
-                activation_delay: SimDuration::from_hours(delay_h),
-            }),
-        );
-        out.push(run_labeled(format!("scan delay {delay_h}h"), &config, opts)?);
+/// **Extension** cells — Virus 3 against finite gateway capacity (plus
+/// the paper's infinite-capacity baseline).
+pub fn congestion_study_cells(opts: &FigureOptions) -> Vec<StudyCell> {
+    let horizon = SimDuration::from_hours(25);
+    let mut out = vec![cell(
+        "infinite capacity (paper)",
+        base_config(VirusProfile::virus3(), opts).with_horizon(horizon),
+    )];
+    for capacity in [3600u64, 1200, 300] {
+        let mut config = base_config(VirusProfile::virus3(), opts).with_horizon(horizon);
+        config.gateway_capacity_per_hour = Some(capacity);
+        out.push(cell(format!("{capacity} msgs/h"), config));
     }
-
-    let mut single = VirusProfile::virus3();
-    single.name = "fast single-recipient".to_owned();
-    for accuracy in [0.5, 0.8, 0.9, 0.95, 0.99, 0.995] {
-        let mut config = base_config(single.clone(), opts)
-            .with_horizon(SimDuration::from_hours(25))
-            .with_response(ResponseConfig::none().with_detection(DetectionAlgorithm {
-                accuracy,
-                analysis_period: SimDuration::from_hours(1),
-            }));
-        config.detect_threshold = 5;
-        out.push(run_labeled(format!("detection acc {accuracy}"), &config, opts)?);
-    }
-
-    for wait_min in [5u64, 15, 30, 60, 120] {
-        let config =
-            base_config(VirusProfile::virus3(), opts)
-                .with_horizon(SimDuration::from_hours(25))
-                .with_response(ResponseConfig::none().with_monitoring(
-                    Monitoring::with_forced_wait(SimDuration::from_mins(wait_min)),
-                ));
-        out.push(run_labeled(format!("monitor wait {wait_min}min"), &config, opts)?);
-    }
-
-    for threshold in [5u32, 10, 20, 40, 60] {
-        let config = base_config(VirusProfile::virus3(), opts)
-            .with_horizon(SimDuration::from_hours(25))
-            .with_response(ResponseConfig::none().with_blacklist(Blacklist { threshold }));
-        out.push(run_labeled(format!("blacklist @{threshold}"), &config, opts)?);
-    }
-
-    Ok(out)
+    out
 }
 
 /// **Extension** — gateway congestion. The paper assumes infinite MMS
@@ -519,33 +643,12 @@ pub fn diminishing_returns_study(opts: &FigureOptions) -> Result<Vec<LabeledResu
 ///
 /// Propagates [`ConfigError`] from scenario validation.
 pub fn congestion_study(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
-    let horizon = SimDuration::from_hours(25);
-    let mut out = vec![run_labeled(
-        "infinite capacity (paper)",
-        &base_config(VirusProfile::virus3(), opts).with_horizon(horizon),
-        opts,
-    )?];
-    for capacity in [3600u64, 1200, 300] {
-        let mut config = base_config(VirusProfile::virus3(), opts).with_horizon(horizon);
-        config.gateway_capacity_per_hour = Some(capacity);
-        out.push(run_labeled(format!("{capacity} msgs/h"), &config, opts)?);
-    }
-    Ok(out)
+    run_cells(&congestion_study_cells(opts), opts)
 }
 
-/// **§5.3 synthesis** — the paper's central conclusion as one table: all
-/// six mechanisms (at representative settings) against all four viruses.
-/// Labels are `"{virus} | {mechanism}"`, with a `"{virus} | baseline"`
-/// row per virus; divide to get the effectiveness matrix.
-///
-/// Representative settings: scan 6 h delay, detection 0.95 accuracy,
-/// education ×0.5, immunization 24 h + 6 h, monitoring 30 min wait,
-/// blacklist threshold 10.
-///
-/// # Errors
-///
-/// Propagates [`ConfigError`] from scenario validation.
-pub fn effectiveness_matrix(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+/// **§5.3 synthesis** cells — all six mechanisms (at representative
+/// settings) against all four viruses, with a baseline row per virus.
+pub fn effectiveness_matrix_cells(opts: &FigureOptions) -> Vec<StudyCell> {
     let mechanisms: Vec<(&str, ResponseConfig)> = vec![
         (
             "scan",
@@ -579,17 +682,29 @@ pub fn effectiveness_matrix(opts: &FigureOptions) -> Result<Vec<LabeledResult>, 
     let mut out = Vec::new();
     for virus in VirusProfile::all_four() {
         let name = virus.name.clone();
-        out.push(run_labeled(
-            format!("{name} | baseline"),
-            &base_config(virus.clone(), opts),
-            opts,
-        )?);
+        out.push(cell(format!("{name} | baseline"), base_config(virus.clone(), opts)));
         for (mech, response) in &mechanisms {
             let config = base_config(virus.clone(), opts).with_response(*response);
-            out.push(run_labeled(format!("{name} | {mech}"), &config, opts)?);
+            out.push(cell(format!("{name} | {mech}"), config));
         }
     }
-    Ok(out)
+    out
+}
+
+/// **§5.3 synthesis** — the paper's central conclusion as one table: all
+/// six mechanisms (at representative settings) against all four viruses.
+/// Labels are `"{virus} | {mechanism}"`, with a `"{virus} | baseline"`
+/// row per virus; divide to get the effectiveness matrix.
+///
+/// Representative settings: scan 6 h delay, detection 0.95 accuracy,
+/// education ×0.5, immunization 24 h + 6 h, monitoring 30 min wait,
+/// blacklist threshold 10.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation.
+pub fn effectiveness_matrix(opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+    run_cells(&effectiveness_matrix_cells(opts), opts)
 }
 
 #[cfg(test)]
@@ -768,5 +883,33 @@ mod tests {
     #[test]
     fn quick_options_reduce_reps() {
         assert!(FigureOptions::quick().reps < FigureOptions::default().reps);
+    }
+
+    #[test]
+    fn cells_and_runner_agree_on_labels() {
+        let opts = tiny();
+        let cells = fig6_monitoring_cells(&opts);
+        let ran = run_cells(&cells, &opts).unwrap();
+        assert_eq!(
+            cells.iter().map(|c| c.label.as_str()).collect::<Vec<_>>(),
+            ran.iter().map(|r| r.label.as_str()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shared_cache_leaves_figures_bit_identical() {
+        let mut opts = tiny();
+        let plain = fig7_blacklist(&opts).unwrap();
+        let cache = TopologyCache::shared();
+        opts.topology_cache = Some(cache.clone());
+        let cached = fig7_blacklist(&opts).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for (a, b) in plain.iter().zip(&cached) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(bits(&a.result.aggregate.mean), bits(&b.result.aggregate.mean));
+        }
+        // 5 arms × 1 rep on one network: 1 miss, 4 hits.
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (4, 1));
     }
 }

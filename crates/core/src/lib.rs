@@ -51,6 +51,8 @@ pub mod meanfield;
 pub mod model;
 pub mod response;
 pub mod run;
+pub mod studies;
+pub mod sweep;
 pub mod virus;
 
 pub use behavior::{AcceptanceModel, BehaviorConfig, DEFAULT_ACCEPTANCE_FACTOR};
@@ -59,10 +61,14 @@ pub use response::{
     Blacklist, DetectionAlgorithm, Immunization, Monitoring, ResponseConfig, RolloutOrder,
     SignatureScan, UserEducation,
 };
-#[allow(deprecated)]
-pub use run::{run_experiment, run_experiment_adaptive};
 pub use run::{
-    run_scenario, run_scenario_with_metrics, run_scenario_with_metrics_fel, AdaptiveResult,
-    ExperimentPlan, ExperimentResult, RunResult, DEFAULT_EVENT_BUDGET,
+    run_scenario, run_scenario_cached, run_scenario_with_metrics, run_scenario_with_metrics_fel,
+    AdaptiveResult, ExperimentPlan, ExperimentResult, RunResult, TopologyCache, TopologyCacheStats,
+    DEFAULT_EVENT_BUDGET,
+};
+pub use studies::{StudyId, StudyInfo, StudyKind};
+pub use sweep::{
+    resume_sweep, run_sweep, CellResult, ResultsStore, SweepCell, SweepError, SweepOptions,
+    SweepReport, SweepSpec,
 };
 pub use virus::{BluetoothVector, SendQuota, TargetingStrategy, VirusProfile};

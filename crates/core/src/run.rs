@@ -20,6 +20,9 @@
 //! with `retain_runs(false)` memory stays flat however many replications
 //! run.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -33,6 +36,7 @@ use mpvsim_des::{
 use mpvsim_mobility::MobilityField;
 use mpvsim_phonenet::Population;
 use mpvsim_stats::{AggregateSeries, OnlineAggregate, Summary, TimeSeries};
+use mpvsim_topology::{Graph, GraphSpec};
 
 use crate::config::{ConfigError, ScenarioConfig};
 use crate::model::{EpidemicModel, Event, RunStats};
@@ -43,6 +47,108 @@ pub use mpvsim_des::engine::DEFAULT_EVENT_BUDGET;
 
 /// Sub-stream label for topology generation (independent of dynamics).
 const TOPOLOGY_STREAM: u64 = 1;
+
+/// One cached network: the generated graph plus the RNG state *after*
+/// generation, so everything downstream of the generator (vulnerability
+/// designation, mobility placement) consumes exactly the random values it
+/// would have consumed had the graph been regenerated.
+#[derive(Clone)]
+struct CachedTopology {
+    graph: Arc<Graph>,
+    rng_after: StdRng,
+}
+
+/// Hit/miss counters of a [`TopologyCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TopologyCacheStats {
+    /// Lookups served from the cache (no regeneration).
+    pub hits: u64,
+    /// Lookups that had to generate the network.
+    pub misses: u64,
+    /// Distinct `(generator params, seed)` networks currently held.
+    pub entries: usize,
+}
+
+/// Shared immutable topology cache, keyed by `(generator params, seed)`.
+///
+/// Replication `r` of every experiment derives its topology from the
+/// sub-stream seed of `(master_seed, r)`, so two scenarios that differ
+/// only in virus or response knobs — the shape of every figure sweep —
+/// ask for the *same* `(GraphSpec, seed)` network over and over. The
+/// cache generates each network once and hands out shared references;
+/// results are bit-identical with and without it because the cached
+/// entry also restores the generator's post-generation RNG state.
+///
+/// The cache is thread-safe and meant to be shared via [`Arc`] across
+/// the cells of a sweep (see [`crate::sweep`]) or attached to an
+/// [`ExperimentPlan`] with [`ExperimentPlan::topology_cache`].
+#[derive(Default)]
+pub struct TopologyCache {
+    map: Mutex<HashMap<(String, u64), CachedTopology>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for TopologyCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("TopologyCache")
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .field("entries", &stats.entries)
+            .finish()
+    }
+}
+
+impl TopologyCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TopologyCache::default()
+    }
+
+    /// An empty cache already wrapped for sharing.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(TopologyCache::new())
+    }
+
+    /// Current hit/miss/entry counts.
+    pub fn stats(&self) -> TopologyCacheStats {
+        TopologyCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.map.lock().expect("topology cache poisoned").len(),
+        }
+    }
+
+    /// The network for `(spec, topo_seed)` plus the RNG to continue with,
+    /// generating and inserting on first request.
+    fn get_or_generate(
+        &self,
+        spec: &GraphSpec,
+        topo_seed: u64,
+    ) -> Result<(Arc<Graph>, StdRng), ConfigError> {
+        // The serialized spec is an exact key: serde_json round-trips
+        // every f64 parameter bit-for-bit.
+        let key = (
+            serde_json::to_string(spec)
+                .map_err(|e| ConfigError(format!("unserializable topology spec: {e}")))?,
+            topo_seed,
+        );
+        if let Some(entry) = self.map.lock().expect("topology cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((entry.graph.clone(), entry.rng_after.clone()));
+        }
+        // Generate outside the lock; concurrent misses on the same key do
+        // redundant work but produce identical entries.
+        let mut rng = StdRng::seed_from_u64(topo_seed);
+        let graph =
+            Arc::new(spec.generate(&mut rng).map_err(|e| ConfigError(format!("topology: {e}")))?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let entry = CachedTopology { graph: graph.clone(), rng_after: rng.clone() };
+        self.map.lock().expect("topology cache poisoned").entry(key).or_insert(entry);
+        Ok((graph, rng))
+    }
+}
 
 /// The outcome of a single replication.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
@@ -141,13 +247,38 @@ pub fn run_scenario_with_metrics_fel(
     seed: u64,
     fel: FelKind,
 ) -> Result<(RunResult, SimMetrics), ConfigError> {
+    run_scenario_cached(config, seed, fel, None)
+}
+
+/// Like [`run_scenario_with_metrics_fel`], resolving the contact network
+/// through a shared [`TopologyCache`] when one is provided. The
+/// trajectory is bit-identical with and without the cache; only
+/// regeneration work is saved.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the scenario is invalid or the
+/// replication exceeds its event budget.
+pub fn run_scenario_cached(
+    config: &ScenarioConfig,
+    seed: u64,
+    fel: FelKind,
+    cache: Option<&TopologyCache>,
+) -> Result<(RunResult, SimMetrics), ConfigError> {
     config.validate()?;
-    let mut topo_rng = StdRng::seed_from_u64(derive_stream_seed(seed, 0, TOPOLOGY_STREAM));
-    let graph = config
-        .population
-        .topology
-        .generate(&mut topo_rng)
-        .map_err(|e| ConfigError(format!("topology: {e}")))?;
+    let topo_seed = derive_stream_seed(seed, 0, TOPOLOGY_STREAM);
+    let (graph, mut topo_rng) = match cache {
+        Some(cache) => cache.get_or_generate(&config.population.topology, topo_seed)?,
+        None => {
+            let mut rng = StdRng::seed_from_u64(topo_seed);
+            let graph = config
+                .population
+                .topology
+                .generate(&mut rng)
+                .map_err(|e| ConfigError(format!("topology: {e}")))?;
+            (Arc::new(graph), rng)
+        }
+    };
     let population =
         Population::from_graph(&graph, config.population.vulnerable_fraction, &mut topo_rng);
     let mobility = config
@@ -200,11 +331,13 @@ pub struct ExperimentPlan {
     retain_runs: bool,
     observer: ObserverHandle,
     fel: FelKind,
+    topo_cache: Option<Arc<TopologyCache>>,
 }
 
 impl ExperimentPlan {
     /// A plan for `reps` replications: master seed 0, single-threaded,
-    /// per-run results retained, no observer, binary-heap event list.
+    /// per-run results retained, no observer, binary-heap event list,
+    /// no topology cache.
     pub fn new(reps: u64) -> Self {
         ExperimentPlan {
             reps,
@@ -213,7 +346,17 @@ impl ExperimentPlan {
             retain_runs: true,
             observer: ObserverHandle::noop(),
             fel: FelKind::default(),
+            topo_cache: None,
         }
+    }
+
+    /// Resolves contact networks through `cache` instead of regenerating
+    /// them per replication. Like threads and observers, this never
+    /// changes a bit of the results (see [`TopologyCache`]); it only
+    /// skips redundant generation when experiments share networks.
+    pub fn topology_cache(mut self, cache: Arc<TopologyCache>) -> Self {
+        self.topo_cache = Some(cache);
+        self
     }
 
     /// Selects the future-event-list backend each replication runs on
@@ -298,6 +441,24 @@ impl ExperimentPlan {
     /// latter case the error is the one from the lowest-indexed failing
     /// replication, at every thread count.
     pub fn run(&self, config: &ScenarioConfig) -> Result<ExperimentResult, ConfigError> {
+        self.run_with_sink(config, |_, _| {})
+    }
+
+    /// Like [`ExperimentPlan::run`], additionally handing each
+    /// replication's [`RunResult`] to `sink` **in replication order** as
+    /// it is folded into the aggregate. This is the streaming hook the
+    /// sweep results store uses to write per-replication records without
+    /// retaining every run in memory; the aggregate is bit-identical to
+    /// [`ExperimentPlan::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ExperimentPlan::run`].
+    pub fn run_with_sink(
+        &self,
+        config: &ScenarioConfig,
+        mut sink: impl FnMut(u64, &RunResult),
+    ) -> Result<ExperimentResult, ConfigError> {
         config.validate()?;
         if self.reps == 0 {
             return Err(ConfigError("need at least one replication".to_owned()));
@@ -310,7 +471,10 @@ impl ExperimentPlan {
             self.master_seed,
             self.threads,
             |rep, seed| self.run_one(config, rep, seed),
-            |_rep, (result, metrics)| collector.absorb(&self.observer, result, metrics),
+            |rep, (result, metrics)| {
+                sink(rep, &result);
+                collector.absorb(&self.observer, result, metrics);
+            },
         )?;
         self.observer.on_experiment_finish(&ExperimentMetrics {
             reps: self.reps,
@@ -397,7 +561,8 @@ impl ExperimentPlan {
     ) -> Result<(RunResult, ReplicationMetrics), ConfigError> {
         self.observer.on_replication_start(rep, seed);
         let started = Instant::now();
-        let (result, sim) = run_scenario_with_metrics_fel(config, seed, self.fel)?;
+        let (result, sim) =
+            run_scenario_cached(config, seed, self.fel, self.topo_cache.as_deref())?;
         Ok((result, ReplicationMetrics { rep, seed, wall: started.elapsed(), sim }))
     }
 }
@@ -452,54 +617,6 @@ pub struct AdaptiveResult {
     pub result: ExperimentResult,
     /// Whether the confidence target was met before `max_reps`.
     pub converged: bool,
-}
-
-/// Runs `reps` seeded replications of `config` and aggregates them.
-///
-/// # Errors
-///
-/// Returns [`ConfigError`] when the scenario is invalid, `reps == 0`, or
-/// a replication fails.
-///
-/// # Panics
-///
-/// Panics if `threads == 0`.
-#[deprecated(note = "use ExperimentPlan::new(reps).master_seed(..).threads(..).run(config)")]
-pub fn run_experiment(
-    config: &ScenarioConfig,
-    reps: u64,
-    master_seed: u64,
-    threads: usize,
-) -> Result<ExperimentResult, ConfigError> {
-    ExperimentPlan::new(reps).master_seed(master_seed).threads(threads).run(config)
-}
-
-/// Runs replications in batches until the confidence target is met.
-///
-/// # Errors
-///
-/// Returns [`ConfigError`] when the scenario is invalid, `min_reps` is 0,
-/// `min_reps > max_reps`, or a replication fails.
-///
-/// # Panics
-///
-/// Panics if `threads == 0`.
-#[deprecated(note = "use ExperimentPlan::new(max_reps).master_seed(..).threads(..)\
-            .run_adaptive(config, target, min_reps, max_reps)")]
-pub fn run_experiment_adaptive(
-    config: &ScenarioConfig,
-    target_ci_half_width: f64,
-    min_reps: u64,
-    max_reps: u64,
-    master_seed: u64,
-    threads: usize,
-) -> Result<AdaptiveResult, ConfigError> {
-    ExperimentPlan::new(max_reps).master_seed(master_seed).threads(threads).run_adaptive(
-        config,
-        target_ci_half_width,
-        min_reps,
-        max_reps,
-    )
 }
 
 #[cfg(test)]
@@ -617,13 +734,70 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_wrappers_match_plan() {
+    fn topology_cache_changes_no_bit_of_the_experiment() {
         let c = small_config();
-        #[allow(deprecated)]
-        let old = run_experiment(&c, 3, 41, 2).unwrap();
-        let new = ExperimentPlan::new(3).master_seed(41).threads(2).run(&c).unwrap();
-        assert_eq!(old.aggregate, new.aggregate);
-        assert_eq!(old.final_infected, new.final_infected);
+        let uncached = ExperimentPlan::new(3).master_seed(41).threads(2).run(&c).unwrap();
+        let cache = TopologyCache::shared();
+        let cached = ExperimentPlan::new(3)
+            .master_seed(41)
+            .threads(2)
+            .topology_cache(cache.clone())
+            .run(&c)
+            .unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&uncached.aggregate.mean), bits(&cached.aggregate.mean));
+        for (a, b) in uncached.runs.iter().zip(&cached.runs) {
+            assert_eq!(bits(a.series.values()), bits(b.series.values()));
+            assert_eq!(a.stats, b.stats);
+        }
+        // First pass over 3 fresh seeds: all misses.
+        let stats = cache.stats();
+        assert_eq!(stats, TopologyCacheStats { hits: 0, misses: 3, entries: 3 });
+        // A second experiment on the same network family and seeds is
+        // served entirely from the cache.
+        let c2 = ScenarioConfig {
+            response: crate::response::ResponseConfig::none()
+                .with_blacklist(crate::response::Blacklist { threshold: 10 }),
+            ..small_config()
+        };
+        let _ =
+            ExperimentPlan::new(3).master_seed(41).topology_cache(cache.clone()).run(&c2).unwrap();
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3, "same (spec, seed) cells must not regenerate");
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.entries, 3);
+    }
+
+    #[test]
+    fn cache_distinguishes_specs_and_seeds() {
+        let cache = TopologyCache::new();
+        let c = small_config();
+        let _ = run_scenario_cached(&c, 1, FelKind::default(), Some(&cache)).unwrap();
+        let _ = run_scenario_cached(&c, 2, FelKind::default(), Some(&cache)).unwrap();
+        let mut bigger = small_config();
+        bigger.population = PopulationConfig {
+            topology: GraphSpec::erdos_renyi(70, 8.0),
+            vulnerable_fraction: 0.8,
+        };
+        let _ = run_scenario_cached(&bigger, 1, FelKind::default(), Some(&cache)).unwrap();
+        assert_eq!(cache.stats(), TopologyCacheStats { hits: 0, misses: 3, entries: 3 });
+    }
+
+    #[test]
+    fn run_with_sink_streams_every_replication_in_order() {
+        let c = small_config();
+        let mut seen: Vec<(u64, usize)> = Vec::new();
+        let plan = ExperimentPlan::new(4).master_seed(8).threads(2).retain_runs(false);
+        let streamed = plan
+            .run_with_sink(&c, |rep, run| {
+                seen.push((rep, run.final_infected));
+            })
+            .unwrap();
+        assert_eq!(seen.iter().map(|(r, _)| *r).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        let kept = ExperimentPlan::new(4).master_seed(8).threads(2).run(&c).unwrap();
+        assert_eq!(kept.aggregate, streamed.aggregate);
+        let finals: Vec<usize> = kept.runs.iter().map(|r| r.final_infected).collect();
+        assert_eq!(seen.iter().map(|(_, f)| *f).collect::<Vec<_>>(), finals);
     }
 
     #[test]

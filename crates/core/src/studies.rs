@@ -1,0 +1,296 @@
+//! A stable-name registry over every figure and study in
+//! [`crate::figures`].
+//!
+//! Each study gets a [`StudyId`] whose [`name`](StudyId::name) is a
+//! stable CLI-facing identifier (the historical per-figure binary name),
+//! so `mpvsim study fig1_baseline` and a sweep manifest entry both refer
+//! to the same declarative cell set forever. The registry is the single
+//! enumeration the `all` report, the claim checker and the benchmark
+//! suite iterate — adding a study here makes it reachable everywhere.
+
+use crate::config::ConfigError;
+use crate::figures::{self, FigureOptions, LabeledResult, StudyCell};
+
+/// What part of the paper a study reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum StudyKind {
+    /// A numbered figure of the evaluation section (Figures 1–7).
+    Figure,
+    /// A quantitative prose claim (§5.2 blacklist matrix, §5.3 scaling,
+    /// §6 combined mechanisms).
+    Claim,
+    /// An extension beyond the paper (Bluetooth vector, false positives,
+    /// rollout order, diminishing returns, congestion, the synthesis
+    /// matrix).
+    Extension,
+}
+
+/// Stable identifier of one study; the `name()` strings are frozen —
+/// they appear in sweep manifests and on the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[allow(missing_docs)] // each variant is documented by its registry title
+pub enum StudyId {
+    Fig1Baseline,
+    Fig2VirusScan,
+    Fig3Detection,
+    Fig4Education,
+    Fig5Immunization,
+    Fig6Monitoring,
+    Fig7Blacklist,
+    BlacklistMatrix,
+    Scaling,
+    Combo,
+    ExtBluetooth,
+    ExtFalsePositives,
+    ExtRolloutOrder,
+    DiminishingReturns,
+    ExtCongestion,
+    Matrix,
+}
+
+/// One registry entry: a study's identity plus its declarative cell
+/// builder.
+pub struct StudyInfo {
+    /// The study's id.
+    pub id: StudyId,
+    /// Stable CLI-facing name (historically the per-figure binary name).
+    pub name: &'static str,
+    /// Human-readable report title.
+    pub title: &'static str,
+    /// Which part of the paper the study reproduces.
+    pub kind: StudyKind,
+    /// Builds the study's labelled cells for the given options.
+    pub cells: fn(&FigureOptions) -> Vec<StudyCell>,
+}
+
+impl std::fmt::Debug for StudyInfo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StudyInfo")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+static REGISTRY: &[StudyInfo] = &[
+    StudyInfo {
+        id: StudyId::Fig1Baseline,
+        name: "fig1_baseline",
+        title: "Figure 1 — Baseline Infection Curves without Response Mechanisms",
+        kind: StudyKind::Figure,
+        cells: figures::fig1_baseline_cells,
+    },
+    StudyInfo {
+        id: StudyId::Fig2VirusScan,
+        name: "fig2_virus_scan",
+        title: "Figure 2 — Virus Scan: Varying the Activation Time Delay (Virus 1)",
+        kind: StudyKind::Figure,
+        cells: figures::fig2_virus_scan_cells,
+    },
+    StudyInfo {
+        id: StudyId::Fig3Detection,
+        name: "fig3_detection",
+        title: "Figure 3 — Virus Detection Algorithm: Varying Detection Accuracy (Virus 2)",
+        kind: StudyKind::Figure,
+        cells: figures::fig3_detection_cells,
+    },
+    StudyInfo {
+        id: StudyId::Fig4Education,
+        name: "fig4_education",
+        title: "Figure 4 — Phone User Education: Effective for All Viruses",
+        kind: StudyKind::Figure,
+        cells: figures::fig4_education_cells,
+    },
+    StudyInfo {
+        id: StudyId::Fig5Immunization,
+        name: "fig5_immunization",
+        title: "Figure 5 — Immunization Using Patches: Varying the Deployment Times (Virus 4)",
+        kind: StudyKind::Figure,
+        cells: figures::fig5_immunization_cells,
+    },
+    StudyInfo {
+        id: StudyId::Fig6Monitoring,
+        name: "fig6_monitoring",
+        title: "Figure 6 — Monitoring: Varying the Wait Time for Suspicious Phones (Virus 3)",
+        kind: StudyKind::Figure,
+        cells: figures::fig6_monitoring_cells,
+    },
+    StudyInfo {
+        id: StudyId::Fig7Blacklist,
+        name: "fig7_blacklist",
+        title: "Figure 7 — Blacklisting: Varying the Activation Threshold (Virus 3)",
+        kind: StudyKind::Figure,
+        cells: figures::fig7_blacklist_cells,
+    },
+    StudyInfo {
+        id: StudyId::BlacklistMatrix,
+        name: "blacklist_matrix",
+        title: "§5.2 — Blacklisting vs. Contact-List Viruses (prose claims)",
+        kind: StudyKind::Claim,
+        cells: figures::blacklist_matrix_cells,
+    },
+    StudyInfo {
+        id: StudyId::Scaling,
+        name: "scaling",
+        title: "§5.3 — Population Scaling Study (1000 vs 2000 phones)",
+        kind: StudyKind::Claim,
+        cells: figures::scaling_study_cells,
+    },
+    StudyInfo {
+        id: StudyId::Combo,
+        name: "combo",
+        title: "§6 — Combined Mechanisms: Monitoring + Signature Scan (Virus 3)",
+        kind: StudyKind::Claim,
+        cells: figures::combo_study_cells,
+    },
+    StudyInfo {
+        id: StudyId::ExtBluetooth,
+        name: "ext_bluetooth",
+        title: "§6 extension — Bluetooth propagation vector (random-waypoint mobility)",
+        kind: StudyKind::Extension,
+        cells: figures::bluetooth_study_cells,
+    },
+    StudyInfo {
+        id: StudyId::ExtFalsePositives,
+        name: "ext_false_positives",
+        title: "Extension — Monitoring False Positives (Virus 3 + legitimate traffic)",
+        kind: StudyKind::Extension,
+        cells: figures::false_positive_study_cells,
+    },
+    StudyInfo {
+        id: StudyId::ExtRolloutOrder,
+        name: "ext_rollout_order",
+        title: "Extension — Patch Rollout Order: Uniform vs Hubs-First",
+        kind: StudyKind::Extension,
+        cells: figures::rollout_order_study_cells,
+    },
+    StudyInfo {
+        id: StudyId::DiminishingReturns,
+        name: "diminishing_returns",
+        title: "§5.3 — Point of Diminishing Returns per Mechanism",
+        kind: StudyKind::Extension,
+        cells: figures::diminishing_returns_study_cells,
+    },
+    StudyInfo {
+        id: StudyId::ExtCongestion,
+        name: "ext_congestion",
+        title: "Extension — Gateway Congestion (Virus 3 vs finite MMS capacity)",
+        kind: StudyKind::Extension,
+        cells: figures::congestion_study_cells,
+    },
+    StudyInfo {
+        id: StudyId::Matrix,
+        name: "matrix",
+        title: "§5.3 — Effectiveness Matrix (final infections, % of baseline)",
+        kind: StudyKind::Extension,
+        cells: figures::effectiveness_matrix_cells,
+    },
+];
+
+/// Every registered study, in report order (figures, then prose claims,
+/// then extensions).
+pub fn registry() -> &'static [StudyInfo] {
+    REGISTRY
+}
+
+impl StudyId {
+    /// Every study id, in registry order.
+    pub fn all() -> Vec<StudyId> {
+        REGISTRY.iter().map(|s| s.id).collect()
+    }
+
+    /// Looks a study up by its stable name.
+    pub fn from_name(name: &str) -> Option<StudyId> {
+        REGISTRY.iter().find(|s| s.name == name).map(|s| s.id)
+    }
+
+    /// This study's registry entry.
+    pub fn info(self) -> &'static StudyInfo {
+        REGISTRY.iter().find(|s| s.id == self).expect("every StudyId variant has a registry entry")
+    }
+
+    /// Stable CLI-facing name (e.g. `"fig1_baseline"`).
+    pub fn name(self) -> &'static str {
+        self.info().name
+    }
+
+    /// Human-readable report title.
+    pub fn title(self) -> &'static str {
+        self.info().title
+    }
+
+    /// Which part of the paper the study reproduces.
+    pub fn kind(self) -> StudyKind {
+        self.info().kind
+    }
+
+    /// The study's declarative cells for the given options.
+    pub fn cells(self, opts: &FigureOptions) -> Vec<StudyCell> {
+        (self.info().cells)(opts)
+    }
+
+    /// Runs the study: builds its cells and executes them with the plan
+    /// described by `opts`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from scenario validation or failed
+    /// replications.
+    pub fn run(self, opts: &FigureOptions) -> Result<Vec<LabeledResult>, ConfigError> {
+        figures::run_cells(&self.cells(opts), opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn every_variant_has_an_entry_and_names_are_unique() {
+        let ids = StudyId::all();
+        assert_eq!(ids.len(), REGISTRY.len());
+        let names: HashSet<&str> = REGISTRY.iter().map(|s| s.name).collect();
+        assert_eq!(names.len(), REGISTRY.len(), "duplicate study name");
+        for id in ids {
+            assert_eq!(StudyId::from_name(id.name()), Some(id));
+            assert!(!id.title().is_empty());
+        }
+    }
+
+    #[test]
+    fn registry_order_groups_kinds() {
+        let kinds: Vec<StudyKind> = REGISTRY.iter().map(|s| s.kind).collect();
+        let figures = kinds.iter().filter(|k| **k == StudyKind::Figure).count();
+        let claims = kinds.iter().filter(|k| **k == StudyKind::Claim).count();
+        assert_eq!(figures, 7);
+        assert_eq!(claims, 3);
+        assert!(kinds[..figures].iter().all(|k| *k == StudyKind::Figure));
+        assert!(kinds[figures..figures + claims].iter().all(|k| *k == StudyKind::Claim));
+    }
+
+    #[test]
+    fn run_matches_direct_figure_call() {
+        let opts = FigureOptions {
+            reps: 1,
+            master_seed: 9,
+            threads: 1,
+            population: 40,
+            ..FigureOptions::default()
+        };
+        let via_registry = StudyId::Fig7Blacklist.run(&opts).unwrap();
+        let direct = figures::fig7_blacklist(&opts).unwrap();
+        assert_eq!(via_registry.len(), direct.len());
+        for (a, b) in via_registry.iter().zip(&direct) {
+            assert_eq!(a.label, b.label);
+            let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(bits(&a.result.aggregate.mean), bits(&b.result.aggregate.mean));
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert_eq!(StudyId::from_name("fig9_wishful"), None);
+    }
+}

@@ -1,0 +1,794 @@
+//! The sweep orchestrator: declarative grids of scenario cells, executed
+//! by a work-stealing pool over a shared [`TopologyCache`], streaming
+//! into a structured on-disk results store that doubles as a checkpoint.
+//!
+//! ## Model
+//!
+//! A [`SweepSpec`] is pure data: a name, a seed block (`reps` ×
+//! `master_seed`), and an ordered list of [`SweepCell`]s, each a complete
+//! [`ScenarioConfig`] under a stable id. [`run_sweep`] executes the spec
+//! into a directory:
+//!
+//! ```text
+//! <dir>/manifest.json        versioned, timestamp-free copy of the spec
+//! <dir>/cells/<id>.jsonl     one series file per cell: header line,
+//!                            one line per replication, aggregate line
+//! ```
+//!
+//! Cell files are written to a temporary name and atomically renamed on
+//! completion, so a file's *existence* certifies a finished cell. That
+//! makes the store a checkpoint: [`resume_sweep`] (or re-running
+//! [`run_sweep`] on the same directory) skips completed cells and —
+//! because every replication's outcome is a pure function of
+//! `(config, derive_seed(master_seed, rep))` and nothing in the store
+//! carries wall-clock state — produces **byte-identical** files to an
+//! uninterrupted run.
+//!
+//! Cells sharing a network (every figure's arms differ only in virus or
+//! response knobs) resolve their topology through one shared
+//! [`TopologyCache`], so each `(generator params, seed)` graph is built
+//! once per process however many cells use it.
+
+use std::fs;
+use std::io::{BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use mpvsim_des::seed::derive_seed;
+use mpvsim_des::{FelKind, ObserverHandle};
+use mpvsim_stats::{AggregateSeries, Summary, TimeSeries};
+
+use crate::config::{ConfigError, ScenarioConfig};
+use crate::figures::FigureOptions;
+use crate::run::{ExperimentPlan, TopologyCache, TopologyCacheStats};
+use crate::studies::StudyId;
+
+/// Manifest schema tag; bump on any incompatible store layout change.
+pub const SWEEP_SCHEMA: &str = "mpvsim-sweep/1";
+/// Cell-file schema tag (the `schema` field of each header line).
+pub const CELL_SCHEMA: &str = "mpvsim-sweep-cell/1";
+
+/// Anything that can go wrong launching, resuming or reading a sweep.
+#[derive(Debug)]
+pub enum SweepError {
+    /// Filesystem failure in the results store.
+    Io(std::io::Error),
+    /// A scenario failed to validate or a replication failed.
+    Config(ConfigError),
+    /// The store exists but does not match the sweep being launched, or
+    /// holds data this version cannot read.
+    Store(String),
+}
+
+impl std::fmt::Display for SweepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SweepError::Io(e) => write!(f, "sweep store I/O: {e}"),
+            SweepError::Config(e) => write!(f, "sweep cell: {e}"),
+            SweepError::Store(msg) => write!(f, "sweep store: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<std::io::Error> for SweepError {
+    fn from(e: std::io::Error) -> Self {
+        SweepError::Io(e)
+    }
+}
+
+impl From<ConfigError> for SweepError {
+    fn from(e: ConfigError) -> Self {
+        SweepError::Config(e)
+    }
+}
+
+impl From<serde_json::Error> for SweepError {
+    fn from(e: serde_json::Error) -> Self {
+        SweepError::Store(format!("serialization: {e}"))
+    }
+}
+
+/// One cell of a sweep: a labelled scenario under a stable, unique,
+/// filename-safe id.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepCell {
+    /// Unique filename-safe id; the cell's series file is
+    /// `cells/<id>.jsonl`.
+    pub id: String,
+    /// Human-readable label (the figure legend entry).
+    pub label: String,
+    /// The complete scenario this cell runs.
+    pub config: ScenarioConfig,
+}
+
+/// A declarative sweep: cells × seed block. Pure data — serializing it
+/// *is* the manifest, and equality of manifests is equality of sweeps.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SweepSpec {
+    /// Store layout version (see [`SWEEP_SCHEMA`]).
+    pub schema: String,
+    /// Sweep name (reporting only).
+    pub name: String,
+    /// Replications per cell.
+    pub reps: u64,
+    /// Master seed; replication `r` of every cell derives from
+    /// `(master_seed, r)`.
+    pub master_seed: u64,
+    /// The cells, in execution order.
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepSpec {
+    /// A sweep over explicit cells.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Store`] when a cell id is empty, not
+    /// filename-safe, or duplicated.
+    pub fn new(
+        name: impl Into<String>,
+        reps: u64,
+        master_seed: u64,
+        cells: Vec<SweepCell>,
+    ) -> Result<Self, SweepError> {
+        let spec = SweepSpec {
+            schema: SWEEP_SCHEMA.to_owned(),
+            name: name.into(),
+            reps,
+            master_seed,
+            cells,
+        };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// The cells of `studies` flattened into one sweep, ids
+    /// `"<study>.<index>-<label-slug>"`, with `reps`/`master_seed` taken
+    /// from `opts`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SweepError::Store`] when the generated ids collide
+    /// (distinct studies never collide; identical labels within one study
+    /// are disambiguated by the index).
+    pub fn from_studies(
+        name: impl Into<String>,
+        studies: &[StudyId],
+        opts: &FigureOptions,
+    ) -> Result<Self, SweepError> {
+        let mut cells = Vec::new();
+        for study in studies {
+            for (i, cell) in study.cells(opts).into_iter().enumerate() {
+                cells.push(SweepCell {
+                    id: format!("{}.{i:02}-{}", study.name(), slugify(&cell.label)),
+                    label: cell.label,
+                    config: cell.config,
+                });
+            }
+        }
+        SweepSpec::new(name, opts.reps, opts.master_seed, cells)
+    }
+
+    fn validate(&self) -> Result<(), SweepError> {
+        let mut seen = std::collections::HashSet::new();
+        for cell in &self.cells {
+            if cell.id.is_empty()
+                || !cell.id.chars().all(|c| c.is_ascii_alphanumeric() || "._-".contains(c))
+            {
+                return Err(SweepError::Store(format!(
+                    "cell id {:?} is not filename-safe ([A-Za-z0-9._-]+)",
+                    cell.id
+                )));
+            }
+            if !seen.insert(cell.id.as_str()) {
+                return Err(SweepError::Store(format!("duplicate cell id {:?}", cell.id)));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lowercases and maps every non-alphanumeric run to a single `-`.
+fn slugify(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    let mut dash_pending = false;
+    for c in label.chars() {
+        if c.is_ascii_alphanumeric() {
+            if dash_pending && !out.is_empty() {
+                out.push('-');
+            }
+            dash_pending = false;
+            out.push(c.to_ascii_lowercase());
+        } else {
+            dash_pending = true;
+        }
+    }
+    out
+}
+
+/// Execution knobs of a sweep run. Like threads and observers on an
+/// [`ExperimentPlan`], nothing here changes a bit of the results.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Cells executed concurrently (work-stealing pool size).
+    pub cell_workers: usize,
+    /// Worker threads *within* each cell's replication batch.
+    pub rep_threads: usize,
+    /// Future-event-list backend for every replication.
+    pub fel: FelKind,
+    /// Stop after completing this many (previously incomplete) cells —
+    /// the in-process stand-in for a kill, used by the resume tests and
+    /// the CI smoke job. `None` runs to completion.
+    pub max_cells: Option<usize>,
+    /// Observer attached to every cell's experiment.
+    pub observer: ObserverHandle,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            cell_workers: 4,
+            rep_threads: 1,
+            fel: FelKind::default(),
+            max_cells: None,
+            observer: ObserverHandle::noop(),
+        }
+    }
+}
+
+/// One completed cell as read back from the store.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CellResult {
+    /// The cell's id in the manifest.
+    pub id: String,
+    /// The cell's label.
+    pub label: String,
+    /// Pointwise mean infection curve with a 95 % confidence band.
+    pub aggregate: AggregateSeries,
+    /// Summary of final infection counts across replications.
+    pub final_infected: Summary,
+}
+
+/// What a [`run_sweep`] / [`resume_sweep`] call did.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// The sweep's spec (as stored in the manifest).
+    pub spec: SweepSpec,
+    /// Cells executed by *this* call.
+    pub executed: usize,
+    /// Cells already complete when this call started.
+    pub skipped: usize,
+    /// Cells still incomplete after this call (> 0 only when
+    /// [`SweepOptions::max_cells`] interrupted the run).
+    pub remaining: usize,
+    /// Every completed cell, loaded back from the store, in manifest
+    /// order. Reading from disk (rather than from memory) is what makes
+    /// an interrupted-and-resumed sweep report identical to an
+    /// uninterrupted one.
+    pub cells: Vec<CellResult>,
+    /// Topology-cache counters for this call.
+    pub cache: TopologyCacheStats,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct HeaderRecord {
+    kind: String,
+    schema: String,
+    cell: String,
+    label: String,
+    reps: u64,
+    master_seed: u64,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct RepRecord {
+    kind: String,
+    rep: u64,
+    seed: u64,
+    final_infected: usize,
+    series: TimeSeries,
+}
+
+#[derive(serde::Serialize, serde::Deserialize)]
+struct AggregateRecord {
+    kind: String,
+    aggregate: AggregateSeries,
+    final_infected: Summary,
+}
+
+/// The on-disk results store of one sweep: `manifest.json` plus
+/// `cells/<id>.jsonl`, all writes atomic (temp file + rename).
+#[derive(Debug)]
+pub struct ResultsStore {
+    dir: PathBuf,
+}
+
+impl ResultsStore {
+    /// Creates (or re-opens) the store at `dir` for `spec`.
+    ///
+    /// First launch writes the manifest; a relaunch verifies the existing
+    /// manifest describes **the same sweep** and refuses to mix stores
+    /// otherwise.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] on filesystem failure, [`SweepError::Store`]
+    /// when `dir` already holds a different sweep.
+    pub fn init(dir: &Path, spec: &SweepSpec) -> Result<Self, SweepError> {
+        let store = ResultsStore { dir: dir.to_path_buf() };
+        fs::create_dir_all(store.cells_dir())?;
+        match store.read_manifest() {
+            Ok(existing) => {
+                if existing != *spec {
+                    return Err(SweepError::Store(format!(
+                        "{} already holds a different sweep ({:?}); \
+                         refusing to mix results",
+                        store.manifest_path().display(),
+                        existing.name,
+                    )));
+                }
+            }
+            Err(SweepError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                let bytes = serde_json::to_vec_pretty(spec)?;
+                store.write_atomic(&store.manifest_path(), &bytes)?;
+            }
+            Err(e) => return Err(e),
+        }
+        Ok(store)
+    }
+
+    /// Opens an existing store, returning it with the manifest's spec.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] when `dir` has no manifest, [`SweepError::Store`]
+    /// when the manifest is unreadable or from an incompatible version.
+    pub fn open(dir: &Path) -> Result<(Self, SweepSpec), SweepError> {
+        let store = ResultsStore { dir: dir.to_path_buf() };
+        let spec = store.read_manifest()?;
+        Ok((store, spec))
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.json")
+    }
+
+    fn cells_dir(&self) -> PathBuf {
+        self.dir.join("cells")
+    }
+
+    /// The series file of cell `id`.
+    pub fn cell_path(&self, id: &str) -> PathBuf {
+        self.cells_dir().join(format!("{id}.jsonl"))
+    }
+
+    fn read_manifest(&self) -> Result<SweepSpec, SweepError> {
+        let bytes = fs::read(self.manifest_path())?;
+        let spec: SweepSpec = serde_json::from_slice(&bytes)
+            .map_err(|e| SweepError::Store(format!("unreadable manifest: {e}")))?;
+        if spec.schema != SWEEP_SCHEMA {
+            return Err(SweepError::Store(format!(
+                "manifest schema {:?} (this version reads {SWEEP_SCHEMA:?})",
+                spec.schema
+            )));
+        }
+        Ok(spec)
+    }
+
+    /// Whether cell `id` has a completed (renamed-into-place) series file.
+    pub fn is_complete(&self, id: &str) -> bool {
+        self.cell_path(id).is_file()
+    }
+
+    /// Writes `bytes` to `path` atomically: temp file in the same
+    /// directory, then rename.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), SweepError> {
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Runs one cell's replication batch, streaming every replication to
+    /// the cell's temp file and renaming it into place on success.
+    fn execute_cell(
+        &self,
+        spec: &SweepSpec,
+        cell: &SweepCell,
+        opts: &SweepOptions,
+        cache: &std::sync::Arc<TopologyCache>,
+    ) -> Result<(), SweepError> {
+        let final_path = self.cell_path(&cell.id);
+        let tmp = final_path.with_extension("tmp");
+        let result = self.stream_cell(spec, cell, opts, cache, &tmp);
+        match result {
+            Ok(()) => {
+                fs::rename(&tmp, &final_path)?;
+                Ok(())
+            }
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
+    fn stream_cell(
+        &self,
+        spec: &SweepSpec,
+        cell: &SweepCell,
+        opts: &SweepOptions,
+        cache: &std::sync::Arc<TopologyCache>,
+        tmp: &Path,
+    ) -> Result<(), SweepError> {
+        let mut w = BufWriter::new(fs::File::create(tmp)?);
+        let header = HeaderRecord {
+            kind: "header".to_owned(),
+            schema: CELL_SCHEMA.to_owned(),
+            cell: cell.id.clone(),
+            label: cell.label.clone(),
+            reps: spec.reps,
+            master_seed: spec.master_seed,
+        };
+        serde_json::to_writer(&mut w, &header)?;
+        w.write_all(b"\n")?;
+
+        let plan = ExperimentPlan::new(spec.reps)
+            .master_seed(spec.master_seed)
+            .threads(opts.rep_threads.max(1))
+            .retain_runs(false)
+            .fel(opts.fel)
+            .observer_handle(opts.observer.clone())
+            .topology_cache(cache.clone());
+
+        // The sink cannot return errors; park the first one and fail the
+        // cell afterwards.
+        let mut sink_err: Option<SweepError> = None;
+        let result = plan.run_with_sink(&cell.config, |rep, run| {
+            if sink_err.is_some() {
+                return;
+            }
+            let record = RepRecord {
+                kind: "rep".to_owned(),
+                rep,
+                seed: derive_seed(spec.master_seed, rep),
+                final_infected: run.final_infected,
+                series: run.series.clone(),
+            };
+            let write = serde_json::to_writer(&mut w, &record)
+                .map_err(SweepError::from)
+                .and_then(|()| w.write_all(b"\n").map_err(SweepError::from));
+            if let Err(e) = write {
+                sink_err = Some(e);
+            }
+        })?;
+        if let Some(e) = sink_err {
+            return Err(e);
+        }
+
+        let tail = AggregateRecord {
+            kind: "aggregate".to_owned(),
+            aggregate: result.aggregate,
+            final_infected: result.final_infected,
+        };
+        serde_json::to_writer(&mut w, &tail)?;
+        w.write_all(b"\n")?;
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Loads a completed cell's aggregate back from its series file.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] when the cell has no completed file,
+    /// [`SweepError::Store`] when the file is malformed.
+    pub fn load_cell(&self, cell: &SweepCell) -> Result<CellResult, SweepError> {
+        let path = self.cell_path(&cell.id);
+        let text = fs::read_to_string(&path)?;
+        let last = text
+            .lines()
+            .rev()
+            .find(|l| !l.trim().is_empty())
+            .ok_or_else(|| SweepError::Store(format!("{}: empty cell file", path.display())))?;
+        let tail: AggregateRecord = serde_json::from_str(last).map_err(|e| {
+            SweepError::Store(format!("{}: unreadable aggregate line: {e}", path.display()))
+        })?;
+        if tail.kind != "aggregate" {
+            return Err(SweepError::Store(format!(
+                "{}: last line is {:?}, not an aggregate (file truncated?)",
+                path.display(),
+                tail.kind
+            )));
+        }
+        Ok(CellResult {
+            id: cell.id.clone(),
+            label: cell.label.clone(),
+            aggregate: tail.aggregate,
+            final_infected: tail.final_infected,
+        })
+    }
+}
+
+/// Launches (or re-launches) `spec` into the store at `dir`.
+///
+/// Completed cells are skipped; incomplete cells are executed by a
+/// work-stealing pool of [`SweepOptions::cell_workers`] threads sharing
+/// one [`TopologyCache`]. Because a cell file only appears via atomic
+/// rename after its last byte is written, a killed run leaves either a
+/// complete cell or no cell — never a torn one — and re-launching
+/// produces byte-identical files to an uninterrupted run.
+///
+/// # Errors
+///
+/// [`SweepError::Store`] when `dir` holds a different sweep,
+/// [`SweepError::Config`] when a cell's scenario is invalid or a
+/// replication fails (lowest-indexed failing cell wins, at every worker
+/// count), [`SweepError::Io`] on filesystem failure.
+pub fn run_sweep(
+    spec: &SweepSpec,
+    dir: &Path,
+    opts: &SweepOptions,
+) -> Result<SweepReport, SweepError> {
+    spec.validate()?;
+    let store = ResultsStore::init(dir, spec)?;
+    execute(&store, spec, opts)
+}
+
+/// Re-opens the store at `dir` and finishes its sweep (skipping
+/// completed cells). Equivalent to [`run_sweep`] with the manifest's own
+/// spec.
+///
+/// # Errors
+///
+/// Same contract as [`run_sweep`]; additionally [`SweepError::Io`] when
+/// `dir` has no manifest.
+pub fn resume_sweep(dir: &Path, opts: &SweepOptions) -> Result<SweepReport, SweepError> {
+    let (store, spec) = ResultsStore::open(dir)?;
+    execute(&store, &spec, opts)
+}
+
+fn execute(
+    store: &ResultsStore,
+    spec: &SweepSpec,
+    opts: &SweepOptions,
+) -> Result<SweepReport, SweepError> {
+    let mut pending: Vec<usize> =
+        (0..spec.cells.len()).filter(|&i| !store.is_complete(&spec.cells[i].id)).collect();
+    let skipped = spec.cells.len() - pending.len();
+    let mut deferred = 0;
+    if let Some(max) = opts.max_cells {
+        deferred = pending.len().saturating_sub(max);
+        pending.truncate(max);
+    }
+
+    let cache = TopologyCache::shared();
+    // Work-stealing over the pending list: workers claim the next index
+    // from a shared counter, so slow cells never hold up the rest.
+    let claim = AtomicUsize::new(0);
+    let failed = AtomicBool::new(false);
+    // Lowest-indexed failing cell wins, independent of worker count.
+    let first_error: Mutex<Option<(usize, SweepError)>> = Mutex::new(None);
+    let workers = opts.cell_workers.max(1).min(pending.len().max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                if failed.load(Ordering::Relaxed) {
+                    return;
+                }
+                let slot = claim.fetch_add(1, Ordering::Relaxed);
+                let Some(&cell_idx) = pending.get(slot) else { return };
+                let cell = &spec.cells[cell_idx];
+                if let Err(e) = store.execute_cell(spec, cell, opts, &cache) {
+                    failed.store(true, Ordering::Relaxed);
+                    let mut first = first_error.lock().expect("error slot poisoned");
+                    if first.as_ref().is_none_or(|(prev, _)| cell_idx < *prev) {
+                        *first = Some((cell_idx, e));
+                    }
+                }
+            });
+        }
+    });
+
+    if let Some((_, e)) = first_error.into_inner().expect("error slot poisoned") {
+        return Err(e);
+    }
+
+    let mut cells = Vec::new();
+    for cell in &spec.cells {
+        if store.is_complete(&cell.id) {
+            cells.push(store.load_cell(cell)?);
+        }
+    }
+    Ok(SweepReport {
+        spec: spec.clone(),
+        executed: pending.len(),
+        skipped,
+        remaining: deferred,
+        cells,
+        cache: cache.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PopulationConfig;
+    use crate::virus::VirusProfile;
+    use mpvsim_des::{DelaySpec, SimDuration};
+    use mpvsim_topology::GraphSpec;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mpvsim-sweep-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_cell(id: &str, seed_virus: VirusProfile) -> SweepCell {
+        let mut c = ScenarioConfig::baseline(seed_virus);
+        c.population = PopulationConfig {
+            topology: GraphSpec::erdos_renyi(40, 6.0),
+            vulnerable_fraction: 0.8,
+        };
+        c.behavior.read_delay = DelaySpec::constant(SimDuration::from_mins(5));
+        c.horizon = SimDuration::from_hours(4);
+        SweepCell { id: id.to_owned(), label: id.to_owned(), config: c }
+    }
+
+    #[test]
+    fn slugify_is_filename_safe() {
+        assert_eq!(slugify("30-Minute Wait"), "30-minute-wait");
+        assert_eq!(slugify("Virus 1 | baseline"), "virus-1-baseline");
+        assert_eq!(slugify("0.95 Accuracy"), "0-95-accuracy");
+        assert_eq!(slugify("  weird  "), "weird");
+    }
+
+    #[test]
+    fn spec_rejects_duplicate_and_unsafe_ids() {
+        let a = tiny_cell("a", VirusProfile::virus3());
+        let dup = SweepSpec::new("s", 1, 1, vec![a.clone(), a.clone()]);
+        assert!(matches!(dup, Err(SweepError::Store(_))));
+        let mut bad = a.clone();
+        bad.id = "not/safe".to_owned();
+        assert!(matches!(SweepSpec::new("s", 1, 1, vec![bad]), Err(SweepError::Store(_))));
+        assert!(SweepSpec::new("s", 1, 1, vec![a]).is_ok());
+    }
+
+    #[test]
+    fn from_studies_ids_are_unique_and_stable() {
+        let opts = FigureOptions { population: 40, reps: 2, ..FigureOptions::default() };
+        let spec =
+            SweepSpec::from_studies("all", &StudyId::all(), &opts).expect("ids must not collide");
+        assert!(spec.cells.len() > 50, "16 studies make many cells");
+        assert_eq!(spec.reps, 2);
+        assert!(spec.cells.iter().any(|c| c.id == "fig1_baseline.00-virus-1"));
+        assert!(spec.cells.iter().any(|c| c.id.starts_with("matrix.")));
+    }
+
+    #[test]
+    fn store_rejects_a_different_sweep() {
+        let dir = tmp_dir("mismatch");
+        let spec_a =
+            SweepSpec::new("a", 1, 7, vec![tiny_cell("x", VirusProfile::virus3())]).unwrap();
+        let spec_b =
+            SweepSpec::new("b", 2, 8, vec![tiny_cell("y", VirusProfile::virus3())]).unwrap();
+        ResultsStore::init(&dir, &spec_a).unwrap();
+        let err = ResultsStore::init(&dir, &spec_b).unwrap_err();
+        assert!(matches!(err, SweepError::Store(_)), "got {err}");
+        // Same spec re-opens fine.
+        ResultsStore::init(&dir, &spec_a).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn run_skips_completed_cells_and_loads_them_back() {
+        let dir = tmp_dir("skip");
+        let spec = SweepSpec::new(
+            "two",
+            2,
+            11,
+            vec![tiny_cell("c0", VirusProfile::virus3()), tiny_cell("c1", VirusProfile::virus1())],
+        )
+        .unwrap();
+        let opts = SweepOptions { cell_workers: 2, ..SweepOptions::default() };
+        let first = run_sweep(&spec, &dir, &opts).unwrap();
+        assert_eq!((first.executed, first.skipped, first.remaining), (2, 0, 0));
+        assert_eq!(first.cells.len(), 2);
+        let again = run_sweep(&spec, &dir, &opts).unwrap();
+        assert_eq!((again.executed, again.skipped, again.remaining), (0, 2, 0));
+        assert_eq!(again.cells, first.cells, "reloaded results must match");
+        assert_eq!(again.cache.misses, 0, "nothing ran, nothing generated");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn max_cells_interrupts_and_reports_remaining() {
+        let dir = tmp_dir("interrupt");
+        let spec = SweepSpec::new(
+            "three",
+            1,
+            5,
+            vec![
+                tiny_cell("c0", VirusProfile::virus3()),
+                tiny_cell("c1", VirusProfile::virus1()),
+                tiny_cell("c2", VirusProfile::virus2()),
+            ],
+        )
+        .unwrap();
+        let interrupted = run_sweep(
+            &spec,
+            &dir,
+            &SweepOptions { max_cells: Some(1), cell_workers: 1, ..SweepOptions::default() },
+        )
+        .unwrap();
+        assert_eq!((interrupted.executed, interrupted.skipped, interrupted.remaining), (1, 0, 2));
+        assert_eq!(interrupted.cells.len(), 1);
+        let finished = resume_sweep(&dir, &SweepOptions::default()).unwrap();
+        assert_eq!((finished.executed, finished.skipped, finished.remaining), (2, 1, 0));
+        assert_eq!(finished.cells.len(), 3);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failing_cell_reports_lowest_index_and_leaves_no_torn_files() {
+        let dir = tmp_dir("fail");
+        let mut bad0 = tiny_cell("a-bad", VirusProfile::virus3());
+        bad0.config.initial_infections = 0; // invalid
+        let mut bad1 = tiny_cell("z-bad", VirusProfile::virus3());
+        bad1.config.initial_infections = 0;
+        let spec = SweepSpec::new(
+            "failing",
+            1,
+            3,
+            vec![bad0, tiny_cell("ok", VirusProfile::virus3()), bad1],
+        )
+        .unwrap();
+        for workers in [1, 3] {
+            let _ = fs::remove_dir_all(&dir);
+            let err = run_sweep(
+                &spec,
+                &dir,
+                &SweepOptions { cell_workers: workers, ..SweepOptions::default() },
+            )
+            .unwrap_err();
+            let SweepError::Config(e) = err else { panic!("expected config error, got {err}") };
+            assert!(e.0.contains("initial"), "lowest-index cell's error, got: {e}");
+        }
+        // No .tmp litter in the cells directory.
+        for entry in fs::read_dir(dir.join("cells")).unwrap() {
+            let name = entry.unwrap().file_name();
+            assert!(
+                !name.to_string_lossy().ends_with(".tmp"),
+                "torn temp file left behind: {name:?}"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_network_cells_hit_the_cache() {
+        let dir = tmp_dir("cache");
+        // Three cells, same population spec ⇒ same (spec, seed) networks.
+        let mut c1 = tiny_cell("base", VirusProfile::virus3());
+        let mut c2 = tiny_cell("edu", VirusProfile::virus3());
+        c2.config.response = crate::response::ResponseConfig::none()
+            .with_education(crate::response::UserEducation { acceptance_scale: 0.5 });
+        let mut c3 = tiny_cell("bl", VirusProfile::virus3());
+        c3.config.response = crate::response::ResponseConfig::none()
+            .with_blacklist(crate::response::Blacklist { threshold: 10 });
+        c1.label = "baseline".to_owned();
+        c2.label = "education".to_owned();
+        c3.label = "blacklist".to_owned();
+        let spec = SweepSpec::new("cached", 2, 13, vec![c1, c2, c3]).unwrap();
+        let report = run_sweep(&spec, &dir, &SweepOptions::default()).unwrap();
+        // 2 seeds × 1 spec = 2 distinct networks; 3 cells × 2 reps = 6 lookups.
+        assert_eq!(report.cache.misses, 2, "one generation per (spec, seed)");
+        assert_eq!(report.cache.hits, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

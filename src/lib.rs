@@ -42,11 +42,13 @@
 //! ## Reproducing the paper's figures
 //!
 //! Each figure of the evaluation section has a definition in
-//! [`core::figures`] and a binary in the `mpvsim-cli` crate:
+//! [`core::figures`], a stable name in the [`core::studies`] registry,
+//! and is runnable through the unified `mpvsim` binary:
 //!
 //! ```text
-//! cargo run --release -p mpvsim-cli --bin fig1_baseline
-//! cargo run --release -p mpvsim-cli --bin all_figures -- --reps 10
+//! cargo run --release -p mpvsim-cli --bin mpvsim -- study fig1_baseline
+//! cargo run --release -p mpvsim-cli --bin mpvsim -- all --reps 10
+//! cargo run --release -p mpvsim-cli --bin mpvsim -- sweep run --dir sweep-out
 //! ```
 
 #![forbid(unsafe_code)]
@@ -61,14 +63,14 @@ pub use mpvsim_topology as topology;
 
 /// The most commonly used items, importable with one `use`.
 pub mod prelude {
-    #[allow(deprecated)]
-    pub use mpvsim_core::{run_experiment, run_experiment_adaptive};
     pub use mpvsim_core::{
-        run_scenario, run_scenario_with_metrics, run_scenario_with_metrics_fel, AcceptanceModel,
-        AdaptiveResult, BehaviorConfig, Blacklist, BluetoothVector, ConfigError,
-        DetectionAlgorithm, ExperimentPlan, ExperimentResult, Immunization, MobilityConfig,
-        Monitoring, PopulationConfig, ResponseConfig, RolloutOrder, RunResult, ScenarioConfig,
-        SendQuota, SignatureScan, TargetingStrategy, UserEducation, VirusProfile,
+        resume_sweep, run_scenario, run_scenario_cached, run_scenario_with_metrics,
+        run_scenario_with_metrics_fel, run_sweep, AcceptanceModel, AdaptiveResult, BehaviorConfig,
+        Blacklist, BluetoothVector, ConfigError, DetectionAlgorithm, ExperimentPlan,
+        ExperimentResult, Immunization, MobilityConfig, Monitoring, PopulationConfig,
+        ResponseConfig, RolloutOrder, RunResult, ScenarioConfig, SendQuota, SignatureScan, StudyId,
+        StudyKind, SweepOptions, SweepSpec, TargetingStrategy, TopologyCache, UserEducation,
+        VirusProfile,
     };
     pub use mpvsim_des::{
         DelaySpec, ExperimentMetrics, ExperimentObserver, FelKind, JsonlObserver, NoopObserver,

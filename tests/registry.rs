@@ -1,0 +1,111 @@
+//! Integration tests: the study registry is the single source of truth.
+//!
+//! Every figure, claim check, and extension study must be reachable by
+//! stable name through [`StudyId`], and running a study through the
+//! registry must be bit-identical to calling its `figures::` entry point
+//! directly — the registry is a directory, not a different code path.
+
+use mpvsim::core::figures::{self, FigureOptions, LabeledResult};
+use mpvsim::core::studies::registry;
+use mpvsim::prelude::*;
+
+fn quick_opts() -> FigureOptions {
+    FigureOptions { reps: 2, population: 120, threads: 2, ..FigureOptions::default() }
+}
+
+#[test]
+fn registry_names_are_stable_and_unique() {
+    let names: Vec<&str> = registry().iter().map(|info| info.name).collect();
+    assert_eq!(names.len(), 16, "registry gained or lost a study");
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), names.len(), "duplicate study name in registry");
+    // The names double as CLI commands and historical binary names;
+    // renaming one is a breaking change.
+    for expected in [
+        "fig1_baseline",
+        "fig7_blacklist",
+        "blacklist_matrix",
+        "scaling",
+        "combo",
+        "ext_bluetooth",
+        "ext_false_positives",
+        "ext_rollout_order",
+        "diminishing_returns",
+        "ext_congestion",
+        "matrix",
+    ] {
+        assert!(names.contains(&expected), "registry lost {expected:?}");
+    }
+}
+
+#[test]
+fn every_name_round_trips_through_from_name() {
+    for id in StudyId::all() {
+        assert_eq!(StudyId::from_name(id.name()), Some(id));
+        assert!(!id.title().is_empty());
+    }
+    assert_eq!(StudyId::from_name("no_such_study"), None);
+    assert_eq!(StudyId::all().len(), registry().len());
+}
+
+#[test]
+fn kinds_partition_the_registry() {
+    let count = |kind: StudyKind| StudyId::all().iter().filter(|id| id.kind() == kind).count();
+    assert_eq!(count(StudyKind::Figure), 7, "the paper has seven figures");
+    assert_eq!(count(StudyKind::Claim), 3);
+    assert_eq!(count(StudyKind::Extension), 6);
+}
+
+#[test]
+fn every_study_declares_cells() {
+    let opts = quick_opts();
+    for id in StudyId::all() {
+        let cells = id.cells(&opts);
+        assert!(!cells.is_empty(), "{} declares no cells", id.name());
+        for cell in &cells {
+            assert!(!cell.label.is_empty(), "{} has an unlabelled cell", id.name());
+            cell.config
+                .validate()
+                .unwrap_or_else(|e| panic!("{} cell {:?} is invalid: {e}", id.name(), cell.label));
+        }
+    }
+}
+
+fn assert_bit_identical(via_registry: &[LabeledResult], direct: &[LabeledResult], name: &str) {
+    assert_eq!(via_registry.len(), direct.len(), "{name}: cell count differs");
+    for (a, b) in via_registry.iter().zip(direct) {
+        assert_eq!(a.label, b.label, "{name}: labels differ");
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&a.result.aggregate.mean),
+            bits(&b.result.aggregate.mean),
+            "{name} {:?}: registry and direct means differ",
+            a.label
+        );
+        assert_eq!(
+            bits(&a.result.aggregate.ci95_half_width),
+            bits(&b.result.aggregate.ci95_half_width),
+            "{name} {:?}: confidence bands differ",
+            a.label
+        );
+        assert_eq!(a.result.final_infected, b.result.final_infected);
+    }
+}
+
+#[test]
+fn registry_run_matches_direct_figure_call() {
+    let opts = quick_opts();
+    let direct = figures::fig1_baseline(&opts).expect("valid");
+    let via = StudyId::from_name("fig1_baseline").expect("registered").run(&opts).expect("valid");
+    assert_bit_identical(&via, &direct, "fig1_baseline");
+}
+
+#[test]
+fn registry_run_matches_direct_extension_call() {
+    let opts = quick_opts();
+    let direct = figures::congestion_study(&opts).expect("valid");
+    let via = StudyId::from_name("ext_congestion").expect("registered").run(&opts).expect("valid");
+    assert_bit_identical(&via, &direct, "ext_congestion");
+}

@@ -1,0 +1,133 @@
+//! Integration tests: the sweep store is a checkpoint, not a cache.
+//!
+//! An interrupted sweep that is resumed must leave the results directory
+//! byte-identical to an uninterrupted run of the same spec — same
+//! manifest, same cell files, same aggregates down to the last f64 bit.
+//! That property is what lets a killed overnight sweep be restarted
+//! without invalidating anything already on disk.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use mpvsim::core::figures::FigureOptions;
+use mpvsim::core::sweep::{resume_sweep, run_sweep, SweepOptions, SweepReport, SweepSpec};
+use mpvsim::prelude::*;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpvsim-sweep-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn small_spec(name: &str) -> SweepSpec {
+    let opts = FigureOptions { reps: 2, population: 120, ..FigureOptions::default() };
+    let studies = [StudyId::from_name("fig7_blacklist").expect("registered")];
+    SweepSpec::from_studies(name, &studies, &opts).expect("valid spec")
+}
+
+fn sweep_opts() -> SweepOptions {
+    SweepOptions { cell_workers: 2, rep_threads: 1, ..SweepOptions::default() }
+}
+
+fn aggregate_bits(report: &SweepReport) -> Vec<(String, Vec<u64>, Vec<u64>)> {
+    report
+        .cells
+        .iter()
+        .map(|c| {
+            (
+                c.id.clone(),
+                c.aggregate.mean.iter().map(|x| x.to_bits()).collect(),
+                c.aggregate.ci95_half_width.iter().map(|x| x.to_bits()).collect(),
+            )
+        })
+        .collect()
+}
+
+/// Every file under `dir`, relative path → raw bytes, sorted by path.
+fn snapshot(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    fn walk(root: &Path, dir: &Path, out: &mut Vec<(String, Vec<u8>)>) {
+        for entry in fs::read_dir(dir).expect("readable dir") {
+            let path = entry.expect("entry").path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path.strip_prefix(root).expect("under root");
+                out.push((
+                    rel.to_string_lossy().into_owned(),
+                    fs::read(&path).expect("readable file"),
+                ));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(dir, dir, &mut out);
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[test]
+fn interrupted_then_resumed_sweep_is_byte_identical_to_uninterrupted() {
+    let spec = small_spec("resume-parity");
+    let dir_full = tmp_dir("full");
+    let dir_cut = tmp_dir("cut");
+
+    // Reference: one uninterrupted run.
+    let full = run_sweep(&spec, &dir_full, &sweep_opts()).expect("sweep runs");
+    assert_eq!(full.remaining, 0);
+    assert_eq!(full.executed, spec.cells.len());
+
+    // Interrupt after two cells (the in-process stand-in for a kill)...
+    let cut = run_sweep(&spec, &dir_cut, &SweepOptions { max_cells: Some(2), ..sweep_opts() })
+        .expect("sweep starts");
+    assert_eq!(cut.executed, 2);
+    assert!(cut.remaining > 0, "interruption should leave work behind");
+
+    // ...then resume from the store alone (no spec in hand).
+    let resumed = resume_sweep(&dir_cut, &sweep_opts()).expect("sweep resumes");
+    assert_eq!(resumed.skipped, 2, "completed cells must not re-run");
+    assert_eq!(resumed.remaining, 0);
+    assert_eq!(resumed.executed, spec.cells.len() - 2);
+
+    // The reports agree to the bit...
+    assert_eq!(aggregate_bits(&full), aggregate_bits(&resumed));
+    // ...and so does everything on disk, byte for byte.
+    let a = snapshot(&dir_full);
+    let b = snapshot(&dir_cut);
+    let names = |s: &[(String, Vec<u8>)]| s.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+    assert_eq!(names(&a), names(&b), "store layouts differ");
+    for ((name, bytes_a), (_, bytes_b)) in a.iter().zip(&b) {
+        assert_eq!(bytes_a, bytes_b, "{name} differs between full and resumed runs");
+    }
+
+    let _ = fs::remove_dir_all(&dir_full);
+    let _ = fs::remove_dir_all(&dir_cut);
+}
+
+#[test]
+fn rerunning_a_complete_sweep_executes_nothing() {
+    let spec = small_spec("idempotent");
+    let dir = tmp_dir("idempotent");
+
+    let first = run_sweep(&spec, &dir, &sweep_opts()).expect("sweep runs");
+    assert_eq!(first.remaining, 0);
+    assert!(first.cache.hits > 0, "fig7 cells share one network; the topology cache must get hits");
+
+    let again = run_sweep(&spec, &dir, &sweep_opts()).expect("re-entry is safe");
+    assert_eq!(again.executed, 0);
+    assert_eq!(again.skipped, spec.cells.len());
+    assert_eq!(aggregate_bits(&first), aggregate_bits(&again));
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn store_refuses_a_different_spec() {
+    let dir = tmp_dir("mismatch");
+    run_sweep(&small_spec("original"), &dir, &sweep_opts()).expect("sweep runs");
+
+    let err = run_sweep(&small_spec("imposter"), &dir, &sweep_opts())
+        .expect_err("a different spec must not reuse the store");
+    assert!(err.to_string().contains("different sweep"), "unexpected error: {err}");
+
+    let _ = fs::remove_dir_all(&dir);
+}
