@@ -15,11 +15,13 @@
 //! without touching this module.
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use mpvsim_core::figures::LabeledResult;
+use mpvsim_core::figures::{FigureOptions, LabeledResult};
 use mpvsim_core::studies::{registry, StudyId, StudyKind};
-use mpvsim_core::sweep::{resume_sweep, run_sweep, SweepOptions, SweepReport, SweepSpec};
+use mpvsim_core::sweep::{resume_sweep, run_sweep, slugify, SweepOptions, SweepReport, SweepSpec};
+use mpvsim_core::{run_scenario_probed, ProbeKind, ProbeOutput, TopologyCache};
+use mpvsim_des::seed::derive_seed;
 
 use crate::{parse_options, render_report, usage, write_json_report, CliOptions};
 
@@ -30,6 +32,7 @@ commands:
   study <name>         run one study; see `mpvsim list` for names
   all                  run every registered study in sequence
   report               verify the paper's claims (PASS/FAIL scorecard)
+  trace <study>        record transmission chains + event timelines for a study
   ablations            run the sensitivity/ablation studies
   perfsuite            benchmark the figure workloads under each FEL backend
   sweep run            execute a sweep of studies into a results store
@@ -40,9 +43,9 @@ run `mpvsim <command> --help` (or pass bad flags) for per-command usage.
 const SWEEP_USAGE: &str = "\
 usage: mpvsim sweep run --dir PATH [--name N] [--study NAME]... [--reps N]
                         [--seed S] [--population P] [--cell-workers W]
-                        [--rep-threads T] [--max-cells K] [--quick]
+                        [--rep-threads T] [--max-cells K] [--probe KIND] [--quick]
        mpvsim sweep resume --dir PATH [--cell-workers W] [--rep-threads T]
-                        [--max-cells K]
+                        [--max-cells K] [--probe KIND]
   --dir PATH           results store directory (manifest + one file per cell)
   --name N             sweep name recorded in the manifest (default: studies)
   --study NAME         include only this study (repeatable; default: all)
@@ -52,7 +55,23 @@ usage: mpvsim sweep run --dir PATH [--name N] [--study NAME]... [--reps N]
   --cell-workers W     cells executed concurrently (default 4)
   --rep-threads T      threads within each cell's replications (default 1)
   --max-cells K        stop after K newly-completed cells (CI interrupt knob)
+  --probe KIND         attach a probe to every replication (telemetry adds
+                       per-mechanism records to the store; see `mpvsim trace`)
   --quick              smoke-test scale: 2 reps, population 250
+";
+
+const TRACE_USAGE: &str = "\
+usage: mpvsim trace <study> [--out DIR] [shared flags]
+  --out DIR            output directory (default: traces)
+Runs every cell of the study with the transmission-chain probe, re-runs
+replication 0 with the bounded event-trace probe, and writes per cell:
+  <DIR>/<study>/<cell>.chain.json   JSON array, one who-infected-whom tree +
+                                    empirical R(t) record per replication
+  <DIR>/<study>/<cell>.trace.json   Chrome trace-event JSON for replication 0
+                                    (load in Perfetto or chrome://tracing)
+  <DIR>/<study>/<cell>.trace.jsonl  raw replication-0 event lines for jq/pandas
+Shared flags (--reps, --seed, --population, ...) as for `mpvsim study`,
+except --probe: trace always uses the chain and event-trace probes.
 ";
 
 /// Entry point of the `mpvsim` binary: dispatch and exit.
@@ -75,6 +94,7 @@ pub fn run(args: &[String]) -> i32 {
         "study" => cmd_study(rest),
         "all" => cmd_all(rest),
         "report" => cmd_report(rest),
+        "trace" => cmd_trace(rest),
         "ablations" => cmd_ablations(rest),
         "perfsuite" => crate::perfsuite::run(rest),
         "sweep" => cmd_sweep(rest),
@@ -274,6 +294,176 @@ fn cmd_ablations(args: &[String]) -> i32 {
     0
 }
 
+// ------------------------------------------------------------- tracing
+
+fn cmd_trace(args: &[String]) -> i32 {
+    let Some((name, rest)) = args.split_first() else {
+        eprint!("{TRACE_USAGE}");
+        return 2;
+    };
+    let Some(id) = StudyId::from_name(name) else {
+        eprintln!("unknown study {name:?}; see `mpvsim list`");
+        return 2;
+    };
+    let mut out_dir = PathBuf::from("traces");
+    let mut shared = Vec::new();
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            let Some(v) = it.next() else {
+                eprintln!("--out needs a path\n{TRACE_USAGE}");
+                return 2;
+            };
+            out_dir = PathBuf::from(v);
+        } else if arg == "--probe" {
+            eprintln!("trace always uses the chain and event-trace probes; --probe is not accepted\n{TRACE_USAGE}");
+            return 2;
+        } else {
+            shared.push(arg.clone());
+        }
+    }
+    let cli = match parse_options(shared.into_iter()) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    let mut opts = match cli.figure_with_observer() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("{e}");
+            return 1;
+        }
+    };
+    opts.probe = ProbeKind::Chain;
+    opts.topology_cache = Some(TopologyCache::shared());
+    let dir = out_dir.join(id.name());
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("cannot create {}: {e}", dir.display());
+        return 1;
+    }
+    eprintln!(
+        "tracing {}: {} replications, seed {}, population {}",
+        id.title(),
+        opts.reps,
+        opts.master_seed,
+        opts.population
+    );
+    match trace_study(id, &opts, &dir) {
+        Ok(text) => {
+            print!("{text}");
+            0
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
+}
+
+/// Median of each chain's time to `n` cumulative infections, over the
+/// replications that reached `n` at all.
+fn median_time_to(chains: &[&mpvsim_core::ChainRecord], n: usize) -> Option<f64> {
+    let mut times: Vec<f64> = chains.iter().filter_map(|c| c.time_to_n(n)).collect();
+    if times.is_empty() {
+        return None;
+    }
+    times.sort_by(f64::total_cmp);
+    Some(times[times.len() / 2])
+}
+
+/// Runs one study instrumented — the chain probe over every replication,
+/// the event-trace probe over replication 0 — writing the per-cell
+/// artifacts into `dir` and returning the terminal report.
+fn trace_study(id: StudyId, opts: &FigureOptions, dir: &Path) -> Result<String, String> {
+    let targets = [2usize.max(opts.population / 100), opts.population / 10, opts.population / 2];
+    let mut out = String::new();
+    let _ = writeln!(out, "== Trace — {} ==\n", id.title());
+    let _ = write!(out, "{:<28} {:>6} {:>8} {:>7}", "cell", "reps", "infected", "peak R");
+    for t in targets {
+        let _ = write!(out, " {:>12}", format!("t({t}) p50 h"));
+    }
+    let _ = writeln!(out, " {:>10}", "trace ev");
+    let mut files = 0usize;
+    let cells = id.cells(opts);
+    for cell in &cells {
+        let slug = slugify(&cell.label);
+        let write_file = |suffix: &str, bytes: &[u8]| -> Result<(), String> {
+            let path = dir.join(format!("{slug}.{suffix}"));
+            std::fs::write(&path, bytes)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))
+        };
+
+        // Chains over every replication.
+        let result = opts.plan().run(&cell.config).map_err(|e| format!("{}: {e}", cell.label))?;
+        let chains: Vec<&mpvsim_core::ChainRecord> = result
+            .runs
+            .iter()
+            .filter_map(|r| r.probe.as_ref().and_then(ProbeOutput::as_chain))
+            .collect();
+        if chains.is_empty() {
+            return Err("chain probe produced no record".to_owned());
+        }
+        let chain_json = serde_json::to_vec_pretty(&chains)
+            .map_err(|e| format!("serialize chain records: {e}"))?;
+        write_file("chain.json", &chain_json)?;
+
+        // Replication 0 again, recording the event timeline.
+        let seed0 = derive_seed(opts.master_seed, 0);
+        let (run0, _) = run_scenario_probed(
+            &cell.config,
+            seed0,
+            opts.fel,
+            opts.topology_cache.as_deref(),
+            ProbeKind::Trace,
+        )
+        .map_err(|e| format!("{}: {e}", cell.label))?;
+        let trace = run0
+            .probe
+            .as_ref()
+            .and_then(ProbeOutput::as_trace)
+            .ok_or_else(|| "trace probe produced no record".to_owned())?;
+        write_file("trace.json", trace.to_chrome_trace_json().as_bytes())?;
+        write_file("trace.jsonl", trace.to_jsonl().as_bytes())?;
+        files += 3;
+
+        let mean_infected =
+            chains.iter().map(|c| c.total_infections()).sum::<usize>() as f64 / chains.len() as f64;
+        let peak_r = chains.iter().map(|c| c.peak_r()).fold(0.0, f64::max);
+        let _ = write!(
+            out,
+            "{:<28} {:>6} {:>8.1} {:>7.2}",
+            cell.label,
+            chains.len(),
+            mean_infected,
+            peak_r
+        );
+        for t in targets {
+            match median_time_to(&chains, t) {
+                Some(h) => {
+                    let _ = write!(out, " {h:>12.1}");
+                }
+                None => {
+                    let _ = write!(out, " {:>12}", "-");
+                }
+            }
+        }
+        let _ = write!(out, " {:>10}", trace.total_recorded);
+        if trace.dropped() > 0 {
+            let _ = write!(out, " ({} evicted)", trace.dropped());
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(
+        out,
+        "\nwrote {files} files to {} — load a .trace.json in Perfetto or \
+         chrome://tracing",
+        dir.display()
+    );
+    Ok(out)
+}
+
 // ------------------------------------------------------------- sweeps
 
 #[derive(Debug)]
@@ -308,6 +498,14 @@ fn parse_sweep_args(args: &[String], resume: bool) -> Result<SweepArgs, String> 
             "--quick" if !resume => {
                 figure.reps = 2;
                 figure.population = 250;
+            }
+            // Execution knob, so legal on resume too — but a different
+            // probe than the original run adds/omits telemetry records in
+            // the cells completed after the resume.
+            "--probe" => {
+                let v = value("--probe")?;
+                sweep.probe = ProbeKind::from_name(&v)
+                    .ok_or_else(|| format!("unknown probe {v:?}\n{SWEEP_USAGE}"))?;
             }
             "--reps" | "--seed" | "--population" | "--cell-workers" | "--rep-threads"
             | "--max-cells" => {
@@ -409,6 +607,24 @@ pub fn render_sweep_report(report: &SweepReport) -> String {
             cell.final_infected.mean,
             cell.final_infected.ci95_half_width
         );
+    }
+    if report.cells.iter().any(|c| c.telemetry.is_some()) {
+        let _ = writeln!(
+            out,
+            "\n{:<44} {:>8} {:>8} {:>8} {:>8} {:>9}",
+            "mechanism telemetry (totals)", "sent", "blocked", "infect", "patch", "throttle"
+        );
+        for cell in &report.cells {
+            if let Some(telemetry) = &cell.telemetry {
+                let t = telemetry.totals();
+                let blocked = t.blocked_by_scan + t.blocked_by_detection + t.blocked_by_blacklist;
+                let _ = writeln!(
+                    out,
+                    "{:<44} {:>8} {:>8} {:>8} {:>8} {:>9}",
+                    cell.id, t.messages_sent, blocked, t.infections, t.patches_applied, t.throttles
+                );
+            }
+        }
     }
     if report.remaining > 0 {
         let _ = writeln!(
@@ -615,6 +831,66 @@ mod tests {
         let resumed =
             parse_sweep_args(&args(&["--dir", "d", "--cell-workers", "2"]), true).unwrap();
         assert_eq!(resumed.sweep.cell_workers, 2);
+    }
+
+    #[test]
+    fn sweep_args_parse_probe_and_reject_unknown_kinds() {
+        let args = |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
+        let parsed =
+            parse_sweep_args(&args(&["--dir", "d", "--probe", "telemetry"]), false).unwrap();
+        assert_eq!(parsed.sweep.probe, ProbeKind::Telemetry);
+        assert!(parse_sweep_args(&args(&["--dir", "d", "--probe", "nope"]), false).is_err());
+        // Probe is an execution knob, so resume accepts it too.
+        let resumed = parse_sweep_args(&args(&["--dir", "d", "--probe", "noop"]), true).unwrap();
+        assert_eq!(resumed.sweep.probe, ProbeKind::Noop);
+    }
+
+    #[test]
+    fn trace_command_writes_chain_and_perfetto_files() {
+        let dir = std::env::temp_dir().join(format!("mpvsim-cli-trace-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args: Vec<String> = [
+            "trace",
+            "fig7_blacklist",
+            "--out",
+            dir.to_str().unwrap(),
+            "--reps",
+            "2",
+            "--population",
+            "30",
+            "--threads",
+            "1",
+            "--seed",
+            "5",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(run(&args), 0);
+        let cell_dir = dir.join("fig7_blacklist");
+        // Fig 7 has a Baseline cell; its three artifacts must exist.
+        let chain = std::fs::read_to_string(cell_dir.join("baseline.chain.json")).unwrap();
+        let chains: serde_json::Value = serde_json::from_str(&chain).unwrap();
+        let chains = chains.as_array().expect("one chain record per replication");
+        assert_eq!(chains.len(), 2, "--reps 2 must yield two chain records");
+        for chain in chains {
+            assert!(chain["infections"].as_array().is_some_and(|v| !v.is_empty()));
+            assert!(chain["infections"][0]["infector"].is_null(), "seed has no infector");
+        }
+        let trace = std::fs::read_to_string(cell_dir.join("baseline.trace.json")).unwrap();
+        let trace: serde_json::Value = serde_json::from_str(&trace).unwrap();
+        let events = trace["traceEvents"].as_array().unwrap();
+        assert!(!events.is_empty());
+        assert_eq!(events[0]["ph"], "i", "Chrome trace instant events");
+        let jsonl = std::fs::read_to_string(cell_dir.join("baseline.trace.jsonl")).unwrap();
+        for line in jsonl.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSONL");
+            assert!(v["event"].is_string());
+        }
+        // Bad invocations exit with a usage error.
+        assert_eq!(run(&["trace".to_owned()]), 2);
+        assert_eq!(run(&["trace".to_owned(), "nope".to_owned()]), 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

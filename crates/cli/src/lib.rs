@@ -26,6 +26,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use mpvsim_core::figures::{FigureOptions, LabeledResult};
+use mpvsim_core::{MechanismTelemetry, ProbeKind};
 use mpvsim_des::{FanoutObserver, JsonlObserver, ObserverHandle, ProgressObserver};
 use mpvsim_stats::render::{ascii_chart, to_csv};
 use mpvsim_stats::TimeSeries;
@@ -43,6 +44,7 @@ const FLAGS: &[(&str, &str, &str)] = &[
     ("--progress", "", "per-replication progress on stderr"),
     ("--metrics", "PATH", "write per-replication JSONL metrics to PATH"),
     ("--json", "PATH", "archive full results (labels, aggregates, runs) as JSON"),
+    ("--probe", "KIND", "attach a probe to every replication: noop|chain|trace|telemetry"),
 ];
 
 /// The usage text generated from the flag table: a one-line synopsis plus
@@ -104,6 +106,13 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Result<CliOptions, S
                 let value =
                     args.next().ok_or_else(|| format!("--metrics needs a path\n{usage}"))?;
                 metrics_out = Some(PathBuf::from(value));
+            }
+            "--probe" => {
+                let value = args.next().ok_or_else(|| format!("--probe needs a kind\n{usage}"))?;
+                opts.probe = ProbeKind::from_name(&value).ok_or_else(|| {
+                    let names: Vec<&str> = ProbeKind::all().iter().map(|k| k.name()).collect();
+                    format!("unknown probe {value:?} (one of: {})\n{usage}", names.join(", "))
+                })?;
             }
             "--reps" | "--seed" | "--threads" | "--population" => {
                 let value = args.next().ok_or_else(|| format!("{flag} needs a value\n{usage}"))?;
@@ -250,7 +259,63 @@ pub fn render_report(title: &str, results: &[LabeledResult]) -> String {
     // CSV for external plotting.
     let _ = writeln!(out, "--- CSV ---");
     out.push_str(&to_csv(&refs));
+
+    // Mechanism telemetry, when the run carried a telemetry probe.
+    if let Some(table) = render_telemetry(results) {
+        let _ = writeln!(out);
+        out.push_str(&table);
+    }
     out
+}
+
+/// Renders the per-mechanism telemetry table for results whose runs
+/// carried a telemetry probe (`--probe telemetry`); `None` when none did.
+///
+/// Each row sums a curve's counters over its replications; the
+/// time-binned series behind them travel in the `--json` archive.
+pub fn render_telemetry(results: &[LabeledResult]) -> Option<String> {
+    let merged: Vec<(&str, MechanismTelemetry)> = results
+        .iter()
+        .filter_map(|r| {
+            let mut acc: Option<MechanismTelemetry> = None;
+            for run in &r.result.runs {
+                if let Some(t) = run.telemetry() {
+                    match acc.as_mut() {
+                        Some(m) => m.merge(t),
+                        None => acc = Some(t.clone()),
+                    }
+                }
+            }
+            acc.map(|t| (r.label.as_str(), t))
+        })
+        .collect();
+    if merged.is_empty() {
+        return None;
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "--- mechanism telemetry (totals over all replications) ---");
+    let _ = writeln!(
+        out,
+        "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9}",
+        "curve", "sent", "scan", "detect", "blist", "infect", "patch", "throttle", "wait(h)"
+    );
+    for (label, telemetry) in &merged {
+        let t = telemetry.totals();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>9} {:>9.1}",
+            label,
+            t.messages_sent,
+            t.blocked_by_scan,
+            t.blocked_by_detection,
+            t.blocked_by_blacklist,
+            t.infections,
+            t.patches_applied,
+            t.throttles,
+            t.throttle_wait_secs as f64 / 3600.0,
+        );
+    }
+    Some(out)
 }
 
 #[cfg(test)]
@@ -373,6 +438,36 @@ mod tests {
         let o = parse(&[]).unwrap();
         assert!(!o.progress);
         assert!(o.metrics_out.is_none());
+    }
+
+    #[test]
+    fn probe_flag_parses_and_rejects_unknown_kinds() {
+        let o = parse(&["--probe", "telemetry"]).unwrap();
+        assert_eq!(o.figure.probe, ProbeKind::Telemetry);
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.figure.probe, ProbeKind::None, "no probe by default");
+        let err = parse(&["--probe", "bogus"]).unwrap_err();
+        assert!(err.contains("chain"), "error should list valid kinds: {err}");
+        assert!(parse(&["--probe"]).is_err());
+    }
+
+    #[test]
+    fn telemetry_table_appears_only_for_probed_runs() {
+        let mut opts = FigureOptions {
+            reps: 2,
+            master_seed: 3,
+            threads: 1,
+            population: 30,
+            ..FigureOptions::default()
+        };
+        let plain = mpvsim_core::figures::fig7_blacklist(&opts).expect("tiny figure runs");
+        assert!(render_telemetry(&plain).is_none());
+        assert!(!render_report("Fig 7", &plain).contains("mechanism telemetry"));
+        opts.probe = ProbeKind::Telemetry;
+        let probed = mpvsim_core::figures::fig7_blacklist(&opts).expect("tiny figure runs");
+        let table = render_telemetry(&probed).expect("telemetry present");
+        assert!(table.contains("Baseline"));
+        assert!(render_report("Fig 7", &probed).contains("mechanism telemetry"));
     }
 
     #[test]

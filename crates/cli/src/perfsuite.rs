@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use mpvsim_core::figures::FigureOptions;
 use mpvsim_core::studies::{registry, StudyId, StudyKind};
-use mpvsim_core::{TopologyCache, TopologyCacheStats};
+use mpvsim_core::{ProbeKind, TopologyCache, TopologyCacheStats};
 use mpvsim_des::{ExperimentObserver, FelKind, ObserverHandle, ReplicationMetrics};
 
 /// The benchmarked studies: every figure in the registry.
@@ -31,9 +31,17 @@ fn workloads() -> Vec<StudyId> {
     registry().iter().filter(|s| s.kind == StudyKind::Figure).map(|s| s.id).collect()
 }
 
-/// Both backends every workload runs on, heap first so the comparison
-/// below reads "calendar vs heap".
-const FELS: [FelKind; 2] = [FelKind::BinaryHeap, FelKind::Calendar];
+/// Every (backend, probe) configuration a workload runs under: both
+/// backends bare (heap first, so the comparison reads "calendar vs
+/// heap"), plus the calendar backend with the do-nothing probe attached —
+/// the third run isolates the cost of probe *dispatch* (the `Option`
+/// branch + virtual call per hook), reported as the `probe_overhead`
+/// section of the JSON document.
+const RUNS: [(FelKind, ProbeKind); 3] = [
+    (FelKind::BinaryHeap, ProbeKind::None),
+    (FelKind::Calendar, ProbeKind::None),
+    (FelKind::Calendar, ProbeKind::Noop),
+];
 
 const USAGE: &str = "\
 usage: mpvsim perfsuite [--quick] [--out PATH] [--figure NAME]... [--reps N] [--seed S] [--threads T] [--population P]
@@ -143,10 +151,11 @@ fn utc_date(secs_since_epoch: u64) -> String {
     format!("{y:04}-{m:02}-{d:02}")
 }
 
-/// One (figure, backend) measurement.
+/// One (figure, backend, probe) measurement.
 struct Measurement {
     figure: &'static str,
     fel: FelKind,
+    probe: ProbeKind,
     curves: usize,
     reps: u64,
     wall_secs: f64,
@@ -156,12 +165,18 @@ struct Measurement {
     cache: TopologyCacheStats,
 }
 
-fn run_workload(study: StudyId, base: &FigureOptions, fel: FelKind) -> Result<Measurement, String> {
+fn run_workload(
+    study: StudyId,
+    base: &FigureOptions,
+    fel: FelKind,
+    probe: ProbeKind,
+) -> Result<Measurement, String> {
     let collector = Arc::new(MetricsCollector::default());
     let cache = TopologyCache::shared();
     let opts = FigureOptions {
         observer: ObserverHandle::from_arc(collector.clone()),
         fel,
+        probe,
         topology_cache: Some(Arc::clone(&cache)),
         ..base.clone()
     };
@@ -173,6 +188,7 @@ fn run_workload(study: StudyId, base: &FigureOptions, fel: FelKind) -> Result<Me
     Ok(Measurement {
         figure: study.name(),
         fel,
+        probe,
         curves: results.len(),
         reps: collector.reps.load(Ordering::Relaxed),
         wall_secs,
@@ -190,6 +206,7 @@ fn report(suite: &SuiteOptions, measurements: &[Measurement]) -> serde_json::Val
             serde_json::json!({
                 "figure": m.figure,
                 "fel": m.fel.label(),
+                "probe": m.probe.name(),
                 "curves": m.curves,
                 "reps_run": m.reps,
                 "wall_secs": m.wall_secs,
@@ -202,14 +219,15 @@ fn report(suite: &SuiteOptions, measurements: &[Measurement]) -> serde_json::Val
         })
         .collect();
 
-    // Per-figure calendar-vs-heap throughput ratio, pairing on the name.
+    // Per-figure calendar-vs-heap throughput ratio, pairing un-probed
+    // runs on the name.
     let comparison: Vec<serde_json::Value> = measurements
         .iter()
-        .filter(|m| m.fel == FelKind::BinaryHeap)
+        .filter(|m| m.fel == FelKind::BinaryHeap && m.probe == ProbeKind::None)
         .filter_map(|heap| {
-            let cal = measurements
-                .iter()
-                .find(|m| m.figure == heap.figure && m.fel == FelKind::Calendar)?;
+            let cal = measurements.iter().find(|m| {
+                m.figure == heap.figure && m.fel == FelKind::Calendar && m.probe == ProbeKind::None
+            })?;
             let speedup = if heap.events_per_sec > 0.0 {
                 cal.events_per_sec / heap.events_per_sec
             } else {
@@ -224,8 +242,33 @@ fn report(suite: &SuiteOptions, measurements: &[Measurement]) -> serde_json::Val
         })
         .collect();
 
+    // Per-figure probe-dispatch overhead: the same (figure, backend)
+    // workload with and without the no-op probe attached. Positive
+    // percentages mean the probed run was slower.
+    let probe_overhead: Vec<serde_json::Value> = measurements
+        .iter()
+        .filter(|m| m.probe == ProbeKind::Noop)
+        .filter_map(|noop| {
+            let none = measurements.iter().find(|m| {
+                m.figure == noop.figure && m.fel == noop.fel && m.probe == ProbeKind::None
+            })?;
+            let overhead_pct = if none.events_per_sec > 0.0 {
+                100.0 * (none.events_per_sec - noop.events_per_sec) / none.events_per_sec
+            } else {
+                0.0
+            };
+            Some(serde_json::json!({
+                "figure": noop.figure,
+                "fel": noop.fel.label(),
+                "events_per_sec_none": none.events_per_sec,
+                "events_per_sec_noop": noop.events_per_sec,
+                "overhead_pct": overhead_pct,
+            }))
+        })
+        .collect();
+
     serde_json::json!({
-        "schema": "mpvsim-perfsuite/2",
+        "schema": "mpvsim-perfsuite/3",
         "quick": suite.quick,
         "reps": suite.figure.reps,
         "master_seed": suite.figure.master_seed,
@@ -233,6 +276,7 @@ fn report(suite: &SuiteOptions, measurements: &[Measurement]) -> serde_json::Val
         "population": suite.figure.population,
         "figures": rows,
         "comparison": comparison,
+        "probe_overhead": probe_overhead,
     })
 }
 
@@ -240,15 +284,16 @@ fn render_table(measurements: &[Measurement]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<18} {:<12} {:>10} {:>12} {:>12} {:>10} {:>12}",
-        "figure", "fel", "wall s", "events", "events/s", "peak pend", "cache h/m"
+        "{:<18} {:<12} {:<6} {:>10} {:>12} {:>12} {:>10} {:>12}",
+        "figure", "fel", "probe", "wall s", "events", "events/s", "peak pend", "cache h/m"
     );
     for m in measurements {
         let _ = writeln!(
             out,
-            "{:<18} {:<12} {:>10.2} {:>12} {:>12.0} {:>10} {:>12}",
+            "{:<18} {:<12} {:<6} {:>10.2} {:>12} {:>12.0} {:>10} {:>12}",
             m.figure,
             m.fel.label(),
+            m.probe.name(),
             m.wall_secs,
             m.events_processed,
             m.events_per_sec,
@@ -273,9 +318,9 @@ pub fn run(args: &[String]) -> i32 {
         .filter(|id| suite.only.is_empty() || suite.only.iter().any(|o| o == id.name()))
         .collect();
     eprintln!(
-        "perfsuite: {} figures x {} backends, {} reps, population {}, seed {}, {} threads",
+        "perfsuite: {} figures x {} configs, {} reps, population {}, seed {}, {} threads",
         selected.len(),
-        FELS.len(),
+        RUNS.len(),
         suite.figure.reps,
         suite.figure.population,
         suite.figure.master_seed,
@@ -284,9 +329,9 @@ pub fn run(args: &[String]) -> i32 {
 
     let mut measurements = Vec::new();
     for study in selected {
-        for fel in FELS {
-            eprintln!("running {} [{}]...", study.name(), fel.label());
-            match run_workload(study, &suite.figure, fel) {
+        for (fel, probe) in RUNS {
+            eprintln!("running {} [{} / probe {}]...", study.name(), fel.label(), probe.name());
+            match run_workload(study, &suite.figure, fel, probe) {
                 Ok(m) => {
                     eprintln!(
                         "  {:.2} s, {} events, {:.0} events/s, peak pending {}, cache {}/{}",
@@ -399,13 +444,17 @@ mod tests {
             ..FigureOptions::default()
         };
         let mut ms = Vec::new();
-        for fel in FELS {
-            ms.push(run_workload(StudyId::Fig7Blacklist, &base, fel).unwrap());
+        for (fel, probe) in RUNS {
+            ms.push(run_workload(StudyId::Fig7Blacklist, &base, fel, probe).unwrap());
         }
         assert_eq!(ms[0].curves, 5);
         assert!(ms[0].events_processed > 0);
         assert!(ms[0].peak_pending_events > 0);
         assert_eq!(ms[0].events_processed, ms[1].events_processed, "bit-identical trajectories");
+        assert_eq!(
+            ms[1].events_processed, ms[2].events_processed,
+            "the no-op probe must not change the trajectory"
+        );
         // Five cells share one network per seed: 1 miss, 4 hits per rep.
         assert_eq!((ms[0].cache.hits, ms[0].cache.misses), (4, 1));
         let suite = SuiteOptions {
@@ -415,16 +464,23 @@ mod tests {
             quick: false,
         };
         let doc = report(&suite, &ms);
-        assert_eq!(doc["schema"], "mpvsim-perfsuite/2");
-        assert_eq!(doc["figures"].as_array().unwrap().len(), 2);
+        assert_eq!(doc["schema"], "mpvsim-perfsuite/3");
+        assert_eq!(doc["figures"].as_array().unwrap().len(), 3);
         assert_eq!(doc["figures"][0]["topology_cache_hits"], 4);
+        assert_eq!(doc["figures"][0]["probe"], "none");
+        assert_eq!(doc["figures"][2]["probe"], "noop");
         let cmp = doc["comparison"].as_array().unwrap();
         assert_eq!(cmp.len(), 1);
         assert_eq!(cmp[0]["figure"], "fig7_blacklist");
         assert!(cmp[0]["speedup_calendar_vs_heap"].is_number());
+        let overhead = doc["probe_overhead"].as_array().unwrap();
+        assert_eq!(overhead.len(), 1);
+        assert_eq!(overhead[0]["fel"], "calendar");
+        assert!(overhead[0]["overhead_pct"].is_number());
         let table = render_table(&ms);
         assert!(table.contains("fig7_blacklist"));
         assert!(table.contains("binary-heap"));
+        assert!(table.contains("noop"));
         assert!(table.contains("4/1"), "cache column missing:\n{table}");
     }
 }

@@ -27,6 +27,7 @@ use std::sync::Arc;
 use mpvsim_des::{FelKind, ObserverHandle, SimDuration};
 
 use crate::config::{ConfigError, MobilityConfig, PopulationConfig, ScenarioConfig};
+use crate::probe::ProbeKind;
 use crate::response::{
     Blacklist, DetectionAlgorithm, Immunization, Monitoring, ResponseConfig, SignatureScan,
     UserEducation,
@@ -57,6 +58,10 @@ pub struct FigureOptions {
     /// network skip regeneration. A pure performance knob that never
     /// affects the curves (see [`TopologyCache`]).
     pub topology_cache: Option<Arc<TopologyCache>>,
+    /// In-simulation probe every replication runs with (see
+    /// [`crate::probe`]); read-only, never affects the curves. Defaults
+    /// to [`ProbeKind::None`].
+    pub probe: ProbeKind,
 }
 
 impl Default for FigureOptions {
@@ -69,6 +74,7 @@ impl Default for FigureOptions {
             observer: ObserverHandle::noop(),
             fel: FelKind::default(),
             topology_cache: None,
+            probe: ProbeKind::None,
         }
     }
 }
@@ -85,7 +91,8 @@ impl FigureOptions {
             .master_seed(self.master_seed)
             .threads(self.threads)
             .observer_handle(self.observer.clone())
-            .fel(self.fel);
+            .fel(self.fel)
+            .probe(self.probe);
         match &self.topology_cache {
             Some(cache) => plan.topology_cache(cache.clone()),
             None => plan,

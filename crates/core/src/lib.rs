@@ -49,6 +49,7 @@ pub mod config;
 pub mod figures;
 pub mod meanfield;
 pub mod model;
+pub mod probe;
 pub mod response;
 pub mod run;
 pub mod studies;
@@ -57,14 +58,18 @@ pub mod virus;
 
 pub use behavior::{AcceptanceModel, BehaviorConfig, DEFAULT_ACCEPTANCE_FACTOR};
 pub use config::{ConfigError, MobilityConfig, PopulationConfig, ScenarioConfig};
+pub use probe::{
+    BlockCause, ChainRecord, InfectionCause, MechanismTelemetry, Milestone, NoopProbe, ProbeKind,
+    ProbeOutput, SimProbe, TelemetryBin, TraceRecord,
+};
 pub use response::{
     Blacklist, DetectionAlgorithm, Immunization, Monitoring, ResponseConfig, RolloutOrder,
     SignatureScan, UserEducation,
 };
 pub use run::{
-    run_scenario, run_scenario_cached, run_scenario_with_metrics, run_scenario_with_metrics_fel,
-    AdaptiveResult, ExperimentPlan, ExperimentResult, RunResult, TopologyCache, TopologyCacheStats,
-    DEFAULT_EVENT_BUDGET,
+    run_scenario, run_scenario_cached, run_scenario_probed, run_scenario_with_metrics,
+    run_scenario_with_metrics_fel, AdaptiveResult, ExperimentPlan, ExperimentResult, RunResult,
+    TopologyCache, TopologyCacheStats, DEFAULT_EVENT_BUDGET,
 };
 pub use studies::{StudyId, StudyInfo, StudyKind};
 pub use sweep::{

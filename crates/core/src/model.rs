@@ -26,6 +26,7 @@ use mpvsim_stats::TimeSeries;
 
 use crate::behavior::AcceptanceModel;
 use crate::config::ScenarioConfig;
+use crate::probe::{BlockCause, InfectionCause, Milestone, SimProbe};
 use crate::response::ActivationTimes;
 use crate::virus::TargetingStrategy;
 
@@ -157,9 +158,13 @@ pub struct EpidemicModel {
     /// being assembled — one allocation for the whole run instead of a
     /// fresh `Vec` per send.
     recipient_buf: Vec<PhoneId>,
-    /// Reusable scratch buffer for the Bluetooth transfer offers of the
-    /// mobility tick being processed.
-    bt_offers: Vec<PhoneId>,
+    /// Reusable scratch buffer for the Bluetooth transfer offers
+    /// (`(source, target)` pairs) of the mobility tick being processed.
+    bt_offers: Vec<(PhoneId, PhoneId)>,
+    /// Optional in-simulation probe (see [`crate::probe`]). `None` in
+    /// every ordinary run: the disabled path costs one never-taken
+    /// branch per hook site.
+    probe: Option<Box<dyn SimProbe>>,
 }
 
 /// A phone's rolling quota day: 24 hours.
@@ -241,7 +246,21 @@ impl EpidemicModel {
             transit,
             recipient_buf: Vec::new(),
             bt_offers: Vec::new(),
+            probe: None,
         }
+    }
+
+    /// Attaches a probe (replacing any existing one). Probes observe the
+    /// run through read-only hooks — see the determinism contract in
+    /// [`crate::probe`].
+    pub fn set_probe(&mut self, probe: Box<dyn SimProbe>) {
+        self.probe = Some(probe);
+    }
+
+    /// Detaches the probe, typically after a run to extract its output
+    /// via [`SimProbe::into_output`].
+    pub fn take_probe(&mut self) -> Option<Box<dyn SimProbe>> {
+        self.probe.take()
     }
 
     /// The gateway transit queue, when finite capacity is configured.
@@ -295,11 +314,19 @@ impl EpidemicModel {
     // ------------------------------------------------------------------
 
     /// Handles a (possibly) new infection of `phone` at `ctx.now()`.
-    fn on_infection(&mut self, phone: PhoneId, ctx: &mut Context<'_, Event>) {
+    fn on_infection(
+        &mut self,
+        phone: PhoneId,
+        cause: InfectionCause,
+        ctx: &mut Context<'_, Event>,
+    ) {
         if !self.population.infect(phone) {
             return; // not susceptible (immunized / already infected / resistant)
         }
         let now = ctx.now();
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_infection(now, phone, cause);
+        }
         let sender = &mut self.senders[phone.index()];
         *sender = SenderState::new();
         sender.day_epoch_start = now;
@@ -364,6 +391,9 @@ impl EpidemicModel {
                     if let Some(mn) = self.config.response.monitoring {
                         if self.population.phone(phone).is_throttled() {
                             gap = gap.max(mn.forced_wait);
+                            if let Some(p) = self.probe.as_deref_mut() {
+                                p.on_throttle_wait(ctx.now(), phone, mn.forced_wait);
+                            }
                         }
                     }
                     let sender = &mut self.senders[phone.index()];
@@ -462,6 +492,10 @@ impl EpidemicModel {
         }
         self.stats.messages_sent += 1;
         self.senders[phone.index()].next_allowed = now + self.config.virus.send_gap.minimum();
+        if let Some(p) = self.probe.as_deref_mut() {
+            let fanout = if have_message { self.recipient_buf.len() as u32 } else { 0 };
+            p.on_message_sent(now, phone, fanout);
+        }
 
         // Detach the buffer from `self` for the duration of the gateway
         // call (which needs `&mut self`), then put it back for reuse.
@@ -521,6 +555,9 @@ impl EpidemicModel {
         if let Some(mn) = self.config.response.monitoring {
             if self.population.phone(phone).is_throttled() {
                 gap = gap.max(mn.forced_wait);
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.on_throttle_wait(ctx.now(), phone, mn.forced_wait);
+                }
             }
         }
         ctx.schedule_in(gap, Event::LegitimateSend(phone));
@@ -534,8 +571,12 @@ impl EpidemicModel {
             if in_window > mn.threshold as usize && !self.population.phone(phone).is_throttled() {
                 self.population.phone_mut(phone).throttle();
                 self.stats.throttled_phones += 1;
-                if !self.population.phone(phone).is_infected() {
+                let false_positive = !self.population.phone(phone).is_infected();
+                if false_positive {
                     self.stats.false_positive_throttles += 1;
+                }
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.on_throttled(now, phone, false_positive);
                 }
             }
         }
@@ -566,8 +607,14 @@ impl EpidemicModel {
                 if !self.population.phone(sender).is_blacklisted() {
                     self.population.phone_mut(sender).blacklist();
                     self.stats.blacklisted_phones += 1;
+                    if let Some(p) = self.probe.as_deref_mut() {
+                        p.on_blacklisted(now, sender);
+                    }
                 }
                 self.stats.blocked_by_blacklist += 1;
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.on_message_blocked(now, sender, BlockCause::Blacklist);
+                }
                 return false;
             }
         }
@@ -579,6 +626,9 @@ impl EpidemicModel {
         if let Some(at) = self.activation.scan_active_at {
             if now >= at {
                 self.stats.blocked_by_scan += 1;
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.on_message_blocked(now, sender, BlockCause::Scan);
+                }
                 return false;
             }
         }
@@ -589,6 +639,9 @@ impl EpidemicModel {
             if let Some(at) = self.activation.detection_active_at {
                 if now >= at && bernoulli(ctx.rng(), d.accuracy) {
                     self.stats.blocked_by_detection += 1;
+                    if let Some(p) = self.probe.as_deref_mut() {
+                        p.on_message_blocked(now, sender, BlockCause::Detection);
+                    }
                     return false;
                 }
             }
@@ -602,6 +655,9 @@ impl EpidemicModel {
         for &r in recipients {
             self.stats.deliveries += 1;
             self.inboxes.deliver(r);
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.on_message_delivered(now, sender, r);
+            }
             // Finite gateway capacity: each recipient copy waits for a
             // transit slot before the read clock starts.
             let transit_ready = match self.transit.as_mut() {
@@ -629,6 +685,9 @@ impl EpidemicModel {
     /// detectability-clocked mechanism's timer.
     fn on_detected(&mut self, now: SimTime, ctx: &mut Context<'_, Event>) {
         self.activation.detected_at = Some(now);
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_milestone(now, Milestone::Detected);
+        }
         if let Some(s) = self.config.response.signature_scan {
             ctx.schedule_in(s.activation_delay, Event::ScanActive);
         }
@@ -643,11 +702,17 @@ impl EpidemicModel {
     fn on_read_message(&mut self, phone: PhoneId, ctx: &mut Context<'_, Event>) {
         self.stats.reads += 1;
         self.inboxes.read(phone);
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_message_read(ctx.now(), phone);
+        }
         let n = self.population.phone_mut(phone).record_infected_message();
         let p = self.acceptance.prob_accept(n);
         if bernoulli(ctx.rng(), p) {
             self.stats.acceptances += 1;
-            self.on_infection(phone, ctx);
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.on_message_accepted(ctx.now(), phone);
+            }
+            self.on_infection(phone, InfectionCause::Mms, ctx);
         }
     }
 
@@ -671,6 +736,9 @@ impl EpidemicModel {
     fn on_rollout_start(&mut self, ctx: &mut Context<'_, Event>) {
         let imm = self.config.response.immunization.expect("rollout without immunization");
         self.activation.rollout_starts_at = Some(ctx.now());
+        if let Some(p) = self.probe.as_deref_mut() {
+            p.on_milestone(ctx.now(), Milestone::RolloutStart);
+        }
         let rollout_secs = imm.rollout_duration.as_secs();
         let n = self.population.len();
         match imm.order {
@@ -715,7 +783,7 @@ impl EpidemicModel {
     fn on_seed(&mut self, ctx: &mut Context<'_, Event>) {
         for _ in 0..self.config.initial_infections {
             if let Some(seed) = self.population.random_susceptible(ctx.rng()) {
-                self.on_infection(seed, ctx);
+                self.on_infection(seed, InfectionCause::Seed, ctx);
             }
         }
         if self.mobility.is_some() && self.config.virus.bluetooth.is_some() {
@@ -757,13 +825,16 @@ impl EpidemicModel {
                     && !sender.is_silenced()
                     && bernoulli(ctx.rng(), bt.transfer_probability)
                 {
-                    offers.push(dst);
+                    offers.push((src, dst));
                 }
             }
         }
         let now = ctx.now();
-        for &dst in &offers {
+        for &(src, dst) in &offers {
             self.stats.bluetooth_offers += 1;
+            if let Some(p) = self.probe.as_deref_mut() {
+                p.on_bluetooth_offer(now, src, dst);
+            }
             // Bluetooth bypasses the gateways, but transfer prompts are
             // user-visible; treat each as a virus sighting reaching the
             // provider (customer reports / AV telemetry), so the
@@ -772,7 +843,7 @@ impl EpidemicModel {
             let n = self.population.phone_mut(dst).record_infected_message();
             if bernoulli(ctx.rng(), self.acceptance.prob_accept(n)) {
                 self.stats.bluetooth_acceptances += 1;
-                self.on_infection(dst, ctx);
+                self.on_infection(dst, InfectionCause::Bluetooth { from: src }, ctx);
             }
         }
         self.bt_offers = offers;
@@ -792,10 +863,26 @@ impl Model for EpidemicModel {
             Event::SendAttempt(p) => self.on_send_attempt(p, ctx),
             Event::Reboot(p) => self.on_reboot(p, ctx),
             Event::ReadMessage(p) => self.on_read_message(p, ctx),
-            Event::ScanActive => self.activation.scan_active_at = Some(ctx.now()),
-            Event::DetectionActive => self.activation.detection_active_at = Some(ctx.now()),
+            Event::ScanActive => {
+                self.activation.scan_active_at = Some(ctx.now());
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.on_milestone(ctx.now(), Milestone::ScanActive);
+                }
+            }
+            Event::DetectionActive => {
+                self.activation.detection_active_at = Some(ctx.now());
+                if let Some(p) = self.probe.as_deref_mut() {
+                    p.on_milestone(ctx.now(), Milestone::DetectionActive);
+                }
+            }
             Event::RolloutStart => self.on_rollout_start(ctx),
-            Event::PatchArrive(p) => self.population.phone_mut(p).apply_patch(),
+            Event::PatchArrive(p) => {
+                let was_infected = self.population.phone(p).is_infected();
+                self.population.phone_mut(p).apply_patch();
+                if let Some(probe) = self.probe.as_deref_mut() {
+                    probe.on_patch_applied(ctx.now(), p, was_infected);
+                }
+            }
             Event::Sample => self.on_sample(ctx),
             Event::MobilityTick => self.on_mobility_tick(ctx),
             Event::LegitimateSend(p) => self.on_legitimate_send(p, ctx),

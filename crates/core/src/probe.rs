@@ -1,0 +1,906 @@
+//! In-simulation probes: event tracing, transmission chains, and
+//! per-mechanism time-resolved telemetry.
+//!
+//! The experiment layer reports replication-level aggregates
+//! ([`crate::model::RunStats`] totals, observer wall-clock metrics); this
+//! module answers the questions those aggregates cannot: *which*
+//! mechanism blocked *which* message at *what* time, and *who infected
+//! whom*. A [`SimProbe`] receives a callback at every step of the message
+//! lifecycle (sent → scanned → detected → delivered → read → accepted)
+//! and at every state transition (infection, immunization, throttle,
+//! blacklist) inside [`crate::model::EpidemicModel`]'s event dispatch.
+//!
+//! ## Determinism contract
+//!
+//! Probes are strictly read-only: every hook receives plain values (times
+//! and phone ids) and has no access to the engine RNG or the event queue,
+//! so an attached probe can never change a trajectory. The disabled path
+//! is a single branch on an `Option` per hook site — the model holds
+//! `Option<Box<dyn SimProbe>>`, `None` by default — and the perfsuite's
+//! probe-overhead column verifies the cost of the always-false branch is
+//! noise. Probe *output* is itself deterministic: same `(config, seed)`
+//! ⇒ byte-identical trace exports, for every FEL backend.
+//!
+//! ## The three production probes
+//!
+//! * [`TransmissionChainProbe`] — records the who-infected-whom tree and
+//!   derives empirical R per infection-time bin and time-to-N-infections.
+//! * [`TraceProbe`] — a bounded ring of lifecycle events, exported as
+//!   Chrome trace-event / Perfetto-compatible JSON or raw JSONL.
+//! * [`MechanismTelemetryProbe`] — time-binned counters per response
+//!   mechanism (blocked-by-scan/detection/blacklist, throttle delays,
+//!   patches applied), surfaced into [`crate::run::RunResult`] and sweep
+//!   reports.
+//!
+//! Probes are selected by the cloneable [`ProbeKind`] spec, which the
+//! plan/sweep/CLI layers thread through to every replication
+//! (`--probe` flag, `mpvsim trace <study>`).
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use mpvsim_des::{SimDuration, SimTime};
+use mpvsim_phonenet::PhoneId;
+
+use crate::config::ScenarioConfig;
+
+/// Default number of records a [`TraceProbe`] ring retains.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Which gateway mechanism dropped a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockCause {
+    /// The signature scan recognized the message.
+    Scan,
+    /// The detection algorithm recognized the message.
+    Detection,
+    /// The sender is over the blacklist threshold.
+    Blacklist,
+}
+
+impl BlockCause {
+    /// Stable lowercase name (used in trace exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            BlockCause::Scan => "blocked_by_scan",
+            BlockCause::Detection => "blocked_by_detection",
+            BlockCause::Blacklist => "blocked_by_blacklist",
+        }
+    }
+}
+
+/// How a phone got infected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InfectionCause {
+    /// Initial seeding at t = 0.
+    Seed,
+    /// Accepted an infected MMS attachment. The sender is not carried
+    /// here — inboxes are strict per-phone FIFOs, so a chain probe
+    /// recovers the infector from its own delivered-senders queue (see
+    /// [`TransmissionChainProbe`]).
+    Mms,
+    /// Accepted a Bluetooth proximity transfer from `from`.
+    Bluetooth {
+        /// The infected phone that offered the transfer.
+        from: PhoneId,
+    },
+}
+
+/// Simulation-level milestones (one-shot state transitions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Milestone {
+    /// The provider crossed the detectability threshold.
+    Detected,
+    /// The gateway signature scan went live.
+    ScanActive,
+    /// The gateway detection algorithm went live.
+    DetectionActive,
+    /// Patch development finished; the rollout began.
+    RolloutStart,
+}
+
+impl Milestone {
+    /// Stable lowercase name (used in trace exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Milestone::Detected => "detected",
+            Milestone::ScanActive => "scan_active",
+            Milestone::DetectionActive => "detection_active",
+            Milestone::RolloutStart => "rollout_start",
+        }
+    }
+}
+
+/// Read-only callbacks from inside the epidemic model's event dispatch.
+///
+/// Every method has a no-op default, so a probe implements only what it
+/// needs. Hooks receive plain values — never the RNG, never the event
+/// queue — so probes cannot perturb a trajectory (regression-tested:
+/// [`NoopProbe`] runs are bit-identical to un-probed runs).
+#[allow(unused_variables)]
+pub trait SimProbe: std::fmt::Debug + Send {
+    /// An infected message left `sender` (`recipients == 0` means an
+    /// invalid random dial: the number was unassigned, but the provider
+    /// still saw the attempt).
+    fn on_message_sent(&mut self, now: SimTime, sender: PhoneId, recipients: u32) {}
+
+    /// The gateway dropped `sender`'s message.
+    fn on_message_blocked(&mut self, now: SimTime, sender: PhoneId, cause: BlockCause) {}
+
+    /// One recipient copy reached `recipient`'s inbox.
+    fn on_message_delivered(&mut self, now: SimTime, sender: PhoneId, recipient: PhoneId) {}
+
+    /// `phone`'s user read the oldest pending infected message.
+    fn on_message_read(&mut self, now: SimTime, phone: PhoneId) {}
+
+    /// `phone`'s user accepted the attachment they just read.
+    fn on_message_accepted(&mut self, now: SimTime, phone: PhoneId) {}
+
+    /// `phone` transitioned susceptible → infected.
+    fn on_infection(&mut self, now: SimTime, phone: PhoneId, cause: InfectionCause) {}
+
+    /// The immunization patch reached `phone` (`silenced` when the phone
+    /// was already infected and the patch silenced it instead).
+    fn on_patch_applied(&mut self, now: SimTime, phone: PhoneId, silenced: bool) {}
+
+    /// Monitoring flagged `phone` (`false_positive` when it was not
+    /// actually infected).
+    fn on_throttled(&mut self, now: SimTime, phone: PhoneId, false_positive: bool) {}
+
+    /// A throttled `phone`'s next send was spaced by `wait` (the forced
+    /// wait the monitoring mechanism imposes).
+    fn on_throttle_wait(&mut self, now: SimTime, phone: PhoneId, wait: SimDuration) {}
+
+    /// `phone` crossed the blacklist threshold; all its outgoing MMS are
+    /// blocked from now on.
+    fn on_blacklisted(&mut self, now: SimTime, phone: PhoneId) {}
+
+    /// `src` offered `dst` a Bluetooth transfer (acceptance is reported
+    /// via [`SimProbe::on_infection`] with [`InfectionCause::Bluetooth`]).
+    fn on_bluetooth_offer(&mut self, now: SimTime, src: PhoneId, dst: PhoneId) {}
+
+    /// A one-shot simulation milestone fired.
+    fn on_milestone(&mut self, now: SimTime, milestone: Milestone) {}
+
+    /// Consumes the probe at the end of the replication, producing its
+    /// result (if it has one).
+    fn into_output(self: Box<Self>) -> Option<ProbeOutput> {
+        None
+    }
+}
+
+/// The do-nothing probe: every hook is the trait default. Exists to
+/// measure the cost of the probe *dispatch* (the `Option` branch plus a
+/// virtual call) separately from any probe's bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopProbe;
+
+impl SimProbe for NoopProbe {}
+
+/// Cloneable probe selector, threaded through plans/sweeps/CLI flags.
+/// Each replication builds its own probe instance from this spec.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum ProbeKind {
+    /// No probe attached (the statically-free default).
+    #[default]
+    None,
+    /// [`NoopProbe`]: dispatch overhead only, no data collected.
+    Noop,
+    /// [`TransmissionChainProbe`].
+    Chain,
+    /// [`TraceProbe`] with [`DEFAULT_TRACE_CAPACITY`].
+    Trace,
+    /// [`MechanismTelemetryProbe`] binned on the scenario's sample step.
+    Telemetry,
+}
+
+impl ProbeKind {
+    /// Every selectable kind, in CLI order.
+    pub fn all() -> [ProbeKind; 5] {
+        [ProbeKind::None, ProbeKind::Noop, ProbeKind::Chain, ProbeKind::Trace, ProbeKind::Telemetry]
+    }
+
+    /// Stable CLI-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProbeKind::None => "none",
+            ProbeKind::Noop => "noop",
+            ProbeKind::Chain => "chain",
+            ProbeKind::Trace => "trace",
+            ProbeKind::Telemetry => "telemetry",
+        }
+    }
+
+    /// Parses a CLI name (`"none"`, `"noop"`, `"chain"`, `"trace"`,
+    /// `"telemetry"`).
+    pub fn from_name(name: &str) -> Option<ProbeKind> {
+        ProbeKind::all().into_iter().find(|k| k.name() == name)
+    }
+
+    /// Builds one probe instance for a replication of `config`, or
+    /// `None` for [`ProbeKind::None`].
+    pub fn build(self, config: &ScenarioConfig) -> Option<Box<dyn SimProbe>> {
+        let bin_secs = config.sample_step.as_secs().max(1);
+        match self {
+            ProbeKind::None => None,
+            ProbeKind::Noop => Some(Box::new(NoopProbe)),
+            ProbeKind::Chain => Some(Box::new(TransmissionChainProbe::new(bin_secs))),
+            ProbeKind::Trace => Some(Box::new(TraceProbe::new(DEFAULT_TRACE_CAPACITY))),
+            ProbeKind::Telemetry => Some(Box::new(MechanismTelemetryProbe::new(bin_secs))),
+        }
+    }
+}
+
+/// What a probe produced for one replication. Carried as an optional
+/// field on [`crate::run::RunResult`], so probe data flows through plans,
+/// sinks and sweep records unchanged.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum ProbeOutput {
+    /// A transmission-chain record.
+    Chain(ChainRecord),
+    /// A bounded event trace.
+    Trace(TraceRecord),
+    /// Time-binned per-mechanism counters.
+    Telemetry(MechanismTelemetry),
+}
+
+impl ProbeOutput {
+    /// The telemetry payload, when this output carries one.
+    pub fn as_telemetry(&self) -> Option<&MechanismTelemetry> {
+        match self {
+            ProbeOutput::Telemetry(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// The chain payload, when this output carries one.
+    pub fn as_chain(&self) -> Option<&ChainRecord> {
+        match self {
+            ProbeOutput::Chain(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The trace payload, when this output carries one.
+    pub fn as_trace(&self) -> Option<&TraceRecord> {
+        match self {
+            ProbeOutput::Trace(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Transmission chains
+// ----------------------------------------------------------------------
+
+/// One infection, with its attributed source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct InfectionEvent {
+    /// Simulated time of the infection, in seconds.
+    pub t_secs: u64,
+    /// The newly infected phone.
+    pub phone: u32,
+    /// Who infected it (`None` for the initial seed).
+    pub infector: Option<u32>,
+}
+
+/// Mean secondary infections for phones infected within one time bin:
+/// the empirical reproduction number R over time.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RBin {
+    /// Bin start, in hours.
+    pub start_hours: f64,
+    /// Phones infected within this bin.
+    pub infected: u64,
+    /// Mean number of phones each of them went on to infect (within the
+    /// horizon — the tail of the epidemic is right-censored).
+    pub mean_secondary: f64,
+}
+
+/// The who-infected-whom record of one replication.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ChainRecord {
+    /// Width of the R-over-time bins, in seconds.
+    pub bin_secs: u64,
+    /// Every infection, in simulated-time order (the seed first).
+    pub infections: Vec<InfectionEvent>,
+    /// Empirical R per infection-time bin.
+    pub r_by_bin: Vec<RBin>,
+}
+
+impl ChainRecord {
+    /// Total infections recorded (including the seed).
+    pub fn total_infections(&self) -> usize {
+        self.infections.len()
+    }
+
+    /// Simulated time (hours) at which the cumulative infection count
+    /// reached `n`; `None` if it never did.
+    pub fn time_to_n(&self, n: usize) -> Option<f64> {
+        if n == 0 {
+            return Some(0.0);
+        }
+        self.infections.get(n - 1).map(|e| e.t_secs as f64 / 3600.0)
+    }
+
+    /// The largest per-bin empirical R (0 when nothing spread).
+    pub fn peak_r(&self) -> f64 {
+        self.r_by_bin.iter().map(|b| b.mean_secondary).fold(0.0, f64::max)
+    }
+}
+
+/// Records the transmission tree: who infected whom, when.
+///
+/// MMS attribution works without any model-side bookkeeping because
+/// inboxes are strict per-phone FIFOs: a delivery pushes the sender onto
+/// the probe's own queue for that recipient, and a read pops the front —
+/// exactly the message the model considers read. The infection callback
+/// that immediately follows an accepting read is then attributed to that
+/// popped sender. Bluetooth infections carry their source explicitly.
+#[derive(Debug)]
+pub struct TransmissionChainProbe {
+    bin_secs: u64,
+    /// Per-phone FIFO of the senders of delivered-but-unread messages.
+    pending_senders: Vec<VecDeque<PhoneId>>,
+    /// The sender popped by the most recent read: `(reader, sender)`.
+    last_read: Option<(PhoneId, PhoneId)>,
+    infections: Vec<InfectionEvent>,
+}
+
+impl TransmissionChainProbe {
+    /// A chain recorder with the given R-over-time bin width.
+    pub fn new(bin_secs: u64) -> Self {
+        TransmissionChainProbe {
+            bin_secs: bin_secs.max(1),
+            pending_senders: Vec::new(),
+            last_read: None,
+            infections: Vec::new(),
+        }
+    }
+
+    fn fifo(&mut self, phone: PhoneId) -> &mut VecDeque<PhoneId> {
+        let idx = phone.index();
+        if idx >= self.pending_senders.len() {
+            self.pending_senders.resize_with(idx + 1, VecDeque::new);
+        }
+        &mut self.pending_senders[idx]
+    }
+
+    /// Builds the finished record (consumes the recorder's state).
+    fn into_record(self) -> ChainRecord {
+        // Children per infected phone, then R per infection-time bin.
+        let mut children: std::collections::HashMap<u32, u64> = std::collections::HashMap::new();
+        for e in &self.infections {
+            if let Some(parent) = e.infector {
+                *children.entry(parent).or_insert(0) += 1;
+            }
+        }
+        let mut bins: Vec<(u64, u64)> = Vec::new(); // (infected, children_total)
+        for e in &self.infections {
+            let idx = (e.t_secs / self.bin_secs) as usize;
+            if idx >= bins.len() {
+                bins.resize(idx + 1, (0, 0));
+            }
+            bins[idx].0 += 1;
+            bins[idx].1 += children.get(&e.phone).copied().unwrap_or(0);
+        }
+        let r_by_bin = bins
+            .iter()
+            .enumerate()
+            .filter(|(_, (infected, _))| *infected > 0)
+            .map(|(i, &(infected, secondary))| RBin {
+                start_hours: (i as u64 * self.bin_secs) as f64 / 3600.0,
+                infected,
+                mean_secondary: secondary as f64 / infected as f64,
+            })
+            .collect();
+        ChainRecord { bin_secs: self.bin_secs, infections: self.infections, r_by_bin }
+    }
+}
+
+impl SimProbe for TransmissionChainProbe {
+    fn on_message_delivered(&mut self, _now: SimTime, sender: PhoneId, recipient: PhoneId) {
+        self.fifo(recipient).push_back(sender);
+    }
+
+    fn on_message_read(&mut self, _now: SimTime, phone: PhoneId) {
+        self.last_read = self.fifo(phone).pop_front().map(|sender| (phone, sender));
+    }
+
+    fn on_infection(&mut self, now: SimTime, phone: PhoneId, cause: InfectionCause) {
+        let infector = match cause {
+            InfectionCause::Seed => None,
+            InfectionCause::Bluetooth { from } => Some(from.0),
+            InfectionCause::Mms => {
+                self.last_read.filter(|(reader, _)| *reader == phone).map(|(_, sender)| sender.0)
+            }
+        };
+        self.infections.push(InfectionEvent { t_secs: now.as_secs(), phone: phone.0, infector });
+    }
+
+    fn into_output(self: Box<Self>) -> Option<ProbeOutput> {
+        Some(ProbeOutput::Chain(self.into_record()))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Event tracing
+// ----------------------------------------------------------------------
+
+/// One traced lifecycle event.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TraceEventRecord {
+    /// Simulated time, in seconds.
+    pub t_secs: u64,
+    /// Stable event name (e.g. `"sent"`, `"blocked_by_scan"`,
+    /// `"infection"`).
+    pub name: String,
+    /// The primary phone involved, if any.
+    pub phone: Option<u32>,
+    /// The secondary phone involved (sender of a delivery, infector of
+    /// an infection, target of a Bluetooth offer), if any.
+    pub peer: Option<u32>,
+}
+
+/// The bounded event trace of one replication.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TraceRecord {
+    /// Ring capacity the trace ran with.
+    pub capacity: usize,
+    /// Lifetime number of events recorded (including evicted ones).
+    pub total_recorded: u64,
+    /// The retained records, oldest first (the **last** `capacity`
+    /// events when the ring overflowed).
+    pub events: Vec<TraceEventRecord>,
+}
+
+impl TraceRecord {
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.total_recorded - self.events.len() as u64
+    }
+
+    /// Renders the trace as Chrome trace-event JSON (the
+    /// ["JSON Object Format"](https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU)
+    /// Perfetto and `chrome://tracing` load directly): one instant event
+    /// per record, `ts` in microseconds of simulated time, `tid` = phone.
+    ///
+    /// The rendering is fully deterministic — fixed field order, integer
+    /// timestamps — so identical runs export identical bytes.
+    pub fn to_chrome_trace_json(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 96 + 128);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"otherData\":{\"tool\":\"mpvsim\",");
+        let _ = write!(out, "\"dropped_events\":{}}},\"traceEvents\":[", self.dropped());
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{},\"ts\":{}",
+                e.name,
+                e.phone.unwrap_or(0),
+                e.t_secs * 1_000_000,
+            );
+            match e.peer {
+                Some(p) => {
+                    let _ = write!(out, ",\"args\":{{\"peer\":{p}}}}}");
+                }
+                None => out.push_str(",\"args\":{}}"),
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Renders the trace as raw JSONL: one flat object per line, for
+    /// ad-hoc analysis (`jq`, pandas). Deterministic byte output.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 64);
+        for e in &self.events {
+            let _ = write!(out, "{{\"t_secs\":{},\"event\":\"{}\"", e.t_secs, e.name);
+            if let Some(p) = e.phone {
+                let _ = write!(out, ",\"phone\":{p}");
+            }
+            if let Some(p) = e.peer {
+                let _ = write!(out, ",\"peer\":{p}");
+            }
+            out.push_str("}\n");
+        }
+        out
+    }
+}
+
+/// Records every lifecycle event into a bounded ring buffer.
+#[derive(Debug)]
+pub struct TraceProbe {
+    capacity: usize,
+    ring: VecDeque<TraceEventRecord>,
+    total: u64,
+}
+
+impl TraceProbe {
+    /// A trace recorder retaining the last `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace probe needs capacity");
+        TraceProbe { capacity, ring: VecDeque::with_capacity(capacity.min(4096)), total: 0 }
+    }
+
+    fn push(&mut self, now: SimTime, name: &'static str, phone: Option<u32>, peer: Option<u32>) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+        }
+        self.ring.push_back(TraceEventRecord {
+            t_secs: now.as_secs(),
+            name: name.to_owned(),
+            phone,
+            peer,
+        });
+        self.total += 1;
+    }
+}
+
+impl SimProbe for TraceProbe {
+    fn on_message_sent(&mut self, now: SimTime, sender: PhoneId, recipients: u32) {
+        let name = if recipients == 0 { "invalid_dial" } else { "sent" };
+        self.push(now, name, Some(sender.0), None);
+    }
+
+    fn on_message_blocked(&mut self, now: SimTime, sender: PhoneId, cause: BlockCause) {
+        self.push(now, cause.name(), Some(sender.0), None);
+    }
+
+    fn on_message_delivered(&mut self, now: SimTime, sender: PhoneId, recipient: PhoneId) {
+        self.push(now, "delivered", Some(recipient.0), Some(sender.0));
+    }
+
+    fn on_message_read(&mut self, now: SimTime, phone: PhoneId) {
+        self.push(now, "read", Some(phone.0), None);
+    }
+
+    fn on_message_accepted(&mut self, now: SimTime, phone: PhoneId) {
+        self.push(now, "accepted", Some(phone.0), None);
+    }
+
+    fn on_infection(&mut self, now: SimTime, phone: PhoneId, cause: InfectionCause) {
+        let peer = match cause {
+            InfectionCause::Bluetooth { from } => Some(from.0),
+            InfectionCause::Seed | InfectionCause::Mms => None,
+        };
+        let name = match cause {
+            InfectionCause::Seed => "seed_infection",
+            InfectionCause::Mms => "infection",
+            InfectionCause::Bluetooth { .. } => "bt_infection",
+        };
+        self.push(now, name, Some(phone.0), peer);
+    }
+
+    fn on_patch_applied(&mut self, now: SimTime, phone: PhoneId, silenced: bool) {
+        let name = if silenced { "silenced" } else { "patched" };
+        self.push(now, name, Some(phone.0), None);
+    }
+
+    fn on_throttled(&mut self, now: SimTime, phone: PhoneId, false_positive: bool) {
+        let name = if false_positive { "throttled_false_positive" } else { "throttled" };
+        self.push(now, name, Some(phone.0), None);
+    }
+
+    fn on_blacklisted(&mut self, now: SimTime, phone: PhoneId) {
+        self.push(now, "blacklisted", Some(phone.0), None);
+    }
+
+    fn on_bluetooth_offer(&mut self, now: SimTime, src: PhoneId, dst: PhoneId) {
+        self.push(now, "bt_offer", Some(src.0), Some(dst.0));
+    }
+
+    fn on_milestone(&mut self, now: SimTime, milestone: Milestone) {
+        self.push(now, milestone.name(), None, None);
+    }
+
+    fn into_output(self: Box<Self>) -> Option<ProbeOutput> {
+        Some(ProbeOutput::Trace(TraceRecord {
+            capacity: self.capacity,
+            total_recorded: self.total,
+            events: self.ring.into_iter().collect(),
+        }))
+    }
+}
+
+// ----------------------------------------------------------------------
+// Mechanism telemetry
+// ----------------------------------------------------------------------
+
+/// Counters for one time bin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TelemetryBin {
+    /// Virus messages emitted (including invalid dials).
+    pub messages_sent: u64,
+    /// Messages dropped by the signature scan.
+    pub blocked_by_scan: u64,
+    /// Messages dropped by the detection algorithm.
+    pub blocked_by_detection: u64,
+    /// Messages dropped by the blacklist.
+    pub blocked_by_blacklist: u64,
+    /// New infections.
+    pub infections: u64,
+    /// Immunization patches applied.
+    pub patches_applied: u64,
+    /// Phones newly flagged by monitoring.
+    pub throttles: u64,
+    /// Sends spaced by the monitoring forced wait.
+    pub throttle_waits: u64,
+    /// Total simulated seconds of imposed forced-wait spacing.
+    pub throttle_wait_secs: u64,
+    /// Phones newly blacklisted.
+    pub blacklists: u64,
+}
+
+impl TelemetryBin {
+    fn add(&mut self, other: &TelemetryBin) {
+        self.messages_sent += other.messages_sent;
+        self.blocked_by_scan += other.blocked_by_scan;
+        self.blocked_by_detection += other.blocked_by_detection;
+        self.blocked_by_blacklist += other.blocked_by_blacklist;
+        self.infections += other.infections;
+        self.patches_applied += other.patches_applied;
+        self.throttles += other.throttles;
+        self.throttle_waits += other.throttle_waits;
+        self.throttle_wait_secs += other.throttle_wait_secs;
+        self.blacklists += other.blacklists;
+    }
+}
+
+/// Time-binned per-mechanism counters for one replication (or, after
+/// [`MechanismTelemetry::merge`], summed over a cell's replications).
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MechanismTelemetry {
+    /// Bin width, in seconds.
+    pub bin_secs: u64,
+    /// Counters per bin; bin `i` covers `[i·bin_secs, (i+1)·bin_secs)`.
+    pub bins: Vec<TelemetryBin>,
+}
+
+impl MechanismTelemetry {
+    /// Element-wise sum of another telemetry record into this one
+    /// (replications of the same scenario share the bin grid).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two records were binned with different `bin_secs`:
+    /// summing mismatched grids would silently corrupt the time-resolved
+    /// series while leaving the totals plausible.
+    pub fn merge(&mut self, other: &MechanismTelemetry) {
+        assert_eq!(self.bin_secs, other.bin_secs, "merging incompatible bin grids");
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize_with(other.bins.len(), TelemetryBin::default);
+        }
+        for (mine, theirs) in self.bins.iter_mut().zip(&other.bins) {
+            mine.add(theirs);
+        }
+    }
+
+    /// Sum over all bins.
+    pub fn totals(&self) -> TelemetryBin {
+        let mut t = TelemetryBin::default();
+        for b in &self.bins {
+            t.add(b);
+        }
+        t
+    }
+}
+
+/// Accumulates time-binned per-mechanism counters.
+#[derive(Debug)]
+pub struct MechanismTelemetryProbe {
+    bin_secs: u64,
+    bins: Vec<TelemetryBin>,
+}
+
+impl MechanismTelemetryProbe {
+    /// A telemetry probe with the given bin width (clamped to ≥ 1 s).
+    pub fn new(bin_secs: u64) -> Self {
+        MechanismTelemetryProbe { bin_secs: bin_secs.max(1), bins: Vec::new() }
+    }
+
+    fn bin(&mut self, now: SimTime) -> &mut TelemetryBin {
+        let idx = (now.as_secs() / self.bin_secs) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize_with(idx + 1, TelemetryBin::default);
+        }
+        &mut self.bins[idx]
+    }
+}
+
+impl SimProbe for MechanismTelemetryProbe {
+    fn on_message_sent(&mut self, now: SimTime, _sender: PhoneId, _recipients: u32) {
+        self.bin(now).messages_sent += 1;
+    }
+
+    fn on_message_blocked(&mut self, now: SimTime, _sender: PhoneId, cause: BlockCause) {
+        let bin = self.bin(now);
+        match cause {
+            BlockCause::Scan => bin.blocked_by_scan += 1,
+            BlockCause::Detection => bin.blocked_by_detection += 1,
+            BlockCause::Blacklist => bin.blocked_by_blacklist += 1,
+        }
+    }
+
+    fn on_infection(&mut self, now: SimTime, _phone: PhoneId, _cause: InfectionCause) {
+        self.bin(now).infections += 1;
+    }
+
+    fn on_patch_applied(&mut self, now: SimTime, _phone: PhoneId, _silenced: bool) {
+        self.bin(now).patches_applied += 1;
+    }
+
+    fn on_throttled(&mut self, now: SimTime, _phone: PhoneId, _false_positive: bool) {
+        self.bin(now).throttles += 1;
+    }
+
+    fn on_throttle_wait(&mut self, now: SimTime, _phone: PhoneId, wait: SimDuration) {
+        let bin = self.bin(now);
+        bin.throttle_waits += 1;
+        bin.throttle_wait_secs += wait.as_secs();
+    }
+
+    fn on_blacklisted(&mut self, now: SimTime, _phone: PhoneId) {
+        self.bin(now).blacklists += 1;
+    }
+
+    fn into_output(self: Box<Self>) -> Option<ProbeOutput> {
+        Some(ProbeOutput::Telemetry(MechanismTelemetry {
+            bin_secs: self.bin_secs,
+            bins: self.bins,
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn probe_kind_names_round_trip() {
+        for kind in ProbeKind::all() {
+            assert_eq!(ProbeKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(ProbeKind::from_name("magic"), None);
+        assert_eq!(ProbeKind::default(), ProbeKind::None);
+    }
+
+    #[test]
+    fn noop_probe_has_no_output() {
+        let p: Box<dyn SimProbe> = Box::new(NoopProbe);
+        assert!(p.into_output().is_none());
+    }
+
+    #[test]
+    fn chain_probe_attributes_mms_via_fifo_order() {
+        let mut p = TransmissionChainProbe::new(3600);
+        let (a, b, c) = (PhoneId(0), PhoneId(1), PhoneId(2));
+        p.on_infection(t(0), a, InfectionCause::Seed);
+        // a delivers to c, then b delivers to c: reads pop in that order.
+        p.on_message_delivered(t(10), a, c);
+        p.on_message_delivered(t(20), b, c);
+        p.on_message_read(t(30), c);
+        p.on_message_accepted(t(30), c);
+        p.on_infection(t(30), c, InfectionCause::Mms);
+        let record = Box::new(p).into_output().unwrap();
+        let chain = record.as_chain().unwrap();
+        assert_eq!(chain.total_infections(), 2);
+        assert_eq!(chain.infections[0], InfectionEvent { t_secs: 0, phone: 0, infector: None });
+        assert_eq!(
+            chain.infections[1],
+            InfectionEvent { t_secs: 30, phone: 2, infector: Some(0) },
+            "first delivery (from a) must be the one read first"
+        );
+    }
+
+    #[test]
+    fn chain_probe_bluetooth_carries_source() {
+        let mut p = TransmissionChainProbe::new(60);
+        p.on_infection(t(0), PhoneId(5), InfectionCause::Seed);
+        p.on_infection(t(90), PhoneId(7), InfectionCause::Bluetooth { from: PhoneId(5) });
+        let chain = Box::new(p).into_output().unwrap();
+        let chain = chain.as_chain().unwrap();
+        assert_eq!(chain.infections[1].infector, Some(5));
+        // Seed infected 1 phone in bin 0; phone 7 infected nobody.
+        assert_eq!(chain.r_by_bin.len(), 2);
+        assert_eq!(chain.r_by_bin[0].mean_secondary, 1.0);
+        assert_eq!(chain.r_by_bin[1].mean_secondary, 0.0);
+        assert_eq!(chain.time_to_n(2), Some(90.0 / 3600.0));
+        assert_eq!(chain.time_to_n(3), None);
+        assert_eq!(chain.peak_r(), 1.0);
+    }
+
+    #[test]
+    fn trace_probe_ring_bounds_and_exports() {
+        let mut p = TraceProbe::new(2);
+        p.on_message_sent(t(1), PhoneId(3), 1);
+        p.on_message_delivered(t(2), PhoneId(3), PhoneId(4));
+        p.on_message_read(t(3), PhoneId(4));
+        let trace = Box::new(p).into_output().unwrap();
+        let trace = trace.as_trace().unwrap();
+        assert_eq!(trace.total_recorded, 3);
+        assert_eq!(trace.events.len(), 2, "capacity 2 keeps the last two");
+        assert_eq!(trace.dropped(), 1);
+        assert_eq!(trace.events[0].name, "delivered");
+        assert_eq!(trace.events[0].peer, Some(3));
+
+        let chrome = trace.to_chrome_trace_json();
+        let doc: serde_json::Value = serde_json::from_str(&chrome).expect("valid JSON");
+        assert_eq!(doc["traceEvents"].as_array().unwrap().len(), 2);
+        assert_eq!(doc["traceEvents"][0]["ph"], "i");
+        assert_eq!(doc["traceEvents"][0]["ts"], 2_000_000);
+        assert_eq!(doc["otherData"]["dropped_events"], 1);
+
+        let jsonl = trace.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).expect("valid JSONL");
+            assert!(v["t_secs"].as_u64().is_some());
+        }
+    }
+
+    #[test]
+    fn trace_export_is_deterministic() {
+        let build = || {
+            let mut p = TraceProbe::new(16);
+            p.on_message_sent(t(1), PhoneId(0), 0);
+            p.on_milestone(t(2), Milestone::Detected);
+            p.on_infection(t(3), PhoneId(1), InfectionCause::Bluetooth { from: PhoneId(0) });
+            let out = Box::new(p).into_output().unwrap();
+            match out {
+                ProbeOutput::Trace(tr) => (tr.to_chrome_trace_json(), tr.to_jsonl()),
+                _ => unreachable!(),
+            }
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn trace_probe_rejects_zero_capacity() {
+        let _ = TraceProbe::new(0);
+    }
+
+    #[test]
+    fn telemetry_bins_and_merges() {
+        let mut p = MechanismTelemetryProbe::new(60);
+        p.on_message_sent(t(0), PhoneId(0), 1);
+        p.on_message_blocked(t(61), PhoneId(0), BlockCause::Scan);
+        p.on_message_blocked(t(62), PhoneId(0), BlockCause::Blacklist);
+        p.on_throttle_wait(t(130), PhoneId(0), SimDuration::from_secs(900));
+        let out = Box::new(p).into_output().unwrap();
+        let ProbeOutput::Telemetry(mut a) = out else { unreachable!() };
+        assert_eq!(a.bins.len(), 3);
+        assert_eq!(a.bins[0].messages_sent, 1);
+        assert_eq!(a.bins[1].blocked_by_scan, 1);
+        assert_eq!(a.bins[1].blocked_by_blacklist, 1);
+        assert_eq!(a.bins[2].throttle_wait_secs, 900);
+
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(a.totals().messages_sent, 2);
+        assert_eq!(a.totals().blocked_by_scan, 2);
+        assert_eq!(a.totals().throttle_waits, 2);
+    }
+
+    #[test]
+    fn probe_kind_builds_matching_probe() {
+        let config = ScenarioConfig::baseline(crate::virus::VirusProfile::virus1());
+        assert!(ProbeKind::None.build(&config).is_none());
+        for kind in [ProbeKind::Noop, ProbeKind::Chain, ProbeKind::Trace, ProbeKind::Telemetry] {
+            assert!(kind.build(&config).is_some(), "{kind:?}");
+        }
+    }
+}

@@ -40,6 +40,7 @@ use mpvsim_topology::{Graph, GraphSpec};
 
 use crate::config::{ConfigError, ScenarioConfig};
 use crate::model::{EpidemicModel, Event, RunStats};
+use crate::probe::{ProbeKind, ProbeOutput};
 use crate::response::ActivationTimes;
 use mpvsim_des::SimDuration;
 
@@ -167,6 +168,17 @@ pub struct RunResult {
     /// The worst gateway transit delay any message saw (`None` when the
     /// gateway has the paper's infinite capacity).
     pub gateway_peak_delay: Option<SimDuration>,
+    /// What the attached probe produced (`None` when the replication ran
+    /// without one — the default; see [`crate::probe::ProbeKind`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub probe: Option<ProbeOutput>,
+}
+
+impl RunResult {
+    /// The mechanism telemetry, when the run carried a telemetry probe.
+    pub fn telemetry(&self) -> Option<&crate::probe::MechanismTelemetry> {
+        self.probe.as_ref().and_then(ProbeOutput::as_telemetry)
+    }
 }
 
 /// Aggregated outcome of a replicated experiment.
@@ -265,6 +277,25 @@ pub fn run_scenario_cached(
     fel: FelKind,
     cache: Option<&TopologyCache>,
 ) -> Result<(RunResult, SimMetrics), ConfigError> {
+    run_scenario_probed(config, seed, fel, cache, ProbeKind::None)
+}
+
+/// Like [`run_scenario_cached`], running the replication instrumented
+/// with the given probe (see [`crate::probe`]). Probes are read-only —
+/// the trajectory is bit-identical for every `probe` value — and the
+/// probe's output lands in [`RunResult::probe`].
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the scenario is invalid or the
+/// replication exceeds its event budget.
+pub fn run_scenario_probed(
+    config: &ScenarioConfig,
+    seed: u64,
+    fel: FelKind,
+    cache: Option<&TopologyCache>,
+    probe: ProbeKind,
+) -> Result<(RunResult, SimMetrics), ConfigError> {
     config.validate()?;
     let topo_seed = derive_stream_seed(seed, 0, TOPOLOGY_STREAM);
     let (graph, mut topo_rng) = match cache {
@@ -286,7 +317,10 @@ pub fn run_scenario_cached(
         .map(|m| MobilityField::new(m.arena(), population.len(), m.waypoint, &mut topo_rng));
 
     let budget = config.event_budget.unwrap_or(DEFAULT_EVENT_BUDGET);
-    let model = EpidemicModel::with_mobility(config.clone(), population, mobility);
+    let mut model = EpidemicModel::with_mobility(config.clone(), population, mobility);
+    if let Some(p) = probe.build(config) {
+        model.set_probe(p);
+    }
     let mut sim = Simulation::new(model, seed).with_event_budget(budget).with_fel(fel);
     sim.schedule(SimTime::ZERO, Event::Seed);
     sim.schedule(SimTime::ZERO, Event::Sample);
@@ -299,7 +333,8 @@ pub fn run_scenario_cached(
         )));
     }
     let metrics = sim.metrics();
-    let model = sim.into_model();
+    let mut model = sim.into_model();
+    let probe_output = model.take_probe().and_then(|p| p.into_output());
 
     Ok((
         RunResult {
@@ -309,6 +344,7 @@ pub fn run_scenario_cached(
             gateway_peak_delay: model.transit_queue().map(|q| q.peak_delay()),
             traffic: model.traffic_series().clone(),
             series: model.series().clone(),
+            probe: probe_output,
         },
         metrics,
     ))
@@ -332,6 +368,7 @@ pub struct ExperimentPlan {
     observer: ObserverHandle,
     fel: FelKind,
     topo_cache: Option<Arc<TopologyCache>>,
+    probe: ProbeKind,
 }
 
 impl ExperimentPlan {
@@ -347,7 +384,17 @@ impl ExperimentPlan {
             observer: ObserverHandle::noop(),
             fel: FelKind::default(),
             topo_cache: None,
+            probe: ProbeKind::None,
         }
+    }
+
+    /// Runs every replication instrumented with the given probe (see
+    /// [`crate::probe`]). Probes are read-only: the aggregate and every
+    /// per-run series are bit-identical for every `probe` value; the
+    /// probe's output lands in each retained [`RunResult::probe`].
+    pub fn probe(mut self, probe: ProbeKind) -> Self {
+        self.probe = probe;
+        self
     }
 
     /// Resolves contact networks through `cache` instead of regenerating
@@ -431,6 +478,12 @@ impl ExperimentPlan {
         self.reps
     }
 
+    /// The probe each replication runs with ([`ProbeKind::None`] unless
+    /// [`ExperimentPlan::probe`] was called).
+    pub fn probe_kind(&self) -> ProbeKind {
+        self.probe
+    }
+
     /// Executes the plan: runs the replications (in parallel across the
     /// plan's threads) and aggregates them online.
     ///
@@ -480,6 +533,7 @@ impl ExperimentPlan {
             reps: self.reps,
             wall: started.elapsed(),
             events_processed: collector.total_events,
+            peak_pending_events: collector.peak_pending,
         });
         Ok(collector.into_result())
     }
@@ -548,6 +602,7 @@ impl ExperimentPlan {
             reps: completed,
             wall: started.elapsed(),
             events_processed: collector.total_events,
+            peak_pending_events: collector.peak_pending,
         });
         Ok(AdaptiveResult { result: collector.into_result(), converged })
     }
@@ -562,7 +617,7 @@ impl ExperimentPlan {
         self.observer.on_replication_start(rep, seed);
         let started = Instant::now();
         let (result, sim) =
-            run_scenario_cached(config, seed, self.fel, self.topo_cache.as_deref())?;
+            run_scenario_probed(config, seed, self.fel, self.topo_cache.as_deref(), self.probe)?;
         Ok((result, ReplicationMetrics { rep, seed, wall: started.elapsed(), sim }))
     }
 }
@@ -575,6 +630,7 @@ struct Collector {
     runs: Vec<RunResult>,
     retain_runs: bool,
     total_events: u64,
+    peak_pending: usize,
 }
 
 impl Collector {
@@ -585,6 +641,7 @@ impl Collector {
             runs: Vec::new(),
             retain_runs,
             total_events: 0,
+            peak_pending: 0,
         }
     }
 
@@ -596,6 +653,7 @@ impl Collector {
     ) {
         observer.on_replication_finish(&metrics);
         self.total_events += metrics.sim.events_processed;
+        self.peak_pending = self.peak_pending.max(metrics.sim.peak_pending_events);
         self.aggregate.push(&result.series);
         self.finals.push(result.final_infected as f64);
         if self.retain_runs {

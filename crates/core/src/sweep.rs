@@ -41,6 +41,7 @@ use mpvsim_stats::{AggregateSeries, Summary, TimeSeries};
 
 use crate::config::{ConfigError, ScenarioConfig};
 use crate::figures::FigureOptions;
+use crate::probe::{MechanismTelemetry, ProbeKind};
 use crate::run::{ExperimentPlan, TopologyCache, TopologyCacheStats};
 use crate::studies::StudyId;
 
@@ -191,8 +192,9 @@ impl SweepSpec {
     }
 }
 
-/// Lowercases and maps every non-alphanumeric run to a single `-`.
-fn slugify(label: &str) -> String {
+/// Lowercases and maps every non-alphanumeric run to a single `-`,
+/// producing a filename-safe slug (used for cell ids and trace files).
+pub fn slugify(label: &str) -> String {
     let mut out = String::with_capacity(label.len());
     let mut dash_pending = false;
     for c in label.chars() {
@@ -210,7 +212,10 @@ fn slugify(label: &str) -> String {
 }
 
 /// Execution knobs of a sweep run. Like threads and observers on an
-/// [`ExperimentPlan`], nothing here changes a bit of the results.
+/// [`ExperimentPlan`], nothing here changes a bit of the simulated
+/// trajectories. `probe` adds extra (deterministic) records to the cell
+/// files, so resuming a sweep with a different probe than it was started
+/// with forfeits byte-identity of the files — never of the results.
 #[derive(Debug, Clone)]
 pub struct SweepOptions {
     /// Cells executed concurrently (work-stealing pool size).
@@ -225,6 +230,9 @@ pub struct SweepOptions {
     pub max_cells: Option<usize>,
     /// Observer attached to every cell's experiment.
     pub observer: ObserverHandle,
+    /// Probe attached to every replication ([`ProbeKind::Telemetry`]
+    /// adds per-rep and cell-aggregate telemetry records to the store).
+    pub probe: ProbeKind,
 }
 
 impl Default for SweepOptions {
@@ -235,6 +243,7 @@ impl Default for SweepOptions {
             fel: FelKind::default(),
             max_cells: None,
             observer: ObserverHandle::noop(),
+            probe: ProbeKind::None,
         }
     }
 }
@@ -250,6 +259,10 @@ pub struct CellResult {
     pub aggregate: AggregateSeries,
     /// Summary of final infection counts across replications.
     pub final_infected: Summary,
+    /// Per-mechanism telemetry summed over the cell's replications
+    /// (present when the sweep ran with [`ProbeKind::Telemetry`]).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub telemetry: Option<MechanismTelemetry>,
 }
 
 /// What a [`run_sweep`] / [`resume_sweep`] call did.
@@ -290,6 +303,8 @@ struct RepRecord {
     seed: u64,
     final_infected: usize,
     series: TimeSeries,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    telemetry: Option<MechanismTelemetry>,
 }
 
 #[derive(serde::Serialize, serde::Deserialize)]
@@ -297,6 +312,8 @@ struct AggregateRecord {
     kind: String,
     aggregate: AggregateSeries,
     final_infected: Summary,
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    telemetry: Option<MechanismTelemetry>,
 }
 
 /// The on-disk results store of one sweep: `manifest.json` plus
@@ -441,15 +458,24 @@ impl ResultsStore {
             .threads(opts.rep_threads.max(1))
             .retain_runs(false)
             .fel(opts.fel)
+            .probe(opts.probe)
             .observer_handle(opts.observer.clone())
             .topology_cache(cache.clone());
 
         // The sink cannot return errors; park the first one and fail the
         // cell afterwards.
         let mut sink_err: Option<SweepError> = None;
+        let mut merged_telemetry: Option<MechanismTelemetry> = None;
         let result = plan.run_with_sink(&cell.config, |rep, run| {
             if sink_err.is_some() {
                 return;
+            }
+            let telemetry = run.telemetry().cloned();
+            if let Some(t) = &telemetry {
+                match merged_telemetry.as_mut() {
+                    Some(m) => m.merge(t),
+                    None => merged_telemetry = Some(t.clone()),
+                }
             }
             let record = RepRecord {
                 kind: "rep".to_owned(),
@@ -457,6 +483,7 @@ impl ResultsStore {
                 seed: derive_seed(spec.master_seed, rep),
                 final_infected: run.final_infected,
                 series: run.series.clone(),
+                telemetry,
             };
             let write = serde_json::to_writer(&mut w, &record)
                 .map_err(SweepError::from)
@@ -473,6 +500,7 @@ impl ResultsStore {
             kind: "aggregate".to_owned(),
             aggregate: result.aggregate,
             final_infected: result.final_infected,
+            telemetry: merged_telemetry,
         };
         serde_json::to_writer(&mut w, &tail)?;
         w.write_all(b"\n")?;
@@ -509,6 +537,7 @@ impl ResultsStore {
             label: cell.label.clone(),
             aggregate: tail.aggregate,
             final_infected: tail.final_infected,
+            telemetry: tail.telemetry,
         })
     }
 }
@@ -768,6 +797,29 @@ mod tests {
             );
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_probe_flows_into_cell_results() {
+        let dir = tmp_dir("telemetry");
+        let spec =
+            SweepSpec::new("probed", 2, 17, vec![tiny_cell("t0", VirusProfile::virus3())]).unwrap();
+        let opts = SweepOptions { probe: crate::probe::ProbeKind::Telemetry, ..Default::default() };
+        let report = run_sweep(&spec, &dir, &opts).unwrap();
+        let telemetry = report.cells[0].telemetry.as_ref().expect("telemetry recorded");
+        let totals = telemetry.totals();
+        assert!(totals.infections > 0, "virus 3 infects phones in 4 h");
+        assert!(totals.messages_sent > 0);
+        // Per-rep telemetry lines are in the store too.
+        let text = fs::read_to_string(dir.join("cells/t0.jsonl")).unwrap();
+        assert_eq!(text.matches("\"telemetry\"").count(), 3, "2 rep lines + aggregate");
+        // An un-probed sweep stays telemetry-free (and its records omit
+        // the field entirely, keeping old readers happy).
+        let dir2 = tmp_dir("telemetry-off");
+        let plain = run_sweep(&spec, &dir2, &SweepOptions::default()).unwrap();
+        assert!(plain.cells[0].telemetry.is_none());
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&dir2);
     }
 
     #[test]

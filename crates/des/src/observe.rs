@@ -62,6 +62,9 @@ pub struct ExperimentMetrics {
     pub wall: Duration,
     /// Total events processed across all replications.
     pub events_processed: u64,
+    /// Highest pending-event count any replication reached (the max of
+    /// the per-replication [`SimMetrics::peak_pending_events`] values).
+    pub peak_pending_events: usize,
 }
 
 impl ExperimentMetrics {
@@ -286,12 +289,14 @@ impl ExperimentObserver for ProgressObserver {
 ///
 /// ```json
 /// {"type":"experiment","reps":10,"wall_ms":123.456,
-///  "events_processed":98760,"events_per_sec":800000.0}
+///  "events_processed":98760,"peak_pending_events":120,"events_per_sec":800000.0}
 /// ```
 ///
 /// The schema is flat and numeric, so the lines are emitted without a
 /// JSON library; I/O errors are reported once on stderr and otherwise
-/// ignored (telemetry must never abort an experiment).
+/// ignored (telemetry must never abort an experiment). Buffered lines
+/// are flushed on `on_experiment_finish` *and* on drop, so a run that
+/// errors out mid-experiment still leaves its replication lines on disk.
 pub struct JsonlObserver {
     out: Mutex<BufWriter<File>>,
 }
@@ -312,6 +317,21 @@ impl JsonlObserver {
         if let Err(e) = out.write_fmt(format_args!("{line}\n")) {
             eprintln!("[mpvsim] metrics write failed: {e}");
         }
+    }
+
+    fn flush(&self) {
+        if let Err(e) = self.out.lock().flush() {
+            eprintln!("[mpvsim] metrics flush failed: {e}");
+        }
+    }
+}
+
+impl Drop for JsonlObserver {
+    fn drop(&mut self) {
+        // An aborted experiment never reaches `on_experiment_finish`;
+        // without this, every line still in the BufWriter would be lost
+        // (BufWriter's own drop flushes, but swallows errors silently).
+        self.flush();
     }
 }
 
@@ -339,15 +359,15 @@ impl ExperimentObserver for JsonlObserver {
     fn on_experiment_finish(&self, m: &ExperimentMetrics) {
         self.write_line(format_args!(
             "{{\"type\":\"experiment\",\"reps\":{reps},\"wall_ms\":{ms:.3},\
-             \"events_processed\":{events},\"events_per_sec\":{eps:.3}}}",
+             \"events_processed\":{events},\"peak_pending_events\":{peak},\
+             \"events_per_sec\":{eps:.3}}}",
             reps = m.reps,
             ms = m.wall.as_secs_f64() * 1e3,
             events = m.events_processed,
+            peak = m.peak_pending_events,
             eps = m.events_per_sec(),
         ));
-        if let Err(e) = self.out.lock().flush() {
-            eprintln!("[mpvsim] metrics flush failed: {e}");
-        }
+        self.flush();
     }
 }
 
@@ -371,7 +391,12 @@ mod tests {
         assert!((m.events_per_sec() - 200_000.0).abs() < 1e-6);
         m.wall = Duration::ZERO;
         assert_eq!(m.events_per_sec(), 0.0);
-        let e = ExperimentMetrics { reps: 2, wall: Duration::ZERO, events_processed: 10 };
+        let e = ExperimentMetrics {
+            reps: 2,
+            wall: Duration::ZERO,
+            events_processed: 10,
+            peak_pending_events: 5,
+        };
         assert_eq!(e.events_per_sec(), 0.0);
     }
 
@@ -385,6 +410,7 @@ mod tests {
             reps: 3,
             wall: Duration::from_secs(1),
             events_processed: 12,
+            peak_pending_events: 4,
         });
     }
 
@@ -446,6 +472,7 @@ mod tests {
             reps: 2,
             wall: Duration::from_millis(50),
             events_processed: 8000,
+            peak_pending_events: 37,
         });
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
@@ -468,5 +495,22 @@ mod tests {
         }
         assert!(lines[2].starts_with("{\"type\":\"experiment\""), "{}", lines[2]);
         assert!(lines[2].contains("\"reps\":2"));
+        assert!(lines[2].contains("\"peak_pending_events\":37"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn jsonl_drop_flushes_buffered_lines() {
+        let dir = std::env::temp_dir().join("mpvsim-observe-drop-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("aborted.jsonl");
+        {
+            let o = JsonlObserver::create(&path).expect("create metrics file");
+            o.on_replication_finish(&metrics(0));
+            // Simulate an aborted experiment: `on_experiment_finish` is
+            // never called; the observer is just dropped.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1, "buffered line lost on drop: {text:?}");
+        assert!(text.starts_with("{\"type\":\"replication\""), "{text}");
     }
 }

@@ -64,13 +64,14 @@ pub use mpvsim_topology as topology;
 /// The most commonly used items, importable with one `use`.
 pub mod prelude {
     pub use mpvsim_core::{
-        resume_sweep, run_scenario, run_scenario_cached, run_scenario_with_metrics,
-        run_scenario_with_metrics_fel, run_sweep, AcceptanceModel, AdaptiveResult, BehaviorConfig,
-        Blacklist, BluetoothVector, ConfigError, DetectionAlgorithm, ExperimentPlan,
-        ExperimentResult, Immunization, MobilityConfig, Monitoring, PopulationConfig,
-        ResponseConfig, RolloutOrder, RunResult, ScenarioConfig, SendQuota, SignatureScan, StudyId,
-        StudyKind, SweepOptions, SweepSpec, TargetingStrategy, TopologyCache, UserEducation,
-        VirusProfile,
+        resume_sweep, run_scenario, run_scenario_cached, run_scenario_probed,
+        run_scenario_with_metrics, run_scenario_with_metrics_fel, run_sweep, AcceptanceModel,
+        AdaptiveResult, BehaviorConfig, Blacklist, BluetoothVector, ChainRecord, ConfigError,
+        DetectionAlgorithm, ExperimentPlan, ExperimentResult, Immunization, MechanismTelemetry,
+        MobilityConfig, Monitoring, PopulationConfig, ProbeKind, ProbeOutput, ResponseConfig,
+        RolloutOrder, RunResult, ScenarioConfig, SendQuota, SignatureScan, SimProbe, StudyId,
+        StudyKind, SweepOptions, SweepSpec, TargetingStrategy, TopologyCache, TraceRecord,
+        UserEducation, VirusProfile,
     };
     pub use mpvsim_des::{
         DelaySpec, ExperimentMetrics, ExperimentObserver, FelKind, JsonlObserver, NoopObserver,

@@ -1,0 +1,211 @@
+//! Integration tests for the in-simulation probe layer.
+//!
+//! Three guarantees are checked here:
+//!
+//! 1. **Non-perturbation** — attaching the no-op probe is bit-identical
+//!    to the un-probed path over random scenarios (proptest), for both
+//!    future-event-list implementations.
+//! 2. **Byte determinism** — the trace exports (Chrome trace JSON and
+//!    JSONL) are byte-identical across repeated runs with the same seed
+//!    and the same `FelKind`.
+//! 3. **Consistency** — chain and telemetry records agree with the
+//!    model's own end-of-run counters ([`RunResult`] stats).
+
+use proptest::prelude::*;
+
+use mpvsim::prelude::*;
+
+/// The four paper viruses, by index, for compact proptest strategies.
+fn virus(idx: usize) -> VirusProfile {
+    match idx {
+        0 => VirusProfile::virus1(),
+        1 => VirusProfile::virus2(),
+        2 => VirusProfile::virus3(),
+        _ => VirusProfile::virus4(),
+    }
+}
+
+/// A random but valid scenario, small enough to run in milliseconds yet
+/// exercising every probe hook family: MMS traffic, scanning, monitoring
+/// throttles, blacklisting and (sometimes) Bluetooth.
+fn scenario_strategy() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        0usize..4,     // virus profile
+        any::<bool>(), // signature scan
+        any::<bool>(), // monitoring (forced wait)
+        any::<bool>(), // blacklist
+        any::<bool>(), // bluetooth + mobility
+        30usize..70,   // population
+        4u64..16,      // horizon hours
+    )
+        .prop_map(|(v, scan, mon, bl, bt, n, horizon)| {
+            let mut c = ScenarioConfig::baseline(virus(v));
+            let mut r = ResponseConfig::none();
+            if scan {
+                r = r.with_signature_scan(SignatureScan {
+                    activation_delay: SimDuration::from_hours(2),
+                });
+            }
+            if mon {
+                r = r.with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(30)));
+            }
+            if bl {
+                r = r.with_blacklist(Blacklist { threshold: 10 });
+            }
+            c.response = r;
+            c.population = PopulationConfig {
+                topology: GraphSpec::erdos_renyi(n, 6.0),
+                vulnerable_fraction: 0.8,
+            };
+            if bt {
+                c.virus.bluetooth = Some(BluetoothVector::default_class2());
+                c.mobility = Some(MobilityConfig::downtown());
+            }
+            c.horizon = SimDuration::from_hours(horizon);
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The no-op probe must not perturb the trajectory in any way: the
+    /// time series, traffic counters, run stats and DES metrics are all
+    /// identical to the un-probed run, for every FEL implementation.
+    #[test]
+    fn noop_probe_is_bit_identical_to_unprobed(
+        config in scenario_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        for fel in [FelKind::BinaryHeap, FelKind::Calendar] {
+            let (plain, plain_metrics) =
+                run_scenario_probed(&config, seed, fel, None, ProbeKind::None)
+                    .expect("strategy yields valid configs");
+            let (noop, noop_metrics) =
+                run_scenario_probed(&config, seed, fel, None, ProbeKind::Noop)
+                    .expect("strategy yields valid configs");
+            prop_assert!(noop.probe.is_none(), "the no-op probe produces no output");
+            prop_assert_eq!(&plain.series, &noop.series);
+            prop_assert_eq!(&plain.traffic, &noop.traffic);
+            prop_assert_eq!(&plain.stats, &noop.stats);
+            prop_assert_eq!(plain.final_infected, noop.final_infected);
+            prop_assert_eq!(plain_metrics.events_processed, noop_metrics.events_processed);
+            prop_assert_eq!(
+                plain_metrics.peak_pending_events,
+                noop_metrics.peak_pending_events
+            );
+        }
+    }
+
+    /// Telemetry bins sum to exactly the counters the model reports at
+    /// the end of the run, for any scenario: the probe observes every
+    /// event exactly once.
+    #[test]
+    fn telemetry_totals_match_run_stats_for_any_scenario(
+        config in scenario_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        let (run, _) = run_scenario_probed(
+            &config,
+            seed,
+            FelKind::default(),
+            None,
+            ProbeKind::Telemetry,
+        )
+        .expect("strategy yields valid configs");
+        let totals = run.telemetry().expect("telemetry probe output").totals();
+        prop_assert_eq!(totals.messages_sent, run.stats.messages_sent);
+        prop_assert_eq!(totals.blocked_by_scan, run.stats.blocked_by_scan);
+        prop_assert_eq!(totals.blocked_by_detection, run.stats.blocked_by_detection);
+        prop_assert_eq!(totals.blocked_by_blacklist, run.stats.blocked_by_blacklist);
+        prop_assert_eq!(totals.throttles, run.stats.throttled_phones);
+        prop_assert_eq!(totals.blacklists, run.stats.blacklisted_phones);
+    }
+}
+
+/// Trace exports are byte-identical across repeated runs with the same
+/// seed and FEL, and differ across seeds (the trace actually records the
+/// trajectory rather than a constant).
+#[test]
+fn trace_export_is_byte_identical_per_seed_and_fel() {
+    let mut config = ScenarioConfig::baseline(VirusProfile::virus3());
+    config.population =
+        PopulationConfig { topology: GraphSpec::erdos_renyi(50, 6.0), vulnerable_fraction: 0.8 };
+    config.horizon = SimDuration::from_hours(8);
+
+    let fels = [
+        FelKind::BinaryHeap,
+        FelKind::Calendar,
+        FelKind::CalendarTuned { bucket_width_secs: 120, bucket_count: 256 },
+    ];
+    for fel in fels {
+        let trace_of = |seed: u64| {
+            let (run, _) = run_scenario_probed(&config, seed, fel, None, ProbeKind::Trace)
+                .expect("valid config");
+            run.probe
+                .and_then(|p| match p {
+                    ProbeOutput::Trace(t) => Some(t),
+                    _ => None,
+                })
+                .expect("trace probe output")
+        };
+        let first = trace_of(9);
+        let second = trace_of(9);
+        assert_eq!(
+            first.to_chrome_trace_json(),
+            second.to_chrome_trace_json(),
+            "same seed + same FEL must export identical Chrome trace bytes ({fel:?})"
+        );
+        assert_eq!(
+            first.to_jsonl(),
+            second.to_jsonl(),
+            "same seed + same FEL must export identical JSONL bytes ({fel:?})"
+        );
+        let other = trace_of(10);
+        assert_ne!(
+            first.to_jsonl(),
+            other.to_jsonl(),
+            "different seeds must produce different traces ({fel:?})"
+        );
+    }
+}
+
+/// The transmission chain is a faithful infection genealogy: one root per
+/// initial infection, every infector recorded before its victims,
+/// timestamps non-decreasing, and the total matching the final count
+/// (no response mechanism here, so nobody recovers).
+#[test]
+fn chain_record_matches_the_outcome() {
+    let mut config = ScenarioConfig::baseline(VirusProfile::virus1());
+    config.population =
+        PopulationConfig { topology: GraphSpec::erdos_renyi(60, 8.0), vulnerable_fraction: 0.9 };
+    config.horizon = SimDuration::from_hours(24);
+
+    let (run, _) = run_scenario_probed(&config, 3, FelKind::default(), None, ProbeKind::Chain)
+        .expect("valid config");
+    let chain = run.probe.as_ref().and_then(ProbeOutput::as_chain).expect("chain probe output");
+
+    assert_eq!(
+        chain.total_infections(),
+        run.final_infected,
+        "every infection is recorded exactly once"
+    );
+    let roots = chain.infections.iter().filter(|e| e.infector.is_none()).count();
+    assert_eq!(roots, 1, "the baseline seeds exactly one phone");
+    assert!(
+        chain.infections.windows(2).all(|w| w[0].t_secs <= w[1].t_secs),
+        "infection events arrive in time order"
+    );
+    let mut infected_so_far = std::collections::HashSet::new();
+    for event in &chain.infections {
+        if let Some(parent) = event.infector {
+            assert!(
+                infected_so_far.contains(&parent),
+                "infector {parent} must have been infected before its victim"
+            );
+        }
+        infected_so_far.insert(event.phone);
+    }
+    assert_eq!(chain.time_to_n(1), Some(0.0), "the seed is infected at t = 0");
+    assert!(chain.peak_r() > 0.0, "virus 1 with no response spreads within 24 h");
+}
