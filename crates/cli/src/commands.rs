@@ -20,6 +20,10 @@ use std::path::{Path, PathBuf};
 use mpvsim_core::figures::{FigureOptions, LabeledResult};
 use mpvsim_core::studies::{registry, StudyId, StudyKind};
 use mpvsim_core::sweep::{resume_sweep, run_sweep, slugify, SweepOptions, SweepReport, SweepSpec};
+use mpvsim_core::validate::{
+    bless_oracle, bless_study, check_oracle, check_study, fuzz_cases, load_oracle_golden,
+    load_study_golden, save_oracle_golden, save_study_golden, GoldenScale, OracleScale, Variant,
+};
 use mpvsim_core::{run_scenario_probed, ProbeKind, ProbeOutput, TopologyCache};
 use mpvsim_des::seed::derive_seed;
 
@@ -37,6 +41,9 @@ commands:
   perfsuite            benchmark the figure workloads under each FEL backend
   sweep run            execute a sweep of studies into a results store
   sweep resume         finish an interrupted sweep from its store
+  validate bless       (re)generate the golden-trajectory regression store
+  validate check       verify studies against the committed goldens
+  validate fuzz        random-scenario invariant checking
 run `mpvsim <command> --help` (or pass bad flags) for per-command usage.
 ";
 
@@ -98,6 +105,7 @@ pub fn run(args: &[String]) -> i32 {
         "ablations" => cmd_ablations(rest),
         "perfsuite" => crate::perfsuite::run(rest),
         "sweep" => cmd_sweep(rest),
+        "validate" => cmd_validate(rest),
         "--help" | "-h" | "help" => {
             print!("{COMMANDS}");
             0
@@ -462,6 +470,293 @@ fn trace_study(id: StudyId, opts: &FigureOptions, dir: &Path) -> Result<String, 
         dir.display()
     );
     Ok(out)
+}
+
+// --------------------------------------------------------- validation
+
+const VALIDATE_USAGE: &str = "\
+usage: mpvsim validate bless [--dir DIR] [--study NAME]... [--population P]
+                             [--reps R] [--seed S]
+       mpvsim validate check [--dir DIR] [--study NAME]... [--threads T]
+                             [--no-variants]
+       mpvsim validate fuzz  [--cases N] [--seed S]
+  bless    run the selected studies at golden scale (reference execution) and
+           (re)write DIR/<study>.json, plus the differential-oracle golden
+           DIR/oracle.json
+  check    re-run the selected studies under the single-knob variant matrix
+           (binary-heap vs calendar FEL, 1 vs T threads, none vs noop probe)
+           and the differential oracle; exit 1 on any drift from the goldens
+  fuzz     run N deterministic random-scenario invariant checks; exit 1 on
+           any violation (failures name their exact replay)
+  --dir DIR       golden store directory (default: goldens)
+  --study NAME    restrict to this study; 'oracle' selects the differential
+                  oracle (repeatable; default: every registry study + oracle)
+  --population P  bless-time population per study cell (default 120)
+  --reps R        bless-time replications per cell (default 2)
+  --seed S        bless: master seed of the golden families (default 2007)
+                  fuzz: seed of the fuzzing family (default 2007)
+  --threads T     thread count of the 'threaded' check variant (default 4)
+  --no-variants   check only the reference execution (fast smoke)
+  --cases N       fuzz cases to run (default 32)
+";
+
+#[derive(Debug)]
+struct ValidateSelection {
+    studies: Vec<StudyId>,
+    oracle: bool,
+}
+
+fn parse_validate_studies(names: &[String]) -> Result<ValidateSelection, String> {
+    if names.is_empty() {
+        return Ok(ValidateSelection { studies: StudyId::all(), oracle: true });
+    }
+    let mut studies = Vec::new();
+    let mut oracle = false;
+    for name in names {
+        if name == "oracle" {
+            oracle = true;
+        } else {
+            let id = StudyId::from_name(name)
+                .ok_or_else(|| format!("unknown study {name:?}; see `mpvsim list`"))?;
+            studies.push(id);
+        }
+    }
+    Ok(ValidateSelection { studies, oracle })
+}
+
+fn cmd_validate(args: &[String]) -> i32 {
+    let Some((verb, rest)) = args.split_first() else {
+        eprint!("{VALIDATE_USAGE}");
+        return 2;
+    };
+    let verb = verb.as_str();
+    if matches!(verb, "--help" | "-h") {
+        print!("{VALIDATE_USAGE}");
+        return 0;
+    }
+    if !matches!(verb, "bless" | "check" | "fuzz") {
+        eprintln!("unknown validate subcommand {verb:?}\n{VALIDATE_USAGE}");
+        return 2;
+    }
+
+    let mut dir = PathBuf::from("goldens");
+    let mut names: Vec<String> = Vec::new();
+    let mut scale = GoldenScale::default();
+    let mut no_variants = false;
+    let mut threads = 4usize;
+    let mut cases = 32u64;
+    let mut fuzz_seed = 2007u64;
+    let mut it = rest.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value\n{VALIDATE_USAGE}"))
+        };
+        let parsed: Result<(), String> = (|| {
+            let number = |flag: &str, v: String| -> Result<u64, String> {
+                v.parse()
+                    .map_err(|_| format!("{flag} value {v:?} is not a number\n{VALIDATE_USAGE}"))
+            };
+            match flag.as_str() {
+                "--dir" if verb != "fuzz" => dir = PathBuf::from(value("--dir")?),
+                "--study" if verb != "fuzz" => names.push(value("--study")?),
+                "--population" if verb == "bless" => {
+                    scale.population = number("--population", value("--population")?)? as usize;
+                }
+                "--reps" if verb == "bless" => scale.reps = number("--reps", value("--reps")?)?,
+                "--seed" if verb != "check" => {
+                    let s = number("--seed", value("--seed")?)?;
+                    scale.master_seed = s;
+                    fuzz_seed = s;
+                }
+                "--threads" if verb == "check" => {
+                    threads = number("--threads", value("--threads")?)? as usize;
+                }
+                "--no-variants" if verb == "check" => no_variants = true,
+                "--cases" if verb == "fuzz" => cases = number("--cases", value("--cases")?)?,
+                other => {
+                    return Err(format!(
+                        "unknown flag {other:?} for `validate {verb}`\n{VALIDATE_USAGE}"
+                    ))
+                }
+            }
+            Ok(())
+        })();
+        if let Err(msg) = parsed {
+            eprintln!("{msg}");
+            return 2;
+        }
+    }
+
+    if verb == "fuzz" {
+        return validate_fuzz(fuzz_seed, cases);
+    }
+    let selection = match parse_validate_studies(&names) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return 2;
+        }
+    };
+    match verb {
+        "bless" => validate_bless(&dir, &selection, &scale),
+        _ => validate_check(&dir, &selection, no_variants, threads),
+    }
+}
+
+fn validate_bless(dir: &Path, selection: &ValidateSelection, scale: &GoldenScale) -> i32 {
+    for id in &selection.studies {
+        eprintln!(
+            "blessing {} (population {}, {} reps, seed {}) …",
+            id.name(),
+            scale.population,
+            scale.reps,
+            scale.master_seed
+        );
+        let golden = match bless_study(*id, scale) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{}: {e}", id.name());
+                return 1;
+            }
+        };
+        match save_study_golden(dir, &golden) {
+            Ok(path) => {
+                println!(
+                    "blessed {} ({} cells) -> {}",
+                    id.name(),
+                    golden.cells.len(),
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+    }
+    if selection.oracle {
+        let oracle_scale = OracleScale::default();
+        eprintln!(
+            "blessing oracle (population {}, {} reps, seed {}) …",
+            oracle_scale.population, oracle_scale.reps, oracle_scale.master_seed
+        );
+        let golden = match bless_oracle(&oracle_scale) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("oracle: {e}");
+                return 1;
+            }
+        };
+        match save_oracle_golden(dir, &golden) {
+            Ok(path) => println!(
+                "blessed oracle (mean final {:.1} of {}) -> {}",
+                golden.final_mean,
+                golden.scale.population,
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+    }
+    0
+}
+
+fn validate_check(
+    dir: &Path,
+    selection: &ValidateSelection,
+    no_variants: bool,
+    threads: usize,
+) -> i32 {
+    let variants =
+        if no_variants { vec![Variant::reference()] } else { Variant::standard(threads) };
+    let mut drifts = Vec::new();
+    for id in &selection.studies {
+        eprintln!("checking {} ({} variants) …", id.name(), variants.len());
+        let golden = match load_study_golden(dir, *id) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        match check_study(*id, &golden, &variants) {
+            Ok(mut found) => drifts.append(&mut found),
+            Err(e) => {
+                eprintln!("{}: {e}", id.name());
+                return 1;
+            }
+        }
+    }
+    if selection.oracle {
+        eprintln!("checking oracle …");
+        let golden = match load_oracle_golden(dir) {
+            Ok(g) => g,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        match check_oracle(&golden) {
+            Ok(mut found) => drifts.append(&mut found),
+            Err(e) => {
+                eprintln!("oracle: {e}");
+                return 1;
+            }
+        }
+    }
+    if drifts.is_empty() {
+        println!(
+            "validate check: OK — {} studies{} bit-identical across {} execution variant(s)",
+            selection.studies.len(),
+            if selection.oracle { " + oracle" } else { "" },
+            variants.len()
+        );
+        0
+    } else {
+        for d in &drifts {
+            println!("DRIFT: {d}");
+        }
+        println!(
+            "validate check: {} drift(s) detected — if intentional, re-bless with \
+             `mpvsim validate bless`",
+            drifts.len()
+        );
+        1
+    }
+}
+
+fn validate_fuzz(seed: u64, cases: u64) -> i32 {
+    eprintln!("fuzzing {cases} random scenarios from seed {seed} …");
+    match fuzz_cases(seed, cases) {
+        Ok(report) if report.failures.is_empty() => {
+            println!("validate fuzz: OK — {} cases, 0 invariant violations", report.cases);
+            0
+        }
+        Ok(report) => {
+            for f in &report.failures {
+                println!(
+                    "FUZZ FAILURE: case {} of family {seed} (config = fuzz_case({seed}, {}), \
+                     replication seed {}):",
+                    f.case, f.case, f.seed
+                );
+                for v in &f.violations {
+                    println!("  - {v}");
+                }
+            }
+            println!(
+                "validate fuzz: {} of {} cases violated invariants",
+                report.failures.len(),
+                report.cases
+            );
+            1
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            1
+        }
+    }
 }
 
 // ------------------------------------------------------------- sweeps
@@ -911,5 +1206,73 @@ mod tests {
         let text = render_sweep_report(&finished);
         assert!(text.contains("0 remaining"), "got:\n{text}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_bless_then_check_roundtrips_and_catches_tampering() {
+        let dir = std::env::temp_dir().join(format!("mpvsim-cli-validate-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
+        let dir_str = dir.to_str().unwrap();
+        // Bless one small study at reduced scale (no oracle: not selected).
+        assert_eq!(
+            run(&args(&[
+                "validate",
+                "bless",
+                "--dir",
+                dir_str,
+                "--study",
+                "ext_congestion",
+                "--population",
+                "40",
+                "--reps",
+                "2",
+            ])),
+            0
+        );
+        assert!(dir.join("ext_congestion.json").exists());
+        assert!(!dir.join(mpvsim_core::validate::ORACLE_FILE).exists());
+        // A reference-only check against the fresh golden is clean.
+        assert_eq!(
+            run(&args(&[
+                "validate",
+                "check",
+                "--dir",
+                dir_str,
+                "--study",
+                "ext_congestion",
+                "--no-variants",
+            ])),
+            0
+        );
+        // Tamper with the stored mean curve: the check must drift.
+        let mut golden = load_study_golden(&dir, StudyId::ExtCongestion).unwrap();
+        golden.cells[0].final_mean += 1.0;
+        save_study_golden(&dir, &golden).unwrap();
+        assert_eq!(
+            run(&args(&[
+                "validate",
+                "check",
+                "--dir",
+                dir_str,
+                "--study",
+                "ext_congestion",
+                "--no-variants",
+            ])),
+            1
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_fuzz_runs_clean_and_usage_errors_exit_2() {
+        let args = |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
+        assert_eq!(run(&args(&["validate", "fuzz", "--cases", "2", "--seed", "11"])), 0);
+        // Usage errors: missing verb, unknown verb, unknown study, flag for wrong verb.
+        assert_eq!(run(&args(&["validate"])), 2);
+        assert_eq!(run(&args(&["validate", "nope"])), 2);
+        assert_eq!(run(&args(&["validate", "check", "--study", "nope"])), 2);
+        assert_eq!(run(&args(&["validate", "fuzz", "--dir", "d"])), 2);
+        assert_eq!(run(&args(&["validate", "bless", "--population"])), 2);
     }
 }

@@ -54,6 +54,7 @@ pub mod response;
 pub mod run;
 pub mod studies;
 pub mod sweep;
+pub mod validate;
 pub mod virus;
 
 pub use behavior::{AcceptanceModel, BehaviorConfig, DEFAULT_ACCEPTANCE_FACTOR};
@@ -67,13 +68,18 @@ pub use response::{
     SignatureScan, UserEducation,
 };
 pub use run::{
-    run_scenario, run_scenario_cached, run_scenario_probed, run_scenario_with_metrics,
-    run_scenario_with_metrics_fel, AdaptiveResult, ExperimentPlan, ExperimentResult, RunResult,
-    TopologyCache, TopologyCacheStats, DEFAULT_EVENT_BUDGET,
+    run_scenario, run_scenario_cached, run_scenario_probed, run_scenario_probed_with,
+    run_scenario_with_metrics, run_scenario_with_metrics_fel, AdaptiveResult, ExperimentPlan,
+    ExperimentResult, RunResult, TopologyCache, TopologyCacheStats, DEFAULT_EVENT_BUDGET,
 };
 pub use studies::{StudyId, StudyInfo, StudyKind};
 pub use sweep::{
     resume_sweep, run_sweep, CellResult, ResultsStore, SweepCell, SweepError, SweepOptions,
     SweepReport, SweepSpec,
+};
+pub use validate::{
+    bless_oracle, bless_study, check_invariants, check_oracle, check_study, fuzz_case, fuzz_cases,
+    CellGolden, Drift, FuzzFailure, FuzzReport, GoldenScale, InvariantProbe, InvariantReport,
+    OracleGolden, OracleScale, StudyGolden, Variant,
 };
 pub use virus::{BluetoothVector, SendQuota, TargetingStrategy, VirusProfile};

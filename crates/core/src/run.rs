@@ -40,7 +40,7 @@ use mpvsim_topology::{Graph, GraphSpec};
 
 use crate::config::{ConfigError, ScenarioConfig};
 use crate::model::{EpidemicModel, Event, RunStats};
-use crate::probe::{ProbeKind, ProbeOutput};
+use crate::probe::{ProbeKind, ProbeOutput, SimProbe};
 use crate::response::ActivationTimes;
 use mpvsim_des::SimDuration;
 
@@ -296,7 +296,41 @@ pub fn run_scenario_probed(
     cache: Option<&TopologyCache>,
     probe: ProbeKind,
 ) -> Result<(RunResult, SimMetrics), ConfigError> {
+    // Validate up front so `probe.build` sees a well-formed config.
     config.validate()?;
+    run_scenario_inner(config, seed, fel, cache, probe.build(config))
+}
+
+/// Like [`run_scenario_probed`], instrumented with a caller-supplied
+/// [`SimProbe`] instance instead of a [`ProbeKind`]. This is the hook
+/// the validation layer uses to attach its invariant-checking probe;
+/// the read-only probe contract still holds, so the trajectory remains
+/// bit-identical to an unprobed run.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the scenario is invalid or the
+/// replication exceeds its event budget.
+pub fn run_scenario_probed_with(
+    config: &ScenarioConfig,
+    seed: u64,
+    fel: FelKind,
+    cache: Option<&TopologyCache>,
+    probe: Box<dyn SimProbe>,
+) -> Result<(RunResult, SimMetrics), ConfigError> {
+    config.validate()?;
+    run_scenario_inner(config, seed, fel, cache, Some(probe))
+}
+
+/// Shared replication body behind the `run_scenario_*` family. Assumes
+/// `config` has already been validated.
+fn run_scenario_inner(
+    config: &ScenarioConfig,
+    seed: u64,
+    fel: FelKind,
+    cache: Option<&TopologyCache>,
+    probe: Option<Box<dyn SimProbe>>,
+) -> Result<(RunResult, SimMetrics), ConfigError> {
     let topo_seed = derive_stream_seed(seed, 0, TOPOLOGY_STREAM);
     let (graph, mut topo_rng) = match cache {
         Some(cache) => cache.get_or_generate(&config.population.topology, topo_seed)?,
@@ -318,7 +352,7 @@ pub fn run_scenario_probed(
 
     let budget = config.event_budget.unwrap_or(DEFAULT_EVENT_BUDGET);
     let mut model = EpidemicModel::with_mobility(config.clone(), population, mobility);
-    if let Some(p) = probe.build(config) {
+    if let Some(p) = probe {
         model.set_probe(p);
     }
     let mut sim = Simulation::new(model, seed).with_event_budget(budget).with_fel(fel);

@@ -1,0 +1,1240 @@
+//! The validation subsystem: golden-trajectory regression store,
+//! differential oracle, and simulation fuzzer.
+//!
+//! The paper's claims are statistical — infection-count-vs-time curves
+//! per virus × mechanism — so the reproduction's credibility rests on
+//! two properties this module pins down in committed, re-checkable
+//! artefacts:
+//!
+//! 1. **Determinism.** Every study's trajectory is a pure function of
+//!    `(config, master_seed)`: FEL backend, thread count and attached
+//!    probes must never move a single bit. The *golden store*
+//!    ([`bless_study`] / [`check_study`]) commits a compact fingerprint
+//!    per study cell — an FNV-1a hash over the full per-replication
+//!    trajectory byte-stream plus a downsampled mean curve — and the
+//!    checker re-runs each study under single-knob variants (calendar
+//!    FEL, multi-threaded, no-op probe) asserting bit-identity against
+//!    the blessed fingerprint.
+//!
+//! 2. **Distributional correctness.** The *differential oracle*
+//!    ([`check_oracle`]) runs the DES at small scale against the
+//!    mean-field ODE of [`crate::meanfield`] and asserts
+//!    tolerance-banded agreement (final infection level, time to half
+//!    peak), plus statistical acceptance checks on an independent
+//!    seed family: the replication CI must contain the golden mean and
+//!    the two-sample Kolmogorov–Smirnov distance between final-count
+//!    samples must stay under the α = 0.01 critical value.
+//!
+//! A third leg, the *simulation fuzzer* ([`fuzz_cases`] and
+//! [`check_invariants`]), generates random valid scenario
+//! configurations and checks structural invariants that no valid run
+//! may violate: state conservation mirrored through a read-only
+//! [`SimProbe`], monotone cumulative infections, no delivery from a
+//! blacklisted sender, and event-count determinism under re-run. The
+//! proptest suite in `tests/invariants.rs` drives the same checker from
+//! randomly drawn configurations; `mpvsim validate fuzz` drives it from
+//! a deterministic seed so CI failures replay exactly.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use mpvsim_des::seed::derive_seed;
+use mpvsim_des::{DelaySpec, FelKind, Fnv1a64, ObserverHandle, SimDuration, SimTime};
+use mpvsim_stats::{ci95_contains, ks_critical_value, ks_distance, RunningSummary};
+use mpvsim_topology::GraphSpec;
+
+use crate::config::{ConfigError, MobilityConfig, PopulationConfig, ScenarioConfig};
+use crate::figures::FigureOptions;
+use crate::meanfield::{self, MeanFieldParams};
+use crate::probe::{BlockCause, InfectionCause, Milestone, ProbeKind, SimProbe};
+use crate::response::{
+    Blacklist, DetectionAlgorithm, Immunization, Monitoring, ResponseConfig, SignatureScan,
+    UserEducation,
+};
+use crate::run::{
+    run_scenario_probed_with, run_scenario_with_metrics_fel, ExperimentPlan, RunResult,
+};
+use crate::studies::StudyId;
+use crate::sweep::slugify;
+use crate::virus::{BluetoothVector, SendQuota, TargetingStrategy, VirusProfile};
+
+/// Maximum points retained in a golden file's downsampled mean curve.
+const MAX_CURVE_POINTS: usize = 25;
+
+/// File name of the differential-oracle golden inside a golden
+/// directory.
+pub const ORACLE_FILE: &str = "oracle.json";
+
+// ---------------------------------------------------------------------
+// Golden-trajectory regression store
+// ---------------------------------------------------------------------
+
+/// The (deliberately small) scale golden studies run at. Goldens are a
+/// regression fingerprint, not science: a reduced population and two
+/// replications already exercise every mechanism code path while
+/// keeping `validate check` fast enough for CI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldenScale {
+    /// Population size each study runs at (the scaling study doubles
+    /// it internally, exactly as at full scale).
+    pub population: usize,
+    /// Replications per study cell.
+    pub reps: u64,
+    /// Master seed of the replication family.
+    pub master_seed: u64,
+}
+
+impl Default for GoldenScale {
+    fn default() -> Self {
+        GoldenScale { population: 120, reps: 2, master_seed: 2007 }
+    }
+}
+
+impl GoldenScale {
+    /// The figure options this scale describes under `variant`.
+    fn options(&self, variant: &Variant) -> FigureOptions {
+        FigureOptions {
+            reps: self.reps,
+            master_seed: self.master_seed,
+            threads: variant.threads,
+            population: self.population,
+            observer: ObserverHandle::noop(),
+            fel: variant.fel,
+            topology_cache: None,
+            probe: variant.probe,
+        }
+    }
+}
+
+/// One execution variant a golden check replays a study under. The
+/// engine documents all three knobs as bit-transparent; the checker
+/// turns that contract into a regression gate.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// Human-readable name, used in drift reports.
+    pub label: &'static str,
+    /// Future-event-list backend.
+    pub fel: FelKind,
+    /// Worker threads for the replication batch.
+    pub threads: usize,
+    /// Probe attached to every replication.
+    pub probe: ProbeKind,
+}
+
+impl Variant {
+    /// The reference execution: binary-heap FEL, single-threaded, no
+    /// probe. Blessing always uses this variant.
+    pub fn reference() -> Variant {
+        Variant { label: "reference", fel: FelKind::BinaryHeap, threads: 1, probe: ProbeKind::None }
+    }
+
+    /// The standard single-knob check matrix: reference, calendar FEL,
+    /// `threads` worker threads, and a no-op probe. Each variant flips
+    /// exactly one knob away from the reference so a drift names its
+    /// culprit.
+    pub fn standard(threads: usize) -> Vec<Variant> {
+        vec![
+            Variant::reference(),
+            Variant { label: "calendar-fel", fel: FelKind::Calendar, ..Variant::reference() },
+            Variant { label: "threaded", threads: threads.max(2), ..Variant::reference() },
+            Variant { label: "noop-probe", probe: ProbeKind::Noop, ..Variant::reference() },
+        ]
+    }
+}
+
+/// The committed fingerprint of one study cell at golden scale.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellGolden {
+    /// The cell's legend label (e.g. `"6-Hour Delay"`).
+    pub label: String,
+    /// Slugified label, stable across runs (see [`crate::sweep::slugify`]).
+    pub slug: String,
+    /// FNV-1a 64-bit digest over the full per-replication trajectory
+    /// byte-stream (series, traffic, final count, every counter,
+    /// activation times), rendered as 16 lowercase hex digits.
+    pub trajectory_hash: String,
+    /// Sampling step of the mean curve, hours.
+    pub step_hours: f64,
+    /// Mean final infection count across replications.
+    pub final_mean: f64,
+    /// Per-replication final infection counts, in replication order.
+    pub finals: Vec<f64>,
+    /// Stride the mean curve was downsampled with.
+    pub curve_stride: usize,
+    /// Downsampled pointwise-mean infection curve (first point, every
+    /// `curve_stride`-th point, and always the last point).
+    pub mean_curve: Vec<f64>,
+}
+
+/// The committed golden record of one registry study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyGolden {
+    /// Stable study name (see [`StudyId::name`]).
+    pub study: String,
+    /// Scale the fingerprints were generated at.
+    pub scale: GoldenScale,
+    /// One fingerprint per study cell, in cell order.
+    pub cells: Vec<CellGolden>,
+}
+
+/// One detected divergence from a golden record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Drift {
+    /// Stable study name (or `"oracle"`).
+    pub study: String,
+    /// Cell label, empty for study-level drift.
+    pub cell: String,
+    /// Execution variant that diverged.
+    pub variant: String,
+    /// What diverged, with expected/actual values.
+    pub what: String,
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.study)?;
+        if !self.cell.is_empty() {
+            write!(f, " / {}", self.cell)?;
+        }
+        write!(f, " [{}]: {}", self.variant, self.what)
+    }
+}
+
+/// Folds one replication's complete observable output into the digest.
+/// Everything [`RunResult`] reports deterministically participates, so
+/// any behavioural change — one extra message, one shifted activation
+/// second — moves the hash.
+fn hash_run(h: &mut Fnv1a64, run: &RunResult) {
+    h.write_f64(run.series.step_hours());
+    h.write_f64_slice(run.series.values());
+    h.write_f64_slice(run.traffic.values());
+    h.write_u64(run.final_infected as u64);
+    let s = &run.stats;
+    for counter in [
+        s.messages_sent,
+        s.invalid_dials,
+        s.deliveries,
+        s.blocked_by_scan,
+        s.blocked_by_detection,
+        s.blocked_by_blacklist,
+        s.reads,
+        s.acceptances,
+        s.throttled_phones,
+        s.blacklisted_phones,
+        s.bluetooth_offers,
+        s.bluetooth_acceptances,
+        s.legitimate_messages,
+        s.piggyback_sends,
+        s.false_positive_throttles,
+    ] {
+        h.write_u64(counter);
+    }
+    for time in [
+        run.activation.detected_at,
+        run.activation.scan_active_at,
+        run.activation.detection_active_at,
+        run.activation.rollout_starts_at,
+    ] {
+        match time {
+            Some(t) => {
+                h.write_u64(1);
+                h.write_u64(t.as_secs());
+            }
+            None => h.write_u64(0),
+        }
+    }
+    match run.gateway_peak_delay {
+        Some(d) => {
+            h.write_u64(1);
+            h.write_u64(d.as_secs());
+        }
+        None => h.write_u64(0),
+    }
+}
+
+/// Downsamples a mean curve to at most [`MAX_CURVE_POINTS`] values:
+/// every `stride`-th point plus, always, the final one. Returns the
+/// stride used.
+fn downsample(values: &[f64]) -> (usize, Vec<f64>) {
+    if values.is_empty() {
+        return (1, Vec::new());
+    }
+    let stride = values.len().div_ceil(MAX_CURVE_POINTS).max(1);
+    let mut curve: Vec<f64> = values.iter().step_by(stride).copied().collect();
+    if !(values.len() - 1).is_multiple_of(stride) {
+        curve.push(*values.last().expect("non-empty"));
+    }
+    (stride, curve)
+}
+
+/// Runs `id` at golden scale under `variant` and fingerprints every
+/// cell.
+fn fingerprint_study(
+    id: StudyId,
+    scale: &GoldenScale,
+    variant: &Variant,
+) -> Result<Vec<CellGolden>, ConfigError> {
+    let opts = scale.options(variant);
+    let results = id.run(&opts)?;
+    Ok(results
+        .iter()
+        .map(|lr| {
+            let mut h = Fnv1a64::new();
+            for run in &lr.result.runs {
+                hash_run(&mut h, run);
+            }
+            let (curve_stride, mean_curve) = downsample(&lr.result.aggregate.mean);
+            CellGolden {
+                label: lr.label.clone(),
+                slug: slugify(&lr.label),
+                trajectory_hash: format!("{:016x}", h.finish()),
+                step_hours: lr.result.aggregate.step_hours,
+                final_mean: lr.result.final_infected.mean,
+                finals: lr.result.runs.iter().map(|r| r.final_infected as f64).collect(),
+                curve_stride,
+                mean_curve,
+            }
+        })
+        .collect())
+}
+
+/// Generates the golden record for `id` at `scale`, running the
+/// reference variant (binary-heap FEL, one thread, no probe).
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation or failed
+/// replications.
+pub fn bless_study(id: StudyId, scale: &GoldenScale) -> Result<StudyGolden, ConfigError> {
+    let cells = fingerprint_study(id, scale, &Variant::reference())?;
+    Ok(StudyGolden { study: id.name().to_owned(), scale: *scale, cells })
+}
+
+/// Re-runs `id` under every `variant` and reports all divergences from
+/// `golden`. An empty result means every variant reproduced the
+/// blessed fingerprints bit-for-bit.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation or failed
+/// replications. A run error is an *error*, not a drift: it means the
+/// check could not be carried out.
+pub fn check_study(
+    id: StudyId,
+    golden: &StudyGolden,
+    variants: &[Variant],
+) -> Result<Vec<Drift>, ConfigError> {
+    let mut drifts = Vec::new();
+    for variant in variants {
+        let fresh = fingerprint_study(id, &golden.scale, variant)?;
+        if fresh.len() != golden.cells.len() {
+            drifts.push(Drift {
+                study: golden.study.clone(),
+                cell: String::new(),
+                variant: variant.label.to_owned(),
+                what: format!(
+                    "cell count changed: golden {}, current {}",
+                    golden.cells.len(),
+                    fresh.len()
+                ),
+            });
+            continue;
+        }
+        for (want, got) in golden.cells.iter().zip(&fresh) {
+            let mut drift = |what: String| {
+                drifts.push(Drift {
+                    study: golden.study.clone(),
+                    cell: want.label.clone(),
+                    variant: variant.label.to_owned(),
+                    what,
+                });
+            };
+            if got.label != want.label {
+                drift(format!("label changed: golden {:?}, current {:?}", want.label, got.label));
+                continue;
+            }
+            if got.trajectory_hash != want.trajectory_hash {
+                drift(format!(
+                    "trajectory hash changed: golden {}, current {}",
+                    want.trajectory_hash, got.trajectory_hash
+                ));
+            }
+            if got.step_hours.to_bits() != want.step_hours.to_bits() {
+                drift(format!(
+                    "sample step changed: golden {} h, current {} h",
+                    want.step_hours, got.step_hours
+                ));
+            }
+            if got.finals != want.finals {
+                drift(format!(
+                    "per-replication finals changed: golden {:?}, current {:?}",
+                    want.finals, got.finals
+                ));
+            }
+            if got.final_mean.to_bits() != want.final_mean.to_bits() {
+                drift(format!(
+                    "mean final changed: golden {}, current {}",
+                    want.final_mean, got.final_mean
+                ));
+            }
+            if got.curve_stride != want.curve_stride || got.mean_curve != want.mean_curve {
+                drift(format!(
+                    "mean curve changed (stride {} → {}, {} pts → {} pts)",
+                    want.curve_stride,
+                    got.curve_stride,
+                    want.mean_curve.len(),
+                    got.mean_curve.len()
+                ));
+            }
+        }
+    }
+    Ok(drifts)
+}
+
+// ---------------------------------------------------------------------
+// Golden store on disk
+// ---------------------------------------------------------------------
+
+/// Path of the golden file for `id` inside `dir`.
+pub fn study_golden_path(dir: &Path, id: StudyId) -> PathBuf {
+    dir.join(format!("{}.json", id.name()))
+}
+
+/// Writes a study golden to `dir` (created if missing) as pretty JSON.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or serialization failure.
+pub fn save_study_golden(dir: &Path, golden: &StudyGolden) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(format!("{}.json", golden.study));
+    let mut text = serde_json::to_string_pretty(golden)
+        .map_err(|e| format!("serialize {}: {e}", golden.study))?;
+    text.push('\n');
+    std::fs::write(&path, text).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Reads the golden record for `id` from `dir`.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or parse failure (including a
+/// missing file, with a hint to run `validate bless`).
+pub fn load_study_golden(dir: &Path, id: StudyId) -> Result<StudyGolden, String> {
+    let path = study_golden_path(dir, id);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!("read {}: {e} (run `mpvsim validate bless` to create goldens)", path.display())
+    })?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+/// Writes the oracle golden to `dir` (created if missing).
+///
+/// # Errors
+///
+/// Returns a description of the I/O or serialization failure.
+pub fn save_oracle_golden(dir: &Path, golden: &OracleGolden) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let path = dir.join(ORACLE_FILE);
+    let mut text =
+        serde_json::to_string_pretty(golden).map_err(|e| format!("serialize oracle: {e}"))?;
+    text.push('\n');
+    std::fs::write(&path, text).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Reads the oracle golden from `dir`.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or parse failure.
+pub fn load_oracle_golden(dir: &Path) -> Result<OracleGolden, String> {
+    let path = dir.join(ORACLE_FILE);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!("read {}: {e} (run `mpvsim validate bless` to create goldens)", path.display())
+    })?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------
+// Differential oracle: DES vs the mean-field ODE
+// ---------------------------------------------------------------------
+
+/// Scale of the differential-oracle experiment: the Virus 3 baseline
+/// (random dialing — the regime where the mean-field approximation is
+/// exact in the large-population limit) at a population small enough
+/// for CI but large enough that the stochastic mean tracks the ODE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OracleScale {
+    /// Population size.
+    pub population: usize,
+    /// Replications per seed family.
+    pub reps: u64,
+    /// Master seed of the blessed replication family. The checker also
+    /// runs the `master_seed + 1` family for the statistical
+    /// acceptance tests.
+    pub master_seed: u64,
+    /// Observation horizon, hours.
+    pub horizon_hours: u64,
+}
+
+impl Default for OracleScale {
+    fn default() -> Self {
+        OracleScale { population: 300, reps: 12, master_seed: 4242, horizon_hours: 24 }
+    }
+}
+
+impl OracleScale {
+    fn config(&self) -> ScenarioConfig {
+        let mut config = ScenarioConfig::baseline(VirusProfile::virus3());
+        config.population = PopulationConfig::paper_default(self.population);
+        config.horizon = SimDuration::from_hours(self.horizon_hours);
+        config
+    }
+
+    fn run_family(&self, master_seed: u64) -> Result<Vec<f64>, ConfigError> {
+        let result = ExperimentPlan::new(self.reps)
+            .master_seed(master_seed)
+            .threads(1)
+            .run(&self.config())?;
+        Ok(result.runs.iter().map(|r| r.final_infected as f64).collect())
+    }
+}
+
+/// The committed golden record of the differential oracle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OracleGolden {
+    /// Scale the golden family ran at.
+    pub scale: OracleScale,
+    /// Mean final infection count of the golden family.
+    pub final_mean: f64,
+    /// Per-replication final counts of the golden family.
+    pub finals: Vec<f64>,
+}
+
+/// Fraction of the mean-field plateau the simulated mean may deviate
+/// by. Matches the calibration of `meanfield::tests`.
+const ORACLE_FINAL_TOLERANCE: f64 = 0.20;
+
+/// Runs the golden seed family and records its final-count sample.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation or failed
+/// replications.
+pub fn bless_oracle(scale: &OracleScale) -> Result<OracleGolden, ConfigError> {
+    let finals = scale.run_family(scale.master_seed)?;
+    let mean = finals.iter().sum::<f64>() / finals.len().max(1) as f64;
+    Ok(OracleGolden { scale: *scale, final_mean: mean, finals })
+}
+
+/// Checks the stochastic engine against the mean-field ODE and the
+/// blessed final-count distribution. Three layers:
+///
+/// 1. **Regression** — the golden seed family must reproduce its
+///    blessed finals bit-for-bit.
+/// 2. **Differential** — the simulated mean plateau must sit within
+///    ±20 % of the ODE plateau, and the time to half the plateau
+///    within `max(t½, 2 h)` of the ODE's (the `meanfield` module's
+///    calibrated bands).
+/// 3. **Statistical acceptance** — an *independent* seed family
+///    (`master_seed + 1`) must produce a 95 % CI containing the golden
+///    mean, and a two-sample K-S distance against the golden finals
+///    below the α = 0.01 critical value.
+///
+/// All three are deterministic: fixed seed families, no wall-clock
+/// input, so a pass is reproducible and a failure replays exactly.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation or failed
+/// replications.
+pub fn check_oracle(golden: &OracleGolden) -> Result<Vec<Drift>, ConfigError> {
+    let scale = &golden.scale;
+    let mut drifts = Vec::new();
+    let mut drift = |what: String| {
+        drifts.push(Drift {
+            study: "oracle".to_owned(),
+            cell: String::new(),
+            variant: "reference".to_owned(),
+            what,
+        });
+    };
+
+    // 1. Bit-exact regression of the golden family.
+    let finals = scale.run_family(scale.master_seed)?;
+    if finals != golden.finals {
+        drift(format!(
+            "golden seed family diverged: blessed {:?}, current {finals:?}",
+            golden.finals
+        ));
+    }
+
+    // 2. Differential comparison against the mean-field ODE.
+    let params = MeanFieldParams::virus3_baseline(scale.population);
+    let horizon = SimDuration::from_hours(scale.horizon_hours);
+    let analytic = meanfield::integrate(&params, horizon, SimDuration::from_hours(1));
+    let mf_final = analytic.final_value().unwrap_or(0.0);
+    let sim_mean = finals.iter().sum::<f64>() / finals.len().max(1) as f64;
+    if (sim_mean - mf_final).abs() >= ORACLE_FINAL_TOLERANCE * mf_final {
+        drift(format!(
+            "plateau disagrees with the mean-field ODE: sim {sim_mean:.1}, ODE {mf_final:.1} \
+             (tolerance ±{:.0}%)",
+            ORACLE_FINAL_TOLERANCE * 100.0
+        ));
+    }
+    let result = ExperimentPlan::new(scale.reps)
+        .master_seed(scale.master_seed)
+        .threads(1)
+        .run(&scale.config())?;
+    match (result.mean_time_to_reach(mf_final / 2.0), analytic.time_to_reach(mf_final / 2.0)) {
+        (Some(sim_half), Some(mf_half)) => {
+            if (sim_half - mf_half).abs() >= mf_half.max(2.0) {
+                drift(format!(
+                    "half-time disagrees with the mean-field ODE: sim {sim_half:.1} h, \
+                     ODE {mf_half:.1} h"
+                ));
+            }
+        }
+        (sim_half, mf_half) => {
+            drift(format!(
+                "half-plateau not reached: sim {sim_half:?}, ODE {mf_half:?} (target {:.1})",
+                mf_final / 2.0
+            ));
+        }
+    }
+
+    // 3. Statistical acceptance on an independent seed family.
+    let shifted = scale.run_family(scale.master_seed.wrapping_add(1))?;
+    let mut summary = RunningSummary::new();
+    for &f in &shifted {
+        summary.push(f);
+    }
+    // Floor the CI at the oracle tolerance of the golden mean so a
+    // low-variance family cannot fail on sub-tolerance noise.
+    let floor = ORACLE_FINAL_TOLERANCE * golden.final_mean;
+    if !ci95_contains(&summary, golden.final_mean, floor) {
+        drift(format!(
+            "independent family CI [{:.1} ± {:.1}] does not contain the golden mean {:.1}",
+            summary.mean(),
+            summary.ci95_half_width().max(floor),
+            golden.final_mean
+        ));
+    }
+    let d = ks_distance(&shifted, &golden.finals);
+    let bound = ks_critical_value(shifted.len(), golden.finals.len(), 0.01);
+    if d > bound {
+        drift(format!(
+            "K-S distance {d:.3} between independent and golden finals exceeds the \
+             α=0.01 bound {bound:.3}"
+        ));
+    }
+    Ok(drifts)
+}
+
+// ---------------------------------------------------------------------
+// Simulation fuzzer: invariant checking over random valid scenarios
+// ---------------------------------------------------------------------
+
+/// Shared state the [`InvariantProbe`] mirrors out of a run. One lock
+/// per hook call is irrelevant at fuzzing scale and keeps the probe
+/// trivially `Send`.
+#[derive(Debug, Default)]
+struct Mirror {
+    last_time: Option<SimTime>,
+    infected: Vec<bool>,
+    blacklisted: Vec<bool>,
+    infections: u64,
+    deliveries: u64,
+    reads: u64,
+    acceptances: u64,
+    blacklists: u64,
+    violations: Vec<String>,
+}
+
+impl Mirror {
+    fn touch(&mut self, now: SimTime, hook: &str) {
+        if let Some(last) = self.last_time {
+            if now < last {
+                self.violations
+                    .push(format!("time ran backwards: {hook} at {now} after an event at {last}"));
+            }
+        }
+        self.last_time = Some(self.last_time.map_or(now, |last| last.max(now)));
+    }
+
+    fn slot(flags: &mut Vec<bool>, index: usize) -> &mut bool {
+        if flags.len() <= index {
+            flags.resize(index + 1, false);
+        }
+        &mut flags[index]
+    }
+}
+
+/// A read-only probe that mirrors phone state out of the event stream
+/// and records every invariant violation it witnesses:
+///
+/// * a phone infected twice (infections must be one-shot — the model
+///   has no recovery);
+/// * a message delivered from a sender *after* that sender was
+///   blacklisted (the gateway must drop it);
+/// * a phone blacklisted twice;
+/// * hook timestamps running backwards (events must fire in
+///   nondecreasing time order).
+///
+/// The probe exposes its state through a shared handle
+/// ([`InvariantProbe::mirror`]) because the engine consumes the probe
+/// box itself.
+#[derive(Debug)]
+pub struct InvariantProbe {
+    shared: Arc<Mutex<Mirror>>,
+}
+
+impl InvariantProbe {
+    /// A fresh probe plus the handle its observations land in.
+    fn new() -> (InvariantProbe, Arc<Mutex<Mirror>>) {
+        let shared = Arc::new(Mutex::new(Mirror::default()));
+        (InvariantProbe { shared: shared.clone() }, shared)
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Mirror) -> R) -> R {
+        f(&mut self.shared.lock().expect("invariant mirror poisoned"))
+    }
+}
+
+impl SimProbe for InvariantProbe {
+    fn on_message_sent(&mut self, now: SimTime, _sender: mpvsim_phonenet::PhoneId, _n: u32) {
+        self.with(|m| m.touch(now, "on_message_sent"));
+    }
+
+    fn on_message_blocked(
+        &mut self,
+        now: SimTime,
+        _sender: mpvsim_phonenet::PhoneId,
+        _cause: BlockCause,
+    ) {
+        self.with(|m| m.touch(now, "on_message_blocked"));
+    }
+
+    fn on_message_delivered(
+        &mut self,
+        now: SimTime,
+        sender: mpvsim_phonenet::PhoneId,
+        _recipient: mpvsim_phonenet::PhoneId,
+    ) {
+        self.with(|m| {
+            m.touch(now, "on_message_delivered");
+            m.deliveries += 1;
+            if *Mirror::slot(&mut m.blacklisted, sender.index()) {
+                m.violations.push(format!(
+                    "message from blacklisted phone {} delivered at {now}",
+                    sender.index()
+                ));
+            }
+        });
+    }
+
+    fn on_message_read(&mut self, now: SimTime, _phone: mpvsim_phonenet::PhoneId) {
+        self.with(|m| {
+            m.touch(now, "on_message_read");
+            m.reads += 1;
+        });
+    }
+
+    fn on_message_accepted(&mut self, now: SimTime, _phone: mpvsim_phonenet::PhoneId) {
+        self.with(|m| {
+            m.touch(now, "on_message_accepted");
+            m.acceptances += 1;
+        });
+    }
+
+    fn on_infection(
+        &mut self,
+        now: SimTime,
+        phone: mpvsim_phonenet::PhoneId,
+        _cause: InfectionCause,
+    ) {
+        self.with(|m| {
+            m.touch(now, "on_infection");
+            let slot = Mirror::slot(&mut m.infected, phone.index());
+            if *slot {
+                m.violations
+                    .push(format!("phone {} infected twice (second at {now})", phone.index()));
+            }
+            *slot = true;
+            m.infections += 1;
+        });
+    }
+
+    fn on_patch_applied(&mut self, now: SimTime, _phone: mpvsim_phonenet::PhoneId, _s: bool) {
+        self.with(|m| m.touch(now, "on_patch_applied"));
+    }
+
+    fn on_throttled(&mut self, now: SimTime, _phone: mpvsim_phonenet::PhoneId, _fp: bool) {
+        self.with(|m| m.touch(now, "on_throttled"));
+    }
+
+    fn on_throttle_wait(
+        &mut self,
+        now: SimTime,
+        _phone: mpvsim_phonenet::PhoneId,
+        _wait: SimDuration,
+    ) {
+        self.with(|m| m.touch(now, "on_throttle_wait"));
+    }
+
+    fn on_blacklisted(&mut self, now: SimTime, phone: mpvsim_phonenet::PhoneId) {
+        self.with(|m| {
+            m.touch(now, "on_blacklisted");
+            let slot = Mirror::slot(&mut m.blacklisted, phone.index());
+            if *slot {
+                m.violations
+                    .push(format!("phone {} blacklisted twice (second at {now})", phone.index()));
+            }
+            *slot = true;
+            m.blacklists += 1;
+        });
+    }
+
+    fn on_bluetooth_offer(
+        &mut self,
+        now: SimTime,
+        _src: mpvsim_phonenet::PhoneId,
+        _dst: mpvsim_phonenet::PhoneId,
+    ) {
+        self.with(|m| m.touch(now, "on_bluetooth_offer"));
+    }
+
+    fn on_milestone(&mut self, now: SimTime, _milestone: Milestone) {
+        self.with(|m| m.touch(now, "on_milestone"));
+    }
+}
+
+/// What one invariant-checked run reported.
+#[derive(Debug, Clone)]
+pub struct InvariantReport {
+    /// Every violation found; empty means the run upheld all checked
+    /// invariants.
+    pub violations: Vec<String>,
+    /// Events the engine processed (identical across the verification
+    /// re-run, or a violation is recorded).
+    pub events_processed: u64,
+    /// Final infection count.
+    pub final_infected: usize,
+}
+
+/// Runs `(config, seed)` once instrumented with an [`InvariantProbe`],
+/// then cross-checks the probe's mirror against the run's reported
+/// aggregates and re-runs the scenario to assert event-count and
+/// trajectory determinism. Returns every violation found.
+///
+/// Checked invariants:
+///
+/// * probe-witnessed ordering and state machine (see
+///   [`InvariantProbe`]);
+/// * phone-state conservation: infected phones witnessed by the probe
+///   equal the reported final count, and never exceed the population;
+/// * monotone cumulative infection series, sampled on the exact
+///   `horizon / sample_step + 1` grid, ending at the final count;
+/// * message accounting: `acceptances ≤ reads ≤ deliveries`, with the
+///   probe's own event counts matching the run's counters;
+/// * determinism: an uninstrumented re-run processes the identical
+///   event count and produces the bit-identical series and counters.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from scenario validation or failed
+/// replications.
+pub fn check_invariants(
+    config: &ScenarioConfig,
+    seed: u64,
+    fel: FelKind,
+) -> Result<InvariantReport, ConfigError> {
+    let (probe, shared) = InvariantProbe::new();
+    let (run, metrics) = run_scenario_probed_with(config, seed, fel, None, Box::new(probe))?;
+    let mut violations = {
+        let mirror = shared.lock().expect("invariant mirror poisoned");
+        mirror.violations.clone()
+    };
+    let mirror = shared.lock().expect("invariant mirror poisoned");
+    let n = config.population.size();
+
+    // Phone-state conservation: every phone is in exactly one health
+    // state, so the probe's infected set must match the final count and
+    // stay within the population.
+    let witnessed = mirror.infected.iter().filter(|&&i| i).count();
+    if witnessed != run.final_infected {
+        violations.push(format!(
+            "conservation: probe witnessed {witnessed} infected phones, run reports {}",
+            run.final_infected
+        ));
+    }
+    if mirror.infections != run.final_infected as u64 {
+        violations.push(format!(
+            "conservation: {} infection events for {} infected phones",
+            mirror.infections, run.final_infected
+        ));
+    }
+    if run.final_infected > n {
+        violations.push(format!("{} infected out of {n} phones", run.final_infected));
+    }
+
+    // Monotone cumulative infections on the exact sampling grid.
+    let vals = run.series.values();
+    if vals.windows(2).any(|w| w[1] < w[0]) {
+        violations.push("cumulative infection series decreased".to_owned());
+    }
+    let expected_len = (config.horizon.as_secs() / config.sample_step.as_secs()) as usize + 1;
+    if vals.len() != expected_len {
+        violations.push(format!("series has {} samples, grid demands {expected_len}", vals.len()));
+    }
+    if vals.last().map(|&v| v as usize) != Some(run.final_infected) {
+        violations.push(format!(
+            "series ends at {:?}, final count is {}",
+            vals.last(),
+            run.final_infected
+        ));
+    }
+    if run.traffic.values().last().map(|&v| v as u64) != Some(run.stats.messages_sent) {
+        violations.push(format!(
+            "traffic series ends at {:?}, {} messages were sent",
+            run.traffic.values().last(),
+            run.stats.messages_sent
+        ));
+    }
+
+    // Message accounting, cross-checked against the probe's mirror.
+    let s = &run.stats;
+    if !(s.acceptances <= s.reads && s.reads <= s.deliveries) {
+        violations.push(format!(
+            "accounting: acceptances {} ≤ reads {} ≤ deliveries {} violated",
+            s.acceptances, s.reads, s.deliveries
+        ));
+    }
+    for (name, probe_count, stat_count) in [
+        ("deliveries", mirror.deliveries, s.deliveries),
+        ("reads", mirror.reads, s.reads),
+        ("acceptances", mirror.acceptances, s.acceptances),
+        ("blacklisted phones", mirror.blacklists, s.blacklisted_phones),
+    ] {
+        if probe_count != stat_count {
+            violations.push(format!(
+                "accounting: probe saw {probe_count} {name}, counters report {stat_count}"
+            ));
+        }
+    }
+    drop(mirror);
+
+    // Determinism: an uninstrumented re-run is bit-identical and
+    // processes the same number of events.
+    let (again, metrics_again) = run_scenario_with_metrics_fel(config, seed, fel)?;
+    if metrics_again.events_processed != metrics.events_processed {
+        violations.push(format!(
+            "determinism: re-run processed {} events, first run {}",
+            metrics_again.events_processed, metrics.events_processed
+        ));
+    }
+    let bits = |series: &mpvsim_stats::TimeSeries| {
+        series.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+    };
+    if bits(&again.series) != bits(&run.series) || again.stats != run.stats {
+        violations.push("determinism: re-run trajectory differs".to_owned());
+    }
+
+    Ok(InvariantReport {
+        violations,
+        events_processed: metrics.events_processed,
+        final_infected: run.final_infected,
+    })
+}
+
+/// Deterministically generates the `case`-th random valid scenario of
+/// the `master_seed` fuzzing family. Mirrors the proptest strategy of
+/// `tests/invariants.rs` but adds topology diversity (all five graph
+/// generators) and is reproducible from the two integers alone, so a
+/// CI failure names its exact replay.
+pub fn fuzz_case(master_seed: u64, case: u64) -> ScenarioConfig {
+    let mut rng = StdRng::seed_from_u64(derive_seed(master_seed, case));
+    let n: usize = rng.random_range(20..80);
+
+    // Virus.
+    let dial = rng.random_bool(0.5);
+    let gap_mins: u64 = rng.random_range(1..60);
+    let targeting = if dial {
+        TargetingStrategy::RandomDialing { valid_fraction: rng.random_range(0.0..=1.0) }
+    } else {
+        TargetingStrategy::ContactList
+    };
+    let bluetooth = rng.random_bool(0.25);
+    let virus = VirusProfile {
+        name: format!("fuzz-virus-{master_seed}-{case}"),
+        targeting,
+        send_gap: DelaySpec::shifted_exp(
+            SimDuration::from_mins(gap_mins),
+            SimDuration::from_mins(gap_mins / 2 + 1),
+        ),
+        recipients_per_message: if dial { 1 } else { rng.random_range(1..5) },
+        quota: if rng.random_bool(0.5) {
+            SendQuota::per_day(rng.random_range(1..20))
+        } else {
+            SendQuota::unlimited()
+        },
+        dormancy: SimDuration::from_hours(rng.random_range(0..3)),
+        global_day_bursts: rng.random_bool(0.5),
+        mms_vector: true,
+        bluetooth: bluetooth.then(BluetoothVector::default_class2),
+        piggyback: false,
+    };
+
+    // Response: each mechanism independently present.
+    let mut response = ResponseConfig::none();
+    if rng.random_bool(0.5) {
+        response = response.with_signature_scan(SignatureScan {
+            activation_delay: SimDuration::from_hours(rng.random_range(1..24)),
+        });
+    }
+    if rng.random_bool(0.5) {
+        response =
+            response.with_detection(DetectionAlgorithm::with_accuracy(rng.random_range(0.5..1.0)));
+    }
+    if rng.random_bool(0.5) {
+        response =
+            response.with_education(UserEducation { acceptance_scale: rng.random_range(0.0..1.0) });
+    }
+    if rng.random_bool(0.5) {
+        response = response.with_immunization(Immunization::uniform(
+            SimDuration::from_hours(rng.random_range(1..24)),
+            SimDuration::from_hours(rng.random_range(0..12)),
+        ));
+    }
+    if rng.random_bool(0.5) {
+        response = response.with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(
+            rng.random_range(5..60),
+        )));
+    }
+    if rng.random_bool(0.5) {
+        response = response.with_blacklist(Blacklist { threshold: rng.random_range(1..40) });
+    }
+
+    // Topology: all five generators, parameters kept valid for `n`.
+    let mean_degree = rng.random_range(1u64..30).min(n as u64 - 1) as f64;
+    let lattice_k = (2 * rng.random_range(1usize..=5)).min((n - 1) & !1usize).max(2);
+    let topology = match rng.random_range(0u32..5) {
+        0 => GraphSpec::erdos_renyi(n, mean_degree),
+        1 => GraphSpec::power_law(n, mean_degree),
+        2 => GraphSpec::watts_strogatz(n, lattice_k, rng.random_range(0.0..=1.0)),
+        3 => GraphSpec::ring(n, lattice_k),
+        _ => GraphSpec::complete(n),
+    };
+
+    let mut config = ScenarioConfig::baseline(virus);
+    config.response = response;
+    config.population =
+        PopulationConfig { topology, vulnerable_fraction: rng.random_range(0.0..=1.0) };
+    config.horizon = SimDuration::from_hours(rng.random_range(2..36));
+    config.initial_infections = rng.random_range(1..4);
+    if rng.random_bool(0.3) {
+        config.behavior.legitimate_mms =
+            Some(DelaySpec::exponential(SimDuration::from_hours(rng.random_range(1..12))));
+    }
+    if bluetooth {
+        config.mobility = Some(MobilityConfig::downtown());
+    }
+    if rng.random_bool(0.3) {
+        config.gateway_capacity_per_hour = Some(rng.random_range(60..3600));
+    }
+    config
+}
+
+/// One failed fuzz case.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// Case index inside the family (replay with
+    /// [`fuzz_case`]`(master_seed, case)`).
+    pub case: u64,
+    /// Replication seed the case ran with.
+    pub seed: u64,
+    /// Everything [`check_invariants`] reported.
+    pub violations: Vec<String>,
+}
+
+/// The outcome of one fuzzing sweep.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Cases executed.
+    pub cases: u64,
+    /// Cases with at least one invariant violation (empty = pass).
+    pub failures: Vec<FuzzFailure>,
+}
+
+/// Runs `count` deterministic fuzz cases from `master_seed`, checking
+/// every invariant of [`check_invariants`] on each. Cases alternate
+/// FEL backends for extra coverage. The sweep is a pure function of
+/// its two arguments, so CI and a local replay see identical cases.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from failed replications (generated
+/// configurations are valid by construction).
+pub fn fuzz_cases(master_seed: u64, count: u64) -> Result<FuzzReport, ConfigError> {
+    let mut failures = Vec::new();
+    for case in 0..count {
+        let config = fuzz_case(master_seed, case);
+        debug_assert!(config.validate().is_ok(), "fuzz_case generated an invalid config");
+        let seed = derive_seed(master_seed, case.wrapping_add(0x5eed));
+        let fel = if case % 2 == 0 { FelKind::BinaryHeap } else { FelKind::Calendar };
+        let report = check_invariants(&config, seed, fel)?;
+        if !report.violations.is_empty() {
+            failures.push(FuzzFailure { case, seed, violations: report.violations });
+        }
+    }
+    Ok(FuzzReport { cases: count, failures })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvsim_phonenet::PhoneId;
+
+    fn tiny_scale() -> GoldenScale {
+        GoldenScale { population: 40, reps: 2, master_seed: 7 }
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints_and_bounds_length() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let (stride, curve) = downsample(&values);
+        assert_eq!(curve.first(), Some(&0.0));
+        assert_eq!(curve.last(), Some(&99.0));
+        assert!(curve.len() <= MAX_CURVE_POINTS + 1);
+        assert_eq!(curve[1], stride as f64);
+
+        let (_, short) = downsample(&[1.0, 2.0]);
+        assert_eq!(short, vec![1.0, 2.0]);
+        let (_, empty) = downsample(&[]);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn bless_then_check_is_clean_across_all_variants() {
+        let scale = tiny_scale();
+        let id = StudyId::from_name("ext_congestion").expect("registered");
+        let golden = bless_study(id, &scale).expect("bless runs");
+        assert!(!golden.cells.is_empty());
+        let drifts = check_study(id, &golden, &Variant::standard(2)).expect("check runs");
+        assert!(drifts.is_empty(), "unexpected drift: {drifts:?}");
+    }
+
+    #[test]
+    fn tampered_golden_is_caught() {
+        let scale = tiny_scale();
+        let id = StudyId::from_name("ext_congestion").expect("registered");
+        let mut golden = bless_study(id, &scale).expect("bless runs");
+        golden.cells[0].trajectory_hash = format!("{:016x}", 0xdead_beefu64);
+        let drifts = check_study(id, &golden, &[Variant::reference()]).expect("check runs");
+        assert!(
+            drifts.iter().any(|d| d.what.contains("trajectory hash")),
+            "tampered hash not reported: {drifts:?}"
+        );
+    }
+
+    #[test]
+    fn changed_scale_changes_fingerprints() {
+        let id = StudyId::from_name("ext_congestion").expect("registered");
+        let a = bless_study(id, &tiny_scale()).expect("bless runs");
+        let b =
+            bless_study(id, &GoldenScale { master_seed: 8, ..tiny_scale() }).expect("bless runs");
+        assert_ne!(a.cells[0].trajectory_hash, b.cells[0].trajectory_hash);
+    }
+
+    #[test]
+    fn golden_json_roundtrip_is_bit_exact() {
+        let scale = tiny_scale();
+        let id = StudyId::from_name("ext_congestion").expect("registered");
+        let golden = bless_study(id, &scale).expect("bless runs");
+        let text = serde_json::to_string_pretty(&golden).expect("serialize");
+        let back: StudyGolden = serde_json::from_str(&text).expect("parse");
+        assert_eq!(golden, back, "golden record must survive a JSON round trip bit-exactly");
+    }
+
+    #[test]
+    fn store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mpvsim-goldens-{}", std::process::id()));
+        let scale = tiny_scale();
+        let id = StudyId::from_name("ext_congestion").expect("registered");
+        let golden = bless_study(id, &scale).expect("bless runs");
+        save_study_golden(&dir, &golden).expect("save");
+        let back = load_study_golden(&dir, id).expect("load");
+        assert_eq!(golden, back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oracle_blesses_and_checks_clean_at_reduced_scale() {
+        let scale = OracleScale { population: 200, reps: 6, ..OracleScale::default() };
+        let golden = bless_oracle(&scale).expect("bless runs");
+        assert_eq!(golden.finals.len(), 6);
+        let drifts = check_oracle(&golden).expect("check runs");
+        assert!(drifts.is_empty(), "oracle drifted: {drifts:?}");
+    }
+
+    #[test]
+    fn oracle_catches_a_corrupted_golden_mean() {
+        let scale = OracleScale { population: 200, reps: 6, ..OracleScale::default() };
+        let mut golden = bless_oracle(&scale).expect("bless runs");
+        // A golden mean far outside every band must trip the regression
+        // and statistical layers.
+        golden.final_mean *= 3.0;
+        for f in &mut golden.finals {
+            *f *= 3.0;
+        }
+        let drifts = check_oracle(&golden).expect("check runs");
+        assert!(!drifts.is_empty(), "corrupted oracle golden not caught");
+    }
+
+    #[test]
+    fn invariant_probe_flags_double_infection_and_post_blacklist_delivery() {
+        let (mut probe, shared) = InvariantProbe::new();
+        let t = SimTime::from_secs(10);
+        probe.on_infection(t, PhoneId(3), InfectionCause::Seed);
+        probe.on_infection(t, PhoneId(3), InfectionCause::Mms);
+        probe.on_blacklisted(t, PhoneId(5));
+        probe.on_message_delivered(SimTime::from_secs(20), PhoneId(5), PhoneId(1));
+        probe.on_message_sent(SimTime::from_secs(5), PhoneId(1), 1); // time reversal
+        let mirror = shared.lock().unwrap();
+        let all = mirror.violations.join("\n");
+        assert!(all.contains("infected twice"), "{all}");
+        assert!(all.contains("blacklisted phone 5"), "{all}");
+        assert!(all.contains("time ran backwards"), "{all}");
+    }
+
+    #[test]
+    fn check_invariants_passes_on_paper_scenarios() {
+        let mut config = ScenarioConfig::baseline(VirusProfile::virus3());
+        config.population = PopulationConfig::paper_default(60);
+        config.horizon = SimDuration::from_hours(6);
+        config.response = ResponseConfig::none().with_blacklist(Blacklist { threshold: 5 });
+        for fel in [FelKind::BinaryHeap, FelKind::Calendar] {
+            let report = check_invariants(&config, 99, fel).expect("valid scenario");
+            assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+            assert!(report.events_processed > 0);
+        }
+    }
+
+    #[test]
+    fn fuzz_cases_are_valid_deterministic_and_clean() {
+        for case in 0..20 {
+            let config = fuzz_case(11, case);
+            assert!(config.validate().is_ok(), "case {case} invalid: {config:?}");
+            assert_eq!(config, fuzz_case(11, case), "case {case} not deterministic");
+        }
+        let report = fuzz_cases(11, 4).expect("fuzz runs");
+        assert_eq!(report.cases, 4);
+        assert!(report.failures.is_empty(), "fuzz failures: {:?}", report.failures);
+    }
+}

@@ -468,6 +468,76 @@ mod tests {
         assert_eq!(q.pop().unwrap().seq, 9, "queue must be reusable after clear");
     }
 
+    #[test]
+    fn same_timestamp_events_pop_in_scheduling_order() {
+        // Many events at one instant: `(time, seq)` makes the tie-break
+        // FIFO in scheduling order, on both backends.
+        let mut heap = BinaryHeapFel::new();
+        let mut cal = tiny_calendar();
+        // Interleave the inserts of two instants to rule out accidental
+        // insertion-order luck inside a bucket.
+        for seq in 0u64..12 {
+            let t = if seq % 2 == 0 { 40 } else { 8 };
+            heap.insert(item(t, seq));
+            cal.insert(item(t, seq));
+        }
+        let expected: Vec<(SimTime, u64)> = [
+            (8u64, 1u64),
+            (8, 3),
+            (8, 5),
+            (8, 7),
+            (8, 9),
+            (8, 11),
+            (40, 0),
+            (40, 2),
+            (40, 4),
+            (40, 6),
+            (40, 8),
+            (40, 10),
+        ]
+        .iter()
+        .map(|&(t, s)| (SimTime::from_secs(t), s))
+        .collect();
+        let heap_keys: Vec<_> = std::iter::from_fn(|| heap.pop().map(|s| s.key())).collect();
+        let cal_keys: Vec<_> = std::iter::from_fn(|| cal.pop().map(|s| s.key())).collect();
+        assert_eq!(heap_keys, expected);
+        assert_eq!(cal_keys, expected);
+    }
+
+    #[test]
+    fn zero_delay_reschedules_pop_immediately_and_in_order() {
+        // The model schedules zero-delay follow-ups (e.g. a message read
+        // the instant it arrives). Popping an event and inserting a new
+        // one at the *same* time must yield it next — before anything
+        // later — even though the calendar cursor already sits on that
+        // bucket, and repeatedly at the same instant.
+        for backend in 0..2 {
+            let mut q: Box<dyn FutureEventList<u64>> = if backend == 0 {
+                Box::new(BinaryHeapFel::new())
+            } else {
+                Box::new(tiny_calendar())
+            };
+            q.insert(item(5, 0));
+            q.insert(item(9, 1));
+            let first = q.pop().unwrap();
+            assert_eq!(first.key(), (SimTime::from_secs(5), 0));
+            // Chain three zero-delay events at t = 5.
+            for seq in 2u64..5 {
+                q.insert(item(5, seq));
+            }
+            for seq in 2u64..5 {
+                let s = q.pop().unwrap();
+                assert_eq!(
+                    s.key(),
+                    (SimTime::from_secs(5), seq),
+                    "zero-delay chain broke on backend {backend}"
+                );
+            }
+            assert_eq!(q.pop().unwrap().key(), (SimTime::from_secs(9), 1));
+            assert!(q.pop().is_none());
+        }
+    }
+
     /// Drives two backends through the same operation sequence and
     /// checks the pop streams are identical.
     fn differential(ops: &[Option<u64>], calendar: CalendarQueue<u64>) {

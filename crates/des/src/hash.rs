@@ -1,0 +1,155 @@
+//! Trajectory hashing for golden-file regression checks.
+//!
+//! The engine's headline guarantee is bit-identical trajectories for a
+//! given seed, regardless of FEL backend, thread count, or attached
+//! observers. To pin that guarantee in a *compact committed artefact*,
+//! the validation layer folds every replication's output bytes into a
+//! single 64-bit digest. The hasher here is a hand-rolled FNV-1a: the
+//! workspace deliberately carries no hashing crate, the digest is for
+//! drift *detection* (not adversarial integrity), and FNV-1a over a
+//! well-defined byte stream is stable across platforms and releases —
+//! unlike `std`'s `DefaultHasher`, whose algorithm is explicitly
+//! unspecified.
+//!
+//! Floating-point values are folded via [`f64::to_bits`] in little-endian
+//! byte order, so a hash match certifies *bit* equality of the
+//! trajectory, not approximate agreement.
+
+/// An incremental [FNV-1a] 64-bit hasher with a stable, documented
+/// byte-stream semantics.
+///
+/// [FNV-1a]: http://www.isthe.com/chongo/tech/comp/fnv/
+///
+/// ```rust
+/// use mpvsim_des::hash::Fnv1a64;
+///
+/// let mut h = Fnv1a64::new();
+/// h.write_f64(1.5);
+/// h.write_u64(7);
+/// let a = h.finish();
+///
+/// let mut h2 = Fnv1a64::new();
+/// h2.write_f64(1.5);
+/// h2.write_u64(7);
+/// assert_eq!(a, h2.finish());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv1a64 {
+    state: u64,
+}
+
+const FNV_OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a64 {
+    /// A fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv1a64 { state: FNV_OFFSET_BASIS }
+    }
+
+    /// Folds raw bytes into the digest, in order.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` as its eight little-endian bytes.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Folds an `f64` via its IEEE-754 bit pattern (little-endian).
+    ///
+    /// Two floats hash equal iff they are bit-identical; `0.0` and
+    /// `-0.0` hash differently, and every NaN payload is distinct.
+    pub fn write_f64(&mut self, value: f64) {
+        self.write_u64(value.to_bits());
+    }
+
+    /// Folds a whole `f64` slice, length-prefixed so that adjacent
+    /// slices cannot alias (e.g. `[1.0] ++ []` vs `[] ++ [1.0]`).
+    pub fn write_f64_slice(&mut self, values: &[f64]) {
+        self.write_u64(values.len() as u64);
+        for &v in values {
+            self.write_f64(v);
+        }
+    }
+
+    /// The current digest. The hasher may keep accumulating afterwards.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv1a64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        let digest = |s: &str| {
+            let mut h = Fnv1a64::new();
+            h.write_bytes(s.as_bytes());
+            h.finish()
+        };
+        assert_eq!(digest(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(digest("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(digest("foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        let mut a = Fnv1a64::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv1a64::new();
+        b.write_u64(2);
+        b.write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn distinguishes_close_floats() {
+        let mut a = Fnv1a64::new();
+        a.write_f64(1.0);
+        let mut b = Fnv1a64::new();
+        b.write_f64(1.0 + f64::EPSILON);
+        assert_ne!(a.finish(), b.finish());
+
+        let mut pz = Fnv1a64::new();
+        pz.write_f64(0.0);
+        let mut nz = Fnv1a64::new();
+        nz.write_f64(-0.0);
+        assert_ne!(pz.finish(), nz.finish(), "signed zeros are distinct bit patterns");
+    }
+
+    #[test]
+    fn length_prefix_prevents_aliasing() {
+        let mut a = Fnv1a64::new();
+        a.write_f64_slice(&[1.0]);
+        a.write_f64_slice(&[]);
+        let mut b = Fnv1a64::new();
+        b.write_f64_slice(&[]);
+        b.write_f64_slice(&[1.0]);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut inc = Fnv1a64::new();
+        inc.write_bytes(b"foo");
+        inc.write_bytes(b"bar");
+        let mut one = Fnv1a64::new();
+        one.write_bytes(b"foobar");
+        assert_eq!(inc.finish(), one.finish());
+    }
+}

@@ -55,6 +55,7 @@
 pub mod engine;
 pub mod event;
 pub mod fel;
+pub mod hash;
 pub mod observe;
 pub mod random;
 pub mod replication;
@@ -65,6 +66,7 @@ pub mod trace;
 pub use engine::{Context, Model, RunOutcome, SimMetrics, Simulation};
 pub use event::EventQueue;
 pub use fel::{BinaryHeapFel, CalendarQueue, FelKind, FutureEventList, Scheduled};
+pub use hash::Fnv1a64;
 pub use observe::{
     ExperimentMetrics, ExperimentObserver, FanoutObserver, JsonlObserver, NoopObserver,
     ObserverHandle, ProgressObserver, ReplicationMetrics,

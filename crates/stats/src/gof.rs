@@ -1,0 +1,150 @@
+//! Goodness-of-fit helpers for the differential oracle.
+//!
+//! The validation layer compares the stochastic engine against the
+//! mean-field ODE and against its own committed golden runs. Two tests
+//! carry that comparison:
+//!
+//! * **CI containment** — does a replication set's 95% confidence
+//!   interval cover a reference mean? ([`ci95_contains`])
+//! * **Two-sample Kolmogorov–Smirnov distance** — are two sets of
+//!   per-replication outcomes drawn from plausibly the same
+//!   distribution? ([`ks_distance`], [`ks_critical_value`])
+
+use crate::welford::RunningSummary;
+
+/// The two-sample Kolmogorov–Smirnov statistic: the supremum distance
+/// between the empirical CDFs of `a` and `b`.
+///
+/// Inputs need not be sorted; NaNs are ordered with [`f64::total_cmp`]
+/// (after all finite values) so the statistic is always well defined.
+/// Returns 0.0 when either sample is empty — an empty sample carries no
+/// distributional evidence to reject on.
+pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let mut xs = a.to_vec();
+    let mut ys = b.to_vec();
+    xs.sort_unstable_by(f64::total_cmp);
+    ys.sort_unstable_by(f64::total_cmp);
+
+    let (n, m) = (xs.len() as f64, ys.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut sup = 0.0f64;
+    while i < xs.len() && j < ys.len() {
+        // Advance past ties in lockstep so both CDFs are evaluated at
+        // the same point.
+        let x = xs[i].min(ys[j]);
+        while i < xs.len() && xs[i].total_cmp(&x).is_le() {
+            i += 1;
+        }
+        while j < ys.len() && ys[j].total_cmp(&x).is_le() {
+            j += 1;
+        }
+        let d = (i as f64 / n - j as f64 / m).abs();
+        if d > sup {
+            sup = d;
+        }
+    }
+    sup
+}
+
+/// The large-sample critical value for the two-sample K-S test at the
+/// given significance level: `c(α) · sqrt((n + m) / (n · m))` with
+/// `c(α) = sqrt(-ln(α / 2) / 2)`.
+///
+/// A [`ks_distance`] exceeding this value rejects "same distribution"
+/// at level `alpha`. The asymptotic formula is conservative for the
+/// small replication counts used by the oracle, which is the safe
+/// direction for a regression gate.
+///
+/// # Panics
+///
+/// Panics if `alpha` is outside `(0, 1)` or either sample size is zero.
+pub fn ks_critical_value(n: usize, m: usize, alpha: f64) -> f64 {
+    assert!(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+    assert!(n > 0 && m > 0, "sample sizes must be positive");
+    let c = (-(alpha / 2.0).ln() / 2.0).sqrt();
+    let (n, m) = (n as f64, m as f64);
+    c * ((n + m) / (n * m)).sqrt()
+}
+
+/// Whether the 95% confidence interval of `summary` contains `value`.
+///
+/// `min_half_width` widens degenerate intervals: with few replications
+/// (or zero sample variance) the CI half-width can collapse to zero,
+/// which would make the containment check vacuously fail on any
+/// reference that differs in the last bit. The oracle passes the
+/// tolerance it is prepared to accept as `min_half_width`.
+pub fn ci95_contains(summary: &RunningSummary, value: f64, min_half_width: f64) -> bool {
+    let half = summary.ci95_half_width().max(min_half_width);
+    (summary.mean() - value).abs() <= half
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_have_zero_distance() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_distance(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn disjoint_samples_have_distance_one() {
+        let a = [0.0, 1.0, 2.0];
+        let b = [10.0, 11.0, 12.0];
+        assert_eq!(ks_distance(&a, &b), 1.0);
+        assert_eq!(ks_distance(&b, &a), 1.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_order_free() {
+        let a = [3.0, 1.0, 2.0, 8.0];
+        let b = [2.5, 0.5, 9.0];
+        let d1 = ks_distance(&a, &b);
+        let d2 = ks_distance(&b, &a);
+        assert_eq!(d1, d2);
+        let mut a_sorted = a;
+        a_sorted.sort_unstable_by(f64::total_cmp);
+        assert_eq!(ks_distance(&a_sorted, &b), d1);
+    }
+
+    #[test]
+    fn known_half_shift() {
+        // a = {0,1}, b = {1,2}: CDFs differ by 1/2 on [0,1).
+        let a = [0.0, 1.0];
+        let b = [1.0, 2.0];
+        assert!((ks_distance(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_samples_are_inert() {
+        assert_eq!(ks_distance(&[], &[1.0]), 0.0);
+        assert_eq!(ks_distance(&[1.0], &[]), 0.0);
+    }
+
+    #[test]
+    fn critical_value_matches_textbook() {
+        // c(0.05) ≈ 1.358; equal n = m = 100 → D_crit ≈ 0.192.
+        let d = ks_critical_value(100, 100, 0.05);
+        assert!((d - 0.192_07).abs() < 1e-3, "got {d}");
+        // Stricter alpha → larger critical value.
+        assert!(ks_critical_value(100, 100, 0.01) > d);
+    }
+
+    #[test]
+    fn ci_containment_with_floor() {
+        let mut s = RunningSummary::new();
+        for v in [10.0, 10.0, 10.0] {
+            s.push(v);
+        }
+        // Zero variance: bare CI excludes everything but the mean…
+        assert!(ci95_contains(&s, 10.0, 0.0));
+        assert!(!ci95_contains(&s, 10.4, 0.0));
+        // …but the floor admits values within the stated tolerance.
+        assert!(ci95_contains(&s, 10.4, 0.5));
+        assert!(!ci95_contains(&s, 11.0, 0.5));
+    }
+}

@@ -26,12 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod gof;
 pub mod render;
 pub mod series;
 pub mod summary;
 pub mod welford;
 
 pub use aggregate::{mean_series, AggregateSeries, OnlineAggregate};
+pub use gof::{ci95_contains, ks_critical_value, ks_distance};
 pub use series::TimeSeries;
 pub use summary::Summary;
 pub use welford::RunningSummary;

@@ -158,6 +158,53 @@ mod tests {
         assert_eq!(a.n(), 1);
     }
 
+    #[test]
+    fn merge_of_two_empties_stays_empty() {
+        let mut a = RunningSummary::new();
+        a.merge(&RunningSummary::new());
+        assert_eq!(a.n(), 0);
+        assert_eq!(a.mean(), 0.0);
+        assert_eq!(a.variance(), 0.0);
+        assert_eq!(a.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_merges_are_bit_exact() {
+        // One sample on each side, with dyadic values so every operation
+        // is exact: the merged mean/M2 must match the sequential
+        // accumulation bit for bit (the n=0/n=1 fast paths and Chan's
+        // update agree exactly, not just approximately).
+        let (x, y) = (0.25f64, 0.75f64);
+        let mut left = RunningSummary::new();
+        left.push(x);
+        let mut right = RunningSummary::new();
+        right.push(y);
+        left.merge(&right);
+
+        let mut seq = RunningSummary::new();
+        seq.push(x);
+        seq.push(y);
+
+        assert_eq!(left.n(), seq.n());
+        assert_eq!(left.mean().to_bits(), seq.mean().to_bits());
+        assert_eq!(left.variance().to_bits(), seq.variance().to_bits());
+    }
+
+    #[test]
+    fn merging_an_empty_copies_nothing_and_a_full_copies_bits() {
+        // Empty ⊕ X is a bit-exact copy of X — the validation goldens rely
+        // on aggregation being reproducible at the representation level.
+        let mut src = RunningSummary::new();
+        for x in [2.5, -1.25, 9.0, 0.5] {
+            src.push(x);
+        }
+        let mut dst = RunningSummary::new();
+        dst.merge(&src);
+        assert_eq!(dst.n(), src.n());
+        assert_eq!(dst.mean().to_bits(), src.mean().to_bits());
+        assert_eq!(dst.variance().to_bits(), src.variance().to_bits());
+    }
+
     proptest! {
         /// Merging two accumulators equals pushing everything into one.
         #[test]

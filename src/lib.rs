@@ -64,6 +64,11 @@ pub use mpvsim_topology as topology;
 /// The most commonly used items, importable with one `use`.
 pub mod prelude {
     pub use mpvsim_core::{
+        bless_oracle, bless_study, check_invariants, check_oracle, check_study, fuzz_case,
+        fuzz_cases, Drift, FuzzReport, GoldenScale, InvariantReport, OracleScale, StudyGolden,
+        Variant,
+    };
+    pub use mpvsim_core::{
         resume_sweep, run_scenario, run_scenario_cached, run_scenario_probed,
         run_scenario_with_metrics, run_scenario_with_metrics_fel, run_sweep, AcceptanceModel,
         AdaptiveResult, BehaviorConfig, Blacklist, BluetoothVector, ChainRecord, ConfigError,

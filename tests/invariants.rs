@@ -87,12 +87,27 @@ fn response_strategy() -> impl Strategy<Value = ResponseConfig> {
         })
 }
 
+/// Picks a contact topology from every generator family, with parameters
+/// clamped so the spec always validates for `n` nodes.
+fn make_topology(n: usize, degree: u64, pick: usize, beta: f64) -> GraphSpec {
+    let mean = degree.min(n as u64 - 1) as f64;
+    // Lattice generators need an even per-side neighbour count below n.
+    let lattice_k = ((degree as usize).clamp(2, n - 1) & !1).max(2);
+    match pick {
+        0 => GraphSpec::power_law(n, mean.max(1.0)),
+        1 => GraphSpec::watts_strogatz(n, lattice_k, beta),
+        2 => GraphSpec::ring(n, lattice_k),
+        3 => GraphSpec::complete(n),
+        _ => GraphSpec::erdos_renyi(n, mean),
+    }
+}
+
 fn scenario_strategy() -> impl Strategy<Value = ScenarioConfig> {
     (
         virus_strategy(),
         response_strategy(),
-        20usize..80,  // population
-        1u64..30,     // mean degree (clamped below population)
+        // Topology: (n, mean degree, generator family, rewiring beta).
+        (20usize..80, 1u64..30, 0usize..5, 0.0f64..=1.0),
         0.0f64..=1.0, // vulnerable fraction
         2u64..36,     // horizon hours
         1u32..4,      // initial infections
@@ -101,28 +116,27 @@ fn scenario_strategy() -> impl Strategy<Value = ScenarioConfig> {
         any::<bool>(),                                      // bluetooth vector
         prop_oneof![Just(None), (60u64..3600).prop_map(Some)], // gateway cap/h
     )
-        .prop_map(
-            |(virus, response, n, degree, vulnerable, horizon, seeds, legit, bt, cap)| {
-                let mut c = ScenarioConfig::baseline(virus);
-                c.response = response;
-                c.population = PopulationConfig {
-                    topology: GraphSpec::erdos_renyi(n, degree.min(n as u64 - 1) as f64),
-                    vulnerable_fraction: vulnerable,
-                };
-                c.horizon = SimDuration::from_hours(horizon);
-                c.initial_infections = seeds;
-                if let Some(h) = legit {
-                    c.behavior.legitimate_mms =
-                        Some(DelaySpec::exponential(SimDuration::from_hours(h)));
-                }
-                if bt {
-                    c.virus.bluetooth = Some(BluetoothVector::default_class2());
-                    c.mobility = Some(MobilityConfig::downtown());
-                }
-                c.gateway_capacity_per_hour = cap;
-                c
-            },
-        )
+        .prop_map(|(virus, response, topo, vulnerable, horizon, seeds, legit, bt, cap)| {
+            let (n, degree, pick, beta) = topo;
+            let mut c = ScenarioConfig::baseline(virus);
+            c.response = response;
+            c.population = PopulationConfig {
+                topology: make_topology(n, degree, pick, beta),
+                vulnerable_fraction: vulnerable,
+            };
+            c.horizon = SimDuration::from_hours(horizon);
+            c.initial_infections = seeds;
+            if let Some(h) = legit {
+                c.behavior.legitimate_mms =
+                    Some(DelaySpec::exponential(SimDuration::from_hours(h)));
+            }
+            if bt {
+                c.virus.bluetooth = Some(BluetoothVector::default_class2());
+                c.mobility = Some(MobilityConfig::downtown());
+            }
+            c.gateway_capacity_per_hour = cap;
+            c
+        })
 }
 
 proptest! {
@@ -229,5 +243,36 @@ proptest! {
                 || with.stats.blocked_by_scan > 0,
             "scan neither reduced deliveries nor blocked anything"
         );
+    }
+
+    /// The instrumented invariant checker (a mirror state machine fed by a
+    /// read-only probe, cross-checked against an uninstrumented re-run)
+    /// finds no violations on any valid scenario, under either FEL.
+    #[test]
+    fn prop_invariant_checker_is_clean(
+        config in scenario_strategy(),
+        seed in 0u64..1_000_000,
+        calendar in any::<bool>(),
+    ) {
+        prop_assume!(config.validate().is_ok());
+        let fel = if calendar { FelKind::Calendar } else { FelKind::BinaryHeap };
+        let report = check_invariants(&config, seed, fel).expect("validated config runs");
+        prop_assert!(
+            report.violations.is_empty(),
+            "invariant violations (seed {}, {:?}): {:#?}",
+            seed,
+            fel,
+            report.violations
+        );
+        prop_assert_eq!(report.final_infected, run_scenario(&config, seed).unwrap().final_infected);
+    }
+
+    /// Fuzzer-generated configurations are always valid and deterministic
+    /// functions of their (family, case) coordinates.
+    #[test]
+    fn prop_fuzz_cases_valid_and_reproducible(family in 0u64..10_000, case in 0u64..64) {
+        let config = fuzz_case(family, case);
+        prop_assert!(config.validate().is_ok(), "fuzz_case produced an invalid config");
+        prop_assert_eq!(format!("{config:?}"), format!("{:?}", fuzz_case(family, case)));
     }
 }

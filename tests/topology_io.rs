@@ -7,6 +7,7 @@ use std::io::BufReader;
 use mpvsim::prelude::*;
 use mpvsim::topology::io::{read_contact_lists, to_contact_list_string, write_contact_lists};
 use mpvsim::topology::{analysis, Graph, NodeId};
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -70,6 +71,59 @@ fn hand_written_topology_drives_a_scenario() {
     assert_eq!(pop.len(), 4);
     assert_eq!(pop.contacts(PhoneId(1)).len(), 2);
     assert_eq!(pop.degree(PhoneId(1)), 2);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Any graph — including ones with isolated nodes and none of the
+    /// generators' structure — survives the contact-list file format
+    /// bit-for-bit: same node count, same edge count, same neighbourhoods.
+    #[test]
+    fn prop_contact_list_roundtrip_preserves_any_graph(
+        n in 2usize..40,
+        raw_edges in proptest::collection::vec((0usize..1000, 0usize..1000), 0..120),
+    ) {
+        let mut g = Graph::with_nodes(n);
+        let mut inserted = Vec::new();
+        for (a, b) in raw_edges {
+            let (a, b) = (NodeId(a % n), NodeId(b % n));
+            if g.add_edge(a, b) {
+                inserted.push((a.min(b), a.max(b)));
+                // Re-adding an existing edge (either orientation) is
+                // rejected and must not inflate the edge count.
+                prop_assert!(!g.add_edge(a, b), "duplicate edge accepted");
+                prop_assert!(!g.add_edge(b, a), "reversed duplicate accepted");
+            }
+        }
+        prop_assert_eq!(g.edge_count(), inserted.len());
+
+        let back = read_contact_lists(to_contact_list_string(&g).as_bytes())
+            .expect("round-trip of a valid graph");
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        for v in g.nodes() {
+            let mut orig: Vec<NodeId> = g.neighbors(v).to_vec();
+            let mut copy: Vec<NodeId> = back.neighbors(v).to_vec();
+            orig.sort_unstable();
+            copy.sort_unstable();
+            prop_assert_eq!(orig, copy, "neighbourhood of {} changed", v);
+        }
+    }
+}
+
+#[test]
+fn isolated_nodes_survive_the_roundtrip() {
+    // A graph whose last and first nodes have no contacts at all: the
+    // header's node count — not the per-line ids — must define the size.
+    let mut g = Graph::with_nodes(5);
+    assert!(g.add_edge(NodeId(1), NodeId(2)));
+    assert!(g.add_edge(NodeId(2), NodeId(3)));
+    let back = read_contact_lists(to_contact_list_string(&g).as_bytes()).unwrap();
+    assert_eq!(back.node_count(), 5);
+    assert_eq!(back.edge_count(), 2);
+    assert!(back.neighbors(NodeId(0)).is_empty());
+    assert!(back.neighbors(NodeId(4)).is_empty());
 }
 
 #[test]
