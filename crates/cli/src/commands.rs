@@ -21,13 +21,17 @@ use mpvsim_core::figures::{FigureOptions, LabeledResult};
 use mpvsim_core::studies::{registry, StudyId, StudyKind};
 use mpvsim_core::sweep::{resume_sweep, run_sweep, slugify, SweepOptions, SweepReport, SweepSpec};
 use mpvsim_core::validate::{
-    bless_oracle, bless_study, check_oracle, check_study, fuzz_cases, load_oracle_golden,
-    load_study_golden, save_oracle_golden, save_study_golden, GoldenScale, OracleScale, Variant,
+    bless_oracle, bless_study, bless_study_specs, check_oracle, check_study, check_study_specs,
+    fuzz_cases, load_oracle_golden, load_study_golden, load_study_specs, save_oracle_golden,
+    save_study_golden, save_study_specs, study_specs_path, GoldenScale, OracleScale, Variant,
 };
 use mpvsim_core::{run_scenario_probed, ProbeKind, ProbeOutput, TopologyCache};
 use mpvsim_des::seed::derive_seed;
 
-use crate::{parse_options, render_report, usage, write_json_report, CliOptions};
+use crate::{
+    apply_shared_flag, parse_options, render_report, usage, write_json_report, CliOptions,
+    SharedFlag,
+};
 
 const COMMANDS: &str = "\
 usage: mpvsim <command> [flags]
@@ -41,6 +45,8 @@ commands:
   perfsuite            benchmark the figure workloads under each FEL backend
   sweep run            execute a sweep of studies into a results store
   sweep resume         finish an interrupted sweep from its store
+  serve                HTTP/JSON simulation service over a results store
+  submit <spec.json>   POST a scenario spec to a running `mpvsim serve`
   validate bless       (re)generate the golden-trajectory regression store
   validate check       verify studies against the committed goldens
   validate fuzz        random-scenario invariant checking
@@ -50,9 +56,10 @@ run `mpvsim <command> --help` (or pass bad flags) for per-command usage.
 const SWEEP_USAGE: &str = "\
 usage: mpvsim sweep run --dir PATH [--name N] [--study NAME]... [--reps N]
                         [--seed S] [--population P] [--cell-workers W]
-                        [--rep-threads T] [--max-cells K] [--probe KIND] [--quick]
+                        [--rep-threads T] [--max-cells K] [--probe KIND]
+                        [--fel KIND] [--quick]
        mpvsim sweep resume --dir PATH [--cell-workers W] [--rep-threads T]
-                        [--max-cells K] [--probe KIND]
+                        [--max-cells K] [--probe KIND] [--fel KIND]
   --dir PATH           results store directory (manifest + one file per cell)
   --name N             sweep name recorded in the manifest (default: studies)
   --study NAME         include only this study (repeatable; default: all)
@@ -60,10 +67,12 @@ usage: mpvsim sweep run --dir PATH [--name N] [--study NAME]... [--reps N]
   --seed S             master seed (default 2007)
   --population P       population size (default 1000)
   --cell-workers W     cells executed concurrently (default 4)
-  --rep-threads T      threads within each cell's replications (default 1)
+  --rep-threads T      threads within each cell's replications (default 1;
+                       --threads is an alias shared with `mpvsim study`)
   --max-cells K        stop after K newly-completed cells (CI interrupt knob)
   --probe KIND         attach a probe to every replication (telemetry adds
                        per-mechanism records to the store; see `mpvsim trace`)
+  --fel KIND           future-event-list backend: binary-heap|calendar
   --quick              smoke-test scale: 2 reps, population 250
 ";
 
@@ -105,6 +114,8 @@ pub fn run(args: &[String]) -> i32 {
         "ablations" => cmd_ablations(rest),
         "perfsuite" => crate::perfsuite::run(rest),
         "sweep" => cmd_sweep(rest),
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
         "validate" => cmd_validate(rest),
         "--help" | "-h" | "help" => {
             print!("{COMMANDS}");
@@ -396,15 +407,16 @@ fn trace_study(id: StudyId, opts: &FigureOptions, dir: &Path) -> Result<String, 
     let mut files = 0usize;
     let cells = id.cells(opts);
     for cell in &cells {
-        let slug = slugify(&cell.label);
+        let slug = slugify(cell.label());
         let write_file = |suffix: &str, bytes: &[u8]| -> Result<(), String> {
             let path = dir.join(format!("{slug}.{suffix}"));
             std::fs::write(&path, bytes)
                 .map_err(|e| format!("cannot write {}: {e}", path.display()))
         };
 
-        // Chains over every replication.
-        let result = opts.plan().run(&cell.config).map_err(|e| format!("{}: {e}", cell.label))?;
+        // Chains over every replication (config via the validation funnel).
+        let config = cell.spec.to_config().map_err(|e| format!("{}: {e}", cell.label()))?;
+        let result = opts.plan().run(config).map_err(|e| format!("{}: {e}", cell.label()))?;
         let chains: Vec<&mpvsim_core::ChainRecord> = result
             .runs
             .iter()
@@ -420,13 +432,13 @@ fn trace_study(id: StudyId, opts: &FigureOptions, dir: &Path) -> Result<String, 
         // Replication 0 again, recording the event timeline.
         let seed0 = derive_seed(opts.master_seed, 0);
         let (run0, _) = run_scenario_probed(
-            &cell.config,
+            config,
             seed0,
             opts.fel,
             opts.topology_cache.as_deref(),
             ProbeKind::Trace,
         )
-        .map_err(|e| format!("{}: {e}", cell.label))?;
+        .map_err(|e| format!("{}: {e}", cell.label()))?;
         let trace = run0
             .probe
             .as_ref()
@@ -442,7 +454,7 @@ fn trace_study(id: StudyId, opts: &FigureOptions, dir: &Path) -> Result<String, 
         let _ = write!(
             out,
             "{:<28} {:>6} {:>8.1} {:>7.2}",
-            cell.label,
+            cell.label(),
             chains.len(),
             mean_infected,
             peak_r
@@ -481,11 +493,14 @@ usage: mpvsim validate bless [--dir DIR] [--study NAME]... [--population P]
                              [--no-variants]
        mpvsim validate fuzz  [--cases N] [--seed S]
   bless    run the selected studies at golden scale (reference execution) and
-           (re)write DIR/<study>.json, plus the differential-oracle golden
-           DIR/oracle.json
+           (re)write DIR/<study>.json, the canonical spec set
+           DIR/specs/<study>.json (paper scale), and the differential-oracle
+           golden DIR/oracle.json
   check    re-run the selected studies under the single-knob variant matrix
            (binary-heap vs calendar FEL, 1 vs T threads, none vs noop probe)
-           and the differential oracle; exit 1 on any drift from the goldens
+           and the differential oracle, and hold the committed spec sets
+           byte-exact (a missing spec set is blessed in place); exit 1 on
+           any drift from the goldens
   fuzz     run N deterministic random-scenario invariant checks; exit 1 on
            any violation (failures name their exact replay)
   --dir DIR       golden store directory (default: goldens)
@@ -633,6 +648,30 @@ fn validate_bless(dir: &Path, selection: &ValidateSelection, scale: &GoldenScale
                 return 1;
             }
         }
+        // The canonical wire form of the study is blessed alongside the
+        // trajectory fingerprints — always at paper scale, since spec
+        // blessing serializes cells without simulating them.
+        let specs = match bless_study_specs(*id, &GoldenScale::paper()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{} specs: {e}", id.name());
+                return 1;
+            }
+        };
+        match save_study_specs(dir, &specs) {
+            Ok(path) => {
+                println!(
+                    "blessed {} spec set ({} cells at paper scale) -> {}",
+                    id.name(),
+                    specs.specs.len(),
+                    path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
     }
     if selection.oracle {
         let oracle_scale = OracleScale::default();
@@ -685,6 +724,39 @@ fn validate_check(
             Ok(mut found) => drifts.append(&mut found),
             Err(e) => {
                 eprintln!("{}: {e}", id.name());
+                return 1;
+            }
+        }
+        // Spec sets are pure serialization, so a missing file is
+        // bootstrapped in place rather than failing the check; once the
+        // file exists it is held byte-exact like any other golden.
+        if !study_specs_path(dir, *id).exists() {
+            let set = match bless_study_specs(*id, &GoldenScale::paper()) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("{} specs: {e}", id.name());
+                    return 1;
+                }
+            };
+            match save_study_specs(dir, &set) {
+                Ok(path) => eprintln!("spec set was missing; blessed {}", path.display()),
+                Err(e) => {
+                    eprintln!("{e}");
+                    return 1;
+                }
+            }
+        }
+        let set = match load_study_specs(dir, *id) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        };
+        match check_study_specs(*id, &set) {
+            Ok(mut found) => drifts.append(&mut found),
+            Err(e) => {
+                eprintln!("{} specs: {e}", id.name());
                 return 1;
             }
         }
@@ -778,6 +850,28 @@ fn parse_sweep_args(args: &[String], resume: bool) -> Result<SweepArgs, String> 
     let mut sweep = SweepOptions::default();
     let mut args = args.iter();
     while let Some(flag) = args.next() {
+        // Shared experiment flags first — one parser for `study`, `sweep`,
+        // `trace` and `serve`, so `--probe`/`--threads`/`--fel` cannot
+        // drift between commands.
+        if let Some(which) = apply_shared_flag(flag, &mut || args.next().cloned(), &mut figure)
+            .map_err(|e| format!("{e}\n{SWEEP_USAGE}"))?
+        {
+            match which {
+                SharedFlag::Reps | SharedFlag::Seed | SharedFlag::Population if resume => {
+                    let why = "does not apply to resume (the manifest fixes it)";
+                    return Err(format!("{flag} {why}\n{SWEEP_USAGE}"));
+                }
+                SharedFlag::Reps | SharedFlag::Seed | SharedFlag::Population => {}
+                // Execution knobs, so legal on resume too — but a
+                // different probe than the original run adds/omits
+                // telemetry records in the cells completed after the
+                // resume.
+                SharedFlag::Probe => sweep.probe = figure.probe,
+                SharedFlag::Fel => sweep.fel = figure.fel,
+                SharedFlag::Threads => sweep.rep_threads = figure.threads,
+            }
+            continue;
+        }
         let mut value = |flag: &str| {
             args.next().cloned().ok_or_else(|| format!("{flag} needs a value\n{SWEEP_USAGE}"))
         };
@@ -794,31 +888,16 @@ fn parse_sweep_args(args: &[String], resume: bool) -> Result<SweepArgs, String> 
                 figure.reps = 2;
                 figure.population = 250;
             }
-            // Execution knob, so legal on resume too — but a different
-            // probe than the original run adds/omits telemetry records in
-            // the cells completed after the resume.
-            "--probe" => {
-                let v = value("--probe")?;
-                sweep.probe = ProbeKind::from_name(&v)
-                    .ok_or_else(|| format!("unknown probe {v:?}\n{SWEEP_USAGE}"))?;
-            }
-            "--reps" | "--seed" | "--population" | "--cell-workers" | "--rep-threads"
-            | "--max-cells" => {
+            "--cell-workers" | "--rep-threads" | "--max-cells" => {
                 let v = value(flag)?;
                 let parsed: u64 = v
                     .parse()
                     .map_err(|_| format!("{flag} value {v:?} is not a number\n{SWEEP_USAGE}"))?;
                 match flag.as_str() {
-                    "--reps" if !resume => figure.reps = parsed,
-                    "--seed" if !resume => figure.master_seed = parsed,
-                    "--population" if !resume => figure.population = parsed as usize,
                     "--cell-workers" => sweep.cell_workers = parsed as usize,
                     "--rep-threads" => sweep.rep_threads = parsed as usize,
                     "--max-cells" => sweep.max_cells = Some(parsed as usize),
-                    other => {
-                        let why = "does not apply to resume (the manifest fixes it)";
-                        return Err(format!("{other} {why}\n{SWEEP_USAGE}"));
-                    }
+                    _ => unreachable!(),
                 }
             }
             other => return Err(format!("unknown flag {other:?}\n{SWEEP_USAGE}")),
@@ -929,6 +1008,186 @@ pub fn render_sweep_report(report: &SweepReport) -> String {
         );
     }
     out
+}
+
+// ------------------------------------------------------- serve / submit
+
+const SERVE_USAGE: &str = "\
+usage: mpvsim serve --dir PATH [--addr HOST:PORT] [--workers N]
+                    [--threads T] [--fel KIND] [--probe KIND]
+  --dir PATH           results store: each run in <dir>/runs/<hash>/
+  --addr HOST:PORT     listen address (default 127.0.0.1:7311)
+  --workers N          simulation worker threads (default 2)
+  --threads T          threads within each run's replication batch
+  --fel KIND           future-event-list backend: binary-heap|calendar
+  --probe KIND         attach a probe to every replication
+endpoints:
+  POST /v1/runs        submit an mpvsim-scenario/1 spec (?wait=1 blocks)
+  GET  /v1/runs/HASH   state/result of one run
+  GET  /v1/runs/HASH/events   JSONL progress stream
+  GET  /v1/studies     the study registry
+  GET  /v1/healthz     liveness and queue counters
+";
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let mut addr = "127.0.0.1:7311".to_owned();
+    let mut opts = mpvsim_serve::ServeOptions::default();
+    let mut figure = FigureOptions::default();
+    let mut args = args.iter();
+    while let Some(flag) = args.next() {
+        match apply_shared_flag(flag, &mut || args.next().cloned(), &mut figure) {
+            Err(msg) => {
+                eprintln!("{msg}\n{SERVE_USAGE}");
+                return 2;
+            }
+            // Execution knobs belong to the server; the replication plan
+            // (reps/seed/population) belongs to each submitted spec.
+            Ok(Some(SharedFlag::Probe)) => opts.probe = figure.probe,
+            Ok(Some(SharedFlag::Fel)) => opts.fel = figure.fel,
+            Ok(Some(SharedFlag::Threads)) => opts.rep_threads = figure.threads,
+            Ok(Some(SharedFlag::Reps | SharedFlag::Seed | SharedFlag::Population)) => {
+                eprintln!("{flag} applies per submitted spec, not to the server\n{SERVE_USAGE}");
+                return 2;
+            }
+            Ok(None) => {
+                let mut value = |flag: &str| {
+                    args.next()
+                        .cloned()
+                        .ok_or_else(|| format!("{flag} needs a value\n{SERVE_USAGE}"))
+                };
+                let result = match flag.as_str() {
+                    "--addr" => value("--addr").map(|v| addr = v),
+                    "--dir" => value("--dir").map(|v| opts.dir = PathBuf::from(v)),
+                    "--workers" => value("--workers").and_then(|v| {
+                        v.parse()
+                            .map(|n| opts.workers = n)
+                            .map_err(|_| format!("--workers value {v:?} is not a number"))
+                    }),
+                    "--help" | "-h" => {
+                        print!("{SERVE_USAGE}");
+                        return 0;
+                    }
+                    other => Err(format!("unknown flag {other:?}\n{SERVE_USAGE}")),
+                };
+                if let Err(msg) = result {
+                    eprintln!("{msg}");
+                    return 2;
+                }
+            }
+        }
+    }
+    match mpvsim_serve::start(&addr, opts) {
+        Ok(handle) => {
+            println!("mpvsim serve listening on http://{}", handle.addr());
+            handle.join();
+            0
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            1
+        }
+    }
+}
+
+const SUBMIT_USAGE: &str = "\
+usage: mpvsim submit <spec.json> [--addr HOST:PORT] [--no-wait] [--events]
+  <spec.json>          an mpvsim-scenario/1 document ('-' reads stdin)
+  --addr HOST:PORT     server address (default 127.0.0.1:7311)
+  --no-wait            enqueue and return immediately (default waits)
+  --events             stream the run's JSONL progress after submitting
+";
+
+fn submit_usage_error(msg: &str) -> i32 {
+    eprintln!("{msg}\n{SUBMIT_USAGE}");
+    2
+}
+
+fn cmd_submit(args: &[String]) -> i32 {
+    let mut spec_path: Option<String> = None;
+    let mut addr = "127.0.0.1:7311".to_owned();
+    let mut wait = true;
+    let mut events = false;
+    let mut args = args.iter();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(v) => addr = v.clone(),
+                None => return submit_usage_error("--addr needs a value"),
+            },
+            "--no-wait" => wait = false,
+            "--events" => events = true,
+            "--help" | "-h" => {
+                print!("{SUBMIT_USAGE}");
+                return 0;
+            }
+            other if other.starts_with('-') && other != "-" => {
+                return submit_usage_error(&format!("unknown flag {other:?}"));
+            }
+            _ if spec_path.is_some() => {
+                return submit_usage_error("expected exactly one spec file");
+            }
+            _ => spec_path = Some(arg.clone()),
+        }
+    }
+    let Some(spec_path) = spec_path else {
+        return submit_usage_error("a spec file is required");
+    };
+    let body = if spec_path == "-" {
+        let mut buf = Vec::new();
+        std::io::Read::read_to_end(&mut std::io::stdin(), &mut buf).map(|_| buf)
+    } else {
+        std::fs::read(&spec_path)
+    };
+    let body = match body {
+        Ok(body) => body,
+        Err(e) => {
+            eprintln!("submit: cannot read {spec_path:?}: {e}");
+            return 1;
+        }
+    };
+    let path = if wait { "/v1/runs?wait=1" } else { "/v1/runs" };
+    let reply = match mpvsim_serve::request(&addr, "POST", path, Some(&body)) {
+        Ok(reply) => reply,
+        Err(e) => {
+            eprintln!("submit: {addr}: {e}");
+            return 1;
+        }
+    };
+    if let Some(cache) = reply.header("x-mpvsim-cache") {
+        eprintln!("submit: {} (cache {cache})", reply.status);
+    } else {
+        eprintln!("submit: {}", reply.status);
+    }
+    println!("{}", String::from_utf8_lossy(&reply.body).trim_end());
+    if !reply.is_success() {
+        return 1;
+    }
+    if events {
+        let doc: serde_json::Value = match serde_json::from_slice(&reply.body) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("submit: unparseable response: {e}");
+                return 1;
+            }
+        };
+        let Some(hash) = doc["hash"].as_str() else {
+            eprintln!("submit: response has no hash to stream");
+            return 1;
+        };
+        let path = format!("/v1/runs/{hash}/events");
+        match mpvsim_serve::stream(&addr, &path, &mut std::io::stdout()) {
+            Ok(status) if (200..300).contains(&status) => {}
+            Ok(status) => {
+                eprintln!("submit: events stream returned {status}");
+                return 1;
+            }
+            Err(e) => {
+                eprintln!("submit: events stream failed: {e}");
+                return 1;
+            }
+        }
+    }
+    0
 }
 
 // ------------------------------------------------ study-specific views
@@ -1107,6 +1366,17 @@ mod tests {
         let fp = StudyId::ExtFalsePositives.run(&opts).unwrap();
         let text = render_false_positives(&fp, opts.population);
         assert!(text.contains("FP per phone-day"));
+    }
+
+    #[test]
+    fn serve_and_submit_usage_errors_exit_2() {
+        let args = |list: &[&str]| list.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert_eq!(run(&args(&["serve", "--bogus"])), 2);
+        assert_eq!(run(&args(&["serve", "--workers"])), 2, "missing value");
+        assert_eq!(run(&args(&["serve", "--reps", "3"])), 2, "reps belong to the spec");
+        assert_eq!(run(&args(&["submit"])), 2, "spec file required");
+        assert_eq!(run(&args(&["submit", "--bogus", "x.json"])), 2);
+        assert_eq!(run(&args(&["submit", "a.json", "b.json"])), 2, "one spec only");
     }
 
     #[test]

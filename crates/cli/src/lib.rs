@@ -27,7 +27,7 @@ use std::path::PathBuf;
 
 use mpvsim_core::figures::{FigureOptions, LabeledResult};
 use mpvsim_core::{MechanismTelemetry, ProbeKind};
-use mpvsim_des::{FanoutObserver, JsonlObserver, ObserverHandle, ProgressObserver};
+use mpvsim_des::{FanoutObserver, FelKind, JsonlObserver, ObserverHandle, ProgressObserver};
 use mpvsim_stats::render::{ascii_chart, to_csv};
 use mpvsim_stats::TimeSeries;
 
@@ -45,6 +45,7 @@ const FLAGS: &[(&str, &str, &str)] = &[
     ("--metrics", "PATH", "write per-replication JSONL metrics to PATH"),
     ("--json", "PATH", "archive full results (labels, aggregates, runs) as JSON"),
     ("--probe", "KIND", "attach a probe to every replication: noop|chain|trace|telemetry"),
+    ("--fel", "KIND", "future-event-list backend: binary-heap|calendar (default binary-heap)"),
 ];
 
 /// The usage text generated from the flag table: a one-line synopsis plus
@@ -79,6 +80,90 @@ pub struct CliOptions {
     pub metrics_out: Option<PathBuf>,
 }
 
+/// One of the experiment flags shared by every command that runs
+/// scenarios (`study`, `all`, `trace`, `sweep run`, `serve`, ...),
+/// recognized and applied by [`apply_shared_flag`]. Callers that need to
+/// reject or remap a flag (e.g. `sweep resume` refuses `--reps` because
+/// the manifest fixes it) match on the returned variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharedFlag {
+    /// `--reps N` — replications per scenario.
+    Reps,
+    /// `--seed S` — master seed.
+    Seed,
+    /// `--threads T` — worker threads (0 = auto-detect).
+    Threads,
+    /// `--population P` — population size.
+    Population,
+    /// `--probe KIND` — per-replication probe.
+    Probe,
+    /// `--fel KIND` — future-event-list backend.
+    Fel,
+}
+
+/// Applies one shared experiment flag to `opts`, pulling its value from
+/// `next`. This is the single implementation behind `mpvsim study`,
+/// `mpvsim sweep run`, `mpvsim trace`, `mpvsim serve`, ... — so
+/// `--probe`, `--threads` and `--fel` cannot drift between commands.
+///
+/// Returns `Ok(Some(flag))` when `flag` was a shared flag and was
+/// applied, `Ok(None)` when it is not a shared flag (the caller handles
+/// its command-specific flags next).
+///
+/// `--threads 0` resolves to the available hardware parallelism.
+///
+/// # Errors
+///
+/// Returns a bare message (no usage text — the caller appends its own)
+/// when the value is missing or malformed.
+pub fn apply_shared_flag(
+    flag: &str,
+    next: &mut dyn FnMut() -> Option<String>,
+    opts: &mut FigureOptions,
+) -> Result<Option<SharedFlag>, String> {
+    let which = match flag {
+        "--reps" => SharedFlag::Reps,
+        "--seed" => SharedFlag::Seed,
+        "--threads" => SharedFlag::Threads,
+        "--population" => SharedFlag::Population,
+        "--probe" => SharedFlag::Probe,
+        "--fel" => SharedFlag::Fel,
+        _ => return Ok(None),
+    };
+    let value = next().ok_or_else(|| format!("{flag} needs a value"))?;
+    match which {
+        SharedFlag::Probe => {
+            opts.probe = ProbeKind::from_name(&value).ok_or_else(|| {
+                let names: Vec<&str> = ProbeKind::all().iter().map(|k| k.name()).collect();
+                format!("unknown probe {value:?} (one of: {})", names.join(", "))
+            })?;
+        }
+        SharedFlag::Fel => {
+            opts.fel = FelKind::from_name(&value).ok_or_else(|| {
+                format!("unknown FEL backend {value:?} (one of: binary-heap, calendar)")
+            })?;
+        }
+        numeric => {
+            let parsed: u64 =
+                value.parse().map_err(|_| format!("{flag} value {value:?} is not a number"))?;
+            match numeric {
+                SharedFlag::Reps => opts.reps = parsed,
+                SharedFlag::Seed => opts.master_seed = parsed,
+                SharedFlag::Threads => {
+                    opts.threads = if parsed == 0 {
+                        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+                    } else {
+                        parsed as usize
+                    };
+                }
+                SharedFlag::Population => opts.population = parsed as usize,
+                SharedFlag::Probe | SharedFlag::Fel => unreachable!("handled above"),
+            }
+        }
+    }
+    Ok(Some(which))
+}
+
 /// Parses the shared CLI arguments (the flags in the module-level table;
 /// see [`usage`]). Unknown flags abort with the usage message.
 ///
@@ -95,6 +180,12 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Result<CliOptions, S
     let mut args = args.peekable();
     let usage = usage();
     while let Some(flag) = args.next() {
+        if apply_shared_flag(&flag, &mut || args.next(), &mut opts)
+            .map_err(|e| format!("{e}\n{usage}"))?
+            .is_some()
+        {
+            continue;
+        }
         match flag.as_str() {
             "--quick" => opts.reps = FigureOptions::quick().reps,
             "--progress" => progress = true,
@@ -106,32 +197,6 @@ pub fn parse_options(args: impl Iterator<Item = String>) -> Result<CliOptions, S
                 let value =
                     args.next().ok_or_else(|| format!("--metrics needs a path\n{usage}"))?;
                 metrics_out = Some(PathBuf::from(value));
-            }
-            "--probe" => {
-                let value = args.next().ok_or_else(|| format!("--probe needs a kind\n{usage}"))?;
-                opts.probe = ProbeKind::from_name(&value).ok_or_else(|| {
-                    let names: Vec<&str> = ProbeKind::all().iter().map(|k| k.name()).collect();
-                    format!("unknown probe {value:?} (one of: {})\n{usage}", names.join(", "))
-                })?;
-            }
-            "--reps" | "--seed" | "--threads" | "--population" => {
-                let value = args.next().ok_or_else(|| format!("{flag} needs a value\n{usage}"))?;
-                let parsed: u64 = value
-                    .parse()
-                    .map_err(|_| format!("{flag} value {value:?} is not a number\n{usage}"))?;
-                match flag.as_str() {
-                    "--reps" => opts.reps = parsed,
-                    "--seed" => opts.master_seed = parsed,
-                    "--threads" => {
-                        opts.threads = if parsed == 0 {
-                            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
-                        } else {
-                            parsed as usize
-                        };
-                    }
-                    "--population" => opts.population = parsed as usize,
-                    _ => unreachable!(),
-                }
             }
             other => return Err(format!("unknown flag {other:?}\n{usage}")),
         }
@@ -468,6 +533,17 @@ mod tests {
         let table = render_telemetry(&probed).expect("telemetry present");
         assert!(table.contains("Baseline"));
         assert!(render_report("Fig 7", &probed).contains("mechanism telemetry"));
+    }
+
+    #[test]
+    fn fel_flag_parses_and_rejects_unknown_kinds() {
+        let o = parse(&["--fel", "calendar"]).unwrap();
+        assert_eq!(o.figure.fel, FelKind::Calendar);
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.figure.fel, FelKind::BinaryHeap, "binary heap by default");
+        let err = parse(&["--fel", "bogus"]).unwrap_err();
+        assert!(err.contains("binary-heap"), "error should list backends: {err}");
+        assert!(parse(&["--fel"]).is_err());
     }
 
     #[test]

@@ -186,58 +186,168 @@ impl ScenarioConfig {
     ///
     /// Returns the first problem found, as a [`ConfigError`].
     pub fn validate(&self) -> Result<(), ConfigError> {
-        self.population.topology.validate().map_err(|e| ConfigError(format!("topology: {e}")))?;
+        self.population
+            .topology
+            .validate()
+            .map_err(|e| ConfigError::invalid("population.topology", e.to_string()))?;
         let f = self.population.vulnerable_fraction;
         if !(0.0..=1.0).contains(&f) || !f.is_finite() {
-            return Err(ConfigError(format!("vulnerable_fraction {f} must be in [0, 1]")));
+            return Err(ConfigError::out_of_range("population.vulnerable_fraction", f, "[0, 1]"));
         }
-        self.virus.validate().map_err(|e| ConfigError(format!("virus: {e}")))?;
-        self.response.validate().map_err(|e| ConfigError(format!("response: {e}")))?;
+        self.virus.validate().map_err(|e| ConfigError::invalid("virus", e))?;
+        self.response.validate().map_err(|e| ConfigError::invalid("response", e))?;
         if self.horizon.is_zero() {
-            return Err(ConfigError("horizon must be positive".to_owned()));
+            return Err(ConfigError::invalid("horizon", "must be positive"));
         }
         if self.sample_step.is_zero() {
-            return Err(ConfigError("sample_step must be positive".to_owned()));
+            return Err(ConfigError::invalid("sample_step", "must be positive"));
         }
         if self.initial_infections == 0 {
-            return Err(ConfigError("need at least one initial infection".to_owned()));
+            return Err(ConfigError::invalid(
+                "initial_infections",
+                "need at least one initial infection",
+            ));
         }
         if self.initial_infections as usize > self.population.size() {
-            return Err(ConfigError(format!(
-                "initial_infections {} exceeds population {}",
+            return Err(ConfigError::out_of_range(
+                "initial_infections",
                 self.initial_infections,
-                self.population.size()
-            )));
+                format!("1..={} (the population size)", self.population.size()),
+            ));
         }
         if let Some(cap) = self.gateway_capacity_per_hour {
             if cap == 0 || cap > 3600 {
-                return Err(ConfigError(format!("gateway capacity {cap}/h must be in 1..=3600")));
+                return Err(ConfigError::out_of_range(
+                    "gateway_capacity_per_hour",
+                    cap,
+                    "1..=3600",
+                ));
             }
         }
         if self.event_budget == Some(0) {
-            return Err(ConfigError("event_budget must be positive".to_owned()));
+            return Err(ConfigError::invalid("event_budget", "must be positive"));
         }
         match (&self.virus.bluetooth, &self.mobility) {
             (Some(_), None) => {
-                return Err(ConfigError(
-                    "virus has a Bluetooth vector but the scenario has no mobility model"
-                        .to_owned(),
+                return Err(ConfigError::invalid(
+                    "mobility",
+                    "virus has a Bluetooth vector but the scenario has no mobility model",
                 ))
             }
-            (_, Some(m)) => m.validate().map_err(|e| ConfigError(format!("mobility: {e}")))?,
+            (_, Some(m)) => m.validate().map_err(|e| ConfigError::invalid("mobility", e))?,
             _ => {}
         }
         Ok(())
     }
 }
 
-/// A scenario configuration was invalid.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ConfigError(pub String);
+/// A scenario configuration (or a scenario spec on its way to becoming
+/// one) was invalid.
+///
+/// The error is structured — it names the offending field and, where
+/// applicable, the allowed range — so machine consumers (the
+/// `mpvsim serve` HTTP layer returns it verbatim in 422 bodies) can act
+/// on it without parsing prose. [`fmt::Display`] renders the same
+/// human-readable `invalid scenario configuration: …` messages the old
+/// string-typed error produced.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum ConfigError {
+    /// A numeric field fell outside its allowed range.
+    OutOfRange {
+        /// Dotted path of the offending field (e.g. `population.vulnerable_fraction`).
+        field: String,
+        /// The rejected value, rendered as text.
+        value: String,
+        /// The allowed range, rendered as text (e.g. `[0, 1]`, `1..=3600`).
+        allowed: String,
+    },
+    /// A field (or group of fields) failed a structural check.
+    Invalid {
+        /// Dotted path of the offending field.
+        field: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// A scenario spec carried an unsupported `schema` tag.
+    Schema {
+        /// The tag found in the document.
+        found: String,
+        /// The tag this build understands.
+        expected: String,
+    },
+    /// A scenario spec document could not be parsed at all.
+    Malformed {
+        /// The parser's diagnostic.
+        reason: String,
+    },
+    /// The configuration was valid but a run-time limit was violated
+    /// (event budget exhausted, impossible replication counts, …).
+    Run {
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl ConfigError {
+    /// A structural-check failure on `field`.
+    pub fn invalid(field: impl Into<String>, reason: impl Into<String>) -> Self {
+        ConfigError::Invalid { field: field.into(), reason: reason.into() }
+    }
+
+    /// A range violation on `field`.
+    pub fn out_of_range(
+        field: impl Into<String>,
+        value: impl fmt::Display,
+        allowed: impl Into<String>,
+    ) -> Self {
+        ConfigError::OutOfRange {
+            field: field.into(),
+            value: value.to_string(),
+            allowed: allowed.into(),
+        }
+    }
+
+    /// An unsupported schema tag.
+    pub fn schema(found: impl Into<String>, expected: impl Into<String>) -> Self {
+        ConfigError::Schema { found: found.into(), expected: expected.into() }
+    }
+
+    /// An unparseable spec document.
+    pub fn malformed(reason: impl Into<String>) -> Self {
+        ConfigError::Malformed { reason: reason.into() }
+    }
+
+    /// A run-time failure (the scenario itself was valid).
+    pub fn run(reason: impl Into<String>) -> Self {
+        ConfigError::Run { reason: reason.into() }
+    }
+
+    /// The dotted field path the error points at, when it points at one.
+    pub fn field(&self) -> Option<&str> {
+        match self {
+            ConfigError::OutOfRange { field, .. } | ConfigError::Invalid { field, .. } => {
+                Some(field)
+            }
+            _ => None,
+        }
+    }
+}
 
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid scenario configuration: {}", self.0)
+        write!(f, "invalid scenario configuration: ")?;
+        match self {
+            ConfigError::OutOfRange { field, value, allowed } => {
+                write!(f, "{field} {value} must be in {allowed}")
+            }
+            ConfigError::Invalid { field, reason } => write!(f, "{field}: {reason}"),
+            ConfigError::Schema { found, expected } => {
+                write!(f, "schema {found:?} (this build understands {expected:?})")
+            }
+            ConfigError::Malformed { reason } => write!(f, "malformed spec: {reason}"),
+            ConfigError::Run { reason } => write!(f, "{reason}"),
+        }
     }
 }
 
@@ -320,7 +430,26 @@ mod tests {
 
     #[test]
     fn config_error_display() {
-        let e = ConfigError("bad".to_owned());
-        assert!(e.to_string().contains("bad"));
+        let e = ConfigError::invalid("horizon", "must be positive");
+        assert_eq!(e.to_string(), "invalid scenario configuration: horizon: must be positive");
+        let e = ConfigError::out_of_range("gateway_capacity_per_hour", 5000, "1..=3600");
+        assert_eq!(
+            e.to_string(),
+            "invalid scenario configuration: gateway_capacity_per_hour 5000 must be in 1..=3600"
+        );
+        assert_eq!(e.field(), Some("gateway_capacity_per_hour"));
+        let e = ConfigError::run("event budget 10 exceeded");
+        assert!(e.to_string().contains("event budget"));
+        assert_eq!(e.field(), None);
+    }
+
+    #[test]
+    fn config_error_serializes_with_kind_tag() {
+        let e = ConfigError::out_of_range("population.vulnerable_fraction", 1.4, "[0, 1]");
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"kind\":\"out_of_range\""), "got {json}");
+        assert!(json.contains("\"field\":\"population.vulnerable_fraction\""), "got {json}");
+        let back: ConfigError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
     }
 }

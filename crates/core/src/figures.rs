@@ -33,6 +33,7 @@ use crate::response::{
     UserEducation,
 };
 use crate::run::{ExperimentPlan, ExperimentResult, TopologyCache};
+use crate::spec::ScenarioSpec;
 use crate::virus::{BluetoothVector, VirusProfile};
 
 /// Common knobs for every figure experiment.
@@ -101,16 +102,35 @@ impl FigureOptions {
 }
 
 /// One declarative cell of a study: a labelled scenario, not yet run.
+///
+/// A cell is a thin wrapper over the canonical wire document
+/// ([`ScenarioSpec`]) — the registry, the sweep store and the
+/// `mpvsim serve` API all speak the same spec, and execution always
+/// goes through the spec's validation funnel
+/// ([`ScenarioSpec::to_config`]).
 #[derive(Debug, Clone)]
 pub struct StudyCell {
+    /// The complete scenario this cell runs, in wire form. The spec's
+    /// `name` is the legend label, matching the paper's (e.g.
+    /// "6-Hour Delay").
+    pub spec: ScenarioSpec,
+}
+
+impl StudyCell {
     /// Legend label, matching the paper's (e.g. "6-Hour Delay").
-    pub label: String,
-    /// The complete scenario this cell runs.
-    pub config: ScenarioConfig,
+    pub fn label(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// The scenario this cell runs, without validation; execution paths
+    /// use [`ScenarioSpec::to_config`] instead.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.spec.scenario
+    }
 }
 
 fn cell(label: impl Into<String>, config: ScenarioConfig) -> StudyCell {
-    StudyCell { label: label.into(), config }
+    StudyCell { spec: ScenarioSpec::new(label, config) }
 }
 
 /// One labelled curve of a figure.
@@ -136,7 +156,10 @@ pub fn run_cells(
 ) -> Result<Vec<LabeledResult>, ConfigError> {
     cells
         .iter()
-        .map(|c| Ok(LabeledResult { label: c.label.clone(), result: opts.plan().run(&c.config)? }))
+        .map(|c| {
+            let config = c.spec.to_config()?;
+            Ok(LabeledResult { label: c.spec.name.clone(), result: opts.plan().run(config)? })
+        })
         .collect()
 }
 
@@ -898,7 +921,7 @@ mod tests {
         let cells = fig6_monitoring_cells(&opts);
         let ran = run_cells(&cells, &opts).unwrap();
         assert_eq!(
-            cells.iter().map(|c| c.label.as_str()).collect::<Vec<_>>(),
+            cells.iter().map(|c| c.label()).collect::<Vec<_>>(),
             ran.iter().map(|r| r.label.as_str()).collect::<Vec<_>>()
         );
     }

@@ -52,6 +52,7 @@ pub mod model;
 pub mod probe;
 pub mod response;
 pub mod run;
+pub mod spec;
 pub mod studies;
 pub mod sweep;
 pub mod validate;
@@ -72,14 +73,16 @@ pub use run::{
     run_scenario_with_metrics, run_scenario_with_metrics_fel, AdaptiveResult, ExperimentPlan,
     ExperimentResult, RunResult, TopologyCache, TopologyCacheStats, DEFAULT_EVENT_BUDGET,
 };
+pub use spec::{ScenarioSpec, SCENARIO_SCHEMA};
 pub use studies::{StudyId, StudyInfo, StudyKind};
 pub use sweep::{
     resume_sweep, run_sweep, CellResult, ResultsStore, SweepCell, SweepError, SweepOptions,
     SweepReport, SweepSpec,
 };
 pub use validate::{
-    bless_oracle, bless_study, check_invariants, check_oracle, check_study, fuzz_case, fuzz_cases,
+    bless_oracle, bless_study, bless_study_specs, check_invariants, check_oracle, check_study,
+    check_study_specs, fuzz_case, fuzz_cases, load_study_specs, save_study_specs, study_specs_path,
     CellGolden, Drift, FuzzFailure, FuzzReport, GoldenScale, InvariantProbe, InvariantReport,
-    OracleGolden, OracleScale, StudyGolden, Variant,
+    OracleGolden, OracleScale, StudyGolden, StudySpecSet, Variant, SPEC_SET_SCHEMA,
 };
 pub use virus::{BluetoothVector, SendQuota, TargetingStrategy, VirusProfile};

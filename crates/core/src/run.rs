@@ -131,8 +131,9 @@ impl TopologyCache {
         // The serialized spec is an exact key: serde_json round-trips
         // every f64 parameter bit-for-bit.
         let key = (
-            serde_json::to_string(spec)
-                .map_err(|e| ConfigError(format!("unserializable topology spec: {e}")))?,
+            serde_json::to_string(spec).map_err(|e| {
+                ConfigError::invalid("population.topology", format!("unserializable spec: {e}"))
+            })?,
             topo_seed,
         );
         if let Some(entry) = self.map.lock().expect("topology cache poisoned").get(&key) {
@@ -142,8 +143,10 @@ impl TopologyCache {
         // Generate outside the lock; concurrent misses on the same key do
         // redundant work but produce identical entries.
         let mut rng = StdRng::seed_from_u64(topo_seed);
-        let graph =
-            Arc::new(spec.generate(&mut rng).map_err(|e| ConfigError(format!("topology: {e}")))?);
+        let graph = Arc::new(
+            spec.generate(&mut rng)
+                .map_err(|e| ConfigError::invalid("population.topology", e.to_string()))?,
+        );
         self.misses.fetch_add(1, Ordering::Relaxed);
         let entry = CachedTopology { graph: graph.clone(), rng_after: rng.clone() };
         self.map.lock().expect("topology cache poisoned").entry(key).or_insert(entry);
@@ -340,7 +343,7 @@ fn run_scenario_inner(
                 .population
                 .topology
                 .generate(&mut rng)
-                .map_err(|e| ConfigError(format!("topology: {e}")))?;
+                .map_err(|e| ConfigError::invalid("population.topology", e.to_string()))?;
             (Arc::new(graph), rng)
         }
     };
@@ -360,7 +363,7 @@ fn run_scenario_inner(
     sim.schedule(SimTime::ZERO, Event::Sample);
     let outcome = sim.run_until(SimTime::ZERO + config.horizon);
     if outcome == RunOutcome::EventBudgetExceeded {
-        return Err(ConfigError(format!(
+        return Err(ConfigError::run(format!(
             "seed {seed}: event budget {budget} exceeded at simulated time {now} \
              (raise event_budget or shrink the scenario)",
             now = sim.now(),
@@ -548,7 +551,7 @@ impl ExperimentPlan {
     ) -> Result<ExperimentResult, ConfigError> {
         config.validate()?;
         if self.reps == 0 {
-            return Err(ConfigError("need at least one replication".to_owned()));
+            return Err(ConfigError::run("need at least one replication"));
         }
         self.observer.on_experiment_start(self.reps);
         let started = Instant::now();
@@ -595,7 +598,7 @@ impl ExperimentPlan {
     ) -> Result<AdaptiveResult, ConfigError> {
         config.validate()?;
         if min_reps == 0 || min_reps > max_reps {
-            return Err(ConfigError(format!(
+            return Err(ConfigError::run(format!(
                 "need 1 <= min_reps <= max_reps, got {min_reps}..{max_reps}"
             )));
         }
@@ -945,7 +948,7 @@ mod tests {
         let mut c = small_config();
         c.event_budget = Some(10);
         let err = ExperimentPlan::new(4).master_seed(3).threads(2).run(&c).unwrap_err();
-        assert!(err.0.contains("event budget"), "unexpected error: {err}");
+        assert!(err.to_string().contains("event budget"), "unexpected error: {err}");
         // The failing replication is the lowest-indexed one (rep 0) at
         // every thread count, so the message names the same seed.
         let serial_err = ExperimentPlan::new(4).master_seed(3).run(&c).unwrap_err();

@@ -1,0 +1,244 @@
+//! The canonical, versioned scenario-spec wire schema.
+//!
+//! A [`ScenarioSpec`] is the *single* way a scenario enters the system
+//! from outside Rust code: `mpvsim sweep` cells, registry studies, the
+//! `mpvsim serve` HTTP API and the committed golden spec files all
+//! exchange this one document shape. The contract:
+//!
+//! * **Versioned** — every document carries `"schema": "mpvsim-scenario/1"`
+//!   and [`ScenarioSpec::validate`] rejects any other tag, so a future
+//!   `/2` can change the layout without silently misreading old files.
+//! * **Closed** — unknown fields are a parse error
+//!   (`deny_unknown_fields`), so typos fail loudly instead of being
+//!   ignored.
+//! * **Explicit defaults** — `reps` and `master_seed` may be omitted and
+//!   take the paper defaults (10 replications, seed 2007); serialization
+//!   always writes them back out, so re-serializing a parsed document
+//!   *canonicalizes* it.
+//! * **Round-trip stable** — `serde_json` serializes `f64` values with
+//!   enough digits to round-trip bit-exactly and struct fields in
+//!   declaration order, so `parse(serialize(spec))` reproduces the spec
+//!   and therefore its [content hash](ScenarioSpec::content_hash). The
+//!   hash identifies a *run* (scenario + replication plan); the
+//!   `mpvsim serve` result cache is keyed by it.
+//!
+//! Validation is funnelled: the only way to get a
+//! [`ScenarioConfig`](crate::ScenarioConfig) out of a spec is
+//! [`ScenarioSpec::into_config`] / [`ScenarioSpec::to_config`], both of
+//! which run the full validation chain first, so an unvalidated scenario
+//! cannot reach the engine through the wire path.
+
+use serde::{Deserialize, Serialize};
+
+use mpvsim_des::hash::Fnv1a64;
+
+use crate::config::{ConfigError, ScenarioConfig};
+
+/// The schema tag this build reads and writes.
+pub const SCENARIO_SCHEMA: &str = "mpvsim-scenario/1";
+
+/// Default replication count when a document omits `reps`.
+pub const DEFAULT_REPS: u64 = 10;
+
+/// Default master seed when a document omits `master_seed` (the paper's
+/// publication year, as everywhere else in the workspace).
+pub const DEFAULT_MASTER_SEED: u64 = 2007;
+
+fn default_schema() -> String {
+    SCENARIO_SCHEMA.to_owned()
+}
+
+fn default_reps() -> u64 {
+    DEFAULT_REPS
+}
+
+fn default_master_seed() -> u64 {
+    DEFAULT_MASTER_SEED
+}
+
+/// A complete, self-describing experiment request: a named scenario plus
+/// its replication plan, as exchanged on the wire and on disk.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ScenarioSpec {
+    /// Schema tag; must be [`SCENARIO_SCHEMA`]. Defaults to it when
+    /// omitted so hand-written specs stay terse, but a *wrong* tag is
+    /// always an error.
+    #[serde(default = "default_schema")]
+    pub schema: String,
+    /// Human-readable label for reports and sweep-store headers.
+    pub name: String,
+    /// Number of replications to run.
+    #[serde(default = "default_reps")]
+    pub reps: u64,
+    /// Master seed; replication `r` uses `derive_seed(master_seed, r)`.
+    #[serde(default = "default_master_seed")]
+    pub master_seed: u64,
+    /// The scenario itself.
+    pub scenario: ScenarioConfig,
+}
+
+impl ScenarioSpec {
+    /// Wraps a scenario under `name` with the default replication plan
+    /// ([`DEFAULT_REPS`] replications, master seed
+    /// [`DEFAULT_MASTER_SEED`]).
+    pub fn new(name: impl Into<String>, scenario: ScenarioConfig) -> Self {
+        ScenarioSpec {
+            schema: SCENARIO_SCHEMA.to_owned(),
+            name: name.into(),
+            reps: DEFAULT_REPS,
+            master_seed: DEFAULT_MASTER_SEED,
+            scenario,
+        }
+    }
+
+    /// Builder-style: replaces the replication plan.
+    pub fn with_replication(mut self, reps: u64, master_seed: u64) -> Self {
+        self.reps = reps;
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Validates the whole document: schema tag, replication plan, then
+    /// the scenario itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found, as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.schema != SCENARIO_SCHEMA {
+            return Err(ConfigError::schema(&self.schema, SCENARIO_SCHEMA));
+        }
+        if self.name.is_empty() {
+            return Err(ConfigError::invalid("name", "must not be empty"));
+        }
+        if self.reps == 0 {
+            return Err(ConfigError::invalid("reps", "need at least one replication"));
+        }
+        self.scenario.validate()
+    }
+
+    /// The validation funnel: yields the scenario configuration if and
+    /// only if the whole document validates. All execution paths
+    /// (studies, sweeps, the server) obtain their `ScenarioConfig`
+    /// through here.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found, as a [`ConfigError`].
+    pub fn to_config(&self) -> Result<&ScenarioConfig, ConfigError> {
+        self.validate()?;
+        Ok(&self.scenario)
+    }
+
+    /// Consuming variant of [`ScenarioSpec::to_config`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found, as a [`ConfigError`].
+    pub fn into_config(self) -> Result<ScenarioConfig, ConfigError> {
+        self.validate()?;
+        Ok(self.scenario)
+    }
+
+    /// The canonical serialized form: compact JSON with every field
+    /// present, in declaration order. Two specs are the same experiment
+    /// iff their canonical bytes are equal.
+    pub fn canonical_json(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("scenario specs always serialize")
+    }
+
+    /// The 16-hex-digit FNV-1a digest of [`canonical
+    /// JSON`](ScenarioSpec::canonical_json) — the run's identity in the
+    /// sweep store and the `mpvsim serve` cache.
+    pub fn content_hash(&self) -> String {
+        let mut h = Fnv1a64::new();
+        h.write_bytes(&self.canonical_json());
+        format!("{:016x}", h.finish())
+    }
+
+    /// Parses a spec document from JSON bytes. This only checks the
+    /// document's *shape*; call [`ScenarioSpec::validate`] (or go
+    /// through [`ScenarioSpec::into_config`]) for semantic checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Malformed`] with the parser's diagnostic.
+    pub fn from_json(bytes: &[u8]) -> Result<Self, ConfigError> {
+        serde_json::from_slice(bytes).map_err(|e| ConfigError::malformed(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::virus::VirusProfile;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec::new("baseline", ScenarioConfig::baseline(VirusProfile::virus1()))
+    }
+
+    #[test]
+    fn round_trip_is_byte_and_hash_identical() {
+        let s = spec();
+        let json = s.canonical_json();
+        let back = ScenarioSpec::from_json(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.canonical_json(), json);
+        assert_eq!(back.content_hash(), s.content_hash());
+    }
+
+    #[test]
+    fn omitted_defaults_are_canonicalized() {
+        let terse = format!(
+            "{{\"name\":\"t\",\"scenario\":{}}}",
+            serde_json::to_string(&spec().scenario).unwrap()
+        );
+        let parsed = ScenarioSpec::from_json(terse.as_bytes()).unwrap();
+        assert_eq!(parsed.schema, SCENARIO_SCHEMA);
+        assert_eq!(parsed.reps, DEFAULT_REPS);
+        assert_eq!(parsed.master_seed, DEFAULT_MASTER_SEED);
+        // Canonical form writes the defaults back out.
+        let canonical = String::from_utf8(parsed.canonical_json()).unwrap();
+        assert!(canonical.contains("\"schema\":\"mpvsim-scenario/1\""));
+        assert!(canonical.contains("\"reps\":10"));
+    }
+
+    #[test]
+    fn unknown_fields_are_rejected() {
+        let doc = format!(
+            "{{\"name\":\"t\",\"scenaroi\":{}}}",
+            serde_json::to_string(&spec().scenario).unwrap()
+        );
+        let err = ScenarioSpec::from_json(doc.as_bytes()).unwrap_err();
+        assert!(matches!(err, ConfigError::Malformed { .. }), "got {err:?}");
+        assert!(err.to_string().contains("scenaroi"), "diagnostic should name the field: {err}");
+    }
+
+    #[test]
+    fn wrong_schema_tag_is_a_structured_error() {
+        let mut s = spec();
+        s.schema = "mpvsim-scenario/9".to_owned();
+        let err = s.validate().unwrap_err();
+        assert_eq!(err, ConfigError::schema("mpvsim-scenario/9", SCENARIO_SCHEMA));
+    }
+
+    #[test]
+    fn invalid_scenarios_cannot_pass_the_funnel() {
+        let mut s = spec();
+        s.scenario.initial_infections = 0;
+        assert!(s.to_config().is_err());
+        assert!(s.clone().into_config().is_err());
+        s.scenario.initial_infections = 1;
+        s.reps = 0;
+        assert_eq!(s.to_config().unwrap_err().field(), Some("reps"));
+    }
+
+    #[test]
+    fn hash_depends_on_replication_plan() {
+        let s = spec();
+        let other = spec().with_replication(DEFAULT_REPS + 1, DEFAULT_MASTER_SEED);
+        assert_ne!(s.content_hash(), other.content_hash());
+        assert_eq!(s.content_hash().len(), 16);
+    }
+}

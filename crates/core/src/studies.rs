@@ -225,9 +225,18 @@ impl StudyId {
         self.info().kind
     }
 
-    /// The study's declarative cells for the given options.
+    /// The study's declarative cells for the given options. Each cell's
+    /// spec carries the replication plan from `opts` (`reps`,
+    /// `master_seed`), so a cell is a complete, self-describing
+    /// experiment — ready for the sweep store, a golden spec file, or a
+    /// `POST /v1/runs` body.
     pub fn cells(self, opts: &FigureOptions) -> Vec<StudyCell> {
-        (self.info().cells)(opts)
+        let mut cells = (self.info().cells)(opts);
+        for c in &mut cells {
+            c.spec.reps = opts.reps;
+            c.spec.master_seed = opts.master_seed;
+        }
+        cells
     }
 
     /// Runs the study: builds its cells and executes them with the plan

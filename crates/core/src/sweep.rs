@@ -6,7 +6,7 @@
 //!
 //! A [`SweepSpec`] is pure data: a name, a seed block (`reps` ×
 //! `master_seed`), and an ordered list of [`SweepCell`]s, each a complete
-//! [`ScenarioConfig`] under a stable id. [`run_sweep`] executes the spec
+//! [`ScenarioSpec`] under a stable id. [`run_sweep`] executes the spec
 //! into a directory:
 //!
 //! ```text
@@ -43,10 +43,13 @@ use crate::config::{ConfigError, ScenarioConfig};
 use crate::figures::FigureOptions;
 use crate::probe::{MechanismTelemetry, ProbeKind};
 use crate::run::{ExperimentPlan, TopologyCache, TopologyCacheStats};
+use crate::spec::ScenarioSpec;
 use crate::studies::StudyId;
 
 /// Manifest schema tag; bump on any incompatible store layout change.
-pub const SWEEP_SCHEMA: &str = "mpvsim-sweep/1";
+/// `/2` replaced each cell's inline `label` + `config` pair with a full
+/// [`ScenarioSpec`] wire document.
+pub const SWEEP_SCHEMA: &str = "mpvsim-sweep/2";
 /// Cell-file schema tag (the `schema` field of each header line).
 pub const CELL_SCHEMA: &str = "mpvsim-sweep-cell/1";
 
@@ -92,17 +95,30 @@ impl From<serde_json::Error> for SweepError {
     }
 }
 
-/// One cell of a sweep: a labelled scenario under a stable, unique,
+/// One cell of a sweep: a scenario spec under a stable, unique,
 /// filename-safe id.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SweepCell {
     /// Unique filename-safe id; the cell's series file is
     /// `cells/<id>.jsonl`.
     pub id: String,
+    /// The complete scenario this cell runs, as the canonical wire
+    /// document; its `name` is the cell's human-readable label (the
+    /// figure legend entry).
+    pub spec: ScenarioSpec,
+}
+
+impl SweepCell {
     /// Human-readable label (the figure legend entry).
-    pub label: String,
-    /// The complete scenario this cell runs.
-    pub config: ScenarioConfig,
+    pub fn label(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// The scenario this cell runs, without validation; execution goes
+    /// through [`ScenarioSpec::to_config`] instead.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.spec.scenario
+    }
 }
 
 /// A declarative sweep: cells × seed block. Pure data — serializing it
@@ -135,13 +151,22 @@ impl SweepSpec {
         master_seed: u64,
         cells: Vec<SweepCell>,
     ) -> Result<Self, SweepError> {
-        let spec = SweepSpec {
+        let mut spec = SweepSpec {
             schema: SWEEP_SCHEMA.to_owned(),
             name: name.into(),
             reps,
             master_seed,
             cells,
         };
+        // Normalize: the sweep's seed block is authoritative, and every
+        // cell's spec restates it, so each cell is a complete,
+        // self-describing `mpvsim-scenario/1` document (and manifest
+        // equality — the resume guard — cannot be defeated by a cell
+        // disagreeing with its sweep).
+        for cell in &mut spec.cells {
+            cell.spec.reps = reps;
+            cell.spec.master_seed = master_seed;
+        }
         spec.validate()?;
         Ok(spec)
     }
@@ -163,11 +188,8 @@ impl SweepSpec {
         let mut cells = Vec::new();
         for study in studies {
             for (i, cell) in study.cells(opts).into_iter().enumerate() {
-                cells.push(SweepCell {
-                    id: format!("{}.{i:02}-{}", study.name(), slugify(&cell.label)),
-                    label: cell.label,
-                    config: cell.config,
-                });
+                let id = format!("{}.{i:02}-{}", study.name(), slugify(cell.label()));
+                cells.push(SweepCell { id, spec: cell.spec });
             }
         }
         SweepSpec::new(name, opts.reps, opts.master_seed, cells)
@@ -441,12 +463,15 @@ impl ResultsStore {
         cache: &std::sync::Arc<TopologyCache>,
         tmp: &Path,
     ) -> Result<(), SweepError> {
+        // The validation funnel: the only route from a stored spec to the
+        // engine.
+        let config = cell.spec.to_config()?;
         let mut w = BufWriter::new(fs::File::create(tmp)?);
         let header = HeaderRecord {
             kind: "header".to_owned(),
             schema: CELL_SCHEMA.to_owned(),
             cell: cell.id.clone(),
-            label: cell.label.clone(),
+            label: cell.label().to_owned(),
             reps: spec.reps,
             master_seed: spec.master_seed,
         };
@@ -466,7 +491,7 @@ impl ResultsStore {
         // cell afterwards.
         let mut sink_err: Option<SweepError> = None;
         let mut merged_telemetry: Option<MechanismTelemetry> = None;
-        let result = plan.run_with_sink(&cell.config, |rep, run| {
+        let result = plan.run_with_sink(config, |rep, run| {
             if sink_err.is_some() {
                 return;
             }
@@ -534,7 +559,7 @@ impl ResultsStore {
         }
         Ok(CellResult {
             id: cell.id.clone(),
-            label: cell.label.clone(),
+            label: cell.label().to_owned(),
             aggregate: tail.aggregate,
             final_infected: tail.final_infected,
             telemetry: tail.telemetry,
@@ -666,7 +691,7 @@ mod tests {
         };
         c.behavior.read_delay = DelaySpec::constant(SimDuration::from_mins(5));
         c.horizon = SimDuration::from_hours(4);
-        SweepCell { id: id.to_owned(), label: id.to_owned(), config: c }
+        SweepCell { id: id.to_owned(), spec: ScenarioSpec::new(id, c) }
     }
 
     #[test]
@@ -767,9 +792,9 @@ mod tests {
     fn failing_cell_reports_lowest_index_and_leaves_no_torn_files() {
         let dir = tmp_dir("fail");
         let mut bad0 = tiny_cell("a-bad", VirusProfile::virus3());
-        bad0.config.initial_infections = 0; // invalid
+        bad0.spec.scenario.initial_infections = 0; // invalid
         let mut bad1 = tiny_cell("z-bad", VirusProfile::virus3());
-        bad1.config.initial_infections = 0;
+        bad1.spec.scenario.initial_infections = 0;
         let spec = SweepSpec::new(
             "failing",
             1,
@@ -786,7 +811,8 @@ mod tests {
             )
             .unwrap_err();
             let SweepError::Config(e) = err else { panic!("expected config error, got {err}") };
-            assert!(e.0.contains("initial"), "lowest-index cell's error, got: {e}");
+            assert!(e.to_string().contains("initial"), "lowest-index cell's error, got: {e}");
+            assert_eq!(e.field(), Some("initial_infections"), "structured field name");
         }
         // No .tmp litter in the cells directory.
         for entry in fs::read_dir(dir.join("cells")).unwrap() {
@@ -828,14 +854,14 @@ mod tests {
         // Three cells, same population spec ⇒ same (spec, seed) networks.
         let mut c1 = tiny_cell("base", VirusProfile::virus3());
         let mut c2 = tiny_cell("edu", VirusProfile::virus3());
-        c2.config.response = crate::response::ResponseConfig::none()
+        c2.spec.scenario.response = crate::response::ResponseConfig::none()
             .with_education(crate::response::UserEducation { acceptance_scale: 0.5 });
         let mut c3 = tiny_cell("bl", VirusProfile::virus3());
-        c3.config.response = crate::response::ResponseConfig::none()
+        c3.spec.scenario.response = crate::response::ResponseConfig::none()
             .with_blacklist(crate::response::Blacklist { threshold: 10 });
-        c1.label = "baseline".to_owned();
-        c2.label = "education".to_owned();
-        c3.label = "blacklist".to_owned();
+        c1.spec.name = "baseline".to_owned();
+        c2.spec.name = "education".to_owned();
+        c3.spec.name = "blacklist".to_owned();
         let spec = SweepSpec::new("cached", 2, 13, vec![c1, c2, c3]).unwrap();
         let report = run_sweep(&spec, &dir, &SweepOptions::default()).unwrap();
         // 2 seeds × 1 spec = 2 distinct networks; 3 cells × 2 reps = 6 lookups.

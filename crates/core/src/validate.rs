@@ -58,6 +58,7 @@ use crate::response::{
 use crate::run::{
     run_scenario_probed_with, run_scenario_with_metrics_fel, ExperimentPlan, RunResult,
 };
+use crate::spec::ScenarioSpec;
 use crate::studies::StudyId;
 use crate::sweep::slugify;
 use crate::virus::{BluetoothVector, SendQuota, TargetingStrategy, VirusProfile};
@@ -95,6 +96,15 @@ impl Default for GoldenScale {
 }
 
 impl GoldenScale {
+    /// The full paper scale ([`FigureOptions::default`]): the scale the
+    /// committed scenario-spec goldens describe. Spec blessing is pure
+    /// serialization — no simulation runs — so unlike trajectory
+    /// goldens there is no reason to shrink it.
+    pub fn paper() -> GoldenScale {
+        let opts = FigureOptions::default();
+        GoldenScale { population: opts.population, reps: opts.reps, master_seed: opts.master_seed }
+    }
+
     /// The figure options this scale describes under `variant`.
     fn options(&self, variant: &Variant) -> FigureOptions {
         FigureOptions {
@@ -457,6 +467,172 @@ pub fn load_oracle_golden(dir: &Path) -> Result<OracleGolden, String> {
     let path = dir.join(ORACLE_FILE);
     let text = std::fs::read_to_string(&path).map_err(|e| {
         format!("read {}: {e} (run `mpvsim validate bless` to create goldens)", path.display())
+    })?;
+    serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))
+}
+
+// ---------------------------------------------------------------------
+// Canonical scenario-spec goldens
+// ---------------------------------------------------------------------
+
+/// Schema tag of a committed study spec-set file.
+pub const SPEC_SET_SCHEMA: &str = "mpvsim-scenario-set/1";
+
+/// The committed canonical form of one registry study: every cell as a
+/// full `mpvsim-scenario/1` document at paper scale. These files are
+/// the API-level counterpart of the trajectory goldens — they pin the
+/// *wire form* of each study, so any change to a scenario default, a
+/// serde attribute or a cell definition shows up as a reviewable diff
+/// in `goldens/specs/`, and every study stays runnable from a plain
+/// JSON file (`mpvsim submit goldens/specs/<study>.json` cell by cell,
+/// or any HTTP client against `mpvsim serve`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudySpecSet {
+    /// Schema tag; always [`SPEC_SET_SCHEMA`].
+    pub schema: String,
+    /// Stable study name (see [`StudyId::name`]).
+    pub study: String,
+    /// Scale the specs were generated at (normally
+    /// [`GoldenScale::paper`]).
+    pub scale: GoldenScale,
+    /// One canonical spec per study cell, in cell order.
+    pub specs: Vec<ScenarioSpec>,
+}
+
+/// Builds the canonical spec set of `id` at `scale`. Pure
+/// serialization: the study's cells are generated, stamped with the
+/// scale's replication plan, and validated — nothing is simulated.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] if any generated cell fails validation
+/// (which would be a bug in the study definition itself).
+pub fn bless_study_specs(id: StudyId, scale: &GoldenScale) -> Result<StudySpecSet, ConfigError> {
+    let opts = scale.options(&Variant::reference());
+    let specs = id
+        .cells(&opts)
+        .into_iter()
+        .map(|cell| {
+            let spec = cell.spec.with_replication(scale.reps, scale.master_seed);
+            spec.validate()?;
+            Ok(spec)
+        })
+        .collect::<Result<Vec<_>, ConfigError>>()?;
+    Ok(StudySpecSet {
+        schema: SPEC_SET_SCHEMA.to_owned(),
+        study: id.name().to_owned(),
+        scale: *scale,
+        specs,
+    })
+}
+
+/// Checks a committed spec set against the current registry: same cell
+/// count and order, byte-identical canonical documents (hence identical
+/// content hashes), and a JSON round trip of every committed spec that
+/// reproduces its canonical bytes exactly.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] if regenerating the study's cells fails.
+/// A divergence between the committed set and the regenerated one is a
+/// [`Drift`], not an error.
+pub fn check_study_specs(id: StudyId, set: &StudySpecSet) -> Result<Vec<Drift>, ConfigError> {
+    let mut drifts = Vec::new();
+    let mut drift = |cell: String, what: String| {
+        drifts.push(Drift { study: set.study.clone(), cell, variant: "spec".to_owned(), what });
+    };
+    if set.schema != SPEC_SET_SCHEMA {
+        drift(
+            String::new(),
+            format!("schema tag changed: golden {:?}, expected {SPEC_SET_SCHEMA:?}", set.schema),
+        );
+    }
+    let fresh = bless_study_specs(id, &set.scale)?;
+    if fresh.specs.len() != set.specs.len() {
+        drift(
+            String::new(),
+            format!(
+                "cell count changed: golden {}, current {}",
+                set.specs.len(),
+                fresh.specs.len()
+            ),
+        );
+        return Ok(drifts);
+    }
+    for (current, golden) in fresh.specs.iter().zip(&set.specs) {
+        if golden.name != current.name {
+            drift(
+                current.name.clone(),
+                format!("cell renamed: golden {:?}, current {:?}", golden.name, current.name),
+            );
+            continue;
+        }
+        if golden.canonical_json() != current.canonical_json() {
+            drift(
+                current.name.clone(),
+                format!(
+                    "canonical document changed: golden hash {}, current {}",
+                    golden.content_hash(),
+                    current.content_hash()
+                ),
+            );
+        }
+        match ScenarioSpec::from_json(&golden.canonical_json()) {
+            Err(e) => {
+                drift(current.name.clone(), format!("committed spec does not re-parse: {e}"));
+            }
+            Ok(back) => {
+                if back.canonical_json() != golden.canonical_json() {
+                    drift(
+                        current.name.clone(),
+                        format!(
+                            "round trip not stable: hash {} re-canonicalizes to {}",
+                            golden.content_hash(),
+                            back.content_hash()
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    Ok(drifts)
+}
+
+/// Path of the committed spec set for `id` inside golden directory
+/// `dir` (the sets live in a `specs/` subdirectory, next to the
+/// trajectory goldens).
+pub fn study_specs_path(dir: &Path, id: StudyId) -> PathBuf {
+    dir.join("specs").join(format!("{}.json", id.name()))
+}
+
+/// Writes a study spec set under `dir/specs/` (created if missing) as
+/// pretty JSON.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or serialization failure.
+pub fn save_study_specs(dir: &Path, set: &StudySpecSet) -> Result<PathBuf, String> {
+    let specs_dir = dir.join("specs");
+    std::fs::create_dir_all(&specs_dir)
+        .map_err(|e| format!("create {}: {e}", specs_dir.display()))?;
+    let path = specs_dir.join(format!("{}.json", set.study));
+    let mut text =
+        serde_json::to_string_pretty(set).map_err(|e| format!("serialize {}: {e}", set.study))?;
+    text.push('\n');
+    std::fs::write(&path, text).map_err(|e| format!("write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Reads the committed spec set for `id` from `dir/specs/`.
+///
+/// # Errors
+///
+/// Returns a description of the I/O or parse failure (including a
+/// missing file, with a hint to run `validate bless`).
+pub fn load_study_specs(dir: &Path, id: StudyId) -> Result<StudySpecSet, String> {
+    let path = study_specs_path(dir, id);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        format!("read {}: {e} (run `mpvsim validate bless` to create spec goldens)", path.display())
     })?;
     serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))
 }
@@ -1171,6 +1347,54 @@ mod tests {
         save_study_golden(&dir, &golden).expect("save");
         let back = load_study_golden(&dir, id).expect("load");
         assert_eq!(golden, back);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spec_sets_bless_check_and_roundtrip_for_every_study() {
+        // Pure serialization, so running every study at paper scale is
+        // cheap: this is the "all 16 studies are expressible as
+        // mpvsim-scenario/1 documents with stable hashes" guarantee.
+        let scale = GoldenScale::paper();
+        for id in StudyId::all() {
+            let set = bless_study_specs(id, &scale).expect("bless specs");
+            assert!(!set.specs.is_empty(), "{} has no cells", id.name());
+            for spec in &set.specs {
+                spec.validate().expect("blessed specs validate");
+                let bytes = spec.canonical_json();
+                let back = ScenarioSpec::from_json(&bytes).expect("canonical form parses");
+                assert_eq!(back.canonical_json(), bytes, "round trip drifted");
+                assert_eq!(back.content_hash(), spec.content_hash());
+            }
+            let drifts = check_study_specs(id, &set).expect("check runs");
+            assert!(drifts.is_empty(), "{}: {drifts:?}", id.name());
+        }
+    }
+
+    #[test]
+    fn tampered_spec_set_is_caught() {
+        let id = StudyId::from_name("fig1_baseline").expect("registered");
+        let mut set = bless_study_specs(id, &GoldenScale::paper()).expect("bless specs");
+        set.specs[0].master_seed ^= 1;
+        let drifts = check_study_specs(id, &set).expect("check runs");
+        assert!(
+            drifts.iter().any(|d| d.what.contains("canonical document")),
+            "tampered spec not reported: {drifts:?}"
+        );
+        set.specs.pop();
+        let drifts = check_study_specs(id, &set).expect("check runs");
+        assert!(drifts.iter().any(|d| d.what.contains("cell count")), "{drifts:?}");
+    }
+
+    #[test]
+    fn spec_set_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("mpvsim-spec-goldens-{}", std::process::id()));
+        let id = StudyId::from_name("ext_congestion").expect("registered");
+        let set = bless_study_specs(id, &GoldenScale::paper()).expect("bless specs");
+        let path = save_study_specs(&dir, &set).expect("save");
+        assert_eq!(path, study_specs_path(&dir, id));
+        let back = load_study_specs(&dir, id).expect("load");
+        assert_eq!(set, back);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

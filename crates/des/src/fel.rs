@@ -100,6 +100,17 @@ impl FelKind {
             FelKind::Calendar | FelKind::CalendarTuned { .. } => "calendar",
         }
     }
+
+    /// Parses the name a user passes on a command line (the inverse of
+    /// [`FelKind::label`]); tuned calendar parameters are not
+    /// expressible by name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "binary-heap" => Some(FelKind::BinaryHeap),
+            "calendar" => Some(FelKind::Calendar),
+            _ => None,
+        }
+    }
 }
 
 /// Storage strategy for the pending-event set.

@@ -1,0 +1,157 @@
+//! A dependency-free HTTP/1.1 client for `mpvsim submit` and the smoke
+//! tests: one request per connection, mirroring the server's
+//! `Connection: close` framing.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// One parsed response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpReply {
+    /// Status code.
+    pub status: u16,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl HttpReply {
+    /// First value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+}
+
+/// Sends one request to `addr` and reads the complete response (the
+/// server closes the connection after each exchange). A body, when
+/// given, is sent as `application/json`.
+///
+/// # Errors
+///
+/// I/O failure, or a response that is not parseable HTTP/1.x.
+pub fn request(addr: &str, method: &str, path: &str, body: Option<&[u8]>) -> io::Result<HttpReply> {
+    let mut sock = TcpStream::connect(addr)?;
+    write_request(&mut sock, addr, method, path, body)?;
+    let mut raw = Vec::new();
+    sock.read_to_end(&mut raw)?;
+    parse_reply(&raw)
+}
+
+/// Sends a GET for `path` and copies the response body to `out` as it
+/// arrives — for streaming endpoints like `/v1/runs/{hash}/events`.
+/// Returns the status code once the server closes the connection.
+///
+/// # Errors
+///
+/// I/O failure, or a response head that is not parseable HTTP/1.x.
+pub fn stream(addr: &str, path: &str, out: &mut impl Write) -> io::Result<u16> {
+    let mut sock = TcpStream::connect(addr)?;
+    write_request(&mut sock, addr, "GET", path, None)?;
+    let mut raw = Vec::new();
+    let mut buf = [0_u8; 4096];
+    let header_end = loop {
+        let n = sock.read(&mut buf)?;
+        if n == 0 {
+            return Err(bad("connection closed before response head"));
+        }
+        raw.extend_from_slice(&buf[..n]);
+        if let Some(pos) = find_blank_line(&raw) {
+            break pos;
+        }
+    };
+    let head = parse_reply(&raw[..header_end])?;
+    out.write_all(&raw[header_end..])?;
+    out.flush()?;
+    loop {
+        let n = sock.read(&mut buf)?;
+        if n == 0 {
+            return Ok(head.status);
+        }
+        out.write_all(&buf[..n])?;
+        out.flush()?;
+    }
+}
+
+fn bad(reason: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, reason.into())
+}
+
+fn find_blank_line(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n").map(|pos| pos + 4)
+}
+
+fn write_request(
+    sock: &mut TcpStream,
+    host: &str,
+    method: &str,
+    path: &str,
+    body: Option<&[u8]>,
+) -> io::Result<()> {
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {host}\r\nConnection: close\r\n");
+    if let Some(body) = body {
+        head.push_str("Content-Type: application/json\r\n");
+        head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+    }
+    head.push_str("\r\n");
+    sock.write_all(head.as_bytes())?;
+    if let Some(body) = body {
+        sock.write_all(body)?;
+    }
+    sock.flush()
+}
+
+fn parse_reply(raw: &[u8]) -> io::Result<HttpReply> {
+    let header_end = find_blank_line(raw).ok_or_else(|| bad("no header/body separator"))?;
+    let head =
+        std::str::from_utf8(&raw[..header_end]).map_err(|_| bad("non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let mut parts = status_line.split_whitespace();
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(bad(format!("not an HTTP response: {status_line:?}")));
+    }
+    let status = parts
+        .next()
+        .and_then(|code| code.parse().ok())
+        .ok_or_else(|| bad(format!("bad status line {status_line:?}")))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+    }
+    Ok(HttpReply { status, headers, body: raw[header_end..].to_vec() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_reply() {
+        let raw = b"HTTP/1.1 422 Unprocessable Entity\r\nContent-Type: application/json\r\n\
+                    Content-Length: 2\r\n\r\n{}";
+        let reply = parse_reply(raw).unwrap();
+        assert_eq!(reply.status, 422);
+        assert!(!reply.is_success());
+        assert_eq!(reply.header("content-type"), Some("application/json"));
+        assert_eq!(reply.body, b"{}");
+    }
+
+    #[test]
+    fn rejects_non_http_garbage() {
+        assert!(parse_reply(b"garbage").is_err(), "no header separator");
+        assert!(parse_reply(b"FTP 200 OK\r\n\r\n").is_err(), "not HTTP");
+        assert!(parse_reply(b"HTTP/1.1 banana\r\n\r\n").is_err(), "bad status");
+    }
+}

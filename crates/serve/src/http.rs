@@ -1,0 +1,239 @@
+//! A deliberately small HTTP/1.1 subset: exactly what the `mpvsim serve`
+//! API needs, hand-rolled over [`std::io`] so the crate stays
+//! dependency-free.
+//!
+//! Every exchange is one request and one `Connection: close` response —
+//! no keep-alive, no chunked encoding, no TLS. Bodies are delimited by
+//! `Content-Length` on requests and by either `Content-Length` or
+//! connection close on responses (the latter is what lets the events
+//! endpoint stream JSONL of unknown length).
+
+use std::io::{self, BufRead, Write};
+
+/// Largest accepted request body (1 MiB). Scenario specs are a few KiB;
+/// anything bigger is a client error, not a workload.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// One parsed request: method, split target, headers and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Method token as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Path component of the target, without the query string.
+    pub path: String,
+    /// Query pairs in order of appearance. No percent-decoding: the API
+    /// only uses literal alphanumeric keys and values.
+    pub query: Vec<(String, String)>,
+    /// Header `(name, value)` pairs, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Reads and parses one request from `stream`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first protocol
+    /// violation: malformed request line or header, bad or oversized
+    /// `Content-Length` (see [`MAX_BODY`]), or I/O failure.
+    pub fn read(stream: &mut impl BufRead) -> Result<Self, String> {
+        let line = read_line(stream)?;
+        let mut parts = line.split_whitespace();
+        let (Some(method), Some(target), Some(version)) =
+            (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("malformed request line {line:?}"));
+        };
+        if !version.starts_with("HTTP/1.") {
+            return Err(format!("unsupported protocol {version:?}"));
+        }
+        let mut headers = Vec::new();
+        loop {
+            let line = read_line(stream)?;
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) =
+                line.split_once(':').ok_or_else(|| format!("malformed header {line:?}"))?;
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_owned()));
+        }
+        let length = match headers.iter().find(|(name, _)| name == "content-length") {
+            Some((_, value)) => {
+                value.parse::<usize>().map_err(|_| format!("bad content-length {value:?}"))?
+            }
+            None => 0,
+        };
+        if length > MAX_BODY {
+            return Err(format!("body of {length} bytes exceeds the {MAX_BODY}-byte limit"));
+        }
+        let mut body = vec![0_u8; length];
+        stream.read_exact(&mut body).map_err(|e| format!("short body: {e}"))?;
+        let (path, query) = split_target(target);
+        Ok(Request { method: method.to_owned(), path, query, headers, body })
+    }
+
+    /// True when query parameter `name` is present as a switch: bare, or
+    /// with value `1` or `true`.
+    pub fn query_flag(&self, name: &str) -> bool {
+        self.query.iter().any(|(n, v)| n == name && matches!(v.as_str(), "" | "1" | "true"))
+    }
+}
+
+fn read_line(stream: &mut impl BufRead) -> Result<String, String> {
+    let mut line = String::new();
+    let n = stream.read_line(&mut line).map_err(|e| format!("read failed: {e}"))?;
+    if n == 0 {
+        return Err("connection closed mid-request".to_owned());
+    }
+    Ok(line.trim_end_matches(['\r', '\n']).to_owned())
+}
+
+fn split_target(target: &str) -> (String, Vec<(String, String)>) {
+    match target.split_once('?') {
+        None => (target.to_owned(), Vec::new()),
+        Some((path, query)) => {
+            let pairs = query
+                .split('&')
+                .filter(|pair| !pair.is_empty())
+                .map(|pair| match pair.split_once('=') {
+                    Some((name, value)) => (name.to_owned(), value.to_owned()),
+                    None => (pair.to_owned(), String::new()),
+                })
+                .collect();
+            (path.to_owned(), pairs)
+        }
+    }
+}
+
+/// A response under construction; [`Response::write`] serializes it with
+/// `Content-Length` framing and `Connection: close`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code (see [`reason`] for the phrases this API uses).
+    pub status: u16,
+    /// Extra headers; `Content-Length` and `Connection` are added by
+    /// [`Response::write`].
+    pub headers: Vec<(&'static str, String)>,
+    /// The body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: Vec<u8>) -> Self {
+        Response { status, headers: vec![("Content-Type", "application/json".to_owned())], body }
+    }
+
+    /// Adds a header, builder-style.
+    #[must_use]
+    pub fn header(mut self, name: &'static str, value: impl Into<String>) -> Self {
+        self.headers.push((name, value.into()));
+        self
+    }
+
+    /// Writes the complete response to `w`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write(&self, w: &mut impl Write) -> io::Result<()> {
+        write!(w, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        for (name, value) in &self.headers {
+            write!(w, "{name}: {value}\r\n")?;
+        }
+        write!(w, "Content-Length: {}\r\nConnection: close\r\n\r\n", self.body.len())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// The standard reason phrase of each status code this API uses (empty
+/// for anything else).
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        422 => "Unprocessable Entity",
+        500 => "Internal Server Error",
+        _ => "",
+    }
+}
+
+/// Writes the head of a streaming NDJSON response. There is no
+/// `Content-Length`; the body is delimited by connection close, and the
+/// caller writes body bytes directly as they become available.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_stream_head(w: &mut impl Write, status: u16) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 {} {}\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status)
+    )?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_request_line_query_headers_and_body() {
+        let raw = b"POST /v1/runs?wait=1&x=2 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = Request::read(&mut Cursor::new(&raw[..])).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/runs");
+        assert!(req.query_flag("wait"));
+        assert!(!req.query_flag("x"), "x=2 is not a switch value");
+        assert!(!req.query_flag("absent"));
+        assert_eq!(req.body, b"abcd");
+        let host = req.headers.iter().find(|(n, _)| n == "host").map(|(_, v)| v.as_str());
+        assert_eq!(host, Some("h"));
+    }
+
+    #[test]
+    fn rejects_oversized_and_malformed_requests() {
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        let err = Request::read(&mut Cursor::new(raw.as_bytes())).unwrap_err();
+        assert!(err.contains("limit"), "{err}");
+        let err = Request::read(&mut Cursor::new(&b"nonsense\r\n\r\n"[..])).unwrap_err();
+        assert!(err.contains("request line"), "{err}");
+        let raw = b"GET / HTTP/1.1\r\nContent-Length: 5\r\n\r\nab";
+        let err = Request::read(&mut Cursor::new(&raw[..])).unwrap_err();
+        assert!(err.contains("short body"), "{err}");
+        let err = Request::read(&mut Cursor::new(&b"GET / SPDY/3\r\n\r\n"[..])).unwrap_err();
+        assert!(err.contains("protocol"), "{err}");
+    }
+
+    #[test]
+    fn response_wire_format_is_close_delimited() {
+        let mut out = Vec::new();
+        let response = Response::json(200, b"{}".to_vec()).header("x-mpvsim-cache", "hit");
+        response.write(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("Content-Type: application/json\r\n"));
+        assert!(text.contains("x-mpvsim-cache: hit\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"), "{text}");
+    }
+
+    #[test]
+    fn reason_phrases_cover_the_api_statuses() {
+        for status in [200, 202, 400, 404, 405, 409, 422, 500] {
+            assert!(!reason(status).is_empty(), "missing phrase for {status}");
+        }
+        assert_eq!(reason(599), "");
+    }
+}

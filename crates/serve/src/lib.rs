@@ -1,0 +1,26 @@
+//! # mpvsim-serve — the `mpvsim serve` HTTP/JSON simulation service
+//!
+//! A long-running service over the sweep results store: clients POST
+//! canonical `mpvsim-scenario/1` documents ([`mpvsim_core::ScenarioSpec`]),
+//! the server content-hashes them, answers repeats straight from the
+//! store (byte-identical bodies, `x-mpvsim-cache: hit`), and queues
+//! fresh scenarios on a simulation worker pool while streaming JSONL
+//! progress. See [`server`] for the endpoint table and storage model.
+//!
+//! The crate is dependency-free beyond the workspace: the HTTP/1.1
+//! subset in [`http`] and the client in [`client`] are hand-rolled over
+//! [`std::net`], which keeps `mpvsim serve` inside the project's
+//! no-new-dependencies budget and its one-exchange-per-connection model
+//! trivially auditable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use client::{request, stream, HttpReply};
+pub use server::{
+    start, ServeOptions, ServerHandle, ERROR_SCHEMA, HEALTH_SCHEMA, RUN_SCHEMA, STUDIES_SCHEMA,
+};

@@ -1,0 +1,646 @@
+//! The `mpvsim serve` service: scenario specs in, cached or freshly
+//! simulated results out.
+//!
+//! ## Endpoints
+//!
+//! | method & path | meaning |
+//! |---|---|
+//! | `POST /v1/runs` | submit an `mpvsim-scenario/1` spec; `?wait=1` blocks until the run resolves |
+//! | `GET /v1/runs/{hash}` | state (and, when done, result) of one run |
+//! | `GET /v1/runs/{hash}/events` | JSONL progress stream, live while the run executes |
+//! | `GET /v1/studies` | the study registry (name, kind, title, cell count) |
+//! | `GET /v1/healthz` | liveness plus queue counters |
+//!
+//! ## Model
+//!
+//! A submitted spec is parsed through [`ScenarioSpec::from_json`],
+//! validated through the same funnel every other entry point uses, and
+//! identified by its FNV-1a content hash over the canonical JSON bytes.
+//! Each run lives at `<dir>/runs/<hash>/` as a **single-cell sweep
+//! store**, so the server inherits the sweep subsystem's guarantees
+//! verbatim: the manifest guards against mixing, the atomic cell rename
+//! is the completion certificate, and results survive restarts. A repeat
+//! submission of the same scenario — byte-identical or merely
+//! hash-identical after canonicalization — is answered from the store
+//! with a byte-identical body; only the `x-mpvsim-cache` response header
+//! distinguishes a hit from a fresh run.
+//!
+//! Misses are enqueued on a worker pool ([`ServeOptions::workers`]
+//! threads); each worker executes runs through [`run_sweep`] with a
+//! [`JsonlObserver`] writing `progress.jsonl`, which the events endpoint
+//! tails to the client while the run is live.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::io::{BufReader, Read, Seek, SeekFrom, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mpvsim_core::figures::FigureOptions;
+use mpvsim_core::studies::{registry, StudyKind};
+use mpvsim_core::{
+    run_sweep, CellResult, ConfigError, ProbeKind, ResultsStore, ScenarioSpec, SweepCell,
+    SweepError, SweepOptions, SweepSpec,
+};
+use mpvsim_des::{FelKind, JsonlObserver, ObserverHandle};
+
+use crate::http::{write_stream_head, Request, Response};
+
+/// Schema tag of run documents (`POST /v1/runs`, `GET /v1/runs/{hash}`).
+pub const RUN_SCHEMA: &str = "mpvsim-run/1";
+/// Schema tag of structured error documents.
+pub const ERROR_SCHEMA: &str = "mpvsim-error/1";
+/// Schema tag of the health document.
+pub const HEALTH_SCHEMA: &str = "mpvsim-health/1";
+/// Schema tag of the study-directory document.
+pub const STUDIES_SCHEMA: &str = "mpvsim-studies/1";
+
+/// The single cell id inside every run's store.
+const RUN_CELL_ID: &str = "cell";
+
+/// Configuration of a [`start`]ed server. The execution knobs mirror
+/// `mpvsim sweep run`: nothing here changes a bit of the simulated
+/// trajectories, which belong to the submitted specs alone.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Results directory; each run lives in `<dir>/runs/<hash>/` as a
+    /// single-cell sweep store.
+    pub dir: PathBuf,
+    /// Simulation worker threads draining the run queue.
+    pub workers: usize,
+    /// Worker threads within each run's replication batch.
+    pub rep_threads: usize,
+    /// Future-event-list backend for every replication.
+    pub fel: FelKind,
+    /// Probe attached to every replication ([`ProbeKind::Telemetry`]
+    /// adds per-mechanism records to each run's store).
+    pub probe: ProbeKind,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            dir: PathBuf::from("serve-out"),
+            workers: 2,
+            rep_threads: 1,
+            fel: FelKind::default(),
+            probe: ProbeKind::None,
+        }
+    }
+}
+
+/// In-memory state of a run this process has accepted. Completed runs
+/// are *absent*: their record is the store on disk, which is what makes
+/// restarts and cache hits equivalent.
+#[derive(Debug, Clone)]
+enum RunState {
+    Queued,
+    Running,
+    Failed(String),
+}
+
+struct QueuedRun {
+    hash: String,
+    spec: ScenarioSpec,
+}
+
+struct Inner {
+    opts: ServeOptions,
+    runs: Mutex<HashMap<String, RunState>>,
+    runs_changed: Condvar,
+    queue: Mutex<VecDeque<QueuedRun>>,
+    queue_ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A running server: its bound address plus the accept and worker
+/// threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the listener actually bound (resolves `:0` requests).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Blocks until the server stops (i.e. forever, in the CLI).
+    pub fn join(mut self) {
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+
+    /// Stops accepting connections, drains no further queue entries, and
+    /// joins every thread. A run already executing finishes first.
+    pub fn shutdown(mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.queue_ready.notify_all();
+        self.inner.runs_changed.notify_all();
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+/// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+/// the service: one accept loop, [`ServeOptions::workers`] simulation
+/// workers, and one short-lived thread per connection.
+///
+/// # Errors
+///
+/// Returns the underlying error when the address cannot be bound or the
+/// results directory cannot be created.
+pub fn start(addr: &str, opts: ServeOptions) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    fs::create_dir_all(opts.dir.join("runs"))?;
+    let workers = opts.workers.max(1);
+    let inner = Arc::new(Inner {
+        opts,
+        runs: Mutex::new(HashMap::new()),
+        runs_changed: Condvar::new(),
+        queue: Mutex::new(VecDeque::new()),
+        queue_ready: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    });
+    let mut threads = Vec::new();
+    for _ in 0..workers {
+        let inner = Arc::clone(&inner);
+        threads.push(std::thread::spawn(move || worker_loop(&inner)));
+    }
+    {
+        let inner = Arc::clone(&inner);
+        threads.push(std::thread::spawn(move || accept_loop(&listener, &inner)));
+    }
+    Ok(ServerHandle { addr, inner, threads })
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(stream) = stream else { continue };
+        let inner = Arc::clone(inner);
+        // Connection handlers are detached: each is short-lived except an
+        // events stream, which ends when its run resolves or its client
+        // hangs up.
+        std::thread::spawn(move || {
+            let _ = serve_connection(&inner, stream);
+        });
+    }
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = inner.queue_ready.wait(queue).expect("queue poisoned");
+            }
+        };
+        set_state(inner, &job.hash, RunState::Running);
+        let outcome = execute_run(&inner.opts, &job);
+        let mut runs = inner.runs.lock().expect("run table poisoned");
+        match outcome {
+            // The store is the completed run's record; forgetting it here
+            // is what makes restarts and cache hits equivalent.
+            Ok(()) => {
+                runs.remove(&job.hash);
+            }
+            Err(message) => {
+                runs.insert(job.hash.clone(), RunState::Failed(message));
+            }
+        }
+        drop(runs);
+        inner.runs_changed.notify_all();
+    }
+}
+
+fn set_state(inner: &Inner, hash: &str, state: RunState) {
+    inner.runs.lock().expect("run table poisoned").insert(hash.to_owned(), state);
+    inner.runs_changed.notify_all();
+}
+
+fn run_dir(dir: &Path, hash: &str) -> PathBuf {
+    dir.join("runs").join(hash)
+}
+
+/// A submitted spec as a one-cell sweep, so each run's store reuses the
+/// sweep machinery verbatim: manifest guard, atomic cell rename as the
+/// completion certificate, byte-identical re-reads.
+fn single_run_sweep(spec: &ScenarioSpec) -> Result<SweepSpec, SweepError> {
+    SweepSpec::new(
+        spec.content_hash(),
+        spec.reps,
+        spec.master_seed,
+        vec![SweepCell { id: RUN_CELL_ID.to_owned(), spec: spec.clone() }],
+    )
+}
+
+fn execute_run(opts: &ServeOptions, job: &QueuedRun) -> Result<(), String> {
+    let dir = run_dir(&opts.dir, &job.hash);
+    fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    // Progress stream: one JSONL line per replication, served live by
+    // `GET /v1/runs/{hash}/events`. Telemetry must never fail a run, so
+    // an uncreatable progress file degrades to no observer.
+    let observer = match JsonlObserver::create(dir.join("progress.jsonl")) {
+        Ok(jsonl) => ObserverHandle::new(jsonl),
+        Err(_) => ObserverHandle::noop(),
+    };
+    let sweep = single_run_sweep(&job.spec).map_err(|e| e.to_string())?;
+    let sweep_opts = SweepOptions {
+        cell_workers: 1,
+        rep_threads: opts.rep_threads.max(1),
+        fel: opts.fel,
+        max_cells: None,
+        observer,
+        probe: opts.probe,
+    };
+    run_sweep(&sweep, &dir, &sweep_opts).map(|_| ()).map_err(|e| e.to_string())
+}
+
+/// Loads a completed run back from its store: the spec as recorded in
+/// the manifest plus the cell's aggregate.
+fn load_done(opts: &ServeOptions, hash: &str) -> Option<(ScenarioSpec, CellResult)> {
+    let dir = run_dir(&opts.dir, hash);
+    let (store, sweep) = ResultsStore::open(&dir).ok()?;
+    let cell = sweep.cells.first()?;
+    if !store.is_complete(&cell.id) {
+        return None;
+    }
+    let result = store.load_cell(cell).ok()?;
+    Some((cell.spec.clone(), result))
+}
+
+#[derive(serde::Serialize)]
+struct RunDoc {
+    schema: &'static str,
+    hash: String,
+    state: &'static str,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    spec: Option<ScenarioSpec>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    result: Option<CellResult>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    error: Option<String>,
+}
+
+fn run_doc(hash: &str, state: &'static str) -> RunDoc {
+    RunDoc {
+        schema: RUN_SCHEMA,
+        hash: hash.to_owned(),
+        state,
+        spec: None,
+        result: None,
+        error: None,
+    }
+}
+
+/// The canonical body of a completed run. Built from the store alone, so
+/// a fresh run and every later cache hit serialize byte-identically.
+fn done_document(opts: &ServeOptions, hash: &str) -> Option<Vec<u8>> {
+    let (spec, result) = load_done(opts, hash)?;
+    let doc = RunDoc { spec: Some(spec), result: Some(result), ..run_doc(hash, "done") };
+    Some(serde_json::to_vec(&doc).expect("run document serializes"))
+}
+
+fn state_body(hash: &str, state: &'static str, error: Option<String>) -> Vec<u8> {
+    let doc = RunDoc { error, ..run_doc(hash, state) };
+    serde_json::to_vec(&doc).expect("run document serializes")
+}
+
+#[derive(serde::Serialize)]
+struct ErrorDoc<'a> {
+    schema: &'static str,
+    error: &'a ConfigError,
+}
+
+fn error_response(status: u16, error: &ConfigError) -> Response {
+    let body = serde_json::to_vec(&ErrorDoc { schema: ERROR_SCHEMA, error })
+        .expect("error document serializes");
+    Response::json(status, body)
+}
+
+/// Run hashes are exactly 16 hex digits ([`ScenarioSpec::content_hash`]);
+/// rejecting anything else up front keeps run ids path-safe.
+fn safe_hash(hash: &str) -> bool {
+    hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit())
+}
+
+fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let request = match Request::read(&mut reader) {
+        Ok(request) => request,
+        Err(reason) => {
+            return error_response(400, &ConfigError::malformed(reason)).write(&mut stream);
+        }
+    };
+    let path = request.path.trim_matches('/').to_owned();
+    let segments: Vec<&str> = path.split('/').collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => health(inner).write(&mut stream),
+        ("GET", ["v1", "studies"]) => studies_response().write(&mut stream),
+        ("POST", ["v1", "runs"]) => post_run(inner, &request).write(&mut stream),
+        ("GET", ["v1", "runs", hash]) => get_run(inner, hash).write(&mut stream),
+        ("GET", ["v1", "runs", hash, "events"]) => stream_events(inner, hash, &mut stream),
+        (method, ["v1", "healthz" | "studies"] | ["v1", "runs", ..]) => {
+            let error = ConfigError::invalid("method", format!("{method} not allowed here"));
+            error_response(405, &error).write(&mut stream)
+        }
+        _ => {
+            let error = ConfigError::invalid("path", format!("no route for {:?}", request.path));
+            error_response(404, &error).write(&mut stream)
+        }
+    }
+}
+
+fn health(inner: &Inner) -> Response {
+    #[derive(serde::Serialize)]
+    struct HealthDoc {
+        schema: &'static str,
+        status: &'static str,
+        queued: usize,
+        running: usize,
+        failed: usize,
+    }
+    let runs = inner.runs.lock().expect("run table poisoned");
+    let count = |want: fn(&RunState) -> bool| runs.values().filter(|state| want(state)).count();
+    let doc = HealthDoc {
+        schema: HEALTH_SCHEMA,
+        status: "ok",
+        queued: count(|s| matches!(s, RunState::Queued)),
+        running: count(|s| matches!(s, RunState::Running)),
+        failed: count(|s| matches!(s, RunState::Failed(_))),
+    };
+    Response::json(200, serde_json::to_vec(&doc).expect("health document serializes"))
+}
+
+fn studies_response() -> Response {
+    #[derive(serde::Serialize)]
+    struct StudyEntry {
+        name: &'static str,
+        kind: &'static str,
+        title: &'static str,
+        cells: usize,
+    }
+    #[derive(serde::Serialize)]
+    struct StudiesDoc {
+        schema: &'static str,
+        studies: Vec<StudyEntry>,
+    }
+    let opts = FigureOptions::default();
+    let studies = registry()
+        .iter()
+        .map(|info| StudyEntry {
+            name: info.name,
+            kind: match info.kind {
+                StudyKind::Figure => "figure",
+                StudyKind::Claim => "claim",
+                StudyKind::Extension => "extension",
+            },
+            title: info.title,
+            cells: (info.cells)(&opts).len(),
+        })
+        .collect();
+    let doc = StudiesDoc { schema: STUDIES_SCHEMA, studies };
+    Response::json(200, serde_json::to_vec(&doc).expect("studies document serializes"))
+}
+
+fn post_run(inner: &Arc<Inner>, request: &Request) -> Response {
+    // The validation funnel: exactly the path `mpvsim sweep run` and the
+    // study runners take, so the server cannot accept a spec they would
+    // reject (or vice versa).
+    let spec = match ScenarioSpec::from_json(&request.body) {
+        Ok(spec) => spec,
+        Err(e) => return error_response(422, &e),
+    };
+    if let Err(e) = spec.validate() {
+        return error_response(422, &e);
+    }
+    let hash = spec.content_hash();
+    if let Some((stored, _)) = load_done(&inner.opts, &hash) {
+        if stored != spec {
+            let error =
+                ConfigError::run(format!("content hash {hash} already maps to a different spec"));
+            return error_response(409, &error);
+        }
+        let body = done_document(&inner.opts, &hash).expect("run loaded a moment ago");
+        return Response::json(200, body).header("x-mpvsim-cache", "hit");
+    }
+    enqueue(inner, &hash, &spec);
+    if request.query_flag("wait") {
+        return match wait_for(inner, &hash) {
+            Ok(()) => match done_document(&inner.opts, &hash) {
+                Some(body) => Response::json(200, body).header("x-mpvsim-cache", "miss"),
+                None => error_response(500, &ConfigError::run("run finished but left no store")),
+            },
+            Err(message) => error_response(500, &ConfigError::run(message)),
+        };
+    }
+    Response::json(202, state_document(inner, &hash)).header("x-mpvsim-cache", "miss")
+}
+
+fn enqueue(inner: &Inner, hash: &str, spec: &ScenarioSpec) {
+    let mut runs = inner.runs.lock().expect("run table poisoned");
+    if matches!(runs.get(hash), Some(RunState::Queued | RunState::Running)) {
+        return;
+    }
+    // New runs and retries of failed ones queue alike.
+    runs.insert(hash.to_owned(), RunState::Queued);
+    drop(runs);
+    inner
+        .queue
+        .lock()
+        .expect("queue poisoned")
+        .push_back(QueuedRun { hash: hash.to_owned(), spec: spec.clone() });
+    inner.queue_ready.notify_one();
+    inner.runs_changed.notify_all();
+}
+
+fn wait_for(inner: &Inner, hash: &str) -> Result<(), String> {
+    let mut runs = inner.runs.lock().expect("run table poisoned");
+    loop {
+        match runs.get(hash) {
+            // Completed and forgotten: the store has it.
+            None => return Ok(()),
+            Some(RunState::Failed(message)) => return Err(message.clone()),
+            Some(RunState::Queued | RunState::Running) => {}
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return Err("server shutting down".to_owned());
+        }
+        let (guard, _) = inner
+            .runs_changed
+            .wait_timeout(runs, Duration::from_millis(200))
+            .expect("run table poisoned");
+        runs = guard;
+    }
+}
+
+fn state_document(inner: &Inner, hash: &str) -> Vec<u8> {
+    let runs = inner.runs.lock().expect("run table poisoned");
+    let state = match runs.get(hash) {
+        Some(RunState::Running) => "running",
+        Some(RunState::Failed(_)) => "failed",
+        _ => "queued",
+    };
+    state_body(hash, state, None)
+}
+
+fn unknown_run(hash: &str) -> Response {
+    error_response(404, &ConfigError::invalid("hash", format!("no run {hash:?}")))
+}
+
+fn get_run(inner: &Inner, hash: &str) -> Response {
+    if !safe_hash(hash) {
+        return unknown_run(hash);
+    }
+    if let Some(body) = done_document(&inner.opts, hash) {
+        return Response::json(200, body);
+    }
+    let runs = inner.runs.lock().expect("run table poisoned");
+    match runs.get(hash) {
+        Some(RunState::Queued) => Response::json(200, state_body(hash, "queued", None)),
+        Some(RunState::Running) => Response::json(200, state_body(hash, "running", None)),
+        Some(RunState::Failed(message)) => {
+            Response::json(200, state_body(hash, "failed", Some(message.clone())))
+        }
+        None => unknown_run(hash),
+    }
+}
+
+/// Streams `progress.jsonl` to the client, tailing it live while the run
+/// executes, and terminates with one server-generated
+/// `{"type":"run",...}` state line.
+fn stream_events(inner: &Inner, hash: &str, stream: &mut TcpStream) -> std::io::Result<()> {
+    let known = safe_hash(hash)
+        && (load_done(&inner.opts, hash).is_some()
+            || inner.runs.lock().expect("run table poisoned").contains_key(hash));
+    if !known {
+        return unknown_run(hash).write(stream);
+    }
+    write_stream_head(stream, 200)?;
+    let path = run_dir(&inner.opts.dir, hash).join("progress.jsonl");
+    let mut offset = 0_u64;
+    loop {
+        // Read the run's resolution *before* draining the file: the
+        // observer flushes before the cell file is renamed into place,
+        // so every line written pre-resolution is visible to the drain
+        // below, and nothing is lost between drain and final state line.
+        let resolved: Option<&'static str> = if load_done(&inner.opts, hash).is_some() {
+            Some("done")
+        } else {
+            match inner.runs.lock().expect("run table poisoned").get(hash) {
+                Some(RunState::Failed(_)) => Some("failed"),
+                Some(RunState::Queued | RunState::Running) => None,
+                None => Some("done"),
+            }
+        };
+        offset = drain_file(&path, offset, stream)?;
+        if let Some(state) = resolved {
+            let line = format!("{{\"type\":\"run\",\"hash\":{hash:?},\"state\":{state:?}}}\n");
+            stream.write_all(line.as_bytes())?;
+            return stream.flush();
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return stream.flush();
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// Copies bytes `offset..` of `path` (if it exists yet) to `out`;
+/// returns the new offset.
+fn drain_file(path: &Path, offset: u64, out: &mut impl Write) -> std::io::Result<u64> {
+    let Ok(mut file) = fs::File::open(path) else { return Ok(offset) };
+    file.seek(SeekFrom::Start(offset))?;
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf)?;
+    if buf.is_empty() {
+        return Ok(offset);
+    }
+    out.write_all(&buf)?;
+    out.flush()?;
+    Ok(offset + buf.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpvsim_core::{PopulationConfig, ScenarioConfig, VirusProfile};
+    use mpvsim_des::{DelaySpec, SimDuration};
+    use mpvsim_topology::GraphSpec;
+
+    fn tiny_spec() -> ScenarioSpec {
+        let mut config = ScenarioConfig::baseline(VirusProfile::virus3());
+        config.population = PopulationConfig {
+            topology: GraphSpec::erdos_renyi(40, 6.0),
+            vulnerable_fraction: 0.8,
+        };
+        config.behavior.read_delay = DelaySpec::constant(SimDuration::from_mins(5));
+        config.horizon = SimDuration::from_hours(4);
+        ScenarioSpec::new("unit", config).with_replication(2, 11)
+    }
+
+    #[test]
+    fn hashes_are_validated_strictly() {
+        assert!(safe_hash("0123456789abcdef"));
+        assert!(!safe_hash("0123456789abcde"), "too short");
+        assert!(!safe_hash("0123456789abcdeg"), "not hex");
+        assert!(!safe_hash("../../etc/passwd"), "path traversal");
+        assert!(!safe_hash(""));
+    }
+
+    #[test]
+    fn a_run_is_a_single_cell_sweep_named_by_its_hash() {
+        let spec = tiny_spec();
+        let sweep = single_run_sweep(&spec).expect("valid one-cell sweep");
+        assert_eq!(sweep.name, spec.content_hash());
+        assert!(safe_hash(&sweep.name));
+        assert_eq!(sweep.cells.len(), 1);
+        assert_eq!(sweep.cells[0].id, RUN_CELL_ID);
+        assert_eq!(sweep.cells[0].spec, spec, "the stored spec is the submitted spec");
+        assert_eq!((sweep.reps, sweep.master_seed), (2, 11));
+    }
+
+    #[test]
+    fn run_documents_serialize_with_stable_shape() {
+        let body = state_body("00000000deadbeef", "queued", None);
+        let doc: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        assert_eq!(doc["schema"], RUN_SCHEMA);
+        assert_eq!(doc["state"], "queued");
+        assert_eq!(doc["hash"], "00000000deadbeef");
+        assert!(doc.get("result").is_none(), "absent fields are omitted, not null");
+        let body = state_body("00000000deadbeef", "failed", Some("boom".to_owned()));
+        let doc: serde_json::Value = serde_json::from_slice(&body).unwrap();
+        assert_eq!(doc["error"], "boom");
+    }
+
+    #[test]
+    fn error_documents_carry_the_structured_kind() {
+        let response = error_response(422, &ConfigError::invalid("reps", "zero"));
+        assert_eq!(response.status, 422);
+        let doc: serde_json::Value = serde_json::from_slice(&response.body).unwrap();
+        assert_eq!(doc["schema"], ERROR_SCHEMA);
+        assert_eq!(doc["error"]["kind"], "invalid");
+        assert_eq!(doc["error"]["field"], "reps");
+    }
+}

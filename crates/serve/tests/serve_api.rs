@@ -1,0 +1,147 @@
+//! End-to-end API test: boot the server on an ephemeral port, drive it
+//! with the crate's own client, and prove the contract the CI smoke job
+//! re-checks with curl — same spec twice ⇒ byte-identical cache hit,
+//! malformed spec ⇒ structured 422, progress streamed as JSONL.
+
+use std::time::Duration;
+
+use mpvsim_core::{PopulationConfig, ScenarioConfig, ScenarioSpec, VirusProfile};
+use mpvsim_des::{DelaySpec, SimDuration};
+use mpvsim_serve::{request, start, ServeOptions};
+use mpvsim_topology::GraphSpec;
+
+fn tiny_config() -> ScenarioConfig {
+    let mut config = ScenarioConfig::baseline(VirusProfile::virus3());
+    config.population =
+        PopulationConfig { topology: GraphSpec::erdos_renyi(40, 6.0), vulnerable_fraction: 0.8 };
+    config.behavior.read_delay = DelaySpec::constant(SimDuration::from_mins(5));
+    config.horizon = SimDuration::from_hours(4);
+    config
+}
+
+#[test]
+fn serve_api_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("mpvsim-serve-api-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ServeOptions { dir: dir.clone(), workers: 1, ..ServeOptions::default() };
+    let handle = start("127.0.0.1:0", opts).expect("bind an ephemeral port");
+    let addr = handle.addr().to_string();
+
+    // Liveness.
+    let health = request(&addr, "GET", "/v1/healthz", None).unwrap();
+    assert_eq!(health.status, 200);
+    let doc: serde_json::Value = serde_json::from_slice(&health.body).unwrap();
+    assert_eq!(doc["schema"], "mpvsim-health/1");
+    assert_eq!(doc["status"], "ok");
+
+    // The study directory lists the whole registry.
+    let studies = request(&addr, "GET", "/v1/studies", None).unwrap();
+    assert_eq!(studies.status, 200);
+    let doc: serde_json::Value = serde_json::from_slice(&studies.body).unwrap();
+    assert_eq!(doc["schema"], "mpvsim-studies/1");
+    assert_eq!(doc["studies"].as_array().unwrap().len(), 16);
+    let names: Vec<&str> =
+        doc["studies"].as_array().unwrap().iter().filter_map(|s| s["name"].as_str()).collect();
+    assert!(names.contains(&"fig1_baseline"), "{names:?}");
+
+    // First submission simulates; the repeat must be a byte-identical
+    // cache hit, distinguished only by the x-mpvsim-cache header.
+    let spec = ScenarioSpec::new("serve-smoke", tiny_config()).with_replication(2, 11);
+    let body = spec.canonical_json();
+    let first = request(&addr, "POST", "/v1/runs?wait=1", Some(&body)).unwrap();
+    assert_eq!(first.status, 200, "{}", String::from_utf8_lossy(&first.body));
+    assert_eq!(first.header("x-mpvsim-cache"), Some("miss"));
+    let second = request(&addr, "POST", "/v1/runs?wait=1", Some(&body)).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-mpvsim-cache"), Some("hit"));
+    assert_eq!(first.body, second.body, "cache hit must be byte-identical");
+
+    let doc: serde_json::Value = serde_json::from_slice(&first.body).unwrap();
+    assert_eq!(doc["schema"], "mpvsim-run/1");
+    assert_eq!(doc["state"], "done");
+    assert_eq!(doc["hash"].as_str(), Some(spec.content_hash().as_str()));
+    let round_trip: serde_json::Value = serde_json::from_slice(&body).unwrap();
+    assert_eq!(doc["spec"], round_trip, "the stored spec is the submitted spec");
+    assert!(doc["result"]["final_infected"]["mean"].as_f64().is_some(), "{doc}");
+
+    // A non-canonical serialization of the same scenario (extra
+    // whitespace) canonicalizes to the same hash and also hits.
+    let spaced = String::from_utf8(body.clone()).unwrap().replace("\":", "\": ");
+    let hit = request(&addr, "POST", "/v1/runs?wait=1", Some(spaced.as_bytes())).unwrap();
+    assert_eq!(hit.header("x-mpvsim-cache"), Some("hit"));
+    assert_eq!(hit.body, first.body);
+
+    // GET by hash returns the same document.
+    let hash = spec.content_hash();
+    let got = request(&addr, "GET", &format!("/v1/runs/{hash}"), None).unwrap();
+    assert_eq!(got.status, 200);
+    assert_eq!(got.body, first.body);
+
+    // The events endpoint replays the run's JSONL progress and
+    // terminates with a server-generated state line.
+    let mut events = Vec::new();
+    let status =
+        mpvsim_serve::stream(&addr, &format!("/v1/runs/{hash}/events"), &mut events).unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(events).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 3, "2 replication lines + a final state line, got: {text:?}");
+    for line in &lines {
+        let value: serde_json::Value = serde_json::from_str(line).expect("valid JSONL");
+        assert!(value["type"].is_string(), "{line}");
+    }
+    let last: serde_json::Value = serde_json::from_str(lines.last().unwrap()).unwrap();
+    assert_eq!(last["type"], "run");
+    assert_eq!(last["state"], "done");
+    assert_eq!(last["hash"].as_str(), Some(hash.as_str()));
+
+    // Async path: submit without wait, poll until done.
+    let async_spec = ScenarioSpec::new("serve-async", tiny_config()).with_replication(2, 23);
+    let accepted = request(&addr, "POST", "/v1/runs", Some(&async_spec.canonical_json())).unwrap();
+    assert_eq!(accepted.status, 202);
+    assert_eq!(accepted.header("x-mpvsim-cache"), Some("miss"));
+    let doc: serde_json::Value = serde_json::from_slice(&accepted.body).unwrap();
+    assert!(matches!(doc["state"].as_str(), Some("queued" | "running")), "{doc}");
+    let async_hash = async_spec.content_hash();
+    let mut done = false;
+    for _ in 0..600 {
+        let got = request(&addr, "GET", &format!("/v1/runs/{async_hash}"), None).unwrap();
+        let doc: serde_json::Value = serde_json::from_slice(&got.body).unwrap();
+        match doc["state"].as_str() {
+            Some("done") => {
+                done = true;
+                break;
+            }
+            Some("queued" | "running") => std::thread::sleep(Duration::from_millis(100)),
+            other => panic!("unexpected state {other:?}: {doc}"),
+        }
+    }
+    assert!(done, "async run never completed");
+
+    // Malformed JSON, unknown fields and invalid scenarios are
+    // structured 422s.
+    let bad = request(&addr, "POST", "/v1/runs", Some(b"{not json")).unwrap();
+    assert_eq!(bad.status, 422);
+    let doc: serde_json::Value = serde_json::from_slice(&bad.body).unwrap();
+    assert_eq!(doc["schema"], "mpvsim-error/1");
+    assert_eq!(doc["error"]["kind"], "malformed");
+
+    let mut invalid = ScenarioSpec::new("serve-invalid", tiny_config());
+    invalid.scenario.initial_infections = 0;
+    let bad =
+        request(&addr, "POST", "/v1/runs", Some(&serde_json::to_vec(&invalid).unwrap())).unwrap();
+    assert_eq!(bad.status, 422);
+    let doc: serde_json::Value = serde_json::from_slice(&bad.body).unwrap();
+    assert_eq!(doc["error"]["kind"], "invalid");
+    assert_eq!(doc["error"]["field"], "initial_infections");
+
+    // Unknown runs, unknown routes, wrong methods.
+    let missing = request(&addr, "GET", "/v1/runs/0000000000000000", None).unwrap();
+    assert_eq!(missing.status, 404);
+    assert_eq!(request(&addr, "GET", "/v1/runs/not-a-hash", None).unwrap().status, 404);
+    assert_eq!(request(&addr, "GET", "/v1/nope", None).unwrap().status, 404);
+    assert_eq!(request(&addr, "PUT", "/v1/runs", Some(b"{}")).unwrap().status, 405);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -74,8 +74,8 @@ pub mod prelude {
         AdaptiveResult, BehaviorConfig, Blacklist, BluetoothVector, ChainRecord, ConfigError,
         DetectionAlgorithm, ExperimentPlan, ExperimentResult, Immunization, MechanismTelemetry,
         MobilityConfig, Monitoring, PopulationConfig, ProbeKind, ProbeOutput, ResponseConfig,
-        RolloutOrder, RunResult, ScenarioConfig, SendQuota, SignatureScan, SimProbe, StudyId,
-        StudyKind, SweepOptions, SweepSpec, TargetingStrategy, TopologyCache, TraceRecord,
+        RolloutOrder, RunResult, ScenarioConfig, ScenarioSpec, SendQuota, SignatureScan, SimProbe,
+        StudyId, StudyKind, SweepOptions, SweepSpec, TargetingStrategy, TopologyCache, TraceRecord,
         UserEducation, VirusProfile,
     };
     pub use mpvsim_des::{

@@ -65,10 +65,10 @@ fn every_study_declares_cells() {
         let cells = id.cells(&opts);
         assert!(!cells.is_empty(), "{} declares no cells", id.name());
         for cell in &cells {
-            assert!(!cell.label.is_empty(), "{} has an unlabelled cell", id.name());
-            cell.config
-                .validate()
-                .unwrap_or_else(|e| panic!("{} cell {:?} is invalid: {e}", id.name(), cell.label));
+            assert!(!cell.label().is_empty(), "{} has an unlabelled cell", id.name());
+            cell.spec.validate().unwrap_or_else(|e| {
+                panic!("{} cell {:?} is invalid: {e}", id.name(), cell.label())
+            });
         }
     }
 }

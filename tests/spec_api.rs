@@ -1,0 +1,82 @@
+//! API-level tests of the canonical `mpvsim-scenario/1` wire schema:
+//! every registry study must be expressible as a spec set whose
+//! documents round-trip byte-exactly (the property `mpvsim serve`'s
+//! content-addressed cache rests on), and the spec goldens committed
+//! under `goldens/specs/` must stay in lock-step with the registry.
+
+use std::path::Path;
+
+use mpvsim::core::studies::StudyId;
+use mpvsim::core::validate::{
+    bless_study_specs, check_study_specs, fuzz_case, load_study_specs, save_study_specs,
+    study_specs_path, GoldenScale,
+};
+use mpvsim::core::{ScenarioSpec, SCENARIO_SCHEMA};
+use proptest::prelude::*;
+
+#[test]
+fn every_registry_study_roundtrips_to_a_stable_hash() {
+    for id in StudyId::all() {
+        let set = bless_study_specs(id, &GoldenScale::paper()).expect("specs bless");
+        assert!(!set.specs.is_empty(), "{} has no cells", id.name());
+        for spec in &set.specs {
+            assert_eq!(spec.schema, SCENARIO_SCHEMA);
+            let bytes = spec.canonical_json();
+            let back = ScenarioSpec::from_json(&bytes).expect("canonical form parses");
+            assert_eq!(&back, spec, "{}: parse is not the identity", id.name());
+            assert_eq!(back.canonical_json(), bytes, "{}: bytes drifted", id.name());
+            assert_eq!(back.content_hash(), spec.content_hash());
+        }
+    }
+}
+
+/// The committed spec files. A missing file is blessed in place (pure
+/// serialization — nothing is simulated), so a fresh checkout
+/// bootstraps on the first test run; once present, each file is held
+/// byte-exact against a regeneration from the current registry.
+#[test]
+fn committed_spec_goldens_track_the_registry() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("goldens");
+    let scratch = std::env::temp_dir().join(format!("mpvsim-spec-check-{}", std::process::id()));
+    for id in StudyId::all() {
+        let path = study_specs_path(&dir, id);
+        if !path.exists() {
+            let set = bless_study_specs(id, &GoldenScale::paper()).expect("specs bless");
+            let written = save_study_specs(&dir, &set).expect("bootstrap spec golden");
+            eprintln!("spec golden was missing; blessed {}", written.display());
+        }
+        let set = load_study_specs(&dir, id).expect("committed spec set loads");
+        let drifts = check_study_specs(id, &set).expect("check runs");
+        assert!(drifts.is_empty(), "{}: {drifts:?}", id.name());
+        // Hold the file format itself byte-exact, not just the parsed
+        // content: regenerate at the committed scale and diff the text.
+        let fresh = bless_study_specs(id, &set.scale).expect("specs bless");
+        save_study_specs(&scratch, &fresh).expect("save regenerated set");
+        let want = std::fs::read_to_string(study_specs_path(&scratch, id)).expect("read fresh");
+        let got = std::fs::read_to_string(&path).expect("read committed");
+        assert_eq!(got, want, "{}: committed file text drifted", id.name());
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Beyond the 16 registry studies: any valid scenario the fuzzer
+    /// can produce round-trips spec → JSON → spec → JSON byte- and
+    /// hash-identically.
+    #[test]
+    fn random_valid_scenarios_roundtrip_byte_exactly(
+        family in 0u64..1 << 32,
+        case in 0u64..64,
+        reps in 1u64..20,
+    ) {
+        let config = fuzz_case(family, case);
+        let spec = ScenarioSpec::new("fuzz-roundtrip", config).with_replication(reps, family);
+        spec.validate().expect("fuzz cases are valid");
+        let bytes = spec.canonical_json();
+        let back = ScenarioSpec::from_json(&bytes).expect("canonical form parses");
+        prop_assert_eq!(back.canonical_json(), bytes);
+        prop_assert_eq!(back.content_hash(), spec.content_hash());
+    }
+}
