@@ -868,6 +868,7 @@ fn parse_sweep_args(args: &[String], resume: bool) -> Result<SweepArgs, String> 
                 // resume.
                 SharedFlag::Probe => sweep.probe = figure.probe,
                 SharedFlag::Fel => sweep.fel = figure.fel,
+                SharedFlag::Layout => sweep.layout = figure.layout,
                 SharedFlag::Threads => sweep.rep_threads = figure.threads,
             }
             continue;
@@ -1044,6 +1045,7 @@ fn cmd_serve(args: &[String]) -> i32 {
             // (reps/seed/population) belongs to each submitted spec.
             Ok(Some(SharedFlag::Probe)) => opts.probe = figure.probe,
             Ok(Some(SharedFlag::Fel)) => opts.fel = figure.fel,
+            Ok(Some(SharedFlag::Layout)) => opts.layout = figure.layout,
             Ok(Some(SharedFlag::Threads)) => opts.rep_threads = figure.threads,
             Ok(Some(SharedFlag::Reps | SharedFlag::Seed | SharedFlag::Population)) => {
                 eprintln!("{flag} applies per submitted spec, not to the server\n{SERVE_USAGE}");

@@ -26,7 +26,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use mpvsim_core::figures::{FigureOptions, LabeledResult};
-use mpvsim_core::{MechanismTelemetry, ProbeKind};
+use mpvsim_core::{LayoutKind, MechanismTelemetry, ProbeKind};
 use mpvsim_des::{FanoutObserver, FelKind, JsonlObserver, ObserverHandle, ProgressObserver};
 use mpvsim_stats::render::{ascii_chart, to_csv};
 use mpvsim_stats::TimeSeries;
@@ -46,6 +46,7 @@ const FLAGS: &[(&str, &str, &str)] = &[
     ("--json", "PATH", "archive full results (labels, aggregates, runs) as JSON"),
     ("--probe", "KIND", "attach a probe to every replication: noop|chain|trace|telemetry"),
     ("--fel", "KIND", "future-event-list backend: binary-heap|calendar (default binary-heap)"),
+    ("--layout", "KIND", "per-replication state-array layout: fresh|arena (default fresh)"),
 ];
 
 /// The usage text generated from the flag table: a one-line synopsis plus
@@ -99,6 +100,8 @@ pub enum SharedFlag {
     Probe,
     /// `--fel KIND` — future-event-list backend.
     Fel,
+    /// `--layout KIND` — per-replication state-array layout.
+    Layout,
 }
 
 /// Applies one shared experiment flag to `opts`, pulling its value from
@@ -128,6 +131,7 @@ pub fn apply_shared_flag(
         "--population" => SharedFlag::Population,
         "--probe" => SharedFlag::Probe,
         "--fel" => SharedFlag::Fel,
+        "--layout" => SharedFlag::Layout,
         _ => return Ok(None),
     };
     let value = next().ok_or_else(|| format!("{flag} needs a value"))?;
@@ -143,6 +147,10 @@ pub fn apply_shared_flag(
                 format!("unknown FEL backend {value:?} (one of: binary-heap, calendar)")
             })?;
         }
+        SharedFlag::Layout => {
+            opts.layout = LayoutKind::from_name(&value)
+                .ok_or_else(|| format!("unknown layout {value:?} (one of: fresh, arena)"))?;
+        }
         numeric => {
             let parsed: u64 =
                 value.parse().map_err(|_| format!("{flag} value {value:?} is not a number"))?;
@@ -157,7 +165,9 @@ pub fn apply_shared_flag(
                     };
                 }
                 SharedFlag::Population => opts.population = parsed as usize,
-                SharedFlag::Probe | SharedFlag::Fel => unreachable!("handled above"),
+                SharedFlag::Probe | SharedFlag::Fel | SharedFlag::Layout => {
+                    unreachable!("handled above")
+                }
             }
         }
     }

@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use mpvsim_core::figures::FigureOptions;
 use mpvsim_core::studies::{registry, StudyId, StudyKind};
-use mpvsim_core::{ProbeKind, TopologyCache, TopologyCacheStats};
+use mpvsim_core::{LayoutKind, ProbeKind, TopologyCache, TopologyCacheStats};
 use mpvsim_des::{ExperimentObserver, FelKind, ObserverHandle, ReplicationMetrics};
 
 /// The benchmarked studies: every figure in the registry.
@@ -44,14 +44,17 @@ const RUNS: [(FelKind, ProbeKind); 3] = [
 ];
 
 const USAGE: &str = "\
-usage: mpvsim perfsuite [--quick] [--out PATH] [--figure NAME]... [--reps N] [--seed S] [--threads T] [--population P]
+usage: mpvsim perfsuite [--quick] [--out PATH] [--figure NAME]... [--scale N]... [--reps N] [--seed S] [--threads T] [--population P] [--layout KIND]
   --quick              reduced workload for CI smoke runs (2 reps, population 250)
   --out PATH           output path (default BENCH_<utc-date>.json)
   --figure NAME        run only this workload (repeatable; e.g. fig1_baseline)
+  --scale N            also run one Virus 1 baseline replication at population N
+                       (repeatable) and report bytes/phone in the scaling section
   --reps N             replications per scenario (default 10)
   --seed S             master seed (default 2007)
   --threads T          worker threads; 0 = auto-detect (default 4)
   --population P       population size (default 1000)
+  --layout KIND        state-array layout: fresh|arena (default fresh)
 ";
 
 /// Parsed command line.
@@ -60,6 +63,7 @@ struct SuiteOptions {
     out: Option<PathBuf>,
     only: Vec<String>,
     quick: bool,
+    scales: Vec<usize>,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String> {
@@ -67,6 +71,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String
     let mut out = None;
     let mut only = Vec::new();
     let mut quick = false;
+    let mut scales = Vec::new();
     let mut args = args.peekable();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -83,7 +88,13 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String
                 }
                 only.push(v);
             }
-            "--reps" | "--seed" | "--threads" | "--population" => {
+            "--layout" => {
+                let v = args.next().ok_or_else(|| format!("--layout needs a value\n{USAGE}"))?;
+                opts.layout = LayoutKind::from_name(&v).ok_or_else(|| {
+                    format!("unknown layout {v:?} (one of: fresh, arena)\n{USAGE}")
+                })?;
+            }
+            "--reps" | "--seed" | "--threads" | "--population" | "--scale" => {
                 let v = args.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
                 let parsed: u64 = v
                     .parse()
@@ -99,6 +110,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String
                         };
                     }
                     "--population" => opts.population = parsed as usize,
+                    "--scale" => {
+                        if parsed == 0 {
+                            return Err(format!("--scale must be positive\n{USAGE}"));
+                        }
+                        scales.push(parsed as usize);
+                    }
                     _ => unreachable!(),
                 }
             }
@@ -112,7 +129,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String
     if opts.reps == 0 || opts.population == 0 {
         return Err(format!("reps and population must be positive\n{USAGE}"));
     }
-    Ok(SuiteOptions { figure: opts, out, only, quick })
+    Ok(SuiteOptions { figure: opts, out, only, quick, scales })
 }
 
 /// Observer that accumulates engine counters across one workload run:
@@ -122,6 +139,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String
 struct MetricsCollector {
     events: AtomicU64,
     peak_pending: AtomicUsize,
+    peak_event_bytes: AtomicUsize,
     reps: AtomicU64,
 }
 
@@ -129,6 +147,7 @@ impl ExperimentObserver for MetricsCollector {
     fn on_replication_finish(&self, m: &ReplicationMetrics) {
         self.events.fetch_add(m.sim.events_processed, Ordering::Relaxed);
         self.peak_pending.fetch_max(m.sim.peak_pending_events, Ordering::Relaxed);
+        self.peak_event_bytes.fetch_max(m.sim.peak_event_bytes, Ordering::Relaxed);
         self.reps.fetch_add(1, Ordering::Relaxed);
     }
 }
@@ -162,6 +181,7 @@ struct Measurement {
     events_processed: u64,
     events_per_sec: f64,
     peak_pending_events: usize,
+    peak_event_bytes: usize,
     cache: TopologyCacheStats,
 }
 
@@ -195,11 +215,70 @@ fn run_workload(
         events_processed: events,
         events_per_sec: if wall_secs > 0.0 { events as f64 / wall_secs } else { 0.0 },
         peak_pending_events: collector.peak_pending.load(Ordering::Relaxed),
+        peak_event_bytes: collector.peak_event_bytes.load(Ordering::Relaxed),
         cache: cache.stats(),
     })
 }
 
-fn report(suite: &SuiteOptions, measurements: &[Measurement]) -> serde_json::Value {
+/// One single-replication scaling measurement: the Virus 1 baseline
+/// scaling cell at population `n`, reporting resident memory per phone.
+struct ScalePoint {
+    population: usize,
+    wall_secs: f64,
+    events_processed: u64,
+    events_per_sec: f64,
+    peak_pending_events: usize,
+    peak_event_bytes: usize,
+    resident_state_bytes: usize,
+    bytes_per_phone: f64,
+    final_infected: usize,
+}
+
+/// Runs one replication of the Virus 1 baseline at population `n`,
+/// with the scaling study's bounded-memory settings at or above
+/// [`mpvsim_core::figures::SCALING_BOUNDED_MIN_POPULATION`] phones.
+fn run_scale_point(n: usize, base: &FigureOptions) -> Result<ScalePoint, String> {
+    use mpvsim_core::figures::{SCALING_BOUNDED_MIN_POPULATION, SCALING_INBOX_CAP};
+    let mut config = mpvsim_core::ScenarioConfig::baseline(mpvsim_core::VirusProfile::virus1())
+        .with_population(mpvsim_core::PopulationConfig::paper_default(n));
+    if n >= SCALING_BOUNDED_MIN_POPULATION {
+        config.inbox_cap = Some(SCALING_INBOX_CAP);
+        config.event_budget = Some(mpvsim_core::DEFAULT_EVENT_BUDGET.max(n as u64 * 2_000));
+    }
+    let started = Instant::now();
+    let (run, metrics) = mpvsim_core::run_scenario_configured(
+        &config,
+        base.master_seed,
+        base.fel,
+        None,
+        mpvsim_core::ProbeKind::None,
+        base.layout,
+    )
+    .map_err(|e| format!("scale {n}: {e}"))?;
+    let wall_secs = started.elapsed().as_secs_f64();
+    let total_bytes = run.resident_state_bytes + metrics.peak_event_bytes;
+    Ok(ScalePoint {
+        population: n,
+        wall_secs,
+        events_processed: metrics.events_processed,
+        events_per_sec: if wall_secs > 0.0 {
+            metrics.events_processed as f64 / wall_secs
+        } else {
+            0.0
+        },
+        peak_pending_events: metrics.peak_pending_events,
+        peak_event_bytes: metrics.peak_event_bytes,
+        resident_state_bytes: run.resident_state_bytes,
+        bytes_per_phone: total_bytes as f64 / n as f64,
+        final_infected: run.final_infected,
+    })
+}
+
+fn report(
+    suite: &SuiteOptions,
+    measurements: &[Measurement],
+    scale_points: &[ScalePoint],
+) -> serde_json::Value {
     let rows: Vec<serde_json::Value> = measurements
         .iter()
         .map(|m| {
@@ -213,6 +292,7 @@ fn report(suite: &SuiteOptions, measurements: &[Measurement]) -> serde_json::Val
                 "events_processed": m.events_processed,
                 "events_per_sec": m.events_per_sec,
                 "peak_pending_events": m.peak_pending_events,
+                "peak_event_bytes": m.peak_event_bytes,
                 "topology_cache_hits": m.cache.hits,
                 "topology_cache_misses": m.cache.misses,
             })
@@ -267,16 +347,37 @@ fn report(suite: &SuiteOptions, measurements: &[Measurement]) -> serde_json::Val
         })
         .collect();
 
+    // Single-replication memory trajectory: one row per `--scale N`,
+    // with the bytes/phone column the scaling acceptance gate reads.
+    let scaling: Vec<serde_json::Value> = scale_points
+        .iter()
+        .map(|p| {
+            serde_json::json!({
+                "population": p.population,
+                "wall_secs": p.wall_secs,
+                "events_processed": p.events_processed,
+                "events_per_sec": p.events_per_sec,
+                "peak_pending_events": p.peak_pending_events,
+                "peak_event_bytes": p.peak_event_bytes,
+                "resident_state_bytes": p.resident_state_bytes,
+                "bytes_per_phone": p.bytes_per_phone,
+                "final_infected": p.final_infected,
+            })
+        })
+        .collect();
+
     serde_json::json!({
-        "schema": "mpvsim-perfsuite/3",
+        "schema": "mpvsim-perfsuite/4",
         "quick": suite.quick,
         "reps": suite.figure.reps,
         "master_seed": suite.figure.master_seed,
         "threads": suite.figure.threads,
         "population": suite.figure.population,
+        "layout": suite.figure.layout.label(),
         "figures": rows,
         "comparison": comparison,
         "probe_overhead": probe_overhead,
+        "scaling": scaling,
     })
 }
 
@@ -284,13 +385,21 @@ fn render_table(measurements: &[Measurement]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<18} {:<12} {:<6} {:>10} {:>12} {:>12} {:>10} {:>12}",
-        "figure", "fel", "probe", "wall s", "events", "events/s", "peak pend", "cache h/m"
+        "{:<18} {:<12} {:<6} {:>10} {:>12} {:>12} {:>10} {:>12} {:>12}",
+        "figure",
+        "fel",
+        "probe",
+        "wall s",
+        "events",
+        "events/s",
+        "peak pend",
+        "peak ev B",
+        "cache h/m"
     );
     for m in measurements {
         let _ = writeln!(
             out,
-            "{:<18} {:<12} {:<6} {:>10.2} {:>12} {:>12.0} {:>10} {:>12}",
+            "{:<18} {:<12} {:<6} {:>10.2} {:>12} {:>12.0} {:>10} {:>12} {:>12}",
             m.figure,
             m.fel.label(),
             m.probe.name(),
@@ -298,7 +407,39 @@ fn render_table(measurements: &[Measurement]) -> String {
             m.events_processed,
             m.events_per_sec,
             m.peak_pending_events,
+            m.peak_event_bytes,
             format!("{}/{}", m.cache.hits, m.cache.misses),
+        );
+    }
+    out
+}
+
+fn render_scaling_table(points: &[ScalePoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>14} {:>12} {:>14} {:>14} {:>12} {:>10}",
+        "population",
+        "wall s",
+        "events",
+        "peak pend",
+        "state bytes",
+        "event bytes",
+        "bytes/phone",
+        "infected"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10.2} {:>14} {:>12} {:>14} {:>14} {:>12.1} {:>10}",
+            p.population,
+            p.wall_secs,
+            p.events_processed,
+            p.peak_pending_events,
+            p.resident_state_bytes,
+            p.peak_event_bytes,
+            p.bytes_per_phone,
+            p.final_infected,
         );
     }
     out
@@ -352,8 +493,33 @@ pub fn run(args: &[String]) -> i32 {
         }
     }
 
+    let mut scale_points = Vec::new();
+    for &n in &suite.scales {
+        eprintln!("running scaling point n={n} (1 replication, virus 1 baseline)...");
+        match run_scale_point(n, &suite.figure) {
+            Ok(p) => {
+                eprintln!(
+                    "  {:.2} s, {} events, {:.1} bytes/phone ({} state + {} event peak)",
+                    p.wall_secs,
+                    p.events_processed,
+                    p.bytes_per_phone,
+                    p.resident_state_bytes,
+                    p.peak_event_bytes,
+                );
+                scale_points.push(p);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+    }
+
     print!("{}", render_table(&measurements));
-    let doc = report(&suite, &measurements);
+    if !scale_points.is_empty() {
+        print!("{}", render_scaling_table(&scale_points));
+    }
+    let doc = report(&suite, &measurements, &scale_points);
 
     let now = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -391,7 +557,17 @@ mod tests {
         assert!(!o.quick);
         assert!(o.out.is_none());
         assert!(o.only.is_empty());
+        assert!(o.scales.is_empty());
         assert_eq!(o.figure.population, 1000);
+    }
+
+    #[test]
+    fn scale_and_layout_flags_parse() {
+        let o = parse(&["--scale", "1000", "--scale", "50000", "--layout", "arena"]).unwrap();
+        assert_eq!(o.scales, vec![1000, 50000]);
+        assert_eq!(o.figure.layout, mpvsim_core::LayoutKind::Arena);
+        assert!(parse(&["--scale", "0"]).is_err());
+        assert!(parse(&["--layout", "bogus"]).is_err());
     }
 
     #[test]
@@ -457,15 +633,28 @@ mod tests {
         );
         // Five cells share one network per seed: 1 miss, 4 hits per rep.
         assert_eq!((ms[0].cache.hits, ms[0].cache.misses), (4, 1));
+        let scale = run_scale_point(40, &base).unwrap();
+        assert_eq!(scale.population, 40);
+        assert!(scale.resident_state_bytes > 0);
+        assert!(scale.bytes_per_phone > 0.0);
         let suite = SuiteOptions {
             figure: base,
             out: None,
             only: vec!["fig7_blacklist".to_owned()],
             quick: false,
+            scales: vec![40],
         };
-        let doc = report(&suite, &ms);
-        assert_eq!(doc["schema"], "mpvsim-perfsuite/3");
+        let doc = report(&suite, &ms, std::slice::from_ref(&scale));
+        assert_eq!(doc["schema"], "mpvsim-perfsuite/4");
+        assert_eq!(doc["layout"], "fresh");
+        let scaling = doc["scaling"].as_array().unwrap();
+        assert_eq!(scaling.len(), 1);
+        assert_eq!(scaling[0]["population"], 40);
+        assert!(scaling[0]["bytes_per_phone"].as_f64().unwrap() > 0.0);
+        assert!(scaling[0]["resident_state_bytes"].as_u64().unwrap() > 0);
+        assert!(render_scaling_table(std::slice::from_ref(&scale)).contains("bytes/phone"));
         assert_eq!(doc["figures"].as_array().unwrap().len(), 3);
+        assert!(doc["figures"][0]["peak_event_bytes"].as_u64().unwrap() > 0);
         assert_eq!(doc["figures"][0]["topology_cache_hits"], 4);
         assert_eq!(doc["figures"][0]["probe"], "none");
         assert_eq!(doc["figures"][2]["probe"], "noop");

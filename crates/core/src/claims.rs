@@ -450,6 +450,7 @@ mod tests {
                     stats: Default::default(),
                     activation: Default::default(),
                     gateway_peak_delay: None,
+                    resident_state_bytes: 0,
                     probe: None,
                 }],
             },

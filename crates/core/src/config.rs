@@ -130,6 +130,14 @@ pub struct ScenarioConfig {
     /// so existing configuration files keep working.
     #[serde(default)]
     pub event_budget: Option<u64>,
+    /// Per-phone cap on MMS messages pending (delivered but not yet
+    /// read) in the inbox; a delivery that would exceed it is refused
+    /// deterministically (tail-drop, counted in the run statistics).
+    /// `None` — the default, and the paper's implicit assumption — means
+    /// unbounded inboxes. Serialized only when set, so canonical
+    /// scenario-spec bytes are unchanged for existing configurations.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub inbox_cap: Option<u32>,
 }
 
 impl ScenarioConfig {
@@ -152,6 +160,7 @@ impl ScenarioConfig {
             mobility: None,
             gateway_capacity_per_hour: None,
             event_budget: None,
+            inbox_cap: None,
         }
     }
 
@@ -226,6 +235,9 @@ impl ScenarioConfig {
         }
         if self.event_budget == Some(0) {
             return Err(ConfigError::invalid("event_budget", "must be positive"));
+        }
+        if self.inbox_cap == Some(0) {
+            return Err(ConfigError::invalid("inbox_cap", "must be at least 1"));
         }
         match (&self.virus.bluetooth, &self.mobility) {
             (Some(_), None) => {

@@ -32,7 +32,7 @@ use crate::response::{
     Blacklist, DetectionAlgorithm, Immunization, Monitoring, ResponseConfig, SignatureScan,
     UserEducation,
 };
-use crate::run::{ExperimentPlan, ExperimentResult, TopologyCache};
+use crate::run::{ExperimentPlan, ExperimentResult, LayoutKind, TopologyCache};
 use crate::spec::ScenarioSpec;
 use crate::virus::{BluetoothVector, VirusProfile};
 
@@ -63,6 +63,9 @@ pub struct FigureOptions {
     /// [`crate::probe`]); read-only, never affects the curves. Defaults
     /// to [`ProbeKind::None`].
     pub probe: ProbeKind,
+    /// Per-replication state-array layout; a pure performance knob that
+    /// never affects the curves (see [`LayoutKind`]).
+    pub layout: LayoutKind,
 }
 
 impl Default for FigureOptions {
@@ -76,6 +79,7 @@ impl Default for FigureOptions {
             fel: FelKind::default(),
             topology_cache: None,
             probe: ProbeKind::None,
+            layout: LayoutKind::Fresh,
         }
     }
 }
@@ -93,7 +97,8 @@ impl FigureOptions {
             .threads(self.threads)
             .observer_handle(self.observer.clone())
             .fel(self.fel)
-            .probe(self.probe);
+            .probe(self.probe)
+            .layout(self.layout);
         match &self.topology_cache {
             Some(cache) => plan.topology_cache(cache.clone()),
             None => plan,
@@ -375,15 +380,40 @@ pub fn blacklist_matrix(opts: &FigureOptions) -> Result<Vec<LabeledResult>, Conf
     run_cells(&blacklist_matrix_cells(opts), opts)
 }
 
+/// Population size from which scaling cells switch to bounded-memory
+/// settings (see [`scaling_study_cells`]).
+pub const SCALING_BOUNDED_MIN_POPULATION: usize = 100_000;
+
+/// Inbox admission cap the large scaling cells run with. 64 pending
+/// messages per phone is far above anything the paper's viruses sustain
+/// at a single phone, so small-population trajectories are unaffected,
+/// while at 10^5–10^6 phones it bounds the FEL and inbox state to
+/// O(population · cap) instead of letting message bursts stack without
+/// limit.
+pub const SCALING_INBOX_CAP: u32 = 64;
+
 /// **§5.3 prose claim** cells — baselines for Viruses 1 and 3 at
 /// `opts.population` and at twice that.
+///
+/// Cells at or above [`SCALING_BOUNDED_MIN_POPULATION`] phones run with
+/// the bounded inbox admission cap ([`SCALING_INBOX_CAP`]) and an event
+/// budget scaled to the population, so a single replication at 10^6
+/// phones completes in bounded memory instead of tripping the default
+/// runaway guard.
 pub fn scaling_study_cells(opts: &FigureOptions) -> Vec<StudyCell> {
     let mut out = Vec::new();
     for v in [VirusProfile::virus1(), VirusProfile::virus3()] {
         for size in [opts.population, 2 * opts.population] {
             let name = v.name.clone();
             let scaled_opts = FigureOptions { population: size, ..opts.clone() };
-            out.push(cell(format!("{name} n={size}"), base_config(v.clone(), &scaled_opts)));
+            let mut config = base_config(v.clone(), &scaled_opts);
+            if size >= SCALING_BOUNDED_MIN_POPULATION {
+                config.inbox_cap.get_or_insert(SCALING_INBOX_CAP);
+                config
+                    .event_budget
+                    .get_or_insert(crate::run::DEFAULT_EVENT_BUDGET.max(size as u64 * 2_000));
+            }
+            out.push(cell(format!("{name} n={size}"), config));
         }
     }
     out

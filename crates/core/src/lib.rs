@@ -69,9 +69,10 @@ pub use response::{
     SignatureScan, UserEducation,
 };
 pub use run::{
-    run_scenario, run_scenario_cached, run_scenario_probed, run_scenario_probed_with,
-    run_scenario_with_metrics, run_scenario_with_metrics_fel, AdaptiveResult, ExperimentPlan,
-    ExperimentResult, RunResult, TopologyCache, TopologyCacheStats, DEFAULT_EVENT_BUDGET,
+    run_scenario, run_scenario_cached, run_scenario_configured, run_scenario_probed,
+    run_scenario_probed_with, run_scenario_probed_with_layout, run_scenario_with_metrics,
+    run_scenario_with_metrics_fel, AdaptiveResult, ExperimentPlan, ExperimentResult, LayoutKind,
+    RunResult, TopologyCache, TopologyCacheStats, DEFAULT_EVENT_BUDGET,
 };
 pub use spec::{ScenarioSpec, SCENARIO_SCHEMA};
 pub use studies::{StudyId, StudyInfo, StudyKind};

@@ -10,7 +10,9 @@
 //! Sample fires every `sample_step` and appends the infected count.
 //! Detectability (gateway sees `detect_threshold` infected messages)
 //! schedules ScanActive / DetectionActive / RolloutStart;
-//! RolloutStart schedules one PatchArrive per phone.
+//! RolloutStart coalesces patch arrivals into one PatchWave event per
+//! distinct arrival instant (the model keeps a wave table mapping each
+//! event to the phones it patches).
 //! ```
 //!
 //! All stochastic draws go through the engine-owned RNG, so one
@@ -21,7 +23,9 @@ use rand::RngExt;
 use mpvsim_des::random::bernoulli;
 use mpvsim_des::{Context, Model, SimDuration, SimTime};
 use mpvsim_mobility::MobilityField;
-use mpvsim_phonenet::{AddressSpace, Gateway, Inboxes, PhoneId, Population, TransitQueue};
+use mpvsim_phonenet::{
+    AddressSpace, BufferPool, Gateway, Inboxes, PhoneId, Population, TransitQueue,
+};
 use mpvsim_stats::TimeSeries;
 
 use crate::behavior::AcceptanceModel;
@@ -48,8 +52,10 @@ pub enum Event {
     DetectionActive,
     /// Patch development finishes; the rollout begins.
     RolloutStart,
-    /// The immunization patch reaches this phone.
-    PatchArrive(PhoneId),
+    /// The immunization patch reaches every phone in one arrival wave
+    /// (all phones sharing one distinct arrival instant, coalesced into a
+    /// single event; the payload indexes the model's wave table).
+    PatchWave(u32),
     /// Periodic infection-count sample.
     Sample,
     /// Advance the mobility field and run Bluetooth proximity transfers
@@ -96,6 +102,9 @@ pub struct RunStats {
     /// Monitoring flags raised against phones that were NOT infected
     /// (false positives; only possible with legitimate traffic).
     pub false_positive_throttles: u64,
+    /// Deliveries refused by the bounded inbox admission cap (always 0
+    /// when no `inbox_cap` is configured).
+    pub inbox_dropped: u64,
 }
 
 /// Per-phone sending-side state (only meaningful once infected).
@@ -154,6 +163,11 @@ pub struct EpidemicModel {
     mobility: Option<MobilityField>,
     inboxes: Inboxes,
     transit: Option<TransitQueue>,
+    /// Patch-arrival waves built at rollout start: one entry per distinct
+    /// arrival instant holding the phones patched at that instant, in the
+    /// order the uncoalesced schedule would have patched them.
+    /// [`Event::PatchWave`] indexes this table; a fired wave is drained.
+    patch_waves: Vec<Vec<u32>>,
     /// Reusable scratch buffer for the recipients of the MMS currently
     /// being assembled — one allocation for the whole run instead of a
     /// fresh `Vec` per send.
@@ -209,13 +223,52 @@ impl EpidemicModel {
         population: Population,
         mobility: Option<MobilityField>,
     ) -> Self {
+        Self::build(config, population, mobility, None)
+    }
+
+    /// Like [`EpidemicModel::with_mobility`], but drawing the gateway and
+    /// inbox state arrays from `pool` (recycled allocations). The built
+    /// model is bit-identical to the fresh one; return the buffers with
+    /// [`EpidemicModel::recycle_buffers`] when the replication ends.
+    pub fn with_mobility_pooled(
+        config: ScenarioConfig,
+        population: Population,
+        mobility: Option<MobilityField>,
+        pool: &mut BufferPool,
+    ) -> Self {
+        Self::build(config, population, mobility, Some(pool))
+    }
+
+    fn build(
+        config: ScenarioConfig,
+        population: Population,
+        mobility: Option<MobilityField>,
+        pool: Option<&mut BufferPool>,
+    ) -> Self {
         assert!(
             config.virus.bluetooth.is_none() || mobility.is_some(),
             "Bluetooth vector requires a mobility field"
         );
         let monitor_window =
             config.response.monitoring.map(|m| m.window).unwrap_or(SimDuration::from_hours(24));
-        let gateway = Gateway::new(population.len(), monitor_window);
+        // The monitoring mechanism only ever asks `count > threshold`, so
+        // threshold + 1 ring slots per phone decide it exactly; without
+        // monitoring nobody reads the window and no slab is needed.
+        let ring_capacity = match config.response.monitoring {
+            Some(mn) => mn.threshold.saturating_add(1),
+            None => 0,
+        };
+        let n = population.len();
+        let (gateway, inboxes) = match pool {
+            Some(pool) => (
+                Gateway::with_capacity_pooled(n, monitor_window, ring_capacity, pool),
+                Inboxes::with_cap_pooled(n, config.inbox_cap, pool),
+            ),
+            None => (
+                Gateway::with_capacity(n, monitor_window, ring_capacity),
+                Inboxes::with_cap(n, config.inbox_cap),
+            ),
+        };
         let address_space = match config.virus.targeting {
             TargetingStrategy::RandomDialing { valid_fraction } => Some(AddressSpace::new(
                 u32::try_from(population.len()).expect("population fits u32"),
@@ -228,7 +281,6 @@ impl EpidemicModel {
         let senders = vec![SenderState::new(); population.len()];
         let series = TimeSeries::new(config.sample_step.as_hours_f64());
         let traffic_series = TimeSeries::new(config.sample_step.as_hours_f64());
-        let inboxes = Inboxes::new(population.len());
         let transit = config.gateway_capacity_per_hour.map(TransitQueue::per_hour);
         EpidemicModel {
             config,
@@ -244,10 +296,30 @@ impl EpidemicModel {
             mobility,
             inboxes,
             transit,
+            patch_waves: Vec::new(),
             recipient_buf: Vec::new(),
             bt_offers: Vec::new(),
             probe: None,
         }
+    }
+
+    /// Returns the model's pooled state arrays (population, gateway,
+    /// inboxes) to `pool` for the next replication.
+    pub fn recycle_buffers(self, pool: &mut BufferPool) {
+        self.population.recycle(pool);
+        self.gateway.recycle(pool);
+        self.inboxes.recycle(pool);
+    }
+
+    /// Resident bytes of the population-proportional model state: the
+    /// packed phone-state arrays, the shared CSR topology, the inbox
+    /// pending array and the gateway rings. Event-heap memory is
+    /// reported separately (see
+    /// [`mpvsim_des::SimMetrics::peak_event_bytes`]).
+    pub fn resident_state_bytes(&self) -> usize {
+        self.population.resident_bytes()
+            + self.inboxes.resident_bytes()
+            + self.gateway.resident_bytes()
     }
 
     /// Attaches a probe (replacing any existing one). Probes observe the
@@ -464,7 +536,7 @@ impl EpidemicModel {
                 let start = sender.cursor % len;
                 sender.cursor = (start + k) % len;
                 self.recipient_buf.clear();
-                self.recipient_buf.extend((0..k).map(|i| contacts[(start + i) % len]));
+                self.recipient_buf.extend((0..k).map(|i| PhoneId(contacts[(start + i) % len])));
                 true
             }
             TargetingStrategy::RandomDialing { .. } => {
@@ -540,7 +612,7 @@ impl EpidemicModel {
         let recipient = if contacts.is_empty() {
             None
         } else {
-            Some(contacts[ctx.rng().random_range(0..contacts.len())])
+            Some(PhoneId(contacts[ctx.rng().random_range(0..contacts.len())]))
         };
 
         self.maybe_piggyback(phone, ctx);
@@ -653,8 +725,15 @@ impl EpidemicModel {
             return false; // unassigned number: nothing to deliver
         };
         for &r in recipients {
+            // Bounded admission: a full inbox tail-drops the copy before
+            // any delivery bookkeeping, scheduling, or RNG draw happens,
+            // so capped and uncapped runs agree on everything up to the
+            // first drop — and runs without a cap are bit-identical.
+            if self.inboxes.try_deliver(r).is_none() {
+                self.stats.inbox_dropped += 1;
+                continue;
+            }
             self.stats.deliveries += 1;
-            self.inboxes.deliver(r);
             if let Some(p) = self.probe.as_deref_mut() {
                 p.on_message_delivered(now, sender, r);
             }
@@ -741,15 +820,19 @@ impl EpidemicModel {
         }
         let rollout_secs = imm.rollout_duration.as_secs();
         let n = self.population.len();
+
+        // Build the per-phone arrival offsets exactly as the uncoalesced
+        // schedule did (same RNG draws, same emission order), …
+        let mut arrivals: Vec<(u64, u32)> = Vec::with_capacity(n);
         match imm.order {
             crate::response::RolloutOrder::Uniform => {
                 for id in 0..n {
                     let offset = if rollout_secs == 0 {
-                        SimDuration::ZERO
+                        0
                     } else {
-                        SimDuration::from_secs(ctx.rng().random_range(0..=rollout_secs))
+                        ctx.rng().random_range(0..=rollout_secs)
                     };
-                    ctx.schedule_in(offset, Event::PatchArrive(PhoneId::from(id)));
+                    arrivals.push((offset, id as u32));
                 }
             }
             crate::response::RolloutOrder::HubsFirst => {
@@ -761,12 +844,48 @@ impl EpidemicModel {
                     .sort_by_key(|&i| std::cmp::Reverse(self.population.degree(PhoneId::from(i))));
                 for (rank, id) in by_degree.into_iter().enumerate() {
                     let offset = if n <= 1 || rollout_secs == 0 {
-                        SimDuration::ZERO
+                        0
                     } else {
-                        SimDuration::from_secs(rollout_secs * rank as u64 / (n as u64 - 1))
+                        rollout_secs * rank as u64 / (n as u64 - 1)
                     };
-                    ctx.schedule_in(offset, Event::PatchArrive(PhoneId::from(id)));
+                    arrivals.push((offset, id as u32));
                 }
+            }
+        }
+
+        // … then coalesce phones sharing an arrival instant into one
+        // wave event each, so the FEL holds one entry per distinct
+        // instant instead of one per phone. Waves fire in `(time, seq)`
+        // order and apply their phones in emission order, which is
+        // exactly the order the per-phone burst would have fired in —
+        // `apply_patch` draws no RNG and schedules nothing, so the
+        // trajectory is unchanged.
+        self.patch_waves.clear();
+        let mut wave_for: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        for (offset, id) in arrivals {
+            match wave_for.entry(offset) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    self.patch_waves[*e.get() as usize].push(id);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let idx = u32::try_from(self.patch_waves.len()).expect("wave count fits u32");
+                    e.insert(idx);
+                    self.patch_waves.push(vec![id]);
+                    ctx.schedule_in(SimDuration::from_secs(offset), Event::PatchWave(idx));
+                }
+            }
+        }
+    }
+
+    fn on_patch_wave(&mut self, wave: u32, ctx: &mut Context<'_, Event>) {
+        let phones = std::mem::take(&mut self.patch_waves[wave as usize]);
+        let now = ctx.now();
+        for id in phones {
+            let p = PhoneId(id);
+            let was_infected = self.population.phone(p).is_infected();
+            self.population.phone_mut(p).apply_patch();
+            if let Some(probe) = self.probe.as_deref_mut() {
+                probe.on_patch_applied(now, p, was_infected);
             }
         }
     }
@@ -876,13 +995,7 @@ impl Model for EpidemicModel {
                 }
             }
             Event::RolloutStart => self.on_rollout_start(ctx),
-            Event::PatchArrive(p) => {
-                let was_infected = self.population.phone(p).is_infected();
-                self.population.phone_mut(p).apply_patch();
-                if let Some(probe) = self.probe.as_deref_mut() {
-                    probe.on_patch_applied(ctx.now(), p, was_infected);
-                }
-            }
+            Event::PatchWave(w) => self.on_patch_wave(w, ctx),
             Event::Sample => self.on_sample(ctx),
             Event::MobilityTick => self.on_mobility_tick(ctx),
             Event::LegitimateSend(p) => self.on_legitimate_send(p, ctx),

@@ -34,9 +34,9 @@ use mpvsim_des::{
     ReplicationMetrics, RunOutcome, SimMetrics, SimTime, Simulation,
 };
 use mpvsim_mobility::MobilityField;
-use mpvsim_phonenet::Population;
+use mpvsim_phonenet::{BufferPool, Population};
 use mpvsim_stats::{AggregateSeries, OnlineAggregate, Summary, TimeSeries};
-use mpvsim_topology::{Graph, GraphSpec};
+use mpvsim_topology::{CsrGraph, GraphSpec};
 
 use crate::config::{ConfigError, ScenarioConfig};
 use crate::model::{EpidemicModel, Event, RunStats};
@@ -49,14 +49,63 @@ pub use mpvsim_des::engine::DEFAULT_EVENT_BUDGET;
 /// Sub-stream label for topology generation (independent of dynamics).
 const TOPOLOGY_STREAM: u64 = 1;
 
-/// One cached network: the generated graph plus the RNG state *after*
-/// generation, so everything downstream of the generator (vulnerability
-/// designation, mobility placement) consumes exactly the random values it
-/// would have consumed had the graph been regenerated.
+/// One cached network: the generated graph (already in its compressed
+/// sparse-row runtime form) plus the RNG state *after* generation, so
+/// everything downstream of the generator (vulnerability designation,
+/// mobility placement) consumes exactly the random values it would have
+/// consumed had the graph been regenerated.
 #[derive(Clone)]
 struct CachedTopology {
-    graph: Arc<Graph>,
+    graph: Arc<CsrGraph>,
     rng_after: StdRng,
+}
+
+/// How each replication allocates its per-phone state arrays (see
+/// [`BufferPool`]).
+///
+/// Like threads, observers and the FEL backend, the layout never changes
+/// a bit of the results — pooled buffers are rewound and refilled to the
+/// exact bytes a fresh allocation would hold — so it is a pure
+/// performance knob for replication-heavy workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum LayoutKind {
+    /// Allocate fresh state arrays for every replication (the default).
+    #[default]
+    Fresh,
+    /// Recycle state arrays through a thread-local arena: each worker
+    /// thread keeps a small [`BufferPool`] and hands every replication's
+    /// buffers back to it, bounding allocator churn at high replication
+    /// counts.
+    Arena,
+}
+
+impl LayoutKind {
+    /// Stable lowercase label (CLI flag value / variant-axis name).
+    pub fn label(self) -> &'static str {
+        match self {
+            LayoutKind::Fresh => "fresh",
+            LayoutKind::Arena => "arena",
+        }
+    }
+
+    /// Parses a [`LayoutKind::label`] back to the kind.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "fresh" => Some(LayoutKind::Fresh),
+            "arena" => Some(LayoutKind::Arena),
+            _ => None,
+        }
+    }
+
+    /// All layouts, in display order.
+    pub const ALL: [LayoutKind; 2] = [LayoutKind::Fresh, LayoutKind::Arena];
+}
+
+thread_local! {
+    /// Per-worker-thread arena backing [`LayoutKind::Arena`] runs.
+    static ARENA_POOL: std::cell::RefCell<BufferPool> =
+        std::cell::RefCell::new(BufferPool::default());
 }
 
 /// Hit/miss counters of a [`TopologyCache`].
@@ -127,7 +176,7 @@ impl TopologyCache {
         &self,
         spec: &GraphSpec,
         topo_seed: u64,
-    ) -> Result<(Arc<Graph>, StdRng), ConfigError> {
+    ) -> Result<(Arc<CsrGraph>, StdRng), ConfigError> {
         // The serialized spec is an exact key: serde_json round-trips
         // every f64 parameter bit-for-bit.
         let key = (
@@ -141,10 +190,13 @@ impl TopologyCache {
             return Ok((entry.graph.clone(), entry.rng_after.clone()));
         }
         // Generate outside the lock; concurrent misses on the same key do
-        // redundant work but produce identical entries.
+        // redundant work but produce identical entries. Streaming straight
+        // into CSR leaves the generator RNG in the same state as the
+        // adjacency-list path, so cached and uncached runs stay
+        // bit-identical.
         let mut rng = StdRng::seed_from_u64(topo_seed);
         let graph = Arc::new(
-            spec.generate(&mut rng)
+            spec.generate_csr(&mut rng)
                 .map_err(|e| ConfigError::invalid("population.topology", e.to_string()))?,
         );
         self.misses.fetch_add(1, Ordering::Relaxed);
@@ -171,6 +223,12 @@ pub struct RunResult {
     /// The worst gateway transit delay any message saw (`None` when the
     /// gateway has the paper's infinite capacity).
     pub gateway_peak_delay: Option<SimDuration>,
+    /// Resident bytes of the population-proportional model state (phone
+    /// arrays, CSR topology, inbox and gateway arrays); event-heap
+    /// memory is in [`SimMetrics::peak_event_bytes`]. Purely
+    /// informational — never part of the golden trajectory fingerprint.
+    #[serde(default)]
+    pub resident_state_bytes: usize,
     /// What the attached probe produced (`None` when the replication ran
     /// without one — the default; see [`crate::probe::ProbeKind`]).
     #[serde(default, skip_serializing_if = "Option::is_none")]
@@ -299,9 +357,29 @@ pub fn run_scenario_probed(
     cache: Option<&TopologyCache>,
     probe: ProbeKind,
 ) -> Result<(RunResult, SimMetrics), ConfigError> {
+    run_scenario_configured(config, seed, fel, cache, probe, LayoutKind::Fresh)
+}
+
+/// The most general entry point of the `run_scenario_*` family: explicit
+/// FEL backend, optional topology cache, probe, **and** state-array
+/// layout (see [`LayoutKind`]). Every knob is trajectory-neutral; the
+/// result is bit-identical across all combinations.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the scenario is invalid or the
+/// replication exceeds its event budget.
+pub fn run_scenario_configured(
+    config: &ScenarioConfig,
+    seed: u64,
+    fel: FelKind,
+    cache: Option<&TopologyCache>,
+    probe: ProbeKind,
+    layout: LayoutKind,
+) -> Result<(RunResult, SimMetrics), ConfigError> {
     // Validate up front so `probe.build` sees a well-formed config.
     config.validate()?;
-    run_scenario_inner(config, seed, fel, cache, probe.build(config))
+    run_scenario_inner(config, seed, fel, cache, probe.build(config), layout)
 }
 
 /// Like [`run_scenario_probed`], instrumented with a caller-supplied
@@ -321,8 +399,27 @@ pub fn run_scenario_probed_with(
     cache: Option<&TopologyCache>,
     probe: Box<dyn SimProbe>,
 ) -> Result<(RunResult, SimMetrics), ConfigError> {
+    run_scenario_probed_with_layout(config, seed, fel, cache, probe, LayoutKind::Fresh)
+}
+
+/// Like [`run_scenario_probed_with`], additionally selecting the
+/// state-array layout (see [`LayoutKind`]); the validation layer uses
+/// this to exercise the layout axis of the variant matrix.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] when the scenario is invalid or the
+/// replication exceeds its event budget.
+pub fn run_scenario_probed_with_layout(
+    config: &ScenarioConfig,
+    seed: u64,
+    fel: FelKind,
+    cache: Option<&TopologyCache>,
+    probe: Box<dyn SimProbe>,
+    layout: LayoutKind,
+) -> Result<(RunResult, SimMetrics), ConfigError> {
     config.validate()?;
-    run_scenario_inner(config, seed, fel, cache, Some(probe))
+    run_scenario_inner(config, seed, fel, cache, Some(probe), layout)
 }
 
 /// Shared replication body behind the `run_scenario_*` family. Assumes
@@ -333,6 +430,7 @@ fn run_scenario_inner(
     fel: FelKind,
     cache: Option<&TopologyCache>,
     probe: Option<Box<dyn SimProbe>>,
+    layout: LayoutKind,
 ) -> Result<(RunResult, SimMetrics), ConfigError> {
     let topo_seed = derive_stream_seed(seed, 0, TOPOLOGY_STREAM);
     let (graph, mut topo_rng) = match cache {
@@ -342,19 +440,42 @@ fn run_scenario_inner(
             let graph = config
                 .population
                 .topology
-                .generate(&mut rng)
+                .generate_csr(&mut rng)
                 .map_err(|e| ConfigError::invalid("population.topology", e.to_string()))?;
             (Arc::new(graph), rng)
         }
     };
-    let population =
-        Population::from_graph(&graph, config.population.vulnerable_fraction, &mut topo_rng);
+    let population = match layout {
+        LayoutKind::Fresh => Population::from_csr(
+            graph.clone(),
+            config.population.vulnerable_fraction,
+            &mut topo_rng,
+        ),
+        LayoutKind::Arena => ARENA_POOL.with(|pool| {
+            Population::from_csr_pooled(
+                graph.clone(),
+                config.population.vulnerable_fraction,
+                &mut topo_rng,
+                &mut pool.borrow_mut(),
+            )
+        }),
+    };
     let mobility = config
         .mobility
         .map(|m| MobilityField::new(m.arena(), population.len(), m.waypoint, &mut topo_rng));
 
     let budget = config.event_budget.unwrap_or(DEFAULT_EVENT_BUDGET);
-    let mut model = EpidemicModel::with_mobility(config.clone(), population, mobility);
+    let mut model = match layout {
+        LayoutKind::Fresh => EpidemicModel::with_mobility(config.clone(), population, mobility),
+        LayoutKind::Arena => ARENA_POOL.with(|pool| {
+            EpidemicModel::with_mobility_pooled(
+                config.clone(),
+                population,
+                mobility,
+                &mut pool.borrow_mut(),
+            )
+        }),
+    };
     if let Some(p) = probe {
         model.set_probe(p);
     }
@@ -373,18 +494,20 @@ fn run_scenario_inner(
     let mut model = sim.into_model();
     let probe_output = model.take_probe().and_then(|p| p.into_output());
 
-    Ok((
-        RunResult {
-            final_infected: model.infected_count(),
-            stats: *model.stats(),
-            activation: *model.activation(),
-            gateway_peak_delay: model.transit_queue().map(|q| q.peak_delay()),
-            traffic: model.traffic_series().clone(),
-            series: model.series().clone(),
-            probe: probe_output,
-        },
-        metrics,
-    ))
+    let result = RunResult {
+        final_infected: model.infected_count(),
+        stats: *model.stats(),
+        activation: *model.activation(),
+        gateway_peak_delay: model.transit_queue().map(|q| q.peak_delay()),
+        resident_state_bytes: model.resident_state_bytes(),
+        traffic: model.traffic_series().clone(),
+        series: model.series().clone(),
+        probe: probe_output,
+    };
+    if layout == LayoutKind::Arena {
+        ARENA_POOL.with(|pool| model.recycle_buffers(&mut pool.borrow_mut()));
+    }
+    Ok((result, metrics))
 }
 
 /// A replicated experiment, described declaratively: how many
@@ -406,6 +529,7 @@ pub struct ExperimentPlan {
     fel: FelKind,
     topo_cache: Option<Arc<TopologyCache>>,
     probe: ProbeKind,
+    layout: LayoutKind,
 }
 
 impl ExperimentPlan {
@@ -422,7 +546,17 @@ impl ExperimentPlan {
             fel: FelKind::default(),
             topo_cache: None,
             probe: ProbeKind::None,
+            layout: LayoutKind::Fresh,
         }
+    }
+
+    /// Selects the per-replication state-array layout (see
+    /// [`LayoutKind`]). Like threads and observers, this never changes a
+    /// bit of the results; [`LayoutKind::Arena`] recycles each worker
+    /// thread's buffers across replications.
+    pub fn layout(mut self, layout: LayoutKind) -> Self {
+        self.layout = layout;
+        self
     }
 
     /// Runs every replication instrumented with the given probe (see
@@ -521,6 +655,13 @@ impl ExperimentPlan {
         self.probe
     }
 
+    /// The state-array layout each replication runs with
+    /// ([`LayoutKind::Fresh`] unless [`ExperimentPlan::layout`] was
+    /// called).
+    pub fn layout_kind(&self) -> LayoutKind {
+        self.layout
+    }
+
     /// Executes the plan: runs the replications (in parallel across the
     /// plan's threads) and aggregates them online.
     ///
@@ -571,6 +712,7 @@ impl ExperimentPlan {
             wall: started.elapsed(),
             events_processed: collector.total_events,
             peak_pending_events: collector.peak_pending,
+            peak_event_bytes: collector.peak_event_bytes,
         });
         Ok(collector.into_result())
     }
@@ -640,6 +782,7 @@ impl ExperimentPlan {
             wall: started.elapsed(),
             events_processed: collector.total_events,
             peak_pending_events: collector.peak_pending,
+            peak_event_bytes: collector.peak_event_bytes,
         });
         Ok(AdaptiveResult { result: collector.into_result(), converged })
     }
@@ -653,8 +796,14 @@ impl ExperimentPlan {
     ) -> Result<(RunResult, ReplicationMetrics), ConfigError> {
         self.observer.on_replication_start(rep, seed);
         let started = Instant::now();
-        let (result, sim) =
-            run_scenario_probed(config, seed, self.fel, self.topo_cache.as_deref(), self.probe)?;
+        let (result, sim) = run_scenario_configured(
+            config,
+            seed,
+            self.fel,
+            self.topo_cache.as_deref(),
+            self.probe,
+            self.layout,
+        )?;
         Ok((result, ReplicationMetrics { rep, seed, wall: started.elapsed(), sim }))
     }
 }
@@ -668,6 +817,7 @@ struct Collector {
     retain_runs: bool,
     total_events: u64,
     peak_pending: usize,
+    peak_event_bytes: usize,
 }
 
 impl Collector {
@@ -679,6 +829,7 @@ impl Collector {
             retain_runs,
             total_events: 0,
             peak_pending: 0,
+            peak_event_bytes: 0,
         }
     }
 
@@ -691,6 +842,7 @@ impl Collector {
         observer.on_replication_finish(&metrics);
         self.total_events += metrics.sim.events_processed;
         self.peak_pending = self.peak_pending.max(metrics.sim.peak_pending_events);
+        self.peak_event_bytes = self.peak_event_bytes.max(metrics.sim.peak_event_bytes);
         self.aggregate.push(&result.series);
         self.finals.push(result.final_infected as f64);
         if self.retain_runs {

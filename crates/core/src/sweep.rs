@@ -42,7 +42,7 @@ use mpvsim_stats::{AggregateSeries, Summary, TimeSeries};
 use crate::config::{ConfigError, ScenarioConfig};
 use crate::figures::FigureOptions;
 use crate::probe::{MechanismTelemetry, ProbeKind};
-use crate::run::{ExperimentPlan, TopologyCache, TopologyCacheStats};
+use crate::run::{ExperimentPlan, LayoutKind, TopologyCache, TopologyCacheStats};
 use crate::spec::ScenarioSpec;
 use crate::studies::StudyId;
 
@@ -255,6 +255,9 @@ pub struct SweepOptions {
     /// Probe attached to every replication ([`ProbeKind::Telemetry`]
     /// adds per-rep and cell-aggregate telemetry records to the store).
     pub probe: ProbeKind,
+    /// Per-replication state-array layout; a pure performance knob that
+    /// never changes a stored bit (see [`LayoutKind`]).
+    pub layout: LayoutKind,
 }
 
 impl Default for SweepOptions {
@@ -266,6 +269,7 @@ impl Default for SweepOptions {
             max_cells: None,
             observer: ObserverHandle::noop(),
             probe: ProbeKind::None,
+            layout: LayoutKind::Fresh,
         }
     }
 }
@@ -484,6 +488,7 @@ impl ResultsStore {
             .retain_runs(false)
             .fel(opts.fel)
             .probe(opts.probe)
+            .layout(opts.layout)
             .observer_handle(opts.observer.clone())
             .topology_cache(cache.clone());
 

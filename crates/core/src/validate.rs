@@ -56,7 +56,7 @@ use crate::response::{
     UserEducation,
 };
 use crate::run::{
-    run_scenario_probed_with, run_scenario_with_metrics_fel, ExperimentPlan, RunResult,
+    run_scenario_probed_with, run_scenario_with_metrics_fel, ExperimentPlan, LayoutKind, RunResult,
 };
 use crate::spec::ScenarioSpec;
 use crate::studies::StudyId;
@@ -116,12 +116,13 @@ impl GoldenScale {
             fel: variant.fel,
             topology_cache: None,
             probe: variant.probe,
+            layout: variant.layout,
         }
     }
 }
 
 /// One execution variant a golden check replays a study under. The
-/// engine documents all three knobs as bit-transparent; the checker
+/// engine documents all four knobs as bit-transparent; the checker
 /// turns that contract into a regression gate.
 #[derive(Debug, Clone)]
 pub struct Variant {
@@ -133,25 +134,34 @@ pub struct Variant {
     pub threads: usize,
     /// Probe attached to every replication.
     pub probe: ProbeKind,
+    /// State-array layout each replication allocates with.
+    pub layout: LayoutKind,
 }
 
 impl Variant {
     /// The reference execution: binary-heap FEL, single-threaded, no
-    /// probe. Blessing always uses this variant.
+    /// probe, fresh state arrays. Blessing always uses this variant.
     pub fn reference() -> Variant {
-        Variant { label: "reference", fel: FelKind::BinaryHeap, threads: 1, probe: ProbeKind::None }
+        Variant {
+            label: "reference",
+            fel: FelKind::BinaryHeap,
+            threads: 1,
+            probe: ProbeKind::None,
+            layout: LayoutKind::Fresh,
+        }
     }
 
     /// The standard single-knob check matrix: reference, calendar FEL,
-    /// `threads` worker threads, and a no-op probe. Each variant flips
-    /// exactly one knob away from the reference so a drift names its
-    /// culprit.
+    /// `threads` worker threads, a no-op probe, and the arena buffer
+    /// layout. Each variant flips exactly one knob away from the
+    /// reference so a drift names its culprit.
     pub fn standard(threads: usize) -> Vec<Variant> {
         vec![
             Variant::reference(),
             Variant { label: "calendar-fel", fel: FelKind::Calendar, ..Variant::reference() },
             Variant { label: "threaded", threads: threads.max(2), ..Variant::reference() },
             Variant { label: "noop-probe", probe: ProbeKind::Noop, ..Variant::reference() },
+            Variant { label: "arena-layout", layout: LayoutKind::Arena, ..Variant::reference() },
         ]
     }
 }

@@ -121,6 +121,9 @@ pub struct SimMetrics {
     pub events_processed: u64,
     /// High-water mark of the future-event list (pending events).
     pub peak_pending_events: usize,
+    /// Resident event-payload bytes at that high-water mark
+    /// (`peak_pending_events` × the size of one scheduled entry).
+    pub peak_event_bytes: usize,
 }
 
 /// A simulation run: a [`Model`], a clock, a future-event list and a seeded
@@ -215,6 +218,7 @@ impl<M: Model> Simulation<M> {
         SimMetrics {
             events_processed: self.events_processed,
             peak_pending_events: self.queue.peak_len(),
+            peak_event_bytes: self.queue.peak_resident_bytes(),
         }
     }
 
@@ -318,7 +322,15 @@ mod tests {
         assert_eq!(sim.events_processed(), 5);
         // At most one tick is ever pending (each tick schedules the next).
         assert_eq!(sim.peak_pending_events(), 1);
-        assert_eq!(sim.metrics(), SimMetrics { events_processed: 5, peak_pending_events: 1 });
+        let expected_bytes = std::mem::size_of::<crate::fel::Scheduled<Ev>>();
+        assert_eq!(
+            sim.metrics(),
+            SimMetrics {
+                events_processed: 5,
+                peak_pending_events: 1,
+                peak_event_bytes: expected_bytes,
+            }
+        );
     }
 
     #[test]

@@ -186,6 +186,15 @@ impl<E> EventQueue<E> {
         self.peak_len
     }
 
+    /// Resident bytes of event payload at the pending high-water mark:
+    /// [`EventQueue::peak_len`] × the size of one scheduled entry
+    /// (`(time, seq, event)`). Backend bookkeeping (heap/bucket overhead)
+    /// is excluded, so the figure is backend-independent and directly
+    /// comparable across FEL kinds.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_len * std::mem::size_of::<Scheduled<E>>()
+    }
+
     /// Discards all pending events and resets the high-water mark, so a
     /// reused queue reports the memory pressure of its *next* run rather
     /// than a stale peak. The lifetime [`EventQueue::scheduled_total`]

@@ -65,6 +65,9 @@ pub struct ExperimentMetrics {
     /// Highest pending-event count any replication reached (the max of
     /// the per-replication [`SimMetrics::peak_pending_events`] values).
     pub peak_pending_events: usize,
+    /// Resident event-payload bytes at that peak (the max of the
+    /// per-replication [`SimMetrics::peak_event_bytes`] values).
+    pub peak_event_bytes: usize,
 }
 
 impl ExperimentMetrics {
@@ -282,14 +285,16 @@ impl ExperimentObserver for ProgressObserver {
 ///
 /// ```json
 /// {"type":"replication","rep":0,"seed":42,"wall_ms":12.345,
-///  "events_processed":9876,"peak_pending_events":120,"events_per_sec":800000.0}
+///  "events_processed":9876,"peak_pending_events":120,"peak_event_bytes":5760,
+///  "events_per_sec":800000.0}
 /// ```
 ///
 /// and one summary line per experiment:
 ///
 /// ```json
 /// {"type":"experiment","reps":10,"wall_ms":123.456,
-///  "events_processed":98760,"peak_pending_events":120,"events_per_sec":800000.0}
+///  "events_processed":98760,"peak_pending_events":120,"peak_event_bytes":5760,
+///  "events_per_sec":800000.0}
 /// ```
 ///
 /// The schema is flat and numeric, so the lines are emitted without a
@@ -346,12 +351,13 @@ impl ExperimentObserver for JsonlObserver {
         self.write_line(format_args!(
             "{{\"type\":\"replication\",\"rep\":{rep},\"seed\":{seed},\"wall_ms\":{ms:.3},\
              \"events_processed\":{events},\"peak_pending_events\":{peak},\
-             \"events_per_sec\":{eps:.3}}}",
+             \"peak_event_bytes\":{bytes},\"events_per_sec\":{eps:.3}}}",
             rep = m.rep,
             seed = m.seed,
             ms = m.wall.as_secs_f64() * 1e3,
             events = m.sim.events_processed,
             peak = m.sim.peak_pending_events,
+            bytes = m.sim.peak_event_bytes,
             eps = m.events_per_sec(),
         ));
     }
@@ -360,11 +366,12 @@ impl ExperimentObserver for JsonlObserver {
         self.write_line(format_args!(
             "{{\"type\":\"experiment\",\"reps\":{reps},\"wall_ms\":{ms:.3},\
              \"events_processed\":{events},\"peak_pending_events\":{peak},\
-             \"events_per_sec\":{eps:.3}}}",
+             \"peak_event_bytes\":{bytes},\"events_per_sec\":{eps:.3}}}",
             reps = m.reps,
             ms = m.wall.as_secs_f64() * 1e3,
             events = m.events_processed,
             peak = m.peak_pending_events,
+            bytes = m.peak_event_bytes,
             eps = m.events_per_sec(),
         ));
         self.flush();
@@ -381,7 +388,11 @@ mod tests {
             rep,
             seed: 1000 + rep,
             wall: Duration::from_millis(20),
-            sim: SimMetrics { events_processed: 4000, peak_pending_events: 37 },
+            sim: SimMetrics {
+                events_processed: 4000,
+                peak_pending_events: 37,
+                peak_event_bytes: 37 * 40,
+            },
         }
     }
 
@@ -396,6 +407,7 @@ mod tests {
             wall: Duration::ZERO,
             events_processed: 10,
             peak_pending_events: 5,
+            peak_event_bytes: 200,
         };
         assert_eq!(e.events_per_sec(), 0.0);
     }
@@ -411,6 +423,7 @@ mod tests {
             wall: Duration::from_secs(1),
             events_processed: 12,
             peak_pending_events: 4,
+            peak_event_bytes: 160,
         });
     }
 
@@ -473,6 +486,7 @@ mod tests {
             wall: Duration::from_millis(50),
             events_processed: 8000,
             peak_pending_events: 37,
+            peak_event_bytes: 37 * 40,
         });
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
@@ -484,6 +498,7 @@ mod tests {
                 "\"seed\":",
                 "\"wall_ms\":",
                 "\"events_processed\":",
+                "\"peak_event_bytes\":",
                 "\"events_per_sec\":",
             ] {
                 assert!(line.contains(key), "{line} missing {key}");
@@ -496,6 +511,7 @@ mod tests {
         assert!(lines[2].starts_with("{\"type\":\"experiment\""), "{}", lines[2]);
         assert!(lines[2].contains("\"reps\":2"));
         assert!(lines[2].contains("\"peak_pending_events\":37"), "{}", lines[2]);
+        assert!(lines[2].contains("\"peak_event_bytes\":1480"), "{}", lines[2]);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Replication-scoped buffer recycling.
+//!
+//! A sweep runs thousands of replications, and each one allocates the same
+//! set of population-sized flat arrays (packed phone state, inbox depths,
+//! gateway ring slabs). [`BufferPool`] keeps those allocations alive across
+//! replications: a structure built `_pooled` takes its backing `Vec`s from
+//! the pool (clear + resize, no fresh heap allocation once warm) and gives
+//! them back with `recycle` when the replication ends. The reset is a bump:
+//! `clear()` + `resize(len, fill)` rewinds the buffer without releasing its
+//! capacity.
+//!
+//! The pool is plain data — keep one per worker thread (e.g. in a
+//! `thread_local!`) and no synchronization is needed. Pooling is purely an
+//! allocation strategy: a pooled structure is bit-identical to a freshly
+//! allocated one, which is what lets the arena layout ride the validation
+//! matrix as a variant axis.
+
+/// A recycling pool of population-sized flat buffers, typed by element.
+///
+/// ```rust
+/// use mpvsim_phonenet::BufferPool;
+///
+/// let mut pool = BufferPool::new();
+/// let v = pool.take_u32(4, 7);
+/// assert_eq!(v, vec![7, 7, 7, 7]);
+/// pool.recycle_u32(v);
+/// let w = pool.take_u32(2, 0);
+/// assert_eq!(w, vec![0, 0]); // reused allocation, rewound and refilled
+/// ```
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    u8s: Vec<Vec<u8>>,
+    u32s: Vec<Vec<u32>>,
+    u64s: Vec<Vec<u64>>,
+}
+
+/// Buffers retained per element type; beyond this, recycled buffers are
+/// simply dropped. One replication needs only a handful of arrays, so a
+/// small bound caps worst-case pool residency.
+const MAX_POOLED: usize = 16;
+
+fn take<T: Copy>(pool: &mut Vec<Vec<T>>, len: usize, fill: T) -> Vec<T> {
+    match pool.pop() {
+        Some(mut v) => {
+            v.clear();
+            v.resize(len, fill);
+            v
+        }
+        None => vec![fill; len],
+    }
+}
+
+fn recycle<T>(pool: &mut Vec<Vec<T>>, v: Vec<T>) {
+    if pool.len() < MAX_POOLED {
+        pool.push(v);
+    }
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a `Vec<u8>` of length `len` filled with `fill`, reusing a
+    /// recycled allocation when one is available.
+    pub fn take_u8(&mut self, len: usize, fill: u8) -> Vec<u8> {
+        take(&mut self.u8s, len, fill)
+    }
+
+    /// Takes a `Vec<u32>` of length `len` filled with `fill`.
+    pub fn take_u32(&mut self, len: usize, fill: u32) -> Vec<u32> {
+        take(&mut self.u32s, len, fill)
+    }
+
+    /// Takes a `Vec<u64>` of length `len` filled with `fill`.
+    pub fn take_u64(&mut self, len: usize, fill: u64) -> Vec<u64> {
+        take(&mut self.u64s, len, fill)
+    }
+
+    /// Returns a `u8` buffer to the pool for reuse.
+    pub fn recycle_u8(&mut self, v: Vec<u8>) {
+        recycle(&mut self.u8s, v);
+    }
+
+    /// Returns a `u32` buffer to the pool for reuse.
+    pub fn recycle_u32(&mut self, v: Vec<u32>) {
+        recycle(&mut self.u32s, v);
+    }
+
+    /// Returns a `u64` buffer to the pool for reuse.
+    pub fn recycle_u64(&mut self, v: Vec<u64>) {
+        recycle(&mut self.u64s, v);
+    }
+
+    /// Number of buffers currently parked in the pool (all types).
+    pub fn pooled_buffers(&self) -> usize {
+        self.u8s.len() + self.u32s.len() + self.u64s.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_fills_and_sizes() {
+        let mut pool = BufferPool::new();
+        assert_eq!(pool.take_u8(3, 9), vec![9, 9, 9]);
+        assert_eq!(pool.take_u64(2, 1), vec![1, 1]);
+        assert_eq!(pool.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn recycled_buffer_is_rewound_and_refilled() {
+        let mut pool = BufferPool::new();
+        let mut v = pool.take_u32(4, 5);
+        v[2] = 99;
+        let cap = v.capacity();
+        pool.recycle_u32(v);
+        assert_eq!(pool.pooled_buffers(), 1);
+        let w = pool.take_u32(3, 0);
+        assert_eq!(w, vec![0, 0, 0], "stale contents must not leak through");
+        assert_eq!(w.capacity(), cap, "allocation was reused, not freed");
+        assert_eq!(pool.pooled_buffers(), 0);
+    }
+
+    #[test]
+    fn growth_past_recycled_capacity_works() {
+        let mut pool = BufferPool::new();
+        let small = pool.take_u8(2, 0);
+        pool.recycle_u8(small);
+        let v = pool.take_u8(100, 3);
+        assert_eq!(v.len(), 100);
+        assert!(v.iter().all(|&b| b == 3));
+    }
+
+    #[test]
+    fn pool_residency_is_bounded() {
+        let mut pool = BufferPool::new();
+        for _ in 0..(MAX_POOLED + 10) {
+            pool.recycle_u32(vec![0; 8]);
+        }
+        assert_eq!(pool.pooled_buffers(), MAX_POOLED);
+    }
+}

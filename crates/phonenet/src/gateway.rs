@@ -12,32 +12,96 @@
 //! 3. **Per-phone cumulative suspected-infected count** — the blacklist
 //!    trigger. Invalid random dials (Virus 3) still count: the gateway
 //!    sees the send attempt even though no phone receives it.
-
-use std::collections::VecDeque;
+//!
+//! # Ring-slab windows
+//!
+//! The sliding windows live in one flat slab: `ring_capacity` timestamp
+//! slots per phone in a single `Vec<u64>`, addressed as bounded ring
+//! buffers by per-phone `head`/`len` arrays — no per-phone `VecDeque`
+//! allocations. A full ring evicts its oldest entry, so the reported
+//! window count is `min(true count, ring_capacity)`. The monitoring
+//! mechanism only ever asks "is the count **greater than** the
+//! threshold?", so any capacity of at least `threshold + 1` makes the
+//! clamped count decide that predicate exactly; throttling is permanent,
+//! so nothing downstream sees the clamp either.
 
 use mpvsim_des::{SimDuration, SimTime};
 
+use crate::arena::BufferPool;
 use crate::phone::PhoneId;
+
+/// Ring slots per phone when no explicit capacity is given — far above
+/// any threshold the paper's monitoring mechanism uses.
+const DEFAULT_RING_CAPACITY: u32 = 64;
 
 /// Gateway-side counters for a population of phones.
 #[derive(Debug, Clone)]
 pub struct Gateway {
     monitor_window: SimDuration,
-    outgoing: Vec<VecDeque<SimTime>>,
+    /// Timestamp slots per phone; 0 disables window tracking entirely.
+    ring_capacity: u32,
+    /// Send timestamps in whole seconds, `ring_capacity` slots per phone.
+    times: Vec<u64>,
+    /// Ring start index per phone.
+    head: Vec<u32>,
+    /// Live entries per phone.
+    len: Vec<u32>,
     suspected: Vec<u32>,
     infected_observed: u64,
 }
 
 impl Gateway {
     /// Creates gateway state for `population_size` phones with the given
-    /// monitoring window.
+    /// monitoring window and a default ring capacity.
     pub fn new(population_size: usize, monitor_window: SimDuration) -> Self {
+        Self::with_capacity(population_size, monitor_window, DEFAULT_RING_CAPACITY)
+    }
+
+    /// Creates gateway state with `ring_capacity` window slots per phone.
+    ///
+    /// Pass the monitoring threshold + 1 when monitoring is enabled (the
+    /// clamped count then decides `count > threshold` exactly), or 0 when
+    /// no mechanism reads the window (no slab is allocated at all).
+    pub fn with_capacity(
+        population_size: usize,
+        monitor_window: SimDuration,
+        ring_capacity: u32,
+    ) -> Self {
         Gateway {
             monitor_window,
-            outgoing: vec![VecDeque::new(); population_size],
+            ring_capacity,
+            times: vec![0; population_size * ring_capacity as usize],
+            head: vec![0; population_size],
+            len: vec![0; population_size],
             suspected: vec![0; population_size],
             infected_observed: 0,
         }
+    }
+
+    /// Like [`Gateway::with_capacity`], taking the slab arrays from `pool`.
+    pub fn with_capacity_pooled(
+        population_size: usize,
+        monitor_window: SimDuration,
+        ring_capacity: u32,
+        pool: &mut BufferPool,
+    ) -> Self {
+        Gateway {
+            monitor_window,
+            ring_capacity,
+            times: pool.take_u64(population_size * ring_capacity as usize, 0),
+            head: pool.take_u32(population_size, 0),
+            len: pool.take_u32(population_size, 0),
+            suspected: pool.take_u32(population_size, 0),
+            infected_observed: 0,
+        }
+    }
+
+    /// Returns the slab arrays to `pool` for the next replication.
+    pub fn recycle(self, pool: &mut BufferPool) {
+        pool.recycle_u64(self.times);
+        pool.recycle_u32(self.head);
+        pool.recycle_u32(self.len);
+        pool.recycle_u32(self.suspected);
     }
 
     /// The sliding-window length used for outgoing-volume monitoring.
@@ -46,7 +110,8 @@ impl Gateway {
     }
 
     /// Records one outgoing MMS from `phone` at `now` and returns how many
-    /// outgoing messages the window now holds (including this one).
+    /// outgoing messages the window now holds (including this one),
+    /// clamped to the ring capacity.
     ///
     /// A multi-recipient MMS counts once: the monitor counts *messages*,
     /// not deliveries.
@@ -55,35 +120,50 @@ impl Gateway {
     ///
     /// Panics if `phone` is out of range.
     pub fn record_outgoing(&mut self, phone: PhoneId, now: SimTime) -> usize {
-        let window = self.monitor_window;
-        let q = &mut self.outgoing[phone.index()];
-        q.push_back(now);
-        Self::prune(q, now, window);
-        q.len()
+        let i = phone.index();
+        assert!(i < self.len.len(), "phone out of range: {phone}");
+        if self.ring_capacity == 0 {
+            return 0;
+        }
+        if self.len[i] == self.ring_capacity {
+            // Full: evict the oldest entry (the reported count saturates).
+            self.head[i] = (self.head[i] + 1) % self.ring_capacity;
+            self.len[i] -= 1;
+        }
+        let base = i * self.ring_capacity as usize;
+        let tail = (self.head[i] + self.len[i]) % self.ring_capacity;
+        self.times[base + tail as usize] = now.as_secs();
+        self.len[i] += 1;
+        self.prune(i, now);
+        self.len[i] as usize
     }
 
     /// How many outgoing messages from `phone` fall inside the window
-    /// ending at `now`.
+    /// ending at `now` (clamped to the ring capacity).
     pub fn outgoing_in_window(&mut self, phone: PhoneId, now: SimTime) -> usize {
-        let window = self.monitor_window;
-        let q = &mut self.outgoing[phone.index()];
-        Self::prune(q, now, window);
-        q.len()
+        let i = phone.index();
+        assert!(i < self.len.len(), "phone out of range: {phone}");
+        if self.ring_capacity == 0 {
+            return 0;
+        }
+        self.prune(i, now);
+        self.len[i] as usize
     }
 
-    fn prune(q: &mut VecDeque<SimTime>, now: SimTime, window: SimDuration) {
+    fn prune(&mut self, i: usize, now: SimTime) {
         let cutoff = now.saturating_duration_since(SimTime::ZERO);
-        let earliest_kept = if cutoff.as_secs() > window.as_secs() {
-            SimTime::from_secs(now.as_secs() - window.as_secs())
+        // Entries exactly `window` old are still inside the closed window;
+        // whole-second comparison is exact because the boundary is a whole
+        // second and `t < boundary` ⟺ `t.as_secs() < boundary` for any t.
+        let earliest_kept = if cutoff.as_secs() > self.monitor_window.as_secs() {
+            now.as_secs() - self.monitor_window.as_secs()
         } else {
-            SimTime::ZERO
+            0
         };
-        while let Some(&front) = q.front() {
-            if front < earliest_kept {
-                q.pop_front();
-            } else {
-                break;
-            }
+        let base = i * self.ring_capacity as usize;
+        while self.len[i] > 0 && self.times[base + self.head[i] as usize] < earliest_kept {
+            self.head[i] = (self.head[i] + 1) % self.ring_capacity;
+            self.len[i] -= 1;
         }
     }
 
@@ -102,6 +182,15 @@ impl Gateway {
     /// Cumulative suspected-infected count for `phone`.
     pub fn suspected_count(&self, phone: PhoneId) -> u32 {
         self.suspected[phone.index()]
+    }
+
+    /// Resident bytes of the per-phone arrays (timestamp rings, ring
+    /// cursors, suspicion counters).
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of_val(self.times.as_slice())
+            + std::mem::size_of_val(self.head.as_slice())
+            + std::mem::size_of_val(self.len.as_slice())
+            + std::mem::size_of_val(self.suspected.as_slice())
     }
 
     /// Records `count` infected messages observed in transit; returns the
@@ -187,5 +276,60 @@ mod tests {
     fn out_of_range_phone_panics() {
         let mut g = gw();
         g.record_outgoing(PhoneId(99), SimTime::ZERO);
+    }
+
+    #[test]
+    fn full_ring_saturates_at_capacity() {
+        let mut g = Gateway::with_capacity(1, SimDuration::from_hours(1), 2);
+        let p = PhoneId(0);
+        assert_eq!(g.record_outgoing(p, SimTime::from_mins(0)), 1);
+        assert_eq!(g.record_outgoing(p, SimTime::from_mins(10)), 2);
+        // True in-window count is 3, reported count clamps to capacity.
+        assert_eq!(g.record_outgoing(p, SimTime::from_mins(50)), 2);
+        // At t=70 the evicted t=0 entry is outside the window anyway:
+        // min(true=3, cap=2) = 2 still holds.
+        assert_eq!(g.record_outgoing(p, SimTime::from_mins(70)), 2);
+        // After the window empties, the ring empties with it.
+        assert_eq!(g.outgoing_in_window(p, SimTime::from_hours(5)), 0);
+    }
+
+    #[test]
+    fn threshold_predicate_exact_with_threshold_plus_one_capacity() {
+        // threshold = 2; capacity threshold + 1 = 3. The clamped count
+        // decides `count > threshold` identically to an unbounded window.
+        let threshold = 2usize;
+        let mut bounded = Gateway::with_capacity(1, SimDuration::from_hours(1), 3);
+        let mut unbounded = gw();
+        let p = PhoneId(0);
+        for k in 0..6u64 {
+            let t = SimTime::from_mins(k);
+            let b = bounded.record_outgoing(p, t);
+            let u = unbounded.record_outgoing(p, t);
+            assert_eq!(b > threshold, u > threshold, "send {k}");
+        }
+    }
+
+    #[test]
+    fn zero_capacity_tracks_nothing_but_checks_range() {
+        let mut g = Gateway::with_capacity(2, SimDuration::from_hours(1), 0);
+        assert_eq!(g.record_outgoing(PhoneId(1), SimTime::from_mins(5)), 0);
+        assert_eq!(g.outgoing_in_window(PhoneId(1), SimTime::from_mins(5)), 0);
+        assert_eq!(g.record_suspected(PhoneId(0)), 1);
+        let result = std::panic::catch_unwind(move || g.record_outgoing(PhoneId(9), SimTime::ZERO));
+        assert!(result.is_err(), "out-of-range must still panic with capacity 0");
+    }
+
+    #[test]
+    fn pooled_gateway_starts_clean() {
+        let mut pool = BufferPool::new();
+        let mut stale = Gateway::with_capacity_pooled(3, SimDuration::from_hours(1), 2, &mut pool);
+        stale.record_outgoing(PhoneId(1), SimTime::from_mins(1));
+        stale.record_suspected(PhoneId(2));
+        stale.record_infected_observed(9);
+        stale.recycle(&mut pool);
+        let mut g = Gateway::with_capacity_pooled(3, SimDuration::from_hours(1), 2, &mut pool);
+        assert_eq!(g.outgoing_in_window(PhoneId(1), SimTime::from_mins(1)), 0);
+        assert_eq!(g.suspected_count(PhoneId(2)), 0);
+        assert_eq!(g.infected_observed(), 0);
     }
 }

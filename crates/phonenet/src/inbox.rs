@@ -6,44 +6,125 @@
 //! event per delivery; the inbox tracks how many deliveries are still
 //! awaiting their read, which makes user backlog observable (e.g. the
 //! flood of unread virus messages Virus 3 produces).
+//!
+//! # Bounded admission
+//!
+//! Every pending delivery carries a scheduled `ReadMessage` event, so an
+//! unbounded inbox means an unbounded future-event list: at paper scale a
+//! fig1 replication peaks at hundreds of pending events *per phone*. An
+//! optional per-phone cap bounds that. Admission is deterministic
+//! **tail-drop**: a delivery into a full inbox is refused outright
+//! ([`Inboxes::try_deliver`] returns `None`) and counted in
+//! [`Inboxes::total_dropped`]; deliveries below the cap are never
+//! dropped. Dropping the newest message (rather than evicting an older
+//! pending one) means no already-scheduled read event is ever
+//! invalidated, which keeps replay deterministic.
 
 use serde::{Deserialize, Serialize};
 
+use crate::arena::BufferPool;
 use crate::phone::PhoneId;
 
 /// Unread-message bookkeeping for a whole population.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Inboxes {
     pending: Vec<u32>,
+    /// Per-phone pending-delivery cap; `None` = unbounded.
+    cap: Option<u32>,
     total_delivered: u64,
     total_read: u64,
+    total_dropped: u64,
     peak_pending: u32,
 }
 
 impl Inboxes {
-    /// Creates empty inboxes for `population_size` phones.
+    /// Creates empty, unbounded inboxes for `population_size` phones.
     pub fn new(population_size: usize) -> Self {
+        Self::with_cap(population_size, None)
+    }
+
+    /// Creates empty inboxes with an optional per-phone pending cap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is `Some(0)` — an inbox that can never admit a
+    /// message is a configuration bug, not a model state.
+    pub fn with_cap(population_size: usize, cap: Option<u32>) -> Self {
+        assert!(cap != Some(0), "inbox cap must be at least 1");
         Inboxes {
             pending: vec![0; population_size],
+            cap,
             total_delivered: 0,
             total_read: 0,
+            total_dropped: 0,
             peak_pending: 0,
         }
+    }
+
+    /// Like [`Inboxes::with_cap`], taking the pending array from `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is `Some(0)`.
+    pub fn with_cap_pooled(
+        population_size: usize,
+        cap: Option<u32>,
+        pool: &mut BufferPool,
+    ) -> Self {
+        assert!(cap != Some(0), "inbox cap must be at least 1");
+        Inboxes {
+            pending: pool.take_u32(population_size, 0),
+            cap,
+            total_delivered: 0,
+            total_read: 0,
+            total_dropped: 0,
+            peak_pending: 0,
+        }
+    }
+
+    /// Returns the pending array to `pool` for the next replication.
+    pub fn recycle(self, pool: &mut BufferPool) {
+        pool.recycle_u32(self.pending);
+    }
+
+    /// The per-phone pending cap, if bounded.
+    pub fn cap(&self) -> Option<u32> {
+        self.cap
+    }
+
+    /// Attempts to record a delivery into `phone`'s inbox.
+    ///
+    /// Returns `Some(new_depth)` on admission. Returns `None` — and counts
+    /// the message as dropped — only when the inbox already holds `cap`
+    /// pending messages; below the cap a delivery is never refused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `phone` is out of range.
+    pub fn try_deliver(&mut self, phone: PhoneId) -> Option<u32> {
+        let slot = &mut self.pending[phone.index()];
+        if let Some(cap) = self.cap {
+            if *slot >= cap {
+                self.total_dropped += 1;
+                return None;
+            }
+        }
+        *slot += 1;
+        self.total_delivered += 1;
+        if *slot > self.peak_pending {
+            self.peak_pending = *slot;
+        }
+        Some(*slot)
     }
 
     /// Records a delivery into `phone`'s inbox; returns its new depth.
     ///
     /// # Panics
     ///
-    /// Panics if `phone` is out of range.
+    /// Panics if `phone` is out of range, or if the inbox is full — use
+    /// [`Inboxes::try_deliver`] when a cap is configured.
     pub fn deliver(&mut self, phone: PhoneId) -> u32 {
-        let slot = &mut self.pending[phone.index()];
-        *slot += 1;
-        self.total_delivered += 1;
-        if *slot > self.peak_pending {
-            self.peak_pending = *slot;
-        }
-        *slot
+        self.try_deliver(phone).expect("delivery refused by full inbox; use try_deliver")
     }
 
     /// Records that `phone`'s user read (and decided on) one pending
@@ -75,7 +156,7 @@ impl Inboxes {
         self.pending.iter().map(|&p| u64::from(p)).sum()
     }
 
-    /// Lifetime delivery count.
+    /// Lifetime delivery count (admitted messages only).
     pub fn total_delivered(&self) -> u64 {
         self.total_delivered
     }
@@ -85,15 +166,27 @@ impl Inboxes {
         self.total_read
     }
 
+    /// Lifetime count of deliveries refused by the admission cap.
+    pub fn total_dropped(&self) -> u64 {
+        self.total_dropped
+    }
+
     /// The deepest any single inbox ever got.
     pub fn peak_pending(&self) -> u32 {
         self.peak_pending
+    }
+
+    /// Resident bytes of the per-phone pending array (the structure's
+    /// only population-proportional state).
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of_val(self.pending.as_slice())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     #[test]
     fn deliver_then_read_balances() {
@@ -141,5 +234,79 @@ mod tests {
     fn out_of_range_panics() {
         let mut ib = Inboxes::new(1);
         ib.deliver(PhoneId(7));
+    }
+
+    #[test]
+    fn cap_refuses_only_at_capacity() {
+        let mut ib = Inboxes::with_cap(2, Some(2));
+        assert_eq!(ib.try_deliver(PhoneId(0)), Some(1));
+        assert_eq!(ib.try_deliver(PhoneId(0)), Some(2));
+        assert_eq!(ib.try_deliver(PhoneId(0)), None, "full inbox tail-drops");
+        assert_eq!(ib.total_dropped(), 1);
+        assert_eq!(ib.pending(PhoneId(0)), 2);
+        // A read frees one slot; admission resumes.
+        ib.read(PhoneId(0));
+        assert_eq!(ib.try_deliver(PhoneId(0)), Some(2));
+        // Other phones are unaffected by phone 0's backlog.
+        assert_eq!(ib.try_deliver(PhoneId(1)), Some(1));
+        assert_eq!(ib.total_delivered(), 4);
+    }
+
+    #[test]
+    fn uncapped_inbox_never_drops() {
+        let mut ib = Inboxes::new(1);
+        for i in 1..=1000 {
+            assert_eq!(ib.try_deliver(PhoneId(0)), Some(i));
+        }
+        assert_eq!(ib.total_dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_cap_rejected() {
+        Inboxes::with_cap(1, Some(0));
+    }
+
+    #[test]
+    fn pooled_inboxes_start_clean() {
+        let mut pool = BufferPool::new();
+        let mut stale = Inboxes::with_cap_pooled(4, None, &mut pool);
+        stale.deliver(PhoneId(2));
+        stale.recycle(&mut pool);
+        let ib = Inboxes::with_cap_pooled(3, Some(5), &mut pool);
+        assert_eq!(ib.total_pending(), 0);
+        assert_eq!(ib.peak_pending(), 0);
+        assert_eq!(ib.cap(), Some(5));
+    }
+
+    proptest! {
+        /// Satellite invariant: bounded admission never drops a message
+        /// while the inbox is below the cap, never admits one above it,
+        /// and the books always balance.
+        #[test]
+        fn prop_admission_drops_only_at_cap(
+            cap in 1u32..6,
+            ops in proptest::collection::vec(any::<bool>(), 1..200),
+        ) {
+            let mut ib = Inboxes::with_cap(1, Some(cap));
+            let p = PhoneId(0);
+            for deliver in ops {
+                if deliver {
+                    let before = ib.pending(p);
+                    let admitted = ib.try_deliver(p);
+                    if before < cap {
+                        prop_assert_eq!(admitted, Some(before + 1),
+                            "below-cap delivery must be admitted");
+                    } else {
+                        prop_assert_eq!(admitted, None,
+                            "at-cap delivery must be refused");
+                    }
+                } else if ib.pending(p) > 0 {
+                    ib.read(p);
+                }
+                prop_assert!(ib.pending(p) <= cap);
+            }
+            prop_assert_eq!(ib.total_delivered() - ib.total_read(), ib.total_pending());
+        }
     }
 }

@@ -3,10 +3,11 @@
 //! Domain structures for the DSN 2007 mobile-phone-virus model, kept free
 //! of epidemic dynamics (which live in `mpvsim-core`):
 //!
-//! * [`Phone`] / [`Population`] — the paper's "phone submodels": identity,
-//!   vulnerability, health state, contact list, and the count of infected
-//!   messages received (which drives the declining acceptance
-//!   probability);
+//! * [`Population`] — the paper's "phone submodels" in struct-of-arrays
+//!   form: identity, vulnerability, health state, contact list, and the
+//!   count of infected messages received (which drives the declining
+//!   acceptance probability). Per-phone access goes through the
+//!   [`PhoneRef`] / [`PhoneMut`] views;
 //! * [`MmsMessage`] — an MMS with sender, recipients and infection flag;
 //! * [`AddressSpace`] — random dialing with a configurable fraction of
 //!   valid numbers (the paper's "one third of the possible phone numbers
@@ -14,7 +15,9 @@
 //! * [`gateway`] — the service-provider's bookkeeping: per-phone outgoing
 //!   counters over a sliding window (monitoring), cumulative
 //!   suspected-infected counters (blacklisting), and the total of infected
-//!   messages observed (the "virus reaches a detectable level" clock).
+//!   messages observed (the "virus reaches a detectable level" clock);
+//! * [`BufferPool`] — replication-scoped recycling of the flat state
+//!   arrays behind populations, inboxes and gateways.
 //!
 //! ```rust
 //! use mpvsim_phonenet::{Population, PhoneId};
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod address;
+pub mod arena;
 pub mod gateway;
 pub mod inbox;
 pub mod message;
@@ -42,9 +46,10 @@ pub mod population;
 pub mod queue;
 
 pub use address::AddressSpace;
+pub use arena::BufferPool;
 pub use gateway::Gateway;
 pub use inbox::Inboxes;
 pub use message::MmsMessage;
-pub use phone::{Health, Phone, PhoneId};
+pub use phone::{Health, PhoneId, PhoneMut, PhoneRef};
 pub use population::Population;
 pub use queue::TransitQueue;

@@ -1,9 +1,19 @@
-//! A single phone: identity, vulnerability and health.
+//! A single phone's identity, health and per-phone state views.
 //!
-//! Contact lists live in [`Population`](crate::Population)'s shared CSR
-//! adjacency (one flat array for the whole population) rather than in a
-//! per-phone `Vec`, so the hot path never chases per-phone heap blocks;
-//! look contacts up with `Population::contacts`.
+//! Phone state lives in [`Population`](crate::Population)'s
+//! struct-of-arrays storage: one packed `u8` of health + response flags
+//! and one `u32` infected-message counter per phone, in two flat arrays.
+//! This module defines the packing and the two *view* types the rest of
+//! the workspace works through:
+//!
+//! * [`PhoneRef`] — a by-value snapshot (id, state byte, message count);
+//! * [`PhoneMut`] — a short-lived mutable view applying state
+//!   transitions in place.
+//!
+//! Contact lists live in the population's shared CSR topology (one flat
+//! array for the whole population) rather than in a per-phone `Vec`, so
+//! the hot path never chases per-phone heap blocks; look contacts up with
+//! `Population::contacts`.
 
 use std::fmt;
 
@@ -46,78 +56,136 @@ pub enum Health {
     Immunized,
 }
 
-/// One phone submodel, mirroring §4.1 of the paper: a receiving side that
-/// is always active, and a sending side that the epidemic model enables on
-/// infection.
-///
-/// The phone also tracks provider-side response flags that affect it
-/// directly (patched-while-infected "silenced" state, blacklist,
-/// monitoring throttle). Its contact list is held by the population's CSR
-/// adjacency, not here.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct Phone {
-    id: PhoneId,
-    health: Health,
-    /// Number of infected MMS messages whose attachments this phone's user
-    /// has been offered so far; drives the declining acceptance curve.
-    infected_msgs_received: u32,
-    /// Patched after infection: propagation attempts are stopped.
-    silenced: bool,
-    /// Blacklisted by the provider: all outgoing MMS blocked.
-    blacklisted: bool,
-    /// Flagged by the monitoring mechanism: outgoing sends are throttled.
-    throttled: bool,
+// ----------------------------------------------------------------------
+// Packed per-phone state byte
+//
+// bits 0–1: health (00 susceptible, 01 not-vulnerable, 10 infected,
+//           11 immunized)
+// bit 2: silenced (patched while infected)
+// bit 3: blacklisted by the provider
+// bit 4: throttled by the monitoring mechanism
+// ----------------------------------------------------------------------
+
+pub(crate) const HEALTH_MASK: u8 = 0b0000_0011;
+pub(crate) const HEALTH_SUSCEPTIBLE: u8 = 0;
+pub(crate) const HEALTH_NOT_VULNERABLE: u8 = 1;
+pub(crate) const HEALTH_INFECTED: u8 = 2;
+pub(crate) const HEALTH_IMMUNIZED: u8 = 3;
+pub(crate) const FLAG_SILENCED: u8 = 1 << 2;
+pub(crate) const FLAG_BLACKLISTED: u8 = 1 << 3;
+pub(crate) const FLAG_THROTTLED: u8 = 1 << 4;
+
+/// The packed state byte of a freshly built phone.
+pub(crate) fn initial_state(vulnerable: bool) -> u8 {
+    if vulnerable {
+        HEALTH_SUSCEPTIBLE
+    } else {
+        HEALTH_NOT_VULNERABLE
+    }
 }
 
-impl Phone {
-    /// Creates a healthy phone.
-    pub fn new(id: PhoneId, vulnerable: bool) -> Self {
-        Phone {
-            id,
-            health: if vulnerable { Health::Susceptible } else { Health::NotVulnerable },
-            infected_msgs_received: 0,
-            silenced: false,
-            blacklisted: false,
-            throttled: false,
+fn health_of(state: u8) -> Health {
+    match state & HEALTH_MASK {
+        HEALTH_SUSCEPTIBLE => Health::Susceptible,
+        HEALTH_NOT_VULNERABLE => Health::NotVulnerable,
+        HEALTH_INFECTED => Health::Infected,
+        _ => Health::Immunized,
+    }
+}
+
+/// Shared read-only accessors over a packed state byte + message count.
+/// Implemented by both view types via a macro so the two APIs cannot
+/// drift apart.
+macro_rules! read_accessors {
+    ($state:expr, $msgs:expr) => {
+        /// This phone's number.
+        pub fn id(&self) -> PhoneId {
+            self.id
         }
-    }
 
-    /// This phone's number.
-    pub fn id(&self) -> PhoneId {
-        self.id
-    }
+        /// Current health.
+        pub fn health(&self) -> Health {
+            health_of($state(self))
+        }
 
-    /// Current health.
-    pub fn health(&self) -> Health {
-        self.health
-    }
+        /// True when an accepted infected attachment would infect this
+        /// phone.
+        pub fn is_susceptible(&self) -> bool {
+            $state(self) & HEALTH_MASK == HEALTH_SUSCEPTIBLE
+        }
 
-    /// True when an accepted infected attachment would infect this phone.
-    pub fn is_susceptible(&self) -> bool {
-        self.health == Health::Susceptible
-    }
+        /// True when this phone is infected (even if silenced or
+        /// blacklisted).
+        pub fn is_infected(&self) -> bool {
+            $state(self) & HEALTH_MASK == HEALTH_INFECTED
+        }
 
-    /// True when this phone is infected (even if silenced or blacklisted).
-    pub fn is_infected(&self) -> bool {
-        self.health == Health::Infected
-    }
+        /// True when this phone's virus can still emit messages: infected
+        /// and neither silenced by a patch nor blacklisted by the
+        /// provider.
+        pub fn can_propagate(&self) -> bool {
+            let s = $state(self);
+            s & HEALTH_MASK == HEALTH_INFECTED && s & (FLAG_SILENCED | FLAG_BLACKLISTED) == 0
+        }
 
-    /// True when this phone's virus can still emit messages: infected and
-    /// neither silenced by a patch nor blacklisted by the provider.
-    pub fn can_propagate(&self) -> bool {
-        self.is_infected() && !self.silenced && !self.blacklisted
-    }
+        /// True when a patch has silenced this (infected) phone.
+        pub fn is_silenced(&self) -> bool {
+            $state(self) & FLAG_SILENCED != 0
+        }
 
-    /// Number of infected messages offered to this user so far.
-    pub fn infected_msgs_received(&self) -> u32 {
-        self.infected_msgs_received
-    }
+        /// True when blacklisted.
+        pub fn is_blacklisted(&self) -> bool {
+            $state(self) & FLAG_BLACKLISTED != 0
+        }
+
+        /// True when the monitoring mechanism has flagged this phone.
+        pub fn is_throttled(&self) -> bool {
+            $state(self) & FLAG_THROTTLED != 0
+        }
+
+        /// Number of infected messages offered to this user so far.
+        pub fn infected_msgs_received(&self) -> u32 {
+            $msgs(self)
+        }
+    };
+}
+
+/// A by-value snapshot of one phone's state, mirroring §4.1 of the paper:
+/// a receiving side that is always active, and a sending side the
+/// epidemic model enables on infection. Cheap to copy (9 bytes); reads
+/// the population's packed arrays once at creation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhoneRef {
+    pub(crate) id: PhoneId,
+    pub(crate) state: u8,
+    pub(crate) msgs: u32,
+}
+
+impl PhoneRef {
+    read_accessors!(|p: &Self| p.state, |p: &Self| p.msgs);
+}
+
+/// A mutable view of one phone's packed state, borrowed from
+/// [`Population`](crate::Population)'s arrays. Applies the paper's state
+/// transitions (patch, blacklist, throttle, message counting) in place.
+///
+/// Infection goes through `Population::infect` so the population-level
+/// infected count stays consistent.
+#[derive(Debug)]
+pub struct PhoneMut<'a> {
+    pub(crate) id: PhoneId,
+    pub(crate) state: &'a mut u8,
+    pub(crate) msgs: &'a mut u32,
+}
+
+impl PhoneMut<'_> {
+    read_accessors!(|p: &Self| *p.state, |p: &Self| *p.msgs);
 
     /// Records that another infected message reached this phone's inbox;
     /// returns the new total (i.e. this message's ordinal `n`, 1-based).
     pub fn record_infected_message(&mut self) -> u32 {
-        self.infected_msgs_received += 1;
-        self.infected_msgs_received
+        *self.msgs += 1;
+        *self.msgs
     }
 
     /// Infects the phone.
@@ -125,9 +193,12 @@ impl Phone {
     /// Returns `true` if the phone transitioned to [`Health::Infected`];
     /// `false` when it was not susceptible (not vulnerable, already
     /// infected, or immunized) — in which case nothing changes.
-    pub fn infect(&mut self) -> bool {
-        if self.health == Health::Susceptible {
-            self.health = Health::Infected;
+    ///
+    /// Callers outside this crate use `Population::infect`, which keeps
+    /// the population's infected count in sync.
+    pub(crate) fn infect(&mut self) -> bool {
+        if *self.state & HEALTH_MASK == HEALTH_SUSCEPTIBLE {
+            *self.state = (*self.state & !HEALTH_MASK) | HEALTH_INFECTED;
             true
         } else {
             false
@@ -138,37 +209,24 @@ impl Phone {
     /// not-vulnerable phone becomes [`Health::Immunized`]; an infected
     /// phone stays infected but is *silenced* (propagation stops).
     pub fn apply_patch(&mut self) {
-        match self.health {
-            Health::Susceptible | Health::NotVulnerable => self.health = Health::Immunized,
-            Health::Infected => self.silenced = true,
-            Health::Immunized => {}
+        match *self.state & HEALTH_MASK {
+            HEALTH_SUSCEPTIBLE | HEALTH_NOT_VULNERABLE => {
+                *self.state = (*self.state & !HEALTH_MASK) | HEALTH_IMMUNIZED;
+            }
+            HEALTH_INFECTED => *self.state |= FLAG_SILENCED,
+            _ => {}
         }
-    }
-
-    /// True when a patch has silenced this (infected) phone.
-    pub fn is_silenced(&self) -> bool {
-        self.silenced
     }
 
     /// Places the phone on the provider's blacklist (all outgoing MMS
     /// blocked).
     pub fn blacklist(&mut self) {
-        self.blacklisted = true;
-    }
-
-    /// True when blacklisted.
-    pub fn is_blacklisted(&self) -> bool {
-        self.blacklisted
+        *self.state |= FLAG_BLACKLISTED;
     }
 
     /// Marks the phone as flagged by the monitoring mechanism.
     pub fn throttle(&mut self) {
-        self.throttled = true;
-    }
-
-    /// True when the monitoring mechanism has flagged this phone.
-    pub fn is_throttled(&self) -> bool {
-        self.throttled
+        *self.state |= FLAG_THROTTLED;
     }
 }
 
@@ -176,99 +234,142 @@ impl Phone {
 mod tests {
     use super::*;
 
-    fn phone(vulnerable: bool) -> Phone {
-        Phone::new(PhoneId(7), vulnerable)
+    /// Owns the two state cells a [`PhoneMut`] borrows, standing in for
+    /// one slot of the population's arrays.
+    struct Cell {
+        state: u8,
+        msgs: u32,
+    }
+
+    impl Cell {
+        fn new(vulnerable: bool) -> Self {
+            Cell { state: initial_state(vulnerable), msgs: 0 }
+        }
+
+        fn phone(&mut self) -> PhoneMut<'_> {
+            PhoneMut { id: PhoneId(7), state: &mut self.state, msgs: &mut self.msgs }
+        }
+
+        fn snapshot(&self) -> PhoneRef {
+            PhoneRef { id: PhoneId(7), state: self.state, msgs: self.msgs }
+        }
     }
 
     #[test]
     fn new_phone_state() {
-        let p = phone(true);
+        let mut c = Cell::new(true);
+        let p = c.phone();
         assert_eq!(p.id(), PhoneId(7));
         assert_eq!(p.health(), Health::Susceptible);
         assert!(p.is_susceptible());
         assert!(!p.is_infected());
         assert_eq!(p.infected_msgs_received(), 0);
-        let p = phone(false);
+        let mut c = Cell::new(false);
+        let p = c.phone();
         assert_eq!(p.health(), Health::NotVulnerable);
         assert!(!p.is_susceptible());
     }
 
     #[test]
+    fn snapshot_mirrors_mutable_view() {
+        let mut c = Cell::new(true);
+        c.phone().infect();
+        c.phone().record_infected_message();
+        let s = c.snapshot();
+        assert!(s.is_infected());
+        assert!(s.can_propagate());
+        assert_eq!(s.infected_msgs_received(), 1);
+        assert_eq!(s.health(), Health::Infected);
+    }
+
+    #[test]
     fn infect_susceptible_succeeds() {
-        let mut p = phone(true);
-        assert!(p.infect());
-        assert!(p.is_infected());
-        assert!(p.can_propagate());
+        let mut c = Cell::new(true);
+        assert!(c.phone().infect());
+        assert!(c.phone().is_infected());
+        assert!(c.phone().can_propagate());
         // Idempotent failure on re-infection.
-        assert!(!p.infect());
-        assert!(p.is_infected());
+        assert!(!c.phone().infect());
+        assert!(c.phone().is_infected());
     }
 
     #[test]
     fn infect_not_vulnerable_fails() {
-        let mut p = phone(false);
-        assert!(!p.infect());
-        assert_eq!(p.health(), Health::NotVulnerable);
+        let mut c = Cell::new(false);
+        assert!(!c.phone().infect());
+        assert_eq!(c.phone().health(), Health::NotVulnerable);
     }
 
     #[test]
     fn patch_immunizes_healthy() {
-        let mut p = phone(true);
-        p.apply_patch();
-        assert_eq!(p.health(), Health::Immunized);
-        assert!(!p.infect(), "immunized phone cannot be infected");
+        let mut c = Cell::new(true);
+        c.phone().apply_patch();
+        assert_eq!(c.phone().health(), Health::Immunized);
+        assert!(!c.phone().infect(), "immunized phone cannot be infected");
     }
 
     #[test]
     fn patch_on_not_vulnerable_immunizes() {
-        let mut p = phone(false);
-        p.apply_patch();
-        assert_eq!(p.health(), Health::Immunized);
+        let mut c = Cell::new(false);
+        c.phone().apply_patch();
+        assert_eq!(c.phone().health(), Health::Immunized);
     }
 
     #[test]
     fn patch_silences_infected() {
-        let mut p = phone(true);
-        p.infect();
-        p.apply_patch();
-        assert!(p.is_infected(), "patch does not cure");
-        assert!(p.is_silenced());
-        assert!(!p.can_propagate());
+        let mut c = Cell::new(true);
+        c.phone().infect();
+        c.phone().apply_patch();
+        assert!(c.phone().is_infected(), "patch does not cure");
+        assert!(c.phone().is_silenced());
+        assert!(!c.phone().can_propagate());
     }
 
     #[test]
     fn patch_idempotent_on_immunized() {
-        let mut p = phone(true);
-        p.apply_patch();
-        p.apply_patch();
-        assert_eq!(p.health(), Health::Immunized);
+        let mut c = Cell::new(true);
+        c.phone().apply_patch();
+        c.phone().apply_patch();
+        assert_eq!(c.phone().health(), Health::Immunized);
     }
 
     #[test]
     fn blacklist_stops_propagation_but_not_infection_state() {
-        let mut p = phone(true);
-        p.infect();
-        p.blacklist();
-        assert!(p.is_blacklisted());
-        assert!(p.is_infected());
-        assert!(!p.can_propagate());
+        let mut c = Cell::new(true);
+        c.phone().infect();
+        c.phone().blacklist();
+        assert!(c.phone().is_blacklisted());
+        assert!(c.phone().is_infected());
+        assert!(!c.phone().can_propagate());
     }
 
     #[test]
     fn throttle_flag_does_not_block_propagation() {
-        let mut p = phone(true);
-        p.infect();
-        p.throttle();
-        assert!(p.is_throttled());
-        assert!(p.can_propagate(), "monitoring slows, it does not block");
+        let mut c = Cell::new(true);
+        c.phone().infect();
+        c.phone().throttle();
+        assert!(c.phone().is_throttled());
+        assert!(c.phone().can_propagate(), "monitoring slows, it does not block");
     }
 
     #[test]
     fn infected_message_counter_is_ordinal() {
-        let mut p = phone(true);
-        assert_eq!(p.record_infected_message(), 1);
-        assert_eq!(p.record_infected_message(), 2);
-        assert_eq!(p.infected_msgs_received(), 2);
+        let mut c = Cell::new(true);
+        assert_eq!(c.phone().record_infected_message(), 1);
+        assert_eq!(c.phone().record_infected_message(), 2);
+        assert_eq!(c.phone().infected_msgs_received(), 2);
+    }
+
+    #[test]
+    fn flags_do_not_clobber_health_bits() {
+        let mut c = Cell::new(true);
+        c.phone().infect();
+        c.phone().throttle();
+        c.phone().blacklist();
+        c.phone().apply_patch(); // silences
+        let p = c.snapshot();
+        assert!(p.is_infected() && p.is_throttled() && p.is_blacklisted() && p.is_silenced());
+        assert_eq!(p.health(), Health::Infected);
     }
 
     #[test]

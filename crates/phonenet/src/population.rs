@@ -1,12 +1,25 @@
 //! The phone population: all phone submodels plus population-level counts.
+//!
+//! Storage is struct-of-arrays: one packed state byte and one `u32`
+//! infected-message counter per phone in two flat arrays, plus a shared
+//! CSR topology ([`CsrGraph`]) holding every contact list. Per-phone
+//! access goes through the [`PhoneRef`] / [`PhoneMut`] views, so the hot
+//! infection loop walks three flat arrays instead of a `Vec` of structs —
+//! ~13 bytes/phone of population state at rest (plus the topology), and
+//! cache-linear scans for the population-level counts.
+
+use std::sync::Arc;
 
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
-use mpvsim_topology::Graph;
+use mpvsim_topology::{CsrGraph, Graph};
 
-use crate::phone::{Health, Phone, PhoneId};
+use crate::arena::BufferPool;
+use crate::phone::{
+    initial_state, Health, PhoneId, PhoneMut, PhoneRef, FLAG_SILENCED, HEALTH_IMMUNIZED,
+    HEALTH_INFECTED, HEALTH_MASK, HEALTH_SUSCEPTIBLE,
+};
 
 /// The full population of phone submodels.
 ///
@@ -15,18 +28,18 @@ use crate::phone::{Health, Phone, PhoneId};
 /// vulnerable ("800 are randomly designated as susceptible"); contact
 /// lists are the graph's adjacency lists and therefore reciprocal.
 ///
-/// Contact lists are stored in CSR (compressed sparse row) form — one flat
-/// `adjacency` array plus per-phone `offsets` — so phone `i`'s contacts are
-/// the contiguous slice `adjacency[offsets[i]..offsets[i + 1]]`. A contact
-/// lookup is two array reads and touches one shared allocation, instead of
-/// chasing a per-phone `Vec` on every send.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// The contact topology is an [`Arc<CsrGraph>`]: phone `i`'s contacts are
+/// the contiguous `u32` slice `topology.neighbors(i)`, shared (not cloned)
+/// across every replication run on the same graph. A contact lookup is two
+/// array reads and touches one shared allocation, instead of chasing a
+/// per-phone `Vec` on every send.
+#[derive(Debug, Clone)]
 pub struct Population {
-    phones: Vec<Phone>,
-    /// CSR row offsets into `adjacency`; length `phones.len() + 1`.
-    offsets: Vec<u32>,
-    /// All contact lists, concatenated in phone order.
-    adjacency: Vec<PhoneId>,
+    /// Packed health + response flags, one byte per phone (see `phone.rs`).
+    state: Vec<u8>,
+    /// Infected messages received so far, one counter per phone.
+    msgs: Vec<u32>,
+    topology: Arc<CsrGraph>,
     infected_count: usize,
 }
 
@@ -42,42 +55,90 @@ impl Population {
         vulnerable_fraction: f64,
         rng: &mut R,
     ) -> Self {
+        Self::from_csr(Arc::new(CsrGraph::from_graph(graph)), vulnerable_fraction, rng)
+    }
+
+    /// Builds a population directly over a shared CSR topology.
+    ///
+    /// Draws from `rng` exactly as [`Population::from_graph`] does, so the
+    /// two constructors are trajectory-equivalent for the same graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vulnerable_fraction` is outside `[0, 1]`.
+    pub fn from_csr<R: Rng + ?Sized>(
+        topology: Arc<CsrGraph>,
+        vulnerable_fraction: f64,
+        rng: &mut R,
+    ) -> Self {
+        let n = topology.node_count();
+        let state = vec![initial_state(false); n];
+        let msgs = vec![0u32; n];
+        Self::assemble(topology, vulnerable_fraction, rng, state, msgs)
+    }
+
+    /// Like [`Population::from_csr`], but takes the state arrays from
+    /// `pool` (recycled allocations) instead of the global allocator.
+    /// Bit-identical to the fresh constructor for the same inputs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vulnerable_fraction` is outside `[0, 1]`.
+    pub fn from_csr_pooled<R: Rng + ?Sized>(
+        topology: Arc<CsrGraph>,
+        vulnerable_fraction: f64,
+        rng: &mut R,
+        pool: &mut BufferPool,
+    ) -> Self {
+        let n = topology.node_count();
+        let state = pool.take_u8(n, initial_state(false));
+        let msgs = pool.take_u32(n, 0);
+        Self::assemble(topology, vulnerable_fraction, rng, state, msgs)
+    }
+
+    fn assemble<R: Rng + ?Sized>(
+        topology: Arc<CsrGraph>,
+        vulnerable_fraction: f64,
+        rng: &mut R,
+        mut state: Vec<u8>,
+        msgs: Vec<u32>,
+    ) -> Self {
         assert!(
             (0.0..=1.0).contains(&vulnerable_fraction) && vulnerable_fraction.is_finite(),
             "vulnerable_fraction must be in [0, 1]"
         );
-        let n = graph.node_count();
+        let n = topology.node_count();
         let vulnerable_count = (vulnerable_fraction * n as f64).round() as usize;
         let mut indices: Vec<usize> = (0..n).collect();
         indices.shuffle(rng);
-        let mut vulnerable = vec![false; n];
         for &i in indices.iter().take(vulnerable_count) {
-            vulnerable[i] = true;
+            state[i] = initial_state(true);
         }
-        let phones: Vec<Phone> =
-            (0..n).map(|i| Phone::new(PhoneId::from(i), vulnerable[i])).collect();
-        let mut offsets = Vec::with_capacity(n + 1);
-        let mut adjacency = Vec::new();
-        offsets.push(0);
-        for i in 0..n {
-            let neighbors = graph.neighbors(mpvsim_topology::NodeId(i));
-            adjacency.extend(neighbors.iter().map(|node| PhoneId::from(node.index())));
-            offsets.push(u32::try_from(adjacency.len()).expect("contact count exceeds u32"));
-        }
-        Population { phones, offsets, adjacency, infected_count: 0 }
+        Population { state, msgs, topology, infected_count: 0 }
+    }
+
+    /// Returns the state arrays to `pool` for the next replication. The
+    /// shared topology `Arc` is dropped (not pooled — it lives in the
+    /// caller's topology cache).
+    pub fn recycle(self, pool: &mut BufferPool) {
+        pool.recycle_u8(self.state);
+        pool.recycle_u32(self.msgs);
+    }
+
+    /// The shared contact topology.
+    pub fn topology(&self) -> &CsrGraph {
+        &self.topology
     }
 
     /// The contact list of `id` (reciprocal by construction): a contiguous
-    /// slice of the population's shared CSR adjacency.
+    /// slice of the shared CSR adjacency, as raw `u32` phone numbers.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
     #[inline]
-    pub fn contacts(&self, id: PhoneId) -> &[PhoneId] {
-        let start = self.offsets[id.index()] as usize;
-        let end = self.offsets[id.index() + 1] as usize;
-        &self.adjacency[start..end]
+    pub fn contacts(&self, id: PhoneId) -> &[u32] {
+        self.topology.neighbors(id.0)
     }
 
     /// Number of contacts of `id`.
@@ -87,26 +148,27 @@ impl Population {
     /// Panics if `id` is out of range.
     #[inline]
     pub fn degree(&self, id: PhoneId) -> usize {
-        (self.offsets[id.index() + 1] - self.offsets[id.index()]) as usize
+        self.topology.degree(id.0)
     }
 
     /// Number of phones.
     pub fn len(&self) -> usize {
-        self.phones.len()
+        self.state.len()
     }
 
     /// True when the population has no phones.
     pub fn is_empty(&self) -> bool {
-        self.phones.is_empty()
+        self.state.is_empty()
     }
 
-    /// The phone with the given number.
+    /// A by-value snapshot of the phone with the given number.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn phone(&self, id: PhoneId) -> &Phone {
-        &self.phones[id.index()]
+    #[inline]
+    pub fn phone(&self, id: PhoneId) -> PhoneRef {
+        PhoneRef { id, state: self.state[id.index()], msgs: self.msgs[id.index()] }
     }
 
     /// Mutable access to a phone. Use [`Population::infect`] for
@@ -115,19 +177,24 @@ impl Population {
     /// # Panics
     ///
     /// Panics if `id` is out of range.
-    pub fn phone_mut(&mut self, id: PhoneId) -> &mut Phone {
-        &mut self.phones[id.index()]
+    #[inline]
+    pub fn phone_mut(&mut self, id: PhoneId) -> PhoneMut<'_> {
+        PhoneMut { id, state: &mut self.state[id.index()], msgs: &mut self.msgs[id.index()] }
     }
 
-    /// Iterates over all phones.
-    pub fn iter(&self) -> impl Iterator<Item = &Phone> {
-        self.phones.iter()
+    /// Iterates over all phones as snapshots, in numbering order.
+    pub fn iter(&self) -> impl Iterator<Item = PhoneRef> + '_ {
+        self.state.iter().zip(self.msgs.iter()).enumerate().map(|(i, (&state, &msgs))| PhoneRef {
+            id: PhoneId(i as u32),
+            state,
+            msgs,
+        })
     }
 
     /// Infects `id` if susceptible, maintaining the infected count.
     /// Returns whether a new infection occurred.
     pub fn infect(&mut self, id: PhoneId) -> bool {
-        let newly = self.phones[id.index()].infect();
+        let newly = self.phone_mut(id).infect();
         if newly {
             self.infected_count += 1;
         }
@@ -141,27 +208,40 @@ impl Population {
 
     /// Number of phones still able to be infected.
     pub fn susceptible_count(&self) -> usize {
-        self.phones.iter().filter(|p| p.is_susceptible()).count()
+        self.state.iter().filter(|&&s| s & HEALTH_MASK == HEALTH_SUSCEPTIBLE).count()
     }
 
     /// Number of phones currently on the vulnerable platform and not yet
     /// immunized (susceptible or infected). Before any dynamics run this
     /// equals the designated vulnerable count.
     pub fn vulnerable_count(&self) -> usize {
-        self.phones
+        self.state
             .iter()
-            .filter(|p| matches!(p.health(), Health::Susceptible | Health::Infected))
+            .filter(|&&s| matches!(s & HEALTH_MASK, HEALTH_SUSCEPTIBLE | HEALTH_INFECTED))
             .count()
     }
 
     /// Number of immunized phones.
     pub fn immunized_count(&self) -> usize {
-        self.phones.iter().filter(|p| p.health() == Health::Immunized).count()
+        self.state.iter().filter(|&&s| s & HEALTH_MASK == HEALTH_IMMUNIZED).count()
+    }
+
+    /// Number of infected phones that a patch has silenced.
+    pub fn silenced_count(&self) -> usize {
+        self.state.iter().filter(|&&s| s & FLAG_SILENCED != 0).count()
     }
 
     /// All phone ids, in numbering order.
     pub fn ids(&self) -> impl Iterator<Item = PhoneId> + '_ {
-        (0..self.phones.len()).map(PhoneId::from)
+        (0..self.state.len()).map(PhoneId::from)
+    }
+
+    /// Resident heap bytes of the population state arrays plus the shared
+    /// topology (the bytes/phone numerator reported by perfsuite).
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of_val(self.state.as_slice())
+            + std::mem::size_of_val(self.msgs.as_slice())
+            + self.topology.resident_bytes()
     }
 
     /// Picks a uniformly random vulnerable phone to seed the outbreak
@@ -169,8 +249,17 @@ impl Population {
     /// `None` if no phone is susceptible.
     pub fn random_susceptible<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<PhoneId> {
         let candidates: Vec<PhoneId> =
-            self.phones.iter().filter(|p| p.is_susceptible()).map(|p| p.id()).collect();
+            self.iter().filter(|p| p.is_susceptible()).map(|p| p.id()).collect();
         candidates.choose(rng).copied()
+    }
+}
+
+/// Compatibility shim so existing health-based filters keep reading
+/// naturally at call sites that matched on [`Health`].
+impl Population {
+    /// The health of `id` (convenience for `phone(id).health()`).
+    pub fn health(&self, id: PhoneId) -> Health {
+        self.phone(id).health()
     }
 }
 
@@ -179,7 +268,7 @@ mod tests {
     use super::*;
     use mpvsim_topology::GraphSpec;
     use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use rand::{RngExt, SeedableRng};
 
     fn rng(seed: u64) -> StdRng {
         StdRng::seed_from_u64(seed)
@@ -206,7 +295,12 @@ mod tests {
         for id in pop.ids() {
             assert_eq!(pop.degree(id), pop.contacts(id).len());
             for &c in pop.contacts(id) {
-                assert!(pop.contacts(c).contains(&id), "{} lists {} but not vice versa", id, c);
+                assert!(
+                    pop.contacts(PhoneId(c)).contains(&id.0),
+                    "{} lists {} but not vice versa",
+                    id,
+                    c
+                );
             }
         }
     }
@@ -277,5 +371,60 @@ mod tests {
         let pop = Population::from_graph(&g, 0.8, &mut r);
         assert!(pop.is_empty());
         assert_eq!(pop.len(), 0);
+    }
+
+    /// The CSR and graph constructors must draw identically from the RNG
+    /// and designate the same vulnerable set.
+    #[test]
+    fn from_csr_matches_from_graph() {
+        let mut r0 = rng(21);
+        let g = GraphSpec::power_law(300, 12.0).generate(&mut r0).unwrap();
+
+        let mut ra = rng(22);
+        let a = Population::from_graph(&g, 0.8, &mut ra);
+        let mut rb = rng(22);
+        let b = Population::from_csr(Arc::new(CsrGraph::from_graph(&g)), 0.8, &mut rb);
+
+        let sa: Vec<u8> = a.state.clone();
+        let sb: Vec<u8> = b.state.clone();
+        assert_eq!(sa, sb);
+        assert_eq!(ra.random::<u64>(), rb.random::<u64>(), "RNG state must match after build");
+    }
+
+    /// Pooled construction is bit-identical to fresh construction, even
+    /// when the recycled buffers held stale state from a prior (longer)
+    /// replication.
+    #[test]
+    fn pooled_population_is_bit_identical() {
+        let mut r0 = rng(31);
+        let g = GraphSpec::erdos_renyi(120, 8.0).generate(&mut r0).unwrap();
+        let csr = Arc::new(CsrGraph::from_graph(&g));
+
+        let mut pool = BufferPool::new();
+        // Poison the pool with a larger, mutated population.
+        let mut r1 = rng(32);
+        let mut stale = Population::from_csr_pooled(csr.clone(), 1.0, &mut r1, &mut pool);
+        for id in stale.ids().collect::<Vec<_>>() {
+            stale.infect(id);
+            stale.phone_mut(id).record_infected_message();
+        }
+        stale.recycle(&mut pool);
+        assert_eq!(pool.pooled_buffers(), 2);
+
+        let mut rf = rng(33);
+        let fresh = Population::from_csr(csr.clone(), 0.8, &mut rf);
+        let mut rp = rng(33);
+        let pooled = Population::from_csr_pooled(csr, 0.8, &mut rp, &mut pool);
+        assert_eq!(fresh.state, pooled.state);
+        assert_eq!(fresh.msgs, pooled.msgs);
+        assert_eq!(fresh.infected_count(), pooled.infected_count());
+        assert_eq!(rf.random::<u64>(), rp.random::<u64>());
+    }
+
+    #[test]
+    fn resident_bytes_scales_with_state_arrays() {
+        let pop = population(100, 0.8, 41);
+        let expected = 100 * (1 + 4) + pop.topology().resident_bytes();
+        assert_eq!(pop.resident_bytes(), expected);
     }
 }

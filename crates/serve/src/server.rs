@@ -43,8 +43,8 @@ use std::time::Duration;
 use mpvsim_core::figures::FigureOptions;
 use mpvsim_core::studies::{registry, StudyKind};
 use mpvsim_core::{
-    run_sweep, CellResult, ConfigError, ProbeKind, ResultsStore, ScenarioSpec, SweepCell,
-    SweepError, SweepOptions, SweepSpec,
+    run_sweep, CellResult, ConfigError, LayoutKind, ProbeKind, ResultsStore, ScenarioSpec,
+    SweepCell, SweepError, SweepOptions, SweepSpec,
 };
 use mpvsim_des::{FelKind, JsonlObserver, ObserverHandle};
 
@@ -79,6 +79,8 @@ pub struct ServeOptions {
     /// Probe attached to every replication ([`ProbeKind::Telemetry`]
     /// adds per-mechanism records to each run's store).
     pub probe: ProbeKind,
+    /// Per-replication state-array layout (see [`LayoutKind`]).
+    pub layout: LayoutKind,
 }
 
 impl Default for ServeOptions {
@@ -89,6 +91,7 @@ impl Default for ServeOptions {
             rep_threads: 1,
             fel: FelKind::default(),
             probe: ProbeKind::None,
+            layout: LayoutKind::Fresh,
         }
     }
 }
@@ -272,6 +275,7 @@ fn execute_run(opts: &ServeOptions, job: &QueuedRun) -> Result<(), String> {
         max_cells: None,
         observer,
         probe: opts.probe,
+        layout: opts.layout,
     };
     run_sweep(&sweep, &dir, &sweep_opts).map(|_| ()).map_err(|e| e.to_string())
 }

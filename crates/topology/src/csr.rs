@@ -1,0 +1,252 @@
+//! Compressed-sparse-row adjacency storage for large populations.
+//!
+//! [`Graph`] stores one heap-allocated `Vec<NodeId>` per node — fine at the
+//! paper's 1,000 phones, but at 10^6 nodes the per-vector headers, the
+//! 8-byte node ids and the allocator churn dominate memory. [`CsrGraph`]
+//! packs the same reciprocal adjacency into two flat `u32` arrays:
+//!
+//! ```text
+//! offsets: [0, d0, d0+d1, ...]          (n + 1 entries)
+//! targets: [neighbours of 0 | neighbours of 1 | ...]  (2·E entries)
+//! ```
+//!
+//! so a 10^6-node, mean-degree-8 graph costs ~36 MB instead of hundreds.
+//! The neighbour order within each row is identical to the order
+//! [`Graph::add_edge`] would have produced for the same edge stream, which
+//! is what keeps simulation trajectories bit-identical across the two
+//! layouts (contact-list cursors walk rows in storage order).
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::{Graph, NodeId};
+
+/// An undirected simple graph in compressed-sparse-row form.
+///
+/// Node ids are dense `u32` indices; rows hold each node's neighbours in
+/// insertion order. Construct one with [`CsrGraph::from_graph`] or
+/// [`crate::GraphSpec::generate_csr`] (which never materializes a
+/// per-node `Vec` layout at all).
+///
+/// ```rust
+/// use mpvsim_topology::{CsrGraph, Graph, NodeId};
+///
+/// let mut g = Graph::with_nodes(3);
+/// g.add_edge(NodeId(0), NodeId(1));
+/// g.add_edge(NodeId(0), NodeId(2));
+/// let csr = CsrGraph::from_graph(&g);
+/// assert_eq!(csr.neighbors(0), &[1, 2]);
+/// assert_eq!(csr.degree(1), 1);
+/// assert_eq!(csr.edge_count(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CsrGraph {
+    /// Row boundaries; `offsets[i]..offsets[i + 1]` indexes node `i`'s row.
+    offsets: Vec<u32>,
+    /// Concatenated neighbour lists (2·`edge_count` entries).
+    targets: Vec<u32>,
+    /// Number of undirected edges.
+    edge_count: usize,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from raw parts. Internal; callers go through
+    /// [`CsrGraph::from_graph`] or `GraphSpec::generate_csr`.
+    pub(crate) fn from_parts(offsets: Vec<u32>, targets: Vec<u32>, edge_count: usize) -> Self {
+        CsrGraph { offsets, targets, edge_count }
+    }
+
+    /// Packs an adjacency-list [`Graph`] into CSR form, preserving the
+    /// per-node neighbour order exactly.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        assert!(n < u32::MAX as usize, "CSR node ids are u32");
+        let directed: usize = 2 * graph.edge_count();
+        assert!(directed < u32::MAX as usize, "CSR offsets are u32");
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(directed);
+        offsets.push(0u32);
+        for i in 0..n {
+            for &NodeId(j) in graph.neighbors(NodeId(i)) {
+                targets.push(j as u32);
+            }
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph { offsets, targets, edge_count: graph.edge_count() }
+    }
+
+    /// Expands back to an adjacency-list [`Graph`] (test / analysis aid).
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::with_nodes(self.node_count());
+        for u in 0..self.node_count() as u32 {
+            for &v in self.neighbors(u) {
+                if u < v {
+                    g.add_edge(NodeId(u as usize), NodeId(v as usize));
+                }
+            }
+        }
+        g
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The neighbours of `node` in insertion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn neighbors(&self, node: u32) -> &[u32] {
+        let lo = self.offsets[node as usize] as usize;
+        let hi = self.offsets[node as usize + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// The degree (contact-list size) of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    pub fn degree(&self, node: u32) -> usize {
+        (self.offsets[node as usize + 1] - self.offsets[node as usize]) as usize
+    }
+
+    /// Mean degree over all nodes (0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            2.0 * self.edge_count as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Resident heap bytes of the adjacency arrays (the bytes/phone
+    /// denominator reported by perfsuite).
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of_val(self.offsets.as_slice())
+            + std::mem::size_of_val(self.targets.as_slice())
+    }
+
+    /// Checks the reciprocal-contact-list invariant and simplicity, like
+    /// [`Graph::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.node_count();
+        if self.offsets[0] != 0 {
+            return Err("offsets must start at 0".into());
+        }
+        for i in 0..n {
+            if self.offsets[i] > self.offsets[i + 1] {
+                return Err(format!("offsets not monotone at node {i}"));
+            }
+        }
+        if *self.offsets.last().unwrap() as usize != self.targets.len() {
+            return Err("final offset disagrees with targets length".into());
+        }
+        if self.targets.len() != 2 * self.edge_count {
+            return Err(format!(
+                "edge_count {} inconsistent with {} directed entries",
+                self.edge_count,
+                self.targets.len()
+            ));
+        }
+        for u in 0..n as u32 {
+            let row = self.neighbors(u);
+            for &v in row {
+                if v as usize >= n {
+                    return Err(format!("node {u} links to out-of-range node {v}"));
+                }
+                if v == u {
+                    return Err(format!("self-loop at node {u}"));
+                }
+                if !self.neighbors(v).contains(&u) {
+                    return Err(format!("edge {u}->{v} not reciprocated"));
+                }
+            }
+            let mut sorted: Vec<u32> = row.to_vec();
+            sorted.sort_unstable();
+            if sorted.windows(2).any(|w| w[0] == w[1]) {
+                return Err(format!("parallel edge at node {u}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_graph() -> Graph {
+        let mut g = Graph::with_nodes(5);
+        g.add_edge(NodeId(0), NodeId(1));
+        g.add_edge(NodeId(0), NodeId(3));
+        g.add_edge(NodeId(2), NodeId(1));
+        g.add_edge(NodeId(4), NodeId(0));
+        g
+    }
+
+    #[test]
+    fn from_graph_preserves_rows_and_counts() {
+        let g = sample_graph();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.node_count(), 5);
+        assert_eq!(csr.edge_count(), 4);
+        for i in 0..5 {
+            let want: Vec<u32> = g.neighbors(NodeId(i)).iter().map(|v| v.0 as u32).collect();
+            assert_eq!(csr.neighbors(i as u32), want.as_slice(), "row {i}");
+            assert_eq!(csr.degree(i as u32), g.degree(NodeId(i)));
+        }
+        assert!((csr.mean_degree() - g.mean_degree()).abs() < 1e-12);
+        assert!(csr.validate().is_ok());
+    }
+
+    #[test]
+    fn round_trips_through_graph() {
+        let g = sample_graph();
+        let csr = CsrGraph::from_graph(&g);
+        let back = csr.to_graph();
+        assert_eq!(back.edge_count(), g.edge_count());
+        for i in 0..5 {
+            let mut a: Vec<_> = g.neighbors(NodeId(i)).to_vec();
+            let mut b: Vec<_> = back.neighbors(NodeId(i)).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_rows() {
+        let csr = CsrGraph::from_graph(&Graph::with_nodes(4));
+        assert_eq!(csr.edge_count(), 0);
+        for i in 0..4 {
+            assert!(csr.neighbors(i).is_empty());
+            assert_eq!(csr.degree(i), 0);
+        }
+        assert!(csr.validate().is_ok());
+        assert_eq!(csr.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn resident_bytes_counts_both_arrays() {
+        let csr = CsrGraph::from_graph(&sample_graph());
+        // 6 offsets + 8 directed entries, 4 bytes each.
+        assert_eq!(csr.resident_bytes(), (6 + 8) * 4);
+    }
+
+    #[test]
+    fn validate_detects_missing_reciprocal() {
+        let csr = CsrGraph::from_parts(vec![0, 1, 1], vec![1], 0);
+        assert!(csr.validate().is_err());
+    }
+}

@@ -11,18 +11,46 @@
 //!
 //! Erdős–Rényi, Watts–Strogatz, ring-lattice and complete generators are
 //! provided for topology-sensitivity ablations.
+//!
+//! # Streaming generation
+//!
+//! Every generator is written as an *edge-emitter* feeding an [`EdgeSink`],
+//! so the same emission stream can build either a per-node adjacency
+//! [`Graph`] ([`GraphSpec::generate`]) or a flat [`CsrGraph`]
+//! ([`GraphSpec::generate_csr`]) without ever materializing an intermediate
+//! edge list. CSR construction is two-pass: pass one replays the stream
+//! into a degree counter using a *clone* of the RNG, pass two replays it
+//! into the prefix-summed row arrays using the real RNG — so the RNG ends
+//! in exactly the state `generate` would have left it, and the per-row
+//! neighbour order matches `Graph::add_edge` insertion order. Both
+//! properties are what keep simulation trajectories bit-identical across
+//! the two layouts.
+//!
+//! At or above [`FAST_PATH_MIN_NODES`] the pairwise O(n²) loops switch to
+//! O(n + E) skip-sampling (Batagelj–Brandes for Erdős–Rényi, a
+//! Miller–Hagberg sorted-weight walk for Chung–Lu) with an O(n log n)
+//! calibration, making 10^6-node graphs tractable. The threshold is far
+//! above every golden population, so regression trajectories never cross
+//! paths with the fast samplers.
 
 use std::collections::HashSet;
 
 use rand::{Rng, RngExt};
 use serde::{Deserialize, Serialize};
 
+use crate::csr::CsrGraph;
 use crate::error::TopologyError;
 use crate::graph::{Graph, NodeId};
 
 /// Default power-law exponent; email-address-book studies (the paper's
 /// stated analogy for contact lists) report tail exponents near 2.
 pub const DEFAULT_POWER_LAW_EXPONENT: f64 = 2.1;
+
+/// Node count at which the random generators switch from the historical
+/// O(n²) pair loops to O(n + E) skip-sampling. Everything the golden
+/// trajectories cover (pop ≤ 1,000) sits far below this, so their RNG
+/// draw sequences are untouched.
+pub const FAST_PATH_MIN_NODES: usize = 8192;
 
 /// A serializable description of a graph family + parameters.
 ///
@@ -163,17 +191,76 @@ impl GraphSpec {
     /// [`GraphSpec::validate`]).
     pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Graph, TopologyError> {
         self.validate()?;
-        let g = match *self {
-            GraphSpec::PowerLaw { n, mean_degree, exponent } => {
-                chung_lu(n, mean_degree, exponent, rng)
+        let mut sink = GraphSink { graph: Graph::with_nodes(self.node_count()) };
+        self.emit(rng, &mut sink);
+        debug_assert!(sink.graph.validate().is_ok());
+        Ok(sink.graph)
+    }
+
+    /// Generates the graph straight into CSR form, never materializing the
+    /// per-node `Vec` adjacency or an intermediate edge list.
+    ///
+    /// Pass one counts degrees with a clone of `rng`; pass two fills the
+    /// prefix-summed rows with the real `rng`, so the caller's RNG advances
+    /// exactly as it would under [`GraphSpec::generate`] and each CSR row
+    /// holds its neighbours in the same order `Graph::add_edge` would have
+    /// stored them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`] for invalid parameters, or when the graph
+    /// exceeds `u32` CSR index capacity.
+    pub fn generate_csr<R: Rng + Clone>(&self, rng: &mut R) -> Result<CsrGraph, TopologyError> {
+        self.validate()?;
+        let n = self.node_count();
+        if n >= u32::MAX as usize {
+            return Err(TopologyError::InvalidParameter(format!(
+                "CSR node ids are u32; n = {n} is too large"
+            )));
+        }
+        let mut degrees = vec![0u32; n];
+        {
+            let mut probe = rng.clone();
+            let mut sink = DegreeSink { degrees: &mut degrees };
+            self.emit(&mut probe, &mut sink);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut acc: u64 = 0;
+        for &d in &degrees {
+            acc += u64::from(d);
+            if acc >= u64::from(u32::MAX) {
+                return Err(TopologyError::InvalidParameter(
+                    "graph too large for u32 CSR offsets".into(),
+                ));
             }
-            GraphSpec::ErdosRenyi { n, mean_degree } => erdos_renyi(n, mean_degree, rng),
-            GraphSpec::WattsStrogatz { n, k, beta } => watts_strogatz(n, k, beta, rng),
-            GraphSpec::Ring { n, k } => ring_lattice(n, k),
-            GraphSpec::Complete { n } => complete(n),
-        };
+            offsets.push(acc as u32);
+        }
+        drop(degrees);
+        let mut cursors = offsets[..n].to_vec();
+        let mut targets = vec![0u32; acc as usize];
+        {
+            let mut sink = CsrFillSink { cursors: &mut cursors, targets: &mut targets };
+            self.emit(rng, &mut sink);
+        }
+        let g = CsrGraph::from_parts(offsets, targets, (acc / 2) as usize);
         debug_assert!(g.validate().is_ok());
         Ok(g)
+    }
+
+    /// Replays this spec's edge stream into `sink`. Single source of truth
+    /// for both output layouts: any change to emission order or RNG usage
+    /// automatically applies to `generate` and `generate_csr` alike.
+    fn emit<R: Rng + ?Sized, S: EdgeSink>(&self, rng: &mut R, sink: &mut S) {
+        match *self {
+            GraphSpec::PowerLaw { n, mean_degree, exponent } => {
+                emit_chung_lu(n, mean_degree, exponent, rng, sink);
+            }
+            GraphSpec::ErdosRenyi { n, mean_degree } => emit_erdos_renyi(n, mean_degree, rng, sink),
+            GraphSpec::WattsStrogatz { n, k, beta } => emit_watts_strogatz(n, k, beta, rng, sink),
+            GraphSpec::Ring { n, k } => emit_ring_lattice(n, k, sink),
+            GraphSpec::Complete { n } => emit_complete(n, sink),
+        }
     }
 }
 
@@ -195,11 +282,62 @@ fn check_lattice_degree(n: usize, k: usize) -> Result<(), TopologyError> {
     }
 }
 
-/// Chung–Lu expected-degree power-law graph.
-fn chung_lu<R: Rng + ?Sized>(n: usize, mean_degree: f64, exponent: f64, rng: &mut R) -> Graph {
-    let mut g = Graph::with_nodes(n);
+/// Receives each undirected edge of a generator's stream exactly once.
+/// No generator emits self-loops or duplicate pairs, so sinks may store
+/// both directions unconditionally.
+trait EdgeSink {
+    fn edge(&mut self, a: u32, b: u32);
+}
+
+/// Builds the historical adjacency-list layout.
+struct GraphSink {
+    graph: Graph,
+}
+
+impl EdgeSink for GraphSink {
+    fn edge(&mut self, a: u32, b: u32) {
+        let inserted = self.graph.add_edge(NodeId(a as usize), NodeId(b as usize));
+        debug_assert!(inserted, "generators must not emit duplicate edges");
+    }
+}
+
+/// CSR pass one: per-node degree counts.
+struct DegreeSink<'a> {
+    degrees: &'a mut [u32],
+}
+
+impl EdgeSink for DegreeSink<'_> {
+    fn edge(&mut self, a: u32, b: u32) {
+        self.degrees[a as usize] += 1;
+        self.degrees[b as usize] += 1;
+    }
+}
+
+/// CSR pass two: writes both directed entries at their row cursors.
+struct CsrFillSink<'a> {
+    cursors: &'a mut [u32],
+    targets: &'a mut [u32],
+}
+
+impl EdgeSink for CsrFillSink<'_> {
+    fn edge(&mut self, a: u32, b: u32) {
+        self.targets[self.cursors[a as usize] as usize] = b;
+        self.cursors[a as usize] += 1;
+        self.targets[self.cursors[b as usize] as usize] = a;
+        self.cursors[b as usize] += 1;
+    }
+}
+
+/// Chung–Lu expected-degree power-law stream.
+fn emit_chung_lu<R: Rng + ?Sized, S: EdgeSink>(
+    n: usize,
+    mean_degree: f64,
+    exponent: f64,
+    rng: &mut R,
+    sink: &mut S,
+) {
     if mean_degree == 0.0 || n < 2 {
-        return g;
+        return;
     }
     // Pareto(shape = exponent - 1, min = 1) weights.
     let shape = exponent - 1.0;
@@ -229,16 +367,69 @@ fn chung_lu<R: Rng + ?Sized>(n: usize, mean_degree: f64, exponent: f64, rng: &mu
     // raw Chung–Lu rule undershoots the target mean degree. Binary-search a
     // global factor c in p_ij = min(1, c·w_i·w_j/Σw) so that the *expected*
     // mean degree equals the target.
-    let expected_degree_sum = |c: f64| -> f64 {
-        let mut s = 0.0;
+    let c = calibrate_chung_lu(&weights, total, mean_degree);
+    if n < FAST_PATH_MIN_NODES {
         for i in 0..n {
             for j in (i + 1)..n {
-                s += (c * weights[i] * weights[j] / total).min(1.0);
+                let p = (c * weights[i] * weights[j] / total).min(1.0);
+                if p > 0.0 && rng.random::<f64>() < p {
+                    sink.edge(i as u32, j as u32);
+                }
             }
         }
-        2.0 * s
-    };
+    } else {
+        emit_chung_lu_skip(&weights, total, c, rng, sink);
+    }
+}
+
+/// Binary-searches the Chung–Lu clipping compensation factor `c`.
+///
+/// Below [`FAST_PATH_MIN_NODES`] the expectation is evaluated with the
+/// historical O(n²) pair loop (bit-identical sums); above it, with an
+/// O(n log n) sorted-weight two-pointer evaluator.
+fn calibrate_chung_lu(weights: &[f64], total: f64, mean_degree: f64) -> f64 {
+    let n = weights.len();
     let target_sum = mean_degree * n as f64;
+    if n < FAST_PATH_MIN_NODES {
+        let expected_degree_sum = |c: f64| -> f64 {
+            let mut s = 0.0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    s += (c * weights[i] * weights[j] / total).min(1.0);
+                }
+            }
+            2.0 * s
+        };
+        bisect_compensation(expected_degree_sum, target_sum)
+    } else {
+        // Sort descending; for a fixed c the clipped pairs of row i form a
+        // prefix of the sorted array, and that prefix only shrinks as i
+        // advances — one two-pointer sweep per evaluation.
+        let mut sorted = weights.to_vec();
+        sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("weights are finite"));
+        let mut suffix = vec![0.0f64; n + 1];
+        for i in (0..n).rev() {
+            suffix[i] = suffix[i + 1] + sorted[i];
+        }
+        let expected_degree_sum = move |c: f64| -> f64 {
+            let mut s = 0.0;
+            let mut b = n;
+            for i in 0..n {
+                let clip_at = total / (c * sorted[i]);
+                while b > 0 && sorted[b - 1] < clip_at {
+                    b -= 1;
+                }
+                let clipped_end = b.max(i + 1);
+                s += (clipped_end - (i + 1)) as f64;
+                s += c * sorted[i] * suffix[clipped_end] / total;
+            }
+            2.0 * s
+        };
+        bisect_compensation(expected_degree_sum, target_sum)
+    }
+}
+
+fn bisect_compensation(expected_degree_sum: impl Fn(f64) -> f64, target_sum: f64) -> f64 {
     let (mut lo, mut hi) = (0.0f64, 1.0f64);
     while expected_degree_sum(hi) < target_sum && hi < 1e6 {
         lo = hi;
@@ -252,51 +443,125 @@ fn chung_lu<R: Rng + ?Sized>(n: usize, mean_degree: f64, exponent: f64, rng: &mu
             hi = mid;
         }
     }
-    let c = 0.5 * (lo + hi);
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let p = (c * weights[i] * weights[j] / total).min(1.0);
-            if p > 0.0 && rng.random::<f64>() < p {
-                g.add_edge(NodeId(i), NodeId(j));
-            }
-        }
-    }
-    g
+    0.5 * (lo + hi)
 }
 
-/// Erdős–Rényi `G(n, p)` with `p = mean_degree / (n - 1)`.
-fn erdos_renyi<R: Rng + ?Sized>(n: usize, mean_degree: f64, rng: &mut R) -> Graph {
-    let mut g = Graph::with_nodes(n);
+/// Miller–Hagberg skip-sampling over descending weights: within a row the
+/// pair probability is monotone non-increasing, so a geometric jump under
+/// the row's current upper bound `p`, followed by an accept test with the
+/// exact probability `q ≤ p`, visits each candidate pair O(1) amortized.
+fn emit_chung_lu_skip<R: Rng + ?Sized, S: EdgeSink>(
+    weights: &[f64],
+    total: f64,
+    c: f64,
+    rng: &mut R,
+    sink: &mut S,
+) {
+    let n = weights.len();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    // (weight desc, original index asc) — a total order, so the emission
+    // stream is deterministic even with tied weights.
+    order.sort_unstable_by(|&a, &b| {
+        weights[b as usize]
+            .partial_cmp(&weights[a as usize])
+            .expect("weights are finite")
+            .then(a.cmp(&b))
+    });
+    let seq: Vec<f64> = order.iter().map(|&i| weights[i as usize]).collect();
+    for u in 0..n.saturating_sub(1) {
+        let mut v = u + 1;
+        let mut p = (c * seq[u] * seq[v] / total).min(1.0);
+        while v < n && p > 0.0 {
+            if p < 1.0 {
+                let r: f64 = rng.random();
+                let skip = (r.ln() / (1.0 - p).ln()).floor();
+                // A NaN skip (degenerate p) must break too.
+                if skip.is_nan() || skip >= (n - v) as f64 {
+                    break;
+                }
+                v += skip as usize;
+            }
+            let q = (c * seq[u] * seq[v] / total).min(1.0);
+            if rng.random::<f64>() < q / p {
+                sink.edge(order[u], order[v]);
+            }
+            p = q;
+            v += 1;
+        }
+    }
+}
+
+/// Erdős–Rényi `G(n, p)` stream with `p = mean_degree / (n - 1)`.
+fn emit_erdos_renyi<R: Rng + ?Sized, S: EdgeSink>(
+    n: usize,
+    mean_degree: f64,
+    rng: &mut R,
+    sink: &mut S,
+) {
     if n < 2 {
-        return g;
+        return;
     }
     let p = mean_degree / (n - 1) as f64;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if rng.random::<f64>() < p {
-                g.add_edge(NodeId(i), NodeId(j));
+    if n < FAST_PATH_MIN_NODES {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.random::<f64>() < p {
+                    sink.edge(i as u32, j as u32);
+                }
             }
         }
+        return;
     }
-    g
+    if p <= 0.0 {
+        return;
+    }
+    if p >= 1.0 {
+        emit_complete(n, sink);
+        return;
+    }
+    // Batagelj–Brandes: geometric skips through the row-major pair
+    // sequence, one RNG draw per *edge* instead of per pair.
+    let log_q = (1.0 - p).ln();
+    let mut v: usize = 1;
+    let mut w: i64 = -1;
+    while v < n {
+        let r: f64 = rng.random();
+        let skip = ((1.0 - r).ln() / log_q).floor();
+        // A NaN skip (degenerate p) must break too.
+        if skip.is_nan() || skip >= 1e18 {
+            break;
+        }
+        w += 1 + skip as i64;
+        while v < n && w >= v as i64 {
+            w -= v as i64;
+            v += 1;
+        }
+        if v < n {
+            sink.edge(w as u32, v as u32);
+        }
+    }
 }
 
-/// Ring lattice: `i ~ i ± 1..=k/2 (mod n)`.
-fn ring_lattice(n: usize, k: usize) -> Graph {
-    let mut g = Graph::with_nodes(n);
+/// Ring lattice stream: `i ~ i ± 1..=k/2 (mod n)`.
+fn emit_ring_lattice<S: EdgeSink>(n: usize, k: usize, sink: &mut S) {
     for i in 0..n {
         for d in 1..=(k / 2) {
             let j = (i + d) % n;
-            g.add_edge(NodeId(i), NodeId(j));
+            sink.edge(i as u32, j as u32);
         }
     }
-    g
 }
 
-/// Watts–Strogatz: ring lattice, then each lattice edge `(i, i+d)` is
-/// rewired to `(i, random)` with probability `beta`, skipping rewires that
-/// would create self-loops or parallel edges.
-fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
+/// Watts–Strogatz stream: ring lattice, then each lattice edge `(i, i+d)`
+/// is rewired to `(i, random)` with probability `beta`, skipping rewires
+/// that would create self-loops or parallel edges.
+fn emit_watts_strogatz<R: Rng + ?Sized, S: EdgeSink>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+    sink: &mut S,
+) {
     // Edge set as ordered pairs (low, high) for cheap membership tests.
     let mut edges: HashSet<(usize, usize)> = HashSet::new();
     let norm = |a: usize, b: usize| if a < b { (a, b) } else { (b, a) };
@@ -323,29 +588,26 @@ fn watts_strogatz<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -
             }
         }
     }
-    let mut g = Graph::with_nodes(n);
     let mut sorted: Vec<_> = edges.into_iter().collect();
-    sorted.sort_unstable(); // deterministic insertion order
+    sorted.sort_unstable(); // deterministic emission order
     for (a, b) in sorted {
-        g.add_edge(NodeId(a), NodeId(b));
+        sink.edge(a as u32, b as u32);
     }
-    g
 }
 
-/// The complete graph.
-fn complete(n: usize) -> Graph {
-    let mut g = Graph::with_nodes(n);
+/// The complete graph stream.
+fn emit_complete<S: EdgeSink>(n: usize, sink: &mut S) {
     for i in 0..n {
         for j in (i + 1)..n {
-            g.add_edge(NodeId(i), NodeId(j));
+            sink.edge(i as u32, j as u32);
         }
     }
-    g
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -487,5 +749,95 @@ mod tests {
         assert_eq!(GraphSpec::ring(9, 2).node_count(), 9);
         assert_eq!(GraphSpec::watts_strogatz(11, 2, 0.1).node_count(), 11);
         assert_eq!(GraphSpec::erdos_renyi(13, 2.0).node_count(), 13);
+    }
+
+    // ------------------------------------------------------------------
+    // Streaming CSR equivalence
+    // ------------------------------------------------------------------
+
+    /// Asserts `generate_csr` reproduces `generate` byte-for-byte: same
+    /// rows in the same order, and the caller's RNG left in the same state.
+    fn assert_csr_matches(spec: &GraphSpec, seed: u64) {
+        let mut materialized_rng = rng(seed);
+        let g = spec.generate(&mut materialized_rng).unwrap();
+        let mut streaming_rng = rng(seed);
+        let csr = spec.generate_csr(&mut streaming_rng).unwrap();
+        assert_eq!(csr.node_count(), g.node_count(), "{spec:?}");
+        assert_eq!(csr.edge_count(), g.edge_count(), "{spec:?}");
+        for i in 0..g.node_count() {
+            let want: Vec<u32> = g.neighbors(NodeId(i)).iter().map(|v| v.0 as u32).collect();
+            assert_eq!(csr.neighbors(i as u32), want.as_slice(), "row {i} of {spec:?}");
+        }
+        assert_eq!(
+            materialized_rng.random::<u64>(),
+            streaming_rng.random::<u64>(),
+            "RNG state diverged after generating {spec:?}"
+        );
+    }
+
+    #[test]
+    fn csr_matches_materialized_all_generators() {
+        for seed in [1, 2, 3] {
+            assert_csr_matches(&GraphSpec::power_law(120, 12.0), seed);
+            assert_csr_matches(&GraphSpec::erdos_renyi(120, 8.0), seed);
+            assert_csr_matches(&GraphSpec::watts_strogatz(120, 6, 0.3), seed);
+            assert_csr_matches(&GraphSpec::ring(31, 4), seed);
+            assert_csr_matches(&GraphSpec::complete(17), seed);
+        }
+    }
+
+    #[test]
+    fn csr_handles_isolated_and_degree_zero_nodes() {
+        // Whole-graph degree zero...
+        assert_csr_matches(&GraphSpec::erdos_renyi(40, 0.0), 9);
+        assert_csr_matches(&GraphSpec::power_law(40, 0.0), 9);
+        assert_csr_matches(&GraphSpec::complete(1), 9);
+        // ...and sparse graphs with genuinely isolated nodes.
+        let csr = GraphSpec::erdos_renyi(60, 0.1).generate_csr(&mut rng(9)).unwrap();
+        assert!((0..60u32).any(|v| csr.degree(v) == 0), "expected an isolated node");
+        assert_csr_matches(&GraphSpec::erdos_renyi(60, 0.1), 9);
+    }
+
+    #[test]
+    fn fast_path_hits_target_mean_degree() {
+        // Exactly at the threshold → skip-sampling path in both layouts.
+        let n = FAST_PATH_MIN_NODES;
+        let g = GraphSpec::erdos_renyi(n, 6.0).generate_csr(&mut rng(21)).unwrap();
+        assert!((g.mean_degree() - 6.0).abs() < 0.5, "ER mean {}", g.mean_degree());
+        let g = GraphSpec::power_law(n, 10.0).generate_csr(&mut rng(22)).unwrap();
+        assert!((g.mean_degree() - 10.0).abs() < 1.5, "CL mean {}", g.mean_degree());
+        let max_deg = (0..n as u32).map(|v| g.degree(v)).max().unwrap();
+        assert!((max_deg as f64) > 3.0 * g.mean_degree(), "no heavy tail: max {max_deg}");
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn fast_path_csr_matches_materialized() {
+        // Above the threshold both layouts still share one emission stream.
+        assert_csr_matches(&GraphSpec::erdos_renyi(FAST_PATH_MIN_NODES, 3.0), 7);
+        assert_csr_matches(&GraphSpec::power_law(FAST_PATH_MIN_NODES, 4.0), 7);
+    }
+
+    proptest! {
+        /// Streaming CSR generation is byte-identical to the materialized
+        /// path for every generator family at small n.
+        #[test]
+        fn prop_csr_equivalent_all_families(
+            seed in 0u64..500,
+            n in 2usize..40,
+            mean_raw in 0.0f64..10.0,
+            k_half in 1usize..4,
+            beta in 0.0f64..1.0,
+        ) {
+            let mean = mean_raw.min((n - 1) as f64);
+            assert_csr_matches(&GraphSpec::power_law(n, mean), seed);
+            assert_csr_matches(&GraphSpec::erdos_renyi(n, mean), seed);
+            let k = 2 * k_half;
+            if k < n {
+                assert_csr_matches(&GraphSpec::ring(n, k), seed);
+                assert_csr_matches(&GraphSpec::watts_strogatz(n, k, beta), seed);
+            }
+            assert_csr_matches(&GraphSpec::complete(n), seed);
+        }
     }
 }

@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod csr;
 pub mod error;
 pub mod generate;
 pub mod graph;
 pub mod io;
 
+pub use csr::CsrGraph;
 pub use error::TopologyError;
 pub use generate::GraphSpec;
 pub use graph::{Graph, NodeId};

@@ -1,0 +1,141 @@
+//! Regression tests for bounded event memory and the per-replication
+//! layout axis: the figure-1 event-heap high-water mark must not
+//! regress past the committed baseline, resident-memory accounting
+//! must be populated, the arena layout must be bit-identical to fresh
+//! allocation, and bounded inbox admission must tail-drop only when
+//! the cap actually binds.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+use mpvsim::core::figures::{fig1_baseline_cells, FigureOptions};
+use mpvsim::des::FelKind;
+use mpvsim::prelude::*;
+
+const SEED: u64 = 20_07;
+
+/// Committed figure-1 high-water mark at population 1,000 (see
+/// `BENCH_2026-08-06.json`): 376,636 pending events over ten
+/// replications of all four virus cells. Replication 0 of each cell
+/// is one of the runs behind that maximum, so its peak must stay at
+/// or under the ceiling; anything above it means event scheduling
+/// grew and the scaling study's memory model no longer holds.
+const FIG1_PEAK_PENDING_BASELINE: usize = 376_636;
+
+#[derive(Default)]
+struct PeakRecorder {
+    peak_pending: AtomicUsize,
+    peak_bytes: AtomicUsize,
+    reps: AtomicU64,
+}
+
+impl ExperimentObserver for PeakRecorder {
+    fn on_replication_finish(&self, m: &ReplicationMetrics) {
+        self.peak_pending.fetch_max(m.sim.peak_pending_events, Ordering::Relaxed);
+        self.peak_bytes.fetch_max(m.sim.peak_event_bytes, Ordering::Relaxed);
+        self.reps.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[test]
+fn fig1_peak_pending_events_stays_within_committed_baseline() {
+    let opts = FigureOptions { reps: 1, threads: 1, ..FigureOptions::default() };
+    let recorder = std::sync::Arc::new(PeakRecorder::default());
+    for cell in fig1_baseline_cells(&opts) {
+        let config = cell.spec.to_config().expect("paper cell is valid");
+        let plan = ExperimentPlan::new(1)
+            .master_seed(opts.master_seed)
+            .threads(1)
+            .observer_handle(ObserverHandle::from_arc(recorder.clone()));
+        plan.run(config).expect("fig1 cell runs");
+    }
+    assert_eq!(recorder.reps.load(Ordering::Relaxed), 4, "all four virus cells ran");
+    let peak = recorder.peak_pending.load(Ordering::Relaxed);
+    assert!(
+        peak <= FIG1_PEAK_PENDING_BASELINE,
+        "fig1 peak_pending_events regressed: {peak} > {FIG1_PEAK_PENDING_BASELINE}"
+    );
+    assert!(peak > 0, "an epidemic run must schedule events");
+    assert!(
+        recorder.peak_bytes.load(Ordering::Relaxed) > 0,
+        "peak_event_bytes must track the heap high-water mark"
+    );
+}
+
+#[test]
+fn resident_state_bytes_is_populated_and_scales_with_population() {
+    let mut small = ScenarioConfig::baseline(VirusProfile::virus1());
+    small.population = PopulationConfig::paper_default(100);
+    small.horizon = SimDuration::from_hours(4);
+    let mut large = small.clone();
+    large.population = PopulationConfig::paper_default(400);
+    let a = run_scenario(&small, SEED).expect("valid");
+    let b = run_scenario(&large, SEED).expect("valid");
+    assert!(a.resident_state_bytes > 0, "resident bytes must be accounted");
+    assert!(
+        b.resident_state_bytes > a.resident_state_bytes,
+        "resident bytes must grow with population: {} vs {}",
+        a.resident_state_bytes,
+        b.resident_state_bytes
+    );
+}
+
+#[test]
+fn arena_layout_is_bit_identical_to_fresh_across_replications() {
+    let mut c = ScenarioConfig::baseline(VirusProfile::virus2());
+    c.population = PopulationConfig::paper_default(200);
+    c.horizon = SimDuration::from_hours(8);
+    for seed in [SEED, SEED + 1, SEED + 2] {
+        let (fresh, fm) = run_scenario_configured(
+            &c,
+            seed,
+            FelKind::default(),
+            None,
+            ProbeKind::None,
+            LayoutKind::Fresh,
+        )
+        .expect("valid");
+        // Two arena runs back to back so the second one replays from a
+        // recycled pool rather than a cold allocation.
+        for _ in 0..2 {
+            let (arena, am) = run_scenario_configured(
+                &c,
+                seed,
+                FelKind::default(),
+                None,
+                ProbeKind::None,
+                LayoutKind::Arena,
+            )
+            .expect("valid");
+            assert_eq!(fresh.series, arena.series, "seed {seed}");
+            assert_eq!(fresh.final_infected, arena.final_infected, "seed {seed}");
+            assert_eq!(fresh.stats, arena.stats, "seed {seed}");
+            assert_eq!(fm.events_processed, am.events_processed, "seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn a_loose_inbox_cap_never_changes_the_trajectory() {
+    let mut uncapped = ScenarioConfig::baseline(VirusProfile::virus1());
+    uncapped.population = PopulationConfig::paper_default(150);
+    uncapped.horizon = SimDuration::from_hours(8);
+    let mut capped = uncapped.clone();
+    capped.inbox_cap = Some(u32::MAX);
+    let a = run_scenario(&uncapped, SEED).expect("valid");
+    let b = run_scenario(&capped, SEED).expect("valid");
+    assert_eq!(a.series, b.series);
+    assert_eq!(a.final_infected, b.final_infected);
+    assert_eq!(b.stats.inbox_dropped, 0, "a cap that never binds drops nothing");
+}
+
+#[test]
+fn a_tight_inbox_cap_drops_deterministically_and_still_completes() {
+    let mut c = ScenarioConfig::baseline(VirusProfile::virus1());
+    c.population = PopulationConfig::paper_default(150);
+    c.horizon = SimDuration::from_hours(8);
+    c.inbox_cap = Some(1);
+    let a = run_scenario(&c, SEED).expect("a bounded run must still complete");
+    let b = run_scenario(&c, SEED).expect("valid");
+    assert_eq!(a.series, b.series, "tail-drop must be deterministic");
+    assert_eq!(a.stats.inbox_dropped, b.stats.inbox_dropped);
+}
