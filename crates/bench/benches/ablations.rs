@@ -13,7 +13,7 @@ fn opts() -> FigureOptions {
     FigureOptions {
         reps: 1,
         master_seed: 2007,
-        threads: 1,
+        engine: mpvsim_core::EngineOptions::new(),
         population: 120,
         ..FigureOptions::default()
     }

@@ -26,7 +26,7 @@ fn opts() -> FigureOptions {
     FigureOptions {
         reps: 1,
         master_seed: 2007,
-        threads: 1,
+        engine: mpvsim_core::EngineOptions::new(),
         population: 150,
         ..FigureOptions::default()
     }

@@ -17,6 +17,9 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
+use mpvsim_core::bounds::{
+    solve_bounds, BoundsKnob, BoundsOptions, BoundsOutcome, BoundsReport, BoundsSpec, ConfirmPolicy,
+};
 use mpvsim_core::figures::{FigureOptions, LabeledResult};
 use mpvsim_core::studies::{registry, StudyId, StudyKind};
 use mpvsim_core::sweep::{resume_sweep, run_sweep, slugify, SweepOptions, SweepReport, SweepSpec};
@@ -25,7 +28,9 @@ use mpvsim_core::validate::{
     fuzz_cases, load_oracle_golden, load_study_golden, load_study_specs, save_oracle_golden,
     save_study_golden, save_study_specs, study_specs_path, GoldenScale, OracleScale, Variant,
 };
-use mpvsim_core::{run_scenario_probed, ProbeKind, ProbeOutput, TopologyCache};
+use mpvsim_core::{
+    run_scenario_probed, ProbeKind, ProbeOutput, ScenarioConfig, TopologyCache, VirusProfile,
+};
 use mpvsim_des::seed::derive_seed;
 
 use crate::{
@@ -45,6 +50,7 @@ commands:
   perfsuite            benchmark the figure workloads under each FEL backend
   sweep run            execute a sweep of studies into a results store
   sweep resume         finish an interrupted sweep from its store
+  bounds               solve for critical response deadlines (ODE-bracketed)
   serve                HTTP/JSON simulation service over a results store
   submit <spec.json>   POST a scenario spec to a running `mpvsim serve`
   validate bless       (re)generate the golden-trajectory regression store
@@ -114,6 +120,7 @@ pub fn run(args: &[String]) -> i32 {
         "ablations" => cmd_ablations(rest),
         "perfsuite" => crate::perfsuite::run(rest),
         "sweep" => cmd_sweep(rest),
+        "bounds" => cmd_bounds(rest),
         "serve" => cmd_serve(rest),
         "submit" => cmd_submit(rest),
         "validate" => cmd_validate(rest),
@@ -126,24 +133,6 @@ pub fn run(args: &[String]) -> i32 {
             2
         }
     }
-}
-
-/// Forwards a historical per-figure binary to the unified dispatcher,
-/// with a deprecation note. The old binaries (`fig1_baseline`, `matrix`,
-/// `all_figures`, ...) are kept as one-line shims over this.
-pub fn deprecated_shim(old_bin: &str) -> ! {
-    let mut args: Vec<String> = match old_bin {
-        "all_figures" => vec!["all".to_owned()],
-        "report" | "ablations" | "perfsuite" => vec![old_bin.to_owned()],
-        study => vec!["study".to_owned(), study.to_owned()],
-    };
-    let replacement = args.join(" ");
-    eprintln!(
-        "note: the `{old_bin}` binary is deprecated; use `mpvsim {replacement}` \
-         (forwarding this run)"
-    );
-    args.extend(std::env::args().skip(1));
-    std::process::exit(run(&args));
 }
 
 /// The `mpvsim list` table.
@@ -191,7 +180,7 @@ fn cmd_study(args: &[String]) -> i32 {
     let title = id.title();
     eprintln!(
         "running {title}: {} replications, seed {}, {} threads, population {}",
-        opts.reps, opts.master_seed, opts.threads, opts.population
+        opts.reps, opts.master_seed, opts.engine.threads, opts.population
     );
     match id.run(&opts) {
         Ok(results) => {
@@ -355,7 +344,7 @@ fn cmd_trace(args: &[String]) -> i32 {
             return 1;
         }
     };
-    opts.probe = ProbeKind::Chain;
+    opts.engine.probe = ProbeKind::Chain;
     opts.topology_cache = Some(TopologyCache::shared());
     let dir = out_dir.join(id.name());
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -434,7 +423,7 @@ fn trace_study(id: StudyId, opts: &FigureOptions, dir: &Path) -> Result<String, 
         let (run0, _) = run_scenario_probed(
             config,
             seed0,
-            opts.fel,
+            opts.engine.fel,
             opts.topology_cache.as_deref(),
             ProbeKind::Trace,
         )
@@ -866,10 +855,9 @@ fn parse_sweep_args(args: &[String], resume: bool) -> Result<SweepArgs, String> 
                 // different probe than the original run adds/omits
                 // telemetry records in the cells completed after the
                 // resume.
-                SharedFlag::Probe => sweep.probe = figure.probe,
-                SharedFlag::Fel => sweep.fel = figure.fel,
-                SharedFlag::Layout => sweep.layout = figure.layout,
-                SharedFlag::Threads => sweep.rep_threads = figure.threads,
+                SharedFlag::Probe | SharedFlag::Fel | SharedFlag::Layout | SharedFlag::Threads => {
+                    sweep.engine = figure.engine
+                }
             }
             continue;
         }
@@ -896,7 +884,7 @@ fn parse_sweep_args(args: &[String], resume: bool) -> Result<SweepArgs, String> 
                     .map_err(|_| format!("{flag} value {v:?} is not a number\n{SWEEP_USAGE}"))?;
                 match flag.as_str() {
                     "--cell-workers" => sweep.cell_workers = parsed as usize,
-                    "--rep-threads" => sweep.rep_threads = parsed as usize,
+                    "--rep-threads" => sweep.engine.threads = parsed as usize,
                     "--max-cells" => sweep.max_cells = Some(parsed as usize),
                     _ => unreachable!(),
                 }
@@ -1011,6 +999,258 @@ pub fn render_sweep_report(report: &SweepReport) -> String {
     out
 }
 
+// ----------------------------------------------------------- bounds
+
+const BOUNDS_USAGE: &str = "\
+usage: mpvsim bounds [--knob K] [--target F] [--dir PATH] [--virus N]...
+                     [--min V] [--max V] [--tolerance V]
+                     [--min-reps N] [--max-reps N] [--progress]
+                     [--population P] [--seed S] [--threads T] [--fel KIND]
+                     [--layout KIND]
+       mpvsim bounds --spec FILE [--dir PATH] [--progress] [engine flags]
+  --knob K             scan-delay | patch-delay | blacklist-threshold
+                       (default scan-delay)
+  --target F           containment target as a fraction of the susceptible
+                       population, in (0, 1) (default 0.05)
+  --dir PATH           bounds results store (default bounds-out); repeat
+                       queries are byte-identical cache hits
+  --virus N            baseline virus scenario 1|2|3|4 (repeatable;
+                       default: 1 and 3)
+  --min / --max V      search range override, in the knob's unit
+  --tolerance V        bisection stop width (default: knob-specific)
+  --min-reps N         replications before CI stopping may trigger (default 4)
+  --max-reps N         replication cap per candidate (default 16)
+  --progress           stream NDJSON progress events on stderr
+  --spec FILE          solve one mpvsim-bounds/1 document ('-' reads stdin)
+Engine flags (--threads, --fel, --layout) never change the result; the
+report is a pure function of the query document.
+";
+
+fn bounds_usage_error(msg: &str) -> i32 {
+    eprintln!("{msg}\n{BOUNDS_USAGE}");
+    2
+}
+
+/// Renders one bounds report as a terminal block.
+pub fn render_bounds_report(report: &BoundsReport, dir: &Path, cached: bool) -> String {
+    let mut out = String::new();
+    let pretty = |v: u64| -> String {
+        if report.unit == "seconds" {
+            format!("{v} s (≈ {:.1} h)", v as f64 / 3600.0)
+        } else {
+            format!("{v} messages")
+        }
+    };
+    let headline = match (report.outcome, report.critical) {
+        (BoundsOutcome::Converged, Some(c)) => {
+            format!("critical {} = {}", report.knob.cli_name(), pretty(c))
+        }
+        (BoundsOutcome::AboveMax, Some(c)) => {
+            format!("contained everywhere in range (critical ≥ {})", pretty(c))
+        }
+        _ => "uncontainable within the search range".to_owned(),
+    };
+    let _ = writeln!(out, "{}: {headline}", report.name);
+    let _ = writeln!(
+        out,
+        "  target: mean final infections ≤ {:.1} phones ({:.1}% of susceptible + seeds)",
+        report.threshold_infections,
+        report.target * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "  ODE bracket: [{}, {}] {} (ode critical {}{})",
+        report.bracket_lo,
+        report.bracket_hi,
+        report.unit,
+        report.ode_critical,
+        if report.bracket_expanded { ", expanded by DES" } else { "" }
+    );
+    if let (Some(c), Some(v)) = (report.critical, report.violated_at) {
+        let _ = writeln!(out, "  confirmed: contained at {c}, violated at {v} {}", report.unit);
+    }
+    let _ = writeln!(
+        out,
+        "  effort: {} candidates, {} DES replications",
+        report.evaluations.len(),
+        report.total_reps
+    );
+    let _ = writeln!(
+        out,
+        "  store: {}{}",
+        dir.join(&report.spec_hash).display(),
+        if cached { "  (cache hit)" } else { "" }
+    );
+    out
+}
+
+fn cmd_bounds(args: &[String]) -> i32 {
+    let mut knob = BoundsKnob::ScanDelay;
+    let mut target = mpvsim_core::bounds::DEFAULT_TARGET;
+    let mut dir = PathBuf::from("bounds-out");
+    let mut viruses: Vec<u32> = Vec::new();
+    let mut spec_path: Option<String> = None;
+    let mut search_min: Option<u64> = None;
+    let mut search_max: Option<u64> = None;
+    let mut tolerance: Option<u64> = None;
+    let mut confirm = ConfirmPolicy::default();
+    let mut progress = false;
+    let mut figure = FigureOptions::default();
+    let mut seed: Option<u64> = None;
+    let mut population: Option<usize> = None;
+    let mut args = args.iter();
+    while let Some(flag) = args.next() {
+        match apply_shared_flag(flag, &mut || args.next().cloned(), &mut figure) {
+            Err(msg) => return bounds_usage_error(&msg),
+            Ok(Some(SharedFlag::Threads | SharedFlag::Fel | SharedFlag::Layout)) => {}
+            Ok(Some(SharedFlag::Seed)) => seed = Some(figure.master_seed),
+            Ok(Some(SharedFlag::Population)) => population = Some(figure.population),
+            Ok(Some(SharedFlag::Reps)) => {
+                return bounds_usage_error(
+                    "--reps does not apply: candidate replication counts are adaptive \
+                     (use --min-reps / --max-reps)",
+                );
+            }
+            Ok(Some(SharedFlag::Probe)) => {
+                return bounds_usage_error("bounds confirmation replications run unprobed");
+            }
+            Ok(None) => {
+                let mut value = |flag: &str| {
+                    args.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+                };
+                let mut numeric = |flag: &str| {
+                    value(flag).and_then(|v| {
+                        v.parse::<u64>().map_err(|_| format!("{flag} value {v:?} is not a number"))
+                    })
+                };
+                let result = match flag.as_str() {
+                    "--knob" => value("--knob").and_then(|v| {
+                        BoundsKnob::from_cli_name(&v).map(|k| knob = k).ok_or_else(|| {
+                            format!(
+                                "unknown knob {v:?} (one of: scan-delay, patch-delay, \
+                                 blacklist-threshold)"
+                            )
+                        })
+                    }),
+                    "--target" => value("--target").and_then(|v| {
+                        v.parse::<f64>()
+                            .map(|f| target = f)
+                            .map_err(|_| format!("--target value {v:?} is not a number"))
+                    }),
+                    "--dir" => value("--dir").map(|v| dir = PathBuf::from(v)),
+                    "--virus" => numeric("--virus").and_then(|n| match u32::try_from(n) {
+                        Ok(n @ 1..=4) => {
+                            viruses.push(n);
+                            Ok(())
+                        }
+                        _ => Err(format!("--virus must be 1..=4, got {n}")),
+                    }),
+                    "--spec" => value("--spec").map(|v| spec_path = Some(v)),
+                    "--min" => numeric("--min").map(|v| search_min = Some(v)),
+                    "--max" => numeric("--max").map(|v| search_max = Some(v)),
+                    "--tolerance" => numeric("--tolerance").map(|v| tolerance = Some(v)),
+                    "--min-reps" => numeric("--min-reps").map(|v| confirm.min_reps = v),
+                    "--max-reps" => numeric("--max-reps").map(|v| confirm.max_reps = v),
+                    "--progress" => {
+                        progress = true;
+                        Ok(())
+                    }
+                    "--help" | "-h" => {
+                        print!("{BOUNDS_USAGE}");
+                        return 0;
+                    }
+                    other => Err(format!("unknown flag {other:?}")),
+                };
+                if let Err(msg) = result {
+                    return bounds_usage_error(&msg);
+                }
+            }
+        }
+    }
+
+    // Assemble the query documents: either the single --spec file, or one
+    // per requested baseline virus scenario.
+    let mut specs: Vec<BoundsSpec> = Vec::new();
+    if let Some(path) = spec_path {
+        let body = if path == "-" {
+            let mut buf = Vec::new();
+            std::io::Read::read_to_end(&mut std::io::stdin(), &mut buf).map(|_| buf)
+        } else {
+            std::fs::read(&path)
+        };
+        let body = match body {
+            Ok(body) => body,
+            Err(e) => {
+                eprintln!("bounds: cannot read {path:?}: {e}");
+                return 1;
+            }
+        };
+        match BoundsSpec::from_json(&body) {
+            Ok(spec) => specs.push(spec),
+            Err(e) => {
+                eprintln!("bounds: {e}");
+                return 1;
+            }
+        }
+    } else {
+        if viruses.is_empty() {
+            viruses = vec![1, 3];
+        }
+        for n in viruses {
+            let virus = match n {
+                1 => VirusProfile::virus1(),
+                2 => VirusProfile::virus2(),
+                3 => VirusProfile::virus3(),
+                _ => VirusProfile::virus4(),
+            };
+            let mut scenario = ScenarioConfig::baseline(virus);
+            if let Some(p) = population {
+                scenario =
+                    scenario.with_population(mpvsim_core::PopulationConfig::paper_default(p));
+            }
+            let mut search = knob.default_search();
+            if let Some(v) = search_min {
+                search.min = v;
+            }
+            if let Some(v) = search_max {
+                search.max = v;
+            }
+            if let Some(v) = tolerance {
+                search.tolerance = v;
+            }
+            let name = format!("virus{n} {}", knob.cli_name());
+            let mut spec = BoundsSpec::new(name, knob, scenario)
+                .with_search(search)
+                .with_target(target)
+                .with_confirm(confirm);
+            if let Some(s) = seed {
+                spec = spec.with_master_seed(s);
+            }
+            specs.push(spec);
+        }
+    }
+
+    let opts = BoundsOptions { engine: figure.engine };
+    let mut code = 0;
+    for spec in &specs {
+        let emit = |ev: &mpvsim_core::bounds::ProgressEvent| {
+            if progress {
+                if let Ok(line) = serde_json::to_string(ev) {
+                    eprintln!("{line}");
+                }
+            }
+        };
+        match solve_bounds(spec, &dir, &opts, emit) {
+            Ok(run) => print!("{}", render_bounds_report(&run.report, &dir, run.cached)),
+            Err(e) => {
+                eprintln!("bounds: {}: {e}", spec.name);
+                code = 1;
+            }
+        }
+    }
+    code
+}
+
 // ------------------------------------------------------- serve / submit
 
 const SERVE_USAGE: &str = "\
@@ -1043,10 +1283,9 @@ fn cmd_serve(args: &[String]) -> i32 {
             }
             // Execution knobs belong to the server; the replication plan
             // (reps/seed/population) belongs to each submitted spec.
-            Ok(Some(SharedFlag::Probe)) => opts.probe = figure.probe,
-            Ok(Some(SharedFlag::Fel)) => opts.fel = figure.fel,
-            Ok(Some(SharedFlag::Layout)) => opts.layout = figure.layout,
-            Ok(Some(SharedFlag::Threads)) => opts.rep_threads = figure.threads,
+            Ok(Some(
+                SharedFlag::Probe | SharedFlag::Fel | SharedFlag::Layout | SharedFlag::Threads,
+            )) => opts.engine = figure.engine,
             Ok(Some(SharedFlag::Reps | SharedFlag::Seed | SharedFlag::Population)) => {
                 eprintln!("{flag} applies per submitted spec, not to the server\n{SERVE_USAGE}");
                 return 2;
@@ -1102,6 +1341,29 @@ usage: mpvsim submit <spec.json> [--addr HOST:PORT] [--no-wait] [--events]
 fn submit_usage_error(msg: &str) -> i32 {
     eprintln!("{msg}\n{SUBMIT_USAGE}");
     2
+}
+
+/// Renders a server rejection for humans: a structured
+/// `mpvsim-error/1` body (as every 4xx from `mpvsim serve` carries)
+/// becomes "field: reason" lines; anything else falls back to the raw
+/// body so no diagnostic is ever swallowed.
+fn render_rejection(body: &[u8]) -> String {
+    #[derive(serde::Deserialize)]
+    struct ErrorBody {
+        #[serde(default)]
+        schema: String,
+        error: mpvsim_core::ConfigError,
+    }
+    match serde_json::from_slice::<ErrorBody>(body) {
+        Ok(doc) if doc.schema.starts_with("mpvsim-error/") => {
+            let mut out = format!("submit: rejected: {}", doc.error);
+            if let Some(field) = doc.error.field() {
+                let _ = write!(out, " (field: {field})");
+            }
+            out
+        }
+        _ => String::from_utf8_lossy(body).trim_end().to_owned(),
+    }
 }
 
 fn cmd_submit(args: &[String]) -> i32 {
@@ -1160,10 +1422,11 @@ fn cmd_submit(args: &[String]) -> i32 {
     } else {
         eprintln!("submit: {}", reply.status);
     }
-    println!("{}", String::from_utf8_lossy(&reply.body).trim_end());
     if !reply.is_success() {
+        eprintln!("{}", render_rejection(&reply.body));
         return 1;
     }
+    println!("{}", String::from_utf8_lossy(&reply.body).trim_end());
     if events {
         let doc: serde_json::Value = match serde_json::from_slice(&reply.body) {
             Ok(doc) => doc,
@@ -1333,7 +1596,7 @@ mod tests {
         FigureOptions {
             reps: 1,
             master_seed: 5,
-            threads: 1,
+            engine: mpvsim_core::EngineOptions::new(),
             population: 30,
             ..FigureOptions::default()
         }
@@ -1382,6 +1645,53 @@ mod tests {
     }
 
     #[test]
+    fn bounds_usage_errors_exit_2() {
+        let args = |list: &[&str]| list.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>();
+        assert_eq!(run(&args(&["bounds", "--bogus"])), 2);
+        assert_eq!(run(&args(&["bounds", "--knob", "nope"])), 2, "unknown knob");
+        assert_eq!(run(&args(&["bounds", "--virus", "7"])), 2, "viruses are 1..=4");
+        assert_eq!(run(&args(&["bounds", "--reps", "3"])), 2, "reps are adaptive");
+        assert_eq!(run(&args(&["bounds", "--probe", "chain"])), 2, "no probes");
+        assert_eq!(run(&args(&["bounds", "--target"])), 2, "missing value");
+    }
+
+    #[test]
+    fn rejections_pretty_print_structured_errors_and_fall_back_raw() {
+        let body = br#"{"schema":"mpvsim-error/1","error":{"kind":"out_of_range",
+            "field":"target","value":"2","allowed":"(0, 1)"}}"#;
+        let text = render_rejection(body);
+        assert!(text.contains("target 2 must be in (0, 1)"), "{text}");
+        assert!(text.contains("(field: target)"), "{text}");
+        assert!(!text.contains('{'), "no raw JSON in the pretty form: {text}");
+        // Errors without a field still pretty-print.
+        let body = br#"{"schema":"mpvsim-error/1","error":{"kind":"malformed","reason":"eof"}}"#;
+        assert!(render_rejection(body).contains("malformed spec: eof"));
+        // Anything unstructured passes through untouched.
+        assert_eq!(render_rejection(b"<html>502</html>\n"), "<html>502</html>");
+        assert_eq!(render_rejection(br#"{"weird":true}"#), r#"{"weird":true}"#);
+    }
+
+    #[test]
+    fn bounds_report_renders_the_critical_deadline() {
+        use mpvsim_core::bounds::{BoundsOptions, SearchRange};
+        let mut scenario =
+            mpvsim_core::ScenarioConfig::baseline(mpvsim_core::VirusProfile::virus3());
+        scenario.population = mpvsim_core::PopulationConfig::paper_default(120);
+        let spec = BoundsSpec::new("render-test", BoundsKnob::ScanDelay, scenario)
+            .with_search(SearchRange { min: 900, max: 14_400, tolerance: 3600 })
+            .with_confirm(ConfirmPolicy { min_reps: 2, max_reps: 3, min_half_width: 1.0 });
+        let dir = std::env::temp_dir().join(format!("mpvsim-bounds-render-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let run = solve_bounds(&spec, &dir, &BoundsOptions::default(), |_| {}).unwrap();
+        let text = render_bounds_report(&run.report, &dir, run.cached);
+        assert!(text.contains("render-test"), "{text}");
+        assert!(text.contains("ODE bracket"), "{text}");
+        assert!(text.contains("target: mean final infections"), "{text}");
+        assert!(text.contains(&run.report.spec_hash), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn sweep_args_require_dir_and_validate_studies() {
         let args = |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
         assert!(parse_sweep_args(&args(&["--reps", "2"]), false).unwrap_err().contains("--dir"));
@@ -1405,11 +1715,11 @@ mod tests {
         let args = |list: &[&str]| -> Vec<String> { list.iter().map(|s| s.to_string()).collect() };
         let parsed =
             parse_sweep_args(&args(&["--dir", "d", "--probe", "telemetry"]), false).unwrap();
-        assert_eq!(parsed.sweep.probe, ProbeKind::Telemetry);
+        assert_eq!(parsed.sweep.engine.probe, ProbeKind::Telemetry);
         assert!(parse_sweep_args(&args(&["--dir", "d", "--probe", "nope"]), false).is_err());
         // Probe is an execution knob, so resume accepts it too.
         let resumed = parse_sweep_args(&args(&["--dir", "d", "--probe", "noop"]), true).unwrap();
-        assert_eq!(resumed.sweep.probe, ProbeKind::Noop);
+        assert_eq!(resumed.sweep.engine.probe, ProbeKind::Noop);
     }
 
     #[test]

@@ -137,18 +137,18 @@ pub fn apply_shared_flag(
     let value = next().ok_or_else(|| format!("{flag} needs a value"))?;
     match which {
         SharedFlag::Probe => {
-            opts.probe = ProbeKind::from_name(&value).ok_or_else(|| {
+            opts.engine.probe = ProbeKind::from_name(&value).ok_or_else(|| {
                 let names: Vec<&str> = ProbeKind::all().iter().map(|k| k.name()).collect();
                 format!("unknown probe {value:?} (one of: {})", names.join(", "))
             })?;
         }
         SharedFlag::Fel => {
-            opts.fel = FelKind::from_name(&value).ok_or_else(|| {
+            opts.engine.fel = FelKind::from_name(&value).ok_or_else(|| {
                 format!("unknown FEL backend {value:?} (one of: binary-heap, calendar)")
             })?;
         }
         SharedFlag::Layout => {
-            opts.layout = LayoutKind::from_name(&value)
+            opts.engine.layout = LayoutKind::from_name(&value)
                 .ok_or_else(|| format!("unknown layout {value:?} (one of: fresh, arena)"))?;
         }
         numeric => {
@@ -158,7 +158,7 @@ pub fn apply_shared_flag(
                 SharedFlag::Reps => opts.reps = parsed,
                 SharedFlag::Seed => opts.master_seed = parsed,
                 SharedFlag::Threads => {
-                    opts.threads = if parsed == 0 {
+                    opts.engine.threads = if parsed == 0 {
                         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
                     } else {
                         parsed as usize
@@ -416,7 +416,7 @@ mod tests {
             .figure;
         assert_eq!(o.reps, 5);
         assert_eq!(o.master_seed, 9);
-        assert_eq!(o.threads, 2);
+        assert_eq!(o.engine.threads, 2);
         assert_eq!(o.population, 500);
     }
 
@@ -438,7 +438,7 @@ mod tests {
         let opts = FigureOptions {
             reps: 1,
             master_seed: 2,
-            threads: 1,
+            engine: mpvsim_core::EngineOptions::new(),
             population: 30,
             ..FigureOptions::default()
         };
@@ -458,7 +458,7 @@ mod tests {
         let opts = FigureOptions {
             reps: 1,
             master_seed: 1,
-            threads: 1,
+            engine: mpvsim_core::EngineOptions::new(),
             population: 30,
             ..FigureOptions::default()
         };
@@ -501,7 +501,7 @@ mod tests {
     #[test]
     fn threads_zero_auto_detects() {
         let o = parse(&["--threads", "0"]).unwrap();
-        assert!(o.figure.threads >= 1, "auto-detect must resolve to a usable count");
+        assert!(o.figure.engine.threads >= 1, "auto-detect must resolve to a usable count");
     }
 
     #[test]
@@ -518,9 +518,9 @@ mod tests {
     #[test]
     fn probe_flag_parses_and_rejects_unknown_kinds() {
         let o = parse(&["--probe", "telemetry"]).unwrap();
-        assert_eq!(o.figure.probe, ProbeKind::Telemetry);
+        assert_eq!(o.figure.engine.probe, ProbeKind::Telemetry);
         let o = parse(&[]).unwrap();
-        assert_eq!(o.figure.probe, ProbeKind::None, "no probe by default");
+        assert_eq!(o.figure.engine.probe, ProbeKind::None, "no probe by default");
         let err = parse(&["--probe", "bogus"]).unwrap_err();
         assert!(err.contains("chain"), "error should list valid kinds: {err}");
         assert!(parse(&["--probe"]).is_err());
@@ -531,14 +531,14 @@ mod tests {
         let mut opts = FigureOptions {
             reps: 2,
             master_seed: 3,
-            threads: 1,
+            engine: mpvsim_core::EngineOptions::new(),
             population: 30,
             ..FigureOptions::default()
         };
         let plain = mpvsim_core::figures::fig7_blacklist(&opts).expect("tiny figure runs");
         assert!(render_telemetry(&plain).is_none());
         assert!(!render_report("Fig 7", &plain).contains("mechanism telemetry"));
-        opts.probe = ProbeKind::Telemetry;
+        opts.engine.probe = ProbeKind::Telemetry;
         let probed = mpvsim_core::figures::fig7_blacklist(&opts).expect("tiny figure runs");
         let table = render_telemetry(&probed).expect("telemetry present");
         assert!(table.contains("Baseline"));
@@ -548,9 +548,9 @@ mod tests {
     #[test]
     fn fel_flag_parses_and_rejects_unknown_kinds() {
         let o = parse(&["--fel", "calendar"]).unwrap();
-        assert_eq!(o.figure.fel, FelKind::Calendar);
+        assert_eq!(o.figure.engine.fel, FelKind::Calendar);
         let o = parse(&[]).unwrap();
-        assert_eq!(o.figure.fel, FelKind::BinaryHeap, "binary heap by default");
+        assert_eq!(o.figure.engine.fel, FelKind::BinaryHeap, "binary heap by default");
         let err = parse(&["--fel", "bogus"]).unwrap_err();
         assert!(err.contains("binary-heap"), "error should list backends: {err}");
         assert!(parse(&["--fel"]).is_err());
@@ -590,7 +590,7 @@ mod tests {
         let mut opts = FigureOptions {
             reps: 2,
             master_seed: 4,
-            threads: 2,
+            engine: mpvsim_core::EngineOptions::new().with_threads(2),
             population: 30,
             ..FigureOptions::default()
         };

@@ -23,7 +23,7 @@ use std::time::Instant;
 
 use mpvsim_core::figures::FigureOptions;
 use mpvsim_core::studies::{registry, StudyId, StudyKind};
-use mpvsim_core::{LayoutKind, ProbeKind, TopologyCache, TopologyCacheStats};
+use mpvsim_core::{EngineOptions, LayoutKind, ProbeKind, TopologyCache, TopologyCacheStats};
 use mpvsim_des::{ExperimentObserver, FelKind, ObserverHandle, ReplicationMetrics};
 
 /// The benchmarked studies: every figure in the registry.
@@ -90,7 +90,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String
             }
             "--layout" => {
                 let v = args.next().ok_or_else(|| format!("--layout needs a value\n{USAGE}"))?;
-                opts.layout = LayoutKind::from_name(&v).ok_or_else(|| {
+                opts.engine.layout = LayoutKind::from_name(&v).ok_or_else(|| {
                     format!("unknown layout {v:?} (one of: fresh, arena)\n{USAGE}")
                 })?;
             }
@@ -103,7 +103,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String
                     "--reps" => opts.reps = parsed,
                     "--seed" => opts.master_seed = parsed,
                     "--threads" => {
-                        opts.threads = if parsed == 0 {
+                        opts.engine.threads = if parsed == 0 {
                             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
                         } else {
                             parsed as usize
@@ -195,8 +195,7 @@ fn run_workload(
     let cache = TopologyCache::shared();
     let opts = FigureOptions {
         observer: ObserverHandle::from_arc(collector.clone()),
-        fel,
-        probe,
+        engine: EngineOptions { fel, probe, ..base.engine },
         topology_cache: Some(Arc::clone(&cache)),
         ..base.clone()
     };
@@ -249,10 +248,10 @@ fn run_scale_point(n: usize, base: &FigureOptions) -> Result<ScalePoint, String>
     let (run, metrics) = mpvsim_core::run_scenario_configured(
         &config,
         base.master_seed,
-        base.fel,
+        base.engine.fel,
         None,
         mpvsim_core::ProbeKind::None,
-        base.layout,
+        base.engine.layout,
     )
     .map_err(|e| format!("scale {n}: {e}"))?;
     let wall_secs = started.elapsed().as_secs_f64();
@@ -371,9 +370,9 @@ fn report(
         "quick": suite.quick,
         "reps": suite.figure.reps,
         "master_seed": suite.figure.master_seed,
-        "threads": suite.figure.threads,
+        "threads": suite.figure.engine.threads,
         "population": suite.figure.population,
-        "layout": suite.figure.layout.label(),
+        "layout": suite.figure.engine.layout.label(),
         "figures": rows,
         "comparison": comparison,
         "probe_overhead": probe_overhead,
@@ -465,7 +464,7 @@ pub fn run(args: &[String]) -> i32 {
         suite.figure.reps,
         suite.figure.population,
         suite.figure.master_seed,
-        suite.figure.threads,
+        suite.figure.engine.threads,
     );
 
     let mut measurements = Vec::new();
@@ -565,7 +564,7 @@ mod tests {
     fn scale_and_layout_flags_parse() {
         let o = parse(&["--scale", "1000", "--scale", "50000", "--layout", "arena"]).unwrap();
         assert_eq!(o.scales, vec![1000, 50000]);
-        assert_eq!(o.figure.layout, mpvsim_core::LayoutKind::Arena);
+        assert_eq!(o.figure.engine.layout, mpvsim_core::LayoutKind::Arena);
         assert!(parse(&["--scale", "0"]).is_err());
         assert!(parse(&["--layout", "bogus"]).is_err());
     }
@@ -615,7 +614,7 @@ mod tests {
         let base = FigureOptions {
             reps: 1,
             master_seed: 3,
-            threads: 1,
+            engine: EngineOptions::new(),
             population: 30,
             ..FigureOptions::default()
         };

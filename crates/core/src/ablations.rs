@@ -172,12 +172,13 @@ pub fn ablation_acceptance_factor(opts: &FigureOptions) -> Result<Vec<LabeledRes
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::run::EngineOptions;
 
     fn tiny() -> FigureOptions {
         FigureOptions {
             reps: 1,
             master_seed: 3,
-            threads: 1,
+            engine: EngineOptions::new(),
             population: 40,
             ..FigureOptions::default()
         }
@@ -229,7 +230,7 @@ mod tests {
         let opts = FigureOptions {
             reps: 1,
             master_seed: 8,
-            threads: 1,
+            engine: EngineOptions::new(),
             population: 60,
             ..FigureOptions::default()
         };
@@ -244,7 +245,7 @@ mod tests {
         let opts = FigureOptions {
             reps: 2,
             master_seed: 5,
-            threads: 2,
+            engine: EngineOptions::new().with_threads(2),
             population: 120,
             ..FigureOptions::default()
         };

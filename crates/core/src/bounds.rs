@@ -1,0 +1,1261 @@
+//! The response-time bounds solver: how *fast* must a response deploy?
+//!
+//! The paper measures how well each mechanism contains a virus at fixed
+//! response speeds; this module answers the operational inverse
+//! question: given a scenario and a containment target (final
+//! infections below a fraction of the susceptible population), find the
+//! **critical value** of a response knob — the largest signature
+//! activation delay, patch development time, or blacklist threshold
+//! that still contains the outbreak.
+//!
+//! ## Bracket → confirm → store
+//!
+//! 1. **Bracket** — the mean-field ODE
+//!    ([`crate::meanfield::integrate_response`]) is a cheap monotone
+//!    proxy for the knob. A bisection over the proxy yields an analytic
+//!    critical value, widened into a generous `[ode/4, ode×4]` search
+//!    bracket.
+//! 2. **Confirm** — each candidate knob value is evaluated with real
+//!    DES replications under CI-aware sequential stopping
+//!    ([`mpvsim_stats::SequentialGate`]): replications accumulate into
+//!    a Welford summary until the 95 % CI on the mean final infection
+//!    count separates from the containment threshold (or a rep cap is
+//!    hit). The bracket endpoints are confirmed first and expanded if
+//!    the proxy misjudged, so the DES-confirmed critical value always
+//!    lies inside the final bracket; then an integer bisection narrows
+//!    the bracket to the requested tolerance.
+//! 3. **Store** — every evaluation lands in a versioned on-disk store
+//!    (`<dir>/<spec-hash>/…`) with atomic writes and no wall-clock
+//!    state, so an interrupted query resumes and a repeated query is a
+//!    byte-identical cache hit.
+//!
+//! The wire document is [`BoundsSpec`] (`mpvsim-bounds/1`), entering
+//! through the same validate-then-hash funnel as
+//! [`ScenarioSpec`](crate::spec::ScenarioSpec); the result is a
+//! [`BoundsReport`] (`mpvsim-bounds-report/1`).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use mpvsim_des::hash::Fnv1a64;
+use mpvsim_des::seed::derive_seed;
+use mpvsim_des::SimDuration;
+use mpvsim_stats::{RunningSummary, SequentialGate};
+
+use crate::config::{ConfigError, ScenarioConfig};
+use crate::meanfield::{integrate_response, MeanFieldParams, ResponseProxy};
+use crate::probe::ProbeKind;
+use crate::response::{Blacklist, Immunization, SignatureScan};
+use crate::run::{run_scenario_configured, EngineOptions, TopologyCache};
+use crate::sweep::SweepError;
+use crate::virus::TargetingStrategy;
+
+/// The bounds-query schema tag this build reads and writes.
+pub const BOUNDS_SCHEMA: &str = "mpvsim-bounds/1";
+/// The bounds-report schema tag.
+pub const BOUNDS_REPORT_SCHEMA: &str = "mpvsim-bounds-report/1";
+
+/// Default containment target: final infections below 5 % of the
+/// susceptible population.
+pub const DEFAULT_TARGET: f64 = 0.05;
+/// Default master seed (the paper's publication year, as everywhere).
+pub const DEFAULT_MASTER_SEED: u64 = 2007;
+/// Rollout window assumed when the scenario has no immunization entry
+/// and the knob is [`BoundsKnob::PatchDelay`].
+pub const DEFAULT_ROLLOUT: SimDuration = SimDuration::from_hours(6);
+
+fn default_schema() -> String {
+    BOUNDS_SCHEMA.to_owned()
+}
+
+fn default_target() -> f64 {
+    DEFAULT_TARGET
+}
+
+fn default_master_seed() -> u64 {
+    DEFAULT_MASTER_SEED
+}
+
+/// Which response knob the solver searches over. All three are monotone
+/// the same way: a larger value means a slower / laxer response and at
+/// least as many final infections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum BoundsKnob {
+    /// Signature activation delay, in seconds
+    /// ([`SignatureScan::activation_delay`]).
+    ScanDelay,
+    /// Patch development time, in seconds
+    /// ([`Immunization::development_time`]); the rollout window is
+    /// taken from the scenario (or [`DEFAULT_ROLLOUT`]).
+    PatchDelay,
+    /// Blacklist threshold, in suspected-infected messages
+    /// ([`Blacklist::threshold`]).
+    BlacklistThreshold,
+}
+
+impl BoundsKnob {
+    /// Stable CLI / report name (`scan-delay`, `patch-delay`,
+    /// `blacklist-threshold`).
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            BoundsKnob::ScanDelay => "scan-delay",
+            BoundsKnob::PatchDelay => "patch-delay",
+            BoundsKnob::BlacklistThreshold => "blacklist-threshold",
+        }
+    }
+
+    /// Parses a [`BoundsKnob::cli_name`].
+    pub fn from_cli_name(name: &str) -> Option<Self> {
+        match name {
+            "scan-delay" => Some(BoundsKnob::ScanDelay),
+            "patch-delay" => Some(BoundsKnob::PatchDelay),
+            "blacklist-threshold" => Some(BoundsKnob::BlacklistThreshold),
+            _ => None,
+        }
+    }
+
+    /// The unit of the knob's integer values.
+    pub fn unit(&self) -> &'static str {
+        match self {
+            BoundsKnob::ScanDelay | BoundsKnob::PatchDelay => "seconds",
+            BoundsKnob::BlacklistThreshold => "messages",
+        }
+    }
+
+    /// The default search range: 15 min – 48 h at 15-minute tolerance
+    /// for the delay knobs, 1 – 200 messages at single-message tolerance
+    /// for the blacklist.
+    pub fn default_search(&self) -> SearchRange {
+        match self {
+            BoundsKnob::ScanDelay | BoundsKnob::PatchDelay => {
+                SearchRange { min: 900, max: 172_800, tolerance: 900 }
+            }
+            BoundsKnob::BlacklistThreshold => SearchRange { min: 1, max: 200, tolerance: 1 },
+        }
+    }
+
+    /// The scenario with this knob forced to `value` (other response
+    /// mechanisms are left untouched, so bounds queries compose with a
+    /// pre-configured defense-in-depth scenario).
+    pub fn apply(&self, scenario: &ScenarioConfig, value: u64) -> ScenarioConfig {
+        let mut s = scenario.clone();
+        match self {
+            BoundsKnob::ScanDelay => {
+                s.response.signature_scan =
+                    Some(SignatureScan { activation_delay: SimDuration::from_secs(value) });
+            }
+            BoundsKnob::PatchDelay => {
+                let rollout =
+                    s.response.immunization.map_or(DEFAULT_ROLLOUT, |i| i.rollout_duration);
+                let order = s.response.immunization.map(|i| i.order).unwrap_or_default();
+                s.response.immunization = Some(Immunization {
+                    development_time: SimDuration::from_secs(value),
+                    rollout_duration: rollout,
+                    order,
+                });
+            }
+            BoundsKnob::BlacklistThreshold => {
+                s.response.blacklist =
+                    Some(Blacklist { threshold: u32::try_from(value).unwrap_or(u32::MAX) });
+            }
+        }
+        s
+    }
+
+    /// The mean-field caricature of this knob at `value` for `scenario`
+    /// (see [`ResponseProxy`]).
+    pub fn proxy(&self, scenario: &ScenarioConfig, value: u64) -> ResponseProxy {
+        let attempts = gateway_attempts_per_hour(scenario);
+        let (cutoff, window) = match self {
+            BoundsKnob::ScanDelay => (Some(value as f64 / 3600.0), None),
+            BoundsKnob::PatchDelay => {
+                let rollout =
+                    scenario.response.immunization.map_or(DEFAULT_ROLLOUT, |i| i.rollout_duration);
+                // The uniform rollout patches half the population by its
+                // midpoint — treat that as the effective stop instant.
+                (Some((value as f64 + rollout.as_hours_f64() * 1800.0) / 3600.0), None)
+            }
+            BoundsKnob::BlacklistThreshold => {
+                (None, Some(value as f64 / attempts.max(f64::MIN_POSITIVE)))
+            }
+        };
+        ResponseProxy {
+            detect_threshold: scenario.detect_threshold as f64,
+            attempts_per_hour: attempts,
+            cutoff_after_detect: cutoff,
+            active_window: window,
+        }
+    }
+}
+
+/// Send attempts per infected phone per hour *as the gateway sees
+/// them*: invalid random dials count (they trip detection and
+/// blacklists), and every addressed recipient is one gateway copy.
+fn gateway_attempts_per_hour(scenario: &ScenarioConfig) -> f64 {
+    let gap_h = scenario.virus.send_gap.mean().as_hours_f64().max(1e-6);
+    scenario.virus.recipients_per_message as f64 / gap_h
+}
+
+/// Mean-field parameters matching `scenario`'s epidemic dynamics (used
+/// by the solver's bracket pass; for contact-list viruses this is a
+/// rough uniform-mixing approximation, which is all a bracket needs).
+fn proxy_params(scenario: &ScenarioConfig) -> MeanFieldParams {
+    let valid = match scenario.virus.targeting {
+        TargetingStrategy::ContactList => 1.0,
+        TargetingStrategy::RandomDialing { valid_fraction } => valid_fraction,
+    };
+    MeanFieldParams {
+        population: scenario.population.size(),
+        vulnerable: (scenario.population.vulnerable_fraction * scenario.population.size() as f64)
+            .round() as usize,
+        initial_infected: scenario.initial_infections as usize,
+        valid_messages_per_hour: gateway_attempts_per_hour(scenario) * valid,
+        read_delay: scenario.behavior.read_delay.mean(),
+        acceptance: scenario.behavior.acceptance,
+    }
+}
+
+/// The integer interval the solver searches, inclusive on both ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SearchRange {
+    /// Smallest knob value considered (fastest / strictest response).
+    pub min: u64,
+    /// Largest knob value considered.
+    pub max: u64,
+    /// Stop bisecting when the bracket is at most this wide (≥ 1).
+    pub tolerance: u64,
+}
+
+/// When the DES confirmation of a candidate may stop sampling (see
+/// [`SequentialGate`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields, default)]
+pub struct ConfirmPolicy {
+    /// Replications before the CI test may stop a candidate.
+    pub min_reps: u64,
+    /// Hard cap on replications per candidate.
+    pub max_reps: u64,
+    /// Floor on the CI half-width (in infected phones) used by the
+    /// containment test.
+    pub min_half_width: f64,
+}
+
+impl Default for ConfirmPolicy {
+    fn default() -> Self {
+        ConfirmPolicy { min_reps: 4, max_reps: 16, min_half_width: 0.5 }
+    }
+}
+
+/// A complete, self-describing bounds query: the scenario, the knob,
+/// the containment target and the search/confirmation policy — the
+/// `mpvsim-bounds/1` wire document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct BoundsSpec {
+    /// Schema tag; must be [`BOUNDS_SCHEMA`]. Defaults to it when
+    /// omitted, but a *wrong* tag is always an error.
+    #[serde(default = "default_schema")]
+    pub schema: String,
+    /// Human-readable label for reports and store headers.
+    pub name: String,
+    /// The knob to solve for.
+    pub knob: BoundsKnob,
+    /// The integer interval to search.
+    pub search: SearchRange,
+    /// Containment target as a fraction of the initially susceptible
+    /// population, in `(0, 1)`: the outbreak counts as contained when
+    /// the mean final infection count stays at or below
+    /// `initial_infections + target × vulnerable`.
+    #[serde(default = "default_target")]
+    pub target: f64,
+    /// Sequential-stopping policy for the DES confirmation runs.
+    #[serde(default)]
+    pub confirm: ConfirmPolicy,
+    /// Master seed; candidate evaluations reuse replication seeds
+    /// `derive_seed(master_seed, r)` across candidates (common random
+    /// numbers).
+    #[serde(default = "default_master_seed")]
+    pub master_seed: u64,
+    /// The scenario under study.
+    pub scenario: ScenarioConfig,
+}
+
+impl BoundsSpec {
+    /// A query over `scenario` for `knob` with the knob's default
+    /// search range and the default target / confirmation policy.
+    pub fn new(name: impl Into<String>, knob: BoundsKnob, scenario: ScenarioConfig) -> Self {
+        BoundsSpec {
+            schema: BOUNDS_SCHEMA.to_owned(),
+            name: name.into(),
+            knob,
+            search: knob.default_search(),
+            target: DEFAULT_TARGET,
+            confirm: ConfirmPolicy::default(),
+            master_seed: DEFAULT_MASTER_SEED,
+            scenario,
+        }
+    }
+
+    /// Builder-style: replaces the search range.
+    pub fn with_search(mut self, search: SearchRange) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Builder-style: replaces the containment target.
+    pub fn with_target(mut self, target: f64) -> Self {
+        self.target = target;
+        self
+    }
+
+    /// Builder-style: replaces the confirmation policy.
+    pub fn with_confirm(mut self, confirm: ConfirmPolicy) -> Self {
+        self.confirm = confirm;
+        self
+    }
+
+    /// Builder-style: replaces the master seed.
+    pub fn with_master_seed(mut self, master_seed: u64) -> Self {
+        self.master_seed = master_seed;
+        self
+    }
+
+    /// Validates the whole document: schema tag, search range, target,
+    /// confirmation policy, then the scenario itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found, as a [`ConfigError`].
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.schema != BOUNDS_SCHEMA {
+            return Err(ConfigError::schema(&self.schema, BOUNDS_SCHEMA));
+        }
+        if self.name.is_empty() {
+            return Err(ConfigError::invalid("name", "must not be empty"));
+        }
+        if self.search.min >= self.search.max {
+            return Err(ConfigError::invalid(
+                "search",
+                format!("min {} must be below max {}", self.search.min, self.search.max),
+            ));
+        }
+        if self.search.tolerance == 0 {
+            return Err(ConfigError::invalid("search.tolerance", "must be at least 1"));
+        }
+        if self.knob == BoundsKnob::BlacklistThreshold {
+            if self.search.min == 0 {
+                return Err(ConfigError::invalid("search.min", "blacklist thresholds start at 1"));
+            }
+            if self.search.max > u64::from(u32::MAX) {
+                return Err(ConfigError::out_of_range(
+                    "search.max",
+                    self.search.max,
+                    format!("1..={} (blacklist thresholds are u32)", u32::MAX),
+                ));
+            }
+        }
+        if !(self.target > 0.0 && self.target < 1.0 && self.target.is_finite()) {
+            return Err(ConfigError::out_of_range("target", self.target, "(0, 1)"));
+        }
+        if self.confirm.min_reps < 2 {
+            return Err(ConfigError::invalid(
+                "confirm.min_reps",
+                "need at least 2 replications for a variance estimate",
+            ));
+        }
+        if self.confirm.max_reps < self.confirm.min_reps {
+            return Err(ConfigError::invalid(
+                "confirm.max_reps",
+                format!("must be at least min_reps ({})", self.confirm.min_reps),
+            ));
+        }
+        if !self.confirm.min_half_width.is_finite() || self.confirm.min_half_width < 0.0 {
+            return Err(ConfigError::out_of_range(
+                "confirm.min_half_width",
+                self.confirm.min_half_width,
+                "[0, ∞)",
+            ));
+        }
+        self.scenario.validate()
+    }
+
+    /// The containment threshold in infected phones:
+    /// `initial_infections + target × vulnerable`.
+    pub fn threshold_infections(&self) -> f64 {
+        let n = self.scenario.population.size() as f64;
+        let vulnerable = self.scenario.population.vulnerable_fraction * n;
+        f64::from(self.scenario.initial_infections) + self.target * vulnerable
+    }
+
+    /// The canonical serialized form: compact JSON with every field
+    /// present, in declaration order.
+    pub fn canonical_json(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("bounds specs always serialize")
+    }
+
+    /// The 16-hex-digit FNV-1a digest of the canonical JSON — the
+    /// query's identity in the store and the `mpvsim serve` cache.
+    pub fn content_hash(&self) -> String {
+        let mut h = Fnv1a64::new();
+        h.write_bytes(&self.canonical_json());
+        format!("{:016x}", h.finish())
+    }
+
+    /// Parses a spec document from JSON bytes (shape only; semantic
+    /// checks happen in [`BoundsSpec::validate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::Malformed`] with the parser's diagnostic.
+    pub fn from_json(bytes: &[u8]) -> Result<Self, ConfigError> {
+        serde_json::from_slice(bytes).map_err(|e| ConfigError::malformed(e.to_string()))
+    }
+}
+
+/// One DES-confirmed candidate evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The knob value evaluated.
+    pub value: u64,
+    /// Replications the sequential gate consumed.
+    pub reps: u64,
+    /// Mean final infection count.
+    pub mean: f64,
+    /// 95 % CI half-width on the mean.
+    pub ci95_half_width: f64,
+    /// Whether the mean met the containment threshold.
+    pub contained: bool,
+}
+
+/// How the search ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum BoundsOutcome {
+    /// The bisection converged: `critical` is the largest confirmed
+    /// contained value, `violated_at` the smallest confirmed violating
+    /// one, at most `tolerance` apart.
+    Converged,
+    /// Even the fastest response in range (`search.min`) fails the
+    /// target — the true critical value, if any, lies below the range.
+    BelowMin,
+    /// Even the slowest response in range (`search.max`) contains the
+    /// outbreak — the true critical value lies at or above the range.
+    AboveMax,
+}
+
+/// The result of one bounds query — the `mpvsim-bounds-report/1` wire
+/// document, persisted as the store's completion certificate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BoundsReport {
+    /// Schema tag ([`BOUNDS_REPORT_SCHEMA`]).
+    pub schema: String,
+    /// The query's name.
+    pub name: String,
+    /// Content hash of the query spec (the store key).
+    pub spec_hash: String,
+    /// The knob searched.
+    pub knob: BoundsKnob,
+    /// Unit of every knob value in this report.
+    pub unit: String,
+    /// Containment target as a fraction of the susceptible population.
+    pub target: f64,
+    /// The containment threshold in infected phones.
+    pub threshold_infections: f64,
+    /// The mean-field proxy's own critical value.
+    pub ode_critical: u64,
+    /// Lower edge of the DES-confirmed bracket.
+    pub bracket_lo: u64,
+    /// Upper edge of the DES-confirmed bracket.
+    pub bracket_hi: u64,
+    /// Whether DES endpoint confirmation had to widen the ODE bracket.
+    pub bracket_expanded: bool,
+    /// How the search ended.
+    pub outcome: BoundsOutcome,
+    /// The critical knob value: largest DES-confirmed contained value
+    /// (`None` when even `search.min` fails).
+    pub critical: Option<u64>,
+    /// Smallest DES-confirmed violating value (`None` when even
+    /// `search.max` contains).
+    pub violated_at: Option<u64>,
+    /// Every candidate evaluated, in increasing knob order.
+    pub evaluations: Vec<Evaluation>,
+    /// Total DES replications consumed.
+    pub total_reps: u64,
+}
+
+/// A deterministic progress event, emitted to the solver's callback and
+/// appended (one JSON line each, no timestamps) to the store's
+/// `progress.jsonl` — which is what `mpvsim serve` streams as NDJSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum ProgressEvent {
+    /// The query was accepted and the search is starting.
+    Start {
+        /// Query name.
+        name: String,
+        /// Spec content hash.
+        hash: String,
+        /// Containment threshold in infected phones.
+        threshold: f64,
+        /// Search floor.
+        min: u64,
+        /// Search ceiling.
+        max: u64,
+    },
+    /// The ODE pass produced a bracket.
+    Bracket {
+        /// The proxy's critical value.
+        ode_critical: u64,
+        /// Bracket floor handed to DES confirmation.
+        lo: u64,
+        /// Bracket ceiling handed to DES confirmation.
+        hi: u64,
+    },
+    /// One candidate was DES-confirmed.
+    Eval {
+        /// Knob value.
+        value: u64,
+        /// Replications consumed.
+        reps: u64,
+        /// Mean final infections.
+        mean: f64,
+        /// CI half-width.
+        ci95_half_width: f64,
+        /// Containment verdict.
+        contained: bool,
+    },
+    /// The search finished.
+    Done {
+        /// How it ended.
+        outcome: BoundsOutcome,
+        /// The critical value, when one exists in range.
+        critical: Option<u64>,
+        /// Total replications consumed.
+        total_reps: u64,
+    },
+}
+
+/// Execution knobs of a bounds query. Like everywhere else in the
+/// workspace, nothing here changes a bit of the result — threads only
+/// partition candidate replications, and the sequential gate is applied
+/// in global replication order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoundsOptions {
+    /// Engine knobs for the confirmation replications.
+    pub engine: EngineOptions,
+}
+
+/// What [`solve_bounds`] did.
+#[derive(Debug, Clone)]
+pub struct BoundsRun {
+    /// The report (freshly computed or loaded from the store).
+    pub report: BoundsReport,
+    /// `true` when the store already held this query's completed report
+    /// and nothing was recomputed.
+    pub cached: bool,
+}
+
+/// The on-disk store of one bounds query:
+///
+/// ```text
+/// <dir>/<hash>/manifest.json     canonical BoundsSpec
+/// <dir>/<hash>/evals/<value>.json  one per confirmed candidate
+/// <dir>/<hash>/progress.jsonl    deterministic NDJSON progress log
+/// <dir>/<hash>/report.json       completion certificate
+/// ```
+///
+/// All writes are atomic (temp + rename). An eval file's existence
+/// certifies a finished candidate, so re-running an interrupted query
+/// re-uses them; `report.json`'s existence certifies the whole query,
+/// making a repeat run a byte-identical cache hit.
+#[derive(Debug)]
+pub struct BoundsStore {
+    dir: PathBuf,
+}
+
+impl BoundsStore {
+    /// Creates (or re-opens) the store for `spec` under `root`.
+    ///
+    /// # Errors
+    ///
+    /// [`SweepError::Io`] on filesystem failure, [`SweepError::Store`]
+    /// when the directory already holds a *different* spec under the
+    /// same hash.
+    pub fn init(root: &Path, spec: &BoundsSpec) -> Result<Self, SweepError> {
+        let store = BoundsStore { dir: root.join(spec.content_hash()) };
+        fs::create_dir_all(store.dir.join("evals"))?;
+        let manifest = store.dir.join("manifest.json");
+        match fs::read(&manifest) {
+            Ok(existing) => {
+                if existing != spec.canonical_json() {
+                    return Err(SweepError::Store(format!(
+                        "{} already holds a different bounds query; refusing to mix results",
+                        manifest.display()
+                    )));
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                write_atomic(&manifest, &spec.canonical_json())?;
+            }
+            Err(e) => return Err(e.into()),
+        }
+        Ok(store)
+    }
+
+    /// The store's directory (`<root>/<hash>`).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The progress NDJSON file.
+    pub fn progress_path(&self) -> PathBuf {
+        self.dir.join("progress.jsonl")
+    }
+
+    /// The completion certificate.
+    pub fn report_path(&self) -> PathBuf {
+        self.dir.join("report.json")
+    }
+
+    fn eval_path(&self, value: u64) -> PathBuf {
+        self.dir.join("evals").join(format!("{value}.json"))
+    }
+
+    /// Loads the completed report, if this query already ran to the end.
+    pub fn load_report(&self) -> Option<BoundsReport> {
+        let bytes = fs::read(self.report_path()).ok()?;
+        serde_json::from_slice(&bytes).ok()
+    }
+
+    fn load_eval(&self, value: u64) -> Option<Evaluation> {
+        let bytes = fs::read(self.eval_path(value)).ok()?;
+        serde_json::from_slice(&bytes).ok()
+    }
+
+    fn save_eval(&self, eval: &Evaluation) -> Result<(), SweepError> {
+        write_atomic(&self.eval_path(eval.value), &serde_json::to_vec(eval)?)
+    }
+
+    fn save_report(&self, report: &BoundsReport) -> Result<(), SweepError> {
+        write_atomic(&self.report_path(), &serde_json::to_vec_pretty(report)?)
+    }
+
+    fn append_progress(&self, event: &ProgressEvent) -> Result<(), SweepError> {
+        let mut f = fs::OpenOptions::new().create(true).append(true).open(self.progress_path())?;
+        f.write_all(&serde_json::to_vec(event)?)?;
+        f.write_all(b"\n")?;
+        Ok(())
+    }
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), SweepError> {
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, bytes)?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Integer bisection for the largest `x` in `[lo, hi]` with
+/// `contained(x)` true, given `contained(lo) == true` and
+/// `contained(hi) == false`, to within `tolerance` (≥ 1).
+///
+/// Returns `(lo, hi)` with `contained(lo)`, `!contained(hi)` and
+/// `hi − lo ≤ tolerance`. The predicate is assumed monotone (contained
+/// below some critical point, violated above); a non-monotone predicate
+/// still terminates but the bracket only certifies its own endpoints.
+///
+/// # Errors
+///
+/// Propagates the first predicate error.
+pub fn bisect_largest_contained<E>(
+    mut lo: u64,
+    mut hi: u64,
+    tolerance: u64,
+    mut contained: impl FnMut(u64) -> Result<bool, E>,
+) -> Result<(u64, u64), E> {
+    debug_assert!(lo < hi);
+    let tolerance = tolerance.max(1);
+    while hi - lo > tolerance {
+        let mid = lo + (hi - lo) / 2;
+        if contained(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok((lo, hi))
+}
+
+/// The ODE pass: the proxy's own critical value of `spec.knob` within
+/// the search range (clamped to the range edges when the proxy never /
+/// always contains).
+fn ode_critical(spec: &BoundsSpec, threshold: f64) -> u64 {
+    let params = proxy_params(&spec.scenario);
+    let horizon = spec.scenario.horizon;
+    let step = spec.scenario.sample_step;
+    let contained = |x: u64| -> Result<bool, std::convert::Infallible> {
+        let series =
+            integrate_response(&params, &spec.knob.proxy(&spec.scenario, x), horizon, step);
+        Ok(series.final_value().unwrap_or(f64::INFINITY) <= threshold)
+    };
+    let (min, max) = (spec.search.min, spec.search.max);
+    match (contained(min), contained(max)) {
+        (Ok(false), _) => min,
+        (_, Ok(true)) => max,
+        _ => {
+            let (lo, _) = bisect_largest_contained(min, max, spec.search.tolerance, contained)
+                .unwrap_or((min, max));
+            lo
+        }
+    }
+}
+
+/// Runs (or resumes, or cache-hits) the bounds query `spec` into the
+/// store at `root`, reporting progress through `progress`.
+///
+/// Determinism contract: the report (and every byte in the store) is a
+/// pure function of the spec — engine knobs in `opts` never change it,
+/// and the sequential gate consumes replications in global order so the
+/// stopping index is thread-count-independent. A repeat call with the
+/// same spec returns the stored report untouched
+/// ([`BoundsRun::cached`]).
+///
+/// # Errors
+///
+/// [`SweepError::Config`] when the spec is invalid or a replication
+/// fails, [`SweepError::Io`] / [`SweepError::Store`] on store trouble.
+pub fn solve_bounds(
+    spec: &BoundsSpec,
+    root: &Path,
+    opts: &BoundsOptions,
+    mut progress: impl FnMut(&ProgressEvent),
+) -> Result<BoundsRun, SweepError> {
+    spec.validate()?;
+    let store = BoundsStore::init(root, spec)?;
+    if let Some(report) = store.load_report() {
+        return Ok(BoundsRun { report, cached: true });
+    }
+    // Fresh (or resumed) run: rebuild the progress log from scratch so
+    // an interrupted run's partial log never leaves duplicate lines.
+    let _ = fs::remove_file(store.progress_path());
+
+    let hash = spec.content_hash();
+    let threshold = spec.threshold_infections();
+    let mut emit = |store: &BoundsStore, ev: ProgressEvent| -> Result<(), SweepError> {
+        store.append_progress(&ev)?;
+        progress(&ev);
+        Ok(())
+    };
+    emit(
+        &store,
+        ProgressEvent::Start {
+            name: spec.name.clone(),
+            hash: hash.clone(),
+            threshold,
+            min: spec.search.min,
+            max: spec.search.max,
+        },
+    )?;
+
+    // 1. Bracket: the ODE's critical value, widened generously. The
+    //    proxy is crude, so give DES confirmation a 4× margin each way.
+    let ode = ode_critical(spec, threshold);
+    let mut lo = ode.max(1).saturating_div(4).max(spec.search.min);
+    let mut hi = ode
+        .saturating_mul(4)
+        .max(ode.saturating_add(spec.search.tolerance.saturating_mul(4)))
+        .min(spec.search.max);
+    if lo >= hi {
+        // Degenerate clamp (critical pinned at a range edge): fall back
+        // to the full range rather than a one-point bracket.
+        lo = spec.search.min;
+        hi = spec.search.max;
+    }
+    emit(&store, ProgressEvent::Bracket { ode_critical: ode, lo, hi })?;
+
+    // 2. Confirm: DES evaluations, cached in the store and deduplicated
+    //    in-process.
+    let gate = SequentialGate {
+        min_reps: spec.confirm.min_reps,
+        max_reps: spec.confirm.max_reps,
+        min_half_width: spec.confirm.min_half_width,
+        threshold,
+    };
+    let cache = TopologyCache::shared();
+    let mut evals: BTreeMap<u64, Evaluation> = BTreeMap::new();
+    let eval = |value: u64,
+                evals: &mut BTreeMap<u64, Evaluation>,
+                progress: &mut dyn FnMut(&ProgressEvent)|
+     -> Result<bool, SweepError> {
+        if let Some(e) = evals.get(&value) {
+            return Ok(e.contained);
+        }
+        let e = match store.load_eval(value) {
+            Some(e) => e,
+            None => {
+                let e = confirm_candidate(spec, value, &gate, &opts.engine, &cache)?;
+                store.save_eval(&e)?;
+                e
+            }
+        };
+        let ev = ProgressEvent::Eval {
+            value,
+            reps: e.reps,
+            mean: e.mean,
+            ci95_half_width: e.ci95_half_width,
+            contained: e.contained,
+        };
+        store.append_progress(&ev)?;
+        progress(&ev);
+        let contained = e.contained;
+        evals.insert(value, e);
+        Ok(contained)
+    };
+
+    // Confirm the bracket endpoints, expanding toward the range edges
+    // when the proxy misjudged — this is what guarantees the final
+    // bracket contains the DES-confirmed critical value.
+    let mut expanded = false;
+    let mut outcome = None;
+    while !eval(lo, &mut evals, &mut progress)? {
+        if lo == spec.search.min {
+            outcome = Some(BoundsOutcome::BelowMin);
+            break;
+        }
+        hi = lo;
+        lo = (lo / 2).max(spec.search.min);
+        expanded = true;
+    }
+    if outcome.is_none() {
+        while eval(hi, &mut evals, &mut progress)? {
+            if hi == spec.search.max {
+                outcome = Some(BoundsOutcome::AboveMax);
+                break;
+            }
+            lo = hi;
+            hi = hi.saturating_mul(2).min(spec.search.max);
+            expanded = true;
+        }
+    }
+
+    // 3. Narrow: integer bisection inside the confirmed bracket.
+    let (outcome, critical, violated_at) = match outcome {
+        Some(BoundsOutcome::BelowMin) => (BoundsOutcome::BelowMin, None, Some(spec.search.min)),
+        Some(BoundsOutcome::AboveMax) => (BoundsOutcome::AboveMax, Some(spec.search.max), None),
+        _ => {
+            let (clo, chi) = bisect_largest_contained(lo, hi, spec.search.tolerance, |x| {
+                eval(x, &mut evals, &mut progress)
+            })?;
+            (BoundsOutcome::Converged, Some(clo), Some(chi))
+        }
+    };
+
+    let evaluations: Vec<Evaluation> = evals.into_values().collect();
+    let total_reps = evaluations.iter().map(|e| e.reps).sum();
+    let report = BoundsReport {
+        schema: BOUNDS_REPORT_SCHEMA.to_owned(),
+        name: spec.name.clone(),
+        spec_hash: hash,
+        knob: spec.knob,
+        unit: spec.knob.unit().to_owned(),
+        target: spec.target,
+        threshold_infections: threshold,
+        ode_critical: ode,
+        bracket_lo: lo,
+        bracket_hi: hi,
+        bracket_expanded: expanded,
+        outcome,
+        critical,
+        violated_at,
+        evaluations,
+        total_reps,
+    };
+    store.append_progress(&ProgressEvent::Done { outcome, critical, total_reps })?;
+    progress(&ProgressEvent::Done { outcome, critical, total_reps });
+    store.save_report(&report)?;
+    Ok(BoundsRun { report, cached: false })
+}
+
+/// DES-confirms one candidate: replications in global seed order under
+/// the sequential gate, batched `engine.threads` at a time. The gate is
+/// applied in global order and late batch results past the stopping
+/// index are discarded, so `reps` is independent of the thread count.
+fn confirm_candidate(
+    spec: &BoundsSpec,
+    value: u64,
+    gate: &SequentialGate,
+    engine: &EngineOptions,
+    cache: &TopologyCache,
+) -> Result<Evaluation, ConfigError> {
+    let scenario = spec.knob.apply(&spec.scenario, value);
+    scenario.validate()?;
+    let threads = engine.threads.max(1);
+    let mut acc = RunningSummary::new();
+    let mut next = 0u64;
+    let mut decided = false;
+    while !decided && acc.n() < gate.max_reps {
+        let batch = threads.min((gate.max_reps - next).max(1) as usize);
+        let results: Vec<Result<f64, ConfigError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..batch)
+                .map(|i| {
+                    let scenario = &scenario;
+                    let seed = derive_seed(spec.master_seed, next + i as u64);
+                    scope.spawn(move || {
+                        run_scenario_configured(
+                            scenario,
+                            seed,
+                            engine.fel,
+                            Some(cache),
+                            ProbeKind::None,
+                            engine.layout,
+                        )
+                        .map(|(run, _)| run.final_infected as f64)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("replication thread panicked")).collect()
+        });
+        next += batch as u64;
+        for r in results {
+            if decided {
+                break; // past the stopping index: discard, errors included
+            }
+            acc.push(r?);
+            if gate.decided(&acc) {
+                decided = true;
+            }
+        }
+    }
+    Ok(Evaluation {
+        value,
+        reps: acc.n(),
+        mean: acc.mean(),
+        ci95_half_width: acc.ci95_half_width(),
+        contained: gate.below(&acc),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PopulationConfig;
+    use crate::virus::VirusProfile;
+    use mpvsim_des::DelaySpec;
+    use mpvsim_topology::GraphSpec;
+
+    fn tiny_scenario() -> ScenarioConfig {
+        let mut c = ScenarioConfig::baseline(VirusProfile::virus3());
+        c.population = PopulationConfig {
+            topology: GraphSpec::erdos_renyi(40, 6.0),
+            vulnerable_fraction: 0.8,
+        };
+        c.behavior.read_delay = DelaySpec::constant(SimDuration::from_mins(5));
+        c.horizon = SimDuration::from_hours(6);
+        c.detect_threshold = 5;
+        c
+    }
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mpvsim-bounds-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn spec_round_trips_and_canonicalizes_defaults() {
+        let spec = BoundsSpec::new("q", BoundsKnob::ScanDelay, tiny_scenario());
+        let json = spec.canonical_json();
+        let back = BoundsSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.content_hash(), spec.content_hash());
+        assert_eq!(spec.content_hash().len(), 16);
+        // Terse documents take the defaults and canonicalize to them.
+        let terse = format!(
+            "{{\"name\":\"q\",\"knob\":{{\"kind\":\"scan_delay\"}},\
+             \"search\":{{\"min\":900,\"max\":172800,\"tolerance\":900}},\"scenario\":{}}}",
+            serde_json::to_string(&spec.scenario).unwrap()
+        );
+        let parsed = BoundsSpec::from_json(terse.as_bytes()).unwrap();
+        assert_eq!(parsed, spec);
+    }
+
+    #[test]
+    fn unknown_fields_and_wrong_schema_are_rejected() {
+        let spec = BoundsSpec::new("q", BoundsKnob::ScanDelay, tiny_scenario());
+        let json = String::from_utf8(spec.canonical_json()).unwrap();
+        let doc = format!("{{\"surprise\":1,{}", &json[1..]);
+        let err = BoundsSpec::from_json(doc.as_bytes()).unwrap_err();
+        assert!(matches!(err, ConfigError::Malformed { .. }), "got {err:?}");
+
+        let mut wrong = spec.clone();
+        wrong.schema = "mpvsim-bounds/9".to_owned();
+        assert_eq!(
+            wrong.validate().unwrap_err(),
+            ConfigError::schema("mpvsim-bounds/9", BOUNDS_SCHEMA)
+        );
+    }
+
+    #[test]
+    fn validation_rejects_bad_ranges_targets_and_policies() {
+        let base = BoundsSpec::new("q", BoundsKnob::ScanDelay, tiny_scenario());
+        let cases: Vec<(BoundsSpec, &str)> = vec![
+            (base.clone().with_search(SearchRange { min: 10, max: 10, tolerance: 1 }), "search"),
+            (
+                base.clone().with_search(SearchRange { min: 1, max: 9, tolerance: 0 }),
+                "search.tolerance",
+            ),
+            (base.clone().with_target(0.0), "target"),
+            (base.clone().with_target(1.0), "target"),
+            (
+                base.clone()
+                    .with_confirm(ConfirmPolicy { min_reps: 1, ..ConfirmPolicy::default() }),
+                "confirm.min_reps",
+            ),
+            (
+                base.clone().with_confirm(ConfirmPolicy {
+                    min_reps: 8,
+                    max_reps: 4,
+                    ..ConfirmPolicy::default()
+                }),
+                "confirm.max_reps",
+            ),
+        ];
+        for (spec, field) in cases {
+            let err = spec.validate().unwrap_err();
+            assert_eq!(err.field(), Some(field), "got {err}");
+        }
+        let bl = BoundsSpec::new("q", BoundsKnob::BlacklistThreshold, tiny_scenario())
+            .with_search(SearchRange { min: 1, max: u64::from(u32::MAX) + 1, tolerance: 1 });
+        assert_eq!(bl.validate().unwrap_err().field(), Some("search.max"));
+    }
+
+    #[test]
+    fn knob_names_round_trip() {
+        for knob in [BoundsKnob::ScanDelay, BoundsKnob::PatchDelay, BoundsKnob::BlacklistThreshold]
+        {
+            assert_eq!(BoundsKnob::from_cli_name(knob.cli_name()), Some(knob));
+        }
+        assert_eq!(BoundsKnob::from_cli_name("nonsense"), None);
+    }
+
+    #[test]
+    fn knobs_apply_to_the_right_response_slot() {
+        let s = tiny_scenario();
+        let scan = BoundsKnob::ScanDelay.apply(&s, 7200);
+        assert_eq!(
+            scan.response.signature_scan.unwrap().activation_delay,
+            SimDuration::from_hours(2)
+        );
+        let patch = BoundsKnob::PatchDelay.apply(&s, 3600);
+        let imm = patch.response.immunization.unwrap();
+        assert_eq!(imm.development_time, SimDuration::from_hours(1));
+        assert_eq!(imm.rollout_duration, DEFAULT_ROLLOUT);
+        let bl = BoundsKnob::BlacklistThreshold.apply(&s, 25);
+        assert_eq!(bl.response.blacklist.unwrap().threshold, 25);
+        // A pre-configured rollout window survives the knob.
+        let mut pre = s.clone();
+        pre.response.immunization =
+            Some(Immunization::uniform(SimDuration::from_hours(48), SimDuration::from_hours(1)));
+        let patched = BoundsKnob::PatchDelay.apply(&pre, 7200);
+        assert_eq!(
+            patched.response.immunization.unwrap().rollout_duration,
+            SimDuration::from_hours(1)
+        );
+    }
+
+    #[test]
+    fn bisection_converges_on_a_synthetic_monotone_predicate() {
+        for critical in [5u64, 77, 899, 4999] {
+            let mut calls = 0u32;
+            let (lo, hi) = bisect_largest_contained(1, 5000, 1, |x| {
+                calls += 1;
+                Ok::<bool, std::convert::Infallible>(x <= critical)
+            })
+            .unwrap();
+            assert_eq!(lo, critical, "largest contained value");
+            assert_eq!(hi, critical + 1, "smallest violating value");
+            assert!(calls <= 14, "log2(5000) ≈ 12.3 probes, used {calls}");
+        }
+    }
+
+    #[test]
+    fn bisection_respects_tolerance() {
+        let (lo, hi) = bisect_largest_contained(0, 1 << 20, 1000, |x| {
+            Ok::<bool, std::convert::Infallible>(x <= 123_456)
+        })
+        .unwrap();
+        assert!(hi - lo <= 1000);
+        assert!(lo <= 123_456 && 123_456 < hi);
+    }
+
+    #[test]
+    fn bisection_propagates_predicate_errors() {
+        let r =
+            bisect_largest_contained(
+                0,
+                100,
+                1,
+                |x| {
+                    if x == 50 {
+                        Err("boom")
+                    } else {
+                        Ok(x <= 10)
+                    }
+                },
+            );
+        assert_eq!(r.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn sequential_confirmation_is_thread_count_invariant() {
+        let spec = BoundsSpec::new("t", BoundsKnob::ScanDelay, tiny_scenario())
+            .with_confirm(ConfirmPolicy { min_reps: 3, max_reps: 9, min_half_width: 0.5 });
+        let gate = SequentialGate {
+            min_reps: 3,
+            max_reps: 9,
+            min_half_width: 0.5,
+            threshold: spec.threshold_infections(),
+        };
+        let cache = TopologyCache::shared();
+        let one = confirm_candidate(&spec, 3600, &gate, &EngineOptions::new(), &cache).unwrap();
+        for threads in [2usize, 4, 8] {
+            let many = confirm_candidate(
+                &spec,
+                3600,
+                &gate,
+                &EngineOptions::new().with_threads(threads),
+                &cache,
+            )
+            .unwrap();
+            assert_eq!(many, one, "stopping index must not depend on thread count");
+        }
+    }
+
+    #[test]
+    fn solve_is_deterministic_cached_and_bracket_contains_critical() {
+        let spec = BoundsSpec::new("scan", BoundsKnob::ScanDelay, tiny_scenario())
+            .with_search(SearchRange { min: 900, max: 21_600, tolerance: 900 })
+            .with_confirm(ConfirmPolicy { min_reps: 2, max_reps: 4, min_half_width: 1.0 });
+        let root_a = tmp_root("solve-a");
+        let root_b = tmp_root("solve-b");
+        let run_a = solve_bounds(&spec, &root_a, &BoundsOptions::default(), |_| {}).unwrap();
+        let run_b = solve_bounds(&spec, &root_b, &BoundsOptions::default(), |_| {}).unwrap();
+        assert!(!run_a.cached && !run_b.cached);
+        assert_eq!(run_a.report, run_b.report, "two fresh runs must agree exactly");
+
+        let report = &run_a.report;
+        assert_eq!(report.schema, BOUNDS_REPORT_SCHEMA);
+        if report.outcome == BoundsOutcome::Converged {
+            let critical = report.critical.expect("converged has a critical value");
+            assert!(report.bracket_lo <= critical && critical <= report.bracket_hi);
+            assert!(report.violated_at.unwrap() - critical <= spec.search.tolerance);
+        }
+        assert!(!report.evaluations.is_empty());
+        assert!(report.total_reps >= spec.confirm.min_reps);
+
+        // Repeat into the same store: a cache hit, byte-identical files.
+        let bytes_before = fs::read(root_a.join(spec.content_hash()).join("report.json")).unwrap();
+        let progress_before =
+            fs::read(root_a.join(spec.content_hash()).join("progress.jsonl")).unwrap();
+        let again = solve_bounds(&spec, &root_a, &BoundsOptions::default(), |_| {}).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.report, run_a.report);
+        assert_eq!(
+            fs::read(root_a.join(spec.content_hash()).join("report.json")).unwrap(),
+            bytes_before
+        );
+        assert_eq!(
+            fs::read(root_a.join(spec.content_hash()).join("progress.jsonl")).unwrap(),
+            progress_before
+        );
+        let _ = fs::remove_dir_all(&root_a);
+        let _ = fs::remove_dir_all(&root_b);
+    }
+
+    #[test]
+    fn engine_knobs_never_change_the_report() {
+        let spec = BoundsSpec::new("scan", BoundsKnob::ScanDelay, tiny_scenario())
+            .with_search(SearchRange { min: 900, max: 14_400, tolerance: 1800 })
+            .with_confirm(ConfirmPolicy { min_reps: 2, max_reps: 3, min_half_width: 1.0 });
+        let root_a = tmp_root("engine-a");
+        let root_b = tmp_root("engine-b");
+        let single = solve_bounds(&spec, &root_a, &BoundsOptions::default(), |_| {}).unwrap();
+        let threaded = solve_bounds(
+            &spec,
+            &root_b,
+            &BoundsOptions { engine: EngineOptions::new().with_threads(4) },
+            |_| {},
+        )
+        .unwrap();
+        assert_eq!(single.report, threaded.report);
+        let _ = fs::remove_dir_all(&root_a);
+        let _ = fs::remove_dir_all(&root_b);
+    }
+
+    #[test]
+    fn impossible_target_reports_below_min() {
+        // Virus 3 on a tiny graph always infects more than ~0 phones:
+        // an absurdly tight target cannot be met even at min delay.
+        let mut spec = BoundsSpec::new("hopeless", BoundsKnob::ScanDelay, tiny_scenario())
+            .with_search(SearchRange { min: 900, max: 7200, tolerance: 900 })
+            .with_confirm(ConfirmPolicy { min_reps: 2, max_reps: 3, min_half_width: 0.1 });
+        spec.target = 1e-9;
+        let root = tmp_root("belowmin");
+        let run = solve_bounds(&spec, &root, &BoundsOptions::default(), |_| {}).unwrap();
+        assert_eq!(run.report.outcome, BoundsOutcome::BelowMin);
+        assert_eq!(run.report.critical, None);
+        assert_eq!(run.report.violated_at, Some(900));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn trivial_target_reports_above_max() {
+        // A target of 99.9 % of susceptible is met even with the slowest
+        // response in range.
+        let mut spec = BoundsSpec::new("trivial", BoundsKnob::ScanDelay, tiny_scenario())
+            .with_search(SearchRange { min: 900, max: 7200, tolerance: 900 })
+            .with_confirm(ConfirmPolicy { min_reps: 2, max_reps: 3, min_half_width: 0.1 });
+        spec.target = 0.999;
+        let root = tmp_root("abovemax");
+        let run = solve_bounds(&spec, &root, &BoundsOptions::default(), |_| {}).unwrap();
+        assert_eq!(run.report.outcome, BoundsOutcome::AboveMax);
+        assert_eq!(run.report.critical, Some(7200));
+        assert_eq!(run.report.violated_at, None);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn store_refuses_a_different_spec_under_the_same_path() {
+        let spec = BoundsSpec::new("a", BoundsKnob::ScanDelay, tiny_scenario());
+        let root = tmp_root("mix");
+        let store = BoundsStore::init(&root, &spec).unwrap();
+        // Corrupt the manifest to simulate a hash collision / tamper.
+        fs::write(store.dir().join("manifest.json"), b"{}").unwrap();
+        let err = BoundsStore::init(&root, &spec).unwrap_err();
+        assert!(matches!(err, SweepError::Store(_)), "got {err}");
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn progress_events_serialize_without_timestamps() {
+        let ev = ProgressEvent::Eval {
+            value: 3600,
+            reps: 4,
+            mean: 12.5,
+            ci95_half_width: 1.25,
+            contained: true,
+        };
+        let line = serde_json::to_string(&ev).unwrap();
+        assert!(line.contains("\"event\":\"eval\""), "got {line}");
+        assert!(!line.contains("time"), "progress lines must be wall-clock-free: {line}");
+        let back: ProgressEvent = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, ev);
+    }
+}

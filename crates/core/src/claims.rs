@@ -425,7 +425,7 @@ pub fn verify_all(opts: &FigureOptions) -> Result<Vec<ClaimVerdict>, ConfigError
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::run::{ExperimentResult, RunResult};
+    use crate::run::{EngineOptions, ExperimentResult, RunResult};
     use mpvsim_stats::{AggregateSeries, Summary, TimeSeries};
 
     /// Builds a synthetic labelled result whose series rises linearly to
@@ -719,7 +719,7 @@ mod tests {
         let opts = FigureOptions {
             reps: 1,
             master_seed: 9,
-            threads: 1,
+            engine: EngineOptions::new(),
             population: 40,
             ..FigureOptions::default()
         };

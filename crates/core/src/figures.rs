@@ -24,15 +24,14 @@
 
 use std::sync::Arc;
 
-use mpvsim_des::{FelKind, ObserverHandle, SimDuration};
+use mpvsim_des::{ObserverHandle, SimDuration};
 
 use crate::config::{ConfigError, MobilityConfig, PopulationConfig, ScenarioConfig};
-use crate::probe::ProbeKind;
 use crate::response::{
     Blacklist, DetectionAlgorithm, Immunization, Monitoring, ResponseConfig, SignatureScan,
     UserEducation,
 };
-use crate::run::{ExperimentPlan, ExperimentResult, LayoutKind, TopologyCache};
+use crate::run::{EngineOptions, ExperimentPlan, ExperimentResult, TopologyCache};
 use crate::spec::ScenarioSpec;
 use crate::virus::{BluetoothVector, VirusProfile};
 
@@ -43,8 +42,6 @@ pub struct FigureOptions {
     pub reps: u64,
     /// Master seed; replication `r` of every scenario derives from it.
     pub master_seed: u64,
-    /// Worker threads for the replication batch.
-    pub threads: usize,
     /// Population size (the paper uses 1000; the scaling study overrides
     /// this).
     pub population: usize,
@@ -52,20 +49,14 @@ pub struct FigureOptions {
     /// reporting, metrics capture); defaults to a no-op and never affects
     /// the curves.
     pub observer: ObserverHandle,
-    /// Future-event-list backend every replication runs on; a pure
-    /// performance knob that never affects the curves (see [`FelKind`]).
-    pub fel: FelKind,
+    /// Engine knobs (FEL backend, layout, probe, threads); all pure
+    /// performance/instrumentation switches that never affect the curves
+    /// (see [`EngineOptions`]). Defaults to four worker threads.
+    pub engine: EngineOptions,
     /// Shared topology cache; cells on the same `(GraphSpec, seed)`
     /// network skip regeneration. A pure performance knob that never
     /// affects the curves (see [`TopologyCache`]).
     pub topology_cache: Option<Arc<TopologyCache>>,
-    /// In-simulation probe every replication runs with (see
-    /// [`crate::probe`]); read-only, never affects the curves. Defaults
-    /// to [`ProbeKind::None`].
-    pub probe: ProbeKind,
-    /// Per-replication state-array layout; a pure performance knob that
-    /// never affects the curves (see [`LayoutKind`]).
-    pub layout: LayoutKind,
 }
 
 impl Default for FigureOptions {
@@ -73,13 +64,10 @@ impl Default for FigureOptions {
         FigureOptions {
             reps: 10,
             master_seed: 2007,
-            threads: 4,
             population: 1000,
             observer: ObserverHandle::noop(),
-            fel: FelKind::default(),
+            engine: EngineOptions::new().with_threads(4),
             topology_cache: None,
-            probe: ProbeKind::None,
-            layout: LayoutKind::Fresh,
         }
     }
 }
@@ -94,11 +82,8 @@ impl FigureOptions {
     pub fn plan(&self) -> ExperimentPlan {
         let plan = ExperimentPlan::new(self.reps)
             .master_seed(self.master_seed)
-            .threads(self.threads)
-            .observer_handle(self.observer.clone())
-            .fel(self.fel)
-            .probe(self.probe)
-            .layout(self.layout);
+            .engine(self.engine)
+            .observer_handle(self.observer.clone());
         match &self.topology_cache {
             Some(cache) => plan.topology_cache(cache.clone()),
             None => plan,
@@ -778,7 +763,7 @@ mod tests {
         FigureOptions {
             reps: 1,
             master_seed: 1,
-            threads: 1,
+            engine: EngineOptions::new(),
             population: 40,
             ..FigureOptions::default()
         }

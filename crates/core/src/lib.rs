@@ -44,6 +44,7 @@
 
 pub mod ablations;
 pub mod behavior;
+pub mod bounds;
 pub mod claims;
 pub mod config;
 pub mod figures;
@@ -59,6 +60,11 @@ pub mod validate;
 pub mod virus;
 
 pub use behavior::{AcceptanceModel, BehaviorConfig, DEFAULT_ACCEPTANCE_FACTOR};
+pub use bounds::{
+    solve_bounds, BoundsKnob, BoundsOptions, BoundsOutcome, BoundsReport, BoundsRun, BoundsSpec,
+    BoundsStore, ConfirmPolicy, Evaluation, ProgressEvent, SearchRange, BOUNDS_REPORT_SCHEMA,
+    BOUNDS_SCHEMA,
+};
 pub use config::{ConfigError, MobilityConfig, PopulationConfig, ScenarioConfig};
 pub use probe::{
     BlockCause, ChainRecord, InfectionCause, MechanismTelemetry, Milestone, NoopProbe, ProbeKind,
@@ -71,8 +77,8 @@ pub use response::{
 pub use run::{
     run_scenario, run_scenario_cached, run_scenario_configured, run_scenario_probed,
     run_scenario_probed_with, run_scenario_probed_with_layout, run_scenario_with_metrics,
-    run_scenario_with_metrics_fel, AdaptiveResult, ExperimentPlan, ExperimentResult, LayoutKind,
-    RunResult, TopologyCache, TopologyCacheStats, DEFAULT_EVENT_BUDGET,
+    run_scenario_with_metrics_fel, AdaptiveResult, EngineOptions, ExperimentPlan, ExperimentResult,
+    LayoutKind, RunResult, TopologyCache, TopologyCacheStats, DEFAULT_EVENT_BUDGET,
 };
 pub use spec::{ScenarioSpec, SCENARIO_SCHEMA};
 pub use studies::{StudyId, StudyInfo, StudyKind};

@@ -6,7 +6,7 @@
 //! ```rust,ignore
 //! let result = ExperimentPlan::new(40)
 //!     .master_seed(2007)
-//!     .threads(8)
+//!     .engine(EngineOptions::new().with_threads(8))
 //!     .retain_runs(false)          // stream: don't keep per-run series
 //!     .observer(ProgressObserver::new())
 //!     .run(&config)?;
@@ -510,52 +510,133 @@ fn run_scenario_inner(
     Ok((result, metrics))
 }
 
+/// The engine's four trajectory-neutral performance knobs, gathered in
+/// one place: future-event-list backend, state-array layout, probe, and
+/// worker-thread count.
+///
+/// Every layer that runs replications — [`ExperimentPlan`],
+/// `FigureOptions`, `SweepOptions`, `ServeOptions`, and the CLI's shared
+/// flag parser — carries one of these instead of four parallel fields.
+/// None of the knobs changes a bit of any result: backends share the
+/// deterministic `(time, seq)` event order, probes are read-only, layouts
+/// recycle buffers without touching state, and threads only partition
+/// work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Future-event-list backend (see [`FelKind`]).
+    pub fel: FelKind,
+    /// Per-replication state-array layout (see [`LayoutKind`]).
+    pub layout: LayoutKind,
+    /// Read-only instrumentation probe (see [`ProbeKind`]).
+    pub probe: ProbeKind,
+    /// Worker-thread count; must be at least 1.
+    pub threads: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            fel: FelKind::default(),
+            layout: LayoutKind::Fresh,
+            probe: ProbeKind::None,
+            threads: 1,
+        }
+    }
+}
+
+impl EngineOptions {
+    /// The default engine: binary-heap FEL, fresh layout, no probe, one
+    /// worker thread.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the future-event-list backend.
+    pub fn with_fel(mut self, fel: FelKind) -> Self {
+        self.fel = fel;
+        self
+    }
+
+    /// Replaces the state-array layout.
+    pub fn with_layout(mut self, layout: LayoutKind) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Replaces the instrumentation probe.
+    pub fn with_probe(mut self, probe: ProbeKind) -> Self {
+        self.probe = probe;
+        self
+    }
+
+    /// Replaces the worker-thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `threads == 0`; use [`EngineOptions::auto_threads`]
+    /// for hardware detection.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the worker count to the available hardware parallelism
+    /// (falling back to 1 when it cannot be determined).
+    pub fn auto_threads(self) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        self.with_threads(threads)
+    }
+}
+
 /// A replicated experiment, described declaratively: how many
-/// replications, which seed family, how much parallelism, what to keep,
+/// replications, which seed family, which engine knobs, what to keep,
 /// and who gets told about progress.
 ///
 /// Construction is builder-style; [`ExperimentPlan::run`] and
 /// [`ExperimentPlan::run_adaptive`] execute the plan against a scenario.
 /// The numerical results depend **only** on `(config, reps, master_seed)`
-/// — threads, observer and `retain_runs` never change a single bit of the
-/// aggregate.
+/// — the [`EngineOptions`], observer and `retain_runs` never change a
+/// single bit of the aggregate.
 #[derive(Debug, Clone)]
 pub struct ExperimentPlan {
     reps: u64,
     master_seed: u64,
-    threads: usize,
     retain_runs: bool,
     observer: ObserverHandle,
-    fel: FelKind,
+    engine: EngineOptions,
     topo_cache: Option<Arc<TopologyCache>>,
-    probe: ProbeKind,
-    layout: LayoutKind,
 }
 
 impl ExperimentPlan {
-    /// A plan for `reps` replications: master seed 0, single-threaded,
-    /// per-run results retained, no observer, binary-heap event list,
-    /// no topology cache.
+    /// A plan for `reps` replications: master seed 0, default
+    /// [`EngineOptions`] (single-threaded, binary-heap event list),
+    /// per-run results retained, no observer, no topology cache.
     pub fn new(reps: u64) -> Self {
         ExperimentPlan {
             reps,
             master_seed: 0,
-            threads: 1,
             retain_runs: true,
             observer: ObserverHandle::noop(),
-            fel: FelKind::default(),
+            engine: EngineOptions::default(),
             topo_cache: None,
-            probe: ProbeKind::None,
-            layout: LayoutKind::Fresh,
         }
+    }
+
+    /// Replaces all four engine knobs at once (see [`EngineOptions`]).
+    pub fn engine(mut self, engine: EngineOptions) -> Self {
+        assert!(engine.threads > 0, "need at least one worker thread");
+        self.engine = engine;
+        self
     }
 
     /// Selects the per-replication state-array layout (see
     /// [`LayoutKind`]). Like threads and observers, this never changes a
     /// bit of the results; [`LayoutKind::Arena`] recycles each worker
     /// thread's buffers across replications.
+    #[deprecated(note = "set EngineOptions::layout via ExperimentPlan::engine")]
     pub fn layout(mut self, layout: LayoutKind) -> Self {
-        self.layout = layout;
+        self.engine.layout = layout;
         self
     }
 
@@ -563,8 +644,9 @@ impl ExperimentPlan {
     /// [`crate::probe`]). Probes are read-only: the aggregate and every
     /// per-run series are bit-identical for every `probe` value; the
     /// probe's output lands in each retained [`RunResult::probe`].
+    #[deprecated(note = "set EngineOptions::probe via ExperimentPlan::engine")]
     pub fn probe(mut self, probe: ProbeKind) -> Self {
-        self.probe = probe;
+        self.engine.probe = probe;
         self
     }
 
@@ -581,8 +663,9 @@ impl ExperimentPlan {
     /// (see [`FelKind`]). Like threads and observers, this never changes
     /// a bit of the results — backends share the deterministic
     /// `(time, seq)` event order — so it is a pure performance knob.
+    #[deprecated(note = "set EngineOptions::fel via ExperimentPlan::engine")]
     pub fn fel(mut self, fel: FelKind) -> Self {
-        self.fel = fel;
+        self.engine.fel = fel;
         self
     }
 
@@ -599,17 +682,18 @@ impl ExperimentPlan {
     ///
     /// Panics when `threads == 0`; use [`ExperimentPlan::auto_threads`]
     /// for hardware detection.
+    #[deprecated(note = "set EngineOptions::threads via ExperimentPlan::engine")]
     pub fn threads(mut self, threads: usize) -> Self {
         assert!(threads > 0, "need at least one worker thread");
-        self.threads = threads;
+        self.engine.threads = threads;
         self
     }
 
     /// Sets the worker count to the available hardware parallelism
     /// (falling back to 1 when it cannot be determined).
-    pub fn auto_threads(self) -> Self {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        self.threads(threads)
+    pub fn auto_threads(mut self) -> Self {
+        self.engine = self.engine.auto_threads();
+        self
     }
 
     /// Whether to keep each replication's full [`RunResult`] in
@@ -634,14 +718,19 @@ impl ExperimentPlan {
         self
     }
 
+    /// The plan's engine knobs.
+    pub fn engine_options(&self) -> EngineOptions {
+        self.engine
+    }
+
     /// The resolved worker-thread count.
     pub fn thread_count(&self) -> usize {
-        self.threads
+        self.engine.threads
     }
 
     /// The future-event-list backend the plan's replications will use.
     pub fn fel_kind(&self) -> FelKind {
-        self.fel
+        self.engine.fel
     }
 
     /// The number of replications the plan will run.
@@ -650,16 +739,16 @@ impl ExperimentPlan {
     }
 
     /// The probe each replication runs with ([`ProbeKind::None`] unless
-    /// [`ExperimentPlan::probe`] was called).
+    /// set through [`ExperimentPlan::engine`]).
     pub fn probe_kind(&self) -> ProbeKind {
-        self.probe
+        self.engine.probe
     }
 
     /// The state-array layout each replication runs with
-    /// ([`LayoutKind::Fresh`] unless [`ExperimentPlan::layout`] was
-    /// called).
+    /// ([`LayoutKind::Fresh`] unless set through
+    /// [`ExperimentPlan::engine`]).
     pub fn layout_kind(&self) -> LayoutKind {
-        self.layout
+        self.engine.layout
     }
 
     /// Executes the plan: runs the replications (in parallel across the
@@ -700,7 +789,7 @@ impl ExperimentPlan {
         try_run_replications_sink(
             self.reps,
             self.master_seed,
-            self.threads,
+            self.engine.threads,
             |rep, seed| self.run_one(config, rep, seed),
             |rep, (result, metrics)| {
                 sink(rep, &result);
@@ -751,7 +840,7 @@ impl ExperimentPlan {
         let mut completed: u64 = 0;
         let mut converged = false;
         while completed < max_reps {
-            let batch = (self.threads as u64)
+            let batch = (self.engine.threads as u64)
                 .max(1)
                 .min(max_reps - completed)
                 .max(if completed == 0 { min_reps.min(max_reps) } else { 1 });
@@ -759,7 +848,7 @@ impl ExperimentPlan {
             try_run_replications_sink(
                 batch,
                 self.master_seed,
-                self.threads,
+                self.engine.threads,
                 // Seed from the global replication index so the sequence
                 // is independent of the batch boundaries.
                 |rep, _seed| {
@@ -799,10 +888,10 @@ impl ExperimentPlan {
         let (result, sim) = run_scenario_configured(
             config,
             seed,
-            self.fel,
+            self.engine.fel,
             self.topo_cache.as_deref(),
-            self.probe,
-            self.layout,
+            self.engine.probe,
+            self.engine.layout,
         )?;
         Ok((result, ReplicationMetrics { rep, seed, wall: started.elapsed(), sim }))
     }
@@ -933,7 +1022,11 @@ mod tests {
     #[test]
     fn experiment_aggregates_replications() {
         let c = small_config();
-        let e = ExperimentPlan::new(4).master_seed(99).threads(2).run(&c).unwrap();
+        let e = ExperimentPlan::new(4)
+            .master_seed(99)
+            .engine(EngineOptions::new().with_threads(2))
+            .run(&c)
+            .unwrap();
         assert_eq!(e.runs.len(), 4);
         assert_eq!(e.aggregate.replications, 4);
         assert_eq!(e.final_infected.n, 4);
@@ -947,7 +1040,11 @@ mod tests {
     fn experiment_parallel_equals_serial() {
         let c = small_config();
         let serial = ExperimentPlan::new(3).master_seed(5).run(&c).unwrap();
-        let parallel = ExperimentPlan::new(3).master_seed(5).threads(3).run(&c).unwrap();
+        let parallel = ExperimentPlan::new(3)
+            .master_seed(5)
+            .engine(EngineOptions::new().with_threads(3))
+            .run(&c)
+            .unwrap();
         assert_eq!(serial.aggregate.mean, parallel.aggregate.mean);
         assert_eq!(serial.aggregate.ci95_half_width, parallel.aggregate.ci95_half_width);
     }
@@ -959,7 +1056,11 @@ mod tests {
         for fel in
             [FelKind::Calendar, FelKind::CalendarTuned { bucket_width_secs: 16, bucket_count: 32 }]
         {
-            let cal = ExperimentPlan::new(3).master_seed(7).fel(fel).run(&c).unwrap();
+            let cal = ExperimentPlan::new(3)
+                .master_seed(7)
+                .engine(EngineOptions::new().with_fel(fel))
+                .run(&c)
+                .unwrap();
             // Byte-equal floats, not approximate equality.
             let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
             assert_eq!(bits(&heap.aggregate.mean), bits(&cal.aggregate.mean), "{fel:?}");
@@ -983,11 +1084,15 @@ mod tests {
     #[test]
     fn topology_cache_changes_no_bit_of_the_experiment() {
         let c = small_config();
-        let uncached = ExperimentPlan::new(3).master_seed(41).threads(2).run(&c).unwrap();
+        let uncached = ExperimentPlan::new(3)
+            .master_seed(41)
+            .engine(EngineOptions::new().with_threads(2))
+            .run(&c)
+            .unwrap();
         let cache = TopologyCache::shared();
         let cached = ExperimentPlan::new(3)
             .master_seed(41)
-            .threads(2)
+            .engine(EngineOptions::new().with_threads(2))
             .topology_cache(cache.clone())
             .run(&c)
             .unwrap();
@@ -1034,14 +1139,21 @@ mod tests {
     fn run_with_sink_streams_every_replication_in_order() {
         let c = small_config();
         let mut seen: Vec<(u64, usize)> = Vec::new();
-        let plan = ExperimentPlan::new(4).master_seed(8).threads(2).retain_runs(false);
+        let plan = ExperimentPlan::new(4)
+            .master_seed(8)
+            .engine(EngineOptions::new().with_threads(2))
+            .retain_runs(false);
         let streamed = plan
             .run_with_sink(&c, |rep, run| {
                 seen.push((rep, run.final_infected));
             })
             .unwrap();
         assert_eq!(seen.iter().map(|(r, _)| *r).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
-        let kept = ExperimentPlan::new(4).master_seed(8).threads(2).run(&c).unwrap();
+        let kept = ExperimentPlan::new(4)
+            .master_seed(8)
+            .engine(EngineOptions::new().with_threads(2))
+            .run(&c)
+            .unwrap();
         assert_eq!(kept.aggregate, streamed.aggregate);
         let finals: Vec<usize> = kept.runs.iter().map(|r| r.final_infected).collect();
         assert_eq!(seen.iter().map(|(_, f)| *f).collect::<Vec<_>>(), finals);
@@ -1050,9 +1162,17 @@ mod tests {
     #[test]
     fn retain_runs_false_streams_without_changing_the_aggregate() {
         let c = small_config();
-        let kept = ExperimentPlan::new(4).master_seed(8).threads(2).run(&c).unwrap();
-        let streamed =
-            ExperimentPlan::new(4).master_seed(8).threads(2).retain_runs(false).run(&c).unwrap();
+        let kept = ExperimentPlan::new(4)
+            .master_seed(8)
+            .engine(EngineOptions::new().with_threads(2))
+            .run(&c)
+            .unwrap();
+        let streamed = ExperimentPlan::new(4)
+            .master_seed(8)
+            .engine(EngineOptions::new().with_threads(2))
+            .retain_runs(false)
+            .run(&c)
+            .unwrap();
         assert!(streamed.runs.is_empty());
         assert_eq!(kept.runs.len(), 4);
         assert_eq!(kept.aggregate, streamed.aggregate);
@@ -1080,11 +1200,15 @@ mod tests {
     #[test]
     fn observer_sees_every_replication_and_changes_nothing() {
         let c = small_config();
-        let bare = ExperimentPlan::new(4).master_seed(99).threads(2).run(&c).unwrap();
+        let bare = ExperimentPlan::new(4)
+            .master_seed(99)
+            .engine(EngineOptions::new().with_threads(2))
+            .run(&c)
+            .unwrap();
         let counting = Arc::new(CountingObserver::default());
         let observed = ExperimentPlan::new(4)
             .master_seed(99)
-            .threads(2)
+            .engine(EngineOptions::new().with_threads(2))
             .observer_handle(ObserverHandle::from_arc(counting.clone()))
             .run(&c)
             .unwrap();
@@ -1099,7 +1223,11 @@ mod tests {
     fn event_budget_failure_is_an_error_not_a_panic() {
         let mut c = small_config();
         c.event_budget = Some(10);
-        let err = ExperimentPlan::new(4).master_seed(3).threads(2).run(&c).unwrap_err();
+        let err = ExperimentPlan::new(4)
+            .master_seed(3)
+            .engine(EngineOptions::new().with_threads(2))
+            .run(&c)
+            .unwrap_err();
         assert!(err.to_string().contains("event budget"), "unexpected error: {err}");
         // The failing replication is the lowest-indexed one (rep 0) at
         // every thread count, so the message names the same seed.
@@ -1128,7 +1256,8 @@ mod tests {
         let c = small_config();
         // An impossible (negative) target forces the runner to max_reps
         // even if early replications happen to agree exactly.
-        let plan = ExperimentPlan::new(6).master_seed(33).threads(2);
+        let plan =
+            ExperimentPlan::new(6).master_seed(33).engine(EngineOptions::new().with_threads(2));
         let adaptive = plan.run_adaptive(&c, -1.0, 2, 6).unwrap();
         assert!(!adaptive.converged);
         assert_eq!(adaptive.result.runs.len(), 6);
@@ -1141,7 +1270,7 @@ mod tests {
         let c = small_config();
         let adaptive = ExperimentPlan::new(64)
             .master_seed(34)
-            .threads(2)
+            .engine(EngineOptions::new().with_threads(2))
             .run_adaptive(&c, 1e9, 2, 64)
             .unwrap();
         assert!(adaptive.converged);
@@ -1169,6 +1298,29 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one worker")]
     fn plan_rejects_zero_threads() {
-        let _ = ExperimentPlan::new(1).threads(0);
+        let _ = ExperimentPlan::new(1).engine(EngineOptions::new().with_threads(0));
+    }
+
+    /// The pre-`EngineOptions` per-field setters survive one release as
+    /// forwarding shims; each must land in the same engine slot.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_setters_forward_into_engine_options() {
+        let plan = ExperimentPlan::new(1)
+            .fel(FelKind::Calendar)
+            .layout(LayoutKind::Arena)
+            .probe(ProbeKind::Telemetry)
+            .threads(3);
+        let engine = plan.engine_options();
+        assert_eq!(engine.fel, FelKind::Calendar);
+        assert_eq!(engine.layout, LayoutKind::Arena);
+        assert_eq!(engine.probe, ProbeKind::Telemetry);
+        assert_eq!(engine.threads, 3);
+        let direct = EngineOptions::new()
+            .with_fel(FelKind::Calendar)
+            .with_layout(LayoutKind::Arena)
+            .with_probe(ProbeKind::Telemetry)
+            .with_threads(3);
+        assert_eq!(engine, direct);
     }
 }

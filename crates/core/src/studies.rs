@@ -284,7 +284,7 @@ mod tests {
         let opts = FigureOptions {
             reps: 1,
             master_seed: 9,
-            threads: 1,
+            engine: crate::run::EngineOptions::new(),
             population: 40,
             ..FigureOptions::default()
         };

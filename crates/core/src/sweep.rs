@@ -36,13 +36,13 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use mpvsim_des::seed::derive_seed;
-use mpvsim_des::{FelKind, ObserverHandle};
+use mpvsim_des::ObserverHandle;
 use mpvsim_stats::{AggregateSeries, Summary, TimeSeries};
 
 use crate::config::{ConfigError, ScenarioConfig};
 use crate::figures::FigureOptions;
-use crate::probe::{MechanismTelemetry, ProbeKind};
-use crate::run::{ExperimentPlan, LayoutKind, TopologyCache, TopologyCacheStats};
+use crate::probe::MechanismTelemetry;
+use crate::run::{EngineOptions, ExperimentPlan, TopologyCache, TopologyCacheStats};
 use crate::spec::ScenarioSpec;
 use crate::studies::StudyId;
 
@@ -242,34 +242,26 @@ pub fn slugify(label: &str) -> String {
 pub struct SweepOptions {
     /// Cells executed concurrently (work-stealing pool size).
     pub cell_workers: usize,
-    /// Worker threads *within* each cell's replication batch.
-    pub rep_threads: usize,
-    /// Future-event-list backend for every replication.
-    pub fel: FelKind,
+    /// Engine knobs for every cell's replication batch (FEL backend,
+    /// layout, probe, threads *within* the cell); see [`EngineOptions`].
+    /// [`ProbeKind::Telemetry`] adds per-rep and cell-aggregate
+    /// telemetry records to the store.
+    pub engine: EngineOptions,
     /// Stop after completing this many (previously incomplete) cells —
     /// the in-process stand-in for a kill, used by the resume tests and
     /// the CI smoke job. `None` runs to completion.
     pub max_cells: Option<usize>,
     /// Observer attached to every cell's experiment.
     pub observer: ObserverHandle,
-    /// Probe attached to every replication ([`ProbeKind::Telemetry`]
-    /// adds per-rep and cell-aggregate telemetry records to the store).
-    pub probe: ProbeKind,
-    /// Per-replication state-array layout; a pure performance knob that
-    /// never changes a stored bit (see [`LayoutKind`]).
-    pub layout: LayoutKind,
 }
 
 impl Default for SweepOptions {
     fn default() -> Self {
         SweepOptions {
             cell_workers: 4,
-            rep_threads: 1,
-            fel: FelKind::default(),
+            engine: EngineOptions::default(),
             max_cells: None,
             observer: ObserverHandle::noop(),
-            probe: ProbeKind::None,
-            layout: LayoutKind::Fresh,
         }
     }
 }
@@ -484,11 +476,8 @@ impl ResultsStore {
 
         let plan = ExperimentPlan::new(spec.reps)
             .master_seed(spec.master_seed)
-            .threads(opts.rep_threads.max(1))
+            .engine(EngineOptions { threads: opts.engine.threads.max(1), ..opts.engine })
             .retain_runs(false)
-            .fel(opts.fel)
-            .probe(opts.probe)
-            .layout(opts.layout)
             .observer_handle(opts.observer.clone())
             .topology_cache(cache.clone());
 
@@ -835,7 +824,10 @@ mod tests {
         let dir = tmp_dir("telemetry");
         let spec =
             SweepSpec::new("probed", 2, 17, vec![tiny_cell("t0", VirusProfile::virus3())]).unwrap();
-        let opts = SweepOptions { probe: crate::probe::ProbeKind::Telemetry, ..Default::default() };
+        let opts = SweepOptions {
+            engine: EngineOptions::new().with_probe(crate::probe::ProbeKind::Telemetry),
+            ..Default::default()
+        };
         let report = run_sweep(&spec, &dir, &opts).unwrap();
         let telemetry = report.cells[0].telemetry.as_ref().expect("telemetry recorded");
         let totals = telemetry.totals();

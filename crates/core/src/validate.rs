@@ -56,7 +56,8 @@ use crate::response::{
     UserEducation,
 };
 use crate::run::{
-    run_scenario_probed_with, run_scenario_with_metrics_fel, ExperimentPlan, LayoutKind, RunResult,
+    run_scenario_probed_with, run_scenario_with_metrics_fel, EngineOptions, ExperimentPlan,
+    LayoutKind, RunResult,
 };
 use crate::spec::ScenarioSpec;
 use crate::studies::StudyId;
@@ -110,13 +111,10 @@ impl GoldenScale {
         FigureOptions {
             reps: self.reps,
             master_seed: self.master_seed,
-            threads: variant.threads,
             population: self.population,
             observer: ObserverHandle::noop(),
-            fel: variant.fel,
+            engine: variant.engine,
             topology_cache: None,
-            probe: variant.probe,
-            layout: variant.layout,
         }
     }
 }
@@ -128,14 +126,9 @@ impl GoldenScale {
 pub struct Variant {
     /// Human-readable name, used in drift reports.
     pub label: &'static str,
-    /// Future-event-list backend.
-    pub fel: FelKind,
-    /// Worker threads for the replication batch.
-    pub threads: usize,
-    /// Probe attached to every replication.
-    pub probe: ProbeKind,
-    /// State-array layout each replication allocates with.
-    pub layout: LayoutKind,
+    /// The engine knobs this variant replays under (see
+    /// [`EngineOptions`]).
+    pub engine: EngineOptions,
 }
 
 impl Variant {
@@ -144,10 +137,12 @@ impl Variant {
     pub fn reference() -> Variant {
         Variant {
             label: "reference",
-            fel: FelKind::BinaryHeap,
-            threads: 1,
-            probe: ProbeKind::None,
-            layout: LayoutKind::Fresh,
+            engine: EngineOptions {
+                fel: FelKind::BinaryHeap,
+                layout: LayoutKind::Fresh,
+                probe: ProbeKind::None,
+                threads: 1,
+            },
         }
     }
 
@@ -156,12 +151,13 @@ impl Variant {
     /// layout. Each variant flips exactly one knob away from the
     /// reference so a drift names its culprit.
     pub fn standard(threads: usize) -> Vec<Variant> {
+        let reference = Variant::reference().engine;
         vec![
             Variant::reference(),
-            Variant { label: "calendar-fel", fel: FelKind::Calendar, ..Variant::reference() },
-            Variant { label: "threaded", threads: threads.max(2), ..Variant::reference() },
-            Variant { label: "noop-probe", probe: ProbeKind::Noop, ..Variant::reference() },
-            Variant { label: "arena-layout", layout: LayoutKind::Arena, ..Variant::reference() },
+            Variant { label: "calendar-fel", engine: reference.with_fel(FelKind::Calendar) },
+            Variant { label: "threaded", engine: reference.with_threads(threads.max(2)) },
+            Variant { label: "noop-probe", engine: reference.with_probe(ProbeKind::Noop) },
+            Variant { label: "arena-layout", engine: reference.with_layout(LayoutKind::Arena) },
         ]
     }
 }
@@ -686,7 +682,7 @@ impl OracleScale {
     fn run_family(&self, master_seed: u64) -> Result<Vec<f64>, ConfigError> {
         let result = ExperimentPlan::new(self.reps)
             .master_seed(master_seed)
-            .threads(1)
+            .engine(EngineOptions::new())
             .run(&self.config())?;
         Ok(result.runs.iter().map(|r| r.final_infected as f64).collect())
     }
@@ -776,7 +772,7 @@ pub fn check_oracle(golden: &OracleGolden) -> Result<Vec<Drift>, ConfigError> {
     }
     let result = ExperimentPlan::new(scale.reps)
         .master_seed(scale.master_seed)
-        .threads(1)
+        .engine(EngineOptions::new())
         .run(&scale.config())?;
     match (result.mean_time_to_reach(mf_final / 2.0), analytic.time_to_reach(mf_final / 2.0)) {
         (Some(sim_half), Some(mf_half)) => {

@@ -8,6 +8,9 @@
 //! | `POST /v1/runs` | submit an `mpvsim-scenario/1` spec; `?wait=1` blocks until the run resolves |
 //! | `GET /v1/runs/{hash}` | state (and, when done, result) of one run |
 //! | `GET /v1/runs/{hash}/events` | JSONL progress stream, live while the run executes |
+//! | `POST /v1/bounds` | submit an `mpvsim-bounds/1` query; `?wait=1` blocks until it resolves |
+//! | `GET /v1/bounds/{hash}` | state (and, when done, the `mpvsim-bounds-report/1`) of one query |
+//! | `GET /v1/bounds/{hash}/events` | NDJSON progress stream of the bounds search |
 //! | `GET /v1/studies` | the study registry (name, kind, title, cell count) |
 //! | `GET /v1/healthz` | liveness plus queue counters |
 //!
@@ -29,6 +32,13 @@
 //! threads); each worker executes runs through [`run_sweep`] with a
 //! [`JsonlObserver`] writing `progress.jsonl`, which the events endpoint
 //! tails to the client while the run is live.
+//!
+//! Bounds queries ([`BoundsSpec`], `mpvsim-bounds/1`) follow the same
+//! shape: hashed canonically, solved once through
+//! [`mpvsim_core::bounds::solve_bounds`] into `<dir>/bounds/<hash>/`,
+//! answered from the store's `report.json` verbatim ever after. The
+//! solver's own deterministic `progress.jsonl` is what the events
+//! endpoint streams.
 
 use std::collections::{HashMap, VecDeque};
 use std::fs;
@@ -40,13 +50,14 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use mpvsim_core::bounds::{solve_bounds, BoundsOptions, BoundsSpec};
 use mpvsim_core::figures::FigureOptions;
 use mpvsim_core::studies::{registry, StudyKind};
 use mpvsim_core::{
-    run_sweep, CellResult, ConfigError, LayoutKind, ProbeKind, ResultsStore, ScenarioSpec,
-    SweepCell, SweepError, SweepOptions, SweepSpec,
+    run_sweep, CellResult, ConfigError, EngineOptions, ResultsStore, ScenarioSpec, SweepCell,
+    SweepError, SweepOptions, SweepSpec,
 };
-use mpvsim_des::{FelKind, JsonlObserver, ObserverHandle};
+use mpvsim_des::{JsonlObserver, ObserverHandle};
 
 use crate::http::{write_stream_head, Request, Response};
 
@@ -58,6 +69,10 @@ pub const ERROR_SCHEMA: &str = "mpvsim-error/1";
 pub const HEALTH_SCHEMA: &str = "mpvsim-health/1";
 /// Schema tag of the study-directory document.
 pub const STUDIES_SCHEMA: &str = "mpvsim-studies/1";
+/// Schema tag of bounds-query state documents (`POST /v1/bounds`,
+/// `GET /v1/bounds/{hash}` while pending). Completed queries answer with
+/// the stored `mpvsim-bounds-report/1` document verbatim.
+pub const BOUNDS_RUN_SCHEMA: &str = "mpvsim-bounds-run/1";
 
 /// The single cell id inside every run's store.
 const RUN_CELL_ID: &str = "cell";
@@ -72,15 +87,9 @@ pub struct ServeOptions {
     pub dir: PathBuf,
     /// Simulation worker threads draining the run queue.
     pub workers: usize,
-    /// Worker threads within each run's replication batch.
-    pub rep_threads: usize,
-    /// Future-event-list backend for every replication.
-    pub fel: FelKind,
-    /// Probe attached to every replication ([`ProbeKind::Telemetry`]
-    /// adds per-mechanism records to each run's store).
-    pub probe: ProbeKind,
-    /// Per-replication state-array layout (see [`LayoutKind`]).
-    pub layout: LayoutKind,
+    /// Engine knobs for every run's replication batch (FEL backend,
+    /// layout, probe, threads *within* the run); see [`EngineOptions`].
+    pub engine: EngineOptions,
 }
 
 impl Default for ServeOptions {
@@ -88,10 +97,7 @@ impl Default for ServeOptions {
         ServeOptions {
             dir: PathBuf::from("serve-out"),
             workers: 2,
-            rep_threads: 1,
-            fel: FelKind::default(),
-            probe: ProbeKind::None,
-            layout: LayoutKind::Fresh,
+            engine: EngineOptions::default(),
         }
     }
 }
@@ -106,9 +112,22 @@ enum RunState {
     Failed(String),
 }
 
+/// What a worker executes. The `key` is the run-table entry the job
+/// resolves (`<hash>` for scenario runs, `bounds/<hash>` for bounds
+/// queries — the namespaces are distinct because the stores are).
 struct QueuedRun {
-    hash: String,
-    spec: ScenarioSpec,
+    key: String,
+    job: Job,
+}
+
+enum Job {
+    Run { hash: String, spec: ScenarioSpec },
+    Bounds { spec: BoundsSpec },
+}
+
+/// The run-table key of a bounds query.
+fn bounds_key(hash: &str) -> String {
+    format!("bounds/{hash}")
 }
 
 struct Inner {
@@ -167,6 +186,7 @@ pub fn start(addr: &str, opts: ServeOptions) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     fs::create_dir_all(opts.dir.join("runs"))?;
+    fs::create_dir_all(bounds_root(&opts.dir))?;
     let workers = opts.workers.max(1);
     let inner = Arc::new(Inner {
         opts,
@@ -218,17 +238,20 @@ fn worker_loop(inner: &Arc<Inner>) {
                 queue = inner.queue_ready.wait(queue).expect("queue poisoned");
             }
         };
-        set_state(inner, &job.hash, RunState::Running);
-        let outcome = execute_run(&inner.opts, &job);
+        set_state(inner, &job.key, RunState::Running);
+        let outcome = match &job.job {
+            Job::Run { hash, spec } => execute_run(&inner.opts, hash, spec),
+            Job::Bounds { spec } => execute_bounds(&inner.opts, spec),
+        };
         let mut runs = inner.runs.lock().expect("run table poisoned");
         match outcome {
             // The store is the completed run's record; forgetting it here
             // is what makes restarts and cache hits equivalent.
             Ok(()) => {
-                runs.remove(&job.hash);
+                runs.remove(&job.key);
             }
             Err(message) => {
-                runs.insert(job.hash.clone(), RunState::Failed(message));
+                runs.insert(job.key.clone(), RunState::Failed(message));
             }
         }
         drop(runs);
@@ -257,8 +280,8 @@ fn single_run_sweep(spec: &ScenarioSpec) -> Result<SweepSpec, SweepError> {
     )
 }
 
-fn execute_run(opts: &ServeOptions, job: &QueuedRun) -> Result<(), String> {
-    let dir = run_dir(&opts.dir, &job.hash);
+fn execute_run(opts: &ServeOptions, hash: &str, spec: &ScenarioSpec) -> Result<(), String> {
+    let dir = run_dir(&opts.dir, hash);
     fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     // Progress stream: one JSONL line per replication, served live by
     // `GET /v1/runs/{hash}/events`. Telemetry must never fail a run, so
@@ -267,17 +290,43 @@ fn execute_run(opts: &ServeOptions, job: &QueuedRun) -> Result<(), String> {
         Ok(jsonl) => ObserverHandle::new(jsonl),
         Err(_) => ObserverHandle::noop(),
     };
-    let sweep = single_run_sweep(&job.spec).map_err(|e| e.to_string())?;
+    let sweep = single_run_sweep(spec).map_err(|e| e.to_string())?;
     let sweep_opts = SweepOptions {
         cell_workers: 1,
-        rep_threads: opts.rep_threads.max(1),
-        fel: opts.fel,
+        engine: EngineOptions { threads: opts.engine.threads.max(1), ..opts.engine },
         max_cells: None,
         observer,
-        probe: opts.probe,
-        layout: opts.layout,
     };
     run_sweep(&sweep, &dir, &sweep_opts).map(|_| ()).map_err(|e| e.to_string())
+}
+
+/// The root of the bounds store (each query in `<dir>/bounds/<hash>/`).
+fn bounds_root(dir: &Path) -> PathBuf {
+    dir.join("bounds")
+}
+
+fn execute_bounds(opts: &ServeOptions, spec: &BoundsSpec) -> Result<(), String> {
+    let root = bounds_root(&opts.dir);
+    fs::create_dir_all(&root).map_err(|e| format!("creating {}: {e}", root.display()))?;
+    let bounds_opts = BoundsOptions {
+        engine: EngineOptions { threads: opts.engine.threads.max(1), ..opts.engine },
+    };
+    // Progress lands in the store's own deterministic progress.jsonl,
+    // which is what the events endpoint tails — no observer needed.
+    solve_bounds(spec, &root, &bounds_opts, |_| {}).map(|_| ()).map_err(|e| e.to_string())
+}
+
+/// The completed report of a bounds query, verbatim from the store —
+/// which is exactly why fresh answers and cache hits are byte-identical.
+fn bounds_report_bytes(opts: &ServeOptions, hash: &str) -> Option<Vec<u8>> {
+    fs::read(bounds_root(&opts.dir).join(hash).join("report.json")).ok()
+}
+
+/// Whether the stored manifest under `hash` holds exactly `spec`.
+/// `None` when no manifest exists yet.
+fn bounds_manifest_matches(opts: &ServeOptions, hash: &str, spec: &BoundsSpec) -> Option<bool> {
+    let bytes = fs::read(bounds_root(&opts.dir).join(hash).join("manifest.json")).ok()?;
+    Some(bytes == spec.canonical_json())
 }
 
 /// Loads a completed run back from its store: the spec as recorded in
@@ -365,7 +414,10 @@ fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) -> std::io::Resul
         ("POST", ["v1", "runs"]) => post_run(inner, &request).write(&mut stream),
         ("GET", ["v1", "runs", hash]) => get_run(inner, hash).write(&mut stream),
         ("GET", ["v1", "runs", hash, "events"]) => stream_events(inner, hash, &mut stream),
-        (method, ["v1", "healthz" | "studies"] | ["v1", "runs", ..]) => {
+        ("POST", ["v1", "bounds"]) => post_bounds(inner, &request).write(&mut stream),
+        ("GET", ["v1", "bounds", hash]) => get_bounds(inner, hash).write(&mut stream),
+        ("GET", ["v1", "bounds", hash, "events"]) => stream_bounds_events(inner, hash, &mut stream),
+        (method, ["v1", "healthz" | "studies"] | ["v1", "runs" | "bounds", ..]) => {
             let error = ConfigError::invalid("method", format!("{method} not allowed here"));
             error_response(405, &error).write(&mut stream)
         }
@@ -449,7 +501,7 @@ fn post_run(inner: &Arc<Inner>, request: &Request) -> Response {
         let body = done_document(&inner.opts, &hash).expect("run loaded a moment ago");
         return Response::json(200, body).header("x-mpvsim-cache", "hit");
     }
-    enqueue(inner, &hash, &spec);
+    enqueue(inner, &hash, Job::Run { hash: hash.clone(), spec });
     if request.query_flag("wait") {
         return match wait_for(inner, &hash) {
             Ok(()) => match done_document(&inner.opts, &hash) {
@@ -462,19 +514,15 @@ fn post_run(inner: &Arc<Inner>, request: &Request) -> Response {
     Response::json(202, state_document(inner, &hash)).header("x-mpvsim-cache", "miss")
 }
 
-fn enqueue(inner: &Inner, hash: &str, spec: &ScenarioSpec) {
+fn enqueue(inner: &Inner, key: &str, job: Job) {
     let mut runs = inner.runs.lock().expect("run table poisoned");
-    if matches!(runs.get(hash), Some(RunState::Queued | RunState::Running)) {
+    if matches!(runs.get(key), Some(RunState::Queued | RunState::Running)) {
         return;
     }
-    // New runs and retries of failed ones queue alike.
-    runs.insert(hash.to_owned(), RunState::Queued);
+    // New jobs and retries of failed ones queue alike.
+    runs.insert(key.to_owned(), RunState::Queued);
     drop(runs);
-    inner
-        .queue
-        .lock()
-        .expect("queue poisoned")
-        .push_back(QueuedRun { hash: hash.to_owned(), spec: spec.clone() });
+    inner.queue.lock().expect("queue poisoned").push_back(QueuedRun { key: key.to_owned(), job });
     inner.queue_ready.notify_one();
     inner.runs_changed.notify_all();
 }
@@ -561,6 +609,122 @@ fn stream_events(inner: &Inner, hash: &str, stream: &mut TcpStream) -> std::io::
         offset = drain_file(&path, offset, stream)?;
         if let Some(state) = resolved {
             let line = format!("{{\"type\":\"run\",\"hash\":{hash:?},\"state\":{state:?}}}\n");
+            stream.write_all(line.as_bytes())?;
+            return stream.flush();
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            return stream.flush();
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+// ----------------------------------------------------------- bounds
+
+#[derive(serde::Serialize)]
+struct BoundsStateDoc {
+    schema: &'static str,
+    hash: String,
+    state: &'static str,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    error: Option<String>,
+}
+
+fn bounds_state_body(hash: &str, state: &'static str, error: Option<String>) -> Vec<u8> {
+    let doc = BoundsStateDoc { schema: BOUNDS_RUN_SCHEMA, hash: hash.to_owned(), state, error };
+    serde_json::to_vec(&doc).expect("bounds state document serializes")
+}
+
+fn post_bounds(inner: &Arc<Inner>, request: &Request) -> Response {
+    // The same validate-then-hash funnel as `mpvsim bounds --spec`.
+    let spec = match BoundsSpec::from_json(&request.body) {
+        Ok(spec) => spec,
+        Err(e) => return error_response(422, &e),
+    };
+    if let Err(e) = spec.validate() {
+        return error_response(422, &e);
+    }
+    let hash = spec.content_hash();
+    if let Some(body) = bounds_report_bytes(&inner.opts, &hash) {
+        if bounds_manifest_matches(&inner.opts, &hash, &spec) == Some(false) {
+            let error = ConfigError::run(format!(
+                "content hash {hash} already maps to a different bounds query"
+            ));
+            return error_response(409, &error);
+        }
+        return Response::json(200, body).header("x-mpvsim-cache", "hit");
+    }
+    let key = bounds_key(&hash);
+    enqueue(inner, &key, Job::Bounds { spec });
+    if request.query_flag("wait") {
+        return match wait_for(inner, &key) {
+            Ok(()) => match bounds_report_bytes(&inner.opts, &hash) {
+                Some(body) => Response::json(200, body).header("x-mpvsim-cache", "miss"),
+                None => error_response(
+                    500,
+                    &ConfigError::run("bounds query finished but left no report"),
+                ),
+            },
+            Err(message) => error_response(500, &ConfigError::run(message)),
+        };
+    }
+    let state = match inner.runs.lock().expect("run table poisoned").get(&key) {
+        Some(RunState::Running) => "running",
+        Some(RunState::Failed(_)) => "failed",
+        _ => "queued",
+    };
+    Response::json(202, bounds_state_body(&hash, state, None)).header("x-mpvsim-cache", "miss")
+}
+
+fn get_bounds(inner: &Inner, hash: &str) -> Response {
+    if !safe_hash(hash) {
+        return unknown_run(hash);
+    }
+    // A completed query answers with the stored report, byte-for-byte.
+    if let Some(body) = bounds_report_bytes(&inner.opts, hash) {
+        return Response::json(200, body);
+    }
+    let runs = inner.runs.lock().expect("run table poisoned");
+    match runs.get(&bounds_key(hash)) {
+        Some(RunState::Queued) => Response::json(200, bounds_state_body(hash, "queued", None)),
+        Some(RunState::Running) => Response::json(200, bounds_state_body(hash, "running", None)),
+        Some(RunState::Failed(message)) => {
+            Response::json(200, bounds_state_body(hash, "failed", Some(message.clone())))
+        }
+        None => unknown_run(hash),
+    }
+}
+
+/// Streams the bounds store's deterministic `progress.jsonl` (see
+/// [`mpvsim_core::bounds::ProgressEvent`]) to the client, tailing it
+/// while the search runs, and terminates with one
+/// `{"type":"bounds",...}` state line.
+fn stream_bounds_events(inner: &Inner, hash: &str, stream: &mut TcpStream) -> std::io::Result<()> {
+    let key = bounds_key(hash);
+    let known = safe_hash(hash)
+        && (bounds_report_bytes(&inner.opts, hash).is_some()
+            || inner.runs.lock().expect("run table poisoned").contains_key(&key));
+    if !known {
+        return unknown_run(hash).write(stream);
+    }
+    write_stream_head(stream, 200)?;
+    let path = bounds_root(&inner.opts.dir).join(hash).join("progress.jsonl");
+    let mut offset = 0_u64;
+    loop {
+        // Resolution before drain, as in `stream_events`: the solver
+        // appends every progress line before writing report.json.
+        let resolved: Option<&'static str> = if bounds_report_bytes(&inner.opts, hash).is_some() {
+            Some("done")
+        } else {
+            match inner.runs.lock().expect("run table poisoned").get(&key) {
+                Some(RunState::Failed(_)) => Some("failed"),
+                Some(RunState::Queued | RunState::Running) => None,
+                None => Some("done"),
+            }
+        };
+        offset = drain_file(&path, offset, stream)?;
+        if let Some(state) = resolved {
+            let line = format!("{{\"type\":\"bounds\",\"hash\":{hash:?},\"state\":{state:?}}}\n");
             stream.write_all(line.as_bytes())?;
             return stream.flush();
         }

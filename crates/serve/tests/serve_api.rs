@@ -5,6 +5,7 @@
 
 use std::time::Duration;
 
+use mpvsim_core::bounds::{BoundsKnob, BoundsSpec, ConfirmPolicy, SearchRange};
 use mpvsim_core::{PopulationConfig, ScenarioConfig, ScenarioSpec, VirusProfile};
 use mpvsim_des::{DelaySpec, SimDuration};
 use mpvsim_serve::{request, start, ServeOptions};
@@ -141,6 +142,83 @@ fn serve_api_end_to_end() {
     assert_eq!(request(&addr, "GET", "/v1/runs/not-a-hash", None).unwrap().status, 404);
     assert_eq!(request(&addr, "GET", "/v1/nope", None).unwrap().status, 404);
     assert_eq!(request(&addr, "PUT", "/v1/runs", Some(b"{}")).unwrap().status, 405);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bounds_api_end_to_end() {
+    let dir = std::env::temp_dir().join(format!("mpvsim-serve-bounds-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ServeOptions { dir: dir.clone(), workers: 1, ..ServeOptions::default() };
+    let handle = start("127.0.0.1:0", opts).expect("bind an ephemeral port");
+    let addr = handle.addr().to_string();
+
+    let spec = BoundsSpec::new("serve-bounds", BoundsKnob::ScanDelay, tiny_config())
+        .with_search(SearchRange { min: 900, max: 14_400, tolerance: 1800 })
+        .with_confirm(ConfirmPolicy { min_reps: 2, max_reps: 3, min_half_width: 1.0 });
+    let body = spec.canonical_json();
+    let hash = spec.content_hash();
+
+    // First query solves; the repeat is a byte-identical cache hit.
+    let first = request(&addr, "POST", "/v1/bounds?wait=1", Some(&body)).unwrap();
+    assert_eq!(first.status, 200, "{}", String::from_utf8_lossy(&first.body));
+    assert_eq!(first.header("x-mpvsim-cache"), Some("miss"));
+    let second = request(&addr, "POST", "/v1/bounds?wait=1", Some(&body)).unwrap();
+    assert_eq!(second.status, 200);
+    assert_eq!(second.header("x-mpvsim-cache"), Some("hit"));
+    assert_eq!(first.body, second.body, "cache hit must be byte-identical");
+
+    // The body is the stored mpvsim-bounds-report/1 document verbatim.
+    let doc: serde_json::Value = serde_json::from_slice(&first.body).unwrap();
+    assert_eq!(doc["schema"], "mpvsim-bounds-report/1");
+    assert_eq!(doc["spec_hash"].as_str(), Some(hash.as_str()));
+    assert!(doc["evaluations"].as_array().is_some_and(|e| !e.is_empty()), "{doc}");
+    let stored = std::fs::read(dir.join("bounds").join(&hash).join("report.json")).unwrap();
+    assert_eq!(first.body, stored, "the response is the store file, byte-for-byte");
+
+    // GET by hash returns the same document.
+    let got = request(&addr, "GET", &format!("/v1/bounds/{hash}"), None).unwrap();
+    assert_eq!(got.status, 200);
+    assert_eq!(got.body, first.body);
+
+    // The events endpoint replays the solver's deterministic NDJSON
+    // progress and terminates with a server-generated state line.
+    let mut events = Vec::new();
+    let status =
+        mpvsim_serve::stream(&addr, &format!("/v1/bounds/{hash}/events"), &mut events).unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(events).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert!(lines.len() >= 4, "start + bracket + evals + state line, got: {text:?}");
+    let head: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+    assert_eq!(head["event"], "start");
+    assert_eq!(head["hash"].as_str(), Some(hash.as_str()));
+    let last: serde_json::Value = serde_json::from_str(lines.last().unwrap()).unwrap();
+    assert_eq!(last["type"], "bounds");
+    assert_eq!(last["state"], "done");
+
+    // Malformed and invalid queries are structured 422s through the
+    // same funnel as every other entry point.
+    let bad = request(&addr, "POST", "/v1/bounds", Some(b"{not json")).unwrap();
+    assert_eq!(bad.status, 422);
+    let doc: serde_json::Value = serde_json::from_slice(&bad.body).unwrap();
+    assert_eq!(doc["schema"], "mpvsim-error/1");
+    assert_eq!(doc["error"]["kind"], "malformed");
+    let mut invalid = spec.clone();
+    invalid.target = 2.0;
+    let bad =
+        request(&addr, "POST", "/v1/bounds", Some(&serde_json::to_vec(&invalid).unwrap())).unwrap();
+    assert_eq!(bad.status, 422);
+    let doc: serde_json::Value = serde_json::from_slice(&bad.body).unwrap();
+    assert_eq!(doc["error"]["kind"], "out_of_range");
+    assert_eq!(doc["error"]["field"], "target");
+
+    // Unknown hashes and wrong methods.
+    assert_eq!(request(&addr, "GET", "/v1/bounds/0000000000000000", None).unwrap().status, 404);
+    assert_eq!(request(&addr, "GET", "/v1/bounds/not-a-hash", None).unwrap().status, 404);
+    assert_eq!(request(&addr, "PUT", "/v1/bounds", Some(b"{}")).unwrap().status, 405);
 
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);

@@ -81,6 +81,58 @@ pub fn ci95_contains(summary: &RunningSummary, value: f64, min_half_width: f64) 
     (summary.mean() - value).abs() <= half
 }
 
+/// CI-aware sequential stopping rule for comparing a running mean
+/// against a fixed threshold.
+///
+/// The bounds solver (and any other adaptive consumer) keeps pushing
+/// replications into a [`RunningSummary`] and asks the gate after every
+/// observation whether the evidence already settles which side of
+/// `threshold` the mean is on. The rule:
+///
+/// * fewer than `min_reps` observations → keep sampling (a variance
+///   estimate from one or two runs is noise);
+/// * the 95 % CI (widened to at least `min_half_width`, see
+///   [`ci95_contains`]) no longer contains `threshold` → **stop**, the
+///   mean is cleanly on one side;
+/// * `max_reps` observations → **stop** regardless, and let the caller
+///   fall back on the point estimate.
+///
+/// Because the decision depends only on the observation sequence (never
+/// on timing or thread interleaving), callers that evaluate in parallel
+/// batches but apply the gate in global replication order get a
+/// deterministic, thread-count-independent stopping index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialGate {
+    /// Observations required before the CI test may stop the run.
+    pub min_reps: u64,
+    /// Hard cap on observations.
+    pub max_reps: u64,
+    /// Floor on the CI half-width used in the containment test.
+    pub min_half_width: f64,
+    /// The reference value the mean is compared against.
+    pub threshold: f64,
+}
+
+impl SequentialGate {
+    /// Whether sampling can stop given the evidence in `summary`.
+    pub fn decided(&self, summary: &RunningSummary) -> bool {
+        if summary.n() < self.min_reps {
+            return false;
+        }
+        if summary.n() >= self.max_reps {
+            return true;
+        }
+        !ci95_contains(summary, self.threshold, self.min_half_width)
+    }
+
+    /// Whether `summary`'s mean meets (is at or below) the threshold —
+    /// the point-estimate verdict once [`SequentialGate::decided`] says
+    /// sampling may stop.
+    pub fn below(&self, summary: &RunningSummary) -> bool {
+        summary.mean() <= self.threshold
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +184,53 @@ mod tests {
         assert!((d - 0.192_07).abs() < 1e-3, "got {d}");
         // Stricter alpha → larger critical value.
         assert!(ks_critical_value(100, 100, 0.01) > d);
+    }
+
+    #[test]
+    fn gate_waits_for_min_reps_then_stops_on_separation() {
+        let gate =
+            SequentialGate { min_reps: 4, max_reps: 16, min_half_width: 0.5, threshold: 10.0 };
+        let mut s = RunningSummary::new();
+        // Far above the threshold, but the gate must not decide before
+        // min_reps observations.
+        for v in [100.0, 101.0, 99.0] {
+            s.push(v);
+            assert!(!gate.decided(&s), "decided after only {} reps", s.n());
+        }
+        s.push(100.0);
+        assert!(gate.decided(&s), "4 tight reps far from 10.0 settle it");
+        assert!(!gate.below(&s));
+    }
+
+    #[test]
+    fn gate_keeps_sampling_while_ci_straddles_threshold() {
+        let gate =
+            SequentialGate { min_reps: 2, max_reps: 16, min_half_width: 0.5, threshold: 10.0 };
+        let mut s = RunningSummary::new();
+        // High-variance samples straddling the threshold: undecided.
+        for v in [2.0, 18.0, 4.0, 16.0] {
+            s.push(v);
+        }
+        assert!(!gate.decided(&s), "CI straddles 10.0");
+        // The cap forces a decision with the same evidence.
+        let capped = SequentialGate { max_reps: 4, ..gate };
+        assert!(capped.decided(&s));
+        assert!(capped.below(&s));
+    }
+
+    #[test]
+    fn gate_min_half_width_defers_noise_level_separation() {
+        // Mean 10.3 with zero variance: a bare CI would stop instantly,
+        // but a 0.5 floor treats 10.3 as indistinguishable from 10.0.
+        let gate =
+            SequentialGate { min_reps: 2, max_reps: 16, min_half_width: 0.5, threshold: 10.0 };
+        let mut s = RunningSummary::new();
+        for _ in 0..4 {
+            s.push(10.3);
+        }
+        assert!(!gate.decided(&s));
+        let strict = SequentialGate { min_half_width: 0.1, ..gate };
+        assert!(strict.decided(&s));
     }
 
     #[test]

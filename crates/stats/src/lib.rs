@@ -33,7 +33,7 @@ pub mod summary;
 pub mod welford;
 
 pub use aggregate::{mean_series, AggregateSeries, OnlineAggregate};
-pub use gof::{ci95_contains, ks_critical_value, ks_distance};
+pub use gof::{ci95_contains, ks_critical_value, ks_distance, SequentialGate};
 pub use series::TimeSeries;
 pub use summary::Summary;
 pub use welford::RunningSummary;

@@ -20,7 +20,10 @@ fn main() -> Result<(), ConfigError> {
 
     // Stochastic simulator: 10 replications of the Virus 3 baseline.
     let config = ScenarioConfig::baseline(VirusProfile::virus3()).with_horizon(horizon);
-    let sim = ExperimentPlan::new(10).master_seed(2007).threads(4).run(&config)?;
+    let sim = ExperimentPlan::new(10)
+        .master_seed(2007)
+        .engine(EngineOptions::new().with_threads(4))
+        .run(&config)?;
     let sim_curve = sim.mean_series();
 
     // Mean-field model with the same parameters.

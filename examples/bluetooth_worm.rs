@@ -44,7 +44,10 @@ fn main() -> Result<(), ConfigError> {
         // reports rather than gateway counts; model that as a low
         // threshold on observed infections via the hybrid's BT offers.
         config.detect_threshold = 1;
-        let result = ExperimentPlan::new(5).master_seed(7).threads(4).run(&config)?;
+        let result = ExperimentPlan::new(5)
+            .master_seed(7)
+            .engine(EngineOptions::new().with_threads(4))
+            .run(&config)?;
         println!("{:<40} {:>10.1}", name, result.final_infected.mean);
     }
 

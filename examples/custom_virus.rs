@@ -39,7 +39,10 @@ fn main() -> Result<(), ConfigError> {
         let mut config = ScenarioConfig::baseline(virus);
         config.horizon = SimDuration::from_days(6);
 
-        let result = ExperimentPlan::new(5).master_seed(4242).threads(4).run(&config)?;
+        let result = ExperimentPlan::new(5)
+            .master_seed(4242)
+            .engine(EngineOptions::new().with_threads(4))
+            .run(&config)?;
         let t150 = result
             .mean_time_to_reach(150.0)
             .map(|t| format!("{t:.1}"))

@@ -32,7 +32,10 @@ fn main() -> Result<(), ConfigError> {
     println!("{:<20} {:>12}", "defense", "infected @25h");
     for (name, response) in arms {
         let config = base.clone().with_response(response);
-        let result = ExperimentPlan::new(5).master_seed(31).threads(4).run(&config)?;
+        let result = ExperimentPlan::new(5)
+            .master_seed(31)
+            .engine(EngineOptions::new().with_threads(4))
+            .run(&config)?;
         println!("{:<20} {:>12.1}", name, result.final_infected.mean);
         curves.push((name.to_owned(), result.mean_series()));
     }

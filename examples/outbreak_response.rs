@@ -56,7 +56,10 @@ fn main() -> Result<(), ConfigError> {
     let mut baseline_mean = None;
     for (name, response) in arms {
         let config = base.clone().with_response(response);
-        let result = ExperimentPlan::new(5).master_seed(77).threads(4).run(&config)?;
+        let result = ExperimentPlan::new(5)
+            .master_seed(77)
+            .engine(EngineOptions::new().with_threads(4))
+            .run(&config)?;
         let mean = result.final_infected.mean;
         let baseline = *baseline_mean.get_or_insert(mean);
         println!("{:<42} {:>10.1} {:>11.0}%", name, mean, 100.0 * mean / baseline);

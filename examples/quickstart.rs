@@ -25,7 +25,10 @@ fn main() -> Result<(), ConfigError> {
 
     // Averaging a few replications gives the expected trajectory the
     // paper plots (with a confidence band).
-    let experiment = ExperimentPlan::new(5).master_seed(2007).threads(4).run(&config)?;
+    let experiment = ExperimentPlan::new(5)
+        .master_seed(2007)
+        .engine(EngineOptions::new().with_threads(4))
+        .run(&config)?;
     println!(
         "mean final infections over {} replications: {:.1} ± {:.1}",
         experiment.final_infected.n,

@@ -52,7 +52,10 @@ fn main() -> Result<(), ConfigError> {
         let mut config = ScenarioConfig::baseline(VirusProfile::virus1());
         config.population = PopulationConfig { topology: spec, vulnerable_fraction: 0.8 };
         config.horizon = SimDuration::from_days(6);
-        let result = ExperimentPlan::new(5).master_seed(99).threads(4).run(&config)?;
+        let result = ExperimentPlan::new(5)
+            .master_seed(99)
+            .engine(EngineOptions::new().with_threads(4))
+            .run(&config)?;
         let t100 = result
             .mean_time_to_reach(100.0)
             .map(|t| format!("{t:.1}"))

@@ -72,11 +72,15 @@ pub mod prelude {
         resume_sweep, run_scenario, run_scenario_cached, run_scenario_configured,
         run_scenario_probed, run_scenario_with_metrics, run_scenario_with_metrics_fel, run_sweep,
         AcceptanceModel, AdaptiveResult, BehaviorConfig, Blacklist, BluetoothVector, ChainRecord,
-        ConfigError, DetectionAlgorithm, ExperimentPlan, ExperimentResult, Immunization,
-        LayoutKind, MechanismTelemetry, MobilityConfig, Monitoring, PopulationConfig, ProbeKind,
-        ProbeOutput, ResponseConfig, RolloutOrder, RunResult, ScenarioConfig, ScenarioSpec,
-        SendQuota, SignatureScan, SimProbe, StudyId, StudyKind, SweepOptions, SweepSpec,
-        TargetingStrategy, TopologyCache, TraceRecord, UserEducation, VirusProfile,
+        ConfigError, DetectionAlgorithm, EngineOptions, ExperimentPlan, ExperimentResult,
+        Immunization, LayoutKind, MechanismTelemetry, MobilityConfig, Monitoring, PopulationConfig,
+        ProbeKind, ProbeOutput, ResponseConfig, RolloutOrder, RunResult, ScenarioConfig,
+        ScenarioSpec, SendQuota, SignatureScan, SimProbe, StudyId, StudyKind, SweepOptions,
+        SweepSpec, TargetingStrategy, TopologyCache, TraceRecord, UserEducation, VirusProfile,
+    };
+    pub use mpvsim_core::{
+        solve_bounds, BoundsKnob, BoundsOptions, BoundsOutcome, BoundsReport, BoundsRun,
+        BoundsSpec, ConfirmPolicy, SearchRange,
     };
     pub use mpvsim_des::{
         DelaySpec, ExperimentMetrics, ExperimentObserver, FelKind, JsonlObserver, NoopObserver,

@@ -1,0 +1,184 @@
+//! Integration tests of the response-time bounds solver through the
+//! facade crate: the public `mpvsim-bounds/1` query API must be
+//! deterministic (two fresh stores for the same query end up
+//! byte-identical), cache-correct (a repeated query is answered from
+//! the store), and analytically anchored — the mean-field ODE bracket
+//! must contain the DES-confirmed critical value whenever the search
+//! converges without endpoint expansion.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+
+use mpvsim::prelude::*;
+
+/// A deliberately small scenario: Virus 3 dynamics on a tiny
+/// Erdős–Rényi graph with a short horizon, so each DES replication is
+/// milliseconds and the solver's whole funnel can run under proptest.
+fn tiny_scenario(phones: usize, mean_degree: f64, detect_threshold: u64) -> ScenarioConfig {
+    let mut c = ScenarioConfig::baseline(VirusProfile::virus3());
+    c.population = PopulationConfig {
+        topology: GraphSpec::erdos_renyi(phones, mean_degree),
+        vulnerable_fraction: 0.8,
+    };
+    c.behavior.read_delay = DelaySpec::constant(SimDuration::from_mins(5));
+    c.horizon = SimDuration::from_hours(6);
+    c.detect_threshold = detect_threshold;
+    c
+}
+
+fn quick_confirm() -> ConfirmPolicy {
+    ConfirmPolicy { min_reps: 2, max_reps: 3, min_half_width: 1.0 }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mpvsim-bounds-it-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every file under `dir`, as relative path → raw bytes.
+fn store_tree(dir: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(root: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in fs::read_dir(dir).expect("readable store dir") {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                walk(root, &path, out);
+            } else {
+                let rel = path.strip_prefix(root).expect("under root");
+                out.insert(rel.to_string_lossy().into_owned(), fs::read(&path).expect("read"));
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    walk(dir, dir, &mut out);
+    out
+}
+
+#[test]
+fn repeated_queries_are_byte_identical_across_stores() {
+    let spec = BoundsSpec::new("it-determinism", BoundsKnob::ScanDelay, tiny_scenario(40, 6.0, 5))
+        .with_search(SearchRange { min: 900, max: 28_800, tolerance: 1800 })
+        .with_confirm(quick_confirm());
+    let (dir_a, dir_b) = (scratch("det-a"), scratch("det-b"));
+
+    let first = solve_bounds(&spec, &dir_a, &BoundsOptions::default(), |_| {}).expect("solve a");
+    let replay = solve_bounds(&spec, &dir_a, &BoundsOptions::default(), |_| {}).expect("replay a");
+    let second = solve_bounds(&spec, &dir_b, &BoundsOptions::default(), |_| {}).expect("solve b");
+
+    assert!(!first.cached, "a fresh store cannot be a cache hit");
+    assert!(replay.cached, "the same store must answer the repeat from disk");
+    assert!(!second.cached);
+    assert_eq!(first.report, replay.report);
+    assert_eq!(first.report, second.report);
+
+    // The whole store — manifest, per-value evaluations, progress log
+    // and report — must be byte-for-byte identical across machines or
+    // runs, which is what lets `mpvsim serve` answer with the stored
+    // report verbatim.
+    let (tree_a, tree_b) = (store_tree(&dir_a), store_tree(&dir_b));
+    assert_eq!(
+        tree_a.keys().collect::<Vec<_>>(),
+        tree_b.keys().collect::<Vec<_>>(),
+        "store layouts diverged"
+    );
+    for (path, bytes) in &tree_a {
+        assert_eq!(Some(bytes), tree_b.get(path), "{path} differs between stores");
+    }
+
+    let _ = fs::remove_dir_all(&dir_a);
+    let _ = fs::remove_dir_all(&dir_b);
+}
+
+#[test]
+fn converged_report_is_internally_consistent() {
+    // The 5 % containment target needs room to bite: on a toy graph the
+    // threshold is only a phone or two, so this test runs the paper's
+    // baseline scenario at a reduced population instead.
+    let mut scenario = ScenarioConfig::baseline(VirusProfile::virus3());
+    scenario.population = PopulationConfig::paper_default(150);
+    let spec = BoundsSpec::new("it-shape", BoundsKnob::ScanDelay, scenario)
+        .with_search(SearchRange { min: 900, max: 86_400, tolerance: 1800 })
+        .with_confirm(quick_confirm());
+    let dir = scratch("shape");
+    let run = solve_bounds(&spec, &dir, &BoundsOptions::default(), |_| {}).expect("solve");
+    let report = &run.report;
+
+    assert_eq!(report.spec_hash, spec.content_hash());
+    assert_eq!(report.outcome, BoundsOutcome::Converged);
+    let critical = report.critical.expect("converged search names a critical value");
+    let violated = report.violated_at.expect("and the first violated probe");
+    assert!(critical >= spec.search.min && critical <= spec.search.max);
+    assert!(violated > critical && violated - critical <= spec.search.tolerance);
+
+    // The evaluation ledger backs the headline numbers: the critical
+    // value was confirmed contained, the violated value confirmed not,
+    // and the advertised effort equals the ledger's.
+    let by_value: BTreeMap<u64, _> = report.evaluations.iter().map(|e| (e.value, e)).collect();
+    assert!(by_value[&critical].contained);
+    assert!(!by_value[&violated].contained);
+    assert_eq!(report.total_reps, report.evaluations.iter().map(|e| e.reps).sum::<u64>());
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    // Each case runs a full bracket → confirm → bisect funnel, so keep
+    // the case count modest; the tiny scenario keeps each one fast.
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// The headline analytic claim: the ODE-derived search bracket
+    /// contains the DES-confirmed critical value. When the DES
+    /// disagrees with the proxy the solver expands the bracket and
+    /// flags it, so the invariant `bracket_lo ≤ critical ≤ bracket_hi`
+    /// must hold on the *final* bracket unconditionally — and the ODE
+    /// estimate itself must sit inside the search range.
+    #[test]
+    fn ode_bracket_contains_the_des_critical_value(
+        phones in 32usize..56,
+        mean_degree in 4.0f64..8.0,
+        detect in 3u64..8,
+        scan_knob in any::<bool>(),
+        case in 0u32..1_000_000,
+    ) {
+        let knob = if scan_knob { BoundsKnob::ScanDelay } else { BoundsKnob::PatchDelay };
+        let spec = BoundsSpec::new(
+            "it-bracket",
+            knob,
+            tiny_scenario(phones, mean_degree, detect),
+        )
+        .with_search(SearchRange { min: 900, max: 57_600, tolerance: 3600 })
+        .with_confirm(quick_confirm());
+        let dir = scratch(&format!("prop-{case}"));
+        let run = solve_bounds(&spec, &dir, &BoundsOptions::default(), |_| {})
+            .expect("tiny bounds query solves");
+        let report = run.report;
+        let _ = fs::remove_dir_all(&dir);
+
+        prop_assert!(report.ode_critical >= spec.search.min);
+        prop_assert!(report.ode_critical <= spec.search.max);
+        prop_assert!(report.bracket_lo <= report.bracket_hi);
+        match report.outcome {
+            BoundsOutcome::Converged => {
+                let critical = report.critical.expect("converged ⇒ critical");
+                prop_assert!(
+                    report.bracket_lo <= critical && critical <= report.bracket_hi,
+                    "critical {critical} outside final bracket [{}, {}] (expanded: {})",
+                    report.bracket_lo,
+                    report.bracket_hi,
+                    report.bracket_expanded,
+                );
+            }
+            // Degenerate outbreaks are legal draws: containment can
+            // hold everywhere or nowhere in the search range. The
+            // solver must say which endpoint failed rather than invent
+            // a critical value.
+            BoundsOutcome::BelowMin => prop_assert!(report.critical.is_none()),
+            BoundsOutcome::AboveMax => {
+                prop_assert_eq!(report.critical, Some(spec.search.max));
+            }
+        }
+    }
+}

@@ -38,8 +38,9 @@ fn different_seeds_diverge() {
 #[test]
 fn experiment_is_thread_count_invariant() {
     let c = config();
-    let serial = ExperimentPlan::new(6).master_seed(42).threads(1).run(&c).expect("valid");
-    let parallel = ExperimentPlan::new(6).master_seed(42).threads(6).run(&c).expect("valid");
+    let engine = |t| EngineOptions::new().with_threads(t);
+    let serial = ExperimentPlan::new(6).master_seed(42).engine(engine(1)).run(&c).expect("valid");
+    let parallel = ExperimentPlan::new(6).master_seed(42).engine(engine(6)).run(&c).expect("valid");
     assert_eq!(serial.aggregate.mean, parallel.aggregate.mean);
     assert_eq!(serial.aggregate.ci95_half_width, parallel.aggregate.ci95_half_width);
     for (s, p) in serial.runs.iter().zip(&parallel.runs) {
@@ -51,7 +52,11 @@ fn experiment_is_thread_count_invariant() {
 #[test]
 fn replications_within_an_experiment_differ() {
     let c = config();
-    let e = ExperimentPlan::new(4).master_seed(7).threads(2).run(&c).expect("valid");
+    let e = ExperimentPlan::new(4)
+        .master_seed(7)
+        .engine(EngineOptions::new().with_threads(2))
+        .run(&c)
+        .expect("valid");
     let finals: Vec<usize> = e.runs.iter().map(|r| r.final_infected).collect();
     let all_same = finals.windows(2).all(|w| w[0] == w[1]);
     let stats_same = e.runs.windows(2).all(|w| w[0].stats == w[1].stats);
@@ -64,8 +69,9 @@ fn replications_within_an_experiment_differ() {
 #[test]
 fn master_seed_changes_every_replication() {
     let c = config();
-    let a = ExperimentPlan::new(3).master_seed(100).threads(2).run(&c).expect("valid");
-    let b = ExperimentPlan::new(3).master_seed(101).threads(2).run(&c).expect("valid");
+    let two = EngineOptions::new().with_threads(2);
+    let a = ExperimentPlan::new(3).master_seed(100).engine(two).run(&c).expect("valid");
+    let b = ExperimentPlan::new(3).master_seed(101).engine(two).run(&c).expect("valid");
     assert_ne!(
         a.aggregate.mean, b.aggregate.mean,
         "different master seeds must give different aggregates"
@@ -82,9 +88,8 @@ fn figure_runs_are_fel_backend_invariant() {
     let opts = |fel| FigureOptions {
         reps: 2,
         master_seed: 5,
-        threads: 2,
         population: 60,
-        fel,
+        engine: EngineOptions::new().with_threads(2).with_fel(fel),
         ..FigureOptions::default()
     };
     let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();

@@ -9,7 +9,7 @@ const N: usize = 250;
 const SEED: u64 = 909;
 
 fn plan(reps: u64) -> ExperimentPlan {
-    ExperimentPlan::new(reps).master_seed(SEED).threads(4)
+    ExperimentPlan::new(reps).master_seed(SEED).engine(EngineOptions::new().with_threads(4))
 }
 
 fn reduced(virus: VirusProfile, horizon: SimDuration) -> ScenarioConfig {

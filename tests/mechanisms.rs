@@ -18,7 +18,7 @@ fn reduced(virus: VirusProfile, horizon: SimDuration) -> ScenarioConfig {
 }
 
 fn plan() -> ExperimentPlan {
-    ExperimentPlan::new(REPS).master_seed(SEED).threads(4)
+    ExperimentPlan::new(REPS).master_seed(SEED).engine(EngineOptions::new().with_threads(4))
 }
 
 fn mean_final(config: &ScenarioConfig) -> f64 {

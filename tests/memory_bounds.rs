@@ -38,13 +38,13 @@ impl ExperimentObserver for PeakRecorder {
 
 #[test]
 fn fig1_peak_pending_events_stays_within_committed_baseline() {
-    let opts = FigureOptions { reps: 1, threads: 1, ..FigureOptions::default() };
+    let opts = FigureOptions { reps: 1, engine: EngineOptions::new(), ..FigureOptions::default() };
     let recorder = std::sync::Arc::new(PeakRecorder::default());
     for cell in fig1_baseline_cells(&opts) {
         let config = cell.spec.to_config().expect("paper cell is valid");
         let plan = ExperimentPlan::new(1)
             .master_seed(opts.master_seed)
-            .threads(1)
+            .engine(EngineOptions::new().with_threads(1))
             .observer_handle(ObserverHandle::from_arc(recorder.clone()));
         plan.run(config).expect("fig1 cell runs");
     }

@@ -120,11 +120,15 @@ impl ExperimentObserver for Recording {
 #[test]
 fn results_are_bit_identical_with_and_without_an_observer_at_any_thread_count() {
     let c = config(150);
-    let reference = ExperimentPlan::new(5).master_seed(SEED).threads(1).run(&c).expect("valid");
+    let reference = ExperimentPlan::new(5)
+        .master_seed(SEED)
+        .engine(EngineOptions::new())
+        .run(&c)
+        .expect("valid");
     for threads in [1, 2, 4, 8] {
         let observed = ExperimentPlan::new(5)
             .master_seed(SEED)
-            .threads(threads)
+            .engine(EngineOptions::new().with_threads(threads))
             .observer(Recording::default())
             .run(&c)
             .expect("valid");
@@ -143,7 +147,7 @@ fn observer_sees_every_replication_in_order_with_real_metrics() {
     let recording = std::sync::Arc::new(Recording::default());
     let result = ExperimentPlan::new(6)
         .master_seed(SEED)
-        .threads(3)
+        .engine(EngineOptions::new().with_threads(3))
         .observer_handle(ObserverHandle::from_arc(recording.clone()))
         .run(&c)
         .expect("valid");
@@ -162,10 +166,11 @@ fn observer_sees_every_replication_in_order_with_real_metrics() {
 #[test]
 fn discarding_runs_changes_nothing_but_the_runs_vec() {
     let c = config(150);
-    let kept = ExperimentPlan::new(5).master_seed(SEED).threads(4).run(&c).expect("valid");
+    let four = EngineOptions::new().with_threads(4);
+    let kept = ExperimentPlan::new(5).master_seed(SEED).engine(four).run(&c).expect("valid");
     let streamed = ExperimentPlan::new(5)
         .master_seed(SEED)
-        .threads(4)
+        .engine(four)
         .retain_runs(false)
         .run(&c)
         .expect("valid");
@@ -185,13 +190,13 @@ fn an_exhausted_event_budget_is_reported_not_panicked_at_any_thread_count() {
     c.event_budget = Some(50);
     let serial = ExperimentPlan::new(4)
         .master_seed(SEED)
-        .threads(1)
+        .engine(EngineOptions::new())
         .run(&c)
         .expect_err("50 events cannot cover an epidemic");
     for threads in [2, 4, 8] {
         let parallel = ExperimentPlan::new(4)
             .master_seed(SEED)
-            .threads(threads)
+            .engine(EngineOptions::new().with_threads(threads))
             .run(&c)
             .expect_err("50 events cannot cover an epidemic");
         assert_eq!(serial, parallel, "the reported failure must not depend on thread count");

@@ -10,7 +10,12 @@ use mpvsim::core::studies::registry;
 use mpvsim::prelude::*;
 
 fn quick_opts() -> FigureOptions {
-    FigureOptions { reps: 2, population: 120, threads: 2, ..FigureOptions::default() }
+    FigureOptions {
+        reps: 2,
+        population: 120,
+        engine: EngineOptions::new().with_threads(2),
+        ..FigureOptions::default()
+    }
 }
 
 #[test]

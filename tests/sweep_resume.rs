@@ -26,7 +26,7 @@ fn small_spec(name: &str) -> SweepSpec {
 }
 
 fn sweep_opts() -> SweepOptions {
-    SweepOptions { cell_workers: 2, rep_threads: 1, ..SweepOptions::default() }
+    SweepOptions { cell_workers: 2, ..SweepOptions::default() }
 }
 
 fn aggregate_bits(report: &SweepReport) -> Vec<(String, Vec<u64>, Vec<u64>)> {
