@@ -98,6 +98,10 @@ except --probe: trace always uses the chain and event-trace probes.
 
 /// Entry point of the `mpvsim` binary: dispatch and exit.
 pub fn main() -> ! {
+    // Structured logging honors `MPVSIM_LOG` (level filter spec, default
+    // `warn`) and `MPVSIM_LOG_FORMAT` (`json`|`text`) for every command;
+    // `mpvsim serve --log-format` overrides the format after this.
+    mpvsim_obs::log::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     std::process::exit(run(&args));
 }
@@ -1256,18 +1260,26 @@ fn cmd_bounds(args: &[String]) -> i32 {
 const SERVE_USAGE: &str = "\
 usage: mpvsim serve --dir PATH [--addr HOST:PORT] [--workers N]
                     [--threads T] [--fel KIND] [--probe KIND]
+                    [--log-format FMT]
   --dir PATH           results store: each run in <dir>/runs/<hash>/
   --addr HOST:PORT     listen address (default 127.0.0.1:7311)
   --workers N          simulation worker threads (default 2)
   --threads T          threads within each run's replication batch
   --fel KIND           future-event-list backend: binary-heap|calendar
   --probe KIND         attach a probe to every replication
+  --log-format FMT     log line format: json|text (default text; level
+                       filter via MPVSIM_LOG, e.g. MPVSIM_LOG=debug —
+                       serve defaults to info for the access log)
 endpoints:
   POST /v1/runs        submit an mpvsim-scenario/1 spec (?wait=1 blocks)
   GET  /v1/runs/HASH   state/result of one run
   GET  /v1/runs/HASH/events   JSONL progress stream
+  POST /v1/bounds      submit an mpvsim-bounds/1 query (?wait=1 blocks)
+  GET  /v1/bounds/HASH state/report of one bounds query
+  GET  /v1/bounds/HASH/events NDJSON progress stream
   GET  /v1/studies     the study registry
-  GET  /v1/healthz     liveness and queue counters
+  GET  /v1/healthz     liveness, version, uptime, queue + job counters
+  GET  /v1/metrics     Prometheus text exposition of runtime metrics
 ";
 
 fn cmd_serve(args: &[String]) -> i32 {
@@ -1304,6 +1316,11 @@ fn cmd_serve(args: &[String]) -> i32 {
                             .map(|n| opts.workers = n)
                             .map_err(|_| format!("--workers value {v:?} is not a number"))
                     }),
+                    "--log-format" => value("--log-format").and_then(|v| {
+                        mpvsim_obs::LogFormat::parse(&v)
+                            .map(mpvsim_obs::log::set_format)
+                            .ok_or_else(|| format!("unknown log format {v:?} (json or text)"))
+                    }),
                     "--help" | "-h" => {
                         print!("{SERVE_USAGE}");
                         return 0;
@@ -1316,6 +1333,11 @@ fn cmd_serve(args: &[String]) -> i32 {
                 }
             }
         }
+    }
+    // A service wants its access log by default; an explicit MPVSIM_LOG
+    // spec (already applied by `init_from_env`) still wins.
+    if std::env::var("MPVSIM_LOG").is_err() {
+        mpvsim_obs::log::set_default_level(Some(mpvsim_obs::Level::Info));
     }
     match mpvsim_serve::start(&addr, opts) {
         Ok(handle) => {

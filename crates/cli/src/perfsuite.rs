@@ -219,6 +219,51 @@ fn run_workload(
     })
 }
 
+/// One metrics-registry overhead measurement: the same workload with
+/// the global registry recording versus switched to its no-op path
+/// (one relaxed load per `inc`/`observe`).
+struct MetricsOverheadPoint {
+    figure: &'static str,
+    events_per_sec_off: f64,
+    events_per_sec_on: f64,
+    overhead_pct: f64,
+}
+
+/// Runs `study` twice on the calendar backend — registry recording off,
+/// then on — and reports the throughput delta. Positive percentages mean
+/// the recording run was slower. The two runs must process identical
+/// event counts: metrics are trajectory-neutral by construction, and a
+/// mismatch here is a determinism bug, not a perf result.
+fn run_metrics_overhead(
+    study: StudyId,
+    base: &FigureOptions,
+) -> Result<MetricsOverheadPoint, String> {
+    let was_on = mpvsim_obs::metrics::enabled();
+    mpvsim_obs::metrics::set_enabled(false);
+    let off = run_workload(study, base, FelKind::Calendar, ProbeKind::None);
+    mpvsim_obs::metrics::set_enabled(true);
+    let on = run_workload(study, base, FelKind::Calendar, ProbeKind::None);
+    mpvsim_obs::metrics::set_enabled(was_on);
+    let (off, on) = (off?, on?);
+    if off.events_processed != on.events_processed {
+        return Err(format!(
+            "metrics overhead run of {} is not trajectory-neutral: {} events with recording off, {} with recording on",
+            off.figure, off.events_processed, on.events_processed,
+        ));
+    }
+    let overhead_pct = if off.events_per_sec > 0.0 {
+        100.0 * (off.events_per_sec - on.events_per_sec) / off.events_per_sec
+    } else {
+        0.0
+    };
+    Ok(MetricsOverheadPoint {
+        figure: off.figure,
+        events_per_sec_off: off.events_per_sec,
+        events_per_sec_on: on.events_per_sec,
+        overhead_pct,
+    })
+}
+
 /// One single-replication scaling measurement: the Virus 1 baseline
 /// scaling cell at population `n`, reporting resident memory per phone.
 struct ScalePoint {
@@ -276,6 +321,7 @@ fn run_scale_point(n: usize, base: &FigureOptions) -> Result<ScalePoint, String>
 fn report(
     suite: &SuiteOptions,
     measurements: &[Measurement],
+    metrics_overhead_points: &[MetricsOverheadPoint],
     scale_points: &[ScalePoint],
 ) -> serde_json::Value {
     let rows: Vec<serde_json::Value> = measurements
@@ -346,6 +392,20 @@ fn report(
         })
         .collect();
 
+    // Metrics-registry overhead: recording off vs on for the same
+    // workload. The bench-smoke gate reads `overhead_pct`.
+    let metrics_overhead: Vec<serde_json::Value> = metrics_overhead_points
+        .iter()
+        .map(|p| {
+            serde_json::json!({
+                "figure": p.figure,
+                "events_per_sec_off": p.events_per_sec_off,
+                "events_per_sec_on": p.events_per_sec_on,
+                "overhead_pct": p.overhead_pct,
+            })
+        })
+        .collect();
+
     // Single-replication memory trajectory: one row per `--scale N`,
     // with the bytes/phone column the scaling acceptance gate reads.
     let scaling: Vec<serde_json::Value> = scale_points
@@ -366,7 +426,7 @@ fn report(
         .collect();
 
     serde_json::json!({
-        "schema": "mpvsim-perfsuite/4",
+        "schema": "mpvsim-perfsuite/5",
         "quick": suite.quick,
         "reps": suite.figure.reps,
         "master_seed": suite.figure.master_seed,
@@ -376,6 +436,7 @@ fn report(
         "figures": rows,
         "comparison": comparison,
         "probe_overhead": probe_overhead,
+        "metrics_overhead": metrics_overhead,
         "scaling": scaling,
     })
 }
@@ -468,7 +529,7 @@ pub fn run(args: &[String]) -> i32 {
     );
 
     let mut measurements = Vec::new();
-    for study in selected {
+    for &study in &selected {
         for (fel, probe) in RUNS {
             eprintln!("running {} [{} / probe {}]...", study.name(), fel.label(), probe.name());
             match run_workload(study, &suite.figure, fel, probe) {
@@ -488,6 +549,32 @@ pub fn run(args: &[String]) -> i32 {
                     eprintln!("{e}");
                     return 1;
                 }
+            }
+        }
+    }
+
+    // Registry overhead on one workload: fig1 when it is in the selected
+    // set (the canonical overhead gate), else the first selected figure
+    // so `--figure` filtered runs still produce a row.
+    let mut metrics_overhead_points = Vec::new();
+    let overhead_study = selected
+        .iter()
+        .find(|id| id.name() == "fig1_baseline")
+        .or_else(|| selected.first())
+        .copied();
+    if let Some(study) = overhead_study {
+        eprintln!("running {} [metrics registry off vs on]...", study.name());
+        match run_metrics_overhead(study, &suite.figure) {
+            Ok(p) => {
+                eprintln!(
+                    "  {:.0} events/s off, {:.0} events/s on, overhead {:.2}%",
+                    p.events_per_sec_off, p.events_per_sec_on, p.overhead_pct,
+                );
+                metrics_overhead_points.push(p);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
             }
         }
     }
@@ -518,7 +605,7 @@ pub fn run(args: &[String]) -> i32 {
     if !scale_points.is_empty() {
         print!("{}", render_scaling_table(&scale_points));
     }
-    let doc = report(&suite, &measurements, &scale_points);
+    let doc = report(&suite, &measurements, &metrics_overhead_points, &scale_points);
 
     let now = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -643,8 +730,18 @@ mod tests {
             quick: false,
             scales: vec![40],
         };
-        let doc = report(&suite, &ms, std::slice::from_ref(&scale));
-        assert_eq!(doc["schema"], "mpvsim-perfsuite/4");
+        let overhead_point = run_metrics_overhead(StudyId::Fig7Blacklist, &suite.figure).unwrap();
+        assert_eq!(overhead_point.figure, "fig7_blacklist");
+        assert!(overhead_point.events_per_sec_off > 0.0);
+        assert!(overhead_point.events_per_sec_on > 0.0);
+        assert!(mpvsim_obs::metrics::enabled(), "overhead run must restore the registry state");
+        let doc = report(
+            &suite,
+            &ms,
+            std::slice::from_ref(&overhead_point),
+            std::slice::from_ref(&scale),
+        );
+        assert_eq!(doc["schema"], "mpvsim-perfsuite/5");
         assert_eq!(doc["layout"], "fresh");
         let scaling = doc["scaling"].as_array().unwrap();
         assert_eq!(scaling.len(), 1);
@@ -665,6 +762,12 @@ mod tests {
         assert_eq!(overhead.len(), 1);
         assert_eq!(overhead[0]["fel"], "calendar");
         assert!(overhead[0]["overhead_pct"].is_number());
+        let metrics_overhead = doc["metrics_overhead"].as_array().unwrap();
+        assert_eq!(metrics_overhead.len(), 1);
+        assert_eq!(metrics_overhead[0]["figure"], "fig7_blacklist");
+        assert!(metrics_overhead[0]["overhead_pct"].is_number());
+        assert!(metrics_overhead[0]["events_per_sec_off"].as_f64().unwrap() > 0.0);
+        assert!(metrics_overhead[0]["events_per_sec_on"].as_f64().unwrap() > 0.0);
         let table = render_table(&ms);
         assert!(table.contains("fig7_blacklist"));
         assert!(table.contains("binary-heap"));

@@ -692,6 +692,37 @@ pub fn bisect_largest_contained<E>(
     Ok((lo, hi))
 }
 
+/// Log target of the bounds solver.
+const LOG_TARGET: &str = "mpvsim_core::bounds";
+
+/// Registry handles of the bounds solver, looked up once.
+struct BoundsMetrics {
+    ode_steps: mpvsim_obs::Counter,
+    des_confirmations: mpvsim_obs::Counter,
+    gate_stops: mpvsim_obs::Counter,
+}
+
+fn bounds_metrics() -> &'static BoundsMetrics {
+    static METRICS: std::sync::OnceLock<BoundsMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = mpvsim_obs::metrics::global();
+        BoundsMetrics {
+            ode_steps: reg.counter(
+                "mpvsim_bounds_ode_steps_total",
+                "ODE integrations evaluated while bracketing bounds queries",
+            ),
+            des_confirmations: reg.counter(
+                "mpvsim_bounds_des_confirmations_total",
+                "Candidate knob values confirmed by DES replication batches",
+            ),
+            gate_stops: reg.counter(
+                "mpvsim_bounds_gate_stops_total",
+                "DES confirmations the sequential gate stopped before max_reps",
+            ),
+        }
+    })
+}
+
 /// The ODE pass: the proxy's own critical value of `spec.knob` within
 /// the search range (clamped to the range edges when the proxy never /
 /// always contains).
@@ -700,6 +731,7 @@ fn ode_critical(spec: &BoundsSpec, threshold: f64) -> u64 {
     let horizon = spec.scenario.horizon;
     let step = spec.scenario.sample_step;
     let contained = |x: u64| -> Result<bool, std::convert::Infallible> {
+        bounds_metrics().ode_steps.inc();
         let series =
             integrate_response(&params, &spec.knob.proxy(&spec.scenario, x), horizon, step);
         Ok(series.final_value().unwrap_or(f64::INFINITY) <= threshold)
@@ -739,8 +771,17 @@ pub fn solve_bounds(
     spec.validate()?;
     let store = BoundsStore::init(root, spec)?;
     if let Some(report) = store.load_report() {
+        mpvsim_obs::log::debug(
+            LOG_TARGET,
+            "bounds cache hit",
+            &[("name", spec.name.as_str().into()), ("hash", spec.content_hash().into())],
+        );
         return Ok(BoundsRun { report, cached: true });
     }
+    let span = mpvsim_obs::Span::start(LOG_TARGET, "bounds")
+        .level(mpvsim_obs::Level::Info)
+        .field("name", spec.name.as_str())
+        .field("hash", spec.content_hash());
     // Fresh (or resumed) run: rebuild the progress log from scratch so
     // an interrupted run's partial log never leaves duplicate lines.
     let _ = fs::remove_file(store.progress_path());
@@ -879,6 +920,11 @@ pub fn solve_bounds(
     store.append_progress(&ProgressEvent::Done { outcome, critical, total_reps })?;
     progress(&ProgressEvent::Done { outcome, critical, total_reps });
     store.save_report(&report)?;
+    span.field("outcome", format!("{outcome:?}"))
+        .field("critical", critical.map_or_else(|| "-".to_owned(), |c| c.to_string()))
+        .field("ode_critical", ode)
+        .field("total_reps", total_reps)
+        .finish();
     Ok(BoundsRun { report, cached: false })
 }
 
@@ -932,6 +978,21 @@ fn confirm_candidate(
             }
         }
     }
+    let metrics = bounds_metrics();
+    metrics.des_confirmations.inc();
+    if decided && acc.n() < gate.max_reps {
+        metrics.gate_stops.inc();
+    }
+    mpvsim_obs::log::debug(
+        LOG_TARGET,
+        "des confirmation",
+        &[
+            ("value", value.into()),
+            ("reps", acc.n().into()),
+            ("mean", acc.mean().into()),
+            ("gate_stopped", (decided && acc.n() < gate.max_reps).into()),
+        ],
+    );
     Ok(Evaluation {
         value,
         reps: acc.n(),

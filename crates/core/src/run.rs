@@ -187,6 +187,7 @@ impl TopologyCache {
         );
         if let Some(entry) = self.map.lock().expect("topology cache poisoned").get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            topo_cache_metrics().0.inc();
             return Ok((entry.graph.clone(), entry.rng_after.clone()));
         }
         // Generate outside the lock; concurrent misses on the same key do
@@ -200,10 +201,28 @@ impl TopologyCache {
                 .map_err(|e| ConfigError::invalid("population.topology", e.to_string()))?,
         );
         self.misses.fetch_add(1, Ordering::Relaxed);
+        topo_cache_metrics().1.inc();
         let entry = CachedTopology { graph: graph.clone(), rng_after: rng.clone() };
         self.map.lock().expect("topology cache poisoned").entry(key).or_insert(entry);
         Ok((graph, rng))
     }
+}
+
+/// Global `(hit, miss)` counters mirroring every [`TopologyCache`]'s
+/// per-instance stats into the process-wide registry (the per-instance
+/// counts still travel in sweep reports; the registry aggregates across
+/// caches for `GET /v1/metrics`).
+fn topo_cache_metrics() -> &'static (mpvsim_obs::Counter, mpvsim_obs::Counter) {
+    static METRICS: std::sync::OnceLock<(mpvsim_obs::Counter, mpvsim_obs::Counter)> =
+        std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = mpvsim_obs::metrics::global();
+        let help = "Topology cache lookups by result";
+        (
+            reg.counter_with("mpvsim_topology_cache_total", help, &[("result", "hit")]),
+            reg.counter_with("mpvsim_topology_cache_total", help, &[("result", "miss")]),
+        )
+    })
 }
 
 /// The outcome of a single replication.
@@ -796,13 +815,15 @@ impl ExperimentPlan {
                 collector.absorb(&self.observer, result, metrics);
             },
         )?;
-        self.observer.on_experiment_finish(&ExperimentMetrics {
+        let metrics = ExperimentMetrics {
             reps: self.reps,
             wall: started.elapsed(),
             events_processed: collector.total_events,
             peak_pending_events: collector.peak_pending,
             peak_event_bytes: collector.peak_event_bytes,
-        });
+        };
+        mpvsim_des::observe::record_experiment(&metrics);
+        self.observer.on_experiment_finish(&metrics);
         Ok(collector.into_result())
     }
 
@@ -866,13 +887,15 @@ impl ExperimentPlan {
                 break;
             }
         }
-        self.observer.on_experiment_finish(&ExperimentMetrics {
+        let metrics = ExperimentMetrics {
             reps: completed,
             wall: started.elapsed(),
             events_processed: collector.total_events,
             peak_pending_events: collector.peak_pending,
             peak_event_bytes: collector.peak_event_bytes,
-        });
+        };
+        mpvsim_des::observe::record_experiment(&metrics);
+        self.observer.on_experiment_finish(&metrics);
         Ok(AdaptiveResult { result: collector.into_result(), converged })
     }
 
@@ -893,7 +916,9 @@ impl ExperimentPlan {
             self.engine.probe,
             self.engine.layout,
         )?;
-        Ok((result, ReplicationMetrics { rep, seed, wall: started.elapsed(), sim }))
+        let metrics = ReplicationMetrics { rep, seed, wall: started.elapsed(), sim };
+        mpvsim_des::observe::record_replication(&metrics);
+        Ok((result, metrics))
     }
 }
 

@@ -599,6 +599,24 @@ pub fn resume_sweep(dir: &Path, opts: &SweepOptions) -> Result<SweepReport, Swee
     execute(&store, &spec, opts)
 }
 
+/// Log target and registry handles of the sweep orchestrator.
+const LOG_TARGET: &str = "mpvsim_core::sweep";
+
+/// `(executed, resumed)` counters: cells freshly simulated vs skipped
+/// because a previous (interrupted) launch already completed them.
+fn sweep_metrics() -> &'static (mpvsim_obs::Counter, mpvsim_obs::Counter) {
+    static METRICS: std::sync::OnceLock<(mpvsim_obs::Counter, mpvsim_obs::Counter)> =
+        std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = mpvsim_obs::metrics::global();
+        let help = "Sweep cells by outcome: executed fresh, or resumed from a prior launch";
+        (
+            reg.counter_with("mpvsim_sweep_cells_total", help, &[("result", "executed")]),
+            reg.counter_with("mpvsim_sweep_cells_total", help, &[("result", "resumed")]),
+        )
+    })
+}
+
 fn execute(
     store: &ResultsStore,
     spec: &SweepSpec,
@@ -612,6 +630,12 @@ fn execute(
         deferred = pending.len().saturating_sub(max);
         pending.truncate(max);
     }
+    let span = mpvsim_obs::Span::start(LOG_TARGET, "sweep")
+        .level(mpvsim_obs::Level::Info)
+        .field("name", spec.name.as_str())
+        .field("cells", spec.cells.len())
+        .field("resumed", skipped)
+        .field("deferred", deferred);
 
     let cache = TopologyCache::shared();
     // Work-stealing over the pending list: workers claim the next index
@@ -642,9 +666,22 @@ fn execute(
         }
     });
 
-    if let Some((_, e)) = first_error.into_inner().expect("error slot poisoned") {
+    if let Some((cell_idx, e)) = first_error.into_inner().expect("error slot poisoned") {
+        mpvsim_obs::log::error(
+            LOG_TARGET,
+            "sweep cell failed",
+            &[
+                ("name", spec.name.as_str().into()),
+                ("cell", spec.cells[cell_idx].id.as_str().into()),
+                ("error", e.to_string().into()),
+            ],
+        );
         return Err(e);
     }
+
+    let metrics = sweep_metrics();
+    metrics.0.add(pending.len() as u64);
+    metrics.1.add(skipped as u64);
 
     let mut cells = Vec::new();
     for cell in &spec.cells {
@@ -652,13 +689,18 @@ fn execute(
             cells.push(store.load_cell(cell)?);
         }
     }
+    let stats = cache.stats();
+    span.field("executed", pending.len())
+        .field("topo_cache_hits", stats.hits)
+        .field("topo_cache_misses", stats.misses)
+        .finish();
     Ok(SweepReport {
         spec: spec.clone(),
         executed: pending.len(),
         skipped,
         remaining: deferred,
         cells,
-        cache: cache.stats(),
+        cache: stats,
     })
 }
 

@@ -87,6 +87,78 @@ fn events_per_sec(events: u64, wall: Duration) -> f64 {
     }
 }
 
+/// Log target of the engine-level events this module emits.
+const LOG_TARGET: &str = "mpvsim_des";
+
+/// Registry handles for the engine-level metrics, looked up once.
+struct EngineMetrics {
+    replications: mpvsim_obs::Counter,
+    events: mpvsim_obs::Counter,
+    replication_seconds: mpvsim_obs::Histogram,
+}
+
+fn engine_metrics() -> &'static EngineMetrics {
+    static METRICS: std::sync::OnceLock<EngineMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = mpvsim_obs::metrics::global();
+        EngineMetrics {
+            replications: reg.counter("mpvsim_replications_total", "DES replications completed"),
+            events: reg.counter(
+                "mpvsim_sim_events_total",
+                "Simulation events processed across all replications",
+            ),
+            replication_seconds: reg.histogram(
+                "mpvsim_replication_seconds",
+                "Wall-clock time of one DES replication",
+                &mpvsim_obs::metrics::default_latency_buckets(),
+            ),
+        }
+    })
+}
+
+/// Records one finished replication into the global metrics registry
+/// (replication count, event count, wall-time histogram) and emits a
+/// trace-level log line. Called by the experiment runners for every
+/// replication; recording is a few relaxed atomic ops and the log line
+/// is fast-rejected unless `MPVSIM_LOG` asks for `trace`.
+pub fn record_replication(m: &ReplicationMetrics) {
+    let metrics = engine_metrics();
+    metrics.replications.inc();
+    metrics.events.add(m.sim.events_processed);
+    metrics.replication_seconds.observe_duration(m.wall);
+    if mpvsim_obs::log::enabled(mpvsim_obs::Level::Trace, LOG_TARGET) {
+        mpvsim_obs::log::trace(
+            LOG_TARGET,
+            "replication",
+            &[
+                ("rep", m.rep.into()),
+                ("seed", m.seed.into()),
+                ("events", m.sim.events_processed.into()),
+                ("wall_ms", (m.wall.as_secs_f64() * 1e3).into()),
+                ("events_per_sec", m.events_per_sec().into()),
+            ],
+        );
+    }
+}
+
+/// Records a finished experiment: a debug-level log line with the
+/// aggregate events/s. The per-replication counters were already
+/// recorded by [`record_replication`], so this only logs.
+pub fn record_experiment(m: &ExperimentMetrics) {
+    mpvsim_obs::log::debug(
+        LOG_TARGET,
+        "experiment",
+        &[
+            ("reps", m.reps.into()),
+            ("events", m.events_processed.into()),
+            ("wall_ms", (m.wall.as_secs_f64() * 1e3).into()),
+            ("events_per_sec", m.events_per_sec().into()),
+            ("peak_pending_events", m.peak_pending_events.into()),
+            ("peak_event_bytes", m.peak_event_bytes.into()),
+        ],
+    );
+}
+
 /// Lifecycle hooks for a replicated experiment.
 ///
 /// Hooks may be called from worker threads (`on_replication_start`) and
@@ -320,13 +392,21 @@ impl JsonlObserver {
     fn write_line(&self, line: fmt::Arguments<'_>) {
         let mut out = self.out.lock();
         if let Err(e) = out.write_fmt(format_args!("{line}\n")) {
-            eprintln!("[mpvsim] metrics write failed: {e}");
+            mpvsim_obs::log::error(
+                LOG_TARGET,
+                "metrics write failed",
+                &[("error", e.to_string().into())],
+            );
         }
     }
 
     fn flush(&self) {
         if let Err(e) = self.out.lock().flush() {
-            eprintln!("[mpvsim] metrics flush failed: {e}");
+            mpvsim_obs::log::error(
+                LOG_TARGET,
+                "metrics flush failed",
+                &[("error", e.to_string().into())],
+            );
         }
     }
 }

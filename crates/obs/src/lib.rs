@@ -1,0 +1,29 @@
+//! Dependency-free observability layer for the mpvsim workspace.
+//!
+//! Two halves, both std-only:
+//!
+//! - [`metrics`]: a global registry of atomic counters, gauges, and
+//!   log-bucketed histograms with a Prometheus text-format 0.0.4
+//!   exposition writer ([`metrics::Registry::render_prometheus`]).
+//! - [`log`]: structured leveled logging — JSONL or human-readable text
+//!   events with a target, level, message, `key=value` fields, and span
+//!   timing — filtered by an `MPVSIM_LOG` environment spec.
+//!
+//! Everything here is determinism-neutral by construction: metrics are
+//! process-global atomics read only by the exposition writer, and log
+//! lines go to stderr (or a caller-supplied sink). Neither ever feeds
+//! back into simulation state, golden hashes, or stored artifacts —
+//! the same contract PR 4's probes and PR 7's `inbox_dropped` follow.
+//!
+//! Recording can be disabled at runtime ([`metrics::set_enabled`]) so
+//! the perfsuite can measure the overhead of the enabled registry
+//! against the no-op path in a single process.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod log;
+pub mod metrics;
+
+pub use log::{Level, LogFormat, Span};
+pub use metrics::{Counter, Gauge, Histogram, Registry};

@@ -1,0 +1,581 @@
+//! Structured leveled logging: JSONL or human-readable text events with
+//! a target, level, message, and typed `key=value` fields, plus span
+//! timing.
+//!
+//! The logger is process-global and writes to stderr by default (tests
+//! can redirect it into a buffer). Filtering follows the `MPVSIM_LOG`
+//! spec: a comma-separated list of `level` and `target=level`
+//! directives, e.g. `info`, `mpvsim_serve=debug,warn`, where the
+//! longest matching target prefix wins. Unset means `warn`.
+//!
+//! Log output never feeds back into simulation state and is never
+//! written into stores or golden artifacts, so any level/format
+//! combination is trajectory-neutral.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or dropped work: accept failures, worker panics.
+    Error = 1,
+    /// Suspicious but handled.
+    Warn = 2,
+    /// Request/job lifecycle: access log lines, sweep/bounds milestones.
+    Info = 3,
+    /// Per-cell / per-replication detail.
+    Debug = 4,
+    /// Firehose.
+    Trace = 5,
+}
+
+impl Level {
+    /// Lower-case name, as emitted in log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+            Level::Trace => "trace",
+        }
+    }
+
+    /// Parse a level name (case-insensitive). `off` parses to `None`.
+    pub fn parse(s: &str) -> Option<Option<Level>> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Some(Level::Error)),
+            "warn" | "warning" => Some(Some(Level::Warn)),
+            "info" => Some(Some(Level::Info)),
+            "debug" => Some(Some(Level::Debug)),
+            "trace" => Some(Some(Level::Trace)),
+            "off" | "none" => Some(None),
+            _ => None,
+        }
+    }
+}
+
+/// Wire format for emitted lines.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LogFormat {
+    /// Human-readable single line: `ts level target: msg k=v ...`.
+    Text,
+    /// One JSON object per line.
+    Json,
+}
+
+impl LogFormat {
+    /// Parse `json` or `text` (case-insensitive).
+    pub fn parse(s: &str) -> Option<LogFormat> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "text" => Some(LogFormat::Text),
+            "json" | "jsonl" => Some(LogFormat::Json),
+            _ => None,
+        }
+    }
+}
+
+/// A typed field value attached to a log event.
+#[derive(Clone, Debug)]
+pub enum FieldValue {
+    /// String value.
+    Str(String),
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Float.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+enum Sink {
+    Stderr,
+    Buffer(Arc<Mutex<String>>),
+}
+
+struct LoggerInner {
+    /// Level for targets with no matching directive; 0 = off.
+    default_level: usize,
+    /// `(target_prefix, level)` directives; longest matching prefix wins.
+    directives: Vec<(String, usize)>,
+    format: LogFormat,
+    sink: Sink,
+}
+
+fn logger() -> &'static Mutex<LoggerInner> {
+    static LOGGER: OnceLock<Mutex<LoggerInner>> = OnceLock::new();
+    LOGGER.get_or_init(|| {
+        Mutex::new(LoggerInner {
+            default_level: Level::Warn as usize,
+            directives: Vec::new(),
+            format: LogFormat::Text,
+            sink: Sink::Stderr,
+        })
+    })
+}
+
+/// Fast-reject ceiling: the maximum level any directive allows. A log
+/// call above this is dropped with one relaxed load and no lock.
+static MAX_LEVEL: AtomicUsize = AtomicUsize::new(Level::Warn as usize);
+
+fn recompute_max(inner: &LoggerInner) {
+    let max =
+        inner.directives.iter().map(|(_, l)| *l).chain([inner.default_level]).max().unwrap_or(0);
+    MAX_LEVEL.store(max, Ordering::Relaxed);
+}
+
+/// Configure the logger from the environment: `MPVSIM_LOG` (filter
+/// spec, default `warn`) and `MPVSIM_LOG_FORMAT` (`json`/`text`,
+/// default `text`). Unparseable values are ignored. Idempotent;
+/// explicit `set_*` calls afterwards still win.
+pub fn init_from_env() {
+    if let Ok(spec) = std::env::var("MPVSIM_LOG") {
+        set_spec(&spec);
+    }
+    if let Ok(fmt) = std::env::var("MPVSIM_LOG_FORMAT") {
+        if let Some(f) = LogFormat::parse(&fmt) {
+            set_format(f);
+        }
+    }
+}
+
+/// Apply a filter spec: comma-separated `level` (sets the default) and
+/// `target=level` directives. Unknown fragments are ignored. Examples:
+/// `info`, `debug,mpvsim_serve=trace`, `mpvsim_core::sweep=debug`.
+pub fn set_spec(spec: &str) {
+    let mut inner = logger().lock().expect("logger poisoned");
+    inner.directives.clear();
+    for part in spec.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((target, level)) = part.split_once('=') {
+            if let Some(level) = Level::parse(level) {
+                inner
+                    .directives
+                    .push((target.trim().to_string(), level.map(|l| l as usize).unwrap_or(0)));
+            }
+        } else if let Some(level) = Level::parse(part) {
+            inner.default_level = level.map(|l| l as usize).unwrap_or(0);
+        }
+    }
+    recompute_max(&inner);
+}
+
+/// Set the output format.
+pub fn set_format(format: LogFormat) {
+    logger().lock().expect("logger poisoned").format = format;
+}
+
+/// Set the default level for targets without a directive (`None` = off).
+pub fn set_default_level(level: Option<Level>) {
+    let mut inner = logger().lock().expect("logger poisoned");
+    inner.default_level = level.map(|l| l as usize).unwrap_or(0);
+    recompute_max(&inner);
+}
+
+/// Redirect output into a shared buffer (for tests). Returns the buffer.
+pub fn capture_to_buffer() -> Arc<Mutex<String>> {
+    let buf = Arc::new(Mutex::new(String::new()));
+    logger().lock().expect("logger poisoned").sink = Sink::Buffer(Arc::clone(&buf));
+    buf
+}
+
+/// Whether an event at `level` for `target` would be emitted.
+pub fn enabled(level: Level, target: &str) -> bool {
+    if level as usize > MAX_LEVEL.load(Ordering::Relaxed) {
+        return false;
+    }
+    let inner = logger().lock().expect("logger poisoned");
+    level as usize <= effective_level(&inner, target)
+}
+
+fn effective_level(inner: &LoggerInner, target: &str) -> usize {
+    let mut best: Option<(usize, usize)> = None; // (prefix_len, level)
+    for (prefix, lvl) in &inner.directives {
+        if target.starts_with(prefix.as_str()) && best.is_none_or(|(len, _)| prefix.len() > len) {
+            best = Some((prefix.len(), *lvl));
+        }
+    }
+    best.map(|(_, lvl)| lvl).unwrap_or(inner.default_level)
+}
+
+/// Emit one structured event.
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    if level as usize > MAX_LEVEL.load(Ordering::Relaxed) {
+        return;
+    }
+    let ts_ms =
+        SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_millis() as u64).unwrap_or(0);
+    let mut inner = logger().lock().expect("logger poisoned");
+    if level as usize > effective_level(&inner, target) {
+        return;
+    }
+    let line = format_event(inner.format, ts_ms, level, target, msg, fields);
+    match &mut inner.sink {
+        Sink::Stderr => {
+            let stderr = std::io::stderr();
+            let mut handle = stderr.lock();
+            let _ = handle.write_all(line.as_bytes());
+        }
+        Sink::Buffer(buf) => buf.lock().expect("log buffer poisoned").push_str(&line),
+    }
+}
+
+/// Emit at [`Level::Error`].
+pub fn error(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    log(Level::Error, target, msg, fields);
+}
+
+/// Emit at [`Level::Warn`].
+pub fn warn(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// Emit at [`Level::Info`].
+pub fn info(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// Emit at [`Level::Debug`].
+pub fn debug(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    log(Level::Debug, target, msg, fields);
+}
+
+/// Emit at [`Level::Trace`].
+pub fn trace(target: &str, msg: &str, fields: &[(&str, FieldValue)]) {
+    log(Level::Trace, target, msg, fields);
+}
+
+/// Render one event as a single `\n`-terminated line. Pure — exposed so
+/// tests can golden the formats without touching the global sink.
+pub fn format_event(
+    format: LogFormat,
+    ts_ms: u64,
+    level: Level,
+    target: &str,
+    msg: &str,
+    fields: &[(&str, FieldValue)],
+) -> String {
+    let mut out = String::new();
+    match format {
+        LogFormat::Json => {
+            out.push_str("{\"ts_ms\":");
+            let _ = write!(out, "{ts_ms}");
+            out.push_str(",\"level\":\"");
+            out.push_str(level.as_str());
+            out.push_str("\",\"target\":\"");
+            json_escape_into(&mut out, target);
+            out.push_str("\",\"msg\":\"");
+            json_escape_into(&mut out, msg);
+            out.push('"');
+            for (k, v) in fields {
+                out.push_str(",\"");
+                json_escape_into(&mut out, k);
+                out.push_str("\":");
+                match v {
+                    FieldValue::Str(s) => {
+                        out.push('"');
+                        json_escape_into(&mut out, s);
+                        out.push('"');
+                    }
+                    FieldValue::U64(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    FieldValue::I64(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    FieldValue::F64(f) => {
+                        if f.is_finite() {
+                            let _ = write!(out, "{f}");
+                        } else {
+                            let _ = write!(out, "\"{f}\"");
+                        }
+                    }
+                    FieldValue::Bool(b) => {
+                        let _ = write!(out, "{b}");
+                    }
+                }
+            }
+            out.push_str("}\n");
+        }
+        LogFormat::Text => {
+            let _ = write!(out, "[{ts_ms} {} {target}] {msg}", level.as_str());
+            for (k, v) in fields {
+                match v {
+                    FieldValue::Str(s) => {
+                        if s.chars().any(|c| c.is_whitespace() || c == '"') {
+                            let _ = write!(out, " {k}={s:?}");
+                        } else {
+                            let _ = write!(out, " {k}={s}");
+                        }
+                    }
+                    FieldValue::U64(n) => {
+                        let _ = write!(out, " {k}={n}");
+                    }
+                    FieldValue::I64(n) => {
+                        let _ = write!(out, " {k}={n}");
+                    }
+                    FieldValue::F64(f) => {
+                        let _ = write!(out, " {k}={f}");
+                    }
+                    FieldValue::Bool(b) => {
+                        let _ = write!(out, " {k}={b}");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A timed scope. Build with [`Span::start`], attach fields, and call
+/// [`Span::finish`] to emit one event carrying a `duration_ms` field.
+/// Dropping a span without finishing it emits nothing.
+pub struct Span {
+    level: Level,
+    target: String,
+    name: String,
+    start: Instant,
+    fields: Vec<(String, FieldValue)>,
+}
+
+impl Span {
+    /// Start a span; emits at [`Level::Debug`] unless overridden.
+    pub fn start(target: &str, name: &str) -> Span {
+        Span {
+            level: Level::Debug,
+            target: target.to_string(),
+            name: name.to_string(),
+            start: Instant::now(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Override the emit level.
+    pub fn level(mut self, level: Level) -> Span {
+        self.level = level;
+        self
+    }
+
+    /// Attach a field (builder style).
+    pub fn field(mut self, key: &str, value: impl Into<FieldValue>) -> Span {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Attach a field to a span in place.
+    pub fn add_field(&mut self, key: &str, value: impl Into<FieldValue>) {
+        self.fields.push((key.to_string(), value.into()));
+    }
+
+    /// Elapsed time since the span started.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Emit the span event with its `duration_ms` field.
+    pub fn finish(self) {
+        let duration_ms = self.start.elapsed().as_secs_f64() * 1e3;
+        let mut fields: Vec<(&str, FieldValue)> =
+            self.fields.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+        fields.push(("duration_ms", FieldValue::F64(duration_ms)));
+        log(self.level, &self.target, &self.name, &fields);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(Level::parse("INFO"), Some(Some(Level::Info)));
+        assert_eq!(Level::parse("off"), Some(None));
+        assert_eq!(Level::parse("bogus"), None);
+        assert!(Level::Error < Level::Trace);
+    }
+
+    #[test]
+    fn format_parsing() {
+        assert_eq!(LogFormat::parse("JSON"), Some(LogFormat::Json));
+        assert_eq!(LogFormat::parse("text"), Some(LogFormat::Text));
+        assert_eq!(LogFormat::parse("xml"), None);
+    }
+
+    #[test]
+    fn json_event_golden() {
+        let line = format_event(
+            LogFormat::Json,
+            1700000000123,
+            Level::Info,
+            "mpvsim_serve",
+            "request",
+            &[
+                ("method", "POST".into()),
+                ("path", "/v1/runs".into()),
+                ("status", 200u64.into()),
+                ("duration_ms", 1.5.into()),
+                ("cache_hit", true.into()),
+            ],
+        );
+        assert_eq!(
+            line,
+            "{\"ts_ms\":1700000000123,\"level\":\"info\",\"target\":\"mpvsim_serve\",\
+             \"msg\":\"request\",\"method\":\"POST\",\"path\":\"/v1/runs\",\"status\":200,\
+             \"duration_ms\":1.5,\"cache_hit\":true}\n"
+        );
+    }
+
+    #[test]
+    fn json_escaping() {
+        let line = format_event(
+            LogFormat::Json,
+            0,
+            Level::Error,
+            "t",
+            "quote \" slash \\ newline \n ctl \u{1}",
+            &[],
+        );
+        assert!(line.contains("quote \\\" slash \\\\ newline \\n ctl \\u0001"));
+        // The payload must itself be one line.
+        assert_eq!(line.matches('\n').count(), 1);
+    }
+
+    #[test]
+    fn text_event_golden() {
+        let line = format_event(
+            LogFormat::Text,
+            42,
+            Level::Warn,
+            "mpvsim_core::sweep",
+            "cell failed",
+            &[("cell", "fig1/0".into()), ("note", "has space".into()), ("attempt", 2u64.into())],
+        );
+        assert_eq!(
+            line,
+            "[42 warn mpvsim_core::sweep] cell failed cell=fig1/0 note=\"has space\" attempt=2\n"
+        );
+    }
+
+    #[test]
+    fn directive_prefix_matching() {
+        let inner = LoggerInner {
+            default_level: Level::Warn as usize,
+            directives: vec![
+                ("mpvsim_serve".to_string(), Level::Debug as usize),
+                ("mpvsim_core::sweep".to_string(), Level::Trace as usize),
+                ("mpvsim_core".to_string(), 0),
+            ],
+            format: LogFormat::Text,
+            sink: Sink::Stderr,
+        };
+        // Longest prefix wins over the shorter `mpvsim_core` off-switch.
+        assert_eq!(effective_level(&inner, "mpvsim_core::sweep"), Level::Trace as usize);
+        assert_eq!(effective_level(&inner, "mpvsim_core::bounds"), 0);
+        assert_eq!(effective_level(&inner, "mpvsim_serve"), Level::Debug as usize);
+        assert_eq!(effective_level(&inner, "other"), Level::Warn as usize);
+    }
+
+    /// One test owns the global logger (capture + spec + format) so
+    /// parallel test threads never contend over the shared sink.
+    #[test]
+    fn global_logger_end_to_end() {
+        let buf = capture_to_buffer();
+        set_spec("info,quiet_target=off");
+        set_format(LogFormat::Json);
+
+        info("any_target", "hello", &[("n", 1u64.into())]);
+        debug("any_target", "dropped: below default", &[]);
+        error("quiet_target", "dropped: target off", &[]);
+        assert!(!enabled(Level::Debug, "any_target"));
+        assert!(enabled(Level::Info, "any_target"));
+        assert!(!enabled(Level::Error, "quiet_target"));
+
+        let span = Span::start("any_target", "work").level(Level::Info).field("k", "v");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        span.finish();
+
+        set_format(LogFormat::Text);
+        warn("any_target", "textual", &[("q", "quoted str".into())]);
+
+        let text = buf.lock().unwrap().clone();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "unexpected lines: {lines:?}");
+        assert!(lines[0].contains("\"msg\":\"hello\"") && lines[0].contains("\"n\":1"));
+        assert!(lines[1].contains("\"msg\":\"work\"") && lines[1].contains("\"duration_ms\":"));
+        // The span slept 2ms, so duration_ms must be >= 2.
+        let dur: f64 = lines[1]
+            .split("\"duration_ms\":")
+            .nth(1)
+            .and_then(|s| s.trim_end_matches('}').parse().ok())
+            .unwrap();
+        assert!(dur >= 2.0, "span duration {dur} < sleep");
+        assert!(lines[2].contains("warn any_target] textual q=\"quoted str\""));
+    }
+}

@@ -1,0 +1,615 @@
+//! Global metrics registry: atomic counters, gauges, and log-bucketed
+//! histograms with Prometheus text-format 0.0.4 exposition.
+//!
+//! Instruments are cheap cloneable handles over shared atomics. Looking
+//! one up by `(name, labels)` is a locked map operation — do it once at
+//! setup and keep the handle; recording on a handle is a single relaxed
+//! atomic op (plus one relaxed load of the registry's enable flag).
+//!
+//! Determinism: nothing in here is ever read by simulation code. The
+//! registry is write-only from the engine's perspective; the only reader
+//! is [`Registry::render_prometheus`], which serves `GET /v1/metrics`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The process-global registry. All mpvsim crates record here; `mpvsim
+/// serve` exposes it at `GET /v1/metrics`.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Enable or disable recording on the global registry. When off, every
+/// `inc`/`add`/`set`/`observe` on a global-registry handle returns after
+/// a single relaxed load — the no-op path the perfsuite's
+/// `metrics_overhead` column measures against.
+pub fn set_enabled(on: bool) {
+    global().set_recording(on);
+}
+
+/// Whether recording on the global registry is enabled.
+pub fn enabled() -> bool {
+    global().recording()
+}
+
+/// Monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Counter {
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Gauge: a value that can go up and down.
+#[derive(Clone)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+    enabled: Arc<AtomicBool>,
+}
+
+impl Gauge {
+    /// Set to an absolute value.
+    pub fn set(&self, v: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        if self.enabled.load(Ordering::Relaxed) {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+struct HistogramInner {
+    /// Upper bounds of the finite buckets, strictly increasing. An
+    /// implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `len() == bounds.len() + 1`,
+    /// the last slot being the `+Inf` overflow bucket.
+    buckets: Vec<AtomicU64>,
+    /// Sum of observed values, stored as f64 bits (CAS loop on add).
+    sum_bits: AtomicU64,
+    enabled: Arc<AtomicBool>,
+}
+
+/// Histogram with fixed upper-bound buckets (Prometheus `le` semantics:
+/// a bucket counts observations `<=` its bound).
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let inner = &self.0;
+        if !inner.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        // First bucket whose bound is >= v; values above every bound
+        // land in the trailing +Inf slot.
+        let idx = inner.bounds.partition_point(|b| *b < v);
+        inner.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        let mut old = inner.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f64::from_bits(old) + v).to_bits();
+            match inner.sum_bits.compare_exchange_weak(
+                old,
+                new,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(cur) => old = cur,
+            }
+        }
+    }
+
+    /// Record a duration in seconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+
+    /// Cumulative count of observations `<=` each finite bound (same
+    /// order as the constructor's bounds), exposed for tests.
+    pub fn cumulative_buckets(&self) -> Vec<u64> {
+        let mut acc = 0;
+        self.0
+            .bounds
+            .iter()
+            .enumerate()
+            .map(|(i, _)| {
+                acc += self.0.buckets[i].load(Ordering::Relaxed);
+                acc
+            })
+            .collect()
+    }
+}
+
+/// `count` log-spaced bucket bounds starting at `start`, each `factor`
+/// times the previous. Panics if `start <= 0`, `factor <= 1`, or
+/// `count == 0`.
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0 && factor > 1.0 && count > 0, "invalid exponential bucket spec");
+    let mut bounds = Vec::with_capacity(count);
+    let mut b = start;
+    for _ in 0..count {
+        bounds.push(b);
+        b *= factor;
+    }
+    bounds
+}
+
+/// Default latency bucket grid: 100 µs to ~100 s, log-spaced ×4.
+/// Covers everything from a cache-hit HTTP response to a large DES
+/// replication in 11 buckets.
+pub fn default_latency_buckets() -> Vec<f64> {
+    exponential_buckets(1e-4, 4.0, 11)
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+enum Instrument {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+type LabelSet = Vec<(String, String)>;
+
+struct Family {
+    help: String,
+    kind: Kind,
+    series: BTreeMap<LabelSet, Instrument>,
+}
+
+/// A named collection of metric families. Use [`global()`] for the
+/// process-wide registry; fresh registries are for tests.
+pub struct Registry {
+    enabled: Arc<AtomicBool>,
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// Create an empty registry with recording enabled.
+    pub fn new() -> Self {
+        Registry { enabled: Arc::new(AtomicBool::new(true)), families: Mutex::new(BTreeMap::new()) }
+    }
+
+    /// Enable or disable recording for every handle minted from this
+    /// registry (existing and future).
+    pub fn set_recording(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether recording is enabled.
+    pub fn recording(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    fn instrument<F>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        make: F,
+    ) -> Instrument
+    where
+        F: FnOnce(Arc<AtomicBool>) -> Instrument,
+    {
+        assert!(valid_name(name), "invalid metric name: {name:?}");
+        for (k, _) in labels {
+            assert!(valid_name(k), "invalid label name: {k:?}");
+        }
+        let mut key: LabelSet =
+            labels.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect();
+        key.sort();
+        let mut families = self.families.lock().expect("metrics registry poisoned");
+        let family = families.entry(name.to_string()).or_insert_with(|| Family {
+            help: help.to_string(),
+            kind,
+            series: BTreeMap::new(),
+        });
+        assert!(
+            family.kind == kind,
+            "metric {name:?} registered twice with different kinds ({} vs {})",
+            family.kind.as_str(),
+            kind.as_str()
+        );
+        let instrument =
+            family.series.entry(key).or_insert_with(|| make(Arc::clone(&self.enabled)));
+        match instrument {
+            Instrument::Counter(c) => Instrument::Counter(c.clone()),
+            Instrument::Gauge(g) => Instrument::Gauge(g.clone()),
+            Instrument::Histogram(h) => Instrument::Histogram(h.clone()),
+        }
+    }
+
+    /// Counter with no labels.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Counter for one `(name, labels)` series. Repeat lookups return
+    /// handles over the same atomic.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.instrument(name, help, labels, Kind::Counter, |enabled| {
+            Instrument::Counter(Counter { value: Arc::new(AtomicU64::new(0)), enabled })
+        }) {
+            Instrument::Counter(c) => c,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Gauge with no labels.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Gauge for one `(name, labels)` series.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.instrument(name, help, labels, Kind::Gauge, |enabled| {
+            Instrument::Gauge(Gauge { value: Arc::new(AtomicI64::new(0)), enabled })
+        }) {
+            Instrument::Gauge(g) => g,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Histogram with no labels over the given bucket bounds.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
+        self.histogram_with(name, help, &[], bounds)
+    }
+
+    /// Histogram for one `(name, labels)` series. `bounds` must be
+    /// strictly increasing; an implicit `+Inf` bucket is appended. The
+    /// bounds of the first registration of a series win.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing"
+        );
+        match self.instrument(name, help, labels, Kind::Histogram, |enabled| {
+            let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+            Instrument::Histogram(Histogram(Arc::new(HistogramInner {
+                bounds: bounds.to_vec(),
+                buckets,
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+                enabled,
+            })))
+        }) {
+            Instrument::Histogram(h) => h,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Render the whole registry in Prometheus text exposition format
+    /// 0.0.4. Families are ordered by name and series by label set, so
+    /// the output is deterministic given the same recorded values.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        let families = self.families.lock().expect("metrics registry poisoned");
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, instrument) in &family.series {
+                match instrument {
+                    Instrument::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", render_labels(labels, None), c.get());
+                    }
+                    Instrument::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", render_labels(labels, None), g.get());
+                    }
+                    Instrument::Histogram(h) => {
+                        let mut acc = 0u64;
+                        for (i, bound) in h.0.bounds.iter().enumerate() {
+                            acc += h.0.buckets[i].load(Ordering::Relaxed);
+                            let le = format_f64(*bound);
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {acc}",
+                                render_labels(labels, Some(&le))
+                            );
+                        }
+                        acc += h.0.buckets[h.0.bounds.len()].load(Ordering::Relaxed);
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {acc}",
+                            render_labels(labels, Some("+Inf"))
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{} {}",
+                            render_labels(labels, None),
+                            format_f64(h.sum())
+                        );
+                        let _ = writeln!(out, "{name}_count{} {acc}", render_labels(labels, None));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Prometheus metric/label names: `[a-zA-Z_][a-zA-Z0-9_]*` (we skip
+/// `:`, which is reserved for recording rules).
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Render a label set as `{k="v",...}`, with `le` appended last when
+/// given (histogram bucket lines). Empty set with no `le` renders as "".
+fn render_labels(labels: &LabelSet, le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+/// Shortest-round-trip float formatting (Rust's `Display` for f64),
+/// with `+Inf` spelled the Prometheus way.
+fn format_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        return "+Inf".to_string();
+    }
+    format!("{v}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let reg = Registry::new();
+        let c = reg.counter("c_total", "a counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = reg.gauge("g", "a gauge");
+        g.set(7);
+        g.dec();
+        g.add(-2);
+        assert_eq!(g.get(), 4);
+        // Same series → same atomic.
+        let c2 = reg.counter("c_total", "a counter");
+        c2.inc();
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        let reg = Registry::new();
+        let h = reg.histogram("h_seconds", "latency", &[1.0, 2.0, 4.0]);
+        // Exactly on an edge: le is inclusive, so 2.0 lands in the 2.0 bucket.
+        h.observe(2.0);
+        // Below the lowest edge.
+        h.observe(0.5);
+        // Between edges.
+        h.observe(3.0);
+        // Above the highest edge → +Inf only.
+        h.observe(100.0);
+        assert_eq!(h.cumulative_buckets(), vec![1, 2, 3]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 105.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_bucket_grid() {
+        assert_eq!(exponential_buckets(1.0, 2.0, 4), vec![1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(default_latency_buckets().len(), 11);
+    }
+
+    #[test]
+    fn concurrent_counters_are_exact() {
+        let reg = Registry::new();
+        let c = reg.counter("hammer_total", "hammered");
+        let g = reg.gauge("hammer_gauge", "hammered");
+        let h = reg.histogram("hammer_seconds", "hammered", &[0.5]);
+        let threads = 8;
+        let per_thread = 10_000;
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                let c = c.clone();
+                let g = g.clone();
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..per_thread {
+                        c.inc();
+                        g.add(1);
+                        h.observe(if i % 2 == 0 { 0.25 } else { 1.0 });
+                    }
+                });
+            }
+        });
+        let total = (threads * per_thread) as u64;
+        assert_eq!(c.get(), total);
+        assert_eq!(g.get(), total as i64);
+        assert_eq!(h.count(), total);
+        assert_eq!(h.cumulative_buckets(), vec![total / 2]);
+        assert!((h.sum() - (total / 2) as f64 * 1.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn prometheus_exposition_golden() {
+        let reg = Registry::new();
+        let c = reg.counter_with(
+            "mpvsim_http_requests_total",
+            "HTTP requests handled",
+            &[("endpoint", "runs_post"), ("method", "POST")],
+        );
+        c.add(3);
+        reg.counter_with(
+            "mpvsim_http_requests_total",
+            "HTTP requests handled",
+            &[("endpoint", "healthz"), ("method", "GET")],
+        )
+        .inc();
+        let g = reg.gauge("mpvsim_serve_queue_depth", "queued jobs");
+        g.set(2);
+        let h = reg.histogram("mpvsim_http_request_seconds", "request latency", &[0.001, 0.01]);
+        h.observe(0.001);
+        h.observe(0.5);
+        let expected = "\
+# HELP mpvsim_http_request_seconds request latency
+# TYPE mpvsim_http_request_seconds histogram
+mpvsim_http_request_seconds_bucket{le=\"0.001\"} 1
+mpvsim_http_request_seconds_bucket{le=\"0.01\"} 1
+mpvsim_http_request_seconds_bucket{le=\"+Inf\"} 2
+mpvsim_http_request_seconds_sum 0.501
+mpvsim_http_request_seconds_count 2
+# HELP mpvsim_http_requests_total HTTP requests handled
+# TYPE mpvsim_http_requests_total counter
+mpvsim_http_requests_total{endpoint=\"healthz\",method=\"GET\"} 1
+mpvsim_http_requests_total{endpoint=\"runs_post\",method=\"POST\"} 3
+# HELP mpvsim_serve_queue_depth queued jobs
+# TYPE mpvsim_serve_queue_depth gauge
+mpvsim_serve_queue_depth 2
+";
+        assert_eq!(reg.render_prometheus(), expected);
+    }
+
+    #[test]
+    fn label_and_help_escaping() {
+        let reg = Registry::new();
+        reg.counter_with("esc_total", "line1\nline2 back\\slash", &[("k", "a\"b\\c\nd")]).inc();
+        let text = reg.render_prometheus();
+        assert!(text.contains("# HELP esc_total line1\\nline2 back\\\\slash"));
+        assert!(text.contains("esc_total{k=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let reg = Registry::new();
+        let c = reg.counter("noop_total", "noop");
+        let g = reg.gauge("noop_gauge", "noop");
+        let h = reg.histogram("noop_seconds", "noop", &[1.0]);
+        reg.set_recording(false);
+        assert!(!reg.recording());
+        c.inc();
+        g.set(5);
+        h.observe(0.5);
+        reg.set_recording(true);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.count(), 0);
+        c.inc();
+        assert_eq!(c.get(), 1);
+    }
+
+    #[test]
+    fn histogram_sum_is_exact_on_boundary_values() {
+        let reg = Registry::new();
+        let h = reg.histogram("edge_seconds", "edges", &[0.0001, 0.01, 1.0]);
+        h.observe(0.0001); // exactly the lowest bound
+        h.observe(1.0); // exactly the highest bound
+        h.observe(1.0000001); // just above → +Inf
+        assert_eq!(h.cumulative_buckets(), vec![1, 1, 2]);
+        assert_eq!(h.count(), 3);
+    }
+}

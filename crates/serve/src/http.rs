@@ -79,6 +79,11 @@ impl Request {
     pub fn query_flag(&self, name: &str) -> bool {
         self.query.iter().any(|(n, v)| n == name && matches!(v.as_str(), "" | "1" | "true"))
     }
+
+    /// The first value of header `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
 }
 
 fn read_line(stream: &mut impl BufRead) -> Result<String, String> {
@@ -126,6 +131,12 @@ impl Response {
         Response { status, headers: vec![("Content-Type", "application/json".to_owned())], body }
     }
 
+    /// A response with an arbitrary content type (e.g. the Prometheus
+    /// text exposition of `GET /v1/metrics`).
+    pub fn text(status: u16, content_type: impl Into<String>, body: Vec<u8>) -> Self {
+        Response { status, headers: vec![("Content-Type", content_type.into())], body }
+    }
+
     /// Adds a header, builder-style.
     #[must_use]
     pub fn header(mut self, name: &'static str, value: impl Into<String>) -> Self {
@@ -165,20 +176,24 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes the head of a streaming NDJSON response. There is no
-/// `Content-Length`; the body is delimited by connection close, and the
-/// caller writes body bytes directly as they become available.
+/// Writes the head of a streaming NDJSON response, with any `extra`
+/// headers (e.g. the `x-request-id` echo). There is no `Content-Length`;
+/// the body is delimited by connection close, and the caller writes body
+/// bytes directly as they become available.
 ///
 /// # Errors
 ///
 /// Propagates the underlying I/O error.
-pub fn write_stream_head(w: &mut impl Write, status: u16) -> io::Result<()> {
-    write!(
-        w,
-        "HTTP/1.1 {} {}\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
-        status,
-        reason(status)
-    )?;
+pub fn write_stream_head(
+    w: &mut impl Write,
+    status: u16,
+    extra: &[(&str, &str)],
+) -> io::Result<()> {
+    write!(w, "HTTP/1.1 {} {}\r\nContent-Type: application/x-ndjson\r\n", status, reason(status))?;
+    for (name, value) in extra {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(w, "Connection: close\r\n\r\n")?;
     w.flush()
 }
 

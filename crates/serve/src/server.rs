@@ -12,7 +12,8 @@
 //! | `GET /v1/bounds/{hash}` | state (and, when done, the `mpvsim-bounds-report/1`) of one query |
 //! | `GET /v1/bounds/{hash}/events` | NDJSON progress stream of the bounds search |
 //! | `GET /v1/studies` | the study registry (name, kind, title, cell count) |
-//! | `GET /v1/healthz` | liveness plus queue counters |
+//! | `GET /v1/healthz` | liveness, build version, uptime, queue + lifetime job counters |
+//! | `GET /v1/metrics` | Prometheus text exposition of the process-global metrics registry |
 //!
 //! ## Model
 //!
@@ -45,10 +46,10 @@ use std::fs;
 use std::io::{BufReader, Read, Seek, SeekFrom, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mpvsim_core::bounds::{solve_bounds, BoundsOptions, BoundsSpec};
 use mpvsim_core::figures::FigureOptions;
@@ -58,15 +59,23 @@ use mpvsim_core::{
     SweepError, SweepOptions, SweepSpec,
 };
 use mpvsim_des::{JsonlObserver, ObserverHandle};
+use mpvsim_obs::log as obslog;
+use mpvsim_obs::metrics::{default_latency_buckets, global as metrics_registry};
+use mpvsim_obs::{Counter, Gauge};
 
 use crate::http::{write_stream_head, Request, Response};
+
+/// Log target of every event this module emits.
+const LOG_TARGET: &str = "mpvsim_serve";
 
 /// Schema tag of run documents (`POST /v1/runs`, `GET /v1/runs/{hash}`).
 pub const RUN_SCHEMA: &str = "mpvsim-run/1";
 /// Schema tag of structured error documents.
 pub const ERROR_SCHEMA: &str = "mpvsim-error/1";
-/// Schema tag of the health document.
-pub const HEALTH_SCHEMA: &str = "mpvsim-health/1";
+/// Schema tag of the health document. `/2` added `version`,
+/// `uptime_secs`, and the lifetime `completed_total`/`failed_total`
+/// counters to the `/1` liveness + queue shape.
+pub const HEALTH_SCHEMA: &str = "mpvsim-health/2";
 /// Schema tag of the study-directory document.
 pub const STUDIES_SCHEMA: &str = "mpvsim-studies/1";
 /// Schema tag of bounds-query state documents (`POST /v1/bounds`,
@@ -137,6 +146,65 @@ struct Inner {
     queue: Mutex<VecDeque<QueuedRun>>,
     queue_ready: Condvar,
     shutdown: AtomicBool,
+    /// When the server started, for the healthz uptime report.
+    started: Instant,
+    /// Lifetime jobs resolved successfully / unsuccessfully. These back
+    /// the healthz counters directly (they must stay correct even when
+    /// metrics recording is disabled), and mirror into the registry.
+    completed_total: AtomicU64,
+    failed_total: AtomicU64,
+}
+
+/// Registry handles this module records on. Looked up once; recording
+/// afterwards is a relaxed atomic op per event.
+struct ServeMetrics {
+    queue_depth: Gauge,
+    workers_busy: Gauge,
+    accept_errors: Counter,
+    worker_panics: Counter,
+    jobs_completed_runs: Counter,
+    jobs_completed_bounds: Counter,
+    jobs_failed_runs: Counter,
+    jobs_failed_bounds: Counter,
+}
+
+fn serve_metrics() -> &'static ServeMetrics {
+    static METRICS: OnceLock<ServeMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = metrics_registry();
+        let completed = "Jobs resolved successfully since process start";
+        let failed = "Jobs resolved with an error since process start";
+        ServeMetrics {
+            queue_depth: reg
+                .gauge("mpvsim_serve_queue_depth", "Jobs waiting for a simulation worker"),
+            workers_busy: reg
+                .gauge("mpvsim_serve_workers_busy", "Simulation workers currently executing a job"),
+            accept_errors: reg
+                .counter("mpvsim_serve_accept_errors_total", "Listener accept calls that failed"),
+            worker_panics: reg
+                .counter("mpvsim_serve_worker_panics_total", "Jobs that panicked in a worker"),
+            jobs_completed_runs: reg.counter_with(
+                "mpvsim_serve_jobs_completed_total",
+                completed,
+                &[("kind", "run")],
+            ),
+            jobs_completed_bounds: reg.counter_with(
+                "mpvsim_serve_jobs_completed_total",
+                completed,
+                &[("kind", "bounds")],
+            ),
+            jobs_failed_runs: reg.counter_with(
+                "mpvsim_serve_jobs_failed_total",
+                failed,
+                &[("kind", "run")],
+            ),
+            jobs_failed_bounds: reg.counter_with(
+                "mpvsim_serve_jobs_failed_total",
+                failed,
+                &[("kind", "bounds")],
+            ),
+        }
+    })
 }
 
 /// A running server: its bound address plus the accept and worker
@@ -195,7 +263,20 @@ pub fn start(addr: &str, opts: ServeOptions) -> std::io::Result<ServerHandle> {
         queue: Mutex::new(VecDeque::new()),
         queue_ready: Condvar::new(),
         shutdown: AtomicBool::new(false),
+        started: Instant::now(),
+        completed_total: AtomicU64::new(0),
+        failed_total: AtomicU64::new(0),
     });
+    serve_metrics(); // register the serve metric families up front
+    obslog::info(
+        LOG_TARGET,
+        "listening",
+        &[
+            ("addr", addr.to_string().into()),
+            ("workers", workers.into()),
+            ("dir", inner.opts.dir.display().to_string().into()),
+        ],
+    );
     let mut threads = Vec::new();
     for _ in 0..workers {
         let inner = Arc::clone(&inner);
@@ -213,7 +294,14 @@ fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
         if inner.shutdown.load(Ordering::SeqCst) {
             return;
         }
-        let Ok(stream) = stream else { continue };
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(e) => {
+                serve_metrics().accept_errors.inc();
+                obslog::error(LOG_TARGET, "accept failed", &[("error", e.to_string().into())]);
+                continue;
+            }
+        };
         let inner = Arc::clone(inner);
         // Connection handlers are detached: each is short-lived except an
         // events stream, which ends when its run resolves or its client
@@ -233,15 +321,37 @@ fn worker_loop(inner: &Arc<Inner>) {
                     return;
                 }
                 if let Some(job) = queue.pop_front() {
+                    serve_metrics().queue_depth.set(queue.len() as i64);
                     break job;
                 }
                 queue = inner.queue_ready.wait(queue).expect("queue poisoned");
             }
         };
         set_state(inner, &job.key, RunState::Running);
-        let outcome = match &job.job {
+        let metrics = serve_metrics();
+        metrics.workers_busy.inc();
+        let span = obslog::Span::start(LOG_TARGET, "job").field("key", job.key.as_str());
+        // A panicking job must not take its worker thread (and, through a
+        // poisoned queue lock, the whole pool) down with it: unwind here,
+        // record the run as failed, and keep draining the queue.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match &job.job {
             Job::Run { hash, spec } => execute_run(&inner.opts, hash, spec),
             Job::Bounds { spec } => execute_bounds(&inner.opts, spec),
+        }))
+        .unwrap_or_else(|panic| {
+            let message = panic_message(&panic);
+            metrics.worker_panics.inc();
+            obslog::error(
+                LOG_TARGET,
+                "worker panicked",
+                &[("key", job.key.as_str().into()), ("panic", message.as_str().into())],
+            );
+            Err(format!("worker panicked: {message}"))
+        });
+        metrics.workers_busy.dec();
+        let (completed_counter, failed_counter) = match &job.job {
+            Job::Run { .. } => (&metrics.jobs_completed_runs, &metrics.jobs_failed_runs),
+            Job::Bounds { .. } => (&metrics.jobs_completed_bounds, &metrics.jobs_failed_bounds),
         };
         let mut runs = inner.runs.lock().expect("run table poisoned");
         match outcome {
@@ -249,13 +359,35 @@ fn worker_loop(inner: &Arc<Inner>) {
             // is what makes restarts and cache hits equivalent.
             Ok(()) => {
                 runs.remove(&job.key);
+                inner.completed_total.fetch_add(1, Ordering::Relaxed);
+                completed_counter.inc();
+                span.field("outcome", "ok").finish();
             }
             Err(message) => {
+                obslog::error(
+                    LOG_TARGET,
+                    "job failed",
+                    &[("key", job.key.as_str().into()), ("error", message.as_str().into())],
+                );
                 runs.insert(job.key.clone(), RunState::Failed(message));
+                inner.failed_total.fetch_add(1, Ordering::Relaxed);
+                failed_counter.inc();
+                span.field("outcome", "failed").finish();
             }
         }
         drop(runs);
         inner.runs_changed.notify_all();
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -397,35 +529,155 @@ fn safe_hash(hash: &str) -> bool {
     hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit())
 }
 
+/// The client's `x-request-id` when it is sane (printable ASCII, ≤ 64
+/// bytes), else a fresh process-unique id. Echoed on every response and
+/// stamped on the access-log line.
+fn request_id(request: &Request) -> String {
+    if let Some(id) = request.header("x-request-id") {
+        if !id.is_empty() && id.len() <= 64 && id.bytes().all(|b| b.is_ascii_graphic()) {
+            return id.to_owned();
+        }
+    }
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    format!("req-{}-{:06}", std::process::id(), NEXT.fetch_add(1, Ordering::Relaxed))
+}
+
+/// Records the per-endpoint request counter, latency histogram, cache
+/// hit/miss counter, and the access-log line for one handled request.
+fn finish_request(
+    endpoint: &str,
+    method: &str,
+    path: &str,
+    status: u16,
+    elapsed: Duration,
+    request_id: &str,
+    cache: Option<&str>,
+) {
+    let reg = metrics_registry();
+    reg.counter_with(
+        "mpvsim_http_requests_total",
+        "HTTP requests handled",
+        &[("endpoint", endpoint), ("method", method), ("status", &status.to_string())],
+    )
+    .inc();
+    reg.histogram_with(
+        "mpvsim_http_request_seconds",
+        "Wall-clock time from request parse to response written",
+        &[("endpoint", endpoint)],
+        &default_latency_buckets(),
+    )
+    .observe_duration(elapsed);
+    if let Some(result) = cache {
+        reg.counter_with(
+            "mpvsim_serve_cache_total",
+            "Submissions answered from the results store (hit) vs freshly enqueued (miss)",
+            &[("endpoint", endpoint), ("result", result)],
+        )
+        .inc();
+    }
+    let mut fields: Vec<(&str, obslog::FieldValue)> = vec![
+        ("method", method.into()),
+        ("path", path.into()),
+        ("status", u64::from(status).into()),
+        ("duration_ms", (elapsed.as_secs_f64() * 1e3).into()),
+        ("request_id", request_id.into()),
+    ];
+    if let Some(result) = cache {
+        fields.push(("cache", result.into()));
+    }
+    obslog::info(LOG_TARGET, "request", &fields);
+}
+
+/// How a route was completed: a buffered response still to be written,
+/// or a stream that already wrote its own head and body (reporting the
+/// status it sent).
+enum Handled {
+    Full(Response),
+    Streamed(std::io::Result<u16>),
+}
+
 fn serve_connection(inner: &Arc<Inner>, mut stream: TcpStream) -> std::io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let started = Instant::now();
     let mut reader = BufReader::new(stream.try_clone()?);
     let request = match Request::read(&mut reader) {
         Ok(request) => request,
         Err(reason) => {
-            return error_response(400, &ConfigError::malformed(reason)).write(&mut stream);
+            let response = error_response(400, &ConfigError::malformed(reason));
+            let result = response.write(&mut stream);
+            finish_request("malformed", "-", "-", 400, started.elapsed(), "-", None);
+            return result;
         }
     };
+    let id = request_id(&request);
     let path = request.path.trim_matches('/').to_owned();
     let segments: Vec<&str> = path.split('/').collect();
-    match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["v1", "healthz"]) => health(inner).write(&mut stream),
-        ("GET", ["v1", "studies"]) => studies_response().write(&mut stream),
-        ("POST", ["v1", "runs"]) => post_run(inner, &request).write(&mut stream),
-        ("GET", ["v1", "runs", hash]) => get_run(inner, hash).write(&mut stream),
-        ("GET", ["v1", "runs", hash, "events"]) => stream_events(inner, hash, &mut stream),
-        ("POST", ["v1", "bounds"]) => post_bounds(inner, &request).write(&mut stream),
-        ("GET", ["v1", "bounds", hash]) => get_bounds(inner, hash).write(&mut stream),
-        ("GET", ["v1", "bounds", hash, "events"]) => stream_bounds_events(inner, hash, &mut stream),
-        (method, ["v1", "healthz" | "studies"] | ["v1", "runs" | "bounds", ..]) => {
+    let (endpoint, handled) = match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["v1", "healthz"]) => ("healthz", Handled::Full(health(inner))),
+        ("GET", ["v1", "metrics"]) => ("metrics", Handled::Full(metrics_response())),
+        ("GET", ["v1", "studies"]) => ("studies", Handled::Full(studies_response())),
+        ("POST", ["v1", "runs"]) => ("runs_post", Handled::Full(post_run(inner, &request))),
+        ("GET", ["v1", "runs", hash]) => ("runs_get", Handled::Full(get_run(inner, hash))),
+        ("GET", ["v1", "runs", hash, "events"]) => {
+            ("runs_events", Handled::Streamed(stream_events(inner, hash, &mut stream, &id)))
+        }
+        ("POST", ["v1", "bounds"]) => ("bounds_post", Handled::Full(post_bounds(inner, &request))),
+        ("GET", ["v1", "bounds", hash]) => ("bounds_get", Handled::Full(get_bounds(inner, hash))),
+        ("GET", ["v1", "bounds", hash, "events"]) => (
+            "bounds_events",
+            Handled::Streamed(stream_bounds_events(inner, hash, &mut stream, &id)),
+        ),
+        (method, ["v1", "healthz" | "metrics" | "studies"] | ["v1", "runs" | "bounds", ..]) => {
             let error = ConfigError::invalid("method", format!("{method} not allowed here"));
-            error_response(405, &error).write(&mut stream)
+            ("method_not_allowed", Handled::Full(error_response(405, &error)))
         }
         _ => {
             let error = ConfigError::invalid("path", format!("no route for {:?}", request.path));
-            error_response(404, &error).write(&mut stream)
+            ("unrouted", Handled::Full(error_response(404, &error)))
+        }
+    };
+    match handled {
+        Handled::Full(response) => {
+            let response = response.header("x-request-id", id.clone());
+            let status = response.status;
+            let cache = response
+                .headers
+                .iter()
+                .find(|(name, _)| *name == "x-mpvsim-cache")
+                .map(|(_, value)| value.clone());
+            let result = response.write(&mut stream);
+            finish_request(
+                endpoint,
+                &request.method,
+                &request.path,
+                status,
+                started.elapsed(),
+                &id,
+                cache.as_deref(),
+            );
+            result
+        }
+        Handled::Streamed(result) => {
+            let status = *result.as_ref().unwrap_or(&0);
+            finish_request(
+                endpoint,
+                &request.method,
+                &request.path,
+                status,
+                started.elapsed(),
+                &id,
+                None,
+            );
+            result.map(|_| ())
         }
     }
+}
+
+/// `GET /v1/metrics`: the Prometheus text-format 0.0.4 exposition of the
+/// process-global registry.
+fn metrics_response() -> Response {
+    let body = metrics_registry().render_prometheus().into_bytes();
+    Response::text(200, "text/plain; version=0.0.4; charset=utf-8", body)
 }
 
 fn health(inner: &Inner) -> Response {
@@ -433,18 +685,26 @@ fn health(inner: &Inner) -> Response {
     struct HealthDoc {
         schema: &'static str,
         status: &'static str,
+        version: &'static str,
+        uptime_secs: u64,
         queued: usize,
         running: usize,
         failed: usize,
+        completed_total: u64,
+        failed_total: u64,
     }
     let runs = inner.runs.lock().expect("run table poisoned");
     let count = |want: fn(&RunState) -> bool| runs.values().filter(|state| want(state)).count();
     let doc = HealthDoc {
         schema: HEALTH_SCHEMA,
         status: "ok",
+        version: env!("CARGO_PKG_VERSION"),
+        uptime_secs: inner.started.elapsed().as_secs(),
         queued: count(|s| matches!(s, RunState::Queued)),
         running: count(|s| matches!(s, RunState::Running)),
         failed: count(|s| matches!(s, RunState::Failed(_))),
+        completed_total: inner.completed_total.load(Ordering::Relaxed),
+        failed_total: inner.failed_total.load(Ordering::Relaxed),
     };
     Response::json(200, serde_json::to_vec(&doc).expect("health document serializes"))
 }
@@ -522,7 +782,10 @@ fn enqueue(inner: &Inner, key: &str, job: Job) {
     // New jobs and retries of failed ones queue alike.
     runs.insert(key.to_owned(), RunState::Queued);
     drop(runs);
-    inner.queue.lock().expect("queue poisoned").push_back(QueuedRun { key: key.to_owned(), job });
+    let mut queue = inner.queue.lock().expect("queue poisoned");
+    queue.push_back(QueuedRun { key: key.to_owned(), job });
+    serve_metrics().queue_depth.set(queue.len() as i64);
+    drop(queue);
     inner.queue_ready.notify_one();
     inner.runs_changed.notify_all();
 }
@@ -581,15 +844,21 @@ fn get_run(inner: &Inner, hash: &str) -> Response {
 
 /// Streams `progress.jsonl` to the client, tailing it live while the run
 /// executes, and terminates with one server-generated
-/// `{"type":"run",...}` state line.
-fn stream_events(inner: &Inner, hash: &str, stream: &mut TcpStream) -> std::io::Result<()> {
+/// `{"type":"run",...}` state line. Returns the HTTP status it wrote.
+fn stream_events(
+    inner: &Inner,
+    hash: &str,
+    stream: &mut TcpStream,
+    request_id: &str,
+) -> std::io::Result<u16> {
     let known = safe_hash(hash)
         && (load_done(&inner.opts, hash).is_some()
             || inner.runs.lock().expect("run table poisoned").contains_key(hash));
     if !known {
-        return unknown_run(hash).write(stream);
+        let response = unknown_run(hash).header("x-request-id", request_id.to_owned());
+        return response.write(stream).map(|()| response.status);
     }
-    write_stream_head(stream, 200)?;
+    write_stream_head(stream, 200, &[("x-request-id", request_id)])?;
     let path = run_dir(&inner.opts.dir, hash).join("progress.jsonl");
     let mut offset = 0_u64;
     loop {
@@ -610,10 +879,10 @@ fn stream_events(inner: &Inner, hash: &str, stream: &mut TcpStream) -> std::io::
         if let Some(state) = resolved {
             let line = format!("{{\"type\":\"run\",\"hash\":{hash:?},\"state\":{state:?}}}\n");
             stream.write_all(line.as_bytes())?;
-            return stream.flush();
+            return stream.flush().map(|()| 200);
         }
         if inner.shutdown.load(Ordering::SeqCst) {
-            return stream.flush();
+            return stream.flush().map(|()| 200);
         }
         std::thread::sleep(Duration::from_millis(50));
     }
@@ -698,16 +967,22 @@ fn get_bounds(inner: &Inner, hash: &str) -> Response {
 /// Streams the bounds store's deterministic `progress.jsonl` (see
 /// [`mpvsim_core::bounds::ProgressEvent`]) to the client, tailing it
 /// while the search runs, and terminates with one
-/// `{"type":"bounds",...}` state line.
-fn stream_bounds_events(inner: &Inner, hash: &str, stream: &mut TcpStream) -> std::io::Result<()> {
+/// `{"type":"bounds",...}` state line. Returns the HTTP status it wrote.
+fn stream_bounds_events(
+    inner: &Inner,
+    hash: &str,
+    stream: &mut TcpStream,
+    request_id: &str,
+) -> std::io::Result<u16> {
     let key = bounds_key(hash);
     let known = safe_hash(hash)
         && (bounds_report_bytes(&inner.opts, hash).is_some()
             || inner.runs.lock().expect("run table poisoned").contains_key(&key));
     if !known {
-        return unknown_run(hash).write(stream);
+        let response = unknown_run(hash).header("x-request-id", request_id.to_owned());
+        return response.write(stream).map(|()| response.status);
     }
-    write_stream_head(stream, 200)?;
+    write_stream_head(stream, 200, &[("x-request-id", request_id)])?;
     let path = bounds_root(&inner.opts.dir).join(hash).join("progress.jsonl");
     let mut offset = 0_u64;
     loop {
@@ -726,10 +1001,10 @@ fn stream_bounds_events(inner: &Inner, hash: &str, stream: &mut TcpStream) -> st
         if let Some(state) = resolved {
             let line = format!("{{\"type\":\"bounds\",\"hash\":{hash:?},\"state\":{state:?}}}\n");
             stream.write_all(line.as_bytes())?;
-            return stream.flush();
+            return stream.flush().map(|()| 200);
         }
         if inner.shutdown.load(Ordering::SeqCst) {
-            return stream.flush();
+            return stream.flush().map(|()| 200);
         }
         std::thread::sleep(Duration::from_millis(50));
     }

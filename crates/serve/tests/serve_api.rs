@@ -28,12 +28,16 @@ fn serve_api_end_to_end() {
     let handle = start("127.0.0.1:0", opts).expect("bind an ephemeral port");
     let addr = handle.addr().to_string();
 
-    // Liveness.
+    // Liveness, build identity, and the lifetime job counters.
     let health = request(&addr, "GET", "/v1/healthz", None).unwrap();
     assert_eq!(health.status, 200);
     let doc: serde_json::Value = serde_json::from_slice(&health.body).unwrap();
-    assert_eq!(doc["schema"], "mpvsim-health/1");
+    assert_eq!(doc["schema"], "mpvsim-health/2");
     assert_eq!(doc["status"], "ok");
+    assert_eq!(doc["version"].as_str(), Some(env!("CARGO_PKG_VERSION")));
+    assert!(doc["uptime_secs"].as_u64().is_some(), "{doc}");
+    assert_eq!(doc["completed_total"], 0);
+    assert_eq!(doc["failed_total"], 0);
 
     // The study directory lists the whole registry.
     let studies = request(&addr, "GET", "/v1/studies", None).unwrap();
@@ -119,6 +123,13 @@ fn serve_api_end_to_end() {
     }
     assert!(done, "async run never completed");
 
+    // Two jobs actually simulated (the cache hits never enqueued one),
+    // and both show up in the lifetime counter.
+    let health = request(&addr, "GET", "/v1/healthz", None).unwrap();
+    let doc: serde_json::Value = serde_json::from_slice(&health.body).unwrap();
+    assert_eq!(doc["completed_total"], 2, "{doc}");
+    assert_eq!(doc["failed_total"], 0, "{doc}");
+
     // Malformed JSON, unknown fields and invalid scenarios are
     // structured 422s.
     let bad = request(&addr, "POST", "/v1/runs", Some(b"{not json")).unwrap();
@@ -142,6 +153,85 @@ fn serve_api_end_to_end() {
     assert_eq!(request(&addr, "GET", "/v1/runs/not-a-hash", None).unwrap().status, 404);
     assert_eq!(request(&addr, "GET", "/v1/nope", None).unwrap().status, 404);
     assert_eq!(request(&addr, "PUT", "/v1/runs", Some(b"{}")).unwrap().status, 405);
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The exposition and request-tracing contract: every response carries
+/// an `x-request-id` (client-supplied ids echoed, otherwise generated),
+/// and `GET /v1/metrics` renders the process-global registry as
+/// Prometheus text format 0.0.4 with the per-endpoint series the CI
+/// metrics-smoke job greps for.
+#[test]
+fn metrics_and_request_ids() {
+    use std::io::{Read as _, Write as _};
+
+    let dir = std::env::temp_dir().join(format!("mpvsim-serve-metrics-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = ServeOptions { dir: dir.clone(), workers: 1, ..ServeOptions::default() };
+    let handle = start("127.0.0.1:0", opts).expect("bind an ephemeral port");
+    let addr = handle.addr().to_string();
+
+    // A generated request id is echoed on every response.
+    let health = request(&addr, "GET", "/v1/healthz", None).unwrap();
+    let generated = health.header("x-request-id").expect("every response carries a request id");
+    assert!(generated.starts_with("req-"), "generated id, got {generated:?}");
+
+    // A sane client-supplied id is echoed verbatim (the crate client
+    // cannot set custom headers, so speak raw HTTP/1.1).
+    let mut sock = std::net::TcpStream::connect(&addr).unwrap();
+    write!(
+        sock,
+        "GET /v1/healthz HTTP/1.1\r\nhost: {addr}\r\nx-request-id: trace-42\r\nconnection: close\r\n\r\n"
+    )
+    .unwrap();
+    let mut raw = String::new();
+    sock.read_to_string(&mut raw).unwrap();
+    assert!(raw.contains("x-request-id: trace-42"), "client id not echoed:\n{raw}");
+
+    // One miss and one hit populate the cache and endpoint series.
+    let spec = ScenarioSpec::new("serve-metrics", tiny_config()).with_replication(2, 7);
+    let body = spec.canonical_json();
+    let first = request(&addr, "POST", "/v1/runs?wait=1", Some(&body)).unwrap();
+    assert_eq!(first.status, 200, "{}", String::from_utf8_lossy(&first.body));
+    let second = request(&addr, "POST", "/v1/runs?wait=1", Some(&body)).unwrap();
+    assert_eq!(second.header("x-mpvsim-cache"), Some("hit"));
+
+    let metrics = request(&addr, "GET", "/v1/metrics", None).unwrap();
+    assert_eq!(metrics.status, 200);
+    assert_eq!(metrics.header("content-type"), Some("text/plain; version=0.0.4; charset=utf-8"));
+    let text = String::from_utf8(metrics.body).unwrap();
+
+    // Well-formed exposition: every family has a HELP and a TYPE line.
+    assert_eq!(text.matches("# HELP ").count(), text.matches("# TYPE ").count(), "{text}");
+    for series in [
+        "# TYPE mpvsim_http_requests_total counter",
+        "# TYPE mpvsim_http_request_seconds histogram",
+        "# TYPE mpvsim_serve_queue_depth gauge",
+        // Counts are process-global (the other tests in this binary hit
+        // the same registry concurrently), so series presence is the
+        // stable assertion, not exact values.
+        "mpvsim_http_requests_total{endpoint=\"runs_post\",method=\"POST\",status=\"200\"}",
+        "mpvsim_http_request_seconds_bucket{endpoint=\"runs_post\",le=\"+Inf\"}",
+        "mpvsim_http_request_seconds_bucket{endpoint=\"healthz\",le=\"+Inf\"}",
+        "mpvsim_http_request_seconds_sum{endpoint=\"runs_post\"}",
+        "mpvsim_http_request_seconds_count{endpoint=\"runs_post\"}",
+        "mpvsim_serve_cache_total{endpoint=\"runs_post\",result=\"miss\"}",
+        "mpvsim_serve_cache_total{endpoint=\"runs_post\",result=\"hit\"}",
+        "mpvsim_serve_jobs_completed_total{kind=\"run\"}",
+        "mpvsim_serve_worker_panics_total 0",
+    ] {
+        assert!(text.contains(series), "missing {series:?} in exposition:\n{text}");
+    }
+    // The engine-level series flow through the same registry. Counts are
+    // process-global (other tests in this binary also simulate), so only
+    // presence is asserted.
+    for name in
+        ["mpvsim_replications_total", "mpvsim_sim_events_total", "mpvsim_topology_cache_total"]
+    {
+        assert!(text.contains(name), "missing engine series {name:?} in exposition:\n{text}");
+    }
 
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
