@@ -24,9 +24,10 @@ use mpvsim_core::figures::{FigureOptions, LabeledResult};
 use mpvsim_core::studies::{registry, StudyId, StudyKind};
 use mpvsim_core::sweep::{resume_sweep, run_sweep, slugify, SweepOptions, SweepReport, SweepSpec};
 use mpvsim_core::validate::{
-    bless_oracle, bless_study, bless_study_specs, check_oracle, check_study, check_study_specs,
-    fuzz_cases, load_oracle_golden, load_study_golden, load_study_specs, save_oracle_golden,
-    save_study_golden, save_study_specs, study_specs_path, GoldenScale, OracleScale, Variant,
+    bless_oracle, bless_study, bless_study_specs, check_oracle, check_sharded_consistency,
+    check_study, check_study_specs, fuzz_cases, load_oracle_golden, load_study_golden,
+    load_study_specs, save_oracle_golden, save_study_golden, save_study_specs, study_specs_path,
+    GoldenScale, OracleScale, Variant,
 };
 use mpvsim_core::{
     run_scenario_probed, ProbeKind, ProbeOutput, ScenarioConfig, TopologyCache, VirusProfile,
@@ -483,7 +484,7 @@ const VALIDATE_USAGE: &str = "\
 usage: mpvsim validate bless [--dir DIR] [--study NAME]... [--population P]
                              [--reps R] [--seed S]
        mpvsim validate check [--dir DIR] [--study NAME]... [--threads T]
-                             [--no-variants]
+                             [--shards K] [--no-variants]
        mpvsim validate fuzz  [--cases N] [--seed S]
   bless    run the selected studies at golden scale (reference execution) and
            (re)write DIR/<study>.json, the canonical spec set
@@ -491,9 +492,10 @@ usage: mpvsim validate bless [--dir DIR] [--study NAME]... [--population P]
            golden DIR/oracle.json
   check    re-run the selected studies under the single-knob variant matrix
            (binary-heap vs calendar FEL, 1 vs T threads, none vs noop probe)
-           and the differential oracle, and hold the committed spec sets
-           byte-exact (a missing spec set is blessed in place); exit 1 on
-           any drift from the goldens
+           and the differential oracle, hold the committed spec sets
+           byte-exact (a missing spec set is blessed in place), and run the
+           sharded self-consistency tier (shards ∈ {1, K} of the sharded
+           engine must agree bit for bit); exit 1 on any drift
   fuzz     run N deterministic random-scenario invariant checks; exit 1 on
            any violation (failures name their exact replay)
   --dir DIR       golden store directory (default: goldens)
@@ -504,7 +506,9 @@ usage: mpvsim validate bless [--dir DIR] [--study NAME]... [--population P]
   --seed S        bless: master seed of the golden families (default 2007)
                   fuzz: seed of the fuzzing family (default 2007)
   --threads T     thread count of the 'threaded' check variant (default 4)
-  --no-variants   check only the reference execution (fast smoke)
+  --shards K      shard count of the sharded self-consistency tier (default 4)
+  --no-variants   check only the reference execution (fast smoke; also skips
+                  the sharded tier)
   --cases N       fuzz cases to run (default 32)
 ";
 
@@ -552,6 +556,7 @@ fn cmd_validate(args: &[String]) -> i32 {
     let mut scale = GoldenScale::default();
     let mut no_variants = false;
     let mut threads = 4usize;
+    let mut shards = 4usize;
     let mut cases = 32u64;
     let mut fuzz_seed = 2007u64;
     let mut it = rest.iter();
@@ -578,6 +583,9 @@ fn cmd_validate(args: &[String]) -> i32 {
                 }
                 "--threads" if verb == "check" => {
                     threads = number("--threads", value("--threads")?)? as usize;
+                }
+                "--shards" if verb == "check" => {
+                    shards = number("--shards", value("--shards")?)?.max(1) as usize;
                 }
                 "--no-variants" if verb == "check" => no_variants = true,
                 "--cases" if verb == "fuzz" => cases = number("--cases", value("--cases")?)?,
@@ -607,7 +615,7 @@ fn cmd_validate(args: &[String]) -> i32 {
     };
     match verb {
         "bless" => validate_bless(&dir, &selection, &scale),
-        _ => validate_check(&dir, &selection, no_variants, threads),
+        _ => validate_check(&dir, &selection, no_variants, threads, shards),
     }
 }
 
@@ -700,6 +708,7 @@ fn validate_check(
     selection: &ValidateSelection,
     no_variants: bool,
     threads: usize,
+    shards: usize,
 ) -> i32 {
     let variants =
         if no_variants { vec![Variant::reference()] } else { Variant::standard(threads) };
@@ -750,6 +759,16 @@ fn validate_check(
             Ok(mut found) => drifts.append(&mut found),
             Err(e) => {
                 eprintln!("{} specs: {e}", id.name());
+                return 1;
+            }
+        }
+    }
+    if !no_variants && shards > 1 {
+        eprintln!("checking sharded self-consistency (shards 1 vs {shards}) …");
+        match check_sharded_consistency(shards) {
+            Ok(mut found) => drifts.append(&mut found),
+            Err(e) => {
+                eprintln!("sharded: {e}");
                 return 1;
             }
         }
@@ -859,9 +878,11 @@ fn parse_sweep_args(args: &[String], resume: bool) -> Result<SweepArgs, String> 
                 // different probe than the original run adds/omits
                 // telemetry records in the cells completed after the
                 // resume.
-                SharedFlag::Probe | SharedFlag::Fel | SharedFlag::Layout | SharedFlag::Threads => {
-                    sweep.engine = figure.engine
-                }
+                SharedFlag::Probe
+                | SharedFlag::Fel
+                | SharedFlag::Layout
+                | SharedFlag::Threads
+                | SharedFlag::Shards => sweep.engine = figure.engine,
             }
             continue;
         }
@@ -1106,7 +1127,9 @@ fn cmd_bounds(args: &[String]) -> i32 {
     while let Some(flag) = args.next() {
         match apply_shared_flag(flag, &mut || args.next().cloned(), &mut figure) {
             Err(msg) => return bounds_usage_error(&msg),
-            Ok(Some(SharedFlag::Threads | SharedFlag::Fel | SharedFlag::Layout)) => {}
+            Ok(Some(
+                SharedFlag::Threads | SharedFlag::Fel | SharedFlag::Layout | SharedFlag::Shards,
+            )) => {}
             Ok(Some(SharedFlag::Seed)) => seed = Some(figure.master_seed),
             Ok(Some(SharedFlag::Population)) => population = Some(figure.population),
             Ok(Some(SharedFlag::Reps)) => {
@@ -1296,7 +1319,11 @@ fn cmd_serve(args: &[String]) -> i32 {
             // Execution knobs belong to the server; the replication plan
             // (reps/seed/population) belongs to each submitted spec.
             Ok(Some(
-                SharedFlag::Probe | SharedFlag::Fel | SharedFlag::Layout | SharedFlag::Threads,
+                SharedFlag::Probe
+                | SharedFlag::Fel
+                | SharedFlag::Layout
+                | SharedFlag::Threads
+                | SharedFlag::Shards,
             )) => opts.engine = figure.engine,
             Ok(Some(SharedFlag::Reps | SharedFlag::Seed | SharedFlag::Population)) => {
                 eprintln!("{flag} applies per submitted spec, not to the server\n{SERVE_USAGE}");

@@ -47,6 +47,7 @@ const FLAGS: &[(&str, &str, &str)] = &[
     ("--probe", "KIND", "attach a probe to every replication: noop|chain|trace|telemetry"),
     ("--fel", "KIND", "future-event-list backend: binary-heap|calendar (default binary-heap)"),
     ("--layout", "KIND", "per-replication state-array layout: fresh|arena (default fresh)"),
+    ("--shards", "K", "intra-replication shards; 1 = sequential engine (default 1)"),
 ];
 
 /// The usage text generated from the flag table: a one-line synopsis plus
@@ -102,6 +103,8 @@ pub enum SharedFlag {
     Fel,
     /// `--layout KIND` — per-replication state-array layout.
     Layout,
+    /// `--shards K` — intra-replication shard count (1 = sequential).
+    Shards,
 }
 
 /// Applies one shared experiment flag to `opts`, pulling its value from
@@ -132,6 +135,7 @@ pub fn apply_shared_flag(
         "--probe" => SharedFlag::Probe,
         "--fel" => SharedFlag::Fel,
         "--layout" => SharedFlag::Layout,
+        "--shards" => SharedFlag::Shards,
         _ => return Ok(None),
     };
     let value = next().ok_or_else(|| format!("{flag} needs a value"))?;
@@ -165,6 +169,12 @@ pub fn apply_shared_flag(
                     };
                 }
                 SharedFlag::Population => opts.population = parsed as usize,
+                SharedFlag::Shards => {
+                    if parsed == 0 {
+                        return Err("--shards needs at least 1".to_owned());
+                    }
+                    opts.engine.shards = parsed as usize;
+                }
                 SharedFlag::Probe | SharedFlag::Fel | SharedFlag::Layout => {
                     unreachable!("handled above")
                 }

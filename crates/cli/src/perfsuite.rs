@@ -44,12 +44,14 @@ const RUNS: [(FelKind, ProbeKind); 3] = [
 ];
 
 const USAGE: &str = "\
-usage: mpvsim perfsuite [--quick] [--out PATH] [--figure NAME]... [--scale N]... [--reps N] [--seed S] [--threads T] [--population P] [--layout KIND]
+usage: mpvsim perfsuite [--quick] [--out PATH] [--figure NAME]... [--scale N]... [--shards K]... [--reps N] [--seed S] [--threads T] [--population P] [--layout KIND]
   --quick              reduced workload for CI smoke runs (2 reps, population 250)
   --out PATH           output path (default BENCH_<utc-date>.json)
   --figure NAME        run only this workload (repeatable; e.g. fig1_baseline)
   --scale N            also run one Virus 1 baseline replication at population N
                        (repeatable) and report bytes/phone in the scaling section
+  --shards K           shard counts for the fig1-shard workload (repeatable;
+                       default 1 and 8; speedups are reported against K=1)
   --reps N             replications per scenario (default 10)
   --seed S             master seed (default 2007)
   --threads T          worker threads; 0 = auto-detect (default 4)
@@ -64,6 +66,7 @@ struct SuiteOptions {
     only: Vec<String>,
     quick: bool,
     scales: Vec<usize>,
+    shard_counts: Vec<usize>,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String> {
@@ -72,6 +75,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String
     let mut only = Vec::new();
     let mut quick = false;
     let mut scales = Vec::new();
+    let mut shard_counts = Vec::new();
     let mut args = args.peekable();
     while let Some(flag) = args.next() {
         match flag.as_str() {
@@ -94,7 +98,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String
                     format!("unknown layout {v:?} (one of: fresh, arena)\n{USAGE}")
                 })?;
             }
-            "--reps" | "--seed" | "--threads" | "--population" | "--scale" => {
+            "--reps" | "--seed" | "--threads" | "--population" | "--scale" | "--shards" => {
                 let v = args.next().ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))?;
                 let parsed: u64 = v
                     .parse()
@@ -116,6 +120,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String
                         }
                         scales.push(parsed as usize);
                     }
+                    "--shards" => {
+                        if parsed == 0 {
+                            return Err(format!("--shards must be positive\n{USAGE}"));
+                        }
+                        shard_counts.push(parsed as usize);
+                    }
                     _ => unreachable!(),
                 }
             }
@@ -129,7 +139,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<SuiteOptions, String
     if opts.reps == 0 || opts.population == 0 {
         return Err(format!("reps and population must be positive\n{USAGE}"));
     }
-    Ok(SuiteOptions { figure: opts, out, only, quick, scales })
+    if shard_counts.is_empty() {
+        shard_counts = vec![1, 8];
+    }
+    Ok(SuiteOptions { figure: opts, out, only, quick, scales, shard_counts })
 }
 
 /// Observer that accumulates engine counters across one workload run:
@@ -175,6 +188,7 @@ struct Measurement {
     figure: &'static str,
     fel: FelKind,
     probe: ProbeKind,
+    shards: usize,
     curves: usize,
     reps: u64,
     wall_secs: f64,
@@ -208,6 +222,7 @@ fn run_workload(
         figure: study.name(),
         fel,
         probe,
+        shards: base.engine.shards,
         curves: results.len(),
         reps: collector.reps.load(Ordering::Relaxed),
         wall_secs,
@@ -318,11 +333,73 @@ fn run_scale_point(n: usize, base: &FigureOptions) -> Result<ScalePoint, String>
     })
 }
 
+/// One sharded-engine throughput measurement: the fig1-shard workload
+/// (the Virus 1 baseline passed through [`mpvsim_core::shardable`],
+/// which replaces the zero-minimum read delay the conservative barrier
+/// cannot accept) run as a single replication at shard count `shards`.
+struct ShardPoint {
+    shards: usize,
+    wall_secs: f64,
+    events_processed: u64,
+    events_per_sec: f64,
+    peak_pending_events: usize,
+    cut_edges: u64,
+    lookahead_secs: u64,
+    window_rounds: u64,
+    pin_rounds: u64,
+    idle_shard_rounds: u64,
+    cross_shard_messages: u64,
+    final_infected: usize,
+}
+
+/// Runs one sharded replication of the fig1-shard workload. The `K = 1`
+/// point runs the same engine inline, so the events/s ratio against it
+/// isolates what partitioning + the barrier buy (or cost) — on a
+/// single-core box the threaded executor cannot beat 1x wall-clock, so
+/// the report also records `cpu_cores` for the reader.
+fn run_shard_point(shards: usize, base: &FigureOptions) -> Result<ShardPoint, String> {
+    let config = mpvsim_core::ScenarioConfig::baseline(mpvsim_core::VirusProfile::virus1())
+        .with_population(mpvsim_core::PopulationConfig::paper_default(base.population));
+    let config = mpvsim_core::shardable(&config);
+    let started = Instant::now();
+    let outcome = mpvsim_core::run_scenario_sharded(
+        &config,
+        base.master_seed,
+        base.engine.fel,
+        None,
+        shards,
+        None,
+        mpvsim_core::ShardMode::Auto,
+    )
+    .map_err(|e| format!("shards {shards}: {e}"))?;
+    let wall_secs = started.elapsed().as_secs_f64();
+    let t = &outcome.telemetry;
+    Ok(ShardPoint {
+        shards,
+        wall_secs,
+        events_processed: outcome.metrics.events_processed,
+        events_per_sec: if wall_secs > 0.0 {
+            outcome.metrics.events_processed as f64 / wall_secs
+        } else {
+            0.0
+        },
+        peak_pending_events: outcome.metrics.peak_pending_events,
+        cut_edges: t.cut_edges,
+        lookahead_secs: t.lookahead.as_secs(),
+        window_rounds: t.barrier.window_rounds,
+        pin_rounds: t.barrier.pin_rounds,
+        idle_shard_rounds: t.barrier.idle_shard_rounds,
+        cross_shard_messages: t.barrier.cross_shard_messages,
+        final_infected: outcome.result.final_infected,
+    })
+}
+
 fn report(
     suite: &SuiteOptions,
     measurements: &[Measurement],
     metrics_overhead_points: &[MetricsOverheadPoint],
     scale_points: &[ScalePoint],
+    shard_points: &[ShardPoint],
 ) -> serde_json::Value {
     let rows: Vec<serde_json::Value> = measurements
         .iter()
@@ -331,6 +408,7 @@ fn report(
                 "figure": m.figure,
                 "fel": m.fel.label(),
                 "probe": m.probe.name(),
+                "shards": m.shards,
                 "curves": m.curves,
                 "reps_run": m.reps,
                 "wall_secs": m.wall_secs,
@@ -425,12 +503,43 @@ fn report(
         })
         .collect();
 
+    // Sharded-engine throughput: one row per `--shards K`, each paired
+    // with the K=1 row (when present) for the events/s speedup the
+    // sharding acceptance gate reads. Wall-clock speedup above 1x needs
+    // real cores — `cpu_cores` records what this box had.
+    let one_shard = shard_points.iter().find(|p| p.shards == 1);
+    let sharding: Vec<serde_json::Value> = shard_points
+        .iter()
+        .map(|p| {
+            let speedup = one_shard
+                .filter(|base| base.events_per_sec > 0.0)
+                .map(|base| p.events_per_sec / base.events_per_sec);
+            serde_json::json!({
+                "figure": "fig1_shard",
+                "shards": p.shards,
+                "wall_secs": p.wall_secs,
+                "events_processed": p.events_processed,
+                "events_per_sec": p.events_per_sec,
+                "peak_pending_events": p.peak_pending_events,
+                "cut_edges": p.cut_edges,
+                "lookahead_secs": p.lookahead_secs,
+                "window_rounds": p.window_rounds,
+                "pin_rounds": p.pin_rounds,
+                "idle_shard_rounds": p.idle_shard_rounds,
+                "cross_shard_messages": p.cross_shard_messages,
+                "final_infected": p.final_infected,
+                "speedup_vs_one_shard": speedup,
+            })
+        })
+        .collect();
+
     serde_json::json!({
-        "schema": "mpvsim-perfsuite/5",
+        "schema": "mpvsim-perfsuite/6",
         "quick": suite.quick,
         "reps": suite.figure.reps,
         "master_seed": suite.figure.master_seed,
         "threads": suite.figure.engine.threads,
+        "cpu_cores": std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
         "population": suite.figure.population,
         "layout": suite.figure.engine.layout.label(),
         "figures": rows,
@@ -438,6 +547,7 @@ fn report(
         "probe_overhead": probe_overhead,
         "metrics_overhead": metrics_overhead,
         "scaling": scaling,
+        "sharding": sharding,
     })
 }
 
@@ -500,6 +610,35 @@ fn render_scaling_table(points: &[ScalePoint]) -> String {
             p.peak_event_bytes,
             p.bytes_per_phone,
             p.final_infected,
+        );
+    }
+    out
+}
+
+fn render_sharding_table(points: &[ShardPoint]) -> String {
+    let one = points.iter().find(|p| p.shards == 1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>14} {:>12} {:>10} {:>10} {:>12} {:>10}",
+        "shards", "wall s", "events", "events/s", "windows", "cut edges", "x-shard msg", "speedup"
+    );
+    for p in points {
+        let speedup = one.filter(|b| b.events_per_sec > 0.0).map_or_else(
+            || "-".to_owned(),
+            |b| format!("{:.2}", p.events_per_sec / b.events_per_sec),
+        );
+        let _ = writeln!(
+            out,
+            "{:<8} {:>10.2} {:>14} {:>12.0} {:>10} {:>10} {:>12} {:>10}",
+            p.shards,
+            p.wall_secs,
+            p.events_processed,
+            p.events_per_sec,
+            p.window_rounds,
+            p.cut_edges,
+            p.cross_shard_messages,
+            speedup,
         );
     }
     out
@@ -601,11 +740,36 @@ pub fn run(args: &[String]) -> i32 {
         }
     }
 
+    let mut shard_points = Vec::new();
+    for &k in &suite.shard_counts {
+        eprintln!("running fig1-shard point at {k} shard(s) (1 replication, virus 1 shardable)...");
+        match run_shard_point(k, &suite.figure) {
+            Ok(p) => {
+                eprintln!(
+                    "  {:.2} s, {} events, {:.0} events/s, {} window rounds, {} cross-shard msgs",
+                    p.wall_secs,
+                    p.events_processed,
+                    p.events_per_sec,
+                    p.window_rounds,
+                    p.cross_shard_messages,
+                );
+                shard_points.push(p);
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return 1;
+            }
+        }
+    }
+
     print!("{}", render_table(&measurements));
     if !scale_points.is_empty() {
         print!("{}", render_scaling_table(&scale_points));
     }
-    let doc = report(&suite, &measurements, &metrics_overhead_points, &scale_points);
+    if !shard_points.is_empty() {
+        print!("{}", render_sharding_table(&shard_points));
+    }
+    let doc = report(&suite, &measurements, &metrics_overhead_points, &scale_points, &shard_points);
 
     let now = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -644,6 +808,7 @@ mod tests {
         assert!(o.out.is_none());
         assert!(o.only.is_empty());
         assert!(o.scales.is_empty());
+        assert_eq!(o.shard_counts, vec![1, 8], "default shard axis");
         assert_eq!(o.figure.population, 1000);
     }
 
@@ -654,6 +819,14 @@ mod tests {
         assert_eq!(o.figure.engine.layout, mpvsim_core::LayoutKind::Arena);
         assert!(parse(&["--scale", "0"]).is_err());
         assert!(parse(&["--layout", "bogus"]).is_err());
+    }
+
+    #[test]
+    fn shard_count_flags_parse() {
+        let o = parse(&["--shards", "1", "--shards", "4", "--shards", "16"]).unwrap();
+        assert_eq!(o.shard_counts, vec![1, 4, 16]);
+        assert!(parse(&["--shards", "0"]).is_err());
+        assert!(parse(&["--shards", "four"]).is_err());
     }
 
     #[test]
@@ -723,26 +896,48 @@ mod tests {
         assert_eq!(scale.population, 40);
         assert!(scale.resident_state_bytes > 0);
         assert!(scale.bytes_per_phone > 0.0);
+        let shard_one = run_shard_point(1, &base).unwrap();
+        let shard_four = run_shard_point(4, &base).unwrap();
+        assert!(shard_one.events_processed > 0);
+        assert_eq!(
+            shard_one.events_processed, shard_four.events_processed,
+            "the sharded engine is shard-count-invariant"
+        );
+        assert_eq!(shard_one.cut_edges, 0, "one shard cuts nothing");
+        assert!(shard_four.window_rounds > 0, "a multi-shard run opens time windows");
         let suite = SuiteOptions {
             figure: base,
             out: None,
             only: vec!["fig7_blacklist".to_owned()],
             quick: false,
             scales: vec![40],
+            shard_counts: vec![1, 4],
         };
         let overhead_point = run_metrics_overhead(StudyId::Fig7Blacklist, &suite.figure).unwrap();
         assert_eq!(overhead_point.figure, "fig7_blacklist");
         assert!(overhead_point.events_per_sec_off > 0.0);
         assert!(overhead_point.events_per_sec_on > 0.0);
         assert!(mpvsim_obs::metrics::enabled(), "overhead run must restore the registry state");
+        let shard_points = [shard_one, shard_four];
         let doc = report(
             &suite,
             &ms,
             std::slice::from_ref(&overhead_point),
             std::slice::from_ref(&scale),
+            &shard_points,
         );
-        assert_eq!(doc["schema"], "mpvsim-perfsuite/5");
+        assert_eq!(doc["schema"], "mpvsim-perfsuite/6");
         assert_eq!(doc["layout"], "fresh");
+        assert!(doc["cpu_cores"].as_u64().unwrap() >= 1);
+        let sharding = doc["sharding"].as_array().unwrap();
+        assert_eq!(sharding.len(), 2);
+        assert_eq!(sharding[0]["shards"], 1);
+        assert_eq!(sharding[0]["speedup_vs_one_shard"], 1.0);
+        assert_eq!(sharding[1]["shards"], 4);
+        assert!(sharding[1]["speedup_vs_one_shard"].is_number());
+        assert!(sharding[1]["cross_shard_messages"].is_number());
+        assert_eq!(doc["figures"][0]["shards"], 1);
+        assert!(render_sharding_table(&shard_points).contains("speedup"));
         let scaling = doc["scaling"].as_array().unwrap();
         assert_eq!(scaling.len(), 1);
         assert_eq!(scaling[0]["population"], 40);

@@ -53,6 +53,7 @@ pub mod model;
 pub mod probe;
 pub mod response;
 pub mod run;
+pub mod shard;
 pub mod spec;
 pub mod studies;
 pub mod sweep;
@@ -80,6 +81,10 @@ pub use run::{
     run_scenario_with_metrics_fel, AdaptiveResult, EngineOptions, ExperimentPlan, ExperimentResult,
     LayoutKind, RunResult, TopologyCache, TopologyCacheStats, DEFAULT_EVENT_BUDGET,
 };
+pub use shard::{
+    record_shard_telemetry, reject_unshardable, run_scenario_sharded,
+    run_scenario_sharded_configured, ShardLane, ShardMode, ShardOutcome, ShardTelemetry,
+};
 pub use spec::{ScenarioSpec, SCENARIO_SCHEMA};
 pub use studies::{StudyId, StudyInfo, StudyKind};
 pub use sweep::{
@@ -87,9 +92,11 @@ pub use sweep::{
     SweepReport, SweepSpec,
 };
 pub use validate::{
-    bless_oracle, bless_study, bless_study_specs, check_invariants, check_oracle, check_study,
-    check_study_specs, fuzz_case, fuzz_cases, load_study_specs, save_study_specs, study_specs_path,
-    CellGolden, Drift, FuzzFailure, FuzzReport, GoldenScale, InvariantProbe, InvariantReport,
-    OracleGolden, OracleScale, StudyGolden, StudySpecSet, Variant, SPEC_SET_SCHEMA,
+    bless_oracle, bless_study, bless_study_specs, check_invariants, check_oracle,
+    check_sharded_consistency, check_sharded_invariants, check_study, check_study_specs, fuzz_case,
+    fuzz_cases, load_study_specs, save_study_specs, shardable, study_specs_path,
+    trajectory_fingerprint, CellGolden, Drift, FuzzFailure, FuzzReport, GoldenScale,
+    InvariantProbe, InvariantReport, OracleGolden, OracleScale, StudyGolden, StudySpecSet, Variant,
+    SPEC_SET_SCHEMA,
 };
 pub use virus::{BluetoothVector, SendQuota, TargetingStrategy, VirusProfile};

@@ -47,7 +47,7 @@ use mpvsim_des::SimDuration;
 pub use mpvsim_des::engine::DEFAULT_EVENT_BUDGET;
 
 /// Sub-stream label for topology generation (independent of dynamics).
-const TOPOLOGY_STREAM: u64 = 1;
+pub(crate) const TOPOLOGY_STREAM: u64 = 1;
 
 /// One cached network: the generated graph (already in its compressed
 /// sparse-row runtime form) plus the RNG state *after* generation, so
@@ -172,7 +172,7 @@ impl TopologyCache {
 
     /// The network for `(spec, topo_seed)` plus the RNG to continue with,
     /// generating and inserting on first request.
-    fn get_or_generate(
+    pub(crate) fn get_or_generate(
         &self,
         spec: &GraphSpec,
         topo_seed: u64,
@@ -535,11 +535,16 @@ fn run_scenario_inner(
 ///
 /// Every layer that runs replications — [`ExperimentPlan`],
 /// `FigureOptions`, `SweepOptions`, `ServeOptions`, and the CLI's shared
-/// flag parser — carries one of these instead of four parallel fields.
-/// None of the knobs changes a bit of any result: backends share the
-/// deterministic `(time, seq)` event order, probes are read-only, layouts
-/// recycle buffers without touching state, and threads only partition
-/// work.
+/// flag parser — carries one of these instead of five parallel fields.
+/// `fel`, `layout`, `probe` and `threads` never change a bit of any
+/// result: backends share the deterministic `(time, seq)` event order,
+/// probes are read-only, layouts recycle buffers without touching state,
+/// and threads only partition work. `shards` is the one exception:
+/// `shards == 1` runs the legacy sequential engine (bit-compatible with
+/// the committed goldens), while `shards > 1` switches the replication
+/// to the sharded engine in [`crate::shard`], whose per-phone RNG
+/// substreams produce a *different but internally shard-count-invariant*
+/// trajectory (any `shards > 1` value yields byte-identical results).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineOptions {
     /// Future-event-list backend (see [`FelKind`]).
@@ -550,6 +555,10 @@ pub struct EngineOptions {
     pub probe: ProbeKind,
     /// Worker-thread count; must be at least 1.
     pub threads: usize,
+    /// Intra-replication shard count; must be at least 1. Values above 1
+    /// select the sharded engine (see the struct docs for the
+    /// determinism contract).
+    pub shards: usize,
 }
 
 impl Default for EngineOptions {
@@ -559,6 +568,7 @@ impl Default for EngineOptions {
             layout: LayoutKind::Fresh,
             probe: ProbeKind::None,
             threads: 1,
+            shards: 1,
         }
     }
 }
@@ -605,6 +615,20 @@ impl EngineOptions {
     pub fn auto_threads(self) -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         self.with_threads(threads)
+    }
+
+    /// Replaces the intra-replication shard count.
+    ///
+    /// `1` keeps the sequential engine; larger values run each
+    /// replication on the sharded engine (see [`crate::shard`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0`.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        self.shards = shards;
+        self
     }
 }
 
@@ -908,14 +932,25 @@ impl ExperimentPlan {
     ) -> Result<(RunResult, ReplicationMetrics), ConfigError> {
         self.observer.on_replication_start(rep, seed);
         let started = Instant::now();
-        let (result, sim) = run_scenario_configured(
-            config,
-            seed,
-            self.engine.fel,
-            self.topo_cache.as_deref(),
-            self.engine.probe,
-            self.engine.layout,
-        )?;
+        let (result, sim) = if self.engine.shards > 1 {
+            crate::shard::run_scenario_sharded_configured(
+                config,
+                seed,
+                self.engine.fel,
+                self.topo_cache.as_deref(),
+                self.engine.shards,
+                self.engine.probe,
+            )?
+        } else {
+            run_scenario_configured(
+                config,
+                seed,
+                self.engine.fel,
+                self.topo_cache.as_deref(),
+                self.engine.probe,
+                self.engine.layout,
+            )?
+        };
         let metrics = ReplicationMetrics { rep, seed, wall: started.elapsed(), sim };
         mpvsim_des::observe::record_replication(&metrics);
         Ok((result, metrics))

@@ -1,0 +1,1907 @@
+//! Sharded intra-replication execution: one event loop per shard of the
+//! contact graph, synchronized by a conservative time-window barrier.
+//!
+//! ## Architecture
+//!
+//! The CSR contact graph is partitioned with
+//! [`mpvsim_phonenet::Partition::edge_cut`]; each shard owns the phones
+//! of one part and runs the epidemic dynamics for them over a
+//! shard-local [`ShardQueue`]. A coordinator plans lockstep rounds with
+//! [`plan_round`]: either a *pin* (a globally-ordered event — seeding,
+//! sampling, mechanism activation, a patch wave) or a half-open time
+//! *window* `[T, W)` in which every shard processes its local events
+//! with `time < W`. The window is safe because the only cross-shard
+//! interaction is MMS delivery, and a delivered message is read no
+//! earlier than `send time + read_delay.minimum()` — that minimum is
+//! the lookahead `L`, and `W ≤ T + L`, so nothing a shard does inside
+//! the window can affect another shard *within* the same window.
+//! Cross-shard deliveries travel as [`Envelope`]s through a
+//! [`ShardRouter`] and are drained in deterministic `(time, source,
+//! seq)` order at the next barrier.
+//!
+//! ## Determinism contract
+//!
+//! The sharded engine's trajectory is a function of `(config, seed)`
+//! only — **not** of the shard count, the executor (inline or threads),
+//! or the FEL backend. This works because every random draw is tied to
+//! the entity that consumes it: each phone draws from its own
+//! [`derive_stream_seed`]-derived substream (stream [`PHONE_STREAM`])
+//! and the coordinator (seeding, rollout offsets) from
+//! [`COORD_STREAM`], so the draw sequence is independent of event
+//! interleaving across shards. Same-time events order by a canonical
+//! per-event key (`phone id` · `kind`), and the window grid itself
+//! depends only on the global event front and the pin schedule, which
+//! are partition-invariant.
+//!
+//! The flip side: the sharded trajectory is **not** bit-identical to
+//! the sequential engine in [`crate::run_scenario`], which threads one
+//! global RNG through the event order. The equivalence the test tier
+//! enforces is *internal*: `shards = k` must be byte-identical to
+//! `shards = 1` **of this engine** for every `k`, which is what makes
+//! the shard count a pure performance knob. The committed goldens of
+//! the sequential engine are untouched.
+//!
+//! ## What can run sharded
+//!
+//! Mechanisms whose state is confined to the sending phone, its
+//! provider-side rows, or globally-pinned instants all shard cleanly:
+//! contact-list and random-dialing targeting, quotas, monitoring,
+//! blacklisting, signature scan, detection, education and immunization.
+//! Features with *unpartitionable* shared state are rejected up front
+//! with a structured [`ConfigError`]: Bluetooth/mobility (global
+//! proximity field), legitimate traffic and piggybacking (reads of
+//! arbitrary remote phones), finite gateway capacity (one global
+//! transit queue), bounded inboxes (delivery admission would need the
+//! recipient's synchronous answer), and a read-delay distribution with
+//! zero minimum (no lookahead — the barrier would not advance).
+//!
+//! The detectability clock is the one mechanism needing global merge:
+//! shards log virus sightings `(time, source, seq)` and the coordinator
+//! counts them in merged order; the crossing instant is recorded as
+//! `detected_at`, and the mechanism activations are pinned at
+//! `max(detected_at + delay, W_discovery)` — the coordinator can only
+//! *act* on a discovery at the barrier that revealed it, so activations
+//! inside the discovery window are deferred to its end. `W_discovery`
+//! is grid-invariant, so this is the same instant at every shard count.
+
+use std::collections::BTreeMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use mpvsim_des::random::bernoulli;
+use mpvsim_des::seed::derive_stream_seed;
+use mpvsim_des::{
+    plan_round, BarrierStats, Envelope, FelKind, Lookahead, Round, ShardQueue, ShardRouter,
+    SimDuration, SimMetrics, SimTime,
+};
+use mpvsim_phonenet::{AddressSpace, Gateway, Inboxes, Partition, PhoneId, Population};
+use mpvsim_stats::TimeSeries;
+
+use crate::behavior::AcceptanceModel;
+use crate::config::{ConfigError, ScenarioConfig};
+use crate::model::RunStats;
+use crate::probe::{BlockCause, InfectionCause, Milestone, SimProbe};
+use crate::response::ActivationTimes;
+use crate::run::{RunResult, TopologyCache, DEFAULT_EVENT_BUDGET};
+use crate::virus::TargetingStrategy;
+
+/// Sub-stream label for per-phone dynamics draws (stream 0 is the
+/// replication's legacy global stream, 1 the topology stream).
+const PHONE_STREAM: u64 = 2;
+/// Sub-stream label for the coordinator's draws (seed selection,
+/// rollout offsets).
+const COORD_STREAM: u64 = 3;
+
+/// A phone's rolling quota day (mirrors the sequential model).
+const DAY: SimDuration = SimDuration::from_hours(24);
+
+/// Canonical same-time event ranks: reads before sends before reboots.
+/// Two events tie on `(time, key)` only when they are the same
+/// `ReadMessage(phone)` — interchangeable, so the residual heap order
+/// does not matter.
+const KIND_READ: u64 = 0;
+const KIND_SEND: u64 = 1;
+const KIND_REBOOT: u64 = 2;
+
+fn ev_key(phone: u32, kind: u64) -> u64 {
+    (u64::from(phone) << 8) | kind
+}
+
+/// Same-time pin ranks (a pin round executes all pins at one instant in
+/// rank order): seeding first — the `t = 0` sample must see the seed
+/// infection, exactly as the sequential engine's FIFO order does — then
+/// patch waves, mechanism activations, and sampling last.
+const RANK_SEED: u8 = 0;
+const RANK_WAVE: u8 = 1;
+const RANK_SCAN: u8 = 2;
+const RANK_DETECTION: u8 = 3;
+const RANK_ROLLOUT: u8 = 4;
+const RANK_SAMPLE: u8 = 5;
+
+/// Which executor runs the shard loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardMode {
+    /// Inline when a probe is attached, `shards == 1`, or the machine
+    /// has a single core (lockstepping OS threads over one core only
+    /// adds scheduling overhead); threads otherwise. The choice never
+    /// moves a bit — trajectories are executor-invariant.
+    #[default]
+    Auto,
+    /// All shards stepped by one thread in merged `(time, key, shard)`
+    /// order — the reference executor, and the only one that can carry
+    /// a [`SimProbe`] (hooks fire in a single monotone stream).
+    Inline,
+    /// One OS thread per shard, lockstepped by the barrier protocol.
+    Threads,
+}
+
+/// Per-shard lane counters of one sharded run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ShardLane {
+    /// Events this shard's loop processed.
+    pub events: u64,
+    /// High-water mark of the shard-local future-event list.
+    pub peak_len: usize,
+    /// Resident event-payload bytes at that high-water mark.
+    pub peak_event_bytes: usize,
+    /// Envelopes this shard sent to other shards.
+    pub messages_out: u64,
+    /// Envelopes delivered to this shard from other shards.
+    pub messages_in: u64,
+}
+
+/// Synchronization and partition telemetry of one sharded run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTelemetry {
+    /// Shard count the run used (including empty shards).
+    pub shards: usize,
+    /// Contact edges crossing shard boundaries.
+    pub cut_edges: u64,
+    /// The conservative lookahead the window grid used.
+    pub lookahead: SimDuration,
+    /// Barrier round counters.
+    pub barrier: BarrierStats,
+    /// Per-shard lane counters, indexed by shard.
+    pub lanes: Vec<ShardLane>,
+}
+
+impl ShardTelemetry {
+    /// Checks the cross-shard flow invariant: every envelope that left
+    /// a shard entered exactly one other shard, and the router saw all
+    /// of them.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated conservation
+    /// equation.
+    pub fn check_flow(&self) -> Result<(), String> {
+        let out: u64 = self.lanes.iter().map(|l| l.messages_out).sum();
+        let inn: u64 = self.lanes.iter().map(|l| l.messages_in).sum();
+        if out != inn {
+            return Err(format!(
+                "cross-shard flow leak: {out} envelopes left shards, {inn} arrived"
+            ));
+        }
+        if out != self.barrier.cross_shard_messages {
+            return Err(format!(
+                "router count mismatch: shards sent {out}, router routed {}",
+                self.barrier.cross_shard_messages
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Everything one sharded replication produced.
+#[derive(Debug)]
+pub struct ShardOutcome {
+    /// The replication's observable output (same shape as the
+    /// sequential engine's).
+    pub result: RunResult,
+    /// Engine counters; `peak_pending_events` / `peak_event_bytes` are
+    /// the **sum of per-shard peaks** (an upper bound on the true
+    /// global peak, which no single queue witnesses).
+    pub metrics: SimMetrics,
+    /// Partition and barrier telemetry.
+    pub telemetry: ShardTelemetry,
+}
+
+/// Rejects scenario features whose shared state cannot be partitioned
+/// (see the module docs for the reasoning per feature).
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] naming the offending field.
+pub fn reject_unshardable(config: &ScenarioConfig) -> Result<(), ConfigError> {
+    if config.virus.bluetooth.is_some() || config.mobility.is_some() {
+        return Err(ConfigError::invalid(
+            "virus.bluetooth",
+            "the Bluetooth/mobility vector needs the global proximity field; run with shards = 1",
+        ));
+    }
+    if config.behavior.legitimate_mms.is_some() {
+        return Err(ConfigError::invalid(
+            "behavior.legitimate_mms",
+            "legitimate traffic reads arbitrary remote phones; run with shards = 1",
+        ));
+    }
+    if config.virus.piggyback {
+        return Err(ConfigError::invalid(
+            "virus.piggyback",
+            "piggyback sends ride remote deliveries; run with shards = 1",
+        ));
+    }
+    if config.gateway_capacity_per_hour.is_some() {
+        return Err(ConfigError::invalid(
+            "gateway_capacity_per_hour",
+            "finite gateway capacity is one global transit queue; run with shards = 1",
+        ));
+    }
+    if config.inbox_cap.is_some() {
+        return Err(ConfigError::invalid(
+            "inbox_cap",
+            "bounded inboxes need the recipient's synchronous admission answer; run with shards = 1",
+        ));
+    }
+    // Checked last so the error a zero-minimum read delay produces is
+    // the lookahead one (the other rejections are about shared state).
+    Lookahead::new(config.behavior.read_delay.minimum())
+        .map_err(|e| ConfigError::invalid("behavior.read_delay", e.to_string()))?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Worker: one shard's event loop
+// ---------------------------------------------------------------------
+
+/// Per-phone sending-side state (mirror of the sequential model's).
+#[derive(Debug, Clone, Copy)]
+struct Sender {
+    cursor: usize,
+    sent_in_day: u32,
+    day_epoch_start: SimTime,
+    sent_since_reboot: u32,
+    awaiting_reboot: bool,
+    send_scheduled: bool,
+    /// Kept for field parity with the sequential model's sender state;
+    /// only consulted by piggyback sends, which are unshardable.
+    #[allow(dead_code)]
+    next_allowed: SimTime,
+}
+
+impl Sender {
+    fn new() -> Self {
+        Sender {
+            cursor: 0,
+            sent_in_day: 0,
+            day_epoch_start: SimTime::ZERO,
+            sent_since_reboot: 0,
+            awaiting_reboot: false,
+            send_scheduled: false,
+            next_allowed: SimTime::ZERO,
+        }
+    }
+}
+
+/// Shard-local event alphabet. Globally-ordered events (seeding,
+/// sampling, activations, patch waves) are coordinator pins, not queue
+/// entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SEvent {
+    SendAttempt(PhoneId),
+    Reboot(PhoneId),
+    ReadMessage(PhoneId),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendOutcome {
+    Sent,
+    DailyQuota(SimTime),
+    RebootQuota,
+    NoTargets,
+    CannotPropagate,
+}
+
+/// A virus sighting logged for the coordinator's detectability clock:
+/// `(time, sender id, per-sender sequence)` — a globally unique,
+/// totally ordered key.
+type Sighting = (SimTime, u64, u64);
+
+/// A reborrowable, optionally-absent probe handle threaded through the
+/// worker's handlers (the inline executor owns the probe; the threaded
+/// one runs probeless).
+struct ProbeSlot<'a>(Option<&'a mut (dyn SimProbe + 'static)>);
+
+impl ProbeSlot<'_> {
+    fn get(&mut self) -> Option<&mut (dyn SimProbe + 'static)> {
+        match &mut self.0 {
+            Some(p) => Some(&mut **p),
+            None => None,
+        }
+    }
+}
+
+/// The per-shard round command (coordinator → worker).
+struct RoundCmd {
+    /// Cross-shard deliveries that became safe at this barrier, in
+    /// `(time, source, seq)` order.
+    deliveries: Vec<Envelope<u32>>,
+    /// The coordinator's current activation view.
+    activation: ActivationTimes,
+    action: Action,
+}
+
+enum Action {
+    /// Process local events with `time < end`, at most `max_events`.
+    Window { end: SimTime, max_events: u64 },
+    /// Infect these owned phones now (the seed pin).
+    Seed { phones: Vec<u32>, now: SimTime },
+    /// Apply a patch wave: the full wave list is broadcast; each worker
+    /// patches the phones it owns, in list order.
+    Wave { phones: Arc<Vec<u32>>, now: SimTime },
+    /// Report state for a sample pin (no event processing).
+    Report,
+    /// Terminal: return the final report.
+    Finish,
+}
+
+/// The per-shard round reply (worker → coordinator).
+struct RoundReport {
+    front: Option<SimTime>,
+    outbox: Vec<Envelope<u32>>,
+    sightings: Vec<Sighting>,
+    processed: u64,
+    truncated: bool,
+    infected: usize,
+    messages_sent: u64,
+}
+
+/// A worker's end-of-run accounting.
+struct FinalReport {
+    stats: RunStats,
+    infected: usize,
+    resident_state_bytes: usize,
+    events: u64,
+    peak_len: usize,
+    peak_event_bytes: usize,
+    messages_in: u64,
+    messages_out: u64,
+}
+
+/// One shard's complete simulation state. The phone-state arrays
+/// (population, gateway, inboxes) are full-size with global indexing —
+/// rows of non-owned phones are never read or written, so clones stay
+/// disjoint — while the per-sender machinery (quota state, RNG
+/// substreams, sequence counters) is packed per owned phone.
+struct ShardWorker {
+    shard: usize,
+    seed: u64,
+    config: Arc<ScenarioConfig>,
+    partition: Arc<Partition>,
+    population: Population,
+    gateway: Gateway,
+    inboxes: Inboxes,
+    address_space: Option<AddressSpace>,
+    acceptance: AcceptanceModel,
+    senders: Vec<Sender>,
+    /// Lazily-seeded per-phone RNG substreams (local index).
+    rngs: Vec<Option<StdRng>>,
+    /// Per-sender cross-shard envelope counters (local index).
+    env_seq: Vec<u64>,
+    /// Per-sender sighting counters (local index).
+    sight_seq: Vec<u64>,
+    queue: ShardQueue<SEvent>,
+    activation: ActivationTimes,
+    stats: RunStats,
+    outbox: Vec<Envelope<u32>>,
+    sightings: Vec<Sighting>,
+    recipient_buf: Vec<PhoneId>,
+    messages_in: u64,
+    messages_out: u64,
+    events: u64,
+}
+
+/// The lazily-initialized RNG substream of one owned phone. A free
+/// function over the slice so handlers can hold it alongside disjoint
+/// `&mut self` fields.
+fn phone_rng(rngs: &mut [Option<StdRng>], li: usize, master: u64, phone: u32) -> &mut StdRng {
+    rngs[li].get_or_insert_with(|| {
+        StdRng::seed_from_u64(derive_stream_seed(master, u64::from(phone), PHONE_STREAM))
+    })
+}
+
+impl ShardWorker {
+    fn new(
+        shard: usize,
+        config: Arc<ScenarioConfig>,
+        partition: Arc<Partition>,
+        population: Population,
+        fel: FelKind,
+        seed: u64,
+    ) -> Self {
+        let n = population.len();
+        let monitor_window =
+            config.response.monitoring.map(|m| m.window).unwrap_or(SimDuration::from_hours(24));
+        let ring_capacity = match config.response.monitoring {
+            Some(mn) => mn.threshold.saturating_add(1),
+            None => 0,
+        };
+        let gateway = Gateway::with_capacity(n, monitor_window, ring_capacity);
+        let inboxes = Inboxes::with_cap(n, None);
+        let address_space = match config.virus.targeting {
+            TargetingStrategy::RandomDialing { valid_fraction } => Some(AddressSpace::new(
+                u32::try_from(n).expect("population fits u32"),
+                valid_fraction,
+            )),
+            TargetingStrategy::ContactList => None,
+        };
+        let education_scale = config.response.education.map(|e| e.acceptance_scale).unwrap_or(1.0);
+        let acceptance = config.behavior.acceptance.scaled(education_scale);
+        let owned = partition.members(shard).len();
+        ShardWorker {
+            shard,
+            seed,
+            config,
+            partition,
+            population,
+            gateway,
+            inboxes,
+            address_space,
+            acceptance,
+            senders: vec![Sender::new(); owned],
+            rngs: vec![None; owned],
+            env_seq: vec![0; owned],
+            sight_seq: vec![0; owned],
+            queue: ShardQueue::with_kind(fel),
+            activation: ActivationTimes::default(),
+            stats: RunStats::default(),
+            outbox: Vec::new(),
+            sightings: Vec::new(),
+            recipient_buf: Vec::new(),
+            messages_in: 0,
+            messages_out: 0,
+            events: 0,
+        }
+    }
+
+    fn li(&self, phone: PhoneId) -> usize {
+        self.partition.local_index(phone.0)
+    }
+
+    fn schedule(&mut self, time: SimTime, kind: u64, phone: PhoneId, ev: SEvent) {
+        self.queue.schedule(time, ev_key(phone.0, kind), ev);
+    }
+
+    /// Applies the round preamble: the coordinator's activation view
+    /// and the cross-shard deliveries that became safe at this barrier.
+    fn apply_round_prefix(&mut self, deliveries: Vec<Envelope<u32>>, activation: ActivationTimes) {
+        self.activation = activation;
+        for env in deliveries {
+            let r = PhoneId(env.payload);
+            // Unbounded inboxes (enforced by `reject_unshardable`):
+            // admission never fails, so the sender's send-time
+            // `deliveries` count is already correct.
+            let _ = self.inboxes.try_deliver(r);
+            self.messages_in += 1;
+            self.schedule(env.time, KIND_READ, r, SEvent::ReadMessage(r));
+        }
+    }
+
+    fn peek_key(&mut self) -> Option<(SimTime, u64)> {
+        self.queue.peek()
+    }
+
+    /// Pops and handles exactly one event (inline executor).
+    fn step_one(&mut self, probe: &mut ProbeSlot<'_>) {
+        let (t, _k, ev) = self.queue.pop().expect("step_one on empty queue");
+        self.handle(t, ev, probe);
+    }
+
+    /// Processes local events with `time < end`, up to `max_events`.
+    /// Returns `(processed, truncated)`; `truncated` means the cap hit
+    /// with in-window events still pending (budget overrun).
+    fn run_window(
+        &mut self,
+        end: SimTime,
+        max_events: u64,
+        probe: &mut ProbeSlot<'_>,
+    ) -> (u64, bool) {
+        let mut processed = 0u64;
+        while processed < max_events {
+            match self.queue.peek_time() {
+                Some(t) if t < end => {}
+                _ => return (processed, false),
+            }
+            let (t, _k, ev) = self.queue.pop().expect("peeked event present");
+            processed += 1;
+            self.handle(t, ev, probe);
+        }
+        let truncated = matches!(self.queue.peek_time(), Some(t) if t < end);
+        (processed, truncated)
+    }
+
+    fn handle(&mut self, now: SimTime, ev: SEvent, probe: &mut ProbeSlot<'_>) {
+        self.events += 1;
+        match ev {
+            SEvent::SendAttempt(p) => self.on_send_attempt(p, now, probe),
+            SEvent::Reboot(p) => self.on_reboot(p, now, probe),
+            SEvent::ReadMessage(p) => self.on_read_message(p, now, probe),
+        }
+    }
+
+    /// Seed pin: infect the listed owned phones (coordinator already
+    /// drew them from its own stream, in a shard-invariant order).
+    fn apply_seed(&mut self, phones: &[u32], now: SimTime, probe: &mut ProbeSlot<'_>) {
+        for &id in phones {
+            self.on_infection(PhoneId(id), InfectionCause::Seed, now, probe);
+        }
+    }
+
+    /// Patch-wave pin: apply the patch to the owned phones of the
+    /// broadcast wave, preserving the wave's emission order.
+    fn apply_wave(&mut self, phones: &[u32], now: SimTime, probe: &mut ProbeSlot<'_>) {
+        for &id in phones {
+            if self.partition.shard_of(id) != self.shard {
+                continue;
+            }
+            let p = PhoneId(id);
+            let was_infected = self.population.phone(p).is_infected();
+            self.population.phone_mut(p).apply_patch();
+            if let Some(pr) = probe.get() {
+                pr.on_patch_applied(now, p, was_infected);
+            }
+        }
+    }
+
+    fn round_report(&mut self, processed: u64, truncated: bool) -> RoundReport {
+        RoundReport {
+            front: self.queue.peek_time(),
+            outbox: std::mem::take(&mut self.outbox),
+            sightings: std::mem::take(&mut self.sightings),
+            processed,
+            truncated,
+            infected: self.population.infected_count(),
+            messages_sent: self.stats.messages_sent,
+        }
+    }
+
+    fn into_final(self) -> FinalReport {
+        FinalReport {
+            stats: self.stats,
+            infected: self.population.infected_count(),
+            resident_state_bytes: self.population.resident_bytes()
+                + self.inboxes.resident_bytes()
+                + self.gateway.resident_bytes(),
+            events: self.events,
+            peak_len: self.queue.peak_len(),
+            peak_event_bytes: self.queue.peak_resident_bytes(),
+            messages_in: self.messages_in,
+            messages_out: self.messages_out,
+        }
+    }
+
+    // --- handlers: mirrors of the sequential model, with per-phone
+    // --- RNG substreams and envelope routing for remote recipients.
+
+    fn on_infection(
+        &mut self,
+        phone: PhoneId,
+        cause: InfectionCause,
+        now: SimTime,
+        probe: &mut ProbeSlot<'_>,
+    ) {
+        if !self.population.infect(phone) {
+            return; // not susceptible (immunized / already infected / resistant)
+        }
+        if let Some(p) = probe.get() {
+            p.on_infection(now, phone, cause);
+        }
+        let li = self.li(phone);
+        self.senders[li] = Sender::new();
+        self.senders[li].day_epoch_start = now;
+
+        if !self.config.virus.mms_vector {
+            return;
+        }
+        debug_assert!(!self.config.virus.piggyback, "piggyback rejected for sharded runs");
+
+        let gap_spec = self.config.virus.send_gap;
+        let gap = gap_spec.sample(phone_rng(&mut self.rngs, li, self.seed, phone.0));
+        if self.config.virus.global_day_bursts {
+            let elapsed = now.as_secs() % DAY.as_secs();
+            let wait = if elapsed == 0 {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_secs(DAY.as_secs() - elapsed)
+            };
+            self.schedule(now + wait + gap, KIND_SEND, phone, SEvent::SendAttempt(phone));
+        } else {
+            let dormancy = self.config.virus.dormancy;
+            self.schedule(now + dormancy + gap, KIND_SEND, phone, SEvent::SendAttempt(phone));
+        }
+        self.senders[li].send_scheduled = true;
+
+        if self.config.virus.quota.per_reboot.is_some() {
+            let interval = self.config.virus.quota.reboot_interval;
+            let reboot_in = interval.sample(phone_rng(&mut self.rngs, li, self.seed, phone.0));
+            self.schedule(now + reboot_in, KIND_REBOOT, phone, SEvent::Reboot(phone));
+        }
+    }
+
+    fn on_send_attempt(&mut self, phone: PhoneId, now: SimTime, probe: &mut ProbeSlot<'_>) {
+        let li = self.li(phone);
+        self.senders[li].send_scheduled = false;
+        match self.try_send(phone, now, probe) {
+            SendOutcome::CannotPropagate | SendOutcome::NoTargets => {}
+            SendOutcome::DailyQuota(resume) => {
+                self.senders[li].send_scheduled = true;
+                self.schedule(resume, KIND_SEND, phone, SEvent::SendAttempt(phone));
+            }
+            SendOutcome::RebootQuota => {
+                self.senders[li].awaiting_reboot = true;
+            }
+            SendOutcome::Sent => {
+                if self.population.phone(phone).can_propagate() {
+                    let gap_spec = self.config.virus.send_gap;
+                    let mut gap =
+                        gap_spec.sample(phone_rng(&mut self.rngs, li, self.seed, phone.0));
+                    if let Some(mn) = self.config.response.monitoring {
+                        if self.population.phone(phone).is_throttled() {
+                            gap = gap.max(mn.forced_wait);
+                            if let Some(p) = probe.get() {
+                                p.on_throttle_wait(now, phone, mn.forced_wait);
+                            }
+                        }
+                    }
+                    self.senders[li].send_scheduled = true;
+                    self.schedule(now + gap, KIND_SEND, phone, SEvent::SendAttempt(phone));
+                }
+            }
+        }
+    }
+
+    fn try_send(&mut self, phone: PhoneId, now: SimTime, probe: &mut ProbeSlot<'_>) -> SendOutcome {
+        if !self.population.phone(phone).can_propagate() {
+            return SendOutcome::CannotPropagate;
+        }
+        let li = self.li(phone);
+
+        {
+            let global_bursts = self.config.virus.global_day_bursts;
+            let sender = &mut self.senders[li];
+            if global_bursts {
+                let boundary = SimTime::from_secs(now.as_secs() - now.as_secs() % DAY.as_secs());
+                if boundary > sender.day_epoch_start {
+                    sender.day_epoch_start = boundary;
+                    sender.sent_in_day = 0;
+                }
+            } else {
+                while now >= sender.day_epoch_start + DAY {
+                    sender.day_epoch_start += DAY;
+                    sender.sent_in_day = 0;
+                }
+            }
+        }
+
+        if let Some(limit) = self.config.virus.quota.per_day {
+            let sender = &self.senders[li];
+            if sender.sent_in_day >= limit {
+                return SendOutcome::DailyQuota(sender.day_epoch_start + DAY);
+            }
+        }
+        if let Some(limit) = self.config.virus.quota.per_reboot {
+            if self.senders[li].sent_since_reboot >= limit {
+                return SendOutcome::RebootQuota;
+            }
+        }
+
+        let have_message = match self.config.virus.targeting {
+            TargetingStrategy::ContactList => {
+                let contacts = self.population.contacts(phone);
+                if contacts.is_empty() {
+                    return SendOutcome::NoTargets;
+                }
+                let len = contacts.len();
+                let k = (self.config.virus.recipients_per_message as usize).min(len);
+                let start = self.senders[li].cursor % len;
+                self.senders[li].cursor = (start + k) % len;
+                self.recipient_buf.clear();
+                self.recipient_buf.extend((0..k).map(|i| PhoneId(contacts[(start + i) % len])));
+                true
+            }
+            TargetingStrategy::RandomDialing { .. } => {
+                let space = self.address_space.expect("address space built for random dialing");
+                match space.dial_random(phone_rng(&mut self.rngs, li, self.seed, phone.0)) {
+                    Some(target) => {
+                        self.recipient_buf.clear();
+                        self.recipient_buf.push(target);
+                        true
+                    }
+                    None => {
+                        self.stats.invalid_dials += 1;
+                        false
+                    }
+                }
+            }
+        };
+
+        {
+            let sender = &mut self.senders[li];
+            sender.sent_in_day += 1;
+            sender.sent_since_reboot += 1;
+        }
+        self.stats.messages_sent += 1;
+        self.senders[li].next_allowed = now + self.config.virus.send_gap.minimum();
+        if let Some(p) = probe.get() {
+            let fanout = if have_message { self.recipient_buf.len() as u32 } else { 0 };
+            p.on_message_sent(now, phone, fanout);
+        }
+
+        let recipients = std::mem::take(&mut self.recipient_buf);
+        self.gateway_process(phone, have_message.then_some(recipients.as_slice()), now, probe);
+        self.recipient_buf = recipients;
+        SendOutcome::Sent
+    }
+
+    fn note_outgoing_for_monitoring(
+        &mut self,
+        phone: PhoneId,
+        now: SimTime,
+        probe: &mut ProbeSlot<'_>,
+    ) {
+        let in_window = self.gateway.record_outgoing(phone, now);
+        if let Some(mn) = self.config.response.monitoring {
+            if in_window > mn.threshold as usize && !self.population.phone(phone).is_throttled() {
+                self.population.phone_mut(phone).throttle();
+                self.stats.throttled_phones += 1;
+                let false_positive = !self.population.phone(phone).is_infected();
+                if false_positive {
+                    self.stats.false_positive_throttles += 1;
+                }
+                if let Some(p) = probe.get() {
+                    p.on_throttled(now, phone, false_positive);
+                }
+            }
+        }
+    }
+
+    fn gateway_process(
+        &mut self,
+        sender: PhoneId,
+        recipients: Option<&[PhoneId]>,
+        now: SimTime,
+        probe: &mut ProbeSlot<'_>,
+    ) {
+        self.note_outgoing_for_monitoring(sender, now, probe);
+
+        let suspected = self.gateway.record_suspected(sender);
+        if let Some(b) = self.config.response.blacklist {
+            if suspected > b.threshold {
+                if !self.population.phone(sender).is_blacklisted() {
+                    self.population.phone_mut(sender).blacklist();
+                    self.stats.blacklisted_phones += 1;
+                    if let Some(p) = probe.get() {
+                        p.on_blacklisted(now, sender);
+                    }
+                }
+                self.stats.blocked_by_blacklist += 1;
+                if let Some(p) = probe.get() {
+                    p.on_message_blocked(now, sender, BlockCause::Blacklist);
+                }
+                return;
+            }
+        }
+
+        // Detectability clock: log the sighting for the coordinator's
+        // global merge. The worker's `detected_at` view lags a barrier
+        // behind the truth, but the coordinator counts in merged order
+        // and discards the surplus, so the crossing is shard-invariant.
+        if self.activation.detected_at.is_none() {
+            let sli = self.li(sender);
+            let seq = self.sight_seq[sli];
+            self.sight_seq[sli] += 1;
+            self.sightings.push((now, u64::from(sender.0), seq));
+        }
+
+        if let Some(at) = self.activation.scan_active_at {
+            if now >= at {
+                self.stats.blocked_by_scan += 1;
+                if let Some(p) = probe.get() {
+                    p.on_message_blocked(now, sender, BlockCause::Scan);
+                }
+                return;
+            }
+        }
+
+        if let Some(d) = self.config.response.detection {
+            if let Some(at) = self.activation.detection_active_at {
+                let sli = self.li(sender);
+                if now >= at
+                    && bernoulli(phone_rng(&mut self.rngs, sli, self.seed, sender.0), d.accuracy)
+                {
+                    self.stats.blocked_by_detection += 1;
+                    if let Some(p) = probe.get() {
+                        p.on_message_blocked(now, sender, BlockCause::Detection);
+                    }
+                    return;
+                }
+            }
+        }
+
+        let Some(recipients) = recipients else {
+            return; // unassigned number: nothing to deliver
+        };
+        let sli = self.li(sender);
+        let read_delay = self.config.behavior.read_delay;
+        for &r in recipients {
+            self.stats.deliveries += 1;
+            if let Some(p) = probe.get() {
+                p.on_message_delivered(now, sender, r);
+            }
+            // The read delay is drawn from the *sender's* stream at
+            // send time, in recipient order — identical draws whether
+            // the recipient is local or remote, so the partition never
+            // shifts a sequence.
+            let read_in = read_delay.sample(phone_rng(&mut self.rngs, sli, self.seed, sender.0));
+            let t_read = now + read_in;
+            if self.partition.shard_of(r.0) == self.shard {
+                let _ = self.inboxes.try_deliver(r);
+                self.schedule(t_read, KIND_READ, r, SEvent::ReadMessage(r));
+            } else {
+                // `t_read ≥ now + lookahead ≥ window end`: the envelope
+                // is always drained at a barrier before its read fires.
+                let seq = self.env_seq[sli];
+                self.env_seq[sli] += 1;
+                self.outbox.push(Envelope {
+                    time: t_read,
+                    source: u64::from(sender.0),
+                    seq,
+                    payload: r.0,
+                });
+                self.messages_out += 1;
+            }
+        }
+    }
+
+    fn on_read_message(&mut self, phone: PhoneId, now: SimTime, probe: &mut ProbeSlot<'_>) {
+        self.stats.reads += 1;
+        self.inboxes.read(phone);
+        if let Some(p) = probe.get() {
+            p.on_message_read(now, phone);
+        }
+        let n = self.population.phone_mut(phone).record_infected_message();
+        let prob = self.acceptance.prob_accept(n);
+        let li = self.li(phone);
+        if bernoulli(phone_rng(&mut self.rngs, li, self.seed, phone.0), prob) {
+            self.stats.acceptances += 1;
+            if let Some(p) = probe.get() {
+                p.on_message_accepted(now, phone);
+            }
+            self.on_infection(phone, InfectionCause::Mms, now, probe);
+        }
+    }
+
+    fn on_reboot(&mut self, phone: PhoneId, now: SimTime, probe: &mut ProbeSlot<'_>) {
+        if !self.population.phone(phone).can_propagate() {
+            return; // the reboot cycle dies with the propagation
+        }
+        let li = self.li(phone);
+        {
+            let sender = &mut self.senders[li];
+            sender.sent_since_reboot = 0;
+            if sender.awaiting_reboot && !sender.send_scheduled {
+                sender.awaiting_reboot = false;
+                sender.send_scheduled = true;
+            } else {
+                sender.awaiting_reboot = false;
+                let interval = self.config.virus.quota.reboot_interval;
+                let next = interval.sample(phone_rng(&mut self.rngs, li, self.seed, phone.0));
+                self.schedule(now + next, KIND_REBOOT, phone, SEvent::Reboot(phone));
+                return;
+            }
+        }
+        self.schedule(now, KIND_SEND, phone, SEvent::SendAttempt(phone));
+        let interval = self.config.virus.quota.reboot_interval;
+        let next = interval.sample(phone_rng(&mut self.rngs, li, self.seed, phone.0));
+        self.schedule(now + next, KIND_REBOOT, phone, SEvent::Reboot(phone));
+        let _ = probe;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Executors: inline merged-order and one-thread-per-shard
+// ---------------------------------------------------------------------
+
+enum Reply {
+    Round(RoundReport),
+    Final(Box<FinalReport>),
+}
+
+struct ThreadLane {
+    tx: mpsc::Sender<RoundCmd>,
+    rx: mpsc::Receiver<Reply>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+fn worker_loop(mut w: ShardWorker, rx: mpsc::Receiver<RoundCmd>, tx: mpsc::Sender<Reply>) {
+    let mut probe = ProbeSlot(None);
+    while let Ok(cmd) = rx.recv() {
+        w.apply_round_prefix(cmd.deliveries, cmd.activation);
+        let reply = match cmd.action {
+            Action::Window { end, max_events } => {
+                let (p, trunc) = w.run_window(end, max_events, &mut probe);
+                Reply::Round(w.round_report(p, trunc))
+            }
+            Action::Seed { phones, now } => {
+                w.apply_seed(&phones, now, &mut probe);
+                Reply::Round(w.round_report(0, false))
+            }
+            Action::Wave { phones, now } => {
+                w.apply_wave(&phones, now, &mut probe);
+                Reply::Round(w.round_report(0, false))
+            }
+            Action::Report => Reply::Round(w.round_report(0, false)),
+            Action::Finish => {
+                let _ = tx.send(Reply::Final(Box::new(w.into_final())));
+                return;
+            }
+        };
+        if tx.send(reply).is_err() {
+            return;
+        }
+    }
+}
+
+/// The shard executor. Both variants implement the identical round
+/// protocol; the inline one steps all shards from one thread in merged
+/// global `(time, key, shard)` order (and is the only one that can
+/// carry a probe), the threaded one runs each shard's loop on its own
+/// OS thread in lockstep.
+enum Pool {
+    Inline { workers: Vec<ShardWorker>, probe: Option<Box<dyn SimProbe>> },
+    Threads { lanes: Vec<ThreadLane> },
+}
+
+impl Pool {
+    fn spawn_threads(workers: Vec<ShardWorker>) -> Pool {
+        let lanes = workers
+            .into_iter()
+            .map(|w| {
+                let (tx, crx) = mpsc::channel::<RoundCmd>();
+                let (rtx, rx) = mpsc::channel::<Reply>();
+                let handle = std::thread::spawn(move || worker_loop(w, crx, rtx));
+                ThreadLane { tx, rx, handle: Some(handle) }
+            })
+            .collect();
+        Pool::Threads { lanes }
+    }
+
+    fn round(&mut self, cmds: Vec<RoundCmd>) -> Vec<RoundReport> {
+        match self {
+            Pool::Inline { workers, probe } => {
+                let mut actions = Vec::with_capacity(cmds.len());
+                for (w, cmd) in workers.iter_mut().zip(cmds) {
+                    w.apply_round_prefix(cmd.deliveries, cmd.activation);
+                    actions.push(cmd.action);
+                }
+                if let Some(&Action::Window { end, max_events }) = actions.first() {
+                    // Merged execution: always step the globally-earliest
+                    // pending event, so a probe observes one monotone
+                    // stream — exactly the order a single queue holding
+                    // every shard's events would pop. `max_events` caps
+                    // the round globally (the budget check).
+                    let mut processed = vec![0u64; workers.len()];
+                    let mut total = 0u64;
+                    while total < max_events {
+                        let mut best: Option<(SimTime, u64, usize)> = None;
+                        for (i, w) in workers.iter_mut().enumerate() {
+                            if let Some((t, k)) = w.peek_key() {
+                                if t < end {
+                                    let cand = (t, k, i);
+                                    if best.is_none_or(|b| cand < b) {
+                                        best = Some(cand);
+                                    }
+                                }
+                            }
+                        }
+                        let Some((_, _, i)) = best else { break };
+                        let mut slot = ProbeSlot(probe.as_deref_mut());
+                        workers[i].step_one(&mut slot);
+                        processed[i] += 1;
+                        total += 1;
+                    }
+                    workers
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, w)| {
+                            let trunc = total >= max_events
+                                && matches!(w.peek_key(), Some((t, _)) if t < end);
+                            w.round_report(processed[i], trunc)
+                        })
+                        .collect()
+                } else {
+                    workers
+                        .iter_mut()
+                        .zip(actions)
+                        .map(|(w, a)| {
+                            let mut slot = ProbeSlot(probe.as_deref_mut());
+                            match a {
+                                Action::Seed { phones, now } => {
+                                    w.apply_seed(&phones, now, &mut slot)
+                                }
+                                Action::Wave { phones, now } => {
+                                    w.apply_wave(&phones, now, &mut slot)
+                                }
+                                Action::Report => {}
+                                Action::Window { .. } | Action::Finish => {
+                                    unreachable!("finish goes through Pool::finish")
+                                }
+                            }
+                            w.round_report(0, false)
+                        })
+                        .collect()
+                }
+            }
+            Pool::Threads { lanes } => {
+                for (lane, cmd) in lanes.iter().zip(cmds) {
+                    lane.tx.send(cmd).expect("shard worker thread alive");
+                }
+                lanes
+                    .iter()
+                    .map(|lane| match lane.rx.recv().expect("shard worker replies") {
+                        Reply::Round(r) => r,
+                        Reply::Final(_) => unreachable!("final reply outside Pool::finish"),
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Fires a milestone on the probe, if one is attached (inline only;
+    /// the threaded executor is always probeless).
+    fn milestone(&mut self, now: SimTime, m: Milestone) {
+        if let Pool::Inline { probe: Some(p), .. } = self {
+            p.on_milestone(now, m);
+        }
+    }
+
+    fn finish(self, cmds: Vec<RoundCmd>) -> (Vec<FinalReport>, Option<crate::probe::ProbeOutput>) {
+        match self {
+            Pool::Inline { mut workers, probe } => {
+                for (w, cmd) in workers.iter_mut().zip(cmds) {
+                    w.apply_round_prefix(cmd.deliveries, cmd.activation);
+                }
+                let finals = workers.into_iter().map(ShardWorker::into_final).collect();
+                (finals, probe.and_then(|p| p.into_output()))
+            }
+            Pool::Threads { mut lanes } => {
+                for (lane, cmd) in lanes.iter().zip(cmds) {
+                    lane.tx.send(cmd).expect("shard worker thread alive");
+                }
+                let finals = lanes
+                    .iter()
+                    .map(|lane| match lane.rx.recv().expect("shard worker final reply") {
+                        Reply::Final(f) => *f,
+                        Reply::Round(_) => unreachable!("round reply to the final command"),
+                    })
+                    .collect();
+                for lane in &mut lanes {
+                    if let Some(h) = lane.handle.take() {
+                        let _ = h.join();
+                    }
+                }
+                (finals, None)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Coordinator: pins, windows, detection merge, rollout
+// ---------------------------------------------------------------------
+
+/// A globally-ordered instant the coordinator executes between windows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pin {
+    Seed,
+    Sample,
+    ScanActive,
+    DetectionActive,
+    RolloutStart,
+    Wave(usize),
+}
+
+fn min_time(a: Option<SimTime>, b: Option<SimTime>) -> Option<SimTime> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
+struct Coordinator {
+    config: Arc<ScenarioConfig>,
+    partition: Arc<Partition>,
+    /// The coordinator's own population clone: seeding exclusion and
+    /// HubsFirst degrees only — it never tracks the epidemic.
+    population: Population,
+    rng: StdRng,
+    router: ShardRouter<u32>,
+    /// Pending pins keyed `(time, rank, insertion)`: the BTreeMap *is*
+    /// the pin schedule's total order.
+    pins: BTreeMap<(SimTime, u8, u32), Pin>,
+    uniq: u32,
+    fronts: Vec<Option<SimTime>>,
+    activation: ActivationTimes,
+    series: TimeSeries,
+    traffic: TimeSeries,
+    /// Virus sightings counted toward `detect_threshold` so far.
+    observed: u64,
+    patch_waves: Vec<Arc<Vec<u32>>>,
+    barrier: BarrierStats,
+    processed_total: u64,
+    budget: u64,
+    horizon_end: SimTime,
+    lookahead: Lookahead,
+    seed: u64,
+}
+
+impl Coordinator {
+    fn push_pin(&mut self, at: SimTime, rank: u8, pin: Pin) {
+        let key = (at, rank, self.uniq);
+        self.uniq += 1;
+        self.pins.insert(key, pin);
+    }
+
+    /// Pins `pin` at `raw`, deferred to `floor` (the barrier that
+    /// revealed the triggering discovery) if `raw` precedes it, and
+    /// dropped entirely past the horizon (the legacy engine's
+    /// never-fired FEL entries).
+    fn pin_at_least(&mut self, raw: SimTime, floor: SimTime, rank: u8, pin: Pin) {
+        let at = raw.max(floor);
+        if at <= self.horizon_end {
+            self.push_pin(at, rank, pin);
+        }
+    }
+
+    fn budget_error(&self, now: SimTime) -> ConfigError {
+        ConfigError::run(format!(
+            "seed {}: event budget {} exceeded at simulated time {now} (raise event_budget or shrink the scenario)",
+            self.seed, self.budget
+        ))
+    }
+
+    /// One command per shard for the next round, draining each shard's
+    /// safe cross-shard deliveries and carrying the activation view.
+    fn cmds_with(&mut self, mut action: impl FnMut(usize) -> Action) -> Vec<RoundCmd> {
+        let shards = self.partition.shard_count();
+        (0..shards)
+            .map(|i| RoundCmd {
+                deliveries: self.router.drain(i),
+                activation: self.activation,
+                action: action(i),
+            })
+            .collect()
+    }
+
+    /// Folds a pin round's reports back in (fronts and any routed
+    /// envelopes; pin rounds cannot log sightings).
+    fn absorb_pin_reports(&mut self, reports: Vec<RoundReport>) {
+        for (i, r) in reports.into_iter().enumerate() {
+            self.fronts[i] = r.front;
+            for env in r.outbox {
+                let dest = self.partition.shard_of(env.payload);
+                self.router.send(dest, env);
+            }
+            debug_assert!(r.sightings.is_empty(), "pin rounds log no sightings");
+        }
+    }
+
+    fn run(&mut self, pool: &mut Pool) -> Result<(), ConfigError> {
+        self.push_pin(SimTime::ZERO, RANK_SEED, Pin::Seed);
+        self.push_pin(SimTime::ZERO, RANK_SAMPLE, Pin::Sample);
+        loop {
+            // A shard's effective front includes envelopes parked in the
+            // router for it — they are future events it cannot see yet.
+            let fronts: Vec<Option<SimTime>> = (0..self.fronts.len())
+                .map(|i| min_time(self.fronts[i], self.router.pending_min_time(i)))
+                .collect();
+            let next_pin = self.pins.keys().next().map(|k| k.0);
+            match plan_round(&fronts, next_pin, self.lookahead) {
+                Round::Idle => break,
+                Round::Pin(t) => {
+                    if t > self.horizon_end {
+                        break;
+                    }
+                    self.barrier.rounds += 1;
+                    self.barrier.pin_rounds += 1;
+                    let key = *self.pins.keys().next().expect("pin round implies a pin");
+                    let pin = self.pins.remove(&key).expect("first pin present");
+                    self.processed_total += 1;
+                    if self.processed_total > self.budget {
+                        return Err(self.budget_error(t));
+                    }
+                    self.exec_pin(pin, t, pool);
+                }
+                Round::Window { start, end } => {
+                    if start > self.horizon_end {
+                        break;
+                    }
+                    self.barrier.rounds += 1;
+                    self.barrier.window_rounds += 1;
+                    // Half-open [start, wend): one extra second past the
+                    // horizon so events AT the horizon still fire, as the
+                    // sequential engine's `run_until(horizon)` does.
+                    let wend = end.min(self.horizon_end + SimDuration::from_secs(1));
+                    let cap = self.budget.saturating_sub(self.processed_total) + 1;
+                    let cmds = self.cmds_with(|_| Action::Window { end: wend, max_events: cap });
+                    let reports = pool.round(cmds);
+                    let mut truncated = false;
+                    let mut sightings: Vec<Sighting> = Vec::new();
+                    for (i, r) in reports.into_iter().enumerate() {
+                        self.fronts[i] = r.front;
+                        self.processed_total += r.processed;
+                        truncated |= r.truncated;
+                        if r.processed == 0 {
+                            self.barrier.idle_shard_rounds += 1;
+                        }
+                        for env in r.outbox {
+                            let dest = self.partition.shard_of(env.payload);
+                            self.router.send(dest, env);
+                        }
+                        sightings.extend(r.sightings);
+                    }
+                    if truncated || self.processed_total > self.budget {
+                        return Err(self.budget_error(start));
+                    }
+                    self.note_sightings(sightings, wend, pool);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_pin(&mut self, pin: Pin, t: SimTime, pool: &mut Pool) {
+        match pin {
+            Pin::Seed => {
+                let shards = self.partition.shard_count();
+                let mut per_shard: Vec<Vec<u32>> = vec![Vec::new(); shards];
+                for _ in 0..self.config.initial_infections {
+                    if let Some(p) = self.population.random_susceptible(&mut self.rng) {
+                        // Infect the coordinator clone so later draws
+                        // exclude this phone, as the sequential seeding
+                        // loop does.
+                        self.population.infect(p);
+                        per_shard[self.partition.shard_of(p.0)].push(p.0);
+                    }
+                }
+                let cmds = self.cmds_with(|i| Action::Seed {
+                    phones: std::mem::take(&mut per_shard[i]),
+                    now: t,
+                });
+                let reports = pool.round(cmds);
+                self.absorb_pin_reports(reports);
+            }
+            Pin::Sample => {
+                let cmds = self.cmds_with(|_| Action::Report);
+                let reports = pool.round(cmds);
+                let infected: usize = reports.iter().map(|r| r.infected).sum();
+                let msgs: u64 = reports.iter().map(|r| r.messages_sent).sum();
+                self.absorb_pin_reports(reports);
+                self.series.push(infected as f64);
+                self.traffic.push(msgs as f64);
+                let next = t + self.config.sample_step;
+                if next <= self.horizon_end {
+                    self.push_pin(next, RANK_SAMPLE, Pin::Sample);
+                }
+            }
+            Pin::ScanActive => {
+                self.activation.scan_active_at = Some(t);
+                pool.milestone(t, Milestone::ScanActive);
+            }
+            Pin::DetectionActive => {
+                self.activation.detection_active_at = Some(t);
+                pool.milestone(t, Milestone::DetectionActive);
+            }
+            Pin::RolloutStart => {
+                self.activation.rollout_starts_at = Some(t);
+                pool.milestone(t, Milestone::RolloutStart);
+                self.build_rollout(t);
+            }
+            Pin::Wave(idx) => {
+                let phones = Arc::clone(&self.patch_waves[idx]);
+                let cmds = self.cmds_with(|_| Action::Wave { phones: Arc::clone(&phones), now: t });
+                let reports = pool.round(cmds);
+                self.absorb_pin_reports(reports);
+            }
+        }
+    }
+
+    /// Counts this round's sightings — in merged `(time, source, seq)`
+    /// order, which is shard-count invariant — toward the detectability
+    /// threshold. On crossing, `detected_at` is the crossing sighting's
+    /// time, but the response can only *start* at the barrier that
+    /// revealed it, so activation pins are floored at `wend`.
+    fn note_sightings(&mut self, mut sightings: Vec<Sighting>, wend: SimTime, pool: &mut Pool) {
+        if self.activation.detected_at.is_some() || sightings.is_empty() {
+            return;
+        }
+        sightings.sort_unstable();
+        for (st, _, _) in sightings {
+            self.observed += 1;
+            if self.observed >= self.config.detect_threshold {
+                self.on_detected(st, wend, pool);
+                break;
+            }
+        }
+    }
+
+    fn on_detected(&mut self, t_detect: SimTime, wend: SimTime, pool: &mut Pool) {
+        self.activation.detected_at = Some(t_detect);
+        // Fired at the window end: every event the probe has already
+        // seen has `time < wend`, so the milestone keeps its stream
+        // monotone.
+        pool.milestone(wend, Milestone::Detected);
+        if let Some(s) = self.config.response.signature_scan {
+            self.pin_at_least(t_detect + s.activation_delay, wend, RANK_SCAN, Pin::ScanActive);
+        }
+        if let Some(d) = self.config.response.detection {
+            self.pin_at_least(
+                t_detect + d.analysis_period,
+                wend,
+                RANK_DETECTION,
+                Pin::DetectionActive,
+            );
+        }
+        if let Some(imm) = self.config.response.immunization {
+            self.pin_at_least(
+                t_detect + imm.development_time,
+                wend,
+                RANK_ROLLOUT,
+                Pin::RolloutStart,
+            );
+        }
+    }
+
+    /// Mirror of the sequential rollout scheduler: same arrival draws
+    /// (from the coordinator stream), same coalescing into one wave per
+    /// distinct offset, same emission order within a wave.
+    fn build_rollout(&mut self, t: SimTime) {
+        let imm = self.config.response.immunization.expect("rollout without immunization");
+        let rollout_secs = imm.rollout_duration.as_secs();
+        let n = self.population.len();
+        let mut arrivals: Vec<(u64, u32)> = Vec::with_capacity(n);
+        match imm.order {
+            crate::response::RolloutOrder::Uniform => {
+                for id in 0..n {
+                    let offset =
+                        if rollout_secs == 0 { 0 } else { self.rng.random_range(0..=rollout_secs) };
+                    arrivals.push((offset, id as u32));
+                }
+            }
+            crate::response::RolloutOrder::HubsFirst => {
+                let mut by_degree: Vec<usize> = (0..n).collect();
+                by_degree
+                    .sort_by_key(|&i| std::cmp::Reverse(self.population.degree(PhoneId::from(i))));
+                for (rank, id) in by_degree.into_iter().enumerate() {
+                    let offset = if n <= 1 || rollout_secs == 0 {
+                        0
+                    } else {
+                        rollout_secs * rank as u64 / (n as u64 - 1)
+                    };
+                    arrivals.push((offset, id as u32));
+                }
+            }
+        }
+        let mut wave_for: std::collections::HashMap<u64, u32> = std::collections::HashMap::new();
+        let mut waves: Vec<Vec<u32>> = Vec::new();
+        for (offset, id) in arrivals {
+            match wave_for.entry(offset) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    waves[*e.get() as usize].push(id);
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    let idx = u32::try_from(waves.len()).expect("wave count fits u32");
+                    e.insert(idx);
+                    waves.push(vec![id]);
+                    let wt = t + SimDuration::from_secs(offset);
+                    // Waves past the horizon stay in the table (index
+                    // stability) but get no pin — the legacy engine's
+                    // never-fired wave events.
+                    if wt <= self.horizon_end {
+                        self.push_pin(wt, RANK_WAVE, Pin::Wave(idx as usize));
+                    }
+                }
+            }
+        }
+        self.patch_waves = waves.into_iter().map(Arc::new).collect();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------
+
+fn add_stats(a: &mut RunStats, b: &RunStats) {
+    a.messages_sent += b.messages_sent;
+    a.invalid_dials += b.invalid_dials;
+    a.deliveries += b.deliveries;
+    a.blocked_by_scan += b.blocked_by_scan;
+    a.blocked_by_detection += b.blocked_by_detection;
+    a.blocked_by_blacklist += b.blocked_by_blacklist;
+    a.reads += b.reads;
+    a.acceptances += b.acceptances;
+    a.throttled_phones += b.throttled_phones;
+    a.blacklisted_phones += b.blacklisted_phones;
+    a.bluetooth_offers += b.bluetooth_offers;
+    a.bluetooth_acceptances += b.bluetooth_acceptances;
+    a.legitimate_messages += b.legitimate_messages;
+    a.piggyback_sends += b.piggyback_sends;
+    a.false_positive_throttles += b.false_positive_throttles;
+    a.inbox_dropped += b.inbox_dropped;
+}
+
+/// Runs one replication of `config` under `seed`, sharded `shards` ways.
+///
+/// The trajectory depends only on `(config, seed)` — identical for every
+/// shard count, executor and FEL backend (see the module docs for the
+/// contract and for which configurations are shardable).
+///
+/// # Errors
+///
+/// Rejects unshardable configurations ([`reject_unshardable`]), a zero
+/// shard count, a probe combined with the explicit threaded executor,
+/// topology generation failures, and event-budget overruns.
+pub fn run_scenario_sharded(
+    config: &ScenarioConfig,
+    seed: u64,
+    fel: FelKind,
+    cache: Option<&TopologyCache>,
+    shards: usize,
+    probe: Option<Box<dyn SimProbe>>,
+    mode: ShardMode,
+) -> Result<ShardOutcome, ConfigError> {
+    if shards == 0 {
+        return Err(ConfigError::invalid("engine.shards", "shard count must be at least 1"));
+    }
+    reject_unshardable(config)?;
+    let lookahead = Lookahead::new(config.behavior.read_delay.minimum())
+        .map_err(|e| ConfigError::invalid("behavior.read_delay", e.to_string()))?;
+
+    let resolved = match mode {
+        ShardMode::Auto => {
+            let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+            if probe.is_some() || shards == 1 || cores == 1 {
+                ShardMode::Inline
+            } else {
+                ShardMode::Threads
+            }
+        }
+        m => m,
+    };
+    if resolved == ShardMode::Threads && probe.is_some() {
+        return Err(ConfigError::invalid(
+            "engine.shards",
+            "probed runs need the inline shard executor (probe hooks form one ordered stream)",
+        ));
+    }
+
+    let topo_seed = derive_stream_seed(seed, 0, crate::run::TOPOLOGY_STREAM);
+    let (graph, mut topo_rng) = match cache {
+        Some(cache) => cache.get_or_generate(&config.population.topology, topo_seed)?,
+        None => {
+            let mut rng = StdRng::seed_from_u64(topo_seed);
+            let graph = config
+                .population
+                .topology
+                .generate_csr(&mut rng)
+                .map_err(|e| ConfigError::invalid("population.topology", e.to_string()))?;
+            (Arc::new(graph), rng)
+        }
+    };
+    let population =
+        Population::from_csr(graph.clone(), config.population.vulnerable_fraction, &mut topo_rng);
+    let partition = Arc::new(Partition::edge_cut(&graph, shards));
+    let shared = Arc::new(config.clone());
+
+    let workers: Vec<ShardWorker> = (0..shards)
+        .map(|i| {
+            ShardWorker::new(
+                i,
+                Arc::clone(&shared),
+                Arc::clone(&partition),
+                population.clone(),
+                fel,
+                seed,
+            )
+        })
+        .collect();
+    let mut pool = match resolved {
+        ShardMode::Inline => Pool::Inline { workers, probe },
+        ShardMode::Threads => Pool::spawn_threads(workers),
+        ShardMode::Auto => unreachable!("mode resolved above"),
+    };
+
+    let budget = config.event_budget.unwrap_or(DEFAULT_EVENT_BUDGET);
+    let mut coord = Coordinator {
+        config: shared,
+        partition: Arc::clone(&partition),
+        population,
+        rng: StdRng::seed_from_u64(derive_stream_seed(seed, 0, COORD_STREAM)),
+        router: ShardRouter::new(shards),
+        pins: BTreeMap::new(),
+        uniq: 0,
+        fronts: vec![None; shards],
+        activation: ActivationTimes::default(),
+        series: TimeSeries::new(config.sample_step.as_hours_f64()),
+        traffic: TimeSeries::new(config.sample_step.as_hours_f64()),
+        observed: 0,
+        patch_waves: Vec::new(),
+        barrier: BarrierStats::default(),
+        processed_total: 0,
+        budget,
+        horizon_end: SimTime::ZERO + config.horizon,
+        lookahead,
+        seed,
+    };
+    coord.run(&mut pool)?;
+
+    // Flush any still-parked envelopes (reads past the horizon — the
+    // legacy engine's never-fired FEL entries) so the cross-shard flow
+    // books balance, then collect the final reports.
+    let final_cmds = coord.cmds_with(|_| Action::Finish);
+    let (finals, probe_out) = pool.finish(final_cmds);
+
+    let mut stats = RunStats::default();
+    let mut final_infected = 0usize;
+    let mut resident = 0usize;
+    let mut peak_events_sum = 0usize;
+    let mut peak_bytes_sum = 0usize;
+    let mut lanes = Vec::with_capacity(shards);
+    for f in &finals {
+        add_stats(&mut stats, &f.stats);
+        final_infected += f.infected;
+        resident += f.resident_state_bytes;
+        peak_events_sum += f.peak_len;
+        peak_bytes_sum += f.peak_event_bytes;
+        lanes.push(ShardLane {
+            events: f.events,
+            peak_len: f.peak_len,
+            peak_event_bytes: f.peak_event_bytes,
+            messages_out: f.messages_out,
+            messages_in: f.messages_in,
+        });
+    }
+    let barrier = BarrierStats { cross_shard_messages: coord.router.routed(), ..coord.barrier };
+    let telemetry = ShardTelemetry {
+        shards,
+        cut_edges: partition.cut_edges(),
+        lookahead: lookahead.get(),
+        barrier,
+        lanes,
+    };
+    let metrics = SimMetrics {
+        events_processed: coord.processed_total,
+        peak_pending_events: peak_events_sum,
+        peak_event_bytes: peak_bytes_sum,
+    };
+    // Pins fire before worker events that share their timestamp, so a
+    // send or infection landing at exactly the horizon (day-boundary
+    // quota resets make this common) posts *after* the final sample
+    // pin. Patch the last sample to the end-of-run totals so the series
+    // end at the reported final state, as the sequential engine's
+    // insertion-ordered FEL does. Identical arithmetic for every shard
+    // count, so shard-count invariance is preserved.
+    let close = |series: TimeSeries, total: f64| {
+        let mut values = series.values().to_vec();
+        let step = series.step_hours();
+        if let Some(last) = values.last_mut() {
+            *last = total;
+        }
+        TimeSeries::from_values(step, values)
+    };
+    let series = close(coord.series, final_infected as f64);
+    let traffic = close(coord.traffic, stats.messages_sent as f64);
+    let result = RunResult {
+        series,
+        traffic,
+        final_infected,
+        stats,
+        activation: coord.activation,
+        gateway_peak_delay: None,
+        resident_state_bytes: resident,
+        probe: probe_out,
+    };
+    Ok(ShardOutcome { result, metrics, telemetry })
+}
+
+// ---------------------------------------------------------------------
+// Observability and the configured entry point
+// ---------------------------------------------------------------------
+
+/// Process-wide counters mirroring each sharded replication's barrier
+/// and cross-shard traffic into the metrics registry (the per-run
+/// numbers still travel in [`ShardTelemetry`]).
+fn shard_metrics() -> &'static (
+    mpvsim_obs::Counter,
+    mpvsim_obs::Counter,
+    mpvsim_obs::Counter,
+    mpvsim_obs::Counter,
+    mpvsim_obs::Counter,
+) {
+    static METRICS: std::sync::OnceLock<(
+        mpvsim_obs::Counter,
+        mpvsim_obs::Counter,
+        mpvsim_obs::Counter,
+        mpvsim_obs::Counter,
+        mpvsim_obs::Counter,
+    )> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = mpvsim_obs::metrics::global();
+        let rounds_help = "Sharded-engine barrier rounds by kind";
+        (
+            reg.counter("mpvsim_shard_events_total", "Events processed by sharded-engine workers"),
+            reg.counter_with("mpvsim_shard_rounds_total", rounds_help, &[("kind", "pin")]),
+            reg.counter_with("mpvsim_shard_rounds_total", rounds_help, &[("kind", "window")]),
+            reg.counter_with(
+                "mpvsim_shard_idle_waits_total",
+                "Shard-rounds in which a shard had no event to process (barrier waits)",
+                &[],
+            ),
+            reg.counter(
+                "mpvsim_shard_messages_total",
+                "Cross-shard envelopes routed through the time-window barrier",
+            ),
+        )
+    })
+}
+
+/// Mirrors one run's [`ShardTelemetry`] into the global metrics registry.
+pub fn record_shard_telemetry(t: &ShardTelemetry) {
+    let (events, pin_rounds, window_rounds, idle_waits, messages) = shard_metrics();
+    events.add(t.lanes.iter().map(|l| l.events).sum());
+    pin_rounds.add(t.barrier.pin_rounds);
+    window_rounds.add(t.barrier.window_rounds);
+    idle_waits.add(t.barrier.idle_shard_rounds);
+    messages.add(t.barrier.cross_shard_messages);
+}
+
+/// The sharded counterpart of [`crate::run_scenario_configured`]:
+/// validates the scenario, builds the [`ProbeKind`] probe, runs the
+/// replication `shards` ways, and mirrors the barrier telemetry into
+/// the metrics registry.
+///
+/// # Errors
+///
+/// Everything [`run_scenario_sharded`] rejects, plus ordinary scenario
+/// validation failures.
+pub fn run_scenario_sharded_configured(
+    config: &ScenarioConfig,
+    seed: u64,
+    fel: FelKind,
+    cache: Option<&TopologyCache>,
+    shards: usize,
+    probe: crate::probe::ProbeKind,
+) -> Result<(RunResult, SimMetrics), ConfigError> {
+    config.validate()?;
+    let outcome = run_scenario_sharded(
+        config,
+        seed,
+        fel,
+        cache,
+        shards,
+        probe.build(config),
+        ShardMode::Auto,
+    )?;
+    record_shard_telemetry(&outcome.telemetry);
+    Ok((outcome.result, outcome.metrics))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ScenarioConfig;
+    use crate::response::{
+        Blacklist, DetectionAlgorithm, Immunization, Monitoring, RolloutOrder, SignatureScan,
+        UserEducation,
+    };
+    use crate::virus::{SendQuota, TargetingStrategy, VirusProfile};
+    use mpvsim_des::DelaySpec;
+    use mpvsim_topology::GraphSpec;
+
+    /// A small, fast-spreading, fully-shardable scenario: positive-min
+    /// read delay (the lookahead), no dormancy, unlimited quota.
+    fn shardable_config(phones: usize) -> ScenarioConfig {
+        let mut virus = VirusProfile::virus1();
+        virus.send_gap =
+            DelaySpec::shifted_exp(SimDuration::from_mins(2), SimDuration::from_mins(20));
+        virus.dormancy = SimDuration::ZERO;
+        virus.global_day_bursts = false;
+        virus.quota = SendQuota::unlimited();
+        let mut cfg = ScenarioConfig::baseline(virus);
+        cfg.population.topology = GraphSpec::power_law(phones, 8.0);
+        cfg.behavior.read_delay =
+            DelaySpec::shifted_exp(SimDuration::from_mins(5), SimDuration::from_mins(30));
+        cfg.horizon = SimDuration::from_days(3);
+        cfg.detect_threshold = 5;
+        cfg.initial_infections = 5;
+        cfg
+    }
+
+    /// Layers every shardable response mechanism on, so the invariance
+    /// tests cover detection merge, activation pins and patch waves.
+    fn with_full_response(mut cfg: ScenarioConfig) -> ScenarioConfig {
+        cfg.response.signature_scan =
+            Some(SignatureScan { activation_delay: SimDuration::from_hours(2) });
+        cfg.response.detection =
+            Some(DetectionAlgorithm { accuracy: 0.8, analysis_period: SimDuration::from_hours(4) });
+        cfg.response.education = Some(UserEducation { acceptance_scale: 0.9 });
+        cfg.response.immunization = Some(Immunization {
+            development_time: SimDuration::from_hours(6),
+            rollout_duration: SimDuration::from_hours(12),
+            order: RolloutOrder::Uniform,
+        });
+        cfg.response.monitoring = Some(Monitoring {
+            window: SimDuration::from_hours(1),
+            threshold: 20,
+            forced_wait: SimDuration::from_hours(1),
+        });
+        cfg.response.blacklist = Some(Blacklist { threshold: 50 });
+        cfg
+    }
+
+    fn run(cfg: &ScenarioConfig, seed: u64, shards: usize, mode: ShardMode) -> ShardOutcome {
+        run_scenario_sharded(cfg, seed, FelKind::default(), None, shards, None, mode)
+            .expect("sharded run succeeds")
+    }
+
+    type Digest = (Vec<f64>, Vec<f64>, usize, RunStats, ActivationTimes);
+
+    fn digest(r: &RunResult) -> Digest {
+        (
+            r.series.values().to_vec(),
+            r.traffic.values().to_vec(),
+            r.final_infected,
+            r.stats,
+            r.activation,
+        )
+    }
+
+    #[test]
+    fn trajectory_is_shard_count_invariant() {
+        let cfg = with_full_response(shardable_config(200));
+        for seed in [1u64, 7] {
+            let base = run(&cfg, seed, 1, ShardMode::Auto);
+            assert!(base.result.final_infected > 1, "epidemic must spread for a meaningful test");
+            for shards in [2usize, 3, 8] {
+                let out = run(&cfg, seed, shards, ShardMode::Auto);
+                assert_eq!(
+                    digest(&out.result),
+                    digest(&base.result),
+                    "shards={shards} seed={seed} diverged from shards=1"
+                );
+                out.telemetry.check_flow().expect("cross-shard flow conserved");
+                assert!(
+                    out.telemetry.barrier.cross_shard_messages > 0,
+                    "a spread-out epidemic must cross shard boundaries"
+                );
+                assert_eq!(out.metrics.events_processed, base.metrics.events_processed);
+            }
+        }
+    }
+
+    #[test]
+    fn random_dialing_and_reboot_quota_are_invariant() {
+        let mut cfg = shardable_config(150);
+        cfg.virus.targeting = TargetingStrategy::RandomDialing { valid_fraction: 0.4 };
+        cfg.virus.quota = SendQuota::per_reboot(5, SimDuration::from_hours(2));
+        let base = run(&cfg, 11, 1, ShardMode::Auto);
+        for shards in [2usize, 8] {
+            let out = run(&cfg, 11, shards, ShardMode::Auto);
+            assert_eq!(digest(&out.result), digest(&base.result));
+        }
+    }
+
+    #[test]
+    fn inline_and_threaded_executors_agree() {
+        let cfg = with_full_response(shardable_config(120));
+        let inline = run(&cfg, 3, 4, ShardMode::Inline);
+        let threads = run(&cfg, 3, 4, ShardMode::Threads);
+        assert_eq!(digest(&inline.result), digest(&threads.result));
+        assert_eq!(inline.telemetry.barrier, threads.telemetry.barrier);
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let cfg = with_full_response(shardable_config(100));
+        let a = run(&cfg, 5, 3, ShardMode::Auto);
+        let b = run(&cfg, 5, 3, ShardMode::Auto);
+        assert_eq!(digest(&a.result), digest(&b.result));
+        assert_eq!(a.telemetry, b.telemetry);
+    }
+
+    #[test]
+    fn more_shards_than_phones_is_equivalent() {
+        let mut cfg = shardable_config(5);
+        cfg.population.topology = GraphSpec::ring(5, 2);
+        let base = run(&cfg, 2, 1, ShardMode::Auto);
+        let wide = run(&cfg, 2, 8, ShardMode::Auto);
+        assert_eq!(digest(&wide.result), digest(&base.result));
+        assert_eq!(wide.telemetry.lanes.len(), 8);
+    }
+
+    #[test]
+    fn zero_minimum_read_delay_is_rejected() {
+        // The paper-default exponential read delay has minimum zero:
+        // no lookahead, so the barrier could never advance.
+        let cfg = ScenarioConfig::baseline(VirusProfile::virus1());
+        let err = run_scenario_sharded(&cfg, 1, FelKind::default(), None, 2, None, ShardMode::Auto)
+            .expect_err("zero lookahead must be rejected");
+        assert!(err.to_string().contains("read_delay"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn unshardable_features_are_rejected() {
+        let base = shardable_config(50);
+
+        let bt = ScenarioConfig::baseline(VirusProfile::bluetooth_worm());
+        assert!(reject_unshardable(&bt).is_err(), "bluetooth must be rejected");
+
+        let mut inbox = base.clone();
+        inbox.inbox_cap = Some(4);
+        assert!(reject_unshardable(&inbox).is_err(), "inbox cap must be rejected");
+
+        let mut gw = base.clone();
+        gw.gateway_capacity_per_hour = Some(1000);
+        assert!(reject_unshardable(&gw).is_err(), "gateway capacity must be rejected");
+
+        let mut legit = base.clone();
+        legit.behavior.legitimate_mms =
+            Some(DelaySpec::shifted_exp(SimDuration::from_hours(1), SimDuration::from_hours(4)));
+        assert!(reject_unshardable(&legit).is_err(), "legitimate traffic must be rejected");
+
+        let mut piggy = base.clone();
+        piggy.virus.piggyback = true;
+        assert!(reject_unshardable(&piggy).is_err(), "piggyback must be rejected");
+
+        assert!(reject_unshardable(&base).is_ok());
+    }
+
+    #[test]
+    fn zero_shards_is_a_config_error() {
+        let cfg = shardable_config(20);
+        assert!(run_scenario_sharded(&cfg, 1, FelKind::default(), None, 0, None, ShardMode::Auto,)
+            .is_err());
+    }
+
+    #[test]
+    fn event_budget_overrun_is_a_structured_error() {
+        let mut cfg = shardable_config(100);
+        cfg.event_budget = Some(10);
+        let err = run_scenario_sharded(&cfg, 1, FelKind::default(), None, 2, None, ShardMode::Auto)
+            .expect_err("tiny budget must overflow");
+        assert!(err.to_string().contains("event budget"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn threaded_executor_rejects_a_probe() {
+        #[derive(Debug)]
+        struct Null;
+        impl SimProbe for Null {}
+        let cfg = shardable_config(30);
+        let err = run_scenario_sharded(
+            &cfg,
+            1,
+            FelKind::default(),
+            None,
+            2,
+            Some(Box::new(Null)),
+            ShardMode::Threads,
+        )
+        .expect_err("threads + probe must be rejected");
+        assert!(err.to_string().contains("inline"), "unexpected error: {err}");
+    }
+}

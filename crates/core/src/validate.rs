@@ -142,6 +142,7 @@ impl Variant {
                 layout: LayoutKind::Fresh,
                 probe: ProbeKind::None,
                 threads: 1,
+                shards: 1,
             },
         }
     }
@@ -150,6 +151,14 @@ impl Variant {
     /// `threads` worker threads, a no-op probe, and the arena buffer
     /// layout. Each variant flips exactly one knob away from the
     /// reference so a drift names its culprit.
+    ///
+    /// The sixth engine axis — `shards` — is deliberately absent here:
+    /// the sharded engine draws from per-phone RNG substreams, so its
+    /// trajectories are not comparable to the committed goldens.
+    /// [`check_sharded_consistency`] covers that axis by
+    /// self-consistency (`shards ∈ {1, N}` of the sharded engine must
+    /// agree with each other) and runs alongside this matrix in
+    /// `mpvsim validate check`.
     pub fn standard(threads: usize) -> Vec<Variant> {
         let reference = Variant::reference().engine;
         vec![
@@ -160,6 +169,66 @@ impl Variant {
             Variant { label: "arena-layout", engine: reference.with_layout(LayoutKind::Arena) },
         ]
     }
+}
+
+/// The sharded-engine leg of the `validate check` variant matrix: for a
+/// fixed panel of paper scenarios (all four viruses under the full
+/// response stack, made shardable via [`shardable`]), assert that
+/// running `shards` ways reproduces the sharded engine's single-shard
+/// trajectory bit for bit, that cross-shard message flow conserves, and
+/// that a re-run is deterministic — everything
+/// [`check_sharded_invariants`] checks, reported as [`Drift`]s under
+/// the pseudo-study name `"sharded"`.
+///
+/// Goldens are untouched: `shards = 1` through [`EngineOptions`] keeps
+/// the sequential engine and its committed fingerprints; this tier pins
+/// the *internal* shard-count invariance of the sharded engine.
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from failed replications.
+pub fn check_sharded_consistency(shards: usize) -> Result<Vec<Drift>, ConfigError> {
+    let response = ResponseConfig::none()
+        .with_signature_scan(SignatureScan { activation_delay: SimDuration::from_hours(2) })
+        .with_detection(DetectionAlgorithm::with_accuracy(0.8))
+        .with_education(UserEducation { acceptance_scale: 0.9 })
+        .with_immunization(Immunization::uniform(
+            SimDuration::from_hours(6),
+            SimDuration::from_hours(12),
+        ))
+        .with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(30)))
+        .with_blacklist(Blacklist { threshold: 40 });
+    let panel = [
+        VirusProfile::virus1(),
+        VirusProfile::virus2(),
+        VirusProfile::virus3(),
+        VirusProfile::virus4(),
+    ];
+    let mut drifts = Vec::new();
+    for (i, virus) in panel.into_iter().enumerate() {
+        let cell = virus.name.clone();
+        let mut config = ScenarioConfig::baseline(virus);
+        config.population = PopulationConfig::paper_default(80);
+        config.horizon = SimDuration::from_hours(12);
+        config.initial_infections = 5;
+        config.response = response;
+        let config = shardable(&config);
+        let report = check_sharded_invariants(
+            &config,
+            derive_seed(0xC0FFEE, i as u64),
+            FelKind::BinaryHeap,
+            shards,
+        )?;
+        for what in report.violations {
+            drifts.push(Drift {
+                study: "sharded".to_owned(),
+                cell: cell.clone(),
+                variant: format!("shards-{shards}"),
+                what,
+            });
+        }
+    }
+    Ok(drifts)
 }
 
 /// The committed fingerprint of one study cell at golden scale.
@@ -270,6 +339,16 @@ fn hash_run(h: &mut Fnv1a64, run: &RunResult) {
         }
         None => h.write_u64(0),
     }
+}
+
+/// The FNV-1a fingerprint of one replication's complete observable
+/// output — the same digest the golden store commits per cell, exposed
+/// so equivalence tests (notably the sharded tier) can compare whole
+/// trajectories as a single `u64`.
+pub fn trajectory_fingerprint(run: &RunResult) -> u64 {
+    let mut h = Fnv1a64::new();
+    hash_run(&mut h, run);
+    h.finish()
 }
 
 /// Downsamples a mean curve to at most [`MAX_CURVE_POINTS`] values:
@@ -1041,9 +1120,39 @@ pub fn check_invariants(
     let (run, metrics) = run_scenario_probed_with(config, seed, fel, None, Box::new(probe))?;
     let mut violations = {
         let mirror = shared.lock().expect("invariant mirror poisoned");
-        mirror.violations.clone()
+        structural_violations(config, &run, &mirror)
     };
-    let mirror = shared.lock().expect("invariant mirror poisoned");
+
+    // Determinism: an uninstrumented re-run is bit-identical and
+    // processes the same number of events.
+    let (again, metrics_again) = run_scenario_with_metrics_fel(config, seed, fel)?;
+    if metrics_again.events_processed != metrics.events_processed {
+        violations.push(format!(
+            "determinism: re-run processed {} events, first run {}",
+            metrics_again.events_processed, metrics.events_processed
+        ));
+    }
+    if series_bits(&again.series) != series_bits(&run.series) || again.stats != run.stats {
+        violations.push("determinism: re-run trajectory differs".to_owned());
+    }
+
+    Ok(InvariantReport {
+        violations,
+        events_processed: metrics.events_processed,
+        final_infected: run.final_infected,
+    })
+}
+
+/// The bit pattern of a time series, for exact equality comparison.
+fn series_bits(series: &mpvsim_stats::TimeSeries) -> Vec<u64> {
+    series.values().iter().map(|v| v.to_bits()).collect()
+}
+
+/// The engine-independent structural checks shared by
+/// [`check_invariants`] and [`check_sharded_invariants`]: probe-mirror
+/// cross-checks, conservation, series shape and message accounting.
+fn structural_violations(config: &ScenarioConfig, run: &RunResult, mirror: &Mirror) -> Vec<String> {
+    let mut violations = mirror.violations.clone();
     let n = config.population.size();
 
     // Phone-state conservation: every phone is in exactly one health
@@ -1110,27 +1219,114 @@ pub fn check_invariants(
             ));
         }
     }
-    drop(mirror);
+    violations
+}
 
-    // Determinism: an uninstrumented re-run is bit-identical and
-    // processes the same number of events.
-    let (again, metrics_again) = run_scenario_with_metrics_fel(config, seed, fel)?;
-    if metrics_again.events_processed != metrics.events_processed {
+/// Rewrites `config` into its nearest shardable relative: the features
+/// [`crate::reject_unshardable`] turns away (Bluetooth/mobility,
+/// legitimate traffic, piggyback, gateway capacity, bounded inboxes)
+/// are stripped, and a read-delay distribution whose minimum is zero —
+/// which would give the conservative barrier no lookahead — is replaced
+/// by a shifted-exponential with a five-minute floor. Used by the fuzz
+/// sweep and the sharded consistency tier to derive sharded coverage
+/// from arbitrary valid scenarios.
+pub fn shardable(config: &ScenarioConfig) -> ScenarioConfig {
+    let mut out = config.clone();
+    out.virus.bluetooth = None;
+    out.virus.piggyback = false;
+    out.mobility = None;
+    out.behavior.legitimate_mms = None;
+    out.gateway_capacity_per_hour = None;
+    out.inbox_cap = None;
+    if out.behavior.read_delay.minimum() == SimDuration::ZERO {
+        out.behavior.read_delay =
+            DelaySpec::shifted_exp(SimDuration::from_mins(5), SimDuration::from_hours(1));
+    }
+    out
+}
+
+/// Runs `(config, seed)` on the sharded engine instrumented with an
+/// [`InvariantProbe`] and checks every engine-independent invariant of
+/// [`check_invariants`], plus the sharded contract:
+///
+/// * cross-shard flow conservation: every envelope routed out of a
+///   shard is delivered into exactly one other shard
+///   ([`crate::ShardTelemetry::check_flow`]);
+/// * shard-count invariance: the full trajectory fingerprint at
+///   `shards` equals the sharded engine's own single-shard fingerprint;
+/// * determinism: an uninstrumented sharded re-run at the same shard
+///   count is bit-identical and processes the same event count.
+///
+/// The scenario must already be shardable (see [`shardable`]).
+///
+/// # Errors
+///
+/// Propagates [`ConfigError`] from validation, unshardable features, or
+/// failed replications.
+pub fn check_sharded_invariants(
+    config: &ScenarioConfig,
+    seed: u64,
+    fel: FelKind,
+    shards: usize,
+) -> Result<InvariantReport, ConfigError> {
+    let (probe, shared) = InvariantProbe::new();
+    let outcome = crate::shard::run_scenario_sharded(
+        config,
+        seed,
+        fel,
+        None,
+        shards,
+        Some(Box::new(probe)),
+        crate::shard::ShardMode::Auto,
+    )?;
+    let run = outcome.result;
+    let mut violations = {
+        let mirror = shared.lock().expect("invariant mirror poisoned");
+        structural_violations(config, &run, &mirror)
+    };
+    if let Err(e) = outcome.telemetry.check_flow() {
+        violations.push(format!("cross-shard flow: {e}"));
+    }
+
+    let rerun = |shards: usize| {
+        crate::shard::run_scenario_sharded(
+            config,
+            seed,
+            fel,
+            None,
+            shards,
+            None,
+            crate::shard::ShardMode::Auto,
+        )
+    };
+
+    // Shard-count invariance: `shards` ways must reproduce the sharded
+    // engine's single-shard trajectory byte for byte.
+    let baseline = rerun(1)?;
+    if trajectory_fingerprint(&baseline.result) != trajectory_fingerprint(&run) {
         violations.push(format!(
-            "determinism: re-run processed {} events, first run {}",
-            metrics_again.events_processed, metrics.events_processed
+            "sharding: trajectory at {shards} shards differs from the single-shard run \
+             (final infected {} vs {})",
+            run.final_infected, baseline.result.final_infected
         ));
     }
-    let bits = |series: &mpvsim_stats::TimeSeries| {
-        series.values().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
-    };
-    if bits(&again.series) != bits(&run.series) || again.stats != run.stats {
-        violations.push("determinism: re-run trajectory differs".to_owned());
+
+    // Determinism: a sharded re-run at the same shard count is
+    // bit-identical and processes the same number of events.
+    let again = rerun(shards)?;
+    if again.metrics.events_processed != outcome.metrics.events_processed {
+        violations.push(format!(
+            "determinism: sharded re-run processed {} events, first run {}",
+            again.metrics.events_processed, outcome.metrics.events_processed
+        ));
+    }
+    if trajectory_fingerprint(&again.result) != trajectory_fingerprint(&run) {
+        violations.push("determinism: sharded re-run trajectory differs".to_owned());
     }
 
     Ok(InvariantReport {
         violations,
-        events_processed: metrics.events_processed,
+        events_processed: outcome.metrics.events_processed,
         final_infected: run.final_infected,
     })
 }
@@ -1241,28 +1437,41 @@ pub struct FuzzFailure {
     pub case: u64,
     /// Replication seed the case ran with.
     pub seed: u64,
-    /// Everything [`check_invariants`] reported.
+    /// Shard count of the failing leg (`1` = the sequential-engine
+    /// leg; greater = the sharded leg of the same case).
+    pub shards: usize,
+    /// Everything [`check_invariants`] (or its sharded twin) reported.
     pub violations: Vec<String>,
 }
 
 /// The outcome of one fuzzing sweep.
 #[derive(Debug, Clone)]
 pub struct FuzzReport {
-    /// Cases executed.
+    /// Cases executed (each case runs a sequential leg and a sharded
+    /// leg).
     pub cases: u64,
     /// Cases with at least one invariant violation (empty = pass).
     pub failures: Vec<FuzzFailure>,
 }
 
-/// Runs `count` deterministic fuzz cases from `master_seed`, checking
-/// every invariant of [`check_invariants`] on each. Cases alternate
-/// FEL backends for extra coverage. The sweep is a pure function of
-/// its two arguments, so CI and a local replay see identical cases.
+/// The shard counts the fuzz sweep rotates through on its sharded leg.
+const FUZZ_SHARDS: [usize; 3] = [2, 3, 8];
+
+/// Runs `count` deterministic fuzz cases from `master_seed`. Each case
+/// runs twice: the generated scenario through [`check_invariants`] on
+/// the sequential engine, and its [`shardable`] transform through
+/// [`check_sharded_invariants`] with a rotating shard count of 2, 3 or
+/// 8 — so every random topology and mechanism mix also exercises the
+/// time-window barrier, cross-shard flow conservation and shard-count
+/// invariance. Cases alternate FEL backends for extra coverage. The
+/// sweep is a pure function of its two arguments, so CI and a local
+/// replay see identical cases.
 ///
 /// # Errors
 ///
 /// Propagates [`ConfigError`] from failed replications (generated
-/// configurations are valid by construction).
+/// configurations are valid by construction, and the shardable
+/// transform strips everything the sharded engine rejects).
 pub fn fuzz_cases(master_seed: u64, count: u64) -> Result<FuzzReport, ConfigError> {
     let mut failures = Vec::new();
     for case in 0..count {
@@ -1272,7 +1481,17 @@ pub fn fuzz_cases(master_seed: u64, count: u64) -> Result<FuzzReport, ConfigErro
         let fel = if case % 2 == 0 { FelKind::BinaryHeap } else { FelKind::Calendar };
         let report = check_invariants(&config, seed, fel)?;
         if !report.violations.is_empty() {
-            failures.push(FuzzFailure { case, seed, violations: report.violations });
+            failures.push(FuzzFailure { case, seed, shards: 1, violations: report.violations });
+        }
+        let shards = FUZZ_SHARDS[(case % FUZZ_SHARDS.len() as u64) as usize];
+        let sharded_config = shardable(&config);
+        debug_assert!(
+            crate::shard::reject_unshardable(&sharded_config).is_ok(),
+            "shardable() left an unshardable feature behind"
+        );
+        let report = check_sharded_invariants(&sharded_config, seed, fel, shards)?;
+        if !report.violations.is_empty() {
+            failures.push(FuzzFailure { case, seed, shards, violations: report.violations });
         }
     }
     Ok(FuzzReport { cases: count, failures })
@@ -1453,6 +1672,24 @@ mod tests {
             let report = check_invariants(&config, 99, fel).expect("valid scenario");
             assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
             assert!(report.events_processed > 0);
+        }
+    }
+
+    #[test]
+    fn sharded_consistency_tier_is_clean() {
+        let drifts = check_sharded_consistency(3).expect("panel runs");
+        assert!(drifts.is_empty(), "sharded drifts: {drifts:?}");
+    }
+
+    #[test]
+    fn shardable_transform_always_passes_the_shard_gate() {
+        for case in 0..30 {
+            let config = shardable(&fuzz_case(23, case));
+            assert!(
+                crate::shard::reject_unshardable(&config).is_ok(),
+                "case {case} still unshardable"
+            );
+            assert!(config.validate().is_ok(), "case {case} invalid after transform");
         }
     }
 

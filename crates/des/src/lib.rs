@@ -60,6 +60,7 @@ pub mod observe;
 pub mod random;
 pub mod replication;
 pub mod seed;
+pub mod shard;
 pub mod time;
 pub mod trace;
 
@@ -75,6 +76,10 @@ pub use random::DelaySpec;
 pub use replication::{
     run_replications, run_replications_parallel, try_run_replications,
     try_run_replications_parallel, try_run_replications_sink,
+};
+pub use shard::{
+    plan_round, BarrierStats, Envelope, Lookahead, Round, ShardQueue, ShardRouter,
+    ZeroLookaheadError,
 };
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceRing, Traced};

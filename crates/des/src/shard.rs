@@ -1,0 +1,502 @@
+//! Primitives for conservative, sharded (intra-replication) simulation.
+//!
+//! A sharded run partitions the model's state across `k` shards, each
+//! owning a shard-local future-event list ([`ShardQueue`]), and advances
+//! all shards in lockstep *rounds* planned by [`plan_round`]:
+//!
+//! * **Pin rounds** execute one globally-ordered event (seeding, sample
+//!   grid ticks, response-mechanism activations) on the coordinator
+//!   before any shard may pass it.
+//! * **Window rounds** open a half-open time window `[start, end)` in
+//!   which every shard may process its local events independently,
+//!   because the conservative [`Lookahead`] guarantees no cross-shard
+//!   message can arrive inside the window: a message sent at time `t`
+//!   is delivered no earlier than `t + lookahead`, and `end` never
+//!   exceeds `start + lookahead`.
+//!
+//! Cross-shard messages travel through a [`ShardRouter`]: per-pair FIFO
+//! channels drained at each barrier in ascending `(time, source, seq)`
+//! order, which makes the merged delivery order — and therefore the
+//! whole trajectory — independent of the shard count and of worker
+//! scheduling. The window grid itself is also shard-count invariant:
+//! the window start is the *global* minimum pending-event time, a
+//! property of the event set, not of how it is partitioned.
+//!
+//! This module is model-agnostic: it knows nothing about phones or
+//! viruses. `mpvsim-core` builds the sharded epidemic engine on top of
+//! these pieces and derives the lookahead from the scenario's minimum
+//! message read delay.
+
+use std::cmp::Ordering;
+
+use crate::fel::{BinaryHeapFel, CalendarQueue, FelKind, FutureEventList, Scheduled};
+use crate::time::{SimDuration, SimTime};
+
+/// The conservative synchronization horizon: a strictly positive lower
+/// bound on the delay between a cross-shard send and its delivery.
+///
+/// A zero lookahead would force zero-width windows — the barrier could
+/// never let any shard advance — so [`Lookahead::new`] rejects it with
+/// the structured [`ZeroLookaheadError`] (surfaced one level up as a
+/// scenario `ConfigError`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookahead(SimDuration);
+
+impl Lookahead {
+    /// Validates `min_latency` as a lookahead; rejects zero.
+    pub fn new(min_latency: SimDuration) -> Result<Self, ZeroLookaheadError> {
+        if min_latency == SimDuration::ZERO {
+            Err(ZeroLookaheadError)
+        } else {
+            Ok(Lookahead(min_latency))
+        }
+    }
+
+    /// The lookahead duration (always > 0).
+    pub fn get(self) -> SimDuration {
+        self.0
+    }
+}
+
+/// Structured rejection of a zero lookahead (see [`Lookahead::new`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZeroLookaheadError;
+
+impl std::fmt::Display for ZeroLookaheadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "conservative sharding requires a strictly positive lookahead: \
+             the minimum cross-shard message latency is zero, so no time \
+             window could ever be opened"
+        )
+    }
+}
+
+impl std::error::Error for ZeroLookaheadError {}
+
+/// What the coordinator should do next, as planned by [`plan_round`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Round {
+    /// Execute the globally-ordered pinned event at this time before
+    /// opening any window. Shard-local events *at* the pin time run
+    /// after the pin (in the window that follows).
+    Pin(SimTime),
+    /// Open the half-open window `[start, end)`: every shard processes
+    /// its local events with `time < end`, then hits the barrier.
+    Window {
+        /// Global minimum pending-event time.
+        start: SimTime,
+        /// Exclusive end: `min(start + lookahead, next pin)`.
+        end: SimTime,
+    },
+    /// No pending events and no pins: the simulation is exhausted.
+    Idle,
+}
+
+/// Plans the next lockstep round from the per-shard event fronts.
+///
+/// `fronts` holds each shard's next local event time (`None` for a
+/// shard with an empty queue — an empty shard never blocks the round,
+/// so a round with work on *any* shard always makes progress and the
+/// barrier cannot deadlock). `next_pin` is the earliest pending
+/// globally-ordered event, if any.
+///
+/// The rules, in order:
+/// 1. No fronts and no pin → [`Round::Idle`].
+/// 2. Pin at `p` with `p <= start` (or no local events) → [`Round::Pin`].
+/// 3. Otherwise → [`Round::Window`] with `start` = the global minimum
+///    front and `end = min(start + lookahead, p)`.
+///
+/// Because `start` is the global minimum over all pending events and
+/// the pin schedule is global, the resulting round sequence depends
+/// only on the event set and pins — not on the shard count.
+pub fn plan_round(
+    fronts: &[Option<SimTime>],
+    next_pin: Option<SimTime>,
+    lookahead: Lookahead,
+) -> Round {
+    let start = fronts.iter().filter_map(|f| *f).min();
+    match (start, next_pin) {
+        (None, None) => Round::Idle,
+        (None, Some(p)) => Round::Pin(p),
+        (Some(s), Some(p)) if p <= s => Round::Pin(p),
+        (Some(s), pin) => {
+            let mut end = s + lookahead.get();
+            if let Some(p) = pin {
+                end = end.min(p);
+            }
+            Round::Window { start: s, end }
+        }
+    }
+}
+
+/// A cross-shard message in flight: the payload plus the deterministic
+/// merge key `(time, source, seq)`.
+///
+/// `source` is a stable global identifier of the sending entity (the
+/// sender's phone id in the epidemic model) and `seq` is the sender's
+/// running send count, so two envelopes never compare equal unless they
+/// are the same send.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Delivery time at the destination shard (≥ send time + lookahead).
+    pub time: SimTime,
+    /// Global id of the sending entity.
+    pub source: u64,
+    /// Per-source running sequence number.
+    pub seq: u64,
+    /// The message payload.
+    pub payload: M,
+}
+
+impl<M> Envelope<M> {
+    /// The deterministic merge key.
+    #[inline]
+    pub fn key(&self) -> (SimTime, u64, u64) {
+        (self.time, self.source, self.seq)
+    }
+}
+
+impl<M: Eq> PartialOrd for Envelope<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M: Eq> Ord for Envelope<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+/// Per-pair deterministic FIFO channels for cross-shard messages.
+///
+/// Each sending shard appends envelopes in its own (deterministic)
+/// processing order; at a barrier the coordinator drains every
+/// destination's inbox sorted by `(time, source, seq)`, so the merged
+/// order is a pure function of the envelopes themselves.
+#[derive(Debug)]
+pub struct ShardRouter<M> {
+    inboxes: Vec<Vec<Envelope<M>>>,
+    routed: u64,
+    delivered: u64,
+}
+
+impl<M> ShardRouter<M> {
+    /// A router for `shards` destinations.
+    pub fn new(shards: usize) -> Self {
+        ShardRouter { inboxes: (0..shards).map(|_| Vec::new()).collect(), routed: 0, delivered: 0 }
+    }
+
+    /// Enqueues `envelope` for destination shard `dest`.
+    pub fn send(&mut self, dest: usize, envelope: Envelope<M>) {
+        self.routed += 1;
+        self.inboxes[dest].push(envelope);
+    }
+
+    /// Drains destination `dest`'s inbox in `(time, source, seq)` order.
+    pub fn drain(&mut self, dest: usize) -> Vec<Envelope<M>> {
+        let mut batch = std::mem::take(&mut self.inboxes[dest]);
+        batch.sort_by_key(Envelope::key);
+        self.delivered += batch.len() as u64;
+        batch
+    }
+
+    /// Envelopes accepted by [`ShardRouter::send`] so far.
+    pub fn routed(&self) -> u64 {
+        self.routed
+    }
+
+    /// Envelopes handed out by [`ShardRouter::drain`] so far.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Envelopes currently waiting in inboxes.
+    pub fn in_flight(&self) -> usize {
+        self.inboxes.iter().map(Vec::len).sum()
+    }
+
+    /// The earliest delivery time waiting for destination `dest`, if any
+    /// — the barrier planner folds this into the shard's event front.
+    pub fn pending_min_time(&self, dest: usize) -> Option<SimTime> {
+        self.inboxes[dest].iter().map(|e| e.time).min()
+    }
+}
+
+/// Counters for one sharded run's synchronization behaviour, merged
+/// into the observability registry by the engine layer.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BarrierStats {
+    /// Total lockstep rounds (pins + windows).
+    pub rounds: u64,
+    /// Rounds that executed a globally-pinned event.
+    pub pin_rounds: u64,
+    /// Rounds that opened a time window.
+    pub window_rounds: u64,
+    /// Shard-rounds in which a shard reached the barrier with no local
+    /// event inside the window (it waited on the others).
+    pub idle_shard_rounds: u64,
+    /// Envelopes routed across shards.
+    pub cross_shard_messages: u64,
+}
+
+/// A shard-local future-event list with *caller-supplied* ordering keys.
+///
+/// Unlike [`EventQueue`](crate::EventQueue), which assigns sequence
+/// numbers in scheduling order (an order that would differ between
+/// shard layouts), `ShardQueue` lets the model supply a canonical key
+/// per event so the pop order at equal times is a function of the event
+/// itself. Ties on `(time, key)` must only occur between interchangeable
+/// events — the epidemic model's canonical key guarantees that.
+///
+/// Like `EventQueue` it tracks `scheduled_total` (cumulative across
+/// [`ShardQueue::clear`]) and `peak_len` (reset by `clear`) so per-shard
+/// peaks can be summed and compared against the sequential engine's
+/// global peak in the memory-bounds tests.
+#[derive(Debug)]
+pub struct ShardQueue<E> {
+    backend: Backend<E>,
+    scheduled_total: u64,
+    peak_len: usize,
+}
+
+#[derive(Debug)]
+enum Backend<E> {
+    Heap(BinaryHeapFel<E>),
+    Calendar(CalendarQueue<E>),
+}
+
+impl<E> Backend<E> {
+    fn as_fel(&mut self) -> &mut dyn FutureEventList<E> {
+        match self {
+            Backend::Heap(h) => h,
+            Backend::Calendar(c) => c,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Backend::Heap(h) => h.len(),
+            Backend::Calendar(c) => c.len(),
+        }
+    }
+}
+
+impl<E> ShardQueue<E> {
+    /// An empty queue over the given backend kind.
+    pub fn with_kind(kind: FelKind) -> Self {
+        let backend = match kind {
+            FelKind::BinaryHeap => Backend::Heap(BinaryHeapFel::new()),
+            FelKind::Calendar => Backend::Calendar(CalendarQueue::new()),
+            FelKind::CalendarTuned { bucket_width_secs, bucket_count } => {
+                Backend::Calendar(CalendarQueue::with_params(bucket_width_secs, bucket_count))
+            }
+        };
+        ShardQueue { backend, scheduled_total: 0, peak_len: 0 }
+    }
+
+    /// Schedules `event` at `time` under the canonical `key`.
+    pub fn schedule(&mut self, time: SimTime, key: u64, event: E) {
+        self.backend.as_fel().insert(Scheduled { time, seq: key, event });
+        self.scheduled_total += 1;
+        let len = self.backend.len();
+        if len > self.peak_len {
+            self.peak_len = len;
+        }
+    }
+
+    /// Removes and returns the earliest `(time, key, event)` triple.
+    pub fn pop(&mut self) -> Option<(SimTime, u64, E)> {
+        self.backend.as_fel().pop().map(|s| (s.time, s.seq, s.event))
+    }
+
+    /// The time of the event [`ShardQueue::pop`] would return.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        self.backend.as_fel().peek().map(|(t, _)| t)
+    }
+
+    /// The `(time, key)` pair of the event [`ShardQueue::pop`] would
+    /// return — the merged-order executor compares these across shards.
+    pub fn peek(&mut self) -> Option<(SimTime, u64)> {
+        self.backend.as_fel().peek()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.backend.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Discards all pending events and resets the peak; the cumulative
+    /// `scheduled_total` is preserved so reuse across replications keeps
+    /// a meaningful schedule count.
+    pub fn clear(&mut self) {
+        self.backend.as_fel().clear();
+        self.peak_len = 0;
+    }
+
+    /// Cumulative number of events ever scheduled (across `clear`s).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+
+    /// High-water mark of the pending set since the last `clear`.
+    pub fn peak_len(&self) -> usize {
+        self.peak_len
+    }
+
+    /// The peak pending set expressed in bytes of event storage
+    /// (`peak_len × size_of::<Scheduled<E>>()`), matching the accounting
+    /// of [`EventQueue::peak_resident_bytes`](crate::EventQueue).
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_len * std::mem::size_of::<Scheduled<E>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn zero_lookahead_is_rejected_with_structured_error() {
+        let err = Lookahead::new(SimDuration::ZERO).unwrap_err();
+        assert_eq!(err, ZeroLookaheadError);
+        let msg = err.to_string();
+        assert!(msg.contains("strictly positive lookahead"), "got: {msg}");
+        assert!(Lookahead::new(SimDuration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn same_timestamp_envelopes_drain_in_source_then_seq_order() {
+        let mut router: ShardRouter<&'static str> = ShardRouter::new(2);
+        // Shard workers push in arbitrary (per-worker) order; all four
+        // envelopes share one timestamp.
+        router.send(1, Envelope { time: t(60), source: 7, seq: 1, payload: "b7" });
+        router.send(1, Envelope { time: t(60), source: 3, seq: 2, payload: "a3-second" });
+        router.send(1, Envelope { time: t(60), source: 3, seq: 1, payload: "a3-first" });
+        router.send(1, Envelope { time: t(60), source: 7, seq: 0, payload: "a7" });
+        let order: Vec<&str> = router.drain(1).into_iter().map(|e| e.payload).collect();
+        assert_eq!(order, vec!["a3-first", "a3-second", "a7", "b7"]);
+        assert_eq!(router.routed(), 4);
+        assert_eq!(router.delivered(), 4);
+        assert_eq!(router.in_flight(), 0);
+    }
+
+    #[test]
+    fn fifo_per_pair_is_preserved_across_times() {
+        let mut router: ShardRouter<u32> = ShardRouter::new(3);
+        router.send(2, Envelope { time: t(120), source: 1, seq: 1, payload: 20 });
+        router.send(2, Envelope { time: t(60), source: 1, seq: 0, payload: 10 });
+        router.send(0, Envelope { time: t(30), source: 5, seq: 0, payload: 99 });
+        assert_eq!(router.in_flight(), 3);
+        let d2: Vec<u32> = router.drain(2).into_iter().map(|e| e.payload).collect();
+        assert_eq!(d2, vec![10, 20]);
+        let d0: Vec<u32> = router.drain(0).into_iter().map(|e| e.payload).collect();
+        assert_eq!(d0, vec![99]);
+        assert!(router.drain(1).is_empty());
+    }
+
+    #[test]
+    fn empty_shard_round_does_not_block_planning() {
+        let la = Lookahead::new(SimDuration::from_secs(30)).unwrap();
+        // One shard idle, one with work: the window opens anyway.
+        let round = plan_round(&[Some(t(100)), None], None, la);
+        assert_eq!(round, Round::Window { start: t(100), end: t(130) });
+        // All shards idle but a pin remains: the pin fires.
+        assert_eq!(plan_round(&[None, None], Some(t(500)), la), Round::Pin(t(500)));
+        // Nothing anywhere: the run is over.
+        assert_eq!(plan_round(&[None, None], None, la), Round::Idle);
+    }
+
+    #[test]
+    fn empty_shard_loop_terminates() {
+        // Drive a two-shard loop where shard 1 never has events; each
+        // window consumes shard 0's front. Termination proves the
+        // barrier cannot deadlock on an empty shard.
+        let la = Lookahead::new(SimDuration::from_secs(10)).unwrap();
+        let mut q: ShardQueue<u8> = ShardQueue::with_kind(FelKind::BinaryHeap);
+        q.schedule(t(5), 0, 0);
+        q.schedule(t(12), 0, 1);
+        q.schedule(t(40), 0, 2);
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            assert!(rounds < 100, "barrier loop failed to terminate");
+            match plan_round(&[q.peek_time(), None], None, la) {
+                Round::Idle => break,
+                Round::Pin(_) => unreachable!("no pins scheduled"),
+                Round::Window { end, .. } => {
+                    while q.peek_time().is_some_and(|ft| ft < end) {
+                        q.pop();
+                    }
+                }
+            }
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pin_at_or_before_front_runs_first() {
+        let la = Lookahead::new(SimDuration::from_secs(60)).unwrap();
+        // Pin strictly before the front.
+        assert_eq!(plan_round(&[Some(t(100))], Some(t(50)), la), Round::Pin(t(50)));
+        // Pin exactly at the front: the pin still runs first (the fixed
+        // rule that makes the grid shard-count invariant).
+        assert_eq!(plan_round(&[Some(t(100))], Some(t(100)), la), Round::Pin(t(100)));
+        // Pin inside the would-be window truncates it.
+        assert_eq!(
+            plan_round(&[Some(t(100))], Some(t(130)), la),
+            Round::Window { start: t(100), end: t(130) }
+        );
+        // Pin beyond the window leaves it at full lookahead width.
+        assert_eq!(
+            plan_round(&[Some(t(100))], Some(t(500)), la),
+            Round::Window { start: t(100), end: t(160) }
+        );
+    }
+
+    #[test]
+    fn shard_queue_orders_by_time_then_key_on_both_backends() {
+        for kind in [FelKind::BinaryHeap, FelKind::Calendar] {
+            let mut q: ShardQueue<&'static str> = ShardQueue::with_kind(kind);
+            q.schedule(t(10), 5, "t10-k5");
+            q.schedule(t(10), 2, "t10-k2");
+            q.schedule(t(3), 9, "t3-k9");
+            q.schedule(t(10), 7, "t10-k7");
+            let mut order = Vec::new();
+            while let Some((_, _, e)) = q.pop() {
+                order.push(e);
+            }
+            assert_eq!(order, vec!["t3-k9", "t10-k2", "t10-k5", "t10-k7"]);
+        }
+    }
+
+    #[test]
+    fn shard_queue_clear_resets_peak_but_keeps_total() {
+        let mut q: ShardQueue<u32> = ShardQueue::with_kind(FelKind::BinaryHeap);
+        q.schedule(t(1), 0, 1);
+        q.schedule(t(2), 1, 2);
+        q.schedule(t(3), 2, 3);
+        assert_eq!(q.peak_len(), 3);
+        assert_eq!(q.scheduled_total(), 3);
+        q.pop();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.peak_len(), 0);
+        assert_eq!(q.scheduled_total(), 3);
+        q.schedule(t(9), 0, 4);
+        assert_eq!(q.peak_len(), 1);
+        assert_eq!(q.scheduled_total(), 4);
+        assert_eq!(q.peak_resident_bytes(), std::mem::size_of::<Scheduled<u32>>());
+    }
+}

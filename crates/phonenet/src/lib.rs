@@ -41,6 +41,7 @@ pub mod arena;
 pub mod gateway;
 pub mod inbox;
 pub mod message;
+pub mod partition;
 pub mod phone;
 pub mod population;
 pub mod queue;
@@ -50,6 +51,7 @@ pub use arena::BufferPool;
 pub use gateway::Gateway;
 pub use inbox::Inboxes;
 pub use message::MmsMessage;
+pub use partition::Partition;
 pub use phone::{Health, PhoneId, PhoneMut, PhoneRef};
 pub use population::Population;
 pub use queue::TransitQueue;

@@ -64,9 +64,14 @@ pub use mpvsim_topology as topology;
 /// The most commonly used items, importable with one `use`.
 pub mod prelude {
     pub use mpvsim_core::{
-        bless_oracle, bless_study, check_invariants, check_oracle, check_study, fuzz_case,
-        fuzz_cases, Drift, FuzzReport, GoldenScale, InvariantReport, OracleScale, StudyGolden,
-        Variant,
+        bless_oracle, bless_study, check_invariants, check_oracle, check_sharded_consistency,
+        check_sharded_invariants, check_study, fuzz_case, fuzz_cases, shardable,
+        trajectory_fingerprint, Drift, FuzzReport, GoldenScale, InvariantReport, OracleScale,
+        StudyGolden, Variant,
+    };
+    pub use mpvsim_core::{
+        record_shard_telemetry, reject_unshardable, run_scenario_sharded,
+        run_scenario_sharded_configured, ShardLane, ShardMode, ShardOutcome, ShardTelemetry,
     };
     pub use mpvsim_core::{
         resume_sweep, run_scenario, run_scenario_cached, run_scenario_configured,

@@ -139,3 +139,47 @@ fn a_tight_inbox_cap_drops_deterministically_and_still_completes() {
     assert_eq!(a.series, b.series, "tail-drop must be deterministic");
     assert_eq!(a.stats.inbox_dropped, b.stats.inbox_dropped);
 }
+
+#[test]
+fn sharded_peak_accounting_sums_per_shard_high_water_marks() {
+    // The sharded engine reports peak_pending_events as the SUM of each
+    // shard's own FEL high-water mark (the shards peak at different
+    // simulated times, so the sum is a conservative upper bound on the
+    // true simultaneous peak — never an undercount). The per-lane peaks
+    // stay visible in the telemetry so the bound can be audited.
+    let mut c = ScenarioConfig::baseline(VirusProfile::virus1());
+    c.population = PopulationConfig::paper_default(200);
+    c.horizon = SimDuration::from_hours(8);
+    c.initial_infections = 5;
+    let c = shardable(&c);
+    let out = run_scenario_sharded(&c, SEED, FelKind::default(), None, 4, None, ShardMode::Auto)
+        .expect("shardable scenario runs");
+    let lane_sum: usize = out.telemetry.lanes.iter().map(|l| l.peak_len).sum();
+    let byte_sum: usize = out.telemetry.lanes.iter().map(|l| l.peak_event_bytes).sum();
+    assert_eq!(out.metrics.peak_pending_events, lane_sum);
+    assert_eq!(out.metrics.peak_event_bytes, byte_sum);
+    assert!(lane_sum > 0, "an epidemic run must schedule events");
+    for lane in &out.telemetry.lanes {
+        assert!(
+            lane.peak_len <= out.metrics.peak_pending_events,
+            "a single lane cannot exceed the reported total"
+        );
+    }
+    // The summed bound must not balloon past the sequential engine's
+    // single-FEL peak by more than the shard count (each lane's local
+    // peak is at most the global peak).
+    let (_, seq) = run_scenario_configured(
+        &c,
+        SEED,
+        FelKind::default(),
+        None,
+        ProbeKind::None,
+        LayoutKind::Fresh,
+    )
+    .expect("valid");
+    assert!(
+        lane_sum <= seq.peak_pending_events.max(1) * 4 + 4,
+        "summed shard peaks {lane_sum} exceed {}x shard count bound",
+        seq.peak_pending_events
+    );
+}

@@ -1,0 +1,232 @@
+//! Property-based equivalence tests for the sharded engine: for *any*
+//! shardable scenario — random virus, random response stack, every
+//! topology generator — running a replication across 2, 3 or 8 shards
+//! must reproduce the sharded engine's own single-shard trajectory
+//! byte for byte (compared as the same FNV-1a fingerprint the golden
+//! store uses), conserve cross-shard message flow, and be
+//! deterministic under re-run.
+//!
+//! The strategies deliberately mirror `tests/invariants.rs`, then pass
+//! each drawn configuration through [`shardable`] so the cases stay
+//! inside the sharded engine's feature envelope (no Bluetooth/mobility,
+//! no legitimate traffic, positive-minimum read delay, ...) without
+//! shrinking the rest of the configuration space.
+
+use proptest::prelude::*;
+
+use mpvsim::prelude::*;
+
+/// Strategy for a random but valid virus profile (MMS vector only —
+/// [`shardable`] would strip a Bluetooth vector anyway).
+fn virus_strategy() -> impl Strategy<Value = VirusProfile> {
+    (
+        1u32..5,                                            // recipients per message
+        1u64..60,                                           // min gap minutes
+        prop_oneof![Just(None), (1u32..20).prop_map(Some)], // per-day quota
+        any::<bool>(),                                      // contact list vs random dialing
+        0.0f64..=1.0,                                       // valid fraction (dialing only)
+        0u64..3,                                            // dormancy hours
+        any::<bool>(),                                      // global day bursts
+    )
+        .prop_map(|(recipients, gap, per_day, dial, valid, dormancy, bursts)| {
+            let targeting = if dial {
+                TargetingStrategy::RandomDialing { valid_fraction: valid }
+            } else {
+                TargetingStrategy::ContactList
+            };
+            VirusProfile {
+                name: "shard-virus".to_owned(),
+                targeting,
+                send_gap: DelaySpec::shifted_exp(
+                    SimDuration::from_mins(gap),
+                    SimDuration::from_mins(gap / 2 + 1),
+                ),
+                recipients_per_message: if dial { 1 } else { recipients },
+                quota: match per_day {
+                    Some(n) => SendQuota::per_day(n),
+                    None => SendQuota::unlimited(),
+                },
+                dormancy: SimDuration::from_hours(dormancy),
+                global_day_bursts: bursts,
+                mms_vector: true,
+                bluetooth: None,
+                piggyback: false,
+            }
+        })
+}
+
+/// Strategy over all six response mechanisms, each independently
+/// present or absent.
+fn response_strategy() -> impl Strategy<Value = ResponseConfig> {
+    (
+        prop_oneof![Just(None), (1u64..24).prop_map(Some)], // scan delay h
+        prop_oneof![Just(None), (0.5f64..1.0).prop_map(Some)], // detection accuracy
+        prop_oneof![Just(None), (0.0f64..1.0).prop_map(Some)], // education scale
+        prop_oneof![Just(None), ((1u64..24), (0u64..12)).prop_map(Some)], // immunization
+        prop_oneof![Just(None), (5u64..60).prop_map(Some)], // monitoring wait min
+        prop_oneof![Just(None), (1u32..40).prop_map(Some)], // blacklist threshold
+    )
+        .prop_map(|(scan, detect, edu, imm, mon, bl)| {
+            let mut r = ResponseConfig::none();
+            if let Some(h) = scan {
+                r = r.with_signature_scan(SignatureScan {
+                    activation_delay: SimDuration::from_hours(h),
+                });
+            }
+            if let Some(a) = detect {
+                r = r.with_detection(DetectionAlgorithm::with_accuracy(a));
+            }
+            if let Some(s) = edu {
+                r = r.with_education(UserEducation { acceptance_scale: s });
+            }
+            if let Some((dev, roll)) = imm {
+                r = r.with_immunization(Immunization::uniform(
+                    SimDuration::from_hours(dev),
+                    SimDuration::from_hours(roll),
+                ));
+            }
+            if let Some(w) = mon {
+                r = r.with_monitoring(Monitoring::with_forced_wait(SimDuration::from_mins(w)));
+            }
+            if let Some(t) = bl {
+                r = r.with_blacklist(Blacklist { threshold: t });
+            }
+            r
+        })
+}
+
+/// Picks a contact topology from every generator family, with
+/// parameters clamped so the spec always validates for `n` nodes.
+fn make_topology(n: usize, degree: u64, pick: usize, beta: f64) -> GraphSpec {
+    let mean = degree.min(n as u64 - 1) as f64;
+    let lattice_k = ((degree as usize).clamp(2, n - 1) & !1).max(2);
+    match pick {
+        0 => GraphSpec::power_law(n, mean.max(1.0)),
+        1 => GraphSpec::watts_strogatz(n, lattice_k, beta),
+        2 => GraphSpec::ring(n, lattice_k),
+        3 => GraphSpec::complete(n),
+        _ => GraphSpec::erdos_renyi(n, mean),
+    }
+}
+
+fn scenario_strategy() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        virus_strategy(),
+        response_strategy(),
+        // Topology: (n, mean degree, generator family, rewiring beta).
+        (20usize..80, 1u64..30, 0usize..5, 0.0f64..=1.0),
+        0.0f64..=1.0, // vulnerable fraction
+        2u64..36,     // horizon hours
+        1u32..6,      // initial infections
+    )
+        .prop_map(|(virus, response, topo, vulnerable, horizon, seeds)| {
+            let (n, degree, pick, beta) = topo;
+            let mut c = ScenarioConfig::baseline(virus);
+            c.response = response;
+            c.population = PopulationConfig {
+                topology: make_topology(n, degree, pick, beta),
+                vulnerable_fraction: vulnerable,
+            };
+            c.horizon = SimDuration::from_hours(horizon);
+            c.initial_infections = seeds;
+            // Normalize into the sharded feature envelope; for these
+            // strategies only the zero-minimum read delay needs fixing.
+            shardable(&c)
+        })
+}
+
+/// Runs `config` on the sharded engine and returns the trajectory
+/// fingerprint plus the events processed.
+fn sharded_fingerprint(config: &ScenarioConfig, seed: u64, shards: usize) -> (u64, u64) {
+    let outcome = run_scenario_sharded(
+        config,
+        seed,
+        FelKind::BinaryHeap,
+        None,
+        shards,
+        None,
+        ShardMode::Auto,
+    )
+    .expect("shardable scenario runs");
+    outcome.telemetry.check_flow().expect("cross-shard flow conserves");
+    (trajectory_fingerprint(&outcome.result), outcome.metrics.events_processed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The tentpole equivalence property: for any shardable scenario,
+    /// every shard count produces the identical trajectory.
+    #[test]
+    fn prop_sharded_equals_single_shard(config in scenario_strategy(), seed in 0u64..1_000_000) {
+        prop_assume!(config.validate().is_ok());
+        prop_assume!(reject_unshardable(&config).is_ok());
+        let (baseline, _) = sharded_fingerprint(&config, seed, 1);
+        for shards in [2usize, 3, 8] {
+            let (fp, _) = sharded_fingerprint(&config, seed, shards);
+            prop_assert_eq!(
+                fp, baseline,
+                "trajectory diverged at {} shards (population {})",
+                shards, config.population.size()
+            );
+        }
+    }
+
+    /// The full invariant battery (probe mirror, conservation, flow,
+    /// determinism) holds on random shardable scenarios.
+    #[test]
+    fn prop_sharded_invariants_hold(config in scenario_strategy(), seed in 0u64..1_000_000) {
+        prop_assume!(config.validate().is_ok());
+        prop_assume!(reject_unshardable(&config).is_ok());
+        let report = check_sharded_invariants(&config, seed, FelKind::Calendar, 3)
+            .expect("shardable scenario runs");
+        prop_assert!(report.violations.is_empty(), "violations: {:?}", report.violations);
+    }
+}
+
+/// More shards than phones: the surplus shards stay empty and the
+/// trajectory still matches the single-shard run.
+#[test]
+fn more_shards_than_population_is_equivalent() {
+    let mut config = ScenarioConfig::baseline(VirusProfile::virus1());
+    config.population =
+        PopulationConfig { topology: GraphSpec::ring(6, 2), vulnerable_fraction: 1.0 };
+    config.horizon = SimDuration::from_hours(8);
+    config.initial_infections = 3;
+    let config = shardable(&config);
+    let (baseline, events) = sharded_fingerprint(&config, 41, 1);
+    let (fp, events_sharded) = sharded_fingerprint(&config, 41, 16);
+    assert_eq!(fp, baseline);
+    assert_eq!(events_sharded, events);
+}
+
+/// A fully disconnected topology (no contact edges at all) runs on
+/// random dialing only; cross-shard traffic still conserves and the
+/// equivalence holds.
+#[test]
+fn disconnected_topology_is_equivalent() {
+    let virus = VirusProfile {
+        name: "dialer".to_owned(),
+        targeting: TargetingStrategy::RandomDialing { valid_fraction: 1.0 },
+        send_gap: DelaySpec::shifted_exp(SimDuration::from_mins(2), SimDuration::from_mins(10)),
+        recipients_per_message: 1,
+        quota: SendQuota::unlimited(),
+        dormancy: SimDuration::ZERO,
+        global_day_bursts: false,
+        mms_vector: true,
+        bluetooth: None,
+        piggyback: false,
+    };
+    let mut config = ScenarioConfig::baseline(virus);
+    config.population =
+        PopulationConfig { topology: GraphSpec::erdos_renyi(40, 0.0), vulnerable_fraction: 1.0 };
+    config.horizon = SimDuration::from_hours(12);
+    config.initial_infections = 4;
+    let config = shardable(&config);
+    assert!(config.validate().is_ok());
+    let (baseline, _) = sharded_fingerprint(&config, 9, 1);
+    for shards in [2usize, 3, 8] {
+        let (fp, _) = sharded_fingerprint(&config, 9, shards);
+        assert_eq!(fp, baseline, "diverged at {shards} shards on a disconnected graph");
+    }
+}
